@@ -1,0 +1,319 @@
+//! Epidemic modeling and response (§VI-D, Fig. 6 middle).
+//!
+//! "This system monitors various web-based data sources (e.g., public
+//! health data), and when data are updated, it ingests, cleans, and
+//! validates the data. Prediction models are regularly retrained and
+//! run, and data and model results are published for decision makers."
+//!
+//! The platform wires: synthetic **data sources** (daily case counts
+//! with reporting noise, gaps, and corrections) → a **source monitor**
+//! publishing update events → a **trigger** running the ingest/clean/
+//! validate pipeline and refitting the transmission model (an R-number
+//! estimate from exponential growth) → **alerts** to a decision-maker
+//! topic when the estimate crosses 1.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use octopus_broker::{AckLevel, Cluster, TopicConfig};
+use octopus_pattern::Pattern;
+use octopus_trigger::{AutoscalerConfig, FunctionConfig, TriggerRuntime, TriggerSpec};
+use octopus_types::{Event, OctoResult, Uid};
+
+/// One raw report from a public-health data source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseReport {
+    /// Source name (e.g. a health department feed).
+    pub source: String,
+    /// Day index of the report.
+    pub day: u32,
+    /// Reported new cases. May be negative (corrections) or absurd
+    /// (data entry errors) — cleaning handles both.
+    pub new_cases: i64,
+}
+
+/// A synthetic epidemic data source: SIR-flavoured daily counts with
+/// reporting noise and occasional bad rows.
+pub struct DataSource {
+    name: String,
+    rng: SmallRng,
+    /// Daily growth factor of the underlying outbreak.
+    pub growth: f64,
+    current: f64,
+    day: u32,
+}
+
+impl DataSource {
+    /// A source whose underlying outbreak grows by `growth` per day.
+    pub fn new(name: &str, initial_cases: f64, growth: f64, seed: u64) -> Self {
+        DataSource {
+            name: name.to_string(),
+            rng: SmallRng::seed_from_u64(seed),
+            growth,
+            current: initial_cases,
+            day: 0,
+        }
+    }
+
+    /// Produce the next day's report (noisy; ~2% of rows are garbage).
+    pub fn next_report(&mut self) -> CaseReport {
+        let day = self.day;
+        self.day += 1;
+        self.current *= self.growth;
+        let noise = 1.0 + (self.rng.gen::<f64>() - 0.5) * 0.2;
+        let mut cases = (self.current * noise) as i64;
+        if self.rng.gen::<f64>() < 0.02 {
+            // data-entry error: sign flip or 100x blowup
+            cases = if self.rng.gen() { -cases } else { cases * 100 };
+        }
+        CaseReport { source: self.name.clone(), day, new_cases: cases }
+    }
+}
+
+/// Cleaned, validated time series + R-number estimation.
+#[derive(Debug, Default, Clone)]
+pub struct EpidemicModel {
+    /// (day, cases) after cleaning, in day order.
+    pub series: Vec<(u32, f64)>,
+}
+
+/// Serial interval used to map growth to a reproduction number
+/// (days between successive infections; ~5 for COVID-like pathogens).
+const SERIAL_INTERVAL_DAYS: f64 = 5.0;
+
+impl EpidemicModel {
+    /// Ingest a report: cleaning drops negative counts and >20x jumps
+    /// (the validation step of §VI-D).
+    pub fn ingest(&mut self, report: &CaseReport) -> bool {
+        if report.new_cases < 0 {
+            return false;
+        }
+        let cases = report.new_cases as f64;
+        if let Some(&(_, prev)) = self.series.last() {
+            if prev > 0.0 && cases > prev * 20.0 {
+                return false; // implausible jump
+            }
+        }
+        self.series.push((report.day, cases));
+        true
+    }
+
+    /// Estimate the effective reproduction number R from the recent
+    /// growth rate: fit log-linear growth over the last `window` days,
+    /// then R = exp(r · serial_interval).
+    pub fn estimate_r(&self, window: usize) -> Option<f64> {
+        if self.series.len() < 2 {
+            return None;
+        }
+        let tail = &self.series[self.series.len().saturating_sub(window)..];
+        let pts: Vec<(f64, f64)> = tail
+            .iter()
+            .filter(|(_, c)| *c > 0.0)
+            .map(|(d, c)| (*d as f64, c.ln()))
+            .collect();
+        if pts.len() < 2 {
+            return None;
+        }
+        // least-squares slope of ln(cases) over days
+        let n = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|(x, _)| x).sum();
+        let sy: f64 = pts.iter().map(|(_, y)| y).sum();
+        let sxx: f64 = pts.iter().map(|(x, _)| x * x).sum();
+        let sxy: f64 = pts.iter().map(|(x, y)| x * y).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return None;
+        }
+        let r_growth = (n * sxy - sx * sy) / denom;
+        Some((r_growth * SERIAL_INTERVAL_DAYS).exp())
+    }
+}
+
+/// The assembled platform.
+pub struct EpidemicPlatform {
+    cluster: Cluster,
+    triggers: TriggerRuntime,
+    model: Arc<Mutex<EpidemicModel>>,
+    rejected: Arc<Mutex<u64>>,
+}
+
+/// Topic for raw source-update events.
+pub const SOURCES_TOPIC: &str = "epi.sources";
+/// Topic for decision-maker alerts.
+pub const ALERTS_TOPIC: &str = "epi.alerts";
+
+impl EpidemicPlatform {
+    /// Build the platform on a fabric cluster: topics, model trigger,
+    /// alerting.
+    pub fn new(cluster: Cluster) -> OctoResult<Self> {
+        cluster.create_topic(SOURCES_TOPIC, TopicConfig::default())?;
+        cluster.create_topic(ALERTS_TOPIC, TopicConfig::default())?;
+        let triggers = TriggerRuntime::new(cluster.clone());
+        let model = Arc::new(Mutex::new(EpidemicModel::default()));
+        let rejected = Arc::new(Mutex::new(0u64));
+        let m = model.clone();
+        let rej = rejected.clone();
+        let alert_cluster = cluster.clone();
+        triggers.deploy(TriggerSpec {
+            name: "epi-model".into(),
+            topic: SOURCES_TOPIC.into(),
+            // only data updates retrain the model; heartbeats etc. skip
+            pattern: Some(
+                Pattern::parse(&serde_json::json!({"event_type": ["data_update"]}))
+                    .expect("static pattern"),
+            ),
+            config: FunctionConfig::default(),
+            function: Arc::new(move |_ctx, batch| {
+                let mut model = m.lock();
+                for d in batch {
+                    let report: CaseReport = serde_json::from_value(
+                        d.json().map_err(|e| e.to_string())?["report"].clone(),
+                    )
+                    .map_err(|e| e.to_string())?;
+                    if !model.ingest(&report) {
+                        *rej.lock() += 1;
+                        continue;
+                    }
+                    // retrain + alert on threshold crossing
+                    if let Some(r) = model.estimate_r(14) {
+                        if r > 1.0 && model.series.len() >= 5 {
+                            let alert = Event::from_json(&serde_json::json!({
+                                "event_type": "r_alert",
+                                "r_estimate": r,
+                                "day": report.day,
+                            }))
+                            .map_err(|e| e.to_string())?;
+                            alert_cluster
+                                .produce(ALERTS_TOPIC, alert, AckLevel::Leader)
+                                .map_err(|e| e.to_string())?;
+                        }
+                    }
+                }
+                Ok(())
+            }),
+            acting_as: Uid(1),
+            autoscaler: AutoscalerConfig::default(),
+        })?;
+        Ok(EpidemicPlatform { cluster, triggers, model, rejected })
+    }
+
+    /// Publish one source report as a `data_update` event.
+    pub fn publish_report(&self, report: &CaseReport) -> OctoResult<()> {
+        let event = Event::builder()
+            .key(report.source.clone())
+            .json(&serde_json::json!({"event_type": "data_update", "report": report}))?
+            .build();
+        self.cluster.produce(SOURCES_TOPIC, event, AckLevel::Leader)?;
+        Ok(())
+    }
+
+    /// Process pending updates through the model trigger.
+    pub fn process(&self) -> OctoResult<usize> {
+        self.triggers.poll_once("epi-model")
+    }
+
+    /// Current R estimate over the last 14 days.
+    pub fn current_r(&self) -> Option<f64> {
+        self.model.lock().estimate_r(14)
+    }
+
+    /// Reports rejected by cleaning/validation.
+    pub fn rejected_reports(&self) -> u64 {
+        *self.rejected.lock()
+    }
+
+    /// Alerts published so far.
+    pub fn alert_count(&self) -> OctoResult<u64> {
+        let mut n = 0;
+        for p in 0..self.cluster.partition_count(ALERTS_TOPIC)? {
+            n += self.cluster.latest_offset(ALERTS_TOPIC, p)?;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growing_outbreak_estimates_r_above_1() {
+        let mut model = EpidemicModel::default();
+        let mut src = DataSource::new("cdph", 100.0, 1.15, 3);
+        for _ in 0..20 {
+            model.ingest(&src.next_report());
+        }
+        let r = model.estimate_r(14).unwrap();
+        // growth 1.15/day, serial interval 5 → R ≈ 1.15^5 ≈ 2.0
+        assert!((1.4..=2.8).contains(&r), "R estimate {r}");
+    }
+
+    #[test]
+    fn shrinking_outbreak_estimates_r_below_1() {
+        let mut model = EpidemicModel::default();
+        let mut src = DataSource::new("cdph", 100_000.0, 0.9, 3);
+        for _ in 0..20 {
+            model.ingest(&src.next_report());
+        }
+        let r = model.estimate_r(14).unwrap();
+        assert!(r < 1.0, "R estimate {r}");
+    }
+
+    #[test]
+    fn cleaning_rejects_garbage() {
+        let mut model = EpidemicModel::default();
+        assert!(model.ingest(&CaseReport { source: "s".into(), day: 0, new_cases: 100 }));
+        assert!(!model.ingest(&CaseReport { source: "s".into(), day: 1, new_cases: -50 }));
+        assert!(!model.ingest(&CaseReport { source: "s".into(), day: 1, new_cases: 100_000 }));
+        assert!(model.ingest(&CaseReport { source: "s".into(), day: 1, new_cases: 120 }));
+        assert_eq!(model.series.len(), 2);
+    }
+
+    #[test]
+    fn r_needs_enough_data() {
+        let model = EpidemicModel::default();
+        assert!(model.estimate_r(14).is_none());
+    }
+
+    #[test]
+    fn platform_end_to_end_alerts_on_growth() {
+        let platform = EpidemicPlatform::new(Cluster::new(2)).unwrap();
+        let mut src = DataSource::new("cdph", 100.0, 1.2, 5);
+        for _ in 0..15 {
+            platform.publish_report(&src.next_report()).unwrap();
+        }
+        platform.process().unwrap();
+        let r = platform.current_r().unwrap();
+        assert!(r > 1.0, "R {r}");
+        assert!(platform.alert_count().unwrap() > 0, "decision makers notified");
+    }
+
+    #[test]
+    fn platform_stays_quiet_when_outbreak_recedes() {
+        let platform = EpidemicPlatform::new(Cluster::new(2)).unwrap();
+        let mut src = DataSource::new("cdph", 100_000.0, 0.85, 5);
+        for _ in 0..15 {
+            platform.publish_report(&src.next_report()).unwrap();
+        }
+        platform.process().unwrap();
+        assert!(platform.current_r().unwrap() < 1.0);
+        assert_eq!(platform.alert_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn platform_counts_rejected_rows() {
+        let platform = EpidemicPlatform::new(Cluster::new(2)).unwrap();
+        platform
+            .publish_report(&CaseReport { source: "s".into(), day: 0, new_cases: 100 })
+            .unwrap();
+        platform
+            .publish_report(&CaseReport { source: "s".into(), day: 1, new_cases: -1 })
+            .unwrap();
+        platform.process().unwrap();
+        assert_eq!(platform.rejected_reports(), 1);
+    }
+}

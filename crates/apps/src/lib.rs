@@ -1,0 +1,34 @@
+//! The five scientific EDA use cases of the paper (§III, §VI), built on
+//! the Octopus fabric:
+//!
+//! - [`sdl`]: **Self-driving laboratories** — a global log of robot /
+//!   instrument / compute actions with provenance tracing and a live
+//!   dashboard (§VI-A).
+//! - [`dataauto`]: **Scientific data automation** — FSMon → local
+//!   aggregator → Octopus trigger → transfer service, the hierarchical
+//!   EDA of Fig. 6 (left) and the activity timeline of Fig. 7 (§VI-B).
+//! - [`sched`]: **Online task scheduling** — RAPL-style power /
+//!   utilization telemetry feeding an energy-aware FaaS scheduler
+//!   (§VI-C).
+//! - [`epidemic`]: **Epidemic modeling and response** — source
+//!   monitoring, ingest/clean/validate, R-number estimation, and
+//!   decision-maker alerts (§VI-D).
+//! - [`workflow`]: **Dynamic workflow management** — consuming the
+//!   Parsl/Octopus monitoring stream for live state, straggler
+//!   detection, and failure surfacing (§VI-E).
+//! - [`table1`]: the Table I workload characterization: event rates,
+//!   sizes, and topic/producer/consumer fan-in per use case.
+
+pub mod dataauto;
+pub mod epidemic;
+pub mod sched;
+pub mod sdl;
+pub mod table1;
+pub mod workflow;
+
+pub use dataauto::DataAutomationPipeline;
+pub use epidemic::EpidemicPlatform;
+pub use sched::{FaasScheduler, Resource, SchedulingPolicy};
+pub use sdl::{LabRunner, ProvenanceLog};
+pub use table1::{table1_rows, UseCaseWorkload};
+pub use workflow::WorkflowDashboard;

@@ -1,0 +1,156 @@
+//! Table I: characteristics of events for the Octopus use cases.
+//!
+//! Each row parameterizes a workload generator: events/hour scale with
+//! the number of managed resources R; sizes, topic counts, and
+//! producer/consumer fan-in match the table. The `table1` bench binary
+//! prints the table; the generators feed capacity tests.
+
+use serde::{Deserialize, Serialize};
+
+/// Who consumes a use case's events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConsumerKind {
+    /// A fixed number of consumer processes.
+    Fixed(u32),
+    /// One consumer per managed resource.
+    PerResource,
+    /// An Octopus trigger.
+    Trigger,
+}
+
+/// One Table I row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UseCaseWorkload {
+    /// Use case name as printed in the paper.
+    pub name: &'static str,
+    /// Events per hour per managed resource.
+    pub events_per_hour_per_resource: u64,
+    /// Mean event size in bytes.
+    pub mean_event_size: usize,
+    /// Topics: fixed count, or one per resource.
+    pub topics_per_resource: bool,
+    /// Fixed topic count when not per-resource.
+    pub fixed_topics: u32,
+    /// Producers: one per resource in every row.
+    pub producers_per_resource: bool,
+    /// Consumer side.
+    pub consumers: ConsumerKind,
+}
+
+impl UseCaseWorkload {
+    /// Aggregate event rate (events/hour) for `resources` managed
+    /// resources.
+    pub fn events_per_hour(&self, resources: u32) -> u64 {
+        self.events_per_hour_per_resource * resources as u64
+    }
+
+    /// Aggregate byte rate (bytes/second).
+    pub fn bytes_per_second(&self, resources: u32) -> f64 {
+        self.events_per_hour(resources) as f64 * self.mean_event_size as f64 / 3600.0
+    }
+
+    /// Topic count for `resources`.
+    pub fn topics(&self, resources: u32) -> u32 {
+        if self.topics_per_resource {
+            resources
+        } else {
+            self.fixed_topics
+        }
+    }
+
+    /// Mean inter-event gap in milliseconds at `resources`.
+    pub fn mean_gap_ms(&self, resources: u32) -> f64 {
+        3_600_000.0 / self.events_per_hour(resources) as f64
+    }
+}
+
+/// The five Table I rows.
+pub fn table1_rows() -> Vec<UseCaseWorkload> {
+    vec![
+        UseCaseWorkload {
+            name: "SDL",
+            events_per_hour_per_resource: 100,
+            mean_event_size: 512,
+            topics_per_resource: false,
+            fixed_topics: 1,
+            producers_per_resource: true,
+            consumers: ConsumerKind::Fixed(1),
+        },
+        UseCaseWorkload {
+            name: "Data Auto.",
+            events_per_hour_per_resource: 1_000,
+            mean_event_size: 4 * 1024,
+            topics_per_resource: false,
+            fixed_topics: 1,
+            producers_per_resource: true,
+            consumers: ConsumerKind::Trigger,
+        },
+        UseCaseWorkload {
+            name: "Scheduling",
+            events_per_hour_per_resource: 10_000,
+            mean_event_size: 1024,
+            topics_per_resource: true,
+            fixed_topics: 0,
+            producers_per_resource: true,
+            consumers: ConsumerKind::Fixed(1),
+        },
+        UseCaseWorkload {
+            name: "Epidemic",
+            events_per_hour_per_resource: 10,
+            mean_event_size: 1024,
+            topics_per_resource: true,
+            fixed_topics: 0,
+            producers_per_resource: true,
+            consumers: ConsumerKind::Trigger,
+        },
+        UseCaseWorkload {
+            name: "Workflow",
+            events_per_hour_per_resource: 5_000,
+            mean_event_size: 1024,
+            topics_per_resource: true,
+            fixed_topics: 0,
+            producers_per_resource: true,
+            consumers: ConsumerKind::PerResource,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_rows_matching_the_paper() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 5);
+        let sdl = &rows[0];
+        assert_eq!(sdl.events_per_hour_per_resource, 100);
+        assert_eq!(sdl.mean_event_size, 512); // 0.5 KB
+        assert_eq!(sdl.topics(10), 1);
+        let sched = &rows[2];
+        assert_eq!(sched.events_per_hour_per_resource, 10_000);
+        assert_eq!(sched.topics(10), 10); // R topics
+        assert_eq!(rows[1].mean_event_size, 4096);
+        assert_eq!(rows[1].consumers, ConsumerKind::Trigger);
+        assert_eq!(rows[4].consumers, ConsumerKind::PerResource);
+    }
+
+    #[test]
+    fn rates_scale_with_resources() {
+        let sched = &table1_rows()[2];
+        assert_eq!(sched.events_per_hour(10), 100_000);
+        // "peak data rates exceeding 10,000 events per minute" (§III-B)
+        assert!(sched.events_per_hour(100) / 60 > 10_000);
+        // the paper's cost example: 10,000 ev/h x 10 resources
+        assert_eq!(sched.events_per_hour(10) * 24, 2_400_000); // lambdas/day
+    }
+
+    #[test]
+    fn byte_rates_and_gaps() {
+        let epi = &table1_rows()[3];
+        assert!((epi.bytes_per_second(1) - 1024.0 * 10.0 / 3600.0).abs() < 1e-9);
+        assert_eq!(epi.mean_gap_ms(1), 360_000.0); // one event / 6 min
+        let sdl = &table1_rows()[0];
+        assert_eq!(sdl.mean_gap_ms(1), 36_000.0);
+    }
+}

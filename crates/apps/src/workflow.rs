@@ -1,0 +1,251 @@
+//! Dynamic workflow management (§VI-E): consuming the Parsl/Octopus
+//! monitoring stream for live workflow state, straggler detection, and
+//! failure surfacing — the signals that drive "adaptive healing actions
+//! before they escalate into failures" (§III-A).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use octopus_broker::Cluster;
+use octopus_flow::MonitorEvent;
+use octopus_sdk::{Consumer, ConsumerConfig};
+use octopus_types::OctoResult;
+
+/// Live state of one task, folded from its monitoring events.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskState {
+    /// Dispatched, not yet running.
+    Launched,
+    /// Executing on a worker.
+    Running,
+    /// Finished successfully.
+    Done,
+    /// Failed.
+    Failed,
+}
+
+/// A straggler or failure finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Anomaly {
+    /// Task name.
+    pub task: String,
+    /// Worker involved.
+    pub worker: usize,
+    /// What was detected.
+    pub kind: String,
+}
+
+/// A dashboard folding the monitoring topic into live workflow state.
+pub struct WorkflowDashboard {
+    consumer: Consumer,
+    states: HashMap<String, TaskState>,
+    start_ms: HashMap<String, u64>,
+    durations_ms: Vec<(String, usize, u64)>, // task, worker, duration
+    failures: Vec<Anomaly>,
+    /// Events consumed.
+    pub events_seen: u64,
+}
+
+impl WorkflowDashboard {
+    /// Subscribe to a monitoring topic.
+    pub fn new(cluster: Cluster, topic: &str) -> OctoResult<Self> {
+        let mut consumer = Consumer::new(
+            cluster,
+            ConsumerConfig { group: "workflow-dashboard".into(), ..Default::default() },
+        );
+        consumer.subscribe(&[topic])?;
+        Ok(WorkflowDashboard {
+            consumer,
+            states: HashMap::new(),
+            start_ms: HashMap::new(),
+            durations_ms: Vec::new(),
+            failures: Vec::new(),
+            events_seen: 0,
+        })
+    }
+
+    /// Fold newly published monitoring events; returns how many arrived.
+    pub fn sync(&mut self) -> OctoResult<usize> {
+        let mut n = 0;
+        loop {
+            let batch = self.consumer.poll()?;
+            if batch.is_empty() {
+                break;
+            }
+            for d in batch {
+                let ev: MonitorEvent = d.event.parse()?;
+                n += 1;
+                self.events_seen += 1;
+                match ev.phase.as_str() {
+                    "launched" => {
+                        self.states.insert(ev.task.clone(), TaskState::Launched);
+                    }
+                    "running" => {
+                        self.states.insert(ev.task.clone(), TaskState::Running);
+                        self.start_ms.insert(ev.task.clone(), ev.timestamp.as_millis());
+                    }
+                    "done" | "failed" => {
+                        let done = ev.phase == "done";
+                        self.states.insert(
+                            ev.task.clone(),
+                            if done { TaskState::Done } else { TaskState::Failed },
+                        );
+                        if let Some(start) = self.start_ms.get(&ev.task) {
+                            self.durations_ms.push((
+                                ev.task.clone(),
+                                ev.worker,
+                                ev.timestamp.as_millis().saturating_sub(*start),
+                            ));
+                        }
+                        if !done {
+                            self.failures.push(Anomaly {
+                                task: ev.task.clone(),
+                                worker: ev.worker,
+                                kind: "task_failed".into(),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    /// Current state of a task.
+    pub fn state(&self, task: &str) -> Option<&TaskState> {
+        self.states.get(task)
+    }
+
+    /// Count of tasks in each state.
+    pub fn state_counts(&self) -> HashMap<String, usize> {
+        let mut out = HashMap::new();
+        for s in self.states.values() {
+            *out.entry(format!("{s:?}").to_lowercase()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Failures observed (candidate retries).
+    pub fn failures(&self) -> &[Anomaly] {
+        &self.failures
+    }
+
+    /// Straggler detection: completed tasks whose duration exceeded
+    /// `factor` × the median duration. These are the "assign less work
+    /// to stragglers / blacklist under-performing nodes" inputs.
+    pub fn stragglers(&self, factor: f64) -> Vec<Anomaly> {
+        if self.durations_ms.len() < 4 {
+            return Vec::new();
+        }
+        let mut ds: Vec<u64> = self.durations_ms.iter().map(|(_, _, d)| *d).collect();
+        ds.sort_unstable();
+        let median = ds[ds.len() / 2].max(1);
+        self.durations_ms
+            .iter()
+            .filter(|(_, _, d)| *d as f64 > median as f64 * factor)
+            .map(|(task, worker, d)| Anomaly {
+                task: task.clone(),
+                worker: *worker,
+                kind: format!("straggler ({d}ms vs median {median}ms)"),
+            })
+            .collect()
+    }
+
+    /// Workers ranked by mean task duration, slowest first — the
+    /// blacklisting candidates list.
+    pub fn slowest_workers(&self) -> Vec<(usize, f64)> {
+        let mut sums: HashMap<usize, (u64, u64)> = HashMap::new();
+        for (_, w, d) in &self.durations_ms {
+            let e = sums.entry(*w).or_insert((0, 0));
+            e.0 += d;
+            e.1 += 1;
+        }
+        let mut out: Vec<(usize, f64)> =
+            sums.into_iter().map(|(w, (sum, n))| (w, sum as f64 / n as f64)).collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_broker::TopicConfig;
+    use octopus_flow::{HtexConfig, HtexExecutor, OctopusMonitor};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn run_workflow(
+        fail_task: Option<usize>,
+        straggler_task: Option<usize>,
+    ) -> (Cluster, WorkflowDashboard) {
+        let cluster = Cluster::new(2);
+        cluster.create_topic("parsl.monitoring", TopicConfig::default()).unwrap();
+        let monitor = Arc::new(OctopusMonitor::new(cluster.clone(), "parsl.monitoring"));
+        let mut b = octopus_flow::TaskGraph::builder();
+        for i in 0..12usize {
+            let fail = Some(i) == fail_task;
+            let slow = Some(i) == straggler_task;
+            b.add(&format!("task-{i}"), &[], move |_| {
+                if slow {
+                    std::thread::sleep(Duration::from_millis(80));
+                } else {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                if fail {
+                    Err("boom".into())
+                } else {
+                    Ok(serde_json::json!(1))
+                }
+            });
+        }
+        let g = b.build().unwrap();
+        HtexExecutor::new(HtexConfig::new(4), monitor).run(&g);
+        let mut dash = WorkflowDashboard::new(cluster.clone(), "parsl.monitoring").unwrap();
+        dash.sync().unwrap();
+        (cluster, dash)
+    }
+
+    #[test]
+    fn dashboard_reaches_terminal_states() {
+        let (_c, dash) = run_workflow(None, None);
+        assert_eq!(dash.events_seen, 36); // 12 tasks x 3 phases
+        let counts = dash.state_counts();
+        assert_eq!(counts.get("done"), Some(&12));
+        assert!(dash.failures().is_empty());
+        assert_eq!(dash.state("task-0"), Some(&TaskState::Done));
+        assert!(dash.state("nope").is_none());
+    }
+
+    #[test]
+    fn failures_are_surfaced() {
+        let (_c, dash) = run_workflow(Some(3), None);
+        assert_eq!(dash.failures().len(), 1);
+        assert_eq!(dash.failures()[0].task, "task-3");
+        assert_eq!(dash.state("task-3"), Some(&TaskState::Failed));
+        assert_eq!(dash.state_counts().get("done"), Some(&11));
+    }
+
+    #[test]
+    fn stragglers_are_detected() {
+        let (_c, dash) = run_workflow(None, Some(7));
+        let stragglers = dash.stragglers(3.0);
+        assert_eq!(stragglers.len(), 1, "{stragglers:?}");
+        assert_eq!(stragglers[0].task, "task-7");
+        assert!(stragglers[0].kind.contains("straggler"));
+        // the worker that ran the straggler tops the slow list
+        let slowest = dash.slowest_workers();
+        assert_eq!(slowest[0].0, stragglers[0].worker);
+    }
+
+    #[test]
+    fn straggler_detection_needs_samples() {
+        let cluster = Cluster::new(2);
+        cluster.create_topic("parsl.monitoring", TopicConfig::default()).unwrap();
+        let dash = WorkflowDashboard::new(cluster, "parsl.monitoring").unwrap();
+        assert!(dash.stragglers(2.0).is_empty());
+        assert!(dash.slowest_workers().is_empty());
+    }
+}

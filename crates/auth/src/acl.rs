@@ -1,0 +1,310 @@
+//! Per-topic access control lists.
+//!
+//! Octopus enforces fine-grained access control: "Each user or a group of
+//! users must be allowed to access only their topics" (§III-B). Topic
+//! registration grants the creator READ, WRITE and DESCRIBE (§IV-B), and
+//! owners self-manage grants via `POST /topic/<topic>/user`.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use octopus_types::{OctoError, OctoResult, Uid};
+
+/// Topic permissions, mirroring the Kafka/MSK ACL operations the paper
+/// names (§IV-B: "sets READ, WRITE, and DESCRIBE access").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Permission {
+    /// Consume events from the topic.
+    Read,
+    /// Produce events to the topic.
+    Write,
+    /// See topic metadata and configuration.
+    Describe,
+}
+
+impl Permission {
+    /// All three permissions (granted to the creator on registration).
+    pub const ALL: [Permission; 3] = [Permission::Read, Permission::Write, Permission::Describe];
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TopicAcl {
+    owner: Uid,
+    grants: HashMap<Uid, HashSet<Permission>>,
+}
+
+/// Thread-safe ACL store, shared between OWS (management plane) and the
+/// broker (enforcement plane).
+#[derive(Clone, Default)]
+pub struct AclStore {
+    inner: Arc<RwLock<HashMap<String, TopicAcl>>>,
+}
+
+impl AclStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a topic owned by `owner`, granting the owner full access.
+    /// Idempotent for the same owner; conflicts for a different one.
+    pub fn register_topic(&self, topic: &str, owner: Uid) -> OctoResult<()> {
+        let mut inner = self.inner.write();
+        if let Some(existing) = inner.get(topic) {
+            if existing.owner == owner {
+                return Ok(()); // idempotent retry (§IV-F)
+            }
+            return Err(OctoError::TopicExists(topic.to_string()));
+        }
+        let mut acl = TopicAcl { owner, grants: HashMap::new() };
+        acl.grants.insert(owner, Permission::ALL.into_iter().collect());
+        inner.insert(topic.to_string(), acl);
+        Ok(())
+    }
+
+    /// Remove a topic's ACL entry entirely.
+    pub fn drop_topic(&self, topic: &str) {
+        self.inner.write().remove(topic);
+    }
+
+    /// Whether the topic is registered.
+    pub fn topic_exists(&self, topic: &str) -> bool {
+        self.inner.read().contains_key(topic)
+    }
+
+    /// The owner of a topic.
+    pub fn owner(&self, topic: &str) -> OctoResult<Uid> {
+        self.inner
+            .read()
+            .get(topic)
+            .map(|a| a.owner)
+            .ok_or_else(|| OctoError::UnknownTopic(topic.to_string()))
+    }
+
+    /// Grant `perms` on `topic` to `grantee`. Only the owner (or a
+    /// principal holding Describe+the permission itself, per self-service
+    /// sharing) may grant; we restrict to owner for simplicity, matching
+    /// the paper's "users require the ability to self-manage access
+    /// control on *their* topics".
+    pub fn grant(
+        &self,
+        topic: &str,
+        granter: Uid,
+        grantee: Uid,
+        perms: &[Permission],
+    ) -> OctoResult<()> {
+        let mut inner = self.inner.write();
+        let acl = inner
+            .get_mut(topic)
+            .ok_or_else(|| OctoError::UnknownTopic(topic.to_string()))?;
+        if acl.owner != granter {
+            return Err(OctoError::Unauthorized(format!(
+                "only the owner may manage grants on {topic}"
+            )));
+        }
+        acl.grants.entry(grantee).or_default().extend(perms.iter().copied());
+        Ok(())
+    }
+
+    /// Revoke `perms` on `topic` from `grantee`. Owner-only; the owner's
+    /// own grants cannot be revoked (ownership is absolute).
+    pub fn revoke(
+        &self,
+        topic: &str,
+        granter: Uid,
+        grantee: Uid,
+        perms: &[Permission],
+    ) -> OctoResult<()> {
+        let mut inner = self.inner.write();
+        let acl = inner
+            .get_mut(topic)
+            .ok_or_else(|| OctoError::UnknownTopic(topic.to_string()))?;
+        if acl.owner != granter {
+            return Err(OctoError::Unauthorized(format!(
+                "only the owner may manage grants on {topic}"
+            )));
+        }
+        if grantee == acl.owner {
+            return Err(OctoError::Invalid("cannot revoke the owner's access".into()));
+        }
+        if let Some(set) = acl.grants.get_mut(&grantee) {
+            for p in perms {
+                set.remove(p);
+            }
+            if set.is_empty() {
+                acl.grants.remove(&grantee);
+            }
+        }
+        Ok(())
+    }
+
+    /// Enforcement check: does `principal` hold `perm` on `topic`?
+    pub fn check(&self, topic: &str, principal: Uid, perm: Permission) -> OctoResult<()> {
+        let inner = self.inner.read();
+        let acl = inner
+            .get(topic)
+            .ok_or_else(|| OctoError::UnknownTopic(topic.to_string()))?;
+        let ok = acl.grants.get(&principal).is_some_and(|s| s.contains(&perm));
+        if ok {
+            Ok(())
+        } else {
+            Err(OctoError::Unauthorized(format!(
+                "principal {principal} lacks {perm:?} on {topic}"
+            )))
+        }
+    }
+
+    /// All topics `principal` can Describe (the `GET /topics` listing).
+    pub fn describable_topics(&self, principal: Uid) -> Vec<String> {
+        let inner = self.inner.read();
+        let mut out: Vec<String> = inner
+            .iter()
+            .filter(|(_, acl)| {
+                acl.grants.get(&principal).is_some_and(|s| s.contains(&Permission::Describe))
+            })
+            .map(|(t, _)| t.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The grants table of a topic (owner's view).
+    pub fn grants_of(&self, topic: &str) -> OctoResult<Vec<(Uid, Vec<Permission>)>> {
+        let inner = self.inner.read();
+        let acl = inner
+            .get(topic)
+            .ok_or_else(|| OctoError::UnknownTopic(topic.to_string()))?;
+        let mut out: Vec<(Uid, Vec<Permission>)> = acl
+            .grants
+            .iter()
+            .map(|(u, s)| {
+                let mut v: Vec<Permission> = s.iter().copied().collect();
+                v.sort_by_key(|p| format!("{p:?}"));
+                (*u, v)
+            })
+            .collect();
+        out.sort_by_key(|(u, _)| *u);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALICE: Uid = Uid(1);
+    const BOB: Uid = Uid(2);
+    const EVE: Uid = Uid(3);
+
+    fn store() -> AclStore {
+        let s = AclStore::new();
+        s.register_topic("sdl.actions", ALICE).unwrap();
+        s
+    }
+
+    #[test]
+    fn creator_gets_full_access() {
+        let s = store();
+        for p in Permission::ALL {
+            s.check("sdl.actions", ALICE, p).unwrap();
+        }
+        assert_eq!(s.owner("sdl.actions").unwrap(), ALICE);
+    }
+
+    #[test]
+    fn others_start_with_nothing() {
+        let s = store();
+        for p in Permission::ALL {
+            assert!(matches!(
+                s.check("sdl.actions", BOB, p),
+                Err(OctoError::Unauthorized(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn registration_is_idempotent_for_owner_conflicts_for_others() {
+        let s = store();
+        s.register_topic("sdl.actions", ALICE).unwrap(); // retry OK
+        assert!(matches!(
+            s.register_topic("sdl.actions", BOB),
+            Err(OctoError::TopicExists(_))
+        ));
+    }
+
+    #[test]
+    fn grant_and_revoke() {
+        let s = store();
+        s.grant("sdl.actions", ALICE, BOB, &[Permission::Read, Permission::Describe]).unwrap();
+        s.check("sdl.actions", BOB, Permission::Read).unwrap();
+        s.check("sdl.actions", BOB, Permission::Describe).unwrap();
+        assert!(s.check("sdl.actions", BOB, Permission::Write).is_err());
+
+        s.revoke("sdl.actions", ALICE, BOB, &[Permission::Read]).unwrap();
+        assert!(s.check("sdl.actions", BOB, Permission::Read).is_err());
+        s.check("sdl.actions", BOB, Permission::Describe).unwrap();
+    }
+
+    #[test]
+    fn only_owner_manages_grants() {
+        let s = store();
+        assert!(matches!(
+            s.grant("sdl.actions", EVE, EVE, &[Permission::Read]),
+            Err(OctoError::Unauthorized(_))
+        ));
+        s.grant("sdl.actions", ALICE, BOB, &[Permission::Read]).unwrap();
+        assert!(matches!(
+            s.revoke("sdl.actions", BOB, BOB, &[Permission::Read]),
+            Err(OctoError::Unauthorized(_))
+        ));
+    }
+
+    #[test]
+    fn owner_cannot_be_locked_out() {
+        let s = store();
+        assert!(matches!(
+            s.revoke("sdl.actions", ALICE, ALICE, &[Permission::Write]),
+            Err(OctoError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn describable_listing_is_scoped() {
+        let s = store();
+        s.register_topic("epi.sources", BOB).unwrap();
+        s.grant("epi.sources", BOB, ALICE, &[Permission::Describe]).unwrap();
+        assert_eq!(s.describable_topics(ALICE), vec!["epi.sources", "sdl.actions"]);
+        assert_eq!(s.describable_topics(BOB), vec!["epi.sources"]);
+        assert!(s.describable_topics(EVE).is_empty());
+    }
+
+    #[test]
+    fn unknown_topic_errors() {
+        let s = store();
+        assert!(matches!(s.owner("nope"), Err(OctoError::UnknownTopic(_))));
+        assert!(s.check("nope", ALICE, Permission::Read).is_err());
+        assert!(s.grants_of("nope").is_err());
+    }
+
+    #[test]
+    fn drop_topic_removes_acl() {
+        let s = store();
+        s.drop_topic("sdl.actions");
+        assert!(!s.topic_exists("sdl.actions"));
+        assert!(s.check("sdl.actions", ALICE, Permission::Read).is_err());
+    }
+
+    #[test]
+    fn grants_table_view() {
+        let s = store();
+        s.grant("sdl.actions", ALICE, BOB, &[Permission::Read]).unwrap();
+        let grants = s.grants_of("sdl.actions").unwrap();
+        assert_eq!(grants.len(), 2);
+        assert_eq!(grants[0].0, ALICE);
+        assert_eq!(grants[0].1.len(), 3);
+        assert_eq!(grants[1], (BOB, vec![Permission::Read]));
+    }
+}

@@ -1,0 +1,468 @@
+//! A Globus-Auth-style OAuth2 authorization server.
+//!
+//! The paper's rationale for Globus Auth (§IV-C): standards-compliant
+//! OAuth 2.0, a wide range of research identity providers, a *delegation*
+//! model (dependent tokens) via which services call other services on a
+//! user's behalf, and ubiquity across science services. This module
+//! reproduces those mechanics:
+//!
+//! - **Identity providers** are registered by name; users authenticate
+//!   against one to obtain identities like `alice@uchicago.edu`.
+//! - **Clients** (applications and *resource servers* such as the
+//!   Octopus Web Service) register and declare scopes.
+//! - **Login** issues access + refresh token pairs for requested scopes.
+//! - **Dependent tokens** let a resource server exchange a token it
+//!   received for a downstream token to another service (e.g. OWS
+//!   calling the transfer service on behalf of the user).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use octopus_types::{Clock, OctoError, OctoResult, Uid, WallClock};
+#[cfg(test)]
+use octopus_types::Timestamp;
+
+use crate::sha::{hex, sha256};
+use crate::token::{AccessToken, Scope, TokenInfo, TokenStatus};
+
+/// A federated identity provider (e.g. a campus login).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdentityProvider {
+    /// Domain suffix of identities this provider vouches for
+    /// (e.g. `uchicago.edu`).
+    pub domain: String,
+    /// Display name.
+    pub display_name: String,
+}
+
+/// A registered OAuth client (app or resource server).
+#[derive(Debug, Clone)]
+pub struct ClientRegistration {
+    /// Client id.
+    pub id: Uid,
+    /// Client display name.
+    pub name: String,
+    /// Client secret (confidential clients).
+    pub secret: String,
+    /// Scopes this client may request *as a resource server* from
+    /// dependent-token grants.
+    pub allowed_dependent_scopes: Vec<Scope>,
+}
+
+#[derive(Debug, Clone)]
+struct UserRecord {
+    identity: Uid,
+    username: String,
+    password_hash: [u8; 32],
+}
+
+#[derive(Debug, Clone)]
+struct IssuedToken {
+    info: TokenInfo,
+    refresh: Option<String>,
+}
+
+struct Inner {
+    providers: HashMap<String, IdentityProvider>,
+    users: HashMap<String, UserRecord>,
+    clients: HashMap<Uid, ClientRegistration>,
+    tokens: HashMap<String, IssuedToken>,
+    refresh_index: HashMap<String, String>, // refresh token -> access token string
+    token_ttl: Duration,
+}
+
+/// The authorization server. Cheap to clone (shared state).
+#[derive(Clone)]
+pub struct AuthServer {
+    inner: Arc<RwLock<Inner>>,
+    clock: Arc<dyn Clock>,
+    rng: Arc<parking_lot::Mutex<rand::rngs::StdRng>>,
+}
+
+impl AuthServer {
+    /// Server with the real wall clock and a 48-hour token TTL (Globus
+    /// Auth's default access token lifetime order of magnitude).
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(WallClock))
+    }
+
+    /// Server with an injected clock (tests, simulation).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        use rand::SeedableRng;
+        AuthServer {
+            inner: Arc::new(RwLock::new(Inner {
+                providers: HashMap::new(),
+                users: HashMap::new(),
+                clients: HashMap::new(),
+                tokens: HashMap::new(),
+                refresh_index: HashMap::new(),
+                token_ttl: Duration::from_secs(48 * 3600),
+            })),
+            clock,
+            rng: Arc::new(parking_lot::Mutex::new(rand::rngs::StdRng::from_entropy())),
+        }
+    }
+
+    /// Override the access-token TTL.
+    pub fn set_token_ttl(&self, ttl: Duration) {
+        self.inner.write().token_ttl = ttl;
+    }
+
+    fn random_secret(&self, prefix: &str) -> String {
+        let mut bytes = [0u8; 32];
+        self.rng.lock().fill_bytes(&mut bytes);
+        format!("{prefix}_{}", hex(&bytes))
+    }
+
+    /// Register an identity provider.
+    pub fn register_provider(&self, domain: &str, display_name: &str) {
+        self.inner.write().providers.insert(
+            domain.to_string(),
+            IdentityProvider { domain: domain.to_string(), display_name: display_name.to_string() },
+        );
+    }
+
+    /// Register a user under a provider; `username` must end with
+    /// `@<provider-domain>` of a registered provider.
+    pub fn register_user(&self, username: &str, password: &str) -> OctoResult<Uid> {
+        let domain = username
+            .rsplit_once('@')
+            .map(|(_, d)| d.to_string())
+            .ok_or_else(|| OctoError::Invalid(format!("username `{username}` has no domain")))?;
+        let mut inner = self.inner.write();
+        if !inner.providers.contains_key(&domain) {
+            return Err(OctoError::Invalid(format!("unknown identity provider: {domain}")));
+        }
+        if inner.users.contains_key(username) {
+            return Err(OctoError::Conflict(format!("user exists: {username}")));
+        }
+        let identity = Uid::fresh();
+        inner.users.insert(
+            username.to_string(),
+            UserRecord { identity, username: username.to_string(), password_hash: sha256(password.as_bytes()) },
+        );
+        Ok(identity)
+    }
+
+    /// Register a client application / resource server.
+    pub fn register_client(
+        &self,
+        name: &str,
+        allowed_dependent_scopes: Vec<Scope>,
+    ) -> ClientRegistration {
+        let reg = ClientRegistration {
+            id: Uid::fresh(),
+            name: name.to_string(),
+            secret: self.random_secret("cs"),
+            allowed_dependent_scopes,
+        };
+        self.inner.write().clients.insert(reg.id, reg.clone());
+        reg
+    }
+
+    /// Authenticate a user and issue an access + refresh token pair for
+    /// the requested scopes (the SDK login-manager flow).
+    pub fn login(
+        &self,
+        username: &str,
+        password: &str,
+        client: Uid,
+        scopes: Vec<Scope>,
+    ) -> OctoResult<(AccessToken, String, TokenInfo)> {
+        let now = self.clock.now();
+        let mut inner = self.inner.write();
+        if !inner.clients.contains_key(&client) {
+            return Err(OctoError::Unauthenticated("unknown client".into()));
+        }
+        let user = inner
+            .users
+            .get(username)
+            .ok_or_else(|| OctoError::Unauthenticated("unknown identity".into()))?
+            .clone();
+        if !crate::sha::ct_eq(&user.password_hash, &sha256(password.as_bytes())) {
+            return Err(OctoError::Unauthenticated("bad credentials".into()));
+        }
+        let info = TokenInfo {
+            identity: user.identity,
+            username: user.username.clone(),
+            client,
+            scopes,
+            expires_at: now.plus(inner.token_ttl),
+            delegated: false,
+            revoked: false,
+        };
+        Ok(self.issue_locked(&mut inner, info, true))
+    }
+
+    fn issue_locked(
+        &self,
+        inner: &mut Inner,
+        info: TokenInfo,
+        with_refresh: bool,
+    ) -> (AccessToken, String, TokenInfo) {
+        let access = self.random_secret("at");
+        let refresh = if with_refresh { self.random_secret("rt") } else { String::new() };
+        if with_refresh {
+            inner.refresh_index.insert(refresh.clone(), access.clone());
+        }
+        inner.tokens.insert(
+            access.clone(),
+            IssuedToken { info: info.clone(), refresh: with_refresh.then(|| refresh.clone()) },
+        );
+        (AccessToken(access), refresh, info)
+    }
+
+    /// Introspect a token (resource servers call this to validate
+    /// incoming bearer tokens).
+    pub fn introspect(&self, token: &AccessToken) -> (TokenStatus, Option<TokenInfo>) {
+        let inner = self.inner.read();
+        match inner.tokens.get(token.as_str()) {
+            None => (TokenStatus::Unknown, None),
+            Some(t) => (t.info.status(self.clock.now()), Some(t.info.clone())),
+        }
+    }
+
+    /// Exchange a refresh token for a fresh access token (same identity,
+    /// scopes, client). The old access token is revoked.
+    pub fn refresh(&self, refresh_token: &str) -> OctoResult<(AccessToken, TokenInfo)> {
+        let now = self.clock.now();
+        let mut inner = self.inner.write();
+        let old_access = inner
+            .refresh_index
+            .get(refresh_token)
+            .cloned()
+            .ok_or_else(|| OctoError::Unauthenticated("unknown refresh token".into()))?;
+        let old = inner
+            .tokens
+            .get_mut(&old_access)
+            .ok_or_else(|| OctoError::Internal("refresh index desync".into()))?;
+        old.info.revoked = true;
+        let mut info = old.info.clone();
+        info.revoked = false;
+        info.expires_at = now.plus(inner.token_ttl);
+        let (access, new_refresh, info) = self.issue_locked(&mut inner, info, true);
+        // the refresh token rotates too
+        inner.refresh_index.remove(refresh_token);
+        let _ = new_refresh; // returned via index; callers re-login if lost
+        inner.refresh_index.retain(|_, v| v != &old_access);
+        Ok((access, info))
+    }
+
+    /// Revoke an access token.
+    pub fn revoke(&self, token: &AccessToken) {
+        if let Some(t) = self.inner.write().tokens.get_mut(token.as_str()) {
+            t.info.revoked = true;
+        }
+    }
+
+    /// Dependent-token grant (the Globus Auth delegation model, §IV-C):
+    /// a resource server presents (its client id + secret) and a token it
+    /// received, and obtains a *new* token for the same identity with
+    /// `downstream_scopes`, allowing it to call another service on the
+    /// user's behalf. The requested scopes must be within the resource
+    /// server's registered `allowed_dependent_scopes`.
+    pub fn dependent_token(
+        &self,
+        resource_server: Uid,
+        resource_server_secret: &str,
+        upstream: &AccessToken,
+        downstream_scopes: Vec<Scope>,
+    ) -> OctoResult<(AccessToken, TokenInfo)> {
+        let now = self.clock.now();
+        let mut inner = self.inner.write();
+        let rs = inner
+            .clients
+            .get(&resource_server)
+            .ok_or_else(|| OctoError::Unauthenticated("unknown resource server".into()))?
+            .clone();
+        if rs.secret != resource_server_secret {
+            return Err(OctoError::Unauthenticated("bad client secret".into()));
+        }
+        for s in &downstream_scopes {
+            if !rs.allowed_dependent_scopes.contains(s) {
+                return Err(OctoError::Unauthorized(format!(
+                    "client `{}` may not request dependent scope `{s}`",
+                    rs.name
+                )));
+            }
+        }
+        let up = inner
+            .tokens
+            .get(upstream.as_str())
+            .ok_or_else(|| OctoError::Unauthenticated("unknown upstream token".into()))?;
+        if up.info.status(now) != TokenStatus::Active {
+            return Err(OctoError::Unauthenticated("upstream token not active".into()));
+        }
+        let info = TokenInfo {
+            identity: up.info.identity,
+            username: up.info.username.clone(),
+            client: resource_server,
+            scopes: downstream_scopes,
+            expires_at: now.plus(inner.token_ttl),
+            delegated: true,
+            revoked: false,
+        };
+        let (access, _refresh, info) = self.issue_locked(&mut inner, info, false);
+        Ok((access, info))
+    }
+
+    /// Find the refresh token currently paired with an access token
+    /// (used by the SDK token store after rotation).
+    pub fn refresh_token_of(&self, token: &AccessToken) -> Option<String> {
+        self.inner.read().tokens.get(token.as_str()).and_then(|t| t.refresh.clone())
+    }
+
+    /// Number of registered identity providers.
+    pub fn provider_count(&self) -> usize {
+        self.inner.read().providers.len()
+    }
+}
+
+impl Default for AuthServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_types::ManualClock;
+
+    fn setup() -> (AuthServer, ManualClock, ClientRegistration, Uid) {
+        let clock = ManualClock::new(Timestamp::from_millis(0));
+        let srv = AuthServer::with_clock(Arc::new(clock.clone()));
+        srv.register_provider("uchicago.edu", "University of Chicago");
+        let client = srv.register_client("octopus-sdk", vec![]);
+        let uid = srv.register_user("alice@uchicago.edu", "hunter2").unwrap();
+        (srv, clock, client, uid)
+    }
+
+    #[test]
+    fn login_and_introspect() {
+        let (srv, _clock, client, uid) = setup();
+        let (tok, refresh, info) = srv
+            .login("alice@uchicago.edu", "hunter2", client.id, vec![Scope::new("ows:all")])
+            .unwrap();
+        assert_eq!(info.identity, uid);
+        assert!(!refresh.is_empty());
+        let (status, got) = srv.introspect(&tok);
+        assert_eq!(status, TokenStatus::Active);
+        assert_eq!(got.unwrap().username, "alice@uchicago.edu");
+    }
+
+    #[test]
+    fn wrong_password_rejected() {
+        let (srv, _clock, client, _) = setup();
+        let err = srv.login("alice@uchicago.edu", "wrong", client.id, vec![]).unwrap_err();
+        assert!(matches!(err, OctoError::Unauthenticated(_)));
+        let err = srv.login("bob@uchicago.edu", "x", client.id, vec![]).unwrap_err();
+        assert!(matches!(err, OctoError::Unauthenticated(_)));
+    }
+
+    #[test]
+    fn unknown_provider_and_duplicate_user() {
+        let (srv, _, _, _) = setup();
+        assert!(matches!(
+            srv.register_user("eve@nowhere.test", "x"),
+            Err(OctoError::Invalid(_))
+        ));
+        assert!(matches!(
+            srv.register_user("alice@uchicago.edu", "x"),
+            Err(OctoError::Conflict(_))
+        ));
+        assert!(matches!(srv.register_user("nodomain", "x"), Err(OctoError::Invalid(_))));
+    }
+
+    #[test]
+    fn token_expiry_via_clock() {
+        let (srv, clock, client, _) = setup();
+        srv.set_token_ttl(Duration::from_secs(60));
+        let (tok, _, _) =
+            srv.login("alice@uchicago.edu", "hunter2", client.id, vec![]).unwrap();
+        assert_eq!(srv.introspect(&tok).0, TokenStatus::Active);
+        clock.advance(Duration::from_secs(61));
+        assert_eq!(srv.introspect(&tok).0, TokenStatus::Expired);
+    }
+
+    #[test]
+    fn refresh_rotates_and_revokes_old() {
+        let (srv, _clock, client, _) = setup();
+        let (tok, refresh, _) =
+            srv.login("alice@uchicago.edu", "hunter2", client.id, vec![]).unwrap();
+        let (tok2, info2) = srv.refresh(&refresh).unwrap();
+        assert_ne!(tok, tok2);
+        assert!(!info2.revoked);
+        assert_eq!(srv.introspect(&tok).0, TokenStatus::Revoked);
+        assert_eq!(srv.introspect(&tok2).0, TokenStatus::Active);
+        // old refresh token is dead
+        assert!(srv.refresh(&refresh).is_err());
+        // new one works
+        let new_refresh = srv.refresh_token_of(&tok2).unwrap();
+        assert!(srv.refresh(&new_refresh).is_ok());
+    }
+
+    #[test]
+    fn revoke_token() {
+        let (srv, _clock, client, _) = setup();
+        let (tok, _, _) = srv.login("alice@uchicago.edu", "hunter2", client.id, vec![]).unwrap();
+        srv.revoke(&tok);
+        assert_eq!(srv.introspect(&tok).0, TokenStatus::Revoked);
+    }
+
+    #[test]
+    fn unknown_token_is_unknown() {
+        let (srv, _, _, _) = setup();
+        assert_eq!(srv.introspect(&AccessToken("at_bogus".into())).0, TokenStatus::Unknown);
+    }
+
+    #[test]
+    fn dependent_token_delegation() {
+        let (srv, _clock, sdk, uid) = setup();
+        let transfer_scope = Scope::new("transfer:all");
+        let ows = srv.register_client("octopus-ows", vec![transfer_scope.clone()]);
+        let (user_tok, _, _) = srv
+            .login("alice@uchicago.edu", "hunter2", sdk.id, vec![Scope::new("ows:all")])
+            .unwrap();
+        // OWS exchanges the user's token for a transfer-service token
+        let (dep, dep_info) = srv
+            .dependent_token(ows.id, &ows.secret, &user_tok, vec![transfer_scope.clone()])
+            .unwrap();
+        assert!(dep_info.delegated);
+        assert_eq!(dep_info.identity, uid); // still acts as alice
+        assert_eq!(dep_info.client, ows.id);
+        assert_eq!(srv.introspect(&dep).0, TokenStatus::Active);
+    }
+
+    #[test]
+    fn dependent_token_guards() {
+        let (srv, clock, sdk, _) = setup();
+        let ows = srv.register_client("octopus-ows", vec![Scope::new("transfer:all")]);
+        let (user_tok, _, _) =
+            srv.login("alice@uchicago.edu", "hunter2", sdk.id, vec![]).unwrap();
+        // wrong secret
+        assert!(matches!(
+            srv.dependent_token(ows.id, "nope", &user_tok, vec![]),
+            Err(OctoError::Unauthenticated(_))
+        ));
+        // unallowed scope
+        assert!(matches!(
+            srv.dependent_token(ows.id, &ows.secret, &user_tok, vec![Scope::new("admin:all")]),
+            Err(OctoError::Unauthorized(_))
+        ));
+        // expired upstream
+        srv.set_token_ttl(Duration::from_secs(1));
+        let (short_tok, _, _) =
+            srv.login("alice@uchicago.edu", "hunter2", sdk.id, vec![]).unwrap();
+        clock.advance(Duration::from_secs(2));
+        assert!(matches!(
+            srv.dependent_token(ows.id, &ows.secret, &short_tok, vec![]),
+            Err(OctoError::Unauthenticated(_))
+        ));
+    }
+}

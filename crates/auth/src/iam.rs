@@ -1,0 +1,259 @@
+//! IAM-style identities with access key/secret pairs and HMAC request
+//! signing.
+//!
+//! MSK supports only AWS IAM / SCRAM authentication, so OWS acts as an
+//! intermediary: it creates an IAM identity per Octopus user and returns
+//! an access key + secret (`GET /create_key`, §IV-C). Producers and
+//! consumers then sign broker requests with the secret; brokers verify
+//! the signature and resolve the key to a principal for ACL checks.
+//!
+//! Signing is a SigV4-flavoured HMAC over a canonical string
+//! `{key_id}\n{operation}\n{resource}\n{timestamp_ms}`, with a freshness
+//! window to block replays.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use octopus_types::{Clock, OctoError, OctoResult, Timestamp, Uid, WallClock};
+
+use crate::sha::{ct_eq, hex, hmac_sha256};
+
+/// An access key pair returned to a client.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessKey {
+    /// Public key id (sent with every request).
+    pub key_id: String,
+    /// Secret (never sent; used to sign).
+    pub secret: String,
+}
+
+/// A signed broker request, ready for verification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignedRequest {
+    /// Key id of the signer.
+    pub key_id: String,
+    /// Operation name, e.g. `produce`, `fetch`, `describe`.
+    pub operation: String,
+    /// Resource, e.g. the topic name.
+    pub resource: String,
+    /// Client timestamp (freshness check).
+    pub timestamp: Timestamp,
+    /// Hex HMAC-SHA256 over the canonical string.
+    pub signature: String,
+}
+
+#[derive(Debug, Clone)]
+struct KeyRecord {
+    secret: String,
+    principal: Uid,
+    revoked: bool,
+}
+
+struct Inner {
+    keys: HashMap<String, KeyRecord>,
+    by_principal: HashMap<Uid, Vec<String>>,
+    max_skew: Duration,
+}
+
+/// The IAM service: key issuance and request verification.
+#[derive(Clone)]
+pub struct IamService {
+    inner: Arc<RwLock<Inner>>,
+    clock: Arc<dyn Clock>,
+    rng: Arc<parking_lot::Mutex<rand::rngs::StdRng>>,
+}
+
+impl IamService {
+    /// Service with the wall clock and a 5-minute signature freshness
+    /// window.
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(WallClock))
+    }
+
+    /// Service with an injected clock.
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        use rand::SeedableRng;
+        IamService {
+            inner: Arc::new(RwLock::new(Inner {
+                keys: HashMap::new(),
+                by_principal: HashMap::new(),
+                max_skew: Duration::from_secs(300),
+            })),
+            clock,
+            rng: Arc::new(parking_lot::Mutex::new(rand::rngs::StdRng::from_entropy())),
+        }
+    }
+
+    /// Create an IAM identity for `principal` and return its key pair.
+    /// A principal may hold several keys (rotation).
+    pub fn create_key(&self, principal: Uid) -> AccessKey {
+        let mut id_bytes = [0u8; 10];
+        let mut secret_bytes = [0u8; 32];
+        {
+            let mut rng = self.rng.lock();
+            rng.fill_bytes(&mut id_bytes);
+            rng.fill_bytes(&mut secret_bytes);
+        }
+        let key = AccessKey {
+            key_id: format!("OKIA{}", hex(&id_bytes).to_uppercase()),
+            secret: hex(&secret_bytes),
+        };
+        let mut inner = self.inner.write();
+        inner.keys.insert(
+            key.key_id.clone(),
+            KeyRecord { secret: key.secret.clone(), principal, revoked: false },
+        );
+        inner.by_principal.entry(principal).or_default().push(key.key_id.clone());
+        key
+    }
+
+    /// Revoke a key.
+    pub fn revoke_key(&self, key_id: &str) -> OctoResult<()> {
+        let mut inner = self.inner.write();
+        let rec = inner
+            .keys
+            .get_mut(key_id)
+            .ok_or_else(|| OctoError::NotFound(format!("key {key_id}")))?;
+        rec.revoked = true;
+        Ok(())
+    }
+
+    /// All key ids issued to a principal.
+    pub fn keys_of(&self, principal: Uid) -> Vec<String> {
+        self.inner.read().by_principal.get(&principal).cloned().unwrap_or_default()
+    }
+
+    fn canonical(key_id: &str, operation: &str, resource: &str, ts: Timestamp) -> Vec<u8> {
+        format!("{key_id}\n{operation}\n{resource}\n{}", ts.as_millis()).into_bytes()
+    }
+
+    /// Client-side: sign a request with a key pair.
+    pub fn sign(key: &AccessKey, operation: &str, resource: &str, now: Timestamp) -> SignedRequest {
+        let canonical = Self::canonical(&key.key_id, operation, resource, now);
+        SignedRequest {
+            key_id: key.key_id.clone(),
+            operation: operation.to_string(),
+            resource: resource.to_string(),
+            timestamp: now,
+            signature: hex(&hmac_sha256(key.secret.as_bytes(), &canonical)),
+        }
+    }
+
+    /// Broker-side: verify a signed request and resolve the principal.
+    pub fn verify(&self, req: &SignedRequest) -> OctoResult<Uid> {
+        let inner = self.inner.read();
+        let rec = inner
+            .keys
+            .get(&req.key_id)
+            .ok_or_else(|| OctoError::Unauthenticated(format!("unknown key {}", req.key_id)))?;
+        if rec.revoked {
+            return Err(OctoError::Unauthenticated("key revoked".into()));
+        }
+        let now = self.clock.now();
+        let skew = now.since(req.timestamp).max(req.timestamp.since(now));
+        if skew > inner.max_skew {
+            return Err(OctoError::Unauthenticated("signature expired (clock skew)".into()));
+        }
+        let canonical =
+            Self::canonical(&req.key_id, &req.operation, &req.resource, req.timestamp);
+        let expect = hex(&hmac_sha256(rec.secret.as_bytes(), &canonical));
+        if !ct_eq(expect.as_bytes(), req.signature.as_bytes()) {
+            return Err(OctoError::Unauthenticated("bad signature".into()));
+        }
+        Ok(rec.principal)
+    }
+}
+
+impl Default for IamService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_types::ManualClock;
+
+    fn setup() -> (IamService, ManualClock, Uid, AccessKey) {
+        let clock = ManualClock::new(Timestamp::from_millis(1_000_000));
+        let iam = IamService::with_clock(Arc::new(clock.clone()));
+        let principal = Uid::from_parts(7, 7);
+        let key = iam.create_key(principal);
+        (iam, clock, principal, key)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let (iam, clock, principal, key) = setup();
+        let req = IamService::sign(&key, "produce", "fsmon.events", clock.now());
+        assert_eq!(iam.verify(&req).unwrap(), principal);
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let (iam, clock, _, key) = setup();
+        let mut req = IamService::sign(&key, "produce", "fsmon.events", clock.now());
+        req.resource = "someone.elses.topic".into();
+        assert!(matches!(iam.verify(&req), Err(OctoError::Unauthenticated(_))));
+        let mut req2 = IamService::sign(&key, "produce", "t", clock.now());
+        req2.operation = "fetch".into();
+        assert!(iam.verify(&req2).is_err());
+    }
+
+    #[test]
+    fn wrong_secret_fails() {
+        let (iam, clock, _, key) = setup();
+        let forged = AccessKey { key_id: key.key_id.clone(), secret: "0".repeat(64) };
+        let req = IamService::sign(&forged, "produce", "t", clock.now());
+        assert!(iam.verify(&req).is_err());
+    }
+
+    #[test]
+    fn stale_signature_rejected() {
+        let (iam, clock, _, key) = setup();
+        let req = IamService::sign(&key, "produce", "t", clock.now());
+        clock.advance(Duration::from_secs(301));
+        assert!(matches!(iam.verify(&req), Err(OctoError::Unauthenticated(_))));
+    }
+
+    #[test]
+    fn revoked_key_rejected() {
+        let (iam, clock, _, key) = setup();
+        iam.revoke_key(&key.key_id).unwrap();
+        let req = IamService::sign(&key, "produce", "t", clock.now());
+        assert!(iam.verify(&req).is_err());
+        assert!(iam.revoke_key("OKIAnope").is_err());
+    }
+
+    #[test]
+    fn key_rotation_keeps_old_until_revoked() {
+        let (iam, clock, principal, key1) = setup();
+        let key2 = iam.create_key(principal);
+        assert_eq!(iam.keys_of(principal).len(), 2);
+        assert_ne!(key1.key_id, key2.key_id);
+        let r1 = IamService::sign(&key1, "produce", "t", clock.now());
+        let r2 = IamService::sign(&key2, "produce", "t", clock.now());
+        assert!(iam.verify(&r1).is_ok());
+        assert!(iam.verify(&r2).is_ok());
+        iam.revoke_key(&key1.key_id).unwrap();
+        assert!(iam.verify(&r1).is_err());
+        assert!(iam.verify(&r2).is_ok());
+    }
+
+    #[test]
+    fn key_ids_are_unique_and_prefixed() {
+        let (iam, _, principal, _) = setup();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let k = iam.create_key(principal);
+            assert!(k.key_id.starts_with("OKIA"));
+            assert!(seen.insert(k.key_id));
+        }
+    }
+}

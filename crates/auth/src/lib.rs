@@ -1,0 +1,28 @@
+//! Authentication, authorization, and access control for Octopus.
+//!
+//! The paper builds on **Globus Auth** (a standards-compliant OAuth 2.0
+//! implementation with federated identity providers and a delegation
+//! model) and **AWS IAM + SCRAM** for broker-level authentication
+//! (§IV-C). This crate reproduces those mechanisms in-process:
+//!
+//! - [`sha`]: SHA-256 and HMAC-SHA256 implemented from scratch (no
+//!   crypto dependency), verified against RFC 6234 / RFC 4231 vectors.
+//! - [`token`]: bearer access tokens with scopes, expiry, refresh.
+//! - [`globus`]: an OAuth2-style authorization server with federated
+//!   identity providers and *dependent token* delegation, mirroring the
+//!   Globus Auth flows Octopus relies on.
+//! - [`iam`]: IAM-style identities with access key/secret pairs and
+//!   HMAC request signing, as used by MSK's IAM authentication.
+//! - [`acl`]: per-topic READ/WRITE/DESCRIBE access control lists with
+//!   self-service management, the paper's "fine-grained access control".
+
+pub mod acl;
+pub mod globus;
+pub mod iam;
+pub mod sha;
+pub mod token;
+
+pub use acl::{AclStore, Permission};
+pub use globus::{AuthServer, ClientRegistration, IdentityProvider};
+pub use iam::{AccessKey, IamService, SignedRequest};
+pub use token::{AccessToken, Scope, TokenInfo, TokenStatus};

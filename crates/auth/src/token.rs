@@ -1,0 +1,128 @@
+//! OAuth2-style bearer tokens.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use octopus_types::{Timestamp, Uid};
+
+/// A permission scope, e.g. `octopus:topic:read` or
+/// `https://auth.octopus.example/scopes/ows/manage_topics`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Scope(pub String);
+
+impl Scope {
+    /// Construct from any string-like value.
+    pub fn new(s: impl Into<String>) -> Self {
+        Scope(s.into())
+    }
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// An opaque bearer access token, as carried in `Authorization` headers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AccessToken(pub String);
+
+impl AccessToken {
+    /// The opaque string form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Result of token introspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenStatus {
+    /// Token is valid and active.
+    Active,
+    /// Token expired.
+    Expired,
+    /// Token was revoked.
+    Revoked,
+    /// Token is unknown to this authorization server.
+    Unknown,
+}
+
+/// Server-side record of an issued token (what introspection returns).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenInfo {
+    /// The authenticated identity this token represents.
+    pub identity: Uid,
+    /// Username form of the identity (e.g. `alice@uchicago.edu`).
+    pub username: String,
+    /// Client (application) the token was issued to.
+    pub client: Uid,
+    /// Scopes granted.
+    pub scopes: Vec<Scope>,
+    /// Expiry time.
+    pub expires_at: Timestamp,
+    /// Whether this token was obtained via a dependent-token grant
+    /// (delegation) rather than a direct login.
+    pub delegated: bool,
+    /// Whether the token has been revoked.
+    pub revoked: bool,
+}
+
+impl TokenInfo {
+    /// Whether the token is active at `now`.
+    pub fn status(&self, now: Timestamp) -> TokenStatus {
+        if self.revoked {
+            TokenStatus::Revoked
+        } else if now >= self.expires_at {
+            TokenStatus::Expired
+        } else {
+            TokenStatus::Active
+        }
+    }
+
+    /// Whether the token carries `scope`.
+    pub fn has_scope(&self, scope: &Scope) -> bool {
+        self.scopes.contains(scope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(expires_at: u64, revoked: bool) -> TokenInfo {
+        TokenInfo {
+            identity: Uid::from_parts(1, 1),
+            username: "alice@uchicago.edu".into(),
+            client: Uid::from_parts(2, 2),
+            scopes: vec![Scope::new("octopus:ows:all")],
+            expires_at: Timestamp::from_millis(expires_at),
+            delegated: false,
+            revoked,
+        }
+    }
+
+    #[test]
+    fn status_transitions() {
+        let t = info(100, false);
+        assert_eq!(t.status(Timestamp::from_millis(50)), TokenStatus::Active);
+        assert_eq!(t.status(Timestamp::from_millis(100)), TokenStatus::Expired);
+        assert_eq!(t.status(Timestamp::from_millis(200)), TokenStatus::Expired);
+        let r = info(100, true);
+        // revocation wins over expiry
+        assert_eq!(r.status(Timestamp::from_millis(50)), TokenStatus::Revoked);
+        assert_eq!(r.status(Timestamp::from_millis(200)), TokenStatus::Revoked);
+    }
+
+    #[test]
+    fn scope_check() {
+        let t = info(100, false);
+        assert!(t.has_scope(&Scope::new("octopus:ows:all")));
+        assert!(!t.has_scope(&Scope::new("octopus:ows:admin")));
+    }
+
+    #[test]
+    fn scope_display() {
+        assert_eq!(Scope::new("a:b").to_string(), "a:b");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the auth substrate: hash/MAC invariants and
+//! ACL algebra.
+
+use proptest::prelude::*;
+
+use octopus_auth::sha::{ct_eq, hmac_sha256, sha256, Sha256};
+use octopus_auth::{AclStore, IamService, Permission};
+use octopus_types::{Timestamp, Uid};
+
+proptest! {
+    /// Incremental hashing equals one-shot hashing for any chunking.
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..2000),
+        chunk in 1usize..257,
+    ) {
+        let mut h = Sha256::new();
+        for c in data.chunks(chunk) {
+            h.update(c);
+        }
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// Distinct single-byte flips change the digest (second-preimage
+    /// smoke test) and ct_eq agrees with ==.
+    #[test]
+    fn sha256_sensitivity(data in proptest::collection::vec(any::<u8>(), 1..500), idx in 0usize..500) {
+        let idx = idx % data.len();
+        let mut flipped = data.clone();
+        flipped[idx] ^= 0x01;
+        let a = sha256(&data);
+        let b = sha256(&flipped);
+        prop_assert_ne!(a, b);
+        prop_assert!(ct_eq(&a, &a));
+        prop_assert!(!ct_eq(&a, &b));
+    }
+
+    /// HMAC differs under different keys and different messages.
+    #[test]
+    fn hmac_key_and_message_sensitivity(
+        key in proptest::collection::vec(any::<u8>(), 1..100),
+        msg in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mac = hmac_sha256(&key, &msg);
+        let mut key2 = key.clone();
+        key2[0] ^= 1;
+        prop_assert_ne!(mac, hmac_sha256(&key2, &msg));
+        let mut msg2 = msg.clone();
+        msg2.push(0);
+        prop_assert_ne!(mac, hmac_sha256(&key, &msg2));
+    }
+
+    /// IAM signatures verify exactly when nothing was tampered with.
+    #[test]
+    fn iam_signature_soundness(
+        op in "[a-z]{1,10}",
+        resource in "[a-z./-]{1,20}",
+        tamper_op in "[a-z]{1,10}",
+    ) {
+        let iam = IamService::new();
+        let principal = Uid(42);
+        let key = iam.create_key(principal);
+        let now = Timestamp::now();
+        let req = IamService::sign(&key, &op, &resource, now);
+        prop_assert_eq!(iam.verify(&req).unwrap(), principal);
+        if tamper_op != op {
+            let mut bad = req.clone();
+            bad.operation = tamper_op;
+            prop_assert!(iam.verify(&bad).is_err());
+        }
+    }
+
+    /// ACL algebra: grant then check succeeds; revoke then check fails;
+    /// grants never leak to other principals or permissions.
+    #[test]
+    fn acl_grant_revoke_algebra(
+        grants in proptest::collection::vec((1u64..10, 0usize..3), 1..30),
+    ) {
+        let perms = [Permission::Read, Permission::Write, Permission::Describe];
+        let owner = Uid(0);
+        let acl = AclStore::new();
+        acl.register_topic("t", owner).unwrap();
+        let mut model: std::collections::HashSet<(u64, usize)> = Default::default();
+        for (user, p) in &grants {
+            acl.grant("t", owner, Uid(*user as u128), &[perms[*p]]).unwrap();
+            model.insert((*user, *p));
+        }
+        // checks agree with the model
+        for user in 1u64..10 {
+            for (pi, perm) in perms.iter().enumerate() {
+                let expect = model.contains(&(user, pi));
+                prop_assert_eq!(acl.check("t", Uid(user as u128), *perm).is_ok(), expect);
+            }
+        }
+        // revoke everything and verify the slate is clean
+        for (user, p) in &grants {
+            acl.revoke("t", owner, Uid(*user as u128), &[perms[*p]]).unwrap();
+        }
+        for user in 1u64..10 {
+            for perm in perms {
+                prop_assert!(acl.check("t", Uid(user as u128), perm).is_err());
+            }
+        }
+        // the owner is untouched throughout
+        for perm in perms {
+            prop_assert!(acl.check("t", owner, perm).is_ok());
+        }
+    }
+}

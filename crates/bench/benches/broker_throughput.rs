@@ -1,0 +1,133 @@
+//! Criterion benches of the *real* threaded broker (not the DES model):
+//! produce/consume throughput vs event size, acks level, partition
+//! count, and broker count — verifying that the in-process fabric shows
+//! the same orderings Table III reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use octopus_broker::{AckLevel, Cluster, RecordBatch, TopicConfig};
+use octopus_types::Event;
+
+fn batch_of(n: usize, size: usize) -> RecordBatch {
+    RecordBatch::new((0..n).map(|_| Event::from_bytes(vec![0u8; size])).collect())
+}
+
+fn cluster_with(brokers: usize, partitions: u32, rep: u32) -> Cluster {
+    let c = Cluster::new(brokers);
+    c.create_topic(
+        "bench",
+        TopicConfig::default().with_partitions(partitions).with_replication(rep),
+    )
+    .expect("topic");
+    c
+}
+
+/// Table III rows 1/2/5: event size sweep (batched produce, acks=0).
+fn produce_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("produce_by_size");
+    for size in [32usize, 1024, 4096] {
+        let cluster = cluster_with(2, 2, 2);
+        let batch = batch_of(100, size);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            let mut p = 0u32;
+            b.iter(|| {
+                p = (p + 1) % 2;
+                cluster.produce_batch("bench", p, batch.clone(), AckLevel::None).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Table III rows 2/3/4: acks sweep.
+fn produce_by_acks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("produce_by_acks");
+    for (name, acks) in [("acks0", AckLevel::None), ("acks1", AckLevel::Leader), ("acksall", AckLevel::All)] {
+        let cluster = cluster_with(2, 2, 2);
+        let batch = batch_of(100, 1024);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &acks, |b, &acks| {
+            b.iter(|| cluster.produce_batch("bench", 0, batch.clone(), acks).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Table III rows 6-8: partition/broker scaling under contention
+/// (4 producer threads).
+fn produce_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("produce_scaling");
+    for (name, brokers, partitions) in
+        [("2b2p", 2usize, 2u32), ("2b4p", 2, 4), ("4b4p", 4, 4)]
+    {
+        let cluster = cluster_with(brokers, partitions, 2);
+        group.throughput(Throughput::Elements(400));
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for t in 0..4u32 {
+                        let cluster = cluster.clone();
+                        let batch = batch_of(100, 1024);
+                        s.spawn(move || {
+                            cluster
+                                .produce_batch(
+                                    "bench",
+                                    t % partitions,
+                                    batch,
+                                    AckLevel::Leader,
+                                )
+                                .unwrap();
+                        });
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The read path: fetch throughput from a prefilled partition.
+fn consume_fetch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consume_fetch");
+    for size in [32usize, 1024] {
+        let cluster = cluster_with(2, 1, 2);
+        for _ in 0..100 {
+            cluster.produce_batch("bench", 0, batch_of(100, size), AckLevel::Leader).unwrap();
+        }
+        group.throughput(Throughput::Elements(1000));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            let mut offset = 0u64;
+            b.iter(|| {
+                let recs = cluster.fetch("bench", 0, offset, 1000).unwrap();
+                offset = recs.last().map(|r| r.offset + 1).unwrap_or(0) % 9000;
+                recs.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: client-side batching is the throughput lever (DESIGN.md §4.2).
+fn produce_batching_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("produce_batching_ablation");
+    for batch_size in [1usize, 10, 100, 1000] {
+        let cluster = cluster_with(2, 2, 2);
+        let batch = batch_of(batch_size, 1024);
+        group.throughput(Throughput::Elements(batch_size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch_size), &batch_size, |b, _| {
+            b.iter(|| cluster.produce_batch("bench", 0, batch.clone(), AckLevel::Leader).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    produce_by_size,
+    produce_by_acks,
+    produce_scaling,
+    consume_fetch,
+    produce_batching_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion benches for the storage substrates: partition-log append/
+//! read/compaction and coordination-service operations (topic metadata
+//! writes go through ZAB consensus on every OWS mutation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use octopus_broker::{PartitionLog, RecordBatch};
+use octopus_types::{Event, Timestamp};
+use octopus_zoo::{CreateMode, ZooService};
+
+fn log_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log_append");
+    for size in [32usize, 1024] {
+        let batch =
+            RecordBatch::new((0..100).map(|_| Event::from_bytes(vec![0u8; size])).collect());
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            let mut log = PartitionLog::new();
+            let now = Timestamp::now();
+            b.iter(|| log.append(&batch, now).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn log_read(c: &mut Criterion) {
+    let mut log = PartitionLog::new();
+    let batch = RecordBatch::new((0..100).map(|_| Event::from_bytes(vec![0u8; 128])).collect());
+    for _ in 0..100 {
+        log.append(&batch, Timestamp::now()).unwrap();
+    }
+    let mut group = c.benchmark_group("log_read");
+    group.throughput(Throughput::Elements(500));
+    group.bench_function("mid_log_500", |b| {
+        let mut offset = 0u64;
+        b.iter(|| {
+            let recs = log.read(offset, 500).unwrap();
+            offset = (offset + 500) % 9000;
+            recs.len()
+        });
+    });
+    group.finish();
+}
+
+fn log_compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log_compaction");
+    group.bench_function("10k_records_100_keys", |b| {
+        b.iter_with_setup(
+            || {
+                let mut log = PartitionLog::with_segment_bytes(4096);
+                for i in 0..10_000u32 {
+                    let e = Event::builder()
+                        .key(format!("key-{}", i % 100))
+                        .payload(vec![0u8; 64])
+                        .build();
+                    log.append(&RecordBatch::new(vec![e]), Timestamp::now()).unwrap();
+                }
+                log
+            },
+            |mut log| log.compact(),
+        );
+    });
+    group.finish();
+}
+
+fn zoo_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zoo_ops");
+    for replicas in [1usize, 3, 5] {
+        group.bench_with_input(
+            BenchmarkId::new("create", replicas),
+            &replicas,
+            |b, &replicas| {
+                let zk = ZooService::new(replicas);
+                zk.ensure_path("/bench").unwrap();
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    zk.create(&format!("/bench/n{i}"), b"v", CreateMode::Persistent, None)
+                        .unwrap()
+                });
+            },
+        );
+    }
+    let zk = ZooService::new(3);
+    zk.ensure_path("/bench").unwrap();
+    zk.create("/bench/hot", b"v", CreateMode::Persistent, None).unwrap();
+    group.bench_function("read_3_replicas", |b| {
+        b.iter(|| zk.get("/bench/hot").unwrap());
+    });
+    group.bench_function("set_3_replicas", |b| {
+        b.iter(|| zk.set("/bench/hot", b"v2", None).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, log_append, log_read, log_compaction, zoo_ops);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benches for the EventBridge pattern language: compile and
+//! match costs across pattern complexity (trigger filtering is on the
+//! hot path of every event, §IV-D).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use serde_json::json;
+
+use octopus_pattern::Pattern;
+
+fn patterns() -> Vec<(&'static str, serde_json::Value)> {
+    vec![
+        ("listing1_exact", json!({"event_type": ["created"]})),
+        (
+            "multi_field",
+            json!({"event_type": ["created", "modified"], "fs": ["pfs0"], "size": [{"numeric": [">", 0]}]}),
+        ),
+        (
+            "string_ops",
+            json!({"path": [{"prefix": "/pfs/"}, {"suffix": ".h5"}], "event_type": [{"anything-but": "deleted"}]}),
+        ),
+        (
+            "nested_or",
+            json!({"$or": [
+                {"detail": {"state": ["failed"], "node": {"rack": [{"numeric": [">=", 0, "<", 64]}]}}},
+                {"event_type": [{"wildcard": "transfer_*"}]}
+            ]}),
+        ),
+    ]
+}
+
+fn event() -> serde_json::Value {
+    json!({
+        "event_type": "created",
+        "path": "/pfs/exp42/jobs/run-000133/out-0042.h5",
+        "fs": "pfs0",
+        "size": 67108864,
+        "timestamp_ms": 1720000000000u64,
+        "detail": {"state": "ok", "node": {"rack": 12}}
+    })
+}
+
+fn compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_compile");
+    for (name, doc) in patterns() {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| Pattern::parse(&doc).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_match");
+    group.throughput(Throughput::Elements(1));
+    let ev = event();
+    for (name, doc) in patterns() {
+        let pat = Pattern::parse(&doc).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| pat.matches(&ev));
+        });
+    }
+    group.finish();
+}
+
+fn match_from_bytes(c: &mut Criterion) {
+    // the trigger path: raw payload bytes -> parse -> match
+    let bytes = serde_json::to_vec(&event()).unwrap();
+    let pat = Pattern::parse(&json!({"event_type": ["created"]})).unwrap();
+    let mut group = c.benchmark_group("pattern_match_bytes");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("listing1", |b| {
+        b.iter(|| pat.matches_bytes(&bytes));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, compile, matching, match_from_bytes);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benches for the trigger runtime: end-to-end dispatch cost
+//! per event (consume + filter + invoke + commit) with and without
+//! pattern filtering, and by batch size — the §V-D cost structure.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use serde_json::json;
+
+use octopus_broker::{AckLevel, Cluster, TopicConfig};
+use octopus_pattern::Pattern;
+use octopus_trigger::{AutoscalerConfig, FunctionConfig, TriggerRuntime, TriggerSpec};
+use octopus_types::{Event, Uid};
+
+fn spec(name: &str, pattern: Option<Pattern>, batch_size: usize) -> TriggerSpec {
+    TriggerSpec {
+        name: name.into(),
+        topic: "events".into(),
+        pattern,
+        config: FunctionConfig { batch_size, ..Default::default() },
+        function: Arc::new(|_ctx, _batch| Ok(())),
+        acting_as: Uid(1),
+        autoscaler: AutoscalerConfig::default(),
+    }
+}
+
+fn fill(cluster: &Cluster, n: usize) {
+    let e = Event::from_json(&json!({"event_type": "created", "size": 1024})).unwrap();
+    for _ in 0..n {
+        cluster.produce("events", e.clone(), AckLevel::Leader).unwrap();
+    }
+}
+
+fn dispatch_per_event(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trigger_dispatch");
+    group.throughput(Throughput::Elements(1000));
+    for (name, with_pattern) in [("unfiltered", false), ("filtered", true)] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter_with_setup(
+                || {
+                    let cluster = Cluster::new(2);
+                    cluster
+                        .create_topic("events", TopicConfig::default().with_partitions(2))
+                        .unwrap();
+                    fill(&cluster, 1000);
+                    let rt = TriggerRuntime::new(cluster);
+                    let pattern = with_pattern
+                        .then(|| Pattern::parse(&json!({"event_type": ["created"]})).unwrap());
+                    rt.deploy(spec("t", pattern, 100)).unwrap();
+                    rt
+                },
+                |rt| rt.poll_once("t").unwrap(),
+            );
+        });
+    }
+    group.finish();
+}
+
+fn dispatch_by_batch_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trigger_batch_size");
+    group.throughput(Throughput::Elements(1000));
+    for batch in [1usize, 10, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter_with_setup(
+                || {
+                    let cluster = Cluster::new(2);
+                    cluster
+                        .create_topic("events", TopicConfig::default().with_partitions(2))
+                        .unwrap();
+                    fill(&cluster, 1000);
+                    let rt = TriggerRuntime::new(cluster);
+                    rt.deploy(spec("t", None, batch)).unwrap();
+                    rt
+                },
+                |rt| rt.poll_once("t").unwrap(),
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dispatch_per_event, dispatch_by_batch_size);
+criterion_main!(benches);

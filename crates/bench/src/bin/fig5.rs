@@ -1,0 +1,37 @@
+//! Regenerates **Fig. 5**: producer and consumer throughput vs topic
+//! count on the scale-out cluster (1 partition & replication 2 per
+//! topic, 1 KB events, 32 clients on AWS instances).
+//!
+//! `cargo run --release -p octopus-bench --bin fig5 [-- seed]`
+
+use octopus_bench::{bar, figure_header, human_rate};
+use octopus_fabric::experiments::fig5;
+use octopus_fabric::Calibration;
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    figure_header(
+        "FIG. 5 — Multi-tenancy: throughput vs number of topics (scale-out)",
+        "paper: producer plateaus ~273K ev/s at 4 topics; consumer grows to ~846K at 16",
+    );
+    let pts = fig5(Calibration::default(), seed);
+    let max = pts.iter().map(|p| p.consume_eps).fold(0.0f64, f64::max);
+    println!("{:>7} {:>12} {:>12}", "topics", "produce", "consume");
+    for p in &pts {
+        println!(
+            "{:>7} {:>12} {:>12}  P:{:<24} C:{}",
+            p.topics,
+            human_rate(p.produce_eps),
+            human_rate(p.consume_eps),
+            bar(p.produce_eps, max, 24),
+            bar(p.consume_eps, max, 24)
+        );
+    }
+    let p1 = pts[0].produce_eps;
+    let p4 = pts[2].produce_eps;
+    let p32 = pts[5].produce_eps;
+    println!("\nshape checks:");
+    println!("  producer grows 1→4 topics ({:.1}x) then stays flat ({:.2}x 4→32)", p4 / p1, p32 / p4);
+    println!("  consumer tops out at {}", human_rate(max));
+    println!("  consumers beat producers at every point: {}", pts.iter().all(|p| p.consume_eps > p.produce_eps));
+}

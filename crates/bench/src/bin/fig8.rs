@@ -1,0 +1,46 @@
+//! Regenerates **Fig. 8**: Parsl workflow monitoring overhead per event
+//! using the stock HTEX central-database monitor vs the Octopus
+//! async-batched monitor. 128 tasks, workers 1..64, task duration 0,
+//! 10, and 100 ms.
+//!
+//! `cargo run --release -p octopus-bench --bin fig8 [-- quick]`
+//! (`quick` trims worker counts for a fast run)
+
+use octopus_bench::figure_header;
+use octopus_flow::experiments::MonitorKind;
+use octopus_flow::fig8;
+
+fn main() {
+    let quick = std::env::args().nth(1).as_deref() == Some("quick");
+    let workers: &[usize] = if quick { &[1, 4, 16, 64] } else { &[1, 2, 4, 8, 16, 32, 64] };
+    let durations: &[u64] = if quick { &[0, 10] } else { &[0, 10, 100] };
+    figure_header(
+        "FIG. 8 — Parsl monitoring overhead per event (HTEX-DB vs Octopus)",
+        "128 real tasks per cell; overhead = (makespan - ideal) / events",
+    );
+    let rows = fig8(workers, durations);
+    for &d in durations {
+        println!("\ntask duration {d} ms:");
+        println!("{:>8} {:>16} {:>16} {:>8}", "workers", "htex-db us/ev", "octopus us/ev", "ratio");
+        for &w in workers {
+            let db = rows
+                .iter()
+                .find(|r| r.monitor == MonitorKind::HtexDb && r.workers == w && r.task_ms == d)
+                .expect("cell");
+            let oc = rows
+                .iter()
+                .find(|r| r.monitor == MonitorKind::Octopus && r.workers == w && r.task_ms == d)
+                .expect("cell");
+            println!(
+                "{:>8} {:>16.1} {:>16.1} {:>7.1}x",
+                w,
+                db.overhead_us_per_event,
+                oc.overhead_us_per_event,
+                db.overhead_us_per_event / oc.overhead_us_per_event.max(0.01)
+            );
+        }
+    }
+    println!("\nreading: per-event overhead falls as workers (and thus event rate) grow —");
+    println!("'the relatively static cost of writing events to a database' amortizes — and");
+    println!("Octopus stays below HTEX-DB thanks to batched, asynchronous publication.");
+}

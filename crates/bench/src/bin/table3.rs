@@ -1,0 +1,68 @@
+//! Regenerates **Table III**: baseline performance and scalability of
+//! the fabric across message sizes, acks, partitions, and cluster
+//! shapes, for local and remote clients — via the calibrated DES model.
+//!
+//! `cargo run --release -p octopus-bench --bin table3 [-- seed]`
+
+use octopus_bench::{figure_header, human_rate};
+use octopus_fabric::{table3, Calibration};
+
+/// The paper's Table III values for side-by-side comparison:
+/// (local produce, local consume, remote produce, remote consume).
+const PAPER: [(f64, f64, f64, f64); 9] = [
+    (4_289_000.0, 9_840_000.0, 4_202_000.0, 9_646_000.0),
+    (195_000.0, 356_000.0, 174_000.0, 367_000.0),
+    (161_000.0, 356_000.0, 143_000.0, 367_000.0),
+    (65_000.0, 356_000.0, 65_000.0, 367_000.0),
+    (43_000.0, 91_000.0, 39_000.0, 94_000.0),
+    (202_000.0, 374_000.0, 179_000.0, 389_000.0),
+    (238_000.0, 751_000.0, 184_000.0, 597_000.0),
+    (319_000.0, 785_000.0, 303_000.0, 813_000.0),
+    (246_000.0, 777_000.0, 235_000.0, 806_000.0),
+];
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7);
+    figure_header(
+        "TABLE III — Baseline performance and scalability (DES model)",
+        "Producer/consumer throughput in events/sec; latency in ms. \
+         `paper` columns show the published measurements for comparison.",
+    );
+    println!("Table II cluster shapes: Baseline 2x kafka.m5.large (2 vCPU/8GB), \
+              Scale-up 2x kafka.m5.xlarge (4 vCPU/16GB), Scale-out 4x kafka.m5.large\n");
+    println!(
+        "{:>3} {:<9} {:>3} {:>5} {:>4} {:>5} | {:>9} {:>9} {:>6} {:>6} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
+        "#", "Cluster", "Rep", "Parts", "Acks", "Size",
+        "L-Prod", "paper", "L-Med", "L-p99", "L-Cons", "paper",
+        "R-Prod", "paper", "R-Cons", "paper"
+    );
+    let rows = table3(Calibration::default(), seed);
+    for row in &rows {
+        let p = PAPER[(row.index - 1) as usize];
+        println!(
+            "{:>3} {:<9} {:>3} {:>5} {:>4} {:>4}B | {:>9} {:>9} {:>6.0} {:>6.0} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
+            row.index,
+            row.cluster,
+            row.replication,
+            row.partitions,
+            row.acks,
+            row.event_size,
+            human_rate(row.local_produce.0),
+            human_rate(p.0),
+            row.local_produce.1,
+            row.local_produce.2,
+            human_rate(row.local_consume),
+            human_rate(p.1),
+            human_rate(row.remote_produce.0),
+            human_rate(p.2),
+            human_rate(row.remote_consume),
+            human_rate(p.3),
+        );
+    }
+    println!("\nshape checks:");
+    println!("  32B ≫ 1KB ≫ 4KB event rates:        {}", rows[0].local_produce.0 > rows[1].local_produce.0 && rows[1].local_produce.0 > rows[4].local_produce.0);
+    println!("  acks=all ≪ acks=1 ≤ acks=0:          {}", rows[3].local_produce.0 < rows[2].local_produce.0 * 0.6);
+    println!("  consume ≈ 2x produce (1KB):          {:.2}x", rows[1].local_consume / rows[1].local_produce.0);
+    println!("  scale-out > scale-up > baseline:     {}", rows[7].local_produce.0 > rows[6].local_produce.0 && rows[6].local_produce.0 > rows[5].local_produce.0);
+    println!("  rep 4 cuts writes, not reads:        {} / {:.2}x", rows[8].local_produce.0 < rows[7].local_produce.0, rows[8].local_consume / rows[7].local_consume);
+}

@@ -1,0 +1,40 @@
+//! Regenerates the **§V-D trigger throughput** figures: events/second a
+//! trigger's consumers sustain by partition count and event size.
+//! Paper: 1 partition → 22K / 7K / 2K ev/s for 32B / 1KB / 4KB;
+//! 8 partitions → ~147K / 39K / 12K ("roughly six times faster").
+//!
+//! `cargo run --release -p octopus-bench --bin trigger_throughput`
+
+use octopus_bench::{figure_header, human_rate};
+use octopus_fabric::experiments::TriggerModel;
+
+const PAPER_1P: [(usize, f64); 3] = [(32, 22_000.0), (1024, 7_000.0), (4096, 2_000.0)];
+const PAPER_8P: [(usize, f64); 3] = [(32, 147_000.0), (1024, 39_000.0), (4096, 12_000.0)];
+
+fn main() {
+    figure_header(
+        "§V-D — Trigger throughput vs partitions and event size",
+        "Lambda-style pollers, one per partition, with coordination overhead.",
+    );
+    let m = TriggerModel::default();
+    println!("{:>6} {:>12} {:>10} {:>12} {:>10} {:>8}", "size", "1-part", "paper", "8-part", "paper", "ratio");
+    for (i, (size, paper1)) in PAPER_1P.iter().enumerate() {
+        let t1 = m.throughput(1, *size);
+        let t8 = m.throughput(8, *size);
+        println!(
+            "{:>5}B {:>12} {:>10} {:>12} {:>10} {:>7.1}x",
+            size,
+            human_rate(t1),
+            human_rate(*paper1),
+            human_rate(t8),
+            human_rate(PAPER_8P[i].1),
+            t8 / t1
+        );
+    }
+    println!("\npartition sweep at 1KB:");
+    for p in [1u32, 2, 4, 8, 16, 32, 64, 128] {
+        let t = m.throughput(p, 1024);
+        println!("  {:>3} partitions: {:>10}", p, human_rate(t));
+    }
+    println!("\n(the 8-partition/1-partition ratio lands at ~6x, matching the paper's 'roughly six times faster')");
+}

@@ -1,0 +1,53 @@
+//! Shared helpers for the benchmark harness binaries.
+//!
+//! Each binary under `src/bin/` regenerates one of the paper's tables
+//! or figures (see DESIGN.md §3 for the index); this library holds the
+//! ASCII table/plot plumbing they share.
+
+/// Format a count with K/M suffixes, as the paper prints throughputs.
+pub fn human_rate(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.0} K", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Render a horizontal ASCII bar of `value` against `max` in `width`
+/// columns.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+/// Print a figure header in a consistent style.
+pub fn figure_header(title: &str, caption: &str) {
+    println!("{}", "=".repeat(74));
+    println!("{title}");
+    println!("{caption}");
+    println!("{}", "=".repeat(74));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        assert_eq!(human_rate(4_289_000.0), "4.29 M");
+        assert_eq!(human_rate(195_000.0), "195 K");
+        assert_eq!(human_rate(42.0), "42");
+    }
+
+    #[test]
+    fn bars() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(20.0, 10.0, 10), "##########"); // clamped
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+}

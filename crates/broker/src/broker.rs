@@ -1,0 +1,138 @@
+//! A broker node: passive host of partition replica logs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+use octopus_types::{PartitionId, TopicName};
+
+use crate::log::PartitionLog;
+
+/// Identifies a broker within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BrokerId(pub u32);
+
+impl std::fmt::Display for BrokerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "broker-{}", self.0)
+    }
+}
+
+/// A shareable handle to one partition replica's log.
+pub type SharedLog = Arc<Mutex<PartitionLog>>;
+
+/// A broker node. Brokers are passive: clients and the cluster routing
+/// layer drive them, and per-partition mutexes make partitions the unit
+/// of parallelism (Kafka's design point).
+pub struct Broker {
+    id: BrokerId,
+    alive: AtomicBool,
+    partitions: RwLock<HashMap<(TopicName, PartitionId), SharedLog>>,
+}
+
+impl Broker {
+    /// A live broker with no partitions.
+    pub fn new(id: BrokerId) -> Self {
+        Broker { id, alive: AtomicBool::new(true), partitions: RwLock::new(HashMap::new()) }
+    }
+
+    /// This broker's id.
+    pub fn id(&self) -> BrokerId {
+        self.id
+    }
+
+    /// Whether the broker is up.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Crash the broker (its logs survive, like disk state).
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+
+    /// Bring the broker back up. The cluster re-syncs its replicas.
+    pub fn restart(&self) {
+        self.alive.store(true, Ordering::Release);
+    }
+
+    /// Host a new (empty) replica of a partition.
+    pub fn host_partition(&self, topic: &str, partition: PartitionId, segment_bytes: usize) {
+        self.partitions.write().insert(
+            (topic.to_string(), partition),
+            Arc::new(Mutex::new(PartitionLog::with_segment_bytes(segment_bytes))),
+        );
+    }
+
+    /// Drop a replica.
+    pub fn drop_partition(&self, topic: &str, partition: PartitionId) {
+        self.partitions.write().remove(&(topic.to_string(), partition));
+    }
+
+    /// The replica log for a partition, if hosted here.
+    pub fn log(&self, topic: &str, partition: PartitionId) -> Option<SharedLog> {
+        self.partitions.read().get(&(topic.to_string(), partition)).cloned()
+    }
+
+    /// Number of replicas hosted.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.read().len()
+    }
+
+    /// All (topic, partition) pairs hosted.
+    pub fn hosted_partitions(&self) -> Vec<(TopicName, PartitionId)> {
+        self.partitions.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordBatch;
+    use octopus_types::{Event, Timestamp};
+
+    #[test]
+    fn lifecycle_and_hosting() {
+        let b = Broker::new(BrokerId(3));
+        assert_eq!(b.id(), BrokerId(3));
+        assert!(b.is_alive());
+        assert_eq!(b.to_string_id(), "broker-3");
+
+        b.host_partition("t", 0, 1024);
+        b.host_partition("t", 1, 1024);
+        assert_eq!(b.partition_count(), 2);
+        assert!(b.log("t", 0).is_some());
+        assert!(b.log("t", 9).is_none());
+        assert!(b.log("other", 0).is_none());
+
+        b.kill();
+        assert!(!b.is_alive());
+        b.restart();
+        assert!(b.is_alive());
+
+        b.drop_partition("t", 1);
+        assert_eq!(b.partition_count(), 1);
+    }
+
+    #[test]
+    fn logs_survive_kill() {
+        let b = Broker::new(BrokerId(0));
+        b.host_partition("t", 0, 1024);
+        let log = b.log("t", 0).unwrap();
+        log.lock()
+            .append(&RecordBatch::new(vec![Event::from_bytes(&b"x"[..])]), Timestamp::now())
+            .unwrap();
+        b.kill();
+        b.restart();
+        assert_eq!(b.log("t", 0).unwrap().lock().len(), 1);
+    }
+
+    impl Broker {
+        fn to_string_id(&self) -> String {
+            self.id.to_string()
+        }
+    }
+}

@@ -1,0 +1,986 @@
+//! The multi-broker cluster: topic management, partition routing,
+//! leadership, ISR replication, acks semantics, failover, maintenance.
+//!
+//! This is the in-process analogue of the paper's MSK deployment. The
+//! three testbed shapes of Table II map directly:
+//! `Cluster::new(2)` (baseline), `Cluster::new(2)` on bigger hosts
+//! (scale-up — a client-side concern here), and `Cluster::new(4)`
+//! (scale-out).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use octopus_auth::{AclStore, Permission};
+use octopus_types::{
+    Clock, Event, OctoError, OctoResult, Offset, PartitionId, Timestamp, TopicName, Uid, WallClock,
+};
+use octopus_zoo::{CreateMode, ZooService};
+
+use crate::broker::{Broker, BrokerId};
+use crate::config::TopicConfig;
+use crate::group::GroupCoordinator;
+use crate::log::PartitionLog;
+use crate::record::{Record, RecordBatch};
+
+/// Producer acknowledgment level (the paper's `acks` knob, Table III
+/// experiments #2–#4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AckLevel {
+    /// `acks=0`: fire-and-forget. Failures are invisible to the caller.
+    None,
+    /// `acks=1`: the partition leader has appended.
+    #[default]
+    Leader,
+    /// `acks=all`: every in-sync replica has appended, and the ISR is at
+    /// least `min.insync.replicas` strong.
+    All,
+}
+
+/// Per-topic traffic counters (the CloudWatch-metrics analogue that the
+/// use-case dashboards read).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopicStats {
+    /// Events appended.
+    pub events_in: u64,
+    /// Payload bytes appended.
+    pub bytes_in: u64,
+    /// Events fetched (egress — the §VII-C billable dimension).
+    pub events_out: u64,
+    /// Payload bytes fetched.
+    pub bytes_out: u64,
+}
+
+/// Result of a successful produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProduceReceipt {
+    /// Partition the events landed in.
+    pub partition: PartitionId,
+    /// Offset of the first event of the batch.
+    pub base_offset: Offset,
+    /// Number of events appended.
+    pub count: usize,
+    /// False only under `acks=0` when the write was actually lost.
+    pub persisted: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PartitionMeta {
+    replicas: Vec<BrokerId>,
+    leader: BrokerId,
+    isr: Vec<BrokerId>,
+}
+
+#[derive(Clone)]
+struct TopicMeta {
+    config: TopicConfig,
+    partitions: Vec<PartitionMeta>,
+}
+
+struct ClusterInner {
+    brokers: Vec<Arc<Broker>>,
+    topics: RwLock<HashMap<TopicName, TopicMeta>>,
+    stats: RwLock<HashMap<TopicName, TopicStats>>,
+    groups: GroupCoordinator,
+    acl: Option<AclStore>,
+    zoo: Option<ZooService>,
+    clock: Arc<dyn Clock>,
+    round_robin: AtomicU64,
+}
+
+/// A handle to the cluster. Clones share state; safe to use from many
+/// threads.
+#[derive(Clone)]
+pub struct Cluster {
+    inner: Arc<ClusterInner>,
+}
+
+impl Cluster {
+    /// A cluster of `broker_count` brokers with no ACL enforcement and
+    /// the wall clock.
+    pub fn new(broker_count: usize) -> Self {
+        Self::builder(broker_count).build()
+    }
+
+    /// Start building a cluster.
+    pub fn builder(broker_count: usize) -> ClusterBuilder {
+        ClusterBuilder {
+            broker_count,
+            acl: None,
+            zoo: None,
+            clock: Arc::new(WallClock),
+        }
+    }
+
+    fn now(&self) -> Timestamp {
+        self.inner.clock.now()
+    }
+
+    /// Number of brokers (alive or not).
+    pub fn broker_count(&self) -> usize {
+        self.inner.brokers.len()
+    }
+
+    /// Number of live brokers.
+    pub fn live_broker_count(&self) -> usize {
+        self.inner.brokers.iter().filter(|b| b.is_alive()).count()
+    }
+
+    /// The consumer group coordinator.
+    pub fn coordinator(&self) -> &GroupCoordinator {
+        &self.inner.groups
+    }
+
+    /// The ACL store, when enforcement is enabled.
+    pub fn acl(&self) -> Option<&AclStore> {
+        self.inner.acl.as_ref()
+    }
+
+    // ----- topic management -----
+
+    /// Create a topic. Idempotent: re-creating with an identical config
+    /// succeeds; differing config conflicts (§IV-F idempotency).
+    pub fn create_topic(&self, name: &str, config: TopicConfig) -> OctoResult<()> {
+        if name.is_empty() || name.contains('/') || name.contains(char::is_whitespace) {
+            return Err(OctoError::Invalid(format!("bad topic name: {name:?}")));
+        }
+        config.validate(self.inner.brokers.len())?;
+        let mut topics = self.inner.topics.write();
+        if let Some(existing) = topics.get(name) {
+            if existing.config == config {
+                return Ok(());
+            }
+            return Err(OctoError::TopicExists(name.to_string()));
+        }
+        let n = self.inner.brokers.len();
+        let mut partitions = Vec::with_capacity(config.partitions as usize);
+        for p in 0..config.partitions {
+            let replicas: Vec<BrokerId> = (0..config.replication_factor)
+                .map(|r| BrokerId(((p + r) as usize % n) as u32))
+                .collect();
+            for b in &replicas {
+                self.inner.brokers[b.0 as usize].host_partition(name, p, config.segment_bytes);
+            }
+            partitions.push(PartitionMeta {
+                leader: replicas[0],
+                isr: replicas.clone(),
+                replicas,
+            });
+        }
+        topics.insert(name.to_string(), TopicMeta { config: config.clone(), partitions });
+        drop(topics);
+        if let Some(zoo) = &self.inner.zoo {
+            zoo.ensure_path("/octopus/topics")?;
+            let blob = serde_json::to_vec(&config).map_err(|e| OctoError::Serde(e.to_string()))?;
+            match zoo.create(&format!("/octopus/topics/{name}"), &blob, CreateMode::Persistent, None)
+            {
+                Ok(_) | Err(OctoError::Conflict(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete a topic and all its replicas.
+    pub fn delete_topic(&self, name: &str) -> OctoResult<()> {
+        let meta = self
+            .inner
+            .topics
+            .write()
+            .remove(name)
+            .ok_or_else(|| OctoError::UnknownTopic(name.to_string()))?;
+        for (p, pm) in meta.partitions.iter().enumerate() {
+            for b in &pm.replicas {
+                self.inner.brokers[b.0 as usize].drop_partition(name, p as u32);
+            }
+        }
+        if let Some(zoo) = &self.inner.zoo {
+            let _ = zoo.delete(&format!("/octopus/topics/{name}"), None);
+        }
+        Ok(())
+    }
+
+    /// Whether a topic exists.
+    pub fn topic_exists(&self, name: &str) -> bool {
+        self.inner.topics.read().contains_key(name)
+    }
+
+    /// All topic names, sorted.
+    pub fn topics(&self) -> Vec<TopicName> {
+        let mut v: Vec<TopicName> = self.inner.topics.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// A topic's configuration.
+    pub fn topic_config(&self, name: &str) -> OctoResult<TopicConfig> {
+        self.inner
+            .topics
+            .read()
+            .get(name)
+            .map(|m| m.config.clone())
+            .ok_or_else(|| OctoError::UnknownTopic(name.to_string()))
+    }
+
+    /// Number of partitions of a topic.
+    pub fn partition_count(&self, name: &str) -> OctoResult<u32> {
+        self.inner
+            .topics
+            .read()
+            .get(name)
+            .map(|m| m.partitions.len() as u32)
+            .ok_or_else(|| OctoError::UnknownTopic(name.to_string()))
+    }
+
+    /// Grow a topic to `n` partitions (Kafka allows growth only —
+    /// shrinking would lose data; `POST /topic/<topic>/partitions`).
+    pub fn set_partitions(&self, name: &str, n: u32) -> OctoResult<()> {
+        let mut topics = self.inner.topics.write();
+        let meta =
+            topics.get_mut(name).ok_or_else(|| OctoError::UnknownTopic(name.to_string()))?;
+        let cur = meta.partitions.len() as u32;
+        if n < cur {
+            return Err(OctoError::Invalid(format!(
+                "cannot shrink partitions from {cur} to {n}"
+            )));
+        }
+        let brokers = self.inner.brokers.len();
+        for p in cur..n {
+            let replicas: Vec<BrokerId> = (0..meta.config.replication_factor)
+                .map(|r| BrokerId(((p + r) as usize % brokers) as u32))
+                .collect();
+            for b in &replicas {
+                self.inner.brokers[b.0 as usize].host_partition(name, p, meta.config.segment_bytes);
+            }
+            meta.partitions.push(PartitionMeta {
+                leader: replicas[0],
+                isr: replicas.clone(),
+                replicas,
+            });
+        }
+        meta.config.partitions = n;
+        Ok(())
+    }
+
+    /// Update mutable topic config (retention/cleanup/min-ISR). The
+    /// partition count and replication factor are managed separately.
+    pub fn update_topic_config(&self, name: &str, config: TopicConfig) -> OctoResult<()> {
+        let mut topics = self.inner.topics.write();
+        let meta =
+            topics.get_mut(name).ok_or_else(|| OctoError::UnknownTopic(name.to_string()))?;
+        if config.partitions != meta.config.partitions
+            || config.replication_factor != meta.config.replication_factor
+        {
+            return Err(OctoError::Invalid(
+                "partitions/replication cannot change via config update".into(),
+            ));
+        }
+        config.validate(self.inner.brokers.len())?;
+        // propagate the segment roll size to live partition logs
+        if config.segment_bytes != meta.config.segment_bytes {
+            for (p, pm) in meta.partitions.iter().enumerate() {
+                for b in &pm.replicas {
+                    if let Some(log) = self.inner.brokers[b.0 as usize].log(name, p as u32) {
+                        log.lock().set_segment_bytes(config.segment_bytes);
+                    }
+                }
+            }
+        }
+        meta.config = config;
+        Ok(())
+    }
+
+    // ----- produce / fetch -----
+
+    /// Choose a partition for an event: hash of the key if present, else
+    /// round-robin (Kafka's default partitioner).
+    pub fn partition_for(&self, topic: &str, key: Option<&[u8]>) -> OctoResult<PartitionId> {
+        let n = self.partition_count(topic)?;
+        Ok(match key {
+            Some(k) => (fxhash(k) % n as u64) as u32,
+            None => (self.inner.round_robin.fetch_add(1, Ordering::Relaxed) % n as u64) as u32,
+        })
+    }
+
+    /// Produce a single event, auto-partitioned.
+    pub fn produce(&self, topic: &str, event: Event, acks: AckLevel) -> OctoResult<ProduceReceipt> {
+        let p = self.partition_for(topic, event.key.as_deref())?;
+        self.produce_batch(topic, p, RecordBatch::new(vec![event]), acks)
+    }
+
+    /// Produce a batch to a specific partition.
+    pub fn produce_batch(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        batch: RecordBatch,
+        acks: AckLevel,
+    ) -> OctoResult<ProduceReceipt> {
+        match self.produce_inner(topic, partition, &batch, acks) {
+            Ok(receipt) => Ok(receipt),
+            Err(e) if acks == AckLevel::None => {
+                // fire-and-forget: losses are silent, but we surface
+                // "not persisted" for tests and honest accounting
+                if matches!(e, OctoError::UnknownTopic(_) | OctoError::UnknownPartition(..)) {
+                    Err(e) // routing errors are client bugs, always surfaced
+                } else {
+                    Ok(ProduceReceipt { partition, base_offset: 0, count: 0, persisted: false })
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn produce_inner(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        batch: &RecordBatch,
+        acks: AckLevel,
+    ) -> OctoResult<ProduceReceipt> {
+        if batch.is_empty() {
+            return Err(OctoError::Invalid("empty batch".into()));
+        }
+        let now = self.now();
+        // snapshot metadata; failover mutates under the write lock
+        let (leader, isr, min_isr) = self.leader_of(topic, partition)?;
+        let leader_broker = &self.inner.brokers[leader.0 as usize];
+        if !leader_broker.is_alive() {
+            // stale metadata: run failover and retry once
+            self.failover(topic, partition)?;
+            return self.produce_inner(topic, partition, batch, acks);
+        }
+        if acks == AckLevel::All && (isr.len() as u32) < min_isr {
+            return Err(OctoError::NotEnoughReplicas {
+                in_sync: isr.len(),
+                required: min_isr as usize,
+            });
+        }
+        let log = leader_broker
+            .log(topic, partition)
+            .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
+        let base = log.lock().append(batch, now)?;
+        // synchronous replication to in-sync followers; failures shrink
+        // the ISR (Kafka's leader removes laggards from the ISR)
+        let mut new_isr = vec![leader];
+        for replica in &isr {
+            if *replica == leader {
+                continue;
+            }
+            let b = &self.inner.brokers[replica.0 as usize];
+            let ok = b.is_alive()
+                && b.log(topic, partition)
+                    .map(|l| l.lock().append(batch, now).is_ok())
+                    .unwrap_or(false);
+            if ok {
+                new_isr.push(*replica);
+            }
+        }
+        if new_isr.len() != isr.len() {
+            self.set_isr(topic, partition, new_isr.clone())?;
+        }
+        if acks == AckLevel::All && (new_isr.len() as u32) < min_isr {
+            return Err(OctoError::NotEnoughReplicas {
+                in_sync: new_isr.len(),
+                required: min_isr as usize,
+            });
+        }
+        {
+            let mut stats = self.inner.stats.write();
+            let entry = stats.entry(topic.to_string()).or_default();
+            entry.events_in += batch.len() as u64;
+            entry.bytes_in += batch.wire_size() as u64;
+        }
+        Ok(ProduceReceipt { partition, base_offset: base, count: batch.len(), persisted: true })
+    }
+
+    /// Fetch up to `max_records` from a partition starting at `offset`.
+    /// Reads are served by the leader (Kafka semantics).
+    pub fn fetch(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        offset: Offset,
+        max_records: usize,
+    ) -> OctoResult<Vec<Record>> {
+        let (leader, _, _) = self.leader_of(topic, partition)?;
+        let broker = &self.inner.brokers[leader.0 as usize];
+        if !broker.is_alive() {
+            self.failover(topic, partition)?;
+            return self.fetch(topic, partition, offset, max_records);
+        }
+        let log = broker
+            .log(topic, partition)
+            .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
+        let out = log.lock().read(offset, max_records)?;
+        if !out.is_empty() {
+            let mut stats = self.inner.stats.write();
+            let entry = stats.entry(topic.to_string()).or_default();
+            entry.events_out += out.len() as u64;
+            entry.bytes_out += out.iter().map(|r| r.wire_size() as u64).sum::<u64>();
+        }
+        Ok(out)
+    }
+
+    /// Traffic counters of a topic (zeroed until first use).
+    pub fn topic_stats(&self, topic: &str) -> TopicStats {
+        self.inner.stats.read().get(topic).copied().unwrap_or_default()
+    }
+
+    /// Earliest retained offset.
+    pub fn earliest_offset(&self, topic: &str, partition: PartitionId) -> OctoResult<Offset> {
+        self.with_leader_log(topic, partition, |l| l.start_offset())
+    }
+
+    /// Next offset to be assigned (log end).
+    pub fn latest_offset(&self, topic: &str, partition: PartitionId) -> OctoResult<Offset> {
+        self.with_leader_log(topic, partition, |l| l.end_offset())
+    }
+
+    /// First offset at or after `ts`.
+    pub fn offset_for_timestamp(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        ts: Timestamp,
+    ) -> OctoResult<Offset> {
+        self.with_leader_log(topic, partition, |l| l.offset_for_timestamp(ts))
+    }
+
+    /// Total backlog (end − committed) across partitions for a consumer
+    /// group — the *processing pressure* that drives trigger autoscaling
+    /// (§IV-D).
+    pub fn group_lag(&self, group: &str, topic: &str) -> OctoResult<u64> {
+        let n = self.partition_count(topic)?;
+        let mut lag = 0u64;
+        for p in 0..n {
+            let end = self.latest_offset(topic, p)?;
+            let committed = self
+                .inner
+                .groups
+                .committed(group, topic, p)
+                .unwrap_or_else(|| self.earliest_offset(topic, p).unwrap_or(0));
+            lag += end.saturating_sub(committed);
+        }
+        Ok(lag)
+    }
+
+    fn with_leader_log<T>(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        f: impl Fn(&PartitionLog) -> T,
+    ) -> OctoResult<T> {
+        let (leader, _, _) = self.leader_of(topic, partition)?;
+        let broker = &self.inner.brokers[leader.0 as usize];
+        if !broker.is_alive() {
+            self.failover(topic, partition)?;
+            return self.with_leader_log(topic, partition, f);
+        }
+        let log = broker
+            .log(topic, partition)
+            .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
+        let out = f(&log.lock());
+        Ok(out)
+    }
+
+    fn leader_of(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+    ) -> OctoResult<(BrokerId, Vec<BrokerId>, u32)> {
+        let topics = self.inner.topics.read();
+        let meta = topics.get(topic).ok_or_else(|| OctoError::UnknownTopic(topic.to_string()))?;
+        let pm = meta
+            .partitions
+            .get(partition as usize)
+            .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
+        Ok((pm.leader, pm.isr.clone(), meta.config.min_insync_replicas))
+    }
+
+    fn set_isr(&self, topic: &str, partition: PartitionId, isr: Vec<BrokerId>) -> OctoResult<()> {
+        let mut topics = self.inner.topics.write();
+        let meta =
+            topics.get_mut(topic).ok_or_else(|| OctoError::UnknownTopic(topic.to_string()))?;
+        let pm = meta
+            .partitions
+            .get_mut(partition as usize)
+            .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
+        pm.isr = isr;
+        Ok(())
+    }
+
+    /// Promote a live in-sync replica to leader (unclean leader election
+    /// is disabled: only ISR members are eligible, so no committed data
+    /// is lost).
+    fn failover(&self, topic: &str, partition: PartitionId) -> OctoResult<()> {
+        let mut topics = self.inner.topics.write();
+        let meta =
+            topics.get_mut(topic).ok_or_else(|| OctoError::UnknownTopic(topic.to_string()))?;
+        let pm = meta
+            .partitions
+            .get_mut(partition as usize)
+            .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
+        let new_leader = pm
+            .isr
+            .iter()
+            .copied()
+            .find(|b| self.inner.brokers[b.0 as usize].is_alive())
+            .ok_or_else(|| {
+                OctoError::Unavailable(format!(
+                    "no live in-sync replica for {topic}/{partition}"
+                ))
+            })?;
+        pm.leader = new_leader;
+        pm.isr.retain(|b| self.inner.brokers[b.0 as usize].is_alive());
+        Ok(())
+    }
+
+    // ----- failure injection & recovery -----
+
+    /// Crash a broker.
+    pub fn kill_broker(&self, id: BrokerId) {
+        self.inner.brokers[id.0 as usize].kill();
+    }
+
+    /// Restart a broker: its replicas resync from current leaders and
+    /// rejoin the ISR.
+    pub fn restart_broker(&self, id: BrokerId) -> OctoResult<()> {
+        let broker = &self.inner.brokers[id.0 as usize];
+        broker.restart();
+        // resync every replica this broker hosts
+        for (topic, partition) in broker.hosted_partitions() {
+            let (leader, _, _) = match self.leader_of(&topic, partition) {
+                Ok(x) => x,
+                Err(_) => continue, // topic deleted while down
+            };
+            if leader == id {
+                continue; // still leader (was never failed over)
+            }
+            let leader_log = self.inner.brokers[leader.0 as usize]
+                .log(&topic, partition)
+                .ok_or_else(|| OctoError::Internal("leader lost its log".into()))?;
+            let snapshot = leader_log.lock().clone();
+            if let Some(mine) = broker.log(&topic, partition) {
+                *mine.lock() = snapshot;
+            }
+            // rejoin ISR
+            let mut topics = self.inner.topics.write();
+            if let Some(meta) = topics.get_mut(&topic) {
+                if let Some(pm) = meta.partitions.get_mut(partition as usize) {
+                    if !pm.isr.contains(&id) && pm.replicas.contains(&id) {
+                        pm.isr.push(id);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The current ISR of a partition (tests, ops tooling).
+    pub fn isr_of(&self, topic: &str, partition: PartitionId) -> OctoResult<Vec<BrokerId>> {
+        Ok(self.leader_of(topic, partition)?.1)
+    }
+
+    /// The current leader of a partition.
+    pub fn leader_broker(&self, topic: &str, partition: PartitionId) -> OctoResult<BrokerId> {
+        Ok(self.leader_of(topic, partition)?.0)
+    }
+
+    // ----- maintenance -----
+
+    /// Run retention/compaction across all partitions of all topics.
+    /// Returns total records removed.
+    pub fn run_maintenance(&self) -> usize {
+        let now = self.now();
+        let topics: Vec<(TopicName, TopicMeta)> = self
+            .inner
+            .topics
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let mut removed = 0usize;
+        for (name, meta) in topics {
+            for (p, pm) in meta.partitions.iter().enumerate() {
+                for b in &pm.replicas {
+                    if let Some(log) = self.inner.brokers[b.0 as usize].log(&name, p as u32) {
+                        removed += log.lock().cleanup(&meta.config.cleanup, &meta.config.retention, now);
+                    }
+                }
+            }
+        }
+        removed
+    }
+
+    // ----- ACL-enforced entry points (broker-side authorization) -----
+
+    /// Produce with a principal; requires WRITE on the topic when ACL
+    /// enforcement is enabled.
+    pub fn produce_as(
+        &self,
+        principal: Uid,
+        topic: &str,
+        event: Event,
+        acks: AckLevel,
+    ) -> OctoResult<ProduceReceipt> {
+        if let Some(acl) = &self.inner.acl {
+            acl.check(topic, principal, Permission::Write)?;
+        }
+        self.produce(topic, event, acks)
+    }
+
+    /// Fetch with a principal; requires READ on the topic when ACL
+    /// enforcement is enabled.
+    pub fn fetch_as(
+        &self,
+        principal: Uid,
+        topic: &str,
+        partition: PartitionId,
+        offset: Offset,
+        max_records: usize,
+    ) -> OctoResult<Vec<Record>> {
+        if let Some(acl) = &self.inner.acl {
+            acl.check(topic, principal, Permission::Read)?;
+        }
+        self.fetch(topic, partition, offset, max_records)
+    }
+}
+
+/// Builder for [`Cluster`].
+pub struct ClusterBuilder {
+    broker_count: usize,
+    acl: Option<AclStore>,
+    zoo: Option<ZooService>,
+    clock: Arc<dyn Clock>,
+}
+
+impl ClusterBuilder {
+    /// Enable broker-side ACL enforcement backed by `acl`.
+    pub fn acl(mut self, acl: AclStore) -> Self {
+        self.acl = Some(acl);
+        self
+    }
+
+    /// Record topic metadata in a coordination service (the MSK↔
+    /// ZooKeeper wiring of §IV-C).
+    pub fn zoo(mut self, zoo: ZooService) -> Self {
+        self.zoo = Some(zoo);
+        self
+    }
+
+    /// Use an injected clock.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Build the cluster.
+    pub fn build(self) -> Cluster {
+        assert!(self.broker_count > 0, "cluster needs at least one broker");
+        let brokers = (0..self.broker_count)
+            .map(|i| Arc::new(Broker::new(BrokerId(i as u32))))
+            .collect();
+        Cluster {
+            inner: Arc::new(ClusterInner {
+                brokers,
+                topics: RwLock::new(HashMap::new()),
+                stats: RwLock::new(HashMap::new()),
+                groups: GroupCoordinator::new(),
+                acl: self.acl,
+                zoo: self.zoo,
+                clock: self.clock,
+                round_robin: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+/// FxHash-style mixing for the default partitioner.
+fn fxhash(data: &[u8]) -> u64 {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut h = 0u64;
+    for &b in data {
+        h = (h.rotate_left(5) ^ b as u64).wrapping_mul(SEED);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(s: &str) -> Event {
+        Event::from_bytes(s.as_bytes().to_vec())
+    }
+
+    fn cluster2() -> Cluster {
+        let c = Cluster::new(2);
+        c.create_topic("t", TopicConfig::default()).unwrap();
+        c
+    }
+
+    #[test]
+    fn produce_fetch_roundtrip() {
+        let c = cluster2();
+        let r = c.produce_batch("t", 0, RecordBatch::new(vec![ev("a"), ev("b")]), AckLevel::Leader).unwrap();
+        assert_eq!(r.base_offset, 0);
+        assert_eq!(r.count, 2);
+        assert!(r.persisted);
+        let recs = c.fetch("t", 0, 0, 10).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(&recs[1].value[..], b"b");
+        assert_eq!(c.latest_offset("t", 0).unwrap(), 2);
+        assert_eq!(c.earliest_offset("t", 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn topic_creation_is_idempotent_but_conflicts_on_change() {
+        let c = cluster2();
+        c.create_topic("t", TopicConfig::default()).unwrap();
+        assert!(matches!(
+            c.create_topic("t", TopicConfig::default().with_partitions(8)),
+            Err(OctoError::TopicExists(_))
+        ));
+        assert!(matches!(c.create_topic("bad name", TopicConfig::default()), Err(OctoError::Invalid(_))));
+        assert!(matches!(c.create_topic("", TopicConfig::default()), Err(OctoError::Invalid(_))));
+    }
+
+    #[test]
+    fn replication_factor_exceeding_brokers_rejected() {
+        let c = Cluster::new(2);
+        assert!(c.create_topic("t4", TopicConfig::default().with_replication(4)).is_err());
+    }
+
+    #[test]
+    fn keyed_events_stick_to_a_partition() {
+        let c = Cluster::new(2);
+        c.create_topic("t", TopicConfig::default().with_partitions(4)).unwrap();
+        let p1 = c.partition_for("t", Some(b"experiment-7")).unwrap();
+        let p2 = c.partition_for("t", Some(b"experiment-7")).unwrap();
+        assert_eq!(p1, p2);
+        // unkeyed round-robins over all partitions
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..16 {
+            seen.insert(c.partition_for("t", None).unwrap());
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn replication_keeps_followers_in_sync() {
+        let c = cluster2();
+        c.produce_batch("t", 0, RecordBatch::new(vec![ev("x")]), AckLevel::All).unwrap();
+        let leader = c.leader_broker("t", 0).unwrap();
+        let follower = BrokerId(1 - leader.0);
+        let l = c.inner.brokers[leader.0 as usize].log("t", 0).unwrap().lock().len();
+        let f = c.inner.brokers[follower.0 as usize].log("t", 0).unwrap().lock().len();
+        assert_eq!(l, 1);
+        assert_eq!(f, 1);
+        assert_eq!(c.isr_of("t", 0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn leader_failover_preserves_data() {
+        let c = cluster2();
+        c.produce_batch("t", 0, RecordBatch::new(vec![ev("a")]), AckLevel::All).unwrap();
+        let leader = c.leader_broker("t", 0).unwrap();
+        c.kill_broker(leader);
+        // produce transparently fails over
+        c.produce_batch("t", 0, RecordBatch::new(vec![ev("b")]), AckLevel::Leader).unwrap();
+        assert_ne!(c.leader_broker("t", 0).unwrap(), leader);
+        let recs = c.fetch("t", 0, 0, 10).unwrap();
+        assert_eq!(recs.len(), 2, "no data lost across failover");
+        assert_eq!(c.live_broker_count(), 1);
+    }
+
+    #[test]
+    fn acks_all_fails_without_quorum() {
+        let c = Cluster::new(2);
+        c.create_topic("t", TopicConfig::default().with_min_insync(2)).unwrap();
+        c.kill_broker(BrokerId(1));
+        // acks=1 still works (leader-only durability)
+        let leader = c.leader_broker("t", 0).unwrap();
+        if leader == BrokerId(1) {
+            // force failover first
+            let _ = c.produce_batch("t", 0, RecordBatch::new(vec![ev("x")]), AckLevel::Leader);
+        }
+        let r = c.produce_batch("t", 0, RecordBatch::new(vec![ev("a")]), AckLevel::Leader);
+        assert!(r.is_ok());
+        // acks=all needs 2 in-sync replicas
+        let r = c.produce_batch("t", 0, RecordBatch::new(vec![ev("b")]), AckLevel::All);
+        assert!(matches!(r, Err(OctoError::NotEnoughReplicas { .. })));
+        // restart heals the ISR
+        c.restart_broker(BrokerId(1)).unwrap();
+        c.produce_batch("t", 0, RecordBatch::new(vec![ev("c")]), AckLevel::All).unwrap();
+    }
+
+    #[test]
+    fn acks_none_swallows_failures() {
+        let c = cluster2();
+        c.kill_broker(BrokerId(0));
+        c.kill_broker(BrokerId(1));
+        // all brokers dead: acks=0 hides the loss
+        let r = c.produce_batch("t", 0, RecordBatch::new(vec![ev("a")]), AckLevel::None).unwrap();
+        assert!(!r.persisted);
+        // but acks=1 reports it
+        assert!(c.produce_batch("t", 0, RecordBatch::new(vec![ev("a")]), AckLevel::Leader).is_err());
+        // routing errors surface even at acks=0
+        assert!(c.produce_batch("nope", 0, RecordBatch::new(vec![ev("a")]), AckLevel::None).is_err());
+    }
+
+    #[test]
+    fn restarted_broker_resyncs_missed_records() {
+        let c = cluster2();
+        let leader = c.leader_broker("t", 0).unwrap();
+        let follower = BrokerId(1 - leader.0);
+        c.kill_broker(follower);
+        for i in 0..5 {
+            c.produce_batch("t", 0, RecordBatch::new(vec![ev(&format!("{i}"))]), AckLevel::Leader)
+                .unwrap();
+        }
+        assert_eq!(c.isr_of("t", 0).unwrap(), vec![leader]);
+        c.restart_broker(follower).unwrap();
+        assert_eq!(c.isr_of("t", 0).unwrap().len(), 2);
+        let flog = c.inner.brokers[follower.0 as usize].log("t", 0).unwrap();
+        assert_eq!(flog.lock().len(), 5, "follower caught up");
+    }
+
+    #[test]
+    fn partition_growth_only() {
+        let c = cluster2();
+        c.set_partitions("t", 4).unwrap();
+        assert_eq!(c.partition_count("t").unwrap(), 4);
+        c.produce_batch("t", 3, RecordBatch::new(vec![ev("x")]), AckLevel::Leader).unwrap();
+        assert!(matches!(c.set_partitions("t", 2), Err(OctoError::Invalid(_))));
+        assert!(matches!(c.set_partitions("nope", 4), Err(OctoError::UnknownTopic(_))));
+    }
+
+    #[test]
+    fn config_update_rules() {
+        let c = cluster2();
+        let mut cfg = c.topic_config("t").unwrap();
+        cfg.retention.retention_ms = Some(1000);
+        c.update_topic_config("t", cfg.clone()).unwrap();
+        assert_eq!(c.topic_config("t").unwrap().retention.retention_ms, Some(1000));
+        cfg.partitions = 10;
+        assert!(c.update_topic_config("t", cfg).is_err());
+    }
+
+    #[test]
+    fn delete_topic_cleans_brokers() {
+        let c = cluster2();
+        assert!(c.inner.brokers[0].partition_count() > 0);
+        c.delete_topic("t").unwrap();
+        assert!(!c.topic_exists("t"));
+        assert_eq!(c.inner.brokers[0].partition_count(), 0);
+        assert!(c.delete_topic("t").is_err());
+    }
+
+    #[test]
+    fn group_lag_reflects_backlog() {
+        let c = cluster2();
+        for _ in 0..10 {
+            c.produce("t", ev("x"), AckLevel::Leader).unwrap();
+        }
+        assert_eq!(c.group_lag("g", "t").unwrap(), 10);
+        // committing offsets reduces lag
+        let end0 = c.latest_offset("t", 0).unwrap();
+        c.coordinator().commit_unchecked("g", "t", 0, end0);
+        let end1 = c.latest_offset("t", 1).unwrap();
+        assert_eq!(c.group_lag("g", "t").unwrap(), end1);
+    }
+
+    #[test]
+    fn acl_enforcement_on_produce_and_fetch() {
+        let acl = AclStore::new();
+        let alice = Uid(1);
+        let bob = Uid(2);
+        acl.register_topic("private", alice).unwrap();
+        let c = Cluster::builder(2).acl(acl.clone()).build();
+        c.create_topic("private", TopicConfig::default()).unwrap();
+        c.produce_as(alice, "private", ev("secret"), AckLevel::Leader).unwrap();
+        assert!(matches!(
+            c.produce_as(bob, "private", ev("spam"), AckLevel::Leader),
+            Err(OctoError::Unauthorized(_))
+        ));
+        assert!(matches!(
+            c.fetch_as(bob, "private", 0, 0, 10),
+            Err(OctoError::Unauthorized(_))
+        ));
+        acl.grant("private", alice, bob, &[Permission::Read]).unwrap();
+        assert!(c.fetch_as(bob, "private", 0, 0, 10).is_ok());
+    }
+
+    #[test]
+    fn zoo_records_topic_metadata() {
+        let zoo = ZooService::new(1);
+        let c = Cluster::builder(2).zoo(zoo.clone()).build();
+        c.create_topic("t", TopicConfig::default()).unwrap();
+        assert!(zoo.exists("/octopus/topics/t").unwrap());
+        c.delete_topic("t").unwrap();
+        assert!(!zoo.exists("/octopus/topics/t").unwrap());
+    }
+
+    #[test]
+    fn maintenance_runs_across_topics() {
+        let c = Cluster::new(2);
+        let mut cfg = TopicConfig::default().with_partitions(1);
+        cfg.segment_bytes = 8;
+        cfg.retention.retention_ms = Some(0);
+        c.create_topic("t", cfg).unwrap();
+        for i in 0..10 {
+            c.produce_batch("t", 0, RecordBatch::new(vec![ev(&format!("{i:08}"))]), AckLevel::Leader)
+                .unwrap();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let removed = c.run_maintenance();
+        assert!(removed > 0);
+    }
+
+    #[test]
+    fn topic_stats_track_traffic() {
+        let c = cluster2();
+        assert_eq!(c.topic_stats("t"), TopicStats::default());
+        c.produce_batch("t", 0, RecordBatch::new(vec![ev("hello")]), AckLevel::Leader).unwrap();
+        let s = c.topic_stats("t");
+        assert_eq!(s.events_in, 1);
+        assert_eq!(s.bytes_in, 5);
+        assert_eq!(s.events_out, 0);
+        c.fetch("t", 0, 0, 10).unwrap();
+        c.fetch("t", 0, 0, 10).unwrap(); // two consumers = double egress
+        let s = c.topic_stats("t");
+        assert_eq!(s.events_out, 2);
+        assert_eq!(s.bytes_out, 10);
+        // unknown topics read as zero, not error (metrics are best-effort)
+        assert_eq!(c.topic_stats("ghost"), TopicStats::default());
+    }
+
+    #[test]
+    fn concurrent_producers_get_unique_offsets() {
+        let c = Cluster::new(2);
+        c.create_topic("t", TopicConfig::default().with_partitions(1)).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut offsets = Vec::new();
+                for _ in 0..100 {
+                    let r = c
+                        .produce_batch("t", 0, RecordBatch::new(vec![ev("x")]), AckLevel::Leader)
+                        .unwrap();
+                    offsets.push(r.base_offset);
+                }
+                offsets
+            }));
+        }
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 800, "offsets must be unique");
+        assert_eq!(c.latest_offset("t", 0).unwrap(), 800);
+    }
+}

@@ -1,0 +1,160 @@
+//! Topic and broker configuration.
+
+use serde::{Deserialize, Serialize};
+
+use octopus_types::{OctoError, OctoResult};
+
+/// Retention limits for the `Delete` cleanup policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetentionConfig {
+    /// Drop closed segments older than this many milliseconds.
+    /// The paper's default: "all messages in a topic are stored for
+    /// seven days" (§IV-F).
+    pub retention_ms: Option<u64>,
+    /// Drop oldest closed segments while the partition exceeds this
+    /// many bytes.
+    pub retention_bytes: Option<u64>,
+}
+
+impl Default for RetentionConfig {
+    fn default() -> Self {
+        RetentionConfig {
+            retention_ms: Some(7 * 24 * 3600 * 1000), // 7 days
+            retention_bytes: None,
+        }
+    }
+}
+
+/// What the log cleaner does to closed segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CleanupPolicy {
+    /// Drop expired/oversized segments.
+    #[default]
+    Delete,
+    /// Keep only the latest record per key.
+    Compact,
+    /// Compact, then delete.
+    CompactAndDelete,
+}
+
+/// Per-topic configuration (the knobs `POST /topic/<topic>` exposes,
+/// §IV-B: "e.g., replication factor and data retention policy").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopicConfig {
+    /// Number of partitions.
+    pub partitions: u32,
+    /// Replication factor (copies of each partition).
+    pub replication_factor: u32,
+    /// Minimum in-sync replicas for `acks=all` produces to succeed.
+    pub min_insync_replicas: u32,
+    /// Retention limits.
+    pub retention: RetentionConfig,
+    /// Cleanup policy.
+    pub cleanup: CleanupPolicy,
+    /// Segment roll size in bytes.
+    pub segment_bytes: usize,
+}
+
+impl Default for TopicConfig {
+    fn default() -> Self {
+        TopicConfig {
+            partitions: 2,
+            replication_factor: 2,
+            min_insync_replicas: 1,
+            retention: RetentionConfig::default(),
+            cleanup: CleanupPolicy::Delete,
+            segment_bytes: crate::log::DEFAULT_SEGMENT_BYTES,
+        }
+    }
+}
+
+impl TopicConfig {
+    /// Validate against a cluster of `broker_count` brokers.
+    pub fn validate(&self, broker_count: usize) -> OctoResult<()> {
+        if self.partitions == 0 {
+            return Err(OctoError::Invalid("partitions must be >= 1".into()));
+        }
+        if self.replication_factor == 0 {
+            return Err(OctoError::Invalid("replication factor must be >= 1".into()));
+        }
+        if self.replication_factor as usize > broker_count {
+            return Err(OctoError::Invalid(format!(
+                "replication factor {} exceeds broker count {broker_count}",
+                self.replication_factor
+            )));
+        }
+        if self.min_insync_replicas == 0 || self.min_insync_replicas > self.replication_factor {
+            return Err(OctoError::Invalid(format!(
+                "min.insync.replicas {} must be in [1, {}]",
+                self.min_insync_replicas, self.replication_factor
+            )));
+        }
+        if self.segment_bytes == 0 {
+            return Err(OctoError::Invalid("segment_bytes must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// Builder-style partition count.
+    pub fn with_partitions(mut self, n: u32) -> Self {
+        self.partitions = n;
+        self
+    }
+
+    /// Builder-style replication factor.
+    pub fn with_replication(mut self, n: u32) -> Self {
+        self.replication_factor = n;
+        self
+    }
+
+    /// Builder-style min ISR.
+    pub fn with_min_insync(mut self, n: u32) -> Self {
+        self.min_insync_replicas = n;
+        self
+    }
+
+    /// Builder-style cleanup policy.
+    pub fn with_cleanup(mut self, c: CleanupPolicy) -> Self {
+        self.cleanup = c;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = TopicConfig::default();
+        assert_eq!(c.partitions, 2);
+        assert_eq!(c.replication_factor, 2);
+        assert_eq!(c.retention.retention_ms, Some(604_800_000)); // 7 days
+        assert!(c.validate(2).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(TopicConfig::default().with_partitions(0).validate(2).is_err());
+        assert!(TopicConfig::default().with_replication(0).validate(2).is_err());
+        assert!(TopicConfig::default().with_replication(3).validate(2).is_err());
+        assert!(TopicConfig::default().with_min_insync(0).validate(2).is_err());
+        assert!(TopicConfig::default().with_min_insync(3).validate(4).is_err()); // > RF
+        let c = TopicConfig { segment_bytes: 0, ..TopicConfig::default() };
+        assert!(c.validate(2).is_err());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = TopicConfig::default()
+            .with_partitions(4)
+            .with_replication(4)
+            .with_min_insync(2)
+            .with_cleanup(CleanupPolicy::Compact);
+        assert_eq!(c.partitions, 4);
+        assert_eq!(c.replication_factor, 4);
+        assert_eq!(c.min_insync_replicas, 2);
+        assert_eq!(c.cleanup, CleanupPolicy::Compact);
+        assert!(c.validate(4).is_ok());
+    }
+}

@@ -1,0 +1,315 @@
+//! Consumer groups: membership, generation-numbered rebalances, range
+//! assignment, and committed offsets.
+//!
+//! "Each Lambda function is given its own MSK consumer group, meaning
+//! that many instances of the Lambda function can retrieve events
+//! without affecting other consumers of the topic" (§IV-D), and
+//! "consumers periodically commit consuming offsets, which provides an
+//! at-least-once delivery guarantee" (§IV-F). Both behaviours live here.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use octopus_types::{OctoError, OctoResult, Offset, PartitionId, TopicName};
+
+/// A member's view of its assignment after a (re)join.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemberAssignment {
+    /// Generation this assignment belongs to; commits from older
+    /// generations are rejected (fencing).
+    pub generation: u64,
+    /// Partitions assigned to this member.
+    pub partitions: Vec<(TopicName, PartitionId)>,
+}
+
+/// A member registration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupMember {
+    /// Unique member id within the group.
+    pub member_id: String,
+    /// Topics the member subscribes to.
+    pub topics: BTreeSet<TopicName>,
+}
+
+#[derive(Debug, Default)]
+struct GroupState {
+    generation: u64,
+    members: BTreeMap<String, GroupMember>,
+    assignments: HashMap<String, Vec<(TopicName, PartitionId)>>,
+    offsets: HashMap<(TopicName, PartitionId), Offset>,
+}
+
+impl GroupState {
+    /// Range assignment: for each topic, partitions are split into
+    /// contiguous ranges over the sorted member list.
+    fn rebalance(&mut self, partition_counts: &HashMap<TopicName, u32>) {
+        self.generation += 1;
+        self.assignments.clear();
+        if self.members.is_empty() {
+            return;
+        }
+        // collect all subscribed topics
+        let mut topics: BTreeSet<&TopicName> = BTreeSet::new();
+        for m in self.members.values() {
+            topics.extend(m.topics.iter());
+        }
+        for topic in topics {
+            let Some(&count) = partition_counts.get(topic) else { continue };
+            let subscribers: Vec<&String> = self
+                .members
+                .values()
+                .filter(|m| m.topics.contains(topic))
+                .map(|m| &m.member_id)
+                .collect();
+            if subscribers.is_empty() {
+                continue;
+            }
+            let n = subscribers.len() as u32;
+            let per = count / n;
+            let extra = count % n;
+            let mut next = 0u32;
+            for (i, member) in subscribers.iter().enumerate() {
+                let take = per + u32::from((i as u32) < extra);
+                let parts: Vec<(TopicName, PartitionId)> =
+                    (next..next + take).map(|p| (topic.clone(), p)).collect();
+                next += take;
+                self.assignments.entry((*member).clone()).or_default().extend(parts);
+            }
+        }
+    }
+}
+
+/// The group coordinator, shared by all clients of a cluster.
+#[derive(Clone, Default)]
+pub struct GroupCoordinator {
+    groups: Arc<Mutex<HashMap<String, GroupState>>>,
+}
+
+impl GroupCoordinator {
+    /// Empty coordinator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Join (or re-join) a group, triggering a rebalance. Returns this
+    /// member's assignment for the new generation.
+    pub fn join(
+        &self,
+        group: &str,
+        member_id: &str,
+        topics: Vec<TopicName>,
+        partition_counts: &HashMap<TopicName, u32>,
+    ) -> MemberAssignment {
+        let mut groups = self.groups.lock();
+        let state = groups.entry(group.to_string()).or_default();
+        state.members.insert(
+            member_id.to_string(),
+            GroupMember { member_id: member_id.to_string(), topics: topics.into_iter().collect() },
+        );
+        state.rebalance(partition_counts);
+        MemberAssignment {
+            generation: state.generation,
+            partitions: state.assignments.get(member_id).cloned().unwrap_or_default(),
+        }
+    }
+
+    /// Leave a group, triggering a rebalance for the remaining members.
+    pub fn leave(
+        &self,
+        group: &str,
+        member_id: &str,
+        partition_counts: &HashMap<TopicName, u32>,
+    ) {
+        let mut groups = self.groups.lock();
+        if let Some(state) = groups.get_mut(group) {
+            state.members.remove(member_id);
+            state.rebalance(partition_counts);
+        }
+    }
+
+    /// The current generation of a group (0 if it has never formed).
+    pub fn generation(&self, group: &str) -> u64 {
+        self.groups.lock().get(group).map(|s| s.generation).unwrap_or(0)
+    }
+
+    /// The current assignment of a member (after someone else's join may
+    /// have rebalanced it away).
+    pub fn assignment_of(&self, group: &str, member_id: &str) -> Option<MemberAssignment> {
+        let groups = self.groups.lock();
+        let state = groups.get(group)?;
+        state.members.contains_key(member_id).then(|| MemberAssignment {
+            generation: state.generation,
+            partitions: state.assignments.get(member_id).cloned().unwrap_or_default(),
+        })
+    }
+
+    /// Number of members in a group.
+    pub fn member_count(&self, group: &str) -> usize {
+        self.groups.lock().get(group).map(|s| s.members.len()).unwrap_or(0)
+    }
+
+    /// Commit an offset with generation fencing: commits from a stale
+    /// generation are rejected so a zombie consumer cannot clobber
+    /// progress after a rebalance.
+    pub fn commit(
+        &self,
+        group: &str,
+        generation: u64,
+        topic: &str,
+        partition: PartitionId,
+        offset: Offset,
+    ) -> OctoResult<()> {
+        let mut groups = self.groups.lock();
+        let state = groups
+            .get_mut(group)
+            .ok_or_else(|| OctoError::NotFound(format!("group {group}")))?;
+        if generation != state.generation {
+            return Err(OctoError::RebalanceInProgress(format!(
+                "commit from generation {generation}, current {}",
+                state.generation
+            )));
+        }
+        state.offsets.insert((topic.to_string(), partition), offset);
+        Ok(())
+    }
+
+    /// Commit without generation fencing (standalone consumers that
+    /// manage their own partitions, and triggers tracking lag).
+    pub fn commit_unchecked(&self, group: &str, topic: &str, partition: PartitionId, offset: Offset) {
+        let mut groups = self.groups.lock();
+        let state = groups.entry(group.to_string()).or_default();
+        state.offsets.insert((topic.to_string(), partition), offset);
+    }
+
+    /// The committed offset of a partition, if any.
+    pub fn committed(&self, group: &str, topic: &str, partition: PartitionId) -> Option<Offset> {
+        self.groups
+            .lock()
+            .get(group)?
+            .offsets
+            .get(&(topic.to_string(), partition))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, u32)]) -> HashMap<TopicName, u32> {
+        pairs.iter().map(|(t, n)| (t.to_string(), *n)).collect()
+    }
+
+    #[test]
+    fn single_member_gets_everything() {
+        let gc = GroupCoordinator::new();
+        let pc = counts(&[("t", 4)]);
+        let a = gc.join("g", "m1", vec!["t".into()], &pc);
+        assert_eq!(a.generation, 1);
+        assert_eq!(a.partitions.len(), 4);
+    }
+
+    #[test]
+    fn partitions_partition_across_members() {
+        let gc = GroupCoordinator::new();
+        let pc = counts(&[("t", 5)]);
+        gc.join("g", "m1", vec!["t".into()], &pc);
+        gc.join("g", "m2", vec!["t".into()], &pc);
+        let a1 = gc.assignment_of("g", "m1").unwrap();
+        let a2 = gc.assignment_of("g", "m2").unwrap();
+        // disjoint and complete
+        let mut all: Vec<u32> = a1
+            .partitions
+            .iter()
+            .chain(a2.partitions.iter())
+            .map(|(_, p)| *p)
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+        // uneven split: 3 + 2
+        assert_eq!(a1.partitions.len().max(a2.partitions.len()), 3);
+        assert_eq!(a1.partitions.len().min(a2.partitions.len()), 2);
+    }
+
+    #[test]
+    fn join_bumps_generation_and_invalidates_old_commits() {
+        let gc = GroupCoordinator::new();
+        let pc = counts(&[("t", 2)]);
+        let a1 = gc.join("g", "m1", vec!["t".into()], &pc);
+        gc.commit("g", a1.generation, "t", 0, 5).unwrap();
+        // second member joins: generation bumps
+        gc.join("g", "m2", vec!["t".into()], &pc);
+        let err = gc.commit("g", a1.generation, "t", 0, 9).unwrap_err();
+        assert!(matches!(err, OctoError::RebalanceInProgress(_)));
+        // committed offset from the valid generation survives
+        assert_eq!(gc.committed("g", "t", 0), Some(5));
+    }
+
+    #[test]
+    fn leave_rebalances_remaining() {
+        let gc = GroupCoordinator::new();
+        let pc = counts(&[("t", 4)]);
+        gc.join("g", "m1", vec!["t".into()], &pc);
+        gc.join("g", "m2", vec!["t".into()], &pc);
+        assert_eq!(gc.member_count("g"), 2);
+        gc.leave("g", "m1", &pc);
+        assert_eq!(gc.member_count("g"), 1);
+        let a2 = gc.assignment_of("g", "m2").unwrap();
+        assert_eq!(a2.partitions.len(), 4, "survivor owns all partitions");
+        assert!(gc.assignment_of("g", "m1").is_none());
+    }
+
+    #[test]
+    fn multi_topic_subscription() {
+        let gc = GroupCoordinator::new();
+        let pc = counts(&[("a", 2), ("b", 2)]);
+        gc.join("g", "m1", vec!["a".into(), "b".into()], &pc);
+        gc.join("g", "m2", vec!["b".into()], &pc);
+        let a1 = gc.assignment_of("g", "m1").unwrap();
+        let a2 = gc.assignment_of("g", "m2").unwrap();
+        // m1 is the only subscriber of `a`
+        assert_eq!(a1.partitions.iter().filter(|(t, _)| t == "a").count(), 2);
+        // `b` is split
+        assert_eq!(a1.partitions.iter().filter(|(t, _)| t == "b").count(), 1);
+        assert_eq!(a2.partitions.iter().filter(|(t, _)| t == "b").count(), 1);
+    }
+
+    #[test]
+    fn independent_groups_do_not_interfere() {
+        let gc = GroupCoordinator::new();
+        let pc = counts(&[("t", 2)]);
+        let a = gc.join("g1", "m", vec!["t".into()], &pc);
+        let b = gc.join("g2", "m", vec!["t".into()], &pc);
+        assert_eq!(a.partitions.len(), 2);
+        assert_eq!(b.partitions.len(), 2);
+        gc.commit("g1", 1, "t", 0, 10).unwrap();
+        assert_eq!(gc.committed("g1", "t", 0), Some(10));
+        assert_eq!(gc.committed("g2", "t", 0), None);
+    }
+
+    #[test]
+    fn more_members_than_partitions_leaves_some_idle() {
+        let gc = GroupCoordinator::new();
+        let pc = counts(&[("t", 2)]);
+        for m in ["m1", "m2", "m3"] {
+            gc.join("g", m, vec!["t".into()], &pc);
+        }
+        let sizes: Vec<usize> = ["m1", "m2", "m3"]
+            .iter()
+            .map(|m| gc.assignment_of("g", m).unwrap().partitions.len())
+            .collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 2);
+        assert!(sizes.contains(&0), "one member is idle");
+    }
+
+    #[test]
+    fn commit_unchecked_bypasses_fencing() {
+        let gc = GroupCoordinator::new();
+        gc.commit_unchecked("standalone", "t", 0, 42);
+        assert_eq!(gc.committed("standalone", "t", 0), Some(42));
+        assert!(gc.commit("nogroup", 1, "t", 0, 1).is_err());
+    }
+}

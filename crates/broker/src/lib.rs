@@ -1,0 +1,41 @@
+//! A Kafka-like event streaming fabric — the in-process equivalent of
+//! the AWS MSK cluster that hosts the Octopus event fabric (§IV-A).
+//!
+//! The crate implements the abstractions the paper's evaluation
+//! exercises:
+//!
+//! - [`record`]: records and batches with CRC32C integrity checks.
+//! - [`log`]: segmented, append-only partition logs with offset and
+//!   timestamp lookup, retention, and key-based compaction.
+//! - [`config`]: topic configuration (partitions, replication factor,
+//!   retention, compaction, `min.insync.replicas`).
+//! - [`broker`]: a broker node hosting partition replicas.
+//! - [`cluster`]: the multi-broker cluster: topic creation, partition
+//!   leadership, synchronous ISR replication, acks=0/1/all semantics,
+//!   leader failover, broker kill/restart injection, and per-topic ACL
+//!   enforcement.
+//! - [`group`]: consumer groups — join/leave, generation-numbered
+//!   rebalances, range assignment, committed offsets (at-least-once).
+//! - [`mirror`]: MirrorMaker-style cross-cluster topic replication
+//!   (§IV-F geo-replication).
+//!
+//! Threading model: brokers are passive state guarded by per-partition
+//! locks; clients drive them from any number of threads. This mirrors
+//! Kafka's design point (partition = unit of parallelism) and is what
+//! the Criterion benches in `octopus-bench` measure.
+
+pub mod broker;
+pub mod cluster;
+pub mod config;
+pub mod group;
+pub mod log;
+pub mod mirror;
+pub mod record;
+
+pub use broker::{Broker, BrokerId};
+pub use cluster::{AckLevel, Cluster, ProduceReceipt, TopicStats};
+pub use config::{CleanupPolicy, RetentionConfig, TopicConfig};
+pub use group::{GroupCoordinator, GroupMember, MemberAssignment};
+pub use log::PartitionLog;
+pub use mirror::{MirrorHandle, MirrorMaker};
+pub use record::{crc32c, Record, RecordBatch};

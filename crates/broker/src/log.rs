@@ -1,0 +1,423 @@
+//! The segmented partition log.
+//!
+//! A partition is an append-only sequence of records with dense offsets,
+//! stored as a list of *segments* (Kafka's on-disk layout, kept in
+//! memory here). Segments bound the granularity of retention: time- and
+//! size-based retention drop whole segments from the front; compaction
+//! rewrites closed segments keeping only the latest record per key
+//! (§IV-F: "Users can also configure the compaction and retention
+//! policy").
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use octopus_types::{OctoError, OctoResult, Offset, Timestamp};
+
+use crate::config::{CleanupPolicy, RetentionConfig};
+use crate::record::{Record, RecordBatch};
+
+/// Default maximum segment size before rolling (1 MiB here; Kafka's
+/// default is 1 GiB — scaled down for in-memory use).
+pub const DEFAULT_SEGMENT_BYTES: usize = 1 << 20;
+
+#[derive(Debug, Clone)]
+struct Segment {
+    base_offset: Offset,
+    records: Vec<Record>,
+    size_bytes: usize,
+    max_timestamp: Timestamp,
+}
+
+impl Segment {
+    fn new(base_offset: Offset) -> Self {
+        Segment {
+            base_offset,
+            records: Vec::new(),
+            size_bytes: 0,
+            max_timestamp: Timestamp::from_millis(0),
+        }
+    }
+
+    fn next_offset(&self) -> Offset {
+        self.base_offset + self.records.len() as u64
+    }
+}
+
+/// An in-memory segmented log for one partition.
+#[derive(Debug, Clone)]
+pub struct PartitionLog {
+    segments: Vec<Segment>,
+    segment_bytes: usize,
+    /// Offset of the first retained record.
+    log_start: Offset,
+    total_bytes: usize,
+}
+
+impl Default for PartitionLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartitionLog {
+    /// Empty log with the default segment size.
+    pub fn new() -> Self {
+        Self::with_segment_bytes(DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// Empty log with a custom segment roll size (small values make
+    /// retention tests cheap).
+    pub fn with_segment_bytes(segment_bytes: usize) -> Self {
+        PartitionLog {
+            segments: vec![Segment::new(0)],
+            segment_bytes: segment_bytes.max(1),
+            log_start: 0,
+            total_bytes: 0,
+        }
+    }
+
+    /// Change the segment roll size for future appends (topic config
+    /// updates propagate here). Existing segments are untouched.
+    pub fn set_segment_bytes(&mut self, segment_bytes: usize) {
+        self.segment_bytes = segment_bytes.max(1);
+    }
+
+    /// Offset the next appended record will get.
+    pub fn end_offset(&self) -> Offset {
+        self.segments.last().map(|s| s.next_offset()).unwrap_or(self.log_start)
+    }
+
+    /// Offset of the earliest retained record.
+    pub fn start_offset(&self) -> Offset {
+        self.log_start
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(|s| s.records.len()).sum()
+    }
+
+    /// Whether no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Retained bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// Append a verified batch at `now`; returns the base offset
+    /// assigned to the first record.
+    pub fn append(&mut self, batch: &RecordBatch, now: Timestamp) -> OctoResult<Offset> {
+        if !batch.verify() {
+            return Err(OctoError::Invalid("record batch failed CRC check".into()));
+        }
+        let base = self.end_offset();
+        for (i, event) in batch.events.iter().enumerate() {
+            let rec = Record {
+                offset: base + i as u64,
+                append_time: now,
+                key: event.key.clone(),
+                value: event.payload.clone(),
+                headers: event.headers.clone(),
+                producer_time: event.timestamp,
+            };
+            let size = rec.wire_size();
+            let roll = {
+                let seg = self.segments.last().expect("log always has a segment");
+                !seg.records.is_empty() && seg.size_bytes + size > self.segment_bytes
+            };
+            if roll {
+                let next = self.segments.last().expect("nonempty").next_offset();
+                self.segments.push(Segment::new(next));
+            }
+            let seg = self.segments.last_mut().expect("nonempty");
+            seg.size_bytes += size;
+            seg.max_timestamp = seg.max_timestamp.max(rec.append_time);
+            seg.records.push(rec);
+            self.total_bytes += size;
+        }
+        Ok(base)
+    }
+
+    /// Read up to `max_records` records starting at `offset`.
+    ///
+    /// `offset == end_offset()` returns an empty vec (caller is caught
+    /// up); offsets below `start_offset` or above the end are
+    /// `OffsetOutOfRange`, matching Kafka's fetch semantics.
+    pub fn read(&self, offset: Offset, max_records: usize) -> OctoResult<Vec<Record>> {
+        let end = self.end_offset();
+        if offset == end {
+            return Ok(Vec::new());
+        }
+        if offset < self.log_start || offset > end {
+            return Err(OctoError::OffsetOutOfRange {
+                requested: offset,
+                earliest: self.log_start,
+                latest: end,
+            });
+        }
+        let mut out = Vec::new();
+        // binary search for the segment containing `offset`
+        let seg_idx = match self
+            .segments
+            .binary_search_by(|s| s.base_offset.cmp(&offset))
+        {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        'outer: for seg in &self.segments[seg_idx..] {
+            for rec in &seg.records {
+                if rec.offset < offset {
+                    continue;
+                }
+                if out.len() >= max_records {
+                    break 'outer;
+                }
+                out.push(rec.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The smallest offset whose append time is `>= ts` (the
+    /// "consume after a certain timestamp" mode of §IV-F), or the end
+    /// offset if no such record is retained.
+    pub fn offset_for_timestamp(&self, ts: Timestamp) -> Offset {
+        for seg in &self.segments {
+            if seg.max_timestamp < ts {
+                continue;
+            }
+            for rec in &seg.records {
+                if rec.append_time >= ts {
+                    return rec.offset;
+                }
+            }
+        }
+        self.end_offset()
+    }
+
+    /// Apply retention at `now`: drop whole closed segments older than
+    /// `retention.ms` or beyond `retention.bytes`. The active (last)
+    /// segment is never dropped. Returns the number of records removed.
+    pub fn enforce_retention(&mut self, retention: &RetentionConfig, now: Timestamp) -> usize {
+        let mut removed = 0usize;
+        // time-based: drop closed segments whose newest record is older
+        // than the retention window
+        while self.segments.len() > 1 {
+            let seg = &self.segments[0];
+            let expired = retention
+                .retention_ms
+                .map(|ms| now.since(seg.max_timestamp).as_millis() as u64 > ms)
+                .unwrap_or(false);
+            let over_size = retention
+                .retention_bytes
+                .map(|limit| self.total_bytes as u64 > limit)
+                .unwrap_or(false);
+            if !(expired || over_size) {
+                break;
+            }
+            let seg = self.segments.remove(0);
+            removed += seg.records.len();
+            self.total_bytes -= seg.size_bytes;
+            self.log_start = self.segments[0].base_offset;
+        }
+        removed
+    }
+
+    /// Compact closed segments: keep only the newest record per key
+    /// (records without a key are always kept, as in Kafka, where
+    /// compaction requires keyed topics — unkeyed records cannot be
+    /// superseded). The active segment is left alone. Offsets are
+    /// preserved (compaction never renumbers). Returns records removed.
+    pub fn compact(&mut self) -> usize {
+        if self.segments.len() <= 1 {
+            return 0;
+        }
+        // newest offset per key across *all* retained records (later
+        // segments supersede earlier ones)
+        let mut newest: HashMap<Bytes, Offset> = HashMap::new();
+        for seg in &self.segments {
+            for rec in &seg.records {
+                if let Some(k) = &rec.key {
+                    newest.insert(k.clone(), rec.offset);
+                }
+            }
+        }
+        let mut removed = 0usize;
+        let last = self.segments.len() - 1;
+        for seg in &mut self.segments[..last] {
+            let before = seg.records.len();
+            seg.records.retain(|rec| match &rec.key {
+                Some(k) => newest.get(k) == Some(&rec.offset),
+                None => true,
+            });
+            removed += before - seg.records.len();
+            let new_size: usize = seg.records.iter().map(|r| r.wire_size()).sum();
+            self.total_bytes -= seg.size_bytes - new_size;
+            seg.size_bytes = new_size;
+        }
+        removed
+    }
+
+    /// Run the configured cleanup policy.
+    pub fn cleanup(&mut self, policy: &CleanupPolicy, retention: &RetentionConfig, now: Timestamp) -> usize {
+        match policy {
+            CleanupPolicy::Delete => self.enforce_retention(retention, now),
+            CleanupPolicy::Compact => self.compact(),
+            CleanupPolicy::CompactAndDelete => {
+                self.compact() + self.enforce_retention(retention, now)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_types::Event;
+
+    fn ev(payload: &str) -> Event {
+        Event::from_bytes(payload.as_bytes().to_vec())
+    }
+
+    fn kev(key: &str, payload: &str) -> Event {
+        Event::builder().key(key).payload(payload.as_bytes().to_vec()).build()
+    }
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn offsets_are_dense_and_increasing() {
+        let mut log = PartitionLog::new();
+        let b0 = log.append(&RecordBatch::new(vec![ev("a"), ev("b")]), t(1)).unwrap();
+        let b1 = log.append(&RecordBatch::new(vec![ev("c")]), t(2)).unwrap();
+        assert_eq!(b0, 0);
+        assert_eq!(b1, 2);
+        assert_eq!(log.end_offset(), 3);
+        let recs = log.read(0, 100).unwrap();
+        assert_eq!(recs.iter().map(|r| r.offset).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(&recs[2].value[..], b"c");
+    }
+
+    #[test]
+    fn read_semantics_at_boundaries() {
+        let mut log = PartitionLog::new();
+        log.append(&RecordBatch::new(vec![ev("a"), ev("b"), ev("c")]), t(1)).unwrap();
+        // caught-up read is empty, not an error
+        assert!(log.read(3, 10).unwrap().is_empty());
+        // beyond the end errors
+        assert!(matches!(log.read(4, 10), Err(OctoError::OffsetOutOfRange { .. })));
+        // max_records respected
+        assert_eq!(log.read(0, 2).unwrap().len(), 2);
+        // mid-log read
+        assert_eq!(log.read(1, 10).unwrap()[0].offset, 1);
+    }
+
+    #[test]
+    fn corrupt_batch_rejected() {
+        let mut log = PartitionLog::new();
+        let mut batch = RecordBatch::new(vec![ev("a")]);
+        batch.crc ^= 1;
+        assert!(matches!(log.append(&batch, t(1)), Err(OctoError::Invalid(_))));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn segments_roll_by_size() {
+        let mut log = PartitionLog::with_segment_bytes(10);
+        for i in 0..10 {
+            log.append(&RecordBatch::new(vec![ev(&format!("{i:06}"))]), t(i)).unwrap();
+        }
+        // 6-byte records, 10-byte segments -> one record rolls the next
+        assert!(log.segments.len() >= 5, "got {} segments", log.segments.len());
+        // reads still span segments seamlessly
+        let recs = log.read(0, 100).unwrap();
+        assert_eq!(recs.len(), 10);
+        assert_eq!(recs[9].offset, 9);
+    }
+
+    #[test]
+    fn time_retention_drops_old_segments() {
+        let mut log = PartitionLog::with_segment_bytes(8);
+        for i in 0..8u64 {
+            log.append(&RecordBatch::new(vec![ev(&format!("{i:06}"))]), t(i * 1000)).unwrap();
+        }
+        let retention =
+            RetentionConfig { retention_ms: Some(3_000), retention_bytes: None };
+        let removed = log.enforce_retention(&retention, t(8_000));
+        assert!(removed > 0);
+        assert!(log.start_offset() > 0);
+        // old offsets now out of range
+        assert!(matches!(log.read(0, 10), Err(OctoError::OffsetOutOfRange { .. })));
+        // newest data still readable
+        assert_eq!(log.read(log.start_offset(), 100).unwrap().len(), log.len());
+        // the active segment survives even if expired
+        let removed_again = log.enforce_retention(
+            &RetentionConfig { retention_ms: Some(0), retention_bytes: None },
+            t(1_000_000),
+        );
+        assert!(!log.is_empty(), "active segment never dropped (removed {removed_again})");
+    }
+
+    #[test]
+    fn size_retention_bounds_total_bytes() {
+        let mut log = PartitionLog::with_segment_bytes(100);
+        for i in 0..100 {
+            log.append(&RecordBatch::new(vec![ev(&format!("{i:050}"))]), t(i)).unwrap();
+        }
+        let retention = RetentionConfig { retention_ms: None, retention_bytes: Some(500) };
+        log.enforce_retention(&retention, t(1000));
+        assert!(log.size_bytes() <= 600, "size {} not bounded", log.size_bytes());
+    }
+
+    #[test]
+    fn offset_for_timestamp_lookup() {
+        let mut log = PartitionLog::new();
+        log.append(&RecordBatch::new(vec![ev("a")]), t(100)).unwrap();
+        log.append(&RecordBatch::new(vec![ev("b")]), t(200)).unwrap();
+        log.append(&RecordBatch::new(vec![ev("c")]), t(300)).unwrap();
+        assert_eq!(log.offset_for_timestamp(t(0)), 0);
+        assert_eq!(log.offset_for_timestamp(t(150)), 1);
+        assert_eq!(log.offset_for_timestamp(t(200)), 1);
+        assert_eq!(log.offset_for_timestamp(t(201)), 2);
+        assert_eq!(log.offset_for_timestamp(t(999)), 3); // end offset
+    }
+
+    #[test]
+    fn compaction_keeps_latest_per_key() {
+        let mut log = PartitionLog::with_segment_bytes(4);
+        log.append(&RecordBatch::new(vec![kev("k1", "v1")]), t(1)).unwrap();
+        log.append(&RecordBatch::new(vec![kev("k2", "v1")]), t(2)).unwrap();
+        log.append(&RecordBatch::new(vec![kev("k1", "v2")]), t(3)).unwrap();
+        log.append(&RecordBatch::new(vec![ev("nk")]), t(4)).unwrap();
+        log.append(&RecordBatch::new(vec![kev("k1", "v3")]), t(5)).unwrap();
+        let removed = log.compact();
+        assert_eq!(removed, 2, "k1@0 and k1@2 removed");
+        let recs = log.read(log.start_offset(), 100).unwrap();
+        let k1: Vec<&Record> =
+            recs.iter().filter(|r| r.key.as_deref() == Some(&b"k1"[..])).collect();
+        assert_eq!(k1.len(), 1);
+        assert_eq!(&k1[0].value[..], b"v3");
+        // unkeyed record survives
+        assert!(recs.iter().any(|r| r.key.is_none()));
+        // offsets preserved (no renumbering)
+        assert_eq!(k1[0].offset, 4);
+    }
+
+    #[test]
+    fn cleanup_policy_dispatch() {
+        let retention = RetentionConfig { retention_ms: Some(10), retention_bytes: None };
+        let mut log = PartitionLog::with_segment_bytes(4);
+        for i in 0..5u64 {
+            log.append(&RecordBatch::new(vec![kev("k", &format!("v{i}"))]), t(i)).unwrap();
+        }
+        let mut l2 = log.clone();
+        assert!(log.cleanup(&CleanupPolicy::Compact, &retention, t(100)) > 0);
+        assert!(l2.cleanup(&CleanupPolicy::CompactAndDelete, &retention, t(100)) > 0);
+    }
+}

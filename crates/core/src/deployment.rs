@@ -1,0 +1,317 @@
+//! The local deployment: every Octopus component wired together.
+//!
+//! Mirrors Fig. 2: users authenticate against the (Globus-Auth-like)
+//! authorization server, interact with OWS to provision topics and
+//! credentials, and their producers/consumers talk to the event fabric,
+//! which enforces the ACLs OWS manages. Topic ownership lives in the
+//! replicated coordination service; triggers run in the trigger runtime.
+
+use std::sync::Arc;
+
+use octopus_auth::{AccessToken, AclStore, AuthServer, IamService, Scope};
+use octopus_broker::Cluster;
+use octopus_ows::{FunctionRegistry, OwsConfig, OwsService, OWS_SCOPE};
+use octopus_sdk::{
+    Consumer, ConsumerConfig, LoginManager, OctopusClient, Producer, ProducerConfig, TokenStore,
+};
+use octopus_trigger::TriggerRuntime;
+use octopus_types::{OctoResult, Uid};
+use octopus_zoo::ZooService;
+
+/// Builder for [`Octopus`].
+pub struct OctopusBuilder {
+    brokers: usize,
+    zoo_replicas: usize,
+    rate_limit: Option<(f64, f64)>,
+}
+
+impl OctopusBuilder {
+    /// Number of fabric brokers (default 2 — the paper's baseline).
+    pub fn brokers(mut self, n: usize) -> Self {
+        self.brokers = n;
+        self
+    }
+
+    /// Number of coordination-service replicas (default 3).
+    pub fn zoo_replicas(mut self, n: usize) -> Self {
+        self.zoo_replicas = n;
+        self
+    }
+
+    /// Per-identity OWS rate limit (requests/sec, burst).
+    pub fn rate_limit(mut self, per_sec: f64, burst: f64) -> Self {
+        self.rate_limit = Some((per_sec, burst));
+        self
+    }
+
+    /// Wire everything and return the running deployment.
+    pub fn build(self) -> OctoResult<Octopus> {
+        let auth = AuthServer::new();
+        let iam = IamService::new();
+        let acl = AclStore::new();
+        let zoo = ZooService::new(self.zoo_replicas);
+        let cluster = Cluster::builder(self.brokers).acl(acl.clone()).zoo(zoo.clone()).build();
+        let triggers = TriggerRuntime::new(cluster.clone());
+        let registry = FunctionRegistry::new();
+        let ows = OwsService::new(
+            auth.clone(),
+            iam.clone(),
+            acl.clone(),
+            zoo.clone(),
+            cluster.clone(),
+            triggers.clone(),
+            registry.clone(),
+            OwsConfig { rate_limit: self.rate_limit },
+        );
+        // the SDK application is a registered OAuth client
+        let sdk_client = auth.register_client("octopus-sdk", vec![]);
+        Ok(Octopus {
+            auth,
+            iam,
+            acl,
+            zoo,
+            cluster,
+            triggers,
+            registry,
+            ows,
+            sdk_client_id: sdk_client.id,
+        })
+    }
+}
+
+/// A fully wired local Octopus deployment.
+pub struct Octopus {
+    auth: AuthServer,
+    iam: IamService,
+    acl: AclStore,
+    zoo: ZooService,
+    cluster: Cluster,
+    triggers: TriggerRuntime,
+    registry: FunctionRegistry,
+    ows: OwsService,
+    sdk_client_id: Uid,
+}
+
+impl Octopus {
+    /// Launch with defaults: 2 brokers, 3 coordination replicas, a
+    /// `uchicago.edu` and an `anl.gov` identity provider.
+    pub fn launch() -> OctoResult<Octopus> {
+        let octo = Octopus::builder().build()?;
+        octo.auth.register_provider("uchicago.edu", "University of Chicago");
+        octo.auth.register_provider("anl.gov", "Argonne National Laboratory");
+        Ok(octo)
+    }
+
+    /// Start customizing a deployment.
+    pub fn builder() -> OctopusBuilder {
+        OctopusBuilder { brokers: 2, zoo_replicas: 3, rate_limit: None }
+    }
+
+    /// Register an identity provider (campus login).
+    pub fn register_provider(&self, domain: &str, display_name: &str) {
+        self.auth.register_provider(domain, display_name);
+    }
+
+    /// Register a user under an existing provider.
+    pub fn register_user(&self, username: &str, password: &str) -> OctoResult<Uid> {
+        self.auth.register_user(username, password)
+    }
+
+    /// Authenticate and return a [`UserSession`] with cached tokens.
+    pub fn login(&self, username: &str, password: &str) -> OctoResult<UserSession> {
+        let store = Arc::new(TokenStore::in_memory());
+        let lm = LoginManager::new(self.auth.clone(), self.sdk_client_id, store);
+        let token = lm.login(username, password, vec![Scope::new(OWS_SCOPE)])?;
+        let (_, info) = (self.auth.introspect(&token).0, self.auth.introspect(&token).1);
+        let identity = info.expect("fresh token").identity;
+        Ok(UserSession {
+            ows: self.ows.clone(),
+            cluster: self.cluster.clone(),
+            login: lm,
+            token,
+            identity,
+        })
+    }
+
+    /// The event fabric (direct access for infrastructure components).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The trigger runtime.
+    pub fn triggers(&self) -> &TriggerRuntime {
+        &self.triggers
+    }
+
+    /// The trigger-function registry.
+    pub fn registry(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
+    /// The web service (route-level access).
+    pub fn ows(&self) -> &OwsService {
+        &self.ows
+    }
+
+    /// The coordination service.
+    pub fn zoo(&self) -> &ZooService {
+        &self.zoo
+    }
+
+    /// The ACL store.
+    pub fn acl(&self) -> &AclStore {
+        &self.acl
+    }
+
+    /// The IAM service.
+    pub fn iam(&self) -> &IamService {
+        &self.iam
+    }
+
+    /// The authorization server.
+    pub fn auth(&self) -> &AuthServer {
+        &self.auth
+    }
+}
+
+/// An authenticated user's handle on the deployment.
+pub struct UserSession {
+    ows: OwsService,
+    cluster: Cluster,
+    login: LoginManager,
+    token: AccessToken,
+    identity: Uid,
+}
+
+impl UserSession {
+    /// The authenticated identity.
+    pub fn identity(&self) -> Uid {
+        self.identity
+    }
+
+    /// The current bearer token.
+    pub fn token(&self) -> &AccessToken {
+        &self.token
+    }
+
+    /// A typed OWS client bound to this session's token.
+    pub fn client(&self) -> OctopusClient {
+        OctopusClient::new(self.ows.clone(), self.token.clone())
+    }
+
+    /// A producer authorized as this identity (broker-side ACL checks
+    /// apply).
+    pub fn producer(&self) -> Producer {
+        Producer::with_principal(
+            self.cluster.clone(),
+            ProducerConfig::default(),
+            Some(self.identity),
+        )
+    }
+
+    /// A producer with custom configuration.
+    pub fn producer_with(&self, config: ProducerConfig) -> Producer {
+        Producer::with_principal(self.cluster.clone(), config, Some(self.identity))
+    }
+
+    /// A consumer in `group`, authorized as this identity.
+    pub fn consumer(&self, group: &str) -> Consumer {
+        Consumer::with_principal(
+            self.cluster.clone(),
+            ConsumerConfig { group: group.into(), ..Default::default() },
+            Some(self.identity),
+        )
+    }
+
+    /// Refresh the session's token (normally automatic via the login
+    /// manager).
+    pub fn refresh(&mut self) -> OctoResult<()> {
+        self.token = self.login.refresh()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_types::{Event, OctoError};
+
+    fn deployment() -> Octopus {
+        let octo = Octopus::launch().unwrap();
+        octo.register_user("alice@uchicago.edu", "pw").unwrap();
+        octo.register_user("bob@anl.gov", "pw").unwrap();
+        octo
+    }
+
+    #[test]
+    fn launch_and_login() {
+        let octo = deployment();
+        let session = octo.login("alice@uchicago.edu", "pw").unwrap();
+        assert_ne!(session.identity(), Uid::NIL);
+        assert!(octo.login("alice@uchicago.edu", "wrong").is_err());
+        assert!(octo.login("nobody@uchicago.edu", "pw").is_err());
+    }
+
+    #[test]
+    fn end_to_end_topic_publish_consume() {
+        let octo = deployment();
+        let session = octo.login("alice@uchicago.edu", "pw").unwrap();
+        session.client().register_topic("t", serde_json::Value::Null).unwrap();
+        let producer = session.producer();
+        producer.send_sync("t", Event::from_bytes(&b"hello"[..])).unwrap();
+        let mut consumer = session.consumer("g");
+        consumer.subscribe(&["t"]).unwrap();
+        let events = consumer.poll().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(&events[0].event.payload[..], b"hello");
+    }
+
+    #[test]
+    fn acl_isolation_between_users() {
+        let octo = deployment();
+        let alice = octo.login("alice@uchicago.edu", "pw").unwrap();
+        let bob = octo.login("bob@anl.gov", "pw").unwrap();
+        alice.client().register_topic("alice-private", serde_json::Value::Null).unwrap();
+        // bob cannot produce, consume, or even see the topic
+        let bp = bob.producer();
+        assert!(matches!(
+            bp.send_sync("alice-private", Event::from_bytes(&b"x"[..])),
+            Err(OctoError::Unauthorized(_))
+        ));
+        let mut bc = bob.consumer("bg");
+        assert!(bc.subscribe(&["alice-private"]).is_err());
+        assert!(bob.client().list_topics().unwrap().is_empty());
+        // sharing via the OWS route makes it visible
+        alice.client().grant("alice-private", bob.identity(), &["read", "describe"]).unwrap();
+        assert_eq!(bob.client().list_topics().unwrap(), vec!["alice-private"]);
+        let mut bc = bob.consumer("bg2");
+        bc.subscribe(&["alice-private"]).unwrap();
+    }
+
+    #[test]
+    fn topic_ownership_recorded_in_zoo() {
+        let octo = deployment();
+        let session = octo.login("alice@uchicago.edu", "pw").unwrap();
+        session.client().register_topic("recorded", serde_json::Value::Null).unwrap();
+        assert!(octo.zoo().exists("/octopus/owners/recorded").unwrap());
+        assert!(octo.zoo().exists("/octopus/topics/recorded").unwrap());
+    }
+
+    #[test]
+    fn session_refresh_rotates_token() {
+        let octo = deployment();
+        let mut session = octo.login("alice@uchicago.edu", "pw").unwrap();
+        let old = session.token().clone();
+        session.refresh().unwrap();
+        assert_ne!(session.token(), &old);
+        // new token still works
+        session.client().register_topic("after-refresh", serde_json::Value::Null).unwrap();
+    }
+
+    #[test]
+    fn builder_knobs() {
+        let octo = Octopus::builder().brokers(4).zoo_replicas(1).build().unwrap();
+        assert_eq!(octo.cluster().broker_count(), 4);
+        assert_eq!(octo.zoo().replica_count(), 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! # Octopus — a hybrid event-driven architecture for distributed scientific computing
+//!
+//! This crate is the front door of the Octopus reproduction: it
+//! re-exports every subsystem and provides [`Octopus`], a one-call local
+//! deployment that wires together the coordination service, the
+//! authorization stack, the event fabric, the web service, and the
+//! trigger runtime — the in-process equivalent of the paper's
+//! cloud-hosted deployment (§IV, Fig. 2).
+//!
+//! ```
+//! use octopus::prelude::*;
+//!
+//! // deploy the platform and register a user
+//! let octo = Octopus::launch().unwrap();
+//! octo.register_user("alice@uchicago.edu", "password").unwrap();
+//! let session = octo.login("alice@uchicago.edu", "password").unwrap();
+//!
+//! // provision a topic through the web service and publish an event
+//! session.client().register_topic("sdl.actions", serde_json::json!({"partitions": 2})).unwrap();
+//! let producer = session.producer();
+//! producer.send_sync("sdl.actions", Event::from_json(&serde_json::json!({
+//!     "event_type": "experiment_started", "experiment": "exp-001"
+//! })).unwrap()).unwrap();
+//!
+//! // consume it back
+//! let mut consumer = session.consumer("quickstart");
+//! consumer.subscribe(&["sdl.actions"]).unwrap();
+//! let events = consumer.poll().unwrap();
+//! assert_eq!(events.len(), 1);
+//! ```
+
+pub mod deployment;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use crate::deployment::{Octopus, OctopusBuilder, UserSession};
+    pub use octopus_broker::{AckLevel, CleanupPolicy, Cluster, TopicConfig};
+    pub use octopus_pattern::Pattern;
+    pub use octopus_sdk::{Consumer, ConsumerConfig, Producer, ProducerConfig};
+    pub use octopus_trigger::{FunctionConfig, TriggerSpec};
+    pub use octopus_types::{DeliveredEvent, Event, OctoError, OctoResult, Timestamp, Uid};
+}
+
+pub use deployment::{Octopus, OctopusBuilder, UserSession};
+
+// Re-export the subsystem crates under stable names.
+pub use octopus_apps as apps;
+pub use octopus_auth as auth;
+pub use octopus_broker as broker;
+pub use octopus_fabric as fabric;
+pub use octopus_flow as flow;
+pub use octopus_fsmon as fsmon;
+pub use octopus_ows as ows;
+pub use octopus_pattern as pattern;
+pub use octopus_sdk as sdk;
+pub use octopus_sim as sim;
+pub use octopus_trigger as trigger;
+pub use octopus_types as types;
+pub use octopus_zoo as zoo;

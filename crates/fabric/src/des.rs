@@ -1,0 +1,564 @@
+//! The closed-loop discrete-event simulation of producers and consumers
+//! against the modelled broker fleet.
+//!
+//! Each producer keeps `max_inflight` request slots busy. A request
+//! carries one client-side batch; its lifecycle is
+//!
+//! ```text
+//! client --uplink--> broker serial path -> CPU pool -> partition queue
+//!        [replication to followers]      <--downlink-- ack
+//! ```
+//!
+//! and the slot immediately issues the next request when the ack
+//! arrives. Consumers run fetch loops against prefilled partitions (the
+//! paper populates topics before consumer tests, §V-B). Event latency is
+//! measured from (modelled) event creation — spread across the batch
+//! accumulation window — to ack receipt, giving the same saturation
+//! behaviour the paper reports: client-side batching dominates latency
+//! at peak throughput, which is why even local producers see ~50 ms
+//! medians.
+
+use octopus_sim::{Histogram, Link, ServerQueue, SimDuration, SimRng, SimTime, Simulation};
+
+use crate::model::Calibration;
+use crate::shape::{Acks, ExpConfig};
+
+/// Results of a produce experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProduceStats {
+    /// Aggregate producer throughput, events/second.
+    pub throughput_eps: f64,
+    /// Median event latency, milliseconds.
+    pub median_ms: f64,
+    /// 99th-percentile event latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// Results of a consume experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConsumeStats {
+    /// Aggregate consumer throughput, events/second.
+    pub throughput_eps: f64,
+}
+
+const CLIENT_MACHINES: usize = 2; // two client hosts in every experiment (§V-A)
+const LATENCY_SAMPLES_PER_REQUEST: usize = 8;
+
+struct World {
+    cal: Calibration,
+    cfg: ExpConfig,
+    serial: Vec<ServerQueue>,
+    cpu: Vec<ServerQueue>,
+    parts: Vec<ServerQueue>,
+    part_leader: Vec<usize>,
+    part_followers: Vec<Vec<usize>>,
+    uplink: Vec<Link>,
+    downlink: Vec<Link>,
+    egress: Vec<Link>,
+    rng: SimRng,
+    latency: Histogram,
+    produced: u64,
+    consumed: u64,
+    measure_start: SimTime,
+    measure_end: SimTime,
+    next_partition: usize,
+    pending_acks: Vec<usize>,
+}
+
+impl World {
+    fn new(cfg: ExpConfig, cal: Calibration, seed: u64) -> Self {
+        let brokers = cfg.cluster.brokers as usize;
+        let inst = cfg.cluster.instance;
+        let total_parts = cfg.total_partitions() as usize;
+        let mut part_leader = Vec::with_capacity(total_parts);
+        let mut part_followers = Vec::with_capacity(total_parts);
+        for p in 0..total_parts {
+            let leader = p % brokers;
+            let mut followers = Vec::new();
+            for r in 1..cfg.replication as usize {
+                followers.push((p + r) % brokers);
+            }
+            part_leader.push(leader);
+            part_followers.push(followers);
+        }
+        let one_way = SimDuration::from_millis_f64(cfg.location.one_way_ms());
+        let jitter = cfg.location.jitter();
+        let bw = cfg.location.machine_bandwidth();
+        World {
+            cal,
+            cfg,
+            serial: (0..brokers).map(|_| ServerQueue::new(1)).collect(),
+            cpu: (0..brokers).map(|_| ServerQueue::new(inst.vcpus as usize)).collect(),
+            parts: (0..total_parts).map(|_| ServerQueue::new(1)).collect(),
+            part_leader,
+            part_followers,
+            uplink: (0..CLIENT_MACHINES).map(|_| Link::new(one_way, bw).with_jitter(jitter)).collect(),
+            egress: (0..brokers)
+                .map(|_| Link::new(SimDuration::ZERO, inst.egress_bytes_per_sec))
+                .collect(),
+            downlink: (0..CLIENT_MACHINES)
+                .map(|_| Link::new(one_way, bw).with_jitter(jitter))
+                .collect(),
+            rng: SimRng::seeded(seed),
+            latency: Histogram::new(),
+            produced: 0,
+            consumed: 0,
+            measure_start: SimTime::ZERO,
+            measure_end: SimTime::ZERO,
+            next_partition: 0,
+            pending_acks: Vec::new(),
+        }
+    }
+
+    fn pick_partition(&mut self) -> usize {
+        let p = self.next_partition % self.parts.len();
+        self.next_partition = self.next_partition.wrapping_add(1);
+        p
+    }
+
+    /// Stochastic service times (±30% uniform) — real request costs
+    /// vary, and deterministic services make closed-loop clients lock
+    /// into convoys that understate pipeline utilization.
+    fn jittered(&mut self, secs: f64) -> SimDuration {
+        SimDuration::from_secs_f64(secs * self.rng.uniform(0.7, 1.3))
+    }
+
+    fn in_window(&self, t: SimTime) -> bool {
+        t >= self.measure_start && t < self.measure_end
+    }
+}
+
+fn produce_cycle(
+    sim: &mut Simulation<World>,
+    w: &mut World,
+    machine: usize,
+    last_send: SimTime,
+) {
+    let t0 = sim.now();
+    let size = w.cfg.event_size;
+    let events = w.cal.batch_events(size);
+    let bytes = events * size + w.cal.frame_overhead;
+    let Some(arrival) = w.uplink[machine].transmit(t0, bytes, &mut w.rng) else {
+        return;
+    };
+    let p = w.pick_partition();
+    // each broker-side stage runs as its own event at its arrival time,
+    // so shared queues serve requests in arrival order
+    sim.schedule_at(arrival, move |sim, w| serial_stage(sim, w, machine, t0, last_send, p));
+}
+
+fn serial_stage(
+    sim: &mut Simulation<World>,
+    w: &mut World,
+    machine: usize,
+    t0: SimTime,
+    last_send: SimTime,
+    p: usize,
+) {
+    let leader = w.part_leader[p];
+    let svc = w.jittered(w.cal.serial_service(w.cfg.cluster.instance.serial_requests_per_sec));
+    let serial_done = w.serial[leader].submit(sim.now(), svc);
+    if w.cfg.acks == Acks::None {
+        // socket-level ack: the response leaves once the serial path has
+        // admitted the request (client pacing under acks=0)
+        respond(sim, w, machine, t0, last_send, serial_done);
+    }
+    sim.schedule_at(serial_done, move |sim, w| cpu_stage(sim, w, machine, t0, last_send, p));
+}
+
+fn cpu_stage(
+    sim: &mut Simulation<World>,
+    w: &mut World,
+    machine: usize,
+    t0: SimTime,
+    last_send: SimTime,
+    p: usize,
+) {
+    let leader = w.part_leader[p];
+    let size = w.cfg.event_size;
+    let events = w.cal.batch_events(size);
+    let svc = w.jittered(w.cal.cpu_service(events, events * size));
+    let cpu_done = w.cpu[leader].submit(sim.now(), svc);
+    sim.schedule_at(cpu_done, move |sim, w| partition_stage(sim, w, machine, t0, last_send, p));
+}
+
+fn partition_stage(
+    sim: &mut Simulation<World>,
+    w: &mut World,
+    machine: usize,
+    t0: SimTime,
+    last_send: SimTime,
+    p: usize,
+) {
+    let size = w.cfg.event_size;
+    let events = w.cal.batch_events(size);
+    let acks_all = w.cfg.acks == Acks::All;
+    let svc = w.jittered(w.cal.partition_service(events * size, acks_all));
+    let part_done = w.parts[p].submit(sim.now(), svc);
+    sim.schedule_at(part_done, move |sim, w| append_complete(sim, w, machine, t0, last_send, p));
+}
+
+fn append_complete(
+    sim: &mut Simulation<World>,
+    w: &mut World,
+    machine: usize,
+    t0: SimTime,
+    last_send: SimTime,
+    p: usize,
+) {
+    let now = sim.now();
+    let size = w.cfg.event_size;
+    let events = w.cal.batch_events(size);
+    if w.in_window(now) {
+        w.produced += events as u64;
+    }
+    // replication: followers replay the append on their CPU pools
+    let followers = w.part_followers[p].clone();
+    let hop = SimDuration::from_secs_f64(w.cal.inter_broker_latency);
+    let n_followers = followers.len();
+    match w.cfg.acks {
+        Acks::None => {
+            for f in followers {
+                sim.schedule_at(now + hop, move |sim, w| follower_stage(sim, w, f, false, 0, machine, t0, last_send));
+            }
+        }
+        Acks::Leader => {
+            for f in followers {
+                sim.schedule_at(now + hop, move |sim, w| follower_stage(sim, w, f, false, 0, machine, t0, last_send));
+            }
+            respond(sim, w, machine, t0, last_send, now);
+        }
+        Acks::All => {
+            if n_followers == 0 {
+                respond(sim, w, machine, t0, last_send, now);
+            } else {
+                // the response leaves after the slowest follower acks
+                let pending = sim_alloc_pending(w, n_followers);
+                for f in followers {
+                    sim.schedule_at(now + hop, move |sim, w| {
+                        follower_stage(sim, w, f, true, pending, machine, t0, last_send)
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Allocate a countdown slot for an acks=all request awaiting followers.
+fn sim_alloc_pending(w: &mut World, n: usize) -> usize {
+    w.pending_acks.push(n);
+    w.pending_acks.len() - 1
+}
+
+#[allow(clippy::too_many_arguments)]
+fn follower_stage(
+    sim: &mut Simulation<World>,
+    w: &mut World,
+    follower: usize,
+    acked: bool,
+    pending: usize,
+    machine: usize,
+    t0: SimTime,
+    last_send: SimTime,
+) {
+    let size = w.cfg.event_size;
+    let events = w.cal.batch_events(size);
+    let cost = w.jittered(w.cal.cpu_service(events, events * size) * w.cal.follower_cpu_factor);
+    let done = w.cpu[follower].submit(sim.now(), cost);
+    if acked {
+        let hop = SimDuration::from_secs_f64(w.cal.inter_broker_latency);
+        sim.schedule_at(done + hop, move |sim, w| {
+            w.pending_acks[pending] -= 1;
+            if w.pending_acks[pending] == 0 {
+                let now = sim.now();
+                respond(sim, w, machine, t0, last_send, now);
+            }
+        });
+    }
+}
+
+/// Send the ack back to the client and start the slot's next request.
+fn respond(
+    sim: &mut Simulation<World>,
+    w: &mut World,
+    machine: usize,
+    t0: SimTime,
+    last_send: SimTime,
+    ack_at: SimTime,
+) {
+    let Some(resp_arrival) = w.downlink[machine].transmit(ack_at, w.cal.frame_overhead, &mut w.rng)
+    else {
+        return;
+    };
+    if w.in_window(resp_arrival) {
+        // sample event latencies across the batch accumulation window
+        let accum = t0.since(last_send);
+        for i in 0..LATENCY_SAMPLES_PER_REQUEST {
+            let frac = (i as f64 + 0.5) / LATENCY_SAMPLES_PER_REQUEST as f64;
+            let created =
+                SimTime(t0.as_nanos().saturating_sub((accum.as_nanos() as f64 * frac) as u64));
+            w.latency.record(resp_arrival.since(created).as_nanos());
+        }
+    }
+    sim.schedule_at(resp_arrival, move |sim, w| produce_cycle(sim, w, machine, t0));
+}
+
+fn consume_cycle(sim: &mut Simulation<World>, w: &mut World, machine: usize, partition: usize) {
+    let t0 = sim.now();
+    let Some(arrival) = w.uplink[machine].transmit(t0, w.cal.frame_overhead, &mut w.rng) else {
+        return;
+    };
+    sim.schedule_at(arrival, move |sim, w| consume_serial(sim, w, machine, partition));
+}
+
+fn consume_serial(sim: &mut Simulation<World>, w: &mut World, machine: usize, partition: usize) {
+    let leader = w.part_leader[partition];
+    let svc = w.jittered(w.cal.serial_service(w.cfg.cluster.instance.serial_requests_per_sec));
+    let done = w.serial[leader].submit(sim.now(), svc);
+    sim.schedule_at(done, move |sim, w| consume_cpu(sim, w, machine, partition));
+}
+
+fn consume_cpu(sim: &mut Simulation<World>, w: &mut World, machine: usize, partition: usize) {
+    let leader = w.part_leader[partition];
+    let size = w.cfg.event_size;
+    let events = w.cal.fetch_events(size);
+    let svc = w.jittered(w.cal.read_service(events, events * size));
+    let done = w.cpu[leader].submit(sim.now(), svc);
+    sim.schedule_at(done, move |sim, w| consume_partition(sim, w, machine, partition));
+}
+
+fn consume_partition(sim: &mut Simulation<World>, w: &mut World, machine: usize, partition: usize) {
+    let size = w.cfg.event_size;
+    let events = w.cal.fetch_events(size);
+    let svc = w.jittered(w.cal.partition_read_service(events * size));
+    let part_done = w.parts[partition].submit(sim.now(), svc);
+    let leader = w.part_leader[partition];
+    sim.schedule_at(part_done, move |sim, w| {
+        let now = sim.now();
+        if w.in_window(now) {
+            w.consumed += w.cal.fetch_events(w.cfg.event_size) as u64;
+        }
+        let bytes = w.cal.fetch_events(w.cfg.event_size) * w.cfg.event_size
+            + w.cal.frame_overhead;
+        // the response serializes through the broker's egress NIC, then
+        // crosses the WAN/LAN to the client machine
+        let Some(egress_done) = w.egress[leader].transmit(now, bytes, &mut w.rng) else {
+            return;
+        };
+        let Some(resp_arrival) = w.downlink[machine].transmit(egress_done, bytes, &mut w.rng)
+        else {
+            return;
+        };
+        sim.schedule_at(resp_arrival, move |sim, w| consume_cycle(sim, w, machine, partition));
+    });
+}
+
+/// Simulated horizon: warmup then measurement.
+const WARMUP_SECS: f64 = 1.0;
+const MEASURE_SECS: f64 = 4.0;
+
+/// Run a produce experiment.
+pub fn run_produce(cfg: ExpConfig, cal: Calibration, seed: u64) -> ProduceStats {
+    let mut world = World::new(cfg, cal, seed);
+    world.measure_start = SimTime::from_secs_f64(WARMUP_SECS);
+    world.measure_end = SimTime::from_secs_f64(WARMUP_SECS + MEASURE_SECS);
+    let mut sim = Simulation::new(world);
+    // stagger producer slots over the first 10 ms
+    for client in 0..cfg.clients as usize {
+        let machine = client % CLIENT_MACHINES;
+        for slot in 0..cal.max_inflight {
+            let jitter_ns = ((client * cal.max_inflight + slot) as u64 * 10_000_000)
+                / (cfg.clients as u64 * cal.max_inflight as u64).max(1);
+            sim.schedule_at(SimTime(jitter_ns), move |sim, w| {
+                produce_cycle(sim, w, machine, SimTime::ZERO)
+            });
+        }
+    }
+    let world = sim.run_until(SimTime::from_secs_f64(WARMUP_SECS + MEASURE_SECS));
+    ProduceStats {
+        throughput_eps: world.produced as f64 / MEASURE_SECS,
+        median_ms: world.latency.median() as f64 / 1e6,
+        p99_ms: world.latency.p99() as f64 / 1e6,
+    }
+}
+
+/// Diagnostic variant of [`run_produce`] that also prints per-stage
+/// utilizations (calibration tooling).
+pub fn run_produce_instrumented(cfg: ExpConfig, cal: Calibration, seed: u64) -> ProduceStats {
+    let mut world = World::new(cfg, cal, seed);
+    world.measure_start = SimTime::from_secs_f64(WARMUP_SECS);
+    world.measure_end = SimTime::from_secs_f64(WARMUP_SECS + MEASURE_SECS);
+    let mut sim = Simulation::new(world);
+    for client in 0..cfg.clients as usize {
+        let machine = client % CLIENT_MACHINES;
+        for slot in 0..cal.max_inflight {
+            let jitter_ns = ((client * cal.max_inflight + slot) as u64 * 10_000_000)
+                / (cfg.clients as u64 * cal.max_inflight as u64).max(1);
+            sim.schedule_at(SimTime(jitter_ns), move |sim, w| {
+                produce_cycle(sim, w, machine, SimTime::ZERO)
+            });
+        }
+    }
+    let end = SimTime::from_secs_f64(WARMUP_SECS + MEASURE_SECS);
+    let world = sim.run_until(end);
+    for (i, q) in world.serial.iter().enumerate() {
+        eprintln!("serial[{i}] util={:.2} completed={}", q.utilization(end), q.completed());
+    }
+    for (i, q) in world.cpu.iter().enumerate() {
+        eprintln!("cpu[{i}]    util={:.2} completed={}", q.utilization(end), q.completed());
+    }
+    for (i, q) in world.parts.iter().enumerate() {
+        eprintln!("part[{i}]   util={:.2} completed={}", q.utilization(end), q.completed());
+    }
+    ProduceStats {
+        throughput_eps: world.produced as f64 / MEASURE_SECS,
+        median_ms: world.latency.median() as f64 / 1e6,
+        p99_ms: world.latency.p99() as f64 / 1e6,
+    }
+}
+
+/// Run a consume experiment (topic prefilled; consumers start at the
+/// earliest offset and read at their own pace, §V-B).
+pub fn run_consume(cfg: ExpConfig, cal: Calibration, seed: u64) -> ConsumeStats {
+    let mut world = World::new(cfg, cal, seed);
+    world.measure_start = SimTime::from_secs_f64(WARMUP_SECS);
+    world.measure_end = SimTime::from_secs_f64(WARMUP_SECS + MEASURE_SECS);
+    let total_parts = cfg.total_partitions() as usize;
+    let mut sim = Simulation::new(world);
+    for client in 0..cfg.clients as usize {
+        let machine = client % CLIENT_MACHINES;
+        let partition = client % total_parts;
+        for slot in 0..cal.consumer_inflight {
+            let jitter_ns = ((client * cal.consumer_inflight + slot) as u64 * 10_000_000)
+                / (cfg.clients as u64 * cal.consumer_inflight as u64).max(1);
+            sim.schedule_at(SimTime(jitter_ns), move |sim, w| {
+                consume_cycle(sim, w, machine, partition)
+            });
+        }
+    }
+    let world = sim.run_until(SimTime::from_secs_f64(WARMUP_SECS + MEASURE_SECS));
+    ConsumeStats { throughput_eps: world.consumed as f64 / MEASURE_SECS }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::{BASELINE, SCALE_OUT, SCALE_UP};
+    use crate::instance::ClientLocation;
+
+    fn base() -> ExpConfig {
+        ExpConfig::paper_default()
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let a = run_produce(base(), Calibration::default(), 42);
+        let b = run_produce(base(), Calibration::default(), 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn throughput_in_paper_ballpark_1kb_remote() {
+        let s = run_produce(base(), Calibration::default(), 1);
+        // paper: 174K ev/s remote produce at 1KB — require same order
+        assert!(
+            (100_000.0..=320_000.0).contains(&s.throughput_eps),
+            "1KB remote produce {} ev/s",
+            s.throughput_eps
+        );
+        // remote median latency at least the RTT
+        assert!(s.median_ms >= 40.0, "median {}ms", s.median_ms);
+        assert!(s.p99_ms >= s.median_ms);
+    }
+
+    #[test]
+    fn smaller_events_mean_higher_event_rates() {
+        let cal = Calibration::default();
+        let t32 = run_produce(ExpConfig { event_size: 32, ..base() }, cal, 1).throughput_eps;
+        let t1k = run_produce(base(), cal, 1).throughput_eps;
+        let t4k = run_produce(ExpConfig { event_size: 4096, ..base() }, cal, 1).throughput_eps;
+        assert!(t32 > 10.0 * t1k, "32B {t32} vs 1KB {t1k}");
+        assert!(t1k > 2.0 * t4k, "1KB {t1k} vs 4KB {t4k}");
+        // paper magnitudes: 4.2M / 174K / 39K
+        assert!(t32 > 1_000_000.0);
+        assert!(t4k < 100_000.0);
+    }
+
+    #[test]
+    fn acks_ordering_none_geq_leader_gt_all() {
+        let cal = Calibration::default();
+        let a0 = run_produce(base(), cal, 1).throughput_eps;
+        let a1 = run_produce(ExpConfig { acks: Acks::Leader, ..base() }, cal, 1).throughput_eps;
+        let aall = run_produce(ExpConfig { acks: Acks::All, ..base() }, cal, 1).throughput_eps;
+        assert!(a0 >= 0.95 * a1, "acks=0 {a0} vs acks=1 {a1}");
+        assert!(a1 > 1.5 * aall, "acks=1 {a1} vs acks=all {aall}");
+    }
+
+    #[test]
+    fn acks_all_latency_penalty() {
+        let cal = Calibration::default();
+        let l1 = run_produce(ExpConfig { acks: Acks::Leader, ..base() }, cal, 1).median_ms;
+        let lall = run_produce(ExpConfig { acks: Acks::All, ..base() }, cal, 1).median_ms;
+        assert!(lall > l1, "acks=all median {lall} should exceed acks=1 {l1}");
+    }
+
+    #[test]
+    fn cluster_scaling_ordering() {
+        let cal = Calibration::default();
+        let cfg4 = ExpConfig { partitions: 4, location: ClientLocation::Local, ..base() };
+        let b = run_produce(ExpConfig { cluster: BASELINE, ..cfg4 }, cal, 1).throughput_eps;
+        let up = run_produce(ExpConfig { cluster: SCALE_UP, ..cfg4 }, cal, 1).throughput_eps;
+        let out = run_produce(ExpConfig { cluster: SCALE_OUT, ..cfg4 }, cal, 1).throughput_eps;
+        assert!(up > b, "scale-up {up} > baseline {b}");
+        assert!(out > up, "scale-out {out} > scale-up {up}");
+    }
+
+    #[test]
+    fn replication_4_cuts_write_throughput_not_reads() {
+        let cal = Calibration::default();
+        let cfg = ExpConfig {
+            cluster: SCALE_OUT,
+            partitions: 4,
+            location: ClientLocation::Local,
+            ..base()
+        };
+        let w2 = run_produce(cfg, cal, 1).throughput_eps;
+        let w4 = run_produce(ExpConfig { replication: 4, ..cfg }, cal, 1).throughput_eps;
+        assert!(w4 < w2, "rep4 write {w4} < rep2 write {w2}");
+        let r2 = run_consume(cfg, cal, 1).throughput_eps;
+        let r4 = run_consume(ExpConfig { replication: 4, ..cfg }, cal, 1).throughput_eps;
+        let ratio = r4 / r2;
+        assert!((0.9..=1.1).contains(&ratio), "read throughput barely changes: {ratio}");
+    }
+
+    #[test]
+    fn reads_are_about_twice_writes() {
+        let cal = Calibration::default();
+        let w = run_produce(base(), cal, 1).throughput_eps;
+        let r = run_consume(base(), cal, 1).throughput_eps;
+        let ratio = r / w;
+        assert!((1.2..=4.0).contains(&ratio), "read/write ratio {ratio}");
+    }
+
+    #[test]
+    fn local_clients_see_lower_latency_below_saturation() {
+        // At full saturation a closed-loop client's cycle time is fixed
+        // by server capacity regardless of RTT, so compare at a load
+        // below the saturation knee (20 producers, the low end of the
+        // paper's Fig. 3 sweep).
+        let cal = Calibration::default();
+        let light = ExpConfig { clients: 20, ..base() };
+        let remote = run_produce(light, cal, 1);
+        let local =
+            run_produce(ExpConfig { location: ClientLocation::Local, ..light }, cal, 1);
+        assert!(
+            local.median_ms < remote.median_ms,
+            "local {} < remote {}",
+            local.median_ms,
+            remote.median_ms
+        );
+        assert!(local.throughput_eps >= remote.throughput_eps * 0.9);
+        // the remote median reflects at least one WAN round trip
+        assert!(remote.median_ms >= 46.0);
+    }
+}

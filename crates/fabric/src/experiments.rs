@@ -1,0 +1,308 @@
+//! Experiment runners for the paper's fabric evaluation artifacts:
+//! Table III, Fig. 3, Fig. 5, and the §V-D trigger throughput numbers.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::des::{run_consume, run_produce};
+use crate::instance::ClientLocation;
+use crate::model::Calibration;
+use crate::shape::{Acks, ExpConfig, SCALE_OUT, SCALE_UP};
+
+/// Producer counts swept in Fig. 3 ("20, 40, 60, 80, and 100
+/// producers"); Table III reports the peak.
+pub const PRODUCER_SWEEP: [u32; 5] = [20, 40, 60, 80, 100];
+
+/// One regenerated Table III row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Row {
+    /// Experiment index (1–9).
+    pub index: u32,
+    /// Cluster shape name.
+    pub cluster: &'static str,
+    /// Replication factor.
+    pub replication: u32,
+    /// Partitions.
+    pub partitions: u32,
+    /// Acks level as printed in the paper.
+    pub acks: &'static str,
+    /// Event size in bytes.
+    pub event_size: usize,
+    /// Local producer throughput (events/s), median & p99 latency (ms).
+    pub local_produce: (f64, f64, f64),
+    /// Local consumer throughput (events/s).
+    pub local_consume: f64,
+    /// Remote producer throughput, median & p99 latency.
+    pub remote_produce: (f64, f64, f64),
+    /// Remote consumer throughput.
+    pub remote_consume: f64,
+}
+
+fn acks_label(a: Acks) -> &'static str {
+    match a {
+        Acks::None => "0",
+        Acks::Leader => "1",
+        Acks::All => "all",
+    }
+}
+
+/// The nine Table III experiment configurations.
+pub fn table3_configs() -> Vec<(u32, ExpConfig)> {
+    let base = ExpConfig::paper_default();
+    vec![
+        (1, ExpConfig { event_size: 32, ..base }),
+        (2, base),
+        (3, ExpConfig { acks: Acks::Leader, ..base }),
+        (4, ExpConfig { acks: Acks::All, ..base }),
+        (5, ExpConfig { event_size: 4096, ..base }),
+        (6, ExpConfig { partitions: 4, ..base }),
+        (7, ExpConfig { cluster: SCALE_UP, partitions: 4, ..base }),
+        (8, ExpConfig { cluster: SCALE_OUT, partitions: 4, ..base }),
+        (9, ExpConfig { cluster: SCALE_OUT, partitions: 4, replication: 4, ..base }),
+    ]
+}
+
+/// Peak produce stats over the producer sweep.
+fn peak_produce(cfg: ExpConfig, cal: Calibration, seed: u64) -> (f64, f64, f64) {
+    PRODUCER_SWEEP
+        .par_iter()
+        .map(|&n| {
+            let s = run_produce(ExpConfig { clients: n, ..cfg }, cal, seed + n as u64);
+            (s.throughput_eps, s.median_ms, s.p99_ms)
+        })
+        .reduce(
+            || (0.0, 0.0, 0.0),
+            |a, b| if b.0 > a.0 { b } else { a },
+        )
+}
+
+/// Regenerate Table III.
+pub fn table3(cal: Calibration, seed: u64) -> Vec<Table3Row> {
+    table3_configs()
+        .into_par_iter()
+        .map(|(index, cfg)| {
+            let local_cfg = ExpConfig { location: ClientLocation::Local, ..cfg };
+            let remote_cfg = ExpConfig { location: ClientLocation::Remote, ..cfg };
+            let local_produce = peak_produce(local_cfg, cal, seed);
+            let remote_produce = peak_produce(remote_cfg, cal, seed);
+            let local_consume =
+                run_consume(ExpConfig { clients: 100, ..local_cfg }, cal, seed).throughput_eps;
+            let remote_consume =
+                run_consume(ExpConfig { clients: 100, ..remote_cfg }, cal, seed).throughput_eps;
+            Table3Row {
+                index,
+                cluster: cfg.cluster.name,
+                replication: cfg.replication,
+                partitions: cfg.partitions,
+                acks: acks_label(cfg.acks),
+                event_size: cfg.event_size,
+                local_produce,
+                local_consume,
+                remote_produce,
+                remote_consume,
+            }
+        })
+        .collect()
+}
+
+/// One point of a Fig. 3 curve.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Fig3Point {
+    /// Number of producers.
+    pub producers: u32,
+    /// Throughput, events/s.
+    pub throughput_eps: f64,
+    /// Median latency, ms.
+    pub median_ms: f64,
+    /// p99 latency, ms.
+    pub p99_ms: f64,
+}
+
+/// Fig. 3: latency vs throughput for configurations 1–6 (baseline
+/// cluster) with remote producers, sweeping the producer count.
+pub fn fig3(cal: Calibration, seed: u64) -> Vec<(u32, Vec<Fig3Point>)> {
+    table3_configs()
+        .into_iter()
+        .filter(|(i, _)| *i <= 6)
+        .map(|(i, cfg)| {
+            let points = PRODUCER_SWEEP
+                .par_iter()
+                .map(|&n| {
+                    let s = run_produce(
+                        ExpConfig { clients: n, location: ClientLocation::Remote, ..cfg },
+                        cal,
+                        seed + n as u64,
+                    );
+                    Fig3Point {
+                        producers: n,
+                        throughput_eps: s.throughput_eps,
+                        median_ms: s.median_ms,
+                        p99_ms: s.p99_ms,
+                    }
+                })
+                .collect();
+            (i, points)
+        })
+        .collect()
+}
+
+/// One point of the Fig. 5 multi-tenancy series.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Fig5Point {
+    /// Number of topics.
+    pub topics: u32,
+    /// Aggregate producer throughput, events/s.
+    pub produce_eps: f64,
+    /// Aggregate consumer throughput, events/s.
+    pub consume_eps: f64,
+}
+
+/// Fig. 5: throughput vs topic count on the scale-out cluster —
+/// 1 partition and replication 2 per topic, 1 KB events, 32 clients on
+/// AWS instances, topics 1..32 in powers of two.
+pub fn fig5(cal: Calibration, seed: u64) -> Vec<Fig5Point> {
+    [1u32, 2, 4, 8, 16, 32]
+        .par_iter()
+        .map(|&topics| {
+            let cfg = ExpConfig {
+                cluster: SCALE_OUT,
+                replication: 2,
+                partitions: 1,
+                topics,
+                acks: Acks::None,
+                event_size: 1024,
+                clients: 32,
+                location: ClientLocation::Local,
+            };
+            Fig5Point {
+                topics,
+                produce_eps: run_produce(cfg, cal, seed).throughput_eps,
+                consume_eps: run_consume(cfg, cal, seed).throughput_eps,
+            }
+        })
+        .collect()
+}
+
+/// Trigger consumer throughput model (§V-D).
+///
+/// Lambda pollers process each partition serially: an invocation cycle
+/// costs a fixed poll/dispatch overhead plus per-event and per-byte
+/// function-side work, and adding partitions multiplies pollers with a
+/// small coordination penalty — the paper observes 8 partitions giving
+/// "roughly six times" one partition's throughput.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TriggerModel {
+    /// Per-event dispatch overhead, seconds.
+    pub per_event: f64,
+    /// Per-byte processing cost, seconds.
+    pub per_byte: f64,
+    /// Pairwise coordination penalty between pollers.
+    pub contention: f64,
+}
+
+impl Default for TriggerModel {
+    fn default() -> Self {
+        TriggerModel { per_event: 42e-6, per_byte: 100e-9, contention: 0.048 }
+    }
+}
+
+impl TriggerModel {
+    /// Events/second a trigger sustains on `partitions` partitions of
+    /// `event_size`-byte events.
+    pub fn throughput(&self, partitions: u32, event_size: usize) -> f64 {
+        let per_partition = 1.0 / (self.per_event + event_size as f64 * self.per_byte);
+        let n = partitions as f64;
+        n * per_partition / (1.0 + (n - 1.0) * self.contention)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_nine_rows_in_order() {
+        let rows = table3(Calibration::default(), 7);
+        assert_eq!(rows.len(), 9);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.index as usize, i + 1);
+        }
+        assert_eq!(rows[0].event_size, 32);
+        assert_eq!(rows[3].acks, "all");
+        assert_eq!(rows[6].cluster, "Scale-up");
+        assert_eq!(rows[8].replication, 4);
+    }
+
+    #[test]
+    fn table3_headline_shapes() {
+        let rows = table3(Calibration::default(), 7);
+        let r1 = &rows[0];
+        let r2 = &rows[1];
+        let r4 = &rows[3];
+        let r5 = &rows[4];
+        let r8 = &rows[7];
+        let r9 = &rows[8];
+        // 32B ≫ 1KB ≫ 4KB event rates
+        assert!(r1.local_produce.0 > 1e6, "32B local produce {}", r1.local_produce.0);
+        assert!(r2.local_produce.0 > 3.0 * r5.local_produce.0);
+        // acks=all collapses throughput
+        assert!(r4.local_produce.0 < 0.6 * r2.local_produce.0);
+        // consumers beat producers
+        assert!(r2.local_consume > r2.local_produce.0);
+        assert!(r1.remote_consume > r1.remote_produce.0);
+        // scale-out rep 4 < rep 2 writes; reads close
+        assert!(r9.local_produce.0 < r8.local_produce.0);
+        let read_ratio = r9.local_consume / r8.local_consume;
+        assert!((0.85..=1.15).contains(&read_ratio));
+    }
+
+    #[test]
+    fn fig3_has_six_curves_of_five_points() {
+        let curves = fig3(Calibration::default(), 3);
+        assert_eq!(curves.len(), 6);
+        for (_, pts) in &curves {
+            assert_eq!(pts.len(), 5);
+            // latency does not decrease as producers (load) grow
+            assert!(pts.last().unwrap().median_ms >= pts.first().unwrap().median_ms * 0.8);
+            // throughput is non-decreasing-ish until saturation
+            assert!(pts.last().unwrap().throughput_eps >= pts.first().unwrap().throughput_eps * 0.9);
+        }
+    }
+
+    #[test]
+    fn fig5_shapes() {
+        let pts = fig5(Calibration::default(), 5);
+        assert_eq!(pts.len(), 6);
+        // producer throughput grows from 1 to 4 topics then flattens
+        let t1 = pts[0].produce_eps;
+        let t4 = pts[2].produce_eps;
+        let t32 = pts[5].produce_eps;
+        assert!(t4 > 1.5 * t1, "1→4 topics grows: {t1} → {t4}");
+        assert!(t32 < 1.35 * t4, "beyond 4 topics roughly flat: {t4} → {t32}");
+        // consumer throughput keeps growing past 4 topics
+        let c1 = pts[0].consume_eps;
+        let c16 = pts[4].consume_eps;
+        assert!(c16 > 2.0 * c1, "consumers keep scaling: {c1} → {c16}");
+        // and consumers exceed producers throughout
+        for p in &pts {
+            assert!(p.consume_eps > p.produce_eps * 0.8, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn trigger_model_matches_paper_figures() {
+        let m = TriggerModel::default();
+        // 1 partition: 22K / 7K / 2K ev/s for 32B / 1KB / 4KB
+        let t32 = m.throughput(1, 32);
+        let t1k = m.throughput(1, 1024);
+        let t4k = m.throughput(1, 4096);
+        assert!((15_000.0..=35_000.0).contains(&t32), "32B 1p {t32}");
+        assert!((5_000.0..=10_000.0).contains(&t1k), "1KB 1p {t1k}");
+        assert!((1_500.0..=3_000.0).contains(&t4k), "4KB 1p {t4k}");
+        // 8 partitions: "roughly six times faster"
+        for s in [32usize, 1024, 4096] {
+            let ratio = m.throughput(8, s) / m.throughput(1, s);
+            assert!((5.0..=7.0).contains(&ratio), "8p/1p ratio {ratio} at {s}B");
+        }
+    }
+}

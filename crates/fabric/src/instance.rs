@@ -1,0 +1,111 @@
+//! Instance types of the evaluation testbed (Table II and §V-A).
+
+use serde::{Deserialize, Serialize};
+
+/// A cloud instance type hosting a broker or client.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct InstanceType {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Virtual CPUs (the broker's parallel request-processing pool).
+    pub vcpus: u32,
+    /// Memory in GB (not a bottleneck in these experiments; retained
+    /// for completeness of Table II).
+    pub mem_gb: u32,
+    /// Throughput of the broker's serial request path (network thread /
+    /// socket accept), in requests per second. This is the Amdahl
+    /// component that keeps scale-up gains modest (Table III #7).
+    pub serial_requests_per_sec: f64,
+    /// Broker egress bandwidth in bytes/second (NIC/EBS envelope).
+    /// This is what caps consumer throughput per broker: ~190 MB/s on
+    /// m5.large-class brokers, ~300 MB/s on m5.xlarge.
+    pub egress_bytes_per_sec: f64,
+}
+
+/// `kafka.m5.large`: 2 vCPU / 8 GB (baseline and scale-out brokers).
+pub const KAFKA_M5_LARGE: InstanceType = InstanceType {
+    name: "kafka.m5.large",
+    vcpus: 2,
+    mem_gb: 8,
+    serial_requests_per_sec: 3_600.0,
+    egress_bytes_per_sec: 190e6,
+};
+
+/// `kafka.m5.xlarge`: 4 vCPU / 16 GB (scale-up brokers).
+pub const KAFKA_M5_XLARGE: InstanceType = InstanceType {
+    name: "kafka.m5.xlarge",
+    vcpus: 4,
+    mem_gb: 16,
+    serial_requests_per_sec: 4_400.0,
+    egress_bytes_per_sec: 300e6,
+};
+
+/// Where clients run (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClientLocation {
+    /// EC2 c5.24xlarge in the broker's region: sub-millisecond RTT.
+    Local,
+    /// Chameleon Cloud bare metal at TACC: 46–47 ms RTT, <0.1% jitter.
+    Remote,
+}
+
+impl ClientLocation {
+    /// One-way latency to the brokers in milliseconds.
+    pub fn one_way_ms(self) -> f64 {
+        match self {
+            // median RTT 46-47ms with <0.1% deviation (§V-A)
+            ClientLocation::Remote => 23.25,
+            ClientLocation::Local => 0.5,
+        }
+    }
+
+    /// Relative latency jitter.
+    pub fn jitter(self) -> f64 {
+        match self {
+            ClientLocation::Remote => 0.001,
+            ClientLocation::Local => 0.02,
+        }
+    }
+
+    /// Per-client-machine NIC bandwidth (bytes/s). Two machines host
+    /// all producers/consumers of an experiment.
+    pub fn machine_bandwidth(self) -> f64 {
+        match self {
+            ClientLocation::Local => 25e9 / 8.0,  // 25 Gbps EC2
+            ClientLocation::Remote => 10e9 / 8.0, // 10 Gbps WAN path
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shapes() {
+        assert_eq!(KAFKA_M5_LARGE.vcpus, 2);
+        assert_eq!(KAFKA_M5_LARGE.mem_gb, 8);
+        assert_eq!(KAFKA_M5_XLARGE.vcpus, 4);
+        assert_eq!(KAFKA_M5_XLARGE.mem_gb, 16);
+        // scale-up buys more parallel capacity but sublinear serial path
+        let instances = [KAFKA_M5_LARGE, KAFKA_M5_XLARGE];
+        assert!(instances[1].serial_requests_per_sec > instances[0].serial_requests_per_sec);
+        assert!(instances[1].serial_requests_per_sec < 2.0 * instances[0].serial_requests_per_sec);
+    }
+
+    #[test]
+    fn remote_rtt_matches_paper() {
+        // exercise through a value that clippy cannot const-fold
+        for loc in [ClientLocation::Remote, ClientLocation::Local] {
+            let rtt = 2.0 * loc.one_way_ms();
+            match loc {
+                ClientLocation::Remote => {
+                    assert!((46.0..=47.0).contains(&rtt), "RTT {rtt}ms");
+                    assert!(loc.jitter() <= 0.001);
+                }
+                ClientLocation::Local => assert!(rtt < 2.0),
+            }
+            assert!(loc.machine_bandwidth() > 1e9);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! A discrete-event simulation model of the paper's cloud deployment.
+//!
+//! The evaluation testbed (§V-A) cannot be rented for a reproduction:
+//! MSK clusters in `us-east-1` (Table II shapes), local clients on two
+//! EC2 c5.24xlarge instances, and remote clients on two bare-metal
+//! Chameleon nodes at TACC with a 46–47 ms RTT. This crate models that
+//! deployment on the `octopus-sim` kernel:
+//!
+//! - [`instance`]: broker/client instance types (vCPUs, serial request
+//!   capacity, IO bandwidth).
+//! - [`shape`]: the three Table II cluster shapes.
+//! - [`model`]: calibrated cost constants (per-request, per-event,
+//!   per-byte service costs; replication amplification; read-path
+//!   discount) — see `model::Calibration` for the rationale.
+//! - [`des`]: closed-loop producer/consumer processes with bounded
+//!   in-flight request windows, client-side batching, per-partition
+//!   single-writer queues, broker CPU pools, ISR replication, and
+//!   acks=0/1/all semantics.
+//! - [`experiments`]: runners that regenerate Table III rows, Fig. 3
+//!   latency-vs-throughput curves, Fig. 5 multi-tenancy series, and the
+//!   §V-D trigger-throughput figures.
+//!
+//! The model is *calibrated for shape, not absolutes*: orderings across
+//! message sizes, acks levels, partition counts, replication factors and
+//! cluster shapes are preserved; absolute numbers land in the right
+//! order of magnitude (see EXPERIMENTS.md for paper-vs-measured).
+
+pub mod des;
+pub mod experiments;
+pub mod instance;
+pub mod model;
+pub mod shape;
+
+pub use des::{run_consume, run_produce, ConsumeStats, ProduceStats};
+pub use experiments::{table3, Table3Row};
+pub use instance::{ClientLocation, InstanceType};
+pub use model::Calibration;
+pub use shape::{ClusterShape, ExpConfig};

@@ -1,0 +1,111 @@
+//! Cluster shapes (Table II) and experiment configurations (Table III).
+
+use serde::{Deserialize, Serialize};
+
+use crate::instance::{ClientLocation, InstanceType, KAFKA_M5_LARGE, KAFKA_M5_XLARGE};
+
+/// A broker fleet shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ClusterShape {
+    /// Shape name as used in the paper.
+    pub name: &'static str,
+    /// Number of brokers.
+    pub brokers: u32,
+    /// Instance type of every broker.
+    pub instance: InstanceType,
+}
+
+/// Table II "Baseline": 2 × kafka.m5.large.
+pub const BASELINE: ClusterShape =
+    ClusterShape { name: "Baseline", brokers: 2, instance: KAFKA_M5_LARGE };
+
+/// Table II "Scale-up": 2 × kafka.m5.xlarge.
+pub const SCALE_UP: ClusterShape =
+    ClusterShape { name: "Scale-up", brokers: 2, instance: KAFKA_M5_XLARGE };
+
+/// Table II "Scale-out": 4 × kafka.m5.large.
+pub const SCALE_OUT: ClusterShape =
+    ClusterShape { name: "Scale-out", brokers: 4, instance: KAFKA_M5_LARGE };
+
+/// Producer acknowledgment level (mirrors the broker crate's enum; the
+/// fabric model is independent of the threaded broker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Acks {
+    /// acks=0.
+    None,
+    /// acks=1.
+    Leader,
+    /// acks=all.
+    All,
+}
+
+/// One fabric experiment configuration (a Table III row, before the
+/// producer-count sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ExpConfig {
+    /// Cluster shape.
+    pub cluster: ClusterShape,
+    /// Topic replication factor.
+    pub replication: u32,
+    /// Number of partitions. Topics × partitions for multi-tenancy runs
+    /// (each topic has its own partitions).
+    pub partitions: u32,
+    /// Number of topics (1 except for Fig. 5).
+    pub topics: u32,
+    /// Producer acks.
+    pub acks: Acks,
+    /// Event payload size in bytes.
+    pub event_size: usize,
+    /// Number of producer (or consumer) clients, split over two client
+    /// machines.
+    pub clients: u32,
+    /// Where the clients run.
+    pub location: ClientLocation,
+}
+
+impl ExpConfig {
+    /// The paper's canonical starting point: baseline cluster, rep 2,
+    /// 2 partitions, acks=0, 1 KB events, 100 remote producers.
+    pub fn paper_default() -> Self {
+        ExpConfig {
+            cluster: BASELINE,
+            replication: 2,
+            partitions: 2,
+            topics: 1,
+            acks: Acks::None,
+            event_size: 1024,
+            clients: 100,
+            location: ClientLocation::Remote,
+        }
+    }
+
+    /// Total partitions across topics.
+    pub fn total_partitions(&self) -> u32 {
+        self.partitions * self.topics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_constants() {
+        assert_eq!(BASELINE.brokers, 2);
+        assert_eq!(BASELINE.instance.name, "kafka.m5.large");
+        assert_eq!(SCALE_UP.brokers, 2);
+        assert_eq!(SCALE_UP.instance.name, "kafka.m5.xlarge");
+        assert_eq!(SCALE_OUT.brokers, 4);
+        assert_eq!(SCALE_OUT.instance.name, "kafka.m5.large");
+    }
+
+    #[test]
+    fn default_config_is_experiment_2() {
+        let c = ExpConfig::paper_default();
+        assert_eq!(c.event_size, 1024);
+        assert_eq!(c.replication, 2);
+        assert_eq!(c.partitions, 2);
+        assert_eq!(c.acks, Acks::None);
+        assert_eq!(c.total_partitions(), 2);
+    }
+}

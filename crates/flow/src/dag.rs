@@ -1,0 +1,197 @@
+//! Task graphs: names, dependencies, and task bodies.
+//!
+//! A task body receives the JSON outputs of its dependencies and
+//! produces a JSON output (Parsl apps pass Python objects; JSON is the
+//! language-neutral analogue).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde_json::Value;
+
+use octopus_types::{OctoError, OctoResult};
+
+/// Task identifier within a graph (dense, assigned in insertion order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+/// A task body: dependency outputs in, output (or error) out.
+pub type TaskFn = Arc<dyn Fn(&[Value]) -> Result<Value, String> + Send + Sync>;
+
+/// A task: name, dependencies, body.
+#[derive(Clone)]
+pub struct TaskSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Tasks that must complete first; their outputs are the inputs.
+    pub deps: Vec<TaskId>,
+    /// The body.
+    pub func: TaskFn,
+}
+
+/// An immutable task graph, validated on construction.
+pub struct TaskGraph {
+    tasks: Vec<TaskSpec>,
+}
+
+impl TaskGraph {
+    /// Start building a graph.
+    pub fn builder() -> TaskGraphBuilder {
+        TaskGraphBuilder { tasks: Vec::new() }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// A task by id.
+    pub fn task(&self, id: TaskId) -> &TaskSpec {
+        &self.tasks[id.0]
+    }
+
+    /// Ids of tasks with no dependencies.
+    pub fn roots(&self) -> Vec<TaskId> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.deps.is_empty())
+            .map(|(i, _)| TaskId(i))
+            .collect()
+    }
+
+    /// Reverse edges: for each task, the tasks depending on it.
+    pub fn dependents(&self) -> Vec<Vec<TaskId>> {
+        let mut out = vec![Vec::new(); self.tasks.len()];
+        for (i, t) in self.tasks.iter().enumerate() {
+            for d in &t.deps {
+                out[d.0].push(TaskId(i));
+            }
+        }
+        out
+    }
+
+    /// A topological order (dependencies before dependents).
+    pub fn topological_order(&self) -> Vec<TaskId> {
+        let mut order = Vec::with_capacity(self.tasks.len());
+        let mut indegree: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
+        let dependents = self.dependents();
+        let mut ready: Vec<TaskId> = self.roots();
+        while let Some(id) = ready.pop() {
+            order.push(id);
+            for &d in &dependents[id.0] {
+                indegree[d.0] -= 1;
+                if indegree[d.0] == 0 {
+                    ready.push(d);
+                }
+            }
+        }
+        order
+    }
+}
+
+/// Builder for [`TaskGraph`].
+pub struct TaskGraphBuilder {
+    tasks: Vec<TaskSpec>,
+}
+
+impl TaskGraphBuilder {
+    /// Add a task; returns its id for use as a dependency.
+    pub fn add(
+        &mut self,
+        name: &str,
+        deps: &[TaskId],
+        func: impl Fn(&[Value]) -> Result<Value, String> + Send + Sync + 'static,
+    ) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(TaskSpec {
+            name: name.to_string(),
+            deps: deps.to_vec(),
+            func: Arc::new(func),
+        });
+        id
+    }
+
+    /// Validate and freeze the graph. Rejects forward/self references
+    /// (cycles are unrepresentable since deps must already exist).
+    pub fn build(self) -> OctoResult<TaskGraph> {
+        for (i, t) in self.tasks.iter().enumerate() {
+            for d in &t.deps {
+                // deps must reference strictly earlier tasks, which also
+                // makes cycles unrepresentable
+                if d.0 >= i {
+                    return Err(OctoError::Invalid(format!(
+                        "task `{}` depends on a later or unknown task {d:?}",
+                        t.name
+                    )));
+                }
+            }
+        }
+        Ok(TaskGraph { tasks: self.tasks })
+    }
+}
+
+/// Convenience: a bag of `n` independent tasks all running `func`
+/// (the paper's scaling tests run 128 independent sleep tasks).
+pub fn independent_tasks(
+    n: usize,
+    func: impl Fn(&[Value]) -> Result<Value, String> + Send + Sync + Clone + 'static,
+) -> TaskGraph {
+    let mut b = TaskGraph::builder();
+    for i in 0..n {
+        b.add(&format!("task-{i}"), &[], func.clone());
+    }
+    b.build().expect("independent tasks cannot be invalid")
+}
+
+/// Results of a completed run, keyed by task id.
+pub type TaskOutputs = HashMap<TaskId, Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn diamond_graph_topology() {
+        let mut b = TaskGraph::builder();
+        let a = b.add("a", &[], |_| Ok(json!(1)));
+        let l = b.add("left", &[a], |inp| Ok(json!(inp[0].as_i64().unwrap() + 1)));
+        let r = b.add("right", &[a], |inp| Ok(json!(inp[0].as_i64().unwrap() + 2)));
+        let j = b.add("join", &[l, r], |inp| {
+            Ok(json!(inp[0].as_i64().unwrap() + inp[1].as_i64().unwrap()))
+        });
+        let g = b.build().unwrap();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.roots(), vec![a]);
+        let order = g.topological_order();
+        assert_eq!(order.len(), 4);
+        let pos = |t: TaskId| order.iter().position(|x| *x == t).unwrap();
+        assert!(pos(a) < pos(l));
+        assert!(pos(a) < pos(r));
+        assert!(pos(l) < pos(j));
+        assert!(pos(r) < pos(j));
+        assert_eq!(g.dependents()[a.0].len(), 2);
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        let mut b = TaskGraph::builder();
+        b.add("bad", &[TaskId(5)], |_| Ok(Value::Null));
+        assert!(matches!(b.build(), Err(OctoError::Invalid(_))));
+    }
+
+    #[test]
+    fn independent_bag() {
+        let g = independent_tasks(128, |_| Ok(json!("done")));
+        assert_eq!(g.len(), 128);
+        assert_eq!(g.roots().len(), 128);
+        assert!(!g.is_empty());
+        assert_eq!(g.task(TaskId(7)).name, "task-7");
+    }
+}

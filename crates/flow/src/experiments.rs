@@ -1,0 +1,152 @@
+//! The Fig. 8 harness: per-event monitoring overhead, HTEX-DB vs
+//! Octopus.
+//!
+//! Protocol (§VI-E): "performing 128 tasks across eight nodes, varying
+//! the number of workers from 1 to 64 and task duration between 0, 10,
+//! and 100 ms. We calculate the overhead of each experiment by
+//! subtracting the task execution time from the total makespan ... and
+//! then divide by the number of events generated in the experiment to
+//! determine the per-event cost."
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde_json::json;
+
+use octopus_broker::{Cluster, TopicConfig};
+
+use crate::dag::independent_tasks;
+use crate::htex::{HtexConfig, HtexExecutor};
+use crate::monitor::{DbMonitor, Monitor, OctopusMonitor};
+
+/// Which monitoring backend a Fig. 8 run used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorKind {
+    /// Stock HTEX monitoring: synchronous central-database writes.
+    HtexDb,
+    /// Octopus monitoring: async batched event publication.
+    Octopus,
+}
+
+/// One Fig. 8 measurement.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Monitoring backend.
+    pub monitor: MonitorKind,
+    /// Worker count.
+    pub workers: usize,
+    /// Task duration in ms.
+    pub task_ms: u64,
+    /// Total makespan in ms.
+    pub makespan_ms: f64,
+    /// Ideal (monitor-free) execution time in ms.
+    pub ideal_ms: f64,
+    /// Monitoring events generated.
+    pub events: u64,
+    /// Per-event overhead in microseconds.
+    pub overhead_us_per_event: f64,
+}
+
+/// Modelled per-row commit cost of the central monitoring database.
+pub const DB_WRITE_COST: Duration = Duration::from_micros(400);
+
+/// Run one Fig. 8 cell.
+pub fn fig8_cell(
+    monitor_kind: MonitorKind,
+    tasks: usize,
+    workers: usize,
+    task_ms: u64,
+) -> Fig8Row {
+    let monitor: Arc<dyn Monitor> = match monitor_kind {
+        MonitorKind::HtexDb => Arc::new(DbMonitor::new(DB_WRITE_COST)),
+        MonitorKind::Octopus => {
+            let cluster = Cluster::new(2);
+            cluster
+                .create_topic(
+                    "parsl.monitoring",
+                    TopicConfig::default().with_partitions(4),
+                )
+                .expect("fresh cluster");
+            Arc::new(OctopusMonitor::new(cluster, "parsl.monitoring"))
+        }
+    };
+    let graph = independent_tasks(tasks, move |_| {
+        if task_ms > 0 {
+            std::thread::sleep(Duration::from_millis(task_ms));
+        }
+        Ok(json!(1))
+    });
+    let exec = HtexExecutor::new(HtexConfig::new(workers), monitor.clone());
+    let report = exec.run(&graph);
+    let events = monitor.count();
+    let waves = tasks.div_ceil(workers);
+    let ideal_ms = (waves as u64 * task_ms) as f64;
+    let makespan_ms = report.makespan.as_secs_f64() * 1e3;
+    let overhead_ms = (makespan_ms - ideal_ms).max(0.0);
+    Fig8Row {
+        monitor: monitor_kind,
+        workers,
+        task_ms,
+        makespan_ms,
+        ideal_ms,
+        events,
+        overhead_us_per_event: overhead_ms * 1e3 / events.max(1) as f64,
+    }
+}
+
+/// Run the full Fig. 8 sweep: both monitors × worker counts × task
+/// durations, with the paper's 128 tasks.
+pub fn fig8(worker_counts: &[usize], task_durations_ms: &[u64]) -> Vec<Fig8Row> {
+    let mut rows = Vec::new();
+    for &kind in &[MonitorKind::HtexDb, MonitorKind::Octopus] {
+        for &d in task_durations_ms {
+            for &w in worker_counts {
+                rows.push(fig8_cell(kind, 128, w, d));
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octopus_monitor_has_lower_overhead_than_db() {
+        // scaled-down cell (32 tasks, 8 workers, 0ms tasks) so the test
+        // is fast; the monitoring cost dominates at duration 0
+        let db = fig8_cell(MonitorKind::HtexDb, 32, 8, 0);
+        let octo = fig8_cell(MonitorKind::Octopus, 32, 8, 0);
+        assert_eq!(db.events, 96); // 3 phases per task
+        assert_eq!(octo.events, 96);
+        assert!(
+            octo.overhead_us_per_event < db.overhead_us_per_event,
+            "octopus {} < db {}",
+            octo.overhead_us_per_event,
+            db.overhead_us_per_event
+        );
+    }
+
+    #[test]
+    fn db_overhead_scales_with_serialized_writes() {
+        let row = fig8_cell(MonitorKind::HtexDb, 32, 8, 0);
+        // 96 serialized 400us writes = at least ~38ms of makespan
+        assert!(row.makespan_ms >= 30.0, "makespan {}ms", row.makespan_ms);
+    }
+
+    #[test]
+    fn ideal_time_computed_from_waves() {
+        let row = fig8_cell(MonitorKind::Octopus, 16, 4, 10);
+        assert_eq!(row.ideal_ms, 40.0); // 4 waves x 10ms
+        assert!(row.makespan_ms >= row.ideal_ms);
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let rows = fig8(&[1, 2], &[0]);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().any(|r| r.monitor == MonitorKind::HtexDb && r.workers == 2));
+        assert!(rows.iter().any(|r| r.monitor == MonitorKind::Octopus && r.workers == 1));
+    }
+}

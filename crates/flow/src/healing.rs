@@ -1,0 +1,113 @@
+//! Adaptive healing: retries and worker blacklisting.
+//!
+//! §VI-E closes with the roadmap this module implements: "we will
+//! extend Parsl to use this information in various ways, for example,
+//! by retrying failed tasks, blacklisting under-performing nodes, or
+//! elastically rescheduling tasks". The executor consults a
+//! [`HealingPolicy`] on every failure: the task is retried on a
+//! *different* worker, and a worker accumulating failures is removed
+//! from the dispatch pool.
+
+use serde::{Deserialize, Serialize};
+
+/// Failure-handling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealingPolicy {
+    /// Retries per task before it is declared failed.
+    pub max_retries: u32,
+    /// Blacklist a worker after this many failures on it (0 disables).
+    pub blacklist_after: u32,
+}
+
+impl Default for HealingPolicy {
+    /// The zero policy: no retries, no blacklisting (stock executor
+    /// behaviour).
+    fn default() -> Self {
+        HealingPolicy { max_retries: 0, blacklist_after: 0 }
+    }
+}
+
+impl HealingPolicy {
+    /// A forgiving policy: a few retries, quick blacklisting.
+    pub fn aggressive() -> Self {
+        HealingPolicy { max_retries: 3, blacklist_after: 2 }
+    }
+}
+
+/// Summary of what healing did during a run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryOutcome {
+    /// Tasks that succeeded only after retrying.
+    pub recovered: u64,
+    /// Tasks that failed even after retries.
+    pub lost: u64,
+    /// Workers blacklisted.
+    pub blacklisted: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::independent_tasks;
+    use crate::htex::{HtexConfig, HtexExecutor};
+    use crate::monitor::NullMonitor;
+    use serde_json::json;
+    use std::sync::Arc;
+
+    /// One bad worker out of four: every task it touches fails.
+    fn config_with_bad_worker(policy: HealingPolicy) -> HtexConfig {
+        let mut cfg = HtexConfig::new(4);
+        cfg.healing = Some(policy);
+        cfg.fault_injector = Some(Arc::new(|worker, _task| worker == 2));
+        cfg
+    }
+
+    #[test]
+    fn without_healing_a_bad_worker_loses_tasks() {
+        let cfg = config_with_bad_worker(HealingPolicy::default());
+        let g = independent_tasks(40, |_| Ok(json!(1)));
+        let report = HtexExecutor::new(cfg, Arc::new(NullMonitor::new())).run(&g);
+        assert!(!report.failures.is_empty(), "bad worker must lose tasks without healing");
+        assert!(report.blacklisted_workers.is_empty());
+    }
+
+    #[test]
+    fn retries_recover_all_tasks() {
+        let cfg = config_with_bad_worker(HealingPolicy { max_retries: 3, blacklist_after: 0 });
+        let g = independent_tasks(40, |_| Ok(json!(1)));
+        let report = HtexExecutor::new(cfg, Arc::new(NullMonitor::new())).run(&g);
+        assert!(report.failures.is_empty(), "retries on other workers recover everything");
+        assert_eq!(report.outputs.len(), 40);
+        assert!(report.attempts > 40, "retries cost extra attempts");
+    }
+
+    #[test]
+    fn blacklisting_quarantines_the_bad_worker() {
+        let cfg = config_with_bad_worker(HealingPolicy::aggressive());
+        let g = independent_tasks(60, |_| Ok(json!(1)));
+        let report = HtexExecutor::new(cfg, Arc::new(NullMonitor::new())).run(&g);
+        assert!(report.failures.is_empty());
+        assert_eq!(report.blacklisted_workers, vec![2]);
+        // Once blacklisted, the bad worker stops receiving work. Tasks
+        // already queued to it before the blacklist trips still fail and
+        // retry (dispatch is pipelined), so allow one queue's worth of
+        // extra attempts — but nowhere near the unbounded-retry worst
+        // case.
+        assert!(
+            report.attempts <= 60 + 60 / 4 + 4,
+            "blacklisting bounds wasted attempts: {}",
+            report.attempts
+        );
+    }
+
+    #[test]
+    fn healthy_pool_is_untouched_by_policy() {
+        let mut cfg = HtexConfig::new(4);
+        cfg.healing = Some(HealingPolicy::aggressive());
+        let g = independent_tasks(40, |_| Ok(json!(1)));
+        let report = HtexExecutor::new(cfg, Arc::new(NullMonitor::new())).run(&g);
+        assert!(report.failures.is_empty());
+        assert!(report.blacklisted_workers.is_empty());
+        assert_eq!(report.attempts, 40);
+    }
+}

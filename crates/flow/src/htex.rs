@@ -1,0 +1,342 @@
+//! The high-throughput executor: an interchange dispatching ready tasks
+//! to a pool of worker threads.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use serde_json::Value;
+
+use octopus_types::Timestamp;
+
+use crate::dag::{TaskGraph, TaskId};
+use crate::healing::HealingPolicy;
+use crate::monitor::{Monitor, MonitorEvent};
+
+/// Executor configuration.
+#[derive(Clone)]
+pub struct HtexConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Run identifier stamped on monitoring events.
+    pub run_id: String,
+    /// Optional healing policy (retry + blacklist, §VI-E future work).
+    pub healing: Option<HealingPolicy>,
+    /// Test hook: returns true when `worker` should botch `task`
+    /// (models a bad node).
+    pub fault_injector: Option<Arc<dyn Fn(usize, TaskId) -> bool + Send + Sync>>,
+}
+
+impl HtexConfig {
+    /// `workers` workers, no healing, no faults.
+    pub fn new(workers: usize) -> Self {
+        HtexConfig {
+            workers: workers.max(1),
+            run_id: "run".into(),
+            healing: None,
+            fault_injector: None,
+        }
+    }
+}
+
+/// What a run produced.
+#[derive(Debug)]
+pub struct ExecutionReport {
+    /// Successful task outputs.
+    pub outputs: HashMap<TaskId, Value>,
+    /// Failed tasks and their final error.
+    pub failures: HashMap<TaskId, String>,
+    /// Wall-clock makespan.
+    pub makespan: Duration,
+    /// Task executions attempted (> tasks when retries fire).
+    pub attempts: u64,
+    /// Workers blacklisted during the run.
+    pub blacklisted_workers: Vec<usize>,
+}
+
+enum WorkerMsg {
+    Run { task: TaskId, inputs: Vec<Value>, attempt: u32 },
+    Stop,
+}
+
+struct WorkerResult {
+    task: TaskId,
+    worker: usize,
+    attempt: u32,
+    outcome: Result<Value, String>,
+}
+
+/// The executor.
+pub struct HtexExecutor {
+    config: HtexConfig,
+    monitor: Arc<dyn Monitor>,
+}
+
+impl HtexExecutor {
+    /// An executor reporting to `monitor`.
+    pub fn new(config: HtexConfig, monitor: Arc<dyn Monitor>) -> Self {
+        HtexExecutor { config, monitor }
+    }
+
+    /// Execute the graph to completion; blocks until done.
+    pub fn run(&self, graph: &TaskGraph) -> ExecutionReport {
+        let start = Instant::now();
+        let n = graph.len();
+        let dependents = graph.dependents();
+        let mut missing_deps: Vec<usize> =
+            (0..n).map(|i| graph.task(TaskId(i)).deps.len()).collect();
+
+        // per-worker channels so the dispatcher can steer around
+        // blacklisted workers
+        let (result_tx, result_rx): (Sender<WorkerResult>, Receiver<WorkerResult>) = unbounded();
+        let mut worker_txs: Vec<Sender<WorkerMsg>> = Vec::with_capacity(self.config.workers);
+        let mut handles = Vec::with_capacity(self.config.workers);
+        let blacklist: Arc<RwLock<Vec<usize>>> = Arc::new(RwLock::new(Vec::new()));
+        for w in 0..self.config.workers {
+            let (tx, rx) = unbounded::<WorkerMsg>();
+            worker_txs.push(tx);
+            let result_tx = result_tx.clone();
+            let monitor = self.monitor.clone();
+            let run_id = self.config.run_id.clone();
+            let fault = self.config.fault_injector.clone();
+            let graph_tasks: Vec<(String, crate::dag::TaskFn)> = (0..n)
+                .map(|i| (graph.task(TaskId(i)).name.clone(), graph.task(TaskId(i)).func.clone()))
+                .collect();
+            handles.push(std::thread::spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        WorkerMsg::Stop => break,
+                        WorkerMsg::Run { task, inputs, attempt } => {
+                            let (name, func) = &graph_tasks[task.0];
+                            monitor.record(MonitorEvent {
+                                run: run_id.clone(),
+                                task: name.clone(),
+                                worker: w,
+                                phase: "running".into(),
+                                timestamp: Timestamp::now(),
+                            });
+                            let injected =
+                                fault.as_ref().is_some_and(|f| f(w, task));
+                            let outcome = if injected {
+                                Err(format!("injected fault on worker {w}"))
+                            } else {
+                                func(&inputs)
+                            };
+                            monitor.record(MonitorEvent {
+                                run: run_id.clone(),
+                                task: name.clone(),
+                                worker: w,
+                                phase: if outcome.is_ok() { "done" } else { "failed" }.into(),
+                                timestamp: Timestamp::now(),
+                            });
+                            let _ = result_tx.send(WorkerResult {
+                                task,
+                                worker: w,
+                                attempt,
+                                outcome,
+                            });
+                        }
+                    }
+                }
+            }));
+        }
+        drop(result_tx);
+
+        let mut outputs: HashMap<TaskId, Value> = HashMap::new();
+        let mut failures: HashMap<TaskId, String> = HashMap::new();
+        let mut worker_failures: Vec<u32> = vec![0; self.config.workers];
+        let mut attempts: u64 = 0;
+        let mut next_worker = 0usize;
+        let mut completed = 0usize;
+
+        let dispatch = |task: TaskId,
+                            attempt: u32,
+                            outputs: &HashMap<TaskId, Value>,
+                            next_worker: &mut usize,
+                            attempts: &mut u64,
+                            avoid: Option<usize>| {
+            let inputs: Vec<Value> = graph
+                .task(task)
+                .deps
+                .iter()
+                .map(|d| outputs.get(d).cloned().unwrap_or(Value::Null))
+                .collect();
+            // skip blacklisted (and optionally the failing) workers
+            let black = blacklist.read();
+            let eligible: Vec<usize> = (0..self.config.workers)
+                .filter(|w| !black.contains(w) && Some(*w) != avoid)
+                .collect();
+            drop(black);
+            let pool: Vec<usize> = if eligible.is_empty() {
+                (0..self.config.workers).collect()
+            } else {
+                eligible
+            };
+            let w = pool[*next_worker % pool.len()];
+            *next_worker += 1;
+            *attempts += 1;
+            self.monitor.record(MonitorEvent {
+                run: self.config.run_id.clone(),
+                task: graph.task(task).name.clone(),
+                worker: w,
+                phase: "launched".into(),
+                timestamp: Timestamp::now(),
+            });
+            let _ = worker_txs[w].send(WorkerMsg::Run { task, inputs, attempt });
+        };
+
+        for root in graph.roots() {
+            dispatch(root, 0, &outputs, &mut next_worker, &mut attempts, None);
+        }
+
+        while completed < n {
+            let Ok(result) = result_rx.recv() else { break };
+            match result.outcome {
+                Ok(value) => {
+                    outputs.insert(result.task, value);
+                    completed += 1;
+                    for &dep in &dependents[result.task.0] {
+                        missing_deps[dep.0] -= 1;
+                        if missing_deps[dep.0] == 0 && !failures.contains_key(&dep) {
+                            dispatch(dep, 0, &outputs, &mut next_worker, &mut attempts, None);
+                        }
+                    }
+                }
+                Err(msg) => {
+                    let healing = self.config.healing.unwrap_or_default();
+                    if healing.blacklist_after > 0 {
+                        worker_failures[result.worker] += 1;
+                        if worker_failures[result.worker] >= healing.blacklist_after {
+                            let mut black = blacklist.write();
+                            if !black.contains(&result.worker) {
+                                black.push(result.worker);
+                            }
+                        }
+                    }
+                    if result.attempt < healing.max_retries {
+                        dispatch(
+                            result.task,
+                            result.attempt + 1,
+                            &outputs,
+                            &mut next_worker,
+                            &mut attempts,
+                            Some(result.worker),
+                        );
+                    } else {
+                        failures.insert(result.task, msg);
+                        completed += 1;
+                        // dependents can never run
+                        let mut doomed = dependents[result.task.0].clone();
+                        while let Some(d) = doomed.pop() {
+                            if failures.contains_key(&d) || outputs.contains_key(&d) {
+                                continue;
+                            }
+                            failures.insert(d, "dependency failed".into());
+                            completed += 1;
+                            doomed.extend(dependents[d.0].iter().copied());
+                        }
+                    }
+                }
+            }
+        }
+
+        for tx in &worker_txs {
+            let _ = tx.send(WorkerMsg::Stop);
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        self.monitor.flush();
+        let blacklisted_workers = blacklist.read().clone();
+        ExecutionReport {
+            outputs,
+            failures,
+            makespan: start.elapsed(),
+            attempts,
+            blacklisted_workers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::independent_tasks;
+    use crate::monitor::NullMonitor;
+    use serde_json::json;
+
+    fn exec(workers: usize) -> HtexExecutor {
+        HtexExecutor::new(HtexConfig::new(workers), Arc::new(NullMonitor::new()))
+    }
+
+    #[test]
+    fn runs_independent_bag() {
+        let g = independent_tasks(50, |_| Ok(json!(1)));
+        let report = exec(8).run(&g);
+        assert_eq!(report.outputs.len(), 50);
+        assert!(report.failures.is_empty());
+        assert_eq!(report.attempts, 50);
+        assert!(report.blacklisted_workers.is_empty());
+    }
+
+    #[test]
+    fn dataflow_through_diamond() {
+        let mut b = TaskGraph::builder();
+        let a = b.add("a", &[], |_| Ok(json!(10)));
+        let l = b.add("l", &[a], |i| Ok(json!(i[0].as_i64().unwrap() * 2)));
+        let r = b.add("r", &[a], |i| Ok(json!(i[0].as_i64().unwrap() * 3)));
+        let j = b.add("j", &[l, r], |i| {
+            Ok(json!(i[0].as_i64().unwrap() + i[1].as_i64().unwrap()))
+        });
+        let g = b.build().unwrap();
+        let report = exec(4).run(&g);
+        assert_eq!(report.outputs[&j], json!(50));
+    }
+
+    #[test]
+    fn parallelism_shrinks_makespan() {
+        let task = |_: &[Value]| {
+            std::thread::sleep(Duration::from_millis(10));
+            Ok(json!(1))
+        };
+        let g = independent_tasks(16, task);
+        let serial = exec(1).run(&g).makespan;
+        let parallel = exec(8).run(&g).makespan;
+        assert!(
+            parallel < serial / 2,
+            "8 workers {parallel:?} should beat 1 worker {serial:?} by >2x"
+        );
+    }
+
+    #[test]
+    fn failed_task_poisons_dependents_only() {
+        let mut b = TaskGraph::builder();
+        let ok = b.add("ok", &[], |_| Ok(json!(1)));
+        let bad = b.add("bad", &[], |_| Err("boom".into()));
+        let child = b.add("child", &[bad], |_| Ok(json!(2)));
+        let grandchild = b.add("grandchild", &[child], |_| Ok(json!(3)));
+        let indep = b.add("indep", &[ok], |_| Ok(json!(4)));
+        let g = b.build().unwrap();
+        let report = exec(4).run(&g);
+        assert_eq!(report.outputs.len(), 2); // ok + indep
+        assert_eq!(report.failures.len(), 3);
+        assert_eq!(report.failures[&bad], "boom");
+        assert_eq!(report.failures[&child], "dependency failed");
+        assert_eq!(report.failures[&grandchild], "dependency failed");
+        assert!(report.outputs.contains_key(&indep));
+    }
+
+    #[test]
+    fn monitor_sees_three_phases_per_task() {
+        let m = Arc::new(crate::monitor::DbMonitor::new(Duration::ZERO));
+        let g = independent_tasks(10, |_| Ok(json!(1)));
+        HtexExecutor::new(HtexConfig::new(4), m.clone()).run(&g);
+        assert_eq!(m.count(), 30);
+        let rows = m.rows();
+        for phase in ["launched", "running", "done"] {
+            assert_eq!(rows.iter().filter(|r| r.phase == phase).count(), 10, "{phase}");
+        }
+    }
+}

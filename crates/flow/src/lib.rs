@@ -1,0 +1,32 @@
+//! A Parsl-like parallel workflow engine (§VI-E, Fig. 8).
+//!
+//! The paper extends Parsl — "a parallel scripting library for Python"
+//! whose monitoring "capture\[s\] task execution and performance
+//! information from remote workers and record\[s\] them in a centralized
+//! database" — with an Octopus-based monitor that "publishes task and
+//! resource information, as well as task failure events", batched and
+//! asynchronous. This crate rebuilds both sides in Rust:
+//!
+//! - [`dag`]: task graphs with dependencies and data flow.
+//! - [`htex`]: a high-throughput executor — an interchange queue feeding
+//!   a pool of worker threads, dispatching tasks as their dependencies
+//!   resolve.
+//! - [`monitor`]: the monitoring seam — [`monitor::DbMonitor`] (the
+//!   HTEX baseline: synchronous writes to a central, serialized store)
+//!   and [`monitor::OctopusMonitor`] (async batched event publication).
+//! - [`healing`]: the paper's named future work, implemented: retrying
+//!   failed tasks and blacklisting under-performing workers.
+//! - [`experiments`]: the Fig. 8 harness — 128 tasks, 1–64 workers,
+//!   task durations {0, 10, 100 ms}, per-event monitoring overhead.
+
+pub mod dag;
+pub mod experiments;
+pub mod healing;
+pub mod htex;
+pub mod monitor;
+
+pub use dag::{TaskGraph, TaskId, TaskSpec};
+pub use experiments::{fig8, Fig8Row};
+pub use healing::{HealingPolicy, RetryOutcome};
+pub use htex::{ExecutionReport, HtexConfig, HtexExecutor};
+pub use monitor::{DbMonitor, Monitor, MonitorEvent, NullMonitor, OctopusMonitor};

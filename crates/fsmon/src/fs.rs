@@ -1,0 +1,275 @@
+//! A synthetic parallel filesystem event source.
+//!
+//! Substitutes for a production parallel-FS changelog (Lustre/GPFS):
+//! compute jobs arrive, each creating a burst of output files in its own
+//! run directory, rewriting some of them (checkpoint overwrites), and
+//! deleting scratch files. The generator is seed-deterministic so
+//! experiments replay exactly.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use octopus_types::Timestamp;
+
+/// A filesystem operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FsOp {
+    /// File created (what the data-automation trigger acts on).
+    Created,
+    /// File contents modified.
+    Modified,
+    /// File removed.
+    Deleted,
+}
+
+impl FsOp {
+    /// Lowercase name used in event payloads (matches Listing 1's
+    /// `"event_type": "created"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FsOp::Created => "created",
+            FsOp::Modified => "modified",
+            FsOp::Deleted => "deleted",
+        }
+    }
+}
+
+/// One filesystem event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FsEvent {
+    /// Operation.
+    pub op: FsOp,
+    /// Absolute path.
+    pub path: String,
+    /// File size in bytes after the operation (0 for deletes).
+    pub size: u64,
+    /// Event time.
+    pub timestamp: Timestamp,
+    /// Name of the filesystem that produced the event.
+    pub fs_name: String,
+}
+
+impl FsEvent {
+    /// The JSON payload shape consumed by triggers (Listing 1 fields).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "event_type": self.op.as_str(),
+            "path": self.path,
+            "size": self.size,
+            "fs": self.fs_name,
+            "timestamp_ms": self.timestamp.as_millis(),
+        })
+    }
+}
+
+/// Workload shape knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Mean files created per job burst.
+    pub files_per_job: usize,
+    /// Probability a created file is later modified (checkpoint
+    /// rewrites produce duplicate-ish events the aggregator collapses).
+    pub modify_fraction: f64,
+    /// Mean number of modifications for modified files.
+    pub modifies_per_file: usize,
+    /// Probability a created file is scratch (deleted at job end, and
+    /// unimportant to replicate).
+    pub scratch_fraction: f64,
+    /// Mean file size in bytes.
+    pub mean_file_size: u64,
+}
+
+impl Default for WorkloadProfile {
+    fn default() -> Self {
+        WorkloadProfile {
+            files_per_job: 50,
+            modify_fraction: 0.4,
+            modifies_per_file: 5,
+            scratch_fraction: 0.3,
+            mean_file_size: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// The synthetic filesystem: a deterministic event generator.
+pub struct SyntheticFs {
+    name: String,
+    profile: WorkloadProfile,
+    rng: SmallRng,
+    job_counter: u64,
+}
+
+impl SyntheticFs {
+    /// A filesystem named `name` with the given workload, seeded for
+    /// reproducibility.
+    pub fn new(name: &str, profile: WorkloadProfile, seed: u64) -> Self {
+        SyntheticFs {
+            name: name.to_string(),
+            profile,
+            rng: SmallRng::seed_from_u64(seed),
+            job_counter: 0,
+        }
+    }
+
+    /// The filesystem's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Generate the event burst of one compute job completing at `now`.
+    /// Events within a burst carry the same timestamp (parallel writers
+    /// flush together), which is exactly what stresses dedup windows.
+    pub fn job_burst(&mut self, now: Timestamp) -> Vec<FsEvent> {
+        let job = self.job_counter;
+        self.job_counter += 1;
+        let dir = format!("/pfs/{}/jobs/run-{job:06}", self.name);
+        let n = self.sample_count(self.profile.files_per_job);
+        let mut events = Vec::new();
+        for f in 0..n {
+            let scratch = self.rng.gen::<f64>() < self.profile.scratch_fraction;
+            let path = if scratch {
+                format!("{dir}/tmp/scratch-{f:04}.tmp")
+            } else {
+                format!("{dir}/out-{f:04}.h5")
+            };
+            let size = self.sample_size();
+            events.push(FsEvent {
+                op: FsOp::Created,
+                path: path.clone(),
+                size,
+                timestamp: now,
+                fs_name: self.name.clone(),
+            });
+            if self.rng.gen::<f64>() < self.profile.modify_fraction {
+                let m = self.sample_count(self.profile.modifies_per_file).max(1);
+                for _ in 0..m {
+                    events.push(FsEvent {
+                        op: FsOp::Modified,
+                        path: path.clone(),
+                        size,
+                        timestamp: now,
+                        fs_name: self.name.clone(),
+                    });
+                }
+            }
+            if scratch {
+                events.push(FsEvent {
+                    op: FsOp::Deleted,
+                    path,
+                    size: 0,
+                    timestamp: now,
+                    fs_name: self.name.clone(),
+                });
+            }
+        }
+        events
+    }
+
+    fn sample_count(&mut self, mean: usize) -> usize {
+        // geometric-ish spread around the mean, at least 1
+        let lo = (mean / 2).max(1);
+        let hi = mean * 3 / 2 + 1;
+        self.rng.gen_range(lo..hi.max(lo + 1))
+    }
+
+    fn sample_size(&mut self) -> u64 {
+        let mean = self.profile.mean_file_size as f64;
+        (self.rng.gen::<f64>() * 2.0 * mean) as u64 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> SyntheticFs {
+        SyntheticFs::new("pfs0", WorkloadProfile::default(), 42)
+    }
+
+    #[test]
+    fn bursts_are_deterministic_per_seed() {
+        let mut a = fs();
+        let mut b = fs();
+        let t = Timestamp::from_millis(1);
+        assert_eq!(a.job_burst(t), b.job_burst(t));
+        // and differ across seeds
+        let mut c = SyntheticFs::new("pfs0", WorkloadProfile::default(), 43);
+        assert_ne!(a.job_burst(t), c.job_burst(t));
+    }
+
+    #[test]
+    fn scratch_files_are_created_then_deleted() {
+        let mut f = fs();
+        let events = f.job_burst(Timestamp::from_millis(0));
+        let scratch_creates: Vec<&FsEvent> = events
+            .iter()
+            .filter(|e| e.op == FsOp::Created && e.path.contains("/tmp/"))
+            .collect();
+        assert!(!scratch_creates.is_empty(), "some scratch files expected at this seed");
+        for c in scratch_creates {
+            assert!(
+                events.iter().any(|e| e.op == FsOp::Deleted && e.path == c.path),
+                "scratch {} never deleted",
+                c.path
+            );
+        }
+    }
+
+    #[test]
+    fn output_files_end_in_h5_and_survive() {
+        let mut f = fs();
+        let events = f.job_burst(Timestamp::from_millis(0));
+        let outputs: Vec<&FsEvent> = events
+            .iter()
+            .filter(|e| e.op == FsOp::Created && !e.path.contains("/tmp/"))
+            .collect();
+        assert!(!outputs.is_empty());
+        for o in &outputs {
+            assert!(o.path.ends_with(".h5"));
+            assert!(o.size > 0);
+            assert!(!events.iter().any(|e| e.op == FsOp::Deleted && e.path == o.path));
+        }
+    }
+
+    #[test]
+    fn job_directories_are_distinct() {
+        let mut f = fs();
+        let b1 = f.job_burst(Timestamp::from_millis(0));
+        let b2 = f.job_burst(Timestamp::from_millis(1));
+        assert!(b1[0].path.contains("run-000000"));
+        assert!(b2[0].path.contains("run-000001"));
+    }
+
+    #[test]
+    fn json_payload_matches_listing1_shape() {
+        let mut f = fs();
+        let e = &f.job_burst(Timestamp::from_millis(7))[0];
+        let j = e.to_json();
+        assert!(j["event_type"].is_string());
+        assert!(j["path"].is_string());
+        assert_eq!(j["fs"], "pfs0");
+        assert_eq!(j["timestamp_ms"], 7);
+        // Listing 1 pattern matches creation events
+        let pat = octopus_pattern_test_helper();
+        assert!(pat.matches(&j) == (e.op == FsOp::Created));
+    }
+
+    fn octopus_pattern_test_helper() -> octopus_pattern::Pattern {
+        octopus_pattern::Pattern::parse(&serde_json::json!({"event_type": ["created"]})).unwrap()
+    }
+
+    #[test]
+    fn modified_events_reference_created_paths() {
+        let mut f = fs();
+        let events = f.job_burst(Timestamp::from_millis(0));
+        let created: std::collections::HashSet<&str> = events
+            .iter()
+            .filter(|e| e.op == FsOp::Created)
+            .map(|e| e.path.as_str())
+            .collect();
+        for e in events.iter().filter(|e| e.op == FsOp::Modified) {
+            assert!(created.contains(e.path.as_str()));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Filesystem event infrastructure for the Scientific Data Automation
+//! use case (§VI-B, Figs. 6–7).
+//!
+//! The paper's pipeline: **FSMon** (a parallel-filesystem monitor from
+//! prior work) publishes raw events to a *local* Kafka topic; a *local
+//! aggregator* "selects important and unique events for publication to
+//! Octopus"; an Octopus trigger filters for file-creation events
+//! (Listing 1) and calls the Globus Transfer service to replicate data.
+//! HPC filesystems can emit "billions of events per day" (§III-A), so
+//! the hierarchical reduction is load-bearing (§VII-B).
+//!
+//! - [`fs`]: a synthetic parallel filesystem generating a bursty,
+//!   seed-deterministic stream of create/modify/delete operations —
+//!   the substitute for a production Lustre/GPFS changelog.
+//! - [`monitor`]: FSMon — tails a filesystem's events into a local
+//!   broker topic.
+//! - [`aggregate`]: the hierarchical aggregator — dedup window +
+//!   importance filter + batched re-publication to the cloud fabric,
+//!   with a measured reduction factor.
+//! - [`transfer`]: a Globus-Transfer-like service — bandwidth-modelled
+//!   asynchronous transfers with completion events.
+
+pub mod aggregate;
+pub mod fs;
+pub mod monitor;
+pub mod transfer;
+
+pub use aggregate::{Aggregator, AggregatorConfig};
+pub use fs::{FsEvent, FsOp, SyntheticFs, WorkloadProfile};
+pub use monitor::FsMonitor;
+pub use transfer::{TransferRequest, TransferService, TransferStatus};

@@ -1,0 +1,205 @@
+//! A Globus-Transfer-like data replication service.
+//!
+//! The data-automation trigger "makes a request to the Globus Transfer
+//! service to initiate a transfer from the source to the destination
+//! FS" (§VI-B). The substitute models the parts the EDA interacts with:
+//! asynchronous submission, bandwidth-paced completion, status polling,
+//! and optional completion events published back to the fabric (so a
+//! second rule can chain off transfer completion, per the §I example).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use octopus_broker::{AckLevel, Cluster};
+use octopus_types::{Clock, Event, OctoError, OctoResult, Timestamp, Uid, WallClock};
+
+/// A transfer submission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferRequest {
+    /// Source path (on the source FS).
+    pub source: String,
+    /// Destination path.
+    pub destination: String,
+    /// Bytes to move.
+    pub bytes: u64,
+}
+
+/// Transfer state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferStatus {
+    /// Moving data; completes at the embedded time.
+    Active,
+    /// Done.
+    Succeeded,
+}
+
+#[derive(Debug, Clone)]
+struct TransferRecord {
+    request: TransferRequest,
+    completes_at: Timestamp,
+    acting_as: Uid,
+}
+
+/// The transfer service.
+#[derive(Clone)]
+pub struct TransferService {
+    transfers: Arc<Mutex<HashMap<Uid, TransferRecord>>>,
+    clock: Arc<dyn Clock>,
+    /// Modelled end-to-end bandwidth, bytes/second.
+    bandwidth: f64,
+    /// Completion events go here when configured.
+    completion_sink: Option<(Cluster, String)>,
+}
+
+impl TransferService {
+    /// A service moving data at `bandwidth` bytes/second.
+    pub fn new(bandwidth: f64) -> Self {
+        Self::with_clock(bandwidth, Arc::new(WallClock))
+    }
+
+    /// With an injected clock (simulated time in experiments).
+    pub fn with_clock(bandwidth: f64, clock: Arc<dyn Clock>) -> Self {
+        assert!(bandwidth > 0.0);
+        TransferService {
+            transfers: Arc::new(Mutex::new(HashMap::new())),
+            clock,
+            bandwidth,
+            completion_sink: None,
+        }
+    }
+
+    /// Publish a completion event to `topic` on `cluster` when each
+    /// transfer finishes (chaining rules, §I).
+    pub fn with_completion_events(mut self, cluster: Cluster, topic: &str) -> Self {
+        self.completion_sink = Some((cluster, topic.to_string()));
+        self
+    }
+
+    /// Submit a transfer on behalf of `acting_as` (the delegated
+    /// identity from the trigger context). Returns the transfer id.
+    pub fn submit(&self, acting_as: Uid, request: TransferRequest) -> OctoResult<Uid> {
+        if request.bytes == 0 {
+            return Err(OctoError::Invalid("empty transfer".into()));
+        }
+        let id = Uid::fresh();
+        let now = self.clock.now();
+        let duration_ms = (request.bytes as f64 / self.bandwidth * 1000.0).ceil() as u64;
+        self.transfers.lock().insert(
+            id,
+            TransferRecord {
+                request,
+                completes_at: Timestamp::from_millis(now.as_millis() + duration_ms),
+                acting_as,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Poll a transfer's status. Completion publishes the completion
+    /// event (once).
+    pub fn status(&self, id: Uid) -> OctoResult<TransferStatus> {
+        let now = self.clock.now();
+        let mut transfers = self.transfers.lock();
+        let rec = transfers
+            .get(&id)
+            .ok_or_else(|| OctoError::NotFound(format!("transfer {id}")))?
+            .clone();
+        if now >= rec.completes_at {
+            transfers.remove(&id);
+            drop(transfers);
+            if let Some((cluster, topic)) = &self.completion_sink {
+                let event = Event::builder()
+                    .key(rec.request.destination.clone())
+                    .json(&serde_json::json!({
+                        "event_type": "transfer_complete",
+                        "transfer_id": id.to_string(),
+                        "source": rec.request.source,
+                        "destination": rec.request.destination,
+                        "bytes": rec.request.bytes,
+                        "acting_as": rec.acting_as.to_string(),
+                    }))?
+                    .build();
+                cluster.produce(topic, event, AckLevel::Leader)?;
+            }
+            Ok(TransferStatus::Succeeded)
+        } else {
+            Ok(TransferStatus::Active)
+        }
+    }
+
+    /// Number of in-flight transfers.
+    pub fn active_count(&self) -> usize {
+        self.transfers.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_broker::TopicConfig;
+    use octopus_types::ManualClock;
+    use std::time::Duration;
+
+    fn service() -> (TransferService, ManualClock) {
+        let clock = ManualClock::new(Timestamp::from_millis(0));
+        (TransferService::with_clock(1_000_000.0, Arc::new(clock.clone())), clock)
+    }
+
+    fn req(bytes: u64) -> TransferRequest {
+        TransferRequest { source: "/pfs0/a.h5".into(), destination: "/pfs1/a.h5".into(), bytes }
+    }
+
+    #[test]
+    fn transfer_takes_bandwidth_time() {
+        let (svc, clock) = service();
+        // 2 MB at 1 MB/s = 2 seconds
+        let id = svc.submit(Uid(1), req(2_000_000)).unwrap();
+        assert_eq!(svc.status(id).unwrap(), TransferStatus::Active);
+        clock.advance(Duration::from_millis(1999));
+        assert_eq!(svc.status(id).unwrap(), TransferStatus::Active);
+        clock.advance(Duration::from_millis(2));
+        assert_eq!(svc.status(id).unwrap(), TransferStatus::Succeeded);
+        assert_eq!(svc.active_count(), 0);
+    }
+
+    #[test]
+    fn unknown_and_empty_transfers() {
+        let (svc, _clock) = service();
+        assert!(matches!(svc.status(Uid(99)), Err(OctoError::NotFound(_))));
+        assert!(matches!(svc.submit(Uid(1), req(0)), Err(OctoError::Invalid(_))));
+    }
+
+    #[test]
+    fn completion_event_chains_to_fabric() {
+        let clock = ManualClock::new(Timestamp::from_millis(0));
+        let cloud = Cluster::new(2);
+        cloud.create_topic("transfers.done", TopicConfig::default()).unwrap();
+        let svc = TransferService::with_clock(1e6, Arc::new(clock.clone()))
+            .with_completion_events(cloud.clone(), "transfers.done");
+        let id = svc.submit(Uid(7), req(1_000_000)).unwrap();
+        clock.advance(Duration::from_secs(2));
+        assert_eq!(svc.status(id).unwrap(), TransferStatus::Succeeded);
+        let events: usize = (0..2)
+            .map(|p| cloud.fetch("transfers.done", p, 0, 100).unwrap().len())
+            .sum();
+        assert_eq!(events, 1);
+        // re-polling a finished transfer is NotFound, so the completion
+        // event is published exactly once
+        assert!(svc.status(id).is_err());
+    }
+
+    #[test]
+    fn many_concurrent_transfers() {
+        let (svc, clock) = service();
+        let ids: Vec<Uid> = (0..50).map(|_| svc.submit(Uid(1), req(500_000)).unwrap()).collect();
+        assert_eq!(svc.active_count(), 50);
+        clock.advance(Duration::from_secs(1));
+        for id in ids {
+            assert_eq!(svc.status(id).unwrap(), TransferStatus::Succeeded);
+        }
+        assert_eq!(svc.active_count(), 0);
+    }
+}

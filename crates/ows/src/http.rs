@@ -1,0 +1,140 @@
+//! A minimal in-process HTTP abstraction.
+//!
+//! OWS is a RESTful service in the paper; here the transport is a
+//! function call, but the request/response shapes (method, path, bearer
+//! token, JSON bodies, status codes) are kept so the route surface and
+//! error mapping match a real deployment, and so the SDK exercises the
+//! same code paths a remote client would.
+
+use serde_json::Value;
+
+use octopus_auth::AccessToken;
+use octopus_types::OctoError;
+
+/// HTTP method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// GET
+    Get,
+    /// PUT
+    Put,
+    /// POST
+    Post,
+    /// DELETE
+    Delete,
+}
+
+/// An API request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method.
+    pub method: Method,
+    /// Path, e.g. `/topic/sdl.actions/partitions`.
+    pub path: String,
+    /// Bearer token from the `Authorization` header.
+    pub bearer: Option<AccessToken>,
+    /// JSON body (Null when absent).
+    pub body: Value,
+}
+
+impl Request {
+    /// Build a request.
+    pub fn new(method: Method, path: impl Into<String>) -> Self {
+        Request { method, path: path.into(), bearer: None, body: Value::Null }
+    }
+
+    /// Attach a bearer token.
+    pub fn bearer(mut self, token: AccessToken) -> Self {
+        self.bearer = Some(token);
+        self
+    }
+
+    /// Attach a JSON body.
+    pub fn body(mut self, body: Value) -> Self {
+        self.body = body;
+        self
+    }
+}
+
+/// An API response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: Value,
+}
+
+impl Response {
+    /// 200 with a body.
+    pub fn ok(body: Value) -> Self {
+        Response { status: 200, body }
+    }
+
+    /// Map an [`OctoError`] onto an HTTP status, RFC-7807 style body.
+    pub fn from_error(e: &OctoError) -> Self {
+        let status = match e {
+            OctoError::Unauthenticated(_) => 401,
+            OctoError::Unauthorized(_) => 403,
+            OctoError::UnknownTopic(_)
+            | OctoError::UnknownPartition(..)
+            | OctoError::NotFound(_) => 404,
+            OctoError::TopicExists(_) | OctoError::Conflict(_) => 409,
+            OctoError::Invalid(_) | OctoError::Serde(_) => 400,
+            OctoError::RateLimited(_) => 429,
+            OctoError::Unavailable(_)
+            | OctoError::Timeout(_)
+            | OctoError::NotEnoughReplicas { .. } => 503,
+            _ => 500,
+        };
+        Response { status, body: serde_json::json!({ "error": e.to_string() }) }
+    }
+
+    /// Whether the status is 2xx.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Split a path into segments, ignoring leading/trailing slashes.
+pub fn segments(path: &str) -> Vec<&str> {
+    path.split('/').filter(|s| !s.is_empty()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn request_builder() {
+        let r = Request::new(Method::Put, "/topic/t")
+            .bearer(AccessToken("at_x".into()))
+            .body(json!({"partitions": 4}));
+        assert_eq!(r.method, Method::Put);
+        assert_eq!(r.bearer.as_ref().unwrap().as_str(), "at_x");
+        assert_eq!(r.body["partitions"], 4);
+    }
+
+    #[test]
+    fn error_status_mapping() {
+        assert_eq!(Response::from_error(&OctoError::Unauthenticated("x".into())).status, 401);
+        assert_eq!(Response::from_error(&OctoError::Unauthorized("x".into())).status, 403);
+        assert_eq!(Response::from_error(&OctoError::UnknownTopic("t".into())).status, 404);
+        assert_eq!(Response::from_error(&OctoError::TopicExists("t".into())).status, 409);
+        assert_eq!(Response::from_error(&OctoError::Invalid("x".into())).status, 400);
+        assert_eq!(Response::from_error(&OctoError::RateLimited("x".into())).status, 429);
+        assert_eq!(Response::from_error(&OctoError::Unavailable("x".into())).status, 503);
+        assert_eq!(Response::from_error(&OctoError::Internal("x".into())).status, 500);
+        assert!(!Response::from_error(&OctoError::Internal("x".into())).is_success());
+        assert!(Response::ok(Value::Null).is_success());
+    }
+
+    #[test]
+    fn path_segments() {
+        assert_eq!(segments("/topic/t/partitions"), vec!["topic", "t", "partitions"]);
+        assert_eq!(segments("/topics"), vec!["topics"]);
+        assert_eq!(segments("/trigger/"), vec!["trigger"]);
+        assert!(segments("/").is_empty());
+    }
+}

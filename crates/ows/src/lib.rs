@@ -1,0 +1,41 @@
+//! The Octopus Web Service (OWS) — the management plane of §IV-B.
+//!
+//! OWS lets authenticated users provision, configure, and share topics;
+//! mint IAM credentials for the event fabric; and deploy triggers. It is
+//! "an authorization intermediary between Globus Auth, Amazon IAM
+//! authorization, and MSK" (§IV-C): bearer tokens are introspected
+//! against the [`octopus_auth::AuthServer`]; identities map to IAM
+//! principals; topic ownership is recorded in the replicated
+//! [`octopus_zoo::ZooService`] (the "source of truth", §IV-F) and
+//! mirrored into the ACL store the brokers enforce.
+//!
+//! Routes (exactly the paper's surface):
+//!
+//! | Route | Action |
+//! |---|---|
+//! | `PUT /topic/<topic>` | register topic, grant creator R/W/D |
+//! | `GET /topics` | list topics the caller may describe |
+//! | `GET /topic/<topic>` | a topic's configuration |
+//! | `POST /topic/<topic>` | set configuration |
+//! | `POST /topic/<topic>/partitions` | grow partitions |
+//! | `POST /topic/<topic>/user` | grant/revoke an identity |
+//! | `GET /create_key` | mint an IAM access key pair |
+//! | `PUT /trigger/` | deploy a trigger |
+//! | `GET /triggers/` | describe triggers |
+//!
+//! Every mutating handler is idempotent, so clients may blindly retry
+//! (§IV-F: "API operations on the OWS side are programmed to be
+//! idempotent").
+
+pub mod http;
+pub mod ratelimit;
+pub mod registry;
+pub mod service;
+
+pub use http::{Method, Request, Response};
+pub use ratelimit::RateLimiter;
+pub use registry::FunctionRegistry;
+pub use service::{OwsConfig, OwsService};
+
+/// The OAuth scope OWS requires on bearer tokens.
+pub const OWS_SCOPE: &str = "https://auth.octopus.science/scopes/ows/all";

@@ -1,0 +1,108 @@
+//! Per-identity token-bucket rate limiting.
+//!
+//! §VII-C names per-identity rate limiting as the first cost-mitigation
+//! lever: "The Octopus service can rate limit invocations on a
+//! per-identity basis". This is the standard token bucket: capacity
+//! `burst`, refill `rate_per_sec`, one token per request.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use octopus_types::{Clock, OctoError, OctoResult, Timestamp, Uid};
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    last_refill: Timestamp,
+}
+
+/// A shared per-identity rate limiter.
+#[derive(Clone)]
+pub struct RateLimiter {
+    buckets: Arc<Mutex<HashMap<Uid, Bucket>>>,
+    rate_per_sec: f64,
+    burst: f64,
+    clock: Arc<dyn Clock>,
+}
+
+impl RateLimiter {
+    /// A limiter allowing `rate_per_sec` sustained requests with bursts
+    /// up to `burst`.
+    pub fn new(rate_per_sec: f64, burst: f64, clock: Arc<dyn Clock>) -> Self {
+        assert!(rate_per_sec > 0.0 && burst >= 1.0);
+        RateLimiter { buckets: Arc::new(Mutex::new(HashMap::new())), rate_per_sec, burst, clock }
+    }
+
+    /// Admit or reject one request from `identity`.
+    pub fn check(&self, identity: Uid) -> OctoResult<()> {
+        let now = self.clock.now();
+        let mut buckets = self.buckets.lock();
+        let b = buckets
+            .entry(identity)
+            .or_insert(Bucket { tokens: self.burst, last_refill: now });
+        let elapsed = now.since(b.last_refill).as_secs_f64();
+        b.tokens = (b.tokens + elapsed * self.rate_per_sec).min(self.burst);
+        b.last_refill = now;
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err(OctoError::RateLimited(format!("identity {identity}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_types::ManualClock;
+    use std::time::Duration;
+
+    fn limiter(rate: f64, burst: f64) -> (RateLimiter, ManualClock) {
+        let clock = ManualClock::new(Timestamp::from_millis(0));
+        (RateLimiter::new(rate, burst, Arc::new(clock.clone())), clock)
+    }
+
+    #[test]
+    fn burst_then_reject() {
+        let (rl, _clock) = limiter(1.0, 3.0);
+        let id = Uid(1);
+        assert!(rl.check(id).is_ok());
+        assert!(rl.check(id).is_ok());
+        assert!(rl.check(id).is_ok());
+        assert!(matches!(rl.check(id), Err(OctoError::RateLimited(_))));
+    }
+
+    #[test]
+    fn refill_over_time() {
+        let (rl, clock) = limiter(2.0, 2.0);
+        let id = Uid(1);
+        rl.check(id).unwrap();
+        rl.check(id).unwrap();
+        assert!(rl.check(id).is_err());
+        clock.advance(Duration::from_millis(500)); // +1 token
+        assert!(rl.check(id).is_ok());
+        assert!(rl.check(id).is_err());
+    }
+
+    #[test]
+    fn identities_are_independent() {
+        let (rl, _clock) = limiter(1.0, 1.0);
+        assert!(rl.check(Uid(1)).is_ok());
+        assert!(rl.check(Uid(2)).is_ok());
+        assert!(rl.check(Uid(1)).is_err());
+        assert!(rl.check(Uid(2)).is_err());
+    }
+
+    #[test]
+    fn tokens_cap_at_burst() {
+        let (rl, clock) = limiter(100.0, 2.0);
+        let id = Uid(1);
+        clock.advance(Duration::from_secs(60)); // long idle: still only 2
+        assert!(rl.check(id).is_ok());
+        assert!(rl.check(id).is_ok());
+        assert!(rl.check(id).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! The trigger function registry.
+//!
+//! In the paper a trigger's function is an AWS Lambda the user deploys;
+//! here functions are Rust closures registered under a name, and
+//! `PUT /trigger/` references that name (the moral equivalent of the
+//! Lambda ARN).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use octopus_trigger::TriggerFunction;
+use octopus_types::{OctoError, OctoResult};
+
+/// Named functions deployable as triggers.
+#[derive(Clone, Default)]
+pub struct FunctionRegistry {
+    functions: Arc<RwLock<HashMap<String, TriggerFunction>>>,
+}
+
+impl FunctionRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a function under `name`.
+    pub fn register(
+        &self,
+        name: &str,
+        f: impl Fn(&octopus_trigger::FunctionContext, &[octopus_types::DeliveredEvent]) -> Result<(), String>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.functions.write().insert(name.to_string(), Arc::new(f));
+    }
+
+    /// Look up a function.
+    pub fn get(&self, name: &str) -> OctoResult<TriggerFunction> {
+        self.functions
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| OctoError::NotFound(format!("function {name}")))
+    }
+
+    /// Registered function names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.functions.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let reg = FunctionRegistry::new();
+        reg.register("noop", |_ctx, _batch| Ok(()));
+        reg.register("fail", |_ctx, _batch| Err("nope".into()));
+        assert_eq!(reg.names(), vec!["fail", "noop"]);
+        assert!(reg.get("noop").is_ok());
+        assert!(matches!(reg.get("ghost"), Err(OctoError::NotFound(_))));
+    }
+
+    #[test]
+    fn replace_updates_function() {
+        let reg = FunctionRegistry::new();
+        reg.register("f", |_ctx, _b| Err("v1".into()));
+        reg.register("f", |_ctx, _b| Ok(()));
+        let f = reg.get("f").unwrap();
+        let ctx = octopus_trigger::FunctionContext {
+            trigger: "t".into(),
+            acting_as: octopus_types::Uid(1),
+            invocation: 0,
+            attempt: 0,
+        };
+        assert!(f(&ctx, &[]).is_ok());
+    }
+}

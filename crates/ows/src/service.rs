@@ -1,0 +1,635 @@
+//! The OWS service proper: authentication middleware, route dispatch,
+//! and the handlers behind each route.
+
+use std::sync::Arc;
+
+use serde_json::{json, Value};
+
+use octopus_auth::{AclStore, AuthServer, IamService, Permission, Scope, TokenStatus};
+use octopus_broker::{CleanupPolicy, Cluster, TopicConfig};
+use octopus_pattern::Pattern;
+use octopus_trigger::{AutoscalerConfig, FunctionConfig, TriggerRuntime, TriggerSpec};
+use octopus_types::{Clock, OctoError, OctoResult, Uid, WallClock};
+use octopus_zoo::{CreateMode, ZooService};
+
+use crate::http::{segments, Method, Request, Response};
+use crate::ratelimit::RateLimiter;
+use crate::registry::FunctionRegistry;
+use crate::OWS_SCOPE;
+
+/// OWS deployment options.
+#[derive(Clone, Default)]
+pub struct OwsConfig {
+    /// Per-identity request rate limit as (requests/sec, burst);
+    /// `None` disables limiting.
+    pub rate_limit: Option<(f64, f64)>,
+}
+
+/// The Octopus Web Service.
+#[derive(Clone)]
+pub struct OwsService {
+    auth: AuthServer,
+    iam: IamService,
+    acl: AclStore,
+    zoo: ZooService,
+    cluster: Cluster,
+    triggers: TriggerRuntime,
+    registry: FunctionRegistry,
+    limiter: Option<RateLimiter>,
+}
+
+impl OwsService {
+    /// Wire the service to its substrates.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        auth: AuthServer,
+        iam: IamService,
+        acl: AclStore,
+        zoo: ZooService,
+        cluster: Cluster,
+        triggers: TriggerRuntime,
+        registry: FunctionRegistry,
+        config: OwsConfig,
+    ) -> Self {
+        Self::with_clock(auth, iam, acl, zoo, cluster, triggers, registry, config, Arc::new(WallClock))
+    }
+
+    /// As [`OwsService::new`] with an injected clock for the limiter.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_clock(
+        auth: AuthServer,
+        iam: IamService,
+        acl: AclStore,
+        zoo: ZooService,
+        cluster: Cluster,
+        triggers: TriggerRuntime,
+        registry: FunctionRegistry,
+        config: OwsConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        let limiter =
+            config.rate_limit.map(|(rate, burst)| RateLimiter::new(rate, burst, clock));
+        OwsService { auth, iam, acl, zoo, cluster, triggers, registry, limiter }
+    }
+
+    /// The function registry (register functions before deploying
+    /// triggers that reference them).
+    pub fn registry(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
+    /// The trigger runtime (to poll/start workers in tests and apps).
+    pub fn trigger_runtime(&self) -> &TriggerRuntime {
+        &self.triggers
+    }
+
+    /// The backing cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    // ----- middleware -----
+
+    fn authenticate(&self, req: &Request) -> OctoResult<Uid> {
+        let token = req
+            .bearer
+            .as_ref()
+            .ok_or_else(|| OctoError::Unauthenticated("missing bearer token".into()))?;
+        let (status, info) = self.auth.introspect(token);
+        if status != TokenStatus::Active {
+            return Err(OctoError::Unauthenticated(format!("token {status:?}")));
+        }
+        let info = info.expect("active token has info");
+        if !info.has_scope(&Scope::new(OWS_SCOPE)) {
+            return Err(OctoError::Unauthorized(format!("token lacks scope {OWS_SCOPE}")));
+        }
+        if let Some(limiter) = &self.limiter {
+            limiter.check(info.identity)?;
+        }
+        Ok(info.identity)
+    }
+
+    // ----- dispatch -----
+
+    /// Route a request to its handler.
+    pub fn dispatch(&self, req: &Request) -> Response {
+        let identity = match self.authenticate(req) {
+            Ok(id) => id,
+            Err(e) => return Response::from_error(&e),
+        };
+        let segs = segments(&req.path);
+        let result: OctoResult<Value> = match (req.method, segs.as_slice()) {
+            (Method::Put, ["topic", topic]) => self.register_topic(identity, topic, &req.body),
+            (Method::Get, ["topics"]) => self.list_topics(identity),
+            (Method::Get, ["topic", topic]) => self.get_topic(identity, topic),
+            (Method::Post, ["topic", topic]) => self.set_topic_config(identity, topic, &req.body),
+            (Method::Post, ["topic", topic, "partitions"]) => {
+                self.set_partitions(identity, topic, &req.body)
+            }
+            (Method::Post, ["topic", topic, "user"]) => {
+                self.topic_user(identity, topic, &req.body)
+            }
+            (Method::Delete, ["topic", topic]) => self.release_topic(identity, topic),
+            (Method::Get, ["create_key"]) => self.create_key(identity),
+            (Method::Put, ["trigger"]) => self.deploy_trigger(identity, &req.body),
+            (Method::Get, ["triggers"]) => self.list_triggers(identity),
+            _ => Err(OctoError::NotFound(format!("{:?} {}", req.method, req.path))),
+        };
+        match result {
+            Ok(body) => Response::ok(body),
+            Err(e) => Response::from_error(&e),
+        }
+    }
+
+    // ----- handlers -----
+
+    /// `PUT /topic/<topic>`: "Registers a unique topic name with the MSK
+    /// cluster and sets READ, WRITE, and DESCRIBE access to the topic
+    /// for the user identity."
+    fn register_topic(&self, identity: Uid, topic: &str, body: &Value) -> OctoResult<Value> {
+        let config = parse_topic_config(body, TopicConfig::default())?;
+        // ownership is claimed first (idempotent; conflicts if another
+        // identity owns the name)
+        self.acl.register_topic(topic, identity)?;
+        // record the source of truth in the coordination service
+        self.zoo.ensure_path("/octopus/owners")?;
+        let owner_path = format!("/octopus/owners/{topic}");
+        match self.zoo.create(&owner_path, identity.to_string().as_bytes(), CreateMode::Persistent, None) {
+            Ok(_) | Err(OctoError::Conflict(_)) => {}
+            Err(e) => return Err(e),
+        }
+        self.cluster.create_topic(topic, config.clone())?;
+        Ok(json!({"topic": topic, "partitions": config.partitions, "replication_factor": config.replication_factor}))
+    }
+
+    /// `GET /topics`: "Returns a list of all topics the user is
+    /// authorized to describe."
+    fn list_topics(&self, identity: Uid) -> OctoResult<Value> {
+        Ok(json!({"topics": self.acl.describable_topics(identity)}))
+    }
+
+    /// `GET /topic/<topic>`: "Returns a specific topic's configuration."
+    fn get_topic(&self, identity: Uid, topic: &str) -> OctoResult<Value> {
+        self.acl.check(topic, identity, Permission::Describe)?;
+        let cfg = self.cluster.topic_config(topic)?;
+        Ok(serde_json::to_value(&cfg)?)
+    }
+
+    /// `POST /topic/<topic>`: "Set topic configuration, e.g.,
+    /// replication factor and data retention policy."
+    fn set_topic_config(&self, identity: Uid, topic: &str, body: &Value) -> OctoResult<Value> {
+        self.require_owner(topic, identity)?;
+        let current = self.cluster.topic_config(topic)?;
+        let config = parse_topic_config(body, current)?;
+        self.cluster.update_topic_config(topic, config.clone())?;
+        Ok(serde_json::to_value(&config)?)
+    }
+
+    /// `POST /topic/<topic>/partitions`: "Set the number of partitions."
+    fn set_partitions(&self, identity: Uid, topic: &str, body: &Value) -> OctoResult<Value> {
+        self.require_owner(topic, identity)?;
+        let n = body["partitions"]
+            .as_u64()
+            .ok_or_else(|| OctoError::Invalid("body must carry integer `partitions`".into()))?;
+        self.cluster.set_partitions(topic, n as u32)?;
+        Ok(json!({"topic": topic, "partitions": n}))
+    }
+
+    /// `POST /topic/<topic>/user`: "Grant (or revoke) an identity access
+    /// to the topic."
+    fn topic_user(&self, identity: Uid, topic: &str, body: &Value) -> OctoResult<Value> {
+        let grantee = body["identity"]
+            .as_str()
+            .ok_or_else(|| OctoError::Invalid("body must carry `identity`".into()))
+            .and_then(Uid::parse)?;
+        let action = body["action"].as_str().unwrap_or("grant");
+        let perms: Vec<Permission> = match body["permissions"].as_array() {
+            Some(list) => list
+                .iter()
+                .map(|p| match p.as_str() {
+                    Some("read") => Ok(Permission::Read),
+                    Some("write") => Ok(Permission::Write),
+                    Some("describe") => Ok(Permission::Describe),
+                    other => Err(OctoError::Invalid(format!("unknown permission {other:?}"))),
+                })
+                .collect::<OctoResult<_>>()?,
+            None => Permission::ALL.to_vec(),
+        };
+        match action {
+            "grant" => self.acl.grant(topic, identity, grantee, &perms)?,
+            "revoke" => self.acl.revoke(topic, identity, grantee, &perms)?,
+            other => return Err(OctoError::Invalid(format!("unknown action {other:?}"))),
+        }
+        Ok(json!({"topic": topic, "identity": grantee.to_string(), "action": action}))
+    }
+
+    /// `DELETE /topic/<topic>`: release a topic — §IV-B's "provision,
+    /// configure, share, or release topics". Owner-only; removes the
+    /// fabric topic, its ACL entry, and the ownership record.
+    fn release_topic(&self, identity: Uid, topic: &str) -> OctoResult<Value> {
+        self.require_owner(topic, identity)?;
+        self.cluster.delete_topic(topic)?;
+        self.acl.drop_topic(topic);
+        let _ = self.zoo.delete(&format!("/octopus/owners/{topic}"), None);
+        Ok(json!({"topic": topic, "released": true}))
+    }
+
+    /// `GET /create_key`: "Create an IAM identity for the requesting
+    /// user and return an access key and secret."
+    fn create_key(&self, identity: Uid) -> OctoResult<Value> {
+        let key = self.iam.create_key(identity);
+        // register the IAM identity with the coordination service so
+        // the mapping survives OWS restarts (§IV-C)
+        self.zoo.ensure_path(&format!("/octopus/identities/{identity}/keys"))?;
+        self.zoo.create(
+            &format!("/octopus/identities/{identity}/keys/{}", key.key_id),
+            &[],
+            CreateMode::Persistent,
+            None,
+        )?;
+        Ok(json!({"access_key_id": key.key_id, "secret_access_key": key.secret}))
+    }
+
+    /// `PUT /trigger/`: "Deploy a trigger using a specified function,
+    /// target topic, and configuration."
+    fn deploy_trigger(&self, identity: Uid, body: &Value) -> OctoResult<Value> {
+        let name = body["name"]
+            .as_str()
+            .ok_or_else(|| OctoError::Invalid("trigger body must carry `name`".into()))?;
+        let topic = body["topic"]
+            .as_str()
+            .ok_or_else(|| OctoError::Invalid("trigger body must carry `topic`".into()))?;
+        let function_name = body["function"]
+            .as_str()
+            .ok_or_else(|| OctoError::Invalid("trigger body must carry `function`".into()))?;
+        // reading from the topic is what the trigger will do on the
+        // user's behalf — require READ
+        self.acl.check(topic, identity, Permission::Read)?;
+        let function = self.registry.get(function_name)?;
+        let pattern = match &body["pattern"] {
+            Value::Null => None,
+            p => Some(Pattern::parse(p).map_err(|e| OctoError::Invalid(e.to_string()))?),
+        };
+        let mut config = FunctionConfig::default();
+        if let Some(b) = body["batch_size"].as_u64() {
+            config.batch_size = b as usize;
+        }
+        if let Some(m) = body["memory_mb"].as_u64() {
+            config.memory_mb = m as u32;
+        }
+        if let Some(t) = body["timeout_ms"].as_u64() {
+            config.timeout_ms = t;
+        }
+        if let Some(r) = body["retries"].as_u64() {
+            config.retries = r as u32;
+        }
+        if let Some(d) = body["dlq_topic"].as_str() {
+            config.dlq_topic = Some(d.to_string());
+        }
+        let spec = TriggerSpec {
+            name: name.to_string(),
+            topic: topic.to_string(),
+            pattern,
+            config: config.clamped(),
+            function,
+            acting_as: identity,
+            autoscaler: AutoscalerConfig::default(),
+        };
+        self.triggers.deploy(spec)?;
+        Ok(json!({"trigger": name, "topic": topic, "function": function_name}))
+    }
+
+    /// `GET /triggers/`: "Describe existing triggers and their
+    /// configuration."
+    fn list_triggers(&self, _identity: Uid) -> OctoResult<Value> {
+        let list = self.triggers.list();
+        Ok(serde_json::to_value(&list)?)
+    }
+
+    fn require_owner(&self, topic: &str, identity: Uid) -> OctoResult<()> {
+        if self.acl.owner(topic)? != identity {
+            return Err(OctoError::Unauthorized(format!("not the owner of {topic}")));
+        }
+        Ok(())
+    }
+}
+
+/// Merge a JSON body over a base [`TopicConfig`]. Unknown fields are
+/// rejected so typos fail loudly.
+fn parse_topic_config(body: &Value, base: TopicConfig) -> OctoResult<TopicConfig> {
+    let mut config = base;
+    let Value::Object(map) = body else {
+        if body.is_null() {
+            return Ok(config);
+        }
+        return Err(OctoError::Invalid("topic config body must be a JSON object".into()));
+    };
+    for (k, v) in map {
+        match k.as_str() {
+            "partitions" => {
+                config.partitions = v
+                    .as_u64()
+                    .ok_or_else(|| OctoError::Invalid("partitions must be an integer".into()))?
+                    as u32;
+            }
+            "replication_factor" => {
+                config.replication_factor = v.as_u64().ok_or_else(|| {
+                    OctoError::Invalid("replication_factor must be an integer".into())
+                })? as u32;
+            }
+            "min_insync_replicas" => {
+                config.min_insync_replicas = v.as_u64().ok_or_else(|| {
+                    OctoError::Invalid("min_insync_replicas must be an integer".into())
+                })? as u32;
+            }
+            "retention_ms" => {
+                config.retention.retention_ms = v.as_u64();
+            }
+            "retention_bytes" => {
+                config.retention.retention_bytes = v.as_u64();
+            }
+            "cleanup" => {
+                config.cleanup = match v.as_str() {
+                    Some("delete") => CleanupPolicy::Delete,
+                    Some("compact") => CleanupPolicy::Compact,
+                    Some("compact_and_delete") => CleanupPolicy::CompactAndDelete,
+                    other => {
+                        return Err(OctoError::Invalid(format!("unknown cleanup {other:?}")))
+                    }
+                };
+            }
+            other => return Err(OctoError::Invalid(format!("unknown config field `{other}`"))),
+        }
+    }
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_auth::AccessToken;
+
+    /// A fully wired OWS with one registered user; returns the service
+    /// and the user's token.
+    pub(crate) fn test_ows() -> (OwsService, AccessToken, Uid) {
+        test_ows_with(OwsConfig::default())
+    }
+
+    pub(crate) fn test_ows_with(config: OwsConfig) -> (OwsService, AccessToken, Uid) {
+        let auth = AuthServer::new();
+        auth.register_provider("uchicago.edu", "UChicago");
+        let client = auth.register_client("octopus-sdk", vec![]);
+        let uid = auth.register_user("alice@uchicago.edu", "pw").unwrap();
+        let (token, _, _) = auth
+            .login("alice@uchicago.edu", "pw", client.id, vec![Scope::new(OWS_SCOPE)])
+            .unwrap();
+        let acl = AclStore::new();
+        let zoo = ZooService::new(1);
+        let cluster = Cluster::builder(2).acl(acl.clone()).build();
+        let triggers = TriggerRuntime::new(cluster.clone());
+        let registry = FunctionRegistry::new();
+        registry.register("noop", |_ctx, _batch| Ok(()));
+        let ows = OwsService::new(
+            auth,
+            IamService::new(),
+            acl,
+            zoo,
+            cluster,
+            triggers,
+            registry,
+            config,
+        );
+        (ows, token, uid)
+    }
+
+    fn put(path: &str, token: &AccessToken, body: Value) -> Request {
+        Request::new(Method::Put, path).bearer(token.clone()).body(body)
+    }
+
+    fn get(path: &str, token: &AccessToken) -> Request {
+        Request::new(Method::Get, path).bearer(token.clone())
+    }
+
+    fn post(path: &str, token: &AccessToken, body: Value) -> Request {
+        Request::new(Method::Post, path).bearer(token.clone()).body(body)
+    }
+
+    #[test]
+    fn full_topic_lifecycle_via_routes() {
+        let (ows, token, _) = test_ows();
+        // PUT /topic/t
+        let r = ows.dispatch(&put("/topic/t", &token, json!({"partitions": 4})));
+        assert_eq!(r.status, 200, "{:?}", r.body);
+        assert_eq!(r.body["partitions"], 4);
+        // GET /topics
+        let r = ows.dispatch(&get("/topics", &token));
+        assert_eq!(r.body["topics"], json!(["t"]));
+        // GET /topic/t
+        let r = ows.dispatch(&get("/topic/t", &token));
+        assert_eq!(r.body["partitions"], 4);
+        // POST /topic/t (retention update)
+        let r = ows.dispatch(&post("/topic/t", &token, json!({"retention_ms": 1000})));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body["retention"]["retention_ms"], 1000);
+        // POST /topic/t/partitions
+        let r = ows.dispatch(&post("/topic/t/partitions", &token, json!({"partitions": 8})));
+        assert_eq!(r.status, 200);
+        assert_eq!(ows.cluster().partition_count("t").unwrap(), 8);
+    }
+
+    #[test]
+    fn requests_without_token_are_401() {
+        let (ows, _token, _) = test_ows();
+        let r = ows.dispatch(&Request::new(Method::Get, "/topics"));
+        assert_eq!(r.status, 401);
+        let bogus = AccessToken("at_bogus".into());
+        let r = ows.dispatch(&get("/topics", &bogus));
+        assert_eq!(r.status, 401);
+    }
+
+    #[test]
+    fn scope_is_required() {
+        let (ows, _token, _) = test_ows();
+        // mint a token without the OWS scope
+        let auth = ows.auth.clone();
+        let client = auth.register_client("other-app", vec![]);
+        auth.register_user("bob@uchicago.edu", "pw").unwrap();
+        let (token, _, _) = auth.login("bob@uchicago.edu", "pw", client.id, vec![]).unwrap();
+        let r = ows.dispatch(&get("/topics", &token));
+        assert_eq!(r.status, 403);
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let (ows, token, _) = test_ows();
+        let r = ows.dispatch(&get("/nope", &token));
+        assert_eq!(r.status, 404);
+        let r = ows.dispatch(&Request::new(Method::Delete, "/topic/t").bearer(token));
+        assert_eq!(r.status, 404);
+    }
+
+    #[test]
+    fn create_key_returns_usable_credentials() {
+        let (ows, token, uid) = test_ows();
+        let r = ows.dispatch(&get("/create_key", &token));
+        assert_eq!(r.status, 200);
+        let key_id = r.body["access_key_id"].as_str().unwrap();
+        assert!(key_id.starts_with("OKIA"));
+        assert!(!r.body["secret_access_key"].as_str().unwrap().is_empty());
+        // the key is registered in the coordination service
+        assert!(ows
+            .zoo
+            .exists(&format!("/octopus/identities/{uid}/keys/{key_id}"))
+            .unwrap());
+    }
+
+    #[test]
+    fn sharing_via_topic_user_route() {
+        let (ows, token, _) = test_ows();
+        ows.dispatch(&put("/topic/shared", &token, Value::Null));
+        // register bob and grant him read
+        let bob = Uid::fresh();
+        let r = ows.dispatch(&post(
+            "/topic/shared/user",
+            &token,
+            json!({"identity": bob.to_string(), "permissions": ["read", "describe"]}),
+        ));
+        assert_eq!(r.status, 200, "{:?}", r.body);
+        ows.acl.check("shared", bob, Permission::Read).unwrap();
+        ows.acl.check("shared", bob, Permission::Describe).unwrap();
+        assert!(ows.acl.check("shared", bob, Permission::Write).is_err());
+        // revoke
+        let r = ows.dispatch(&post(
+            "/topic/shared/user",
+            &token,
+            json!({"identity": bob.to_string(), "permissions": ["read"], "action": "revoke"}),
+        ));
+        assert_eq!(r.status, 200);
+        assert!(ows.acl.check("shared", bob, Permission::Read).is_err());
+    }
+
+    #[test]
+    fn non_owner_cannot_manage() {
+        let (ows, token, _) = test_ows();
+        ows.dispatch(&put("/topic/mine", &token, Value::Null));
+        // bob gets his own token
+        let auth = ows.auth.clone();
+        let client = auth.register_client("sdk2", vec![]);
+        auth.register_user("bob@uchicago.edu", "pw").unwrap();
+        let (bob_token, _, _) = auth
+            .login("bob@uchicago.edu", "pw", client.id, vec![Scope::new(OWS_SCOPE)])
+            .unwrap();
+        let r = ows.dispatch(&post("/topic/mine/partitions", &bob_token, json!({"partitions": 4})));
+        assert_eq!(r.status, 403);
+        let r = ows.dispatch(&post("/topic/mine", &bob_token, json!({"retention_ms": 1})));
+        assert_eq!(r.status, 403);
+        // bob cannot even describe it
+        let r = ows.dispatch(&get("/topic/mine", &bob_token));
+        assert_eq!(r.status, 403);
+        // and registering the same name conflicts
+        let r = ows.dispatch(&put("/topic/mine", &bob_token, Value::Null));
+        assert_eq!(r.status, 409);
+    }
+
+    #[test]
+    fn trigger_deploy_and_list_via_routes() {
+        let (ows, token, _) = test_ows();
+        ows.dispatch(&put("/topic/events", &token, Value::Null));
+        let r = ows.dispatch(&put(
+            "/trigger",
+            &token,
+            json!({
+                "name": "t1",
+                "topic": "events",
+                "function": "noop",
+                "pattern": {"event_type": ["created"]},
+                "batch_size": 50
+            }),
+        ));
+        assert_eq!(r.status, 200, "{:?}", r.body);
+        let r = ows.dispatch(&get("/triggers", &token));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body.as_array().unwrap().len(), 1);
+        assert_eq!(r.body[0]["name"], "t1");
+        // unknown function
+        let r = ows.dispatch(&put(
+            "/trigger",
+            &token,
+            json!({"name": "t2", "topic": "events", "function": "ghost"}),
+        ));
+        assert_eq!(r.status, 404);
+        // bad pattern
+        let r = ows.dispatch(&put(
+            "/trigger",
+            &token,
+            json!({"name": "t3", "topic": "events", "function": "noop", "pattern": {"a": "notarray"}}),
+        ));
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn config_parsing_rejects_unknown_fields() {
+        let (ows, token, _) = test_ows();
+        let r = ows.dispatch(&put("/topic/t", &token, json!({"partitons": 4})));
+        assert_eq!(r.status, 400, "typo'd field must fail loudly");
+        let r = ows.dispatch(&put("/topic/t", &token, json!("not an object")));
+        assert_eq!(r.status, 400);
+        let r = ows.dispatch(&put("/topic/t", &token, json!({"cleanup": "compact"})));
+        assert_eq!(r.status, 200);
+    }
+
+    #[test]
+    fn release_topic_route() {
+        let (ows, token, _) = test_ows();
+        ows.dispatch(&put("/topic/gone", &token, Value::Null));
+        let r = ows.dispatch(&Request::new(Method::Delete, "/topic/gone").bearer(token.clone()));
+        assert_eq!(r.status, 200, "{:?}", r.body);
+        assert!(!ows.cluster().topic_exists("gone"));
+        assert!(!ows.acl.topic_exists("gone"));
+        assert!(!ows.zoo.exists("/octopus/owners/gone").unwrap());
+        // releasing again is 404
+        let r = ows.dispatch(&Request::new(Method::Delete, "/topic/gone").bearer(token.clone()));
+        assert_eq!(r.status, 404);
+        // and the name can be re-registered by anyone afterwards
+        let r = ows.dispatch(&put("/topic/gone", &token, Value::Null));
+        assert_eq!(r.status, 200);
+    }
+
+    #[test]
+    fn only_owner_releases() {
+        let (ows, token, _) = test_ows();
+        ows.dispatch(&put("/topic/mine", &token, Value::Null));
+        let auth = ows.auth.clone();
+        let client = auth.register_client("sdk2", vec![]);
+        auth.register_user("mallory@uchicago.edu", "pw").unwrap();
+        let (mallory, _, _) = auth
+            .login("mallory@uchicago.edu", "pw", client.id, vec![Scope::new(OWS_SCOPE)])
+            .unwrap();
+        let r = ows.dispatch(&Request::new(Method::Delete, "/topic/mine").bearer(mallory));
+        assert_eq!(r.status, 403);
+        assert!(ows.cluster().topic_exists("mine"));
+    }
+
+    #[test]
+    fn rate_limiting_returns_429() {
+        let (ows, token, _) = test_ows_with(OwsConfig { rate_limit: Some((0.001, 2.0)) });
+        assert_eq!(ows.dispatch(&get("/topics", &token)).status, 200);
+        assert_eq!(ows.dispatch(&get("/topics", &token)).status, 200);
+        assert_eq!(ows.dispatch(&get("/topics", &token)).status, 429);
+    }
+
+    #[test]
+    fn idempotent_retries_do_not_change_state() {
+        let (ows, token, _) = test_ows();
+        for _ in 0..3 {
+            let r = ows.dispatch(&put("/topic/t", &token, json!({"partitions": 4})));
+            assert_eq!(r.status, 200, "retried PUT must succeed: {:?}", r.body);
+        }
+        assert_eq!(ows.cluster().partition_count("t").unwrap(), 4);
+        for _ in 0..3 {
+            let r = ows.dispatch(&post("/topic/t/partitions", &token, json!({"partitions": 8})));
+            assert_eq!(r.status, 200);
+        }
+        assert_eq!(ows.cluster().partition_count("t").unwrap(), 8);
+    }
+}

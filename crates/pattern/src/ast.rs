@@ -1,0 +1,105 @@
+//! Compiled pattern representation.
+
+use serde_json::Value;
+
+use crate::cidr::Cidr;
+
+/// A compiled, validated event pattern. Construct with
+/// [`Pattern::parse`]; test events with [`Pattern::matches`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    pub(crate) root: Node,
+    pub(crate) source: Value,
+}
+
+impl Pattern {
+    /// The original JSON form of the pattern.
+    pub fn source(&self) -> &Value {
+        &self.source
+    }
+
+    /// The compiled tree (exposed for tooling/diagnostics).
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+}
+
+/// A node of the compiled pattern tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// All listed fields must match the corresponding event fields.
+    Object(Vec<(String, Node)>),
+    /// Leaf: the event value must satisfy at least one matcher.
+    Leaf(Vec<Matcher>),
+    /// `$or`: at least one alternative must match.
+    Or(Vec<Node>),
+}
+
+/// Comparison operators for `numeric` matchers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate `lhs OP rhs`.
+    pub fn eval(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// Parse the EventBridge operator token.
+    pub fn parse(tok: &str) -> Option<Self> {
+        Some(match tok {
+            "=" => CmpOp::Eq,
+            "!=" => CmpOp::Ne,
+            "<" => CmpOp::Lt,
+            "<=" => CmpOp::Le,
+            ">" => CmpOp::Gt,
+            ">=" => CmpOp::Ge,
+            _ => return None,
+        })
+    }
+}
+
+/// One alternative within a leaf rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Matcher {
+    /// Exact equality with a JSON scalar (string/number/bool/null).
+    Exact(Value),
+    /// String prefix.
+    Prefix(String),
+    /// String suffix.
+    Suffix(String),
+    /// Case-insensitive string equality.
+    EqualsIgnoreCase(String),
+    /// None of the listed scalars equals the value.
+    AnythingBut(Vec<Value>),
+    /// The value is a string that does *not* start with the prefix.
+    AnythingButPrefix(String),
+    /// Conjunction of numeric comparisons, e.g. `> 0 AND <= 5`.
+    Numeric(Vec<(CmpOp, f64)>),
+    /// Field presence (`true`) or absence (`false`).
+    Exists(bool),
+    /// Glob with `*` (any run, including empty) and `?` (single char).
+    Wildcard(String),
+    /// IPv4 CIDR block containing the value (a dotted-quad string).
+    Cidr(Cidr),
+}

@@ -1,0 +1,141 @@
+//! IPv4 CIDR block matching for `{"cidr": "10.0.0.0/24"}` patterns.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 CIDR block, e.g. `192.168.0.0/16`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cidr {
+    base: u32,
+    prefix_len: u8,
+}
+
+impl Cidr {
+    /// Parse `a.b.c.d/len`. The base address is masked to the prefix, so
+    /// `10.0.0.7/24` is accepted and normalized to `10.0.0.0/24`.
+    pub fn parse(s: &str) -> Option<Cidr> {
+        let (addr, len) = s.split_once('/')?;
+        let prefix_len: u8 = len.parse().ok()?;
+        if prefix_len > 32 {
+            return None;
+        }
+        let base = parse_ipv4(addr)?;
+        let mask = Cidr { base: 0, prefix_len }.mask();
+        Some(Cidr { base: base & mask, prefix_len })
+    }
+
+    fn mask(&self) -> u32 {
+        if self.prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.prefix_len as u32)
+        }
+    }
+
+    /// Whether the dotted-quad string `ip` falls inside this block.
+    pub fn contains_str(&self, ip: &str) -> bool {
+        parse_ipv4(ip).is_some_and(|a| self.contains(a))
+    }
+
+    /// Whether the numeric address falls inside this block.
+    pub fn contains(&self, addr: u32) -> bool {
+        (addr & self.mask()) == self.base
+    }
+}
+
+impl FromStr for Cidr {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Cidr::parse(s).ok_or_else(|| format!("invalid CIDR: {s}"))
+    }
+}
+
+impl fmt::Display for Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.base;
+        write!(
+            f,
+            "{}.{}.{}.{}/{}",
+            b >> 24,
+            (b >> 16) & 0xff,
+            (b >> 8) & 0xff,
+            b & 0xff,
+            self.prefix_len
+        )
+    }
+}
+
+fn parse_ipv4(s: &str) -> Option<u32> {
+    let mut out: u32 = 0;
+    let mut parts = 0;
+    for part in s.split('.') {
+        if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let v: u32 = part.parse().ok()?;
+        if v > 255 {
+            return None;
+        }
+        out = (out << 8) | v;
+        parts += 1;
+    }
+    (parts == 4).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_contain() {
+        let c = Cidr::parse("10.0.0.0/24").unwrap();
+        assert!(c.contains_str("10.0.0.1"));
+        assert!(c.contains_str("10.0.0.255"));
+        assert!(!c.contains_str("10.0.1.0"));
+        assert!(!c.contains_str("11.0.0.1"));
+    }
+
+    #[test]
+    fn base_is_normalized() {
+        let c = Cidr::parse("10.0.0.77/24").unwrap();
+        assert_eq!(c.to_string(), "10.0.0.0/24");
+        assert!(c.contains_str("10.0.0.1"));
+    }
+
+    #[test]
+    fn zero_prefix_matches_everything() {
+        let c = Cidr::parse("0.0.0.0/0").unwrap();
+        assert!(c.contains_str("255.255.255.255"));
+        assert!(c.contains_str("1.2.3.4"));
+    }
+
+    #[test]
+    fn slash_32_is_exact() {
+        let c = Cidr::parse("192.168.1.5/32").unwrap();
+        assert!(c.contains_str("192.168.1.5"));
+        assert!(!c.contains_str("192.168.1.6"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "10.0.0.0",      // no prefix
+            "10.0.0.0/33",   // prefix too long
+            "10.0.0/24",     // too few octets
+            "10.0.0.0.0/8",  // too many octets
+            "256.0.0.0/8",   // octet out of range
+            "a.b.c.d/8",     // not numeric
+            "10.0.0.-1/8",   // negative
+            "10.0.0.0/ 8",   // whitespace
+        ] {
+            assert!(Cidr::parse(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn non_ip_strings_do_not_match() {
+        let c = Cidr::parse("10.0.0.0/8").unwrap();
+        assert!(!c.contains_str("not an ip"));
+        assert!(!c.contains_str(""));
+    }
+}

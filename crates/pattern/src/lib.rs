@@ -1,0 +1,47 @@
+//! An implementation of the Amazon EventBridge *event pattern* language,
+//! which Octopus triggers use to filter events (paper §IV-D, Listing 1).
+//!
+//! A pattern is a JSON object mirroring the structure of the events it
+//! matches. Leaf values are **arrays**; an event field matches if it
+//! equals (or satisfies a matcher object for) *any* array element.
+//! Multiple fields are ANDed; nested objects recurse.
+//!
+//! Supported matcher forms:
+//!
+//! | Form | Example |
+//! |---|---|
+//! | exact | `{"event_type": ["created"]}` |
+//! | prefix | `{"path": [{"prefix": "/data/"}]}` |
+//! | suffix | `{"path": [{"suffix": ".h5"}]}` |
+//! | equals-ignore-case | `{"lab": [{"equals-ignore-case": "ANL"}]}` |
+//! | anything-but | `{"event_type": [{"anything-but": ["deleted"]}]}` |
+//! | anything-but prefix | `{"path": [{"anything-but": {"prefix": "/tmp"}}]}` |
+//! | numeric | `{"size": [{"numeric": [">", 0, "<=", 1048576]}]}` |
+//! | exists | `{"error": [{"exists": false}]}` |
+//! | wildcard | `{"file": [{"wildcard": "run-*.csv"}]}` |
+//! | cidr | `{"source_ip": [{"cidr": "10.0.0.0/24"}]}` |
+//! | $or | `{"$or": [{"a": [1]}, {"b": [2]}]}` |
+//!
+//! ```
+//! use octopus_pattern::Pattern;
+//! use serde_json::json;
+//!
+//! // Listing 1 from the paper: fire only on file-creation events.
+//! let p = Pattern::parse(&json!({"event_type": ["created"]})).unwrap();
+//! assert!(p.matches(&json!({"event_type": "created", "path": "/pfs/a"})));
+//! assert!(!p.matches(&json!({"event_type": "deleted"})));
+//! ```
+
+mod ast;
+mod cidr;
+mod matching;
+mod parse;
+mod wildcard;
+
+pub use ast::{CmpOp, Matcher, Node, Pattern};
+pub use cidr::Cidr;
+pub use parse::PatternError;
+pub use wildcard::wildcard_match;
+
+#[cfg(test)]
+mod tests;

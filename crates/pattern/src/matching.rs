@@ -1,0 +1,82 @@
+//! Event matching against compiled patterns.
+
+use serde_json::Value;
+
+use crate::ast::{Matcher, Node, Pattern};
+use crate::wildcard::wildcard_match;
+
+impl Pattern {
+    /// Whether `event` (a JSON document) satisfies this pattern.
+    pub fn matches(&self, event: &Value) -> bool {
+        match_node(&self.root, Some(event))
+    }
+
+    /// Convenience: match a JSON string; malformed JSON never matches.
+    pub fn matches_str(&self, event: &str) -> bool {
+        serde_json::from_str::<Value>(event).map(|v| self.matches(&v)).unwrap_or(false)
+    }
+
+    /// Convenience: match raw bytes; malformed JSON never matches.
+    pub fn matches_bytes(&self, event: &[u8]) -> bool {
+        serde_json::from_slice::<Value>(event).map(|v| self.matches(&v)).unwrap_or(false)
+    }
+}
+
+/// Match one pattern node against an event value (`None` = field absent).
+fn match_node(node: &Node, value: Option<&Value>) -> bool {
+    match node {
+        Node::Or(alternatives) => alternatives.iter().any(|n| match_node(n, value)),
+        Node::Object(fields) => {
+            // An absent/non-object value can still match if every field
+            // rule tolerates absence (i.e. `exists: false` leaves).
+            fields.iter().all(|(key, child)| {
+                let field = value.and_then(|v| v.as_object()).and_then(|m| m.get(key));
+                match_node(child, field)
+            })
+        }
+        Node::Leaf(matchers) => match value {
+            None => matchers.iter().any(|m| matches!(m, Matcher::Exists(false))),
+            // Array-valued event fields match if any element matches
+            // (EventBridge semantics).
+            Some(Value::Array(items)) => matchers.iter().any(|m| {
+                if let Matcher::Exists(want) = m {
+                    return *want;
+                }
+                items.iter().any(|item| match_scalar(m, item))
+            }),
+            Some(v) => matchers.iter().any(|m| match_scalar(m, v)),
+        },
+    }
+}
+
+fn match_scalar(m: &Matcher, v: &Value) -> bool {
+    match m {
+        Matcher::Exact(want) => json_scalar_eq(want, v),
+        Matcher::Prefix(p) => v.as_str().is_some_and(|s| s.starts_with(p)),
+        Matcher::Suffix(suf) => v.as_str().is_some_and(|s| s.ends_with(suf)),
+        Matcher::EqualsIgnoreCase(want) => {
+            v.as_str().is_some_and(|s| s.eq_ignore_ascii_case(want))
+        }
+        Matcher::AnythingBut(excluded) => {
+            // EventBridge: matches when the value is present and equals
+            // none of the excluded scalars.
+            !excluded.iter().any(|ex| json_scalar_eq(ex, v))
+        }
+        Matcher::AnythingButPrefix(p) => v.as_str().is_some_and(|s| !s.starts_with(p)),
+        Matcher::Numeric(cmps) => {
+            v.as_f64().is_some_and(|x| cmps.iter().all(|(op, rhs)| op.eval(x, *rhs)))
+        }
+        Matcher::Exists(want) => *want, // value is present here
+        Matcher::Wildcard(pat) => v.as_str().is_some_and(|s| wildcard_match(pat, s)),
+        Matcher::Cidr(block) => v.as_str().is_some_and(|s| block.contains_str(s)),
+    }
+}
+
+/// Scalar equality with numeric coercion (1 == 1.0) but no string/number
+/// cross-type coercion, matching EventBridge.
+fn json_scalar_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Number(x), Value::Number(y)) => x.as_f64() == y.as_f64(),
+        _ => a == b,
+    }
+}

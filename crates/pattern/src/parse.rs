@@ -1,0 +1,218 @@
+//! Pattern parsing and validation.
+
+use std::fmt;
+
+use serde_json::Value;
+
+use crate::ast::{CmpOp, Matcher, Node, Pattern};
+use crate::cidr::Cidr;
+
+/// An error describing why a pattern failed to compile. The `path` names
+/// the offending location in the pattern document, e.g. `detail.size`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternError {
+    /// Dotted path to the offending pattern element.
+    pub path: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "invalid pattern: {}", self.message)
+        } else {
+            write!(f, "invalid pattern at `{}`: {}", self.path, self.message)
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+fn err<T>(path: &str, message: impl Into<String>) -> Result<T, PatternError> {
+    Err(PatternError { path: path.to_string(), message: message.into() })
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+impl Pattern {
+    /// Compile a JSON pattern document. Validation is strict: unknown
+    /// matcher keywords, empty arrays, and non-array leaves are rejected,
+    /// mirroring EventBridge behaviour.
+    pub fn parse(doc: &Value) -> Result<Pattern, PatternError> {
+        let obj = match doc {
+            Value::Object(m) if !m.is_empty() => m,
+            Value::Object(_) => return err("", "pattern must contain at least one field"),
+            _ => return err("", "pattern must be a JSON object"),
+        };
+        let root = parse_object(obj, "")?;
+        Ok(Pattern { root, source: doc.clone() })
+    }
+
+    /// Parse from a JSON string.
+    pub fn parse_str(s: &str) -> Result<Pattern, PatternError> {
+        let doc: Value = serde_json::from_str(s)
+            .map_err(|e| PatternError { path: String::new(), message: format!("not JSON: {e}") })?;
+        Pattern::parse(&doc)
+    }
+}
+
+fn parse_object(
+    obj: &serde_json::Map<String, Value>,
+    path: &str,
+) -> Result<Node, PatternError> {
+    // `$or` must be the only key at its level.
+    if let Some(alts) = obj.get("$or") {
+        if obj.len() != 1 {
+            return err(path, "`$or` cannot be combined with sibling fields");
+        }
+        let arr = match alts {
+            Value::Array(a) if a.len() >= 2 => a,
+            _ => return err(&join(path, "$or"), "`$or` requires an array of >= 2 patterns"),
+        };
+        let mut nodes = Vec::with_capacity(arr.len());
+        for (i, alt) in arr.iter().enumerate() {
+            let p = format!("{}[{}]", join(path, "$or"), i);
+            match alt {
+                Value::Object(m) if !m.is_empty() => nodes.push(parse_object(m, &p)?),
+                _ => return err(&p, "each `$or` alternative must be a non-empty object"),
+            }
+        }
+        return Ok(Node::Or(nodes));
+    }
+
+    let mut fields = Vec::with_capacity(obj.len());
+    for (key, val) in obj {
+        let p = join(path, key);
+        let node = match val {
+            Value::Object(m) => {
+                if m.is_empty() {
+                    return err(&p, "nested pattern object must not be empty");
+                }
+                parse_object(m, &p)?
+            }
+            Value::Array(items) => {
+                if items.is_empty() {
+                    return err(&p, "leaf array must not be empty");
+                }
+                let mut matchers = Vec::with_capacity(items.len());
+                for (i, item) in items.iter().enumerate() {
+                    matchers.push(parse_matcher(item, &format!("{p}[{i}]"))?);
+                }
+                Node::Leaf(matchers)
+            }
+            _ => {
+                return err(
+                    &p,
+                    "leaf values must be arrays, e.g. {\"event_type\": [\"created\"]}",
+                )
+            }
+        };
+        fields.push((key.clone(), node));
+    }
+    Ok(Node::Object(fields))
+}
+
+fn parse_matcher(item: &Value, path: &str) -> Result<Matcher, PatternError> {
+    match item {
+        Value::String(_) | Value::Number(_) | Value::Bool(_) | Value::Null => {
+            Ok(Matcher::Exact(item.clone()))
+        }
+        Value::Array(_) => err(path, "nested arrays are not valid matchers"),
+        Value::Object(m) => {
+            if m.len() != 1 {
+                return err(path, "a matcher object must have exactly one keyword");
+            }
+            let (kw, arg) = m.iter().next().expect("len checked");
+            match kw.as_str() {
+                "prefix" => match arg {
+                    Value::String(s) => Ok(Matcher::Prefix(s.clone())),
+                    _ => err(path, "`prefix` takes a string"),
+                },
+                "suffix" => match arg {
+                    Value::String(s) => Ok(Matcher::Suffix(s.clone())),
+                    _ => err(path, "`suffix` takes a string"),
+                },
+                "equals-ignore-case" => match arg {
+                    Value::String(s) => Ok(Matcher::EqualsIgnoreCase(s.clone())),
+                    _ => err(path, "`equals-ignore-case` takes a string"),
+                },
+                "anything-but" => parse_anything_but(arg, path),
+                "numeric" => parse_numeric(arg, path),
+                "exists" => match arg {
+                    Value::Bool(b) => Ok(Matcher::Exists(*b)),
+                    _ => err(path, "`exists` takes a boolean"),
+                },
+                "wildcard" => match arg {
+                    Value::String(s) => Ok(Matcher::Wildcard(s.clone())),
+                    _ => err(path, "`wildcard` takes a string"),
+                },
+                "cidr" => match arg {
+                    Value::String(s) => Cidr::parse(s)
+                        .map(Matcher::Cidr)
+                        .ok_or_else(|| PatternError {
+                            path: path.to_string(),
+                            message: format!("invalid CIDR block: {s}"),
+                        }),
+                    _ => err(path, "`cidr` takes a string"),
+                },
+                other => err(path, format!("unknown matcher keyword `{other}`")),
+            }
+        }
+    }
+}
+
+fn parse_anything_but(arg: &Value, path: &str) -> Result<Matcher, PatternError> {
+    match arg {
+        Value::String(_) | Value::Number(_) | Value::Bool(_) => {
+            Ok(Matcher::AnythingBut(vec![arg.clone()]))
+        }
+        Value::Array(items) => {
+            if items.is_empty() {
+                return err(path, "`anything-but` list must not be empty");
+            }
+            for it in items {
+                if !matches!(it, Value::String(_) | Value::Number(_) | Value::Bool(_)) {
+                    return err(path, "`anything-but` list elements must be scalars");
+                }
+            }
+            Ok(Matcher::AnythingBut(items.clone()))
+        }
+        Value::Object(m) if m.len() == 1 && m.contains_key("prefix") => {
+            match m.get("prefix").expect("checked") {
+                Value::String(s) => Ok(Matcher::AnythingButPrefix(s.clone())),
+                _ => err(path, "`anything-but.prefix` takes a string"),
+            }
+        }
+        _ => err(path, "`anything-but` takes a scalar, a list of scalars, or {\"prefix\": ...}"),
+    }
+}
+
+fn parse_numeric(arg: &Value, path: &str) -> Result<Matcher, PatternError> {
+    let items = match arg {
+        Value::Array(a) if !a.is_empty() && a.len() % 2 == 0 => a,
+        _ => return err(path, "`numeric` takes a non-empty even-length array of op/value pairs"),
+    };
+    let mut cmps = Vec::with_capacity(items.len() / 2);
+    for pair in items.chunks(2) {
+        let op = match &pair[0] {
+            Value::String(s) => CmpOp::parse(s).ok_or_else(|| PatternError {
+                path: path.to_string(),
+                message: format!("unknown numeric operator `{s}`"),
+            })?,
+            _ => return err(path, "numeric operator must be a string"),
+        };
+        let rhs = match &pair[1] {
+            Value::Number(n) => n.as_f64().expect("json numbers are f64-representable"),
+            _ => return err(path, "numeric comparand must be a number"),
+        };
+        cmps.push((op, rhs));
+    }
+    Ok(Matcher::Numeric(cmps))
+}

@@ -1,0 +1,296 @@
+//! Unit + property tests for the pattern language, including the
+//! documented examples from the EventBridge content-filtering guide the
+//! paper cites ([30]) and Listing 1 from the paper itself.
+
+use proptest::prelude::*;
+use serde_json::{json, Value};
+
+use crate::{Pattern, PatternError};
+
+fn p(doc: Value) -> Pattern {
+    Pattern::parse(&doc).unwrap()
+}
+
+fn perr(doc: Value) -> PatternError {
+    Pattern::parse(&doc).unwrap_err()
+}
+
+#[test]
+fn listing_1_from_paper() {
+    // Fig/Listing 1: invoke the Trigger only when event_type is "created".
+    let pat = p(json!({"event_type": ["created"]}));
+    assert!(pat.matches(&json!({"event_type": "created", "path": "/pfs/exp/run.h5"})));
+    assert!(!pat.matches(&json!({"event_type": "modified"})));
+    assert!(!pat.matches(&json!({"other": 1})));
+}
+
+#[test]
+fn exact_scalars_of_all_types() {
+    assert!(p(json!({"a": [1]})).matches(&json!({"a": 1})));
+    assert!(p(json!({"a": [1]})).matches(&json!({"a": 1.0}))); // numeric coercion
+    assert!(p(json!({"a": [true]})).matches(&json!({"a": true})));
+    assert!(p(json!({"a": [null]})).matches(&json!({"a": null})));
+    assert!(!p(json!({"a": ["1"]})).matches(&json!({"a": 1}))); // no cross-type coercion
+}
+
+#[test]
+fn leaf_array_is_or() {
+    let pat = p(json!({"event_type": ["created", "modified"]}));
+    assert!(pat.matches(&json!({"event_type": "created"})));
+    assert!(pat.matches(&json!({"event_type": "modified"})));
+    assert!(!pat.matches(&json!({"event_type": "deleted"})));
+}
+
+#[test]
+fn fields_are_and() {
+    let pat = p(json!({"a": [1], "b": [2]}));
+    assert!(pat.matches(&json!({"a": 1, "b": 2})));
+    assert!(!pat.matches(&json!({"a": 1})));
+    assert!(!pat.matches(&json!({"a": 1, "b": 3})));
+}
+
+#[test]
+fn nested_objects_recurse() {
+    let pat = p(json!({"detail": {"state": ["running"], "node": {"rack": [7]}}}));
+    assert!(pat.matches(&json!({"detail": {"state": "running", "node": {"rack": 7}}})));
+    assert!(!pat.matches(&json!({"detail": {"state": "running", "node": {"rack": 8}}})));
+    assert!(!pat.matches(&json!({"detail": {"state": "running"}})));
+    assert!(!pat.matches(&json!({"detail": "running"})));
+}
+
+#[test]
+fn event_array_fields_match_any_element() {
+    let pat = p(json!({"tags": ["gpu"]}));
+    assert!(pat.matches(&json!({"tags": ["cpu", "gpu", "hbm"]})));
+    assert!(!pat.matches(&json!({"tags": ["cpu"]})));
+    assert!(!pat.matches(&json!({"tags": []})));
+}
+
+#[test]
+fn prefix_suffix_wildcard() {
+    assert!(p(json!({"path": [{"prefix": "/pfs/"}]})).matches(&json!({"path": "/pfs/run1"})));
+    assert!(!p(json!({"path": [{"prefix": "/pfs/"}]})).matches(&json!({"path": "/scratch/x"})));
+    assert!(p(json!({"f": [{"suffix": ".h5"}]})).matches(&json!({"f": "a.h5"})));
+    assert!(!p(json!({"f": [{"suffix": ".h5"}]})).matches(&json!({"f": "a.csv"})));
+    let w = p(json!({"f": [{"wildcard": "run-*.csv"}]}));
+    assert!(w.matches(&json!({"f": "run-2024-07.csv"})));
+    assert!(!w.matches(&json!({"f": "run-2024-07.tsv"})));
+    // string matchers never match non-strings
+    assert!(!w.matches(&json!({"f": 7})));
+}
+
+#[test]
+fn equals_ignore_case() {
+    let pat = p(json!({"lab": [{"equals-ignore-case": "ANL"}]}));
+    assert!(pat.matches(&json!({"lab": "anl"})));
+    assert!(pat.matches(&json!({"lab": "AnL"})));
+    assert!(!pat.matches(&json!({"lab": "ORNL"})));
+}
+
+#[test]
+fn anything_but_scalar_and_list() {
+    let pat = p(json!({"event_type": [{"anything-but": "deleted"}]}));
+    assert!(pat.matches(&json!({"event_type": "created"})));
+    assert!(!pat.matches(&json!({"event_type": "deleted"})));
+    // absent field does NOT match anything-but
+    assert!(!pat.matches(&json!({"x": 1})));
+
+    let pat = p(json!({"n": [{"anything-but": [1, 2]}]}));
+    assert!(pat.matches(&json!({"n": 3})));
+    assert!(!pat.matches(&json!({"n": 1})));
+    assert!(!pat.matches(&json!({"n": 2.0}))); // numeric coercion applies
+}
+
+#[test]
+fn anything_but_prefix() {
+    let pat = p(json!({"path": [{"anything-but": {"prefix": "/tmp"}}]}));
+    assert!(pat.matches(&json!({"path": "/pfs/x"})));
+    assert!(!pat.matches(&json!({"path": "/tmp/x"})));
+    assert!(!pat.matches(&json!({"path": 5}))); // non-string never matches
+}
+
+#[test]
+fn numeric_ranges() {
+    let pat = p(json!({"size": [{"numeric": [">", 0, "<=", 1048576]}]}));
+    assert!(pat.matches(&json!({"size": 1})));
+    assert!(pat.matches(&json!({"size": 1048576})));
+    assert!(!pat.matches(&json!({"size": 0})));
+    assert!(!pat.matches(&json!({"size": 1048577})));
+    assert!(!pat.matches(&json!({"size": "big"})));
+    let ne = p(json!({"v": [{"numeric": ["!=", 3]}]}));
+    assert!(ne.matches(&json!({"v": 2})));
+    assert!(!ne.matches(&json!({"v": 3.0})));
+}
+
+#[test]
+fn exists_true_and_false() {
+    let has = p(json!({"error": [{"exists": true}]}));
+    assert!(has.matches(&json!({"error": "boom"})));
+    assert!(has.matches(&json!({"error": null}))); // present-but-null exists
+    assert!(!has.matches(&json!({"ok": 1})));
+
+    let not = p(json!({"error": [{"exists": false}]}));
+    assert!(not.matches(&json!({"ok": 1})));
+    assert!(!not.matches(&json!({"error": "boom"})));
+}
+
+#[test]
+fn exists_false_inside_missing_parent() {
+    // If `detail` itself is absent, `detail.error exists:false` holds.
+    let pat = p(json!({"detail": {"error": [{"exists": false}]}}));
+    assert!(pat.matches(&json!({"other": 1})));
+    assert!(pat.matches(&json!({"detail": {}})));
+    assert!(!pat.matches(&json!({"detail": {"error": 1}})));
+}
+
+#[test]
+fn cidr_matching() {
+    let pat = p(json!({"source_ip": [{"cidr": "10.0.0.0/24"}]}));
+    assert!(pat.matches(&json!({"source_ip": "10.0.0.55"})));
+    assert!(!pat.matches(&json!({"source_ip": "10.0.1.55"})));
+    assert!(!pat.matches(&json!({"source_ip": "garbage"})));
+}
+
+#[test]
+fn or_combinator() {
+    let pat = p(json!({"$or": [
+        {"event_type": ["created"]},
+        {"size": [{"numeric": [">", 1000000]}]}
+    ]}));
+    assert!(pat.matches(&json!({"event_type": "created"})));
+    assert!(pat.matches(&json!({"event_type": "modified", "size": 2000000})));
+    assert!(!pat.matches(&json!({"event_type": "modified", "size": 10})));
+}
+
+#[test]
+fn matches_str_and_bytes() {
+    let pat = p(json!({"a": [1]}));
+    assert!(pat.matches_str(r#"{"a": 1}"#));
+    assert!(!pat.matches_str("not json"));
+    assert!(pat.matches_bytes(br#"{"a": 1}"#));
+    assert!(!pat.matches_bytes(b"\xff\xff"));
+}
+
+#[test]
+fn validation_errors_name_the_path() {
+    assert!(perr(json!({})).message.contains("at least one"));
+    assert!(perr(json!(["a"])).message.contains("object"));
+    assert_eq!(perr(json!({"a": "scalar"})).path, "a");
+    assert_eq!(perr(json!({"a": []})).path, "a");
+    assert_eq!(perr(json!({"a": {"b": []}})).path, "a.b");
+    assert_eq!(perr(json!({"a": [{"bogus-kw": 1}]})).path, "a[0]");
+    assert_eq!(perr(json!({"a": [[1]]})).path, "a[0]");
+    assert!(perr(json!({"a": [{"numeric": [">"]}]})).message.contains("even-length"));
+    assert!(perr(json!({"a": [{"numeric": ["~", 1]}]})).message.contains("unknown numeric"));
+    assert!(perr(json!({"a": [{"cidr": "10.0.0.0/99"}]})).message.contains("CIDR"));
+    assert!(perr(json!({"a": [{"exists": "yes"}]})).message.contains("boolean"));
+    assert!(perr(json!({"$or": [{"a": [1]}]})).message.contains(">= 2"));
+    assert!(perr(json!({"$or": [{"a": [1]}, {"b": [2]}], "c": [3]}))
+        .message
+        .contains("sibling"));
+    assert!(perr(json!({"a": [{"prefix": "x", "suffix": "y"}]}))
+        .message
+        .contains("exactly one"));
+    assert!(perr(json!({"a": [{"anything-but": []}]})).message.contains("not be empty"));
+    assert!(PatternError { path: String::new(), message: "m".into() }.to_string().contains("m"));
+    assert!(Pattern::parse_str("{oops").is_err());
+}
+
+#[test]
+fn source_roundtrip() {
+    let doc = json!({"event_type": ["created"], "size": [{"numeric": [">", 0]}]});
+    let pat = Pattern::parse(&doc).unwrap();
+    assert_eq!(pat.source(), &doc);
+    // reparse of source yields an equal pattern
+    assert_eq!(Pattern::parse(pat.source()).unwrap().root(), pat.root());
+}
+
+// ---------- property tests ----------
+
+/// Strategy for JSON scalars.
+fn scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::from),
+        any::<i32>().prop_map(Value::from),
+        "[a-z]{0,8}".prop_map(Value::from),
+        Just(Value::Null),
+    ]
+}
+
+/// Strategy for flat JSON objects with scalar fields.
+fn flat_object() -> impl Strategy<Value = Value> {
+    proptest::collection::btree_map("[a-c]", scalar(), 1..4).prop_map(|m| {
+        Value::Object(m.into_iter().collect())
+    })
+}
+
+proptest! {
+    /// A pattern demanding exact equality on every field of an event
+    /// always matches that event.
+    #[test]
+    fn exact_pattern_matches_its_source(event in flat_object()) {
+        let obj = event.as_object().unwrap();
+        let pat_doc: Value = Value::Object(
+            obj.iter().map(|(k, v)| (k.clone(), json!([v]))).collect()
+        );
+        let pat = Pattern::parse(&pat_doc).unwrap();
+        prop_assert!(pat.matches(&event));
+    }
+
+    /// `anything-but` on a scalar is the complement of exact matching,
+    /// for present scalar fields.
+    #[test]
+    fn anything_but_complements_exact(v in scalar(), w in scalar()) {
+        prop_assume!(!matches!(v, Value::Null) && !matches!(w, Value::Null));
+        let exact = Pattern::parse(&json!({"x": [v]})).unwrap();
+        let but = Pattern::parse(&json!({"x": [{"anything-but": v}]})).unwrap();
+        let event = json!({"x": w});
+        prop_assert_eq!(exact.matches(&event), !but.matches(&event));
+    }
+
+    /// `exists: true` and `exists: false` partition all events.
+    #[test]
+    fn exists_partitions(event in flat_object()) {
+        let has = Pattern::parse(&json!({"a": [{"exists": true}]})).unwrap();
+        let not = Pattern::parse(&json!({"a": [{"exists": false}]})).unwrap();
+        prop_assert_ne!(has.matches(&event), not.matches(&event));
+    }
+
+    /// Adding an alternative to a leaf array never removes matches
+    /// (monotonicity of OR).
+    #[test]
+    fn leaf_or_is_monotone(event in flat_object(), v in scalar(), extra in scalar()) {
+        let narrow = Pattern::parse(&json!({"a": [v]})).unwrap();
+        let wide = Pattern::parse(&json!({"a": [v, extra]})).unwrap();
+        if narrow.matches(&event) {
+            prop_assert!(wide.matches(&event));
+        }
+    }
+
+    /// Wildcard `*` matches every string; a literal pattern (no
+    /// metacharacters) matches exactly itself.
+    #[test]
+    fn wildcard_star_and_literal(s in "[a-zA-Z0-9/._-]{0,20}") {
+        prop_assert!(crate::wildcard_match("*", &s));
+        prop_assert!(crate::wildcard_match(&s, &s));
+        let trailing = format!("{s}*");
+        let leading = format!("*{s}");
+        prop_assert!(crate::wildcard_match(&trailing, &s));
+        prop_assert!(crate::wildcard_match(&leading, &s));
+    }
+
+    /// Numeric `=` agrees with exact matching for integers.
+    #[test]
+    fn numeric_eq_agrees_with_exact(x in -1000i64..1000, y in -1000i64..1000) {
+        let exact = Pattern::parse(&json!({"n": [x]})).unwrap();
+        let num = Pattern::parse(&json!({"n": [{"numeric": ["=", x]}]})).unwrap();
+        let ev = json!({"n": y});
+        prop_assert_eq!(exact.matches(&ev), num.matches(&ev));
+    }
+
+    /// Parsing never panics on arbitrary flat documents.
+    #[test]
+    fn parse_is_total(doc in flat_object()) {
+        let _ = Pattern::parse(&doc);
+    }
+}

@@ -1,0 +1,90 @@
+//! Glob matching for `{"wildcard": "run-*.csv"}` patterns.
+//!
+//! `*` matches any run of characters (including empty); `?` matches
+//! exactly one character. The matcher is the classic two-pointer
+//! backtracking algorithm: linear in practice, O(n·m) worst case, no
+//! recursion, no allocation.
+
+/// Match `text` against `pattern` with `*`/`?` wildcards.
+pub fn wildcard_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern idx of '*', text idx to retry)
+
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some((pi, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            // backtrack: let the last '*' consume one more character
+            pi = sp + 1;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_match() {
+        assert!(wildcard_match("abc", "abc"));
+        assert!(!wildcard_match("abc", "abd"));
+        assert!(!wildcard_match("abc", "ab"));
+        assert!(!wildcard_match("ab", "abc"));
+        assert!(wildcard_match("", ""));
+        assert!(!wildcard_match("", "a"));
+    }
+
+    #[test]
+    fn star_semantics() {
+        assert!(wildcard_match("*", ""));
+        assert!(wildcard_match("*", "anything"));
+        assert!(wildcard_match("run-*.csv", "run-17.csv"));
+        assert!(wildcard_match("run-*.csv", "run-.csv")); // empty run
+        assert!(!wildcard_match("run-*.csv", "run-17.txt"));
+        assert!(wildcard_match("a*b*c", "aXXbYYc"));
+        assert!(!wildcard_match("a*b*c", "aXXcYYb"));
+    }
+
+    #[test]
+    fn question_mark_is_exactly_one() {
+        assert!(wildcard_match("a?c", "abc"));
+        assert!(!wildcard_match("a?c", "ac"));
+        assert!(!wildcard_match("a?c", "abbc"));
+    }
+
+    #[test]
+    fn backtracking_cases() {
+        assert!(wildcard_match("*aab", "aaab"));
+        assert!(wildcard_match("*a*a*a", "aaa"));
+        assert!(!wildcard_match("*a*a*a*a", "aaa"));
+        assert!(wildcard_match("x*yz", "xAAyAAyz"));
+    }
+
+    #[test]
+    fn unicode_is_per_char_not_per_byte() {
+        assert!(wildcard_match("?", "é"));
+        assert!(wildcard_match("caf?", "café"));
+        assert!(wildcard_match("*é", "café"));
+    }
+
+    #[test]
+    fn pathological_pattern_terminates_quickly() {
+        let text = "a".repeat(200);
+        let pattern = format!("{}b", "*a".repeat(50));
+        assert!(!wildcard_match(&pattern, &text));
+    }
+}

@@ -1,0 +1,127 @@
+//! A typed client over the OWS REST surface.
+
+use serde_json::{json, Value};
+
+use octopus_auth::AccessToken;
+use octopus_ows::{Method, OwsService, Request};
+use octopus_types::{OctoError, OctoResult, Uid};
+
+/// Typed access to the Octopus Web Service. The transport is the
+/// in-process router, so every call exercises the same dispatch, auth,
+/// and error-mapping path a remote HTTP client would.
+pub struct OctopusClient {
+    ows: OwsService,
+    token: AccessToken,
+}
+
+impl OctopusClient {
+    /// A client speaking for the holder of `token`.
+    pub fn new(ows: OwsService, token: AccessToken) -> Self {
+        OctopusClient { ows, token }
+    }
+
+    /// Replace the bearer token (after a refresh).
+    pub fn set_token(&mut self, token: AccessToken) {
+        self.token = token;
+    }
+
+    fn call(&self, method: Method, path: &str, body: Value) -> OctoResult<Value> {
+        let resp = self
+            .ows
+            .dispatch(&Request::new(method, path).bearer(self.token.clone()).body(body));
+        if resp.is_success() {
+            Ok(resp.body)
+        } else {
+            let msg = resp.body["error"].as_str().unwrap_or("unknown").to_string();
+            Err(match resp.status {
+                401 => OctoError::Unauthenticated(msg),
+                403 => OctoError::Unauthorized(msg),
+                404 => OctoError::NotFound(msg),
+                409 => OctoError::Conflict(msg),
+                400 => OctoError::Invalid(msg),
+                429 => OctoError::RateLimited(msg),
+                503 => OctoError::Unavailable(msg),
+                _ => OctoError::Internal(msg),
+            })
+        }
+    }
+
+    /// `PUT /topic/<topic>` with an optional config body.
+    pub fn register_topic(&self, topic: &str, config: Value) -> OctoResult<Value> {
+        self.call(Method::Put, &format!("/topic/{topic}"), config)
+    }
+
+    /// `GET /topics`.
+    pub fn list_topics(&self) -> OctoResult<Vec<String>> {
+        let v = self.call(Method::Get, "/topics", Value::Null)?;
+        Ok(v["topics"]
+            .as_array()
+            .map(|a| a.iter().filter_map(|t| t.as_str().map(String::from)).collect())
+            .unwrap_or_default())
+    }
+
+    /// `GET /topic/<topic>`.
+    pub fn topic_config(&self, topic: &str) -> OctoResult<Value> {
+        self.call(Method::Get, &format!("/topic/{topic}"), Value::Null)
+    }
+
+    /// `POST /topic/<topic>`.
+    pub fn set_topic_config(&self, topic: &str, config: Value) -> OctoResult<Value> {
+        self.call(Method::Post, &format!("/topic/{topic}"), config)
+    }
+
+    /// `POST /topic/<topic>/partitions`.
+    pub fn set_partitions(&self, topic: &str, partitions: u32) -> OctoResult<()> {
+        self.call(
+            Method::Post,
+            &format!("/topic/{topic}/partitions"),
+            json!({"partitions": partitions}),
+        )?;
+        Ok(())
+    }
+
+    /// `POST /topic/<topic>/user` (grant).
+    pub fn grant(&self, topic: &str, identity: Uid, permissions: &[&str]) -> OctoResult<()> {
+        self.call(
+            Method::Post,
+            &format!("/topic/{topic}/user"),
+            json!({"identity": identity.to_string(), "permissions": permissions, "action": "grant"}),
+        )?;
+        Ok(())
+    }
+
+    /// `POST /topic/<topic>/user` (revoke).
+    pub fn revoke(&self, topic: &str, identity: Uid, permissions: &[&str]) -> OctoResult<()> {
+        self.call(
+            Method::Post,
+            &format!("/topic/{topic}/user"),
+            json!({"identity": identity.to_string(), "permissions": permissions, "action": "revoke"}),
+        )?;
+        Ok(())
+    }
+
+    /// `DELETE /topic/<topic>`.
+    pub fn release_topic(&self, topic: &str) -> OctoResult<()> {
+        self.call(Method::Delete, &format!("/topic/{topic}"), Value::Null)?;
+        Ok(())
+    }
+
+    /// `GET /create_key`: returns (access key id, secret).
+    pub fn create_key(&self) -> OctoResult<(String, String)> {
+        let v = self.call(Method::Get, "/create_key", Value::Null)?;
+        Ok((
+            v["access_key_id"].as_str().unwrap_or_default().to_string(),
+            v["secret_access_key"].as_str().unwrap_or_default().to_string(),
+        ))
+    }
+
+    /// `PUT /trigger/`.
+    pub fn deploy_trigger(&self, spec: Value) -> OctoResult<Value> {
+        self.call(Method::Put, "/trigger", spec)
+    }
+
+    /// `GET /triggers/`.
+    pub fn list_triggers(&self) -> OctoResult<Value> {
+        self.call(Method::Get, "/triggers", Value::Null)
+    }
+}

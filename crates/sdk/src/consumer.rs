@@ -1,0 +1,621 @@
+//! The consumer-group consumer.
+//!
+//! "Consumers can consume messages either from the latest or the
+//! earliest offset, or after a certain timestamp ... By default,
+//! consumers periodically commit consuming offsets, which provides an
+//! at-least-once delivery guarantee. The commit window is adjustable and
+//! consumers can manually invoke the commit API" (§IV-F). All of that
+//! surface lives here.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use octopus_broker::Cluster;
+use octopus_types::{
+    DeliveredEvent, OctoError, OctoResult, Offset, PartitionId, Timestamp, TopicName, Uid,
+};
+
+/// Where a fresh consumer (no committed offset) starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OffsetReset {
+    /// Start from the earliest retained record.
+    #[default]
+    Earliest,
+    /// Start from the log end (only new records).
+    Latest,
+}
+
+/// Consumer configuration.
+#[derive(Debug, Clone)]
+pub struct ConsumerConfig {
+    /// Consumer group id.
+    pub group: String,
+    /// Auto-commit cadence; `None` disables auto-commit (manual only).
+    pub auto_commit_interval: Option<Duration>,
+    /// Max records returned by one `poll`.
+    pub max_poll_records: usize,
+    /// Max bytes returned by one `poll` (`receive.buffer.bytes` — the
+    /// paper raises it to 2 MB, §V-B).
+    pub receive_buffer_bytes: usize,
+    /// Where to start without a committed offset.
+    pub offset_reset: OffsetReset,
+}
+
+impl Default for ConsumerConfig {
+    fn default() -> Self {
+        ConsumerConfig {
+            group: "default".into(),
+            auto_commit_interval: Some(Duration::from_secs(5)),
+            max_poll_records: 500,
+            receive_buffer_bytes: 2 * 1024 * 1024,
+            offset_reset: OffsetReset::Earliest,
+        }
+    }
+}
+
+/// A consumer participating in a consumer group.
+pub struct Consumer {
+    cluster: Cluster,
+    config: ConsumerConfig,
+    member_id: String,
+    principal: Option<Uid>,
+    subscriptions: Vec<TopicName>,
+    generation: u64,
+    assignment: Vec<(TopicName, PartitionId)>,
+    /// Next offset to fetch per assigned partition.
+    positions: HashMap<(TopicName, PartitionId), Offset>,
+    /// Positions not yet committed.
+    dirty: HashMap<(TopicName, PartitionId), Offset>,
+    last_commit: Instant,
+    round_robin_start: usize,
+}
+
+impl Consumer {
+    /// A consumer over `cluster` (no broker-side principal).
+    pub fn new(cluster: Cluster, config: ConsumerConfig) -> Self {
+        Self::with_principal(cluster, config, None)
+    }
+
+    /// A consumer whose reads are authorized as `principal`.
+    pub fn with_principal(cluster: Cluster, config: ConsumerConfig, principal: Option<Uid>) -> Self {
+        let member_id = format!("member-{}", Uid::fresh());
+        Consumer {
+            cluster,
+            config,
+            member_id,
+            principal,
+            subscriptions: Vec::new(),
+            generation: 0,
+            assignment: Vec::new(),
+            positions: HashMap::new(),
+            dirty: HashMap::new(),
+            last_commit: Instant::now(),
+            round_robin_start: 0,
+        }
+    }
+
+    /// This consumer's member id within its group.
+    pub fn member_id(&self) -> &str {
+        &self.member_id
+    }
+
+    /// The current partition assignment.
+    pub fn assignment(&self) -> &[(TopicName, PartitionId)] {
+        &self.assignment
+    }
+
+    fn partition_counts(&self) -> HashMap<TopicName, u32> {
+        self.subscriptions
+            .iter()
+            .filter_map(|t| self.cluster.partition_count(t).ok().map(|n| (t.clone(), n)))
+            .collect()
+    }
+
+    /// Subscribe to topics, joining the consumer group (triggers a
+    /// rebalance).
+    pub fn subscribe(&mut self, topics: &[&str]) -> OctoResult<()> {
+        for t in topics {
+            if !self.cluster.topic_exists(t) {
+                return Err(OctoError::UnknownTopic(t.to_string()));
+            }
+            if let (Some(p), Some(acl)) = (self.principal, self.cluster.acl()) {
+                acl.check(t, p, octopus_auth::Permission::Read)?;
+            }
+        }
+        self.subscriptions = topics.iter().map(|t| t.to_string()).collect();
+        self.rejoin();
+        Ok(())
+    }
+
+    fn rejoin(&mut self) {
+        let counts = self.partition_counts();
+        let a = self.cluster.coordinator().join(
+            &self.config.group,
+            &self.member_id,
+            self.subscriptions.clone(),
+            &counts,
+        );
+        self.generation = a.generation;
+        self.assignment = a.partitions;
+        self.positions.clear();
+    }
+
+    fn refresh_assignment_if_stale(&mut self) {
+        if let Some(a) =
+            self.cluster.coordinator().assignment_of(&self.config.group, &self.member_id)
+        {
+            if a.generation != self.generation {
+                self.generation = a.generation;
+                self.assignment = a.partitions;
+                self.positions.clear();
+            }
+        }
+    }
+
+    fn position(&mut self, topic: &str, partition: PartitionId) -> OctoResult<Offset> {
+        if let Some(&p) = self.positions.get(&(topic.to_string(), partition)) {
+            return Ok(p);
+        }
+        let committed = self.cluster.coordinator().committed(&self.config.group, topic, partition);
+        let start = match committed {
+            Some(o) => o.max(self.cluster.earliest_offset(topic, partition)?),
+            None => match self.config.offset_reset {
+                OffsetReset::Earliest => self.cluster.earliest_offset(topic, partition)?,
+                OffsetReset::Latest => self.cluster.latest_offset(topic, partition)?,
+            },
+        };
+        self.positions.insert((topic.to_string(), partition), start);
+        Ok(start)
+    }
+
+    /// Fetch a batch of records from the assigned partitions. Returns
+    /// immediately with whatever is available (possibly empty). Runs the
+    /// auto-commit clock.
+    pub fn poll(&mut self) -> OctoResult<Vec<DeliveredEvent>> {
+        self.refresh_assignment_if_stale();
+        let mut out = Vec::new();
+        let mut bytes = 0usize;
+        let assignment = self.assignment.clone();
+        if assignment.is_empty() {
+            self.maybe_auto_commit();
+            return Ok(out);
+        }
+        // rotate the starting partition for fairness
+        let n = assignment.len();
+        self.round_robin_start = (self.round_robin_start + 1) % n;
+        for i in 0..n {
+            let (topic, partition) = &assignment[(self.round_robin_start + i) % n];
+            if out.len() >= self.config.max_poll_records
+                || bytes >= self.config.receive_buffer_bytes
+            {
+                break;
+            }
+            let pos = match self.position(topic, *partition) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            let budget = self.config.max_poll_records - out.len();
+            let records = match self.fetch_checked(topic, *partition, pos, budget) {
+                Ok(r) => r,
+                Err(OctoError::OffsetOutOfRange { earliest, .. }) => {
+                    // retention passed us by: jump forward (records lost,
+                    // consistent with at-least-once + finite retention)
+                    self.positions.insert((topic.clone(), *partition), earliest);
+                    continue;
+                }
+                Err(_) => continue,
+            };
+            if records.is_empty() {
+                continue;
+            }
+            let next = records.last().expect("non-empty").offset + 1;
+            self.positions.insert((topic.clone(), *partition), next);
+            self.dirty.insert((topic.clone(), *partition), next);
+            for r in records {
+                bytes += r.wire_size();
+                let mut event = r.to_event();
+                // transparent decompression of producer-compressed
+                // payloads (marked with the codec header)
+                if let Some(idx) = event
+                    .headers
+                    .iter()
+                    .position(|h| h.key == crate::producer::CODEC_HEADER)
+                {
+                    match octopus_types::codec::decompress(&event.payload) {
+                        Ok(plain) => {
+                            event.payload = plain.into();
+                            event.headers.remove(idx);
+                        }
+                        Err(_) => { /* deliver as-is; the app sees raw bytes */ }
+                    }
+                }
+                out.push(DeliveredEvent {
+                    topic: topic.clone(),
+                    partition: *partition,
+                    offset: r.offset,
+                    append_time: r.append_time,
+                    event,
+                });
+                if bytes >= self.config.receive_buffer_bytes {
+                    break;
+                }
+            }
+        }
+        self.maybe_auto_commit();
+        Ok(out)
+    }
+
+    fn fetch_checked(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        offset: Offset,
+        max: usize,
+    ) -> OctoResult<Vec<octopus_broker::Record>> {
+        match self.principal {
+            Some(p) => self.cluster.fetch_as(p, topic, partition, offset, max),
+            None => self.cluster.fetch(topic, partition, offset, max),
+        }
+    }
+
+    fn maybe_auto_commit(&mut self) {
+        if let Some(interval) = self.config.auto_commit_interval {
+            if self.last_commit.elapsed() >= interval {
+                let _ = self.commit_sync();
+            }
+        }
+    }
+
+    /// Commit the positions of everything returned by `poll` so far.
+    pub fn commit_sync(&mut self) -> OctoResult<()> {
+        let dirty = std::mem::take(&mut self.dirty);
+        for ((topic, partition), offset) in dirty {
+            match self.cluster.coordinator().commit(
+                &self.config.group,
+                self.generation,
+                &topic,
+                partition,
+                offset,
+            ) {
+                Ok(()) => {}
+                Err(OctoError::RebalanceInProgress(_)) => {
+                    // stale generation: rejoin; uncommitted records will
+                    // be redelivered (at-least-once)
+                    self.rejoin();
+                    return Err(OctoError::RebalanceInProgress(self.config.group.clone()));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.last_commit = Instant::now();
+        Ok(())
+    }
+
+    /// Seek every assigned partition of `topic` to its earliest offset.
+    pub fn seek_to_beginning(&mut self, topic: &str) -> OctoResult<()> {
+        for (t, p) in self.assignment.clone() {
+            if t == topic {
+                let o = self.cluster.earliest_offset(&t, p)?;
+                self.positions.insert((t, p), o);
+            }
+        }
+        Ok(())
+    }
+
+    /// Seek every assigned partition of `topic` to the log end.
+    pub fn seek_to_end(&mut self, topic: &str) -> OctoResult<()> {
+        for (t, p) in self.assignment.clone() {
+            if t == topic {
+                let o = self.cluster.latest_offset(&t, p)?;
+                self.positions.insert((t, p), o);
+            }
+        }
+        Ok(())
+    }
+
+    /// Seek every assigned partition of `topic` to the first record at
+    /// or after `ts`.
+    pub fn seek_to_timestamp(&mut self, topic: &str, ts: Timestamp) -> OctoResult<()> {
+        for (t, p) in self.assignment.clone() {
+            if t == topic {
+                let o = self.cluster.offset_for_timestamp(&t, p, ts)?;
+                self.positions.insert((t, p), o);
+            }
+        }
+        Ok(())
+    }
+
+    /// Leave the group (triggers a rebalance for survivors).
+    pub fn close(mut self) {
+        let _ = self.commit_sync();
+        self.leave();
+    }
+
+    fn leave(&mut self) {
+        if self.subscriptions.is_empty() {
+            return;
+        }
+        let counts = self.partition_counts();
+        self.cluster.coordinator().leave(&self.config.group, &self.member_id, &counts);
+        self.subscriptions.clear();
+    }
+}
+
+impl Drop for Consumer {
+    /// Dropping a consumer leaves its group *without* committing, so
+    /// uncommitted records are redelivered to the next member
+    /// (at-least-once). A real deployment would also evict crashed
+    /// members via session timeouts; in-process, drop is the hook.
+    fn drop(&mut self) {
+        self.leave();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_broker::{AckLevel, TopicConfig};
+    use octopus_types::Event;
+
+    fn ev(s: &str) -> Event {
+        Event::from_bytes(s.as_bytes().to_vec())
+    }
+
+    fn setup(partitions: u32) -> Cluster {
+        let c = Cluster::new(2);
+        c.create_topic("t", TopicConfig::default().with_partitions(partitions)).unwrap();
+        c
+    }
+
+    fn consumer(c: &Cluster, group: &str) -> Consumer {
+        Consumer::new(
+            c.clone(),
+            ConsumerConfig { group: group.into(), auto_commit_interval: None, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn consume_from_earliest() {
+        let c = setup(2);
+        for i in 0..20 {
+            c.produce("t", ev(&format!("{i}")), AckLevel::Leader).unwrap();
+        }
+        let mut consumer = consumer(&c, "g1");
+        consumer.subscribe(&["t"]).unwrap();
+        assert_eq!(consumer.assignment().len(), 2);
+        let mut got = Vec::new();
+        while got.len() < 20 {
+            let batch = consumer.poll().unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            got.extend(batch);
+        }
+        assert_eq!(got.len(), 20);
+    }
+
+    #[test]
+    fn latest_reset_skips_history() {
+        let c = setup(1);
+        for _ in 0..10 {
+            c.produce("t", ev("old"), AckLevel::Leader).unwrap();
+        }
+        let mut consumer = Consumer::new(
+            c.clone(),
+            ConsumerConfig {
+                group: "g".into(),
+                offset_reset: OffsetReset::Latest,
+                auto_commit_interval: None,
+                ..Default::default()
+            },
+        );
+        consumer.subscribe(&["t"]).unwrap();
+        assert!(consumer.poll().unwrap().is_empty(), "no history delivered");
+        c.produce("t", ev("new"), AckLevel::Leader).unwrap();
+        let batch = consumer.poll().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(&batch[0].event.payload[..], b"new");
+    }
+
+    #[test]
+    fn committed_offsets_survive_restart_at_least_once() {
+        let c = setup(1);
+        for i in 0..10 {
+            c.produce("t", ev(&format!("{i}")), AckLevel::Leader).unwrap();
+        }
+        let mut c1 = consumer(&c, "g");
+        c1.subscribe(&["t"]).unwrap();
+        let first = c1.poll().unwrap();
+        assert_eq!(first.len(), 10);
+        c1.commit_sync().unwrap();
+        for i in 10..15 {
+            c.produce("t", ev(&format!("{i}")), AckLevel::Leader).unwrap();
+        }
+        drop(c1); // crash without leaving the group cleanly
+        let mut c2 = consumer(&c, "g");
+        c2.subscribe(&["t"]).unwrap();
+        let second = c2.poll().unwrap();
+        // only the uncommitted tail is redelivered
+        assert_eq!(second.len(), 5);
+        assert_eq!(&second[0].event.payload[..], b"10");
+    }
+
+    #[test]
+    fn uncommitted_records_are_redelivered() {
+        let c = setup(1);
+        for i in 0..5 {
+            c.produce("t", ev(&format!("{i}")), AckLevel::Leader).unwrap();
+        }
+        {
+            let mut c1 = consumer(&c, "g");
+            c1.subscribe(&["t"]).unwrap();
+            let got = c1.poll().unwrap();
+            assert_eq!(got.len(), 5);
+            // no commit: crash
+        }
+        let mut c2 = consumer(&c, "g");
+        c2.subscribe(&["t"]).unwrap();
+        assert_eq!(c2.poll().unwrap().len(), 5, "at-least-once redelivery");
+    }
+
+    #[test]
+    fn independent_groups_see_all_events() {
+        let c = setup(1);
+        for _ in 0..7 {
+            c.produce("t", ev("x"), AckLevel::Leader).unwrap();
+        }
+        let mut a = consumer(&c, "ga");
+        let mut b = consumer(&c, "gb");
+        a.subscribe(&["t"]).unwrap();
+        b.subscribe(&["t"]).unwrap();
+        assert_eq!(a.poll().unwrap().len(), 7);
+        assert_eq!(b.poll().unwrap().len(), 7);
+    }
+
+    #[test]
+    fn group_members_split_partitions() {
+        let c = setup(4);
+        for i in 0..40 {
+            c.produce_batch(
+                "t",
+                (i % 4) as u32,
+                octopus_broker::RecordBatch::new(vec![ev(&format!("{i}"))]),
+                AckLevel::Leader,
+            )
+            .unwrap();
+        }
+        let mut m1 = consumer(&c, "g");
+        m1.subscribe(&["t"]).unwrap();
+        let mut m2 = consumer(&c, "g");
+        m2.subscribe(&["t"]).unwrap();
+        // m1 must refresh its assignment after m2's join
+        let mut got1 = Vec::new();
+        let mut got2 = Vec::new();
+        for _ in 0..10 {
+            got1.extend(m1.poll().unwrap());
+            got2.extend(m2.poll().unwrap());
+        }
+        assert_eq!(m1.assignment().len(), 2);
+        assert_eq!(m2.assignment().len(), 2);
+        assert_eq!(got1.len() + got2.len(), 40);
+        // disjoint offsets per partition
+        let mut seen = std::collections::HashSet::new();
+        for d in got1.iter().chain(got2.iter()) {
+            assert!(seen.insert((d.partition, d.offset)), "duplicate delivery");
+        }
+    }
+
+    #[test]
+    fn seek_apis() {
+        let c = setup(1);
+        let t0 = Timestamp::now();
+        for i in 0..5 {
+            c.produce("t", ev(&format!("{i}")), AckLevel::Leader).unwrap();
+        }
+        let mut cons = consumer(&c, "g");
+        cons.subscribe(&["t"]).unwrap();
+        assert_eq!(cons.poll().unwrap().len(), 5);
+        cons.seek_to_beginning("t").unwrap();
+        assert_eq!(cons.poll().unwrap().len(), 5, "replay after seek");
+        cons.seek_to_end("t").unwrap();
+        assert!(cons.poll().unwrap().is_empty());
+        cons.seek_to_timestamp("t", t0).unwrap();
+        assert_eq!(cons.poll().unwrap().len(), 5);
+        cons.seek_to_timestamp("t", Timestamp::from_millis(u64::MAX / 2)).unwrap();
+        assert!(cons.poll().unwrap().is_empty());
+    }
+
+    #[test]
+    fn close_leaves_group_and_commits() {
+        let c = setup(2);
+        for _ in 0..4 {
+            c.produce("t", ev("x"), AckLevel::Leader).unwrap();
+        }
+        let mut m1 = consumer(&c, "g");
+        m1.subscribe(&["t"]).unwrap();
+        let mut m2 = consumer(&c, "g");
+        m2.subscribe(&["t"]).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..5 {
+            got.extend(m1.poll().unwrap());
+            got.extend(m2.poll().unwrap());
+        }
+        assert_eq!(got.len(), 4);
+        m1.close();
+        assert_eq!(c.coordinator().member_count("g"), 1);
+        // m2 inherits everything on the next generation
+        m2.poll().unwrap();
+        assert_eq!(m2.assignment().len(), 2);
+    }
+
+    #[test]
+    fn subscribe_guards() {
+        let c = setup(1);
+        let mut cons = consumer(&c, "g");
+        assert!(matches!(cons.subscribe(&["ghost"]), Err(OctoError::UnknownTopic(_))));
+    }
+
+    #[test]
+    fn max_poll_records_respected() {
+        let c = setup(1);
+        for _ in 0..100 {
+            c.produce("t", ev("x"), AckLevel::Leader).unwrap();
+        }
+        let mut cons = Consumer::new(
+            c,
+            ConsumerConfig {
+                group: "g".into(),
+                max_poll_records: 10,
+                auto_commit_interval: None,
+                ..Default::default()
+            },
+        );
+        cons.subscribe(&["t"]).unwrap();
+        assert_eq!(cons.poll().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn receive_buffer_bytes_respected() {
+        let c = setup(1);
+        for _ in 0..100 {
+            c.produce("t", Event::from_bytes(vec![0u8; 1000]), AckLevel::Leader).unwrap();
+        }
+        let mut cons = Consumer::new(
+            c,
+            ConsumerConfig {
+                group: "g".into(),
+                receive_buffer_bytes: 5_000,
+                auto_commit_interval: None,
+                ..Default::default()
+            },
+        );
+        cons.subscribe(&["t"]).unwrap();
+        let batch = cons.poll().unwrap();
+        assert!(batch.len() <= 6, "got {}", batch.len());
+    }
+
+    #[test]
+    fn acl_enforced_consumer() {
+        use octopus_auth::AclStore;
+        let acl = AclStore::new();
+        let alice = Uid(1);
+        acl.register_topic("private", alice).unwrap();
+        let c = Cluster::builder(2).acl(acl).build();
+        c.create_topic("private", TopicConfig::default()).unwrap();
+        let mut bob_consumer = Consumer::with_principal(
+            c.clone(),
+            ConsumerConfig { group: "g".into(), ..Default::default() },
+            Some(Uid(2)),
+        );
+        assert!(matches!(
+            bob_consumer.subscribe(&["private"]),
+            Err(OctoError::Unauthorized(_))
+        ));
+        let mut alice_consumer = Consumer::with_principal(
+            c,
+            ConsumerConfig { group: "g2".into(), ..Default::default() },
+            Some(alice),
+        );
+        alice_consumer.subscribe(&["private"]).unwrap();
+    }
+}

@@ -1,0 +1,27 @@
+//! The Octopus client SDK — the Rust counterpart of the paper's Python
+//! SDK (§IV-E).
+//!
+//! - [`tokenstore`]: a small file-backed store for tokens and MSK
+//!   secrets ("tokens and MSK secrets are stored in a local SQLite
+//!   database and automatically refreshed as needed").
+//! - [`login`]: the login manager performing the auth flow and caching
+//!   tokens on the user's behalf, refreshing them when they expire.
+//! - [`client`]: a typed wrapper over the OWS REST routes.
+//! - [`producer`]: a batching, retrying producer with the paper's
+//!   configuration surface (`acks`, retries, `buffer.memory`,
+//!   `linger.ms`, batch size).
+//! - [`consumer`]: a consumer-group consumer with auto/manual offset
+//!   commit, seek to earliest/latest/timestamp, and
+//!   `receive.buffer.bytes`-style fetch limits.
+
+pub mod client;
+pub mod consumer;
+pub mod login;
+pub mod producer;
+pub mod tokenstore;
+
+pub use client::OctopusClient;
+pub use consumer::{Consumer, ConsumerConfig, OffsetReset};
+pub use login::LoginManager;
+pub use producer::{DeliveryReport, Producer, ProducerConfig};
+pub use tokenstore::TokenStore;

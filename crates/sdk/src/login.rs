@@ -1,0 +1,168 @@
+//! The login manager: authentication flow + token caching + refresh.
+//!
+//! "The SDK ... includes a Globus Auth login manager to perform an
+//! authentication flow and cache tokens on the user's behalf. Tokens and
+//! MSK secrets are stored in a local SQLite database and automatically
+//! refreshed as needed" (§IV-E).
+
+use std::sync::Arc;
+
+use octopus_auth::{AccessToken, AuthServer, Scope, TokenStatus};
+use octopus_types::{OctoError, OctoResult, Uid};
+
+use crate::tokenstore::TokenStore;
+
+/// Manages a user's tokens against an authorization server.
+pub struct LoginManager {
+    auth: AuthServer,
+    client_id: Uid,
+    store: Arc<TokenStore>,
+}
+
+impl LoginManager {
+    /// A manager for `client_id` (the registered SDK application),
+    /// caching into `store`.
+    pub fn new(auth: AuthServer, client_id: Uid, store: Arc<TokenStore>) -> Self {
+        LoginManager { auth, client_id, store }
+    }
+
+    /// Perform the authentication flow and cache the resulting tokens.
+    pub fn login(&self, username: &str, password: &str, scopes: Vec<Scope>) -> OctoResult<AccessToken> {
+        let (token, refresh, info) = self.auth.login(username, password, self.client_id, scopes)?;
+        self.store.put("access_token", token.as_str())?;
+        self.store.put("refresh_token", &refresh)?;
+        self.store.put("username", &info.username)?;
+        Ok(token)
+    }
+
+    /// The cached identity's username, if logged in.
+    pub fn username(&self) -> Option<String> {
+        self.store.get("username")
+    }
+
+    /// Whether a cached login exists (it may still be expired — `token`
+    /// will transparently refresh it).
+    pub fn is_logged_in(&self) -> bool {
+        self.store.get("access_token").is_some()
+    }
+
+    /// A valid access token: the cached one if still active, otherwise
+    /// refreshed via the cached refresh token ("automatically refreshed
+    /// as needed").
+    pub fn token(&self) -> OctoResult<AccessToken> {
+        let cached = self
+            .store
+            .get("access_token")
+            .ok_or_else(|| OctoError::Unauthenticated("not logged in".into()))?;
+        let token = AccessToken(cached);
+        match self.auth.introspect(&token).0 {
+            TokenStatus::Active => Ok(token),
+            _ => self.refresh(),
+        }
+    }
+
+    /// Force a refresh, rotating both tokens in the store.
+    pub fn refresh(&self) -> OctoResult<AccessToken> {
+        let refresh = self
+            .store
+            .get("refresh_token")
+            .ok_or_else(|| OctoError::Unauthenticated("no refresh token cached".into()))?;
+        let (token, _info) = self.auth.refresh(&refresh)?;
+        self.store.put("access_token", token.as_str())?;
+        if let Some(new_refresh) = self.auth.refresh_token_of(&token) {
+            self.store.put("refresh_token", &new_refresh)?;
+        }
+        Ok(token)
+    }
+
+    /// Drop the cached login.
+    pub fn logout(&self) -> OctoResult<()> {
+        if let Some(t) = self.store.get("access_token") {
+            self.auth.revoke(&AccessToken(t));
+        }
+        self.store.delete("access_token")?;
+        self.store.delete("refresh_token")?;
+        self.store.delete("username")?;
+        Ok(())
+    }
+
+    /// Cache an IAM key pair (MSK credentials) alongside the tokens.
+    pub fn store_iam_key(&self, key_id: &str, secret: &str) -> OctoResult<()> {
+        self.store.put("iam_key_id", key_id)?;
+        self.store.put("iam_secret", secret)
+    }
+
+    /// The cached IAM key pair, if any.
+    pub fn iam_key(&self) -> Option<(String, String)> {
+        Some((self.store.get("iam_key_id")?, self.store.get("iam_secret")?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_types::{ManualClock, Timestamp};
+    use std::time::Duration;
+
+    fn setup() -> (LoginManager, AuthServer, ManualClock) {
+        let clock = ManualClock::new(Timestamp::from_millis(0));
+        let auth = AuthServer::with_clock(Arc::new(clock.clone()));
+        auth.register_provider("anl.gov", "Argonne");
+        auth.register_user("ryan@anl.gov", "pw").unwrap();
+        let client = auth.register_client("octopus-sdk", vec![]);
+        let lm = LoginManager::new(auth.clone(), client.id, Arc::new(TokenStore::in_memory()));
+        (lm, auth, clock)
+    }
+
+    #[test]
+    fn login_caches_tokens() {
+        let (lm, _auth, _clock) = setup();
+        assert!(!lm.is_logged_in());
+        assert!(lm.token().is_err());
+        let t = lm.login("ryan@anl.gov", "pw", vec![Scope::new("ows:all")]).unwrap();
+        assert!(lm.is_logged_in());
+        assert_eq!(lm.username().as_deref(), Some("ryan@anl.gov"));
+        assert_eq!(lm.token().unwrap(), t);
+    }
+
+    #[test]
+    fn expired_token_is_refreshed_transparently() {
+        let (lm, auth, clock) = setup();
+        auth.set_token_ttl(Duration::from_secs(60));
+        let t1 = lm.login("ryan@anl.gov", "pw", vec![]).unwrap();
+        clock.advance(Duration::from_secs(120));
+        let t2 = lm.token().unwrap();
+        assert_ne!(t1, t2, "token must rotate");
+        assert_eq!(auth.introspect(&t2).0, TokenStatus::Active);
+        // repeated refreshes keep working (refresh token rotates too)
+        clock.advance(Duration::from_secs(120));
+        let t3 = lm.token().unwrap();
+        assert_ne!(t2, t3);
+        assert_eq!(auth.introspect(&t3).0, TokenStatus::Active);
+    }
+
+    #[test]
+    fn logout_revokes_and_clears() {
+        let (lm, auth, _clock) = setup();
+        let t = lm.login("ryan@anl.gov", "pw", vec![]).unwrap();
+        lm.logout().unwrap();
+        assert!(!lm.is_logged_in());
+        assert_eq!(auth.introspect(&t).0, TokenStatus::Revoked);
+        assert!(lm.token().is_err());
+    }
+
+    #[test]
+    fn iam_keys_cached() {
+        let (lm, _auth, _clock) = setup();
+        assert!(lm.iam_key().is_none());
+        lm.store_iam_key("OKIA123", "s3cr3t").unwrap();
+        assert_eq!(lm.iam_key(), Some(("OKIA123".into(), "s3cr3t".into())));
+    }
+
+    #[test]
+    fn bad_credentials_leave_store_clean() {
+        let (lm, _auth, _clock) = setup();
+        assert!(lm.login("ryan@anl.gov", "wrong", vec![]).is_err());
+        assert!(!lm.is_logged_in());
+    }
+}

@@ -1,0 +1,558 @@
+//! The batching, retrying producer.
+//!
+//! Configuration mirrors the knobs the paper tunes: `acks` (Table III
+//! #2–#4), retry count ("the SDK producer retries a configurable number
+//! of times before failing", §IV-F), `buffer.memory` ("we reduce the
+//! producer's buffer.memory to 256 KB", §V-B), `linger.ms` and batch
+//! size (the batching that makes small-event throughput possible).
+//!
+//! Architecture: `send` enqueues into a bounded in-memory buffer; a
+//! background sender thread groups events per (topic, partition) and
+//! flushes batches when they reach `batch_events`/`batch_bytes` or when
+//! `linger` expires. Delivery reports come back over a channel handle.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+
+use octopus_broker::{AckLevel, Cluster, ProduceReceipt, RecordBatch};
+use octopus_types::{
+    codec, Codec, Event, OctoError, OctoResult, PartitionId, TopicName, Uid,
+};
+
+/// Producer configuration.
+#[derive(Debug, Clone)]
+pub struct ProducerConfig {
+    /// Acknowledgment level.
+    pub acks: AckLevel,
+    /// Retries for retriable errors before reporting failure.
+    pub retries: u32,
+    /// Delay between retries.
+    pub retry_backoff: Duration,
+    /// Upper bound on buffered (unsent) bytes — `buffer.memory`.
+    pub buffer_memory: usize,
+    /// How long a non-full batch may linger before flushing.
+    pub linger: Duration,
+    /// Max events per batch.
+    pub batch_events: usize,
+    /// Max bytes per batch.
+    pub batch_bytes: usize,
+    /// Payload compression (a §VII-C cost-mitigation lever: egress is
+    /// billed per byte). Compressed events carry an `octopus-codec`
+    /// header; the consumer decompresses transparently.
+    pub codec: Codec,
+}
+
+impl Default for ProducerConfig {
+    fn default() -> Self {
+        ProducerConfig {
+            acks: AckLevel::Leader,
+            retries: 3,
+            retry_backoff: Duration::from_millis(10),
+            buffer_memory: 256 * 1024, // the paper's tuned value
+            linger: Duration::from_millis(5),
+            batch_events: 500,
+            batch_bytes: 64 * 1024,
+            codec: Codec::None,
+        }
+    }
+}
+
+/// Header marking a compressed payload; the value is the frame version.
+pub const CODEC_HEADER: &str = "octopus-codec";
+
+/// The outcome of one sent event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeliveryReport {
+    /// Acknowledged at the configured level.
+    Delivered(ProduceReceipt),
+    /// Failed after exhausting retries.
+    Failed(OctoError),
+}
+
+struct Pending {
+    topic: TopicName,
+    partition: PartitionId,
+    event: Event,
+    size: usize,
+    report: Sender<DeliveryReport>,
+}
+
+/// A handle resolving to the delivery report of one `send`.
+#[derive(Debug)]
+pub struct DeliveryHandle {
+    rx: Receiver<DeliveryReport>,
+}
+
+impl DeliveryHandle {
+    /// Block until the report arrives.
+    pub fn wait(self) -> DeliveryReport {
+        self.rx
+            .recv()
+            .unwrap_or(DeliveryReport::Failed(OctoError::Internal("producer closed".into())))
+    }
+
+    /// Non-blocking check.
+    pub fn try_get(&self) -> Option<DeliveryReport> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// The producer client.
+pub struct Producer {
+    tx: Sender<Pending>,
+    buffered_bytes: Arc<AtomicUsize>,
+    config: ProducerConfig,
+    cluster: Cluster,
+    closed: Arc<AtomicBool>,
+    sender_thread: Option<std::thread::JoinHandle<()>>,
+    flush_signal: Sender<Sender<()>>,
+}
+
+impl Producer {
+    /// A producer publishing to `cluster` with no broker-side principal
+    /// (ACL-free clusters).
+    pub fn new(cluster: Cluster, config: ProducerConfig) -> Self {
+        Self::with_principal(cluster, config, None)
+    }
+
+    /// A producer whose writes are authorized as `principal`.
+    pub fn with_principal(
+        cluster: Cluster,
+        config: ProducerConfig,
+        principal: Option<Uid>,
+    ) -> Self {
+        let (tx, rx) = unbounded::<Pending>();
+        let (flush_tx, flush_rx) = unbounded::<Sender<()>>();
+        let buffered = Arc::new(AtomicUsize::new(0));
+        let closed = Arc::new(AtomicBool::new(false));
+        let worker = SenderWorker {
+            rx,
+            flush_rx,
+            cluster: cluster.clone(),
+            config: config.clone(),
+            buffered: buffered.clone(),
+            principal,
+        };
+        let handle = std::thread::spawn(move || worker.run());
+        Producer {
+            tx,
+            buffered_bytes: buffered,
+            config,
+            cluster,
+            closed,
+            sender_thread: Some(handle),
+            flush_signal: flush_tx,
+        }
+    }
+
+    /// Queue an event for delivery. Fails fast with `BufferFull` when
+    /// `buffer.memory` is exhausted (the producer never blocks the
+    /// caller — scientific event sources cannot stall instruments).
+    pub fn send(&self, topic: &str, event: Event) -> OctoResult<DeliveryHandle> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(OctoError::Internal("producer closed".into()));
+        }
+        let event = match self.config.codec {
+            Codec::None => event,
+            c => {
+                let compressed = codec::compress(c, &event.payload);
+                let mut e = event;
+                e.payload = compressed.into();
+                e.headers.push(octopus_types::Header {
+                    key: CODEC_HEADER.to_string(),
+                    value: b"1".to_vec(),
+                });
+                e
+            }
+        };
+        let size = event.wire_size();
+        let current = self.buffered_bytes.load(Ordering::Acquire);
+        if current + size > self.config.buffer_memory {
+            return Err(OctoError::BufferFull { capacity_bytes: self.config.buffer_memory });
+        }
+        let partition = self.cluster.partition_for(topic, event.key.as_deref())?;
+        let (report_tx, report_rx) = bounded(1);
+        self.buffered_bytes.fetch_add(size, Ordering::AcqRel);
+        let pending = Pending {
+            topic: topic.to_string(),
+            partition,
+            event,
+            size,
+            report: report_tx,
+        };
+        match self.tx.try_send(pending) {
+            Ok(()) => Ok(DeliveryHandle { rx: report_rx }),
+            Err(TrySendError::Full(p)) | Err(TrySendError::Disconnected(p)) => {
+                self.buffered_bytes.fetch_sub(p.size, Ordering::AcqRel);
+                Err(OctoError::Internal("producer channel closed".into()))
+            }
+        }
+    }
+
+    /// Send and wait for the delivery report (convenience).
+    pub fn send_sync(&self, topic: &str, event: Event) -> OctoResult<ProduceReceipt> {
+        match self.send(topic, event)?.wait() {
+            DeliveryReport::Delivered(r) => Ok(r),
+            DeliveryReport::Failed(e) => Err(e),
+        }
+    }
+
+    /// Flush all buffered events and wait for their delivery.
+    pub fn flush(&self) {
+        let (done_tx, done_rx) = bounded(1);
+        if self.flush_signal.send(done_tx).is_ok() {
+            let _ = done_rx.recv();
+        }
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered_bytes(&self) -> usize {
+        self.buffered_bytes.load(Ordering::Acquire)
+    }
+
+    /// Flush and shut down the sender thread.
+    pub fn close(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.flush();
+        // dropping tx by replacing it ends the worker loop
+        let (dead_tx, _) = unbounded();
+        self.tx = dead_tx;
+        if let Some(h) = self.sender_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Producer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+struct SenderWorker {
+    rx: Receiver<Pending>,
+    flush_rx: Receiver<Sender<()>>,
+    cluster: Cluster,
+    config: ProducerConfig,
+    buffered: Arc<AtomicUsize>,
+    principal: Option<Uid>,
+}
+
+struct OpenBatch {
+    events: Vec<Event>,
+    reporters: Vec<(Sender<DeliveryReport>, usize)>,
+    bytes: usize,
+    opened: Instant,
+}
+
+impl SenderWorker {
+    fn run(self) {
+        let mut batches: HashMap<(TopicName, PartitionId), OpenBatch> = HashMap::new();
+        loop {
+            // answer flush requests
+            while let Ok(done) = self.flush_rx.try_recv() {
+                // drain everything queued, then all open batches
+                while let Ok(p) = self.rx.try_recv() {
+                    self.add(&mut batches, p);
+                }
+                let keys: Vec<_> = batches.keys().cloned().collect();
+                for k in keys {
+                    if let Some(b) = batches.remove(&k) {
+                        self.dispatch(&k.0, k.1, b);
+                    }
+                }
+                let _ = done.send(());
+            }
+            match self.rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(p) => {
+                    let key = (p.topic.clone(), p.partition);
+                    self.add(&mut batches, p);
+                    let full = batches
+                        .get(&key)
+                        .map(|b| {
+                            b.events.len() >= self.config.batch_events
+                                || b.bytes >= self.config.batch_bytes
+                        })
+                        .unwrap_or(false);
+                    if full {
+                        if let Some(b) = batches.remove(&key) {
+                            self.dispatch(&key.0, key.1, b);
+                        }
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    // final drain, then exit
+                    let keys: Vec<_> = batches.keys().cloned().collect();
+                    for k in keys {
+                        if let Some(b) = batches.remove(&k) {
+                            self.dispatch(&k.0, k.1, b);
+                        }
+                    }
+                    return;
+                }
+            }
+            // linger expiry
+            let now = Instant::now();
+            let expired: Vec<_> = batches
+                .iter()
+                .filter(|(_, b)| now.duration_since(b.opened) >= self.config.linger)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for k in expired {
+                if let Some(b) = batches.remove(&k) {
+                    self.dispatch(&k.0, k.1, b);
+                }
+            }
+        }
+    }
+
+    fn add(&self, batches: &mut HashMap<(TopicName, PartitionId), OpenBatch>, p: Pending) {
+        let batch = batches.entry((p.topic, p.partition)).or_insert_with(|| OpenBatch {
+            events: Vec::new(),
+            reporters: Vec::new(),
+            bytes: 0,
+            opened: Instant::now(),
+        });
+        batch.bytes += p.size;
+        batch.events.push(p.event);
+        batch.reporters.push((p.report, p.size));
+    }
+
+    fn dispatch(&self, topic: &str, partition: PartitionId, batch: OpenBatch) {
+        let record_batch = RecordBatch::new(batch.events);
+        let mut result = Err(OctoError::Internal("never attempted".into()));
+        for attempt in 0..=self.config.retries {
+            result = match self.principal {
+                Some(p) => {
+                    // per-event authorization shares one check per batch
+                    self.cluster
+                        .acl()
+                        .map(|acl| acl.check(topic, p, octopus_auth::Permission::Write))
+                        .unwrap_or(Ok(()))
+                        .and_then(|()| {
+                            self.cluster.produce_batch(
+                                topic,
+                                partition,
+                                record_batch.clone(),
+                                self.config.acks,
+                            )
+                        })
+                }
+                None => self.cluster.produce_batch(
+                    topic,
+                    partition,
+                    record_batch.clone(),
+                    self.config.acks,
+                ),
+            };
+            match &result {
+                Ok(_) => break,
+                Err(e) if e.is_retriable() && attempt < self.config.retries => {
+                    std::thread::sleep(self.config.retry_backoff);
+                }
+                Err(_) => break,
+            }
+        }
+        let total: usize = batch.reporters.iter().map(|(_, s)| s).sum();
+        self.buffered.fetch_sub(total, Ordering::AcqRel);
+        match result {
+            Ok(receipt) => {
+                for (i, (reporter, _)) in batch.reporters.into_iter().enumerate() {
+                    let _ = reporter.send(DeliveryReport::Delivered(ProduceReceipt {
+                        partition,
+                        base_offset: receipt.base_offset + i as u64,
+                        count: 1,
+                        persisted: receipt.persisted,
+                    }));
+                }
+            }
+            Err(e) => {
+                for (reporter, _) in batch.reporters {
+                    let _ = reporter.send(DeliveryReport::Failed(e.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_broker::TopicConfig;
+
+    fn ev(s: &str) -> Event {
+        Event::from_bytes(s.as_bytes().to_vec())
+    }
+
+    fn setup() -> (Cluster, Producer) {
+        let c = Cluster::new(2);
+        c.create_topic("t", TopicConfig::default()).unwrap();
+        let p = Producer::new(c.clone(), ProducerConfig::default());
+        (c, p)
+    }
+
+    #[test]
+    fn send_sync_delivers() {
+        let (c, p) = setup();
+        let r = p.send_sync("t", ev("hello")).unwrap();
+        assert!(r.persisted);
+        let recs = c.fetch("t", r.partition, r.base_offset, 10).unwrap();
+        assert_eq!(&recs[0].value[..], b"hello");
+    }
+
+    #[test]
+    fn async_sends_batch_and_all_deliver() {
+        let (c, p) = setup();
+        let handles: Vec<DeliveryHandle> = (0..100)
+            .map(|i| {
+                p.send("t", Event::builder().key("k").payload(format!("{i}").into_bytes()).build())
+                    .unwrap()
+            })
+            .collect();
+        p.flush();
+        let mut offsets = Vec::new();
+        for h in handles {
+            match h.wait() {
+                DeliveryReport::Delivered(r) => offsets.push(r.base_offset),
+                DeliveryReport::Failed(e) => panic!("delivery failed: {e}"),
+            }
+        }
+        offsets.sort_unstable();
+        offsets.dedup();
+        assert_eq!(offsets.len(), 100, "each event got a distinct offset");
+        // keyed: all in one partition, in order
+        let part = c.partition_for("t", Some(b"k")).unwrap();
+        let recs = c.fetch("t", part, 0, 1000).unwrap();
+        assert_eq!(recs.len(), 100);
+    }
+
+    #[test]
+    fn buffer_memory_bounds_queueing() {
+        let c = Cluster::new(2);
+        c.create_topic("t", TopicConfig::default()).unwrap();
+        let p = Producer::new(
+            c,
+            ProducerConfig {
+                buffer_memory: 1024,
+                linger: Duration::from_secs(60), // keep events buffered
+                ..Default::default()
+            },
+        );
+        let payload = vec![0u8; 512];
+        assert!(p.send("t", Event::from_bytes(payload.clone())).is_ok());
+        assert!(p.send("t", Event::from_bytes(payload.clone())).is_ok());
+        let err = p.send("t", Event::from_bytes(payload)).unwrap_err();
+        assert!(matches!(err, OctoError::BufferFull { .. }));
+        // flushing frees the buffer
+        p.flush();
+        assert_eq!(p.buffered_bytes(), 0);
+        assert!(p.send("t", Event::from_bytes(vec![0u8; 512])).is_ok());
+    }
+
+    #[test]
+    fn unknown_topic_fails_delivery() {
+        let (_c, p) = setup();
+        assert!(matches!(p.send("ghost", ev("x")), Err(OctoError::UnknownTopic(_))));
+    }
+
+    #[test]
+    fn retries_recover_from_transient_broker_failure() {
+        let c = Cluster::new(2);
+        c.create_topic("t", TopicConfig::default().with_partitions(1)).unwrap();
+        let p = Producer::new(
+            c.clone(),
+            ProducerConfig {
+                retries: 50,
+                retry_backoff: Duration::from_millis(5),
+                ..Default::default()
+            },
+        );
+        // kill every broker, then restart them shortly after
+        c.kill_broker(octopus_broker::BrokerId(0));
+        c.kill_broker(octopus_broker::BrokerId(1));
+        let c2 = c.clone();
+        let healer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            c2.restart_broker(octopus_broker::BrokerId(0)).unwrap();
+            c2.restart_broker(octopus_broker::BrokerId(1)).unwrap();
+        });
+        let r = p.send_sync("t", ev("persistent"));
+        healer.join().unwrap();
+        assert!(r.is_ok(), "retries should outlast the outage: {r:?}");
+    }
+
+    #[test]
+    fn close_flushes_outstanding_events() {
+        let (c, p) = setup();
+        for i in 0..10 {
+            let e = Event::builder().key("k").payload(format!("{i}").into_bytes()).build();
+            p.send("t", e).unwrap();
+        }
+        p.close();
+        let part = c.partition_for("t", Some(b"k")).unwrap();
+        assert_eq!(c.fetch("t", part, 0, 100).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn compressed_events_roundtrip_through_fabric() {
+        use crate::consumer::{Consumer, ConsumerConfig};
+        let c = Cluster::new(2);
+        c.create_topic("t", TopicConfig::default()).unwrap();
+        let p = Producer::new(
+            c.clone(),
+            ProducerConfig { codec: octopus_types::Codec::Lzss, ..Default::default() },
+        );
+        let payload = serde_json::to_vec(&serde_json::json!({
+            "event_type": "created",
+            "path": "/pfs/experiment/run-000001/out.h5",
+            "padding": "x".repeat(500),
+        }))
+        .unwrap();
+        let r = p.send_sync("t", Event::from_bytes(payload.clone())).unwrap();
+        // at rest the payload is smaller than the original
+        let stored = c.fetch("t", r.partition, r.base_offset, 1).unwrap();
+        assert!(stored[0].value.len() < payload.len(), "stored {} vs {}", stored[0].value.len(), payload.len());
+        // the consumer transparently decompresses
+        let mut cons = Consumer::new(
+            c,
+            ConsumerConfig { group: "g".into(), auto_commit_interval: None, ..Default::default() },
+        );
+        cons.subscribe(&["t"]).unwrap();
+        let got = cons.poll().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(&got[0].event.payload[..], &payload[..]);
+        // the codec header was consumed by the decompression layer
+        assert!(!got[0].event.headers.iter().any(|h| h.key == CODEC_HEADER));
+    }
+
+    #[test]
+    fn acl_enforced_producer() {
+        use octopus_auth::{AclStore, Permission};
+        let acl = AclStore::new();
+        let alice = Uid(1);
+        let bob = Uid(2);
+        acl.register_topic("private", alice).unwrap();
+        acl.grant("private", alice, bob, &[Permission::Describe]).unwrap(); // no write
+        let c = Cluster::builder(2).acl(acl).build();
+        c.create_topic("private", TopicConfig::default()).unwrap();
+        let p_alice =
+            Producer::with_principal(c.clone(), ProducerConfig::default(), Some(alice));
+        let p_bob = Producer::with_principal(c.clone(), ProducerConfig::default(), Some(bob));
+        assert!(p_alice.send_sync("private", ev("ok")).is_ok());
+        assert!(matches!(
+            p_bob.send_sync("private", ev("nope")),
+            Err(OctoError::Unauthorized(_))
+        ));
+    }
+}

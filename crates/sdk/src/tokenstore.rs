@@ -1,0 +1,246 @@
+//! A small durable key-value store for tokens and secrets.
+//!
+//! The Python SDK keeps "tokens and MSK secrets ... in a local SQLite
+//! database" (§IV-E). Here we implement a crash-safe file store: an
+//! append-only JSON-lines log, replayed on open and compacted via an
+//! atomic temp-file + rename when it grows. An in-memory mode backs
+//! tests and ephemeral clients.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use octopus_types::{OctoError, OctoResult};
+
+#[derive(Debug, Serialize, Deserialize)]
+enum LogEntry {
+    Put { key: String, value: String },
+    Delete { key: String },
+}
+
+enum Backing {
+    Memory,
+    File { path: PathBuf, appender: File, entries_since_compact: usize },
+}
+
+/// Durable (or in-memory) token/secret storage.
+pub struct TokenStore {
+    map: Mutex<BTreeMap<String, String>>,
+    backing: Mutex<Backing>,
+}
+
+/// Compact once the log holds this many entries beyond the live set.
+const COMPACT_THRESHOLD: usize = 1024;
+
+impl TokenStore {
+    /// An in-memory store (nothing persists).
+    pub fn in_memory() -> Self {
+        TokenStore { map: Mutex::new(BTreeMap::new()), backing: Mutex::new(Backing::Memory) }
+    }
+
+    /// Open (or create) a file-backed store at `path`, replaying any
+    /// existing log. Partial trailing lines (torn writes) are ignored.
+    pub fn open(path: impl AsRef<Path>) -> OctoResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut map = BTreeMap::new();
+        if path.exists() {
+            let file = File::open(&path)
+                .map_err(|e| OctoError::Internal(format!("open {path:?}: {e}")))?;
+            for line in BufReader::new(file).lines() {
+                let Ok(line) = line else { break };
+                match serde_json::from_str::<LogEntry>(&line) {
+                    Ok(LogEntry::Put { key, value }) => {
+                        map.insert(key, value);
+                    }
+                    Ok(LogEntry::Delete { key }) => {
+                        map.remove(&key);
+                    }
+                    Err(_) => break, // torn tail
+                }
+            }
+        }
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)
+                    .map_err(|e| OctoError::Internal(format!("mkdir {parent:?}: {e}")))?;
+            }
+        }
+        let appender = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| OctoError::Internal(format!("append {path:?}: {e}")))?;
+        Ok(TokenStore {
+            map: Mutex::new(map),
+            backing: Mutex::new(Backing::File { path, appender, entries_since_compact: 0 }),
+        })
+    }
+
+    fn append(&self, entry: &LogEntry) -> OctoResult<()> {
+        let mut backing = self.backing.lock();
+        if let Backing::File { appender, entries_since_compact, .. } = &mut *backing {
+            let line = serde_json::to_string(entry)?;
+            appender
+                .write_all(line.as_bytes())
+                .and_then(|_| appender.write_all(b"\n"))
+                .and_then(|_| appender.flush())
+                .map_err(|e| OctoError::Internal(format!("write token store: {e}")))?;
+            *entries_since_compact += 1;
+            if *entries_since_compact >= COMPACT_THRESHOLD {
+                let map = self.map.lock().clone();
+                Self::compact_locked(&mut backing, &map)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn compact_locked(backing: &mut Backing, map: &BTreeMap<String, String>) -> OctoResult<()> {
+        let Backing::File { path, appender, entries_since_compact } = backing else {
+            return Ok(());
+        };
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)
+                .map_err(|e| OctoError::Internal(format!("create {tmp:?}: {e}")))?;
+            for (key, value) in map {
+                let line = serde_json::to_string(&LogEntry::Put {
+                    key: key.clone(),
+                    value: value.clone(),
+                })?;
+                f.write_all(line.as_bytes())
+                    .and_then(|_| f.write_all(b"\n"))
+                    .map_err(|e| OctoError::Internal(format!("compact write: {e}")))?;
+            }
+            f.sync_all().map_err(|e| OctoError::Internal(format!("sync: {e}")))?;
+        }
+        fs::rename(&tmp, &*path).map_err(|e| OctoError::Internal(format!("rename: {e}")))?;
+        *appender = OpenOptions::new()
+            .append(true)
+            .open(&*path)
+            .map_err(|e| OctoError::Internal(format!("reopen: {e}")))?;
+        *entries_since_compact = 0;
+        Ok(())
+    }
+
+    /// Store a value.
+    pub fn put(&self, key: &str, value: &str) -> OctoResult<()> {
+        self.map.lock().insert(key.to_string(), value.to_string());
+        self.append(&LogEntry::Put { key: key.to_string(), value: value.to_string() })
+    }
+
+    /// Fetch a value.
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.map.lock().get(key).cloned()
+    }
+
+    /// Remove a value.
+    pub fn delete(&self, key: &str) -> OctoResult<()> {
+        self.map.lock().remove(key);
+        self.append(&LogEntry::Delete { key: key.to_string() })
+    }
+
+    /// All keys, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        self.map.lock().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("octo-tokenstore-{}-{name}.jsonl", std::process::id()));
+        let _ = fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn memory_store_crud() {
+        let s = TokenStore::in_memory();
+        assert!(s.get("a").is_none());
+        s.put("a", "1").unwrap();
+        s.put("b", "2").unwrap();
+        assert_eq!(s.get("a").as_deref(), Some("1"));
+        assert_eq!(s.keys(), vec!["a", "b"]);
+        s.delete("a").unwrap();
+        assert!(s.get("a").is_none());
+    }
+
+    #[test]
+    fn file_store_persists_across_reopen() {
+        let p = tmp_path("persist");
+        {
+            let s = TokenStore::open(&p).unwrap();
+            s.put("access_token", "at_123").unwrap();
+            s.put("refresh_token", "rt_456").unwrap();
+            s.put("access_token", "at_789").unwrap(); // overwrite
+            s.delete("refresh_token").unwrap();
+        }
+        let s = TokenStore::open(&p).unwrap();
+        assert_eq!(s.get("access_token").as_deref(), Some("at_789"));
+        assert!(s.get("refresh_token").is_none());
+        let _ = fs::remove_file(&p);
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let p = tmp_path("torn");
+        {
+            let s = TokenStore::open(&p).unwrap();
+            s.put("good", "1").unwrap();
+        }
+        // simulate a crash mid-write
+        let mut f = OpenOptions::new().append(true).open(&p).unwrap();
+        f.write_all(b"{\"Put\":{\"key\":\"bad\"").unwrap();
+        drop(f);
+        let s = TokenStore::open(&p).unwrap();
+        assert_eq!(s.get("good").as_deref(), Some("1"));
+        assert!(s.get("bad").is_none());
+        let _ = fs::remove_file(&p);
+    }
+
+    #[test]
+    fn compaction_shrinks_the_log() {
+        let p = tmp_path("compact");
+        {
+            let s = TokenStore::open(&p).unwrap();
+            for i in 0..(COMPACT_THRESHOLD + 10) {
+                s.put("hot-key", &format!("v{i}")).unwrap();
+            }
+        }
+        let size = fs::metadata(&p).unwrap().len();
+        assert!(size < 10_000, "log should have compacted, size {size}");
+        let s = TokenStore::open(&p).unwrap();
+        assert_eq!(s.get("hot-key").as_deref(), Some(&*format!("v{}", COMPACT_THRESHOLD + 9)));
+        let _ = fs::remove_file(&p);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_corrupt() {
+        let p = tmp_path("concurrent");
+        let s = std::sync::Arc::new(TokenStore::open(&p).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    s.put(&format!("k{t}-{i}"), "v").unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.keys().len(), 200);
+        drop(s);
+        let s = TokenStore::open(&p).unwrap();
+        assert_eq!(s.keys().len(), 200);
+        let _ = fs::remove_file(&p);
+    }
+}

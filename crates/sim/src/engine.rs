@@ -1,0 +1,270 @@
+//! The simulation engine: a time-ordered event queue and a virtual clock.
+//!
+//! The engine is generic over a user-supplied world state `S`. Scheduled
+//! events are closures receiving `(&mut Simulation<S>, &mut S)` so they
+//! can both mutate the world and schedule follow-up events. This
+//! "callback DES" style keeps the kernel tiny while supporting every
+//! pattern the fabric model needs (request/response chains, periodic
+//! evaluators, autoscaler ticks).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+type EventFn<S> = Box<dyn FnOnce(&mut Simulation<S>, &mut S)>;
+
+/// Identifies a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+struct Scheduled<S> {
+    time: SimTime,
+    seq: u64,
+    f: EventFn<S>,
+}
+
+// Ordering on (time, seq) only; the closure is irrelevant.
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// ```
+/// use octopus_sim::{Simulation, SimDuration};
+///
+/// let mut sim = Simulation::new(0u32);
+/// sim.schedule_in(SimDuration::from_millis(5), |sim, count| {
+///     *count += 1;
+///     sim.schedule_in(SimDuration::from_millis(5), |_, count| *count += 10);
+/// });
+/// let world = sim.run();
+/// assert_eq!(world, 11);
+/// ```
+pub struct Simulation<S> {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Scheduled<S>>>,
+    next_seq: u64,
+    cancelled: HashSet<u64>,
+    executed: u64,
+    world: Option<S>,
+}
+
+impl<S> Simulation<S> {
+    /// Create a simulation owning `world`.
+    pub fn new(world: S) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: HashSet::new(),
+            executed: 0,
+            world: Some(world),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len().min(self.queue.len())
+    }
+
+    /// Schedule `f` at absolute time `at`. Panics if `at` is in the past.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut Simulation<S>, &mut S) + 'static,
+    ) -> EventHandle {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Scheduled { time: at, seq, f: Box::new(f) }));
+        EventHandle(seq)
+    }
+
+    /// Schedule `f` to run `delay` from now.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut Simulation<S>, &mut S) + 'static,
+    ) -> EventHandle {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that has
+    /// already fired is a no-op.
+    pub fn cancel(&mut self, handle: EventHandle) {
+        self.cancelled.insert(handle.0);
+    }
+
+    /// Run until the queue drains, returning the world.
+    pub fn run(mut self) -> S {
+        self.drain(None, None);
+        self.world.take().expect("world present")
+    }
+
+    /// Run until virtual time reaches `until` (events at exactly `until`
+    /// are executed) or the queue drains. Returns the world.
+    pub fn run_until(mut self, until: SimTime) -> S {
+        self.drain(Some(until), None);
+        self.world.take().expect("world present")
+    }
+
+    /// Like [`Simulation::run_until`] but keeps the simulation alive so
+    /// the caller can inspect state and continue. Returns `&mut` world.
+    pub fn step_until(&mut self, until: SimTime) -> &mut S {
+        self.drain(Some(until), None);
+        self.world.as_mut().expect("world present")
+    }
+
+    /// Execute at most one event; returns false if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        let before = self.executed;
+        self.drain(None, Some(1));
+        self.executed > before
+    }
+
+    /// Immutable access to the world.
+    pub fn world(&self) -> &S {
+        self.world.as_ref().expect("world present")
+    }
+
+    /// Mutable access to the world.
+    pub fn world_mut(&mut self) -> &mut S {
+        self.world.as_mut().expect("world present")
+    }
+
+    fn drain(&mut self, until: Option<SimTime>, max_events: Option<u64>) {
+        let mut ran = 0u64;
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if let Some(limit) = until {
+                if head.time > limit {
+                    self.now = limit.max(self.now);
+                    return;
+                }
+            }
+            if let Some(m) = max_events {
+                if ran >= m {
+                    return;
+                }
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.now = ev.time;
+            self.executed += 1;
+            ran += 1;
+            let mut world = self.world.take().expect("world present");
+            (ev.f)(self, &mut world);
+            self.world = Some(world);
+        }
+        if let Some(limit) = until {
+            self.now = limit.max(self.now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulation::new(Vec::new());
+        sim.schedule_in(SimDuration::from_millis(30), |_, v: &mut Vec<u32>| v.push(3));
+        sim.schedule_in(SimDuration::from_millis(10), |_, v| v.push(1));
+        sim.schedule_in(SimDuration::from_millis(20), |_, v| v.push(2));
+        assert_eq!(sim.run(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut sim = Simulation::new(Vec::new());
+        for i in 0..100u32 {
+            sim.schedule_at(SimTime(500), move |_, v: &mut Vec<u32>| v.push(i));
+        }
+        assert_eq!(sim.run(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut sim = Simulation::new(0u32);
+        sim.schedule_in(SimDuration::from_secs(1), |_, n| *n += 1);
+        sim.schedule_in(SimDuration::from_secs(3), |_, n| *n += 100);
+        let n = sim.step_until(SimTime::from_secs_f64(2.0));
+        assert_eq!(*n, 1);
+        assert_eq!(sim.now(), SimTime::from_secs_f64(2.0));
+        // continue to completion
+        let n = sim.run();
+        assert_eq!(n, 101);
+    }
+
+    #[test]
+    fn events_at_exactly_until_are_executed() {
+        let mut sim = Simulation::new(0u32);
+        sim.schedule_at(SimTime(1000), |_, n| *n += 1);
+        let world = sim.run_until(SimTime(1000));
+        assert_eq!(world, 1);
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut sim = Simulation::new(0u32);
+        let h = sim.schedule_in(SimDuration::from_millis(1), |_, n| *n += 1);
+        sim.schedule_in(SimDuration::from_millis(2), |_, n| *n += 10);
+        sim.cancel(h);
+        assert_eq!(sim.run(), 10);
+    }
+
+    #[test]
+    fn nested_scheduling_chain() {
+        // a periodic process implemented by self-rescheduling
+        fn tick(sim: &mut Simulation<u32>, n: &mut u32) {
+            *n += 1;
+            if *n < 5 {
+                sim.schedule_in(SimDuration::from_secs(60), tick);
+            }
+        }
+        let mut sim = Simulation::new(0u32);
+        sim.schedule_in(SimDuration::from_secs(60), tick);
+        let mut s = sim;
+        let n = s.step_until(SimTime::from_secs_f64(3600.0));
+        assert_eq!(*n, 5);
+        assert_eq!(s.events_executed(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new(());
+        sim.schedule_in(SimDuration::from_secs(1), |sim, _| {
+            sim.schedule_at(SimTime::ZERO, |_, _| {});
+        });
+        sim.run();
+    }
+}

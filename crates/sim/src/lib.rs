@@ -1,0 +1,27 @@
+//! Discrete-event simulation (DES) kernel for the Octopus reproduction.
+//!
+//! The paper evaluates Octopus on a wide-area deployment: MSK brokers in
+//! AWS `us-east-1`, "local" clients on EC2 in the same region (~1 ms RTT)
+//! and "remote" clients on Chameleon Cloud at TACC (46–47 ms RTT). We
+//! cannot run that testbed, so `octopus-fabric` models it on this kernel:
+//! a deterministic virtual clock, an ordered event queue, latency- and
+//! bandwidth-modelled network links, queueing resources for broker CPU
+//! capacity, and HDR-style histograms for latency percentiles.
+//!
+//! Determinism: given the same seed, a simulation produces byte-identical
+//! results. Events scheduled for the same instant fire in scheduling
+//! order (a strictly increasing sequence number breaks ties).
+
+pub mod engine;
+pub mod metrics;
+pub mod net;
+pub mod resource;
+pub mod rng;
+pub mod time;
+
+pub use engine::{EventHandle, Simulation};
+pub use metrics::{Counter, Histogram, TimeSeries};
+pub use net::{Link, LinkId, Network};
+pub use resource::ServerQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,315 @@
+//! Measurement primitives: counters, HDR-style histograms, time series.
+//!
+//! The paper reports median and 99th-percentile producer latencies
+//! (Table III, Fig. 3) and time series of trigger concurrency (Fig. 4)
+//! and topic backlogs (Fig. 7). [`Histogram`] is a log-linear bucketed
+//! histogram (2 decimal digits of relative precision) like HdrHistogram;
+//! [`TimeSeries`] records (time, value) pairs for figure regeneration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increment by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+const SUB_BUCKET_BITS: u32 = 6; // 64 sub-buckets per power of two ≈ 1.6% error
+
+/// Log-linear histogram of `u64` values (e.g. latency in nanoseconds).
+///
+/// Values are bucketed into 64 linear sub-buckets per power of two,
+/// bounding relative quantile error at ~1/64. Recording is O(1); memory
+/// is a few KB regardless of value range.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram { buckets: Vec::new(), count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        let v = value.max(1);
+        let msb = 63 - v.leading_zeros();
+        if msb < SUB_BUCKET_BITS {
+            v as usize
+        } else {
+            let shift = msb - SUB_BUCKET_BITS;
+            let sub = (v >> shift) as usize; // in [2^6, 2^7)
+            ((shift as usize + 1) << SUB_BUCKET_BITS) + (sub - (1 << SUB_BUCKET_BITS))
+        }
+    }
+
+    fn bucket_value(index: usize) -> u64 {
+        if index < (1 << SUB_BUCKET_BITS) {
+            index as u64
+        } else {
+            let shift = (index >> SUB_BUCKET_BITS) - 1;
+            let sub = (index & ((1 << SUB_BUCKET_BITS) - 1)) + (1 << SUB_BUCKET_BITS);
+            // representative: midpoint of the bucket
+            ((sub as u64) << shift) + (1u64 << shift) / 2
+        }
+    }
+
+    /// Record a value.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::bucket_index(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in \[0,1\]. Returns 0 for an empty histogram.
+    /// Result is exact to within the bucket width (~1.6% relative).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_value(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median, i.e. `quantile(0.5)`.
+    pub fn median(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &n) in other.buckets.iter().enumerate() {
+            self.buckets[i] += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+/// A recorded (time, value) series for regenerating the paper's figures.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a point; times must be non-decreasing.
+    pub fn record(&mut self, t: SimTime, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "TimeSeries must be recorded in time order");
+        }
+        self.points.push((t, v));
+    }
+
+    /// The raw points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Largest value in the series.
+    pub fn max_value(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Rebucket into fixed windows of `window_secs`, averaging values in
+    /// each window — handy for printing figure-sized summaries.
+    pub fn downsample(&self, window_secs: f64) -> Vec<(f64, f64)> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        let mut win = 0usize;
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for &(t, v) in &self.points {
+            let w = (t.as_secs_f64() / window_secs) as usize;
+            if w != win && n > 0 {
+                out.push(((win as f64 + 0.5) * window_secs, sum / n as f64));
+                sum = 0.0;
+                n = 0;
+            }
+            win = w;
+            sum += v;
+            n += 1;
+        }
+        if n > 0 {
+            out.push(((win as f64 + 0.5) * window_secs, sum / n as f64));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_exact_for_small_values() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 5);
+        assert_eq!(h.median(), 3);
+        assert_eq!(h.mean(), 3.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        let med = h.median() as f64;
+        assert!((med - 50_000.0).abs() / 50_000.0 < 0.02, "median {med}");
+        let p99 = h.p99() as f64;
+        assert!((p99 - 99_000.0).abs() / 99_000.0 < 0.02, "p99 {p99}");
+    }
+
+    #[test]
+    fn histogram_empty_behaviour() {
+        let h = Histogram::new();
+        assert_eq!(h.median(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=50u64 {
+            a.record(v);
+        }
+        for v in 51..=100u64 {
+            b.record(v * 1000); // force different bucket ranges
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 100_000);
+    }
+
+    #[test]
+    fn quantile_bounded_by_min_max() {
+        let mut h = Histogram::new();
+        h.record(1_000_000);
+        assert_eq!(h.quantile(0.0), 1_000_000);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        assert_eq!(h.median(), 1_000_000);
+    }
+
+    #[test]
+    fn timeseries_downsample() {
+        let mut ts = TimeSeries::new();
+        for i in 0..100u64 {
+            ts.record(SimTime(i * 100_000_000), i as f64); // every 0.1s
+        }
+        let ds = ts.downsample(1.0);
+        assert_eq!(ds.len(), 10);
+        // first window averages 0..9 = 4.5
+        assert!((ds[0].1 - 4.5).abs() < 1e-9);
+        assert_eq!(ts.max_value(), 99.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn timeseries_rejects_out_of_order() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime(10), 1.0);
+        ts.record(SimTime(5), 2.0);
+    }
+}

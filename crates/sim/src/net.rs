@@ -1,0 +1,222 @@
+//! Network model: point-to-point links with propagation latency,
+//! serialization bandwidth, and jitter.
+//!
+//! A [`Link`] is unidirectional; a host pair gets two. Message delivery
+//! time is `now + latency·(1 ± jitter) + size/bandwidth + queueing`,
+//! where queueing enforces that a link transmits one message at a time
+//! (FIFO). This matches how the paper's remote clients see a stable
+//! 46–47 ms RTT with <0.1% deviation plus throughput limited by the
+//! WAN path.
+
+use std::collections::HashMap;
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a registered link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+/// A unidirectional network link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// One-way propagation delay.
+    pub latency: SimDuration,
+    /// Serialization bandwidth in bytes/second. `f64::INFINITY` models an
+    /// unconstrained path (intra-host loopback).
+    pub bandwidth_bps: f64,
+    /// Relative jitter applied to latency (e.g. `0.001` = ±0.1%).
+    pub jitter: f64,
+    /// Independent per-message loss probability.
+    pub loss: f64,
+    /// Time the link finishes transmitting its current backlog.
+    busy_until: SimTime,
+}
+
+impl Link {
+    /// A link with the given one-way latency and bandwidth.
+    pub fn new(latency: SimDuration, bandwidth_bps: f64) -> Self {
+        Link { latency, bandwidth_bps, jitter: 0.0, loss: 0.0, busy_until: SimTime::ZERO }
+    }
+
+    /// Builder-style jitter setter.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Builder-style loss setter.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    fn serialization_delay(&self, bytes: usize) -> SimDuration {
+        if self.bandwidth_bps.is_infinite() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps)
+        }
+    }
+
+    /// Compute the arrival time of a `bytes`-sized message sent at `now`,
+    /// updating the link backlog. Returns `None` if the message is lost.
+    pub fn transmit(&mut self, now: SimTime, bytes: usize, rng: &mut SimRng) -> Option<SimTime> {
+        if self.loss > 0.0 && rng.chance(self.loss) {
+            return None;
+        }
+        // FIFO serialization: transmission starts when the link is free.
+        let start = if self.busy_until > now { self.busy_until } else { now };
+        let tx_done = start + self.serialization_delay(bytes);
+        self.busy_until = tx_done;
+        let latency = if self.jitter > 0.0 {
+            let k = rng.uniform(1.0 - self.jitter, 1.0 + self.jitter);
+            self.latency.mul_f64(k)
+        } else {
+            self.latency
+        };
+        Some(tx_done + latency)
+    }
+
+    /// Arrival time ignoring loss/backlog mutation — for analytic checks.
+    pub fn ideal_arrival(&self, now: SimTime, bytes: usize) -> SimTime {
+        now + self.serialization_delay(bytes) + self.latency
+    }
+}
+
+/// A registry of links between named hosts.
+#[derive(Debug, Default)]
+pub struct Network {
+    links: Vec<Link>,
+    routes: HashMap<(String, String), LinkId>,
+}
+
+impl Network {
+    /// Empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a unidirectional link from `src` to `dst`.
+    pub fn connect(&mut self, src: &str, dst: &str, link: Link) -> LinkId {
+        let id = LinkId(self.links.len());
+        self.links.push(link);
+        self.routes.insert((src.to_string(), dst.to_string()), id);
+        id
+    }
+
+    /// Register symmetric links both ways; returns (src→dst, dst→src).
+    pub fn connect_symmetric(&mut self, a: &str, b: &str, link: Link) -> (LinkId, LinkId) {
+        let ab = self.connect(a, b, link.clone());
+        let ba = self.connect(b, a, link);
+        (ab, ba)
+    }
+
+    /// Look up the link from `src` to `dst`.
+    pub fn route(&self, src: &str, dst: &str) -> Option<LinkId> {
+        self.routes.get(&(src.to_string(), dst.to_string())).copied()
+    }
+
+    /// Transmit over a known link.
+    pub fn transmit(
+        &mut self,
+        link: LinkId,
+        now: SimTime,
+        bytes: usize,
+        rng: &mut SimRng,
+    ) -> Option<SimTime> {
+        self.links[link.0].transmit(now, bytes, rng)
+    }
+
+    /// Direct access to a link (tests, partition injection).
+    pub fn link_mut(&mut self, link: LinkId) -> &mut Link {
+        &mut self.links[link.0]
+    }
+
+    /// Sever a route by setting loss to 1.0 (network partition injection,
+    /// §VII-B limitations discussion).
+    pub fn partition(&mut self, link: LinkId) {
+        self.links[link.0].loss = 1.0;
+    }
+
+    /// Heal a previously partitioned link.
+    pub fn heal(&mut self, link: LinkId) {
+        self.links[link.0].loss = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seeded(99)
+    }
+
+    #[test]
+    fn latency_plus_serialization() {
+        let mut l = Link::new(SimDuration::from_millis(23), 1e6); // 1 MB/s
+        let mut r = rng();
+        let arrival = l.transmit(SimTime::ZERO, 500_000, &mut r).unwrap();
+        // 0.5s serialization + 23ms latency
+        assert_eq!(arrival.as_millis_f64().round() as u64, 523);
+    }
+
+    #[test]
+    fn infinite_bandwidth_is_pure_latency() {
+        let mut l = Link::new(SimDuration::from_millis(1), f64::INFINITY);
+        let mut r = rng();
+        let arrival = l.transmit(SimTime::ZERO, usize::MAX / 2, &mut r).unwrap();
+        assert_eq!(arrival, SimTime::ZERO + SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn fifo_backlog_serializes_messages() {
+        let mut l = Link::new(SimDuration::ZERO, 1000.0); // 1 KB/s
+        let mut r = rng();
+        let a1 = l.transmit(SimTime::ZERO, 1000, &mut r).unwrap(); // 1s
+        let a2 = l.transmit(SimTime::ZERO, 1000, &mut r).unwrap(); // queued behind
+        assert_eq!(a1.as_secs_f64(), 1.0);
+        assert_eq!(a2.as_secs_f64(), 2.0);
+        // and per-link FIFO: arrivals are non-decreasing
+        assert!(a2 >= a1);
+    }
+
+    #[test]
+    fn jitter_stays_within_band() {
+        let mut l = Link::new(SimDuration::from_millis(100), f64::INFINITY).with_jitter(0.001);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let a = l.transmit(SimTime::ZERO, 10, &mut r).unwrap();
+            let ms = a.as_millis_f64();
+            assert!((99.9..=100.1).contains(&ms), "latency {ms}ms outside jitter band");
+        }
+    }
+
+    #[test]
+    fn loss_drops_messages() {
+        let mut l = Link::new(SimDuration::ZERO, f64::INFINITY).with_loss(1.0);
+        let mut r = rng();
+        assert!(l.transmit(SimTime::ZERO, 10, &mut r).is_none());
+    }
+
+    #[test]
+    fn network_routing_and_partition() {
+        let mut net = Network::new();
+        let (ab, _) = net.connect_symmetric(
+            "tacc",
+            "us-east-1",
+            Link::new(SimDuration::from_millis(23), f64::INFINITY),
+        );
+        assert_eq!(net.route("tacc", "us-east-1"), Some(ab));
+        assert!(net.route("us-east-1", "tacc").is_some());
+        assert!(net.route("tacc", "nowhere").is_none());
+
+        let mut r = rng();
+        assert!(net.transmit(ab, SimTime::ZERO, 64, &mut r).is_some());
+        net.partition(ab);
+        assert!(net.transmit(ab, SimTime::ZERO, 64, &mut r).is_none());
+        net.heal(ab);
+        assert!(net.transmit(ab, SimTime::ZERO, 64, &mut r).is_some());
+    }
+}

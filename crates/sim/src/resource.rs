@@ -1,0 +1,129 @@
+//! Queueing resources: a bank of identical servers with FIFO admission.
+//!
+//! Broker CPU capacity is modelled as `c` servers (one per vCPU). A
+//! request submitted at time `t` with service demand `s` begins service
+//! on the earliest-free server and completes at `max(t, free) + s`. This
+//! G/G/c queue is what turns offered load into the latency/throughput
+//! curves of Fig. 3: below saturation latency is flat, near saturation
+//! queueing delay dominates.
+
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A bank of `c` identical FIFO servers.
+#[derive(Debug, Clone)]
+pub struct ServerQueue {
+    // Min-heap of next-free times (stored negated via Reverse ordering).
+    free_at: BinaryHeap<std::cmp::Reverse<SimTime>>,
+    servers: usize,
+    busy_time: SimDuration,
+    completed: u64,
+}
+
+impl ServerQueue {
+    /// A queue with `servers` parallel servers. Panics if zero.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "ServerQueue needs at least one server");
+        let mut free_at = BinaryHeap::with_capacity(servers);
+        for _ in 0..servers {
+            free_at.push(std::cmp::Reverse(SimTime::ZERO));
+        }
+        ServerQueue { free_at, servers, busy_time: SimDuration::ZERO, completed: 0 }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Submit work arriving at `now` with service demand `service`;
+    /// returns the completion time.
+    pub fn submit(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        let std::cmp::Reverse(free) = self.free_at.pop().expect("server heap non-empty");
+        let start = if free > now { free } else { now };
+        let done = start + service;
+        self.free_at.push(std::cmp::Reverse(done));
+        self.busy_time = self.busy_time + service;
+        self.completed += 1;
+        done
+    }
+
+    /// Earliest time any server is free.
+    pub fn next_free(&self) -> SimTime {
+        self.free_at.peek().map(|std::cmp::Reverse(t)| *t).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total service time accumulated (for utilization computation).
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// Requests completed.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Utilization over the horizon `[0, end]`: busy time divided by
+    /// total server-time.
+    pub fn utilization(&self, end: SimTime) -> f64 {
+        if end == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy_time.as_secs_f64() / (end.as_secs_f64() * self.servers as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_serializes() {
+        let mut q = ServerQueue::new(1);
+        let d = SimDuration::from_millis(10);
+        let c1 = q.submit(SimTime::ZERO, d);
+        let c2 = q.submit(SimTime::ZERO, d);
+        let c3 = q.submit(SimTime::ZERO, d);
+        assert_eq!(c1.as_millis_f64(), 10.0);
+        assert_eq!(c2.as_millis_f64(), 20.0);
+        assert_eq!(c3.as_millis_f64(), 30.0);
+    }
+
+    #[test]
+    fn parallel_servers_run_concurrently() {
+        let mut q = ServerQueue::new(2);
+        let d = SimDuration::from_millis(10);
+        let c1 = q.submit(SimTime::ZERO, d);
+        let c2 = q.submit(SimTime::ZERO, d);
+        let c3 = q.submit(SimTime::ZERO, d);
+        assert_eq!(c1.as_millis_f64(), 10.0);
+        assert_eq!(c2.as_millis_f64(), 10.0);
+        assert_eq!(c3.as_millis_f64(), 20.0);
+    }
+
+    #[test]
+    fn idle_arrival_starts_immediately() {
+        let mut q = ServerQueue::new(1);
+        q.submit(SimTime::ZERO, SimDuration::from_millis(5));
+        // arrives long after the backlog drained
+        let c = q.submit(SimTime::ZERO + SimDuration::from_secs(10), SimDuration::from_millis(5));
+        assert_eq!(c.as_millis_f64(), 10_005.0);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut q = ServerQueue::new(2);
+        q.submit(SimTime::ZERO, SimDuration::from_secs(1));
+        q.submit(SimTime::ZERO, SimDuration::from_secs(1));
+        // 2 server-seconds of work over a 2-second horizon with 2 servers = 50%
+        assert!((q.utilization(SimTime::from_secs_f64(2.0)) - 0.5).abs() < 1e-9);
+        assert_eq!(q.completed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_servers_rejected() {
+        ServerQueue::new(0);
+    }
+}

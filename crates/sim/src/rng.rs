@@ -1,0 +1,141 @@
+//! Deterministic randomness for simulations.
+//!
+//! Every stochastic element of the fabric model (latency jitter, workload
+//! inter-arrival times, payload sizes) draws from a [`SimRng`] seeded by
+//! the experiment runner, so a run is exactly reproducible from its seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source with the distributions the fabric model needs.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Seeded construction; the same seed yields the same stream.
+    pub fn seeded(seed: u64) -> Self {
+        SimRng { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Derive an independent child stream (for per-client RNGs) that is
+    /// still fully determined by the parent seed.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seeded(self.inner.gen())
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to \[0,1\]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponential with the given mean (inter-arrival times of Poisson
+    /// event streams; §III Table I workloads are open arrival processes).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// Normal via Box–Muller, clipped below at `min`.
+    pub fn normal_clipped(&mut self, mean: f64, std_dev: f64, min: f64) -> f64 {
+        let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.inner.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (mean + std_dev * z).max(min)
+    }
+
+    /// Log-normal parameterized by the *target* median and a multiplicative
+    /// sigma; used for heavy-tailed service times.
+    pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        let n = self.normal_clipped(0.0, 1.0, f64::NEG_INFINITY);
+        median * (sigma * n).exp()
+    }
+
+    /// A raw u64.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seeded(42);
+        let mut b = SimRng::seeded(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_deterministic_but_distinct() {
+        let mut parent1 = SimRng::seeded(7);
+        let mut parent2 = SimRng::seeded(7);
+        let mut c1 = parent1.fork();
+        let mut c2 = parent2.fork();
+        assert_eq!(c1.next_u64(), c2.next_u64()); // reproducible
+        let mut sibling = parent1.fork();
+        assert_ne!(c1.next_u64(), sibling.next_u64()); // independent
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = SimRng::seeded(1);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(5.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_clipped_respects_floor() {
+        let mut rng = SimRng::seeded(2);
+        for _ in 0..10_000 {
+            assert!(rng.normal_clipped(0.0, 10.0, 0.5) >= 0.5);
+        }
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = SimRng::seeded(3);
+        for _ in 0..10_000 {
+            let x = rng.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+        }
+        assert_eq!(rng.uniform(4.0, 4.0), 4.0); // degenerate range
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seeded(4);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(rng.chance(2.0)); // clamped
+    }
+
+    #[test]
+    fn lognormal_median_approx() {
+        let mut rng = SimRng::seeded(5);
+        let mut xs: Vec<f64> = (0..100_001).map(|_| rng.lognormal(10.0, 0.5)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[xs.len() / 2];
+        assert!((med - 10.0).abs() < 0.5, "median {med}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the DES kernel: histogram quantile bounds
+//! and merge-equivalence, server-queue conservation laws, link FIFO
+//! ordering, and engine determinism.
+
+use proptest::prelude::*;
+
+use octopus_sim::{Histogram, Link, ServerQueue, SimDuration, SimRng, SimTime, Simulation};
+
+proptest! {
+    /// Quantiles are bounded by [min, max], monotone in q, and within
+    /// the documented ~1.6% relative bucket error of the exact value.
+    #[test]
+    fn histogram_quantile_bounds(values in proptest::collection::vec(1u64..1_000_000_000, 1..500)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let est = h.quantile(q);
+            prop_assert!(est >= h.min() && est <= h.max(), "q{q}: {est} outside [{}, {}]", h.min(), h.max());
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = sorted[rank - 1];
+            let err = (est as f64 - exact as f64).abs() / exact as f64;
+            prop_assert!(err <= 0.05, "q{q}: est {est} vs exact {exact} (err {err})");
+        }
+        // monotone
+        prop_assert!(h.quantile(0.25) <= h.quantile(0.5));
+        prop_assert!(h.quantile(0.5) <= h.quantile(0.99));
+    }
+
+    /// Merging histograms is equivalent to recording everything into one.
+    #[test]
+    fn histogram_merge_equivalence(
+        a in proptest::collection::vec(1u64..1_000_000, 0..200),
+        b in proptest::collection::vec(1u64..1_000_000, 0..200),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hall = Histogram::new();
+        for &v in &a { ha.record(v); hall.record(v); }
+        for &v in &b { hb.record(v); hall.record(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hall.count());
+        prop_assert_eq!(ha.min(), hall.min());
+        prop_assert_eq!(ha.max(), hall.max());
+        for q in [0.1, 0.5, 0.9] {
+            prop_assert_eq!(ha.quantile(q), hall.quantile(q));
+        }
+    }
+
+    /// Server-queue conservation: completions never precede arrivals,
+    /// total busy time equals the sum of submitted service, and with one
+    /// server completions are strictly ordered.
+    #[test]
+    fn server_queue_conservation(
+        jobs in proptest::collection::vec((0u64..1_000_000, 1u64..10_000), 1..100),
+        servers in 1usize..4,
+    ) {
+        let mut q = ServerQueue::new(servers);
+        let mut arrivals: Vec<(SimTime, SimDuration)> = jobs
+            .iter()
+            .map(|&(t, s)| (SimTime(t), SimDuration::from_nanos(s)))
+            .collect();
+        arrivals.sort_by_key(|(t, _)| *t);
+        let mut total_service = 0u64;
+        let mut prev_completion = SimTime::ZERO;
+        for (arrive, service) in arrivals {
+            let done = q.submit(arrive, service);
+            total_service += service.as_nanos();
+            prop_assert!(done >= arrive + service, "completion before arrival+service");
+            if servers == 1 {
+                prop_assert!(done >= prev_completion, "single server must serialize");
+                prev_completion = done;
+            }
+        }
+        prop_assert_eq!(q.busy_time().as_nanos(), total_service);
+        prop_assert_eq!(q.completed() as usize, jobs.len());
+    }
+
+    /// Links deliver FIFO: arrival times are non-decreasing in send
+    /// order regardless of message sizes.
+    #[test]
+    fn link_fifo(msgs in proptest::collection::vec((0u64..1_000_000, 1usize..100_000), 1..100)) {
+        let mut link = Link::new(SimDuration::from_millis(5), 1e6);
+        let mut rng = SimRng::seeded(1);
+        let mut sends: Vec<(SimTime, usize)> =
+            msgs.iter().map(|&(t, s)| (SimTime(t), s)).collect();
+        sends.sort_by_key(|(t, _)| *t);
+        let mut prev = SimTime::ZERO;
+        for (t, size) in sends {
+            let arrival = link.transmit(t, size, &mut rng).unwrap();
+            prop_assert!(arrival >= prev, "FIFO violated");
+            prop_assert!(arrival >= t + SimDuration::from_millis(5), "faster than light");
+            prev = arrival;
+        }
+    }
+
+    /// The engine is deterministic: the same schedule produces the same
+    /// world, and events fire in exactly time order.
+    #[test]
+    fn engine_determinism(delays in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let run = |delays: &[u64]| {
+            let mut sim = Simulation::new(Vec::new());
+            for &d in delays {
+                sim.schedule_at(SimTime(d), move |_, log: &mut Vec<u64>| log.push(d));
+            }
+            sim.run()
+        };
+        let a = run(&delays);
+        let b = run(&delays);
+        prop_assert_eq!(&a, &b);
+        // fired in time order
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(a, sorted);
+    }
+}

@@ -1,0 +1,199 @@
+//! Processing-pressure autoscaling.
+//!
+//! "Lambda functions can scale automatically by evaluating *processing
+//! pressure* (the number of pending events in a topic). Lambda evaluates
+//! the processing pressure at 1 min intervals, and scales concurrent
+//! invocations of the function dynamically when warranted" (§IV-D).
+//!
+//! The policy mirrors Lambda's MSK event-source scaling: start small,
+//! and at every evaluation
+//! - scale **up** multiplicatively while a backlog persists (bounded by
+//!   the partition count — one consumer per partition is the hard cap —
+//!   and a configurable max),
+//! - scale **down** toward the minimum when the backlog clears.
+//!
+//! This staircase is exactly what Fig. 4 plots: concurrency 3 → 128 in
+//! about four evaluation periods against a 128-partition topic, then
+//! back down shortly before the workload drains.
+
+use serde::{Deserialize, Serialize};
+
+/// Autoscaler tuning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoscalerConfig {
+    /// Concurrency floor (Lambda starts MSK sources at ~1–3 pollers).
+    pub min_concurrency: u32,
+    /// Concurrency ceiling (beyond partitions, extra workers idle).
+    pub max_concurrency: u32,
+    /// Evaluation cadence in milliseconds (60 000 on Lambda).
+    pub evaluation_interval_ms: u64,
+    /// Multiplicative growth factor per evaluation while backlogged.
+    pub scale_up_factor: f64,
+    /// Backlog-per-worker threshold above which we grow.
+    pub backlog_per_worker_target: u64,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        AutoscalerConfig {
+            min_concurrency: 3,
+            max_concurrency: 128,
+            evaluation_interval_ms: 60_000,
+            scale_up_factor: 4.0,
+            backlog_per_worker_target: 10,
+        }
+    }
+}
+
+/// The autoscaler state machine. Feed it the observed backlog at each
+/// evaluation; read the concurrency decision.
+#[derive(Debug, Clone)]
+pub struct Autoscaler {
+    config: AutoscalerConfig,
+    concurrency: u32,
+    partition_cap: u32,
+    history: Vec<(u64, u32)>, // (eval index, concurrency) for Fig 4
+    evaluations: u64,
+}
+
+impl Autoscaler {
+    /// A scaler for a topic with `partitions` partitions.
+    pub fn new(config: AutoscalerConfig, partitions: u32) -> Self {
+        let start = config.min_concurrency.min(partitions).max(1);
+        Autoscaler {
+            config,
+            concurrency: start,
+            partition_cap: partitions.max(1),
+            history: vec![(0, start)],
+            evaluations: 0,
+        }
+    }
+
+    /// Current concurrency decision.
+    pub fn concurrency(&self) -> u32 {
+        self.concurrency
+    }
+
+    /// Hard cap: partitions bound useful concurrency.
+    pub fn cap(&self) -> u32 {
+        self.partition_cap.min(self.config.max_concurrency)
+    }
+
+    /// Run one evaluation with the observed backlog (pending events).
+    /// Returns the new concurrency.
+    pub fn evaluate(&mut self, backlog: u64) -> u32 {
+        self.evaluations += 1;
+        let cap = self.cap();
+        let per_worker = backlog as f64 / self.concurrency.max(1) as f64;
+        if backlog == 0 {
+            // drain: drop toward the floor quickly (Lambda deprovisions
+            // idle pollers within a few evaluations)
+            self.concurrency =
+                (self.concurrency / 2).max(self.config.min_concurrency.min(cap)).max(1);
+        } else if per_worker > self.config.backlog_per_worker_target as f64 {
+            let grown = ((self.concurrency as f64) * self.config.scale_up_factor).ceil() as u32;
+            self.concurrency = grown.min(cap);
+        }
+        // else: within target, hold steady
+        self.history.push((self.evaluations, self.concurrency));
+        self.concurrency
+    }
+
+    /// The (evaluation index, concurrency) staircase — Fig. 4's series.
+    pub fn history(&self) -> &[(u64, u32)] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scaler(partitions: u32) -> Autoscaler {
+        Autoscaler::new(AutoscalerConfig::default(), partitions)
+    }
+
+    #[test]
+    fn starts_at_min_concurrency() {
+        assert_eq!(scaler(128).concurrency(), 3);
+        // partition-bounded start
+        assert_eq!(scaler(2).concurrency(), 2);
+        assert_eq!(scaler(1).concurrency(), 1);
+    }
+
+    #[test]
+    fn fig4_staircase_3_to_128_within_four_evaluations() {
+        // ">5000 tasks ... the number of trigger consumers is scaled up
+        // from 3 to 128 within four minutes" — with 1-minute evaluations
+        // that is four evaluations.
+        let mut s = scaler(128);
+        let mut evals = 0;
+        while s.concurrency() < 128 {
+            s.evaluate(5000); // persistent backlog
+            evals += 1;
+            assert!(evals <= 4, "took more than 4 evaluations to reach 128");
+        }
+        assert_eq!(s.concurrency(), 128);
+    }
+
+    #[test]
+    fn concurrency_never_exceeds_partitions() {
+        let mut s = scaler(8);
+        for _ in 0..10 {
+            s.evaluate(1_000_000);
+        }
+        assert_eq!(s.concurrency(), 8);
+    }
+
+    #[test]
+    fn max_concurrency_caps_even_many_partitions() {
+        let cfg = AutoscalerConfig { max_concurrency: 16, ..AutoscalerConfig::default() };
+        let mut s = Autoscaler::new(cfg, 1024);
+        for _ in 0..10 {
+            s.evaluate(1_000_000);
+        }
+        assert_eq!(s.concurrency(), 16);
+    }
+
+    #[test]
+    fn scales_down_when_backlog_clears() {
+        let mut s = scaler(128);
+        for _ in 0..4 {
+            s.evaluate(100_000);
+        }
+        assert_eq!(s.concurrency(), 128);
+        let mut evals = 0;
+        while s.concurrency() > 3 {
+            s.evaluate(0);
+            evals += 1;
+            assert!(evals < 20);
+        }
+        assert_eq!(s.concurrency(), 3);
+        // and holds at the floor
+        s.evaluate(0);
+        assert_eq!(s.concurrency(), 3);
+    }
+
+    #[test]
+    fn holds_steady_when_backlog_within_target() {
+        let mut s = scaler(128);
+        s.evaluate(100_000);
+        let c = s.concurrency();
+        // backlog small relative to workers: no growth
+        s.evaluate((c as u64) * 5);
+        assert_eq!(s.concurrency(), c);
+    }
+
+    #[test]
+    fn history_records_the_staircase() {
+        let mut s = scaler(128);
+        s.evaluate(100_000);
+        s.evaluate(100_000);
+        s.evaluate(0);
+        let h = s.history();
+        assert_eq!(h.len(), 4); // initial + 3 evaluations
+        assert_eq!(h[0], (0, 3));
+        assert!(h[1].1 > h[0].1);
+        assert!(h[3].1 < h[2].1);
+    }
+}

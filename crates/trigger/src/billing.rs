@@ -1,0 +1,152 @@
+//! Cost metering for the cloud-hosted deployment (§VII-C).
+//!
+//! The paper prices its AWS footprint: MSK brokers at $0.0456/hour
+//! (minimum two nodes ≈ $70/month), data egress at $0.09/GB, and Lambda
+//! at roughly "$10 for 1 M requests (128 MB memory with 5 s duration)".
+//! [`CostModel`] reproduces those figures; [`BillingMeter`] accumulates
+//! actual usage so the `costs` bench binary can regenerate the paper's
+//! worked example (a scheduling app invoking 2.4 M lambdas/day ≈
+//! $24/day).
+
+use serde::{Deserialize, Serialize};
+
+/// Published prices used in the paper's cost analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Broker instance cost per hour (kafka.t3.small-class, §VII-C).
+    pub broker_hour_usd: f64,
+    /// Egress cost per GB from the fabric to remote consumers.
+    pub egress_gb_usd: f64,
+    /// Per-request Lambda price.
+    pub lambda_request_usd: f64,
+    /// Per GB-second Lambda compute price.
+    pub lambda_gb_second_usd: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            broker_hour_usd: 0.0456,
+            egress_gb_usd: 0.09,
+            lambda_request_usd: 0.20 / 1e6,
+            lambda_gb_second_usd: 0.0000166667,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of running `brokers` for `hours`.
+    pub fn broker_cost(&self, brokers: u32, hours: f64) -> f64 {
+        self.broker_hour_usd * brokers as f64 * hours
+    }
+
+    /// Cost of `bytes` of egress.
+    pub fn egress_cost(&self, bytes: u64) -> f64 {
+        self.egress_gb_usd * bytes as f64 / 1e9
+    }
+
+    /// Cost of one function invocation.
+    pub fn invocation_cost(&self, memory_mb: u32, duration_ms: u64) -> f64 {
+        let gb_seconds = (memory_mb as f64 / 1024.0) * (duration_ms as f64 / 1000.0);
+        self.lambda_request_usd + self.lambda_gb_second_usd * gb_seconds
+    }
+}
+
+/// Accumulates usage for one deployment.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BillingMeter {
+    invocations: u64,
+    gb_seconds: f64,
+    egress_bytes: u64,
+}
+
+impl BillingMeter {
+    /// Fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a function invocation.
+    pub fn record_invocation(&mut self, memory_mb: u32, duration_ms: u64) {
+        self.invocations += 1;
+        self.gb_seconds += (memory_mb as f64 / 1024.0) * (duration_ms as f64 / 1000.0);
+    }
+
+    /// Record egress bytes.
+    pub fn record_egress(&mut self, bytes: u64) {
+        self.egress_bytes += bytes;
+    }
+
+    /// Invocations so far.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Total cost under `model`, excluding broker standing costs.
+    pub fn usage_cost(&self, model: &CostModel) -> f64 {
+        model.lambda_request_usd * self.invocations as f64
+            + model.lambda_gb_second_usd * self.gb_seconds
+            + model.egress_cost(self.egress_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_lambda_price_point() {
+        // "$10 for 1 M requests (128 MB memory with 5 s duration)"
+        let m = CostModel::default();
+        let per_million = m.invocation_cost(128, 5_000) * 1e6;
+        assert!(
+            (9.0..=12.0).contains(&per_million),
+            "1M invocations at 128MB/5s should be ~$10, got ${per_million:.2}"
+        );
+    }
+
+    #[test]
+    fn paper_msk_minimum_monthly() {
+        // "minimum of two nodes ... minimum monthly cost of ~$70"
+        let m = CostModel::default();
+        let monthly = m.broker_cost(2, 30.0 * 24.0);
+        assert!((60.0..=75.0).contains(&monthly), "got ${monthly:.2}");
+    }
+
+    #[test]
+    fn paper_scheduling_example_24_usd_per_day() {
+        // "10,000 events per hour for each of 10 resources would invoke
+        // 10,000×10×24 = 2.4 M lambdas per day, which if using a 5 s
+        // trigger and 4 KB events, costs $24 daily"
+        let m = CostModel::default();
+        // 2.4M record_invocation calls would be wasteful in a test:
+        // set the aggregates directly (record_invocation is covered by
+        // `meter_accumulates`).
+        let mut meter = BillingMeter::new();
+        meter.invocations = 2_400_000;
+        meter.gb_seconds = 2_400_000.0 * (128.0 / 1024.0) * 5.0;
+        meter.record_egress(2_400_000 * 4096); // 4 KB events
+        let daily = meter.usage_cost(&m);
+        assert!((20.0..=30.0).contains(&daily), "expected ~$24/day, got ${daily:.2}");
+        // egress is "negligible" per the paper
+        let egress = m.egress_cost(2_400_000 * 4096);
+        assert!(egress < 1.0, "egress ${egress:.2} should be negligible");
+    }
+
+    #[test]
+    fn meter_accumulates() {
+        let mut meter = BillingMeter::new();
+        meter.record_invocation(128, 1000);
+        meter.record_invocation(256, 500);
+        assert_eq!(meter.invocations(), 2);
+        let m = CostModel::default();
+        let expected = m.lambda_request_usd * 2.0
+            + m.lambda_gb_second_usd * (128.0 / 1024.0 + 256.0 / 1024.0 * 0.5);
+        assert!((meter.usage_cost(&m) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_usage_costs_nothing() {
+        assert_eq!(BillingMeter::new().usage_cost(&CostModel::default()), 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Trigger functions and their execution environment.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use octopus_types::{DeliveredEvent, Uid};
+
+/// The paper's per-invocation batching limits: "the user can configure
+/// (via Octopus) the function to process batches of up to 10,000 events
+/// (or a total of 6 MB) per invocation" (§IV-D).
+pub const MAX_BATCH_EVENTS: usize = 10_000;
+/// Byte companion of [`MAX_BATCH_EVENTS`].
+pub const MAX_BATCH_BYTES: usize = 6 * 1024 * 1024;
+
+/// Execution environment configuration for a trigger function (the
+/// Lambda-style knobs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionConfig {
+    /// Memory allotted to the function (GB-seconds billing input).
+    pub memory_mb: u32,
+    /// Wall-clock timeout per invocation, milliseconds.
+    pub timeout_ms: u64,
+    /// Events per invocation (clamped to [`MAX_BATCH_EVENTS`]).
+    pub batch_size: usize,
+    /// Bytes per invocation (clamped to [`MAX_BATCH_BYTES`]).
+    pub batch_bytes: usize,
+    /// Invocation retries before the batch is dead-lettered.
+    pub retries: u32,
+    /// Topic to receive batches that exhaust their retries.
+    pub dlq_topic: Option<String>,
+}
+
+impl Default for FunctionConfig {
+    fn default() -> Self {
+        FunctionConfig {
+            memory_mb: 128,
+            timeout_ms: 5_000,
+            batch_size: 100,
+            batch_bytes: MAX_BATCH_BYTES,
+            retries: 2,
+            dlq_topic: None,
+        }
+    }
+}
+
+impl FunctionConfig {
+    /// Clamp batch limits to the platform maxima.
+    pub fn clamped(mut self) -> Self {
+        self.batch_size = self.batch_size.clamp(1, MAX_BATCH_EVENTS);
+        self.batch_bytes = self.batch_bytes.clamp(1, MAX_BATCH_BYTES);
+        self
+    }
+}
+
+/// Context passed to every invocation: who the trigger acts for and
+/// which invocation this is. The identity is what lets trigger actions
+/// call downstream services *on behalf of* the registering user
+/// (the delegation model of §IV-C).
+#[derive(Debug, Clone)]
+pub struct FunctionContext {
+    /// The trigger's name.
+    pub trigger: String,
+    /// Identity the trigger acts on behalf of.
+    pub acting_as: Uid,
+    /// Monotone invocation counter for this trigger.
+    pub invocation: u64,
+    /// Which retry attempt this is (0 = first try).
+    pub attempt: u32,
+}
+
+/// What an invocation reported.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InvocationOutcome {
+    /// The function completed.
+    Success,
+    /// The function failed with a message (retriable).
+    Failure(String),
+    /// The function exceeded its timeout (retriable).
+    TimedOut,
+}
+
+/// A trigger function: a callable over an event batch. Functions are
+/// arbitrary Rust closures — the "polyvalent" requirement — wrapped in
+/// `Arc` so triggers are cheap to clone into worker threads.
+pub type TriggerFunction =
+    Arc<dyn Fn(&FunctionContext, &[DeliveredEvent]) -> Result<(), String> + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_lambda_shape() {
+        let c = FunctionConfig::default();
+        assert_eq!(c.memory_mb, 128);
+        assert_eq!(c.timeout_ms, 5_000);
+        assert!(c.batch_size <= MAX_BATCH_EVENTS);
+    }
+
+    #[test]
+    fn clamping_enforces_platform_limits() {
+        let c = FunctionConfig {
+            batch_size: 1_000_000,
+            batch_bytes: usize::MAX,
+            ..FunctionConfig::default()
+        }
+        .clamped();
+        assert_eq!(c.batch_size, MAX_BATCH_EVENTS);
+        assert_eq!(c.batch_bytes, MAX_BATCH_BYTES);
+        let c = FunctionConfig { batch_size: 0, batch_bytes: 0, ..FunctionConfig::default() }
+            .clamped();
+        assert_eq!(c.batch_size, 1);
+        assert_eq!(c.batch_bytes, 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! The Octopus trigger runtime — the in-process equivalent of the
+//! AWS Lambda + EventBridge machinery of §IV-D.
+//!
+//! A *trigger* binds a topic to a user function. The runtime gives each
+//! trigger its own consumer group (so triggers never steal events from
+//! other consumers), applies an optional EventBridge-style filter
+//! pattern before invocation, batches events (up to 10 000 events or
+//! 6 MB per invocation, the paper's limits), retries failed invocations,
+//! dead-letters poison batches, scales concurrency from *processing
+//! pressure* (topic lag, evaluated at a fixed cadence — 1 minute on
+//! Lambda), and meters invocations for billing.
+//!
+//! Triggers must be (§IV-D) *robust* (retries + DLQ), *scalable*
+//! (autoscaler + worker pool), *polyvalent* (functions are arbitrary
+//! `Fn` values), and *empowered* (functions receive a delegated identity
+//! context).
+
+pub mod autoscaler;
+pub mod billing;
+pub mod function;
+pub mod runtime;
+pub mod timer;
+
+pub use autoscaler::{Autoscaler, AutoscalerConfig};
+pub use billing::{BillingMeter, CostModel};
+pub use function::{FunctionConfig, FunctionContext, InvocationOutcome, TriggerFunction};
+pub use runtime::{InvocationRecord, TriggerRuntime, TriggerSpec, TriggerStatus};
+pub use timer::{TimerHandle, TimerSource};

@@ -1,0 +1,717 @@
+//! The trigger runtime: deployment, polling, filtering, invocation,
+//! retries, dead-lettering, worker pools, and pressure evaluation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+use octopus_broker::{AckLevel, Cluster};
+use octopus_pattern::Pattern;
+use octopus_types::{DeliveredEvent, OctoError, OctoResult, PartitionId, Uid};
+
+use crate::autoscaler::{Autoscaler, AutoscalerConfig};
+use crate::billing::BillingMeter;
+use crate::function::{FunctionConfig, FunctionContext, InvocationOutcome, TriggerFunction};
+
+/// A trigger deployment request (the body of `PUT /trigger/`, §IV-D:
+/// "Deploy a trigger using a specified function, target topic, and
+/// configuration").
+#[derive(Clone)]
+pub struct TriggerSpec {
+    /// Unique trigger name.
+    pub name: String,
+    /// Source topic.
+    pub topic: String,
+    /// Optional EventBridge-style filter; only matching events are
+    /// passed to the function (non-matching events are consumed and
+    /// skipped, as EventBridge filtering does).
+    pub pattern: Option<Pattern>,
+    /// Execution environment.
+    pub config: FunctionConfig,
+    /// The function.
+    pub function: TriggerFunction,
+    /// Identity the trigger acts on behalf of.
+    pub acting_as: Uid,
+    /// Autoscaler tuning.
+    pub autoscaler: AutoscalerConfig,
+}
+
+/// One invocation's log record (the CloudWatch log-group analogue).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvocationRecord {
+    /// Invocation counter value.
+    pub invocation: u64,
+    /// Events in the batch (after filtering).
+    pub batch_size: usize,
+    /// Wall-clock duration in milliseconds.
+    pub duration_ms: u64,
+    /// Outcome of the final attempt.
+    pub outcome: InvocationOutcome,
+    /// Attempts used (1 = first try succeeded).
+    pub attempts: u32,
+}
+
+/// Point-in-time view of a trigger (the `GET /triggers/` listing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TriggerStatus {
+    /// Trigger name.
+    pub name: String,
+    /// Source topic.
+    pub topic: String,
+    /// Current autoscaler concurrency decision.
+    pub concurrency: u32,
+    /// Live worker threads.
+    pub active_workers: usize,
+    /// Total invocations.
+    pub invocations: u64,
+    /// Events delivered to the function.
+    pub events_processed: u64,
+    /// Events consumed but filtered out by the pattern.
+    pub events_filtered: u64,
+    /// Invocations that exhausted retries.
+    pub failures: u64,
+    /// Events dead-lettered.
+    pub dead_lettered: u64,
+}
+
+struct TriggerState {
+    spec: TriggerSpec,
+    autoscaler: Mutex<Autoscaler>,
+    invocations: AtomicU64,
+    events_processed: AtomicU64,
+    events_filtered: AtomicU64,
+    failures: AtomicU64,
+    dead_lettered: AtomicU64,
+    records: Mutex<Vec<InvocationRecord>>,
+    billing: Mutex<BillingMeter>,
+    stop: AtomicBool,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl TriggerState {
+    fn group(&self) -> String {
+        format!("__trigger-{}", self.spec.name)
+    }
+}
+
+/// The runtime hosting all triggers of a deployment.
+#[derive(Clone)]
+pub struct TriggerRuntime {
+    cluster: Cluster,
+    triggers: Arc<RwLock<HashMap<String, Arc<TriggerState>>>>,
+}
+
+impl TriggerRuntime {
+    /// A runtime bound to a cluster.
+    pub fn new(cluster: Cluster) -> Self {
+        TriggerRuntime { cluster, triggers: Arc::new(RwLock::new(HashMap::new())) }
+    }
+
+    /// Deploy a trigger. The source topic must exist; the DLQ topic, if
+    /// named, must exist too. Idempotent for an identical name+topic.
+    pub fn deploy(&self, spec: TriggerSpec) -> OctoResult<()> {
+        if !self.cluster.topic_exists(&spec.topic) {
+            return Err(OctoError::UnknownTopic(spec.topic.clone()));
+        }
+        if let Some(dlq) = &spec.config.dlq_topic {
+            if !self.cluster.topic_exists(dlq) {
+                return Err(OctoError::UnknownTopic(dlq.clone()));
+            }
+        }
+        let mut triggers = self.triggers.write();
+        if let Some(existing) = triggers.get(&spec.name) {
+            if existing.spec.topic == spec.topic {
+                return Ok(()); // idempotent re-deploy
+            }
+            return Err(OctoError::Conflict(format!("trigger {} exists", spec.name)));
+        }
+        let partitions = self.cluster.partition_count(&spec.topic)?;
+        let state = Arc::new(TriggerState {
+            autoscaler: Mutex::new(Autoscaler::new(spec.autoscaler.clone(), partitions)),
+            spec,
+            invocations: AtomicU64::new(0),
+            events_processed: AtomicU64::new(0),
+            events_filtered: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            dead_lettered: AtomicU64::new(0),
+            records: Mutex::new(Vec::new()),
+            billing: Mutex::new(BillingMeter::new()),
+            stop: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
+        });
+        triggers.insert(state.spec.name.clone(), state);
+        Ok(())
+    }
+
+    /// Remove a trigger, stopping its workers.
+    pub fn remove(&self, name: &str) -> OctoResult<()> {
+        let state = self
+            .triggers
+            .write()
+            .remove(name)
+            .ok_or_else(|| OctoError::NotFound(format!("trigger {name}")))?;
+        state.stop.store(true, Ordering::Release);
+        let workers = std::mem::take(&mut *state.workers.lock());
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    /// Describe all triggers (the `GET /triggers/` route).
+    pub fn list(&self) -> Vec<TriggerStatus> {
+        let mut out: Vec<TriggerStatus> =
+            self.triggers.read().values().map(|s| self.status_of(s)).collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Describe one trigger.
+    pub fn status(&self, name: &str) -> OctoResult<TriggerStatus> {
+        let triggers = self.triggers.read();
+        let s = triggers
+            .get(name)
+            .ok_or_else(|| OctoError::NotFound(format!("trigger {name}")))?;
+        Ok(self.status_of(s))
+    }
+
+    fn status_of(&self, s: &TriggerState) -> TriggerStatus {
+        TriggerStatus {
+            name: s.spec.name.clone(),
+            topic: s.spec.topic.clone(),
+            concurrency: s.autoscaler.lock().concurrency(),
+            active_workers: s.workers.lock().len(),
+            invocations: s.invocations.load(Ordering::Relaxed),
+            events_processed: s.events_processed.load(Ordering::Relaxed),
+            events_filtered: s.events_filtered.load(Ordering::Relaxed),
+            failures: s.failures.load(Ordering::Relaxed),
+            dead_lettered: s.dead_lettered.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Invocation log of a trigger (CloudWatch log-group analogue).
+    pub fn invocation_log(&self, name: &str) -> OctoResult<Vec<InvocationRecord>> {
+        let triggers = self.triggers.read();
+        let s = triggers
+            .get(name)
+            .ok_or_else(|| OctoError::NotFound(format!("trigger {name}")))?;
+        let records = s.records.lock().clone();
+        Ok(records)
+    }
+
+    /// The billing meter of a trigger.
+    pub fn billing(&self, name: &str) -> OctoResult<BillingMeter> {
+        let triggers = self.triggers.read();
+        let s = triggers
+            .get(name)
+            .ok_or_else(|| OctoError::NotFound(format!("trigger {name}")))?;
+        let billing = s.billing.lock().clone();
+        Ok(billing)
+    }
+
+    /// Synchronously process all currently pending events of a trigger
+    /// (a deterministic single-worker pass; tests and simulations use
+    /// this, production uses [`TriggerRuntime::start_workers`]).
+    /// Returns the number of events consumed.
+    pub fn poll_once(&self, name: &str) -> OctoResult<usize> {
+        let state = {
+            let triggers = self.triggers.read();
+            triggers
+                .get(name)
+                .ok_or_else(|| OctoError::NotFound(format!("trigger {name}")))?
+                .clone()
+        };
+        let partitions = self.cluster.partition_count(&state.spec.topic)?;
+        let mut consumed = 0usize;
+        for p in 0..partitions {
+            loop {
+                let n = self.process_partition(&state, p, None)?;
+                if n == 0 {
+                    break;
+                }
+                consumed += n;
+            }
+        }
+        Ok(consumed)
+    }
+
+    /// Process one batch from one partition. `generation` of `Some(g)`
+    /// uses fenced offset commits (worker mode); `None` commits
+    /// unchecked (single-poller mode). Returns events consumed.
+    fn process_partition(
+        &self,
+        state: &TriggerState,
+        partition: PartitionId,
+        generation: Option<u64>,
+    ) -> OctoResult<usize> {
+        let topic = &state.spec.topic;
+        let group = state.group();
+        let start_offset = match self.cluster.coordinator().committed(&group, topic, partition) {
+            Some(o) => o,
+            None => self.cluster.earliest_offset(topic, partition)?,
+        };
+        let mut records =
+            self.cluster.fetch(topic, partition, start_offset, state.spec.config.batch_size)?;
+        // enforce the byte limit too
+        let mut bytes = 0usize;
+        let mut cut = records.len();
+        for (i, r) in records.iter().enumerate() {
+            bytes += r.wire_size();
+            if bytes > state.spec.config.batch_bytes && i > 0 {
+                cut = i;
+                break;
+            }
+        }
+        records.truncate(cut);
+        if records.is_empty() {
+            return Ok(0);
+        }
+        let next_offset = records.last().expect("non-empty").offset + 1;
+        let consumed = records.len();
+
+        // filter
+        let delivered: Vec<DeliveredEvent> = records
+            .into_iter()
+            .map(|r| DeliveredEvent {
+                topic: topic.clone(),
+                partition,
+                offset: r.offset,
+                append_time: r.append_time,
+                event: r.to_event(),
+            })
+            .collect();
+        let (matched, filtered): (Vec<DeliveredEvent>, Vec<DeliveredEvent>) =
+            delivered.into_iter().partition(|d| match &state.spec.pattern {
+                Some(p) => p.matches_bytes(&d.event.payload),
+                None => true,
+            });
+        state.events_filtered.fetch_add(filtered.len() as u64, Ordering::Relaxed);
+
+        if !matched.is_empty() {
+            self.invoke_with_retries(state, &matched);
+        }
+
+        // at-least-once: commit only after processing
+        match generation {
+            Some(g) => {
+                self.cluster.coordinator().commit(&group, g, topic, partition, next_offset)?
+            }
+            None => self.cluster.coordinator().commit_unchecked(&group, topic, partition, next_offset),
+        }
+        Ok(consumed)
+    }
+
+    fn invoke_with_retries(&self, state: &TriggerState, batch: &[DeliveredEvent]) {
+        let invocation = state.invocations.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let max_attempts = state.spec.config.retries + 1;
+        let mut outcome = InvocationOutcome::Failure("never ran".into());
+        let mut attempts = 0;
+        for attempt in 0..max_attempts {
+            attempts = attempt + 1;
+            let ctx = FunctionContext {
+                trigger: state.spec.name.clone(),
+                acting_as: state.spec.acting_as,
+                invocation,
+                attempt,
+            };
+            let attempt_start = Instant::now();
+            let result = (state.spec.function)(&ctx, batch);
+            let elapsed = attempt_start.elapsed();
+            if elapsed > Duration::from_millis(state.spec.config.timeout_ms) {
+                outcome = InvocationOutcome::TimedOut;
+                continue;
+            }
+            match result {
+                Ok(()) => {
+                    outcome = InvocationOutcome::Success;
+                    break;
+                }
+                Err(msg) => outcome = InvocationOutcome::Failure(msg),
+            }
+        }
+        let duration_ms = started.elapsed().as_millis() as u64;
+        state
+            .billing
+            .lock()
+            .record_invocation(state.spec.config.memory_mb, duration_ms.max(1));
+        if outcome == InvocationOutcome::Success {
+            state.events_processed.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        } else {
+            state.failures.fetch_add(1, Ordering::Relaxed);
+            if let Some(dlq) = &state.spec.config.dlq_topic {
+                for d in batch {
+                    let _ = self.cluster.produce(dlq, d.event.clone(), AckLevel::Leader);
+                }
+                state.dead_lettered.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            }
+        }
+        state.records.lock().push(InvocationRecord {
+            invocation,
+            batch_size: batch.len(),
+            duration_ms,
+            outcome,
+            attempts,
+        });
+    }
+
+    /// Evaluate processing pressure for a trigger (the 1-minute Lambda
+    /// evaluation) and return the new concurrency decision. In worker
+    /// mode this also resizes the worker pool.
+    pub fn evaluate_pressure(&self, name: &str) -> OctoResult<u32> {
+        let state = {
+            let triggers = self.triggers.read();
+            triggers
+                .get(name)
+                .ok_or_else(|| OctoError::NotFound(format!("trigger {name}")))?
+                .clone()
+        };
+        let lag = self.cluster.group_lag(&state.group(), &state.spec.topic)?;
+        let target = state.autoscaler.lock().evaluate(lag);
+        // resize a running pool
+        let running = state.workers.lock().len();
+        if running > 0 && (target as usize) > running {
+            self.spawn_workers(&state, target as usize - running);
+        }
+        Ok(target)
+    }
+
+    /// Start the trigger's worker pool at the current concurrency.
+    pub fn start_workers(&self, name: &str) -> OctoResult<()> {
+        let state = {
+            let triggers = self.triggers.read();
+            triggers
+                .get(name)
+                .ok_or_else(|| OctoError::NotFound(format!("trigger {name}")))?
+                .clone()
+        };
+        let n = state.autoscaler.lock().concurrency() as usize;
+        self.spawn_workers(&state, n);
+        Ok(())
+    }
+
+    fn spawn_workers(&self, state: &Arc<TriggerState>, n: usize) {
+        for _ in 0..n {
+            let worker_state = state.clone();
+            let rt = self.clone();
+            let idx = state.workers.lock().len();
+            let handle = std::thread::spawn(move || rt.worker_loop(worker_state, idx));
+            state.workers.lock().push(handle);
+        }
+    }
+
+    fn worker_loop(&self, state: Arc<TriggerState>, worker_idx: usize) {
+        let group = state.group();
+        let member = format!("{group}-w{worker_idx}");
+        let topic = state.spec.topic.clone();
+        let counts: HashMap<String, u32> = [(
+            topic.clone(),
+            self.cluster.partition_count(&topic).unwrap_or(1),
+        )]
+        .into_iter()
+        .collect();
+        let mut assignment =
+            self.cluster.coordinator().join(&group, &member, vec![topic.clone()], &counts);
+        while !state.stop.load(Ordering::Acquire) {
+            let mut did_work = false;
+            for (t, p) in assignment.partitions.clone() {
+                debug_assert_eq!(t, topic);
+                match self.process_partition(&state, p, Some(assignment.generation)) {
+                    Ok(n) if n > 0 => did_work = true,
+                    Ok(_) => {}
+                    Err(OctoError::RebalanceInProgress(_)) => {
+                        assignment = self.cluster.coordinator().join(
+                            &group,
+                            &member,
+                            vec![topic.clone()],
+                            &counts,
+                        );
+                    }
+                    Err(_) => {}
+                }
+            }
+            // detect external rebalances (another worker joined)
+            if let Some(current) = self.cluster.coordinator().assignment_of(&group, &member) {
+                if current.generation != assignment.generation {
+                    assignment = current;
+                }
+            }
+            if !did_work {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        self.cluster.coordinator().leave(&group, &member, &counts);
+    }
+
+    /// Stop all workers of a trigger and wait for them.
+    pub fn stop_workers(&self, name: &str) -> OctoResult<()> {
+        let state = {
+            let triggers = self.triggers.read();
+            triggers
+                .get(name)
+                .ok_or_else(|| OctoError::NotFound(format!("trigger {name}")))?
+                .clone()
+        };
+        state.stop.store(true, Ordering::Release);
+        let workers = std::mem::take(&mut *state.workers.lock());
+        for w in workers {
+            let _ = w.join();
+        }
+        state.stop.store(false, Ordering::Release);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_broker::TopicConfig;
+    use octopus_types::Event;
+    use serde_json::json;
+    use std::sync::atomic::AtomicUsize;
+
+    fn setup() -> (Cluster, TriggerRuntime) {
+        let c = Cluster::new(2);
+        c.create_topic("events", TopicConfig::default().with_partitions(2)).unwrap();
+        let rt = TriggerRuntime::new(c.clone());
+        (c, rt)
+    }
+
+    fn json_event(v: serde_json::Value) -> Event {
+        Event::from_json(&v).unwrap()
+    }
+
+    fn counting_spec(name: &str, count: Arc<AtomicUsize>) -> TriggerSpec {
+        TriggerSpec {
+            name: name.into(),
+            topic: "events".into(),
+            pattern: None,
+            config: FunctionConfig::default(),
+            function: Arc::new(move |_ctx, batch| {
+                count.fetch_add(batch.len(), Ordering::SeqCst);
+                Ok(())
+            }),
+            acting_as: Uid(1),
+            autoscaler: AutoscalerConfig::default(),
+        }
+    }
+
+    #[test]
+    fn trigger_processes_all_events() {
+        let (c, rt) = setup();
+        let count = Arc::new(AtomicUsize::new(0));
+        rt.deploy(counting_spec("t1", count.clone())).unwrap();
+        for i in 0..25 {
+            c.produce("events", json_event(json!({"i": i})), AckLevel::Leader).unwrap();
+        }
+        let consumed = rt.poll_once("t1").unwrap();
+        assert_eq!(consumed, 25);
+        assert_eq!(count.load(Ordering::SeqCst), 25);
+        // nothing left
+        assert_eq!(rt.poll_once("t1").unwrap(), 0);
+        let st = rt.status("t1").unwrap();
+        assert_eq!(st.events_processed, 25);
+        assert_eq!(st.failures, 0);
+        assert!(st.invocations >= 1);
+    }
+
+    #[test]
+    fn pattern_filters_events_listing1() {
+        let (c, rt) = setup();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        rt.deploy(TriggerSpec {
+            name: "created-only".into(),
+            topic: "events".into(),
+            pattern: Some(Pattern::parse(&json!({"event_type": ["created"]})).unwrap()),
+            config: FunctionConfig::default(),
+            function: Arc::new(move |_ctx, batch| {
+                for d in batch {
+                    seen2.lock().push(d.json().unwrap()["path"].as_str().unwrap().to_string());
+                }
+                Ok(())
+            }),
+            acting_as: Uid(1),
+            autoscaler: AutoscalerConfig::default(),
+        })
+        .unwrap();
+        c.produce("events", json_event(json!({"event_type": "created", "path": "/a"})), AckLevel::Leader).unwrap();
+        c.produce("events", json_event(json!({"event_type": "deleted", "path": "/b"})), AckLevel::Leader).unwrap();
+        c.produce("events", json_event(json!({"event_type": "created", "path": "/c"})), AckLevel::Leader).unwrap();
+        rt.poll_once("created-only").unwrap();
+        let mut got = seen.lock().clone();
+        got.sort();
+        assert_eq!(got, vec!["/a", "/c"]);
+        let st = rt.status("created-only").unwrap();
+        assert_eq!(st.events_filtered, 1);
+        assert_eq!(st.events_processed, 2);
+    }
+
+    #[test]
+    fn retries_then_dead_letter() {
+        let (c, rt) = setup();
+        c.create_topic("dlq", TopicConfig::default().with_partitions(1)).unwrap();
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let attempts2 = attempts.clone();
+        rt.deploy(TriggerSpec {
+            name: "poison".into(),
+            topic: "events".into(),
+            pattern: None,
+            config: FunctionConfig { retries: 2, dlq_topic: Some("dlq".into()), ..Default::default() },
+            function: Arc::new(move |_ctx, _batch| {
+                attempts2.fetch_add(1, Ordering::SeqCst);
+                Err("boom".into())
+            }),
+            acting_as: Uid(1),
+            autoscaler: AutoscalerConfig::default(),
+        })
+        .unwrap();
+        c.produce("events", json_event(json!({"x": 1})), AckLevel::Leader).unwrap();
+        rt.poll_once("poison").unwrap();
+        assert_eq!(attempts.load(Ordering::SeqCst), 3, "1 try + 2 retries");
+        let st = rt.status("poison").unwrap();
+        assert_eq!(st.failures, 1);
+        assert_eq!(st.dead_lettered, 1);
+        // the event landed in the DLQ
+        let dlq_events = c.fetch("dlq", 0, 0, 10).unwrap();
+        assert_eq!(dlq_events.len(), 1);
+        // the log records the failed attempts
+        let log = rt.invocation_log("poison").unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].attempts, 3);
+        assert!(matches!(log[0].outcome, InvocationOutcome::Failure(_)));
+    }
+
+    #[test]
+    fn transient_failure_recovers_within_retries() {
+        let (c, rt) = setup();
+        let tries = Arc::new(AtomicUsize::new(0));
+        let tries2 = tries.clone();
+        rt.deploy(TriggerSpec {
+            name: "flaky".into(),
+            topic: "events".into(),
+            pattern: None,
+            config: FunctionConfig { retries: 3, ..Default::default() },
+            function: Arc::new(move |_ctx, _batch| {
+                if tries2.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err("transient".into())
+                } else {
+                    Ok(())
+                }
+            }),
+            acting_as: Uid(1),
+            autoscaler: AutoscalerConfig::default(),
+        })
+        .unwrap();
+        c.produce("events", json_event(json!({})), AckLevel::Leader).unwrap();
+        rt.poll_once("flaky").unwrap();
+        let st = rt.status("flaky").unwrap();
+        assert_eq!(st.failures, 0);
+        assert_eq!(st.events_processed, 1);
+        let log = rt.invocation_log("flaky").unwrap();
+        assert_eq!(log[0].attempts, 3);
+        assert_eq!(log[0].outcome, InvocationOutcome::Success);
+    }
+
+    #[test]
+    fn batch_size_limits_invocations() {
+        let (c, rt) = setup();
+        let batches = Arc::new(Mutex::new(Vec::new()));
+        let batches2 = batches.clone();
+        rt.deploy(TriggerSpec {
+            name: "batchy".into(),
+            topic: "events".into(),
+            pattern: None,
+            config: FunctionConfig { batch_size: 10, ..Default::default() },
+            function: Arc::new(move |_ctx, batch| {
+                batches2.lock().push(batch.len());
+                Ok(())
+            }),
+            acting_as: Uid(1),
+            autoscaler: AutoscalerConfig::default(),
+        })
+        .unwrap();
+        // all to one partition for a deterministic count
+        for i in 0..35 {
+            let e = Event::builder().key("same").json(&json!({"i": i})).unwrap().build();
+            c.produce("events", e, AckLevel::Leader).unwrap();
+        }
+        rt.poll_once("batchy").unwrap();
+        let sizes = batches.lock().clone();
+        assert_eq!(sizes.iter().sum::<usize>(), 35);
+        assert!(sizes.iter().all(|s| *s <= 10));
+        assert_eq!(sizes.iter().filter(|s| **s == 10).count(), 3);
+    }
+
+    #[test]
+    fn deploy_guards() {
+        let (_c, rt) = setup();
+        let count = Arc::new(AtomicUsize::new(0));
+        let mut spec = counting_spec("t", count.clone());
+        spec.topic = "missing".into();
+        assert!(matches!(rt.deploy(spec), Err(OctoError::UnknownTopic(_))));
+        let mut spec = counting_spec("t", count.clone());
+        spec.config.dlq_topic = Some("missing-dlq".into());
+        assert!(matches!(rt.deploy(spec), Err(OctoError::UnknownTopic(_))));
+        // idempotent redeploy
+        rt.deploy(counting_spec("t", count.clone())).unwrap();
+        rt.deploy(counting_spec("t", count)).unwrap();
+        assert_eq!(rt.list().len(), 1);
+        assert!(rt.status("ghost").is_err());
+        assert!(rt.poll_once("ghost").is_err());
+        rt.remove("t").unwrap();
+        assert!(rt.remove("t").is_err());
+    }
+
+    #[test]
+    fn pressure_evaluation_scales_with_lag() {
+        let (c, rt) = setup();
+        let count = Arc::new(AtomicUsize::new(0));
+        rt.deploy(counting_spec("scaly", count)).unwrap();
+        // no lag: stays at floor (min(3, partitions=2) = 2)
+        assert_eq!(rt.evaluate_pressure("scaly").unwrap(), 2);
+        for _ in 0..1000 {
+            c.produce("events", json_event(json!({})), AckLevel::Leader).unwrap();
+        }
+        // big backlog but only 2 partitions: capped at 2
+        assert_eq!(rt.evaluate_pressure("scaly").unwrap(), 2);
+        let st = rt.status("scaly").unwrap();
+        assert_eq!(st.concurrency, 2);
+    }
+
+    #[test]
+    fn worker_pool_drains_topic_concurrently() {
+        let (c, rt) = setup();
+        let count = Arc::new(AtomicUsize::new(0));
+        rt.deploy(counting_spec("workers", count.clone())).unwrap();
+        for i in 0..200 {
+            c.produce("events", json_event(json!({"i": i})), AckLevel::Leader).unwrap();
+        }
+        rt.start_workers("workers").unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while count.load(Ordering::SeqCst) < 200 {
+            assert!(Instant::now() < deadline, "workers did not drain the topic");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        rt.stop_workers("workers").unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 200);
+        assert_eq!(rt.status("workers").unwrap().active_workers, 0);
+    }
+
+    #[test]
+    fn billing_meters_invocations() {
+        let (c, rt) = setup();
+        let count = Arc::new(AtomicUsize::new(0));
+        rt.deploy(counting_spec("billed", count)).unwrap();
+        for _ in 0..5 {
+            c.produce("events", json_event(json!({})), AckLevel::Leader).unwrap();
+        }
+        rt.poll_once("billed").unwrap();
+        let meter = rt.billing("billed").unwrap();
+        assert!(meter.invocations() >= 1);
+    }
+}

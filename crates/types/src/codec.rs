@@ -1,0 +1,277 @@
+//! Payload compression.
+//!
+//! §VII-C lists compression among the cost-mitigation levers ("any
+//! service could use these and other methods (e.g., rate-limiting
+//! consumers, compression, proxies) to manage costs"): egress is billed
+//! per byte, and scientific event payloads (JSON telemetry, file paths)
+//! compress well. This module implements an LZSS-style codec — greedy
+//! longest-match against a sliding window, literal/match tokens packed
+//! under flag bytes — with no external dependencies.
+//!
+//! Framing: output starts with a 1-byte tag ([`Codec`] discriminant).
+//! `Codec::None` passes data through, so decompression is total over
+//! anything `compress` produced.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{OctoError, OctoResult};
+
+/// Compression codecs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Codec {
+    /// No compression (tag 0).
+    #[default]
+    None,
+    /// LZSS sliding-window compression (tag 1).
+    Lzss,
+}
+
+const TAG_NONE: u8 = 0;
+const TAG_LZSS: u8 = 1;
+
+/// Sliding-window size (12-bit distances).
+const WINDOW: usize = 4096;
+/// Minimum match worth encoding (a token costs 2 bytes + flag bit).
+const MIN_MATCH: usize = 3;
+/// Maximum match length (4-bit length field + MIN_MATCH).
+const MAX_MATCH: usize = MIN_MATCH + 15;
+
+/// Compress `data` with `codec`. Output is framed with the codec tag.
+/// LZSS falls back to `None` framing when compression would not shrink
+/// the payload (incompressible data costs only the 1-byte tag).
+pub fn compress(codec: Codec, data: &[u8]) -> Vec<u8> {
+    match codec {
+        Codec::None => frame_none(data),
+        Codec::Lzss => {
+            let body = lzss_compress(data);
+            if body.len() + 1 < data.len() {
+                let mut out = Vec::with_capacity(body.len() + 1);
+                out.push(TAG_LZSS);
+                out.extend_from_slice(&body);
+                out
+            } else {
+                frame_none(data)
+            }
+        }
+    }
+}
+
+fn frame_none(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + 1);
+    out.push(TAG_NONE);
+    out.extend_from_slice(data);
+    out
+}
+
+/// Decompress framed data produced by [`compress`].
+pub fn decompress(data: &[u8]) -> OctoResult<Vec<u8>> {
+    match data.first() {
+        None => Err(OctoError::Invalid("empty compressed frame".into())),
+        Some(&TAG_NONE) => Ok(data[1..].to_vec()),
+        Some(&TAG_LZSS) => lzss_decompress(&data[1..]),
+        Some(tag) => Err(OctoError::Invalid(format!("unknown codec tag {tag}"))),
+    }
+}
+
+/// Greedy LZSS: 8 tokens per flag byte; flag bit 1 = (distance, length)
+/// match encoded as 12+4 bits in two bytes, flag bit 0 = literal byte.
+fn lzss_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let mut i = 0usize;
+    // token buffer under a shared flag byte
+    let mut flags = 0u8;
+    let mut nflags = 0u8;
+    let mut pending: Vec<u8> = Vec::with_capacity(17);
+    // hash chains for match finding: 3-byte prefix -> most recent pos
+    let mut head = vec![usize::MAX; 1 << 13];
+    let mut prev = vec![usize::MAX; data.len().max(1)];
+    let hash = |d: &[u8]| -> usize {
+        let h = (d[0] as usize) | ((d[1] as usize) << 8) | ((d[2] as usize) << 16);
+        (h.wrapping_mul(0x9E37_79B1) >> 19) & ((1 << 13) - 1)
+    };
+    let flush = |out: &mut Vec<u8>, flags: &mut u8, nflags: &mut u8, pending: &mut Vec<u8>| {
+        out.push(*flags);
+        out.extend_from_slice(pending);
+        *flags = 0;
+        *nflags = 0;
+        pending.clear();
+    };
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash(&data[i..]);
+            let mut cand = head[h];
+            let mut steps = 0;
+            while cand != usize::MAX && i - cand <= WINDOW && steps < 32 {
+                let max = (data.len() - i).min(MAX_MATCH);
+                let mut l = 0;
+                while l < max && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - cand;
+                }
+                cand = prev[cand];
+                steps += 1;
+            }
+            // insert current position into the chain
+            prev[i] = head[h];
+            head[h] = i;
+        }
+        if best_len >= MIN_MATCH {
+            // match token: 12-bit distance (1..=4096), 4-bit length
+            let d = best_dist - 1; // 0..4095
+            let l = best_len - MIN_MATCH; // 0..15
+            pending.push((d & 0xff) as u8);
+            pending.push((((d >> 8) & 0x0f) as u8) | ((l as u8) << 4));
+            flags |= 1 << nflags;
+            // index the skipped positions so later matches can find them
+            for k in 1..best_len {
+                let pos = i + k;
+                if pos + MIN_MATCH <= data.len() {
+                    let h = hash(&data[pos..]);
+                    prev[pos] = head[h];
+                    head[h] = pos;
+                }
+            }
+            i += best_len;
+        } else {
+            pending.push(data[i]);
+            i += 1;
+        }
+        nflags += 1;
+        if nflags == 8 {
+            flush(&mut out, &mut flags, &mut nflags, &mut pending);
+        }
+    }
+    if nflags > 0 {
+        flush(&mut out, &mut flags, &mut nflags, &mut pending);
+    }
+    out
+}
+
+fn lzss_decompress(body: &[u8]) -> OctoResult<Vec<u8>> {
+    let mut out = Vec::with_capacity(body.len() * 2);
+    let mut i = 0usize;
+    while i < body.len() {
+        let flags = body[i];
+        i += 1;
+        for bit in 0..8 {
+            if i >= body.len() {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                if i + 1 >= body.len() {
+                    return Err(OctoError::Invalid("truncated LZSS match token".into()));
+                }
+                let b0 = body[i] as usize;
+                let b1 = body[i + 1] as usize;
+                i += 2;
+                let dist = (b0 | ((b1 & 0x0f) << 8)) + 1;
+                let len = (b1 >> 4) + MIN_MATCH;
+                if dist > out.len() {
+                    return Err(OctoError::Invalid(format!(
+                        "LZSS distance {dist} exceeds output {}",
+                        out.len()
+                    )));
+                }
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let byte = out[start + k];
+                    out.push(byte);
+                }
+            } else {
+                out.push(body[i]);
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(codec: Codec, data: &[u8]) -> Vec<u8> {
+        let framed = compress(codec, data);
+        decompress(&framed).unwrap()
+    }
+
+    #[test]
+    fn none_codec_roundtrips() {
+        for data in [&b""[..], b"x", b"hello world"] {
+            assert_eq!(roundtrip(Codec::None, data), data);
+        }
+    }
+
+    #[test]
+    fn lzss_roundtrips_repetitive_data() {
+        let data = b"abcabcabcabcabcabcabcabcabc".repeat(10);
+        let framed = compress(Codec::Lzss, &data);
+        assert!(framed.len() < data.len() / 3, "{} vs {}", framed.len(), data.len());
+        assert_eq!(decompress(&framed).unwrap(), data);
+    }
+
+    #[test]
+    fn lzss_shrinks_jsonish_events() {
+        let event = serde_json::json!({
+            "event_type": "created",
+            "path": "/pfs/experiment-42/jobs/run-000133/out-0042.h5",
+            "fs": "pfs0",
+            "size": 67108864,
+            "metadata": {"instrument": "xrd-beamline", "operator": "alice@uchicago.edu"}
+        });
+        let data = serde_json::to_vec(&vec![event.clone(), event.clone(), event]).unwrap();
+        let framed = compress(Codec::Lzss, &data);
+        assert!(framed.len() < data.len() * 2 / 3, "{} vs {}", framed.len(), data.len());
+        assert_eq!(decompress(&framed).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_falls_back_to_none() {
+        // pseudo-random bytes: LZSS would expand them, so the frame is
+        // tagged None and costs exactly one byte
+        let mut state = 0x853c_49e6_748f_ea9bu64;
+        let data: Vec<u8> = (0..1000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect();
+        let framed = compress(Codec::Lzss, &data);
+        assert_eq!(framed.len(), data.len() + 1);
+        assert_eq!(framed[0], TAG_NONE);
+        assert_eq!(decompress(&framed).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(roundtrip(Codec::Lzss, b""), b"");
+        assert_eq!(roundtrip(Codec::Lzss, b"a"), b"a");
+        assert_eq!(roundtrip(Codec::Lzss, b"ab"), b"ab");
+        assert_eq!(roundtrip(Codec::Lzss, b"aaa"), b"aaa");
+    }
+
+    #[test]
+    fn malformed_frames_error() {
+        assert!(decompress(&[]).is_err());
+        assert!(decompress(&[99, 1, 2]).is_err()); // unknown tag
+        // truncated match token
+        assert!(decompress(&[TAG_LZSS, 0b0000_0001, 0x05]).is_err());
+        // distance beyond output
+        assert!(decompress(&[TAG_LZSS, 0b0000_0001, 0xff, 0x0f]).is_err());
+    }
+
+    #[test]
+    fn long_runs_compress_hard() {
+        let data = vec![b'x'; 10_000];
+        let framed = compress(Codec::Lzss, &data);
+        assert!(framed.len() < 1500, "run-length-ish case: {}", framed.len());
+        assert_eq!(decompress(&framed).unwrap(), data);
+    }
+}

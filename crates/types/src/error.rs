@@ -1,0 +1,137 @@
+//! The common error type shared by all Octopus crates.
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type OctoResult<T> = Result<T, OctoError>;
+
+/// Errors produced anywhere in the Octopus stack.
+///
+/// A single error enum keeps cross-crate plumbing simple: the SDK can
+/// surface a broker-side authorization failure to an application without
+/// each layer defining its own wrapper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OctoError {
+    /// The named topic does not exist.
+    UnknownTopic(String),
+    /// The named partition does not exist within the topic.
+    UnknownPartition(String, u32),
+    /// A topic with this name already exists.
+    TopicExists(String),
+    /// The caller is not authenticated (missing/expired/invalid token).
+    Unauthenticated(String),
+    /// The caller is authenticated but lacks permission for the operation.
+    Unauthorized(String),
+    /// A requested offset is out of the retained range.
+    OffsetOutOfRange { requested: u64, earliest: u64, latest: u64 },
+    /// The broker (or a quorum of replicas) is unavailable.
+    Unavailable(String),
+    /// Communication timed out.
+    Timeout(String),
+    /// A produce was rejected because fewer than `min.insync.replicas`
+    /// replicas are in sync.
+    NotEnoughReplicas { in_sync: usize, required: usize },
+    /// Consumer group coordination failed (e.g. stale generation).
+    RebalanceInProgress(String),
+    /// Input failed validation (bad config value, malformed pattern, ...).
+    Invalid(String),
+    /// An internal invariant was violated; indicates a bug.
+    Internal(String),
+    /// The operation conflicted with a concurrent update (version mismatch).
+    Conflict(String),
+    /// A resource quota or rate limit was exceeded.
+    RateLimited(String),
+    /// Serialization / deserialization failure.
+    Serde(String),
+    /// A client-side buffer is full (producer `buffer.memory` exhausted).
+    BufferFull { capacity_bytes: usize },
+    /// The referenced entity (trigger, key, session, ...) was not found.
+    NotFound(String),
+}
+
+impl fmt::Display for OctoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OctoError::UnknownTopic(t) => write!(f, "unknown topic: {t}"),
+            OctoError::UnknownPartition(t, p) => write!(f, "unknown partition {p} of topic {t}"),
+            OctoError::TopicExists(t) => write!(f, "topic already exists: {t}"),
+            OctoError::Unauthenticated(m) => write!(f, "unauthenticated: {m}"),
+            OctoError::Unauthorized(m) => write!(f, "unauthorized: {m}"),
+            OctoError::OffsetOutOfRange { requested, earliest, latest } => write!(
+                f,
+                "offset {requested} out of range [{earliest}, {latest})"
+            ),
+            OctoError::Unavailable(m) => write!(f, "unavailable: {m}"),
+            OctoError::Timeout(m) => write!(f, "timeout: {m}"),
+            OctoError::NotEnoughReplicas { in_sync, required } => {
+                write!(f, "not enough in-sync replicas: {in_sync} < {required}")
+            }
+            OctoError::RebalanceInProgress(m) => write!(f, "rebalance in progress: {m}"),
+            OctoError::Invalid(m) => write!(f, "invalid input: {m}"),
+            OctoError::Internal(m) => write!(f, "internal error: {m}"),
+            OctoError::Conflict(m) => write!(f, "conflict: {m}"),
+            OctoError::RateLimited(m) => write!(f, "rate limited: {m}"),
+            OctoError::Serde(m) => write!(f, "serde error: {m}"),
+            OctoError::BufferFull { capacity_bytes } => {
+                write!(f, "producer buffer full ({capacity_bytes} bytes)")
+            }
+            OctoError::NotFound(m) => write!(f, "not found: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OctoError {}
+
+impl OctoError {
+    /// Whether a client may safely retry the failed operation.
+    ///
+    /// Mirrors the paper's §IV-F: the SDK producer retries transient
+    /// failures a configurable number of times before surfacing them.
+    pub fn is_retriable(&self) -> bool {
+        matches!(
+            self,
+            OctoError::Unavailable(_)
+                | OctoError::Timeout(_)
+                | OctoError::NotEnoughReplicas { .. }
+                | OctoError::RebalanceInProgress(_)
+                | OctoError::RateLimited(_)
+        )
+    }
+}
+
+impl From<serde_json::Error> for OctoError {
+    fn from(e: serde_json::Error) -> Self {
+        OctoError::Serde(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = OctoError::UnknownTopic("fsmon.events".into());
+        assert_eq!(e.to_string(), "unknown topic: fsmon.events");
+        let e = OctoError::OffsetOutOfRange { requested: 9, earliest: 10, latest: 20 };
+        assert!(e.to_string().contains("[10, 20)"));
+    }
+
+    #[test]
+    fn retriability_classification() {
+        assert!(OctoError::Timeout("t".into()).is_retriable());
+        assert!(OctoError::Unavailable("broker down".into()).is_retriable());
+        assert!(OctoError::NotEnoughReplicas { in_sync: 1, required: 2 }.is_retriable());
+        assert!(OctoError::RateLimited("identity".into()).is_retriable());
+        assert!(!OctoError::Unauthorized("no WRITE".into()).is_retriable());
+        assert!(!OctoError::UnknownTopic("t".into()).is_retriable());
+        assert!(!OctoError::Invalid("bad".into()).is_retriable());
+    }
+
+    #[test]
+    fn from_serde_json() {
+        let bad: Result<serde_json::Value, _> = serde_json::from_str("{not json");
+        let err: OctoError = bad.unwrap_err().into();
+        assert!(matches!(err, OctoError::Serde(_)));
+    }
+}

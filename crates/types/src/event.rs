@@ -1,0 +1,216 @@
+//! The event model.
+//!
+//! An [`Event`] is what producers publish: an optional partitioning key,
+//! a binary payload (often JSON — scientific events carry flexible
+//! schemata, §III-B "Diversity of event schemata"), headers, and a client
+//! timestamp. A [`DeliveredEvent`] is what consumers receive: the event
+//! plus its fabric-assigned coordinates (topic, partition, offset) and
+//! broker append time.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::{Offset, PartitionId, Timestamp, TopicName};
+
+/// A key/value header attached to an event (provenance, content type,
+/// experiment ids, ...).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Header {
+    /// Header name.
+    pub key: String,
+    /// Header value (UTF-8 by convention, but not required).
+    pub value: Vec<u8>,
+}
+
+/// An event as published by a producer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Optional partitioning key. Events with the same key land in the
+    /// same partition and are therefore strictly ordered relative to one
+    /// another.
+    pub key: Option<Bytes>,
+    /// The payload. Octopus imposes no schema; triggers that filter by
+    /// content expect JSON.
+    pub payload: Bytes,
+    /// Headers (provenance, schema hints, trace ids).
+    pub headers: Vec<Header>,
+    /// Producer-side creation time.
+    pub timestamp: Timestamp,
+}
+
+impl Event {
+    /// Event with a raw binary payload and no key.
+    pub fn from_bytes(payload: impl Into<Bytes>) -> Self {
+        Event { key: None, payload: payload.into(), headers: Vec::new(), timestamp: Timestamp::now() }
+    }
+
+    /// Event whose payload is the JSON serialization of `value`.
+    pub fn from_json<T: Serialize>(value: &T) -> Result<Self, crate::OctoError> {
+        let payload = serde_json::to_vec(value)?;
+        Ok(Event::from_bytes(payload))
+    }
+
+    /// Parse the payload as JSON.
+    pub fn json(&self) -> Result<serde_json::Value, crate::OctoError> {
+        Ok(serde_json::from_slice(&self.payload)?)
+    }
+
+    /// Deserialize the payload into `T`.
+    pub fn parse<T: for<'de> Deserialize<'de>>(&self) -> Result<T, crate::OctoError> {
+        Ok(serde_json::from_slice(&self.payload)?)
+    }
+
+    /// Total wire size: key + payload + headers. Used for batching
+    /// limits, buffer accounting, and the DES byte-cost model.
+    pub fn wire_size(&self) -> usize {
+        let key = self.key.as_ref().map(|k| k.len()).unwrap_or(0);
+        let headers: usize =
+            self.headers.iter().map(|h| h.key.len() + h.value.len()).sum();
+        key + self.payload.len() + headers
+    }
+
+    /// Start building an event fluently.
+    pub fn builder() -> EventBuilder {
+        EventBuilder::default()
+    }
+}
+
+/// Fluent builder for [`Event`].
+///
+/// ```
+/// use octopus_types::Event;
+/// let e = Event::builder()
+///     .key("experiment-7")
+///     .json(&serde_json::json!({"event_type": "created", "path": "/data/run7.h5"}))
+///     .unwrap()
+///     .header("source", b"fsmon")
+///     .build();
+/// assert_eq!(e.headers.len(), 1);
+/// assert!(e.json().unwrap()["event_type"] == "created");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct EventBuilder {
+    key: Option<Bytes>,
+    payload: Bytes,
+    headers: Vec<Header>,
+    timestamp: Option<Timestamp>,
+}
+
+impl EventBuilder {
+    /// Set the partitioning key.
+    pub fn key(mut self, key: impl Into<String>) -> Self {
+        self.key = Some(Bytes::from(key.into().into_bytes()));
+        self
+    }
+
+    /// Set a raw binary payload.
+    pub fn payload(mut self, payload: impl Into<Bytes>) -> Self {
+        self.payload = payload.into();
+        self
+    }
+
+    /// Set the payload to the JSON serialization of `value`.
+    pub fn json<T: Serialize>(mut self, value: &T) -> Result<Self, crate::OctoError> {
+        self.payload = Bytes::from(serde_json::to_vec(value)?);
+        Ok(self)
+    }
+
+    /// Append a header.
+    pub fn header(mut self, key: impl Into<String>, value: impl AsRef<[u8]>) -> Self {
+        self.headers.push(Header { key: key.into(), value: value.as_ref().to_vec() });
+        self
+    }
+
+    /// Override the producer timestamp (simulations use virtual time).
+    pub fn timestamp(mut self, t: Timestamp) -> Self {
+        self.timestamp = Some(t);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Event {
+        Event {
+            key: self.key,
+            payload: self.payload,
+            headers: self.headers,
+            timestamp: self.timestamp.unwrap_or_else(Timestamp::now),
+        }
+    }
+}
+
+/// An event as delivered to a consumer, with its fabric coordinates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveredEvent {
+    /// Topic the event was read from.
+    pub topic: TopicName,
+    /// Partition within the topic.
+    pub partition: PartitionId,
+    /// Offset within the partition.
+    pub offset: Offset,
+    /// Broker append time (log-append timestamp).
+    pub append_time: Timestamp,
+    /// The event itself.
+    pub event: Event,
+}
+
+impl DeliveredEvent {
+    /// Parse the payload as JSON (convenience passthrough).
+    pub fn json(&self) -> Result<serde_json::Value, crate::OctoError> {
+        self.event.json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_accounts_for_all_parts() {
+        let e = Event::builder()
+            .key("k") // 1 byte
+            .payload(vec![0u8; 100]) // 100 bytes
+            .header("hk", b"hv") // 2 + 2 bytes
+            .build();
+        assert_eq!(e.wire_size(), 1 + 100 + 4);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        #[derive(Serialize, Deserialize, PartialEq, Debug)]
+        struct Reading {
+            instrument: String,
+            value: f64,
+        }
+        let r = Reading { instrument: "xrd-beamline".into(), value: 1.25 };
+        let e = Event::from_json(&r).unwrap();
+        assert_eq!(e.parse::<Reading>().unwrap(), r);
+    }
+
+    #[test]
+    fn json_parse_failure_is_serde_error() {
+        let e = Event::from_bytes(&b"\xff\xfe not json"[..]);
+        assert!(matches!(e.json(), Err(crate::OctoError::Serde(_))));
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let e = Event::builder().build();
+        assert!(e.key.is_none());
+        assert!(e.payload.is_empty());
+        assert!(e.headers.is_empty());
+    }
+
+    #[test]
+    fn delivered_event_serde_roundtrip() {
+        let d = DeliveredEvent {
+            topic: "sdl.actions".into(),
+            partition: 3,
+            offset: 42,
+            append_time: Timestamp::from_millis(5),
+            event: Event::from_bytes(&b"x"[..]),
+        };
+        let s = serde_json::to_string(&d).unwrap();
+        let back: DeliveredEvent = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,34 @@
+//! Shared foundation types for the Octopus event fabric.
+//!
+//! Every Octopus crate builds on the vocabulary defined here: [`Event`]
+//! payloads and their delivered form [`DeliveredEvent`], stable
+//! identifiers ([`Uid`]), wall/virtual [`Timestamp`]s, and the common
+//! [`OctoError`] error type.
+//!
+//! The types are deliberately transport-agnostic: the same `Event` moves
+//! through the real threaded broker (`octopus-broker`), the discrete-event
+//! simulation of the cloud deployment (`octopus-fabric`), and the client
+//! SDK (`octopus-sdk`).
+
+pub mod codec;
+pub mod error;
+pub mod event;
+pub mod id;
+pub mod time;
+
+pub use codec::{compress, decompress, Codec};
+pub use error::{OctoError, OctoResult};
+pub use event::{DeliveredEvent, Event, EventBuilder, Header};
+pub use id::Uid;
+pub use time::{Clock, ManualClock, Timestamp, WallClock};
+
+/// A topic name. Topics are the unit of event organization, access
+/// control, and retention in Octopus.
+pub type TopicName = String;
+
+/// A partition index within a topic.
+pub type PartitionId = u32;
+
+/// A record offset within a partition. Offsets are dense and strictly
+/// increasing within a partition.
+pub type Offset = u64;

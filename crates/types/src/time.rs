@@ -1,0 +1,144 @@
+//! Time handling shared by the real and simulated planes.
+//!
+//! Octopus runs the same logic against wall-clock time (threaded broker,
+//! SDK) and virtual time (discrete-event simulation). Components that
+//! need "now" take a [`Clock`] so tests and simulations can substitute a
+//! [`ManualClock`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use serde::{Deserialize, Serialize};
+
+/// Milliseconds since the Unix epoch (or since simulation start, in the
+/// simulated plane — callers only ever compare and subtract timestamps).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// Current wall-clock time.
+    pub fn now() -> Self {
+        Timestamp(
+            SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+        )
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Timestamp(ms)
+    }
+
+    /// Milliseconds value.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference `self - earlier` as a `Duration`.
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration::from_millis(self.0.saturating_sub(earlier.0))
+    }
+
+    /// This timestamp advanced by `d`.
+    pub fn plus(self, d: Duration) -> Timestamp {
+        Timestamp(self.0 + d.as_millis() as u64)
+    }
+}
+
+/// A source of "now", injectable for tests and simulation.
+pub trait Clock: Send + Sync {
+    /// The current time according to this clock.
+    fn now(&self) -> Timestamp;
+}
+
+/// The real wall clock.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WallClock;
+
+impl Clock for WallClock {
+    fn now(&self) -> Timestamp {
+        Timestamp::now()
+    }
+}
+
+/// A manually-advanced clock for deterministic tests.
+///
+/// ```
+/// use octopus_types::{Clock, ManualClock, Timestamp};
+/// use std::time::Duration;
+/// let clock = ManualClock::new(Timestamp::from_millis(1_000));
+/// assert_eq!(clock.now().as_millis(), 1_000);
+/// clock.advance(Duration::from_secs(2));
+/// assert_eq!(clock.now().as_millis(), 3_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    millis: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// Create a clock initially reading `start`.
+    pub fn new(start: Timestamp) -> Self {
+        ManualClock { millis: Arc::new(AtomicU64::new(start.0)) }
+    }
+
+    /// Advance by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.millis.fetch_add(d.as_millis() as u64, Ordering::SeqCst);
+    }
+
+    /// Jump to an absolute time. Panics if `t` is in the past — clocks
+    /// never run backwards.
+    pub fn set(&self, t: Timestamp) {
+        let prev = self.millis.swap(t.0, Ordering::SeqCst);
+        assert!(prev <= t.0, "ManualClock::set would move time backwards");
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Timestamp {
+        Timestamp(self.millis.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone_enough() {
+        let a = WallClock.now();
+        let b = WallClock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t0 = Timestamp::from_millis(100);
+        let t1 = t0.plus(Duration::from_millis(250));
+        assert_eq!(t1.as_millis(), 350);
+        assert_eq!(t1.since(t0), Duration::from_millis(250));
+        // saturating: earlier.since(later) is zero, not underflow
+        assert_eq!(t0.since(t1), Duration::ZERO);
+    }
+
+    #[test]
+    fn manual_clock_shared_between_clones() {
+        let c = ManualClock::new(Timestamp::from_millis(0));
+        let c2 = c.clone();
+        c.advance(Duration::from_millis(42));
+        assert_eq!(c2.now().as_millis(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn manual_clock_rejects_time_travel() {
+        let c = ManualClock::new(Timestamp::from_millis(10));
+        c.set(Timestamp::from_millis(5));
+    }
+}

@@ -1,0 +1,58 @@
+//! Property-based tests for the shared types: codec totality and
+//! round-trips, event builder invariants, and timestamp arithmetic.
+
+use proptest::prelude::*;
+
+use octopus_types::{codec, Codec, Event, Timestamp};
+
+proptest! {
+    /// Compression round-trips arbitrary bytes under every codec.
+    #[test]
+    fn codec_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
+        for c in [Codec::None, Codec::Lzss] {
+            let framed = codec::compress(c, &data);
+            prop_assert_eq!(codec::decompress(&framed).unwrap(), data.clone());
+        }
+    }
+
+    /// Highly repetitive inputs always shrink under LZSS.
+    #[test]
+    fn codec_shrinks_repetition(unit in proptest::collection::vec(any::<u8>(), 1..16), reps in 20usize..100) {
+        let data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
+        let framed = codec::compress(Codec::Lzss, &data);
+        prop_assert!(framed.len() < data.len(), "{} !< {}", framed.len(), data.len());
+        prop_assert_eq!(codec::decompress(&framed).unwrap(), data);
+    }
+
+    /// Decompression never panics on arbitrary (possibly garbage) input.
+    #[test]
+    fn decompress_is_total(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+        let _ = codec::decompress(&data);
+    }
+
+    /// Event wire size equals the sum of its parts, and JSON payloads
+    /// round-trip through the builder.
+    #[test]
+    fn event_wire_size_and_json(
+        key in proptest::option::of("[a-z]{1,10}"),
+        n in 0usize..500,
+        header_val in proptest::collection::vec(any::<u8>(), 0..50),
+    ) {
+        let mut b = Event::builder().payload(vec![7u8; n]).header("h", &header_val);
+        let key_len = key.as_ref().map(|k| k.len()).unwrap_or(0);
+        if let Some(k) = key {
+            b = b.key(k);
+        }
+        let e = b.build();
+        prop_assert_eq!(e.wire_size(), key_len + n + 1 + header_val.len());
+    }
+
+    /// Timestamp plus/since are inverses and never panic.
+    #[test]
+    fn timestamp_arithmetic(start in 0u64..u64::MAX / 4, delta_ms in 0u64..1_000_000_000) {
+        let t0 = Timestamp::from_millis(start);
+        let t1 = t0.plus(std::time::Duration::from_millis(delta_ms));
+        prop_assert_eq!(t1.since(t0).as_millis() as u64, delta_ms);
+        prop_assert_eq!(t0.since(t1), std::time::Duration::ZERO);
+    }
+}

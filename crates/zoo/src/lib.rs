@@ -1,0 +1,26 @@
+//! A ZooKeeper-like coordination service.
+//!
+//! MSK "employs Apache ZooKeeper to maintain and synchronize state
+//! (e.g., topics and access control lists) among cluster resources"
+//! (§IV-C), and "the source of truth about which topics are owned by
+//! which identities are stored in ZooKeeper" (§IV-F). This crate builds
+//! that substrate from scratch:
+//!
+//! - [`znode`]: the hierarchical znode tree — persistent / ephemeral /
+//!   sequential nodes, versioned writes, stat structures.
+//! - [`zab`]: a ZAB-style replicated atomic broadcast: an ensemble of
+//!   state-machine replicas with leader-assigned zxids, quorum acks,
+//!   ordered commit, crash/recovery with epoch bumps and log sync. The
+//!   core is a pure (message-in, messages-out) state machine driven by a
+//!   deterministic scheduler, so agreement properties are testable.
+//! - [`service`]: the client-facing facade (`create`, `get`, `set`,
+//!   `delete`, `children`, `exists`, watches, sessions with ephemeral
+//!   cleanup) that OWS and the broker controller use.
+
+pub mod service;
+pub mod znode;
+pub mod zab;
+
+pub use service::{WatchEvent, WatchKind, ZooService, SessionId};
+pub use znode::{CreateMode, Stat, Znode, ZnodeTree};
+pub use zab::{Ensemble, NodeId, ZabNode};

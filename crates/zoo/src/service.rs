@@ -1,0 +1,398 @@
+//! The client-facing coordination service: ZooKeeper-style operations,
+//! one-shot watches, and sessions with ephemeral-node cleanup, backed by
+//! the replicated [`Ensemble`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+
+use octopus_types::{OctoError, OctoResult};
+
+use crate::zab::{Ensemble, NodeId};
+use crate::znode::{CreateMode, Stat, Txn, TxnResult};
+
+/// A client session. Ephemeral nodes created under a session vanish when
+/// it closes (or expires).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(pub u64);
+
+/// What a watch observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchKind {
+    /// The node was created.
+    Created,
+    /// The node's data changed.
+    DataChanged,
+    /// The node was deleted.
+    Deleted,
+    /// The node's child list changed.
+    ChildrenChanged,
+}
+
+/// A fired watch notification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchEvent {
+    /// The watched path.
+    pub path: String,
+    /// What happened.
+    pub kind: WatchKind,
+}
+
+struct Inner {
+    ensemble: Ensemble,
+    next_session: u64,
+    data_watches: HashMap<String, Vec<Sender<WatchEvent>>>,
+    child_watches: HashMap<String, Vec<Sender<WatchEvent>>>,
+}
+
+/// Thread-safe coordination service handle. Clones share state.
+#[derive(Clone)]
+pub struct ZooService {
+    inner: Arc<Mutex<Inner>>,
+}
+
+fn map_error(msg: String) -> OctoError {
+    if msg.contains("no node") || msg.contains("does not exist") {
+        OctoError::NotFound(msg)
+    } else if msg.contains("exists") || msg.contains("version mismatch") {
+        OctoError::Conflict(msg)
+    } else {
+        OctoError::Invalid(msg)
+    }
+}
+
+impl ZooService {
+    /// A service backed by `replicas` ZAB nodes (3 or 5 in production
+    /// ZooKeeper deployments; 1 is fine for tests).
+    pub fn new(replicas: usize) -> Self {
+        ZooService {
+            inner: Arc::new(Mutex::new(Inner {
+                ensemble: Ensemble::new(replicas),
+                next_session: 1,
+                data_watches: HashMap::new(),
+                child_watches: HashMap::new(),
+            })),
+        }
+    }
+
+    /// Open a session.
+    pub fn create_session(&self) -> SessionId {
+        let mut inner = self.inner.lock();
+        let id = inner.next_session;
+        inner.next_session += 1;
+        SessionId(id)
+    }
+
+    /// Close a session, removing its ephemeral nodes and firing watches.
+    pub fn close_session(&self, session: SessionId) -> OctoResult<()> {
+        let mut inner = self.inner.lock();
+        let r = inner.ensemble.propose(Txn::CloseSession { session: session.0 })?;
+        if let TxnResult::SessionClosed(paths) = r {
+            for p in paths {
+                fire_data(&mut inner, &p, WatchKind::Deleted);
+                fire_parent(&mut inner, &p);
+            }
+        }
+        Ok(())
+    }
+
+    /// Create a node; returns the final path (sequence-suffixed for
+    /// sequential modes).
+    pub fn create(
+        &self,
+        path: &str,
+        data: &[u8],
+        mode: CreateMode,
+        session: Option<SessionId>,
+    ) -> OctoResult<String> {
+        let mut inner = self.inner.lock();
+        let r = inner.ensemble.propose(Txn::Create {
+            path: path.to_string(),
+            data: data.to_vec(),
+            mode,
+            session: session.map(|s| s.0).unwrap_or(0),
+        })?;
+        match r {
+            TxnResult::Created(final_path) => {
+                fire_data(&mut inner, &final_path, WatchKind::Created);
+                fire_parent(&mut inner, &final_path);
+                Ok(final_path)
+            }
+            TxnResult::Error(msg) => Err(map_error(msg)),
+            other => Err(OctoError::Internal(format!("unexpected result {other:?}"))),
+        }
+    }
+
+    /// Create `path` and any missing ancestors (persistent, no data).
+    pub fn ensure_path(&self, path: &str) -> OctoResult<()> {
+        let mut cur = String::new();
+        for seg in path.split('/').filter(|s| !s.is_empty()) {
+            cur.push('/');
+            cur.push_str(seg);
+            match self.create(&cur, &[], CreateMode::Persistent, None) {
+                Ok(_) => {}
+                Err(OctoError::Conflict(_)) => {} // already exists
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Read a node's data and stat.
+    pub fn get(&self, path: &str) -> OctoResult<(Vec<u8>, Stat)> {
+        let mut inner = self.inner.lock();
+        let path = path.to_string();
+        inner.ensemble.read(move |t| t.get(&path).map(|n| (n.data.clone(), n.stat)))?
+    }
+
+    /// Set a node's data; `expected_version` of `Some(v)` is a CAS.
+    /// Returns the new version.
+    pub fn set(&self, path: &str, data: &[u8], expected_version: Option<u32>) -> OctoResult<u32> {
+        let mut inner = self.inner.lock();
+        let r = inner.ensemble.propose(Txn::SetData {
+            path: path.to_string(),
+            data: data.to_vec(),
+            expected_version,
+        })?;
+        match r {
+            TxnResult::Set(v) => {
+                fire_data(&mut inner, path, WatchKind::DataChanged);
+                Ok(v)
+            }
+            TxnResult::Error(msg) => Err(map_error(msg)),
+            other => Err(OctoError::Internal(format!("unexpected result {other:?}"))),
+        }
+    }
+
+    /// Delete a node.
+    pub fn delete(&self, path: &str, expected_version: Option<u32>) -> OctoResult<()> {
+        let mut inner = self.inner.lock();
+        let r = inner
+            .ensemble
+            .propose(Txn::Delete { path: path.to_string(), expected_version })?;
+        match r {
+            TxnResult::Deleted => {
+                fire_data(&mut inner, path, WatchKind::Deleted);
+                fire_parent(&mut inner, path);
+                Ok(())
+            }
+            TxnResult::Error(msg) => Err(map_error(msg)),
+            other => Err(OctoError::Internal(format!("unexpected result {other:?}"))),
+        }
+    }
+
+    /// Child names of a node, sorted.
+    pub fn children(&self, path: &str) -> OctoResult<Vec<String>> {
+        let mut inner = self.inner.lock();
+        let path = path.to_string();
+        inner.ensemble.read(move |t| t.children(&path))?
+    }
+
+    /// Whether a node exists.
+    pub fn exists(&self, path: &str) -> OctoResult<bool> {
+        let mut inner = self.inner.lock();
+        let path = path.to_string();
+        inner.ensemble.read(move |t| t.exists(&path))
+    }
+
+    /// Register a one-shot watch on a node's data (created / changed /
+    /// deleted). Events are delivered on `tx`.
+    pub fn watch_data(&self, path: &str, tx: Sender<WatchEvent>) {
+        self.inner.lock().data_watches.entry(path.to_string()).or_default().push(tx);
+    }
+
+    /// Register a one-shot watch on a node's child list.
+    pub fn watch_children(&self, path: &str, tx: Sender<WatchEvent>) {
+        self.inner.lock().child_watches.entry(path.to_string()).or_default().push(tx);
+    }
+
+    // ----- failure injection (tests, resilience experiments) -----
+
+    /// Crash a replica.
+    pub fn kill_replica(&self, id: usize) {
+        self.inner.lock().ensemble.kill(NodeId(id));
+    }
+
+    /// Restart a crashed replica (resyncs from the leader).
+    pub fn restart_replica(&self, id: usize) -> OctoResult<()> {
+        self.inner.lock().ensemble.restart(NodeId(id))
+    }
+
+    /// Current leader index.
+    pub fn leader_index(&self) -> usize {
+        self.inner.lock().ensemble.leader().0
+    }
+
+    /// Number of replicas.
+    pub fn replica_count(&self) -> usize {
+        self.inner.lock().ensemble.len()
+    }
+}
+
+fn fire_data(inner: &mut Inner, path: &str, kind: WatchKind) {
+    if let Some(watchers) = inner.data_watches.remove(path) {
+        for w in watchers {
+            let _ = w.send(WatchEvent { path: path.to_string(), kind });
+        }
+    }
+}
+
+fn fire_parent(inner: &mut Inner, child_path: &str) {
+    let parent = match child_path.rfind('/') {
+        Some(0) => "/".to_string(),
+        Some(i) => child_path[..i].to_string(),
+        None => return,
+    };
+    if let Some(watchers) = inner.child_watches.remove(&parent) {
+        for w in watchers {
+            let _ = w.send(WatchEvent { path: parent.clone(), kind: WatchKind::ChildrenChanged });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn crud_roundtrip() {
+        let zk = ZooService::new(3);
+        zk.create("/topics", b"", CreateMode::Persistent, None).unwrap();
+        let p = zk.create("/topics/sdl", b"cfg-v1", CreateMode::Persistent, None).unwrap();
+        assert_eq!(p, "/topics/sdl");
+        let (data, stat) = zk.get("/topics/sdl").unwrap();
+        assert_eq!(data, b"cfg-v1");
+        assert_eq!(stat.version, 0);
+        let v = zk.set("/topics/sdl", b"cfg-v2", Some(0)).unwrap();
+        assert_eq!(v, 1);
+        assert!(matches!(zk.set("/topics/sdl", b"x", Some(0)), Err(OctoError::Conflict(_))));
+        assert_eq!(zk.children("/topics").unwrap(), vec!["sdl"]);
+        zk.delete("/topics/sdl", None).unwrap();
+        assert!(!zk.exists("/topics/sdl").unwrap());
+        assert!(matches!(zk.get("/topics/sdl"), Err(OctoError::NotFound(_))));
+    }
+
+    #[test]
+    fn ensure_path_is_idempotent() {
+        let zk = ZooService::new(1);
+        zk.ensure_path("/a/b/c").unwrap();
+        zk.ensure_path("/a/b/c").unwrap();
+        assert!(zk.exists("/a/b/c").unwrap());
+        assert_eq!(zk.children("/a").unwrap(), vec!["b"]);
+    }
+
+    #[test]
+    fn duplicate_create_conflicts() {
+        let zk = ZooService::new(1);
+        zk.create("/x", b"", CreateMode::Persistent, None).unwrap();
+        assert!(matches!(
+            zk.create("/x", b"", CreateMode::Persistent, None),
+            Err(OctoError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn sequential_create_returns_final_path() {
+        let zk = ZooService::new(1);
+        zk.ensure_path("/q").unwrap();
+        let p0 = zk.create("/q/item-", b"", CreateMode::PersistentSequential, None).unwrap();
+        let p1 = zk.create("/q/item-", b"", CreateMode::PersistentSequential, None).unwrap();
+        assert_eq!(p0, "/q/item-0000000000");
+        assert_eq!(p1, "/q/item-0000000001");
+    }
+
+    #[test]
+    fn session_cleanup_removes_ephemerals() {
+        let zk = ZooService::new(3);
+        zk.ensure_path("/brokers").unwrap();
+        let s1 = zk.create_session();
+        let s2 = zk.create_session();
+        zk.create("/brokers/b0", b"", CreateMode::Ephemeral, Some(s1)).unwrap();
+        zk.create("/brokers/b1", b"", CreateMode::Ephemeral, Some(s2)).unwrap();
+        zk.close_session(s1).unwrap();
+        assert_eq!(zk.children("/brokers").unwrap(), vec!["b1"]);
+    }
+
+    #[test]
+    fn ephemeral_requires_session() {
+        let zk = ZooService::new(1);
+        assert!(zk.create("/e", b"", CreateMode::Ephemeral, None).is_err());
+    }
+
+    #[test]
+    fn data_watch_fires_once() {
+        let zk = ZooService::new(1);
+        zk.create("/w", b"", CreateMode::Persistent, None).unwrap();
+        let (tx, rx) = unbounded();
+        zk.watch_data("/w", tx);
+        zk.set("/w", b"1", None).unwrap();
+        assert_eq!(
+            rx.try_recv().unwrap(),
+            WatchEvent { path: "/w".into(), kind: WatchKind::DataChanged }
+        );
+        // one-shot: a second change does not fire
+        zk.set("/w", b"2", None).unwrap();
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn child_watch_fires_on_create_and_delete() {
+        let zk = ZooService::new(1);
+        zk.ensure_path("/parent").unwrap();
+        let (tx, rx) = unbounded();
+        zk.watch_children("/parent", tx.clone());
+        zk.create("/parent/c", b"", CreateMode::Persistent, None).unwrap();
+        assert_eq!(rx.try_recv().unwrap().kind, WatchKind::ChildrenChanged);
+        // re-register (one-shot semantics)
+        zk.watch_children("/parent", tx);
+        zk.delete("/parent/c", None).unwrap();
+        assert_eq!(rx.try_recv().unwrap().kind, WatchKind::ChildrenChanged);
+    }
+
+    #[test]
+    fn deletion_watch_on_session_close() {
+        let zk = ZooService::new(1);
+        zk.ensure_path("/svc").unwrap();
+        let s = zk.create_session();
+        zk.create("/svc/worker", b"", CreateMode::Ephemeral, Some(s)).unwrap();
+        let (tx, rx) = unbounded();
+        zk.watch_data("/svc/worker", tx);
+        zk.close_session(s).unwrap();
+        assert_eq!(rx.try_recv().unwrap().kind, WatchKind::Deleted);
+    }
+
+    #[test]
+    fn service_survives_replica_failures() {
+        let zk = ZooService::new(3);
+        zk.create("/a", b"", CreateMode::Persistent, None).unwrap();
+        let leader = zk.leader_index();
+        zk.kill_replica(leader);
+        zk.create("/b", b"", CreateMode::Persistent, None).unwrap();
+        assert!(zk.exists("/a").unwrap());
+        assert!(zk.exists("/b").unwrap());
+        assert_ne!(zk.leader_index(), leader);
+        zk.restart_replica(leader).unwrap();
+        zk.create("/c", b"", CreateMode::Persistent, None).unwrap();
+        assert_eq!(zk.replica_count(), 3);
+    }
+
+    #[test]
+    fn concurrent_clients_share_state() {
+        let zk = ZooService::new(1);
+        zk.ensure_path("/shared").unwrap();
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let zk = zk.clone();
+            handles.push(std::thread::spawn(move || {
+                zk.create(&format!("/shared/n{i}"), b"", CreateMode::Persistent, None).unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(zk.children("/shared").unwrap().len(), 8);
+    }
+}

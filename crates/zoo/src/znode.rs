@@ -1,0 +1,588 @@
+//! The znode tree: ZooKeeper's hierarchical, versioned namespace.
+//!
+//! Paths are `/`-separated absolute strings. Nodes carry data bytes, a
+//! [`Stat`] with creation/modification transaction ids and versions, and
+//! a [`CreateMode`]. Sequential nodes get a zero-padded monotone counter
+//! appended by the parent. Ephemeral nodes are owned by a session and
+//! removed when it ends.
+//!
+//! The tree is a *deterministic state machine*: all mutation goes through
+//! [`ZnodeTree::apply`] with an explicit transaction id (`zxid`), which is
+//! what lets the ZAB layer replicate it.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use octopus_types::{OctoError, OctoResult};
+
+/// How a znode is created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CreateMode {
+    /// Survives until explicitly deleted.
+    Persistent,
+    /// Persistent, with a sequence counter appended to the name.
+    PersistentSequential,
+    /// Deleted automatically when the owning session ends.
+    Ephemeral,
+    /// Ephemeral and sequential.
+    EphemeralSequential,
+}
+
+impl CreateMode {
+    /// Whether the node is removed on session end.
+    pub fn is_ephemeral(self) -> bool {
+        matches!(self, CreateMode::Ephemeral | CreateMode::EphemeralSequential)
+    }
+
+    /// Whether a sequence suffix is appended.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CreateMode::PersistentSequential | CreateMode::EphemeralSequential)
+    }
+}
+
+/// Metadata of a znode (a subset of ZooKeeper's Stat).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stat {
+    /// zxid of the transaction that created the node.
+    pub czxid: u64,
+    /// zxid of the transaction that last modified the node's data.
+    pub mzxid: u64,
+    /// Number of data changes.
+    pub version: u32,
+    /// Number of child-list changes.
+    pub cversion: u32,
+    /// Owning session for ephemeral nodes (0 for persistent).
+    pub ephemeral_owner: u64,
+    /// Number of children.
+    pub num_children: u32,
+}
+
+/// A node in the tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Znode {
+    /// Node payload.
+    pub data: Vec<u8>,
+    /// Node metadata.
+    pub stat: Stat,
+    /// Creation mode.
+    pub mode: CreateMode,
+}
+
+/// A replicated transaction against the tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Txn {
+    /// Create a node. For sequential modes the stored path gains a
+    /// 10-digit counter suffix; the result reports the final path.
+    Create {
+        /// Requested path (parent must exist).
+        path: String,
+        /// Initial data.
+        data: Vec<u8>,
+        /// Creation mode.
+        mode: CreateMode,
+        /// Owning session (used for ephemerals; 0 = none).
+        session: u64,
+    },
+    /// Set a node's data. `expected_version` of `None` means
+    /// unconditional; `Some(v)` is a compare-and-set.
+    SetData {
+        /// Target path.
+        path: String,
+        /// New data.
+        data: Vec<u8>,
+        /// Optional version guard.
+        expected_version: Option<u32>,
+    },
+    /// Delete a node (must have no children).
+    Delete {
+        /// Target path.
+        path: String,
+        /// Optional version guard.
+        expected_version: Option<u32>,
+    },
+    /// Remove every ephemeral node owned by a session (session close).
+    CloseSession {
+        /// The closing session.
+        session: u64,
+    },
+}
+
+/// Result of applying a transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxnResult {
+    /// Node created at the (possibly sequence-suffixed) path.
+    Created(String),
+    /// Data set; new version reported.
+    Set(u32),
+    /// Node deleted.
+    Deleted,
+    /// Session closed; paths of removed ephemerals.
+    SessionClosed(Vec<String>),
+    /// The transaction failed (failures are deterministic, so replicas
+    /// agree on them too).
+    Error(String),
+}
+
+/// The deterministic znode tree.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ZnodeTree {
+    nodes: BTreeMap<String, Znode>,
+    /// Per-parent sequence counters for sequential creates.
+    seq_counters: BTreeMap<String, u64>,
+    last_applied_zxid: u64,
+}
+
+fn parent_of(path: &str) -> Option<&str> {
+    if path == "/" {
+        return None;
+    }
+    match path.rfind('/') {
+        Some(0) => Some("/"),
+        Some(i) => Some(&path[..i]),
+        None => None,
+    }
+}
+
+fn validate_path(path: &str) -> OctoResult<()> {
+    if !path.starts_with('/') {
+        return Err(OctoError::Invalid(format!("path must be absolute: {path}")));
+    }
+    if path != "/" && path.ends_with('/') {
+        return Err(OctoError::Invalid(format!("path must not end with '/': {path}")));
+    }
+    if path.contains("//") {
+        return Err(OctoError::Invalid(format!("empty path segment: {path}")));
+    }
+    Ok(())
+}
+
+impl ZnodeTree {
+    /// A tree containing only the root node `/`.
+    pub fn new() -> Self {
+        let mut nodes = BTreeMap::new();
+        nodes.insert(
+            "/".to_string(),
+            Znode {
+                data: Vec::new(),
+                stat: Stat {
+                    czxid: 0,
+                    mzxid: 0,
+                    version: 0,
+                    cversion: 0,
+                    ephemeral_owner: 0,
+                    num_children: 0,
+                },
+                mode: CreateMode::Persistent,
+            },
+        );
+        ZnodeTree { nodes, seq_counters: BTreeMap::new(), last_applied_zxid: 0 }
+    }
+
+    /// zxid of the last applied transaction.
+    pub fn last_applied_zxid(&self) -> u64 {
+        self.last_applied_zxid
+    }
+
+    /// Apply a transaction at `zxid`. Deterministic: identical trees fed
+    /// identical (zxid, txn) sequences remain identical.
+    pub fn apply(&mut self, zxid: u64, txn: &Txn) -> TxnResult {
+        debug_assert!(zxid > self.last_applied_zxid, "zxids must be applied in order");
+        self.last_applied_zxid = zxid;
+        match txn {
+            Txn::Create { path, data, mode, session } => {
+                self.apply_create(zxid, path, data, *mode, *session)
+            }
+            Txn::SetData { path, data, expected_version } => {
+                self.apply_set(zxid, path, data, *expected_version)
+            }
+            Txn::Delete { path, expected_version } => {
+                self.apply_delete(zxid, path, *expected_version)
+            }
+            Txn::CloseSession { session } => self.apply_close_session(zxid, *session),
+        }
+    }
+
+    fn apply_create(
+        &mut self,
+        zxid: u64,
+        path: &str,
+        data: &[u8],
+        mode: CreateMode,
+        session: u64,
+    ) -> TxnResult {
+        if let Err(e) = validate_path(path) {
+            return TxnResult::Error(e.to_string());
+        }
+        if path == "/" {
+            return TxnResult::Error("cannot create the root".into());
+        }
+        let parent = match parent_of(path) {
+            Some(p) => p.to_string(),
+            None => return TxnResult::Error(format!("malformed path: {path}")),
+        };
+        if !self.nodes.contains_key(&parent) {
+            return TxnResult::Error(format!("parent does not exist: {parent}"));
+        }
+        if self.nodes.get(&parent).expect("checked").mode.is_ephemeral() {
+            return TxnResult::Error("ephemeral nodes cannot have children".into());
+        }
+        let final_path = if mode.is_sequential() {
+            let ctr = self.seq_counters.entry(parent.clone()).or_insert(0);
+            let p = format!("{path}{:010}", *ctr);
+            *ctr += 1;
+            p
+        } else {
+            path.to_string()
+        };
+        if self.nodes.contains_key(&final_path) {
+            return TxnResult::Error(format!("node exists: {final_path}"));
+        }
+        if mode.is_ephemeral() && session == 0 {
+            return TxnResult::Error("ephemeral create requires a session".into());
+        }
+        self.nodes.insert(
+            final_path.clone(),
+            Znode {
+                data: data.to_vec(),
+                stat: Stat {
+                    czxid: zxid,
+                    mzxid: zxid,
+                    version: 0,
+                    cversion: 0,
+                    ephemeral_owner: if mode.is_ephemeral() { session } else { 0 },
+                    num_children: 0,
+                },
+                mode,
+            },
+        );
+        let pstat = &mut self.nodes.get_mut(&parent).expect("checked").stat;
+        pstat.cversion += 1;
+        pstat.num_children += 1;
+        TxnResult::Created(final_path)
+    }
+
+    fn apply_set(
+        &mut self,
+        zxid: u64,
+        path: &str,
+        data: &[u8],
+        expected_version: Option<u32>,
+    ) -> TxnResult {
+        match self.nodes.get_mut(path) {
+            None => TxnResult::Error(format!("no node at {path}")),
+            Some(node) => {
+                if let Some(v) = expected_version {
+                    if node.stat.version != v {
+                        return TxnResult::Error(format!(
+                            "version mismatch at {path}: expected {v}, found {}",
+                            node.stat.version
+                        ));
+                    }
+                }
+                node.data = data.to_vec();
+                node.stat.version += 1;
+                node.stat.mzxid = zxid;
+                TxnResult::Set(node.stat.version)
+            }
+        }
+    }
+
+    fn apply_delete(&mut self, _zxid: u64, path: &str, expected_version: Option<u32>) -> TxnResult {
+        if path == "/" {
+            return TxnResult::Error("cannot delete the root".into());
+        }
+        let Some(node) = self.nodes.get(path) else {
+            return TxnResult::Error(format!("no node at {path}"));
+        };
+        if node.stat.num_children > 0 {
+            return TxnResult::Error(format!("node {path} has children"));
+        }
+        if let Some(v) = expected_version {
+            if node.stat.version != v {
+                return TxnResult::Error(format!(
+                    "version mismatch at {path}: expected {v}, found {}",
+                    node.stat.version
+                ));
+            }
+        }
+        self.nodes.remove(path);
+        if let Some(parent) = parent_of(path) {
+            let parent = parent.to_string();
+            if let Some(p) = self.nodes.get_mut(&parent) {
+                p.stat.cversion += 1;
+                p.stat.num_children -= 1;
+            }
+        }
+        TxnResult::Deleted
+    }
+
+    fn apply_close_session(&mut self, _zxid: u64, session: u64) -> TxnResult {
+        // Collect deepest-first so children go before parents.
+        let mut doomed: Vec<String> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.stat.ephemeral_owner == session)
+            .map(|(p, _)| p.clone())
+            .collect();
+        doomed.sort_by_key(|p| std::cmp::Reverse(p.len()));
+        for path in &doomed {
+            self.nodes.remove(path);
+            if let Some(parent) = parent_of(path) {
+                let parent = parent.to_string();
+                if let Some(p) = self.nodes.get_mut(&parent) {
+                    p.stat.cversion += 1;
+                    p.stat.num_children -= 1;
+                }
+            }
+        }
+        doomed.sort();
+        TxnResult::SessionClosed(doomed)
+    }
+
+    // ----- reads (not replicated; served from any replica) -----
+
+    /// Get a node.
+    pub fn get(&self, path: &str) -> OctoResult<&Znode> {
+        self.nodes.get(path).ok_or_else(|| OctoError::NotFound(format!("znode {path}")))
+    }
+
+    /// Whether a node exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.nodes.contains_key(path)
+    }
+
+    /// Names (not full paths) of the children of `path`, sorted.
+    pub fn children(&self, path: &str) -> OctoResult<Vec<String>> {
+        if !self.nodes.contains_key(path) {
+            return Err(OctoError::NotFound(format!("znode {path}")));
+        }
+        let prefix = if path == "/" { "/".to_string() } else { format!("{path}/") };
+        let mut out = Vec::new();
+        for candidate in self.nodes.range(prefix.clone()..) {
+            let (p, _) = candidate;
+            if !p.starts_with(&prefix) {
+                break;
+            }
+            let rest = &p[prefix.len()..];
+            if !rest.is_empty() && !rest.contains('/') {
+                out.push(rest.to_string());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of nodes (including the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree holds only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn create(tree: &mut ZnodeTree, zxid: u64, path: &str) -> TxnResult {
+        tree.apply(
+            zxid,
+            &Txn::Create {
+                path: path.into(),
+                data: b"x".to_vec(),
+                mode: CreateMode::Persistent,
+                session: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn create_get_children() {
+        let mut t = ZnodeTree::new();
+        assert_eq!(create(&mut t, 1, "/topics"), TxnResult::Created("/topics".into()));
+        assert_eq!(create(&mut t, 2, "/topics/sdl"), TxnResult::Created("/topics/sdl".into()));
+        assert_eq!(create(&mut t, 3, "/topics/epi"), TxnResult::Created("/topics/epi".into()));
+        assert_eq!(t.children("/topics").unwrap(), vec!["epi", "sdl"]);
+        assert_eq!(t.children("/").unwrap(), vec!["topics"]);
+        assert_eq!(t.get("/topics/sdl").unwrap().data, b"x");
+        assert_eq!(t.get("/topics").unwrap().stat.num_children, 2);
+        assert_eq!(t.get("/topics").unwrap().stat.cversion, 2);
+    }
+
+    #[test]
+    fn create_requires_parent_and_uniqueness() {
+        let mut t = ZnodeTree::new();
+        assert!(matches!(create(&mut t, 1, "/a/b"), TxnResult::Error(_)));
+        create(&mut t, 2, "/a");
+        assert!(matches!(create(&mut t, 3, "/a"), TxnResult::Error(_)));
+    }
+
+    #[test]
+    fn path_validation() {
+        let mut t = ZnodeTree::new();
+        assert!(matches!(create(&mut t, 1, "relative"), TxnResult::Error(_)));
+        assert!(matches!(create(&mut t, 2, "/a/"), TxnResult::Error(_)));
+        assert!(matches!(create(&mut t, 3, "/a//b"), TxnResult::Error(_)));
+        assert!(matches!(create(&mut t, 4, "/"), TxnResult::Error(_)));
+    }
+
+    #[test]
+    fn set_with_version_guard() {
+        let mut t = ZnodeTree::new();
+        create(&mut t, 1, "/cfg");
+        let r = t.apply(
+            2,
+            &Txn::SetData { path: "/cfg".into(), data: b"v1".to_vec(), expected_version: Some(0) },
+        );
+        assert_eq!(r, TxnResult::Set(1));
+        // stale CAS fails
+        let r = t.apply(
+            3,
+            &Txn::SetData { path: "/cfg".into(), data: b"v2".to_vec(), expected_version: Some(0) },
+        );
+        assert!(matches!(r, TxnResult::Error(_)));
+        assert_eq!(t.get("/cfg").unwrap().data, b"v1");
+        // unconditional set succeeds
+        let r = t.apply(
+            4,
+            &Txn::SetData { path: "/cfg".into(), data: b"v2".to_vec(), expected_version: None },
+        );
+        assert_eq!(r, TxnResult::Set(2));
+        assert_eq!(t.get("/cfg").unwrap().stat.mzxid, 4);
+        assert_eq!(t.get("/cfg").unwrap().stat.czxid, 1);
+    }
+
+    #[test]
+    fn delete_rules() {
+        let mut t = ZnodeTree::new();
+        create(&mut t, 1, "/a");
+        create(&mut t, 2, "/a/b");
+        // parent with children cannot be deleted
+        assert!(matches!(
+            t.apply(3, &Txn::Delete { path: "/a".into(), expected_version: None }),
+            TxnResult::Error(_)
+        ));
+        assert_eq!(
+            t.apply(4, &Txn::Delete { path: "/a/b".into(), expected_version: None }),
+            TxnResult::Deleted
+        );
+        assert_eq!(
+            t.apply(5, &Txn::Delete { path: "/a".into(), expected_version: None }),
+            TxnResult::Deleted
+        );
+        assert!(matches!(
+            t.apply(6, &Txn::Delete { path: "/a".into(), expected_version: None }),
+            TxnResult::Error(_)
+        ));
+        assert!(matches!(
+            t.apply(7, &Txn::Delete { path: "/".into(), expected_version: None }),
+            TxnResult::Error(_)
+        ));
+    }
+
+    #[test]
+    fn sequential_nodes_count_up() {
+        let mut t = ZnodeTree::new();
+        create(&mut t, 1, "/locks");
+        for (i, zxid) in (2..5).enumerate() {
+            let r = t.apply(
+                zxid,
+                &Txn::Create {
+                    path: "/locks/lock-".into(),
+                    data: vec![],
+                    mode: CreateMode::PersistentSequential,
+                    session: 0,
+                },
+            );
+            assert_eq!(r, TxnResult::Created(format!("/locks/lock-{i:010}")));
+        }
+        assert_eq!(
+            t.children("/locks").unwrap(),
+            vec!["lock-0000000000", "lock-0000000001", "lock-0000000002"]
+        );
+    }
+
+    #[test]
+    fn ephemeral_lifecycle() {
+        let mut t = ZnodeTree::new();
+        create(&mut t, 1, "/brokers");
+        // ephemeral without session is an error
+        assert!(matches!(
+            t.apply(
+                2,
+                &Txn::Create {
+                    path: "/brokers/b0".into(),
+                    data: vec![],
+                    mode: CreateMode::Ephemeral,
+                    session: 0,
+                }
+            ),
+            TxnResult::Error(_)
+        ));
+        for (i, zxid) in [(0u64, 3u64), (1, 4)] {
+            t.apply(
+                zxid,
+                &Txn::Create {
+                    path: format!("/brokers/b{i}"),
+                    data: vec![],
+                    mode: CreateMode::Ephemeral,
+                    session: 100 + i,
+                },
+            );
+        }
+        assert_eq!(t.children("/brokers").unwrap().len(), 2);
+        // ephemerals cannot have children
+        assert!(matches!(create(&mut t, 5, "/brokers/b0/x"), TxnResult::Error(_)));
+        // closing session 100 removes only b0
+        let r = t.apply(6, &Txn::CloseSession { session: 100 });
+        assert_eq!(r, TxnResult::SessionClosed(vec!["/brokers/b0".into()]));
+        assert_eq!(t.children("/brokers").unwrap(), vec!["b1"]);
+        assert_eq!(t.get("/brokers").unwrap().stat.num_children, 1);
+    }
+
+    #[test]
+    fn determinism_across_replicas() {
+        let txns: Vec<Txn> = vec![
+            Txn::Create { path: "/t".into(), data: b"a".to_vec(), mode: CreateMode::Persistent, session: 0 },
+            Txn::Create { path: "/t/q-".into(), data: vec![], mode: CreateMode::PersistentSequential, session: 0 },
+            Txn::SetData { path: "/t".into(), data: b"b".to_vec(), expected_version: Some(0) },
+            Txn::Create { path: "/t/e".into(), data: vec![], mode: CreateMode::Ephemeral, session: 9 },
+            Txn::Delete { path: "/t/q-0000000000".into(), expected_version: None },
+            Txn::CloseSession { session: 9 },
+            Txn::Delete { path: "/bogus".into(), expected_version: None }, // error, deterministically
+        ];
+        let mut a = ZnodeTree::new();
+        let mut b = ZnodeTree::new();
+        for (i, txn) in txns.iter().enumerate() {
+            let ra = a.apply((i + 1) as u64, txn);
+            let rb = b.apply((i + 1) as u64, txn);
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    }
+
+    #[test]
+    fn children_of_missing_node_errors() {
+        let t = ZnodeTree::new();
+        assert!(t.children("/missing").is_err());
+        assert!(t.get("/missing").is_err());
+        assert!(!t.exists("/missing"));
+        assert!(t.exists("/"));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn children_listing_does_not_include_grandchildren() {
+        let mut t = ZnodeTree::new();
+        create(&mut t, 1, "/a");
+        create(&mut t, 2, "/a/b");
+        create(&mut t, 3, "/a/b/c");
+        create(&mut t, 4, "/ab"); // sibling with prefix-overlapping name
+        assert_eq!(t.children("/a").unwrap(), vec!["b"]);
+        assert_eq!(t.children("/").unwrap(), vec!["a", "ab"]);
+        assert_eq!(t.len(), 5);
+    }
+}

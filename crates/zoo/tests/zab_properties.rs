@@ -1,0 +1,150 @@
+//! Property-based tests of the ZAB-style replicated store: agreement
+//! and durability under arbitrary operation sequences interleaved with
+//! arbitrary crash/restart schedules.
+
+use proptest::prelude::*;
+
+use octopus_zoo::znode::{CreateMode, Txn, TxnResult};
+use octopus_zoo::{Ensemble, NodeId};
+
+/// A step of a randomized schedule.
+#[derive(Debug, Clone)]
+enum Step {
+    Create(u8),
+    Set(u8, u8),
+    Delete(u8),
+    Kill(u8),
+    Restart(u8),
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0u8..20).prop_map(Step::Create),
+        3 => ((0u8..20), any::<u8>()).prop_map(|(p, v)| Step::Set(p, v)),
+        1 => (0u8..20).prop_map(Step::Delete),
+        1 => (0u8..5).prop_map(Step::Kill),
+        2 => (0u8..5).prop_map(Step::Restart),
+    ]
+}
+
+fn assert_agreement(e: &Ensemble) {
+    let logs: Vec<_> = (0..e.len()).map(|i| e.node(NodeId(i)).committed_log()).collect();
+    for pair in logs.windows(2) {
+        let shorter = pair[0].len().min(pair[1].len());
+        assert_eq!(pair[0][..shorter], pair[1][..shorter], "committed prefixes diverge");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Agreement: no matter the operation mix and failure schedule,
+    /// committed prefixes never diverge across replicas, and every
+    /// acknowledged write is durable (readable afterwards while quorum
+    /// holds).
+    #[test]
+    fn zab_agreement_under_failures(steps in proptest::collection::vec(arb_step(), 1..60)) {
+        let n = 5;
+        let mut e = Ensemble::new(n);
+        e.propose(Txn::Create {
+            path: "/r".into(),
+            data: vec![],
+            mode: CreateMode::Persistent,
+            session: 0,
+        }).unwrap();
+        // model of acknowledged state: path -> data
+        let mut model: std::collections::HashMap<String, Vec<u8>> = std::collections::HashMap::new();
+        for step in steps {
+            match step {
+                Step::Create(p) => {
+                    let path = format!("/r/n{p}");
+                    if let Ok(r) = e.propose(Txn::Create {
+                        path: path.clone(),
+                        data: vec![0],
+                        mode: CreateMode::Persistent,
+                        session: 0,
+                    }) {
+                        if matches!(r, TxnResult::Created(_)) {
+                            model.insert(path, vec![0]);
+                        }
+                    }
+                }
+                Step::Set(p, v) => {
+                    let path = format!("/r/n{p}");
+                    if let Ok(TxnResult::Set(_)) = e.propose(Txn::SetData {
+                        path: path.clone(),
+                        data: vec![v],
+                        expected_version: None,
+                    }) {
+                        model.insert(path, vec![v]);
+                    }
+                }
+                Step::Delete(p) => {
+                    let path = format!("/r/n{p}");
+                    if let Ok(TxnResult::Deleted) = e.propose(Txn::Delete {
+                        path: path.clone(),
+                        expected_version: None,
+                    }) {
+                        model.remove(&path);
+                    }
+                }
+                Step::Kill(i) => {
+                    // never kill below quorum: acknowledged writes must
+                    // stay readable for the durability check
+                    if e.live_count() > e.quorum() {
+                        e.kill(NodeId(i as usize % n));
+                    }
+                }
+                Step::Restart(i) => {
+                    let _ = e.restart(NodeId(i as usize % n));
+                }
+            }
+            assert_agreement(&e);
+        }
+        // durability: every acknowledged write is visible
+        for (path, data) in &model {
+            let read = e.read(|t| t.get(path).map(|z| z.data.clone()).ok()).unwrap();
+            prop_assert_eq!(read.as_ref(), Some(data), "lost acknowledged write to {}", path);
+        }
+        // and nothing deleted came back
+        let children = e.read(|t| t.children("/r").unwrap()).unwrap();
+        prop_assert_eq!(children.len(), model.len());
+    }
+
+    /// Sequential creates are strictly ordered even across leader
+    /// failovers: the sequence numbers assigned are exactly 0..n.
+    #[test]
+    fn sequential_nodes_strictly_ordered_across_failover(
+        kill_points in proptest::collection::btree_set(0usize..30, 0..3),
+    ) {
+        let mut e = Ensemble::new(3);
+        e.propose(Txn::Create {
+            path: "/q".into(), data: vec![], mode: CreateMode::Persistent, session: 0,
+        }).unwrap();
+        let mut created = Vec::new();
+        for i in 0..30usize {
+            if kill_points.contains(&i) {
+                let leader = e.leader();
+                e.kill(leader);
+                // restart it later so quorum never collapses
+                let _ = e.restart(leader);
+            }
+            if let Ok(TxnResult::Created(path)) = e.propose(Txn::Create {
+                path: "/q/item-".into(),
+                data: vec![],
+                mode: CreateMode::PersistentSequential,
+                session: 0,
+            }) {
+                created.push(path);
+            }
+        }
+        // sequence numbers are strictly increasing in creation order
+        let mut sorted = created.clone();
+        sorted.sort();
+        prop_assert_eq!(&created, &sorted, "sequential paths out of order");
+        // and dense from zero
+        for (i, path) in created.iter().enumerate() {
+            prop_assert!(path.ends_with(&format!("{i:010}")), "{path} at index {i}");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Dynamic workflow management (§VI-E): a Parsl-like workflow runs under
+//! the Octopus monitor; a dashboard consumes the monitoring stream,
+//! detects a straggler and a failure, and the healing policy recovers a
+//! bad worker's tasks on re-run.
+//!
+//! Run with: `cargo run --example workflow_monitoring`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use octopus::apps::WorkflowDashboard;
+use octopus::flow::{HealingPolicy, HtexConfig, HtexExecutor, OctopusMonitor, TaskGraph};
+use octopus::prelude::*;
+
+fn build_graph() -> TaskGraph {
+    let mut b = TaskGraph::builder();
+    // a two-stage map/reduce-ish campaign: 16 simulations -> 1 summary
+    let mut sims = Vec::new();
+    for i in 0..16usize {
+        let slow = i == 11; // one straggler
+        sims.push(b.add(&format!("simulate-{i}"), &[], move |_| {
+            std::thread::sleep(Duration::from_millis(if slow { 120 } else { 8 }));
+            Ok(serde_json::json!(i * i))
+        }));
+    }
+    b.add("summarize", &sims, |inputs| {
+        let total: i64 = inputs.iter().map(|v| v.as_i64().unwrap_or(0)).sum();
+        Ok(serde_json::json!({ "sum_of_squares": total }))
+    });
+    b.build().expect("valid graph")
+}
+
+fn main() -> OctoResult<()> {
+    let cluster = Cluster::new(2);
+    cluster.create_topic("parsl.monitoring", TopicConfig::default().with_partitions(4))?;
+
+    // run the workflow with the Octopus monitor attached
+    let monitor = Arc::new(OctopusMonitor::new(cluster.clone(), "parsl.monitoring"));
+    let report = HtexExecutor::new(HtexConfig::new(8), monitor).run(&build_graph());
+    println!(
+        "workflow finished: {} ok, {} failed, makespan {:?}",
+        report.outputs.len(),
+        report.failures.len(),
+        report.makespan
+    );
+
+    // fold the monitoring stream into the dashboard
+    let mut dash = WorkflowDashboard::new(cluster.clone(), "parsl.monitoring")?;
+    dash.sync()?;
+    println!("monitoring events consumed: {}", dash.events_seen);
+    let counts = dash.state_counts();
+    println!("task states: {counts:?}");
+
+    // straggler detection
+    let stragglers = dash.stragglers(4.0);
+    for s in &stragglers {
+        println!("straggler detected: {} on worker {} ({})", s.task, s.worker, s.kind);
+    }
+    assert!(stragglers.iter().any(|s| s.task == "simulate-11"));
+
+    // healing demo: a flaky worker botches everything it touches; the
+    // §VI-E future-work policy (retry + blacklist) recovers the run
+    let mut cfg = HtexConfig::new(4);
+    cfg.healing = Some(HealingPolicy::aggressive());
+    cfg.fault_injector = Some(Arc::new(|worker, _| worker == 1));
+    let healed = HtexExecutor::new(cfg, Arc::new(octopus::flow::NullMonitor::new()))
+        .run(&octopus::flow::dag::independent_tasks(32, |_| Ok(serde_json::json!(1))));
+    println!(
+        "\nhealing run: {} ok, {} failed, blacklisted workers {:?}, {} attempts",
+        healed.outputs.len(),
+        healed.failures.len(),
+        healed.blacklisted_workers,
+        healed.attempts
+    );
+    assert!(healed.failures.is_empty(), "healing recovers every task");
+    assert_eq!(healed.blacklisted_workers, vec![1]);
+    println!("\nworkflow_monitoring OK");
+    Ok(())
+}

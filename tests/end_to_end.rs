@@ -1,0 +1,110 @@
+//! Full-stack integration: login → OWS provisioning → credentials →
+//! produce → trigger fires with delegated identity → action output.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use octopus::prelude::*;
+
+#[test]
+fn login_provision_publish_trigger_act() {
+    let octo = Octopus::launch().unwrap();
+    octo.register_user("alice@uchicago.edu", "pw").unwrap();
+    let session = octo.login("alice@uchicago.edu", "pw").unwrap();
+
+    // provision a topic and a DLQ via OWS
+    session.client().register_topic("events", serde_json::json!({"partitions": 2})).unwrap();
+    session.client().register_topic("events.dlq", serde_json::Value::Null).unwrap();
+
+    // the trigger's action records what identity it acted as
+    // (the "empowered" requirement: triggers act on behalf of users)
+    let acted_as: Arc<Mutex<Vec<Uid>>> = Arc::new(Mutex::new(Vec::new()));
+    let log = acted_as.clone();
+    octo.registry().register("record-identity", move |ctx, batch| {
+        for _ in batch {
+            log.lock().push(ctx.acting_as);
+        }
+        Ok(())
+    });
+    session
+        .client()
+        .deploy_trigger(serde_json::json!({
+            "name": "t",
+            "topic": "events",
+            "function": "record-identity",
+            "pattern": {"event_type": ["created"]},
+            "dlq_topic": "events.dlq",
+        }))
+        .unwrap();
+
+    // publish through the authorized producer
+    let producer = session.producer();
+    for i in 0..6 {
+        let ty = if i < 4 { "created" } else { "deleted" };
+        producer
+            .send("events", Event::from_json(&serde_json::json!({"event_type": ty})).unwrap())
+            .unwrap();
+    }
+    producer.flush();
+
+    octo.triggers().poll_once("t").unwrap();
+    let identities = acted_as.lock().clone();
+    assert_eq!(identities.len(), 4, "only created-events invoke the function");
+    assert!(identities.iter().all(|id| *id == session.identity()), "acts as alice");
+
+    let status = octo.triggers().status("t").unwrap();
+    assert_eq!(status.events_processed, 4);
+    assert_eq!(status.events_filtered, 2);
+    assert_eq!(status.failures, 0);
+}
+
+#[test]
+fn trigger_failure_dead_letters_into_user_visible_topic() {
+    let octo = Octopus::launch().unwrap();
+    octo.register_user("alice@uchicago.edu", "pw").unwrap();
+    let session = octo.login("alice@uchicago.edu", "pw").unwrap();
+    session.client().register_topic("in", serde_json::Value::Null).unwrap();
+    session.client().register_topic("in.dlq", serde_json::Value::Null).unwrap();
+    octo.registry().register("explode", |_ctx, _batch| Err("boom".into()));
+    session
+        .client()
+        .deploy_trigger(serde_json::json!({
+            "name": "exploder",
+            "topic": "in",
+            "function": "explode",
+            "retries": 1,
+            "dlq_topic": "in.dlq",
+        }))
+        .unwrap();
+    let producer = session.producer();
+    producer.send_sync("in", Event::from_bytes(&br#"{"x":1}"#[..])).unwrap();
+    octo.triggers().poll_once("exploder").unwrap();
+
+    // the poisoned event is waiting in the DLQ, consumable by the user
+    let mut consumer = session.consumer("dlq-reader");
+    consumer.subscribe(&["in.dlq"]).unwrap();
+    let events = consumer.poll().unwrap();
+    assert_eq!(events.len(), 1);
+    let status = octo.triggers().status("exploder").unwrap();
+    assert_eq!(status.dead_lettered, 1);
+}
+
+#[test]
+fn delegation_lets_a_service_act_for_the_user() {
+    use octopus::auth::Scope;
+    let octo = Octopus::launch().unwrap();
+    octo.register_user("alice@uchicago.edu", "pw").unwrap();
+    let session = octo.login("alice@uchicago.edu", "pw").unwrap();
+
+    // a downstream service (transfer-like) registered for delegation
+    let transfer_scope = Scope::new("urn:transfer:all");
+    let service = octo.auth().register_client("transfer-service", vec![transfer_scope.clone()]);
+    let (dep_token, info) = octo
+        .auth()
+        .dependent_token(service.id, &service.secret, session.token(), vec![transfer_scope])
+        .unwrap();
+    assert!(info.delegated);
+    assert_eq!(info.identity, session.identity(), "service acts as alice");
+    assert_eq!(octo.auth().introspect(&dep_token).0, octopus::auth::TokenStatus::Active);
+}

@@ -1,0 +1,99 @@
+//! Cross-cluster mirroring (§IV-F: "fault tolerance can be improved by
+//! replicating the cluster across regions. Topics may be replicated and
+//! synchronized by using the Kafka MirrorMaker tool").
+
+use std::time::Duration;
+
+use octopus::broker::{AckLevel, BrokerId, MirrorMaker};
+use octopus::prelude::*;
+
+fn ev(s: &str) -> Event {
+    Event::from_bytes(s.as_bytes().to_vec())
+}
+
+#[test]
+fn region_replica_converges_and_serves_after_primary_loss() {
+    let primary = Cluster::new(2);
+    let standby = Cluster::new(2);
+    primary.create_topic("science.events", TopicConfig::default().with_partitions(2)).unwrap();
+    for i in 0..40 {
+        primary.produce("science.events", ev(&format!("{i}")), AckLevel::Leader).unwrap();
+    }
+    let mut mm = MirrorMaker::new(
+        primary.clone(),
+        standby.clone(),
+        vec!["science.events".into()],
+    );
+    assert_eq!(mm.run_once().unwrap(), 40);
+
+    // primary region goes dark
+    primary.kill_broker(BrokerId(0));
+    primary.kill_broker(BrokerId(1));
+
+    // the standby still serves every event
+    let total: usize = (0..2)
+        .map(|p| standby.fetch("science.events", p, 0, 1000).unwrap().len())
+        .sum();
+    assert_eq!(total, 40);
+}
+
+#[test]
+fn background_mirror_keeps_up_with_a_live_producer() {
+    let primary = Cluster::new(2);
+    let standby = Cluster::new(1);
+    primary.create_topic("t", TopicConfig::default().with_partitions(1)).unwrap();
+    let mm = MirrorMaker::new(primary.clone(), standby.clone(), vec!["t".into()]);
+    let handle = mm.start(Duration::from_millis(3));
+    for i in 0..100 {
+        primary.produce("t", ev(&format!("{i}")), AckLevel::Leader).unwrap();
+    }
+    // wait for convergence
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let mirrored =
+            standby.topic_exists("t").then(|| standby.fetch("t", 0, 0, 1000).unwrap().len());
+        if mirrored == Some(100) {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "mirror lagged: {mirrored:?}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    handle.stop();
+    // order is preserved
+    let values: Vec<String> = standby
+        .fetch("t", 0, 0, 1000)
+        .unwrap()
+        .iter()
+        .map(|r| String::from_utf8_lossy(&r.value).into_owned())
+        .collect();
+    let expected: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+    assert_eq!(values, expected);
+}
+
+#[test]
+fn mirrored_consumers_resume_from_their_own_offsets() {
+    use octopus::sdk::{Consumer, ConsumerConfig};
+    let primary = Cluster::new(2);
+    let standby = Cluster::new(2);
+    primary.create_topic("t", TopicConfig::default().with_partitions(1)).unwrap();
+    for i in 0..30 {
+        primary.produce("t", ev(&format!("{i}")), AckLevel::Leader).unwrap();
+    }
+    let mut mm = MirrorMaker::new(primary, standby.clone(), vec!["t".into()]);
+    mm.run_once().unwrap();
+    // a consumer on the standby region reads everything independently
+    let mut c = Consumer::new(
+        standby,
+        ConsumerConfig { group: "dr-reader".into(), auto_commit_interval: None, ..Default::default() },
+    );
+    c.subscribe(&["t"]).unwrap();
+    let mut seen = 0;
+    loop {
+        let batch = c.poll().unwrap();
+        if batch.is_empty() {
+            break;
+        }
+        seen += batch.len();
+    }
+    assert_eq!(seen, 30);
+}

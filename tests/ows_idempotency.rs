@@ -1,0 +1,114 @@
+//! §IV-F: "API operations on the OWS side are programmed to be
+//! idempotent such that the automatic retry of the function would not
+//! cause the system to be in inconsistent states." Every mutating route
+//! applied twice must equal applying it once.
+
+use octopus::prelude::*;
+
+fn deployment() -> (Octopus, octopus::deployment::UserSession) {
+    let octo = Octopus::launch().unwrap();
+    octo.register_user("alice@uchicago.edu", "pw").unwrap();
+    let session = octo.login("alice@uchicago.edu", "pw").unwrap();
+    (octo, session)
+}
+
+#[test]
+fn put_topic_is_idempotent() {
+    let (octo, session) = deployment();
+    for _ in 0..3 {
+        session
+            .client()
+            .register_topic("t", serde_json::json!({"partitions": 4}))
+            .unwrap();
+    }
+    assert_eq!(octo.cluster().partition_count("t").unwrap(), 4);
+    assert_eq!(session.client().list_topics().unwrap(), vec!["t"]);
+}
+
+#[test]
+fn post_partitions_is_idempotent() {
+    let (octo, session) = deployment();
+    session.client().register_topic("t", serde_json::Value::Null).unwrap();
+    for _ in 0..3 {
+        session.client().set_partitions("t", 8).unwrap();
+    }
+    assert_eq!(octo.cluster().partition_count("t").unwrap(), 8);
+}
+
+#[test]
+fn post_config_is_idempotent() {
+    let (octo, session) = deployment();
+    session.client().register_topic("t", serde_json::Value::Null).unwrap();
+    for _ in 0..3 {
+        session
+            .client()
+            .set_topic_config("t", serde_json::json!({"retention_ms": 1234}))
+            .unwrap();
+    }
+    assert_eq!(
+        octo.cluster().topic_config("t").unwrap().retention.retention_ms,
+        Some(1234)
+    );
+}
+
+#[test]
+fn grant_and_revoke_are_idempotent() {
+    let (octo, session) = deployment();
+    octo.register_user("bob@uchicago.edu", "pw").unwrap();
+    let bob = octo.login("bob@uchicago.edu", "pw").unwrap();
+    session.client().register_topic("t", serde_json::Value::Null).unwrap();
+    for _ in 0..3 {
+        session.client().grant("t", bob.identity(), &["read"]).unwrap();
+    }
+    octo.acl()
+        .check("t", bob.identity(), octopus::auth::Permission::Read)
+        .unwrap();
+    for _ in 0..3 {
+        session.client().revoke("t", bob.identity(), &["read"]).unwrap();
+    }
+    assert!(octo
+        .acl()
+        .check("t", bob.identity(), octopus::auth::Permission::Read)
+        .is_err());
+}
+
+#[test]
+fn trigger_deploy_is_idempotent() {
+    let (octo, session) = deployment();
+    session.client().register_topic("t", serde_json::Value::Null).unwrap();
+    octo.registry().register("noop", |_ctx, _b| Ok(()));
+    let spec = serde_json::json!({"name": "tr", "topic": "t", "function": "noop"});
+    for _ in 0..3 {
+        session.client().deploy_trigger(spec.clone()).unwrap();
+    }
+    let triggers = session.client().list_triggers().unwrap();
+    assert_eq!(triggers.as_array().unwrap().len(), 1);
+}
+
+#[test]
+fn create_key_mints_fresh_keys_per_call() {
+    // create_key is the one route that intentionally is NOT idempotent:
+    // each call mints a new credential (key rotation); old keys stay
+    // valid until revoked.
+    let (octo, session) = deployment();
+    let (k1, s1) = session.client().create_key().unwrap();
+    let (k2, s2) = session.client().create_key().unwrap();
+    assert_ne!(k1, k2);
+    assert_ne!(s1, s2);
+    assert_eq!(octo.iam().keys_of(session.identity()).len(), 2);
+}
+
+#[test]
+fn conflicting_retries_from_another_user_still_conflict() {
+    let (octo, session) = deployment();
+    octo.register_user("bob@uchicago.edu", "pw").unwrap();
+    let bob = octo.login("bob@uchicago.edu", "pw").unwrap();
+    session.client().register_topic("t", serde_json::Value::Null).unwrap();
+    // idempotency never lets a different identity steal a topic name
+    for _ in 0..3 {
+        assert!(matches!(
+            bob.client().register_topic("t", serde_json::Value::Null),
+            Err(OctoError::Conflict(_))
+        ));
+    }
+}

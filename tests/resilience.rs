@@ -1,0 +1,171 @@
+//! Cross-layer resilience: the paper's fault-tolerance story (§IV-F)
+//! exercised end to end — coordination-replica failures during
+//! provisioning, broker failures during live traffic, and the
+//! timer-driven periodic triggers of §VI-D.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use octopus::prelude::*;
+use octopus::trigger::TimerSource;
+
+#[test]
+fn ows_provisioning_survives_coordination_replica_failures() {
+    let octo = Octopus::builder().zoo_replicas(3).build().unwrap();
+    octo.register_provider("uchicago.edu", "UChicago");
+    octo.register_user("alice@uchicago.edu", "pw").unwrap();
+    let session = octo.login("alice@uchicago.edu", "pw").unwrap();
+
+    session.client().register_topic("before", serde_json::Value::Null).unwrap();
+
+    // kill the coordination leader: OWS keeps working through failover
+    let leader = octo.zoo().leader_index();
+    octo.zoo().kill_replica(leader);
+    session.client().register_topic("during", serde_json::Value::Null).unwrap();
+    assert!(octo.zoo().exists("/octopus/owners/during").unwrap());
+
+    // restart and keep going
+    octo.zoo().restart_replica(leader).unwrap();
+    session.client().register_topic("after", serde_json::Value::Null).unwrap();
+    let mut topics = session.client().list_topics().unwrap();
+    topics.sort();
+    assert_eq!(topics, vec!["after", "before", "during"]);
+}
+
+#[test]
+fn ows_is_unavailable_without_coordination_quorum_then_heals() {
+    let octo = Octopus::builder().zoo_replicas(3).build().unwrap();
+    octo.register_provider("uchicago.edu", "UChicago");
+    octo.register_user("alice@uchicago.edu", "pw").unwrap();
+    let session = octo.login("alice@uchicago.edu", "pw").unwrap();
+
+    octo.zoo().kill_replica(0);
+    octo.zoo().kill_replica(1);
+    // no quorum: provisioning fails loudly (503-class), not silently
+    let err = session.client().register_topic("nope", serde_json::Value::Null).unwrap_err();
+    assert!(matches!(err, OctoError::Unavailable(_)), "got {err}");
+
+    // healing restores service, and the failed call can simply be retried
+    octo.zoo().restart_replica(0).unwrap();
+    session.client().register_topic("nope", serde_json::Value::Null).unwrap();
+    assert!(session.client().list_topics().unwrap().contains(&"nope".to_string()));
+}
+
+#[test]
+fn consumers_ride_through_broker_failover_mid_stream() {
+    let octo = Octopus::launch().unwrap();
+    octo.register_user("alice@uchicago.edu", "pw").unwrap();
+    let session = octo.login("alice@uchicago.edu", "pw").unwrap();
+    session
+        .client()
+        .register_topic("stream", serde_json::json!({"partitions": 1}))
+        .unwrap();
+
+    let producer = session.producer();
+    for i in 0..50 {
+        producer
+            .send_sync("stream", Event::from_bytes(format!("{i}").into_bytes()))
+            .unwrap();
+    }
+    let mut consumer = session.consumer("rider");
+    consumer.subscribe(&["stream"]).unwrap();
+    let mut seen = consumer.poll().unwrap().len();
+
+    // the partition leader dies mid-stream
+    let leader = octo.cluster().leader_broker("stream", 0).unwrap();
+    octo.cluster().kill_broker(leader);
+    for i in 50..80 {
+        producer
+            .send_sync("stream", Event::from_bytes(format!("{i}").into_bytes()))
+            .unwrap();
+    }
+    loop {
+        let batch = consumer.poll().unwrap();
+        if batch.is_empty() {
+            break;
+        }
+        seen += batch.len();
+    }
+    assert_eq!(seen, 80, "no events lost across leader failover");
+
+    // the dead broker returns and catches back up
+    octo.cluster().restart_broker(leader).unwrap();
+    assert_eq!(octo.cluster().isr_of("stream", 0).unwrap().len(), 2);
+}
+
+#[test]
+fn timer_driven_trigger_ingests_periodically() {
+    // §VI-D: "timer-based events to retrieve updates periodically from
+    // the various data sources"
+    let octo = Octopus::launch().unwrap();
+    octo.register_user("epi@uchicago.edu", "pw").unwrap();
+    let session = octo.login("epi@uchicago.edu", "pw").unwrap();
+    session.client().register_topic("epi.timers", serde_json::Value::Null).unwrap();
+
+    let ingests = Arc::new(AtomicUsize::new(0));
+    let ingests2 = ingests.clone();
+    octo.registry().register("ingest-sources", move |_ctx, batch| {
+        ingests2.fetch_add(batch.len(), Ordering::SeqCst);
+        Ok(())
+    });
+    session
+        .client()
+        .deploy_trigger(serde_json::json!({
+            "name": "periodic-ingest",
+            "topic": "epi.timers",
+            "function": "ingest-sources",
+            "pattern": {"event_type": ["timer_tick"]},
+        }))
+        .unwrap();
+
+    let timer = TimerSource::new(octo.cluster().clone(), "epi.timers", "hourly");
+    for _ in 0..5 {
+        timer.fire_once().unwrap();
+        octo.triggers().poll_once("periodic-ingest").unwrap();
+    }
+    assert_eq!(ingests.load(Ordering::SeqCst), 5);
+}
+
+#[test]
+fn maintenance_runs_while_clients_are_active() {
+    let octo = Octopus::launch().unwrap();
+    octo.register_user("alice@uchicago.edu", "pw").unwrap();
+    let session = octo.login("alice@uchicago.edu", "pw").unwrap();
+    session
+        .client()
+        .register_topic("churn", serde_json::json!({"partitions": 2, "retention_ms": 0}))
+        .unwrap();
+    // shrink segments so retention has something to reap
+    let mut cfg = octo.cluster().topic_config("churn").unwrap();
+    cfg.segment_bytes = 128;
+    octo.cluster().update_topic_config("churn", cfg).unwrap();
+
+    let producer = session.producer();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let cluster = octo.cluster().clone();
+    let janitor = std::thread::spawn(move || {
+        let mut reaped = 0;
+        while !stop2.load(Ordering::Acquire) {
+            reaped += cluster.run_maintenance();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        reaped
+    });
+    for i in 0..500 {
+        producer
+            .send_sync("churn", Event::from_bytes(format!("event-{i:06}").into_bytes()))
+            .unwrap();
+    }
+    stop.store(true, Ordering::Release);
+    let reaped = janitor.join().unwrap();
+    assert!(reaped > 0, "retention reclaimed records concurrently with producers");
+    // the log tail is still consistent
+    for p in 0..2 {
+        let start = octo.cluster().earliest_offset("churn", p).unwrap();
+        let records = octo.cluster().fetch("churn", p, start, 10_000).unwrap();
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.offset, start + i as u64);
+        }
+    }
+}

@@ -22,6 +22,7 @@ use octopus_zoo::{CreateMode, ZooService};
 
 use crate::broker::{Broker, BrokerId};
 use crate::config::TopicConfig;
+use crate::fault::{DeliveryFault, FaultInjector};
 use crate::group::GroupCoordinator;
 use crate::log::PartitionLog;
 use crate::record::{Record, RecordBatch};
@@ -89,6 +90,7 @@ struct ClusterInner {
     zoo: Option<ZooService>,
     clock: Arc<dyn Clock>,
     round_robin: AtomicU64,
+    fault: FaultInjector,
 }
 
 /// A handle to the cluster. Clones share state; safe to use from many
@@ -112,7 +114,14 @@ impl Cluster {
             acl: None,
             zoo: None,
             clock: Arc::new(WallClock),
+            fault: None,
         }
+    }
+
+    /// The cluster's fault-injection switchboard (inert until armed by
+    /// a chaos harness).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.inner.fault
     }
 
     fn now(&self) -> Timestamp {
@@ -359,19 +368,27 @@ impl Cluster {
                 required: min_isr as usize,
             });
         }
+        // a degraded (slow) leader stalls every produce it serves
+        let penalty = self.inner.fault.service_penalty(leader);
+        if !penalty.is_zero() {
+            std::thread::sleep(penalty);
+        }
         let log = leader_broker
             .log(topic, partition)
             .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
         let base = log.lock().append(batch, now)?;
         // synchronous replication to in-sync followers; failures shrink
-        // the ISR (Kafka's leader removes laggards from the ISR)
+        // the ISR (Kafka's leader removes laggards from the ISR). A
+        // severed leader↔follower link looks exactly like a dead
+        // follower from the leader's point of view.
         let mut new_isr = vec![leader];
         for replica in &isr {
             if *replica == leader {
                 continue;
             }
             let b = &self.inner.brokers[replica.0 as usize];
-            let ok = b.is_alive()
+            let ok = !self.inner.fault.is_severed(leader, *replica)
+                && b.is_alive()
                 && b.log(topic, partition)
                     .map(|l| l.lock().append(batch, now).is_ok())
                     .unwrap_or(false);
@@ -411,6 +428,28 @@ impl Cluster {
         if !broker.is_alive() {
             self.failover(topic, partition)?;
             return self.fetch(topic, partition, offset, max_records);
+        }
+        let penalty = self.inner.fault.service_penalty(leader);
+        if !penalty.is_zero() {
+            std::thread::sleep(penalty);
+        }
+        let mut offset = offset;
+        match self.inner.fault.take_delivery_fault(leader) {
+            // response lost in transit: the consumer sees an empty poll
+            // and re-reads from the same position (at-least-once)
+            Some(DeliveryFault::Drop) => return Ok(Vec::new()),
+            // retried unacked fetch: replay already-delivered records
+            // by rewinding the served offset (never before log start)
+            Some(DeliveryFault::Duplicate { rewind }) => {
+                let earliest = self
+                    .with_leader_log(topic, partition, |l| l.start_offset())
+                    .unwrap_or(offset);
+                offset = offset.saturating_sub(rewind).max(earliest);
+            }
+            Some(DeliveryFault::Delay { millis }) => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+            }
+            None => {}
         }
         let log = broker
             .log(topic, partition)
@@ -541,17 +580,53 @@ impl Cluster {
 
     // ----- failure injection & recovery -----
 
-    /// Crash a broker.
-    pub fn kill_broker(&self, id: BrokerId) {
-        self.inner.brokers[id.0 as usize].kill();
+    fn broker_checked(&self, id: BrokerId) -> OctoResult<&Arc<Broker>> {
+        self.inner
+            .brokers
+            .get(id.0 as usize)
+            .ok_or_else(|| OctoError::NotFound(format!("broker {} does not exist", id.0)))
     }
 
-    /// Restart a broker: its replicas resync from current leaders and
-    /// rejoin the ISR.
+    /// Crash a broker. Killing an already-dead broker is a typed
+    /// error (`Conflict`), never a panic — chaos schedules race real
+    /// failovers, so double-kills must be safe.
+    pub fn kill_broker(&self, id: BrokerId) -> OctoResult<()> {
+        let broker = self.broker_checked(id)?;
+        if !broker.is_alive() {
+            return Err(OctoError::Conflict(format!("broker {} is already dead", id.0)));
+        }
+        broker.kill();
+        Ok(())
+    }
+
+    /// Restart a broker: recover its logs (CRC scan truncates any
+    /// corrupt tail), resync from current leaders, and rejoin the ISR.
+    /// Restarting a live broker is a typed error (`Conflict`).
     pub fn restart_broker(&self, id: BrokerId) -> OctoResult<()> {
-        let broker = &self.inner.brokers[id.0 as usize];
+        let broker = self.broker_checked(id)?;
+        if broker.is_alive() {
+            return Err(OctoError::Conflict(format!("broker {} is already alive", id.0)));
+        }
+        // restart-time log recovery: drop torn/corrupt tail writes so
+        // resync rebuilds them from the leader
+        for (topic, partition) in broker.hosted_partitions() {
+            if let Some(log) = broker.log(&topic, partition) {
+                log.lock().verify_and_truncate();
+            }
+        }
         broker.restart();
-        // resync every replica this broker hosts
+        self.resync_broker(id)
+    }
+
+    /// Resync a live broker's replicas from their current leaders and
+    /// rejoin the ISR. Also the heal path after a network partition:
+    /// the follower never died, but its log diverged while the link
+    /// was severed.
+    pub fn resync_broker(&self, id: BrokerId) -> OctoResult<()> {
+        let broker = self.broker_checked(id)?;
+        if !broker.is_alive() {
+            return Err(OctoError::Conflict(format!("broker {} is dead", id.0)));
+        }
         for (topic, partition) in broker.hosted_partitions() {
             let (leader, _, _) = match self.leader_of(&topic, partition) {
                 Ok(x) => x,
@@ -578,6 +653,25 @@ impl Cluster {
             }
         }
         Ok(())
+    }
+
+    /// Corrupt the payload of the last `records` records of a replica's
+    /// log without touching its checksums — the bit-rot / torn-write
+    /// fault that restart-time CRC recovery must catch. Returns how
+    /// many records were corrupted.
+    pub fn corrupt_log_tail(
+        &self,
+        id: BrokerId,
+        topic: &str,
+        partition: PartitionId,
+        records: usize,
+    ) -> OctoResult<usize> {
+        let broker = self.broker_checked(id)?;
+        let log = broker
+            .log(topic, partition)
+            .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
+        let corrupted = log.lock().corrupt_tail(records);
+        Ok(corrupted)
     }
 
     /// The current ISR of a partition (tests, ops tooling).
@@ -656,6 +750,7 @@ pub struct ClusterBuilder {
     acl: Option<AclStore>,
     zoo: Option<ZooService>,
     clock: Arc<dyn Clock>,
+    fault: Option<FaultInjector>,
 }
 
 impl ClusterBuilder {
@@ -678,6 +773,13 @@ impl ClusterBuilder {
         self
     }
 
+    /// Share a fault injector with a chaos harness (defaults to a
+    /// quiescent injector).
+    pub fn fault_injector(mut self, fault: FaultInjector) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
     /// Build the cluster.
     pub fn build(self) -> Cluster {
         assert!(self.broker_count > 0, "cluster needs at least one broker");
@@ -694,6 +796,7 @@ impl ClusterBuilder {
                 zoo: self.zoo,
                 clock: self.clock,
                 round_robin: AtomicU64::new(0),
+                fault: self.fault.unwrap_or_default(),
             }),
         }
     }
@@ -788,7 +891,7 @@ mod tests {
         let c = cluster2();
         c.produce_batch("t", 0, RecordBatch::new(vec![ev("a")]), AckLevel::All).unwrap();
         let leader = c.leader_broker("t", 0).unwrap();
-        c.kill_broker(leader);
+        c.kill_broker(leader).unwrap();
         // produce transparently fails over
         c.produce_batch("t", 0, RecordBatch::new(vec![ev("b")]), AckLevel::Leader).unwrap();
         assert_ne!(c.leader_broker("t", 0).unwrap(), leader);
@@ -801,7 +904,7 @@ mod tests {
     fn acks_all_fails_without_quorum() {
         let c = Cluster::new(2);
         c.create_topic("t", TopicConfig::default().with_min_insync(2)).unwrap();
-        c.kill_broker(BrokerId(1));
+        c.kill_broker(BrokerId(1)).unwrap();
         // acks=1 still works (leader-only durability)
         let leader = c.leader_broker("t", 0).unwrap();
         if leader == BrokerId(1) {
@@ -821,8 +924,8 @@ mod tests {
     #[test]
     fn acks_none_swallows_failures() {
         let c = cluster2();
-        c.kill_broker(BrokerId(0));
-        c.kill_broker(BrokerId(1));
+        c.kill_broker(BrokerId(0)).unwrap();
+        c.kill_broker(BrokerId(1)).unwrap();
         // all brokers dead: acks=0 hides the loss
         let r = c.produce_batch("t", 0, RecordBatch::new(vec![ev("a")]), AckLevel::None).unwrap();
         assert!(!r.persisted);
@@ -837,7 +940,7 @@ mod tests {
         let c = cluster2();
         let leader = c.leader_broker("t", 0).unwrap();
         let follower = BrokerId(1 - leader.0);
-        c.kill_broker(follower);
+        c.kill_broker(follower).unwrap();
         for i in 0..5 {
             c.produce_batch("t", 0, RecordBatch::new(vec![ev(&format!("{i}"))]), AckLevel::Leader)
                 .unwrap();
@@ -847,6 +950,84 @@ mod tests {
         assert_eq!(c.isr_of("t", 0).unwrap().len(), 2);
         let flog = c.inner.brokers[follower.0 as usize].log("t", 0).unwrap();
         assert_eq!(flog.lock().len(), 5, "follower caught up");
+    }
+
+    #[test]
+    fn kill_and_restart_are_idempotent_typed_errors() {
+        let c = cluster2();
+        // restart a live broker -> Conflict, state untouched
+        assert!(matches!(c.restart_broker(BrokerId(0)), Err(OctoError::Conflict(_))));
+        assert!(c.inner.brokers[0].is_alive());
+        c.kill_broker(BrokerId(0)).unwrap();
+        // double-kill -> Conflict, not a panic
+        assert!(matches!(c.kill_broker(BrokerId(0)), Err(OctoError::Conflict(_))));
+        assert_eq!(c.live_broker_count(), 1);
+        c.restart_broker(BrokerId(0)).unwrap();
+        assert_eq!(c.live_broker_count(), 2);
+        // out-of-range broker ids -> NotFound, not an index panic
+        assert!(matches!(c.kill_broker(BrokerId(9)), Err(OctoError::NotFound(_))));
+        assert!(matches!(c.restart_broker(BrokerId(9)), Err(OctoError::NotFound(_))));
+        assert!(matches!(c.resync_broker(BrokerId(9)), Err(OctoError::NotFound(_))));
+    }
+
+    #[test]
+    fn severed_link_shrinks_isr_and_heal_resync_restores_it() {
+        let c = cluster2();
+        let leader = c.leader_broker("t", 0).unwrap();
+        let follower = BrokerId(1 - leader.0);
+        c.fault_injector().sever_link(leader, follower);
+        c.produce_batch("t", 0, RecordBatch::new(vec![ev("a")]), AckLevel::Leader).unwrap();
+        assert_eq!(c.isr_of("t", 0).unwrap(), vec![leader], "partitioned follower dropped");
+        // heal the network, resync the stranded (still-live) follower
+        c.fault_injector().heal_all_links();
+        c.resync_broker(follower).unwrap();
+        assert_eq!(c.isr_of("t", 0).unwrap().len(), 2);
+        let flog = c.inner.brokers[follower.0 as usize].log("t", 0).unwrap();
+        assert_eq!(flog.lock().len(), 1, "follower caught up after heal");
+    }
+
+    #[test]
+    fn delivery_faults_shape_fetch_responses() {
+        let c = cluster2();
+        for i in 0..4 {
+            c.produce_batch("t", 0, RecordBatch::new(vec![ev(&format!("{i}"))]), AckLevel::Leader)
+                .unwrap();
+        }
+        let leader = c.leader_broker("t", 0).unwrap();
+        c.fault_injector().inject_delivery(leader, DeliveryFault::Drop, 1);
+        assert!(c.fetch("t", 0, 2, 10).unwrap().is_empty(), "dropped in transit");
+        // next fetch from the same position succeeds: at-least-once
+        assert_eq!(c.fetch("t", 0, 2, 10).unwrap().len(), 2);
+        // a duplicate fault rewinds delivery below the requested offset
+        c.fault_injector().inject_delivery(leader, DeliveryFault::Duplicate { rewind: 2 }, 1);
+        let recs = c.fetch("t", 0, 3, 10).unwrap();
+        assert_eq!(recs[0].offset, 1, "replayed already-delivered records");
+        // rewind clamps at log start
+        c.fault_injector().inject_delivery(leader, DeliveryFault::Duplicate { rewind: 99 }, 1);
+        assert_eq!(c.fetch("t", 0, 1, 10).unwrap()[0].offset, 0);
+    }
+
+    #[test]
+    fn corrupt_tail_recovered_on_restart() {
+        let c = cluster2();
+        for i in 0..6 {
+            c.produce_batch("t", 0, RecordBatch::new(vec![ev(&format!("{i}"))]), AckLevel::All)
+                .unwrap();
+        }
+        let leader = c.leader_broker("t", 0).unwrap();
+        let follower = BrokerId(1 - leader.0);
+        assert_eq!(c.corrupt_log_tail(follower, "t", 0, 2).unwrap(), 2);
+        c.kill_broker(follower).unwrap();
+        c.restart_broker(follower).unwrap();
+        // CRC recovery truncated the corrupt tail, resync rebuilt it
+        let flog = c.inner.brokers[follower.0 as usize].log("t", 0).unwrap();
+        let recs = flog.lock().read(0, 100).unwrap();
+        assert_eq!(recs.len(), 6, "resynced to full length from leader");
+        assert!(recs.iter().all(|r| r.verify()), "no corrupt records survive restart");
+        assert!(matches!(
+            c.corrupt_log_tail(BrokerId(9), "t", 0, 1),
+            Err(OctoError::NotFound(_))
+        ));
     }
 
     #[test]

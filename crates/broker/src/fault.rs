@@ -1,0 +1,249 @@
+//! Broker-side fault injection hooks.
+//!
+//! A [`FaultInjector`] is a shared handle the cluster consults on its
+//! produce/fetch/replication paths. It stays inert (one relaxed atomic
+//! load) until a chaos harness arms a fault, so production paths pay
+//! nothing. The injector models *infrastructure* faults only — severed
+//! inter-broker links, degraded (slow) brokers, and lossy/duplicating/
+//! delaying delivery on a broker's client link. Broker crashes and log
+//! corruption are injected through [`crate::Cluster`] directly, since
+//! they mutate broker state rather than the message paths.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::broker::BrokerId;
+
+/// A fault applied to the next fetches served by a broker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryFault {
+    /// Serve an empty response (the records are "lost in transit"; the
+    /// consumer's next poll re-reads them — at-least-once holds).
+    Drop,
+    /// Re-deliver up to `rewind` records *before* the requested offset
+    /// (the duplicate-delivery shape real consumers see after an
+    /// unacked fetch is retried).
+    Duplicate {
+        /// How many already-delivered records to replay.
+        rewind: u64,
+    },
+    /// Stall the response.
+    Delay {
+        /// Added latency in milliseconds.
+        millis: u64,
+    },
+}
+
+#[derive(Default)]
+struct FaultState {
+    /// Symmetric severed broker↔broker links.
+    severed: HashSet<(BrokerId, BrokerId)>,
+    /// Service-time multiplier per degraded broker (1.0 = healthy).
+    slow: HashMap<BrokerId, f64>,
+    /// Queued one-shot faults on each broker's client delivery path.
+    delivery: HashMap<BrokerId, VecDeque<DeliveryFault>>,
+}
+
+/// Shared, thread-safe fault switchboard. Clones share state.
+#[derive(Clone, Default)]
+pub struct FaultInjector {
+    armed: Arc<AtomicBool>,
+    state: Arc<Mutex<FaultState>>,
+}
+
+/// Baseline per-operation service time a slow broker's multiplier
+/// scales. Kept small so even 10x degradation stays test-friendly.
+const BASE_SERVICE_TIME: Duration = Duration::from_micros(200);
+
+impl FaultInjector {
+    /// A quiescent injector (all paths clean).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn rearm(&self) {
+        let s = self.state.lock();
+        let active = !s.severed.is_empty() || !s.slow.is_empty() || !s.delivery.is_empty();
+        self.armed.store(active, Ordering::Release);
+    }
+
+    /// Whether any fault is currently active.
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::Acquire)
+    }
+
+    // ----- network partitions -----
+
+    /// Sever the (symmetric) link between two brokers: replication
+    /// across it fails until [`FaultInjector::heal_link`] or
+    /// [`FaultInjector::heal_all_links`].
+    pub fn sever_link(&self, a: BrokerId, b: BrokerId) {
+        let mut s = self.state.lock();
+        s.severed.insert(ordered(a, b));
+        drop(s);
+        self.rearm();
+    }
+
+    /// Restore one severed link.
+    pub fn heal_link(&self, a: BrokerId, b: BrokerId) {
+        self.state.lock().severed.remove(&ordered(a, b));
+        self.rearm();
+    }
+
+    /// Restore every severed link.
+    pub fn heal_all_links(&self) {
+        self.state.lock().severed.clear();
+        self.rearm();
+    }
+
+    /// Whether the link between two brokers is currently severed.
+    pub fn is_severed(&self, a: BrokerId, b: BrokerId) -> bool {
+        if !self.is_armed() {
+            return false;
+        }
+        self.state.lock().severed.contains(&ordered(a, b))
+    }
+
+    // ----- slow brokers -----
+
+    /// Degrade a broker: its produce/fetch service time is multiplied
+    /// by `multiplier` (values <= 1.0 clear the degradation).
+    pub fn set_slow(&self, broker: BrokerId, multiplier: f64) {
+        let mut s = self.state.lock();
+        if multiplier > 1.0 {
+            s.slow.insert(broker, multiplier);
+        } else {
+            s.slow.remove(&broker);
+        }
+        drop(s);
+        self.rearm();
+    }
+
+    /// The extra latency a degraded broker adds to one operation
+    /// (zero for healthy brokers).
+    pub fn service_penalty(&self, broker: BrokerId) -> Duration {
+        if !self.is_armed() {
+            return Duration::ZERO;
+        }
+        match self.state.lock().slow.get(&broker) {
+            Some(m) => BASE_SERVICE_TIME.mul_f64(m - 1.0),
+            None => Duration::ZERO,
+        }
+    }
+
+    // ----- delivery faults (client link) -----
+
+    /// Queue `count` one-shot delivery faults on a broker's fetch path.
+    pub fn inject_delivery(&self, broker: BrokerId, fault: DeliveryFault, count: u32) {
+        let mut s = self.state.lock();
+        let q = s.delivery.entry(broker).or_default();
+        for _ in 0..count {
+            q.push_back(fault);
+        }
+        drop(s);
+        self.rearm();
+    }
+
+    /// Pop the next delivery fault for a broker, if any.
+    pub fn take_delivery_fault(&self, broker: BrokerId) -> Option<DeliveryFault> {
+        if !self.is_armed() {
+            return None;
+        }
+        let mut s = self.state.lock();
+        let fault = s.delivery.get_mut(&broker).and_then(|q| q.pop_front());
+        if fault.is_some() {
+            if s.delivery.get(&broker).map(|q| q.is_empty()).unwrap_or(false) {
+                s.delivery.remove(&broker);
+            }
+            drop(s);
+            self.rearm();
+        }
+        fault
+    }
+
+    /// Clear every active fault (the harness's final heal step).
+    pub fn clear_all(&self) {
+        let mut s = self.state.lock();
+        s.severed.clear();
+        s.slow.clear();
+        s.delivery.clear();
+        drop(s);
+        self.rearm();
+    }
+}
+
+fn ordered(a: BrokerId, b: BrokerId) -> (BrokerId, BrokerId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiescent_injector_is_disarmed() {
+        let f = FaultInjector::new();
+        assert!(!f.is_armed());
+        assert!(!f.is_severed(BrokerId(0), BrokerId(1)));
+        assert_eq!(f.service_penalty(BrokerId(0)), Duration::ZERO);
+        assert_eq!(f.take_delivery_fault(BrokerId(0)), None);
+    }
+
+    #[test]
+    fn links_are_symmetric_and_healable() {
+        let f = FaultInjector::new();
+        f.sever_link(BrokerId(1), BrokerId(0));
+        assert!(f.is_armed());
+        assert!(f.is_severed(BrokerId(0), BrokerId(1)));
+        assert!(f.is_severed(BrokerId(1), BrokerId(0)));
+        assert!(!f.is_severed(BrokerId(0), BrokerId(2)));
+        f.heal_link(BrokerId(0), BrokerId(1));
+        assert!(!f.is_severed(BrokerId(0), BrokerId(1)));
+        assert!(!f.is_armed(), "healing the last fault disarms");
+    }
+
+    #[test]
+    fn slow_broker_penalty_scales() {
+        let f = FaultInjector::new();
+        f.set_slow(BrokerId(0), 3.0);
+        let p = f.service_penalty(BrokerId(0));
+        assert_eq!(p, BASE_SERVICE_TIME.mul_f64(2.0));
+        assert_eq!(f.service_penalty(BrokerId(1)), Duration::ZERO);
+        f.set_slow(BrokerId(0), 1.0); // clears
+        assert_eq!(f.service_penalty(BrokerId(0)), Duration::ZERO);
+    }
+
+    #[test]
+    fn delivery_faults_are_one_shot_fifo() {
+        let f = FaultInjector::new();
+        f.inject_delivery(BrokerId(2), DeliveryFault::Drop, 2);
+        f.inject_delivery(BrokerId(2), DeliveryFault::Duplicate { rewind: 3 }, 1);
+        assert_eq!(f.take_delivery_fault(BrokerId(2)), Some(DeliveryFault::Drop));
+        assert_eq!(f.take_delivery_fault(BrokerId(2)), Some(DeliveryFault::Drop));
+        assert_eq!(
+            f.take_delivery_fault(BrokerId(2)),
+            Some(DeliveryFault::Duplicate { rewind: 3 })
+        );
+        assert_eq!(f.take_delivery_fault(BrokerId(2)), None);
+        assert!(!f.is_armed());
+    }
+
+    #[test]
+    fn clear_all_resets_everything() {
+        let f = FaultInjector::new();
+        f.sever_link(BrokerId(0), BrokerId(1));
+        f.set_slow(BrokerId(1), 5.0);
+        f.inject_delivery(BrokerId(0), DeliveryFault::Delay { millis: 5 }, 3);
+        f.clear_all();
+        assert!(!f.is_armed());
+        assert_eq!(f.take_delivery_fault(BrokerId(0)), None);
+    }
+}

@@ -172,7 +172,11 @@ impl GroupCoordinator {
                 state.generation
             )));
         }
-        state.offsets.insert((topic.to_string(), partition), offset);
+        // Fenced commits are monotonic: redelivered batches must not
+        // rewind group progress. Offset-reset tooling that genuinely
+        // wants to move backwards uses `commit_unchecked`.
+        let slot = state.offsets.entry((topic.to_string(), partition)).or_insert(offset);
+        *slot = (*slot).max(offset);
         Ok(())
     }
 

@@ -27,6 +27,7 @@
 pub mod broker;
 pub mod cluster;
 pub mod config;
+pub mod fault;
 pub mod group;
 pub mod log;
 pub mod mirror;
@@ -34,6 +35,7 @@ pub mod record;
 
 pub use broker::{Broker, BrokerId};
 pub use cluster::{AckLevel, Cluster, ProduceReceipt, TopicStats};
+pub use fault::{DeliveryFault, FaultInjector};
 pub use config::{CleanupPolicy, RetentionConfig, TopicConfig};
 pub use group::{GroupCoordinator, GroupMember, MemberAssignment};
 pub use log::PartitionLog;

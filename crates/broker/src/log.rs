@@ -115,14 +115,16 @@ impl PartitionLog {
         }
         let base = self.end_offset();
         for (i, event) in batch.events.iter().enumerate() {
-            let rec = Record {
+            let mut rec = Record {
                 offset: base + i as u64,
                 append_time: now,
                 key: event.key.clone(),
                 value: event.payload.clone(),
                 headers: event.headers.clone(),
                 producer_time: event.timestamp,
+                crc: 0,
             };
+            rec.crc = rec.compute_crc();
             let size = rec.wire_size();
             let roll = {
                 let seg = self.segments.last().expect("log always has a segment");
@@ -258,6 +260,62 @@ impl PartitionLog {
             let new_size: usize = seg.records.iter().map(|r| r.wire_size()).sum();
             self.total_bytes -= seg.size_bytes - new_size;
             seg.size_bytes = new_size;
+        }
+        removed
+    }
+
+    /// Corrupt the payload bytes of the last `n` retained records
+    /// *without* updating their checksums — the shape a torn or
+    /// bit-rotted tail write leaves on disk. Fault-injection only.
+    /// Returns how many records were actually corrupted.
+    pub fn corrupt_tail(&mut self, n: usize) -> usize {
+        let mut corrupted = 0usize;
+        'outer: for seg in self.segments.iter_mut().rev() {
+            for rec in seg.records.iter_mut().rev() {
+                if corrupted >= n {
+                    break 'outer;
+                }
+                let mut bytes = rec.value.to_vec();
+                if bytes.is_empty() {
+                    bytes.push(0xff);
+                } else {
+                    let last = bytes.len() - 1;
+                    bytes[last] ^= 0xa5;
+                }
+                rec.value = Bytes::from(bytes);
+                corrupted += 1;
+            }
+        }
+        corrupted
+    }
+
+    /// Log recovery: scan records in offset order and truncate
+    /// everything from the first CRC mismatch onward (a corrupt record
+    /// makes the rest of the tail untrustworthy, as in Kafka's
+    /// restart-time log recovery). Returns the number of records
+    /// dropped.
+    pub fn verify_and_truncate(&mut self) -> usize {
+        let mut bad: Option<(usize, usize)> = None;
+        'scan: for (si, seg) in self.segments.iter().enumerate() {
+            for (ri, rec) in seg.records.iter().enumerate() {
+                if !rec.verify() {
+                    bad = Some((si, ri));
+                    break 'scan;
+                }
+            }
+        }
+        let Some((si, ri)) = bad else { return 0 };
+        let mut removed = 0usize;
+        for seg in self.segments.drain(si + 1..) {
+            removed += seg.records.len();
+            self.total_bytes -= seg.size_bytes;
+        }
+        let seg = &mut self.segments[si];
+        removed += seg.records.len() - ri;
+        for rec in seg.records.drain(ri..) {
+            let size = rec.wire_size();
+            seg.size_bytes -= size;
+            self.total_bytes -= size;
         }
         removed
     }
@@ -407,6 +465,37 @@ mod tests {
         assert!(recs.iter().any(|r| r.key.is_none()));
         // offsets preserved (no renumbering)
         assert_eq!(k1[0].offset, 4);
+    }
+
+    #[test]
+    fn tail_corruption_detected_and_truncated() {
+        let mut log = PartitionLog::with_segment_bytes(12);
+        for i in 0..6u64 {
+            log.append(&RecordBatch::new(vec![ev(&format!("{i:06}"))]), t(i)).unwrap();
+        }
+        let bytes_before = log.size_bytes();
+        assert_eq!(log.corrupt_tail(2), 2);
+        // reads still serve the corrupt records (the fabric trusts the
+        // page cache while running) — recovery happens on restart
+        assert_eq!(log.read(0, 100).unwrap().len(), 6);
+        let dropped = log.verify_and_truncate();
+        assert_eq!(dropped, 2);
+        assert_eq!(log.end_offset(), 4);
+        assert_eq!(log.len(), 4);
+        assert!(log.size_bytes() < bytes_before);
+        // surviving prefix is intact and re-appendable
+        assert!(log.read(0, 100).unwrap().iter().all(|r| r.verify()));
+        let next = log.append(&RecordBatch::new(vec![ev("fresh!")]), t(10)).unwrap();
+        assert_eq!(next, 4);
+    }
+
+    #[test]
+    fn verify_and_truncate_is_noop_on_clean_log() {
+        let mut log = PartitionLog::new();
+        log.append(&RecordBatch::new(vec![ev("a"), ev("b")]), t(1)).unwrap();
+        assert_eq!(log.verify_and_truncate(), 0);
+        assert_eq!(log.len(), 2);
+        assert_eq!(PartitionLog::new().verify_and_truncate(), 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use octopus_types::{OctoResult, PartitionId, TopicName};
+use octopus_types::{OctoResult, PartitionId, Retrier, RetryPolicy, TopicName};
 
 use crate::cluster::{AckLevel, Cluster};
 use crate::record::RecordBatch;
@@ -25,13 +25,30 @@ pub struct MirrorMaker {
     positions: HashMap<(TopicName, PartitionId), u64>,
     /// Max records copied per partition per pass.
     batch_size: usize,
+    /// Retry/breaker stack for destination writes: a cross-region link
+    /// blips far more often than it dies, so one failed produce should
+    /// not abort the whole pass.
+    retrier: Retrier,
 }
 
 impl MirrorMaker {
     /// Mirror `topics` from `source` to `destination`. Destination
     /// topics are created on demand with the source's configuration.
     pub fn new(source: Cluster, destination: Cluster, topics: Vec<TopicName>) -> Self {
-        MirrorMaker { source, destination, topics, positions: HashMap::new(), batch_size: 1000 }
+        MirrorMaker {
+            source,
+            destination,
+            topics,
+            positions: HashMap::new(),
+            batch_size: 1000,
+            retrier: Retrier::new(RetryPolicy::new(3, Duration::from_millis(5))),
+        }
+    }
+
+    /// Replace the destination-write retry policy.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retrier = Retrier::new(policy);
+        self
     }
 
     /// Run one mirroring pass; returns the number of records copied.
@@ -61,12 +78,16 @@ impl MirrorMaker {
                 }
                 let events = records.iter().map(|r| r.to_event()).collect::<Vec<_>>();
                 let next = records.last().expect("non-empty").offset + 1;
-                self.destination.produce_batch(
-                    &topic,
-                    p % self.destination.partition_count(&topic)?,
-                    RecordBatch::new(events),
-                    AckLevel::Leader,
-                )?;
+                let dest_partition = p % self.destination.partition_count(&topic)?;
+                let batch = RecordBatch::new(events);
+                self.retrier.call(|_attempt| {
+                    self.destination.produce_batch(
+                        &topic,
+                        dest_partition,
+                        batch.clone(),
+                        AckLevel::Leader,
+                    )
+                })?;
                 *pos = next;
                 copied += records.len();
             }

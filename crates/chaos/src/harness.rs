@@ -1,0 +1,402 @@
+//! The chaos harness: a real deployment, live traffic, injected
+//! faults, and invariant oracles over the wreckage.
+//!
+//! [`ChaosHarness::run`] builds a threaded broker cluster + zoo
+//! ensemble + trigger runtime, starts producer / consumer / trigger
+//! traffic, executes the configured [`FaultPlan`] against the live
+//! deployment, then heals everything, drains the pipelines, and
+//! evaluates four oracles:
+//!
+//! 1. **No committed-record loss** — every event acknowledged at
+//!    `acks=all` is still readable from the surviving log.
+//! 2. **At-least-once delivery** — every acknowledged event reached
+//!    the consumer (duplicates allowed, loss not), and the consumer's
+//!    committed offset never moved backwards.
+//! 3. **ZAB committed-prefix agreement** — zoo replicas' committed
+//!    transaction logs are prefixes of one another.
+//! 4. **ISR re-convergence** — after healing, the in-sync replica set
+//!    is back to the full replication factor.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use octopus_broker::{AckLevel, BrokerId, Cluster, TopicConfig};
+use octopus_sdk::{Consumer, ConsumerConfig, Producer, ProducerConfig};
+use octopus_trigger::{AutoscalerConfig, FunctionConfig, TriggerRuntime, TriggerSpec};
+use octopus_types::{Event, Uid};
+use octopus_zoo::ZooService;
+use parking_lot::Mutex;
+
+use crate::exec::{execute_plan, ChaosTarget, FaultTrace};
+use crate::plan::FaultPlan;
+
+/// Deployment shape and traffic pacing for a harness run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Broker count.
+    pub brokers: usize,
+    /// Zoo ensemble size.
+    pub zoo_replicas: usize,
+    /// Topic carrying the chaos traffic (1 partition, replicated).
+    pub topic: String,
+    /// Gap between produced events.
+    pub pace: Duration,
+    /// How long to keep draining after the plan finishes before
+    /// declaring undelivered records lost.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            brokers: 3,
+            zoo_replicas: 3,
+            topic: "chaos-events".to_string(),
+            pace: Duration::from_millis(1),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Drives one fault plan against one live deployment.
+pub struct ChaosHarness {
+    plan: FaultPlan,
+    config: ChaosConfig,
+}
+
+/// Everything a run observed, plus the oracle verdicts.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The executed fault trace (deterministic signature inside).
+    pub trace: FaultTrace,
+    /// Sequence numbers acknowledged at `acks=all`, in send order.
+    pub acked: Vec<u64>,
+    /// Sequence numbers the consumer saw, in delivery order
+    /// (duplicates included).
+    pub delivered: Vec<u64>,
+    /// Events the trigger function processed.
+    pub trigger_events: u64,
+    /// Final in-sync replica count of the chaos partition.
+    pub final_isr: usize,
+    /// Replication factor the topic was created with.
+    pub replication_factor: usize,
+    /// Last committed zxid per zoo replica (from the agreement check).
+    pub zoo_commits: Vec<u64>,
+    /// Oracle violations; empty means the run passed.
+    pub violations: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Panic with every violation if any oracle failed.
+    pub fn assert_invariants(&self) {
+        assert!(
+            self.violations.is_empty(),
+            "chaos invariants violated (seed-reproducible):\n  {}",
+            self.violations.join("\n  ")
+        );
+    }
+
+    /// Distinct sequence numbers delivered.
+    pub fn delivered_unique(&self) -> usize {
+        let mut v = self.delivered.clone();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+
+    /// Redundant deliveries (the at-least-once surplus).
+    pub fn duplicates(&self) -> usize {
+        self.delivered.len() - self.delivered_unique()
+    }
+}
+
+fn seq_event(seq: u64) -> Event {
+    Event::from_bytes(seq.to_le_bytes().to_vec())
+}
+
+fn event_seq(payload: &[u8]) -> Option<u64> {
+    payload.get(..8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
+impl ChaosHarness {
+    /// A harness for `plan` with the default 3-broker / 3-replica
+    /// deployment.
+    pub fn new(plan: FaultPlan) -> Self {
+        ChaosHarness { plan, config: ChaosConfig::default() }
+    }
+
+    /// Replace the deployment shape / pacing.
+    pub fn with_config(mut self, config: ChaosConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Build the deployment, run traffic + chaos, heal, drain, judge.
+    pub fn run(&self) -> ChaosReport {
+        let cfg = &self.config;
+        let zoo = ZooService::new(cfg.zoo_replicas);
+        let cluster = Cluster::builder(cfg.brokers).zoo(zoo.clone()).build();
+        let rf = cfg.brokers.min(3) as u32;
+        let min_isr = rf.min(2);
+        cluster
+            .create_topic(
+                &cfg.topic,
+                TopicConfig::default()
+                    .with_partitions(1)
+                    .with_replication(rf)
+                    .with_min_insync(min_isr),
+            )
+            .expect("chaos topic");
+
+        // Trigger counting every event it is invoked with.
+        let runtime = TriggerRuntime::new(cluster.clone());
+        let trigger_events = Arc::new(AtomicU64::new(0));
+        let te = trigger_events.clone();
+        runtime
+            .deploy(TriggerSpec {
+                name: "chaos-counter".to_string(),
+                topic: cfg.topic.clone(),
+                pattern: None,
+                config: FunctionConfig { retries: 1, ..FunctionConfig::default() },
+                function: Arc::new(move |_ctx, batch| {
+                    te.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    Ok(())
+                }),
+                acting_as: Uid(0),
+                autoscaler: AutoscalerConfig::default(),
+            })
+            .expect("deploy trigger");
+
+        let stop_produce = Arc::new(AtomicBool::new(false));
+        let stop_consume = Arc::new(AtomicBool::new(false));
+        let acked = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let delivered = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let commit_violations = Arc::new(Mutex::new(Vec::<String>::new()));
+
+        // Producer: acks=all, SDK retry/breaker stack in the path.
+        let producer_thread = {
+            let cluster = cluster.clone();
+            let topic = cfg.topic.clone();
+            let pace = cfg.pace;
+            let stop = stop_produce.clone();
+            let acked = acked.clone();
+            std::thread::spawn(move || {
+                let producer = Producer::new(
+                    cluster,
+                    ProducerConfig {
+                        acks: AckLevel::All,
+                        retries: 30,
+                        retry_backoff: Duration::from_millis(2),
+                        ..ProducerConfig::default()
+                    },
+                );
+                let mut seq = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    if let Ok(receipt) = producer.send_sync(&topic, seq_event(seq)) {
+                        if receipt.persisted {
+                            acked.lock().push(seq);
+                        }
+                    }
+                    seq += 1;
+                    std::thread::sleep(pace);
+                }
+                producer.close();
+            })
+        };
+
+        // Consumer: records deliveries, watches committed-offset
+        // monotonicity.
+        let group = "chaos-observer".to_string();
+        let consumer_thread = {
+            let cluster = cluster.clone();
+            let topic = cfg.topic.clone();
+            let group = group.clone();
+            let stop = stop_consume.clone();
+            let delivered = delivered.clone();
+            let violations = commit_violations.clone();
+            std::thread::spawn(move || {
+                let mut consumer = Consumer::new(
+                    cluster.clone(),
+                    ConsumerConfig {
+                        group: group.clone(),
+                        auto_commit_interval: Some(Duration::from_millis(10)),
+                        max_poll_records: 64,
+                        ..ConsumerConfig::default()
+                    },
+                );
+                consumer.subscribe(&[&topic]).expect("subscribe");
+                let mut high_commit = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    if let Ok(batch) = consumer.poll() {
+                        let mut d = delivered.lock();
+                        for ev in &batch {
+                            if let Some(seq) = event_seq(&ev.event.payload) {
+                                d.push(seq);
+                            }
+                        }
+                    }
+                    if let Some(c) = cluster.coordinator().committed(&group, &topic, 0) {
+                        if c < high_commit {
+                            violations.lock().push(format!(
+                                "committed offset moved backwards: {high_commit} -> {c}"
+                            ));
+                        }
+                        high_commit = high_commit.max(c);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let _ = consumer.commit_sync();
+                consumer.close();
+            })
+        };
+
+        // Trigger driver: single-threaded poll loop (workers stay off
+        // so the run stays deterministic in thread count).
+        let stop_trigger = Arc::new(AtomicBool::new(false));
+        let trigger_thread = {
+            let runtime = runtime.clone();
+            let stop = stop_trigger.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    let _ = runtime.poll_once("chaos-counter");
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })
+        };
+
+        // Let traffic establish itself, then unleash the plan.
+        std::thread::sleep(Duration::from_millis(20));
+        let target =
+            ChaosTarget { cluster: cluster.clone(), zoo: Some(zoo.clone()), topic: cfg.topic.clone() };
+        let trace = execute_plan(&target, &self.plan);
+
+        // Heal: clear residual faults, revive every broker, resync.
+        cluster.fault_injector().clear_all();
+        for i in 0..cfg.brokers as u32 {
+            let _ = cluster.restart_broker(BrokerId(i)); // no-op if alive
+            let _ = cluster.resync_broker(BrokerId(i));
+        }
+        for r in 0..zoo.replica_count() {
+            let _ = zoo.restart_replica(r);
+        }
+
+        // Stop producing; the acked set is now frozen.
+        stop_produce.store(true, Ordering::Release);
+        producer_thread.join().expect("producer thread");
+        let acked: Vec<u64> = acked.lock().clone();
+
+        // Drain: consumer and trigger keep running until every acked
+        // record is delivered and the trigger group has no lag (or the
+        // drain window closes).
+        let deadline = Instant::now() + cfg.drain_timeout;
+        loop {
+            let seen: std::collections::HashSet<u64> =
+                delivered.lock().iter().copied().collect();
+            let consumer_done = acked.iter().all(|s| seen.contains(s));
+            let trigger_done = cluster
+                .group_lag("__trigger-chaos-counter", &cfg.topic)
+                .map(|lag| lag == 0)
+                .unwrap_or(false);
+            if (consumer_done && trigger_done) || Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        stop_consume.store(true, Ordering::Release);
+        stop_trigger.store(true, Ordering::Release);
+        consumer_thread.join().expect("consumer thread");
+        trigger_thread.join().expect("trigger thread");
+
+        // --- Oracles ---
+        let mut violations = commit_violations.lock().clone();
+        let delivered: Vec<u64> = delivered.lock().clone();
+
+        // 1. No committed-record loss: everything acked at acks=all is
+        //    still in the log.
+        let mut surviving = std::collections::HashSet::new();
+        let mut offset = cluster.earliest_offset(&cfg.topic, 0).unwrap_or(0);
+        while let Ok(records) = cluster.fetch(&cfg.topic, 0, offset, 512) {
+            if records.is_empty() {
+                break;
+            }
+            offset = records.last().expect("non-empty").offset + 1;
+            for r in &records {
+                if let Some(seq) = event_seq(&r.value) {
+                    surviving.insert(seq);
+                }
+            }
+        }
+        for seq in &acked {
+            if !surviving.contains(seq) {
+                violations.push(format!("acked record {seq} lost from the log (acks=all)"));
+            }
+        }
+
+        // 2. At-least-once delivery to the consumer.
+        let seen: std::collections::HashSet<u64> = delivered.iter().copied().collect();
+        for seq in &acked {
+            if !seen.contains(seq) {
+                violations.push(format!("acked record {seq} never delivered to the consumer"));
+            }
+        }
+
+        // 3. ZAB committed-prefix agreement across zoo replicas.
+        let zoo_commits = match zoo.committed_prefix_agreement() {
+            Ok(commits) => commits,
+            Err(e) => {
+                violations.push(format!("zoo prefix agreement: {e}"));
+                Vec::new()
+            }
+        };
+
+        // 4. ISR re-convergence after healing.
+        let final_isr = cluster.isr_of(&cfg.topic, 0).map(|i| i.len()).unwrap_or(0);
+        if final_isr != rf as usize {
+            violations.push(format!("ISR did not re-converge: {final_isr}/{rf} replicas in sync"));
+        }
+
+        ChaosReport {
+            trace,
+            acked,
+            delivered,
+            trigger_events: trigger_events.load(Ordering::Relaxed),
+            final_isr,
+            replication_factor: rf as usize,
+            zoo_commits,
+            violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultKind;
+
+    #[test]
+    fn quiet_run_passes_all_oracles() {
+        // No faults at all: the harness itself must not manufacture
+        // violations.
+        let report = ChaosHarness::new(FaultPlan::new(0))
+            .with_config(ChaosConfig {
+                drain_timeout: Duration::from_secs(10),
+                ..ChaosConfig::default()
+            })
+            .run();
+        report.assert_invariants();
+        assert!(!report.acked.is_empty(), "producer made progress");
+        assert!(report.delivered_unique() >= report.acked.len());
+    }
+
+    #[test]
+    fn single_crash_recovers() {
+        let plan = FaultPlan::new(1)
+            .at(10, FaultKind::BrokerCrash { broker: 1 })
+            .at(60, FaultKind::BrokerRestart { broker: 1 });
+        let report = ChaosHarness::new(plan).run();
+        report.assert_invariants();
+        assert_eq!(report.trace.entries.len(), 2);
+        assert_eq!(report.final_isr, report.replication_factor);
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic chaos injection for Octopus deployments.
+//!
+//! The paper's operational sections (§IV-F, §V) lean on the claim
+//! that the hybrid architecture rides out broker loss, coordination
+//! flaps, and cross-site link failure without losing committed work.
+//! This crate turns that claim into an executable experiment:
+//!
+//! * [`FaultPlan`] — a seeded, deterministic schedule of typed faults
+//!   ([`FaultKind`]): broker crash/restart, zoo replica flap, network
+//!   partition + heal, slow-broker degradation, message drop /
+//!   duplicate / delay on a link, and log-tail corruption that CRC
+//!   recovery must catch.
+//! * [`execute_plan`] / [`ChaosTarget`] — maps the abstract plan onto
+//!   a live cluster + ensemble and records a [`FaultTrace`] whose
+//!   `(at, kind)` signature is reproducible from the seed alone.
+//! * [`ChaosHarness`] — builds a real threaded deployment, runs
+//!   producer / consumer / trigger traffic *through* the plan, heals,
+//!   drains, and evaluates the invariant oracles in [`ChaosReport`]:
+//!   no committed-record loss at `acks=all`, at-least-once delivery
+//!   with monotonic commits, ZAB committed-prefix agreement, and ISR
+//!   re-convergence.
+//!
+//! ```
+//! use octopus_chaos::{ChaosHarness, FaultKind, FaultPlan};
+//!
+//! let plan = FaultPlan::new(7)
+//!     .at(10, FaultKind::BrokerCrash { broker: 1 })
+//!     .at(40, FaultKind::NetworkPartition { a: 0, b: 2 })
+//!     .at(80, FaultKind::NetworkHeal)
+//!     .at(100, FaultKind::BrokerRestart { broker: 1 });
+//! ChaosHarness::new(plan).run().assert_invariants();
+//! ```
+
+pub mod exec;
+pub mod harness;
+pub mod plan;
+
+pub use exec::{apply_fault, execute_plan, ChaosTarget, FaultTrace, TraceEntry};
+pub use harness::{ChaosConfig, ChaosHarness, ChaosReport};
+pub use plan::{FaultKind, FaultPlan, PlanProfile, ScheduledFault};

@@ -1,0 +1,281 @@
+//! Fault taxonomy and deterministic fault schedules.
+//!
+//! A [`FaultPlan`] is the unit of chaos: an ordered schedule of typed
+//! faults, either composed by hand with [`FaultPlan::at`] or generated
+//! from a seed with [`FaultPlan::generate`]. Generation is a pure
+//! function of `(seed, profile)` — the same inputs always yield the
+//! same schedule, which is what makes a chaos failure reproducible
+//! from nothing but the seed printed in the test log.
+
+use std::time::Duration;
+
+/// One injectable fault. Identifiers are raw indices (broker number,
+/// zoo replica number) rather than typed ids so plans can be built
+/// without a handle on the deployment; the executor maps them onto the
+/// live topology, wrapping out-of-range indices with a modulo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Kill a broker process (all partitions it hosts go dark).
+    BrokerCrash { broker: u32 },
+    /// Restart a dead broker: CRC-verify + truncate its log tails,
+    /// resync from partition leaders, rejoin ISRs.
+    BrokerRestart { broker: u32 },
+    /// Kill and immediately restart one zoo ensemble replica.
+    ZooReplicaFlap { replica: u32 },
+    /// Sever the inter-broker link between two brokers (replication
+    /// between them fails; both stay up).
+    NetworkPartition { a: u32, b: u32 },
+    /// Heal every severed link and resync live brokers so ISRs can
+    /// re-converge.
+    NetworkHeal,
+    /// Degrade one broker's service time by `multiplier_pct` percent
+    /// of the base (300 = 3x slower). 100 restores full speed.
+    SlowBroker { broker: u32, multiplier_pct: u32 },
+    /// Drop the next `count` fetch responses served by a broker.
+    MessageDrop { broker: u32, count: u32 },
+    /// Rewind the next `count` fetch requests by `rewind` offsets,
+    /// redelivering already-consumed records (at-least-once pressure).
+    MessageDuplicate { broker: u32, rewind: u32, count: u32 },
+    /// Delay the next `count` fetch responses by `millis`.
+    MessageDelay { broker: u32, millis: u32, count: u32 },
+    /// Flip bits in the last `records` records of a follower's log,
+    /// then crash + restart it so CRC recovery must detect and
+    /// truncate the damage before the leader resyncs it.
+    LogTailCorruption { records: u32 },
+}
+
+impl FaultKind {
+    /// Stable one-word label, used in traces and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::BrokerCrash { .. } => "broker-crash",
+            FaultKind::BrokerRestart { .. } => "broker-restart",
+            FaultKind::ZooReplicaFlap { .. } => "zoo-replica-flap",
+            FaultKind::NetworkPartition { .. } => "network-partition",
+            FaultKind::NetworkHeal => "network-heal",
+            FaultKind::SlowBroker { .. } => "slow-broker",
+            FaultKind::MessageDrop { .. } => "message-drop",
+            FaultKind::MessageDuplicate { .. } => "message-duplicate",
+            FaultKind::MessageDelay { .. } => "message-delay",
+            FaultKind::LogTailCorruption { .. } => "log-tail-corruption",
+        }
+    }
+}
+
+/// A fault pinned to a point on the plan's virtual timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScheduledFault {
+    /// Virtual time offset from the start of the run.
+    pub at: Duration,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// Tuning knobs for seeded plan generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanProfile {
+    /// Virtual length of the schedule; fault times are drawn from
+    /// `[0, duration)`.
+    pub duration: Duration,
+    /// Number of faults to draw.
+    pub faults: usize,
+    /// Broker count of the target deployment (indices are drawn below
+    /// this).
+    pub brokers: u32,
+    /// Zoo replica count of the target deployment.
+    pub zoo_replicas: u32,
+}
+
+impl Default for PlanProfile {
+    fn default() -> Self {
+        PlanProfile {
+            duration: Duration::from_millis(400),
+            faults: 8,
+            brokers: 3,
+            zoo_replicas: 3,
+        }
+    }
+}
+
+/// A deterministic, seeded schedule of faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<ScheduledFault>,
+}
+
+/// splitmix64: tiny, seedable, and good enough for schedule shuffling.
+/// Kept inline so plan generation has zero dependencies.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan to extend with [`FaultPlan::at`].
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, faults: Vec::new() }
+    }
+
+    /// Schedule `kind` at `at_ms` on the virtual timeline (builder
+    /// style). Faults may be added in any order; the schedule is kept
+    /// sorted by time, ties preserving insertion order.
+    pub fn at(mut self, at_ms: u64, kind: FaultKind) -> Self {
+        self.faults.push(ScheduledFault { at: Duration::from_millis(at_ms), kind });
+        self.faults.sort_by_key(|f| f.at);
+        self
+    }
+
+    /// Draw a pseudo-random schedule from `seed`. Pure: the same
+    /// `(seed, profile)` always produces the same plan. The generator
+    /// biases towards recoverable chaos — every partition is followed
+    /// by a heal drawn later in the timeline, and crashed brokers get
+    /// a matching restart — so generated plans exercise recovery paths
+    /// rather than just leaving the deployment dark.
+    pub fn generate(seed: u64, profile: PlanProfile) -> Self {
+        let mut rng = seed;
+        let brokers = profile.brokers.max(1);
+        let replicas = profile.zoo_replicas.max(1);
+        let span = profile.duration.as_millis().max(1) as u64;
+        let mut plan = FaultPlan::new(seed);
+        for _ in 0..profile.faults {
+            let t = splitmix64(&mut rng) % span;
+            let broker = (splitmix64(&mut rng) % u64::from(brokers)) as u32;
+            let kind = match splitmix64(&mut rng) % 8 {
+                0 => {
+                    // crash now, restart later in the window
+                    let back = t + 1 + splitmix64(&mut rng) % (span - t.min(span - 1)).max(1);
+                    plan.faults.push(ScheduledFault {
+                        at: Duration::from_millis(back),
+                        kind: FaultKind::BrokerRestart { broker },
+                    });
+                    FaultKind::BrokerCrash { broker }
+                }
+                1 => FaultKind::ZooReplicaFlap {
+                    replica: (splitmix64(&mut rng) % u64::from(replicas)) as u32,
+                },
+                2 => {
+                    let other = (broker + 1 + (splitmix64(&mut rng) % u64::from(brokers.max(2) - 1)) as u32)
+                        % brokers.max(2);
+                    let back = t + 1 + splitmix64(&mut rng) % (span - t.min(span - 1)).max(1);
+                    plan.faults.push(ScheduledFault {
+                        at: Duration::from_millis(back),
+                        kind: FaultKind::NetworkHeal,
+                    });
+                    FaultKind::NetworkPartition { a: broker, b: other }
+                }
+                3 => FaultKind::SlowBroker {
+                    broker,
+                    multiplier_pct: 200 + (splitmix64(&mut rng) % 400) as u32,
+                },
+                4 => FaultKind::MessageDrop { broker, count: 1 + (splitmix64(&mut rng) % 3) as u32 },
+                5 => FaultKind::MessageDuplicate {
+                    broker,
+                    rewind: 1 + (splitmix64(&mut rng) % 8) as u32,
+                    count: 1 + (splitmix64(&mut rng) % 3) as u32,
+                },
+                6 => FaultKind::MessageDelay {
+                    broker,
+                    millis: 1 + (splitmix64(&mut rng) % 10) as u32,
+                    count: 1 + (splitmix64(&mut rng) % 3) as u32,
+                },
+                _ => FaultKind::LogTailCorruption { records: 1 + (splitmix64(&mut rng) % 4) as u32 },
+            };
+            plan.faults.push(ScheduledFault { at: Duration::from_millis(t), kind });
+        }
+        plan.faults.sort_by_key(|f| f.at);
+        plan
+    }
+
+    /// The seed this plan was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The schedule, sorted by virtual time.
+    pub fn faults(&self) -> &[ScheduledFault] {
+        &self.faults
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of distinct fault *types* (labels) scheduled.
+    pub fn distinct_kinds(&self) -> usize {
+        let mut labels: Vec<&str> = self.faults.iter().map(|f| f.kind.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+
+    /// The plan's deterministic signature: the `(at, kind)` sequence.
+    /// Two plans with equal signatures inject identical chaos.
+    pub fn signature(&self) -> Vec<(Duration, FaultKind)> {
+        self.faults.iter().map(|f| (f.at, f.kind)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sorts_by_time() {
+        let p = FaultPlan::new(1)
+            .at(50, FaultKind::NetworkHeal)
+            .at(10, FaultKind::BrokerCrash { broker: 0 })
+            .at(30, FaultKind::SlowBroker { broker: 1, multiplier_pct: 300 });
+        let times: Vec<u64> = p.faults().iter().map(|f| f.at.as_millis() as u64).collect();
+        assert_eq!(times, vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FaultPlan::generate(42, PlanProfile::default());
+        let b = FaultPlan::generate(42, PlanProfile::default());
+        assert_eq!(a, b);
+        assert_eq!(a.signature(), b.signature());
+        let c = FaultPlan::generate(43, PlanProfile::default());
+        assert_ne!(a.signature(), c.signature(), "different seeds diverge");
+    }
+
+    #[test]
+    fn generated_partitions_are_followed_by_heals() {
+        for seed in 0..20 {
+            let p = FaultPlan::generate(seed, PlanProfile::default());
+            for (i, f) in p.faults().iter().enumerate() {
+                if matches!(f.kind, FaultKind::NetworkPartition { .. }) {
+                    assert!(
+                        p.faults()[i..].iter().any(|g| g.kind == FaultKind::NetworkHeal),
+                        "partition at {:?} in seed {seed} has no later heal",
+                        f.at
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_kind_count() {
+        let p = FaultPlan::new(0)
+            .at(0, FaultKind::BrokerCrash { broker: 0 })
+            .at(1, FaultKind::BrokerCrash { broker: 1 })
+            .at(2, FaultKind::NetworkHeal)
+            .at(3, FaultKind::LogTailCorruption { records: 2 })
+            .at(4, FaultKind::MessageDrop { broker: 0, count: 1 })
+            .at(5, FaultKind::SlowBroker { broker: 0, multiplier_pct: 200 });
+        assert_eq!(p.distinct_kinds(), 5);
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+    }
+}

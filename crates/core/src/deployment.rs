@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use octopus_auth::{AccessToken, AclStore, AuthServer, IamService, Scope};
 use octopus_broker::Cluster;
+use octopus_chaos::{execute_plan, ChaosTarget, FaultPlan, FaultTrace};
 use octopus_ows::{FunctionRegistry, OwsConfig, OwsService, OWS_SCOPE};
 use octopus_sdk::{
     Consumer, ConsumerConfig, LoginManager, OctopusClient, Producer, ProducerConfig, TokenStore,
@@ -23,6 +24,7 @@ pub struct OctopusBuilder {
     brokers: usize,
     zoo_replicas: usize,
     rate_limit: Option<(f64, f64)>,
+    chaos: Option<FaultPlan>,
 }
 
 impl OctopusBuilder {
@@ -41,6 +43,14 @@ impl OctopusBuilder {
     /// Per-identity OWS rate limit (requests/sec, burst).
     pub fn rate_limit(mut self, per_sec: f64, burst: f64) -> Self {
         self.rate_limit = Some((per_sec, burst));
+        self
+    }
+
+    /// Attach a chaos [`FaultPlan`] to the deployment. The plan is not
+    /// executed at build time; call [`Octopus::run_chaos`] once the
+    /// workload is running to inject it against the live components.
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
         self
     }
 
@@ -75,6 +85,7 @@ impl OctopusBuilder {
             registry,
             ows,
             sdk_client_id: sdk_client.id,
+            chaos: self.chaos,
         })
     }
 }
@@ -90,6 +101,7 @@ pub struct Octopus {
     registry: FunctionRegistry,
     ows: OwsService,
     sdk_client_id: Uid,
+    chaos: Option<FaultPlan>,
 }
 
 impl Octopus {
@@ -104,7 +116,25 @@ impl Octopus {
 
     /// Start customizing a deployment.
     pub fn builder() -> OctopusBuilder {
-        OctopusBuilder { brokers: 2, zoo_replicas: 3, rate_limit: None }
+        OctopusBuilder { brokers: 2, zoo_replicas: 3, rate_limit: None, chaos: None }
+    }
+
+    /// The chaos plan attached at build time, if any.
+    pub fn chaos_plan(&self) -> Option<&FaultPlan> {
+        self.chaos.as_ref()
+    }
+
+    /// Execute the attached chaos plan against this deployment's live
+    /// cluster and coordination service, aiming log-corruption faults
+    /// at `topic`. Returns `None` when no plan was attached.
+    pub fn run_chaos(&self, topic: &str) -> Option<FaultTrace> {
+        let plan = self.chaos.as_ref()?;
+        let target = ChaosTarget {
+            cluster: self.cluster.clone(),
+            zoo: Some(self.zoo.clone()),
+            topic: topic.to_string(),
+        };
+        Some(execute_plan(&target, plan))
     }
 
     /// Register an identity provider (campus login).

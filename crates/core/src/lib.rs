@@ -35,6 +35,7 @@ pub mod deployment;
 pub mod prelude {
     pub use crate::deployment::{Octopus, OctopusBuilder, UserSession};
     pub use octopus_broker::{AckLevel, CleanupPolicy, Cluster, TopicConfig};
+    pub use octopus_chaos::{ChaosHarness, FaultKind, FaultPlan};
     pub use octopus_pattern::Pattern;
     pub use octopus_sdk::{Consumer, ConsumerConfig, Producer, ProducerConfig};
     pub use octopus_trigger::{FunctionConfig, TriggerSpec};
@@ -47,6 +48,7 @@ pub use deployment::{Octopus, OctopusBuilder, UserSession};
 pub use octopus_apps as apps;
 pub use octopus_auth as auth;
 pub use octopus_broker as broker;
+pub use octopus_chaos as chaos;
 pub use octopus_fabric as fabric;
 pub use octopus_flow as flow;
 pub use octopus_fsmon as fsmon;

@@ -1,23 +1,43 @@
 //! A typed client over the OWS REST surface.
 
+use std::time::Duration;
+
 use serde_json::{json, Value};
 
 use octopus_auth::AccessToken;
 use octopus_ows::{Method, OwsService, Request};
-use octopus_types::{OctoError, OctoResult, Uid};
+use octopus_types::{OctoError, OctoResult, Retrier, RetryPolicy, Uid};
 
 /// Typed access to the Octopus Web Service. The transport is the
 /// in-process router, so every call exercises the same dispatch, auth,
 /// and error-mapping path a remote HTTP client would.
+///
+/// Calls that fail with a retriable status (429 rate-limited, 503
+/// unavailable) are retried through the shared [`Retrier`]; permanent
+/// statuses (4xx auth/validation) surface immediately.
 pub struct OctopusClient {
     ows: OwsService,
     token: AccessToken,
+    retrier: Retrier,
 }
 
 impl OctopusClient {
     /// A client speaking for the holder of `token`.
     pub fn new(ows: OwsService, token: AccessToken) -> Self {
-        OctopusClient { ows, token }
+        OctopusClient {
+            ows,
+            token,
+            retrier: Retrier::new(
+                RetryPolicy::new(3, Duration::from_millis(5))
+                    .with_max_delay(Duration::from_millis(50)),
+            ),
+        }
+    }
+
+    /// Replace the retry/backoff/breaker stack guarding OWS calls.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retrier = Retrier::new(policy);
+        self
     }
 
     /// Replace the bearer token (after a refresh).
@@ -26,6 +46,10 @@ impl OctopusClient {
     }
 
     fn call(&self, method: Method, path: &str, body: Value) -> OctoResult<Value> {
+        self.retrier.call(|_attempt| self.call_once(method, path, body.clone()))
+    }
+
+    fn call_once(&self, method: Method, path: &str, body: Value) -> OctoResult<Value> {
         let resp = self
             .ows
             .dispatch(&Request::new(method, path).bearer(self.token.clone()).body(body));

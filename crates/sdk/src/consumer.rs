@@ -208,9 +208,16 @@ impl Consumer {
             if records.is_empty() {
                 continue;
             }
+            // A fetch may serve records below the requested position
+            // (broker-side redelivery under fault injection). Deliver
+            // them again — at-least-once allows it — but never move the
+            // cursor backwards: explicit `seek_*` is the only sanctioned
+            // way to rewind, so commit progress stays monotonic.
             let next = records.last().expect("non-empty").offset + 1;
-            self.positions.insert((topic.clone(), *partition), next);
-            self.dirty.insert((topic.clone(), *partition), next);
+            let slot = self.positions.entry((topic.clone(), *partition)).or_insert(next);
+            *slot = (*slot).max(next);
+            let d = self.dirty.entry((topic.clone(), *partition)).or_insert(next);
+            *d = (*d).max(next);
             for r in records {
                 bytes += r.wire_size();
                 let mut event = r.to_event();

@@ -20,7 +20,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 
 use octopus_broker::{AckLevel, Cluster, ProduceReceipt, RecordBatch};
 use octopus_types::{
-    codec, Codec, Event, OctoError, OctoResult, PartitionId, TopicName, Uid,
+    codec, Codec, Event, OctoError, OctoResult, PartitionId, Retrier, RetryPolicy, TopicName, Uid,
 };
 
 /// Producer configuration.
@@ -133,6 +133,7 @@ impl Producer {
             rx,
             flush_rx,
             cluster: cluster.clone(),
+            retrier: Retrier::new(RetryPolicy::new(config.retries, config.retry_backoff)),
             config: config.clone(),
             buffered: buffered.clone(),
             principal,
@@ -243,6 +244,10 @@ struct SenderWorker {
     rx: Receiver<Pending>,
     flush_rx: Receiver<Sender<()>>,
     cluster: Cluster,
+    /// Shared retry/backoff/breaker stack. One dispatch (including all
+    /// its internal retries) counts as a single breaker sample, so a
+    /// long recovery cannot trip the breaker mid-outage.
+    retrier: Retrier,
     config: ProducerConfig,
     buffered: Arc<AtomicUsize>,
     principal: Option<Uid>,
@@ -331,39 +336,16 @@ impl SenderWorker {
 
     fn dispatch(&self, topic: &str, partition: PartitionId, batch: OpenBatch) {
         let record_batch = RecordBatch::new(batch.events);
-        let mut result = Err(OctoError::Internal("never attempted".into()));
-        for attempt in 0..=self.config.retries {
-            result = match self.principal {
-                Some(p) => {
-                    // per-event authorization shares one check per batch
-                    self.cluster
-                        .acl()
-                        .map(|acl| acl.check(topic, p, octopus_auth::Permission::Write))
-                        .unwrap_or(Ok(()))
-                        .and_then(|()| {
-                            self.cluster.produce_batch(
-                                topic,
-                                partition,
-                                record_batch.clone(),
-                                self.config.acks,
-                            )
-                        })
-                }
-                None => self.cluster.produce_batch(
-                    topic,
-                    partition,
-                    record_batch.clone(),
-                    self.config.acks,
-                ),
-            };
-            match &result {
-                Ok(_) => break,
-                Err(e) if e.is_retriable() && attempt < self.config.retries => {
-                    std::thread::sleep(self.config.retry_backoff);
-                }
-                Err(_) => break,
+        let result = self.retrier.call(|_attempt| {
+            if let Some(p) = self.principal {
+                // per-event authorization shares one check per batch
+                self.cluster
+                    .acl()
+                    .map(|acl| acl.check(topic, p, octopus_auth::Permission::Write))
+                    .unwrap_or(Ok(()))?;
             }
-        }
+            self.cluster.produce_batch(topic, partition, record_batch.clone(), self.config.acks)
+        });
         let total: usize = batch.reporters.iter().map(|(_, s)| s).sum();
         self.buffered.fetch_sub(total, Ordering::AcqRel);
         match result {
@@ -479,8 +461,8 @@ mod tests {
             },
         );
         // kill every broker, then restart them shortly after
-        c.kill_broker(octopus_broker::BrokerId(0));
-        c.kill_broker(octopus_broker::BrokerId(1));
+        c.kill_broker(octopus_broker::BrokerId(0)).unwrap();
+        c.kill_broker(octopus_broker::BrokerId(1)).unwrap();
         let c2 = c.clone();
         let healer = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(30));

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use octopus_broker::{AckLevel, Cluster};
 use octopus_pattern::Pattern;
-use octopus_types::{DeliveredEvent, OctoError, OctoResult, PartitionId, Uid};
+use octopus_types::{DeliveredEvent, OctoError, OctoResult, PartitionId, RetryPolicy, Uid};
 
 use crate::autoscaler::{Autoscaler, AutoscalerConfig};
 use crate::billing::BillingMeter;
@@ -309,6 +309,11 @@ impl TriggerRuntime {
         let invocation = state.invocations.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
         let max_attempts = state.spec.config.retries + 1;
+        // shared backoff schedule between failed attempts (Lambda-style
+        // retry pacing; attempt counting is unchanged)
+        let backoff = RetryPolicy::new(state.spec.config.retries, Duration::from_millis(1))
+            .with_max_delay(Duration::from_millis(20))
+            .delays();
         let mut outcome = InvocationOutcome::Failure("never ran".into());
         let mut attempts = 0;
         for attempt in 0..max_attempts {
@@ -324,6 +329,9 @@ impl TriggerRuntime {
             let elapsed = attempt_start.elapsed();
             if elapsed > Duration::from_millis(state.spec.config.timeout_ms) {
                 outcome = InvocationOutcome::TimedOut;
+                if let Some(d) = backoff.get(attempt as usize) {
+                    std::thread::sleep(*d);
+                }
                 continue;
             }
             match result {
@@ -331,7 +339,12 @@ impl TriggerRuntime {
                     outcome = InvocationOutcome::Success;
                     break;
                 }
-                Err(msg) => outcome = InvocationOutcome::Failure(msg),
+                Err(msg) => {
+                    outcome = InvocationOutcome::Failure(msg);
+                    if let Some(d) = backoff.get(attempt as usize) {
+                        std::thread::sleep(*d);
+                    }
+                }
             }
         }
         let duration_ms = started.elapsed().as_millis() as u64;
@@ -344,8 +357,12 @@ impl TriggerRuntime {
         } else {
             state.failures.fetch_add(1, Ordering::Relaxed);
             if let Some(dlq) = &state.spec.config.dlq_topic {
+                // losing a dead letter loses the only trace of the
+                // failure, so the DLQ write itself is retried
+                let dlq_policy = RetryPolicy::new(3, Duration::from_millis(2));
                 for d in batch {
-                    let _ = self.cluster.produce(dlq, d.event.clone(), AckLevel::Leader);
+                    let _ = dlq_policy
+                        .run(|_| self.cluster.produce(dlq, d.event.clone(), AckLevel::Leader));
                 }
                 state.dead_lettered.fetch_add(batch.len() as u64, Ordering::Relaxed);
             }

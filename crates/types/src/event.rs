@@ -56,7 +56,7 @@ impl Event {
     }
 
     /// Deserialize the payload into `T`.
-    pub fn parse<T: for<'de> Deserialize<'de>>(&self) -> Result<T, crate::OctoError> {
+    pub fn parse<T: Deserialize>(&self) -> Result<T, crate::OctoError> {
         Ok(serde_json::from_slice(&self.payload)?)
     }
 

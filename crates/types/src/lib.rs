@@ -14,12 +14,14 @@ pub mod codec;
 pub mod error;
 pub mod event;
 pub mod id;
+pub mod retry;
 pub mod time;
 
 pub use codec::{compress, decompress, Codec};
 pub use error::{OctoError, OctoResult};
 pub use event::{DeliveredEvent, Event, EventBuilder, Header};
 pub use id::Uid;
+pub use retry::{BreakerState, CircuitBreaker, CircuitBreakerConfig, Retrier, RetryPolicy};
 pub use time::{Clock, ManualClock, Timestamp, WallClock};
 
 /// A topic name. Topics are the unit of event organization, access

@@ -1,0 +1,435 @@
+//! Unified retry, backoff, and circuit-breaking for every Octopus
+//! client path.
+//!
+//! Before this module each crate hand-rolled its own loop: the SDK
+//! producer slept a fixed `retry_backoff`, the trigger runtime retried
+//! immediately with no pause, and the mirror gave up on the first
+//! error. All of them now share one [`RetryPolicy`] (exponential
+//! backoff with *decorrelated jitter*, bounded attempts) and one
+//! [`CircuitBreaker`] (failure counting, open/half-open/closed with
+//! probe-on-cooldown), so resilience behavior is uniform and testable
+//! in one place.
+//!
+//! Retriability is decided by [`OctoError::is_retriable`]; permanent
+//! errors (authorization, validation, routing) surface immediately.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::error::{OctoError, OctoResult};
+
+/// Retry schedule: bounded attempts with decorrelated-jitter backoff.
+///
+/// The delay sequence follows the "decorrelated jitter" rule: each
+/// delay is drawn uniformly from `[base_delay, prev_delay * 3]`,
+/// clamped to `max_delay`. The draw uses a deterministic splitmix64
+/// stream seeded from `seed`, so a given policy produces a reproducible
+/// schedule — chaos runs replay identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` means no retries.
+    pub max_attempts: u32,
+    /// Minimum (and first) backoff delay.
+    pub base_delay: Duration,
+    /// Upper clamp on any single delay.
+    pub max_delay: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            seed: 0x0c70_9b1f_a5e3_d247,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `retries` retries (so `retries + 1` attempts) and
+    /// `base_delay` as both the first delay and the growth floor.
+    pub fn new(retries: u32, base_delay: Duration) -> Self {
+        RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            base_delay,
+            max_delay: base_delay.saturating_mul(32).max(base_delay),
+            ..Default::default()
+        }
+    }
+
+    /// Same policy with a different jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Same policy with a different delay clamp.
+    pub fn with_max_delay(mut self, max_delay: Duration) -> Self {
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// The deterministic delay sequence (one entry per *retry*, so
+    /// `max_attempts - 1` entries).
+    pub fn delays(&self) -> Vec<Duration> {
+        let mut rng = self.seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut prev = self.base_delay;
+        let mut out = Vec::new();
+        for _ in 1..self.max_attempts {
+            let lo = self.base_delay.as_nanos() as u64;
+            let hi = (prev.as_nanos() as u64).saturating_mul(3).max(lo + 1);
+            let span = hi - lo;
+            let d = Duration::from_nanos(lo + splitmix64(&mut rng) % span)
+                .min(self.max_delay)
+                .max(self.base_delay);
+            out.push(d);
+            prev = d;
+        }
+        out
+    }
+
+    /// Run `op` until it succeeds, fails permanently, or attempts run
+    /// out. Sleeps between attempts.
+    pub fn run<T>(&self, op: impl FnMut(u32) -> OctoResult<T>) -> OctoResult<T> {
+        self.run_with_sleep(std::thread::sleep, op)
+    }
+
+    /// [`RetryPolicy::run`] with an injected sleep (tests pass a
+    /// recorder; simulations pass virtual time).
+    pub fn run_with_sleep<T>(
+        &self,
+        mut sleep: impl FnMut(Duration),
+        mut op: impl FnMut(u32) -> OctoResult<T>,
+    ) -> OctoResult<T> {
+        let delays = self.delays();
+        let mut result = Err(OctoError::Internal("retry policy allowed no attempts".into()));
+        for attempt in 0..self.max_attempts.max(1) {
+            result = op(attempt);
+            match &result {
+                Ok(_) => return result,
+                Err(e) if e.is_retriable() => {
+                    if let Some(d) = delays.get(attempt as usize) {
+                        sleep(*d);
+                    }
+                }
+                Err(_) => return result,
+            }
+        }
+        result
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Circuit-breaker state, readable for metrics and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; consecutive failures are counted.
+    Closed,
+    /// Requests are rejected fast until the cooldown elapses.
+    Open,
+    /// One probe request is in flight; its outcome decides the state.
+    HalfOpen,
+}
+
+/// Configuration for [`CircuitBreaker`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitBreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before admitting a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for CircuitBreakerConfig {
+    fn default() -> Self {
+        CircuitBreakerConfig { failure_threshold: 8, cooldown: Duration::from_millis(250) }
+    }
+}
+
+#[derive(Debug)]
+enum BreakerInner {
+    Closed { consecutive_failures: u32 },
+    Open { since: Instant },
+    HalfOpen,
+}
+
+/// A circuit breaker: after `failure_threshold` consecutive failures,
+/// calls are rejected with [`OctoError::Unavailable`] until `cooldown`
+/// elapses, then exactly one probe is admitted (half-open). A probe
+/// success closes the breaker; a probe failure reopens it.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: CircuitBreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        Self::new(CircuitBreakerConfig::default())
+    }
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(config: CircuitBreakerConfig) -> Self {
+        CircuitBreaker { config, inner: Mutex::new(BreakerInner::Closed { consecutive_failures: 0 }) }
+    }
+
+    /// Current state (`Open` reported even if the cooldown has elapsed
+    /// but no probe has been admitted yet).
+    pub fn state(&self) -> BreakerState {
+        match *self.lock() {
+            BreakerInner::Closed { .. } => BreakerState::Closed,
+            BreakerInner::Open { .. } => BreakerState::Open,
+            BreakerInner::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Whether a call may proceed. Transitions open → half-open when
+    /// the cooldown has elapsed (the caller becomes the probe).
+    pub fn try_acquire(&self) -> bool {
+        let mut inner = self.lock();
+        match &*inner {
+            BreakerInner::Closed { .. } => true,
+            BreakerInner::HalfOpen => false, // a probe is already in flight
+            BreakerInner::Open { since } => {
+                if since.elapsed() >= self.config.cooldown {
+                    *inner = BreakerInner::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful call: closes the breaker and resets counts.
+    pub fn on_success(&self) {
+        *self.lock() = BreakerInner::Closed { consecutive_failures: 0 };
+    }
+
+    /// Record a failed call: trips the breaker at the threshold, and
+    /// reopens immediately from half-open.
+    pub fn on_failure(&self) {
+        let mut inner = self.lock();
+        match &mut *inner {
+            BreakerInner::Closed { consecutive_failures } => {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= self.config.failure_threshold {
+                    *inner = BreakerInner::Open { since: Instant::now() };
+                }
+            }
+            BreakerInner::HalfOpen => *inner = BreakerInner::Open { since: Instant::now() },
+            BreakerInner::Open { .. } => {}
+        }
+    }
+
+    /// Run `op` through the breaker: fail fast when open, record the
+    /// outcome otherwise. Only retriable errors count as breaker
+    /// failures — a permanent error (bad input, missing topic) says
+    /// nothing about the health of the downstream service.
+    pub fn call<T>(&self, op: impl FnOnce() -> OctoResult<T>) -> OctoResult<T> {
+        if !self.try_acquire() {
+            return Err(OctoError::Unavailable("circuit breaker open".into()));
+        }
+        let result = op();
+        match &result {
+            Ok(_) => self.on_success(),
+            Err(e) if e.is_retriable() => self.on_failure(),
+            Err(_) => self.on_success(), // permanent: downstream answered
+        }
+        result
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerInner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// A retry policy guarded by a circuit breaker — the composition every
+/// Octopus client path uses. Retries happen *inside* the breaker call
+/// so one logical operation counts once toward the failure threshold.
+#[derive(Debug, Default)]
+pub struct Retrier {
+    /// The backoff schedule.
+    pub policy: RetryPolicy,
+    /// The breaker guarding the downstream service.
+    pub breaker: CircuitBreaker,
+}
+
+impl Retrier {
+    /// A retrier from a policy with a default breaker.
+    pub fn new(policy: RetryPolicy) -> Self {
+        Retrier { policy, breaker: CircuitBreaker::default() }
+    }
+
+    /// Run `op` with retries, fail-fast when the breaker is open.
+    pub fn call<T>(&self, op: impl FnMut(u32) -> OctoResult<T>) -> OctoResult<T> {
+        self.breaker.call(|| self.policy.run(op))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn delay_sequence_is_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(100),
+            seed: 42,
+        };
+        let a = p.delays();
+        let b = p.delays();
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.len(), 7);
+        for d in &a {
+            assert!(*d >= p.base_delay && *d <= p.max_delay, "delay {d:?} out of bounds");
+        }
+        let c = p.clone().with_seed(43).delays();
+        assert_ne!(a, c, "different seed, different jitter");
+    }
+
+    #[test]
+    fn run_retries_transient_then_succeeds() {
+        let p = RetryPolicy::new(5, Duration::from_millis(1));
+        let tries = AtomicU32::new(0);
+        let mut slept = Vec::new();
+        let r = p.run_with_sleep(
+            |d| slept.push(d),
+            |_| {
+                if tries.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err(OctoError::Unavailable("down".into()))
+                } else {
+                    Ok(7)
+                }
+            },
+        );
+        assert_eq!(r.unwrap(), 7);
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+        assert_eq!(slept.len(), 2);
+    }
+
+    #[test]
+    fn run_stops_on_permanent_error() {
+        let p = RetryPolicy::new(5, Duration::from_millis(1));
+        let tries = AtomicU32::new(0);
+        let r: OctoResult<()> = p.run_with_sleep(
+            |_| {},
+            |_| {
+                tries.fetch_add(1, Ordering::SeqCst);
+                Err(OctoError::Unauthorized("no".into()))
+            },
+        );
+        assert!(matches!(r, Err(OctoError::Unauthorized(_))));
+        assert_eq!(tries.load(Ordering::SeqCst), 1, "permanent errors do not retry");
+    }
+
+    #[test]
+    fn run_exhausts_attempts() {
+        let p = RetryPolicy::new(3, Duration::from_micros(10));
+        let tries = AtomicU32::new(0);
+        let r: OctoResult<()> = p.run_with_sleep(
+            |_| {},
+            |_| {
+                tries.fetch_add(1, Ordering::SeqCst);
+                Err(OctoError::Timeout("slow".into()))
+            },
+        );
+        assert!(matches!(r, Err(OctoError::Timeout(_))));
+        assert_eq!(tries.load(Ordering::SeqCst), 4, "1 try + 3 retries");
+    }
+
+    #[test]
+    fn breaker_trips_cools_down_and_probes() {
+        let b = CircuitBreaker::new(CircuitBreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(20),
+        });
+        assert_eq!(b.state(), BreakerState::Closed);
+        for _ in 0..3 {
+            let _ = b.call(|| -> OctoResult<()> { Err(OctoError::Unavailable("x".into())) });
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // open: fail fast without running the op
+        let ran = AtomicU32::new(0);
+        let r = b.call(|| -> OctoResult<()> {
+            ran.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        assert!(matches!(r, Err(OctoError::Unavailable(_))));
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        // after cooldown: one probe admitted; success closes
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.call(|| Ok(1)).is_ok());
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn breaker_reopens_on_failed_probe() {
+        let b = CircuitBreaker::new(CircuitBreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(10),
+        });
+        let _ = b.call(|| -> OctoResult<()> { Err(OctoError::Timeout("x".into())) });
+        assert_eq!(b.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(12));
+        let _ = b.call(|| -> OctoResult<()> { Err(OctoError::Timeout("still".into())) });
+        assert_eq!(b.state(), BreakerState::Open, "failed probe reopens");
+    }
+
+    #[test]
+    fn breaker_ignores_permanent_errors() {
+        let b = CircuitBreaker::new(CircuitBreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_secs(10),
+        });
+        let _ = b.call(|| -> OctoResult<()> { Err(OctoError::Invalid("bad input".into())) });
+        assert_eq!(b.state(), BreakerState::Closed, "permanent errors are not breaker failures");
+    }
+
+    #[test]
+    fn half_open_admits_single_probe() {
+        let b = CircuitBreaker::new(CircuitBreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(1),
+        });
+        b.on_failure();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(b.try_acquire(), "first caller becomes the probe");
+        assert!(!b.try_acquire(), "second caller rejected while probing");
+        b.on_success();
+        assert!(b.try_acquire());
+    }
+
+    #[test]
+    fn retrier_composes_policy_and_breaker() {
+        let r = Retrier::new(RetryPolicy::new(2, Duration::from_micros(50)));
+        let tries = AtomicU32::new(0);
+        let out = r.call(|_| {
+            if tries.fetch_add(1, Ordering::SeqCst) == 0 {
+                Err(OctoError::Unavailable("blip".into()))
+            } else {
+                Ok("done")
+            }
+        });
+        assert_eq!(out.unwrap(), "done");
+        assert_eq!(r.breaker.state(), BreakerState::Closed);
+    }
+}

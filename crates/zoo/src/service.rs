@@ -229,6 +229,29 @@ impl ZooService {
     pub fn replica_count(&self) -> usize {
         self.inner.lock().ensemble.len()
     }
+
+    /// The ZAB safety invariant, checkable from outside: every pair of
+    /// replicas must agree on their common committed prefix (one log is
+    /// always a prefix of the other). Returns each replica's committed
+    /// zxid on success; diverging replicas are an `Internal` error
+    /// naming the pair. Chaos harnesses call this after replica flaps.
+    pub fn committed_prefix_agreement(&self) -> OctoResult<Vec<u64>> {
+        let inner = self.inner.lock();
+        let e = &inner.ensemble;
+        let logs: Vec<Vec<(u64, Txn)>> =
+            (0..e.len()).map(|i| e.node(NodeId(i)).committed_log()).collect();
+        for i in 0..logs.len() {
+            for j in i + 1..logs.len() {
+                let n = logs[i].len().min(logs[j].len());
+                if logs[i][..n] != logs[j][..n] {
+                    return Err(OctoError::Internal(format!(
+                        "ZAB committed prefixes diverge between replicas {i} and {j}"
+                    )));
+                }
+            }
+        }
+        Ok(logs.iter().map(|l| l.last().map(|(z, _)| *z).unwrap_or(0)).collect())
+    }
 }
 
 fn fire_data(inner: &mut Inner, path: &str, kind: WatchKind) {

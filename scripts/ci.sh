@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build, test, lint.
+#
+# Usage: scripts/ci.sh
+# Runs from the repo root regardless of the caller's cwd.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --release -q"
+cargo test --release -q
+
+# Lint the crates introduced by the resilience work; the vendored
+# stand-in crates and older crates are exempt until they are cleaned
+# up separately.
+echo "==> cargo clippy (chaos + types)"
+cargo clippy --release --no-deps -p octopus-chaos -p octopus-types -- -D warnings
+
+echo "==> ci green"

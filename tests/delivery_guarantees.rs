@@ -24,8 +24,8 @@ fn producer_retries_through_total_outage() {
             ..Default::default()
         },
     );
-    cluster.kill_broker(BrokerId(0));
-    cluster.kill_broker(BrokerId(1));
+    cluster.kill_broker(BrokerId(0)).unwrap();
+    cluster.kill_broker(BrokerId(1)).unwrap();
     let healer = {
         let cluster = cluster.clone();
         std::thread::spawn(move || {
@@ -83,7 +83,7 @@ fn acks_all_data_survives_leader_failure() {
             .unwrap();
     }
     let leader = cluster.leader_broker("t", 0).unwrap();
-    cluster.kill_broker(leader);
+    cluster.kill_broker(leader).unwrap();
     // the follower has everything; reads fail over transparently
     let records = cluster.fetch("t", 0, 0, 100).unwrap();
     assert_eq!(records.len(), 10, "acks=all data survives losing the leader");
@@ -96,8 +96,8 @@ fn acks_zero_can_lose_what_acks_all_cannot() {
     // trade throughput for
     let cluster = Cluster::new(2);
     cluster.create_topic("t", TopicConfig::default().with_partitions(1)).unwrap();
-    cluster.kill_broker(BrokerId(0));
-    cluster.kill_broker(BrokerId(1));
+    cluster.kill_broker(BrokerId(0)).unwrap();
+    cluster.kill_broker(BrokerId(1)).unwrap();
     // acks=0 swallows the loss silently
     let r = cluster
         .produce_batch("t", 0, RecordBatch::new(vec![ev("ghost")]), AckLevel::None)

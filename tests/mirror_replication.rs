@@ -27,8 +27,8 @@ fn region_replica_converges_and_serves_after_primary_loss() {
     assert_eq!(mm.run_once().unwrap(), 40);
 
     // primary region goes dark
-    primary.kill_broker(BrokerId(0));
-    primary.kill_broker(BrokerId(1));
+    primary.kill_broker(BrokerId(0)).unwrap();
+    primary.kill_broker(BrokerId(1)).unwrap();
 
     // the standby still serves every event
     let total: usize = (0..2)

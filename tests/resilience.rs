@@ -73,7 +73,7 @@ fn consumers_ride_through_broker_failover_mid_stream() {
 
     // the partition leader dies mid-stream
     let leader = octo.cluster().leader_broker("stream", 0).unwrap();
-    octo.cluster().kill_broker(leader);
+    octo.cluster().kill_broker(leader).unwrap();
     for i in 50..80 {
         producer
             .send_sync("stream", Event::from_bytes(format!("{i}").into_bytes()))

@@ -1,0 +1,226 @@
+//! Hermetic stand-in for `criterion`.
+//!
+//! Provides the `Criterion`/`BenchmarkGroup`/`Bencher` API surface
+//! the workspace's benches use, with a deliberately small measurement
+//! budget (a short calibration run then a fixed-time measurement) so
+//! `cargo bench` finishes quickly and offline. No statistical
+//! analysis, plots, or baselines — just median-ish timings to stderr.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Runs closures and measures them.
+pub struct Bencher {
+    /// Total measured time of the last `iter` call.
+    elapsed: Duration,
+    /// Iterations executed by the last `iter` call.
+    iters: u64,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    /// Measure `f` repeatedly within the time budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up / calibration: estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(20) && warm_iters < 1_000_000 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().checked_div(warm_iters as u32).unwrap_or_default();
+        let target = if per_iter.is_zero() {
+            10_000
+        } else {
+            (self.measure_for.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..target {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = target;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput annotation.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Configure measurement time (accepted, loosely honoured).
+    pub fn measurement_time(&mut self, time: Duration) {
+        self.criterion.measure_for = time.min(Duration::from_millis(500));
+    }
+
+    /// Configure sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Benchmark `f` against `input`.
+    pub fn bench_with_input<I, D, F>(&mut self, id: D, input: &I, mut f: F)
+    where
+        D: fmt::Display,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher =
+            Bencher { elapsed: Duration::ZERO, iters: 0, measure_for: self.criterion.measure_for };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), &bencher);
+    }
+
+    /// Benchmark `f` with no input.
+    pub fn bench_function<D, F>(&mut self, id: D, mut f: F)
+    where
+        D: fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher =
+            Bencher { elapsed: Duration::ZERO, iters: 0, measure_for: self.criterion.measure_for };
+        f(&mut bencher);
+        self.report(&id.to_string(), &bencher);
+    }
+
+    /// Finish the group (prints nothing extra; parity with criterion).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        if bencher.iters == 0 {
+            return;
+        }
+        let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+        let mut line = format!(
+            "{}/{id}: {:.1} ns/iter ({} iters)",
+            self.name, per_iter, bencher.iters
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                let eps = n as f64 * 1e9 / per_iter;
+                line.push_str(&format!(", {eps:.0} elem/s"));
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                let bps = n as f64 * 1e9 / per_iter;
+                line.push_str(&format!(", {:.1} MiB/s", bps / (1024.0 * 1024.0)));
+            }
+            _ => {}
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measure_for: Duration::from_millis(60) }
+    }
+}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Benchmark `f` outside any group.
+    pub fn bench_function<D, F>(&mut self, id: D, f: F)
+    where
+        D: fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        let mut count = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &x| {
+            b.iter(|| {
+                count = count.wrapping_add(x as u64);
+                count
+            });
+        });
+        group.bench_function("plain", |b| b.iter(|| 2 + 2));
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,5 @@
+//! Hermetic stand-in for `crossbeam`, providing the `channel` module
+//! this workspace uses: MPMC bounded/unbounded channels implemented
+//! over `Mutex<VecDeque>` + `Condvar`.
+
+pub mod channel;

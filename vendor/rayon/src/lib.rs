@@ -1,0 +1,141 @@
+//! Hermetic stand-in for `rayon`.
+//!
+//! Exposes `par_iter`/`into_par_iter` with `map`/`filter`/`reduce`/
+//! `for_each`/`sum`/`collect`, all executing **sequentially** on the
+//! calling thread. The workspace uses rayon only to fan out
+//! independent simulation runs, so sequential execution changes
+//! wall-clock time, never results.
+
+/// Common traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// A "parallel" iterator — a thin wrapper over a standard iterator.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Map each item.
+    pub fn map<F, U>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter { inner: self.inner.map(f) }
+    }
+
+    /// Keep items satisfying `pred`.
+    pub fn filter<F>(self, pred: F) -> ParIter<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParIter { inner: self.inner.filter(pred) }
+    }
+
+    /// Fold with an identity constructor, rayon-style.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.inner.for_each(f)
+    }
+
+    /// Sum the items.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.inner.sum()
+    }
+
+    /// Count the items.
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+
+    /// Collect into any `FromIterator` collection.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.inner.collect()
+    }
+}
+
+/// Owned conversion into a parallel iterator (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Convert into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::IntoIter> {
+        ParIter { inner: self.into_iter() }
+    }
+}
+
+/// By-reference conversion (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type (a reference).
+    type Item: 'a;
+    /// Borrowing conversion into a [`ParIter`].
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T: 'a, const N: usize> IntoParallelRefIterator<'a> for [T; N] {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_collect() {
+        let xs = [1u64, 2, 3, 4];
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let max = xs.par_iter().map(|&x| x).reduce(|| 0, |a, b| a.max(b));
+        assert_eq!(max, 4);
+        let total: u64 = vec![1u64, 2, 3].into_par_iter().sum();
+        assert_eq!(total, 6);
+    }
+}

@@ -1,0 +1,459 @@
+//! Built-in `Serialize`/`Deserialize` implementations for std types.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::Hash;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::value::{Map, Number, Value};
+use crate::{DeError, Deserialize, Serialize};
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        T::deserialize_value(v).map(Arc::new)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for Map<String, Value> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl Deserialize for Map<String, Value> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object().cloned().ok_or_else(|| DeError::new("expected object"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::new("expected boolean"))
+    }
+}
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::Number(Number::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_u64().ok_or_else(|| {
+                    DeError::new(concat!("expected ", stringify!($t)))
+                })?;
+                <$t>::try_from(n).map_err(|_| DeError::new(concat!(
+                    "integer out of range for ", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::Number(Number::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i64().ok_or_else(|| {
+                    DeError::new(concat!("expected ", stringify!($t)))
+                })?;
+                <$t>::try_from(n).map_err(|_| DeError::new(concat!(
+                    "integer out of range for ", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn serialize_value(&self) -> Value {
+        // JSON numbers cap at u64 here; wider values go as strings.
+        match u64::try_from(*self) {
+            Ok(n) => Value::Number(Number::from(n)),
+            Err(_) => Value::String(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        if let Some(n) = v.as_u64() {
+            return Ok(n as u128);
+        }
+        v.as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| DeError::new("expected u128"))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        if v.is_null() {
+            // serde_json round-trips non-finite floats as null.
+            return Ok(f64::NAN);
+        }
+        v.as_f64().ok_or_else(|| DeError::new("expected f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::new("expected char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_string).ok_or_else(|| DeError::new("expected string"))
+    }
+}
+
+impl Deserialize for &'static str {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        // A zero-lifetime deserializer cannot borrow from the input;
+        // leak instead. Only config-table roundtrips hit this path.
+        let s = v.as_str().ok_or_else(|| DeError::new("expected string"))?;
+        Ok(Box::leak(s.to_string().into_boxed_str()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(t) => t.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize_value(v).map(Some)
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_value(_: &Value) -> Result<Self, DeError> {
+        Ok(())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v.as_array().ok_or_else(|| DeError::new("expected array"))?;
+        arr.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::deserialize_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::new(format!("expected array of length {N}")))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v.as_array().ok_or_else(|| DeError::new("expected array"))?;
+        arr.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
+    fn serialize_value(&self) -> Value {
+        // Sort serialized items for deterministic output.
+        let mut items: Vec<Value> = self.iter().map(Serialize::serialize_value).collect();
+        items.sort_by_key(|v| v.to_json_string());
+        Value::Array(items)
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v.as_array().ok_or_else(|| DeError::new("expected array"))?;
+        arr.iter().map(T::deserialize_value).collect()
+    }
+}
+
+/// Render a map key as the JSON object-key string: strings verbatim,
+/// numbers in decimal, anything else as compact JSON text.
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.serialize_value() {
+        Value::String(s) => s,
+        Value::Number(n) => n.to_string(),
+        other => other.to_json_string(),
+    }
+}
+
+/// Rebuild a map key from its object-key string, trying the string
+/// form first and then numeric reinterpretations (covers newtype keys
+/// over integers, like `Uid`).
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::deserialize_value(&Value::String(s.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(u) = s.parse::<u64>() {
+        if let Ok(k) = K::deserialize_value(&Value::Number(Number::from(u))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        if let Ok(k) = K::deserialize_value(&Value::Number(Number::from(i))) {
+            return Ok(k);
+        }
+    }
+    if let Some(n) = s.parse::<f64>().ok().and_then(Number::from_f64) {
+        if let Ok(k) = K::deserialize_value(&Value::Number(n)) {
+            return Ok(k);
+        }
+    }
+    Err(DeError::new(format!("cannot rebuild map key from {s:?}")))
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        self.iter().map(|(k, v)| (key_to_string(k), v.serialize_value())).collect()
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v.as_object().ok_or_else(|| DeError::new("expected object"))?;
+        obj.iter().map(|(k, v)| Ok((key_from_string(k)?, V::deserialize_value(v)?))).collect()
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        self.iter().map(|(k, v)| (key_to_string(k), v.serialize_value())).collect()
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v.as_object().ok_or_else(|| DeError::new("expected object"))?;
+        obj.iter().map(|(k, v)| Ok((key_from_string(k)?, V::deserialize_value(v)?))).collect()
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($idx:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let arr = v.as_array().ok_or_else(|| DeError::new("expected tuple array"))?;
+                let expected = [$($idx),+].len();
+                if arr.len() != expected {
+                    return Err(DeError::new("tuple length mismatch"));
+                }
+                Ok(($($t::deserialize_value(&arr[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl Serialize for Duration {
+    fn serialize_value(&self) -> Value {
+        // Matches serde's std representation: {"secs": .., "nanos": ..}
+        let mut m = Map::new();
+        m.insert("secs".into(), Value::from(self.as_secs()));
+        m.insert("nanos".into(), Value::from(self.subsec_nanos()));
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for Duration {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v.as_object().ok_or_else(|| DeError::new("expected duration object"))?;
+        let secs = obj
+            .get("secs")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| DeError::new("duration missing secs"))?;
+        let nanos = obj
+            .get("nanos")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| DeError::new("duration missing nanos"))?;
+        Ok(Duration::new(secs, nanos as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_collections() {
+        let v = vec![1u64, 2, 3];
+        let val = v.serialize_value();
+        assert_eq!(Vec::<u64>::deserialize_value(&val).unwrap(), v);
+
+        let mut m = HashMap::new();
+        m.insert("a".to_string(), 1i64);
+        let val = m.serialize_value();
+        assert_eq!(HashMap::<String, i64>::deserialize_value(&val).unwrap(), m);
+    }
+
+    #[test]
+    fn option_null_handling() {
+        assert_eq!(Option::<u64>::deserialize_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::deserialize_value(&Value::from(4u64)).unwrap(), Some(4));
+        assert_eq!(None::<String>.serialize_value(), Value::Null);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = (1u64, "x".to_string(), true);
+        let val = t.serialize_value();
+        assert_eq!(<(u64, String, bool)>::deserialize_value(&val).unwrap(), t);
+    }
+
+    #[test]
+    fn duration_roundtrip() {
+        let d = Duration::new(3, 500);
+        assert_eq!(Duration::deserialize_value(&d.serialize_value()).unwrap(), d);
+    }
+
+    #[test]
+    fn int_range_checks() {
+        let v = Value::from(300u64);
+        assert!(u8::deserialize_value(&v).is_err());
+        assert_eq!(u16::deserialize_value(&v).unwrap(), 300);
+    }
+}

@@ -1,0 +1,64 @@
+//! Hermetic stand-in for `serde`.
+//!
+//! Instead of serde's visitor-based zero-copy architecture, this
+//! stand-in uses a simple value-tree model: [`Serialize`] renders a
+//! type into a JSON-like [`Value`], [`Deserialize`] rebuilds it from
+//! one. `serde_json` (also vendored) prints/parses that [`Value`]
+//! as JSON text. The derive macros are re-exported from the vendored
+//! `serde_derive` when the `derive` feature is on, so the workspace's
+//! `#[derive(Serialize, Deserialize)]` and
+//! `use serde::{Serialize, Deserialize}` lines compile unchanged.
+
+mod impls;
+pub mod value;
+
+pub use value::{Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// Deserialization error: a human-readable message, matching how the
+/// workspace consumes serde errors (via `Display`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Build an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Produce the value-tree representation.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse the value-tree representation.
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Marker mirroring serde's `DeserializeOwned`; with a value-tree
+/// model every [`Deserialize`] is already owned.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}

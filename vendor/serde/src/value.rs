@@ -1,0 +1,667 @@
+//! JSON-like value tree: [`Value`], [`Number`], [`Map`].
+//!
+//! Mirrors `serde_json::Value` closely enough that the workspace's
+//! pattern-matching, indexing, and accessor code compiles unchanged.
+//! `serde_json` (vendored) re-exports these types.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON number: positive integer, negative integer, or float.
+#[derive(Clone, Copy)]
+pub struct Number {
+    n: N,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum N {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// Represent as `u64` if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.n {
+            N::PosInt(u) => Some(u),
+            N::NegInt(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// Represent as `i64` if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.n {
+            N::PosInt(u) if u <= i64::MAX as u64 => Some(u as i64),
+            N::NegInt(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Represent as `f64` (always possible, may lose precision).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.n {
+            N::PosInt(u) => Some(u as f64),
+            N::NegInt(i) => Some(i as f64),
+            N::Float(f) => Some(f),
+        }
+    }
+
+    /// Whether this is a non-negative integer.
+    pub fn is_u64(&self) -> bool {
+        matches!(self.n, N::PosInt(_)) || matches!(self.n, N::NegInt(i) if i >= 0)
+    }
+
+    /// Whether this is an integer representable as `i64`.
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+
+    /// Whether this is a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.n, N::Float(_))
+    }
+
+    /// Build from a float; `None` for NaN/infinity (not valid JSON).
+    pub fn from_f64(f: f64) -> Option<Number> {
+        if f.is_finite() {
+            Some(Number { n: N::Float(f) })
+        } else {
+            None
+        }
+    }
+}
+
+macro_rules! number_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(u: $t) -> Self { Number { n: N::PosInt(u as u64) } }
+        }
+    )*};
+}
+
+macro_rules! number_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(i: $t) -> Self {
+                let i = i as i64;
+                if i >= 0 { Number { n: N::PosInt(i as u64) } } else { Number { n: N::NegInt(i) } }
+            }
+        }
+    )*};
+}
+
+number_from_unsigned!(u8, u16, u32, u64, usize);
+number_from_signed!(i8, i16, i32, i64, isize);
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.n, other.n) {
+            (N::PosInt(a), N::PosInt(b)) => a == b,
+            (N::NegInt(a), N::NegInt(b)) => a == b,
+            (N::PosInt(a), N::NegInt(b)) | (N::NegInt(b), N::PosInt(a)) => {
+                b >= 0 && a == b as u64
+            }
+            (N::Float(a), N::Float(b)) => a == b,
+            // Mixed int/float compare numerically, as the workspace's
+            // pattern matcher expects (`x.as_f64() == y.as_f64()`).
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+impl fmt::Debug for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.n {
+            N::PosInt(u) => write!(f, "{u}"),
+            N::NegInt(i) => write!(f, "{i}"),
+            N::Float(x) => {
+                if x == x.trunc() && x.abs() < 1e16 {
+                    // Keep a trailing ".0" so floats stay floats on reparse.
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+/// An ordered string-keyed map (JSON object).
+///
+/// Declared generically to match `serde_json::Map<String, Value>`
+/// spelling, but only ever instantiated with those parameters.
+#[derive(Clone, PartialEq, Default)]
+pub struct Map<K = String, V = Value> {
+    inner: BTreeMap<K, V>,
+}
+
+impl Map<String, Value> {
+    /// New empty object.
+    pub fn new() -> Self {
+        Map { inner: BTreeMap::new() }
+    }
+
+    /// Insert a key/value pair, returning any previous value.
+    pub fn insert(&mut self, k: String, v: Value) -> Option<Value> {
+        self.inner.insert(k, v)
+    }
+
+    /// Look up a key.
+    pub fn get(&self, k: &str) -> Option<&Value> {
+        self.inner.get(k)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, k: &str) -> Option<&mut Value> {
+        self.inner.get_mut(k)
+    }
+
+    /// Remove a key, returning its value.
+    pub fn remove(&mut self, k: &str) -> Option<Value> {
+        self.inner.remove(k)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, k: &str) -> bool {
+        self.inner.contains_key(k)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the object is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> std::collections::btree_map::Iter<'_, String, Value> {
+        self.inner.iter()
+    }
+
+    /// Iterate entries mutably.
+    pub fn iter_mut(&mut self) -> std::collections::btree_map::IterMut<'_, String, Value> {
+        self.inner.iter_mut()
+    }
+
+    /// Iterate keys in order.
+    pub fn keys(&self) -> std::collections::btree_map::Keys<'_, String, Value> {
+        self.inner.keys()
+    }
+
+    /// Iterate values in key order.
+    pub fn values(&self) -> std::collections::btree_map::Values<'_, String, Value> {
+        self.inner.values()
+    }
+
+    /// Entry API passthrough.
+    pub fn entry(&mut self, k: String) -> std::collections::btree_map::Entry<'_, String, Value> {
+        self.inner.entry(k)
+    }
+}
+
+impl fmt::Debug for Map<String, Value> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.inner.iter()).finish()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        Map { inner: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(String, Value)> for Map<String, Value> {
+    fn extend<I: IntoIterator<Item = (String, Value)>>(&mut self, iter: I) {
+        self.inner.extend(iter)
+    }
+}
+
+impl IntoIterator for Map<String, Value> {
+    type Item = (String, Value);
+    type IntoIter = std::collections::btree_map::IntoIter<String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map<String, Value> {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::collections::btree_map::Iter<'a, String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl Index<&str> for Map<String, Value> {
+    type Output = Value;
+    fn index(&self, k: &str) -> &Value {
+        self.inner.get(k).unwrap_or(&Value::Null)
+    }
+}
+
+/// A JSON value.
+#[derive(Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// `Some(&str)` if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `Some(bool)` if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// `Some(i64)` if this is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// `Some(u64)` if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// `Some(f64)` if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// `Some(&Vec)` if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// `Some(&mut Vec)` if this is an array.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// `Some(&Map)` if this is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// `Some(&mut Map)` if this is an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// Whether this is a number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// Whether this is a boolean.
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+
+    /// Whether this is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Whether this is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Object field lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Mutable object field lookup.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.as_object_mut().and_then(|m| m.get_mut(key))
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Number::from_f64(f).map(Value::Number).unwrap_or(Value::Null)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(f: f32) -> Self {
+        Value::from(f as f64)
+    }
+}
+
+macro_rules! value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self { Value::Number(Number::from(v)) }
+        }
+    )*};
+}
+
+value_from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<Number> for Value {
+    fn from(n: Number) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(m: Map<String, Value>) -> Self {
+        Value::Object(m)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+impl From<()> for Value {
+    fn from(_: ()) -> Self {
+        Value::Null
+    }
+}
+
+impl FromIterator<Value> for Value {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Value::Array(iter.into_iter().collect())
+    }
+}
+
+impl FromIterator<(String, Value)> for Value {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        Value::Object(iter.into_iter().collect())
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(self)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(n) => *n == Number::from(*other),
+                    _ => false,
+                }
+            }
+        }
+    )*};
+}
+
+value_eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+/// Escape and quote `s` as a JSON string into `out`.
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_compact(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(out, k);
+                out.push(':');
+                write_compact(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+impl Value {
+    /// Compact JSON text for this value.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        write_compact(&mut out, self);
+        out
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json_string())
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("Null"),
+            Value::Bool(b) => write!(f, "Bool({b})"),
+            Value::Number(n) => write!(f, "Number({n})"),
+            Value::String(s) => write!(f, "String({s:?})"),
+            Value::Array(a) => f.debug_tuple("Array").field(a).finish(),
+            Value::Object(m) => f.debug_tuple("Object").field(m).finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_indexing() {
+        let mut m = Map::new();
+        m.insert("a".into(), Value::from(3u64));
+        m.insert("s".into(), Value::from("hi"));
+        let v = Value::Object(m);
+        assert_eq!(v["a"].as_u64(), Some(3));
+        assert_eq!(v["s"], "hi");
+        assert!(v["missing"].is_null());
+        assert_eq!(v.get("a").and_then(Value::as_i64), Some(3));
+    }
+
+    #[test]
+    fn number_equality_mixed() {
+        assert_eq!(Number::from(3u64), Number::from(3i64));
+        assert_eq!(Value::from(2.0f64), Value::from(2.0f64));
+        assert_ne!(Value::from(2u64), Value::from(3u64));
+    }
+
+    #[test]
+    fn display_compact_json() {
+        let mut m = Map::new();
+        m.insert("k".into(), Value::Array(vec![Value::Null, Value::from(true)]));
+        let v = Value::Object(m);
+        assert_eq!(v.to_string(), r#"{"k":[null,true]}"#);
+        assert_eq!(Value::from(1.0f64).to_string(), "1.0");
+        assert_eq!(Value::from(5u64).to_string(), "5");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = Value::from("a\"b\\c\nd");
+        assert_eq!(v.to_string(), r#""a\"b\\c\nd""#);
+    }
+}

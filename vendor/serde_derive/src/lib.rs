@@ -1,0 +1,484 @@
+//! Hermetic stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! against the vendored value-tree `serde`, parsing the input
+//! `TokenStream` by hand (no `syn`/`quote` — the build is offline).
+//!
+//! Supported input shapes — exactly what this workspace uses:
+//! named structs, tuple structs (newtype and wider), unit structs,
+//! and enums with unit / tuple / struct variants. Field and variant
+//! attributes (`#[default]`, doc comments) are skipped. Generic
+//! types are rejected with a compile error.
+//!
+//! Representation matches serde's defaults: structs as objects,
+//! newtypes as their inner value, enums externally tagged
+//! (`"Variant"` for unit, `{"Variant": ...}` otherwise).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Input {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip `#[...]` attribute groups starting at `i`; returns new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Advance past one field's type: consume until a `,` at angle-depth
+/// zero (or end of stream).
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        if is_punct(&tokens[i], '<') {
+            depth += 1;
+        } else if is_punct(&tokens[i], '>') {
+            depth -= 1;
+        } else if is_punct(&tokens[i], ',') && depth == 0 {
+            break;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse the field names of a brace-delimited struct body.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        if i >= tokens.len() || !is_punct(&tokens[i], ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        i = skip_type(&tokens, i);
+        fields.push(name);
+        if i < tokens.len() && is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Count the fields of a paren-delimited tuple body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_type(&tokens, i);
+        count += 1;
+        if i < tokens.len() && is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+/// Parse the variants of a brace-delimited enum body.
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`).
+        if let Some(t) = tokens.get(i) {
+            if is_punct(t, '=') {
+                i += 1;
+                while i < tokens.len() && !is_punct(&tokens[i], ',') {
+                    i += 1;
+                }
+            }
+        }
+        variants.push(Variant { name, kind });
+        if i < tokens.len() && is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(t) = tokens.get(i) {
+        if is_punct(t, '<') {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Input::NamedStruct { name, fields: parse_named_fields(g.stream())? })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Input::TupleStruct { name, arity: count_tuple_fields(g.stream()) })
+            }
+            Some(t) if is_punct(t, ';') => Ok(Input::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Input::Enum { name, variants: parse_variants(g.stream())? })
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        kw => Err(format!("cannot derive for `{kw}` items")),
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let mut body = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "m.insert(::std::string::String::from({f:?}), \
+                     ::serde::Serialize::serialize_value(&self.{f}));\n"
+                ));
+            }
+            body.push_str("::serde::Value::Object(m)");
+            impl_serialize(name, &body)
+        }
+        Input::TupleStruct { name, arity } => {
+            let body = match arity {
+                0 => "::serde::Value::Null".to_string(),
+                1 => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+                n => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+            };
+            impl_serialize(name, &body)
+        }
+        Input::UnitStruct { name } => impl_serialize(name, "::serde::Value::Null"),
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::String(\
+                             ::std::string::String::from({vn:?})),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(::std::string::String::from({vn:?}), {inner});\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inner = String::from("let mut fm = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::serialize_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {fields} }} => {{\n{inner}\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(::std::string::String::from({vn:?}), \
+                             ::serde::Value::Object(fm));\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            fields = fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            let body = format!("match self {{\n{arms}\n}}");
+            impl_serialize(name, &body)
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Expression deserializing field `key` of `obj_expr` into type-inferred
+/// position, with a path-qualified error message.
+fn de_field(type_name: &str, key: &str) -> String {
+    format!(
+        "::serde::Deserialize::deserialize_value(\
+         __obj.get({key:?}).unwrap_or(&::serde::Value::Null))\
+         .map_err(|e| ::serde::DeError::new(\
+         format!(\"{type_name}.{key}: {{e}}\")))?"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let mut body = format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::new(\"{name}: expected object\"))?;\n"
+            );
+            body.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                body.push_str(&format!("{f}: {},\n", de_field(name, f)));
+            }
+            body.push_str("})");
+            impl_deserialize(name, &body)
+        }
+        Input::TupleStruct { name, arity } => {
+            let body = match arity {
+                0 => format!("::std::result::Result::Ok({name}())"),
+                1 => format!(
+                    "::std::result::Result::Ok({name}(\
+                     ::serde::Deserialize::deserialize_value(__v)?))"
+                ),
+                n => {
+                    let mut b = format!(
+                        "let __arr = __v.as_array().ok_or_else(|| \
+                         ::serde::DeError::new(\"{name}: expected array\"))?;\n\
+                         if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::DeError::new(\"{name}: wrong tuple length\")); }}\n"
+                    );
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!("::serde::Deserialize::deserialize_value(&__arr[{i}])?")
+                        })
+                        .collect();
+                    b.push_str(&format!(
+                        "::std::result::Result::Ok({name}({}))",
+                        items.join(", ")
+                    ));
+                    b
+                }
+            };
+            impl_deserialize(name, &body)
+        }
+        Input::UnitStruct { name } => {
+            impl_deserialize(name, &format!("::std::result::Result::Ok({name})"))
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vn:?} => return ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        // Also accept the tagged-null spelling {"V": null}.
+                        tagged_arms.push_str(&format!(
+                            "if __m.contains_key({vn:?}) {{ \
+                             return ::std::result::Result::Ok({name}::{vn}); }}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let inner = if *n == 1 {
+                            format!(
+                                "return ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::deserialize_value(__inner)\
+                                 .map_err(|e| ::serde::DeError::new(\
+                                 format!(\"{name}::{vn}: {{e}}\")))?));"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize_value(&__arr[{i}])?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "let __arr = __inner.as_array().ok_or_else(|| \
+                                 ::serde::DeError::new(\"{name}::{vn}: expected array\"))?;\n\
+                                 if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::DeError::new(\"{name}::{vn}: wrong arity\")); }}\n\
+                                 return ::std::result::Result::Ok({name}::{vn}({}));",
+                                items.join(", ")
+                            )
+                        };
+                        tagged_arms.push_str(&format!(
+                            "if let ::std::option::Option::Some(__inner) = \
+                             __m.get({vn:?}) {{ {inner} }}\n"
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inner = format!(
+                            "let __obj = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::new(\"{name}::{vn}: expected object\"))?;\n"
+                        );
+                        inner.push_str(&format!(
+                            "return ::std::result::Result::Ok({name}::{vn} {{\n"
+                        ));
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "{f}: {},\n",
+                                de_field(&format!("{name}::{vn}"), f)
+                            ));
+                        }
+                        inner.push_str("});");
+                        tagged_arms.push_str(&format!(
+                            "if let ::std::option::Option::Some(__inner) = \
+                             __m.get({vn:?}) {{ {inner} }}\n"
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                 match __s {{\n{unit_arms}_ => {{}}\n}}\n}}\n\
+                 if let ::std::option::Option::Some(__m) = __v.as_object() {{\n\
+                 {tagged_arms}\n}}\n\
+                 ::std::result::Result::Err(::serde::DeError::new(\
+                 format!(\"{name}: unrecognised enum value {{__v}}\")))"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+/// Derive `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(model) => gen_serialize(&model).parse().unwrap(),
+        Err(msg) => compile_error(&format!("derive(Serialize): {msg}")),
+    }
+}
+
+/// Derive `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(model) => gen_deserialize(&model).parse().unwrap(),
+        Err(msg) => compile_error(&format!("derive(Deserialize): {msg}")),
+    }
+}

@@ -1,0 +1,280 @@
+//! Hermetic stand-in for `serde_json`.
+//!
+//! Re-exports the vendored value tree ([`Value`], [`Map`],
+//! [`Number`]) and provides the JSON text layer: [`from_str`],
+//! [`from_slice`], [`to_string`], [`to_vec`], [`to_value`],
+//! [`from_value`], and the [`json!`] macro.
+
+mod parse;
+
+pub use serde::value::{Map, Number, Value};
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// JSON (de)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.message())
+    }
+}
+
+/// Namespaced value module, mirroring `serde_json::value`.
+pub mod value {
+    pub use serde::value::{Map, Number, Value};
+}
+
+/// Render any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.serialize_value())
+}
+
+/// Rebuild a deserializable type from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::deserialize_value(&value).map_err(Error::from)
+}
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize_value().to_json_string())
+}
+
+/// Serialize to pretty-printed JSON text (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    fn pretty(v: &Value, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match v {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad_in);
+                    pretty(item, indent + 1, out);
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Object(map) if !map.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, val)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad_in);
+                    out.push_str(&Value::String(k.clone()).to_json_string());
+                    out.push_str(": ");
+                    pretty(val, indent + 1, out);
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push('}');
+            }
+            other => out.push_str(&other.to_json_string()),
+        }
+    }
+    let mut out = String::new();
+    pretty(&value.serialize_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parse JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    T::deserialize_value(&value).map_err(Error::from)
+}
+
+/// Parse JSON bytes into any deserializable type.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Build a [`Value`] from JSON-like literal syntax, mirroring
+/// `serde_json::json!`. Supports nested objects/arrays, expression
+/// interpolation for both keys and values, and trailing commas.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal_array!([] $($tt)+))
+    };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut object = $crate::Map::new();
+        $crate::json_internal_object!(object () $($tt)+);
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::to_json_value(&$other) };
+}
+
+/// Array-element muncher for [`json!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_array {
+    // Done.
+    ([$($elems:expr,)*]) => { vec![$($elems,)*] };
+    ([$($elems:expr,)*] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([$($elems,)* $crate::json!(null),] $($($rest)*)?)
+    };
+    ([$($elems:expr,)*] true $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([$($elems,)* $crate::json!(true),] $($($rest)*)?)
+    };
+    ([$($elems:expr,)*] false $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([$($elems,)* $crate::json!(false),] $($($rest)*)?)
+    };
+    ([$($elems:expr,)*] [$($arr:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([$($elems,)* $crate::json!([$($arr)*]),] $($($rest)*)?)
+    };
+    ([$($elems:expr,)*] {$($obj:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([$($elems,)* $crate::json!({$($obj)*}),] $($($rest)*)?)
+    };
+    ([$($elems:expr,)*] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([$($elems,)* $crate::json!($next),] $($($rest)*)?)
+    };
+}
+
+/// Object-entry muncher for [`json!`]. Accumulates key tokens before
+/// the `:` in parentheses. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_object {
+    // Done.
+    ($object:ident ()) => {};
+    // Key complete, value is a nested array.
+    ($object:ident ($($key:tt)+) : [$($arr:tt)*] $(, $($rest:tt)*)?) => {
+        $object.insert($crate::json_key!($($key)+), $crate::json!([$($arr)*]));
+        $crate::json_internal_object!($object () $($($rest)*)?);
+    };
+    // Key complete, value is a nested object.
+    ($object:ident ($($key:tt)+) : {$($obj:tt)*} $(, $($rest:tt)*)?) => {
+        $object.insert($crate::json_key!($($key)+), $crate::json!({$($obj)*}));
+        $crate::json_internal_object!($object () $($($rest)*)?);
+    };
+    // Key complete, value is null/true/false.
+    ($object:ident ($($key:tt)+) : null $(, $($rest:tt)*)?) => {
+        $object.insert($crate::json_key!($($key)+), $crate::json!(null));
+        $crate::json_internal_object!($object () $($($rest)*)?);
+    };
+    ($object:ident ($($key:tt)+) : true $(, $($rest:tt)*)?) => {
+        $object.insert($crate::json_key!($($key)+), $crate::json!(true));
+        $crate::json_internal_object!($object () $($($rest)*)?);
+    };
+    ($object:ident ($($key:tt)+) : false $(, $($rest:tt)*)?) => {
+        $object.insert($crate::json_key!($($key)+), $crate::json!(false));
+        $crate::json_internal_object!($object () $($($rest)*)?);
+    };
+    // Key complete, value is a general expression.
+    ($object:ident ($($key:tt)+) : $value:expr , $($rest:tt)*) => {
+        $object.insert($crate::json_key!($($key)+), $crate::json!($value));
+        $crate::json_internal_object!($object () $($rest)*);
+    };
+    ($object:ident ($($key:tt)+) : $value:expr) => {
+        $object.insert($crate::json_key!($($key)+), $crate::json!($value));
+    };
+    // Still accumulating key tokens.
+    ($object:ident ($($key:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal_object!($object ($($key)* $next) $($rest)*);
+    };
+}
+
+/// Convert accumulated key tokens into a `String` key. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_key {
+    ($key:literal) => { ::std::string::String::from($key) };
+    ($key:expr) => { ::std::string::String::from($key) };
+}
+
+/// Runtime helper behind `json!($expr)`. Not public API.
+#[doc(hidden)]
+pub fn to_json_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize_value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "a": 1,
+            "nested": { "b": [1, 2, 3], "c": null },
+            "flag": true,
+            "list": ["x", { "y": 2.5 }],
+        });
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["nested"]["b"][2].as_u64(), Some(3));
+        assert!(v["nested"]["c"].is_null());
+        assert_eq!(v["flag"], true);
+        assert_eq!(v["list"][0], "x");
+        assert_eq!(v["list"][1]["y"].as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn json_macro_interpolation() {
+        let n = 42u64;
+        let s = String::from("hello");
+        let v = json!({ "n": n, "s": s, "sum": 1 + 2 });
+        assert_eq!(v["n"].as_u64(), Some(42));
+        assert_eq!(v["s"], "hello");
+        assert_eq!(v["sum"].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        let v = json!({"k": [1, "two", 3.5, null, {"deep": true}]});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn from_str_typed() {
+        let xs: Vec<u64> = from_str("[1,2,3]").unwrap();
+        assert_eq!(xs, vec![1, 2, 3]);
+        let err = from_str::<Vec<u64>>("[1,\"x\"]").unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({"a": {"b": [1, 2]}, "c": "text"});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back);
+    }
+}

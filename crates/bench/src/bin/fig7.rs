@@ -5,7 +5,7 @@
 //! `cargo run --release -p octopus-bench --bin fig7 [-- minutes]`
 
 use octopus_apps::DataAutomationPipeline;
-use octopus_bench::{bar, figure_header};
+use octopus_bench::{bar, figure_header, stage_table};
 use octopus_broker::Cluster;
 use octopus_fsmon::AggregatorConfig;
 use octopus_trigger::CostModel;
@@ -18,6 +18,9 @@ fn main() {
     );
     let local = Cluster::new(2);
     let cloud = Cluster::new(2);
+    // keep handles so the registries can be read after the campaign
+    // (Cluster clones share state)
+    let (local_obs, cloud_obs) = (local.clone(), cloud.clone());
     let mut pipeline = DataAutomationPipeline::new(local, cloud, 2024).expect("pipeline");
     for minute in 0..minutes {
         pipeline.step(minute * 60_000).expect("step");
@@ -90,4 +93,9 @@ ablation — no edge aggregation (AggregatorConfig::passthrough):");
         invocation_usd * flat_last.trigger_invocations as f64,
         invocation_usd * last.trigger_invocations as f64
     );
+
+    println!("\nper-stage breakdown — edge (monitor) cluster:");
+    print!("{}", stage_table(&local_obs.metrics().snapshot()));
+    println!("\nper-stage breakdown — cloud cluster:");
+    print!("{}", stage_table(&cloud_obs.metrics().snapshot()));
 }

@@ -4,6 +4,8 @@
 //! or figures (see DESIGN.md §3 for the index); this library holds the
 //! ASCII table/plot plumbing they share.
 
+use octopus_types::{RegistrySnapshot, Stage};
+
 /// Format a count with K/M suffixes, as the paper prints throughputs.
 pub fn human_rate(v: f64) -> String {
     if v >= 1e6 {
@@ -33,9 +35,61 @@ pub fn figure_header(title: &str, caption: &str) {
     println!("{}", "=".repeat(74));
 }
 
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Render the per-stage latency breakdown of a registry snapshot as an
+/// aligned ASCII table (count, p50, p99, mean, max — milliseconds).
+/// Stages with no samples are omitted; an all-empty registry yields a
+/// one-line note instead of a bare header.
+pub fn stage_table(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>9} {:>10} {:>10} {:>10} {:>10}\n",
+        "stage", "count", "p50 ms", "p99 ms", "mean ms", "max ms"
+    ));
+    let mut any = false;
+    for stage in Stage::ALL {
+        let Some(h) = snap.histograms.get(stage.metric_name()) else { continue };
+        if h.count() == 0 {
+            continue;
+        }
+        any = true;
+        out.push_str(&format!(
+            "{:<14} {:>9} {:>10.3} {:>10.3} {:>10.3} {:>10.3}\n",
+            stage.label(),
+            h.count(),
+            ms(h.median()),
+            ms(h.p99()),
+            h.mean() / 1e6,
+            ms(h.max()),
+        ));
+    }
+    if !any {
+        out.push_str("(no stage samples recorded)\n");
+    }
+    for note in &snap.annotations {
+        out.push_str(&format!("note: {note}\n"));
+    }
+    out
+}
+
+/// Write a result artifact into the repo's `results/` directory
+/// (resolved relative to this crate, so it works from any cwd) and
+/// return the path written.
+pub fn write_result(name: &str, content: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, content)?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use octopus_types::MetricsRegistry;
 
     #[test]
     fn rates() {
@@ -49,5 +103,25 @@ mod tests {
         assert_eq!(bar(5.0, 10.0, 10), "#####");
         assert_eq!(bar(20.0, 10.0, 10), "##########"); // clamped
         assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn stage_table_renders_only_populated_stages() {
+        let registry = MetricsRegistry::shared();
+        let stages = octopus_types::StageMetrics::new(registry.clone());
+        stages.record(Stage::Append, 1_000_000);
+        stages.record(Stage::Append, 3_000_000);
+        let mut snap = registry.snapshot();
+        snap.annotate("window under test");
+        let table = stage_table(&snap);
+        assert!(table.contains("append"));
+        assert!(!table.contains("trigger_run"), "empty stages omitted");
+        assert!(table.contains("note: window under test"));
+    }
+
+    #[test]
+    fn stage_table_empty_registry_says_so() {
+        let snap = MetricsRegistry::shared().snapshot();
+        assert!(stage_table(&snap).contains("no stage samples"));
     }
 }

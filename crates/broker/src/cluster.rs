@@ -10,11 +10,13 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
 use octopus_auth::{AclStore, Permission};
+use octopus_types::obs::{Counter, MetricsRegistry, Stage, StageMetrics};
 use octopus_types::{
     Clock, Event, OctoError, OctoResult, Offset, PartitionId, Timestamp, TopicName, Uid, WallClock,
 };
@@ -55,6 +57,51 @@ pub struct TopicStats {
     pub bytes_out: u64,
 }
 
+/// Live cells behind [`TopicStats`]: produce/fetch bump these with
+/// relaxed atomics under the stats map's *read* lock, so the hot path
+/// never takes a writer-exclusive lock (the write lock is taken once
+/// per topic, to insert the cells).
+#[derive(Debug, Default)]
+struct TopicStatsCells {
+    events_in: AtomicU64,
+    bytes_in: AtomicU64,
+    events_out: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+impl TopicStatsCells {
+    fn load(&self) -> TopicStats {
+        TopicStats {
+            events_in: self.events_in.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            events_out: self.events_out.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Cluster-wide registry counters, resolved once at build time so the
+/// hot path records without name lookups.
+struct ClusterCounters {
+    events_in: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    events_out: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    failovers: Arc<Counter>,
+}
+
+impl ClusterCounters {
+    fn new(registry: &MetricsRegistry) -> Self {
+        ClusterCounters {
+            events_in: registry.counter("octopus_broker_events_in_total"),
+            bytes_in: registry.counter("octopus_broker_bytes_in_total"),
+            events_out: registry.counter("octopus_broker_events_out_total"),
+            bytes_out: registry.counter("octopus_broker_bytes_out_total"),
+            failovers: registry.counter("octopus_broker_failovers_total"),
+        }
+    }
+}
+
 /// Result of a successful produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProduceReceipt {
@@ -84,13 +131,15 @@ struct TopicMeta {
 struct ClusterInner {
     brokers: Vec<Arc<Broker>>,
     topics: RwLock<HashMap<TopicName, TopicMeta>>,
-    stats: RwLock<HashMap<TopicName, TopicStats>>,
+    stats: RwLock<HashMap<TopicName, Arc<TopicStatsCells>>>,
     groups: GroupCoordinator,
     acl: Option<AclStore>,
     zoo: Option<ZooService>,
     clock: Arc<dyn Clock>,
     round_robin: AtomicU64,
     fault: FaultInjector,
+    obs: StageMetrics,
+    counters: ClusterCounters,
 }
 
 /// A handle to the cluster. Clones share state; safe to use from many
@@ -115,6 +164,7 @@ impl Cluster {
             zoo: None,
             clock: Arc::new(WallClock),
             fault: None,
+            metrics: None,
         }
     }
 
@@ -122,6 +172,18 @@ impl Cluster {
     /// a chaos harness).
     pub fn fault_injector(&self) -> &FaultInjector {
         &self.inner.fault
+    }
+
+    /// The cluster's shared metrics registry. Producers, consumers,
+    /// trigger runtimes, and bench harnesses all read/record here so
+    /// one snapshot covers the whole event path.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.inner.obs.registry()
+    }
+
+    /// Pre-resolved per-stage latency histograms over [`Cluster::metrics`].
+    pub fn stage_metrics(&self) -> &StageMetrics {
+        &self.inner.obs
     }
 
     fn now(&self) -> Timestamp {
@@ -354,14 +416,15 @@ impl Cluster {
             return Err(OctoError::Invalid("empty batch".into()));
         }
         let now = self.now();
-        // snapshot metadata; failover mutates under the write lock
-        let (leader, isr, min_isr) = self.leader_of(topic, partition)?;
+        // Snapshot metadata; failover mutates under the write lock.
+        // Stale metadata triggers failover-and-retry, but bounded: the
+        // old recursive retry could chase a kill/restart race
+        // arbitrarily deep (each iteration burning a stack frame) when
+        // chaos keeps flipping broker liveness. One failover per broker
+        // is the most any election can need; beyond that the partition
+        // is genuinely unavailable right now.
+        let (leader, isr, min_isr) = self.resolve_live_leader(topic, partition)?;
         let leader_broker = &self.inner.brokers[leader.0 as usize];
-        if !leader_broker.is_alive() {
-            // stale metadata: run failover and retry once
-            self.failover(topic, partition)?;
-            return self.produce_inner(topic, partition, batch, acks);
-        }
         if acks == AckLevel::All && (isr.len() as u32) < min_isr {
             return Err(OctoError::NotEnoughReplicas {
                 in_sync: isr.len(),
@@ -376,16 +439,21 @@ impl Cluster {
         let log = leader_broker
             .log(topic, partition)
             .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
+        let append_start = Instant::now();
         let base = log.lock().append(batch, now)?;
+        self.inner.obs.record(Stage::Append, append_start.elapsed().as_nanos() as u64);
         // synchronous replication to in-sync followers; failures shrink
         // the ISR (Kafka's leader removes laggards from the ISR). A
         // severed leader↔follower link looks exactly like a dead
         // follower from the leader's point of view.
+        let replicate_start = Instant::now();
         let mut new_isr = vec![leader];
+        let mut replicated = false;
         for replica in &isr {
             if *replica == leader {
                 continue;
             }
+            replicated = true;
             let b = &self.inner.brokers[replica.0 as usize];
             let ok = !self.inner.fault.is_severed(leader, *replica)
                 && b.is_alive()
@@ -396,6 +464,9 @@ impl Cluster {
                 new_isr.push(*replica);
             }
         }
+        if replicated {
+            self.inner.obs.record(Stage::Replicate, replicate_start.elapsed().as_nanos() as u64);
+        }
         if new_isr.len() != isr.len() {
             self.set_isr(topic, partition, new_isr.clone())?;
         }
@@ -405,13 +476,47 @@ impl Cluster {
                 required: min_isr as usize,
             });
         }
-        {
-            let mut stats = self.inner.stats.write();
-            let entry = stats.entry(topic.to_string()).or_default();
-            entry.events_in += batch.len() as u64;
-            entry.bytes_in += batch.wire_size() as u64;
-        }
+        let cells = self.topic_cells(topic);
+        cells.events_in.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        cells.bytes_in.fetch_add(batch.wire_size() as u64, Ordering::Relaxed);
+        self.inner.counters.events_in.add(batch.len() as u64);
+        self.inner.counters.bytes_in.add(batch.wire_size() as u64);
         Ok(ProduceReceipt { partition, base_offset: base, count: batch.len(), persisted: true })
+    }
+
+    /// Resolve the partition leader, failing over (bounded) while the
+    /// recorded leader is dead. Shared by produce, fetch, and the
+    /// leader-log helpers so none of them recurse on stale metadata.
+    fn resolve_live_leader(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+    ) -> OctoResult<(BrokerId, Vec<BrokerId>, u32)> {
+        let mut failovers = 0usize;
+        loop {
+            let (leader, isr, min_isr) = self.leader_of(topic, partition)?;
+            if self.inner.brokers[leader.0 as usize].is_alive() {
+                return Ok((leader, isr, min_isr));
+            }
+            if failovers > self.inner.brokers.len() {
+                return Err(OctoError::Unavailable(format!(
+                    "leadership of {topic}/{partition} is flapping: \
+                     {failovers} failovers without a live leader"
+                )));
+            }
+            self.failover(topic, partition)?;
+            self.inner.counters.failovers.inc();
+            failovers += 1;
+        }
+    }
+
+    /// The per-topic stat cells, created on first use. Steady state is
+    /// a shared read lock + atomic adds.
+    fn topic_cells(&self, topic: &str) -> Arc<TopicStatsCells> {
+        if let Some(cells) = self.inner.stats.read().get(topic) {
+            return Arc::clone(cells);
+        }
+        Arc::clone(self.inner.stats.write().entry(topic.to_string()).or_default())
     }
 
     /// Fetch up to `max_records` from a partition starting at `offset`.
@@ -423,12 +528,9 @@ impl Cluster {
         offset: Offset,
         max_records: usize,
     ) -> OctoResult<Vec<Record>> {
-        let (leader, _, _) = self.leader_of(topic, partition)?;
+        let fetch_start = Instant::now();
+        let (leader, _, _) = self.resolve_live_leader(topic, partition)?;
         let broker = &self.inner.brokers[leader.0 as usize];
-        if !broker.is_alive() {
-            self.failover(topic, partition)?;
-            return self.fetch(topic, partition, offset, max_records);
-        }
         let penalty = self.inner.fault.service_penalty(leader);
         if !penalty.is_zero() {
             std::thread::sleep(penalty);
@@ -455,18 +557,23 @@ impl Cluster {
             .log(topic, partition)
             .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
         let out = log.lock().read(offset, max_records)?;
+        // The fetch stage includes injected penalties/delays on purpose:
+        // degraded-broker chaos must be visible in the p99.
+        self.inner.obs.record(Stage::Fetch, fetch_start.elapsed().as_nanos() as u64);
         if !out.is_empty() {
-            let mut stats = self.inner.stats.write();
-            let entry = stats.entry(topic.to_string()).or_default();
-            entry.events_out += out.len() as u64;
-            entry.bytes_out += out.iter().map(|r| r.wire_size() as u64).sum::<u64>();
+            let bytes = out.iter().map(|r| r.wire_size() as u64).sum::<u64>();
+            let cells = self.topic_cells(topic);
+            cells.events_out.fetch_add(out.len() as u64, Ordering::Relaxed);
+            cells.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+            self.inner.counters.events_out.add(out.len() as u64);
+            self.inner.counters.bytes_out.add(bytes);
         }
         Ok(out)
     }
 
     /// Traffic counters of a topic (zeroed until first use).
     pub fn topic_stats(&self, topic: &str) -> TopicStats {
-        self.inner.stats.read().get(topic).copied().unwrap_or_default()
+        self.inner.stats.read().get(topic).map(|c| c.load()).unwrap_or_default()
     }
 
     /// Earliest retained offset.
@@ -513,12 +620,8 @@ impl Cluster {
         partition: PartitionId,
         f: impl Fn(&PartitionLog) -> T,
     ) -> OctoResult<T> {
-        let (leader, _, _) = self.leader_of(topic, partition)?;
+        let (leader, _, _) = self.resolve_live_leader(topic, partition)?;
         let broker = &self.inner.brokers[leader.0 as usize];
-        if !broker.is_alive() {
-            self.failover(topic, partition)?;
-            return self.with_leader_log(topic, partition, f);
-        }
         let log = broker
             .log(topic, partition)
             .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
@@ -751,6 +854,7 @@ pub struct ClusterBuilder {
     zoo: Option<ZooService>,
     clock: Arc<dyn Clock>,
     fault: Option<FaultInjector>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl ClusterBuilder {
@@ -780,12 +884,22 @@ impl ClusterBuilder {
         self
     }
 
+    /// Record into a shared metrics registry (defaults to a fresh one;
+    /// multi-cluster setups like mirroring can share a registry and
+    /// read one merged snapshot).
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     /// Build the cluster.
     pub fn build(self) -> Cluster {
         assert!(self.broker_count > 0, "cluster needs at least one broker");
         let brokers = (0..self.broker_count)
             .map(|i| Arc::new(Broker::new(BrokerId(i as u32))))
             .collect();
+        let registry = self.metrics.unwrap_or_else(MetricsRegistry::shared);
+        let counters = ClusterCounters::new(&registry);
         Cluster {
             inner: Arc::new(ClusterInner {
                 brokers,
@@ -797,6 +911,8 @@ impl ClusterBuilder {
                 clock: self.clock,
                 round_robin: AtomicU64::new(0),
                 fault: self.fault.unwrap_or_default(),
+                obs: StageMetrics::new(registry),
+                counters,
             }),
         }
     }
@@ -1138,6 +1254,46 @@ mod tests {
         assert_eq!(s.bytes_out, 10);
         // unknown topics read as zero, not error (metrics are best-effort)
         assert_eq!(c.topic_stats("ghost"), TopicStats::default());
+    }
+
+    #[test]
+    fn stage_metrics_populated_on_live_path() {
+        let c = cluster2();
+        c.produce_batch("t", 0, RecordBatch::new(vec![ev("a"), ev("b")]), AckLevel::All).unwrap();
+        c.fetch("t", 0, 0, 10).unwrap();
+        let snap = c.metrics().snapshot();
+        assert_eq!(snap.histograms["octopus_stage_append_ns"].count(), 1);
+        assert_eq!(snap.histograms["octopus_stage_replicate_ns"].count(), 1);
+        assert_eq!(snap.histograms["octopus_stage_fetch_ns"].count(), 1);
+        assert_eq!(snap.counters["octopus_broker_events_in_total"], 2);
+        assert_eq!(snap.counters["octopus_broker_events_out_total"], 2);
+    }
+
+    #[test]
+    fn failover_is_bounded_when_no_leader_can_be_elected() {
+        // With every broker dead, the old recursive retry would loop
+        // through failover() indefinitely if failover itself didn't
+        // error; the bounded resolver must surface Unavailable either
+        // way, without unbounded recursion.
+        let c = cluster2();
+        c.kill_broker(BrokerId(0)).unwrap();
+        c.kill_broker(BrokerId(1)).unwrap();
+        let r = c.produce_batch("t", 0, RecordBatch::new(vec![ev("x")]), AckLevel::Leader);
+        assert!(matches!(r, Err(OctoError::Unavailable(_))));
+        assert!(matches!(c.fetch("t", 0, 0, 10), Err(OctoError::Unavailable(_))));
+        assert!(matches!(c.latest_offset("t", 0), Err(OctoError::Unavailable(_))));
+    }
+
+    #[test]
+    fn shared_registry_across_clusters() {
+        let reg = MetricsRegistry::shared();
+        let a = Cluster::builder(1).metrics(Arc::clone(&reg)).build();
+        let b = Cluster::builder(1).metrics(Arc::clone(&reg)).build();
+        a.create_topic("t", TopicConfig::default().with_replication(1)).unwrap();
+        b.create_topic("t", TopicConfig::default().with_replication(1)).unwrap();
+        a.produce_batch("t", 0, RecordBatch::new(vec![ev("x")]), AckLevel::Leader).unwrap();
+        b.produce_batch("t", 0, RecordBatch::new(vec![ev("y")]), AckLevel::Leader).unwrap();
+        assert_eq!(reg.snapshot().counters["octopus_broker_events_in_total"], 2);
     }
 
     #[test]

@@ -40,12 +40,28 @@ struct GroupState {
     members: BTreeMap<String, GroupMember>,
     assignments: HashMap<String, Vec<(TopicName, PartitionId)>>,
     offsets: HashMap<(TopicName, PartitionId), Offset>,
+    /// Partition counts merged across every join/leave call. A caller
+    /// only knows the counts of topics *it* subscribes to, so a
+    /// rebalance driven by the caller's map alone would skip topics
+    /// other members subscribe to — orphaning their partitions until
+    /// those members happen to rejoin.
+    known_counts: HashMap<TopicName, u32>,
 }
 
 impl GroupState {
+    /// Fold a caller's partition counts into the group's merged view.
+    /// Counts only grow (partition shrink is impossible broker-side),
+    /// so `max` resolves stale callers racing a partition expansion.
+    fn learn_counts(&mut self, partition_counts: &HashMap<TopicName, u32>) {
+        for (topic, &count) in partition_counts {
+            let slot = self.known_counts.entry(topic.clone()).or_insert(count);
+            *slot = (*slot).max(count);
+        }
+    }
+
     /// Range assignment: for each topic, partitions are split into
     /// contiguous ranges over the sorted member list.
-    fn rebalance(&mut self, partition_counts: &HashMap<TopicName, u32>) {
+    fn rebalance(&mut self) {
         self.generation += 1;
         self.assignments.clear();
         if self.members.is_empty() {
@@ -57,7 +73,7 @@ impl GroupState {
             topics.extend(m.topics.iter());
         }
         for topic in topics {
-            let Some(&count) = partition_counts.get(topic) else { continue };
+            let Some(&count) = self.known_counts.get(topic) else { continue };
             let subscribers: Vec<&String> = self
                 .members
                 .values()
@@ -109,7 +125,8 @@ impl GroupCoordinator {
             member_id.to_string(),
             GroupMember { member_id: member_id.to_string(), topics: topics.into_iter().collect() },
         );
-        state.rebalance(partition_counts);
+        state.learn_counts(partition_counts);
+        state.rebalance();
         MemberAssignment {
             generation: state.generation,
             partitions: state.assignments.get(member_id).cloned().unwrap_or_default(),
@@ -126,7 +143,8 @@ impl GroupCoordinator {
         let mut groups = self.groups.lock();
         if let Some(state) = groups.get_mut(group) {
             state.members.remove(member_id);
-            state.rebalance(partition_counts);
+            state.learn_counts(partition_counts);
+            state.rebalance();
         }
     }
 
@@ -307,6 +325,80 @@ mod tests {
             .collect();
         assert_eq!(sizes.iter().sum::<usize>(), 2);
         assert!(sizes.contains(&0), "one member is idle");
+    }
+
+    /// Every (topic, partition) the group subscribes to must be owned by
+    /// exactly one member — no orphans, no double-assignment.
+    fn assert_complete_and_disjoint(
+        gc: &GroupCoordinator,
+        group: &str,
+        members: &[&str],
+        expected: &[(&str, u32)],
+    ) {
+        let mut owned: HashMap<(TopicName, PartitionId), Vec<String>> = HashMap::new();
+        for m in members {
+            if let Some(a) = gc.assignment_of(group, m) {
+                for part in a.partitions {
+                    owned.entry(part).or_default().push((*m).to_string());
+                }
+            }
+        }
+        for (topic, count) in expected {
+            for p in 0..*count {
+                let owners = owned.get(&((*topic).to_string(), p));
+                assert!(
+                    owners.is_some(),
+                    "{topic}/{p} is orphaned (members: {members:?})"
+                );
+                assert_eq!(
+                    owners.unwrap().len(),
+                    1,
+                    "{topic}/{p} double-assigned to {:?}",
+                    owners.unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn churn_never_orphans_or_double_assigns() {
+        // Regression: rebalance used to consult only the *calling*
+        // member's partition counts. A member subscribed to topic "a"
+        // lost all its partitions the moment a member subscribed only
+        // to "b" joined (the rebalance skipped "a" — counts unknown),
+        // orphaning "a" until its subscriber happened to rejoin.
+        let gc = GroupCoordinator::new();
+        let a_counts = counts(&[("a", 3)]);
+        let b_counts = counts(&[("b", 5)]);
+
+        gc.join("g", "alice", vec!["a".into()], &a_counts);
+        // bob joins knowing nothing about topic "a"
+        gc.join("g", "bob", vec!["b".into()], &b_counts);
+        assert_complete_and_disjoint(&gc, "g", &["alice", "bob"], &[("a", 3), ("b", 5)]);
+
+        // heavier churn: joiners/leavers with disjoint topic knowledge
+        let ab_counts = counts(&[("a", 3), ("b", 5)]);
+        gc.join("g", "carol", vec!["a".into(), "b".into()], &ab_counts);
+        assert_complete_and_disjoint(&gc, "g", &["alice", "bob", "carol"], &[("a", 3), ("b", 5)]);
+        gc.leave("g", "alice", &a_counts);
+        assert_complete_and_disjoint(&gc, "g", &["bob", "carol"], &[("a", 3), ("b", 5)]);
+        gc.leave("g", "bob", &b_counts);
+        // carol is the sole survivor; both topics must be fully hers
+        assert_complete_and_disjoint(&gc, "g", &["carol"], &[("a", 3), ("b", 5)]);
+        let c = gc.assignment_of("g", "carol").unwrap();
+        assert_eq!(c.partitions.len(), 8);
+    }
+
+    #[test]
+    fn partition_growth_is_learned_across_members() {
+        let gc = GroupCoordinator::new();
+        gc.join("g", "m1", vec!["t".into()], &counts(&[("t", 2)]));
+        // m2 saw the topic after a partition expansion to 6
+        gc.join("g", "m2", vec!["t".into()], &counts(&[("t", 6)]));
+        assert_complete_and_disjoint(&gc, "g", &["m1", "m2"], &[("t", 6)]);
+        // a stale caller (still thinks 2) must not shrink the view
+        gc.leave("g", "m2", &counts(&[("t", 2)]));
+        assert_complete_and_disjoint(&gc, "g", &["m1"], &[("t", 6)]);
     }
 
     #[test]

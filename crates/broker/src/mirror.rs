@@ -9,8 +9,10 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use octopus_types::obs::Stage;
+use octopus_types::retry::RetryMetrics;
 use octopus_types::{OctoResult, PartitionId, Retrier, RetryPolicy, TopicName};
 
 use crate::cluster::{AckLevel, Cluster};
@@ -35,13 +37,18 @@ impl MirrorMaker {
     /// Mirror `topics` from `source` to `destination`. Destination
     /// topics are created on demand with the source's configuration.
     pub fn new(source: Cluster, destination: Cluster, topics: Vec<TopicName>) -> Self {
+        // Mirror latency and retries record into the *source* cluster's
+        // registry: the mirror is logically part of the source region's
+        // egress pipeline.
+        let retrier = Retrier::new(RetryPolicy::new(3, Duration::from_millis(5)))
+            .with_metrics(RetryMetrics::from_registry(source.metrics(), "octopus_mirror"));
         MirrorMaker {
             source,
             destination,
             topics,
             positions: HashMap::new(),
             batch_size: 1000,
-            retrier: Retrier::new(RetryPolicy::new(3, Duration::from_millis(5))),
+            retrier,
         }
     }
 
@@ -80,6 +87,7 @@ impl MirrorMaker {
                 let next = records.last().expect("non-empty").offset + 1;
                 let dest_partition = p % self.destination.partition_count(&topic)?;
                 let batch = RecordBatch::new(events);
+                let copy_start = Instant::now();
                 self.retrier.call(|_attempt| {
                     self.destination.produce_batch(
                         &topic,
@@ -88,6 +96,9 @@ impl MirrorMaker {
                         AckLevel::Leader,
                     )
                 })?;
+                self.source
+                    .stage_metrics()
+                    .record(Stage::MirrorCopy, copy_start.elapsed().as_nanos() as u64);
                 *pos = next;
                 copied += records.len();
             }
@@ -166,6 +177,9 @@ mod tests {
         assert_eq!(mm.run_once().unwrap(), 0);
         src.produce("t", ev("new"), AckLevel::Leader).unwrap();
         assert_eq!(mm.run_once().unwrap(), 1);
+        // copy passes land in the source registry's mirror-copy stage
+        let snap = src.metrics().snapshot();
+        assert!(snap.histograms["octopus_stage_mirror_copy_ns"].count() >= 2);
     }
 
     #[test]

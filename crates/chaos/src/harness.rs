@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 use octopus_broker::{AckLevel, BrokerId, Cluster, TopicConfig};
 use octopus_sdk::{Consumer, ConsumerConfig, Producer, ProducerConfig};
 use octopus_trigger::{AutoscalerConfig, FunctionConfig, TriggerRuntime, TriggerSpec};
-use octopus_types::{Event, Uid};
+use octopus_types::{Event, RegistrySnapshot, Uid};
 use octopus_zoo::ZooService;
 use parking_lot::Mutex;
 
@@ -85,6 +85,10 @@ pub struct ChaosReport {
     pub zoo_commits: Vec<u64>,
     /// Oracle violations; empty means the run passed.
     pub violations: Vec<String>,
+    /// End-of-run snapshot of the cluster's metrics registry, annotated
+    /// with the executed fault windows so per-stage latency tails can
+    /// be read next to what was injected when.
+    pub metrics: RegistrySnapshot,
 }
 
 impl ChaosReport {
@@ -356,6 +360,12 @@ impl ChaosHarness {
             violations.push(format!("ISR did not re-converge: {final_isr}/{rf} replicas in sync"));
         }
 
+        // Freeze the registry and stamp the fault windows onto it.
+        let mut metrics = cluster.metrics().snapshot();
+        for e in &trace.entries {
+            metrics.annotate(format!("fault at {:?}: {:?} ({})", e.at, e.kind, e.outcome));
+        }
+
         ChaosReport {
             trace,
             acked,
@@ -365,6 +375,7 @@ impl ChaosHarness {
             replication_factor: rf as usize,
             zoo_commits,
             violations,
+            metrics,
         }
     }
 }
@@ -387,6 +398,24 @@ mod tests {
         report.assert_invariants();
         assert!(!report.acked.is_empty(), "producer made progress");
         assert!(report.delivered_unique() >= report.acked.len());
+        // the live path populated the per-stage histograms
+        for stage in ["produce_ack", "append", "deliver", "trigger_run"] {
+            let name = format!("octopus_stage_{stage}_ns");
+            assert!(
+                report.metrics.histograms.get(&name).map(|h| h.count() > 0).unwrap_or(false),
+                "stage histogram {name} empty after a live run"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_windows_annotate_the_snapshot() {
+        let plan = FaultPlan::new(7)
+            .at(10, FaultKind::BrokerCrash { broker: 1 })
+            .at(60, FaultKind::BrokerRestart { broker: 1 });
+        let report = ChaosHarness::new(plan).run();
+        assert_eq!(report.metrics.annotations.len(), 2);
+        assert!(report.metrics.annotations[0].contains("BrokerCrash"));
     }
 
     #[test]

@@ -9,6 +9,7 @@ use octopus_auth::{AclStore, AuthServer, IamService, Permission, Scope, TokenSta
 use octopus_broker::{CleanupPolicy, Cluster, TopicConfig};
 use octopus_pattern::Pattern;
 use octopus_trigger::{AutoscalerConfig, FunctionConfig, TriggerRuntime, TriggerSpec};
+use octopus_types::obs::Stage;
 use octopus_types::{Clock, OctoError, OctoResult, Uid, WallClock};
 use octopus_zoo::{CreateMode, ZooService};
 
@@ -113,6 +114,12 @@ impl OwsService {
 
     /// Route a request to its handler.
     pub fn dispatch(&self, req: &Request) -> Response {
+        // end-to-end latency of the whole request (auth + handler),
+        // recorded into the backing cluster's registry
+        self.cluster.stage_metrics().time(Stage::OwsDispatch, || self.dispatch_inner(req))
+    }
+
+    fn dispatch_inner(&self, req: &Request) -> Response {
         let identity = match self.authenticate(req) {
             Ok(id) => id,
             Err(e) => return Response::from_error(&e),
@@ -608,6 +615,17 @@ mod tests {
         let r = ows.dispatch(&Request::new(Method::Delete, "/topic/mine").bearer(mallory));
         assert_eq!(r.status, 403);
         assert!(ows.cluster().topic_exists("mine"));
+    }
+
+    #[test]
+    fn dispatch_latency_lands_in_registry() {
+        let (ows, token, _) = test_ows();
+        ows.dispatch(&put("/topic/t", &token, Value::Null));
+        ows.dispatch(&get("/topics", &token));
+        // even rejected requests are timed
+        ows.dispatch(&Request::new(Method::Get, "/topics"));
+        let snap = ows.cluster().metrics().snapshot();
+        assert_eq!(snap.histograms["octopus_stage_ows_dispatch_ns"].count(), 3);
     }
 
     #[test]

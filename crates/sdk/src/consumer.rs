@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use octopus_broker::Cluster;
+use octopus_types::obs::{now_ns, Stage, TraceContext};
 use octopus_types::{
     DeliveredEvent, OctoError, OctoResult, Offset, PartitionId, Timestamp, TopicName, Uid,
 };
@@ -235,6 +236,11 @@ impl Consumer {
                         }
                         Err(_) => { /* deliver as-is; the app sees raw bytes */ }
                     }
+                }
+                // deliver latency: produce-time (trace header) → now.
+                // End-to-end across threads, so wall-clock based.
+                if let Some(tc) = TraceContext::from_headers(&event.headers) {
+                    self.cluster.stage_metrics().record(Stage::Deliver, tc.elapsed_ns(now_ns()));
                 }
                 out.push(DeliveredEvent {
                     topic: topic.clone(),

@@ -19,6 +19,8 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 
 use octopus_broker::{AckLevel, Cluster, ProduceReceipt, RecordBatch};
+use octopus_types::obs::{Stage, TraceContext};
+use octopus_types::retry::RetryMetrics;
 use octopus_types::{
     codec, Codec, Event, OctoError, OctoResult, PartitionId, Retrier, RetryPolicy, TopicName, Uid,
 };
@@ -129,11 +131,13 @@ impl Producer {
         let (flush_tx, flush_rx) = unbounded::<Sender<()>>();
         let buffered = Arc::new(AtomicUsize::new(0));
         let closed = Arc::new(AtomicBool::new(false));
+        let retrier = Retrier::new(RetryPolicy::new(config.retries, config.retry_backoff))
+            .with_metrics(RetryMetrics::from_registry(cluster.metrics(), "octopus_producer"));
         let worker = SenderWorker {
             rx,
             flush_rx,
             cluster: cluster.clone(),
-            retrier: Retrier::new(RetryPolicy::new(config.retries, config.retry_backoff)),
+            retrier,
             config: config.clone(),
             buffered: buffered.clone(),
             principal,
@@ -156,6 +160,14 @@ impl Producer {
     pub fn send(&self, topic: &str, event: Event) -> OctoResult<DeliveryHandle> {
         if self.closed.load(Ordering::Acquire) {
             return Err(OctoError::Internal("producer closed".into()));
+        }
+        // Stamp the causal trace context at the earliest point of the
+        // path; every downstream stage (broker append, consumer poll,
+        // trigger invoke) reads produce-time from this header. Events
+        // re-published by pipelines keep their original context.
+        let mut event = event;
+        if TraceContext::from_headers(&event.headers).is_none() {
+            event.headers.push(TraceContext::fresh().to_header());
         }
         let event = match self.config.codec {
             Codec::None => event,
@@ -336,6 +348,7 @@ impl SenderWorker {
 
     fn dispatch(&self, topic: &str, partition: PartitionId, batch: OpenBatch) {
         let record_batch = RecordBatch::new(batch.events);
+        let ack_start = Instant::now();
         let result = self.retrier.call(|_attempt| {
             if let Some(p) = self.principal {
                 // per-event authorization shares one check per batch
@@ -346,6 +359,11 @@ impl SenderWorker {
             }
             self.cluster.produce_batch(topic, partition, record_batch.clone(), self.config.acks)
         });
+        // produce→ack covers the whole dispatch including retries —
+        // the client-visible latency of Table III.
+        self.cluster
+            .stage_metrics()
+            .record(Stage::ProduceAck, ack_start.elapsed().as_nanos() as u64);
         let total: usize = batch.reporters.iter().map(|(_, s)| s).sum();
         self.buffered.fetch_sub(total, Ordering::AcqRel);
         match result {
@@ -423,10 +441,11 @@ mod tests {
     fn buffer_memory_bounds_queueing() {
         let c = Cluster::new(2);
         c.create_topic("t", TopicConfig::default()).unwrap();
+        // budget fits two events (payload + trace-header overhead), not three
         let p = Producer::new(
             c,
             ProducerConfig {
-                buffer_memory: 1024,
+                buffer_memory: 1280,
                 linger: Duration::from_secs(60), // keep events buffered
                 ..Default::default()
             },

@@ -31,136 +31,12 @@ impl Counter {
     }
 }
 
-const SUB_BUCKET_BITS: u32 = 6; // 64 sub-buckets per power of two ≈ 1.6% error
-
-/// Log-linear histogram of `u64` values (e.g. latency in nanoseconds).
-///
-/// Values are bucketed into 64 linear sub-buckets per power of two,
-/// bounding relative quantile error at ~1/64. Recording is O(1); memory
-/// is a few KB regardless of value range.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct Histogram {
-    buckets: Vec<u64>,
-    count: u64,
-    sum: u128,
-    min: u64,
-    max: u64,
-}
-
-impl Histogram {
-    /// Empty histogram.
-    pub fn new() -> Self {
-        Histogram { buckets: Vec::new(), count: 0, sum: 0, min: u64::MAX, max: 0 }
-    }
-
-    fn bucket_index(value: u64) -> usize {
-        let v = value.max(1);
-        let msb = 63 - v.leading_zeros();
-        if msb < SUB_BUCKET_BITS {
-            v as usize
-        } else {
-            let shift = msb - SUB_BUCKET_BITS;
-            let sub = (v >> shift) as usize; // in [2^6, 2^7)
-            ((shift as usize + 1) << SUB_BUCKET_BITS) + (sub - (1 << SUB_BUCKET_BITS))
-        }
-    }
-
-    fn bucket_value(index: usize) -> u64 {
-        if index < (1 << SUB_BUCKET_BITS) {
-            index as u64
-        } else {
-            let shift = (index >> SUB_BUCKET_BITS) - 1;
-            let sub = (index & ((1 << SUB_BUCKET_BITS) - 1)) + (1 << SUB_BUCKET_BITS);
-            // representative: midpoint of the bucket
-            ((sub as u64) << shift) + (1u64 << shift) / 2
-        }
-    }
-
-    /// Record a value.
-    pub fn record(&mut self, value: u64) {
-        let idx = Self::bucket_index(value);
-        if idx >= self.buckets.len() {
-            self.buckets.resize(idx + 1, 0);
-        }
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum += value as u128;
-        self.min = self.min.min(value);
-        self.max = self.max.max(value);
-    }
-
-    /// Number of recorded values.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Smallest recorded value (0 if empty).
-    pub fn min(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.min
-        }
-    }
-
-    /// Largest recorded value.
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Arithmetic mean (0.0 if empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Value at quantile `q` in \[0,1\]. Returns 0 for an empty histogram.
-    /// Result is exact to within the bucket width (~1.6% relative).
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let target = ((q * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (idx, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                return Self::bucket_value(idx).clamp(self.min, self.max);
-            }
-        }
-        self.max
-    }
-
-    /// Median, i.e. `quantile(0.5)`.
-    pub fn median(&self) -> u64 {
-        self.quantile(0.5)
-    }
-
-    /// 99th percentile.
-    pub fn p99(&self) -> u64 {
-        self.quantile(0.99)
-    }
-
-    /// Merge another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        if other.buckets.len() > self.buckets.len() {
-            self.buckets.resize(other.buckets.len(), 0);
-        }
-        for (i, &n) in other.buckets.iter().enumerate() {
-            self.buckets[i] += n;
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        if other.count > 0 {
-            self.min = self.min.min(other.min);
-            self.max = self.max.max(other.max);
-        }
-    }
-}
+// The log-linear histogram was promoted to `octopus_types::obs` so the
+// live threaded stack (broker/SDK/trigger) shares one verified
+// implementation with the DES; re-export it so sim callers are
+// unchanged. Its exhaustive edge-case tests live next to the promoted
+// code.
+pub use octopus_types::obs::Histogram;
 
 /// A recorded (time, value) series for regenerating the paper's figures.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -234,62 +110,16 @@ impl TimeSeries {
 mod tests {
     use super::*;
 
+    // The histogram's own edge-case suite moved with it to
+    // `octopus_types::obs`; this smoke test pins the re-export.
     #[test]
-    fn histogram_exact_for_small_values() {
+    fn histogram_reexport_still_works() {
         let mut h = Histogram::new();
         for v in [1u64, 2, 3, 4, 5] {
             h.record(v);
         }
         assert_eq!(h.count(), 5);
-        assert_eq!(h.min(), 1);
-        assert_eq!(h.max(), 5);
         assert_eq!(h.median(), 3);
-        assert_eq!(h.mean(), 3.0);
-    }
-
-    #[test]
-    fn histogram_quantiles_within_bucket_error() {
-        let mut h = Histogram::new();
-        for v in 1..=100_000u64 {
-            h.record(v);
-        }
-        let med = h.median() as f64;
-        assert!((med - 50_000.0).abs() / 50_000.0 < 0.02, "median {med}");
-        let p99 = h.p99() as f64;
-        assert!((p99 - 99_000.0).abs() / 99_000.0 < 0.02, "p99 {p99}");
-    }
-
-    #[test]
-    fn histogram_empty_behaviour() {
-        let h = Histogram::new();
-        assert_eq!(h.median(), 0);
-        assert_eq!(h.min(), 0);
-        assert_eq!(h.mean(), 0.0);
-    }
-
-    #[test]
-    fn histogram_merge() {
-        let mut a = Histogram::new();
-        let mut b = Histogram::new();
-        for v in 1..=50u64 {
-            a.record(v);
-        }
-        for v in 51..=100u64 {
-            b.record(v * 1000); // force different bucket ranges
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), 100);
-        assert_eq!(a.min(), 1);
-        assert_eq!(a.max(), 100_000);
-    }
-
-    #[test]
-    fn quantile_bounded_by_min_max() {
-        let mut h = Histogram::new();
-        h.record(1_000_000);
-        assert_eq!(h.quantile(0.0), 1_000_000);
-        assert_eq!(h.quantile(1.0), 1_000_000);
-        assert_eq!(h.median(), 1_000_000);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use octopus_broker::{AckLevel, Cluster};
 use octopus_pattern::Pattern;
+use octopus_types::obs::{now_ns, Stage, TraceContext};
 use octopus_types::{DeliveredEvent, OctoError, OctoResult, PartitionId, RetryPolicy, Uid};
 
 use crate::autoscaler::{Autoscaler, AutoscalerConfig};
@@ -274,6 +275,8 @@ impl TriggerRuntime {
         let consumed = records.len();
 
         // filter
+        let obs = self.cluster.stage_metrics();
+        let delivery_ns = now_ns();
         let delivered: Vec<DeliveredEvent> = records
             .into_iter()
             .map(|r| DeliveredEvent {
@@ -282,6 +285,12 @@ impl TriggerRuntime {
                 offset: r.offset,
                 append_time: r.append_time,
                 event: r.to_event(),
+            })
+            .inspect(|d| {
+                // producer-stamped trace header → end-to-end delivery latency
+                if let Some(tc) = TraceContext::from_headers(&d.event.headers) {
+                    obs.record(Stage::Deliver, tc.elapsed_ns(delivery_ns));
+                }
             })
             .collect();
         let (matched, filtered): (Vec<DeliveredEvent>, Vec<DeliveredEvent>) =
@@ -327,6 +336,9 @@ impl TriggerRuntime {
             let attempt_start = Instant::now();
             let result = (state.spec.function)(&ctx, batch);
             let elapsed = attempt_start.elapsed();
+            // every attempt lands in the histogram, so retried/timed-out
+            // runs show up in the p99 tail rather than disappearing
+            self.cluster.stage_metrics().record(Stage::TriggerRun, elapsed.as_nanos() as u64);
             if elapsed > Duration::from_millis(state.spec.config.timeout_ms) {
                 outcome = InvocationOutcome::TimedOut;
                 if let Some(d) = backoff.get(attempt as usize) {
@@ -361,8 +373,12 @@ impl TriggerRuntime {
                 // failure, so the DLQ write itself is retried
                 let dlq_policy = RetryPolicy::new(3, Duration::from_millis(2));
                 for d in batch {
+                    let dlq_start = Instant::now();
                     let _ = dlq_policy
                         .run(|_| self.cluster.produce(dlq, d.event.clone(), AckLevel::Leader));
+                    self.cluster
+                        .stage_metrics()
+                        .record(Stage::Dlq, dlq_start.elapsed().as_nanos() as u64);
                 }
                 state.dead_lettered.fetch_add(batch.len() as u64, Ordering::Relaxed);
             }
@@ -601,6 +617,10 @@ mod tests {
         assert_eq!(log.len(), 1);
         assert_eq!(log[0].attempts, 3);
         assert!(matches!(log[0].outcome, InvocationOutcome::Failure(_)));
+        // every attempt and the DLQ write are visible in the registry
+        let snap = c.metrics().snapshot();
+        assert_eq!(snap.histograms["octopus_stage_trigger_run_ns"].count(), 3);
+        assert_eq!(snap.histograms["octopus_stage_dlq_ns"].count(), 1);
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub mod codec;
 pub mod error;
 pub mod event;
 pub mod id;
+pub mod obs;
 pub mod retry;
 pub mod time;
 
@@ -21,6 +22,10 @@ pub use codec::{compress, decompress, Codec};
 pub use error::{OctoError, OctoResult};
 pub use event::{DeliveredEvent, Event, EventBuilder, Header};
 pub use id::Uid;
+pub use obs::{
+    AtomicHistogram, Histogram, MetricsRegistry, RegistrySnapshot, Stage, StageMetrics,
+    TraceContext, TRACE_HEADER,
+};
 pub use retry::{BreakerState, CircuitBreaker, CircuitBreakerConfig, Retrier, RetryPolicy};
 pub use time::{Clock, ManualClock, Timestamp, WallClock};
 

@@ -13,10 +13,11 @@
 //! Retriability is decided by [`OctoError::is_retriable`]; permanent
 //! errors (authorization, validation, routing) surface immediately.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::error::{OctoError, OctoResult};
+use crate::obs::{Counter, MetricsRegistry};
 
 /// Retry schedule: bounded attempts with decorrelated-jitter backoff.
 ///
@@ -259,6 +260,30 @@ impl CircuitBreaker {
     }
 }
 
+/// Registry-backed retry instrumentation shared by all [`Retrier`]s
+/// that register under the same prefix.
+#[derive(Debug, Clone)]
+pub struct RetryMetrics {
+    /// Every operation attempt, first tries included.
+    pub attempts: Arc<Counter>,
+    /// Attempts beyond the first of a logical operation.
+    pub retries: Arc<Counter>,
+    /// Calls rejected fast by an open breaker (the op never ran).
+    pub breaker_rejections: Arc<Counter>,
+}
+
+impl RetryMetrics {
+    /// Resolve the three counters under `prefix` in `registry`
+    /// (`{prefix}_retry_attempts_total` etc.).
+    pub fn from_registry(registry: &MetricsRegistry, prefix: &str) -> Self {
+        RetryMetrics {
+            attempts: registry.counter(&format!("{prefix}_retry_attempts_total")),
+            retries: registry.counter(&format!("{prefix}_retry_retries_total")),
+            breaker_rejections: registry.counter(&format!("{prefix}_retry_breaker_rejections_total")),
+        }
+    }
+}
+
 /// A retry policy guarded by a circuit breaker — the composition every
 /// Octopus client path uses. Retries happen *inside* the breaker call
 /// so one logical operation counts once toward the failure threshold.
@@ -268,17 +293,44 @@ pub struct Retrier {
     pub policy: RetryPolicy,
     /// The breaker guarding the downstream service.
     pub breaker: CircuitBreaker,
+    /// Optional attempt/rejection counters (see [`RetryMetrics`]).
+    pub metrics: Option<RetryMetrics>,
 }
 
 impl Retrier {
     /// A retrier from a policy with a default breaker.
     pub fn new(policy: RetryPolicy) -> Self {
-        Retrier { policy, breaker: CircuitBreaker::default() }
+        Retrier { policy, breaker: CircuitBreaker::default(), metrics: None }
+    }
+
+    /// Attach registry counters; every attempt through [`Retrier::call`]
+    /// is counted from then on.
+    pub fn with_metrics(mut self, metrics: RetryMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Run `op` with retries, fail-fast when the breaker is open.
-    pub fn call<T>(&self, op: impl FnMut(u32) -> OctoResult<T>) -> OctoResult<T> {
-        self.breaker.call(|| self.policy.run(op))
+    pub fn call<T>(&self, mut op: impl FnMut(u32) -> OctoResult<T>) -> OctoResult<T> {
+        let mut ran = false;
+        let result = self.breaker.call(|| {
+            self.policy.run(|attempt| {
+                ran = true;
+                if let Some(m) = &self.metrics {
+                    m.attempts.inc();
+                    if attempt > 0 {
+                        m.retries.inc();
+                    }
+                }
+                op(attempt)
+            })
+        });
+        if !ran {
+            if let Some(m) = &self.metrics {
+                m.breaker_rejections.inc();
+            }
+        }
+        result
     }
 }
 
@@ -416,6 +468,69 @@ mod tests {
         assert!(!b.try_acquire(), "second caller rejected while probing");
         b.on_success();
         assert!(b.try_acquire());
+    }
+
+    #[test]
+    fn no_sleep_after_final_attempt() {
+        // Exhausting every attempt must sleep exactly once per *retry*
+        // (max_attempts - 1 times) — never after the last attempt, which
+        // would add pure dead time to an already-failed operation.
+        for retries in 0..5u32 {
+            let p = RetryPolicy::new(retries, Duration::from_micros(10));
+            let tries = AtomicU32::new(0);
+            let mut sleeps = 0u32;
+            let r: OctoResult<()> = p.run_with_sleep(
+                |_| sleeps += 1,
+                |_| {
+                    tries.fetch_add(1, Ordering::SeqCst);
+                    Err(OctoError::Timeout("slow".into()))
+                },
+            );
+            assert!(r.is_err());
+            let attempts = tries.load(Ordering::SeqCst);
+            assert_eq!(attempts, retries + 1);
+            assert_eq!(sleeps, attempts - 1, "one sleep per retry, none after the final attempt");
+        }
+    }
+
+    #[test]
+    fn registry_counters_match_attempt_counts() {
+        let reg = MetricsRegistry::new();
+        let r = Retrier::new(RetryPolicy::new(3, Duration::from_micros(10)))
+            .with_metrics(RetryMetrics::from_registry(&reg, "test"));
+
+        // 1 logical op exhausting all 4 attempts.
+        let tries = AtomicU32::new(0);
+        let _ = r.call(|_| -> OctoResult<()> {
+            tries.fetch_add(1, Ordering::SeqCst);
+            Err(OctoError::Timeout("slow".into()))
+        });
+        // 1 logical op succeeding on the second attempt.
+        let _ = r.call(|attempt| if attempt == 0 { Err(OctoError::Unavailable("blip".into())) } else { Ok(()) });
+
+        let snap = reg.snapshot();
+        assert_eq!(tries.load(Ordering::SeqCst), 4);
+        assert_eq!(snap.counters["test_retry_attempts_total"], 4 + 2);
+        assert_eq!(snap.counters["test_retry_retries_total"], 3 + 1);
+        assert_eq!(snap.counters["test_retry_breaker_rejections_total"], 0);
+    }
+
+    #[test]
+    fn breaker_rejections_are_counted_not_attempts() {
+        let reg = MetricsRegistry::new();
+        let r = Retrier {
+            policy: RetryPolicy::new(0, Duration::from_micros(10)),
+            breaker: CircuitBreaker::new(CircuitBreakerConfig {
+                failure_threshold: 1,
+                cooldown: Duration::from_secs(60),
+            }),
+            metrics: Some(RetryMetrics::from_registry(&reg, "test")),
+        };
+        let _ = r.call(|_| -> OctoResult<()> { Err(OctoError::Unavailable("down".into())) });
+        let _ = r.call(|_| -> OctoResult<()> { Ok(()) }); // rejected: breaker open
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["test_retry_attempts_total"], 1, "rejected call never ran");
+        assert_eq!(snap.counters["test_retry_breaker_rejections_total"], 1);
     }
 
     #[test]

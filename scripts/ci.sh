@@ -13,10 +13,7 @@ cargo build --release
 echo "==> cargo test --release -q"
 cargo test --release -q
 
-# Lint the crates introduced by the resilience work; the vendored
-# stand-in crates and older crates are exempt until they are cleaned
-# up separately.
-echo "==> cargo clippy (chaos + types)"
-cargo clippy --release --no-deps -p octopus-chaos -p octopus-types -- -D warnings
+echo "==> cargo clippy (workspace)"
+cargo clippy --release --no-deps --workspace -- -D warnings
 
 echo "==> ci green"

@@ -1,0 +1,97 @@
+//! Live-path observability: one pipeline run (SDK producer → broker
+//! append/replication → SDK consumer → trigger runtime → DLQ) must
+//! populate every stage histogram of the cluster's shared registry,
+//! and the text exposition must render them.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use octopus::broker::{AckLevel, Cluster, TopicConfig};
+use octopus::sdk::{Consumer, ConsumerConfig, Producer, ProducerConfig};
+use octopus::trigger::{AutoscalerConfig, FunctionConfig, TriggerRuntime, TriggerSpec};
+use octopus::types::{Event, Stage, TraceContext, Uid, TRACE_HEADER};
+
+#[test]
+fn every_stage_lands_in_one_registry() {
+    let cluster = Cluster::new(3);
+    cluster
+        .create_topic(
+            "events",
+            TopicConfig::default().with_partitions(2).with_replication(3).with_min_insync(2),
+        )
+        .unwrap();
+    cluster.create_topic("events.dlq", TopicConfig::default().with_partitions(1)).unwrap();
+
+    // a trigger that always fails, so the DLQ stage fires too
+    let runtime = TriggerRuntime::new(cluster.clone());
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let attempts2 = attempts.clone();
+    runtime
+        .deploy(TriggerSpec {
+            name: "poison".into(),
+            topic: "events".into(),
+            pattern: None,
+            config: FunctionConfig {
+                retries: 1,
+                dlq_topic: Some("events.dlq".into()),
+                ..FunctionConfig::default()
+            },
+            function: Arc::new(move |_ctx, _batch| {
+                attempts2.fetch_add(1, Ordering::SeqCst);
+                Err("always fails".into())
+            }),
+            acting_as: Uid(1),
+            autoscaler: AutoscalerConfig::default(),
+        })
+        .unwrap();
+
+    let producer = Producer::new(
+        cluster.clone(),
+        ProducerConfig { acks: AckLevel::All, linger: Duration::ZERO, ..ProducerConfig::default() },
+    );
+    for i in 0..20u32 {
+        producer.send_sync("events", Event::from_bytes(i.to_le_bytes().to_vec())).unwrap();
+    }
+    producer.close();
+
+    let mut consumer = Consumer::new(
+        cluster.clone(),
+        ConsumerConfig { group: "observer".into(), ..ConsumerConfig::default() },
+    );
+    consumer.subscribe(&["events"]).unwrap();
+    let mut delivered = Vec::new();
+    while delivered.len() < 20 {
+        delivered.extend(consumer.poll().unwrap());
+    }
+    consumer.close();
+
+    // trace headers survived the broker round-trip
+    assert!(
+        delivered.iter().all(|d| TraceContext::from_headers(&d.event.headers).is_some()),
+        "every delivered event carries a {TRACE_HEADER} header"
+    );
+
+    runtime.poll_once("poison").unwrap();
+    assert!(attempts.load(Ordering::SeqCst) > 0);
+
+    let snap = cluster.metrics().snapshot();
+    for stage in
+        [Stage::ProduceAck, Stage::Append, Stage::Replicate, Stage::Fetch, Stage::Deliver, Stage::TriggerRun, Stage::Dlq]
+    {
+        let h = snap
+            .histograms
+            .get(stage.metric_name())
+            .unwrap_or_else(|| panic!("{} missing from snapshot", stage.metric_name()));
+        assert!(h.count() > 0, "{} recorded no samples", stage.metric_name());
+    }
+
+    // broker flow counters moved with the traffic
+    assert!(snap.counters["octopus_broker_events_in_total"] >= 20);
+    assert!(snap.counters["octopus_broker_events_out_total"] >= 20);
+
+    // the text exposition renders every stage with its quantiles
+    let text = snap.render_text();
+    assert!(text.contains("octopus_stage_produce_ack_ns{stat=\"p99\"}"));
+    assert!(text.contains("octopus_stage_dlq_ns{stat=\"count\"}"));
+}

@@ -301,12 +301,7 @@ fn parse_char_class(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
                 continue;
             }
         }
-        let c = class[i];
-        if c != '-' || i + 1 == class.len() || i == 0 {
-            chars.push(c);
-        } else {
-            chars.push(c);
-        }
+        chars.push(class[i]);
         i += 1;
     }
 

@@ -16,9 +16,10 @@ use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
 use octopus_auth::{AclStore, Permission};
-use octopus_types::obs::{Counter, MetricsRegistry, Stage, StageMetrics};
+use octopus_types::obs::{now_ns, Counter, MetricsRegistry, Stage, StageMetrics, TraceContext};
 use octopus_types::{
-    Clock, Event, OctoError, OctoResult, Offset, PartitionId, Timestamp, TopicName, Uid, WallClock,
+    Clock, Event, OctoError, OctoResult, Offset, PartitionId, SpanSink, Timestamp, TopicName, Uid,
+    WallClock,
 };
 use octopus_zoo::{CreateMode, ZooService};
 
@@ -26,6 +27,8 @@ use crate::broker::{Broker, BrokerId};
 use crate::config::TopicConfig;
 use crate::fault::{DeliveryFault, FaultInjector};
 use crate::group::GroupCoordinator;
+use crate::health::{ClusterHealth, HealthReport, PartitionView};
+use crate::lag::{LagReport, LagTracker};
 use crate::log::PartitionLog;
 use crate::record::{Record, RecordBatch};
 
@@ -140,6 +143,9 @@ struct ClusterInner {
     fault: FaultInjector,
     obs: StageMetrics,
     counters: ClusterCounters,
+    lag: Arc<LagTracker>,
+    health: ClusterHealth,
+    spans: Arc<SpanSink>,
 }
 
 /// A handle to the cluster. Clones share state; safe to use from many
@@ -165,6 +171,7 @@ impl Cluster {
             clock: Arc::new(WallClock),
             fault: None,
             metrics: None,
+            spans: None,
         }
     }
 
@@ -184,6 +191,61 @@ impl Cluster {
     /// Pre-resolved per-stage latency histograms over [`Cluster::metrics`].
     pub fn stage_metrics(&self) -> &StageMetrics {
         &self.inner.obs
+    }
+
+    /// The cluster's span sink. Producer and consumer share it so one
+    /// sampled event yields a complete produce→deliver span tree.
+    pub fn span_sink(&self) -> &Arc<SpanSink> {
+        &self.inner.spans
+    }
+
+    /// The consumer-lag tracker (fed by the append and commit paths).
+    pub fn lag_tracker(&self) -> &Arc<LagTracker> {
+        &self.inner.lag
+    }
+
+    /// Lag report for a consumer group, or `NotFound` if the group has
+    /// never committed an offset.
+    pub fn lag_report(&self, group: &str) -> OctoResult<LagReport> {
+        self.inner
+            .lag
+            .report(group)
+            .ok_or_else(|| OctoError::NotFound(format!("group {group} has no committed offsets")))
+    }
+
+    /// Re-classify cluster health from current metadata and return the
+    /// report (the body of OWS `GET /health`).
+    pub fn health_report(&self) -> HealthReport {
+        self.refresh_health("probe")
+    }
+
+    /// Current Green/Yellow/Red rollup without recomputing.
+    pub fn health_status(&self) -> crate::health::HealthStatus {
+        self.inner.health.status()
+    }
+
+    /// Snapshot partition metadata and broker liveness, feed the health
+    /// model, and publish the gauges. `reason` lands in the timeline
+    /// when the status changes.
+    pub fn refresh_health(&self, reason: &str) -> HealthReport {
+        let alive: Vec<bool> = self.inner.brokers.iter().map(|b| b.is_alive()).collect();
+        let views: Vec<PartitionView> = {
+            let topics = self.inner.topics.read();
+            let mut v: Vec<PartitionView> = topics
+                .iter()
+                .flat_map(|(name, meta)| {
+                    meta.partitions.iter().enumerate().map(move |(p, pm)| PartitionView {
+                        topic: name.clone(),
+                        partition: p as u32,
+                        replicas: pm.replicas.iter().map(|b| b.0).collect(),
+                        isr: pm.isr.iter().map(|b| b.0).collect(),
+                    })
+                })
+                .collect();
+            v.sort_by(|a, b| (&a.topic, a.partition).cmp(&(&b.topic, b.partition)));
+            v
+        };
+        self.inner.health.refresh(now_ns(), &alive, &views, reason)
     }
 
     fn now(&self) -> Timestamp {
@@ -271,6 +333,8 @@ impl Cluster {
         if let Some(zoo) = &self.inner.zoo {
             let _ = zoo.delete(&format!("/octopus/topics/{name}"), None);
         }
+        self.inner.lag.forget_topic(name);
+        self.refresh_health(&format!("delete_topic({name})"));
         Ok(())
     }
 
@@ -439,14 +503,33 @@ impl Cluster {
         let log = leader_broker
             .log(topic, partition)
             .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
+        // One trace context represents the whole batch (the producer
+        // stamps every event; the first sampled one wins). Only scanned
+        // when tracing is on — the default disabled sink costs nothing.
+        let traced = if self.inner.spans.is_enabled() {
+            batch
+                .events
+                .iter()
+                .find_map(|e| TraceContext::from_headers(&e.headers))
+                .filter(|tc| self.inner.spans.sampled(tc.trace_id))
+        } else {
+            None
+        };
         let append_start = Instant::now();
+        let append_wall = now_ns();
         let base = log.lock().append(batch, now)?;
-        self.inner.obs.record(Stage::Append, append_start.elapsed().as_nanos() as u64);
+        let append_ns = append_start.elapsed().as_nanos() as u64;
+        self.inner.obs.record(Stage::Append, append_ns);
+        if let Some(tc) = &traced {
+            self.inner.spans.record_stage(tc, Stage::Append, append_wall, append_wall + append_ns);
+        }
+        self.inner.lag.on_append(topic, partition, base + batch.len() as u64);
         // synchronous replication to in-sync followers; failures shrink
         // the ISR (Kafka's leader removes laggards from the ISR). A
         // severed leader↔follower link looks exactly like a dead
         // follower from the leader's point of view.
         let replicate_start = Instant::now();
+        let replicate_wall = now_ns();
         let mut new_isr = vec![leader];
         let mut replicated = false;
         for replica in &isr {
@@ -465,10 +548,20 @@ impl Cluster {
             }
         }
         if replicated {
-            self.inner.obs.record(Stage::Replicate, replicate_start.elapsed().as_nanos() as u64);
+            let replicate_ns = replicate_start.elapsed().as_nanos() as u64;
+            self.inner.obs.record(Stage::Replicate, replicate_ns);
+            if let Some(tc) = &traced {
+                self.inner.spans.record_stage(
+                    tc,
+                    Stage::Replicate,
+                    replicate_wall,
+                    replicate_wall + replicate_ns,
+                );
+            }
         }
         if new_isr.len() != isr.len() {
             self.set_isr(topic, partition, new_isr.clone())?;
+            self.refresh_health("isr_shrink");
         }
         if acks == AckLevel::All && (new_isr.len() as u32) < min_isr {
             return Err(OctoError::NotEnoughReplicas {
@@ -506,6 +599,7 @@ impl Cluster {
             }
             self.failover(topic, partition)?;
             self.inner.counters.failovers.inc();
+            self.refresh_health(&format!("failover({topic}/{partition})"));
             failovers += 1;
         }
     }
@@ -529,6 +623,7 @@ impl Cluster {
         max_records: usize,
     ) -> OctoResult<Vec<Record>> {
         let fetch_start = Instant::now();
+        let fetch_wall = now_ns();
         let (leader, _, _) = self.resolve_live_leader(topic, partition)?;
         let broker = &self.inner.brokers[leader.0 as usize];
         let penalty = self.inner.fault.service_penalty(leader);
@@ -559,7 +654,17 @@ impl Cluster {
         let out = log.lock().read(offset, max_records)?;
         // The fetch stage includes injected penalties/delays on purpose:
         // degraded-broker chaos must be visible in the p99.
-        self.inner.obs.record(Stage::Fetch, fetch_start.elapsed().as_nanos() as u64);
+        let fetch_ns = fetch_start.elapsed().as_nanos() as u64;
+        self.inner.obs.record(Stage::Fetch, fetch_ns);
+        if self.inner.spans.is_enabled() {
+            if let Some(tc) = out
+                .iter()
+                .find_map(|r| TraceContext::from_headers(&r.headers))
+                .filter(|tc| self.inner.spans.sampled(tc.trace_id))
+            {
+                self.inner.spans.record_stage(&tc, Stage::Fetch, fetch_wall, fetch_wall + fetch_ns);
+            }
+        }
         if !out.is_empty() {
             let bytes = out.iter().map(|r| r.wire_size() as u64).sum::<u64>();
             let cells = self.topic_cells(topic);
@@ -699,6 +804,7 @@ impl Cluster {
             return Err(OctoError::Conflict(format!("broker {} is already dead", id.0)));
         }
         broker.kill();
+        self.refresh_health(&format!("kill_broker({})", id.0));
         Ok(())
     }
 
@@ -718,7 +824,9 @@ impl Cluster {
             }
         }
         broker.restart();
-        self.resync_broker(id)
+        self.resync_broker(id)?;
+        self.refresh_health(&format!("restart_broker({})", id.0));
+        Ok(())
     }
 
     /// Resync a live broker's replicas from their current leaders and
@@ -755,6 +863,7 @@ impl Cluster {
                 }
             }
         }
+        self.refresh_health(&format!("resync_broker({})", id.0));
         Ok(())
     }
 
@@ -855,6 +964,7 @@ pub struct ClusterBuilder {
     clock: Arc<dyn Clock>,
     fault: Option<FaultInjector>,
     metrics: Option<Arc<MetricsRegistry>>,
+    spans: Option<Arc<SpanSink>>,
 }
 
 impl ClusterBuilder {
@@ -892,6 +1002,13 @@ impl ClusterBuilder {
         self
     }
 
+    /// Record causal spans into `sink` (share one sink with producers
+    /// and consumers for complete trees; defaults to a disabled sink).
+    pub fn spans(mut self, sink: Arc<SpanSink>) -> Self {
+        self.spans = Some(sink);
+        self
+    }
+
     /// Build the cluster.
     pub fn build(self) -> Cluster {
         assert!(self.broker_count > 0, "cluster needs at least one broker");
@@ -900,12 +1017,14 @@ impl ClusterBuilder {
             .collect();
         let registry = self.metrics.unwrap_or_else(MetricsRegistry::shared);
         let counters = ClusterCounters::new(&registry);
+        let lag = Arc::new(LagTracker::new(Arc::clone(&registry)));
+        let health = ClusterHealth::new(Arc::clone(&registry));
         Cluster {
             inner: Arc::new(ClusterInner {
                 brokers,
                 topics: RwLock::new(HashMap::new()),
                 stats: RwLock::new(HashMap::new()),
-                groups: GroupCoordinator::new(),
+                groups: GroupCoordinator::with_lag_tracker(Arc::clone(&lag)),
                 acl: self.acl,
                 zoo: self.zoo,
                 clock: self.clock,
@@ -913,6 +1032,9 @@ impl ClusterBuilder {
                 fault: self.fault.unwrap_or_default(),
                 obs: StageMetrics::new(registry),
                 counters,
+                lag,
+                health,
+                spans: self.spans.unwrap_or_else(|| Arc::new(SpanSink::disabled())),
             }),
         }
     }

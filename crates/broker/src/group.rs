@@ -15,6 +15,8 @@ use serde::{Deserialize, Serialize};
 
 use octopus_types::{OctoError, OctoResult, Offset, PartitionId, TopicName};
 
+use crate::lag::LagTracker;
+
 /// A member's view of its assignment after a (re)join.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemberAssignment {
@@ -102,12 +104,20 @@ impl GroupState {
 #[derive(Clone, Default)]
 pub struct GroupCoordinator {
     groups: Arc<Mutex<HashMap<String, GroupState>>>,
+    /// Lag tracker to notify on every commit, so the lag gauges narrow
+    /// the moment a consumer makes progress (not on the next scrape).
+    lag: Option<Arc<LagTracker>>,
 }
 
 impl GroupCoordinator {
     /// Empty coordinator.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A coordinator that reports every commit to `lag`.
+    pub fn with_lag_tracker(lag: Arc<LagTracker>) -> Self {
+        GroupCoordinator { groups: Arc::default(), lag: Some(lag) }
     }
 
     /// Join (or re-join) a group, triggering a rebalance. Returns this
@@ -195,6 +205,11 @@ impl GroupCoordinator {
         // wants to move backwards uses `commit_unchecked`.
         let slot = state.offsets.entry((topic.to_string(), partition)).or_insert(offset);
         *slot = (*slot).max(offset);
+        let committed = *slot;
+        drop(groups); // never notify observers under the group lock
+        if let Some(lag) = &self.lag {
+            lag.on_commit(group, topic, partition, committed, None);
+        }
         Ok(())
     }
 
@@ -204,6 +219,10 @@ impl GroupCoordinator {
         let mut groups = self.groups.lock();
         let state = groups.entry(group.to_string()).or_default();
         state.offsets.insert((topic.to_string(), partition), offset);
+        drop(groups);
+        if let Some(lag) = &self.lag {
+            lag.on_commit(group, topic, partition, offset, None);
+        }
     }
 
     /// The committed offset of a partition, if any.

@@ -1,0 +1,417 @@
+//! Cluster health model: partition classification, ISR transition
+//! counting, and a Green/Yellow/Red rollup with a queryable timeline.
+//!
+//! The paper's operators watch MSK cluster health dashboards to keep
+//! five live applications running (§IV–V); this module is the
+//! in-process equivalent. Each partition is classified from the same
+//! metadata the produce path uses (replica set, ISR, broker liveness):
+//!
+//! * **Healthy** — every assigned replica is in the ISR and alive.
+//! * **UnderReplicated** — a live ISR exists but is smaller than the
+//!   replica set (a replica is dead or evicted).
+//! * **Offline** — no live ISR member: the partition cannot accept
+//!   writes until a broker recovers.
+//!
+//! The rollup is deliberately coarse — Green (all healthy), Yellow
+//! (degraded but every partition writable), Red (at least one offline
+//! partition) — because that is the granularity operators act on. Every
+//! status change is appended to a bounded timeline so a chaos run can
+//! show Green→Red→Green with the fault window that caused it.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use octopus_types::{MetricsRegistry, PartitionId, TopicName};
+
+/// Coarse status an operator (or the chaos oracle) acts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HealthStatus {
+    /// Every partition fully replicated, every broker alive.
+    Green,
+    /// Degraded (dead broker or shrunken ISR) but all partitions writable.
+    Yellow,
+    /// At least one partition has no live replica.
+    Red,
+}
+
+impl HealthStatus {
+    /// Gauge encoding: 0 green, 1 yellow, 2 red.
+    pub fn as_gauge(self) -> i64 {
+        match self {
+            HealthStatus::Green => 0,
+            HealthStatus::Yellow => 1,
+            HealthStatus::Red => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for HealthStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            HealthStatus::Green => "green",
+            HealthStatus::Yellow => "yellow",
+            HealthStatus::Red => "red",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-partition classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionHealth {
+    /// Full ISR, all replicas alive.
+    Healthy,
+    /// Live ISR smaller than the replica set.
+    UnderReplicated,
+    /// No live ISR member; writes are refused.
+    Offline,
+}
+
+/// What the classifier needs to know about one partition — a plain
+/// snapshot of cluster metadata, so the model never holds cluster locks.
+#[derive(Debug, Clone)]
+pub struct PartitionView {
+    /// Topic name.
+    pub topic: TopicName,
+    /// Partition index.
+    pub partition: PartitionId,
+    /// Assigned replica broker ids.
+    pub replicas: Vec<u32>,
+    /// Current in-sync replica broker ids.
+    pub isr: Vec<u32>,
+}
+
+/// Identifies a partition in reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionRef {
+    /// Topic name.
+    pub topic: TopicName,
+    /// Partition index.
+    pub partition: PartitionId,
+}
+
+/// One broker's rollup in a report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BrokerHealth {
+    /// Broker id.
+    pub id: u32,
+    /// Whether the broker process is up.
+    pub alive: bool,
+    /// Red when dead, Yellow when it hosts a degraded partition.
+    pub status: HealthStatus,
+}
+
+/// One edge in the status timeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthTransition {
+    /// Wall-clock nanoseconds of the observation.
+    pub at_ns: u64,
+    /// Status before.
+    pub from: HealthStatus,
+    /// Status after.
+    pub to: HealthStatus,
+    /// What triggered the refresh (e.g. `"kill_broker(1)"`).
+    pub reason: String,
+}
+
+/// Queryable health summary (the body of OWS `GET /health`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Cluster-level rollup.
+    pub status: HealthStatus,
+    /// Per-broker rollups, by id.
+    pub brokers: Vec<BrokerHealth>,
+    /// Total partitions classified.
+    pub partitions_total: usize,
+    /// Count of healthy partitions.
+    pub healthy: usize,
+    /// Partitions with a shrunken (but live) ISR.
+    pub under_replicated: Vec<PartitionRef>,
+    /// Partitions with no live replica.
+    pub offline: Vec<PartitionRef>,
+    /// Cumulative ISR shrink transitions observed.
+    pub isr_shrinks: u64,
+    /// Cumulative ISR expand transitions observed.
+    pub isr_expands: u64,
+    /// Recent status transitions, oldest first.
+    pub timeline: Vec<HealthTransition>,
+}
+
+/// Timeline entries kept; chaos runs produce a handful, so this is a
+/// guard against a pathological flapping loop, not a tuning knob.
+const TIMELINE_CAP: usize = 256;
+
+#[derive(Debug)]
+struct HealthState {
+    status: HealthStatus,
+    prev_isr_len: HashMap<(TopicName, PartitionId), usize>,
+    isr_shrinks: u64,
+    isr_expands: u64,
+    timeline: Vec<HealthTransition>,
+}
+
+/// Continuous health classifier. Owned by the cluster; refreshed on
+/// every membership-changing operation and on demand by `GET /health`.
+#[derive(Debug)]
+pub struct ClusterHealth {
+    state: Mutex<HealthState>,
+    registry: Arc<MetricsRegistry>,
+}
+
+impl ClusterHealth {
+    /// A model publishing into `registry`. A fresh cluster is Green.
+    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
+        ClusterHealth {
+            state: Mutex::new(HealthState {
+                status: HealthStatus::Green,
+                prev_isr_len: HashMap::new(),
+                isr_shrinks: 0,
+                isr_expands: 0,
+                timeline: Vec::new(),
+            }),
+            registry,
+        }
+    }
+
+    /// Current rollup without recomputing.
+    pub fn status(&self) -> HealthStatus {
+        self.state.lock().status
+    }
+
+    /// Classify the cluster from a metadata snapshot. `alive[i]` is
+    /// broker *i*'s liveness; `views` one entry per partition. Updates
+    /// gauges, ISR transition counters, and the timeline; returns the
+    /// full report.
+    pub fn refresh(
+        &self,
+        now_ns: u64,
+        alive: &[bool],
+        views: &[PartitionView],
+        reason: &str,
+    ) -> HealthReport {
+        let is_alive = |id: u32| alive.get(id as usize).copied().unwrap_or(false);
+
+        let mut healthy = 0usize;
+        let mut under_replicated = Vec::new();
+        let mut offline = Vec::new();
+        // brokers hosting a degraded partition (for the per-broker rollup)
+        let mut degraded_hosts: Vec<u32> = Vec::new();
+
+        let mut st = self.state.lock();
+        for v in views {
+            let live_isr = v.isr.iter().filter(|&&b| is_alive(b)).count();
+            let class = if live_isr == 0 {
+                PartitionHealth::Offline
+            } else if live_isr < v.replicas.len() || v.isr.len() < v.replicas.len() {
+                PartitionHealth::UnderReplicated
+            } else {
+                PartitionHealth::Healthy
+            };
+            match class {
+                PartitionHealth::Healthy => healthy += 1,
+                PartitionHealth::UnderReplicated => {
+                    degraded_hosts.extend(v.replicas.iter().copied());
+                    under_replicated
+                        .push(PartitionRef { topic: v.topic.clone(), partition: v.partition });
+                }
+                PartitionHealth::Offline => {
+                    degraded_hosts.extend(v.replicas.iter().copied());
+                    offline.push(PartitionRef { topic: v.topic.clone(), partition: v.partition });
+                }
+            }
+
+            // ISR shrink/expand accounting against the last observation
+            let key = (v.topic.clone(), v.partition);
+            let cur = v.isr.iter().filter(|&&b| is_alive(b)).count();
+            match st.prev_isr_len.get(&key) {
+                Some(&prev) if cur < prev => st.isr_shrinks += 1,
+                Some(&prev) if cur > prev => st.isr_expands += 1,
+                _ => {}
+            }
+            st.prev_isr_len.insert(key, cur);
+        }
+        // forget partitions that no longer exist (topic deletion)
+        st.prev_isr_len
+            .retain(|k, _| views.iter().any(|v| v.topic == k.0 && v.partition == k.1));
+
+        let any_dead = alive.iter().any(|a| !a);
+        let status = if !offline.is_empty() {
+            HealthStatus::Red
+        } else if !under_replicated.is_empty() || any_dead {
+            HealthStatus::Yellow
+        } else {
+            HealthStatus::Green
+        };
+
+        if status != st.status {
+            if st.timeline.len() >= TIMELINE_CAP {
+                st.timeline.remove(0);
+            }
+            let from = st.status;
+            st.timeline.push(HealthTransition {
+                at_ns: now_ns,
+                from,
+                to: status,
+                reason: reason.to_string(),
+            });
+            st.status = status;
+        }
+
+        let brokers: Vec<BrokerHealth> = alive
+            .iter()
+            .enumerate()
+            .map(|(i, &up)| BrokerHealth {
+                id: i as u32,
+                alive: up,
+                status: if !up {
+                    HealthStatus::Red
+                } else if degraded_hosts.contains(&(i as u32)) {
+                    HealthStatus::Yellow
+                } else {
+                    HealthStatus::Green
+                },
+            })
+            .collect();
+
+        let report = HealthReport {
+            status,
+            brokers,
+            partitions_total: views.len(),
+            healthy,
+            under_replicated,
+            offline,
+            isr_shrinks: st.isr_shrinks,
+            isr_expands: st.isr_expands,
+            timeline: st.timeline.clone(),
+        };
+        drop(st);
+
+        self.registry.gauge("octopus_cluster_health_status").set(status.as_gauge());
+        self.registry
+            .gauge("octopus_partitions_under_replicated")
+            .set(report.under_replicated.len() as i64);
+        self.registry
+            .gauge("octopus_partitions_offline")
+            .set(report.offline.len() as i64);
+        self.sync_counter("octopus_isr_shrink_total", report.isr_shrinks);
+        self.sync_counter("octopus_isr_expand_total", report.isr_expands);
+
+        report
+    }
+
+    /// Status transitions observed so far, oldest first.
+    pub fn timeline(&self) -> Vec<HealthTransition> {
+        self.state.lock().timeline.clone()
+    }
+
+    /// Counters are monotonic; top the registry counter up to `target`
+    /// rather than re-adding the cumulative total every refresh.
+    fn sync_counter(&self, name: &str, target: u64) {
+        let c = self.registry.counter(name);
+        let cur = c.get();
+        if target > cur {
+            c.add(target - cur);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> (ClusterHealth, Arc<MetricsRegistry>) {
+        let reg = Arc::new(MetricsRegistry::new());
+        (ClusterHealth::new(Arc::clone(&reg)), reg)
+    }
+
+    fn view(topic: &str, p: u32, replicas: &[u32], isr: &[u32]) -> PartitionView {
+        PartitionView {
+            topic: topic.to_string(),
+            partition: p,
+            replicas: replicas.to_vec(),
+            isr: isr.to_vec(),
+        }
+    }
+
+    #[test]
+    fn all_healthy_is_green() {
+        let (h, reg) = model();
+        let r = h.refresh(1, &[true, true], &[view("t", 0, &[0, 1], &[0, 1])], "boot");
+        assert_eq!(r.status, HealthStatus::Green);
+        assert_eq!(r.healthy, 1);
+        assert!(r.timeline.is_empty(), "green→green is not a transition");
+        assert_eq!(reg.gauge("octopus_cluster_health_status").get(), 0);
+    }
+
+    #[test]
+    fn dead_replica_is_yellow_dead_leaderless_is_red() {
+        let (h, reg) = model();
+        h.refresh(1, &[true, true], &[view("t", 0, &[0, 1], &[0, 1])], "boot");
+        // broker 1 dies: partition under-replicated, cluster yellow
+        let r = h.refresh(2, &[true, false], &[view("t", 0, &[0, 1], &[0, 1])], "kill(1)");
+        assert_eq!(r.status, HealthStatus::Yellow);
+        assert_eq!(r.under_replicated.len(), 1);
+        assert_eq!(r.brokers[1].status, HealthStatus::Red);
+        assert_eq!(r.brokers[0].status, HealthStatus::Yellow);
+        // broker 0 dies too: no live ISR anywhere → red
+        let r = h.refresh(3, &[false, false], &[view("t", 0, &[0, 1], &[0, 1])], "kill(0)");
+        assert_eq!(r.status, HealthStatus::Red);
+        assert_eq!(r.offline.len(), 1);
+        assert_eq!(reg.gauge("octopus_partitions_offline").get(), 1);
+        // recovery back to green, with the full path in the timeline
+        let r = h.refresh(4, &[true, true], &[view("t", 0, &[0, 1], &[0, 1])], "restart");
+        assert_eq!(r.status, HealthStatus::Green);
+        let path: Vec<(HealthStatus, HealthStatus)> =
+            r.timeline.iter().map(|t| (t.from, t.to)).collect();
+        assert_eq!(
+            path,
+            vec![
+                (HealthStatus::Green, HealthStatus::Yellow),
+                (HealthStatus::Yellow, HealthStatus::Red),
+                (HealthStatus::Red, HealthStatus::Green),
+            ]
+        );
+    }
+
+    #[test]
+    fn shrunken_isr_with_live_brokers_is_yellow() {
+        let (h, _) = model();
+        // both brokers alive but replica 1 fell out of the ISR
+        let r = h.refresh(1, &[true, true], &[view("t", 0, &[0, 1], &[0])], "lag");
+        assert_eq!(r.status, HealthStatus::Yellow);
+        assert_eq!(r.under_replicated.len(), 1);
+    }
+
+    #[test]
+    fn isr_transitions_are_counted() {
+        let (h, reg) = model();
+        h.refresh(1, &[true, true], &[view("t", 0, &[0, 1], &[0, 1])], "boot");
+        h.refresh(2, &[true, true], &[view("t", 0, &[0, 1], &[0])], "shrink");
+        h.refresh(3, &[true, true], &[view("t", 0, &[0, 1], &[0, 1])], "expand");
+        let r = h.refresh(4, &[true, true], &[view("t", 0, &[0, 1], &[0, 1])], "steady");
+        assert_eq!(r.isr_shrinks, 1);
+        assert_eq!(r.isr_expands, 1);
+        assert_eq!(reg.snapshot().counters["octopus_isr_shrink_total"], 1);
+        assert_eq!(reg.snapshot().counters["octopus_isr_expand_total"], 1);
+    }
+
+    #[test]
+    fn dead_broker_with_no_partitions_is_still_yellow() {
+        let (h, _) = model();
+        let r = h.refresh(1, &[true, false], &[], "kill(1)");
+        assert_eq!(r.status, HealthStatus::Yellow);
+        assert_eq!(r.brokers[1].status, HealthStatus::Red);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let (h, _) = model();
+        let r = h.refresh(1, &[true], &[view("t", 0, &[0], &[0])], "boot");
+        let json = serde_json::to_string(&r).unwrap();
+        let back: HealthReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,320 @@
+//! Consumer-lag tracking: log-end offsets vs committed offsets.
+//!
+//! The paper's operators watch per-application consumer lag to decide
+//! when trigger concurrency must scale (§V); this module derives that
+//! signal inside the broker, where both halves of the subtraction are
+//! authoritative: the partition log-end offset (advanced on every
+//! append) and each group's committed offset (advanced on every
+//! commit). Lag is published two ways — as per-group × per-partition
+//! gauges (`octopus_consumer_lag{...}`) plus a max-lag rollup per group
+//! (`octopus_consumer_group_max_lag{...}`), and as a queryable
+//! [`LagReport`] served by OWS `GET /lag/{group}`.
+//!
+//! Committed offsets live in the group coordinator and *survive
+//! rebalances* (a generation bump must not reset lag to the log end);
+//! the tracker therefore only ever widens or narrows the window, never
+//! forgets a commit.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use octopus_types::obs::labeled;
+use octopus_types::{MetricsRegistry, Offset, PartitionId, TopicName};
+
+/// Lag of one group on one partition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionLag {
+    /// Topic name.
+    pub topic: TopicName,
+    /// Partition index.
+    pub partition: PartitionId,
+    /// Log-end offset (next offset to be written).
+    pub end: Offset,
+    /// Group's committed offset (next offset to be consumed).
+    pub committed: Offset,
+    /// `end − committed`, saturating.
+    pub lag: u64,
+}
+
+/// Point-in-time lag summary for one consumer group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LagReport {
+    /// Group id.
+    pub group: String,
+    /// Sum of per-partition lags.
+    pub total: u64,
+    /// Largest single-partition lag.
+    pub max: u64,
+    /// Per-partition detail, sorted by (topic, partition).
+    pub partitions: Vec<PartitionLag>,
+}
+
+#[derive(Debug, Default)]
+struct LagState {
+    /// Log-end offset per partition (from the append path).
+    ends: HashMap<(TopicName, PartitionId), Offset>,
+    /// Committed offset per group per partition (from the commit path).
+    committed: HashMap<String, HashMap<(TopicName, PartitionId), Offset>>,
+}
+
+/// Derives and publishes consumer lag. One instance per cluster,
+/// shared between the partition append path and the group coordinator.
+#[derive(Debug)]
+pub struct LagTracker {
+    state: Mutex<LagState>,
+    registry: Arc<MetricsRegistry>,
+}
+
+impl LagTracker {
+    /// Tracker publishing into `registry`.
+    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
+        LagTracker { state: Mutex::new(LagState::default()), registry }
+    }
+
+    /// Note a new log-end offset for a partition (call after every
+    /// append). Refreshes the lag gauges of every group consuming it.
+    pub fn on_append(&self, topic: &str, partition: PartitionId, end: Offset) {
+        let mut st = self.state.lock();
+        let key = (topic.to_string(), partition);
+        let slot = st.ends.entry(key.clone()).or_insert(0);
+        // log ends only move forward; a stale reader must not regress
+        // the gauge
+        if end <= *slot && *slot != 0 {
+            return;
+        }
+        *slot = (*slot).max(end);
+        let groups: Vec<String> = st
+            .committed
+            .iter()
+            .filter(|(_, parts)| parts.contains_key(&key))
+            .map(|(g, _)| g.clone())
+            .collect();
+        for group in groups {
+            self.publish(&st, &group, &key);
+        }
+        drop(st);
+    }
+
+    /// Note a committed offset for a group (call on every commit).
+    /// `end_hint` lets callers who already know the log end seed it, so
+    /// lag is correct even for partitions that have seen no append
+    /// since the tracker was created.
+    pub fn on_commit(
+        &self,
+        group: &str,
+        topic: &str,
+        partition: PartitionId,
+        offset: Offset,
+        end_hint: Option<Offset>,
+    ) {
+        let mut st = self.state.lock();
+        let key = (topic.to_string(), partition);
+        if let Some(end) = end_hint {
+            let slot = st.ends.entry(key.clone()).or_insert(0);
+            *slot = (*slot).max(end);
+        }
+        let slot = st
+            .committed
+            .entry(group.to_string())
+            .or_default()
+            .entry(key.clone())
+            .or_insert(0);
+        // commits are monotonic (matching the coordinator's rule)
+        *slot = (*slot).max(offset);
+        self.publish(&st, group, &key);
+    }
+
+    /// Drop all state for a topic (topic deletion); zeroes the affected
+    /// gauges so the exposition does not report lag against a log that
+    /// no longer exists.
+    pub fn forget_topic(&self, topic: &str) {
+        let mut st = self.state.lock();
+        st.ends.retain(|(t, _), _| t != topic);
+        let mut touched: Vec<(String, (TopicName, PartitionId))> = Vec::new();
+        for (group, parts) in st.committed.iter_mut() {
+            parts.retain(|(t, p), _| {
+                if t == topic {
+                    touched.push((group.clone(), (t.clone(), *p)));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        for (group, key) in &touched {
+            self.gauge(group, key).set(0);
+        }
+        let groups: Vec<String> =
+            touched.into_iter().map(|(g, _)| g).collect();
+        for group in groups {
+            self.rollup(&st, &group);
+        }
+    }
+
+    /// Current lag report for `group`, or `None` if the group has never
+    /// committed.
+    pub fn report(&self, group: &str) -> Option<LagReport> {
+        let st = self.state.lock();
+        let parts = st.committed.get(group)?;
+        let mut partitions: Vec<PartitionLag> = parts
+            .iter()
+            .map(|(key, &committed)| {
+                let end = st.ends.get(key).copied().unwrap_or(committed);
+                PartitionLag {
+                    topic: key.0.clone(),
+                    partition: key.1,
+                    end,
+                    committed,
+                    lag: end.saturating_sub(committed),
+                }
+            })
+            .collect();
+        partitions.sort_by(|a, b| (&a.topic, a.partition).cmp(&(&b.topic, b.partition)));
+        Some(LagReport {
+            group: group.to_string(),
+            total: partitions.iter().map(|p| p.lag).sum(),
+            max: partitions.iter().map(|p| p.lag).max().unwrap_or(0),
+            partitions,
+        })
+    }
+
+    /// Groups the tracker knows about (those that have committed).
+    pub fn groups(&self) -> Vec<String> {
+        let st = self.state.lock();
+        let mut gs: Vec<String> = st.committed.keys().cloned().collect();
+        gs.sort();
+        gs
+    }
+
+    fn gauge(&self, group: &str, key: &(TopicName, PartitionId)) -> Arc<octopus_types::obs::Gauge> {
+        self.registry.gauge(&labeled(
+            "octopus_consumer_lag",
+            &[
+                ("group", group),
+                ("topic", &key.0),
+                ("partition", &key.1.to_string()),
+            ],
+        ))
+    }
+
+    /// Refresh the per-partition gauge and the group rollup for one
+    /// (group, partition) pair. Caller holds the state lock.
+    fn publish(&self, st: &LagState, group: &str, key: &(TopicName, PartitionId)) {
+        let end = st.ends.get(key).copied().unwrap_or(0);
+        let committed = st
+            .committed
+            .get(group)
+            .and_then(|parts| parts.get(key))
+            .copied()
+            .unwrap_or(0);
+        self.gauge(group, key).set(end.saturating_sub(committed) as i64);
+        self.rollup(st, group);
+    }
+
+    /// Recompute the max-lag rollup gauge for `group`. Caller holds the
+    /// state lock.
+    fn rollup(&self, st: &LagState, group: &str) {
+        let max = st
+            .committed
+            .get(group)
+            .map(|parts| {
+                parts
+                    .iter()
+                    .map(|(key, &committed)| {
+                        let end = st.ends.get(key).copied().unwrap_or(committed);
+                        end.saturating_sub(committed)
+                    })
+                    .max()
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0);
+        self.registry
+            .gauge(&labeled("octopus_consumer_group_max_lag", &[("group", group)]))
+            .set(max as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> (LagTracker, Arc<MetricsRegistry>) {
+        let reg = Arc::new(MetricsRegistry::new());
+        (LagTracker::new(Arc::clone(&reg)), reg)
+    }
+
+    fn lag_gauge(reg: &MetricsRegistry, group: &str, topic: &str, p: u32) -> i64 {
+        reg.gauge(&labeled(
+            "octopus_consumer_lag",
+            &[("group", group), ("topic", topic), ("partition", &p.to_string())],
+        ))
+        .get()
+    }
+
+    fn max_gauge(reg: &MetricsRegistry, group: &str) -> i64 {
+        reg.gauge(&labeled("octopus_consumer_group_max_lag", &[("group", group)])).get()
+    }
+
+    #[test]
+    fn lag_rises_on_append_and_converges_on_commit() {
+        let (t, reg) = tracker();
+        t.on_commit("g", "orders", 0, 0, None);
+        t.on_append("orders", 0, 10);
+        assert_eq!(lag_gauge(&reg, "g", "orders", 0), 10);
+        assert_eq!(max_gauge(&reg, "g"), 10);
+        t.on_commit("g", "orders", 0, 10, None);
+        assert_eq!(lag_gauge(&reg, "g", "orders", 0), 0);
+        assert_eq!(max_gauge(&reg, "g"), 0);
+        let r = t.report("g").unwrap();
+        assert_eq!(r.total, 0);
+        assert_eq!(r.partitions[0].end, 10);
+        assert_eq!(r.partitions[0].committed, 10);
+    }
+
+    #[test]
+    fn commits_are_monotonic_and_ends_never_regress() {
+        let (t, reg) = tracker();
+        t.on_append("t", 0, 100);
+        t.on_commit("g", "t", 0, 40, None);
+        // a stale commit must not widen the gauge again
+        t.on_commit("g", "t", 0, 20, None);
+        assert_eq!(lag_gauge(&reg, "g", "t", 0), 60);
+        // a stale end must not narrow it
+        t.on_append("t", 0, 50);
+        assert_eq!(lag_gauge(&reg, "g", "t", 0), 60);
+    }
+
+    #[test]
+    fn max_rollup_takes_worst_partition() {
+        let (t, reg) = tracker();
+        t.on_commit("g", "t", 0, 5, Some(10)); // lag 5
+        t.on_commit("g", "t", 1, 0, Some(50)); // lag 50
+        assert_eq!(max_gauge(&reg, "g"), 50);
+        let r = t.report("g").unwrap();
+        assert_eq!(r.total, 55);
+        assert_eq!(r.max, 50);
+        assert_eq!(r.partitions.len(), 2);
+    }
+
+    #[test]
+    fn unknown_group_has_no_report() {
+        let (t, _reg) = tracker();
+        t.on_append("t", 0, 10);
+        assert!(t.report("nobody").is_none());
+        assert!(t.groups().is_empty());
+    }
+
+    #[test]
+    fn forget_topic_zeroes_gauges() {
+        let (t, reg) = tracker();
+        t.on_commit("g", "t", 0, 0, Some(25));
+        assert_eq!(lag_gauge(&reg, "g", "t", 0), 25);
+        t.forget_topic("t");
+        assert_eq!(lag_gauge(&reg, "g", "t", 0), 0);
+        assert_eq!(max_gauge(&reg, "g"), 0);
+        assert!(t.report("g").map(|r| r.partitions.is_empty()).unwrap_or(true));
+    }
+}

@@ -29,6 +29,8 @@ pub mod cluster;
 pub mod config;
 pub mod fault;
 pub mod group;
+pub mod health;
+pub mod lag;
 pub mod log;
 pub mod mirror;
 pub mod record;
@@ -38,6 +40,11 @@ pub use cluster::{AckLevel, Cluster, ProduceReceipt, TopicStats};
 pub use fault::{DeliveryFault, FaultInjector};
 pub use config::{CleanupPolicy, RetentionConfig, TopicConfig};
 pub use group::{GroupCoordinator, GroupMember, MemberAssignment};
+pub use health::{
+    BrokerHealth, ClusterHealth, HealthReport, HealthStatus, HealthTransition, PartitionHealth,
+    PartitionRef, PartitionView,
+};
+pub use lag::{LagReport, LagTracker, PartitionLag};
 pub use log::PartitionLog;
 pub use mirror::{MirrorHandle, MirrorMaker};
 pub use record::{crc32c, Record, RecordBatch};

@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use octopus_broker::{AckLevel, BrokerId, Cluster, TopicConfig};
+use octopus_broker::{AckLevel, BrokerId, Cluster, HealthReport, TopicConfig};
 use octopus_sdk::{Consumer, ConsumerConfig, Producer, ProducerConfig};
 use octopus_trigger::{AutoscalerConfig, FunctionConfig, TriggerRuntime, TriggerSpec};
 use octopus_types::{Event, RegistrySnapshot, Uid};
@@ -89,6 +89,11 @@ pub struct ChaosReport {
     /// with the executed fault windows so per-stage latency tails can
     /// be read next to what was injected when.
     pub metrics: RegistrySnapshot,
+    /// End-of-run cluster health rollup, including the status timeline
+    /// accumulated across the fault windows (kill → Red/Yellow,
+    /// heal → Green), so a report shows *when* the cluster degraded,
+    /// not just that it recovered.
+    pub health: HealthReport,
 }
 
 impl ChaosReport {
@@ -366,6 +371,9 @@ impl ChaosHarness {
             metrics.annotate(format!("fault at {:?}: {:?} ({})", e.at, e.kind, e.outcome));
         }
 
+        // Final health probe; the report carries the whole timeline.
+        let health = cluster.health_report();
+
         ChaosReport {
             trace,
             acked,
@@ -376,6 +384,7 @@ impl ChaosHarness {
             zoo_commits,
             violations,
             metrics,
+            health,
         }
     }
 }
@@ -427,5 +436,12 @@ mod tests {
         report.assert_invariants();
         assert_eq!(report.trace.entries.len(), 2);
         assert_eq!(report.final_isr, report.replication_factor);
+        // the health model saw the crash and the recovery
+        assert_eq!(report.health.status, octopus_broker::HealthStatus::Green);
+        assert!(
+            report.health.timeline.iter().any(|t| t.to != octopus_broker::HealthStatus::Green),
+            "crash window never left Green: {:?}",
+            report.health.timeline
+        );
     }
 }

@@ -16,7 +16,7 @@ use octopus_sdk::{
     Consumer, ConsumerConfig, LoginManager, OctopusClient, Producer, ProducerConfig, TokenStore,
 };
 use octopus_trigger::TriggerRuntime;
-use octopus_types::{OctoResult, Uid};
+use octopus_types::{OctoResult, SpanSink, Uid};
 use octopus_zoo::ZooService;
 
 /// Builder for [`Octopus`].
@@ -25,6 +25,7 @@ pub struct OctopusBuilder {
     zoo_replicas: usize,
     rate_limit: Option<(f64, f64)>,
     chaos: Option<FaultPlan>,
+    spans: Option<Arc<SpanSink>>,
 }
 
 impl OctopusBuilder {
@@ -54,13 +55,25 @@ impl OctopusBuilder {
         self
     }
 
+    /// Attach a [`SpanSink`] so the live path records causal spans
+    /// (produce → append → replicate → fetch → deliver). Without one
+    /// the deployment runs with tracing disabled.
+    pub fn spans(mut self, sink: Arc<SpanSink>) -> Self {
+        self.spans = Some(sink);
+        self
+    }
+
     /// Wire everything and return the running deployment.
     pub fn build(self) -> OctoResult<Octopus> {
         let auth = AuthServer::new();
         let iam = IamService::new();
         let acl = AclStore::new();
         let zoo = ZooService::new(self.zoo_replicas);
-        let cluster = Cluster::builder(self.brokers).acl(acl.clone()).zoo(zoo.clone()).build();
+        let mut cluster_builder = Cluster::builder(self.brokers).acl(acl.clone()).zoo(zoo.clone());
+        if let Some(sink) = self.spans {
+            cluster_builder = cluster_builder.spans(sink);
+        }
+        let cluster = cluster_builder.build();
         let triggers = TriggerRuntime::new(cluster.clone());
         let registry = FunctionRegistry::new();
         let ows = OwsService::new(
@@ -116,7 +129,7 @@ impl Octopus {
 
     /// Start customizing a deployment.
     pub fn builder() -> OctopusBuilder {
-        OctopusBuilder { brokers: 2, zoo_replicas: 3, rate_limit: None, chaos: None }
+        OctopusBuilder { brokers: 2, zoo_replicas: 3, rate_limit: None, chaos: None, spans: None }
     }
 
     /// The chaos plan attached at build time, if any.

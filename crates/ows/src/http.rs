@@ -56,19 +56,41 @@ impl Request {
     }
 }
 
+/// Content type of a JSON response body.
+pub const CONTENT_TYPE_JSON: &str = "application/json";
+/// Content type of a Prometheus text exposition body (the version
+/// suffix is part of the scrape contract).
+pub const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4";
+
 /// An API response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body.
+    /// JSON body (for text responses, a JSON string holding the text).
     pub body: Value,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
 }
 
 impl Response {
     /// 200 with a body.
     pub fn ok(body: Value) -> Self {
-        Response { status: 200, body }
+        Response { status: 200, body, content_type: CONTENT_TYPE_JSON }
+    }
+
+    /// 200 with a plain-text body (the `/metrics` exposition).
+    pub fn text(body: String) -> Self {
+        Response {
+            status: 200,
+            body: Value::String(body),
+            content_type: CONTENT_TYPE_PROMETHEUS,
+        }
+    }
+
+    /// The body as text, for text-typed responses.
+    pub fn text_body(&self) -> Option<&str> {
+        self.body.as_str()
     }
 
     /// Map an [`OctoError`] onto an HTTP status, RFC-7807 style body.
@@ -87,7 +109,11 @@ impl Response {
             | OctoError::NotEnoughReplicas { .. } => 503,
             _ => 500,
         };
-        Response { status, body: serde_json::json!({ "error": e.to_string() }) }
+        Response {
+            status,
+            body: serde_json::json!({ "error": e.to_string() }),
+            content_type: CONTENT_TYPE_JSON,
+        }
     }
 
     /// Whether the status is 2xx.
@@ -128,6 +154,17 @@ mod tests {
         assert_eq!(Response::from_error(&OctoError::Internal("x".into())).status, 500);
         assert!(!Response::from_error(&OctoError::Internal("x".into())).is_success());
         assert!(Response::ok(Value::Null).is_success());
+    }
+
+    #[test]
+    fn text_response_shape() {
+        let r = Response::text("octopus_up 1\n".into());
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, CONTENT_TYPE_PROMETHEUS);
+        assert_eq!(r.text_body(), Some("octopus_up 1\n"));
+        assert!(r.is_success());
+        // JSON responses have no text body
+        assert_eq!(Response::ok(json!({"a": 1})).text_body(), None);
     }
 
     #[test]

@@ -23,6 +23,15 @@
 //! | `PUT /trigger/` | deploy a trigger |
 //! | `GET /triggers/` | describe triggers |
 //!
+//! Plus the fleet-observatory surface (not in the paper, but required
+//! to operate it): these share the same auth and rate-limit middleware.
+//!
+//! | Route | Action |
+//! |---|---|
+//! | `GET /metrics` | Prometheus text exposition of the shared registry |
+//! | `GET /health` | cluster health rollup (JSON, with timeline) |
+//! | `GET /lag/<group>` | per-partition consumer lag for a group |
+//!
 //! Every mutating handler is idempotent, so clients may blindly retry
 //! (§IV-F: "API operations on the OWS side are programmed to be
 //! idempotent").

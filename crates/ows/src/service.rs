@@ -125,6 +125,11 @@ impl OwsService {
             Err(e) => return Response::from_error(&e),
         };
         let segs = segments(&req.path);
+        // the scrape endpoint is text-typed, not JSON — handled before
+        // the JSON-route table (auth + rate limiting already applied)
+        if req.method == Method::Get && segs.as_slice() == ["metrics"] {
+            return Response::text(self.cluster.metrics().render_text());
+        }
         let result: OctoResult<Value> = match (req.method, segs.as_slice()) {
             (Method::Put, ["topic", topic]) => self.register_topic(identity, topic, &req.body),
             (Method::Get, ["topics"]) => self.list_topics(identity),
@@ -140,6 +145,8 @@ impl OwsService {
             (Method::Get, ["create_key"]) => self.create_key(identity),
             (Method::Put, ["trigger"]) => self.deploy_trigger(identity, &req.body),
             (Method::Get, ["triggers"]) => self.list_triggers(identity),
+            (Method::Get, ["health"]) => self.health(),
+            (Method::Get, ["lag", group]) => self.lag(group),
             _ => Err(OctoError::NotFound(format!("{:?} {}", req.method, req.path))),
         };
         match result {
@@ -311,6 +318,20 @@ impl OwsService {
     fn list_triggers(&self, _identity: Uid) -> OctoResult<Value> {
         let list = self.triggers.list();
         Ok(serde_json::to_value(&list)?)
+    }
+
+    /// `GET /health`: the cluster health rollup — partition
+    /// classification, per-broker status, ISR transition counts, and
+    /// the Green/Yellow/Red timeline. Any authenticated identity may
+    /// read it (observability is not topic-scoped).
+    fn health(&self) -> OctoResult<Value> {
+        Ok(serde_json::to_value(self.cluster.health_report())?)
+    }
+
+    /// `GET /lag/<group>`: consumer-lag report for one group; 404 for a
+    /// group that has never committed.
+    fn lag(&self, group: &str) -> OctoResult<Value> {
+        Ok(serde_json::to_value(self.cluster.lag_report(group)?)?)
     }
 
     fn require_owner(&self, topic: &str, identity: Uid) -> OctoResult<()> {
@@ -626,6 +647,63 @@ mod tests {
         ows.dispatch(&Request::new(Method::Get, "/topics"));
         let snap = ows.cluster().metrics().snapshot();
         assert_eq!(snap.histograms["octopus_stage_ows_dispatch_ns"].count(), 3);
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_parseable_exposition() {
+        let (ows, token, _) = test_ows();
+        ows.dispatch(&put("/topic/t", &token, Value::Null));
+        // unauthenticated scrapes are rejected like any other route
+        assert_eq!(ows.dispatch(&Request::new(Method::Get, "/metrics")).status, 401);
+        let r = ows.dispatch(&get("/metrics", &token));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, crate::http::CONTENT_TYPE_PROMETHEUS);
+        let text = r.text_body().expect("text body");
+        let samples = octopus_types::parse_exposition(text).expect("spec-clean exposition");
+        assert!(
+            samples.iter().any(|s| s.name == "octopus_stage_ows_dispatch_ns"),
+            "dispatch latency must be scrapeable"
+        );
+    }
+
+    #[test]
+    fn health_endpoint_reports_cluster_rollup() {
+        let (ows, token, _) = test_ows();
+        ows.dispatch(&put("/topic/t", &token, json!({"replication_factor": 2})));
+        let r = ows.dispatch(&get("/health", &token));
+        assert_eq!(r.status, 200, "{:?}", r.body);
+        assert_eq!(r.body["status"], "Green");
+        assert_eq!(r.body["brokers"].as_array().unwrap().len(), 2);
+        // kill a broker through the cluster handle: the next probe goes
+        // yellow (rf=2 partitions lose a replica but stay writable)
+        ows.cluster().kill_broker(octopus_broker::BrokerId(1)).unwrap();
+        let r = ows.dispatch(&get("/health", &token));
+        assert_eq!(r.body["status"], "Yellow", "{:?}", r.body);
+        assert!(!r.body["timeline"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn lag_endpoint_reports_group_backlog() {
+        let (ows, token, _) = test_ows();
+        ows.dispatch(&put("/topic/t", &token, json!({"partitions": 1})));
+        let c = ows.cluster();
+        for i in 0..5 {
+            c.produce(
+                "t",
+                octopus_types::Event::from_bytes(vec![i]),
+                octopus_broker::AckLevel::Leader,
+            )
+            .unwrap();
+        }
+        // unknown group → 404
+        assert_eq!(ows.dispatch(&get("/lag/ghosts", &token)).status, 404);
+        c.coordinator().commit_unchecked("g", "t", 0, 2);
+        let r = ows.dispatch(&get("/lag/g", &token));
+        assert_eq!(r.status, 200, "{:?}", r.body);
+        assert_eq!(r.body["group"], "g");
+        assert_eq!(r.body["total"], 3);
+        assert_eq!(r.body["partitions"][0]["end"], 5);
+        assert_eq!(r.body["partitions"][0]["committed"], 2);
     }
 
     #[test]

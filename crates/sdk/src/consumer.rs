@@ -240,7 +240,11 @@ impl Consumer {
                 // deliver latency: produce-time (trace header) → now.
                 // End-to-end across threads, so wall-clock based.
                 if let Some(tc) = TraceContext::from_headers(&event.headers) {
-                    self.cluster.stage_metrics().record(Stage::Deliver, tc.elapsed_ns(now_ns()));
+                    let end = now_ns();
+                    self.cluster.stage_metrics().record(Stage::Deliver, tc.elapsed_ns(end));
+                    // the deliver span covers produce-time → hand-off,
+                    // closing the causal tree for sampled traces
+                    self.cluster.span_sink().record_stage(&tc, Stage::Deliver, tc.produced_ns, end);
                 }
                 out.push(DeliveredEvent {
                     topic: topic.clone(),

@@ -348,7 +348,18 @@ impl SenderWorker {
 
     fn dispatch(&self, topic: &str, partition: PartitionId, batch: OpenBatch) {
         let record_batch = RecordBatch::new(batch.events);
+        let spans = self.cluster.span_sink();
+        let traced = if spans.is_enabled() {
+            record_batch
+                .events
+                .iter()
+                .find_map(|e| TraceContext::from_headers(&e.headers))
+                .filter(|tc| spans.sampled(tc.trace_id))
+        } else {
+            None
+        };
         let ack_start = Instant::now();
+        let ack_wall = octopus_types::obs::now_ns();
         let result = self.retrier.call(|_attempt| {
             if let Some(p) = self.principal {
                 // per-event authorization shares one check per batch
@@ -361,9 +372,13 @@ impl SenderWorker {
         });
         // produce→ack covers the whole dispatch including retries —
         // the client-visible latency of Table III.
-        self.cluster
-            .stage_metrics()
-            .record(Stage::ProduceAck, ack_start.elapsed().as_nanos() as u64);
+        let ack_ns = ack_start.elapsed().as_nanos() as u64;
+        self.cluster.stage_metrics().record(Stage::ProduceAck, ack_ns);
+        if let Some(tc) = &traced {
+            // root of the causal tree: append/replicate/fetch/deliver
+            // spans of the same trace hang below this one
+            spans.record_stage(tc, Stage::ProduceAck, ack_wall, ack_wall + ack_ns);
+        }
         let total: usize = batch.reporters.iter().map(|(_, s)| s).sum();
         self.buffered.fetch_sub(total, Ordering::AcqRel);
         match result {

@@ -16,6 +16,8 @@ pub mod event;
 pub mod id;
 pub mod obs;
 pub mod retry;
+pub mod slo;
+pub mod span;
 pub mod time;
 
 pub use codec::{compress, decompress, Codec};
@@ -23,10 +25,12 @@ pub use error::{OctoError, OctoResult};
 pub use event::{DeliveredEvent, Event, EventBuilder, Header};
 pub use id::Uid;
 pub use obs::{
-    AtomicHistogram, Histogram, MetricsRegistry, RegistrySnapshot, Stage, StageMetrics,
-    TraceContext, TRACE_HEADER,
+    labeled, parse_exposition, AtomicHistogram, ExpositionSample, Histogram, MetricsRegistry,
+    RegistrySnapshot, Stage, StageMetrics, TraceContext, TRACE_HEADER,
 };
 pub use retry::{BreakerState, CircuitBreaker, CircuitBreakerConfig, Retrier, RetryPolicy};
+pub use slo::{Alert, AlertState, SloMonitor, SloObjective, SloSpec};
+pub use span::{Span, SpanSink};
 pub use time::{Clock, ManualClock, Timestamp, WallClock};
 
 /// A topic name. Topics are the unit of event organization, access

@@ -244,6 +244,16 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// Number of recorded values at or below `value`, to bucket
+    /// resolution: the whole bucket containing `value` counts, so the
+    /// result may overshoot by up to one bucket width (~1.6% of
+    /// `value`). This is the "good events" side of a latency SLO
+    /// (`count_below(threshold) / count()`).
+    pub fn count_below(&self, value: u64) -> u64 {
+        let idx = Self::bucket_index(value);
+        self.buckets.iter().take(idx + 1).sum()
+    }
+
     /// Merge another histogram into this one. Merging an empty histogram
     /// is a no-op (in particular it must not disturb min/max).
     pub fn merge(&mut self, other: &Histogram) {
@@ -536,30 +546,203 @@ impl RegistrySnapshot {
         self.annotations.push(note.into());
     }
 
-    /// Prometheus-flavoured text exposition. Histograms render as
-    /// `{name}{stat="count|min|p50|p99|max|mean"}` sample lines.
+    /// Prometheus text exposition (deterministic and spec-clean):
+    /// samples are grouped by metric *family* (the name before any
+    /// `{label}` set), each family gets exactly one `# TYPE` line,
+    /// families and samples are stable-sorted, and label values are
+    /// escaped per the exposition format (`\\`, `\"`, `\n`).
+    /// Histograms render as `{name}{stat="count|min|p50|p99|max|mean"}`
+    /// summary sample lines; a labelled histogram keeps its own labels
+    /// with `stat` appended. The output round-trips through
+    /// [`parse_exposition`].
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         for note in &self.annotations {
             out.push_str(&format!("# annotation: {note}\n"));
         }
-        for (name, v) in &self.counters {
-            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
-        }
-        for (name, v) in &self.gauges {
-            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
-        }
-        for (name, h) in &self.histograms {
-            out.push_str(&format!("# TYPE {name} summary\n"));
-            out.push_str(&format!("{name}{{stat=\"count\"}} {}\n", h.count()));
-            out.push_str(&format!("{name}{{stat=\"min\"}} {}\n", h.min()));
-            out.push_str(&format!("{name}{{stat=\"p50\"}} {}\n", h.median()));
-            out.push_str(&format!("{name}{{stat=\"p99\"}} {}\n", h.p99()));
-            out.push_str(&format!("{name}{{stat=\"max\"}} {}\n", h.max()));
-            out.push_str(&format!("{name}{{stat=\"mean\"}} {:.1}\n", h.mean()));
-        }
+        render_grouped(
+            &mut out,
+            "counter",
+            self.counters.iter().map(|(k, v)| (k.clone(), v.to_string())),
+        );
+        render_grouped(
+            &mut out,
+            "gauge",
+            self.gauges.iter().map(|(k, v)| (k.clone(), v.to_string())),
+        );
+        let summary_samples = self.histograms.iter().flat_map(|(name, h)| {
+            [
+                (with_label(name, "stat", "count"), h.count().to_string()),
+                (with_label(name, "stat", "min"), h.min().to_string()),
+                (with_label(name, "stat", "p50"), h.median().to_string()),
+                (with_label(name, "stat", "p99"), h.p99().to_string()),
+                (with_label(name, "stat", "max"), h.max().to_string()),
+                (with_label(name, "stat", "mean"), format!("{:.1}", h.mean())),
+            ]
+        });
+        render_grouped(&mut out, "summary", summary_samples);
         out
     }
+}
+
+// ---------------------------------------------------------------------------
+// Text exposition helpers
+// ---------------------------------------------------------------------------
+
+/// The family of a (possibly labelled) sample name: everything before
+/// the `{` that opens its label set.
+pub fn metric_family(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double quote, and newline get backslash escapes.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Build a labelled sample name: `base{k1="v1",k2="v2"}` with keys
+/// stable-sorted and values escaped. With no labels, returns `base`
+/// unchanged. This is the one sanctioned way to register per-entity
+/// instruments (per-group lag gauges, per-topic counters) so every
+/// producer of labelled names agrees on ordering and escaping.
+pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_string();
+    }
+    let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+    pairs.sort_by_key(|(k, _)| *k);
+    let body: Vec<String> =
+        pairs.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))).collect();
+    format!("{base}{{{}}}", body.join(","))
+}
+
+/// Append one more label to a (possibly already labelled) sample name.
+fn with_label(name: &str, key: &str, value: &str) -> String {
+    match name.strip_suffix('}') {
+        Some(stripped) if name.contains('{') => {
+            format!("{stripped},{key}=\"{}\"}}", escape_label_value(value))
+        }
+        _ => format!("{name}{{{key}=\"{}\"}}", escape_label_value(value)),
+    }
+}
+
+/// Group samples by family, emit one `# TYPE` line per family and the
+/// stable-sorted samples beneath it.
+fn render_grouped(
+    out: &mut String,
+    kind: &str,
+    samples: impl Iterator<Item = (String, String)>,
+) {
+    let mut families: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
+    for (name, value) in samples {
+        families.entry(metric_family(&name).to_string()).or_default().push((name, value));
+    }
+    for (family, mut lines) in families {
+        out.push_str(&format!("# TYPE {family} {kind}\n"));
+        lines.sort();
+        for (name, value) in lines {
+            out.push_str(&format!("{name} {value}\n"));
+        }
+    }
+}
+
+/// One parsed sample of a text exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpositionSample {
+    /// Metric family name (no labels).
+    pub name: String,
+    /// Label key/value pairs in exposition order, values unescaped.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl ExpositionSample {
+    /// The value of a label, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse a Prometheus text exposition back into samples (the round-trip
+/// check for [`RegistrySnapshot::render_text`], and the assertion
+/// vocabulary for scrape-endpoint tests). Comment lines (`# ...`) are
+/// skipped; malformed sample lines are errors, not silently dropped.
+pub fn parse_exposition(text: &str) -> Result<Vec<ExpositionSample>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |m: &str| format!("line {}: {m}: {line:?}", lineno + 1);
+        let (name_part, value_part) =
+            line.rsplit_once(' ').ok_or_else(|| err("missing value"))?;
+        let value: f64 = value_part.parse().map_err(|_| err("unparseable value"))?;
+        let (name, labels) = match name_part.find('{') {
+            None => (name_part.to_string(), Vec::new()),
+            Some(i) => {
+                let body = name_part[i + 1..]
+                    .strip_suffix('}')
+                    .ok_or_else(|| err("unbalanced label braces"))?;
+                (name_part[..i].to_string(), parse_labels(body).map_err(|m| err(&m))?)
+            }
+        };
+        out.push(ExpositionSample { name, labels, value });
+    }
+    Ok(out)
+}
+
+/// Parse the inside of a `{...}` label set, unescaping values.
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    while chars.peek().is_some() {
+        let mut key = String::new();
+        let mut saw_eq = false;
+        for c in chars.by_ref() {
+            if c == '=' {
+                saw_eq = true;
+                break;
+            }
+            key.push(c);
+        }
+        if !saw_eq {
+            return Err(format!("label {key:?}: missing `=`"));
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label {key:?}: expected opening quote"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("label {key:?}: bad escape {other:?}")),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err(format!("label {key:?}: unterminated value")),
+            }
+        }
+        if chars.peek() == Some(&',') {
+            chars.next();
+        }
+        labels.push((key, value));
+    }
+    Ok(labels)
 }
 
 // ---------------------------------------------------------------------------
@@ -975,6 +1158,105 @@ mod tests {
         assert!(text.contains("octopus_backlog 3"));
         assert!(text.contains("octopus_lat_ns{stat=\"count\"} 1"));
         assert!(text.contains("octopus_lat_ns{stat=\"p99\"}"));
+    }
+
+    // -- satellite: deterministic, spec-clean exposition -------------------
+
+    #[test]
+    fn exposition_round_trips_through_parser() {
+        let reg = MetricsRegistry::new();
+        reg.counter("octopus_events_total").add(7);
+        reg.counter(&labeled("octopus_consumer_lag", &[("group", "g1"), ("topic", "t")]))
+            .add(3);
+        reg.gauge(&labeled("octopus_consumer_lag_gauge", &[("group", "a\"b\\c\nd")])).set(-5);
+        reg.histogram("octopus_lat_ns").record(1000);
+        reg.histogram(&labeled("octopus_part_ns", &[("partition", "0")])).record(50);
+        let text = reg.render_text();
+        let samples = parse_exposition(&text).unwrap();
+
+        let plain = samples.iter().find(|s| s.name == "octopus_events_total").unwrap();
+        assert!(plain.labels.is_empty());
+        assert_eq!(plain.value, 7.0);
+
+        let lag = samples.iter().find(|s| s.name == "octopus_consumer_lag").unwrap();
+        assert_eq!(lag.label("group"), Some("g1"));
+        assert_eq!(lag.label("topic"), Some("t"));
+        assert_eq!(lag.value, 3.0);
+
+        // hostile label value survives escape → unescape unchanged
+        let hostile = samples.iter().find(|s| s.name == "octopus_consumer_lag_gauge").unwrap();
+        assert_eq!(hostile.label("group"), Some("a\"b\\c\nd"));
+        assert_eq!(hostile.value, -5.0);
+
+        // a labelled histogram keeps its labels and gains `stat`
+        let part_count = samples
+            .iter()
+            .find(|s| s.name == "octopus_part_ns" && s.label("stat") == Some("count"))
+            .unwrap();
+        assert_eq!(part_count.label("partition"), Some("0"));
+        assert_eq!(part_count.value, 1.0);
+
+        // every histogram family exposes all six stats
+        for stat in ["count", "min", "p50", "p99", "max", "mean"] {
+            assert!(samples
+                .iter()
+                .any(|s| s.name == "octopus_lat_ns" && s.label("stat") == Some(stat)));
+        }
+    }
+
+    #[test]
+    fn exposition_is_deterministic_and_family_grouped() {
+        let reg = MetricsRegistry::new();
+        // registration order is deliberately scrambled
+        reg.counter(&labeled("octopus_lag", &[("group", "zeta")])).add(2);
+        reg.counter("octopus_lag_zz_other").add(9);
+        reg.counter(&labeled("octopus_lag", &[("group", "alpha")])).add(1);
+        let a = reg.render_text();
+        let b = reg.render_text();
+        assert_eq!(a, b, "exposition must be byte-for-byte deterministic");
+        // one TYPE line per family, samples grouped beneath it
+        assert_eq!(a.matches("# TYPE octopus_lag counter").count(), 1);
+        let type_pos = a.find("# TYPE octopus_lag counter").unwrap();
+        let alpha = a.find("octopus_lag{group=\"alpha\"}").unwrap();
+        let zeta = a.find("octopus_lag{group=\"zeta\"}").unwrap();
+        let other_type = a.find("# TYPE octopus_lag_zz_other counter").unwrap();
+        assert!(type_pos < alpha && alpha < zeta, "samples sorted under their TYPE line");
+        assert!(zeta < other_type, "other families must not interleave the group");
+    }
+
+    #[test]
+    fn labeled_sorts_keys_and_escapes() {
+        assert_eq!(labeled("m", &[]), "m");
+        assert_eq!(
+            labeled("m", &[("topic", "t"), ("group", "g")]),
+            "m{group=\"g\",topic=\"t\"}"
+        );
+        assert_eq!(labeled("m", &[("k", "a\"b")]), "m{k=\"a\\\"b\"}");
+        assert_eq!(metric_family("m{k=\"v\"}"), "m");
+        assert_eq!(metric_family("m"), "m");
+    }
+
+    #[test]
+    fn parse_exposition_rejects_malformed_lines() {
+        assert!(parse_exposition("name_without_value\n").is_err());
+        assert!(parse_exposition("name not_a_number\n").is_err());
+        assert!(parse_exposition("name{k=\"unterminated 1\n").is_err());
+        assert!(parse_exposition("name{k=novalue} 1\n").is_err());
+        assert!(parse_exposition("# a comment\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn count_below_tracks_threshold() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40_000, 50_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count_below(30), 3);
+        assert_eq!(h.count_below(5), 0);
+        assert_eq!(h.count_below(u64::MAX), 5);
+        // within one bucket width of the threshold
+        let below = h.count_below(40_000);
+        assert!((3..=4).contains(&below), "bucket-resolution overshoot only: {below}");
     }
 
     #[test]

@@ -1,0 +1,429 @@
+//! SLO burn-rate alerting over registry snapshots.
+//!
+//! The paper's operators keep five live applications healthy by
+//! watching fleet dashboards (§V–VI); the operable form of that is a
+//! service-level objective with multi-window burn-rate alerts (the
+//! Google SRE workbook recipe): an alert fires only when the error
+//! budget is burning fast over *both* a short and a long window, which
+//! keeps one transient blip from paging while still catching slow
+//! leaks. Windows are expressed in nanoseconds of *caller time* — the
+//! monitor never reads a clock — so chaos tests can compress "5
+//! minutes" into milliseconds of simulated time.
+//!
+//! The monitor is deliberately snapshot-driven: feed it
+//! [`RegistrySnapshot`]s (cumulative counters / histograms) at whatever
+//! cadence the harness likes and it differentiates rates itself.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::obs::RegistrySnapshot;
+
+/// What an SLO measures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SloObjective {
+    /// Availability: `good` and `total` are cumulative counter names in
+    /// the registry; the error rate is `(Δtotal − Δgood) / Δtotal`.
+    Availability {
+        /// Counter of successful events.
+        good: String,
+        /// Counter of attempted events.
+        total: String,
+    },
+    /// Latency: `histogram` is a registry histogram of nanosecond
+    /// samples; an event is good when it lands at or below
+    /// `threshold_ns` (to bucket resolution).
+    Latency {
+        /// Histogram name in the registry.
+        histogram: String,
+        /// Good/bad latency boundary in nanoseconds.
+        threshold_ns: u64,
+    },
+}
+
+/// One service-level objective plus its burn-rate alert policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Objective name (alert correlation key).
+    pub name: String,
+    /// What is measured.
+    pub objective: SloObjective,
+    /// Target success ratio in (0, 1), e.g. `0.99`. The error budget is
+    /// `1 − target`.
+    pub target: f64,
+    /// Fast window length (ns of caller time) — the "5m" window.
+    pub fast_window_ns: u64,
+    /// Slow window length (ns of caller time) — the "1h" window.
+    pub slow_window_ns: u64,
+    /// Burn-rate threshold over the fast window.
+    pub fast_burn: f64,
+    /// Burn-rate threshold over the slow window.
+    pub slow_burn: f64,
+}
+
+/// 5 minutes in nanoseconds (default fast window).
+pub const FAST_WINDOW_NS: u64 = 5 * 60 * 1_000_000_000;
+/// 1 hour in nanoseconds (default slow window).
+pub const SLOW_WINDOW_NS: u64 = 60 * 60 * 1_000_000_000;
+
+impl SloSpec {
+    /// An availability SLO with the standard page-severity policy
+    /// (5m/1h-equivalent windows, 14.4×/6× burn thresholds).
+    pub fn availability(
+        name: impl Into<String>,
+        good: impl Into<String>,
+        total: impl Into<String>,
+        target: f64,
+    ) -> Self {
+        SloSpec {
+            name: name.into(),
+            objective: SloObjective::Availability { good: good.into(), total: total.into() },
+            target,
+            fast_window_ns: FAST_WINDOW_NS,
+            slow_window_ns: SLOW_WINDOW_NS,
+            fast_burn: 14.4,
+            slow_burn: 6.0,
+        }
+    }
+
+    /// A latency SLO: `target` of events must land at or below
+    /// `threshold_ns`.
+    pub fn latency(
+        name: impl Into<String>,
+        histogram: impl Into<String>,
+        threshold_ns: u64,
+        target: f64,
+    ) -> Self {
+        SloSpec {
+            name: name.into(),
+            objective: SloObjective::Latency { histogram: histogram.into(), threshold_ns },
+            target,
+            fast_window_ns: FAST_WINDOW_NS,
+            slow_window_ns: SLOW_WINDOW_NS,
+            fast_burn: 14.4,
+            slow_burn: 6.0,
+        }
+    }
+
+    /// Override the evaluation windows (sim-time tests compress them).
+    pub fn windows(mut self, fast_ns: u64, slow_ns: u64) -> Self {
+        self.fast_window_ns = fast_ns;
+        self.slow_window_ns = slow_ns;
+        self
+    }
+
+    /// Override the burn-rate thresholds.
+    pub fn burn_thresholds(mut self, fast: f64, slow: f64) -> Self {
+        self.fast_burn = fast;
+        self.slow_burn = slow;
+        self
+    }
+}
+
+/// Whether an alert event opens or closes an incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlertState {
+    /// Both windows exceeded their burn thresholds.
+    Firing,
+    /// The fast window recovered below its threshold.
+    Resolved,
+}
+
+/// A typed alert event emitted by [`SloMonitor::observe`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Name of the SLO that transitioned.
+    pub slo: String,
+    /// Firing or resolved.
+    pub state: AlertState,
+    /// Caller-time nanoseconds of the observation that transitioned.
+    pub at_ns: u64,
+    /// Burn rate over the fast window at transition time.
+    pub fast_burn: f64,
+    /// Burn rate over the slow window at transition time.
+    pub slow_burn: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    at_ns: u64,
+    good: f64,
+    total: f64,
+}
+
+#[derive(Debug)]
+struct SloTrack {
+    spec: SloSpec,
+    history: VecDeque<Sample>,
+    firing: bool,
+}
+
+impl SloTrack {
+    /// Error rate over the trailing `window_ns`: difference the newest
+    /// sample against the youngest sample at or before the window
+    /// start (or the oldest available while history is still short).
+    fn error_rate(&self, now_ns: u64, window_ns: u64) -> f64 {
+        let newest = match self.history.back() {
+            Some(s) => *s,
+            None => return 0.0,
+        };
+        let start = now_ns.saturating_sub(window_ns);
+        let baseline = self
+            .history
+            .iter()
+            .rev()
+            .find(|s| s.at_ns <= start)
+            .copied()
+            .unwrap_or_else(|| *self.history.front().expect("non-empty"));
+        let d_total = newest.total - baseline.total;
+        if d_total <= 0.0 {
+            return 0.0;
+        }
+        let d_good = (newest.good - baseline.good).max(0.0);
+        ((d_total - d_good) / d_total).clamp(0.0, 1.0)
+    }
+}
+
+/// Evaluates a set of [`SloSpec`]s against successive registry
+/// snapshots and emits [`Alert`]s on burn-rate transitions.
+#[derive(Debug, Default)]
+pub struct SloMonitor {
+    tracks: Vec<SloTrack>,
+}
+
+impl SloMonitor {
+    /// An empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an objective to evaluate.
+    pub fn add(&mut self, spec: SloSpec) -> &mut Self {
+        self.tracks.push(SloTrack { spec, history: VecDeque::new(), firing: false });
+        self
+    }
+
+    /// Names of the SLOs currently firing.
+    pub fn firing(&self) -> Vec<&str> {
+        self.tracks.iter().filter(|t| t.firing).map(|t| t.spec.name.as_str()).collect()
+    }
+
+    /// Feed one observation: `now_ns` is caller time (wall or
+    /// simulated), `snap` the cumulative registry state at that
+    /// instant. Returns the alerts that *transitioned* on this
+    /// observation — at most one per SLO.
+    pub fn observe(&mut self, now_ns: u64, snap: &RegistrySnapshot) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        for track in &mut self.tracks {
+            let (good, total) = extract(&track.spec.objective, snap);
+            track.history.push_back(Sample { at_ns: now_ns, good, total });
+            // keep exactly one sample beyond the slow window as the
+            // differencing baseline
+            let slow_start = now_ns.saturating_sub(track.spec.slow_window_ns);
+            while track.history.len() > 2
+                && track.history[1].at_ns <= slow_start
+            {
+                track.history.pop_front();
+            }
+
+            let budget = (1.0 - track.spec.target).max(f64::EPSILON);
+            let fast_burn = track.error_rate(now_ns, track.spec.fast_window_ns) / budget;
+            let slow_burn = track.error_rate(now_ns, track.spec.slow_window_ns) / budget;
+
+            let spec = &track.spec;
+            if !track.firing && fast_burn >= spec.fast_burn && slow_burn >= spec.slow_burn {
+                track.firing = true;
+                alerts.push(Alert {
+                    slo: spec.name.clone(),
+                    state: AlertState::Firing,
+                    at_ns: now_ns,
+                    fast_burn,
+                    slow_burn,
+                });
+            } else if track.firing && fast_burn < spec.fast_burn {
+                track.firing = false;
+                alerts.push(Alert {
+                    slo: spec.name.clone(),
+                    state: AlertState::Resolved,
+                    at_ns: now_ns,
+                    fast_burn,
+                    slow_burn,
+                });
+            }
+        }
+        alerts
+    }
+}
+
+/// Cumulative (good, total) for an objective from a snapshot. Missing
+/// instruments read as zero (metrics are best-effort).
+fn extract(objective: &SloObjective, snap: &RegistrySnapshot) -> (f64, f64) {
+    match objective {
+        SloObjective::Availability { good, total } => (
+            snap.counters.get(good).copied().unwrap_or(0) as f64,
+            snap.counters.get(total).copied().unwrap_or(0) as f64,
+        ),
+        SloObjective::Latency { histogram, threshold_ns } => snap
+            .histograms
+            .get(histogram)
+            .map(|h| (h.count_below(*threshold_ns) as f64, h.count() as f64))
+            .unwrap_or((0.0, 0.0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::MetricsRegistry;
+
+    /// One simulated millisecond stands in for one real minute.
+    const MS: u64 = 1_000_000;
+
+    fn spec() -> SloSpec {
+        // fast window "5m" = 5 ms, slow window "1h" = 60 ms of sim time
+        SloSpec::availability("produce", "good", "total", 0.9)
+            .windows(5 * MS, 60 * MS)
+            .burn_thresholds(2.0, 1.0)
+    }
+
+    fn snap(good: u64, total: u64) -> RegistrySnapshot {
+        let reg = MetricsRegistry::new();
+        reg.counter("good").add(good);
+        reg.counter("total").add(total);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn healthy_traffic_never_fires() {
+        let mut mon = SloMonitor::new();
+        mon.add(spec());
+        for i in 1..=100u64 {
+            let alerts = mon.observe(i * MS, &snap(i * 10, i * 10));
+            assert!(alerts.is_empty(), "tick {i}: {alerts:?}");
+        }
+        assert!(mon.firing().is_empty());
+    }
+
+    #[test]
+    fn burn_fires_then_resolves() {
+        let mut mon = SloMonitor::new();
+        mon.add(spec());
+        // warm-up: 10 ticks of clean traffic
+        let mut good = 0u64;
+        let mut total = 0u64;
+        let mut t = 0u64;
+        for _ in 0..10 {
+            t += MS;
+            good += 10;
+            total += 10;
+            assert!(mon.observe(t, &snap(good, total)).is_empty());
+        }
+        // outage: everything fails; both windows must exceed thresholds
+        let mut fired = None;
+        for _ in 0..20 {
+            t += MS;
+            total += 10;
+            for a in mon.observe(t, &snap(good, total)) {
+                assert_eq!(a.state, AlertState::Firing);
+                assert!(a.fast_burn >= 2.0 && a.slow_burn >= 1.0);
+                assert!(fired.is_none(), "must fire exactly once");
+                fired = Some(a.at_ns);
+            }
+        }
+        assert!(fired.is_some(), "sustained outage must fire");
+        assert_eq!(mon.firing(), vec!["produce"]);
+        // recovery: clean traffic drains the fast window
+        let mut resolved = None;
+        for _ in 0..30 {
+            t += MS;
+            good += 10;
+            total += 10;
+            for a in mon.observe(t, &snap(good, total)) {
+                assert_eq!(a.state, AlertState::Resolved);
+                assert!(resolved.is_none(), "must resolve exactly once");
+                resolved = Some(a.at_ns);
+            }
+        }
+        assert!(resolved.is_some(), "recovery must resolve the alert");
+        assert!(mon.firing().is_empty());
+    }
+
+    #[test]
+    fn short_blip_does_not_page() {
+        // One bad tick inside an hour of clean traffic: the fast window
+        // spikes but the slow window keeps the alert quiet.
+        let mut mon = SloMonitor::new();
+        mon.add(
+            SloSpec::availability("produce", "good", "total", 0.9)
+                .windows(5 * MS, 60 * MS)
+                .burn_thresholds(2.0, 5.0),
+        );
+        let (mut good, mut total, mut t) = (0u64, 0u64, 0u64);
+        for i in 0..60 {
+            t += MS;
+            total += 10;
+            if i != 30 {
+                good += 10; // tick 30 is a full outage tick
+            }
+            assert!(
+                mon.observe(t, &snap(good, total)).is_empty(),
+                "a single bad tick must not page (tick {i})"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_objective_uses_histogram_threshold() {
+        let reg = MetricsRegistry::new();
+        let mut mon = SloMonitor::new();
+        mon.add(
+            SloSpec::latency("deliver-p99", "lat_ns", 1_000, 0.5)
+                .windows(5 * MS, 20 * MS)
+                .burn_thresholds(1.5, 1.0),
+        );
+        // fast traffic: all under threshold
+        let mut t = 0;
+        for _ in 0..5 {
+            t += MS;
+            reg.histogram("lat_ns").record(100);
+            assert!(mon.observe(t, &reg.snapshot()).is_empty());
+        }
+        // slow traffic: everything lands over the threshold
+        let mut fired = false;
+        for _ in 0..20 {
+            t += MS;
+            for _ in 0..10 {
+                reg.histogram("lat_ns").record(50_000);
+            }
+            fired |= mon
+                .observe(t, &reg.snapshot())
+                .iter()
+                .any(|a| a.state == AlertState::Firing);
+        }
+        assert!(fired, "sustained slow traffic must fire the latency SLO");
+    }
+
+    #[test]
+    fn no_traffic_is_not_an_outage() {
+        let mut mon = SloMonitor::new();
+        mon.add(spec());
+        for i in 1..=50 {
+            assert!(mon.observe(i * MS, &snap(0, 0)).is_empty());
+        }
+    }
+
+    #[test]
+    fn alert_serde_round_trip() {
+        let a = Alert {
+            slo: "produce".into(),
+            state: AlertState::Firing,
+            at_ns: 42,
+            fast_burn: 3.5,
+            slow_burn: 1.25,
+        };
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Alert = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+    }
+}

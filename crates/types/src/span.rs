@@ -1,0 +1,438 @@
+//! Causal spans and a lock-free span sink with Chrome-trace export.
+//!
+//! A [`TraceContext`] rides every record
+//! header; this module turns it into a *tree*: each instrumented
+//! [`Stage`] of a sampled event becomes a [`Span`] with a deterministic
+//! span id and a parent pointing at its causal predecessor
+//! (produce→append→replicate / append→fetch→deliver). Spans are pushed
+//! into a [`SpanSink`] — a hand-rolled Treiber stack, because the hot
+//! path (broker append, consumer poll) must never take a lock — and
+//! exported as Chrome trace event format JSON, loadable in
+//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//!
+//! Sampling is deterministic: a trace is sampled iff
+//! `trace_id % sample_every == 0`, so every layer (producer, broker,
+//! consumer) independently agrees on which events to record without
+//! coordination.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::obs::{Stage, TraceContext};
+
+/// One timed node in a trace tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// Trace this span belongs to (from [`TraceContext::trace_id`]).
+    pub trace_id: u64,
+    /// Unique id within the trace (deterministic per stage).
+    pub span_id: u64,
+    /// Parent span id, `None` for a root span.
+    pub parent_id: Option<u64>,
+    /// Human-readable operation name (the stage label).
+    pub name: String,
+    /// Wall-clock start, nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock end, nanoseconds (>= `start_ns`).
+    pub end_ns: u64,
+}
+
+/// Deterministic span id for `(trace_id, stage)`: 16 slots per trace,
+/// slot = stage ordinal, +1 so no span id is ever 0.
+fn span_id_for(trace_id: u64, stage: Stage) -> u64 {
+    trace_id.wrapping_mul(16) + stage_ordinal(stage) + 1
+}
+
+fn stage_ordinal(stage: Stage) -> u64 {
+    Stage::ALL.iter().position(|s| *s == stage).expect("stage in ALL") as u64
+}
+
+/// The causal predecessor of each stage, per the event path: the
+/// producer ack is the root; append hangs off it; replication and the
+/// read path (fetch → deliver → trigger → dlq) descend from append;
+/// mirroring branches off append too. OWS dispatches are their own
+/// roots — they are not on the record path.
+fn parent_stage(stage: Stage) -> Option<Stage> {
+    match stage {
+        Stage::ProduceAck => None,
+        Stage::Append => Some(Stage::ProduceAck),
+        Stage::Replicate => Some(Stage::Append),
+        Stage::Fetch => Some(Stage::Append),
+        Stage::Deliver => Some(Stage::Fetch),
+        Stage::TriggerRun => Some(Stage::Deliver),
+        Stage::Dlq => Some(Stage::TriggerRun),
+        Stage::MirrorCopy => Some(Stage::Append),
+        Stage::OwsDispatch => None,
+    }
+}
+
+impl Span {
+    /// Build the span for one stage of a sampled trace, with the
+    /// deterministic id scheme and causal parent wiring.
+    pub fn for_stage(trace_id: u64, stage: Stage, start_ns: u64, end_ns: u64) -> Self {
+        Span {
+            trace_id,
+            span_id: span_id_for(trace_id, stage),
+            parent_id: parent_stage(stage).map(|p| span_id_for(trace_id, p)),
+            name: stage.label().to_string(),
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+        }
+    }
+
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+struct Node {
+    span: Span,
+    next: *mut Node,
+}
+
+/// Lock-free collector of sampled spans.
+///
+/// A push-only Treiber stack: `record` is a single
+/// compare-exchange loop with no allocation beyond the node itself, so
+/// it is safe to call from the broker append path. `snapshot` walks the
+/// list without consuming it — nodes are only freed on `Drop`, so a
+/// concurrent reader can never observe a dangling pointer.
+pub struct SpanSink {
+    head: AtomicPtr<Node>,
+    len: AtomicU64,
+    dropped: AtomicU64,
+    sample_every: u64,
+    capacity: u64,
+}
+
+/// Default cap on retained spans; beyond it new spans are counted as
+/// dropped rather than growing without bound.
+pub const DEFAULT_SPAN_CAPACITY: u64 = 65_536;
+
+impl SpanSink {
+    /// A sink sampling one trace in `sample_every` (0 disables all
+    /// recording).
+    pub fn new(sample_every: u64) -> Self {
+        SpanSink {
+            head: AtomicPtr::new(ptr::null_mut()),
+            len: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            sample_every,
+            capacity: DEFAULT_SPAN_CAPACITY,
+        }
+    }
+
+    /// A sink that records nothing (the zero-overhead default).
+    pub fn disabled() -> Self {
+        Self::new(0)
+    }
+
+    /// Whether this sink records anything at all — a cheap guard so
+    /// callers can skip trace-context extraction entirely when tracing
+    /// is off.
+    pub fn is_enabled(&self) -> bool {
+        self.sample_every != 0
+    }
+
+    /// Whether spans for `trace_id` should be recorded. Deterministic,
+    /// so producer, broker, and consumer agree without coordination.
+    pub fn sampled(&self, trace_id: u64) -> bool {
+        self.sample_every != 0 && trace_id.is_multiple_of(self.sample_every)
+    }
+
+    /// Number of spans retained.
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// True when no spans have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans discarded because the sink was at capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Push one span. Lock-free; drops (and counts) when full.
+    pub fn record(&self, span: Span) {
+        if self.sample_every == 0 {
+            return;
+        }
+        if self.len.load(Ordering::Relaxed) >= self.capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let node = Box::into_raw(Box::new(Node { span, next: ptr::null_mut() }));
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            // SAFETY: `node` came from Box::into_raw above and is not
+            // yet visible to any other thread.
+            unsafe { (*node).next = head };
+            match self.head.compare_exchange_weak(
+                head,
+                node,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(actual) => head = actual,
+            }
+        }
+        self.len.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Record one stage of a sampled trace; no-op for unsampled ids.
+    pub fn record_stage(&self, ctx: &TraceContext, stage: Stage, start_ns: u64, end_ns: u64) {
+        if self.sampled(ctx.trace_id) {
+            self.record(Span::for_stage(ctx.trace_id, stage, start_ns, end_ns));
+        }
+    }
+
+    /// Copy out every retained span, sorted by `(trace_id, span_id)`.
+    /// Non-consuming: concurrent `record`s may or may not be included.
+    pub fn snapshot(&self) -> Vec<Span> {
+        let mut out = Vec::new();
+        let mut cur = self.head.load(Ordering::Acquire);
+        while !cur.is_null() {
+            // SAFETY: nodes are only freed in Drop, which requires
+            // `&mut self`; any node reachable from `head` stays alive
+            // for the lifetime of this borrow.
+            let node = unsafe { &*cur };
+            out.push(node.span.clone());
+            cur = node.next;
+        }
+        out.sort_by_key(|s| (s.trace_id, s.span_id));
+        out
+    }
+
+    /// Render all retained spans as Chrome trace event format JSON
+    /// (the `"traceEvents"` array form), loadable in Perfetto or
+    /// `chrome://tracing`. Each span is a complete (`"ph":"X"`)
+    /// duration event; timestamps are microseconds as the format
+    /// requires, with nanosecond precision kept in the fraction.
+    pub fn export_chrome_trace(&self) -> String {
+        let spans = self.snapshot();
+        let mut out = String::with_capacity(128 + spans.len() * 160);
+        out.push_str("{\"traceEvents\":[");
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let ts = s.start_ns as f64 / 1_000.0;
+            let dur = s.duration_ns() as f64 / 1_000.0;
+            out.push_str(&format!(
+                "{{\"name\":{name},\"cat\":\"octopus\",\"ph\":\"X\",\"ts\":{ts:.3},\
+                 \"dur\":{dur:.3},\"pid\":1,\"tid\":{tid},\"args\":{{\
+                 \"trace_id\":{tid},\"span_id\":{sid},\"parent_id\":{pid}}}}}",
+                name = json_string(&s.name),
+                tid = s.trace_id,
+                sid = s.span_id,
+                pid = match s.parent_id {
+                    Some(p) => p.to_string(),
+                    None => "null".to_string(),
+                },
+            ));
+        }
+        out.push_str("],\"displayTimeUnit\":\"ns\"}");
+        out
+    }
+
+    /// Write the Chrome trace JSON to `path`, creating parent
+    /// directories as needed.
+    pub fn write_chrome_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.export_chrome_trace())
+    }
+}
+
+impl Drop for SpanSink {
+    fn drop(&mut self) {
+        let mut cur = *self.head.get_mut();
+        while !cur.is_null() {
+            // SAFETY: `&mut self` guarantees exclusive access; each
+            // node was allocated via Box::into_raw in `record`.
+            let node = unsafe { Box::from_raw(cur) };
+            cur = node.next;
+        }
+    }
+}
+
+// SAFETY: the stack is built from atomics; nodes are immutable once
+// published and freed only under exclusive access in Drop.
+unsafe impl Send for SpanSink {}
+unsafe impl Sync for SpanSink {}
+
+impl std::fmt::Debug for SpanSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanSink")
+            .field("sample_every", &self.sample_every)
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+/// Minimal JSON string escaping for span names (quotes, backslash,
+/// control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn span_ids_are_deterministic_and_causal() {
+        let a = Span::for_stage(7, Stage::Append, 10, 20);
+        let b = Span::for_stage(7, Stage::Append, 10, 20);
+        assert_eq!(a, b);
+        assert_eq!(a.parent_id, Some(span_id_for(7, Stage::ProduceAck)));
+        let root = Span::for_stage(7, Stage::ProduceAck, 0, 30);
+        assert_eq!(root.parent_id, None);
+        let deliver = Span::for_stage(7, Stage::Deliver, 25, 28);
+        assert_eq!(deliver.parent_id, Some(span_id_for(7, Stage::Fetch)));
+        // ids are unique across stages of one trace
+        let mut ids: Vec<u64> =
+            Stage::ALL.iter().map(|s| span_id_for(7, *s)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), Stage::ALL.len());
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let sink = SpanSink::new(4);
+        assert!(sink.sampled(0));
+        assert!(sink.sampled(8));
+        assert!(!sink.sampled(3));
+        let off = SpanSink::disabled();
+        assert!(!off.sampled(0));
+        off.record(Span::for_stage(0, Stage::Append, 0, 1));
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn record_stage_respects_sampling() {
+        let sink = SpanSink::new(2);
+        let hit = TraceContext { trace_id: 4, produced_ns: 100 };
+        let miss = TraceContext { trace_id: 5, produced_ns: 100 };
+        sink.record_stage(&hit, Stage::Append, 100, 200);
+        sink.record_stage(&miss, Stage::Append, 100, 200);
+        let spans = sink.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].trace_id, 4);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let sink = Arc::new(SpanSink::new(1));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let sink = Arc::clone(&sink);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let id = t * 1_000 + i;
+                    sink.record(Span::for_stage(id, Stage::Append, i, i + 1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let spans = sink.snapshot();
+        assert_eq!(spans.len(), 2_000);
+        assert_eq!(sink.len(), 2_000);
+        // snapshot is sorted and duplicate-free
+        let mut ids: Vec<(u64, u64)> =
+            spans.iter().map(|s| (s.trace_id, s.span_id)).collect();
+        let sorted = ids.clone();
+        ids.dedup();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn capacity_drops_are_counted() {
+        let mut sink = SpanSink::new(1);
+        sink.capacity = 3;
+        for i in 0..10 {
+            sink.record(Span::for_stage(i, Stage::Append, 0, 1));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 7);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_complete_events() {
+        let sink = SpanSink::new(1);
+        let ctx = TraceContext { trace_id: 2, produced_ns: 1_000 };
+        sink.record_stage(&ctx, Stage::ProduceAck, 1_000, 9_000);
+        sink.record_stage(&ctx, Stage::Append, 2_000, 3_000);
+        sink.record_stage(&ctx, Stage::Fetch, 4_000, 5_000);
+        let json = sink.export_chrome_trace();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 3);
+        for e in events {
+            assert_eq!(e["ph"], "X");
+            assert_eq!(e["pid"], 1);
+            assert_eq!(e["tid"], 2);
+            assert!(e["ts"].as_f64().is_some());
+            assert!(e["dur"].as_f64().is_some());
+            assert!(e["args"]["span_id"].as_u64().is_some());
+        }
+        // append's parent is the produce-ack span id
+        let append = events.iter().find(|e| e["name"] == "append").unwrap();
+        assert_eq!(
+            append["args"]["parent_id"].as_u64().unwrap(),
+            span_id_for(2, Stage::ProduceAck)
+        );
+        // microsecond conversion keeps sub-µs precision
+        let produce = events.iter().find(|e| e["name"] == "produce→ack").unwrap();
+        assert!((produce["ts"].as_f64().unwrap() - 1.0).abs() < 1e-9);
+        assert!((produce["dur"].as_f64().unwrap() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_chrome_trace_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join("octopus-span-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("trace.json");
+        let sink = SpanSink::new(1);
+        sink.record(Span::for_stage(1, Stage::Append, 0, 10));
+        sink.write_chrome_trace(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(serde_json::from_str::<serde_json::Value>(&body).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_string_escapes_hostile_names() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        let escaped = json_string("tab\there");
+        let v: serde_json::Value = serde_json::from_str(&escaped).unwrap();
+        assert_eq!(v.as_str().unwrap(), "tab\there");
+    }
+}

@@ -1,9 +1,27 @@
 //! Property-based tests for the shared types: codec totality and
-//! round-trips, event builder invariants, and timestamp arithmetic.
+//! round-trips, event builder invariants, timestamp arithmetic, and
+//! histogram quantile/merge accuracy against a sorted-sample reference.
 
 use proptest::prelude::*;
 
-use octopus_types::{codec, Codec, Event, Timestamp};
+use octopus_types::{codec, Codec, Event, Histogram, Timestamp};
+
+/// Exact quantile from raw samples, mirroring the histogram's rank rule
+/// (`ceil(q·n)` clamped to `[1, n]`).
+fn reference_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let n = sorted.len() as u64;
+    let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(target - 1) as usize]
+}
+
+/// The log-linear buckets use 64 sub-buckets per power of two and a
+/// midpoint representative, so any reported quantile lands within half
+/// a bucket of the true sample: relative error ≤ 1/64, exact below 64.
+fn within_bucket_error(observed: u64, exact: u64) -> bool {
+    let tolerance = exact / 64 + 1;
+    observed.abs_diff(exact) <= tolerance
+}
 
 proptest! {
     /// Compression round-trips arbitrary bytes under every codec.
@@ -54,5 +72,103 @@ proptest! {
         let t1 = t0.plus(std::time::Duration::from_millis(delta_ms));
         prop_assert_eq!(t1.since(t0).as_millis() as u64, delta_ms);
         prop_assert_eq!(t0.since(t1), std::time::Duration::ZERO);
+    }
+
+    /// Every quantile of a recorded histogram lands within one bucket
+    /// (≤ 1/64 relative) of the exact sorted-sample quantile, across
+    /// seven decades of value magnitude.
+    #[test]
+    fn histogram_quantile_tracks_sorted_reference(
+        samples in proptest::collection::vec(1u64..10_000_000, 1..400),
+        q_pcts in proptest::collection::vec(0u32..=100, 1..8),
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in q_pcts.into_iter().map(|p| p as f64 / 100.0) {
+            let exact = reference_quantile(&sorted, q);
+            let observed = h.quantile(q);
+            prop_assert!(
+                within_bucket_error(observed, exact),
+                "q={q}: observed {observed} vs exact {exact} (n={})",
+                sorted.len(),
+            );
+        }
+        // min/max are tracked exactly; the extreme quantiles stay
+        // inside the recorded range and within bucket error of it
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        prop_assert!(h.quantile(0.0) >= sorted[0]);
+        prop_assert!(h.quantile(1.0) <= *sorted.last().unwrap());
+        prop_assert!(within_bucket_error(h.quantile(0.0), sorted[0]));
+        prop_assert!(within_bucket_error(h.quantile(1.0), *sorted.last().unwrap()));
+    }
+
+    /// Merging histograms is equivalent to recording the concatenated
+    /// sample set: count/min/max/mean exactly, quantiles to bucket
+    /// resolution. Merge order must not matter.
+    #[test]
+    fn histogram_merge_matches_concatenation(
+        a in proptest::collection::vec(1u64..5_000_000, 0..200),
+        b in proptest::collection::vec(1u64..5_000_000, 0..200),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        for &s in &a { ha.record(s); }
+        for &s in &b { hb.record(s); }
+
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        let mut merged_rev = hb.clone();
+        merged_rev.merge(&ha);
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.sort_unstable();
+
+        prop_assert_eq!(merged.count(), all.len() as u64);
+        prop_assert_eq!(merged_rev.count(), all.len() as u64);
+        if all.is_empty() {
+            prop_assert_eq!(merged.quantile(0.5), 0);
+        } else {
+            prop_assert_eq!(merged.min(), all[0]);
+            prop_assert_eq!(merged.max(), *all.last().unwrap());
+            prop_assert_eq!(merged_rev.min(), all[0]);
+            let exact_mean = all.iter().map(|&v| v as f64).sum::<f64>() / all.len() as f64;
+            prop_assert!((merged.mean() - exact_mean).abs() < 1e-6 * exact_mean.max(1.0));
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                let exact = reference_quantile(&all, q);
+                prop_assert!(
+                    within_bucket_error(merged.quantile(q), exact),
+                    "q={q}: merged {} vs exact {exact}", merged.quantile(q),
+                );
+                prop_assert_eq!(merged.quantile(q), merged_rev.quantile(q));
+            }
+        }
+    }
+
+    /// `count_below` brackets the exact rank: it can only overshoot by
+    /// samples sharing the threshold's bucket (≤ 1/64 above it), never
+    /// undershoot.
+    #[test]
+    fn histogram_count_below_brackets_exact_rank(
+        samples in proptest::collection::vec(1u64..1_000_000, 0..300),
+        threshold in 1u64..1_000_000,
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let exact = samples.iter().filter(|&&s| s <= threshold).count() as u64;
+        let loose = samples
+            .iter()
+            .filter(|&&s| s <= threshold + threshold / 64 + 1)
+            .count() as u64;
+        let observed = h.count_below(threshold);
+        prop_assert!(observed >= exact, "undershoot: {observed} < {exact}");
+        prop_assert!(observed <= loose, "overshoot past bucket: {observed} > {loose}");
     }
 }

@@ -1,0 +1,154 @@
+//! Fleet observatory: watch a deployment degrade and recover.
+//!
+//! Runs live traffic through a broker kill, printing what an operator
+//! would see on each pane of the observatory — the Green/Yellow/Red
+//! health rollup with its transition timeline, per-group consumer lag,
+//! the SLO burn-rate page firing and resolving, and the Prometheus
+//! scrape — then exports the sampled causal spans as a Chrome trace to
+//! `results/trace.json` (load it at <https://ui.perfetto.dev>).
+//!
+//! Run with: `cargo run --example observatory`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use octopus::broker::{AckLevel, BrokerId, HealthStatus};
+use octopus::prelude::*;
+use octopus::types::{AlertState, SloMonitor, SloSpec, SpanSink};
+
+const TICK_NS: u64 = 1_000;
+
+fn main() -> OctoResult<()> {
+    // Sample every trace; real deployments would use SpanSink::new(100).
+    let sink = Arc::new(SpanSink::new(1));
+    let octo = Octopus::builder().brokers(3).spans(Arc::clone(&sink)).build()?;
+    octo.register_provider("uchicago.edu", "University of Chicago");
+    octo.register_user("ops@uchicago.edu", "pw")?;
+    let session = octo.login("ops@uchicago.edu", "pw")?;
+
+    // A replicated work topic and a frail rf=1 topic pinned to broker 0.
+    session.client().register_topic(
+        "sdl.work",
+        serde_json::json!({"partitions": 1, "replication_factor": 3, "min_insync_replicas": 2}),
+    )?;
+    session
+        .client()
+        .register_topic("sdl.frail", serde_json::json!({"partitions": 1, "replication_factor": 1}))?;
+
+    let cluster = octo.cluster();
+    let good = cluster.metrics().counter("observatory_produce_good_total");
+    let total = cluster.metrics().counter("observatory_produce_attempts_total");
+    let mut slo = SloMonitor::new();
+    slo.add(
+        SloSpec::availability(
+            "produce-availability",
+            "observatory_produce_good_total",
+            "observatory_produce_attempts_total",
+            0.99,
+        )
+        .windows(5 * TICK_NS, 20 * TICK_NS),
+    );
+    let mut now = 0u64;
+
+    let producer = session.producer_with(ProducerConfig {
+        acks: AckLevel::All,
+        linger: Duration::ZERO,
+        ..ProducerConfig::default()
+    });
+    let frail = session.producer_with(ProducerConfig {
+        linger: Duration::ZERO,
+        retries: 0,
+        ..ProducerConfig::default()
+    });
+
+    println!("health: {}", cluster.health_report().status);
+
+    // Healthy traffic; the observer group drains to lag 0.
+    for i in 0..10u8 {
+        producer.send_sync("sdl.work", Event::from_bytes(vec![i]))?;
+        frail.send_sync("sdl.frail", Event::from_bytes(vec![i]))?;
+        good.add(2);
+        total.add(2);
+        now += TICK_NS;
+        slo.observe(now, &cluster.metrics().snapshot());
+    }
+    let mut consumer = session.consumer("observers");
+    consumer.subscribe(&["sdl.work"])?;
+    let mut drained = 0;
+    while drained < 10 {
+        drained += consumer.poll()?.len();
+    }
+    consumer.commit_sync()?;
+    println!("observers lag after drain: {}", cluster.lag_report("observers")?.total);
+
+    // Kill the frail topic's only replica: Red, lag climbs, SLO pages.
+    cluster.kill_broker(BrokerId(0))?;
+    println!("health after kill_broker(0): {}", cluster.health_status());
+    for i in 0..20u8 {
+        producer.send_sync("sdl.work", Event::from_bytes(vec![i]))?;
+        good.inc();
+        total.inc();
+        if frail.send_sync("sdl.frail", Event::from_bytes(vec![i])).is_err() {
+            total.inc(); // failed attempt burns error budget
+        }
+        now += TICK_NS;
+        for alert in slo.observe(now, &cluster.metrics().snapshot()) {
+            println!(
+                "ALERT {:?}: {} (fast burn {:.1}x, slow burn {:.1}x)",
+                alert.state, alert.slo, alert.fast_burn, alert.slow_burn
+            );
+        }
+    }
+    println!("observers lag mid-fault: {}", cluster.lag_report("observers")?.total);
+
+    // Heal; the page resolves and lag converges back to zero.
+    cluster.restart_broker(BrokerId(0))?;
+    cluster.resync_broker(BrokerId(0))?;
+    println!("health after heal: {}", cluster.health_status());
+    // fresh client: the outage tripped the old producer's breaker
+    let frail = session.producer_with(ProducerConfig {
+        linger: Duration::ZERO,
+        retries: 0,
+        ..ProducerConfig::default()
+    });
+    for i in 0..40u8 {
+        frail.send_sync("sdl.frail", Event::from_bytes(vec![i]))?;
+        good.inc();
+        total.inc();
+        now += TICK_NS;
+        for alert in slo.observe(now, &cluster.metrics().snapshot()) {
+            if alert.state == AlertState::Resolved {
+                println!("RESOLVED: {}", alert.slo);
+            }
+        }
+    }
+    let mut drained = 0;
+    while drained < 20 {
+        drained += consumer.poll()?.len();
+    }
+    consumer.commit_sync()?;
+    println!("observers lag after recovery: {}", cluster.lag_report("observers")?.total);
+
+    // The operator's panes.
+    let report = cluster.health_report();
+    assert_eq!(report.status, HealthStatus::Green);
+    println!("\nhealth timeline:");
+    for t in &report.timeline {
+        println!("  {} -> {}  ({})", t.from, t.to, t.reason);
+    }
+    let scrape = cluster.metrics().render_text();
+    println!("\nscrape excerpt:");
+    for line in scrape.lines().filter(|l| l.contains("octopus_cluster") || l.contains("consumer_lag")) {
+        println!("  {line}");
+    }
+
+    let out = std::path::Path::new("results/trace.json");
+    sink.write_chrome_trace(out).map_err(|e| OctoError::Internal(e.to_string()))?;
+    println!(
+        "\nwrote {} spans to {} ({} dropped) — open it at https://ui.perfetto.dev",
+        sink.len(),
+        out.display(),
+        sink.dropped()
+    );
+    Ok(())
+}

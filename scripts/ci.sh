@@ -16,4 +16,11 @@ cargo test --release -q
 echo "==> cargo clippy (workspace)"
 cargo clippy --release --no-deps --workspace -- -D warnings
 
+echo "==> cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
+echo "==> observatory smoke (health/lag/SLO/trace export)"
+cargo run --release -q --example observatory
+test -s results/trace.json
+
 echo "==> ci green"

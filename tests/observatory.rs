@@ -1,0 +1,305 @@
+//! The fleet observatory, end to end: one deployment runs live traffic
+//! through a fault window while the observability surface added for
+//! operations is checked at every step —
+//!
+//! 1. **Cluster health** rolls Green → Red (a single-replica partition
+//!    loses its only broker) → Green (heal), with the transitions
+//!    recorded in the timeline.
+//! 2. **SLO burn-rate alerting** pages on the produce availability
+//!    objective while the outage burns error budget, then resolves once
+//!    the fast window is clean again.
+//! 3. **Consumer lag** is zero after a drain, climbs while the group
+//!    idles through the fault window, and converges back to exactly
+//!    zero after recovery — and survives a rebalance without resetting.
+//! 4. **Causal spans** sampled on the live path export a complete
+//!    produce→append→replicate→fetch→deliver tree as a Chrome trace.
+//! 5. **OWS** serves `GET /metrics` (spec-clean Prometheus text),
+//!    `GET /health`, and `GET /lag/<group>` behind the normal auth.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use octopus::broker::{AckLevel, BrokerId, Cluster, HealthStatus, TopicConfig};
+use octopus::ows::{Method, Request};
+use octopus::prelude::*;
+use octopus::sdk::{Consumer, ConsumerConfig, Producer, ProducerConfig};
+use octopus::types::{parse_exposition, AlertState, SloMonitor, SloSpec, SpanSink};
+use serde_json::json;
+
+/// One synthetic SLO clock tick (sim-time; the monitor takes explicit
+/// timestamps, so the windows can be nanosecond-scale).
+const TICK_NS: u64 = 1_000;
+const FAST_WINDOW_NS: u64 = 5 * TICK_NS;
+const SLOW_WINDOW_NS: u64 = 20 * TICK_NS;
+
+#[test]
+fn fleet_observatory_end_to_end() {
+    // Sample every trace so the span tree is deterministic.
+    let sink = Arc::new(SpanSink::new(1));
+    let octo = Octopus::builder().brokers(3).spans(Arc::clone(&sink)).build().unwrap();
+    octo.register_provider("uchicago.edu", "University of Chicago");
+    octo.register_user("ops@uchicago.edu", "pw").unwrap();
+    let session = octo.login("ops@uchicago.edu", "pw").unwrap();
+    let client = session.client();
+
+    // A replicated work topic that survives the fault window, and a
+    // deliberately frail rf=1 topic whose only replica is broker 0
+    // (placement is (partition + r) % brokers), so killing broker 0
+    // takes its partition fully offline.
+    client
+        .register_topic(
+            "sdl.work",
+            json!({"partitions": 1, "replication_factor": 3, "min_insync_replicas": 2}),
+        )
+        .unwrap();
+    client.register_topic("sdl.frail", json!({"partitions": 1, "replication_factor": 1})).unwrap();
+
+    let cluster = octo.cluster();
+    assert_eq!(cluster.health_report().status, HealthStatus::Green);
+
+    // Produce availability SLO over a counter pair this drill maintains.
+    let good = cluster.metrics().counter("observatory_produce_good_total");
+    let total = cluster.metrics().counter("observatory_produce_attempts_total");
+    let mut slo = SloMonitor::new();
+    slo.add(
+        SloSpec::availability(
+            "produce-availability",
+            "observatory_produce_good_total",
+            "observatory_produce_attempts_total",
+            0.99,
+        )
+        .windows(FAST_WINDOW_NS, SLOW_WINDOW_NS),
+    );
+    let mut now = 0u64;
+    let mut alerts = Vec::new();
+
+    let producer = session.producer_with(ProducerConfig {
+        acks: AckLevel::All,
+        linger: Duration::ZERO,
+        ..ProducerConfig::default()
+    });
+    // The frail topic gets a no-retry producer so outage sends fail fast.
+    let frail_producer = session.producer_with(ProducerConfig {
+        linger: Duration::ZERO,
+        retries: 0,
+        ..ProducerConfig::default()
+    });
+
+    // --- Phase A: healthy traffic, group drains to lag 0 -------------
+    for i in 0..10u8 {
+        producer.send_sync("sdl.work", Event::from_bytes(vec![i])).unwrap();
+        frail_producer.send_sync("sdl.frail", Event::from_bytes(vec![i])).unwrap();
+        good.add(2);
+        total.add(2);
+        now += TICK_NS;
+        alerts.extend(slo.observe(now, &cluster.metrics().snapshot()));
+    }
+    assert!(alerts.is_empty(), "healthy traffic must not page: {alerts:?}");
+
+    let mut consumer = session.consumer("observers");
+    consumer.subscribe(&["sdl.work"]).unwrap();
+    drain(&mut consumer, 10);
+    consumer.commit_sync().unwrap();
+    assert_eq!(cluster.lag_report("observers").unwrap().total, 0);
+
+    // --- Phase B: kill broker 0 — the frail partition goes offline ---
+    cluster.kill_broker(BrokerId(0)).unwrap();
+    assert_eq!(
+        cluster.health_status(),
+        HealthStatus::Red,
+        "an offline partition is a Red cluster"
+    );
+
+    // The group idles while traffic continues: lag climbs. Frail sends
+    // fail and burn the error budget until the SLO pages.
+    for i in 0..20u8 {
+        producer.send_sync("sdl.work", Event::from_bytes(vec![i])).unwrap();
+        good.inc();
+        total.inc();
+        assert!(
+            frail_producer.send_sync("sdl.frail", Event::from_bytes(vec![i])).is_err(),
+            "rf=1 topic must be unavailable with its only replica dead"
+        );
+        total.inc();
+        now += TICK_NS;
+        alerts.extend(slo.observe(now, &cluster.metrics().snapshot()));
+    }
+    let fired: Vec<_> = alerts.iter().filter(|a| a.state == AlertState::Firing).collect();
+    assert_eq!(fired.len(), 1, "exactly one page for a single outage: {alerts:?}");
+    assert_eq!(fired[0].slo, "produce-availability");
+    assert_eq!(slo.firing(), vec!["produce-availability"]);
+
+    let mid_fault = cluster.lag_report("observers").unwrap();
+    assert_eq!(mid_fault.total, 20, "idle group accrues lag under the fault");
+    assert_eq!(mid_fault.max, 20);
+
+    // --- Phase C: heal — Red → Green, the page resolves, lag drains --
+    cluster.restart_broker(BrokerId(0)).unwrap();
+    cluster.resync_broker(BrokerId(0)).unwrap();
+    assert_eq!(cluster.health_status(), HealthStatus::Green);
+    let timeline = cluster.health_report().timeline;
+    assert!(
+        timeline.iter().any(|t| t.to == HealthStatus::Red),
+        "timeline records the outage: {timeline:?}"
+    );
+    assert!(
+        timeline.iter().any(|t| t.to == HealthStatus::Green),
+        "timeline records the recovery: {timeline:?}"
+    );
+
+    // The outage tripped the frail producer's circuit breaker; recovery
+    // traffic comes from a fresh client rather than waiting out cooldown.
+    let frail_producer = session.producer_with(ProducerConfig {
+        linger: Duration::ZERO,
+        retries: 0,
+        ..ProducerConfig::default()
+    });
+    let mut resolved = Vec::new();
+    for i in 0..40u8 {
+        frail_producer.send_sync("sdl.frail", Event::from_bytes(vec![i])).unwrap();
+        good.inc();
+        total.inc();
+        now += TICK_NS;
+        resolved.extend(slo.observe(now, &cluster.metrics().snapshot()));
+    }
+    assert!(
+        resolved.iter().any(|a| a.state == AlertState::Resolved),
+        "clean fast window resolves the page: {resolved:?}"
+    );
+    assert!(slo.firing().is_empty());
+
+    drain(&mut consumer, 20);
+    consumer.commit_sync().unwrap();
+    assert_eq!(
+        cluster.lag_report("observers").unwrap().total,
+        0,
+        "lag converges to exactly zero after the drain"
+    );
+
+    // --- OWS surface --------------------------------------------------
+    let ows = octo.ows();
+    let get = |path: &str| Request::new(Method::Get, path).bearer(session.token().clone());
+
+    let r = ows.dispatch(&get("/metrics"));
+    assert_eq!(r.status, 200);
+    let samples = parse_exposition(r.text_body().expect("text exposition")).unwrap();
+    let lag_sample = samples
+        .iter()
+        .find(|s| s.name == "octopus_consumer_lag" && s.label("group") == Some("observers"))
+        .expect("lag gauge is scrapeable");
+    assert_eq!(lag_sample.value, 0.0);
+    assert!(samples.iter().any(|s| s.name == "octopus_cluster_health_status"));
+
+    let r = ows.dispatch(&get("/health"));
+    assert_eq!(r.status, 200);
+    assert_eq!(r.body["status"], "Green");
+    assert!(!r.body["timeline"].as_array().unwrap().is_empty());
+
+    let r = ows.dispatch(&get("/lag/observers"));
+    assert_eq!(r.status, 200);
+    assert_eq!(r.body["total"], 0);
+
+    // --- Causal span export ------------------------------------------
+    let spans = sink.snapshot();
+    let mut by_trace: HashMap<u64, Vec<&octopus::types::Span>> = HashMap::new();
+    for s in &spans {
+        by_trace.entry(s.trace_id).or_default().push(s);
+    }
+    let full_path = ["produce→ack", "append", "replicate", "fetch", "deliver"];
+    let complete = by_trace
+        .values()
+        .find(|tree| full_path.iter().all(|n| tree.iter().any(|s| s.name == *n)))
+        .expect("at least one sampled event yields the complete span tree");
+    // parent links form the causal chain
+    for (child, parent) in [("append", "produce→ack"), ("replicate", "append"), ("fetch", "append"), ("deliver", "fetch")]
+    {
+        let c = complete.iter().find(|s| s.name == child).unwrap();
+        let p = complete.iter().find(|s| s.name == parent).unwrap();
+        assert_eq!(c.parent_id, Some(p.span_id), "{child} must be a child of {parent}");
+    }
+    assert!(
+        complete.iter().find(|s| s.name == "produce→ack").unwrap().parent_id.is_none(),
+        "the ack span is the root"
+    );
+
+    // The Chrome-trace export is valid JSON Perfetto can load.
+    let out = std::env::temp_dir().join("octopus-observatory-trace.json");
+    sink.write_chrome_trace(&out).unwrap();
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    let events = parsed["traceEvents"].as_array().unwrap();
+    assert!(events.len() >= full_path.len());
+    assert!(events.iter().all(|e| e["ph"] == "X" && e["cat"] == "octopus"));
+    let _ = std::fs::remove_file(&out);
+}
+
+/// Committed offsets — and therefore lag — survive a group rebalance:
+/// a new member joining bumps the generation but must not reset the
+/// group's progress, so lag stays 0 rather than jumping back to the
+/// full log length (the regression this test pins).
+#[test]
+fn lag_survives_rebalance_and_converges_to_zero() {
+    let cluster = Cluster::builder(1).build();
+    cluster.create_topic("t", TopicConfig::default().with_partitions(2).with_replication(1)).unwrap();
+    let producer = Producer::new(
+        cluster.clone(),
+        ProducerConfig { linger: Duration::ZERO, ..ProducerConfig::default() },
+    );
+    for i in 0..8u8 {
+        producer.send_sync("t", Event::from_bytes(vec![i])).unwrap();
+    }
+
+    let config = || ConsumerConfig { group: "g".into(), ..ConsumerConfig::default() };
+    let mut c1 = Consumer::new(cluster.clone(), config());
+    c1.subscribe(&["t"]).unwrap();
+    drain(&mut c1, 8);
+    c1.commit_sync().unwrap();
+    assert_eq!(cluster.lag_report("g").unwrap().total, 0);
+
+    // A second member joins: the generation bumps, partitions move.
+    let generation = cluster.coordinator().generation("g");
+    let mut c2 = Consumer::new(cluster.clone(), config());
+    c2.subscribe(&["t"]).unwrap();
+    assert!(cluster.coordinator().generation("g") > generation);
+    assert_eq!(
+        cluster.lag_report("g").unwrap().total,
+        0,
+        "rebalance must not reset committed progress"
+    );
+
+    // New traffic counts from the committed offsets, not from zero.
+    for i in 0..4u8 {
+        producer.send_sync("t", Event::from_bytes(vec![i])).unwrap();
+    }
+    assert_eq!(cluster.lag_report("g").unwrap().total, 4);
+
+    // Both members drain their halves (c1 rejoins transparently after
+    // its fenced first commit); the group converges back to zero.
+    let mut seen: HashSet<(u32, u64)> = HashSet::new();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while seen.len() < 4 && Instant::now() < deadline {
+        for c in [&mut c1, &mut c2] {
+            if let Ok(batch) = c.poll() {
+                seen.extend(batch.iter().map(|d| (d.partition, d.offset)));
+            }
+            let _ = c.commit_sync();
+        }
+    }
+    assert_eq!(seen.len(), 4, "both members drain the new records");
+    let _ = c1.commit_sync();
+    let _ = c2.commit_sync();
+    assert_eq!(cluster.lag_report("g").unwrap().total, 0);
+}
+
+/// Poll until `n` events arrive (bounded, so a regression fails loudly
+/// instead of hanging).
+fn drain(consumer: &mut Consumer, n: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut got = 0;
+    while got < n {
+        assert!(Instant::now() < deadline, "drained only {got}/{n} before the deadline");
+        got += consumer.poll().expect("poll").len();
+    }
+    assert_eq!(got, n);
+}

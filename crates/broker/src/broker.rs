@@ -1,15 +1,36 @@
 //! A broker node: passive host of partition replica logs.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
-use octopus_types::{PartitionId, TopicName};
+use octopus_types::{OctoResult, PartitionId, TopicName};
 
 use crate::log::PartitionLog;
+use crate::store::{FlushPolicy, RecoveryStats, StoreMetrics};
+
+/// Shared configuration for every durable partition a broker hosts.
+#[derive(Debug, Clone)]
+pub struct StoreContext {
+    /// Cluster data directory (brokers get per-id subdirectories).
+    pub root: PathBuf,
+    /// When appends are fsynced.
+    pub policy: FlushPolicy,
+    /// Shared-registry instruments for the storage engine.
+    pub metrics: StoreMetrics,
+}
+
+impl StoreContext {
+    /// Directory for one partition replica on one broker:
+    /// `root/broker-<id>/<topic>/<partition>`.
+    fn partition_dir(&self, broker: BrokerId, topic: &str, partition: PartitionId) -> PathBuf {
+        self.root.join(format!("broker-{}", broker.0)).join(topic).join(format!("{partition:05}"))
+    }
+}
 
 /// Identifies a broker within a cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -31,12 +52,33 @@ pub struct Broker {
     id: BrokerId,
     alive: AtomicBool,
     partitions: RwLock<HashMap<(TopicName, PartitionId), SharedLog>>,
+    store: Option<Arc<StoreContext>>,
 }
 
 impl Broker {
-    /// A live broker with no partitions.
+    /// A live broker with no partitions (volatile logs).
     pub fn new(id: BrokerId) -> Self {
-        Broker { id, alive: AtomicBool::new(true), partitions: RwLock::new(HashMap::new()) }
+        Broker {
+            id,
+            alive: AtomicBool::new(true),
+            partitions: RwLock::new(HashMap::new()),
+            store: None,
+        }
+    }
+
+    /// A live broker whose partitions persist under `ctx.root`.
+    pub fn with_store(id: BrokerId, ctx: Arc<StoreContext>) -> Self {
+        Broker {
+            id,
+            alive: AtomicBool::new(true),
+            partitions: RwLock::new(HashMap::new()),
+            store: Some(ctx),
+        }
+    }
+
+    /// The durable-store context, if this broker persists its logs.
+    pub fn store_context(&self) -> Option<&Arc<StoreContext>> {
+        self.store.as_ref()
     }
 
     /// This broker's id.
@@ -59,17 +101,42 @@ impl Broker {
         self.alive.store(true, Ordering::Release);
     }
 
-    /// Host a new (empty) replica of a partition.
-    pub fn host_partition(&self, topic: &str, partition: PartitionId, segment_bytes: usize) {
-        self.partitions.write().insert(
-            (topic.to_string(), partition),
-            Arc::new(Mutex::new(PartitionLog::with_segment_bytes(segment_bytes))),
-        );
+    /// Host a replica of a partition. Volatile brokers start it empty;
+    /// durable brokers open the partition's directory and recover
+    /// whatever a previous incarnation persisted. Re-hosting an
+    /// already-hosted partition keeps the existing log. Returns the
+    /// recovery stats (zeroed for volatile or already-hosted replicas).
+    pub fn host_partition(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        segment_bytes: usize,
+    ) -> OctoResult<RecoveryStats> {
+        let key = (topic.to_string(), partition);
+        let mut partitions = self.partitions.write();
+        if partitions.contains_key(&key) {
+            return Ok(RecoveryStats::default());
+        }
+        let (log, stats) = match &self.store {
+            Some(ctx) => PartitionLog::open_durable(
+                segment_bytes,
+                ctx.partition_dir(self.id, topic, partition),
+                ctx.policy,
+                ctx.metrics.clone(),
+            )?,
+            None => (PartitionLog::with_segment_bytes(segment_bytes), RecoveryStats::default()),
+        };
+        partitions.insert(key, Arc::new(Mutex::new(log)));
+        Ok(stats)
     }
 
-    /// Drop a replica.
+    /// Drop a replica; a durable broker also deletes its files (topic
+    /// deletion is permanent in Kafka too).
     pub fn drop_partition(&self, topic: &str, partition: PartitionId) {
         self.partitions.write().remove(&(topic.to_string(), partition));
+        if let Some(ctx) = &self.store {
+            let _ = std::fs::remove_dir_all(ctx.partition_dir(self.id, topic, partition));
+        }
     }
 
     /// The replica log for a partition, if hosted here.
@@ -101,8 +168,8 @@ mod tests {
         assert!(b.is_alive());
         assert_eq!(b.to_string_id(), "broker-3");
 
-        b.host_partition("t", 0, 1024);
-        b.host_partition("t", 1, 1024);
+        b.host_partition("t", 0, 1024).unwrap();
+        b.host_partition("t", 1, 1024).unwrap();
         assert_eq!(b.partition_count(), 2);
         assert!(b.log("t", 0).is_some());
         assert!(b.log("t", 9).is_none());
@@ -120,7 +187,7 @@ mod tests {
     #[test]
     fn logs_survive_kill() {
         let b = Broker::new(BrokerId(0));
-        b.host_partition("t", 0, 1024);
+        b.host_partition("t", 0, 1024).unwrap();
         let log = b.log("t", 0).unwrap();
         log.lock()
             .append(&RecordBatch::new(vec![Event::from_bytes(&b"x"[..])]), Timestamp::now())

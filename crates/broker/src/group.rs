@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use octopus_types::{OctoError, OctoResult, Offset, PartitionId, TopicName};
 
 use crate::lag::LagTracker;
+use crate::store::{OffsetCheckpoint, OffsetEntry};
 
 /// A member's view of its assignment after a (re)join.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -107,6 +108,8 @@ pub struct GroupCoordinator {
     /// Lag tracker to notify on every commit, so the lag gauges narrow
     /// the moment a consumer makes progress (not on the next scrape).
     lag: Option<Arc<LagTracker>>,
+    /// Durable checkpoint: committed offsets survive cold restarts.
+    checkpoint: Option<Arc<OffsetCheckpoint>>,
 }
 
 impl GroupCoordinator {
@@ -117,7 +120,52 @@ impl GroupCoordinator {
 
     /// A coordinator that reports every commit to `lag`.
     pub fn with_lag_tracker(lag: Arc<LagTracker>) -> Self {
-        GroupCoordinator { groups: Arc::default(), lag: Some(lag) }
+        GroupCoordinator { groups: Arc::default(), lag: Some(lag), checkpoint: None }
+    }
+
+    /// Attach a durable offset checkpoint: every commit is counted and
+    /// every `n`-th persists the full offset snapshot atomically.
+    pub fn attach_checkpoint(&mut self, checkpoint: Arc<OffsetCheckpoint>) {
+        self.checkpoint = Some(checkpoint);
+    }
+
+    /// Merge offsets restored from a checkpoint into the coordinator
+    /// (cold-restart path). Restored offsets never rewind live progress:
+    /// a higher in-memory commit wins.
+    pub fn restore_offsets(&self, entries: Vec<OffsetEntry>) {
+        let mut groups = self.groups.lock();
+        for e in entries {
+            let state = groups.entry(e.group).or_default();
+            let slot = state.offsets.entry((e.topic, e.partition)).or_insert(e.offset);
+            *slot = (*slot).max(e.offset);
+        }
+    }
+
+    /// Snapshot every committed offset across every group.
+    pub fn offsets_snapshot(&self) -> Vec<OffsetEntry> {
+        let groups = self.groups.lock();
+        Self::snapshot_locked(&groups)
+    }
+
+    fn snapshot_locked(groups: &HashMap<String, GroupState>) -> Vec<OffsetEntry> {
+        let mut out = Vec::new();
+        for (group, state) in groups.iter() {
+            for ((topic, partition), offset) in &state.offsets {
+                out.push(OffsetEntry {
+                    group: group.clone(),
+                    topic: topic.clone(),
+                    partition: *partition,
+                    offset: *offset,
+                });
+            }
+        }
+        out
+    }
+
+    /// Persist the current offsets immediately (graceful shutdown).
+    pub fn checkpoint_now(&self) -> OctoResult<()> {
+        let Some(ckpt) = &self.checkpoint else { return Ok(()) };
+        ckpt.write_now(&self.offsets_snapshot())
     }
 
     /// Join (or re-join) a group, triggering a rebalance. Returns this
@@ -206,7 +254,11 @@ impl GroupCoordinator {
         let slot = state.offsets.entry((topic.to_string(), partition)).or_insert(offset);
         *slot = (*slot).max(offset);
         let committed = *slot;
+        let snapshot = self.checkpoint.as_ref().map(|_| Self::snapshot_locked(&groups));
         drop(groups); // never notify observers under the group lock
+        if let (Some(ckpt), Some(snapshot)) = (&self.checkpoint, snapshot) {
+            ckpt.note_commit(&snapshot);
+        }
         if let Some(lag) = &self.lag {
             lag.on_commit(group, topic, partition, committed, None);
         }
@@ -219,7 +271,11 @@ impl GroupCoordinator {
         let mut groups = self.groups.lock();
         let state = groups.entry(group.to_string()).or_default();
         state.offsets.insert((topic.to_string(), partition), offset);
+        let snapshot = self.checkpoint.as_ref().map(|_| Self::snapshot_locked(&groups));
         drop(groups);
+        if let (Some(ckpt), Some(snapshot)) = (&self.checkpoint, snapshot) {
+            ckpt.note_commit(&snapshot);
+        }
         if let Some(lag) = &self.lag {
             lag.on_commit(group, topic, partition, offset, None);
         }

@@ -16,6 +16,10 @@
 //!   enforcement.
 //! - [`group`]: consumer groups — join/leave, generation-numbered
 //!   rebalances, range assignment, committed offsets (at-least-once).
+//! - [`store`]: the durable storage engine — on-disk segmented logs
+//!   with CRC-framed records, configurable flush policies, crash and
+//!   power-loss recovery with torn-tail truncation, and committed-
+//!   offset checkpoints.
 //! - [`mirror`]: MirrorMaker-style cross-cluster topic replication
 //!   (§IV-F geo-replication).
 //!
@@ -34,9 +38,12 @@ pub mod lag;
 pub mod log;
 pub mod mirror;
 pub mod record;
+pub mod store;
 
-pub use broker::{Broker, BrokerId};
-pub use cluster::{AckLevel, Cluster, ProduceReceipt, TopicStats};
+pub use broker::{Broker, BrokerId, StoreContext};
+pub use cluster::{
+    AckLevel, Cluster, DurabilityInfo, PowerLossReport, ProduceReceipt, TopicStats,
+};
 pub use fault::{DeliveryFault, FaultInjector};
 pub use config::{CleanupPolicy, RetentionConfig, TopicConfig};
 pub use group::{GroupCoordinator, GroupMember, MemberAssignment};
@@ -48,3 +55,6 @@ pub use lag::{LagReport, LagTracker, PartitionLag};
 pub use log::PartitionLog;
 pub use mirror::{MirrorHandle, MirrorMaker};
 pub use record::{crc32c, Record, RecordBatch};
+pub use store::{
+    FlushPolicy, OffsetCheckpoint, OffsetEntry, RecoveryStats, StoreMetrics, TempDir,
+};

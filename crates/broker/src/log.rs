@@ -15,6 +15,7 @@ use octopus_types::{OctoError, OctoResult, Offset, Timestamp};
 
 use crate::config::{CleanupPolicy, RetentionConfig};
 use crate::record::{Record, RecordBatch};
+use crate::store::{FlushPolicy, PartitionStore, RecoveryStats, StoreMetrics};
 
 /// Default maximum segment size before rolling (1 MiB here; Kafka's
 /// default is 1 GiB — scaled down for in-memory use).
@@ -41,16 +42,48 @@ impl Segment {
     fn next_offset(&self) -> Offset {
         self.base_offset + self.records.len() as u64
     }
+
+    /// Rebuild a segment from recovered records (sizes and timestamps
+    /// recomputed from the records themselves).
+    fn from_records(base_offset: Offset, records: Vec<Record>) -> Self {
+        let size_bytes = records.iter().map(|r| r.wire_size()).sum();
+        let max_timestamp = records
+            .iter()
+            .map(|r| r.append_time)
+            .max()
+            .unwrap_or(Timestamp::from_millis(0));
+        Segment { base_offset, records, size_bytes, max_timestamp }
+    }
 }
 
-/// An in-memory segmented log for one partition.
-#[derive(Debug, Clone)]
+/// A segmented log for one partition: always present in memory (the
+/// fabric serves reads from the "page cache"), optionally backed by a
+/// durable [`PartitionStore`] that survives crashes and power loss.
+#[derive(Debug)]
 pub struct PartitionLog {
     segments: Vec<Segment>,
     segment_bytes: usize,
     /// Offset of the first retained record.
     log_start: Offset,
     total_bytes: usize,
+    /// Durable backing store, if the cluster was built with a data dir.
+    store: Option<PartitionStore>,
+}
+
+impl Clone for PartitionLog {
+    /// Clones are *in-memory snapshots*: the durable store handle stays
+    /// with the original. Two writers appending to one set of segment
+    /// files would corrupt them — and every clone site (ISR resync
+    /// snapshots, tests) wants the record contents, not the disk.
+    fn clone(&self) -> Self {
+        PartitionLog {
+            segments: self.segments.clone(),
+            segment_bytes: self.segment_bytes,
+            log_start: self.log_start,
+            total_bytes: self.total_bytes,
+            store: None,
+        }
+    }
 }
 
 impl Default for PartitionLog {
@@ -73,7 +106,104 @@ impl PartitionLog {
             segment_bytes: segment_bytes.max(1),
             log_start: 0,
             total_bytes: 0,
+            store: None,
         }
+    }
+
+    /// Open a durable log rooted at `dir`, recovering whatever a
+    /// previous incarnation persisted (truncating any torn tail on
+    /// disk). Returns the log plus the recovery stats.
+    pub fn open_durable(
+        segment_bytes: usize,
+        dir: impl Into<std::path::PathBuf>,
+        policy: FlushPolicy,
+        metrics: StoreMetrics,
+    ) -> OctoResult<(Self, RecoveryStats)> {
+        let (store, recovered, stats) = PartitionStore::open(dir, policy, metrics)?;
+        let mut log = PartitionLog::with_segment_bytes(segment_bytes);
+        log.store = Some(store);
+        log.adopt_recovered(recovered);
+        Ok((log, stats))
+    }
+
+    /// Whether this log writes through to disk.
+    pub fn is_durable(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Replace in-memory state with segments recovered from disk.
+    fn adopt_recovered(&mut self, recovered: Vec<(Offset, Vec<Record>)>) {
+        if recovered.is_empty() {
+            self.segments = vec![Segment::new(0)];
+            self.log_start = 0;
+            self.total_bytes = 0;
+            return;
+        }
+        self.segments = recovered
+            .into_iter()
+            .map(|(base, records)| Segment::from_records(base, records))
+            .collect();
+        self.log_start = self.segments[0].base_offset;
+        self.total_bytes = self.segments.iter().map(|s| s.size_bytes).sum();
+    }
+
+    /// Restart-time recovery. Durable logs reload authoritative state
+    /// from disk (rescanning segment files and truncating the torn
+    /// tail there); volatile logs fall back to the in-memory
+    /// [`PartitionLog::verify_and_truncate`].
+    pub fn recover(&mut self) -> OctoResult<RecoveryStats> {
+        if let Some(store) = self.store.as_mut() {
+            let (recovered, stats) = store.recover()?;
+            self.adopt_recovered(recovered);
+            Ok(stats)
+        } else {
+            let dropped = self.verify_and_truncate();
+            Ok(RecoveryStats { records_truncated: dropped as u64, ..RecoveryStats::default() })
+        }
+    }
+
+    /// Adopt another log's contents (ISR resync copying the leader).
+    /// Keeps this log's own durable store, rewriting its files to match
+    /// the adopted snapshot.
+    pub fn replace_from(&mut self, snapshot: &PartitionLog) -> OctoResult<()> {
+        self.segments = snapshot.segments.clone();
+        self.segment_bytes = snapshot.segment_bytes;
+        self.log_start = snapshot.log_start;
+        self.total_bytes = snapshot.total_bytes;
+        if let Some(store) = self.store.as_mut() {
+            store.reset_with(
+                self.segments.iter().map(|s| (s.base_offset, s.records.as_slice())),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Simulate power loss: RAM is gone; the disk keeps closed segments,
+    /// the fsynced prefix of the active segment, and an `entropy`-chosen
+    /// slice of its unflushed suffix. The in-memory state is wiped —
+    /// only [`PartitionLog::recover`] (the restart path) brings the
+    /// partition back. Returns bytes torn from disk (`0` for volatile
+    /// logs, where a crash loses nothing by construction).
+    pub fn power_loss(&mut self, entropy: u64) -> OctoResult<u64> {
+        let Some(store) = self.store.as_mut() else { return Ok(0) };
+        let torn = store.power_loss(entropy)?;
+        self.segments = vec![Segment::new(0)];
+        self.log_start = 0;
+        self.total_bytes = 0;
+        Ok(torn)
+    }
+
+    /// Force-fsync the durable store (graceful shutdown / flush-all).
+    pub fn sync_store(&mut self) -> OctoResult<()> {
+        match self.store.as_mut() {
+            Some(store) => store.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Bytes appended but not yet known to be on stable storage.
+    pub fn unflushed_bytes(&self) -> u64 {
+        self.store.as_ref().map(|s| s.unflushed_bytes()).unwrap_or(0)
     }
 
     /// Change the segment roll size for future appends (topic config
@@ -140,7 +270,58 @@ impl PartitionLog {
             seg.records.push(rec);
             self.total_bytes += size;
         }
+        if self.store.is_some() {
+            if let Err(e) = self.write_through(base) {
+                // disk refused the batch: roll the in-memory tail back so
+                // RAM never claims records the store could not keep
+                self.truncate_from_offset(base);
+                if let Some(store) = self.store.as_mut() {
+                    let _ = store.truncate_to(base);
+                }
+                return Err(e);
+            }
+        }
         Ok(base)
+    }
+
+    /// Persist every record at `offset >= from` to the store, mirroring
+    /// the in-memory segment layout, then apply the flush policy.
+    fn write_through(&mut self, from: Offset) -> OctoResult<()> {
+        let store = self.store.as_mut().expect("caller checked");
+        let seg_idx = match self.segments.binary_search_by(|s| s.base_offset.cmp(&from)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        for seg in &self.segments[seg_idx..] {
+            for rec in &seg.records {
+                if rec.offset < from {
+                    continue;
+                }
+                store.append(rec, seg.base_offset)?;
+            }
+        }
+        store.commit_batch()
+    }
+
+    /// Remove every in-memory record at `offset >= from`, dropping
+    /// trailing segments that end up empty (but always keeping one).
+    fn truncate_from_offset(&mut self, from: Offset) {
+        for seg in &mut self.segments {
+            let keep = seg.records.partition_point(|r| r.offset < from);
+            if keep < seg.records.len() {
+                for rec in seg.records.drain(keep..) {
+                    let size = rec.wire_size();
+                    seg.size_bytes -= size;
+                    self.total_bytes -= size;
+                }
+            }
+        }
+        while self.segments.len() > 1
+            && self.segments.last().map(|s| s.records.is_empty()).unwrap_or(false)
+        {
+            self.segments.pop();
+        }
     }
 
     /// Read up to `max_records` records starting at `offset`.
@@ -225,6 +406,11 @@ impl PartitionLog {
             removed += seg.records.len();
             self.total_bytes -= seg.size_bytes;
             self.log_start = self.segments[0].base_offset;
+            if let Some(store) = self.store.as_mut() {
+                // best-effort: a failed delete only means recovery may
+                // resurrect an already-expired segment, never data loss
+                let _ = store.remove_front_segment(seg.base_offset);
+            }
         }
         removed
     }
@@ -260,6 +446,14 @@ impl PartitionLog {
             let new_size: usize = seg.records.iter().map(|r| r.wire_size()).sum();
             self.total_bytes -= seg.size_bytes - new_size;
             seg.size_bytes = new_size;
+            if before != seg.records.len() {
+                if let Some(store) = self.store.as_mut() {
+                    // atomic rewrite (tmp + rename); best-effort like
+                    // retention — recovery resurrecting superseded keys
+                    // only costs space, not correctness
+                    let _ = store.rewrite_segment(seg.base_offset, &seg.records);
+                }
+            }
         }
         removed
     }

@@ -1,0 +1,1007 @@
+//! The durable storage engine: on-disk segmented logs, flush policies,
+//! crash/power-loss recovery, and offset checkpoints.
+//!
+//! The paper's durability story rests on Kafka/MSK's persistent commit
+//! log (§IV): topics are replicated, acks-governed, and configured with
+//! retention/compaction, and the event log *outlives process crashes*.
+//! This module gives [`crate::PartitionLog`] that property: each
+//! partition is persisted as Kafka-style segment files under a data
+//! directory, one file per segment, named by base offset
+//! (`00000000000000000000.seg`).
+//!
+//! # On-disk frame format
+//!
+//! Each record is one self-describing frame:
+//!
+//! ```text
+//! +------+-----------+-----------+------------------+
+//! | 0xA7 | len: u32  | crc: u32  | payload (len B)  |
+//! +------+-----------+-----------+------------------+
+//! ```
+//!
+//! `crc` is CRC32C over the payload bytes ([`crc32c`], the same
+//! Castagnoli checksum Kafka stamps on record batches). The payload is a
+//! fixed little-endian encoding of the [`Record`] — offset, timestamps,
+//! the record-level CRC, key, value, and headers — so recovery can
+//! detect both torn frames (length overruns the file, frame CRC
+//! mismatch) and bit rot inside an intact frame (record CRC mismatch).
+//!
+//! # Recovery
+//!
+//! [`PartitionStore::recover`] scans segment files in base-offset order
+//! and walks frames until the first framing error, CRC mismatch, or
+//! offset-monotonicity violation; everything from that point on is
+//! truncated (the disk generalisation of
+//! [`crate::PartitionLog::verify_and_truncate`]). Later segment files
+//! after a truncation point are deleted — once the tail is torn, nothing
+//! beyond it can be trusted.
+//!
+//! # Flush policies
+//!
+//! Writes always reach the file (a `write(2)` per record as part of the
+//! batch append); [`FlushPolicy`] only governs *fsync* — the boundary
+//! that matters under power loss. Segment rolls always fsync the closed
+//! file, so only the active segment's unflushed suffix is ever at risk.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use octopus_types::obs::{AtomicHistogram, Counter, MetricsRegistry};
+use octopus_types::{Header, OctoResult, Offset, Timestamp};
+
+use crate::record::{crc32c, Record};
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// Frame lead-in byte; anything else at a frame boundary is a torn tail.
+const FRAME_MAGIC: u8 = 0xA7;
+/// Magic + length + frame CRC.
+const FRAME_HEADER: usize = 1 + 4 + 4;
+/// Key-length sentinel for records without a key.
+const NO_KEY: u32 = u32::MAX;
+
+/// When (not whether) appended records are fsync'd to stable storage.
+///
+/// Every append is written to the segment file immediately; the policy
+/// decides how much of the suffix a power loss may tear off:
+///
+/// * [`FlushPolicy::PerBatch`] — `fsync` after every produced batch.
+///   acks=all records are on stable storage before the producer is
+///   acknowledged; power loss loses nothing committed.
+/// * [`FlushPolicy::IntervalMs`] — `fsync` at most every `n` ms of
+///   appends. Power loss may tear up to one interval's worth of tail.
+/// * [`FlushPolicy::OsManaged`] — never fsync explicitly (Kafka's
+///   default posture: trust replication, let the OS write back).
+///   Power loss may tear the whole unflushed suffix of the active
+///   segment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlushPolicy {
+    /// fsync after every appended batch (strongest, slowest).
+    #[default]
+    PerBatch,
+    /// fsync when at least this many milliseconds passed since the last.
+    IntervalMs(u64),
+    /// Never fsync explicitly; the OS page cache decides (weakest).
+    OsManaged,
+}
+
+/// Counters and histograms the storage engine publishes to the shared
+/// [`MetricsRegistry`] (`octopus_store_*` family).
+#[derive(Clone)]
+pub struct StoreMetrics {
+    flush_ns: Arc<AtomicHistogram>,
+    flushes: Arc<Counter>,
+    bytes_written: Arc<Counter>,
+    records_recovered: Arc<Counter>,
+    records_truncated: Arc<Counter>,
+    bytes_truncated: Arc<Counter>,
+    checkpoints_written: Arc<Counter>,
+    checkpoint_offsets_restored: Arc<Counter>,
+}
+
+impl StoreMetrics {
+    /// Register (or re-attach to) the `octopus_store_*` instruments.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        StoreMetrics {
+            flush_ns: registry.histogram("octopus_store_flush_ns"),
+            flushes: registry.counter("octopus_store_flushes_total"),
+            bytes_written: registry.counter("octopus_store_bytes_written_total"),
+            records_recovered: registry.counter("octopus_store_records_recovered_total"),
+            records_truncated: registry.counter("octopus_store_records_truncated_total"),
+            bytes_truncated: registry.counter("octopus_store_bytes_truncated_total"),
+            checkpoints_written: registry.counter("octopus_store_checkpoints_written_total"),
+            checkpoint_offsets_restored: registry
+                .counter("octopus_store_checkpoint_offsets_restored_total"),
+        }
+    }
+
+    /// Total fsyncs issued by this registry's stores.
+    pub fn flush_count(&self) -> u64 {
+        self.flushes.get()
+    }
+}
+
+impl std::fmt::Debug for StoreMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreMetrics").field("flushes", &self.flushes.get()).finish()
+    }
+}
+
+/// What a recovery scan found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Segment files scanned (surviving files, not deleted ones).
+    pub segments_scanned: u64,
+    /// Records whose frames were complete and CRC-clean.
+    pub records_recovered: u64,
+    /// Decodable records dropped because they sat beyond a torn frame
+    /// (the undecodable torn tail itself is counted in bytes only).
+    pub records_truncated: u64,
+    /// Raw bytes removed from disk (torn tails + orphaned segments).
+    pub bytes_truncated: u64,
+}
+
+impl RecoveryStats {
+    /// Accumulate another scan's results into this one.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.segments_scanned += other.segments_scanned;
+        self.records_recovered += other.records_recovered;
+        self.records_truncated += other.records_truncated;
+        self.bytes_truncated += other.bytes_truncated;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// frame codec
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append `rec` to `out` as one framed record.
+pub(crate) fn encode_frame(rec: &Record, out: &mut Vec<u8>) {
+    let mut payload = Vec::with_capacity(rec.wire_size() + 64);
+    put_u64(&mut payload, rec.offset);
+    put_u64(&mut payload, rec.append_time.as_millis());
+    put_u64(&mut payload, rec.producer_time.as_millis());
+    put_u32(&mut payload, rec.crc);
+    match &rec.key {
+        None => put_u32(&mut payload, NO_KEY),
+        Some(k) => {
+            put_u32(&mut payload, k.len() as u32);
+            payload.extend_from_slice(k);
+        }
+    }
+    put_u32(&mut payload, rec.value.len() as u32);
+    payload.extend_from_slice(&rec.value);
+    put_u32(&mut payload, rec.headers.len() as u32);
+    for h in &rec.headers {
+        put_u32(&mut payload, h.key.len() as u32);
+        payload.extend_from_slice(h.key.as_bytes());
+        put_u32(&mut payload, h.value.len() as u32);
+        payload.extend_from_slice(&h.value);
+    }
+    out.push(FRAME_MAGIC);
+    put_u32(out, payload.len() as u32);
+    put_u32(out, crc32c(&payload));
+    out.extend_from_slice(&payload);
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(out)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+}
+
+/// Decode one frame payload back into a [`Record`]. `None` on any
+/// structural mismatch (the caller treats it as a torn tail).
+pub(crate) fn decode_payload(payload: &[u8]) -> Option<Record> {
+    let mut c = Cursor { bytes: payload, pos: 0 };
+    let offset = c.u64()?;
+    let append_time = Timestamp::from_millis(c.u64()?);
+    let producer_time = Timestamp::from_millis(c.u64()?);
+    let crc = c.u32()?;
+    let key = match c.u32()? {
+        NO_KEY => None,
+        n => Some(Bytes::copy_from_slice(c.take(n as usize)?)),
+    };
+    let vlen = c.u32()?;
+    let value = Bytes::copy_from_slice(c.take(vlen as usize)?);
+    let header_count = c.u32()?;
+    let mut headers = Vec::with_capacity(header_count.min(64) as usize);
+    for _ in 0..header_count {
+        let klen = c.u32()?;
+        let hkey = String::from_utf8(c.take(klen as usize)?.to_vec()).ok()?;
+        let hvlen = c.u32()?;
+        headers.push(Header { key: hkey, value: c.take(hvlen as usize)?.to_vec() });
+    }
+    if c.pos != payload.len() {
+        return None;
+    }
+    Some(Record { offset, append_time, key, value, headers, producer_time, crc })
+}
+
+// ---------------------------------------------------------------------------
+// segment scanning
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    offset: Offset,
+    /// Byte position just past this frame within its segment file.
+    end: u64,
+}
+
+#[derive(Debug, Clone)]
+struct StoreSegment {
+    base: Offset,
+    frames: Vec<Frame>,
+    len: u64,
+}
+
+fn seg_path(dir: &Path, base: Offset) -> PathBuf {
+    dir.join(format!("{base:020}.seg"))
+}
+
+/// Walk frames from the start of `bytes`, stopping at the first framing
+/// error, frame-CRC or record-CRC mismatch, or non-increasing offset.
+/// Returns the clean frames, their records, and the clean byte length.
+fn scan_bytes(bytes: &[u8], mut last_offset: Option<Offset>) -> (Vec<Frame>, Vec<Record>, u64) {
+    let mut frames = Vec::new();
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        if pos + FRAME_HEADER > bytes.len() || bytes[pos] != FRAME_MAGIC {
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 5..pos + 9].try_into().expect("4 bytes"));
+        let Some(end) = pos.checked_add(FRAME_HEADER + len) else { break };
+        if end > bytes.len() {
+            break;
+        }
+        let payload = &bytes[pos + FRAME_HEADER..end];
+        if crc32c(payload) != crc {
+            break;
+        }
+        let Some(rec) = decode_payload(payload) else { break };
+        if !rec.verify() {
+            break;
+        }
+        if let Some(prev) = last_offset {
+            if rec.offset <= prev {
+                break;
+            }
+        }
+        last_offset = Some(rec.offset);
+        pos = end;
+        frames.push(Frame { offset: rec.offset, end: pos as u64 });
+        records.push(rec);
+    }
+    (frames, records, pos as u64)
+}
+
+struct Scanned {
+    segments: Vec<StoreSegment>,
+    records: Vec<(Offset, Vec<Record>)>,
+    stats: RecoveryStats,
+}
+
+/// Scan a partition directory: delete compaction temp files, walk
+/// segment files in base-offset order, truncate the first torn tail in
+/// place, and delete every file beyond it.
+fn scan_dir(dir: &Path) -> OctoResult<Scanned> {
+    let mut bases: Vec<Offset> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("tmp") => fs::remove_file(&path)?,
+            Some("seg") => {
+                if let Some(base) = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .and_then(|s| s.parse::<Offset>().ok())
+                {
+                    bases.push(base);
+                }
+            }
+            _ => {}
+        }
+    }
+    bases.sort_unstable();
+    let mut out = Scanned { segments: Vec::new(), records: Vec::new(), stats: RecoveryStats::default() };
+    let mut last_offset: Option<Offset> = None;
+    let mut broken = false;
+    for base in bases {
+        let path = seg_path(dir, base);
+        let bytes = fs::read(&path)?;
+        if broken {
+            // continuity is already lost: count what was decodable, drop the file
+            let (_, recs, _) = scan_bytes(&bytes, None);
+            out.stats.records_truncated += recs.len() as u64;
+            out.stats.bytes_truncated += bytes.len() as u64;
+            fs::remove_file(&path)?;
+            continue;
+        }
+        let (frames, recs, good_len) = scan_bytes(&bytes, last_offset);
+        out.stats.segments_scanned += 1;
+        out.stats.records_recovered += recs.len() as u64;
+        if (good_len as usize) < bytes.len() {
+            broken = true;
+            out.stats.bytes_truncated += bytes.len() as u64 - good_len;
+            let f = OpenOptions::new().write(true).open(&path)?;
+            f.set_len(good_len)?;
+            f.sync_data()?;
+        }
+        if let Some(r) = recs.last() {
+            last_offset = Some(r.offset);
+        }
+        out.segments.push(StoreSegment { base, frames, len: good_len });
+        out.records.push((base, recs));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// PartitionStore
+// ---------------------------------------------------------------------------
+
+/// The durable half of one partition: segment files in a directory plus
+/// the bookkeeping needed to append, fsync per policy, and recover.
+pub struct PartitionStore {
+    dir: PathBuf,
+    policy: FlushPolicy,
+    metrics: StoreMetrics,
+    segments: Vec<StoreSegment>,
+    /// Append handle on the active segment file (lazily opened).
+    file: Option<File>,
+    /// Bytes of the active segment known to be on stable storage.
+    synced_len: u64,
+    last_sync: Instant,
+    dirty: bool,
+    /// Set by [`PartitionStore::power_loss`]; appends are refused until
+    /// [`PartitionStore::recover`] has rebuilt state from disk.
+    needs_recovery: bool,
+}
+
+/// What a recovery scan yields: each surviving segment's records,
+/// keyed by the segment's base offset, in offset order.
+pub type RecoveredSegments = Vec<(Offset, Vec<Record>)>;
+
+impl std::fmt::Debug for PartitionStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionStore")
+            .field("dir", &self.dir)
+            .field("policy", &self.policy)
+            .field("segments", &self.segments.len())
+            .finish()
+    }
+}
+
+impl PartitionStore {
+    /// Open (creating if needed) the store for one partition, running
+    /// recovery on whatever the directory holds. Returns the store, the
+    /// recovered segments as `(base_offset, records)`, and scan stats.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        policy: FlushPolicy,
+        metrics: StoreMetrics,
+    ) -> OctoResult<(Self, RecoveredSegments, RecoveryStats)> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut store = PartitionStore {
+            dir,
+            policy,
+            metrics,
+            segments: Vec::new(),
+            file: None,
+            synced_len: 0,
+            last_sync: Instant::now(),
+            dirty: false,
+            needs_recovery: false,
+        };
+        let (records, stats) = store.recover()?;
+        Ok((store, records, stats))
+    }
+
+    /// The directory this partition persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured flush policy.
+    pub fn policy(&self) -> FlushPolicy {
+        self.policy
+    }
+
+    /// Re-scan the directory from scratch (crash recovery / reopen).
+    /// Truncates the torn tail on disk and returns the surviving
+    /// segments plus stats. Clears any power-loss poisoning.
+    pub fn recover(&mut self) -> OctoResult<(RecoveredSegments, RecoveryStats)> {
+        self.file = None;
+        let scanned = scan_dir(&self.dir)?;
+        self.metrics.records_recovered.add(scanned.stats.records_recovered);
+        self.metrics.records_truncated.add(scanned.stats.records_truncated);
+        self.metrics.bytes_truncated.add(scanned.stats.bytes_truncated);
+        self.synced_len = scanned.segments.last().map(|s| s.len).unwrap_or(0);
+        self.segments = scanned.segments;
+        self.dirty = false;
+        self.needs_recovery = false;
+        self.last_sync = Instant::now();
+        Ok((scanned.records, scanned.stats))
+    }
+
+    fn writer(&mut self) -> OctoResult<&mut File> {
+        if self.file.is_none() {
+            let base = self.segments.last().expect("active segment exists").base;
+            let f = OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(seg_path(&self.dir, base))?;
+            self.file = Some(f);
+        }
+        Ok(self.file.as_mut().expect("just opened"))
+    }
+
+    /// Start a new segment at `base`, fsyncing and closing the previous
+    /// one (closed segments are always durable).
+    fn roll_to(&mut self, base: Offset) -> OctoResult<()> {
+        if !self.segments.is_empty() {
+            self.sync()?;
+        }
+        self.file = None;
+        self.segments.push(StoreSegment { base, frames: Vec::new(), len: 0 });
+        self.synced_len = 0;
+        Ok(())
+    }
+
+    /// Append one record into the segment whose base offset is
+    /// `seg_base` (mirroring the in-memory roll decision).
+    pub fn append(&mut self, rec: &Record, seg_base: Offset) -> OctoResult<()> {
+        if self.needs_recovery {
+            return Err(octopus_types::OctoError::Io(
+                "store lost power; recover() before appending".into(),
+            ));
+        }
+        if self.segments.last().map(|s| s.base) != Some(seg_base) {
+            self.roll_to(seg_base)?;
+        }
+        let mut frame = Vec::new();
+        encode_frame(rec, &mut frame);
+        self.writer()?.write_all(&frame)?;
+        let seg = self.segments.last_mut().expect("rolled above");
+        seg.len += frame.len() as u64;
+        seg.frames.push(Frame { offset: rec.offset, end: seg.len });
+        self.metrics.bytes_written.add(frame.len() as u64);
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Apply the flush policy at a batch boundary.
+    pub fn commit_batch(&mut self) -> OctoResult<()> {
+        match self.policy {
+            FlushPolicy::PerBatch => self.sync(),
+            FlushPolicy::IntervalMs(ms) => {
+                if self.dirty && self.last_sync.elapsed().as_millis() as u64 >= ms {
+                    self.sync()
+                } else {
+                    Ok(())
+                }
+            }
+            FlushPolicy::OsManaged => Ok(()),
+        }
+    }
+
+    /// Force an fsync of the active segment.
+    pub fn sync(&mut self) -> OctoResult<()> {
+        if !self.dirty {
+            self.last_sync = Instant::now();
+            return Ok(());
+        }
+        if let Some(f) = self.file.as_mut() {
+            let t = Instant::now();
+            f.sync_data()?;
+            self.metrics.flush_ns.record(t.elapsed().as_nanos() as u64);
+            self.metrics.flushes.inc();
+        }
+        self.synced_len = self.segments.last().map(|s| s.len).unwrap_or(0);
+        self.last_sync = Instant::now();
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Drop every frame with `offset >= end` from disk (append
+    /// rollback after a write-through failure).
+    pub fn truncate_to(&mut self, end: Offset) -> OctoResult<()> {
+        while let Some(seg) = self.segments.last() {
+            if seg.base < end {
+                break;
+            }
+            let path = seg_path(&self.dir, seg.base);
+            self.file = None;
+            // the file may not exist if the roll never wrote a frame
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+            self.segments.pop();
+        }
+        if let Some(seg) = self.segments.last_mut() {
+            let keep = seg.frames.partition_point(|f| f.offset < end);
+            if keep < seg.frames.len() {
+                let cut = if keep == 0 { 0 } else { seg.frames[keep - 1].end };
+                seg.frames.truncate(keep);
+                seg.len = cut;
+                self.file = None;
+                let f = OpenOptions::new().write(true).open(seg_path(&self.dir, seg.base))?;
+                f.set_len(cut)?;
+                f.sync_data()?;
+                self.synced_len = cut;
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete the frontmost segment file (retention).
+    pub fn remove_front_segment(&mut self, base: Offset) -> OctoResult<()> {
+        let Some(first) = self.segments.first() else { return Ok(()) };
+        if first.base != base {
+            return Ok(());
+        }
+        let path = seg_path(&self.dir, base);
+        match fs::remove_file(&path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        self.segments.remove(0);
+        if self.segments.is_empty() {
+            self.file = None;
+        }
+        Ok(())
+    }
+
+    /// Atomically rewrite a closed segment with the surviving records
+    /// (compaction): write a temp file, fsync, rename over the original.
+    pub fn rewrite_segment(&mut self, base: Offset, records: &[Record]) -> OctoResult<()> {
+        let Some(idx) = self.segments.iter().position(|s| s.base == base) else {
+            return Ok(());
+        };
+        let mut buf = Vec::new();
+        let mut frames = Vec::with_capacity(records.len());
+        for rec in records {
+            encode_frame(rec, &mut buf);
+            frames.push(Frame { offset: rec.offset, end: buf.len() as u64 });
+        }
+        let tmp = self.dir.join(format!("{base:020}.seg.tmp"));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, seg_path(&self.dir, base))?;
+        let len = buf.len() as u64;
+        self.segments[idx] = StoreSegment { base, frames, len };
+        if idx + 1 == self.segments.len() {
+            self.file = None;
+            self.synced_len = len;
+        }
+        Ok(())
+    }
+
+    /// Replace the entire on-disk state with the given segments (ISR
+    /// resync adopting a leader snapshot). Every file is written and
+    /// fsynced before the old state is considered gone.
+    pub fn reset_with<'a>(
+        &mut self,
+        segments: impl Iterator<Item = (Offset, &'a [Record])>,
+    ) -> OctoResult<()> {
+        self.file = None;
+        for seg in &self.segments {
+            let path = seg_path(&self.dir, seg.base);
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.segments.clear();
+        for (base, records) in segments {
+            let mut buf = Vec::new();
+            let mut frames = Vec::with_capacity(records.len());
+            for rec in records {
+                encode_frame(rec, &mut buf);
+                frames.push(Frame { offset: rec.offset, end: buf.len() as u64 });
+            }
+            let path = seg_path(&self.dir, base);
+            {
+                let mut f = File::create(&path)?;
+                f.write_all(&buf)?;
+                f.sync_data()?;
+            }
+            self.metrics.bytes_written.add(buf.len() as u64);
+            let len = buf.len() as u64;
+            self.segments.push(StoreSegment { base, frames, len });
+        }
+        self.synced_len = self.segments.last().map(|s| s.len).unwrap_or(0);
+        self.dirty = false;
+        self.needs_recovery = false;
+        Ok(())
+    }
+
+    /// Simulate power loss: the process dies and the unflushed suffix of
+    /// the active segment survives only up to an arbitrary byte boundary
+    /// chosen by `entropy`. Closed segments (fsynced at roll) and the
+    /// synced prefix always survive. Returns the bytes torn off.
+    ///
+    /// The store is left poisoned — [`PartitionStore::recover`] must run
+    /// before it accepts appends again, exactly like a real restart.
+    pub fn power_loss(&mut self, entropy: u64) -> OctoResult<u64> {
+        self.file = None;
+        self.needs_recovery = true;
+        let Some(seg) = self.segments.last() else { return Ok(0) };
+        let synced = self.synced_len.min(seg.len);
+        let unflushed = seg.len - synced;
+        let keep = synced + if unflushed == 0 { 0 } else { entropy % (unflushed + 1) };
+        let torn = seg.len - keep;
+        if torn > 0 {
+            let f = OpenOptions::new().write(true).open(seg_path(&self.dir, seg.base))?;
+            f.set_len(keep)?;
+            f.sync_data()?;
+        }
+        Ok(torn)
+    }
+
+    /// Bytes of the active segment not yet known to be fsynced.
+    pub fn unflushed_bytes(&self) -> u64 {
+        self.segments.last().map(|s| s.len.saturating_sub(self.synced_len)).unwrap_or(0)
+    }
+}
+
+impl Drop for PartitionStore {
+    fn drop(&mut self) {
+        // graceful close: whatever reached the file gets fsynced, so a
+        // clean shutdown loses nothing under any flush policy. A
+        // power-lost store is left exactly as the outage tore it.
+        if !self.needs_recovery {
+            let _ = self.sync();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// offset checkpoints
+// ---------------------------------------------------------------------------
+
+/// One committed offset in a checkpoint file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OffsetEntry {
+    /// Consumer group id.
+    pub group: String,
+    /// Topic name.
+    pub topic: String,
+    /// Partition id.
+    pub partition: u32,
+    /// Next offset the group will consume.
+    pub offset: u64,
+}
+
+/// Periodic, atomically-replaced snapshot of every committed group
+/// offset (the durable half of the group coordinator).
+///
+/// Format: 4-byte little-endian CRC32C over the JSON body, then the
+/// body. Written to a temp file and renamed into place, so a crash
+/// mid-write leaves the previous checkpoint intact; a corrupt or
+/// missing file restores to "no offsets" (consumers re-read, which
+/// at-least-once delivery already permits).
+pub struct OffsetCheckpoint {
+    path: PathBuf,
+    every: u64,
+    metrics: StoreMetrics,
+    pending: Mutex<u64>,
+    io: Mutex<()>,
+}
+
+impl std::fmt::Debug for OffsetCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OffsetCheckpoint")
+            .field("path", &self.path)
+            .field("every", &self.every)
+            .finish()
+    }
+}
+
+impl OffsetCheckpoint {
+    /// Open a checkpoint at `path`, writing every `every` commits
+    /// (clamped to ≥ 1). Returns the checkpoint and whatever offsets the
+    /// previous incarnation persisted.
+    pub fn open(path: impl Into<PathBuf>, every: u64, metrics: StoreMetrics) -> (Self, Vec<OffsetEntry>) {
+        let path = path.into();
+        let restored = Self::read_file(&path).unwrap_or_default();
+        metrics.checkpoint_offsets_restored.add(restored.len() as u64);
+        let ckpt = OffsetCheckpoint {
+            path,
+            every: every.max(1),
+            metrics,
+            pending: Mutex::new(0),
+            io: Mutex::new(()),
+        };
+        (ckpt, restored)
+    }
+
+    fn read_file(path: &Path) -> Option<Vec<OffsetEntry>> {
+        let bytes = fs::read(path).ok()?;
+        if bytes.len() < 4 {
+            return None;
+        }
+        let crc = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
+        let body = &bytes[4..];
+        if crc32c(body) != crc {
+            return None;
+        }
+        serde_json::from_slice(body).ok()
+    }
+
+    /// Record that a commit happened; every `every`-th commit persists
+    /// the full snapshot. Write failures are swallowed (checkpoints are
+    /// an optimisation over replaying the log, never a correctness
+    /// dependency for acks).
+    pub fn note_commit(&self, entries: &[OffsetEntry]) {
+        let fire = {
+            let mut pending = self.pending.lock();
+            *pending += 1;
+            if *pending >= self.every {
+                *pending = 0;
+                true
+            } else {
+                false
+            }
+        };
+        if fire {
+            let _ = self.write_now(entries);
+        }
+    }
+
+    /// Persist a snapshot immediately (graceful shutdown / flush-all).
+    pub fn write_now(&self, entries: &[OffsetEntry]) -> OctoResult<()> {
+        let _serialized = self.io.lock();
+        let body = serde_json::to_vec(entries)?;
+        let mut out = Vec::with_capacity(body.len() + 4);
+        out.extend_from_slice(&crc32c(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        let tmp = self.path.with_extension("ckpt.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&out)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        self.metrics.checkpoints_written.inc();
+        Ok(())
+    }
+
+    /// The file this checkpoint persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tempdir helper (tests / benches / examples)
+// ---------------------------------------------------------------------------
+
+/// A self-deleting scratch directory under the system temp dir.
+///
+/// Every durable test, bench, and example in the workspace roots its
+/// data dir here so CI can assert nothing leaks outside `$TMPDIR`
+/// (`scripts/ci.sh` greps for stray `octopus-data-*` directories).
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create `$TMPDIR/<prefix>-<pid>-<seq>`.
+    pub fn new(prefix: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "{prefix}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(offset: Offset, value: &[u8], key: Option<&[u8]>) -> Record {
+        let mut r = Record {
+            offset,
+            append_time: Timestamp::from_millis(offset * 10),
+            key: key.map(Bytes::copy_from_slice),
+            value: Bytes::copy_from_slice(value),
+            headers: vec![Header { key: "h".into(), value: b"v".to_vec() }],
+            producer_time: Timestamp::from_millis(offset * 10),
+            crc: 0,
+        };
+        r.crc = r.compute_crc();
+        r
+    }
+
+    fn metrics() -> StoreMetrics {
+        StoreMetrics::new(&MetricsRegistry::new())
+    }
+
+    #[test]
+    fn frame_roundtrip_preserves_every_field() {
+        for r in [rec(0, b"hello", Some(b"k")), rec(7, b"", None), rec(9, &[0xff; 100], Some(b""))]
+        {
+            let mut buf = Vec::new();
+            encode_frame(&r, &mut buf);
+            assert_eq!(buf[0], FRAME_MAGIC);
+            let (frames, records, len) = scan_bytes(&buf, None);
+            assert_eq!(len as usize, buf.len());
+            assert_eq!(frames.len(), 1);
+            assert_eq!(records, vec![r]);
+        }
+    }
+
+    #[test]
+    fn scan_stops_at_frame_crc_mismatch() {
+        let mut buf = Vec::new();
+        encode_frame(&rec(0, b"aaaa", None), &mut buf);
+        let good = buf.len();
+        encode_frame(&rec(1, b"bbbb", None), &mut buf);
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01; // corrupt second frame's payload
+        let (_, records, len) = scan_bytes(&buf, None);
+        assert_eq!(records.len(), 1);
+        assert_eq!(len as usize, good);
+    }
+
+    #[test]
+    fn scan_enforces_offset_monotonicity() {
+        let mut buf = Vec::new();
+        encode_frame(&rec(5, b"a", None), &mut buf);
+        encode_frame(&rec(5, b"b", None), &mut buf); // duplicate offset
+        let (_, records, _) = scan_bytes(&buf, None);
+        assert_eq!(records.len(), 1);
+        // and a prior segment's last offset carries in from the caller
+        let mut buf2 = Vec::new();
+        encode_frame(&rec(5, b"a", None), &mut buf2);
+        let (_, none, _) = scan_bytes(&buf2, Some(9));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn store_append_sync_reopen_roundtrip() {
+        let tmp = TempDir::new("octopus-data");
+        let dir = tmp.path().join("p0");
+        {
+            let (mut store, recovered, _) =
+                PartitionStore::open(&dir, FlushPolicy::PerBatch, metrics()).unwrap();
+            assert!(recovered.is_empty());
+            for i in 0..5u64 {
+                store.append(&rec(i, format!("v{i}").as_bytes(), None), 0).unwrap();
+            }
+            store.commit_batch().unwrap();
+            assert_eq!(store.unflushed_bytes(), 0);
+        }
+        let (_, recovered, stats) =
+            PartitionStore::open(&dir, FlushPolicy::PerBatch, metrics()).unwrap();
+        assert_eq!(stats.records_recovered, 5);
+        assert_eq!(stats.bytes_truncated, 0);
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].1.len(), 5);
+        assert_eq!(&recovered[0].1[4].value[..], b"v4");
+    }
+
+    #[test]
+    fn power_loss_never_tears_synced_prefix() {
+        let tmp = TempDir::new("octopus-data");
+        let dir = tmp.path().join("p0");
+        let (mut store, _, _) =
+            PartitionStore::open(&dir, FlushPolicy::OsManaged, metrics()).unwrap();
+        store.append(&rec(0, b"durable", None), 0).unwrap();
+        store.sync().unwrap();
+        store.append(&rec(1, b"at-risk", None), 0).unwrap();
+        let torn = store.power_loss(0xDEAD_BEEF).unwrap();
+        assert!(store.append(&rec(2, b"x", None), 0).is_err(), "poisoned until recover");
+        let (recovered, stats) = store.recover().unwrap();
+        assert!(recovered[0].1.iter().any(|r| &r.value[..] == b"durable"));
+        if torn > 0 {
+            assert_eq!(stats.records_recovered, 1);
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_corruption_safety() {
+        let tmp = TempDir::new("octopus-data");
+        let path = tmp.path().join("offsets.ckpt");
+        let entries = vec![
+            OffsetEntry { group: "g".into(), topic: "t".into(), partition: 0, offset: 41 },
+            OffsetEntry { group: "g".into(), topic: "t".into(), partition: 1, offset: 7 },
+        ];
+        let (ckpt, restored) = OffsetCheckpoint::open(&path, 1, metrics());
+        assert!(restored.is_empty());
+        ckpt.note_commit(&entries);
+        let (_, restored) = OffsetCheckpoint::open(&path, 1, metrics());
+        assert_eq!(restored, entries);
+        // corrupt the body: restore degrades to empty, never to garbage
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let (_, restored) = OffsetCheckpoint::open(&path, 1, metrics());
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_cadence_batches_writes() {
+        let tmp = TempDir::new("octopus-data");
+        let path = tmp.path().join("offsets.ckpt");
+        let (ckpt, _) = OffsetCheckpoint::open(&path, 3, metrics());
+        let e = vec![OffsetEntry { group: "g".into(), topic: "t".into(), partition: 0, offset: 1 }];
+        ckpt.note_commit(&e);
+        ckpt.note_commit(&e);
+        assert!(!path.exists(), "not yet at cadence");
+        ckpt.note_commit(&e);
+        assert!(path.exists());
+    }
+
+    #[test]
+    fn tempdir_cleans_up_after_itself() {
+        let path = {
+            let tmp = TempDir::new("octopus-data");
+            assert!(tmp.path().exists());
+            tmp.path().to_path_buf()
+        };
+        assert!(!path.exists());
+    }
+}

@@ -130,6 +130,16 @@ pub fn apply_fault(target: &ChaosTarget, kind: &FaultKind) -> String {
             format!("next {count} fetches from broker {} delayed {millis}ms", id.0)
         }
         FaultKind::LogTailCorruption { records } => corrupt_follower_tail(target, records),
+        FaultKind::PowerLoss { broker: b, entropy } => {
+            let id = broker(target, b);
+            match cluster.power_loss_broker(id, entropy) {
+                Ok(r) => format!(
+                    "power loss on broker {}: {} partitions, {} bytes torn from unflushed tails",
+                    id.0, r.partitions, r.bytes_torn
+                ),
+                Err(e) => format!("power-loss no-op: {e}"),
+            }
+        }
     }
 }
 

@@ -17,11 +17,12 @@
 //! 4. **ISR re-convergence** — after healing, the in-sync replica set
 //!    is back to the full replication factor.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use octopus_broker::{AckLevel, BrokerId, Cluster, HealthReport, TopicConfig};
+use octopus_broker::{AckLevel, BrokerId, Cluster, FlushPolicy, HealthReport, TopicConfig};
 use octopus_sdk::{Consumer, ConsumerConfig, Producer, ProducerConfig};
 use octopus_trigger::{AutoscalerConfig, FunctionConfig, TriggerRuntime, TriggerSpec};
 use octopus_types::{Event, RegistrySnapshot, Uid};
@@ -45,6 +46,14 @@ pub struct ChaosConfig {
     /// How long to keep draining after the plan finishes before
     /// declaring undelivered records lost.
     pub drain_timeout: Duration,
+    /// When set, the cluster persists its logs here and power-loss
+    /// faults tear real bytes off real files. `None` = volatile
+    /// deployment (power loss degrades to a plain crash).
+    pub data_dir: Option<PathBuf>,
+    /// Flush policy for durable deployments. With
+    /// [`FlushPolicy::PerBatch`] the no-committed-loss oracle must hold
+    /// even under power loss; weaker policies trade that away.
+    pub flush_policy: FlushPolicy,
 }
 
 impl Default for ChaosConfig {
@@ -55,6 +64,8 @@ impl Default for ChaosConfig {
             topic: "chaos-events".to_string(),
             pace: Duration::from_millis(1),
             drain_timeout: Duration::from_secs(5),
+            data_dir: None,
+            flush_policy: FlushPolicy::PerBatch,
         }
     }
 }
@@ -94,6 +105,39 @@ pub struct ChaosReport {
     /// heal → Green), so a report shows *when* the cluster degraded,
     /// not just that it recovered.
     pub health: HealthReport,
+    /// Storage-engine recovery totals for the run, read from the shared
+    /// registry (all zero for volatile deployments).
+    pub recovery: RecoveryTotals,
+}
+
+/// What the durable storage engine did during a run, pulled from the
+/// `octopus_store_*` counters of the cluster's metrics registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryTotals {
+    /// Records read back intact during recovery scans.
+    pub records_recovered: u64,
+    /// Records dropped as part of torn/corrupt tail truncation.
+    pub records_truncated: u64,
+    /// Bytes truncated off segment files during recovery.
+    pub bytes_truncated: u64,
+    /// fsync batches issued by the flush policy.
+    pub flushes: u64,
+    /// Committed-offset checkpoint files written.
+    pub checkpoints_written: u64,
+}
+
+impl RecoveryTotals {
+    /// Read the totals out of a metrics snapshot.
+    fn from_snapshot(snap: &octopus_types::RegistrySnapshot) -> Self {
+        let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        RecoveryTotals {
+            records_recovered: c("octopus_store_records_recovered_total"),
+            records_truncated: c("octopus_store_records_truncated_total"),
+            bytes_truncated: c("octopus_store_bytes_truncated_total"),
+            flushes: c("octopus_store_flushes_total"),
+            checkpoints_written: c("octopus_store_checkpoints_written_total"),
+        }
+    }
 }
 
 impl ChaosReport {
@@ -145,7 +189,11 @@ impl ChaosHarness {
     pub fn run(&self) -> ChaosReport {
         let cfg = &self.config;
         let zoo = ZooService::new(cfg.zoo_replicas);
-        let cluster = Cluster::builder(cfg.brokers).zoo(zoo.clone()).build();
+        let mut builder = Cluster::builder(cfg.brokers).zoo(zoo.clone());
+        if let Some(dir) = &cfg.data_dir {
+            builder = builder.data_dir(dir.clone()).flush_policy(cfg.flush_policy);
+        }
+        let cluster = builder.build();
         let rf = cfg.brokers.min(3) as u32;
         let min_isr = rf.min(2);
         cluster
@@ -373,6 +421,7 @@ impl ChaosHarness {
 
         // Final health probe; the report carries the whole timeline.
         let health = cluster.health_report();
+        let recovery = RecoveryTotals::from_snapshot(&metrics);
 
         ChaosReport {
             trace,
@@ -385,6 +434,7 @@ impl ChaosHarness {
             violations,
             metrics,
             health,
+            recovery,
         }
     }
 }
@@ -425,6 +475,30 @@ mod tests {
         let report = ChaosHarness::new(plan).run();
         assert_eq!(report.metrics.annotations.len(), 2);
         assert!(report.metrics.annotations[0].contains("BrokerCrash"));
+    }
+
+    #[test]
+    fn durable_power_loss_keeps_committed_records() {
+        let tmp = octopus_broker::TempDir::new("octopus-data-chaos");
+        let plan = FaultPlan::new(11)
+            .at(30, FaultKind::PowerLoss { broker: 1, entropy: 0xDEAD_BEEF })
+            .at(90, FaultKind::BrokerRestart { broker: 1 });
+        let report = ChaosHarness::new(plan)
+            .with_config(ChaosConfig {
+                data_dir: Some(tmp.path().to_path_buf()),
+                flush_policy: FlushPolicy::PerBatch,
+                drain_timeout: Duration::from_secs(10),
+                ..ChaosConfig::default()
+            })
+            .run();
+        report.assert_invariants();
+        assert!(!report.acked.is_empty(), "producer made progress");
+        assert!(report.recovery.flushes > 0, "PerBatch policy fsynced");
+        assert!(
+            report.trace.entries[0].outcome.contains("power loss"),
+            "{}",
+            report.trace.entries[0].outcome
+        );
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! * [`FaultPlan`] — a seeded, deterministic schedule of typed faults
 //!   ([`FaultKind`]): broker crash/restart, zoo replica flap, network
 //!   partition + heal, slow-broker degradation, message drop /
-//!   duplicate / delay on a link, and log-tail corruption that CRC
-//!   recovery must catch.
+//!   duplicate / delay on a link, log-tail corruption that CRC
+//!   recovery must catch, and power loss that tears the unflushed
+//!   suffix off a durable broker's on-disk logs.
 //! * [`execute_plan`] / [`ChaosTarget`] — maps the abstract plan onto
 //!   a live cluster + ensemble and records a [`FaultTrace`] whose
 //!   `(at, kind)` signature is reproducible from the seed alone.
@@ -36,5 +37,5 @@ pub mod harness;
 pub mod plan;
 
 pub use exec::{apply_fault, execute_plan, ChaosTarget, FaultTrace, TraceEntry};
-pub use harness::{ChaosConfig, ChaosHarness, ChaosReport};
+pub use harness::{ChaosConfig, ChaosHarness, ChaosReport, RecoveryTotals};
 pub use plan::{FaultKind, FaultPlan, PlanProfile, ScheduledFault};

@@ -42,6 +42,11 @@ pub enum FaultKind {
     /// then crash + restart it so CRC recovery must detect and
     /// truncate the damage before the leader resyncs it.
     LogTailCorruption { records: u32 },
+    /// Cut power to a broker: it dies *and* the unflushed suffix of
+    /// each durable partition log it hosts survives only up to an
+    /// `entropy`-seeded byte boundary (fsynced bytes always survive).
+    /// No-op byte-wise on volatile deployments (plain crash).
+    PowerLoss { broker: u32, entropy: u64 },
 }
 
 impl FaultKind {
@@ -58,6 +63,7 @@ impl FaultKind {
             FaultKind::MessageDuplicate { .. } => "message-duplicate",
             FaultKind::MessageDelay { .. } => "message-delay",
             FaultKind::LogTailCorruption { .. } => "log-tail-corruption",
+            FaultKind::PowerLoss { .. } => "power-loss",
         }
     }
 }
@@ -144,7 +150,7 @@ impl FaultPlan {
         for _ in 0..profile.faults {
             let t = splitmix64(&mut rng) % span;
             let broker = (splitmix64(&mut rng) % u64::from(brokers)) as u32;
-            let kind = match splitmix64(&mut rng) % 8 {
+            let kind = match splitmix64(&mut rng) % 9 {
                 0 => {
                     // crash now, restart later in the window
                     let back = t + 1 + splitmix64(&mut rng) % (span - t.min(span - 1)).max(1);
@@ -153,6 +159,15 @@ impl FaultPlan {
                         kind: FaultKind::BrokerRestart { broker },
                     });
                     FaultKind::BrokerCrash { broker }
+                }
+                8 => {
+                    // power loss now, restart later so recovery runs
+                    let back = t + 1 + splitmix64(&mut rng) % (span - t.min(span - 1)).max(1);
+                    plan.faults.push(ScheduledFault {
+                        at: Duration::from_millis(back),
+                        kind: FaultKind::BrokerRestart { broker },
+                    });
+                    FaultKind::PowerLoss { broker, entropy: splitmix64(&mut rng) }
                 }
                 1 => FaultKind::ZooReplicaFlap {
                     replica: (splitmix64(&mut rng) % u64::from(replicas)) as u32,
@@ -263,6 +278,27 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn generated_power_losses_are_followed_by_restarts() {
+        let mut seen_any = false;
+        for seed in 0..50 {
+            let p = FaultPlan::generate(seed, PlanProfile::default());
+            for (i, f) in p.faults().iter().enumerate() {
+                if let FaultKind::PowerLoss { broker, .. } = f.kind {
+                    seen_any = true;
+                    assert!(
+                        p.faults()[i..]
+                            .iter()
+                            .any(|g| g.kind == FaultKind::BrokerRestart { broker }),
+                        "power loss on broker {broker} at {:?} in seed {seed} has no later restart",
+                        f.at
+                    );
+                }
+            }
+        }
+        assert!(seen_any, "50 seeds never drew a power loss");
     }
 
     #[test]

@@ -6,10 +6,11 @@
 //! which enforces the ACLs OWS manages. Topic ownership lives in the
 //! replicated coordination service; triggers run in the trigger runtime.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use octopus_auth::{AccessToken, AclStore, AuthServer, IamService, Scope};
-use octopus_broker::Cluster;
+use octopus_broker::{Cluster, FlushPolicy};
 use octopus_chaos::{execute_plan, ChaosTarget, FaultPlan, FaultTrace};
 use octopus_ows::{FunctionRegistry, OwsConfig, OwsService, OWS_SCOPE};
 use octopus_sdk::{
@@ -26,6 +27,8 @@ pub struct OctopusBuilder {
     rate_limit: Option<(f64, f64)>,
     chaos: Option<FaultPlan>,
     spans: Option<Arc<SpanSink>>,
+    data_dir: Option<PathBuf>,
+    flush_policy: FlushPolicy,
 }
 
 impl OctopusBuilder {
@@ -63,6 +66,22 @@ impl OctopusBuilder {
         self
     }
 
+    /// Persist the fabric's partition logs and committed offsets under
+    /// `dir`. Relaunching over the same directory recovers every topic,
+    /// record, and committed offset a previous deployment flushed.
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// When durable appends are fsynced (default
+    /// [`FlushPolicy::PerBatch`]); only meaningful with
+    /// [`OctopusBuilder::data_dir`].
+    pub fn flush_policy(mut self, policy: FlushPolicy) -> Self {
+        self.flush_policy = policy;
+        self
+    }
+
     /// Wire everything and return the running deployment.
     pub fn build(self) -> OctoResult<Octopus> {
         let auth = AuthServer::new();
@@ -73,7 +92,10 @@ impl OctopusBuilder {
         if let Some(sink) = self.spans {
             cluster_builder = cluster_builder.spans(sink);
         }
-        let cluster = cluster_builder.build();
+        if let Some(dir) = self.data_dir {
+            cluster_builder = cluster_builder.data_dir(dir).flush_policy(self.flush_policy);
+        }
+        let cluster = cluster_builder.try_build()?;
         let triggers = TriggerRuntime::new(cluster.clone());
         let registry = FunctionRegistry::new();
         let ows = OwsService::new(
@@ -129,7 +151,15 @@ impl Octopus {
 
     /// Start customizing a deployment.
     pub fn builder() -> OctopusBuilder {
-        OctopusBuilder { brokers: 2, zoo_replicas: 3, rate_limit: None, chaos: None, spans: None }
+        OctopusBuilder {
+            brokers: 2,
+            zoo_replicas: 3,
+            rate_limit: None,
+            chaos: None,
+            spans: None,
+            data_dir: None,
+            flush_policy: FlushPolicy::PerBatch,
+        }
     }
 
     /// The chaos plan attached at build time, if any.

@@ -31,6 +31,7 @@
 //! | `GET /metrics` | Prometheus text exposition of the shared registry |
 //! | `GET /health` | cluster health rollup (JSON, with timeline) |
 //! | `GET /lag/<group>` | per-partition consumer lag for a group |
+//! | `GET /store` | durability configuration (data dir, flush policy, checkpoint cadence) |
 //!
 //! Every mutating handler is idempotent, so clients may blindly retry
 //! (§IV-F: "API operations on the OWS side are programmed to be

@@ -147,6 +147,7 @@ impl OwsService {
             (Method::Get, ["triggers"]) => self.list_triggers(identity),
             (Method::Get, ["health"]) => self.health(),
             (Method::Get, ["lag", group]) => self.lag(group),
+            (Method::Get, ["store"]) => self.store(),
             _ => Err(OctoError::NotFound(format!("{:?} {}", req.method, req.path))),
         };
         match result {
@@ -332,6 +333,21 @@ impl OwsService {
     /// group that has never committed.
     fn lag(&self, group: &str) -> OctoResult<Value> {
         Ok(serde_json::to_value(self.cluster.lag_report(group)?)?)
+    }
+
+    /// `GET /store`: the fabric's durability configuration — whether
+    /// logs persist, where, under which flush policy, and the offset
+    /// checkpoint cadence.
+    fn store(&self) -> OctoResult<Value> {
+        match self.cluster.durability() {
+            Some(info) => Ok(json!({
+                "durable": true,
+                "data_dir": info.data_dir,
+                "flush_policy": serde_json::to_value(info.flush_policy)?,
+                "checkpoint_every": info.checkpoint_every,
+            })),
+            None => Ok(json!({"durable": false})),
+        }
     }
 
     fn require_owner(&self, topic: &str, identity: Uid) -> OctoResult<()> {
@@ -680,6 +696,17 @@ mod tests {
         let r = ows.dispatch(&get("/health", &token));
         assert_eq!(r.body["status"], "Yellow", "{:?}", r.body);
         assert!(!r.body["timeline"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn store_endpoint_reports_durability() {
+        // the default test deployment is volatile
+        let (ows, token, _) = test_ows();
+        let r = ows.dispatch(&get("/store", &token));
+        assert_eq!(r.status, 200, "{:?}", r.body);
+        assert_eq!(r.body["durable"], false);
+        // unauthenticated requests are rejected like any other route
+        assert_eq!(ows.dispatch(&Request::new(Method::Get, "/store")).status, 401);
     }
 
     #[test]

@@ -47,6 +47,8 @@ pub enum OctoError {
     BufferFull { capacity_bytes: usize },
     /// The referenced entity (trigger, key, session, ...) was not found.
     NotFound(String),
+    /// A filesystem / storage-engine failure (durable log, checkpoints).
+    Io(String),
 }
 
 impl fmt::Display for OctoError {
@@ -76,6 +78,7 @@ impl fmt::Display for OctoError {
                 write!(f, "producer buffer full ({capacity_bytes} bytes)")
             }
             OctoError::NotFound(m) => write!(f, "not found: {m}"),
+            OctoError::Io(m) => write!(f, "io error: {m}"),
         }
     }
 }
@@ -102,6 +105,12 @@ impl OctoError {
 impl From<serde_json::Error> for OctoError {
     fn from(e: serde_json::Error) -> Self {
         OctoError::Serde(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for OctoError {
+    fn from(e: std::io::Error) -> Self {
+        OctoError::Io(e.to_string())
     }
 }
 

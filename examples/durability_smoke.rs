@@ -1,0 +1,81 @@
+//! Crash-recovery smoke: produce at `acks=all`, lose power mid-flight,
+//! reopen the same data dir cold, and verify nothing committed was lost.
+//!
+//! This is the CI drill for the durable storage engine: a
+//! SIGKILL-equivalent (per-partition power loss tearing unflushed bytes
+//! off the segment tails, then dropping the cluster with no graceful
+//! shutdown), followed by a fresh `Cluster` over the same directory
+//! that must recover every topic, record, and committed offset.
+//!
+//! Run with: `cargo run --release --example durability_smoke`
+
+use std::collections::HashSet;
+
+use octopus::broker::{AckLevel, BrokerId, Cluster, FlushPolicy, RecordBatch, TempDir, TopicConfig};
+use octopus::types::Event;
+
+const RECORDS: u64 = 64;
+
+fn ev(seq: u64) -> Event {
+    Event::from_bytes(seq.to_le_bytes().to_vec())
+}
+
+fn main() {
+    let tmp = TempDir::new("octopus-data-smoke");
+    println!("data dir: {}", tmp.path().display());
+
+    // 1. Produce at acks=all under PerBatch: every ack is an fsync.
+    {
+        let c = Cluster::builder(3)
+            .data_dir(tmp.path())
+            .flush_policy(FlushPolicy::PerBatch)
+            .build();
+        c.create_topic("smoke", TopicConfig::default().with_partitions(2).with_replication(2))
+            .expect("create topic");
+        for s in 0..RECORDS {
+            c.produce_batch("smoke", (s % 2) as u32, RecordBatch::new(vec![ev(s)]), AckLevel::All)
+                .expect("acks=all produce");
+        }
+        c.coordinator().commit_unchecked("smoke-group", "smoke", 0, 20);
+        c.coordinator().commit_unchecked("smoke-group", "smoke", 1, 15);
+
+        // 2. SIGKILL-equivalent: power-lose every broker (tears any
+        //    unflushed tail bytes off the on-disk segments), then drop
+        //    the cluster with no graceful shutdown or final sync.
+        for id in 0..3 {
+            let r = c.power_loss_broker(BrokerId(id), 0xBAD5_EED0 + id as u64).expect("power loss");
+            println!("broker {id}: power loss tore {} bytes across {} partitions", r.bytes_torn, r.partitions);
+        }
+    }
+
+    // 3. Cold reopen: a brand-new cluster over the same directory.
+    let c = Cluster::builder(3)
+        .data_dir(tmp.path())
+        .flush_policy(FlushPolicy::PerBatch)
+        .build();
+
+    assert!(c.topic_exists("smoke"), "topic lost across the crash");
+    let mut survived = HashSet::new();
+    for p in 0..2 {
+        for r in c.fetch("smoke", p, 0, 10_000).expect("fetch") {
+            assert!(r.verify(), "recovered record fails its CRC");
+            survived.insert(u64::from_le_bytes(r.value[..8].try_into().expect("8-byte payload")));
+        }
+    }
+    for s in 0..RECORDS {
+        assert!(survived.contains(&s), "acks=all record {s} lost across power loss + cold restart");
+    }
+    assert_eq!(c.coordinator().committed("smoke-group", "smoke", 0), Some(20));
+    assert_eq!(c.coordinator().committed("smoke-group", "smoke", 1), Some(15));
+
+    // 4. Recovery stats from the storage-engine counters.
+    let snap = c.metrics().snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    println!("recovered records:  {}", counter("octopus_store_records_recovered_total"));
+    println!("truncated records:  {}", counter("octopus_store_records_truncated_total"));
+    println!("truncated bytes:    {}", counter("octopus_store_bytes_truncated_total"));
+    println!("offsets restored:   {}", counter("octopus_store_checkpoint_offsets_restored_total"));
+    assert!(counter("octopus_store_records_recovered_total") >= RECORDS, "recovery scan read back fewer records than were acked");
+
+    println!("durability smoke passed: {RECORDS} acks=all records and both committed offsets survived");
+}

@@ -23,4 +23,17 @@ echo "==> observatory smoke (health/lag/SLO/trace export)"
 cargo run --release -q --example observatory
 test -s results/trace.json
 
+echo "==> crash-recovery smoke (produce -> power loss -> cold reopen -> verify)"
+cargo run --release -q --example durability_smoke
+
+echo "==> temp-dir leak gate"
+# Every durable-store test and example works in a TempDir prefixed
+# octopus-data-*; anything still present here leaked.
+leaked=$(find "${TMPDIR:-/tmp}" -maxdepth 1 -name 'octopus-data-*' 2>/dev/null || true)
+if [ -n "$leaked" ]; then
+    echo "leaked data dirs:" >&2
+    echo "$leaked" >&2
+    exit 1
+fi
+
 echo "==> ci green"

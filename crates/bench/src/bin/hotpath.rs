@@ -1,0 +1,429 @@
+//! Hot-path benchmark: the broker data plane under concurrency.
+//!
+//! Four probes, each exercising one lever of the paper's Table III /
+//! Fig. 3 shapes:
+//!
+//! 1. **Produce latency** by ack level × replication factor (p50/p99
+//!    per produce, aggregate events/s) with concurrent producers — the
+//!    acks=all × rf=3 row is dominated by replication fan-out, so it is
+//!    the one parallel ISR replication must move.
+//! 2. **Fetch throughput while a producer is appending** — measures
+//!    reader/writer contention on the partition log (snapshot reads
+//!    must keep fetchers off the append mutex).
+//! 3. **CRC32C throughput** — MB/s of the record checksum kernel.
+//! 4. **Group-commit fsync** — concurrent acks=all producers on a
+//!    durable `FlushPolicy::PerBatch` cluster; reports latency and the
+//!    fsyncs-per-batch ratio (group commit drives it below 1).
+//!
+//! Results land in `results/hotpath.txt` (human) and
+//! `BENCH_hotpath.json` at the repo root (machine readable, consumed
+//! by `scripts/ci.sh` and tracked across PRs). The run doubles as a
+//! correctness smoke: every probe verifies its invariants (dense
+//! offsets, no lost acks=all record, intact ISR) and the process exits
+//! non-zero on any violation.
+//!
+//! `cargo run --release -p octopus-bench --bin hotpath [-- --smoke]`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use octopus_bench::{figure_header, human_rate, write_result};
+use octopus_broker::{crc32c, AckLevel, Cluster, FlushPolicy, RecordBatch, TempDir, TopicConfig};
+use octopus_types::{AtomicHistogram, Event};
+
+struct Scale {
+    smoke: bool,
+    /// Batches per producer thread in the produce sweeps.
+    batches: usize,
+    /// Events per batch.
+    batch_events: usize,
+    /// Concurrent producer threads.
+    producers: usize,
+    /// Fetcher threads in the contention probe.
+    fetchers: usize,
+    /// Records the contention probe's producer appends.
+    fetch_records: usize,
+    /// Bytes hashed per CRC pass.
+    crc_bytes: usize,
+    /// CRC passes.
+    crc_passes: usize,
+    /// Batches per producer in the group-commit probe.
+    durable_batches: usize,
+}
+
+impl Scale {
+    fn new(smoke: bool) -> Self {
+        if smoke {
+            Scale {
+                smoke,
+                batches: 150,
+                batch_events: 16,
+                producers: 3,
+                fetchers: 2,
+                fetch_records: 4_000,
+                crc_bytes: 1 << 20,
+                crc_passes: 16,
+                durable_batches: 40,
+            }
+        } else {
+            Scale {
+                smoke,
+                batches: 1_500,
+                batch_events: 32,
+                producers: 4,
+                fetchers: 4,
+                fetch_records: 40_000,
+                crc_bytes: 4 << 20,
+                crc_passes: 64,
+                durable_batches: 300,
+            }
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("hotpath invariant violated: {msg}");
+    std::process::exit(1);
+}
+
+fn check(cond: bool, msg: &str) {
+    if !cond {
+        die(msg);
+    }
+}
+
+struct ProduceRow {
+    acks: &'static str,
+    rf: u32,
+    p50_us: f64,
+    p99_us: f64,
+    events_per_sec: f64,
+}
+
+/// Concurrent produce sweep on a volatile 3-broker cluster; verifies
+/// that every acked batch is fetchable and offsets are dense.
+fn produce_sweep(acks: AckLevel, rf: u32, scale: &Scale) -> ProduceRow {
+    let cluster = Cluster::new(3);
+    let min_isr = if acks == AckLevel::All { rf.min(2) } else { 1 };
+    cluster
+        .create_topic(
+            "hot",
+            TopicConfig::default()
+                .with_partitions(1)
+                .with_replication(rf)
+                .with_min_insync(min_isr),
+        )
+        .expect("topic");
+    let hist = Arc::new(AtomicHistogram::new());
+    let payload = vec![0xA5u8; 128];
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..scale.producers {
+        let cluster = cluster.clone();
+        let hist = Arc::clone(&hist);
+        let payload = payload.clone();
+        let batches = scale.batches;
+        let batch_events = scale.batch_events;
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..batches {
+                let events: Vec<Event> =
+                    (0..batch_events).map(|_| Event::from_bytes(payload.clone())).collect();
+                let batch = RecordBatch::new(events);
+                let t = Instant::now();
+                cluster.produce_batch("hot", 0, batch, acks).expect("produce");
+                hist.record(t.elapsed().as_nanos() as u64);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("producer thread");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let total_events = (scale.producers * scale.batches * scale.batch_events) as u64;
+
+    // invariants: every acked record is present, offsets dense, ISR intact
+    check(
+        cluster.latest_offset("hot", 0).expect("latest") == total_events,
+        "acked records missing from the leader log",
+    );
+    let mut offset = 0u64;
+    while offset < total_events {
+        let recs = cluster.fetch("hot", 0, offset, 10_000).expect("fetch back");
+        check(!recs.is_empty(), "fetch returned empty mid-log");
+        for r in &recs {
+            check(r.offset == offset, "offsets not dense");
+            offset += 1;
+        }
+    }
+    check(
+        cluster.isr_of("hot", 0).expect("isr").len() as u32 == rf,
+        "ISR shrank under a healthy cluster",
+    );
+
+    let snap = hist.snapshot();
+    ProduceRow {
+        acks: match acks {
+            AckLevel::None => "0",
+            AckLevel::Leader => "1",
+            AckLevel::All => "all",
+        },
+        rf,
+        p50_us: snap.median() as f64 / 1e3,
+        p99_us: snap.p99() as f64 / 1e3,
+        events_per_sec: total_events as f64 / elapsed,
+    }
+}
+
+struct FetchResult {
+    records_per_sec: f64,
+    produce_p99_us: f64,
+}
+
+/// Fetch throughput with a live concurrent producer: fetchers replay
+/// the log start-to-end in a loop while the producer appends.
+fn fetch_contention(scale: &Scale) -> FetchResult {
+    let cluster = Cluster::new(2);
+    cluster
+        .create_topic("feed", TopicConfig::default().with_partitions(1).with_replication(2))
+        .expect("topic");
+    // pre-fill so fetchers have a log to chew on from the start
+    let payload = vec![0x5Au8; 128];
+    let pre = scale.fetch_records / 2;
+    for _ in 0..pre / 8 {
+        let events: Vec<Event> = (0..8).map(|_| Event::from_bytes(payload.clone())).collect();
+        cluster.produce_batch("feed", 0, RecordBatch::new(events), AckLevel::Leader).expect("pre");
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let fetched = Arc::new(AtomicU64::new(0));
+    let mut fetchers = Vec::new();
+    for _ in 0..scale.fetchers {
+        let cluster = cluster.clone();
+        let stop = Arc::clone(&stop);
+        let fetched = Arc::clone(&fetched);
+        fetchers.push(std::thread::spawn(move || {
+            let mut offset = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                match cluster.fetch("feed", 0, offset, 500) {
+                    Ok(recs) if recs.is_empty() => offset = 0, // caught up: replay
+                    Ok(recs) => {
+                        for r in &recs {
+                            if r.offset != offset {
+                                die("fetch offsets not dense under concurrency");
+                            }
+                            offset += 1;
+                        }
+                        fetched.fetch_add(recs.len() as u64, Ordering::Relaxed);
+                    }
+                    Err(_) => offset = 0, // retention/trim race in theory; restart
+                }
+            }
+        }));
+    }
+    // producer appends the second half while fetchers run
+    let produce_hist = AtomicHistogram::new();
+    let t0 = Instant::now();
+    for _ in 0..(scale.fetch_records - pre) / 8 {
+        let events: Vec<Event> = (0..8).map(|_| Event::from_bytes(payload.clone())).collect();
+        let t = Instant::now();
+        cluster
+            .produce_batch("feed", 0, RecordBatch::new(events), AckLevel::Leader)
+            .expect("live produce");
+        produce_hist.record(t.elapsed().as_nanos() as u64);
+    }
+    // keep fetchers running a beat longer so the window is fetch-bound
+    while t0.elapsed().as_millis() < if scale.smoke { 250 } else { 1_500 } {
+        std::thread::yield_now();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = t0.elapsed().as_secs_f64();
+    for f in fetchers {
+        f.join().expect("fetcher thread");
+    }
+    FetchResult {
+        records_per_sec: fetched.load(Ordering::Relaxed) as f64 / elapsed,
+        produce_p99_us: produce_hist.snapshot().p99() as f64 / 1e3,
+    }
+}
+
+/// CRC32C kernel throughput in MB/s.
+fn crc_throughput(scale: &Scale) -> f64 {
+    let buf: Vec<u8> = (0..scale.crc_bytes).map(|i| (i * 31 + 7) as u8).collect();
+    // warm-up + sanity: the kernel must agree with itself across calls
+    let first = crc32c(&buf);
+    check(crc32c(&buf) == first, "crc32c not deterministic");
+    let t0 = Instant::now();
+    let mut acc = 0u32;
+    for _ in 0..scale.crc_passes {
+        acc ^= crc32c(&buf);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+    (scale.crc_bytes * scale.crc_passes) as f64 / 1e6 / secs
+}
+
+struct DurableResult {
+    p50_us: f64,
+    p99_us: f64,
+    batches: u64,
+    flushes: u64,
+}
+
+/// Concurrent acks=all producers against a durable PerBatch cluster:
+/// group commit should amortize fsyncs below one per batch.
+fn durable_group_commit(scale: &Scale) -> DurableResult {
+    let tmp = TempDir::new("octopus-data-hotpath");
+    let cluster = Cluster::builder(2)
+        .data_dir(tmp.path())
+        .flush_policy(FlushPolicy::PerBatch)
+        .build();
+    cluster
+        .create_topic("dur", TopicConfig::default().with_partitions(1).with_replication(2))
+        .expect("topic");
+    let hist = Arc::new(AtomicHistogram::new());
+    let payload = vec![0x3Cu8; 256];
+    let mut handles = Vec::new();
+    for _ in 0..scale.producers {
+        let cluster = cluster.clone();
+        let hist = Arc::clone(&hist);
+        let payload = payload.clone();
+        let batches = scale.durable_batches;
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..batches {
+                let batch = RecordBatch::new(vec![Event::from_bytes(payload.clone())]);
+                let t = Instant::now();
+                cluster.produce_batch("dur", 0, batch, AckLevel::All).expect("durable produce");
+                hist.record(t.elapsed().as_nanos() as u64);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("producer thread");
+    }
+    let total = (scale.producers * scale.durable_batches) as u64;
+    check(
+        cluster.latest_offset("dur", 0).expect("latest") == total,
+        "durable log lost acked records",
+    );
+    let flushes = cluster
+        .metrics()
+        .snapshot()
+        .counters
+        .get("octopus_store_flushes_total")
+        .copied()
+        .unwrap_or(0);
+    let snap = hist.snapshot();
+    DurableResult {
+        p50_us: snap.median() as f64 / 1e3,
+        p99_us: snap.p99() as f64 / 1e3,
+        batches: total,
+        flushes,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = Scale::new(smoke);
+    figure_header(
+        "HOT PATH — produce latency, fetch contention, crc kernel, group commit",
+        "3 brokers volatile (produce/fetch), 2 brokers durable PerBatch (group commit)",
+    );
+
+    let sweeps = [
+        (AckLevel::Leader, 1u32),
+        (AckLevel::Leader, 3),
+        (AckLevel::All, 1),
+        (AckLevel::All, 3),
+    ];
+    let rows: Vec<ProduceRow> = sweeps.iter().map(|(a, rf)| produce_sweep(*a, *rf, &scale)).collect();
+
+    let mut txt = String::new();
+    txt.push_str(&format!(
+        "{:<10} {:>4} {:>12} {:>12} {:>14}\n",
+        "acks", "rf", "p50 us", "p99 us", "events/s"
+    ));
+    for r in &rows {
+        txt.push_str(&format!(
+            "{:<10} {:>4} {:>12.1} {:>12.1} {:>14}\n",
+            r.acks,
+            r.rf,
+            r.p50_us,
+            r.p99_us,
+            human_rate(r.events_per_sec)
+        ));
+    }
+
+    let fetch = fetch_contention(&scale);
+    txt.push_str(&format!(
+        "\nfetch under live producer: {} records/s ({} fetchers), produce p99 {:.1} us\n",
+        human_rate(fetch.records_per_sec),
+        scale.fetchers,
+        fetch.produce_p99_us,
+    ));
+
+    let crc_mb_s = crc_throughput(&scale);
+    txt.push_str(&format!("crc32c kernel: {crc_mb_s:.0} MB/s\n"));
+
+    let dur = durable_group_commit(&scale);
+    txt.push_str(&format!(
+        "group commit (PerBatch, {} producers, acks=all): p50 {:.1} us, p99 {:.1} us, \
+         {:.2} fsyncs/batch ({} fsyncs / {} batches)\n",
+        scale.producers,
+        dur.p50_us,
+        dur.p99_us,
+        dur.flushes as f64 / dur.batches as f64,
+        dur.flushes,
+        dur.batches,
+    ));
+
+    print!("{txt}");
+    let path = write_result("hotpath.txt", &txt).expect("write hotpath.txt");
+    println!("wrote {}", path.display());
+
+    // machine-readable trajectory file at the repo root
+    let json = serde_json::json!({
+        "schema": "octopus-hotpath-v1",
+        "smoke": smoke,
+        "produce": rows.iter().map(|r| serde_json::json!({
+            "acks": r.acks,
+            "rf": r.rf,
+            "producers": scale.producers,
+            "batches_per_producer": scale.batches,
+            "batch_events": scale.batch_events,
+            "p50_us": r.p50_us,
+            "p99_us": r.p99_us,
+            "events_per_sec": r.events_per_sec,
+        })).collect::<Vec<_>>(),
+        "fetch": {
+            "fetchers": scale.fetchers,
+            "concurrent_producer": true,
+            "records_per_sec": fetch.records_per_sec,
+            "produce_p99_us": fetch.produce_p99_us,
+        },
+        "crc": { "mb_per_sec": crc_mb_s },
+        "group_commit": {
+            "policy": "PerBatch",
+            "producers": scale.producers,
+            "acks": "all",
+            "p50_us": dur.p50_us,
+            "p99_us": dur.p99_us,
+            "batches": dur.batches,
+            "flushes": dur.flushes,
+            "fsyncs_per_batch": dur.flushes as f64 / dur.batches as f64,
+        },
+    });
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let json_path = root.join("BENCH_hotpath.json");
+    let body = serde_json::to_string_pretty(&json).expect("serialize bench json");
+    std::fs::write(&json_path, &body).expect("write BENCH_hotpath.json");
+    // self-check: the file must parse back (the CI gate reads it)
+    let reread: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&json_path).expect("reread"))
+            .expect("BENCH_hotpath.json must be valid JSON");
+    check(reread["schema"] == "octopus-hotpath-v1", "bench json schema marker missing");
+    check(
+        reread["produce"].as_array().map(|a| a.len()) == Some(4),
+        "bench json produce sweep incomplete",
+    );
+    println!("wrote {}", json_path.display());
+}

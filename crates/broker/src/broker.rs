@@ -2,15 +2,16 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
+use std::sync::MutexGuard;
 use serde::{Deserialize, Serialize};
 
 use octopus_types::{OctoResult, PartitionId, TopicName};
 
-use crate::log::PartitionLog;
+use crate::log::{LogSnapshot, PartitionLog, SnapshotSlot};
 use crate::store::{FlushPolicy, RecoveryStats, StoreMetrics};
 
 /// Shared configuration for every durable partition a broker hosts.
@@ -43,7 +44,37 @@ impl std::fmt::Display for BrokerId {
 }
 
 /// A shareable handle to one partition replica's log.
-pub type SharedLog = Arc<Mutex<PartitionLog>>;
+///
+/// Writers take the mutex via [`LogHandle::lock`]; readers call
+/// [`LogHandle::snapshot`] and never contend with appends (DESIGN.md
+/// §11). The snapshot slot is captured from the log at construction,
+/// so both paths observe the same publications.
+pub type SharedLog = Arc<LogHandle>;
+
+/// Mutex-guarded partition log plus its lock-free snapshot slot.
+#[derive(Debug)]
+pub struct LogHandle {
+    log: Mutex<PartitionLog>,
+    snap: SnapshotSlot,
+}
+
+impl LogHandle {
+    /// Wrap a log for shared use.
+    pub fn new(log: PartitionLog) -> Self {
+        let snap = log.snapshot_slot();
+        LogHandle { log: Mutex::new(log), snap }
+    }
+
+    /// Exclusive access for mutations (append, retention, recovery).
+    pub fn lock(&self) -> MutexGuard<'_, PartitionLog> {
+        self.log.lock()
+    }
+
+    /// The latest published read view; never blocks on the log mutex.
+    pub fn snapshot(&self) -> Arc<LogSnapshot> {
+        self.snap.lock().clone()
+    }
+}
 
 /// A broker node. Brokers are passive: clients and the cluster routing
 /// layer drive them, and per-partition mutexes make partitions the unit
@@ -51,6 +82,11 @@ pub type SharedLog = Arc<Mutex<PartitionLog>>;
 pub struct Broker {
     id: BrokerId,
     alive: AtomicBool,
+    /// Incarnation counter, bumped on every kill. Replication jobs
+    /// capture it at submission; the executor refuses jobs from an
+    /// earlier incarnation, so a batch queued before a crash can never
+    /// replay onto the resynced log of the restarted broker.
+    epoch: AtomicU64,
     partitions: RwLock<HashMap<(TopicName, PartitionId), SharedLog>>,
     store: Option<Arc<StoreContext>>,
 }
@@ -61,6 +97,7 @@ impl Broker {
         Broker {
             id,
             alive: AtomicBool::new(true),
+            epoch: AtomicU64::new(0),
             partitions: RwLock::new(HashMap::new()),
             store: None,
         }
@@ -71,6 +108,7 @@ impl Broker {
         Broker {
             id,
             alive: AtomicBool::new(true),
+            epoch: AtomicU64::new(0),
             partitions: RwLock::new(HashMap::new()),
             store: Some(ctx),
         }
@@ -91,8 +129,16 @@ impl Broker {
         self.alive.load(Ordering::Acquire)
     }
 
-    /// Crash the broker (its logs survive, like disk state).
+    /// Current incarnation (bumped on every kill; see the field doc).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Crash the broker (its logs survive, like disk state). Bumps the
+    /// incarnation epoch so in-flight replication jobs from before the
+    /// crash are fenced off (see [`Broker::epoch`]).
     pub fn kill(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
         self.alive.store(false, Ordering::Release);
     }
 
@@ -126,7 +172,7 @@ impl Broker {
             )?,
             None => (PartitionLog::with_segment_bytes(segment_bytes), RecoveryStats::default()),
         };
-        partitions.insert(key, Arc::new(Mutex::new(log)));
+        partitions.insert(key, Arc::new(LogHandle::new(log)));
         Ok(stats)
     }
 

@@ -25,15 +25,27 @@ use octopus_types::{
 };
 use octopus_zoo::{CreateMode, ZooService};
 
-use crate::broker::{Broker, BrokerId, StoreContext};
+use crate::broker::{Broker, BrokerId, SharedLog, StoreContext};
 use crate::config::TopicConfig;
 use crate::fault::{DeliveryFault, FaultInjector};
 use crate::group::GroupCoordinator;
 use crate::health::{ClusterHealth, HealthReport, PartitionView};
 use crate::lag::{LagReport, LagTracker};
-use crate::log::PartitionLog;
+use crate::log::LogSnapshot;
 use crate::record::{Record, RecordBatch};
+use crate::replication::{reply_channel, ReplicationJob, ReplicationPool};
 use crate::store::{FlushPolicy, OffsetCheckpoint, StoreMetrics};
+
+/// How many `try_recv` probes (each followed by a `yield_now`) the
+/// produce path makes on the replication reply channel before parking
+/// on a blocking `recv`. Yielding instead of spinning matters on small
+/// machines: a spin would burn the core the executor needs to produce
+/// the reply, while a yield hands it over and the probe usually
+/// succeeds on the next timeslice. The bound is deliberately tiny:
+/// when the machine is oversubscribed each yield can burn a full
+/// scheduler slice running an unrelated thread, so after a few misses
+/// parking on the condvar is strictly cheaper.
+const REPLY_SPIN_LIMIT: u32 = 4;
 
 /// Producer acknowledgment level (the paper's `acks` knob, Table III
 /// experiments #2–#4).
@@ -175,6 +187,10 @@ struct ClusterInner {
     health: ClusterHealth,
     spans: Arc<SpanSink>,
     durability: Option<DurabilityState>,
+    /// Per-broker executors that run follower appends off the
+    /// producing thread, so acks=all replication latency is the max
+    /// over followers instead of the sum (DESIGN.md §11).
+    replication: ReplicationPool,
 }
 
 /// A handle to the cluster. Clones share state; safe to use from many
@@ -502,18 +518,30 @@ impl Cluster {
             ));
         }
         config.validate(self.inner.brokers.len())?;
-        // propagate the segment roll size to live partition logs
-        if config.segment_bytes != meta.config.segment_bytes {
-            for (p, pm) in meta.partitions.iter().enumerate() {
-                for b in &pm.replicas {
-                    if let Some(log) = self.inner.brokers[b.0 as usize].log(name, p as u32) {
-                        log.lock().set_segment_bytes(config.segment_bytes);
-                    }
-                }
-            }
-        }
+        // Collect the live replica logs, then drop the topics guard
+        // before locking any of them: log lock -> topics lock is the
+        // global order (produce and resync hold a log lock while
+        // reading/writing topic metadata), so nesting the other way
+        // here would be a lock-order inversion.
+        let roll_logs: Vec<SharedLog> = if config.segment_bytes != meta.config.segment_bytes {
+            meta.partitions
+                .iter()
+                .enumerate()
+                .flat_map(|(p, pm)| {
+                    pm.replicas
+                        .iter()
+                        .filter_map(|b| self.inner.brokers[b.0 as usize].log(name, p as u32))
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         meta.config = config.clone();
         drop(topics);
+        for log in roll_logs {
+            log.lock().set_segment_bytes(config.segment_bytes);
+        }
         self.persist_topic_config(name, &config)?;
         Ok(())
     }
@@ -544,6 +572,9 @@ impl Cluster {
         batch: RecordBatch,
         acks: AckLevel,
     ) -> OctoResult<ProduceReceipt> {
+        // Arc so replication executors share the batch without copying
+        // event payloads.
+        let batch = Arc::new(batch);
         match self.produce_inner(topic, partition, &batch, acks) {
             Ok(receipt) => Ok(receipt),
             Err(e) if acks == AckLevel::None => {
@@ -563,7 +594,7 @@ impl Cluster {
         &self,
         topic: &str,
         partition: PartitionId,
-        batch: &RecordBatch,
+        batch: &Arc<RecordBatch>,
         acks: AckLevel,
     ) -> OctoResult<ProduceReceipt> {
         if batch.is_empty() {
@@ -607,37 +638,102 @@ impl Cluster {
         };
         let append_start = Instant::now();
         let append_wall = now_ns();
-        let base = log.lock().append(batch, now)?;
+        let replicate_start;
+        let replicate_wall;
+        // Synchronous replication to in-sync followers, fanned out to
+        // the per-broker executors so follower appends overlap
+        // (latency = max over followers, not sum). Failures shrink the
+        // ISR (Kafka's leader removes laggards). A severed
+        // leader↔follower link looks exactly like a dead follower from
+        // the leader's point of view — the executor evaluates the same
+        // liveness/severed/append predicate the old inline loop did.
+        let (base, leader_ticket, replies, isr, followers) = {
+            let mut leader_log = log.lock();
+            // Re-read the ISR *under the leader's log lock*: a resync
+            // holds this lock across its copy-and-rejoin, so a replica
+            // seen here either already holds every earlier record (it
+            // rejoined before we locked) or receives this batch via
+            // its executor (we fan out to it). The pre-lock read above
+            // is only a fast-fail.
+            let (_, isr, _) = self.leader_of(topic, partition)?;
+            let followers: Vec<BrokerId> = isr.iter().copied().filter(|r| *r != leader).collect();
+            let (base, leader_ticket) = leader_log.append_deferred(batch.as_ref(), now)?;
+            replicate_start = Instant::now();
+            replicate_wall = now_ns();
+            // Submit while still holding the leader lock: per-broker
+            // FIFO executors then apply follower appends in
+            // leader-append order, so concurrent producers cannot
+            // diverge a replica.
+            let replies = if followers.is_empty() {
+                None
+            } else {
+                let (reply_tx, reply_rx) = reply_channel(followers.len());
+                for follower in &followers {
+                    self.inner.replication.submit(
+                        *follower,
+                        ReplicationJob {
+                            leader,
+                            topic: topic.to_string(),
+                            partition,
+                            batch: Arc::clone(batch),
+                            now,
+                            follower_epoch: self.inner.brokers[follower.0 as usize].epoch(),
+                            reply: reply_tx.clone(),
+                        },
+                    );
+                }
+                Some(reply_rx)
+            };
+            (base, leader_ticket, replies, isr, followers)
+        };
+        // Leader fsync (PerBatch group commit) happens off-lock, so it
+        // overlaps the follower executors *and* shares one sync_data
+        // with concurrent producers on this partition.
+        if let Some(ticket) = leader_ticket {
+            ticket.wait()?;
+        }
         let append_ns = append_start.elapsed().as_nanos() as u64;
         self.inner.obs.record(Stage::Append, append_ns);
         if let Some(tc) = &traced {
             self.inner.spans.record_stage(tc, Stage::Append, append_wall, append_wall + append_ns);
         }
         self.inner.lag.on_append(topic, partition, base + batch.len() as u64);
-        // synchronous replication to in-sync followers; failures shrink
-        // the ISR (Kafka's leader removes laggards from the ISR). A
-        // severed leader↔follower link looks exactly like a dead
-        // follower from the leader's point of view.
-        let replicate_start = Instant::now();
-        let replicate_wall = now_ns();
         let mut new_isr = vec![leader];
-        let mut replicated = false;
-        for replica in &isr {
-            if *replica == leader {
-                continue;
+        if let Some(reply_rx) = replies {
+            let mut succeeded: Vec<BrokerId> = Vec::with_capacity(followers.len());
+            'collect: for _ in 0..followers.len() {
+                // An executor's reply is normally microseconds away (one
+                // in-memory append), so probe-and-yield briefly before
+                // parking on the blocking recv — the common case then
+                // skips the condvar sleep/wake round-trip entirely.
+                let mut reply = None;
+                for _ in 0..REPLY_SPIN_LIMIT {
+                    match reply_rx.try_recv() {
+                        Ok(r) => {
+                            reply = Some(r);
+                            break;
+                        }
+                        Err(crossbeam::channel::TryRecvError::Empty) => std::thread::yield_now(),
+                        Err(crossbeam::channel::TryRecvError::Disconnected) => break 'collect,
+                    }
+                }
+                let (id, ok) = match reply {
+                    Some(r) => r,
+                    None => match reply_rx.recv() {
+                        Ok(r) => r,
+                        Err(_) => break, // executor gone (cluster teardown)
+                    },
+                };
+                if ok {
+                    succeeded.push(id);
+                }
             }
-            replicated = true;
-            let b = &self.inner.brokers[replica.0 as usize];
-            let ok = !self.inner.fault.is_severed(leader, *replica)
-                && b.is_alive()
-                && b.log(topic, partition)
-                    .map(|l| l.lock().append(batch, now).is_ok())
-                    .unwrap_or(false);
-            if ok {
-                new_isr.push(*replica);
+            // rebuild in original ISR order, as the sequential loop did
+            for follower in &followers {
+                if succeeded.contains(follower) {
+                    new_isr.push(*follower);
+                }
             }
-        }
-        if replicated {
             let replicate_ns = replicate_start.elapsed().as_nanos() as u64;
             self.inner.obs.record(Stage::Replicate, replicate_ns);
             if let Some(tc) = &traced {
@@ -729,7 +825,7 @@ impl Cluster {
             // by rewinding the served offset (never before log start)
             Some(DeliveryFault::Duplicate { rewind }) => {
                 let earliest = self
-                    .with_leader_log(topic, partition, |l| l.start_offset())
+                    .with_leader_snapshot(topic, partition, |s| s.start_offset())
                     .unwrap_or(offset);
                 offset = offset.saturating_sub(rewind).max(earliest);
             }
@@ -741,7 +837,10 @@ impl Cluster {
         let log = broker
             .log(topic, partition)
             .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
-        let out = log.lock().read(offset, max_records)?;
+        // Served from the published snapshot: fetches never take the
+        // append mutex, so readers cannot stall writers (or each
+        // other). Record clones inside are refcount bumps.
+        let out = log.snapshot().read(offset, max_records)?;
         // The fetch stage includes injected penalties/delays on purpose:
         // degraded-broker chaos must be visible in the p99.
         let fetch_ns = fetch_start.elapsed().as_nanos() as u64;
@@ -773,12 +872,12 @@ impl Cluster {
 
     /// Earliest retained offset.
     pub fn earliest_offset(&self, topic: &str, partition: PartitionId) -> OctoResult<Offset> {
-        self.with_leader_log(topic, partition, |l| l.start_offset())
+        self.with_leader_snapshot(topic, partition, |s| s.start_offset())
     }
 
     /// Next offset to be assigned (log end).
     pub fn latest_offset(&self, topic: &str, partition: PartitionId) -> OctoResult<Offset> {
-        self.with_leader_log(topic, partition, |l| l.end_offset())
+        self.with_leader_snapshot(topic, partition, |s| s.end_offset())
     }
 
     /// First offset at or after `ts`.
@@ -788,7 +887,7 @@ impl Cluster {
         partition: PartitionId,
         ts: Timestamp,
     ) -> OctoResult<Offset> {
-        self.with_leader_log(topic, partition, |l| l.offset_for_timestamp(ts))
+        self.with_leader_snapshot(topic, partition, |s| s.offset_for_timestamp(ts))
     }
 
     /// Total backlog (end − committed) across partitions for a consumer
@@ -809,19 +908,18 @@ impl Cluster {
         Ok(lag)
     }
 
-    fn with_leader_log<T>(
+    fn with_leader_snapshot<T>(
         &self,
         topic: &str,
         partition: PartitionId,
-        f: impl Fn(&PartitionLog) -> T,
+        f: impl Fn(&LogSnapshot) -> T,
     ) -> OctoResult<T> {
         let (leader, _, _) = self.resolve_live_leader(topic, partition)?;
         let broker = &self.inner.brokers[leader.0 as usize];
         let log = broker
             .log(topic, partition)
             .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
-        let out = f(&log.lock());
-        Ok(out)
+        Ok(f(&log.snapshot()))
     }
 
     fn leader_of(
@@ -953,19 +1051,40 @@ impl Cluster {
             let leader_log = self.inner.brokers[leader.0 as usize]
                 .log(&topic, partition)
                 .ok_or_else(|| OctoError::Internal("leader lost its log".into()))?;
-            let snapshot = leader_log.lock().clone();
-            if let Some(mine) = broker.log(&topic, partition) {
-                mine.lock().replace_from(&snapshot)?;
-            }
-            // rejoin ISR
-            let mut topics = self.inner.topics.write();
-            if let Some(meta) = topics.get_mut(&topic) {
-                if let Some(pm) = meta.partitions.get_mut(partition as usize) {
-                    if !pm.isr.contains(&id) && pm.replicas.contains(&id) {
-                        pm.isr.push(id);
+            let Some(mine) = broker.log(&topic, partition) else { continue };
+            // Copy-and-rejoin is atomic w.r.t. produces: the leader's
+            // log lock is held from the snapshot read through the ISR
+            // rejoin, and produce re-reads the ISR under that same
+            // lock. A batch acked before we locked is in the copy; a
+            // batch appended after we release sees the rejoined ISR
+            // and replicates here. Without this, a record acked in the
+            // gap between copy and rejoin never reaches this replica,
+            // and a later failover to it silently loses acked data.
+            // Both log locks are taken in broker-id order so two
+            // concurrent resyncs can never deadlock on each other.
+            let (leader_guard, mut my_guard) = if leader.0 < id.0 {
+                let lg = leader_log.lock();
+                let mg = mine.lock();
+                (lg, mg)
+            } else {
+                let mg = mine.lock();
+                let lg = leader_log.lock();
+                (lg, mg)
+            };
+            my_guard.replace_from(&leader_guard)?;
+            drop(my_guard);
+            // rejoin ISR (log lock -> topics lock is the global order)
+            {
+                let mut topics = self.inner.topics.write();
+                if let Some(meta) = topics.get_mut(&topic) {
+                    if let Some(pm) = meta.partitions.get_mut(partition as usize) {
+                        if !pm.isr.contains(&id) && pm.replicas.contains(&id) {
+                            pm.isr.push(id);
+                        }
                     }
                 }
             }
+            drop(leader_guard);
         }
         self.refresh_health(&format!("resync_broker({})", id.0));
         Ok(())
@@ -1231,6 +1350,8 @@ impl ClusterBuilder {
         if let Some(d) = &durability {
             groups.attach_checkpoint(Arc::clone(&d.checkpoint));
         }
+        let fault = self.fault.unwrap_or_default();
+        let replication = ReplicationPool::new(&brokers, fault.clone());
         let cluster = Cluster {
             inner: Arc::new(ClusterInner {
                 brokers,
@@ -1241,13 +1362,14 @@ impl ClusterBuilder {
                 zoo: self.zoo,
                 clock: self.clock,
                 round_robin: AtomicU64::new(0),
-                fault: self.fault.unwrap_or_default(),
+                fault,
                 obs: StageMetrics::new(registry),
                 counters,
                 lag,
                 health,
                 spans: self.spans.unwrap_or_else(|| Arc::new(SpanSink::disabled())),
                 durability,
+                replication,
             }),
         };
         // re-create persisted topics (which recovers their partition

@@ -38,9 +38,10 @@ pub mod lag;
 pub mod log;
 pub mod mirror;
 pub mod record;
+mod replication;
 pub mod store;
 
-pub use broker::{Broker, BrokerId, StoreContext};
+pub use broker::{Broker, BrokerId, LogHandle, SharedLog, StoreContext};
 pub use cluster::{
     AckLevel, Cluster, DurabilityInfo, PowerLossReport, ProduceReceipt, TopicStats,
 };
@@ -52,9 +53,9 @@ pub use health::{
     PartitionRef, PartitionView,
 };
 pub use lag::{LagReport, LagTracker, PartitionLag};
-pub use log::PartitionLog;
+pub use log::{LogSnapshot, PartitionLog};
 pub use mirror::{MirrorHandle, MirrorMaker};
-pub use record::{crc32c, Record, RecordBatch};
+pub use record::{crc32c, Crc32c, Record, RecordBatch};
 pub use store::{
-    FlushPolicy, OffsetCheckpoint, OffsetEntry, RecoveryStats, StoreMetrics, TempDir,
+    FlushPolicy, OffsetCheckpoint, OffsetEntry, RecoveryStats, StoreMetrics, SyncTicket, TempDir,
 };

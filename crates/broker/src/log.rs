@@ -7,54 +7,237 @@
 //! rewrites closed segments keeping only the latest record per key
 //! (§IV-F: "Users can also configure the compaction and retention
 //! policy").
+//!
+//! ## Concurrency: snapshot reads
+//!
+//! Records live in immutable chunks (`Arc<[Record]>`, one per appended
+//! batch). After every mutation the log publishes a [`LogSnapshot`] — a
+//! list of chunk pointers — into a slot readers share. Fetches read the
+//! snapshot without the append lock: writers never block readers, and a
+//! fetch clones only `Arc`/`Bytes` refcounts, never record payloads
+//! (DESIGN.md §11). Appends stay cheap because sealing a batch into a
+//! chunk moves the records; only republishing the *active* segment's
+//! chunk list is per-append work, and that is a pointer-vector clone.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bytes::Bytes;
+use parking_lot::Mutex;
+
 use octopus_types::{OctoError, OctoResult, Offset, Timestamp};
 
 use crate::config::{CleanupPolicy, RetentionConfig};
 use crate::record::{Record, RecordBatch};
-use crate::store::{FlushPolicy, PartitionStore, RecoveryStats, StoreMetrics};
+use crate::store::{FlushPolicy, PartitionStore, RecoveryStats, StoreMetrics, SyncTicket};
 
 /// Default maximum segment size before rolling (1 MiB here; Kafka's
 /// default is 1 GiB — scaled down for in-memory use).
 pub const DEFAULT_SEGMENT_BYTES: usize = 1 << 20;
 
+/// Appends smaller than this merge into the previous chunk instead of
+/// starting a new one, so single-record producers cannot degenerate a
+/// segment into one chunk per record (which would make snapshot
+/// publication O(records)).
+const CHUNK_MERGE_BELOW: usize = 32;
+
 #[derive(Debug, Clone)]
 struct Segment {
     base_offset: Offset,
-    records: Vec<Record>,
+    /// Immutable runs of records, in offset order. Readers hold these
+    /// by `Arc`; mutations (compaction, truncation, fault injection)
+    /// rebuild the affected chunks.
+    chunks: Vec<Arc<[Record]>>,
+    record_count: usize,
     size_bytes: usize,
     max_timestamp: Timestamp,
+    /// Cached immutable view used by [`PartitionLog::publish`];
+    /// invalidated by any mutation of this segment. Sharing the cache
+    /// between clones is safe: snapshots are immutable.
+    snap_cache: Option<Arc<SegmentSnapshot>>,
 }
 
 impl Segment {
     fn new(base_offset: Offset) -> Self {
         Segment {
             base_offset,
-            records: Vec::new(),
+            chunks: Vec::new(),
+            record_count: 0,
             size_bytes: 0,
             max_timestamp: Timestamp::from_millis(0),
+            snap_cache: None,
         }
     }
 
     fn next_offset(&self) -> Offset {
-        self.base_offset + self.records.len() as u64
+        self.base_offset + self.record_count as u64
+    }
+
+    /// Iterate records in offset order across chunks.
+    fn records(&self) -> impl Iterator<Item = &Record> {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+
+    /// Replace this segment's contents with `records` (one chunk),
+    /// recomputing the size/count/timestamp metadata.
+    fn reset_records(&mut self, records: Vec<Record>) {
+        self.record_count = records.len();
+        self.size_bytes = records.iter().map(|r| r.wire_size()).sum();
+        self.max_timestamp = records
+            .iter()
+            .map(|r| r.append_time)
+            .max()
+            .unwrap_or(Timestamp::from_millis(0));
+        self.chunks = if records.is_empty() { Vec::new() } else { vec![Arc::from(records)] };
+        self.snap_cache = None;
     }
 
     /// Rebuild a segment from recovered records (sizes and timestamps
     /// recomputed from the records themselves).
     fn from_records(base_offset: Offset, records: Vec<Record>) -> Self {
-        let size_bytes = records.iter().map(|r| r.wire_size()).sum();
-        let max_timestamp = records
-            .iter()
-            .map(|r| r.append_time)
-            .max()
-            .unwrap_or(Timestamp::from_millis(0));
-        Segment { base_offset, records, size_bytes, max_timestamp }
+        let mut seg = Segment::new(base_offset);
+        seg.reset_records(records);
+        seg
+    }
+
+    /// Seal `pending` into the chunk list. Small appends coalesce into
+    /// the previous chunk (bounded copy) to keep chunk counts low.
+    fn seal(&mut self, pending: &mut Vec<Record>) {
+        if pending.is_empty() {
+            return;
+        }
+        self.snap_cache = None;
+        if let Some(last) = self.chunks.last_mut() {
+            if last.len() < CHUNK_MERGE_BELOW {
+                let mut merged = Vec::with_capacity(last.len() + pending.len());
+                merged.extend_from_slice(last);
+                merged.append(pending);
+                *last = Arc::from(merged);
+                return;
+            }
+        }
+        self.chunks.push(Arc::from(std::mem::take(pending)));
+    }
+
+    /// All records as one contiguous run (cold paths that need a slice:
+    /// store rewrites, resync).
+    fn contiguous(&self) -> Arc<[Record]> {
+        if self.chunks.len() == 1 {
+            return self.chunks[0].clone();
+        }
+        self.records().cloned().collect::<Vec<_>>().into()
     }
 }
+
+/// Immutable view of one segment, shared between the log and every
+/// published [`LogSnapshot`] that includes it.
+#[derive(Debug)]
+pub struct SegmentSnapshot {
+    base_offset: Offset,
+    max_timestamp: Timestamp,
+    chunks: Vec<Arc<[Record]>>,
+}
+
+impl SegmentSnapshot {
+    fn records(&self) -> impl Iterator<Item = &Record> {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+}
+
+/// An immutable point-in-time view of a partition log.
+///
+/// Obtained from [`PartitionLog::snapshot`] (or a broker
+/// [`crate::broker::LogHandle`]); serves reads with the exact semantics
+/// of the live log at publication time, without holding any lock. The
+/// paper's fetch path reads the page cache; this is its in-memory
+/// equivalent.
+#[derive(Debug)]
+pub struct LogSnapshot {
+    segments: Vec<Arc<SegmentSnapshot>>,
+    log_start: Offset,
+    end: Offset,
+}
+
+impl LogSnapshot {
+    /// An empty snapshot (placeholder before the first publish).
+    fn empty() -> Self {
+        LogSnapshot { segments: Vec::new(), log_start: 0, end: 0 }
+    }
+
+    /// Offset the next appended record will get, as of this snapshot.
+    pub fn end_offset(&self) -> Offset {
+        self.end
+    }
+
+    /// Offset of the earliest retained record, as of this snapshot.
+    pub fn start_offset(&self) -> Offset {
+        self.log_start
+    }
+
+    /// Read up to `max_records` records starting at `offset` —
+    /// identical semantics to [`PartitionLog::read`], which delegates
+    /// here. Record clones are refcount bumps (`Bytes` payloads), not
+    /// payload copies.
+    pub fn read(&self, offset: Offset, max_records: usize) -> OctoResult<Vec<Record>> {
+        if offset == self.end {
+            return Ok(Vec::new());
+        }
+        if offset < self.log_start || offset > self.end {
+            return Err(OctoError::OffsetOutOfRange {
+                requested: offset,
+                earliest: self.log_start,
+                latest: self.end,
+            });
+        }
+        let mut out = Vec::new();
+        // binary search for the segment containing `offset`
+        let seg_idx = match self
+            .segments
+            .binary_search_by(|s| s.base_offset.cmp(&offset))
+        {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        'outer: for seg in &self.segments[seg_idx..] {
+            for rec in seg.records() {
+                if rec.offset < offset {
+                    continue;
+                }
+                if out.len() >= max_records {
+                    break 'outer;
+                }
+                out.push(rec.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The smallest offset whose append time is `>= ts`, or the end
+    /// offset if no such record is retained — identical semantics to
+    /// [`PartitionLog::offset_for_timestamp`].
+    pub fn offset_for_timestamp(&self, ts: Timestamp) -> Offset {
+        for seg in &self.segments {
+            if seg.max_timestamp < ts {
+                continue;
+            }
+            for rec in seg.records() {
+                if rec.append_time >= ts {
+                    return rec.offset;
+                }
+            }
+        }
+        self.end
+    }
+}
+
+/// The slot a log publishes snapshots into; shared with reader handles.
+///
+/// A `Mutex` rather than an `RwLock`: both sides hold it only for an
+/// `Arc` clone or pointer swap (nanoseconds), and a mutex keeps the
+/// single publishing writer from being starved by a reader stampede —
+/// exactly the pattern a fetch-heavy partition produces.
+pub type SnapshotSlot = Arc<Mutex<Arc<LogSnapshot>>>;
 
 /// A segmented log for one partition: always present in memory (the
 /// fabric serves reads from the "page cache"), optionally backed by a
@@ -68,21 +251,26 @@ pub struct PartitionLog {
     total_bytes: usize,
     /// Durable backing store, if the cluster was built with a data dir.
     store: Option<PartitionStore>,
+    /// Published read view; refreshed after every mutation.
+    snap: SnapshotSlot,
 }
 
 impl Clone for PartitionLog {
     /// Clones are *in-memory snapshots*: the durable store handle stays
-    /// with the original. Two writers appending to one set of segment
-    /// files would corrupt them — and every clone site (ISR resync
-    /// snapshots, tests) wants the record contents, not the disk.
+    /// with the original, and the clone publishes into its own fresh
+    /// snapshot slot (readers of the original keep reading the
+    /// original).
     fn clone(&self) -> Self {
-        PartitionLog {
+        let mut log = PartitionLog {
             segments: self.segments.clone(),
             segment_bytes: self.segment_bytes,
             log_start: self.log_start,
             total_bytes: self.total_bytes,
             store: None,
-        }
+            snap: Arc::new(Mutex::new(Arc::new(LogSnapshot::empty()))),
+        };
+        log.publish();
+        log
     }
 }
 
@@ -101,13 +289,16 @@ impl PartitionLog {
     /// Empty log with a custom segment roll size (small values make
     /// retention tests cheap).
     pub fn with_segment_bytes(segment_bytes: usize) -> Self {
-        PartitionLog {
+        let mut log = PartitionLog {
             segments: vec![Segment::new(0)],
             segment_bytes: segment_bytes.max(1),
             log_start: 0,
             total_bytes: 0,
             store: None,
-        }
+            snap: Arc::new(Mutex::new(Arc::new(LogSnapshot::empty()))),
+        };
+        log.publish();
+        log
     }
 
     /// Open a durable log rooted at `dir`, recovering whatever a
@@ -131,20 +322,53 @@ impl PartitionLog {
         self.store.is_some()
     }
 
+    /// The current published read view. Cheap (`Arc` clone); safe to
+    /// call while another thread appends.
+    pub fn snapshot(&self) -> Arc<LogSnapshot> {
+        self.snap.lock().clone()
+    }
+
+    /// The slot this log publishes into — lets a shared handle read
+    /// snapshots without locking the log itself.
+    pub fn snapshot_slot(&self) -> SnapshotSlot {
+        Arc::clone(&self.snap)
+    }
+
+    /// Rebuild and publish the read view. Closed segments reuse their
+    /// cached immutable views; only segments mutated since the last
+    /// publish are rebuilt.
+    fn publish(&mut self) {
+        let end = self.end_offset();
+        let mut segments = Vec::with_capacity(self.segments.len());
+        for seg in &mut self.segments {
+            if seg.snap_cache.is_none() {
+                seg.snap_cache = Some(Arc::new(SegmentSnapshot {
+                    base_offset: seg.base_offset,
+                    max_timestamp: seg.max_timestamp,
+                    chunks: seg.chunks.clone(),
+                }));
+            }
+            segments.push(seg.snap_cache.clone().expect("just filled"));
+        }
+        let snapshot = Arc::new(LogSnapshot { segments, log_start: self.log_start, end });
+        *self.snap.lock() = snapshot;
+    }
+
     /// Replace in-memory state with segments recovered from disk.
     fn adopt_recovered(&mut self, recovered: Vec<(Offset, Vec<Record>)>) {
         if recovered.is_empty() {
             self.segments = vec![Segment::new(0)];
             self.log_start = 0;
             self.total_bytes = 0;
-            return;
+        } else {
+            self.segments = recovered
+                .into_iter()
+                .map(|(base, records)| Segment::from_records(base, records))
+                .collect();
+            self.log_start = self.segments[0].base_offset;
+            self.total_bytes = self.segments.iter().map(|s| s.size_bytes).sum();
         }
-        self.segments = recovered
-            .into_iter()
-            .map(|(base, records)| Segment::from_records(base, records))
-            .collect();
-        self.log_start = self.segments[0].base_offset;
-        self.total_bytes = self.segments.iter().map(|s| s.size_bytes).sum();
+        self.publish();
     }
 
     /// Restart-time recovery. Durable logs reload authoritative state
@@ -171,10 +395,11 @@ impl PartitionLog {
         self.log_start = snapshot.log_start;
         self.total_bytes = snapshot.total_bytes;
         if let Some(store) = self.store.as_mut() {
-            store.reset_with(
-                self.segments.iter().map(|s| (s.base_offset, s.records.as_slice())),
-            )?;
+            let runs: Vec<(Offset, Arc<[Record]>)> =
+                self.segments.iter().map(|s| (s.base_offset, s.contiguous())).collect();
+            store.reset_with(runs.iter().map(|(base, recs)| (*base, &recs[..])))?;
         }
+        self.publish();
         Ok(())
     }
 
@@ -190,6 +415,7 @@ impl PartitionLog {
         self.segments = vec![Segment::new(0)];
         self.log_start = 0;
         self.total_bytes = 0;
+        self.publish();
         Ok(torn)
     }
 
@@ -224,7 +450,7 @@ impl PartitionLog {
 
     /// Number of retained records.
     pub fn len(&self) -> usize {
-        self.segments.iter().map(|s| s.records.len()).sum()
+        self.segments.iter().map(|s| s.record_count).sum()
     }
 
     /// Whether no records are retained.
@@ -238,12 +464,42 @@ impl PartitionLog {
     }
 
     /// Append a verified batch at `now`; returns the base offset
-    /// assigned to the first record.
+    /// assigned to the first record. Durable logs apply the flush policy
+    /// inline before returning (an acked record is already fsynced under
+    /// [`FlushPolicy::PerBatch`]).
     pub fn append(&mut self, batch: &RecordBatch, now: Timestamp) -> OctoResult<Offset> {
+        self.append_inner(batch, now, false).map(|(base, _)| base)
+    }
+
+    /// [`PartitionLog::append`], but under [`FlushPolicy::PerBatch`] the
+    /// batch's fsync is deferred to the returned [`SyncTicket`]. The
+    /// caller waits the ticket *after releasing the partition lock*, so
+    /// concurrent producers to the same partition share fsyncs (group
+    /// commit, DESIGN.md §11) instead of serializing them under the
+    /// mutex. A failed `wait` means the batch reached the file but its
+    /// durability is unconfirmed; callers surface the error and the
+    /// producer retries (at-least-once).
+    pub fn append_deferred(
+        &mut self,
+        batch: &RecordBatch,
+        now: Timestamp,
+    ) -> OctoResult<(Offset, Option<SyncTicket>)> {
+        self.append_inner(batch, now, true)
+    }
+
+    fn append_inner(
+        &mut self,
+        batch: &RecordBatch,
+        now: Timestamp,
+        deferred: bool,
+    ) -> OctoResult<(Offset, Option<SyncTicket>)> {
         if !batch.verify() {
             return Err(OctoError::Invalid("record batch failed CRC check".into()));
         }
         let base = self.end_offset();
+        // records sealed into the active segment's chunk list at each
+        // segment roll and at the end of the batch
+        let mut pending: Vec<Record> = Vec::with_capacity(batch.events.len());
         for (i, event) in batch.events.iter().enumerate() {
             let mut rec = Record {
                 offset: base + i as u64,
@@ -258,35 +514,48 @@ impl PartitionLog {
             let size = rec.wire_size();
             let roll = {
                 let seg = self.segments.last().expect("log always has a segment");
-                !seg.records.is_empty() && seg.size_bytes + size > self.segment_bytes
+                seg.record_count > 0 && seg.size_bytes + size > self.segment_bytes
             };
             if roll {
-                let next = self.segments.last().expect("nonempty").next_offset();
+                let seg = self.segments.last_mut().expect("nonempty");
+                seg.seal(&mut pending);
+                let next = seg.next_offset();
                 self.segments.push(Segment::new(next));
             }
             let seg = self.segments.last_mut().expect("nonempty");
             seg.size_bytes += size;
             seg.max_timestamp = seg.max_timestamp.max(rec.append_time);
-            seg.records.push(rec);
+            seg.record_count += 1;
+            seg.snap_cache = None;
+            pending.push(rec);
             self.total_bytes += size;
         }
+        self.segments.last_mut().expect("nonempty").seal(&mut pending);
+        let mut ticket = None;
         if self.store.is_some() {
-            if let Err(e) = self.write_through(base) {
-                // disk refused the batch: roll the in-memory tail back so
-                // RAM never claims records the store could not keep
-                self.truncate_from_offset(base);
-                if let Some(store) = self.store.as_mut() {
-                    let _ = store.truncate_to(base);
+            match self.write_through(base, deferred) {
+                Ok(t) => ticket = t,
+                Err(e) => {
+                    // disk refused the batch: roll the in-memory tail
+                    // back so RAM never claims records the store could
+                    // not keep
+                    self.truncate_from_offset(base);
+                    if let Some(store) = self.store.as_mut() {
+                        let _ = store.truncate_to(base);
+                    }
+                    self.publish();
+                    return Err(e);
                 }
-                return Err(e);
             }
         }
-        Ok(base)
+        self.publish();
+        Ok((base, ticket))
     }
 
     /// Persist every record at `offset >= from` to the store, mirroring
-    /// the in-memory segment layout, then apply the flush policy.
-    fn write_through(&mut self, from: Offset) -> OctoResult<()> {
+    /// the in-memory segment layout, then apply the flush policy —
+    /// inline, or as a deferred [`SyncTicket`] under `PerBatch`.
+    fn write_through(&mut self, from: Offset, deferred: bool) -> OctoResult<Option<SyncTicket>> {
         let store = self.store.as_mut().expect("caller checked");
         let seg_idx = match self.segments.binary_search_by(|s| s.base_offset.cmp(&from)) {
             Ok(i) => i,
@@ -294,31 +563,43 @@ impl PartitionLog {
             Err(i) => i - 1,
         };
         for seg in &self.segments[seg_idx..] {
-            for rec in &seg.records {
+            for rec in seg.records() {
                 if rec.offset < from {
                     continue;
                 }
                 store.append(rec, seg.base_offset)?;
             }
         }
-        store.commit_batch()
+        if deferred {
+            store.commit_batch_ticket()
+        } else {
+            store.commit_batch().map(|()| None)
+        }
     }
 
     /// Remove every in-memory record at `offset >= from`, dropping
     /// trailing segments that end up empty (but always keeping one).
     fn truncate_from_offset(&mut self, from: Offset) {
         for seg in &mut self.segments {
-            let keep = seg.records.partition_point(|r| r.offset < from);
-            if keep < seg.records.len() {
-                for rec in seg.records.drain(keep..) {
-                    let size = rec.wire_size();
-                    seg.size_bytes -= size;
-                    self.total_bytes -= size;
-                }
+            let last_off = seg.chunks.last().and_then(|c| c.last()).map(|r| r.offset);
+            if last_off.map(|o| o < from).unwrap_or(true) {
+                continue; // nothing at or beyond `from` in this segment
             }
+            let kept: Vec<Record> =
+                seg.records().take_while(|r| r.offset < from).cloned().collect();
+            let removed_bytes: usize =
+                seg.records().skip(kept.len()).map(|r| r.wire_size()).sum();
+            self.total_bytes -= removed_bytes;
+            let base = seg.base_offset;
+            let max_ts = seg.max_timestamp;
+            seg.reset_records(kept);
+            seg.base_offset = base;
+            // keep the observed max timestamp: retention decisions only
+            // ever get more conservative from an overestimate
+            seg.max_timestamp = max_ts;
         }
         while self.segments.len() > 1
-            && self.segments.last().map(|s| s.records.is_empty()).unwrap_or(false)
+            && self.segments.last().map(|s| s.record_count == 0).unwrap_or(false)
         {
             self.segments.pop();
         }
@@ -328,58 +609,19 @@ impl PartitionLog {
     ///
     /// `offset == end_offset()` returns an empty vec (caller is caught
     /// up); offsets below `start_offset` or above the end are
-    /// `OffsetOutOfRange`, matching Kafka's fetch semantics.
+    /// `OffsetOutOfRange`, matching Kafka's fetch semantics. Served
+    /// from the published [`LogSnapshot`] — the same path concurrent
+    /// readers use — so callers holding the log lock and lock-free
+    /// readers can never disagree.
     pub fn read(&self, offset: Offset, max_records: usize) -> OctoResult<Vec<Record>> {
-        let end = self.end_offset();
-        if offset == end {
-            return Ok(Vec::new());
-        }
-        if offset < self.log_start || offset > end {
-            return Err(OctoError::OffsetOutOfRange {
-                requested: offset,
-                earliest: self.log_start,
-                latest: end,
-            });
-        }
-        let mut out = Vec::new();
-        // binary search for the segment containing `offset`
-        let seg_idx = match self
-            .segments
-            .binary_search_by(|s| s.base_offset.cmp(&offset))
-        {
-            Ok(i) => i,
-            Err(0) => 0,
-            Err(i) => i - 1,
-        };
-        'outer: for seg in &self.segments[seg_idx..] {
-            for rec in &seg.records {
-                if rec.offset < offset {
-                    continue;
-                }
-                if out.len() >= max_records {
-                    break 'outer;
-                }
-                out.push(rec.clone());
-            }
-        }
-        Ok(out)
+        self.snapshot().read(offset, max_records)
     }
 
     /// The smallest offset whose append time is `>= ts` (the
     /// "consume after a certain timestamp" mode of §IV-F), or the end
     /// offset if no such record is retained.
     pub fn offset_for_timestamp(&self, ts: Timestamp) -> Offset {
-        for seg in &self.segments {
-            if seg.max_timestamp < ts {
-                continue;
-            }
-            for rec in &seg.records {
-                if rec.append_time >= ts {
-                    return rec.offset;
-                }
-            }
-        }
-        self.end_offset()
+        self.snapshot().offset_for_timestamp(ts)
     }
 
     /// Apply retention at `now`: drop whole closed segments older than
@@ -403,7 +645,7 @@ impl PartitionLog {
                 break;
             }
             let seg = self.segments.remove(0);
-            removed += seg.records.len();
+            removed += seg.record_count;
             self.total_bytes -= seg.size_bytes;
             self.log_start = self.segments[0].base_offset;
             if let Some(store) = self.store.as_mut() {
@@ -411,6 +653,9 @@ impl PartitionLog {
                 // resurrect an already-expired segment, never data loss
                 let _ = store.remove_front_segment(seg.base_offset);
             }
+        }
+        if removed > 0 {
+            self.publish();
         }
         removed
     }
@@ -428,7 +673,7 @@ impl PartitionLog {
         // segments supersede earlier ones)
         let mut newest: HashMap<Bytes, Offset> = HashMap::new();
         for seg in &self.segments {
-            for rec in &seg.records {
+            for rec in seg.records() {
                 if let Some(k) = &rec.key {
                     newest.insert(k.clone(), rec.offset);
                 }
@@ -436,24 +681,40 @@ impl PartitionLog {
         }
         let mut removed = 0usize;
         let last = self.segments.len() - 1;
+        let mut store_rewrites: Vec<(Offset, Arc<[Record]>)> = Vec::new();
         for seg in &mut self.segments[..last] {
-            let before = seg.records.len();
-            seg.records.retain(|rec| match &rec.key {
-                Some(k) => newest.get(k) == Some(&rec.offset),
-                None => true,
-            });
-            removed += before - seg.records.len();
-            let new_size: usize = seg.records.iter().map(|r| r.wire_size()).sum();
-            self.total_bytes -= seg.size_bytes - new_size;
-            seg.size_bytes = new_size;
-            if before != seg.records.len() {
-                if let Some(store) = self.store.as_mut() {
-                    // atomic rewrite (tmp + rename); best-effort like
-                    // retention — recovery resurrecting superseded keys
-                    // only costs space, not correctness
-                    let _ = store.rewrite_segment(seg.base_offset, &seg.records);
-                }
+            let before = seg.record_count;
+            let kept: Vec<Record> = seg
+                .records()
+                .filter(|rec| match &rec.key {
+                    Some(k) => newest.get(k) == Some(&rec.offset),
+                    None => true,
+                })
+                .cloned()
+                .collect();
+            if kept.len() == before {
+                continue;
             }
+            removed += before - kept.len();
+            let base = seg.base_offset;
+            let max_ts = seg.max_timestamp;
+            let old_size = seg.size_bytes;
+            seg.reset_records(kept);
+            seg.base_offset = base;
+            seg.max_timestamp = max_ts;
+            self.total_bytes -= old_size - seg.size_bytes;
+            store_rewrites.push((base, seg.contiguous()));
+        }
+        if let Some(store) = self.store.as_mut() {
+            for (base, records) in &store_rewrites {
+                // atomic rewrite (tmp + rename); best-effort like
+                // retention — recovery resurrecting superseded keys
+                // only costs space, not correctness
+                let _ = store.rewrite_segment(*base, records);
+            }
+        }
+        if removed > 0 {
+            self.publish();
         }
         removed
     }
@@ -465,20 +726,31 @@ impl PartitionLog {
     pub fn corrupt_tail(&mut self, n: usize) -> usize {
         let mut corrupted = 0usize;
         'outer: for seg in self.segments.iter_mut().rev() {
-            for rec in seg.records.iter_mut().rev() {
+            for chunk in seg.chunks.iter_mut().rev() {
                 if corrupted >= n {
                     break 'outer;
                 }
-                let mut bytes = rec.value.to_vec();
-                if bytes.is_empty() {
-                    bytes.push(0xff);
-                } else {
-                    let last = bytes.len() - 1;
-                    bytes[last] ^= 0xa5;
+                let mut records = chunk.to_vec();
+                for rec in records.iter_mut().rev() {
+                    if corrupted >= n {
+                        break;
+                    }
+                    let mut bytes = rec.value.to_vec();
+                    if bytes.is_empty() {
+                        bytes.push(0xff);
+                    } else {
+                        let last = bytes.len() - 1;
+                        bytes[last] ^= 0xa5;
+                    }
+                    rec.value = Bytes::from(bytes);
+                    corrupted += 1;
                 }
-                rec.value = Bytes::from(bytes);
-                corrupted += 1;
+                *chunk = Arc::from(records);
+                seg.snap_cache = None;
             }
+        }
+        if corrupted > 0 {
+            self.publish();
         }
         corrupted
     }
@@ -489,28 +761,35 @@ impl PartitionLog {
     /// restart-time log recovery). Returns the number of records
     /// dropped.
     pub fn verify_and_truncate(&mut self) -> usize {
-        let mut bad: Option<(usize, usize)> = None;
+        let mut bad: Option<(usize, Offset)> = None;
         'scan: for (si, seg) in self.segments.iter().enumerate() {
-            for (ri, rec) in seg.records.iter().enumerate() {
+            for rec in seg.records() {
                 if !rec.verify() {
-                    bad = Some((si, ri));
+                    bad = Some((si, rec.offset));
                     break 'scan;
                 }
             }
         }
-        let Some((si, ri)) = bad else { return 0 };
+        let Some((si, bad_offset)) = bad else { return 0 };
         let mut removed = 0usize;
         for seg in self.segments.drain(si + 1..) {
-            removed += seg.records.len();
+            removed += seg.record_count;
             self.total_bytes -= seg.size_bytes;
         }
         let seg = &mut self.segments[si];
-        removed += seg.records.len() - ri;
-        for rec in seg.records.drain(ri..) {
-            let size = rec.wire_size();
-            seg.size_bytes -= size;
-            self.total_bytes -= size;
-        }
+        // offsets are monotonic within a segment, so cutting at the bad
+        // record's offset is the same as cutting at its position
+        let kept: Vec<Record> =
+            seg.records().take_while(|r| r.offset < bad_offset).cloned().collect();
+        removed += seg.record_count - kept.len();
+        let base = seg.base_offset;
+        let max_ts = seg.max_timestamp;
+        let old_size = seg.size_bytes;
+        seg.reset_records(kept);
+        seg.base_offset = base;
+        seg.max_timestamp = max_ts;
+        self.total_bytes -= old_size - seg.size_bytes;
+        self.publish();
         removed
     }
 
@@ -591,6 +870,53 @@ mod tests {
         let recs = log.read(0, 100).unwrap();
         assert_eq!(recs.len(), 10);
         assert_eq!(recs[9].offset, 9);
+    }
+
+    #[test]
+    fn snapshot_is_stable_while_log_advances() {
+        let mut log = PartitionLog::with_segment_bytes(64);
+        log.append(&RecordBatch::new(vec![ev("a"), ev("b")]), t(1)).unwrap();
+        let snap = log.snapshot();
+        assert_eq!(snap.end_offset(), 2);
+        // the log moves on; the held snapshot does not
+        log.append(&RecordBatch::new(vec![ev("c")]), t(2)).unwrap();
+        assert_eq!(snap.end_offset(), 2);
+        assert_eq!(snap.read(0, 100).unwrap().len(), 2);
+        // a fresh snapshot sees the new tail
+        let snap2 = log.snapshot();
+        assert_eq!(snap2.end_offset(), 3);
+        assert_eq!(snap2.read(2, 100).unwrap()[0].offset, 2);
+        // snapshot read semantics match the log's own at the boundary
+        assert!(snap.read(2, 10).unwrap().is_empty());
+        assert!(matches!(snap.read(3, 10), Err(OctoError::OffsetOutOfRange { .. })));
+    }
+
+    #[test]
+    fn snapshot_tracks_every_mutation_kind() {
+        let mut log = PartitionLog::with_segment_bytes(8);
+        for i in 0..8u64 {
+            log.append(&RecordBatch::new(vec![kev("k", &format!("{i:06}"))]), t(i * 1000))
+                .unwrap();
+        }
+        // retention
+        let retention = RetentionConfig { retention_ms: Some(1_000), retention_bytes: None };
+        log.enforce_retention(&retention, t(9_000));
+        let snap = log.snapshot();
+        assert_eq!(snap.start_offset(), log.start_offset());
+        assert_eq!(snap.end_offset(), log.end_offset());
+        // compaction
+        log.compact();
+        assert_eq!(log.snapshot().read(log.start_offset(), 100).unwrap().len(), log.len());
+        // corruption + recovery truncation
+        log.corrupt_tail(1);
+        let served = log.snapshot().read(log.start_offset(), 100).unwrap();
+        assert!(served.iter().any(|r| !r.verify()), "snapshot serves the corrupt tail");
+        log.verify_and_truncate();
+        assert_eq!(log.snapshot().end_offset(), log.end_offset());
+        assert!(log.snapshot().read(log.start_offset(), 100).unwrap().iter().all(|r| r.verify()));
+        // clone publishes into its own slot
+        let clone = log.clone();
+        assert_eq!(clone.snapshot().end_offset(), log.end_offset());
     }
 
     #[test]

@@ -47,6 +47,7 @@ use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex};
 use std::time::Instant;
 
 use parking_lot::Mutex;
@@ -373,6 +374,143 @@ fn scan_dir(dir: &Path) -> OctoResult<Scanned> {
 }
 
 // ---------------------------------------------------------------------------
+// group-commit sync gate
+// ---------------------------------------------------------------------------
+
+/// Group-commit gate for one partition's active segment.
+///
+/// `written` and `synced` are *monotonic* byte counters over the store's
+/// whole life: a byte is counted in `written` once its `write(2)` into
+/// the active file has returned, and in `synced` once some fsync (or an
+/// equivalent durable rewrite) is known to cover it. Segment rolls and
+/// truncations settle the counters rather than resetting them, so a
+/// ticket's target stays meaningful across segment changes.
+///
+/// The gate lets any number of waiters share each fsync: the first
+/// waiter to arrive while no sync is in flight performs one `sync_data`
+/// covering every byte written up to that instant; everyone whose target
+/// that covers rides along without issuing their own.
+#[derive(Debug)]
+struct SyncGate {
+    written: AtomicU64,
+    synced: AtomicU64,
+    state: StdMutex<GateState>,
+    done: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    /// Append handle on the active segment file (lazily opened). Shared
+    /// so a waiter can fsync it without holding the store.
+    file: Option<Arc<File>>,
+    /// Whether some waiter currently has an fsync in flight.
+    syncing: bool,
+}
+
+impl SyncGate {
+    fn new() -> Arc<Self> {
+        Arc::new(SyncGate {
+            written: AtomicU64::new(0),
+            synced: AtomicU64::new(0),
+            state: StdMutex::new(GateState::default()),
+            done: Condvar::new(),
+        })
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, GateState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mark everything written so far as durable and wake waiters. Call
+    /// only after the disk state has been made consistent through some
+    /// other fsynced path (roll, truncation, rewrite, recovery).
+    fn settle(&self) {
+        self.synced.fetch_max(self.written.load(Ordering::Acquire), Ordering::AcqRel);
+        self.done.notify_all();
+    }
+
+    /// Drop the active file handle (segment rolled, truncated, or
+    /// rewritten); the next append reopens lazily.
+    fn detach_file(&self) {
+        self.lock_state().file = None;
+    }
+
+    fn unflushed(&self) -> u64 {
+        self.written.load(Ordering::Acquire).saturating_sub(self.synced.load(Ordering::Acquire))
+    }
+
+    /// Block until every byte up to `target` is on stable storage,
+    /// issuing at most one fsync per uncovered window.
+    fn sync_to(&self, target: u64, metrics: &StoreMetrics) -> OctoResult<()> {
+        if self.synced.load(Ordering::Acquire) >= target {
+            return Ok(());
+        }
+        let mut st = self.lock_state();
+        loop {
+            if self.synced.load(Ordering::Acquire) >= target {
+                return Ok(());
+            }
+            if st.syncing {
+                st = self.done.wait(st).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            st.syncing = true;
+            let file = st.file.clone();
+            drop(st);
+            // Every byte counted in `written` at this point has
+            // completed its write into `file` (appends bump the counter
+            // only after write_all returns), so one fsync covers all of
+            // them — including batches from producers that appended
+            // while a previous fsync was in flight.
+            let cover = self.written.load(Ordering::Acquire);
+            let res: OctoResult<()> = match &file {
+                Some(f) => {
+                    let t = Instant::now();
+                    match f.sync_data() {
+                        Ok(()) => {
+                            metrics.flush_ns.record(t.elapsed().as_nanos() as u64);
+                            metrics.flushes.inc();
+                            Ok(())
+                        }
+                        Err(e) => Err(e.into()),
+                    }
+                }
+                // no file yet: nothing written since the segment was
+                // (re)opened, so everything counted is already durable
+                None => Ok(()),
+            };
+            st = self.lock_state();
+            st.syncing = false;
+            if res.is_ok() {
+                self.synced.fetch_max(cover, Ordering::AcqRel);
+            }
+            self.done.notify_all();
+            res?;
+        }
+    }
+}
+
+/// A claim ticket from [`PartitionStore::commit_batch_ticket`]: the
+/// batch has been written to the segment file but not yet fsynced.
+/// [`SyncTicket::wait`] blocks until an fsync covers it — possibly one
+/// issued by a concurrent producer (group commit). Wait *after*
+/// releasing the partition lock, or the group collapses back to one
+/// fsync per lock holder.
+#[derive(Debug)]
+pub struct SyncTicket {
+    gate: Arc<SyncGate>,
+    target: u64,
+    metrics: StoreMetrics,
+}
+
+impl SyncTicket {
+    /// Block until the ticket's batch is on stable storage.
+    pub fn wait(&self) -> OctoResult<()> {
+        self.gate.sync_to(self.target, &self.metrics)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // PartitionStore
 // ---------------------------------------------------------------------------
 
@@ -383,12 +521,10 @@ pub struct PartitionStore {
     policy: FlushPolicy,
     metrics: StoreMetrics,
     segments: Vec<StoreSegment>,
-    /// Append handle on the active segment file (lazily opened).
-    file: Option<File>,
-    /// Bytes of the active segment known to be on stable storage.
-    synced_len: u64,
+    /// Active-file handle plus the written/synced ledger shared with
+    /// outstanding [`SyncTicket`]s.
+    gate: Arc<SyncGate>,
     last_sync: Instant,
-    dirty: bool,
     /// Set by [`PartitionStore::power_loss`]; appends are refused until
     /// [`PartitionStore::recover`] has rebuilt state from disk.
     needs_recovery: bool,
@@ -424,10 +560,8 @@ impl PartitionStore {
             policy,
             metrics,
             segments: Vec::new(),
-            file: None,
-            synced_len: 0,
+            gate: SyncGate::new(),
             last_sync: Instant::now(),
-            dirty: false,
             needs_recovery: false,
         };
         let (records, stats) = store.recover()?;
@@ -448,29 +582,29 @@ impl PartitionStore {
     /// Truncates the torn tail on disk and returns the surviving
     /// segments plus stats. Clears any power-loss poisoning.
     pub fn recover(&mut self) -> OctoResult<(RecoveredSegments, RecoveryStats)> {
-        self.file = None;
+        self.gate.detach_file();
         let scanned = scan_dir(&self.dir)?;
         self.metrics.records_recovered.add(scanned.stats.records_recovered);
         self.metrics.records_truncated.add(scanned.stats.records_truncated);
         self.metrics.bytes_truncated.add(scanned.stats.bytes_truncated);
-        self.synced_len = scanned.segments.last().map(|s| s.len).unwrap_or(0);
         self.segments = scanned.segments;
-        self.dirty = false;
+        self.gate.settle();
         self.needs_recovery = false;
         self.last_sync = Instant::now();
         Ok((scanned.records, scanned.stats))
     }
 
-    fn writer(&mut self) -> OctoResult<&mut File> {
-        if self.file.is_none() {
+    fn writer(&mut self) -> OctoResult<Arc<File>> {
+        let mut st = self.gate.lock_state();
+        if st.file.is_none() {
             let base = self.segments.last().expect("active segment exists").base;
             let f = OpenOptions::new()
                 .append(true)
                 .create(true)
                 .open(seg_path(&self.dir, base))?;
-            self.file = Some(f);
+            st.file = Some(Arc::new(f));
         }
-        Ok(self.file.as_mut().expect("just opened"))
+        Ok(Arc::clone(st.file.as_ref().expect("just opened")))
     }
 
     /// Start a new segment at `base`, fsyncing and closing the previous
@@ -479,9 +613,8 @@ impl PartitionStore {
         if !self.segments.is_empty() {
             self.sync()?;
         }
-        self.file = None;
+        self.gate.detach_file();
         self.segments.push(StoreSegment { base, frames: Vec::new(), len: 0 });
-        self.synced_len = 0;
         Ok(())
     }
 
@@ -498,12 +631,15 @@ impl PartitionStore {
         }
         let mut frame = Vec::new();
         encode_frame(rec, &mut frame);
-        self.writer()?.write_all(&frame)?;
+        let file = self.writer()?;
+        (&*file).write_all(&frame)?;
         let seg = self.segments.last_mut().expect("rolled above");
         seg.len += frame.len() as u64;
         seg.frames.push(Frame { offset: rec.offset, end: seg.len });
         self.metrics.bytes_written.add(frame.len() as u64);
-        self.dirty = true;
+        // counted only after write_all returned: the gate relies on
+        // `written` bytes being in the file before any covering fsync
+        self.gate.written.fetch_add(frame.len() as u64, Ordering::AcqRel);
         Ok(())
     }
 
@@ -512,7 +648,7 @@ impl PartitionStore {
         match self.policy {
             FlushPolicy::PerBatch => self.sync(),
             FlushPolicy::IntervalMs(ms) => {
-                if self.dirty && self.last_sync.elapsed().as_millis() as u64 >= ms {
+                if self.gate.unflushed() > 0 && self.last_sync.elapsed().as_millis() as u64 >= ms {
                     self.sync()
                 } else {
                     Ok(())
@@ -522,33 +658,48 @@ impl PartitionStore {
         }
     }
 
-    /// Force an fsync of the active segment.
+    /// Like [`PartitionStore::commit_batch`], but under
+    /// [`FlushPolicy::PerBatch`] the fsync is deferred to the returned
+    /// ticket so the caller can wait for it after releasing the
+    /// partition lock — concurrent producers then share fsyncs (group
+    /// commit) instead of serializing them. Other policies behave
+    /// exactly like `commit_batch` and never return a ticket.
+    pub fn commit_batch_ticket(&mut self) -> OctoResult<Option<SyncTicket>> {
+        match self.policy {
+            FlushPolicy::PerBatch => {
+                let target = self.gate.written.load(Ordering::Acquire);
+                if self.gate.synced.load(Ordering::Acquire) >= target {
+                    return Ok(None);
+                }
+                Ok(Some(SyncTicket {
+                    gate: Arc::clone(&self.gate),
+                    target,
+                    metrics: self.metrics.clone(),
+                }))
+            }
+            _ => self.commit_batch().map(|()| None),
+        }
+    }
+
+    /// Force an fsync of the active segment (a no-op when every written
+    /// byte is already covered).
     pub fn sync(&mut self) -> OctoResult<()> {
-        if !self.dirty {
-            self.last_sync = Instant::now();
-            return Ok(());
-        }
-        if let Some(f) = self.file.as_mut() {
-            let t = Instant::now();
-            f.sync_data()?;
-            self.metrics.flush_ns.record(t.elapsed().as_nanos() as u64);
-            self.metrics.flushes.inc();
-        }
-        self.synced_len = self.segments.last().map(|s| s.len).unwrap_or(0);
+        let target = self.gate.written.load(Ordering::Acquire);
+        self.gate.sync_to(target, &self.metrics)?;
         self.last_sync = Instant::now();
-        self.dirty = false;
         Ok(())
     }
 
     /// Drop every frame with `offset >= end` from disk (append
     /// rollback after a write-through failure).
     pub fn truncate_to(&mut self, end: Offset) -> OctoResult<()> {
+        let mut changed = false;
         while let Some(seg) = self.segments.last() {
             if seg.base < end {
                 break;
             }
             let path = seg_path(&self.dir, seg.base);
-            self.file = None;
+            self.gate.detach_file();
             // the file may not exist if the roll never wrote a frame
             match fs::remove_file(&path) {
                 Ok(()) => {}
@@ -556,6 +707,7 @@ impl PartitionStore {
                 Err(e) => return Err(e.into()),
             }
             self.segments.pop();
+            changed = true;
         }
         if let Some(seg) = self.segments.last_mut() {
             let keep = seg.frames.partition_point(|f| f.offset < end);
@@ -563,12 +715,18 @@ impl PartitionStore {
                 let cut = if keep == 0 { 0 } else { seg.frames[keep - 1].end };
                 seg.frames.truncate(keep);
                 seg.len = cut;
-                self.file = None;
+                self.gate.detach_file();
                 let f = OpenOptions::new().write(true).open(seg_path(&self.dir, seg.base))?;
                 f.set_len(cut)?;
                 f.sync_data()?;
-                self.synced_len = cut;
+                changed = true;
             }
+        }
+        if changed {
+            // every surviving byte was fsynced (closed segments at roll,
+            // the trimmed tail just now); tickets for truncated bytes
+            // must not wait for an fsync that will never cover them
+            self.gate.settle();
         }
         Ok(())
     }
@@ -587,7 +745,7 @@ impl PartitionStore {
         }
         self.segments.remove(0);
         if self.segments.is_empty() {
-            self.file = None;
+            self.gate.detach_file();
         }
         Ok(())
     }
@@ -614,8 +772,8 @@ impl PartitionStore {
         let len = buf.len() as u64;
         self.segments[idx] = StoreSegment { base, frames, len };
         if idx + 1 == self.segments.len() {
-            self.file = None;
-            self.synced_len = len;
+            self.gate.detach_file();
+            self.gate.settle();
         }
         Ok(())
     }
@@ -627,7 +785,7 @@ impl PartitionStore {
         &mut self,
         segments: impl Iterator<Item = (Offset, &'a [Record])>,
     ) -> OctoResult<()> {
-        self.file = None;
+        self.gate.detach_file();
         for seg in &self.segments {
             let path = seg_path(&self.dir, seg.base);
             match fs::remove_file(&path) {
@@ -654,8 +812,7 @@ impl PartitionStore {
             let len = buf.len() as u64;
             self.segments.push(StoreSegment { base, frames, len });
         }
-        self.synced_len = self.segments.last().map(|s| s.len).unwrap_or(0);
-        self.dirty = false;
+        self.gate.settle();
         self.needs_recovery = false;
         Ok(())
     }
@@ -668,10 +825,12 @@ impl PartitionStore {
     /// The store is left poisoned — [`PartitionStore::recover`] must run
     /// before it accepts appends again, exactly like a real restart.
     pub fn power_loss(&mut self, entropy: u64) -> OctoResult<u64> {
-        self.file = None;
+        self.gate.detach_file();
         self.needs_recovery = true;
         let Some(seg) = self.segments.last() else { return Ok(0) };
-        let synced = self.synced_len.min(seg.len);
+        // unflushed bytes all live in the active segment (rolls fsync
+        // the closed file), so the durable prefix is len − unflushed
+        let synced = seg.len.saturating_sub(self.gate.unflushed());
         let unflushed = seg.len - synced;
         let keep = synced + if unflushed == 0 { 0 } else { entropy % (unflushed + 1) };
         let torn = seg.len - keep;
@@ -685,7 +844,10 @@ impl PartitionStore {
 
     /// Bytes of the active segment not yet known to be fsynced.
     pub fn unflushed_bytes(&self) -> u64 {
-        self.segments.last().map(|s| s.len.saturating_sub(self.synced_len)).unwrap_or(0)
+        if self.segments.is_empty() {
+            return 0;
+        }
+        self.gate.unflushed()
     }
 }
 
@@ -940,6 +1102,54 @@ mod tests {
         assert_eq!(recovered.len(), 1);
         assert_eq!(recovered[0].1.len(), 5);
         assert_eq!(&recovered[0].1[4].value[..], b"v4");
+    }
+
+    #[test]
+    fn group_commit_shares_one_fsync_across_tickets() {
+        let tmp = TempDir::new("octopus-data");
+        let dir = tmp.path().join("p0");
+        let m = metrics();
+        let (mut store, _, _) =
+            PartitionStore::open(&dir, FlushPolicy::PerBatch, m.clone()).unwrap();
+        store.append(&rec(0, b"a", None), 0).unwrap();
+        let t0 = store.commit_batch_ticket().unwrap().expect("unsynced bytes pending");
+        store.append(&rec(1, b"b", None), 0).unwrap();
+        let t1 = store.commit_batch_ticket().unwrap().expect("unsynced bytes pending");
+        let before = m.flush_count();
+        t1.wait().unwrap(); // one fsync covering both batches
+        t0.wait().unwrap(); // rides the fsync t1 already issued
+        assert_eq!(m.flush_count() - before, 1);
+        assert_eq!(store.unflushed_bytes(), 0);
+        // fully covered: nothing left to wait for
+        assert!(store.commit_batch_ticket().unwrap().is_none());
+    }
+
+    #[test]
+    fn tickets_are_settled_by_segment_rolls() {
+        let tmp = TempDir::new("octopus-data");
+        let dir = tmp.path().join("p0");
+        let m = metrics();
+        let (mut store, _, _) =
+            PartitionStore::open(&dir, FlushPolicy::PerBatch, m.clone()).unwrap();
+        store.append(&rec(0, b"first", None), 0).unwrap();
+        let t = store.commit_batch_ticket().unwrap().expect("unsynced bytes pending");
+        // rolling to a new segment fsyncs the closed file, covering the
+        // ticket without a second fsync
+        store.append(&rec(1, b"second", None), 1).unwrap();
+        let after_roll = m.flush_count();
+        t.wait().unwrap();
+        assert_eq!(m.flush_count(), after_roll);
+    }
+
+    #[test]
+    fn non_perbatch_policies_issue_no_tickets() {
+        let tmp = TempDir::new("octopus-data");
+        let dir = tmp.path().join("p0");
+        let (mut store, _, _) =
+            PartitionStore::open(&dir, FlushPolicy::OsManaged, metrics()).unwrap();
+        store.append(&rec(0, b"x", None), 0).unwrap();
+        assert!(store.commit_batch_ticket().unwrap().is_none());
+        assert!(store.unflushed_bytes() > 0);
     }
 
     #[test]

@@ -5,10 +5,30 @@
 use proptest::prelude::*;
 
 use octopus_broker::{
-    AckLevel, CleanupPolicy, Cluster, GroupCoordinator, PartitionLog, RecordBatch,
-    RetentionConfig, TopicConfig,
+    crc32c, AckLevel, CleanupPolicy, Cluster, Crc32c, GroupCoordinator, PartitionLog,
+    RecordBatch, RetentionConfig, TopicConfig,
 };
 use octopus_types::{Event, Timestamp};
+
+/// Byte-at-a-time single-table CRC32C — the implementation the kernel
+/// shipped with before slicing-by-8, kept here as the equivalence
+/// oracle.
+fn crc32c_reference(data: &[u8]) -> u32 {
+    const POLY: u32 = 0x82F6_3B78;
+    let mut table = [0u32; 256];
+    for (i, entry) in table.iter_mut().enumerate() {
+        let mut crc = i as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+        }
+        *entry = crc;
+    }
+    let mut crc = !0u32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
 
 fn arb_event() -> impl Strategy<Value = Event> {
     (
@@ -29,6 +49,32 @@ fn arb_batches() -> impl Strategy<Value = Vec<Vec<Event>>> {
 }
 
 proptest! {
+    /// The slicing-by-8 kernel is bit-identical to the table-driven
+    /// reference on arbitrary inputs.
+    #[test]
+    fn crc32c_slicing_matches_reference(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert_eq!(crc32c(&data), crc32c_reference(&data));
+    }
+
+    /// Streaming the same bytes through `Crc32c` in arbitrary chunkings
+    /// yields the one-shot checksum.
+    #[test]
+    fn crc32c_streaming_is_chunking_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        cuts in proptest::collection::vec(0usize..2048, 0..8),
+    ) {
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+        cuts.sort_unstable();
+        let mut h = Crc32c::new();
+        let mut prev = 0usize;
+        for cut in cuts {
+            h.update(&data[prev..cut]);
+            prev = cut;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), crc32c(&data));
+    }
+
     /// Appended offsets are dense, start at zero, and reads round-trip
     /// every record in order.
     #[test]

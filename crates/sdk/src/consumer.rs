@@ -8,6 +8,7 @@
 //! surface lives here.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use octopus_broker::Cluster;
@@ -62,11 +63,15 @@ pub struct Consumer {
     principal: Option<Uid>,
     subscriptions: Vec<TopicName>,
     generation: u64,
-    assignment: Vec<(TopicName, PartitionId)>,
-    /// Next offset to fetch per assigned partition.
-    positions: HashMap<(TopicName, PartitionId), Offset>,
-    /// Positions not yet committed.
-    dirty: HashMap<(TopicName, PartitionId), Offset>,
+    /// Shared so `poll` can iterate it without deep-cloning every topic
+    /// name each call; rebalances swap in a fresh Arc.
+    assignment: Arc<[(TopicName, PartitionId)]>,
+    /// Next offset to fetch, per topic then partition. Nested so the
+    /// per-poll hot path looks topics up by `&str` instead of
+    /// allocating a `(String, u32)` key per partition per poll.
+    positions: HashMap<TopicName, HashMap<PartitionId, Offset>>,
+    /// Positions not yet committed (survives rebalances).
+    dirty: HashMap<TopicName, HashMap<PartitionId, Offset>>,
     last_commit: Instant,
     round_robin_start: usize,
 }
@@ -87,7 +92,7 @@ impl Consumer {
             principal,
             subscriptions: Vec::new(),
             generation: 0,
-            assignment: Vec::new(),
+            assignment: Arc::from(Vec::new()),
             positions: HashMap::new(),
             dirty: HashMap::new(),
             last_commit: Instant::now(),
@@ -137,7 +142,7 @@ impl Consumer {
             &counts,
         );
         self.generation = a.generation;
-        self.assignment = a.partitions;
+        self.assignment = a.partitions.into();
         self.positions.clear();
     }
 
@@ -147,14 +152,14 @@ impl Consumer {
         {
             if a.generation != self.generation {
                 self.generation = a.generation;
-                self.assignment = a.partitions;
+                self.assignment = a.partitions.into();
                 self.positions.clear();
             }
         }
     }
 
     fn position(&mut self, topic: &str, partition: PartitionId) -> OctoResult<Offset> {
-        if let Some(&p) = self.positions.get(&(topic.to_string(), partition)) {
+        if let Some(&p) = self.positions.get(topic).and_then(|m| m.get(&partition)) {
             return Ok(p);
         }
         let committed = self.cluster.coordinator().committed(&self.config.group, topic, partition);
@@ -165,8 +170,27 @@ impl Consumer {
                 OffsetReset::Latest => self.cluster.latest_offset(topic, partition)?,
             },
         };
-        self.positions.insert((topic.to_string(), partition), start);
+        self.positions.entry(topic.to_string()).or_default().insert(partition, start);
         Ok(start)
+    }
+
+    /// Raise `map[topic][partition]` to at least `next`, allocating a
+    /// topic key only the first time the topic is seen.
+    fn bump(
+        map: &mut HashMap<TopicName, HashMap<PartitionId, Offset>>,
+        topic: &str,
+        partition: PartitionId,
+        next: Offset,
+    ) {
+        match map.get_mut(topic) {
+            Some(parts) => {
+                let slot = parts.entry(partition).or_insert(next);
+                *slot = (*slot).max(next);
+            }
+            None => {
+                map.entry(topic.to_string()).or_default().insert(partition, next);
+            }
+        }
     }
 
     /// Fetch a batch of records from the assigned partitions. Returns
@@ -176,7 +200,8 @@ impl Consumer {
         self.refresh_assignment_if_stale();
         let mut out = Vec::new();
         let mut bytes = 0usize;
-        let assignment = self.assignment.clone();
+        // refcount bump, not a deep clone of every topic name
+        let assignment = Arc::clone(&self.assignment);
         if assignment.is_empty() {
             self.maybe_auto_commit();
             return Ok(out);
@@ -201,7 +226,7 @@ impl Consumer {
                 Err(OctoError::OffsetOutOfRange { earliest, .. }) => {
                     // retention passed us by: jump forward (records lost,
                     // consistent with at-least-once + finite retention)
-                    self.positions.insert((topic.clone(), *partition), earliest);
+                    self.positions.entry(topic.clone()).or_default().insert(*partition, earliest);
                     continue;
                 }
                 Err(_) => continue,
@@ -215,10 +240,8 @@ impl Consumer {
             // cursor backwards: explicit `seek_*` is the only sanctioned
             // way to rewind, so commit progress stays monotonic.
             let next = records.last().expect("non-empty").offset + 1;
-            let slot = self.positions.entry((topic.clone(), *partition)).or_insert(next);
-            *slot = (*slot).max(next);
-            let d = self.dirty.entry((topic.clone(), *partition)).or_insert(next);
-            *d = (*d).max(next);
+            Self::bump(&mut self.positions, topic, *partition, next);
+            Self::bump(&mut self.dirty, topic, *partition, next);
             for r in records {
                 bytes += r.wire_size();
                 let mut event = r.to_event();
@@ -286,22 +309,24 @@ impl Consumer {
     /// Commit the positions of everything returned by `poll` so far.
     pub fn commit_sync(&mut self) -> OctoResult<()> {
         let dirty = std::mem::take(&mut self.dirty);
-        for ((topic, partition), offset) in dirty {
-            match self.cluster.coordinator().commit(
-                &self.config.group,
-                self.generation,
-                &topic,
-                partition,
-                offset,
-            ) {
-                Ok(()) => {}
-                Err(OctoError::RebalanceInProgress(_)) => {
-                    // stale generation: rejoin; uncommitted records will
-                    // be redelivered (at-least-once)
-                    self.rejoin();
-                    return Err(OctoError::RebalanceInProgress(self.config.group.clone()));
+        for (topic, parts) in dirty {
+            for (partition, offset) in parts {
+                match self.cluster.coordinator().commit(
+                    &self.config.group,
+                    self.generation,
+                    &topic,
+                    partition,
+                    offset,
+                ) {
+                    Ok(()) => {}
+                    Err(OctoError::RebalanceInProgress(_)) => {
+                        // stale generation: rejoin; uncommitted records
+                        // will be redelivered (at-least-once)
+                        self.rejoin();
+                        return Err(OctoError::RebalanceInProgress(self.config.group.clone()));
+                    }
+                    Err(e) => return Err(e),
                 }
-                Err(e) => return Err(e),
             }
         }
         self.last_commit = Instant::now();
@@ -310,10 +335,11 @@ impl Consumer {
 
     /// Seek every assigned partition of `topic` to its earliest offset.
     pub fn seek_to_beginning(&mut self, topic: &str) -> OctoResult<()> {
-        for (t, p) in self.assignment.clone() {
+        let assignment = Arc::clone(&self.assignment);
+        for (t, p) in assignment.iter() {
             if t == topic {
-                let o = self.cluster.earliest_offset(&t, p)?;
-                self.positions.insert((t, p), o);
+                let o = self.cluster.earliest_offset(t, *p)?;
+                self.positions.entry(t.clone()).or_default().insert(*p, o);
             }
         }
         Ok(())
@@ -321,10 +347,11 @@ impl Consumer {
 
     /// Seek every assigned partition of `topic` to the log end.
     pub fn seek_to_end(&mut self, topic: &str) -> OctoResult<()> {
-        for (t, p) in self.assignment.clone() {
+        let assignment = Arc::clone(&self.assignment);
+        for (t, p) in assignment.iter() {
             if t == topic {
-                let o = self.cluster.latest_offset(&t, p)?;
-                self.positions.insert((t, p), o);
+                let o = self.cluster.latest_offset(t, *p)?;
+                self.positions.entry(t.clone()).or_default().insert(*p, o);
             }
         }
         Ok(())
@@ -333,10 +360,11 @@ impl Consumer {
     /// Seek every assigned partition of `topic` to the first record at
     /// or after `ts`.
     pub fn seek_to_timestamp(&mut self, topic: &str, ts: Timestamp) -> OctoResult<()> {
-        for (t, p) in self.assignment.clone() {
+        let assignment = Arc::clone(&self.assignment);
+        for (t, p) in assignment.iter() {
             if t == topic {
-                let o = self.cluster.offset_for_timestamp(&t, p, ts)?;
-                self.positions.insert((t, p), o);
+                let o = self.cluster.offset_for_timestamp(t, *p, ts)?;
+                self.positions.entry(t.clone()).or_default().insert(*p, o);
             }
         }
         Ok(())

@@ -428,18 +428,32 @@ impl TriggerRuntime {
     }
 
     fn spawn_workers(&self, state: &Arc<TriggerState>, n: usize) {
-        for _ in 0..n {
+        // Join every member *before* any worker thread processes a
+        // record: the group generation then settles up front, so a
+        // fast first worker cannot invoke a batch under a generation a
+        // slower sibling's join is about to fence off (which would
+        // fail the commit and redeliver the already-invoked batch).
+        let group = state.group();
+        let topic = state.spec.topic.clone();
+        let counts: HashMap<String, u32> =
+            [(topic.clone(), self.cluster.partition_count(&topic).unwrap_or(1))]
+                .into_iter()
+                .collect();
+        let base = state.workers.lock().len();
+        let members: Vec<String> = (base..base + n).map(|i| format!("{group}-w{i}")).collect();
+        for member in &members {
+            self.cluster.coordinator().join(&group, member, vec![topic.clone()], &counts);
+        }
+        for member in members {
             let worker_state = state.clone();
             let rt = self.clone();
-            let idx = state.workers.lock().len();
-            let handle = std::thread::spawn(move || rt.worker_loop(worker_state, idx));
+            let handle = std::thread::spawn(move || rt.worker_loop(worker_state, member));
             state.workers.lock().push(handle);
         }
     }
 
-    fn worker_loop(&self, state: Arc<TriggerState>, worker_idx: usize) {
+    fn worker_loop(&self, state: Arc<TriggerState>, member: String) {
         let group = state.group();
-        let member = format!("{group}-w{worker_idx}");
         let topic = state.spec.topic.clone();
         let counts: HashMap<String, u32> = [(
             topic.clone(),
@@ -447,9 +461,21 @@ impl TriggerRuntime {
         )]
         .into_iter()
         .collect();
-        let mut assignment =
-            self.cluster.coordinator().join(&group, &member, vec![topic.clone()], &counts);
+        // already joined by spawn_workers; a vanished membership (e.g.
+        // coordinator state reset) re-joins below
+        let mut assignment = match self.cluster.coordinator().assignment_of(&group, &member) {
+            Some(a) => a,
+            None => self.cluster.coordinator().join(&group, &member, vec![topic.clone()], &counts),
+        };
         while !state.stop.load(Ordering::Acquire) {
+            // pick up external rebalances (another worker joined or
+            // left) *before* processing, to shrink the window where a
+            // stale assignment's commit gets fenced and redelivered
+            if let Some(current) = self.cluster.coordinator().assignment_of(&group, &member) {
+                if current.generation != assignment.generation {
+                    assignment = current;
+                }
+            }
             let mut did_work = false;
             for (t, p) in assignment.partitions.clone() {
                 debug_assert_eq!(t, topic);
@@ -465,12 +491,6 @@ impl TriggerRuntime {
                         );
                     }
                     Err(_) => {}
-                }
-            }
-            // detect external rebalances (another worker joined)
-            if let Some(current) = self.cluster.coordinator().assignment_of(&group, &member) {
-                if current.generation != assignment.generation {
-                    assignment = current;
                 }
             }
             if !did_work {

@@ -13,8 +13,14 @@ cargo build --release
 echo "==> cargo test --release -q"
 cargo test --release -q
 
-echo "==> cargo clippy (workspace)"
-cargo clippy --release --no-deps --workspace -- -D warnings
+echo "==> cargo clippy (workspace, vendored shims exempt)"
+# The vendor/ shims are workspace members (so the build needs no
+# network), but the lint gate covers only our own crates.
+cargo clippy --release --no-deps --workspace \
+    --exclude bytes --exclude criterion --exclude crossbeam \
+    --exclude parking_lot --exclude proptest --exclude rand \
+    --exclude rayon --exclude serde --exclude serde_derive \
+    --exclude serde_json -- -D warnings
 
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
@@ -25,6 +31,23 @@ test -s results/trace.json
 
 echo "==> crash-recovery smoke (produce -> power loss -> cold reopen -> verify)"
 cargo run --release -q --example durability_smoke
+
+echo "==> hot-path bench smoke (invariants checked in-process)"
+# --smoke shrinks the workload; the bench exits nonzero if any probe
+# violates a correctness invariant (dense offsets, acked-record
+# survival across power loss, crc equivalence).
+cargo run --release -q -p octopus-bench --bin hotpath -- --smoke
+if [ ! -s BENCH_hotpath.json ]; then
+    echo "BENCH_hotpath.json missing or empty" >&2
+    exit 1
+fi
+if ! jq -e '.schema == "octopus-hotpath-v1"
+            and (.produce | length == 4)
+            and (.fetch.records_per_sec > 0)
+            and (.group_commit.flushes > 0)' BENCH_hotpath.json >/dev/null; then
+    echo "BENCH_hotpath.json malformed (schema/sections)" >&2
+    exit 1
+fi
 
 echo "==> temp-dir leak gate"
 # Every durable-store test and example works in a TempDir prefixed

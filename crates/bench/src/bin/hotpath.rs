@@ -1,6 +1,6 @@
 //! Hot-path benchmark: the broker data plane under concurrency.
 //!
-//! Four probes, each exercising one lever of the paper's Table III /
+//! Five probes, each exercising one lever of the paper's Table III /
 //! Fig. 3 shapes:
 //!
 //! 1. **Produce latency** by ack level × replication factor (p50/p99
@@ -14,6 +14,10 @@
 //! 4. **Group-commit fsync** — concurrent acks=all producers on a
 //!    durable `FlushPolicy::PerBatch` cluster; reports latency and the
 //!    fsyncs-per-batch ratio (group commit drives it below 1).
+//! 5. **Exactly-once overhead** — the acks=all × rf=3 sweep repeated
+//!    with producer stamps on every batch, so the leader runs the
+//!    dedup-window check inside its append lock; reports the cost of
+//!    idempotence relative to the unstamped baseline.
 //!
 //! Results land in `results/hotpath.txt` (human) and
 //! `BENCH_hotpath.json` at the repo root (machine readable, consumed
@@ -29,7 +33,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use octopus_bench::{figure_header, human_rate, write_result};
-use octopus_broker::{crc32c, AckLevel, Cluster, FlushPolicy, RecordBatch, TempDir, TopicConfig};
+use octopus_broker::{
+    crc32c, AckLevel, Cluster, FlushPolicy, ProducerStamp, RecordBatch, TempDir, TopicConfig,
+};
 use octopus_types::{AtomicHistogram, Event};
 
 struct Scale {
@@ -321,6 +327,79 @@ fn durable_group_commit(scale: &Scale) -> DurableResult {
     }
 }
 
+struct EosRow {
+    p50_us: f64,
+    p99_us: f64,
+    events_per_sec: f64,
+}
+
+/// Exactly-once overhead probe: the acks=all × rf=3 sweep with and
+/// without producer stamps. Stamped runs pay for pid registration,
+/// the per-batch sequence bookkeeping, and the broker's dedup-window
+/// check + record inside the leader append lock.
+fn eos_overhead(idempotent: bool, scale: &Scale) -> EosRow {
+    let cluster = Cluster::new(3);
+    cluster
+        .create_topic(
+            "eos",
+            TopicConfig::default().with_partitions(1).with_replication(3).with_min_insync(2),
+        )
+        .expect("topic");
+    let hist = Arc::new(AtomicHistogram::new());
+    let payload = vec![0xE0u8; 128];
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for tid in 0..scale.producers {
+        let cluster = cluster.clone();
+        let hist = Arc::clone(&hist);
+        let payload = payload.clone();
+        let batches = scale.batches;
+        let batch_events = scale.batch_events;
+        handles.push(std::thread::spawn(move || {
+            // one pid per thread: dedup windows are per (pid, partition),
+            // so threads must not interleave sequences under a shared pid
+            let identity = if idempotent {
+                Some(cluster.register_producer(&format!("bench-eos-{tid}")).expect("pid"))
+            } else {
+                None
+            };
+            let mut seq = 0u64;
+            for _ in 0..batches {
+                let events: Vec<Event> =
+                    (0..batch_events).map(|_| Event::from_bytes(payload.clone())).collect();
+                let mut batch = RecordBatch::new(events);
+                if let Some(id) = identity {
+                    batch = batch.with_producer(
+                        ProducerStamp { pid: id.pid, epoch: id.epoch, seq },
+                        false,
+                    );
+                    seq += batch_events as u64;
+                }
+                let t = Instant::now();
+                let receipt =
+                    cluster.produce_batch("eos", 0, batch, AckLevel::All).expect("produce");
+                check(!receipt.deduplicated, "healthy run must never hit the dedup window");
+                hist.record(t.elapsed().as_nanos() as u64);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("producer thread");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let total_events = (scale.producers * scale.batches * scale.batch_events) as u64;
+    check(
+        cluster.latest_offset("eos", 0).expect("latest") == total_events,
+        "eos sweep lost acked records",
+    );
+    let snap = hist.snapshot();
+    EosRow {
+        p50_us: snap.median() as f64 / 1e3,
+        p99_us: snap.p99() as f64 / 1e3,
+        events_per_sec: total_events as f64 / elapsed,
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let scale = Scale::new(smoke);
@@ -376,6 +455,22 @@ fn main() {
         dur.batches,
     ));
 
+    let eos_off = eos_overhead(false, &scale);
+    let eos_on = eos_overhead(true, &scale);
+    let eos_overhead_pct = (eos_off.events_per_sec / eos_on.events_per_sec - 1.0) * 100.0;
+    txt.push_str(&format!(
+        "exactly-once produce (acks=all, rf=3): idempotence off {} events/s \
+         (p50 {:.1} us, p99 {:.1} us) vs on {} events/s (p50 {:.1} us, p99 {:.1} us), \
+         throughput overhead {:.1}%\n",
+        human_rate(eos_off.events_per_sec),
+        eos_off.p50_us,
+        eos_off.p99_us,
+        human_rate(eos_on.events_per_sec),
+        eos_on.p50_us,
+        eos_on.p99_us,
+        eos_overhead_pct,
+    ));
+
     print!("{txt}");
     let path = write_result("hotpath.txt", &txt).expect("write hotpath.txt");
     println!("wrote {}", path.display());
@@ -411,6 +506,22 @@ fn main() {
             "flushes": dur.flushes,
             "fsyncs_per_batch": dur.flushes as f64 / dur.batches as f64,
         },
+        "eos": {
+            "acks": "all",
+            "rf": 3,
+            "producers": scale.producers,
+            "idempotent_off": {
+                "p50_us": eos_off.p50_us,
+                "p99_us": eos_off.p99_us,
+                "events_per_sec": eos_off.events_per_sec,
+            },
+            "idempotent_on": {
+                "p50_us": eos_on.p50_us,
+                "p99_us": eos_on.p99_us,
+                "events_per_sec": eos_on.events_per_sec,
+            },
+            "throughput_overhead_pct": eos_overhead_pct,
+        },
     });
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let json_path = root.join("BENCH_hotpath.json");
@@ -424,6 +535,10 @@ fn main() {
     check(
         reread["produce"].as_array().map(|a| a.len()) == Some(4),
         "bench json produce sweep incomplete",
+    );
+    check(
+        reread["eos"]["idempotent_on"]["events_per_sec"].as_f64().unwrap_or(0.0) > 0.0,
+        "bench json eos section incomplete",
     );
     println!("wrote {}", json_path.display());
 }

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
 use octopus_auth::{AclStore, Permission};
@@ -27,12 +27,15 @@ use octopus_zoo::{CreateMode, ZooService};
 
 use crate::broker::{Broker, BrokerId, SharedLog, StoreContext};
 use crate::config::TopicConfig;
+use crate::eos::{
+    DedupTable, DedupVerdict, PidAllocator, ProducerIdentity, TxnCoordinator, TxnIndex, TxnOffset,
+};
 use crate::fault::{DeliveryFault, FaultInjector};
 use crate::group::GroupCoordinator;
 use crate::health::{ClusterHealth, HealthReport, PartitionView};
 use crate::lag::{LagReport, LagTracker};
 use crate::log::LogSnapshot;
-use crate::record::{Record, RecordBatch};
+use crate::record::{ControlMarker, ProducerStamp, Record, RecordBatch};
 use crate::replication::{reply_channel, ReplicationJob, ReplicationPool};
 use crate::store::{FlushPolicy, OffsetCheckpoint, StoreMetrics};
 
@@ -131,6 +134,10 @@ pub struct ProduceReceipt {
     pub count: usize,
     /// False only under `acks=0` when the write was actually lost.
     pub persisted: bool,
+    /// True when the broker recognised the batch as a retry it had
+    /// already appended and acked the original offsets without
+    /// re-appending (idempotent-producer dedup).
+    pub deduplicated: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -191,6 +198,31 @@ struct ClusterInner {
     /// producing thread, so acks=all replication latency is the max
     /// over followers instead of the sum (DESIGN.md §11).
     replication: ReplicationPool,
+    eos: EosState,
+}
+
+/// Exactly-once plumbing (DESIGN.md §12): pid registry, append-time
+/// dedup windows, transactional metadata.
+struct EosState {
+    pids: PidAllocator,
+    dedup: DedupTable,
+    txn_index: TxnIndex,
+    txns: TxnCoordinator,
+    /// Next sequence per `(pid, topic, partition)` for cluster-level
+    /// transactional produces (the SDK producer tracks its own).
+    txn_seqs: Mutex<HashMap<(u64, TopicName, PartitionId), u64>>,
+}
+
+impl Default for EosState {
+    fn default() -> Self {
+        EosState {
+            pids: PidAllocator::default(),
+            dedup: DedupTable::default(),
+            txn_index: TxnIndex::default(),
+            txns: TxnCoordinator::default(),
+            txn_seqs: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 /// A handle to the cluster. Clones share state; safe to use from many
@@ -383,6 +415,8 @@ impl Cluster {
             for b in &pm.replicas {
                 self.inner.brokers[b.0 as usize].drop_partition(name, p as u32);
             }
+            self.inner.eos.dedup.forget_partition(name, p as u32);
+            self.inner.eos.txn_index.forget_partition(name, p as u32);
         }
         if let Some(zoo) = &self.inner.zoo {
             let _ = zoo.delete(&format!("/octopus/topics/{name}"), None);
@@ -583,7 +617,13 @@ impl Cluster {
                 if matches!(e, OctoError::UnknownTopic(_) | OctoError::UnknownPartition(..)) {
                     Err(e) // routing errors are client bugs, always surfaced
                 } else {
-                    Ok(ProduceReceipt { partition, base_offset: 0, count: 0, persisted: false })
+                    Ok(ProduceReceipt {
+                        partition,
+                        base_offset: 0,
+                        count: 0,
+                        persisted: false,
+                        deduplicated: false,
+                    })
                 }
             }
             Err(e) => Err(e),
@@ -657,7 +697,60 @@ impl Cluster {
             // is only a fast-fail.
             let (_, isr, _) = self.leader_of(topic, partition)?;
             let followers: Vec<BrokerId> = isr.iter().copied().filter(|r| *r != leader).collect();
+            // Idempotence check INSIDE the leader lock, so the verdict
+            // and the append are atomic w.r.t. concurrent producers and
+            // resyncs — and replicas inherit dedup for free, because a
+            // deduped batch is never fanned out to the executors.
+            if let Some(stamp) = batch.producer {
+                if batch.control.is_none() {
+                    let registered = self.inner.eos.pids.epoch_of_pid(stamp.pid);
+                    match self.inner.eos.dedup.check(
+                        topic,
+                        partition,
+                        stamp,
+                        batch.len(),
+                        registered,
+                    ) {
+                        DedupVerdict::Fenced => {
+                            return Err(OctoError::Conflict(format!(
+                                "producer {} epoch {} is fenced by a newer registration",
+                                stamp.pid, stamp.epoch
+                            )));
+                        }
+                        DedupVerdict::Duplicate { base_offset, count } => {
+                            // re-ack the original append; nothing new hits
+                            // the log, so no duplicate can ever be fetched
+                            return Ok(ProduceReceipt {
+                                partition,
+                                base_offset,
+                                count,
+                                persisted: true,
+                                deduplicated: true,
+                            });
+                        }
+                        DedupVerdict::Fresh => {}
+                    }
+                }
+            }
             let (base, leader_ticket) = leader_log.append_deferred(batch.as_ref(), now)?;
+            // record the window (and transactional metadata) while the
+            // lock is still held: a retry racing this produce must see it
+            if let Some(stamp) = batch.producer {
+                match batch.control {
+                    Some(marker) => {
+                        self.inner
+                            .eos
+                            .txn_index
+                            .note_marker(topic, partition, stamp.pid, marker, base);
+                    }
+                    None => {
+                        self.inner.eos.dedup.record(topic, partition, stamp, batch.len(), base);
+                        if batch.txn {
+                            self.inner.eos.txn_index.note_data(topic, partition, stamp.pid, base);
+                        }
+                    }
+                }
+            }
             replicate_start = Instant::now();
             replicate_wall = now_ns();
             // Submit while still holding the leader lock: per-broker
@@ -760,7 +853,22 @@ impl Cluster {
         cells.bytes_in.fetch_add(batch.wire_size() as u64, Ordering::Relaxed);
         self.inner.counters.events_in.add(batch.len() as u64);
         self.inner.counters.bytes_in.add(batch.wire_size() as u64);
-        Ok(ProduceReceipt { partition, base_offset: base, count: batch.len(), persisted: true })
+        // Ambiguous-ack injection: everything above fully succeeded (the
+        // append is durable and replicated), but the ack is lost on the
+        // way back. Chaos plans pair this with producer retries — the
+        // canonical duplicate generator idempotence must neutralise.
+        if self.inner.fault.take_ack_drop(leader) {
+            return Err(OctoError::Timeout(
+                "ack dropped after durable append (injected)".into(),
+            ));
+        }
+        Ok(ProduceReceipt {
+            partition,
+            base_offset: base,
+            count: batch.len(),
+            persisted: true,
+            deduplicated: false,
+        })
     }
 
     /// Resolve the partition leader, failing over (bounded) while the
@@ -971,7 +1079,52 @@ impl Cluster {
             })?;
         pm.leader = new_leader;
         pm.isr.retain(|b| self.inner.brokers[b.0 as usize].is_alive());
+        drop(topics);
+        // The dedup/txn caches must describe the NEW leader's log. The
+        // old leader may have appended (and recorded a window for) a
+        // batch this replica never received; keeping that window would
+        // falsely dedup the producer's retry and ack a lost record.
+        self.rebuild_eos_partition(topic, partition, new_leader);
         Ok(())
+    }
+
+    /// Rebuild one partition's EOS caches (dedup windows + txn index)
+    /// from the given leader's log — the only authoritative source.
+    ///
+    /// Holds the leader's log lock across the read *and* the cache
+    /// replacement: produce runs its dedup check and window record
+    /// under that same lock, so a lock-free snapshot here could miss a
+    /// window recorded between the read and the replace — wiping it
+    /// and letting that batch's ambiguous-ack retry append a
+    /// duplicate.
+    fn rebuild_eos_partition(&self, topic: &str, partition: PartitionId, leader: BrokerId) {
+        let Some(log) = self.inner.brokers[leader.0 as usize].log(topic, partition) else {
+            return;
+        };
+        let guard = log.lock();
+        let records = guard.read(guard.start_offset(), usize::MAX).unwrap_or_default();
+        self.inner.eos.dedup.rebuild_partition(topic, partition, &records);
+        self.inner.eos.txn_index.rebuild_partition(topic, partition, &records);
+    }
+
+    /// Rebuild every partition's EOS caches from its current leader
+    /// (cold start).
+    fn rebuild_eos_all(&self) {
+        let parts: Vec<(TopicName, PartitionId, BrokerId)> = {
+            let topics = self.inner.topics.read();
+            topics
+                .iter()
+                .flat_map(|(name, meta)| {
+                    meta.partitions
+                        .iter()
+                        .enumerate()
+                        .map(move |(p, pm)| (name.clone(), p as u32, pm.leader))
+                })
+                .collect()
+        };
+        for (topic, partition, leader) in parts {
+            self.rebuild_eos_partition(&topic, partition, leader);
+        }
     }
 
     // ----- failure injection & recovery -----
@@ -1038,7 +1191,13 @@ impl Cluster {
                 Err(_) => continue, // topic deleted while down
             };
             if leader == id {
-                continue; // still leader (was never failed over)
+                // Still leader (never failed over) — but the recovery
+                // scan above may have torn an unflushed tail off its
+                // log, so the EOS caches must be rebuilt from what
+                // actually survived: a stale window would falsely ack a
+                // retry whose record the power loss destroyed.
+                self.rebuild_eos_partition(&topic, partition, id);
+                continue;
             }
             // Never copy from a dead leader: after a correlated outage
             // (e.g. full-cluster power loss) the recorded leader may be
@@ -1215,6 +1374,141 @@ impl Cluster {
         }
         self.fetch(topic, partition, offset, max_records)
     }
+
+    // ----- exactly-once: pid registration, transactions, read-committed -----
+
+    /// Register (or re-register) a producer identity with the
+    /// controller. Re-registering the same name bumps the epoch,
+    /// fencing the previous holder. Persisted via the zoo when
+    /// attached, and via the offset checkpoint when durable.
+    pub fn register_producer(&self, name: &str) -> OctoResult<ProducerIdentity> {
+        let id = self.inner.eos.pids.register(name, self.inner.zoo.as_ref())?;
+        // durable clusters persist the registry eagerly: an identity
+        // must survive a crash that happens before the next offset
+        // commit would have checkpointed it
+        if let Some(d) = &self.inner.durability {
+            let _ = d.checkpoint.write_now(&self.inner.groups.offsets_snapshot());
+        }
+        Ok(id)
+    }
+
+    /// Begin a transaction for a registered transactional id.
+    pub fn txn_begin(&self, name: &str, id: ProducerIdentity) -> OctoResult<()> {
+        self.inner.eos.txns.begin(name, id.pid, id.epoch, self.inner.zoo.as_ref())
+    }
+
+    /// Produce events into an open transaction. The records are
+    /// invisible to read-committed consumers until the commit marker
+    /// lands.
+    pub fn txn_produce(
+        &self,
+        name: &str,
+        id: ProducerIdentity,
+        topic: &str,
+        partition: PartitionId,
+        events: Vec<Event>,
+    ) -> OctoResult<ProduceReceipt> {
+        if events.is_empty() {
+            return Err(OctoError::Invalid("empty batch".into()));
+        }
+        self.inner.eos.txns.add_partition(name, id.epoch, topic, partition)?;
+        let len = events.len() as u64;
+        let seq = {
+            let mut seqs = self.inner.eos.txn_seqs.lock();
+            let s = seqs.entry((id.pid, topic.to_string(), partition)).or_insert(0);
+            let seq = *s;
+            *s += len;
+            seq
+        };
+        let batch = RecordBatch::new(events)
+            .with_producer(ProducerStamp { pid: id.pid, epoch: id.epoch, seq }, true);
+        self.produce_batch(topic, partition, batch, AckLevel::All)
+    }
+
+    /// Buffer consumed-offset commits inside the open transaction; they
+    /// are applied atomically with the produced records at commit time.
+    pub fn txn_send_offsets(
+        &self,
+        name: &str,
+        id: ProducerIdentity,
+        offsets: Vec<TxnOffset>,
+    ) -> OctoResult<()> {
+        self.inner.eos.txns.add_offsets(name, id.epoch, offsets)
+    }
+
+    /// Commit the open transaction: write commit markers to every
+    /// touched partition, then apply the buffered offset commits.
+    pub fn txn_commit(&self, name: &str, id: ProducerIdentity) -> OctoResult<()> {
+        self.txn_finish(name, id, true)
+    }
+
+    /// Abort the open transaction: write abort markers (read-committed
+    /// consumers drop the records) and discard buffered offsets.
+    pub fn txn_abort(&self, name: &str, id: ProducerIdentity) -> OctoResult<()> {
+        self.txn_finish(name, id, false)
+    }
+
+    fn txn_finish(&self, name: &str, id: ProducerIdentity, commit: bool) -> OctoResult<()> {
+        let (pid, partitions, offsets) =
+            self.inner.eos.txns.prepare(name, id.epoch, commit, self.inner.zoo.as_ref())?;
+        let marker = if commit { ControlMarker::Commit } else { ControlMarker::Abort };
+        for (topic, partition) in &partitions {
+            let batch = RecordBatch::control_batch(pid, id.epoch, marker);
+            self.produce_batch(topic, *partition, batch, AckLevel::All)?;
+        }
+        if commit {
+            for o in &offsets {
+                self.inner.groups.commit_unchecked(&o.group, &o.topic, o.partition, o.offset);
+            }
+        }
+        self.inner.eos.txns.complete(name, id.epoch, self.inner.zoo.as_ref())
+    }
+
+    /// The last stable offset of a partition: the high watermark
+    /// bounded by the earliest still-open transaction.
+    pub fn last_stable_offset(&self, topic: &str, partition: PartitionId) -> OctoResult<Offset> {
+        let hwm = self.latest_offset(topic, partition)?;
+        Ok(self.inner.eos.txn_index.last_stable_offset(topic, partition, hwm))
+    }
+
+    /// Fetch with read-committed isolation: stop at the last stable
+    /// offset, drop control records and aborted transactional records.
+    /// Returns the surviving records plus the next offset to resume
+    /// from, which can run past the last returned record when a whole
+    /// aborted range was skipped.
+    pub fn fetch_committed(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        offset: Offset,
+        max_records: usize,
+    ) -> OctoResult<(Vec<Record>, Offset)> {
+        let hwm = self.latest_offset(topic, partition)?;
+        let lso = self.inner.eos.txn_index.last_stable_offset(topic, partition, hwm);
+        if offset >= lso {
+            return Ok((Vec::new(), offset));
+        }
+        let fetched = self.fetch(topic, partition, offset, max_records)?;
+        let mut out = Vec::with_capacity(fetched.len());
+        let mut next = offset;
+        for r in fetched {
+            if r.offset >= lso {
+                break;
+            }
+            next = next.max(r.offset + 1);
+            let drop = match &r.eos {
+                Some(e) if e.control.is_some() => true,
+                Some(e) if e.txn => {
+                    self.inner.eos.txn_index.is_aborted(topic, partition, e.pid, r.offset)
+                }
+                _ => false,
+            };
+            if !drop {
+                out.push(r);
+            }
+        }
+        Ok((out, next))
+    }
 }
 
 /// Builder for [`Cluster`].
@@ -1370,12 +1664,21 @@ impl ClusterBuilder {
                 spans: self.spans.unwrap_or_else(|| Arc::new(SpanSink::disabled())),
                 durability,
                 replication,
+                eos: EosState::default(),
             }),
         };
         // re-create persisted topics (which recovers their partition
         // logs from disk), then restore committed offsets on top
         cluster.reload_persisted_topics()?;
         cluster.inner.groups.restore_offsets(restored_offsets);
+        if let Some(d) = &cluster.inner.durability {
+            // the checkpoint restores the pid registry (identities and
+            // fencing epochs); dedup windows come from the logs below
+            cluster.inner.eos.pids.restore(d.checkpoint.take_restored_producers());
+            let pids = cluster.inner.eos.pids.clone();
+            d.checkpoint.set_producer_source(move || pids.snapshot());
+        }
+        cluster.rebuild_eos_all();
         Ok(cluster)
     }
 }

@@ -1,0 +1,950 @@
+//! Exactly-once semantics: producer-id allocation, broker-side
+//! sequence-dedup windows, and the transaction coordinator.
+//!
+//! The division of labour (DESIGN.md §12):
+//!
+//! - [`PidAllocator`] hands out `(pid, epoch)` identities. With a
+//!   [`ZooService`] attached the registry lives in znodes (CAS-versioned,
+//!   so it survives controller failover); a local mirror backs the
+//!   offset checkpoint so identities also survive cold restarts with no
+//!   zoo.
+//! - [`DedupTable`] remembers the last few appended sequence windows per
+//!   `(pid, topic, partition)`. The check-and-record runs inside the
+//!   leader's log lock, so replicas inherit dedup for free via the
+//!   replication executors. The table is a cache over the *leader's
+//!   log*: failover, resync, and cold restart all rebuild it from the
+//!   current leader's records, never from a snapshot — a window the new
+//!   leader's log cannot corroborate would falsely ack a lost retry.
+//! - [`TxnCoordinator`] runs the Kafka-style transaction state machine
+//!   (Empty → Ongoing → PrepareCommit/PrepareAbort → Complete) with
+//!   transactional-id fencing, persisting transitions to znodes when a
+//!   zoo is attached.
+//! - [`TxnIndex`] tracks open transactions and aborted ranges per
+//!   partition, giving fetches the last-stable-offset (LSO) and the
+//!   aborted-record filter read-committed consumers rely on.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use octopus_types::{OctoError, OctoResult, Offset, PartitionId, TopicName};
+use octopus_zoo::{CreateMode, ZooService};
+
+use crate::record::{ControlMarker, ProducerStamp, Record};
+use crate::store::{ProducerCheckpoint, ProducerCkptEntry};
+
+/// How many appended sequence windows the broker remembers per
+/// `(pid, partition)` — Kafka's `max.in.flight` dedup horizon.
+pub const DEDUP_WINDOWS: usize = 5;
+
+/// Bounded CAS retries against the zoo registry before giving up.
+const ZOO_CAS_RETRIES: usize = 16;
+
+const ZOO_EOS_ROOT: &str = "/octopus/eos";
+const ZOO_PRODUCERS: &str = "/octopus/eos/producers";
+const ZOO_NEXT_PID: &str = "/octopus/eos/next-pid";
+const ZOO_TXN_ROOT: &str = "/octopus/eos/txn";
+
+/// A controller-assigned producer identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProducerIdentity {
+    /// Producer id, unique per registered name.
+    pub pid: u64,
+    /// Fencing epoch; bumped on every re-registration of the name.
+    pub epoch: u32,
+}
+
+// ---------------------------------------------------------------------------
+// pid allocation
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct PidLocal {
+    next_pid: u64,
+    by_name: HashMap<String, ProducerIdentity>,
+}
+
+/// Controller-side producer-id registry. Clones share state.
+#[derive(Clone, Default)]
+pub struct PidAllocator {
+    inner: Arc<Mutex<PidLocal>>,
+}
+
+impl PidAllocator {
+    /// Register (or re-register) a producer name, returning its
+    /// identity. Re-registering bumps the epoch, fencing any previous
+    /// holder's in-flight batches. With a zoo attached the registry is
+    /// CAS-updated in znodes so it survives controller failover; the
+    /// local mirror feeds the offset checkpoint either way.
+    pub fn register(&self, name: &str, zoo: Option<&ZooService>) -> OctoResult<ProducerIdentity> {
+        let id = match zoo {
+            Some(zoo) => self.register_zoo(name, zoo)?,
+            None => {
+                let mut local = self.inner.lock();
+                match local.by_name.get(name).copied() {
+                    Some(mut id) => {
+                        id.epoch += 1;
+                        id
+                    }
+                    None => {
+                        let pid = local.next_pid;
+                        local.next_pid += 1;
+                        ProducerIdentity { pid, epoch: 0 }
+                    }
+                }
+            }
+        };
+        let mut local = self.inner.lock();
+        local.by_name.insert(name.to_string(), id);
+        local.next_pid = local.next_pid.max(id.pid + 1);
+        Ok(id)
+    }
+
+    fn register_zoo(&self, name: &str, zoo: &ZooService) -> OctoResult<ProducerIdentity> {
+        zoo.ensure_path(ZOO_EOS_ROOT)?;
+        zoo.ensure_path(ZOO_PRODUCERS)?;
+        let node = format!("{ZOO_PRODUCERS}/{name}");
+        for _ in 0..ZOO_CAS_RETRIES {
+            match zoo.get(&node) {
+                Ok((bytes, stat)) => {
+                    let mut id: ProducerIdentity = serde_json::from_slice(&bytes)
+                        .map_err(|e| OctoError::Serde(e.to_string()))?;
+                    id.epoch += 1;
+                    let blob =
+                        serde_json::to_vec(&id).map_err(|e| OctoError::Serde(e.to_string()))?;
+                    match zoo.set(&node, &blob, Some(stat.version)) {
+                        Ok(_) => return Ok(id),
+                        Err(OctoError::Conflict(_)) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(OctoError::NotFound(_)) => {
+                    let pid = self.alloc_pid_zoo(zoo)?;
+                    let id = ProducerIdentity { pid, epoch: 0 };
+                    let blob =
+                        serde_json::to_vec(&id).map_err(|e| OctoError::Serde(e.to_string()))?;
+                    match zoo.create(&node, &blob, CreateMode::Persistent, None) {
+                        Ok(_) => return Ok(id),
+                        Err(OctoError::Conflict(_)) => continue, // raced a concurrent register
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(OctoError::Unavailable(format!(
+            "pid registration for {name:?} lost {ZOO_CAS_RETRIES} CAS races"
+        )))
+    }
+
+    fn alloc_pid_zoo(&self, zoo: &ZooService) -> OctoResult<u64> {
+        for _ in 0..ZOO_CAS_RETRIES {
+            match zoo.get(ZOO_NEXT_PID) {
+                Ok((bytes, stat)) => {
+                    let cur: u64 = std::str::from_utf8(&bytes)
+                        .ok()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| OctoError::Serde("bad next-pid counter".into()))?;
+                    match zoo.set(ZOO_NEXT_PID, (cur + 1).to_string().as_bytes(), Some(stat.version))
+                    {
+                        Ok(_) => return Ok(cur),
+                        Err(OctoError::Conflict(_)) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(OctoError::NotFound(_)) => {
+                    // seed past anything the local mirror restored, so a
+                    // fresh zoo never re-issues a checkpointed pid
+                    let base = self.inner.lock().next_pid;
+                    match zoo.create(
+                        ZOO_NEXT_PID,
+                        (base + 1).to_string().as_bytes(),
+                        CreateMode::Persistent,
+                        None,
+                    ) {
+                        Ok(_) => return Ok(base),
+                        Err(OctoError::Conflict(_)) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(OctoError::Unavailable(format!(
+            "pid counter lost {ZOO_CAS_RETRIES} CAS races"
+        )))
+    }
+
+    /// The newest epoch registered for a pid, if known.
+    pub fn epoch_of_pid(&self, pid: u64) -> Option<u32> {
+        self.inner.lock().by_name.values().find(|id| id.pid == pid).map(|id| id.epoch)
+    }
+
+    /// Snapshot the registry for the offset checkpoint.
+    pub fn snapshot(&self) -> ProducerCheckpoint {
+        let local = self.inner.lock();
+        let mut producers: Vec<ProducerCkptEntry> = local
+            .by_name
+            .iter()
+            .map(|(name, id)| ProducerCkptEntry {
+                name: name.clone(),
+                pid: id.pid,
+                epoch: id.epoch,
+            })
+            .collect();
+        producers.sort_by_key(|a| a.pid);
+        ProducerCheckpoint { next_pid: local.next_pid, producers }
+    }
+
+    /// Restore a checkpointed registry (cold restart). Existing entries
+    /// win: a live zoo registry is newer than any checkpoint.
+    pub fn restore(&self, ckpt: ProducerCheckpoint) {
+        let mut local = self.inner.lock();
+        local.next_pid = local.next_pid.max(ckpt.next_pid);
+        for entry in ckpt.producers {
+            local.next_pid = local.next_pid.max(entry.pid + 1);
+            local
+                .by_name
+                .entry(entry.name)
+                .or_insert(ProducerIdentity { pid: entry.pid, epoch: entry.epoch });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// dedup windows
+// ---------------------------------------------------------------------------
+
+/// Verdict of the append-time dedup check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DedupVerdict {
+    /// Never seen: append it.
+    Fresh,
+    /// Exact re-send of an already-appended batch: ack without
+    /// appending, pointing at where the original landed.
+    Duplicate {
+        /// Base offset of the original append.
+        base_offset: Offset,
+        /// Record count of the original append.
+        count: usize,
+    },
+    /// The stamp's epoch is older than the newest registered/observed
+    /// epoch for the pid: a zombie producer, rejected outright.
+    Fenced,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SeqWindow {
+    epoch: u32,
+    first_seq: u64,
+    count: u64,
+    base_offset: Offset,
+}
+
+#[derive(Default)]
+struct PartitionDedup {
+    windows: HashMap<u64, VecDeque<SeqWindow>>,
+}
+
+/// Last-few-sequence-windows dedup state per partition. A cache over
+/// the current leader's log: see the module docs for the rebuild rules.
+#[derive(Clone, Default)]
+pub struct DedupTable {
+    inner: Arc<Mutex<HashMap<(TopicName, PartitionId), PartitionDedup>>>,
+}
+
+impl DedupTable {
+    /// Append-time check. `registered_epoch` is the controller's newest
+    /// epoch for the pid, when known — anything older is fenced even if
+    /// this partition never saw the pid.
+    pub fn check(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        stamp: ProducerStamp,
+        len: usize,
+        registered_epoch: Option<u32>,
+    ) -> DedupVerdict {
+        if let Some(epoch) = registered_epoch {
+            if stamp.epoch < epoch {
+                return DedupVerdict::Fenced;
+            }
+        }
+        let inner = self.inner.lock();
+        let Some(windows) = inner
+            .get(&(topic.to_string(), partition))
+            .and_then(|p| p.windows.get(&stamp.pid))
+        else {
+            return DedupVerdict::Fresh;
+        };
+        if windows.iter().any(|w| w.epoch > stamp.epoch) {
+            return DedupVerdict::Fenced;
+        }
+        for w in windows {
+            // Containment, not equality: a rebuild coalesces contiguous
+            // appends into one window (batch boundaries are not
+            // recoverable from per-record stamps), so a retried batch
+            // matches as a sub-range. The records sit at the same
+            // relative offsets, so the original base is recoverable.
+            if w.epoch == stamp.epoch
+                && stamp.seq >= w.first_seq
+                && stamp.seq + len as u64 <= w.first_seq + w.count
+            {
+                return DedupVerdict::Duplicate {
+                    base_offset: w.base_offset + (stamp.seq - w.first_seq),
+                    count: len,
+                };
+            }
+        }
+        DedupVerdict::Fresh
+    }
+
+    /// Record an appended batch's window (called under the leader's log
+    /// lock, right after the append). A newer epoch evicts the old
+    /// epoch's windows: sequences restart at 0 per epoch.
+    pub fn record(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        stamp: ProducerStamp,
+        len: usize,
+        base_offset: Offset,
+    ) {
+        let mut inner = self.inner.lock();
+        let windows = inner
+            .entry((topic.to_string(), partition))
+            .or_default()
+            .windows
+            .entry(stamp.pid)
+            .or_default();
+        if windows.iter().any(|w| w.epoch < stamp.epoch) {
+            windows.retain(|w| w.epoch >= stamp.epoch);
+        }
+        windows.push_back(SeqWindow {
+            epoch: stamp.epoch,
+            first_seq: stamp.seq,
+            count: len as u64,
+            base_offset,
+        });
+        while windows.len() > DEDUP_WINDOWS {
+            windows.pop_front();
+        }
+    }
+
+    /// Drop and rebuild one partition's windows from the current
+    /// leader's records (failover / resync / cold restart).
+    pub fn rebuild_partition<'a>(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        records: impl IntoIterator<Item = &'a Record>,
+    ) {
+        let mut fresh = PartitionDedup::default();
+        // coalesce contiguous per-record stamps back into append windows
+        let mut run: Option<(ProducerStamp, u64, Offset, Offset)> = None;
+        let flush = |r: &mut Option<(ProducerStamp, u64, Offset, Offset)>,
+                         dedup: &mut PartitionDedup| {
+            if let Some((stamp, count, base, _)) = r.take() {
+                let windows = dedup.windows.entry(stamp.pid).or_default();
+                if windows.iter().any(|w| w.epoch < stamp.epoch) {
+                    windows.retain(|w| w.epoch >= stamp.epoch);
+                }
+                windows.push_back(SeqWindow {
+                    epoch: stamp.epoch,
+                    first_seq: stamp.seq,
+                    count,
+                    base_offset: base,
+                });
+                while windows.len() > DEDUP_WINDOWS {
+                    windows.pop_front();
+                }
+            }
+        };
+        for rec in records {
+            let Some(eos) = &rec.eos else {
+                flush(&mut run, &mut fresh);
+                continue;
+            };
+            if eos.control.is_some() {
+                flush(&mut run, &mut fresh);
+                continue;
+            }
+            match &mut run {
+                Some((stamp, count, _, last))
+                    if stamp.pid == eos.pid
+                        && stamp.epoch == eos.epoch
+                        && eos.seq == stamp.seq + *count
+                        && rec.offset == *last + 1 =>
+                {
+                    *count += 1;
+                    *last = rec.offset;
+                }
+                _ => {
+                    flush(&mut run, &mut fresh);
+                    run = Some((
+                        ProducerStamp { pid: eos.pid, epoch: eos.epoch, seq: eos.seq },
+                        1,
+                        rec.offset,
+                        rec.offset,
+                    ));
+                }
+            }
+        }
+        flush(&mut run, &mut fresh);
+        self.inner.lock().insert((topic.to_string(), partition), fresh);
+    }
+
+    /// Forget one partition's windows (the partition is gone).
+    pub fn forget_partition(&self, topic: &str, partition: PartitionId) {
+        self.inner.lock().remove(&(topic.to_string(), partition));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// transaction index (per-partition LSO + aborted ranges)
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct PartitionTxn {
+    /// First offset of each open transaction, by pid.
+    open: HashMap<u64, Offset>,
+    /// Aborted `[start, end)` ranges per pid; a record is dropped only
+    /// if its own pid matches (interleaved committed records survive).
+    aborted: Vec<(u64, Offset, Offset)>,
+}
+
+/// Per-partition transactional metadata: which transactions are open
+/// (bounding the LSO) and which offset ranges were aborted.
+#[derive(Clone, Default)]
+pub struct TxnIndex {
+    inner: Arc<Mutex<HashMap<(TopicName, PartitionId), PartitionTxn>>>,
+}
+
+impl TxnIndex {
+    /// A transactional data batch landed at `base_offset`.
+    pub fn note_data(&self, topic: &str, partition: PartitionId, pid: u64, base_offset: Offset) {
+        let mut inner = self.inner.lock();
+        inner
+            .entry((topic.to_string(), partition))
+            .or_default()
+            .open
+            .entry(pid)
+            .or_insert(base_offset);
+    }
+
+    /// A control marker landed at `offset`, resolving pid's transaction
+    /// on this partition.
+    pub fn note_marker(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        pid: u64,
+        marker: ControlMarker,
+        offset: Offset,
+    ) {
+        let mut inner = self.inner.lock();
+        let p = inner.entry((topic.to_string(), partition)).or_default();
+        if let Some(first) = p.open.remove(&pid) {
+            if marker == ControlMarker::Abort {
+                p.aborted.push((pid, first, offset));
+            }
+        }
+    }
+
+    /// Last stable offset: the high watermark bounded by the earliest
+    /// still-open transaction. Read-committed fetches stop here.
+    pub fn last_stable_offset(&self, topic: &str, partition: PartitionId, hwm: Offset) -> Offset {
+        let inner = self.inner.lock();
+        inner
+            .get(&(topic.to_string(), partition))
+            .and_then(|p| p.open.values().min().copied())
+            .map_or(hwm, |first| first.min(hwm))
+    }
+
+    /// Whether a transactional record at `offset` from `pid` was
+    /// aborted.
+    pub fn is_aborted(&self, topic: &str, partition: PartitionId, pid: u64, offset: Offset) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .get(&(topic.to_string(), partition))
+            .map(|p| {
+                p.aborted
+                    .iter()
+                    .any(|(apid, start, end)| *apid == pid && offset >= *start && offset < *end)
+            })
+            .unwrap_or(false)
+    }
+
+    /// Drop and rebuild one partition's transactional metadata from the
+    /// current leader's records.
+    pub fn rebuild_partition<'a>(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        records: impl IntoIterator<Item = &'a Record>,
+    ) {
+        let mut fresh = PartitionTxn::default();
+        for rec in records {
+            let Some(eos) = &rec.eos else { continue };
+            match eos.control {
+                Some(marker) => {
+                    if let Some(first) = fresh.open.remove(&eos.pid) {
+                        if marker == ControlMarker::Abort {
+                            fresh.aborted.push((eos.pid, first, rec.offset));
+                        }
+                    }
+                }
+                None if eos.txn => {
+                    fresh.open.entry(eos.pid).or_insert(rec.offset);
+                }
+                None => {}
+            }
+        }
+        self.inner.lock().insert((topic.to_string(), partition), fresh);
+    }
+
+    /// Forget one partition's metadata.
+    pub fn forget_partition(&self, topic: &str, partition: PartitionId) {
+        self.inner.lock().remove(&(topic.to_string(), partition));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// transaction coordinator
+// ---------------------------------------------------------------------------
+
+/// Transaction state machine states (Kafka's, minus timeouts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxnState {
+    /// Registered, no transaction open.
+    Empty,
+    /// `begin` ran; produces and offset-sends accumulate.
+    Ongoing,
+    /// `commit` ran; markers are being written.
+    PrepareCommit,
+    /// `abort` ran; markers are being written.
+    PrepareAbort,
+    /// Markers written, offsets applied (commit) or dropped (abort).
+    Complete,
+}
+
+/// One buffered consumed-offset commit riding in a transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnOffset {
+    /// Consumer group the offset belongs to.
+    pub group: String,
+    /// Topic.
+    pub topic: TopicName,
+    /// Partition.
+    pub partition: PartitionId,
+    /// Next offset the group will consume.
+    pub offset: Offset,
+}
+
+/// What a prepared transaction hands back for resolution: the pid,
+/// the touched partitions (marker targets), and the buffered offsets
+/// (applied on commit, dropped on abort).
+pub type PreparedTxn = (u64, Vec<(TopicName, PartitionId)>, Vec<TxnOffset>);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TxnRecord {
+    pid: u64,
+    epoch: u32,
+    state: TxnState,
+    partitions: Vec<(TopicName, PartitionId)>,
+    offsets: Vec<TxnOffset>,
+}
+
+/// Coordinator for transactional producers. State transitions persist
+/// to `/octopus/eos/txn/<id>` znodes when a zoo is attached, so a new
+/// controller can observe in-flight transactions after failover.
+#[derive(Clone, Default)]
+pub struct TxnCoordinator {
+    inner: Arc<Mutex<HashMap<String, TxnRecord>>>,
+}
+
+impl TxnCoordinator {
+    /// Begin a transaction for `name` under `(pid, epoch)`. Fences
+    /// stale epochs; rejects double-begins.
+    pub fn begin(
+        &self,
+        name: &str,
+        pid: u64,
+        epoch: u32,
+        zoo: Option<&ZooService>,
+    ) -> OctoResult<()> {
+        let record = {
+            let mut inner = self.inner.lock();
+            let entry = inner.entry(name.to_string()).or_insert(TxnRecord {
+                pid,
+                epoch,
+                state: TxnState::Empty,
+                partitions: Vec::new(),
+                offsets: Vec::new(),
+            });
+            if epoch < entry.epoch {
+                return Err(OctoError::Conflict(format!(
+                    "transactional id {name:?} fenced: epoch {epoch} < {}",
+                    entry.epoch
+                )));
+            }
+            if entry.state == TxnState::Ongoing && epoch == entry.epoch {
+                return Err(OctoError::Conflict(format!(
+                    "transactional id {name:?} already has an open transaction"
+                )));
+            }
+            entry.pid = pid;
+            entry.epoch = epoch;
+            entry.state = TxnState::Ongoing;
+            entry.partitions.clear();
+            entry.offsets.clear();
+            entry.clone()
+        };
+        self.persist(name, &record, zoo);
+        Ok(())
+    }
+
+    /// Add a partition to the open transaction.
+    pub fn add_partition(
+        &self,
+        name: &str,
+        epoch: u32,
+        topic: &str,
+        partition: PartitionId,
+    ) -> OctoResult<()> {
+        let mut inner = self.inner.lock();
+        let entry = self_check(&mut inner, name, epoch)?;
+        let key = (topic.to_string(), partition);
+        if !entry.partitions.contains(&key) {
+            entry.partitions.push(key);
+        }
+        Ok(())
+    }
+
+    /// Buffer a consumed-offset commit inside the open transaction.
+    pub fn add_offsets(&self, name: &str, epoch: u32, offsets: Vec<TxnOffset>) -> OctoResult<()> {
+        let mut inner = self.inner.lock();
+        let entry = self_check(&mut inner, name, epoch)?;
+        entry.offsets.extend(offsets);
+        Ok(())
+    }
+
+    /// Move the open transaction to PrepareCommit/PrepareAbort and hand
+    /// back what must be resolved: the touched partitions and (for
+    /// commits) the buffered offsets.
+    pub fn prepare(
+        &self,
+        name: &str,
+        epoch: u32,
+        commit: bool,
+        zoo: Option<&ZooService>,
+    ) -> OctoResult<PreparedTxn> {
+        let target = if commit { TxnState::PrepareCommit } else { TxnState::PrepareAbort };
+        let (record, out) = {
+            let mut inner = self.inner.lock();
+            let entry = inner
+                .get_mut(name)
+                .ok_or_else(|| OctoError::NotFound(format!("transactional id {name:?}")))?;
+            if epoch < entry.epoch {
+                return Err(OctoError::Conflict(format!(
+                    "transactional id {name:?} fenced: epoch {epoch} < {}",
+                    entry.epoch
+                )));
+            }
+            // Ongoing starts the resolution; a matching Prepare state is
+            // a retry after a failed marker write and may run again.
+            if entry.state != TxnState::Ongoing && entry.state != target {
+                return Err(OctoError::Invalid(format!(
+                    "transactional id {name:?} has no open transaction (state {:?})",
+                    entry.state
+                )));
+            }
+            entry.state = target;
+            let out = (entry.pid, entry.partitions.clone(), entry.offsets.clone());
+            (entry.clone(), out)
+        };
+        self.persist(name, &record, zoo);
+        Ok(out)
+    }
+
+    /// Markers are written (and offsets applied): transaction complete.
+    pub fn complete(&self, name: &str, epoch: u32, zoo: Option<&ZooService>) -> OctoResult<()> {
+        let record = {
+            let mut inner = self.inner.lock();
+            let entry = inner
+                .get_mut(name)
+                .ok_or_else(|| OctoError::NotFound(format!("transactional id {name:?}")))?;
+            if epoch < entry.epoch {
+                return Err(OctoError::Conflict(format!("transactional id {name:?} fenced")));
+            }
+            entry.state = TxnState::Complete;
+            entry.partitions.clear();
+            entry.offsets.clear();
+            entry.clone()
+        };
+        self.persist(name, &record, zoo);
+        Ok(())
+    }
+
+    /// Current state of a transactional id, if known.
+    pub fn state(&self, name: &str) -> Option<TxnState> {
+        self.inner.lock().get(name).map(|r| r.state)
+    }
+
+    fn persist(&self, name: &str, record: &TxnRecord, zoo: Option<&ZooService>) {
+        let Some(zoo) = zoo else { return };
+        // best-effort durable record: the in-process map is authoritative
+        // for this incarnation; the znode is what a successor reads
+        let Ok(blob) = serde_json::to_vec(record) else { return };
+        let _ = zoo.ensure_path(ZOO_EOS_ROOT);
+        let _ = zoo.ensure_path(ZOO_TXN_ROOT);
+        let node = format!("{ZOO_TXN_ROOT}/{name}");
+        match zoo.set(&node, &blob, None) {
+            Ok(_) => {}
+            Err(_) => {
+                let _ = zoo.create(&node, &blob, CreateMode::Persistent, None);
+            }
+        }
+    }
+}
+
+fn self_check<'a>(
+    inner: &'a mut HashMap<String, TxnRecord>,
+    name: &str,
+    epoch: u32,
+) -> OctoResult<&'a mut TxnRecord> {
+    let entry = inner
+        .get_mut(name)
+        .ok_or_else(|| OctoError::NotFound(format!("transactional id {name:?}")))?;
+    if epoch < entry.epoch {
+        return Err(OctoError::Conflict(format!(
+            "transactional id {name:?} fenced: epoch {epoch} < {}",
+            entry.epoch
+        )));
+    }
+    if entry.state != TxnState::Ongoing {
+        return Err(OctoError::Invalid(format!(
+            "transactional id {name:?} has no open transaction (state {:?})",
+            entry.state
+        )));
+    }
+    Ok(entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordEos;
+    use bytes::Bytes;
+    use octopus_types::Timestamp;
+
+    fn stamped(offset: Offset, pid: u64, epoch: u32, seq: u64, txn: bool) -> Record {
+        let mut r = Record {
+            offset,
+            append_time: Timestamp::from_millis(0),
+            key: None,
+            value: Bytes::from_static(b"v"),
+            headers: Vec::new(),
+            producer_time: Timestamp::from_millis(0),
+            crc: 0,
+            eos: Some(RecordEos { pid, epoch, seq, txn, control: None }),
+        };
+        r.crc = r.compute_crc();
+        r
+    }
+
+    fn marker(offset: Offset, pid: u64, epoch: u32, m: ControlMarker) -> Record {
+        let mut r = stamped(offset, pid, epoch, 0, true);
+        r.eos = Some(RecordEos { pid, epoch, seq: 0, txn: true, control: Some(m) });
+        r
+    }
+
+    #[test]
+    fn local_allocator_assigns_and_fences() {
+        let pids = PidAllocator::default();
+        let a = pids.register("a", None).unwrap();
+        let b = pids.register("b", None).unwrap();
+        assert_ne!(a.pid, b.pid);
+        assert_eq!(a.epoch, 0);
+        let a2 = pids.register("a", None).unwrap();
+        assert_eq!(a2.pid, a.pid);
+        assert_eq!(a2.epoch, a.epoch + 1);
+        assert_eq!(pids.epoch_of_pid(a.pid), Some(a2.epoch));
+    }
+
+    #[test]
+    fn allocator_snapshot_restore_roundtrip() {
+        let pids = PidAllocator::default();
+        pids.register("a", None).unwrap();
+        pids.register("b", None).unwrap();
+        pids.register("b", None).unwrap(); // epoch 1
+        let snap = pids.snapshot();
+        let restored = PidAllocator::default();
+        restored.restore(snap.clone());
+        assert_eq!(restored.snapshot(), snap);
+        // a fresh name after restore never reuses a pid
+        let c = restored.register("c", None).unwrap();
+        assert!(snap.producers.iter().all(|p| p.pid != c.pid));
+    }
+
+    #[test]
+    fn dedup_exact_resend_is_duplicate_and_zombie_is_fenced() {
+        let dedup = DedupTable::default();
+        let stamp = ProducerStamp { pid: 1, epoch: 1, seq: 10 };
+        assert_eq!(dedup.check("t", 0, stamp, 3, Some(1)), DedupVerdict::Fresh);
+        dedup.record("t", 0, stamp, 3, 40);
+        assert_eq!(
+            dedup.check("t", 0, stamp, 3, Some(1)),
+            DedupVerdict::Duplicate { base_offset: 40, count: 3 }
+        );
+        // a different batch from the same producer is fresh
+        let next = ProducerStamp { pid: 1, epoch: 1, seq: 13 };
+        assert_eq!(dedup.check("t", 0, next, 1, Some(1)), DedupVerdict::Fresh);
+        // a zombie with an older epoch is fenced, by registry or window
+        let zombie = ProducerStamp { pid: 1, epoch: 0, seq: 10 };
+        assert_eq!(dedup.check("t", 0, zombie, 3, Some(1)), DedupVerdict::Fenced);
+        assert_eq!(dedup.check("t", 0, zombie, 3, None), DedupVerdict::Fenced);
+    }
+
+    #[test]
+    fn dedup_window_is_bounded() {
+        let dedup = DedupTable::default();
+        for i in 0..10u64 {
+            dedup.record("t", 0, ProducerStamp { pid: 7, epoch: 0, seq: i * 2 }, 2, i * 2);
+        }
+        // oldest windows evicted: only the last DEDUP_WINDOWS survive
+        let old = ProducerStamp { pid: 7, epoch: 0, seq: 0 };
+        assert_eq!(dedup.check("t", 0, old, 2, None), DedupVerdict::Fresh);
+        let recent = ProducerStamp { pid: 7, epoch: 0, seq: 18 };
+        assert!(matches!(dedup.check("t", 0, recent, 2, None), DedupVerdict::Duplicate { .. }));
+    }
+
+    #[test]
+    fn dedup_rebuild_coalesces_batches_from_records() {
+        let dedup = DedupTable::default();
+        // two batches from pid 1 (seq 0..3, then 3..5) and one from pid 2
+        let records = vec![
+            stamped(0, 1, 0, 0, false),
+            stamped(1, 1, 0, 1, false),
+            stamped(2, 1, 0, 2, false),
+            stamped(3, 2, 0, 0, false),
+            stamped(4, 1, 0, 3, false),
+            stamped(5, 1, 0, 4, false),
+        ];
+        dedup.rebuild_partition("t", 0, &records);
+        assert_eq!(
+            dedup.check("t", 0, ProducerStamp { pid: 1, epoch: 0, seq: 0 }, 3, None),
+            DedupVerdict::Duplicate { base_offset: 0, count: 3 }
+        );
+        assert_eq!(
+            dedup.check("t", 0, ProducerStamp { pid: 1, epoch: 0, seq: 3 }, 2, None),
+            DedupVerdict::Duplicate { base_offset: 4, count: 2 }
+        );
+        assert_eq!(
+            dedup.check("t", 0, ProducerStamp { pid: 2, epoch: 0, seq: 0 }, 1, None),
+            DedupVerdict::Duplicate { base_offset: 3, count: 1 }
+        );
+        // rebuild replaces: a window recorded before the rebuild is gone
+        dedup.record("t", 0, ProducerStamp { pid: 9, epoch: 0, seq: 0 }, 1, 99);
+        dedup.rebuild_partition("t", 0, &records[..1]);
+        assert_eq!(
+            dedup.check("t", 0, ProducerStamp { pid: 9, epoch: 0, seq: 0 }, 1, None),
+            DedupVerdict::Fresh
+        );
+    }
+
+    #[test]
+    fn retry_of_one_batch_matches_inside_a_coalesced_window() {
+        // Single-record batches at contiguous sequences coalesce into
+        // ONE window on rebuild — batch boundaries are not recoverable
+        // from per-record stamps. A retry of any original batch must
+        // still dedup as a sub-range of that window (exact-match
+        // semantics here let a retried tail append a duplicate after a
+        // mid-stream rebuild; caught by the eos_smoke chaos drill).
+        let dedup = DedupTable::default();
+        let records: Vec<Record> =
+            (0..27u64).map(|i| stamped(i, 0, 0, i, false)).collect();
+        dedup.rebuild_partition("t", 0, &records);
+        // the ambiguous-acked tail batch retries as (seq 26, len 1)
+        assert_eq!(
+            dedup.check("t", 0, ProducerStamp { pid: 0, epoch: 0, seq: 26 }, 1, None),
+            DedupVerdict::Duplicate { base_offset: 26, count: 1 }
+        );
+        // a mid-window batch re-acks at its own offset, not the window's
+        assert_eq!(
+            dedup.check("t", 0, ProducerStamp { pid: 0, epoch: 0, seq: 10 }, 4, None),
+            DedupVerdict::Duplicate { base_offset: 10, count: 4 }
+        );
+        // a batch running past the window end is NOT contained: the
+        // suffix was never appended, so the whole batch must re-append
+        assert_eq!(
+            dedup.check("t", 0, ProducerStamp { pid: 0, epoch: 0, seq: 26 }, 2, None),
+            DedupVerdict::Fresh
+        );
+    }
+
+    #[test]
+    fn txn_index_lso_and_aborted_ranges() {
+        let idx = TxnIndex::default();
+        idx.note_data("t", 0, 1, 5);
+        idx.note_data("t", 0, 2, 7);
+        assert_eq!(idx.last_stable_offset("t", 0, 10), 5);
+        idx.note_marker("t", 0, 1, ControlMarker::Abort, 8);
+        assert_eq!(idx.last_stable_offset("t", 0, 10), 7);
+        idx.note_marker("t", 0, 2, ControlMarker::Commit, 9);
+        assert_eq!(idx.last_stable_offset("t", 0, 10), 10);
+        // pid 1's records in [5, 8) are aborted; pid 2's interleaved
+        // committed records are not
+        assert!(idx.is_aborted("t", 0, 1, 5));
+        assert!(idx.is_aborted("t", 0, 1, 6));
+        assert!(!idx.is_aborted("t", 0, 1, 8));
+        assert!(!idx.is_aborted("t", 0, 2, 7));
+    }
+
+    #[test]
+    fn txn_index_rebuilds_from_records() {
+        let idx = TxnIndex::default();
+        let records = vec![
+            stamped(0, 1, 0, 0, true),
+            stamped(1, 2, 0, 0, true),
+            marker(2, 1, 0, ControlMarker::Abort),
+            stamped(3, 2, 0, 1, true),
+        ];
+        idx.rebuild_partition("t", 0, &records);
+        assert!(idx.is_aborted("t", 0, 1, 0));
+        assert!(!idx.is_aborted("t", 0, 2, 1));
+        // pid 2 still open: LSO pinned at its first offset
+        assert_eq!(idx.last_stable_offset("t", 0, 4), 1);
+    }
+
+    #[test]
+    fn coordinator_state_machine_and_fencing() {
+        let txns = TxnCoordinator::default();
+        txns.begin("app", 1, 1, None).unwrap();
+        assert_eq!(txns.state("app"), Some(TxnState::Ongoing));
+        txns.add_partition("app", 1, "t", 0).unwrap();
+        txns.add_offsets(
+            "app",
+            1,
+            vec![TxnOffset { group: "g".into(), topic: "t".into(), partition: 0, offset: 5 }],
+        )
+        .unwrap();
+        // double-begin at the same epoch is a conflict
+        assert!(matches!(txns.begin("app", 1, 1, None), Err(OctoError::Conflict(_))));
+        // a zombie at an older epoch is fenced everywhere
+        assert!(matches!(txns.add_partition("app", 0, "t", 0), Err(OctoError::Conflict(_))));
+        let (pid, parts, offsets) = txns.prepare("app", 1, true, None).unwrap();
+        assert_eq!(pid, 1);
+        assert_eq!(parts, vec![("t".to_string(), 0)]);
+        assert_eq!(offsets.len(), 1);
+        txns.complete("app", 1, None).unwrap();
+        assert_eq!(txns.state("app"), Some(TxnState::Complete));
+        // a new epoch (re-registration) can begin again
+        txns.begin("app", 1, 2, None).unwrap();
+        let (_, parts, offsets) = txns.prepare("app", 2, false, None).unwrap();
+        assert!(parts.is_empty() && offsets.is_empty());
+        txns.complete("app", 2, None).unwrap();
+    }
+}

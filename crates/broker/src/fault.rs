@@ -46,6 +46,9 @@ struct FaultState {
     slow: HashMap<BrokerId, f64>,
     /// Queued one-shot faults on each broker's client delivery path.
     delivery: HashMap<BrokerId, VecDeque<DeliveryFault>>,
+    /// Pending ambiguous-ack injections per broker: the next `n`
+    /// produces durably append, then the ack is dropped on the way back.
+    ack_drops: HashMap<BrokerId, u32>,
 }
 
 /// Shared, thread-safe fault switchboard. Clones share state.
@@ -67,7 +70,10 @@ impl FaultInjector {
 
     fn rearm(&self) {
         let s = self.state.lock();
-        let active = !s.severed.is_empty() || !s.slow.is_empty() || !s.delivery.is_empty();
+        let active = !s.severed.is_empty()
+            || !s.slow.is_empty()
+            || !s.delivery.is_empty()
+            || !s.ack_drops.is_empty();
         self.armed.store(active, Ordering::Release);
     }
 
@@ -165,12 +171,50 @@ impl FaultInjector {
         fault
     }
 
+    // ----- ambiguous acks (produce path) -----
+
+    /// Arm `count` ambiguous acks on a broker: each affected produce
+    /// appends durably (and replicates) but the client sees a timeout —
+    /// the canonical duplicate generator an idempotent producer must
+    /// survive.
+    pub fn inject_ack_drop(&self, broker: BrokerId, count: u32) {
+        if count == 0 {
+            return;
+        }
+        let mut s = self.state.lock();
+        *s.ack_drops.entry(broker).or_insert(0) += count;
+        drop(s);
+        self.rearm();
+    }
+
+    /// Consume one pending ack drop for a broker. `true` means the
+    /// produce path must swallow this ack after the durable append.
+    pub fn take_ack_drop(&self, broker: BrokerId) -> bool {
+        if !self.is_armed() {
+            return false;
+        }
+        let mut s = self.state.lock();
+        match s.ack_drops.get_mut(&broker) {
+            Some(n) => {
+                *n -= 1;
+                if *n == 0 {
+                    s.ack_drops.remove(&broker);
+                }
+                drop(s);
+                self.rearm();
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Clear every active fault (the harness's final heal step).
     pub fn clear_all(&self) {
         let mut s = self.state.lock();
         s.severed.clear();
         s.slow.clear();
         s.delivery.clear();
+        s.ack_drops.clear();
         drop(s);
         self.rearm();
     }
@@ -237,13 +281,28 @@ mod tests {
     }
 
     #[test]
+    fn ack_drops_are_counted_and_one_shot() {
+        let f = FaultInjector::new();
+        assert!(!f.take_ack_drop(BrokerId(0)));
+        f.inject_ack_drop(BrokerId(0), 2);
+        assert!(f.is_armed());
+        assert!(f.take_ack_drop(BrokerId(0)));
+        assert!(!f.take_ack_drop(BrokerId(1)), "scoped to the armed broker");
+        assert!(f.take_ack_drop(BrokerId(0)));
+        assert!(!f.take_ack_drop(BrokerId(0)));
+        assert!(!f.is_armed(), "consuming the last drop disarms");
+    }
+
+    #[test]
     fn clear_all_resets_everything() {
         let f = FaultInjector::new();
         f.sever_link(BrokerId(0), BrokerId(1));
         f.set_slow(BrokerId(1), 5.0);
         f.inject_delivery(BrokerId(0), DeliveryFault::Delay { millis: 5 }, 3);
+        f.inject_ack_drop(BrokerId(2), 4);
         f.clear_all();
         assert!(!f.is_armed());
         assert_eq!(f.take_delivery_fault(BrokerId(0)), None);
+        assert!(!f.take_ack_drop(BrokerId(2)));
     }
 }

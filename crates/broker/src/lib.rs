@@ -22,6 +22,9 @@
 //!   offset checkpoints.
 //! - [`mirror`]: MirrorMaker-style cross-cluster topic replication
 //!   (§IV-F geo-replication).
+//! - [`eos`]: exactly-once semantics — producer-id allocation with
+//!   epoch fencing, append-time sequence dedup, and the transaction
+//!   coordinator behind read-committed consumption.
 //!
 //! Threading model: brokers are passive state guarded by per-partition
 //! locks; clients drive them from any number of threads. This mirrors
@@ -31,6 +34,7 @@
 pub mod broker;
 pub mod cluster;
 pub mod config;
+pub mod eos;
 pub mod fault;
 pub mod group;
 pub mod health;
@@ -45,6 +49,10 @@ pub use broker::{Broker, BrokerId, LogHandle, SharedLog, StoreContext};
 pub use cluster::{
     AckLevel, Cluster, DurabilityInfo, PowerLossReport, ProduceReceipt, TopicStats,
 };
+pub use eos::{
+    DedupTable, DedupVerdict, PidAllocator, ProducerIdentity, TxnCoordinator, TxnIndex, TxnOffset,
+    TxnState, DEDUP_WINDOWS,
+};
 pub use fault::{DeliveryFault, FaultInjector};
 pub use config::{CleanupPolicy, RetentionConfig, TopicConfig};
 pub use group::{GroupCoordinator, GroupMember, MemberAssignment};
@@ -55,7 +63,8 @@ pub use health::{
 pub use lag::{LagReport, LagTracker, PartitionLag};
 pub use log::{LogSnapshot, PartitionLog};
 pub use mirror::{MirrorHandle, MirrorMaker};
-pub use record::{crc32c, Crc32c, Record, RecordBatch};
+pub use record::{crc32c, ControlMarker, Crc32c, ProducerStamp, Record, RecordBatch, RecordEos};
 pub use store::{
-    FlushPolicy, OffsetCheckpoint, OffsetEntry, RecoveryStats, StoreMetrics, SyncTicket, TempDir,
+    FlushPolicy, OffsetCheckpoint, OffsetEntry, ProducerCheckpoint, ProducerCkptEntry,
+    RecoveryStats, StoreMetrics, SyncTicket, TempDir,
 };

@@ -509,6 +509,13 @@ impl PartitionLog {
                 headers: event.headers.clone(),
                 producer_time: event.timestamp,
                 crc: 0,
+                eos: batch.producer.map(|stamp| crate::record::RecordEos {
+                    pid: stamp.pid,
+                    epoch: stamp.epoch,
+                    seq: stamp.seq + i as u64,
+                    txn: batch.txn,
+                    control: batch.control,
+                }),
             };
             rec.crc = rec.compute_crc();
             let size = rec.wire_size();

@@ -16,7 +16,8 @@ use octopus_types::retry::RetryMetrics;
 use octopus_types::{OctoResult, PartitionId, Retrier, RetryPolicy, TopicName};
 
 use crate::cluster::{AckLevel, Cluster};
-use crate::record::RecordBatch;
+use crate::eos::ProducerIdentity;
+use crate::record::{ProducerStamp, RecordBatch};
 
 /// Incremental topic mirror between two clusters.
 pub struct MirrorMaker {
@@ -31,6 +32,15 @@ pub struct MirrorMaker {
     /// blips far more often than it dies, so one failed produce should
     /// not abort the whole pass.
     retrier: Retrier,
+    /// Idempotent identity per mirrored topic (`mirror-<topic>`),
+    /// registered against the destination. Cross-region retries after
+    /// an ambiguous ack are the classic duplicate generator; stamping
+    /// lets the destination dedup them.
+    identities: HashMap<TopicName, ProducerIdentity>,
+    /// Next destination sequence per (topic, destination partition).
+    /// Advanced only on confirmed copies, so a failed pass re-sends the
+    /// same records under the same sequence.
+    seqs: HashMap<(TopicName, PartitionId), u64>,
 }
 
 impl MirrorMaker {
@@ -49,6 +59,8 @@ impl MirrorMaker {
             positions: HashMap::new(),
             batch_size: 1000,
             retrier,
+            identities: HashMap::new(),
+            seqs: HashMap::new(),
         }
     }
 
@@ -86,7 +98,22 @@ impl MirrorMaker {
                 let events = records.iter().map(|r| r.to_event()).collect::<Vec<_>>();
                 let next = records.last().expect("non-empty").offset + 1;
                 let dest_partition = p % self.destination.partition_count(&topic)?;
-                let batch = RecordBatch::new(events);
+                let identity = match self.identities.get(&topic) {
+                    Some(id) => *id,
+                    None => {
+                        let id =
+                            self.destination.register_producer(&format!("mirror-{topic}"))?;
+                        self.identities.insert(topic.clone(), id);
+                        id
+                    }
+                };
+                let seq =
+                    *self.seqs.get(&(topic.clone(), dest_partition)).unwrap_or(&0);
+                let count = records.len() as u64;
+                let batch = RecordBatch::new(events).with_producer(
+                    ProducerStamp { pid: identity.pid, epoch: identity.epoch, seq },
+                    false,
+                );
                 let copy_start = Instant::now();
                 self.retrier.call(|_attempt| {
                     self.destination.produce_batch(
@@ -99,6 +126,7 @@ impl MirrorMaker {
                 self.source
                     .stage_metrics()
                     .record(Stage::MirrorCopy, copy_start.elapsed().as_nanos() as u64);
+                self.seqs.insert((topic.clone(), dest_partition), seq + count);
                 *pos = next;
                 copied += records.len();
             }
@@ -209,6 +237,33 @@ mod tests {
         let mut mm = MirrorMaker::new(src, dst.clone(), vec!["t".into()]);
         assert_eq!(mm.run_once().unwrap(), 1);
         assert_eq!(dst.topic_config("t").unwrap().replication_factor, 1);
+    }
+
+    #[test]
+    fn ambiguous_destination_acks_do_not_duplicate_mirrored_records() {
+        let src = Cluster::new(1);
+        let dst = Cluster::new(1);
+        src.create_topic(
+            "t",
+            TopicConfig::default().with_partitions(1).with_replication(1).with_min_insync(1),
+        )
+        .unwrap();
+        for i in 0..5 {
+            src.produce_batch("t", 0, RecordBatch::new(vec![ev(&format!("{i}"))]), AckLevel::Leader)
+                .unwrap();
+        }
+        let mut mm = MirrorMaker::new(src.clone(), dst.clone(), vec!["t".into()]);
+        assert_eq!(mm.run_once().unwrap(), 5);
+        // the cross-region ack for the next copy is lost after the
+        // append; the mirror's retry re-sends the same stamped batch
+        let leader = dst.leader_broker("t", 0).unwrap();
+        dst.fault_injector().inject_ack_drop(leader, 1);
+        src.produce_batch("t", 0, RecordBatch::new(vec![ev("r")]), AckLevel::Leader).unwrap();
+        assert_eq!(mm.run_once().unwrap(), 1);
+        let recs = dst.fetch("t", 0, 0, 100).unwrap();
+        assert_eq!(recs.len(), 6, "destination deduplicated the retried copy");
+        // and the stamp is the mirror's own identity, not a passthrough
+        assert!(recs.iter().all(|r| r.eos.is_some()));
     }
 
     #[test]

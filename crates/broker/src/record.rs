@@ -97,6 +97,49 @@ pub fn crc32c(data: &[u8]) -> u32 {
     Crc32c::new().update(data).finalize()
 }
 
+/// The identity an idempotent producer stamps into a batch: a
+/// controller-assigned producer id, the epoch that fences zombies, and
+/// the partition-local sequence number of the batch's *first* record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProducerStamp {
+    /// Controller-assigned producer id.
+    pub pid: u64,
+    /// Epoch of the id; a re-registration bumps it, fencing the old
+    /// holder's in-flight batches.
+    pub epoch: u32,
+    /// Sequence number of the first record in the batch, monotone per
+    /// `(pid, partition)`. Record `i` of the batch carries `seq + i`.
+    pub seq: u64,
+}
+
+/// A transaction control marker, written through the log as a control
+/// record when a transaction resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlMarker {
+    /// Everything the transaction wrote before this offset is committed.
+    Commit,
+    /// Everything the transaction wrote before this offset is aborted;
+    /// read-committed consumers drop it.
+    Abort,
+}
+
+/// Per-record exactly-once metadata, stamped at append time from the
+/// batch-level [`ProducerStamp`] and persisted with the record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordEos {
+    /// Producer id.
+    pub pid: u64,
+    /// Producer epoch at append time.
+    pub epoch: u32,
+    /// This record's sequence number within `(pid, partition)`.
+    pub seq: u64,
+    /// Whether the record is part of an open transaction (invisible to
+    /// read-committed consumers until its marker lands).
+    pub txn: bool,
+    /// Present on control records only.
+    pub control: Option<ControlMarker>,
+}
+
 /// A record at rest in a partition log.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Record {
@@ -116,6 +159,9 @@ pub struct Record {
     /// recovery truncates the log at the first mismatch (torn tail
     /// writes), like Kafka's log recovery.
     pub crc: u32,
+    /// Exactly-once metadata (`None` for plain at-least-once records,
+    /// and for every record written before EOS existed).
+    pub eos: Option<RecordEos>,
 }
 
 impl Record {
@@ -158,13 +204,41 @@ pub struct RecordBatch {
     pub events: Vec<Event>,
     /// CRC32C over the concatenated payloads (integrity check).
     pub crc: u32,
+    /// Idempotent-producer identity; `None` for at-least-once batches.
+    /// The checksum intentionally excludes it: a retry re-sends the
+    /// same payload bytes under the same stamp.
+    pub producer: Option<ProducerStamp>,
+    /// Whether the batch belongs to an open transaction.
+    pub txn: bool,
+    /// Present on transaction control batches (one empty event carrying
+    /// the marker).
+    pub control: Option<ControlMarker>,
 }
 
 impl RecordBatch {
     /// Build a batch, computing its checksum.
     pub fn new(events: Vec<Event>) -> Self {
         let crc = Self::checksum(&events);
-        RecordBatch { events, crc }
+        RecordBatch { events, crc, producer: None, txn: false, control: None }
+    }
+
+    /// Stamp an idempotent-producer identity onto the batch. `txn`
+    /// marks the batch as part of an open transaction.
+    pub fn with_producer(mut self, stamp: ProducerStamp, txn: bool) -> Self {
+        self.producer = Some(stamp);
+        self.txn = txn;
+        self
+    }
+
+    /// A transaction control batch: one empty record carrying `marker`
+    /// for the transaction owned by `(pid, epoch)`. Control records
+    /// occupy a log offset but are dropped by read-committed fetches.
+    pub fn control_batch(pid: u64, epoch: u32, marker: ControlMarker) -> Self {
+        let mut b = Self::new(vec![Event::from_bytes(Vec::new())]);
+        b.producer = Some(ProducerStamp { pid, epoch, seq: 0 });
+        b.txn = true;
+        b.control = Some(marker);
+        b
     }
 
     fn checksum(events: &[Event]) -> u32 {
@@ -283,6 +357,7 @@ mod tests {
             headers: vec![Header { key: "hk".into(), value: b"hv".to_vec() }],
             producer_time: Timestamp::from_millis(9),
             crc: 0,
+            eos: None,
         };
         r.crc = r.compute_crc();
         assert!(r.verify());
@@ -292,5 +367,45 @@ mod tests {
         assert_eq!(e.timestamp, Timestamp::from_millis(9));
         assert_eq!(e.headers, r.headers);
         assert_eq!(r.wire_size(), 2 + 4);
+    }
+
+    #[test]
+    fn producer_stamp_rides_outside_the_checksum() {
+        let plain = RecordBatch::new(vec![Event::from_bytes(&b"x"[..])]);
+        let stamped = RecordBatch::new(vec![Event::from_bytes(&b"x"[..])])
+            .with_producer(ProducerStamp { pid: 7, epoch: 2, seq: 40 }, false);
+        // a retry re-sends the same payload under the same stamp; the
+        // integrity checksum covers the payload only
+        assert_eq!(plain.crc, stamped.crc);
+        assert!(stamped.verify());
+        assert_eq!(stamped.producer.unwrap().seq, 40);
+        assert!(!stamped.txn);
+    }
+
+    #[test]
+    fn control_batch_shape() {
+        let b = RecordBatch::control_batch(9, 3, ControlMarker::Abort);
+        assert_eq!(b.len(), 1);
+        assert!(b.txn);
+        assert_eq!(b.control, Some(ControlMarker::Abort));
+        assert_eq!(b.producer.unwrap().pid, 9);
+        assert!(b.verify());
+    }
+
+    #[test]
+    fn serde_roundtrips_eos_fields() {
+        // The durable surfaces (frame codec, checkpoint body) have their
+        // own legacy handling; here just assert the in-memory types
+        // survive a serde round trip with and without a stamp.
+        for batch in [
+            RecordBatch::new(vec![Event::from_bytes(&b"x"[..])]),
+            RecordBatch::new(vec![Event::from_bytes(&b"x"[..])])
+                .with_producer(ProducerStamp { pid: 3, epoch: 1, seq: 7 }, true),
+            RecordBatch::control_batch(4, 2, ControlMarker::Commit),
+        ] {
+            let json = serde_json::to_string(&batch).unwrap();
+            let back: RecordBatch = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, batch);
+        }
     }
 }

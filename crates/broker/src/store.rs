@@ -56,7 +56,7 @@ use serde::{Deserialize, Serialize};
 use octopus_types::obs::{AtomicHistogram, Counter, MetricsRegistry};
 use octopus_types::{Header, OctoResult, Offset, Timestamp};
 
-use crate::record::{crc32c, Record};
+use crate::record::{crc32c, ControlMarker, Record, RecordEos};
 use bytes::Bytes;
 use std::sync::Arc;
 
@@ -193,6 +193,24 @@ pub(crate) fn encode_frame(rec: &Record, out: &mut Vec<u8>) {
         put_u32(&mut payload, h.value.len() as u32);
         payload.extend_from_slice(&h.value);
     }
+    // Optional trailing EOS section (pid, epoch, seq, flags). Absent for
+    // plain records, so frames written before EOS existed — which end
+    // exactly at the last header — still decode.
+    if let Some(eos) = &rec.eos {
+        put_u64(&mut payload, eos.pid);
+        put_u32(&mut payload, eos.epoch);
+        put_u64(&mut payload, eos.seq);
+        let mut flags = 0u8;
+        if eos.txn {
+            flags |= 0x01;
+        }
+        match eos.control {
+            None => {}
+            Some(ControlMarker::Commit) => flags |= 0x02,
+            Some(ControlMarker::Abort) => flags |= 0x02 | 0x04,
+        }
+        payload.push(flags);
+    }
     out.push(FRAME_MAGIC);
     put_u32(out, payload.len() as u32);
     put_u32(out, crc32c(&payload));
@@ -246,10 +264,26 @@ pub(crate) fn decode_payload(payload: &[u8]) -> Option<Record> {
         let hvlen = c.u32()?;
         headers.push(Header { key: hkey, value: c.take(hvlen as usize)?.to_vec() });
     }
-    if c.pos != payload.len() {
-        return None;
-    }
-    Some(Record { offset, append_time, key, value, headers, producer_time, crc })
+    // Frames written before EOS existed end exactly at the last header;
+    // stamped frames carry a 21-byte trailer (pid, epoch, seq, flags).
+    let eos = if c.pos == payload.len() {
+        None
+    } else {
+        let pid = c.u64()?;
+        let epoch = c.u32()?;
+        let seq = c.u64()?;
+        let flags = *c.take(1)?.first()?;
+        if c.pos != payload.len() || flags & !0x07 != 0 {
+            return None;
+        }
+        let control = if flags & 0x02 != 0 {
+            Some(if flags & 0x04 != 0 { ControlMarker::Abort } else { ControlMarker::Commit })
+        } else {
+            None
+        };
+        Some(RecordEos { pid, epoch, seq, txn: flags & 0x01 != 0, control })
+    };
+    Some(Record { offset, append_time, key, value, headers, producer_time, crc, eos })
 }
 
 // ---------------------------------------------------------------------------
@@ -879,8 +913,45 @@ pub struct OffsetEntry {
     pub offset: u64,
 }
 
+/// One producer-id registration in a checkpoint file: the controller's
+/// durable record that `name` holds `pid` at `epoch`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProducerCkptEntry {
+    /// Stable client identity (transactional id / client id).
+    pub name: String,
+    /// Assigned producer id.
+    pub pid: u64,
+    /// Fencing epoch; a re-registration bumps it and fences the old one.
+    pub epoch: u32,
+}
+
+/// Idempotent-producer state carried inside the offset checkpoint so pid
+/// assignments and fencing epochs survive cold restarts even when
+/// `octopus-zoo` state is gone. Dedup windows are deliberately NOT
+/// persisted here: the leader's log is the authority and windows are
+/// rebuilt by the recovery scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProducerCheckpoint {
+    /// Next pid the allocator would hand out.
+    pub next_pid: u64,
+    /// Every known registration.
+    pub producers: Vec<ProducerCkptEntry>,
+}
+
+/// Versioned checkpoint body (v2). v1 files were a bare
+/// `Vec<OffsetEntry>`; `read_file` still accepts them.
+#[derive(Serialize, Deserialize)]
+struct CheckpointBody {
+    version: u32,
+    offsets: Vec<OffsetEntry>,
+    producers: ProducerCheckpoint,
+}
+
+type ProducerSource = Box<dyn Fn() -> ProducerCheckpoint + Send + Sync>;
+
 /// Periodic, atomically-replaced snapshot of every committed group
-/// offset (the durable half of the group coordinator).
+/// offset (the durable half of the group coordinator), plus the
+/// idempotent-producer registry.
 ///
 /// Format: 4-byte little-endian CRC32C over the JSON body, then the
 /// body. Written to a temp file and renamed into place, so a crash
@@ -893,6 +964,8 @@ pub struct OffsetCheckpoint {
     metrics: StoreMetrics,
     pending: Mutex<u64>,
     io: Mutex<()>,
+    restored_producers: Mutex<ProducerCheckpoint>,
+    producer_source: Mutex<Option<ProducerSource>>,
 }
 
 impl std::fmt::Debug for OffsetCheckpoint {
@@ -910,7 +983,7 @@ impl OffsetCheckpoint {
     /// previous incarnation persisted.
     pub fn open(path: impl Into<PathBuf>, every: u64, metrics: StoreMetrics) -> (Self, Vec<OffsetEntry>) {
         let path = path.into();
-        let restored = Self::read_file(&path).unwrap_or_default();
+        let (restored, producers) = Self::read_file(&path).unwrap_or_default();
         metrics.checkpoint_offsets_restored.add(restored.len() as u64);
         let ckpt = OffsetCheckpoint {
             path,
@@ -918,11 +991,13 @@ impl OffsetCheckpoint {
             metrics,
             pending: Mutex::new(0),
             io: Mutex::new(()),
+            restored_producers: Mutex::new(producers),
+            producer_source: Mutex::new(None),
         };
         (ckpt, restored)
     }
 
-    fn read_file(path: &Path) -> Option<Vec<OffsetEntry>> {
+    fn read_file(path: &Path) -> Option<(Vec<OffsetEntry>, ProducerCheckpoint)> {
         let bytes = fs::read(path).ok()?;
         if bytes.len() < 4 {
             return None;
@@ -932,7 +1007,24 @@ impl OffsetCheckpoint {
         if crc32c(body) != crc {
             return None;
         }
-        serde_json::from_slice(body).ok()
+        if let Ok(v2) = serde_json::from_slice::<CheckpointBody>(body) {
+            return Some((v2.offsets, v2.producers));
+        }
+        // v1 files were a bare offsets array.
+        let legacy: Vec<OffsetEntry> = serde_json::from_slice(body).ok()?;
+        Some((legacy, ProducerCheckpoint::default()))
+    }
+
+    /// Producer registry restored from disk at open. Consumed once by the
+    /// cluster builder; later calls return the default (empty) state.
+    pub fn take_restored_producers(&self) -> ProducerCheckpoint {
+        std::mem::take(&mut self.restored_producers.lock())
+    }
+
+    /// Install the callback that supplies the live producer registry for
+    /// every subsequent snapshot write.
+    pub fn set_producer_source(&self, source: impl Fn() -> ProducerCheckpoint + Send + Sync + 'static) {
+        *self.producer_source.lock() = Some(Box::new(source));
     }
 
     /// Record that a commit happened; every `every`-th commit persists
@@ -958,7 +1050,15 @@ impl OffsetCheckpoint {
     /// Persist a snapshot immediately (graceful shutdown / flush-all).
     pub fn write_now(&self, entries: &[OffsetEntry]) -> OctoResult<()> {
         let _serialized = self.io.lock();
-        let body = serde_json::to_vec(entries)?;
+        let producers = match &*self.producer_source.lock() {
+            Some(source) => source(),
+            None => ProducerCheckpoint::default(),
+        };
+        let body = serde_json::to_vec(&CheckpointBody {
+            version: 2,
+            offsets: entries.to_vec(),
+            producers,
+        })?;
         let mut out = Vec::with_capacity(body.len() + 4);
         out.extend_from_slice(&crc32c(&body).to_le_bytes());
         out.extend_from_slice(&body);
@@ -1031,6 +1131,7 @@ mod tests {
             headers: vec![Header { key: "h".into(), value: b"v".to_vec() }],
             producer_time: Timestamp::from_millis(offset * 10),
             crc: 0,
+            eos: None,
         };
         r.crc = r.compute_crc();
         r
@@ -1051,6 +1152,35 @@ mod tests {
             assert_eq!(len as usize, buf.len());
             assert_eq!(frames.len(), 1);
             assert_eq!(records, vec![r]);
+        }
+    }
+
+    #[test]
+    fn eos_stamped_frames_roundtrip_and_plain_frames_still_decode() {
+        let mut stamped = rec(3, b"payload", Some(b"k"));
+        stamped.eos = Some(RecordEos {
+            pid: 42,
+            epoch: 7,
+            seq: 1001,
+            txn: true,
+            control: Some(ControlMarker::Abort),
+        });
+        let mut plain_then_stamped = Vec::new();
+        encode_frame(&rec(2, b"old", None), &mut plain_then_stamped);
+        encode_frame(&stamped, &mut plain_then_stamped);
+        let (_, records, len) = scan_bytes(&plain_then_stamped, None);
+        assert_eq!(len as usize, plain_then_stamped.len());
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].eos, None);
+        assert_eq!(records[1], stamped);
+        // non-abort control and non-txn data stamps survive too
+        for control in [None, Some(ControlMarker::Commit)] {
+            let mut r = rec(0, b"x", None);
+            r.eos = Some(RecordEos { pid: 1, epoch: 0, seq: 9, txn: false, control });
+            let mut buf = Vec::new();
+            encode_frame(&r, &mut buf);
+            let (_, recs, _) = scan_bytes(&buf, None);
+            assert_eq!(recs, vec![r]);
         }
     }
 
@@ -1190,6 +1320,47 @@ mod tests {
         fs::write(&path, &bytes).unwrap();
         let (_, restored) = OffsetCheckpoint::open(&path, 1, metrics());
         assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_persists_and_restores_producer_registry() {
+        let tmp = TempDir::new("octopus-data");
+        let path = tmp.path().join("offsets.ckpt");
+        let producers = ProducerCheckpoint {
+            next_pid: 3,
+            producers: vec![
+                ProducerCkptEntry { name: "txn-a".into(), pid: 1, epoch: 4 },
+                ProducerCkptEntry { name: "client-b".into(), pid: 2, epoch: 0 },
+            ],
+        };
+        let offsets =
+            vec![OffsetEntry { group: "g".into(), topic: "t".into(), partition: 0, offset: 5 }];
+        {
+            let (ckpt, _) = OffsetCheckpoint::open(&path, 1, metrics());
+            let snapshot = producers.clone();
+            ckpt.set_producer_source(move || snapshot.clone());
+            ckpt.write_now(&offsets).unwrap();
+        }
+        let (ckpt, restored_offsets) = OffsetCheckpoint::open(&path, 1, metrics());
+        assert_eq!(restored_offsets, offsets);
+        assert_eq!(ckpt.take_restored_producers(), producers);
+        // take is a one-shot: subsequent calls see the default
+        assert_eq!(ckpt.take_restored_producers(), ProducerCheckpoint::default());
+    }
+
+    #[test]
+    fn checkpoint_reads_legacy_v1_offsets_array() {
+        let tmp = TempDir::new("octopus-data");
+        let path = tmp.path().join("offsets.ckpt");
+        let entries =
+            vec![OffsetEntry { group: "g".into(), topic: "t".into(), partition: 2, offset: 11 }];
+        let body = serde_json::to_vec(&entries).unwrap();
+        let mut out = crc32c(&body).to_le_bytes().to_vec();
+        out.extend_from_slice(&body);
+        fs::write(&path, &out).unwrap();
+        let (ckpt, restored) = OffsetCheckpoint::open(&path, 1, metrics());
+        assert_eq!(restored, entries);
+        assert_eq!(ckpt.take_restored_producers(), ProducerCheckpoint::default());
     }
 
     #[test]

@@ -129,6 +129,11 @@ pub fn apply_fault(target: &ChaosTarget, kind: &FaultKind) -> String {
             fault.inject_delivery(id, DeliveryFault::Delay { millis: u64::from(millis) }, count);
             format!("next {count} fetches from broker {} delayed {millis}ms", id.0)
         }
+        FaultKind::AmbiguousAck { broker: b, count } => {
+            let id = broker(target, b);
+            fault.inject_ack_drop(id, count);
+            format!("next {count} produce acks from broker {} drop after the durable append", id.0)
+        }
         FaultKind::LogTailCorruption { records } => corrupt_follower_tail(target, records),
         FaultKind::PowerLoss { broker: b, entropy } => {
             let id = broker(target, b);

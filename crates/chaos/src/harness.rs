@@ -54,6 +54,11 @@ pub struct ChaosConfig {
     /// [`FlushPolicy::PerBatch`] the no-committed-loss oracle must hold
     /// even under power loss; weaker policies trade that away.
     pub flush_policy: FlushPolicy,
+    /// Exactly-once mode: the producer runs idempotent (stamped
+    /// sequences, broker dedup), the consumer runs read-committed, and
+    /// a fifth oracle asserts `duplicates() == 0` — "no duplicates, no
+    /// loss", not just at-least-once.
+    pub strict_eos: bool,
 }
 
 impl Default for ChaosConfig {
@@ -66,6 +71,7 @@ impl Default for ChaosConfig {
             drain_timeout: Duration::from_secs(5),
             data_dir: None,
             flush_policy: FlushPolicy::PerBatch,
+            strict_eos: false,
         }
     }
 }
@@ -238,6 +244,7 @@ impl ChaosHarness {
             let pace = cfg.pace;
             let stop = stop_produce.clone();
             let acked = acked.clone();
+            let strict_eos = cfg.strict_eos;
             std::thread::spawn(move || {
                 let producer = Producer::new(
                     cluster,
@@ -245,6 +252,8 @@ impl ChaosHarness {
                         acks: AckLevel::All,
                         retries: 30,
                         retry_backoff: Duration::from_millis(2),
+                        idempotent: strict_eos,
+                        client_id: strict_eos.then(|| "chaos-eos-producer".to_string()),
                         ..ProducerConfig::default()
                     },
                 );
@@ -272,6 +281,7 @@ impl ChaosHarness {
             let stop = stop_consume.clone();
             let delivered = delivered.clone();
             let violations = commit_violations.clone();
+            let strict_eos = cfg.strict_eos;
             std::thread::spawn(move || {
                 let mut consumer = Consumer::new(
                     cluster.clone(),
@@ -279,6 +289,7 @@ impl ChaosHarness {
                         group: group.clone(),
                         auto_commit_interval: Some(Duration::from_millis(10)),
                         max_poll_records: 64,
+                        read_committed: strict_eos,
                         ..ConsumerConfig::default()
                     },
                 );
@@ -398,6 +409,20 @@ impl ChaosHarness {
             }
         }
 
+        // 2b. Exactly-once (strict mode only): at-least-once tightens
+        //     to exactly-once — zero duplicate deliveries on top of
+        //     zero acked loss.
+        if cfg.strict_eos {
+            let unique: std::collections::HashSet<u64> = delivered.iter().copied().collect();
+            let dups = delivered.len() - unique.len();
+            if dups > 0 {
+                violations.push(format!(
+                    "exactly-once violated: {dups} duplicate deliveries out of {}",
+                    delivered.len()
+                ));
+            }
+        }
+
         // 3. ZAB committed-prefix agreement across zoo replicas.
         let zoo_commits = match zoo.committed_prefix_agreement() {
             Ok(commits) => commits,
@@ -499,6 +524,27 @@ mod tests {
             "{}",
             report.trace.entries[0].outcome
         );
+    }
+
+    #[test]
+    fn strict_eos_survives_ambiguous_acks() {
+        // Ack drops force the producer into retries of durably-applied
+        // appends — the canonical duplicate generator. Strict mode must
+        // still close with zero duplicates and zero acked loss.
+        let plan = FaultPlan::new(21)
+            .at(10, FaultKind::AmbiguousAck { broker: 0, count: 2 })
+            .at(40, FaultKind::AmbiguousAck { broker: 1, count: 1 })
+            .at(70, FaultKind::AmbiguousAck { broker: 2, count: 2 });
+        let report = ChaosHarness::new(plan)
+            .with_config(ChaosConfig {
+                strict_eos: true,
+                drain_timeout: Duration::from_secs(10),
+                ..ChaosConfig::default()
+            })
+            .run();
+        report.assert_invariants();
+        assert_eq!(report.duplicates(), 0, "strict mode saw duplicate deliveries");
+        assert!(!report.acked.is_empty(), "producer made progress");
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub enum FaultKind {
     /// `entropy`-seeded byte boundary (fsynced bytes always survive).
     /// No-op byte-wise on volatile deployments (plain crash).
     PowerLoss { broker: u32, entropy: u64 },
+    /// Drop the next `count` produce acks from a broker *after* the
+    /// append is durably applied. The producer sees a timeout on a
+    /// write that actually happened — the ambiguity that makes retries
+    /// duplicate under at-least-once and that exactly-once dedup must
+    /// absorb.
+    AmbiguousAck { broker: u32, count: u32 },
 }
 
 impl FaultKind {
@@ -64,6 +70,7 @@ impl FaultKind {
             FaultKind::MessageDelay { .. } => "message-delay",
             FaultKind::LogTailCorruption { .. } => "log-tail-corruption",
             FaultKind::PowerLoss { .. } => "power-loss",
+            FaultKind::AmbiguousAck { .. } => "ambiguous-ack",
         }
     }
 }
@@ -150,7 +157,7 @@ impl FaultPlan {
         for _ in 0..profile.faults {
             let t = splitmix64(&mut rng) % span;
             let broker = (splitmix64(&mut rng) % u64::from(brokers)) as u32;
-            let kind = match splitmix64(&mut rng) % 9 {
+            let kind = match splitmix64(&mut rng) % 10 {
                 0 => {
                     // crash now, restart later in the window
                     let back = t + 1 + splitmix64(&mut rng) % (span - t.min(span - 1)).max(1);
@@ -197,6 +204,7 @@ impl FaultPlan {
                     millis: 1 + (splitmix64(&mut rng) % 10) as u32,
                     count: 1 + (splitmix64(&mut rng) % 3) as u32,
                 },
+                9 => FaultKind::AmbiguousAck { broker, count: 1 + (splitmix64(&mut rng) % 2) as u32 },
                 _ => FaultKind::LogTailCorruption { records: 1 + (splitmix64(&mut rng) % 4) as u32 },
             };
             plan.faults.push(ScheduledFault { at: Duration::from_millis(t), kind });

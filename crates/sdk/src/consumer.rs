@@ -41,6 +41,10 @@ pub struct ConsumerConfig {
     pub receive_buffer_bytes: usize,
     /// Where to start without a committed offset.
     pub offset_reset: OffsetReset,
+    /// Transactional isolation: only deliver records below the last
+    /// stable offset, and drop records of aborted transactions. Off
+    /// (`read_uncommitted`) by default, matching Kafka.
+    pub read_committed: bool,
 }
 
 impl Default for ConsumerConfig {
@@ -51,7 +55,17 @@ impl Default for ConsumerConfig {
             max_poll_records: 500,
             receive_buffer_bytes: 2 * 1024 * 1024,
             offset_reset: OffsetReset::Earliest,
+            read_committed: false,
         }
+    }
+}
+
+impl ConsumerConfig {
+    /// A configuration with transactional isolation on: the consumer
+    /// buffers past open transactions (last-stable-offset) and never
+    /// sees aborted records.
+    pub fn read_committed() -> Self {
+        ConsumerConfig { read_committed: true, ..Default::default() }
     }
 }
 
@@ -221,7 +235,7 @@ impl Consumer {
                 Err(_) => continue,
             };
             let budget = self.config.max_poll_records - out.len();
-            let records = match self.fetch_checked(topic, *partition, pos, budget) {
+            let (mut records, next_hint) = match self.fetch_checked(topic, *partition, pos, budget) {
                 Ok(r) => r,
                 Err(OctoError::OffsetOutOfRange { earliest, .. }) => {
                     // retention passed us by: jump forward (records lost,
@@ -231,7 +245,21 @@ impl Consumer {
                 }
                 Err(_) => continue,
             };
+            if self.config.read_committed {
+                // broker-side redelivery (fetch rewind under fault
+                // injection) serves records below the position; a
+                // read-committed consumer promises each offset at most
+                // once, so drop anything already delivered
+                records.retain(|r| r.offset >= pos);
+            }
             if records.is_empty() {
+                // read-committed fetches may return an empty page with a
+                // forward cursor (a fully-aborted span was skipped);
+                // advance so the consumer does not stall on it
+                if let Some(next) = next_hint {
+                    Self::bump(&mut self.positions, topic, *partition, next);
+                    Self::bump(&mut self.dirty, topic, *partition, next);
+                }
                 continue;
             }
             // A fetch may serve records below the requested position
@@ -239,7 +267,8 @@ impl Consumer {
             // them again — at-least-once allows it — but never move the
             // cursor backwards: explicit `seek_*` is the only sanctioned
             // way to rewind, so commit progress stays monotonic.
-            let next = records.last().expect("non-empty").offset + 1;
+            let next = (records.last().expect("non-empty").offset + 1)
+                .max(next_hint.unwrap_or(0));
             Self::bump(&mut self.positions, topic, *partition, next);
             Self::bump(&mut self.dirty, topic, *partition, next);
             for r in records {
@@ -285,17 +314,29 @@ impl Consumer {
         Ok(out)
     }
 
+    /// Fetch under the configured isolation level. Read-committed
+    /// fetches also return the broker's next-offset cursor, which can
+    /// run ahead of the last delivered record when aborted spans or
+    /// control markers were filtered out.
     fn fetch_checked(
         &self,
         topic: &str,
         partition: PartitionId,
         offset: Offset,
         max: usize,
-    ) -> OctoResult<Vec<octopus_broker::Record>> {
-        match self.principal {
+    ) -> OctoResult<(Vec<octopus_broker::Record>, Option<Offset>)> {
+        if self.config.read_committed {
+            if let (Some(p), Some(acl)) = (self.principal, self.cluster.acl()) {
+                acl.check(topic, p, octopus_auth::Permission::Read)?;
+            }
+            let (records, next) = self.cluster.fetch_committed(topic, partition, offset, max)?;
+            return Ok((records, Some(next)));
+        }
+        let records = match self.principal {
             Some(p) => self.cluster.fetch_as(p, topic, partition, offset, max),
             None => self.cluster.fetch(topic, partition, offset, max),
-        }
+        }?;
+        Ok((records, None))
     }
 
     fn maybe_auto_commit(&mut self) {
@@ -637,6 +678,67 @@ mod tests {
         cons.subscribe(&["t"]).unwrap();
         let batch = cons.poll().unwrap();
         assert!(batch.len() <= 6, "got {}", batch.len());
+    }
+
+    #[test]
+    fn read_committed_consumer_skips_aborted_transactions() {
+        let c = setup(1);
+        let id = c.register_producer("txp").unwrap();
+        c.produce("t", ev("plain"), AckLevel::Leader).unwrap();
+        c.txn_begin("txp", id).unwrap();
+        c.txn_produce("txp", id, "t", 0, vec![ev("rolled-back")]).unwrap();
+        c.txn_abort("txp", id).unwrap();
+        c.txn_begin("txp", id).unwrap();
+        c.txn_produce("txp", id, "t", 0, vec![ev("committed")]).unwrap();
+        c.txn_commit("txp", id).unwrap();
+        let mut cons = Consumer::new(
+            c.clone(),
+            ConsumerConfig {
+                group: "g".into(),
+                auto_commit_interval: None,
+                ..ConsumerConfig::read_committed()
+            },
+        );
+        cons.subscribe(&["t"]).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..5 {
+            got.extend(cons.poll().unwrap());
+        }
+        let payloads: Vec<_> =
+            got.iter().map(|d| String::from_utf8_lossy(&d.event.payload).to_string()).collect();
+        assert_eq!(payloads, vec!["plain", "committed"], "aborted + control records hidden");
+    }
+
+    #[test]
+    fn read_committed_buffers_past_open_transaction() {
+        let c = setup(1);
+        let id = c.register_producer("txp").unwrap();
+        c.txn_begin("txp", id).unwrap();
+        c.txn_produce("txp", id, "t", 0, vec![ev("pending")]).unwrap();
+        let mut cons = Consumer::new(
+            c.clone(),
+            ConsumerConfig {
+                group: "g".into(),
+                auto_commit_interval: None,
+                ..ConsumerConfig::read_committed()
+            },
+        );
+        cons.subscribe(&["t"]).unwrap();
+        assert!(
+            cons.poll().unwrap().is_empty(),
+            "records above the last stable offset are invisible"
+        );
+        // a read_uncommitted consumer in another group sees it already
+        let mut dirty_reader = consumer(&c, "g2");
+        dirty_reader.subscribe(&["t"]).unwrap();
+        assert_eq!(dirty_reader.poll().unwrap().len(), 1);
+        c.txn_commit("txp", id).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..5 {
+            got.extend(cons.poll().unwrap());
+        }
+        assert_eq!(got.len(), 1, "commit releases the buffered record");
+        assert_eq!(&got[0].event.payload[..], b"pending");
     }
 
     #[test]

@@ -18,7 +18,8 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 
-use octopus_broker::{AckLevel, Cluster, ProduceReceipt, RecordBatch};
+use octopus_broker::{AckLevel, Cluster, ProduceReceipt, ProducerStamp, RecordBatch};
+use octopus_broker::ProducerIdentity;
 use octopus_types::obs::{Stage, TraceContext};
 use octopus_types::retry::RetryMetrics;
 use octopus_types::{
@@ -46,6 +47,15 @@ pub struct ProducerConfig {
     /// billed per byte). Compressed events carry an `octopus-codec`
     /// header; the consumer decompresses transparently.
     pub codec: Codec,
+    /// Exactly-once production: the producer registers a broker-assigned
+    /// (pid, epoch) identity and stamps every batch with a per-partition
+    /// sequence. A retry after an ambiguous ack re-sends the *same*
+    /// sequence, which the broker deduplicates instead of re-appending.
+    pub idempotent: bool,
+    /// Stable client name for pid assignment. Re-registering the same
+    /// name bumps the epoch and fences the previous incarnation
+    /// (zombie-producer protection). Defaults to `"octopus-producer"`.
+    pub client_id: Option<String>,
 }
 
 impl Default for ProducerConfig {
@@ -59,7 +69,24 @@ impl Default for ProducerConfig {
             batch_events: 500,
             batch_bytes: 64 * 1024,
             codec: Codec::None,
+            idempotent: false,
+            client_id: None,
         }
+    }
+}
+
+impl ProducerConfig {
+    /// An exactly-once configuration: idempotence on, `acks=all` (a
+    /// dedup window is only authoritative once the append is in every
+    /// in-sync replica).
+    pub fn idempotent() -> Self {
+        ProducerConfig { acks: AckLevel::All, idempotent: true, ..Default::default() }
+    }
+
+    /// Same configuration with a stable client id for pid assignment.
+    pub fn with_client_id(mut self, id: impl Into<String>) -> Self {
+        self.client_id = Some(id.into());
+        self
     }
 }
 
@@ -141,6 +168,8 @@ impl Producer {
             config: config.clone(),
             buffered: buffered.clone(),
             principal,
+            identity: None,
+            seqs: HashMap::new(),
         };
         let handle = std::thread::spawn(move || worker.run());
         Producer {
@@ -263,6 +292,13 @@ struct SenderWorker {
     config: ProducerConfig,
     buffered: Arc<AtomicUsize>,
     principal: Option<Uid>,
+    /// Broker-assigned (pid, epoch), registered lazily on the first
+    /// idempotent dispatch.
+    identity: Option<ProducerIdentity>,
+    /// Next sequence number per (topic, partition). Advanced after
+    /// every stamped dispatch — success, dedup, or ambiguous failure —
+    /// so a sequence is never reused for *different* payloads.
+    seqs: HashMap<(TopicName, PartitionId), u64>,
 }
 
 struct OpenBatch {
@@ -273,7 +309,7 @@ struct OpenBatch {
 }
 
 impl SenderWorker {
-    fn run(self) {
+    fn run(mut self) {
         let mut batches: HashMap<(TopicName, PartitionId), OpenBatch> = HashMap::new();
         loop {
             // answer flush requests
@@ -346,8 +382,50 @@ impl SenderWorker {
         batch.reporters.push((p.report, p.size));
     }
 
-    fn dispatch(&self, topic: &str, partition: PartitionId, batch: OpenBatch) {
-        let record_batch = RecordBatch::new(batch.events);
+    /// Resolve (registering on first use) the idempotent identity.
+    fn identity(&mut self) -> OctoResult<ProducerIdentity> {
+        if let Some(id) = self.identity {
+            return Ok(id);
+        }
+        let name =
+            self.config.client_id.clone().unwrap_or_else(|| "octopus-producer".to_string());
+        let id = self.cluster.register_producer(&name)?;
+        self.identity = Some(id);
+        Ok(id)
+    }
+
+    fn dispatch(&mut self, topic: &str, partition: PartitionId, batch: OpenBatch) {
+        let mut record_batch = RecordBatch::new(batch.events);
+        // Stamp (pid, epoch, seq) BEFORE entering the retry loop: a
+        // timeout after the broker durably appended is ambiguous, and
+        // the retry must re-send the *same* sequence so the broker can
+        // answer "already have it" instead of appending a duplicate.
+        if self.config.idempotent {
+            let count = record_batch.events.len() as u64;
+            match self.identity() {
+                Ok(id) => {
+                    let seq =
+                        self.seqs.entry((topic.to_string(), partition)).or_insert(0);
+                    record_batch = record_batch.with_producer(
+                        ProducerStamp { pid: id.pid, epoch: id.epoch, seq: *seq },
+                        false,
+                    );
+                    // Consume the range now; even on an ambiguous
+                    // failure the broker may hold these sequences, and
+                    // reusing them for fresh payloads would get new
+                    // data falsely deduplicated.
+                    *seq += count;
+                }
+                Err(e) => {
+                    let total: usize = batch.reporters.iter().map(|(_, s)| s).sum();
+                    self.buffered.fetch_sub(total, Ordering::AcqRel);
+                    for (reporter, _) in batch.reporters {
+                        let _ = reporter.send(DeliveryReport::Failed(e.clone()));
+                    }
+                    return;
+                }
+            }
+        }
         let spans = self.cluster.span_sink();
         let traced = if spans.is_enabled() {
             record_batch
@@ -383,12 +461,21 @@ impl SenderWorker {
         self.buffered.fetch_sub(total, Ordering::AcqRel);
         match result {
             Ok(receipt) => {
+                if receipt.deduplicated {
+                    // the broker recognized a retried sequence and
+                    // answered with the original offsets — a duplicate
+                    // ack, not a duplicate append
+                    if let Some(m) = &self.retrier.metrics {
+                        m.duplicate_acks.inc();
+                    }
+                }
                 for (i, (reporter, _)) in batch.reporters.into_iter().enumerate() {
                     let _ = reporter.send(DeliveryReport::Delivered(ProduceReceipt {
                         partition,
                         base_offset: receipt.base_offset + i as u64,
                         count: 1,
                         persisted: receipt.persisted,
+                        deduplicated: receipt.deduplicated,
                     }));
                 }
             }
@@ -443,8 +530,12 @@ mod tests {
                 DeliveryReport::Failed(e) => panic!("delivery failed: {e}"),
             }
         }
+        // Count duplicates explicitly instead of dedup()-ing them away:
+        // a collapsed duplicate ack is exactly the signal an exactly-
+        // once audit needs to see.
         offsets.sort_unstable();
-        offsets.dedup();
+        let duplicate_acks = offsets.windows(2).filter(|w| w[0] == w[1]).count();
+        assert_eq!(duplicate_acks, 0, "duplicate acks for offsets {offsets:?}");
         assert_eq!(offsets.len(), 100, "each event got a distinct offset");
         // keyed: all in one partition, in order
         let part = c.partition_for("t", Some(b"k")).unwrap();
@@ -550,6 +641,80 @@ mod tests {
         assert_eq!(&got[0].event.payload[..], &payload[..]);
         // the codec header was consumed by the decompression layer
         assert!(!got[0].event.headers.iter().any(|h| h.key == CODEC_HEADER));
+    }
+
+    #[test]
+    fn ambiguous_ack_retry_is_deduplicated_when_idempotent() {
+        // The AmbiguousAck fault: the broker appends durably, then the
+        // ack is lost. The producer's retry re-sends the same sequence
+        // and must NOT create a second copy.
+        let c = Cluster::new(3);
+        c.create_topic("t", TopicConfig::default().with_partitions(1).with_replication(3))
+            .unwrap();
+        let p = Producer::new(
+            c.clone(),
+            ProducerConfig {
+                retries: 5,
+                retry_backoff: Duration::from_millis(2),
+                ..ProducerConfig::idempotent()
+            },
+        );
+        let leader = c.leader_broker("t", 0).unwrap();
+        c.fault_injector().inject_ack_drop(leader, 1);
+        let r = p.send_sync("t", ev("once-only")).unwrap();
+        assert!(r.deduplicated, "the retry should have been answered from the dedup window");
+        let recs = c.fetch("t", 0, 0, 100).unwrap();
+        assert_eq!(recs.len(), 1, "exactly one copy despite the retried send");
+        assert_eq!(&recs[0].value[..], b"once-only");
+        let snap = c.metrics().snapshot();
+        assert_eq!(snap.counters["octopus_producer_duplicate_acks_total"], 1);
+    }
+
+    #[test]
+    fn ambiguous_ack_retry_duplicates_without_idempotence() {
+        // Control experiment: at-least-once (no stamp) really does
+        // append twice under the same fault — proving the dedup path
+        // is what saves the idempotent run above.
+        let c = Cluster::new(3);
+        c.create_topic("t", TopicConfig::default().with_partitions(1).with_replication(3))
+            .unwrap();
+        let p = Producer::new(
+            c.clone(),
+            ProducerConfig {
+                acks: AckLevel::All,
+                retries: 5,
+                retry_backoff: Duration::from_millis(2),
+                ..Default::default()
+            },
+        );
+        let leader = c.leader_broker("t", 0).unwrap();
+        c.fault_injector().inject_ack_drop(leader, 1);
+        p.send_sync("t", ev("twice")).unwrap();
+        let recs = c.fetch("t", 0, 0, 100).unwrap();
+        assert_eq!(recs.len(), 2, "at-least-once duplicates on ambiguous ack");
+    }
+
+    #[test]
+    fn idempotent_sequences_survive_producer_batching() {
+        // Many batches through one idempotent producer: offsets stay
+        // dense and distinct (sequence bookkeeping advances correctly).
+        let c = Cluster::new(2);
+        c.create_topic("t", TopicConfig::default().with_partitions(1)).unwrap();
+        let p = Producer::new(
+            c.clone(),
+            ProducerConfig { batch_events: 7, ..ProducerConfig::idempotent() },
+        );
+        for i in 0..50 {
+            p.send("t", ev(&format!("e{i}"))).unwrap();
+            if i % 11 == 0 {
+                p.flush(); // force uneven batch boundaries
+            }
+        }
+        p.flush();
+        let recs = c.fetch("t", 0, 0, 1000).unwrap();
+        assert_eq!(recs.len(), 50);
+        let stamped = recs.iter().filter_map(|r| r.eos.as_ref()).count();
+        assert_eq!(stamped, 50, "every record carries the producer stamp");
     }
 
     #[test]

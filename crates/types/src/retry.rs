@@ -270,16 +270,23 @@ pub struct RetryMetrics {
     pub retries: Arc<Counter>,
     /// Calls rejected fast by an open breaker (the op never ran).
     pub breaker_rejections: Arc<Counter>,
+    /// Acks the broker answered with "already appended" — a retry of a
+    /// batch whose first ack was lost in flight. Under idempotent
+    /// production these are the duplicates that *would* have landed in
+    /// the log; silently collapsing them hides real retry ambiguity, so
+    /// they get their own counter.
+    pub duplicate_acks: Arc<Counter>,
 }
 
 impl RetryMetrics {
-    /// Resolve the three counters under `prefix` in `registry`
+    /// Resolve the counters under `prefix` in `registry`
     /// (`{prefix}_retry_attempts_total` etc.).
     pub fn from_registry(registry: &MetricsRegistry, prefix: &str) -> Self {
         RetryMetrics {
             attempts: registry.counter(&format!("{prefix}_retry_attempts_total")),
             retries: registry.counter(&format!("{prefix}_retry_retries_total")),
             breaker_rejections: registry.counter(&format!("{prefix}_retry_breaker_rejections_total")),
+            duplicate_acks: registry.counter(&format!("{prefix}_duplicate_acks_total")),
         }
     }
 }

@@ -32,6 +32,12 @@ test -s results/trace.json
 echo "==> crash-recovery smoke (produce -> power loss -> cold reopen -> verify)"
 cargo run --release -q --example durability_smoke
 
+echo "==> exactly-once chaos smoke (ambiguous acks + power loss, strict invariant)"
+# Idempotent producer + read-committed consumer under a plan that
+# drops acks after durable appends and tears a broker mid-stream; the
+# example exits nonzero unless duplicates == 0 and no acked loss.
+cargo run --release -q --example eos_smoke
+
 echo "==> hot-path bench smoke (invariants checked in-process)"
 # --smoke shrinks the workload; the bench exits nonzero if any probe
 # violates a correctness invariant (dense offsets, acked-record
@@ -44,7 +50,9 @@ fi
 if ! jq -e '.schema == "octopus-hotpath-v1"
             and (.produce | length == 4)
             and (.fetch.records_per_sec > 0)
-            and (.group_commit.flushes > 0)' BENCH_hotpath.json >/dev/null; then
+            and (.group_commit.flushes > 0)
+            and (.eos.idempotent_on.events_per_sec > 0)
+            and (.eos.idempotent_off.events_per_sec > 0)' BENCH_hotpath.json >/dev/null; then
     echo "BENCH_hotpath.json malformed (schema/sections)" >&2
     exit 1
 fi

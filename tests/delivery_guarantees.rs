@@ -4,7 +4,9 @@
 
 use std::time::Duration;
 
-use octopus::broker::{AckLevel, BrokerId, RecordBatch};
+use octopus::broker::{
+    AckLevel, BrokerId, FlushPolicy, ProducerStamp, RecordBatch, TempDir,
+};
 use octopus::prelude::*;
 use octopus::sdk::{Consumer, ConsumerConfig, Producer, ProducerConfig};
 
@@ -154,6 +156,129 @@ fn consumer_group_rebalance_loses_nothing() {
     // every record was delivered at least once
     let unique: std::collections::HashSet<(u32, u64)> = seen.iter().copied().collect();
     assert_eq!(unique.len(), 100, "all 100 records delivered (saw {} total)", seen.len());
+}
+
+#[test]
+fn exactly_once_across_power_loss_and_restart() {
+    // The §IV-F upgrade from at-least-once to exactly-once: an
+    // idempotent producer keeps retrying through an ambiguous ack and
+    // a mid-stream power loss, and every sent event is delivered to a
+    // read-committed consumer exactly once. Three fixed seeds vary the
+    // power-loss victim and torn-tail entropy; each must reproduce.
+    for seed in [0xA1u64, 0xB2, 0xC3] {
+        let tmp = TempDir::new("octopus-data-eos");
+        let cluster = Cluster::builder(3)
+            .data_dir(tmp.path().to_path_buf())
+            .flush_policy(FlushPolicy::PerBatch)
+            .build();
+        cluster
+            .create_topic(
+                "t",
+                TopicConfig::default().with_partitions(1).with_replication(3).with_min_insync(2),
+            )
+            .unwrap();
+        let producer = Producer::new(
+            cluster.clone(),
+            ProducerConfig {
+                retries: 60,
+                retry_backoff: Duration::from_millis(2),
+                client_id: Some(format!("eos-{seed:#x}")),
+                ..ProducerConfig::idempotent()
+            },
+        );
+        let total = 60u64;
+        let victim = BrokerId((seed % 3) as u32);
+        let mut acked = 0u64;
+        for i in 0..total {
+            match i {
+                // ambiguous ack: the append lands, the ack is lost,
+                // the producer's retry must be deduplicated
+                20 => {
+                    let leader = cluster.leader_broker("t", 0).unwrap();
+                    cluster.fault_injector().inject_ack_drop(leader, 1);
+                }
+                // power loss mid-stream; acks=all + min_isr=2 keeps
+                // the fabric writable on the surviving pair
+                40 => {
+                    cluster.power_loss_broker(victim, seed).unwrap();
+                }
+                50 => {
+                    cluster.restart_broker(victim).unwrap();
+                    let _ = cluster.resync_broker(victim);
+                }
+                _ => {}
+            }
+            if producer.send_sync("t", ev(&format!("seq-{i:04}"))).is_ok() {
+                acked += 1;
+            }
+        }
+        producer.close();
+        assert_eq!(acked, total, "seed {seed:#x}: every send eventually acked");
+        let mut consumer = Consumer::new(
+            cluster.clone(),
+            ConsumerConfig {
+                group: "eos-audit".into(),
+                auto_commit_interval: None,
+                ..ConsumerConfig::read_committed()
+            },
+        );
+        consumer.subscribe(&["t"]).unwrap();
+        let mut delivered: Vec<String> = Vec::new();
+        for _ in 0..100 {
+            let batch = consumer.poll().unwrap();
+            if batch.is_empty() && delivered.len() >= total as usize {
+                break;
+            }
+            delivered.extend(
+                batch.iter().map(|d| String::from_utf8_lossy(&d.event.payload).into_owned()),
+            );
+        }
+        let unique: std::collections::HashSet<&String> = delivered.iter().collect();
+        assert_eq!(
+            delivered.len(),
+            total as usize,
+            "seed {seed:#x}: delivered == sent (got {delivered:?})"
+        );
+        assert_eq!(unique.len(), total as usize, "seed {seed:#x}: zero duplicates");
+    }
+}
+
+#[test]
+fn dedup_state_survives_leader_power_loss_mid_retry() {
+    // The sharpest EOS edge: the ack for a durable append is lost, and
+    // the leader that holds the dedup window dies before the retry
+    // arrives. The window must be rebuilt from the surviving log —
+    // answering the retry with "already appended", not a second copy.
+    let tmp = TempDir::new("octopus-data-eosdrill");
+    let cluster = Cluster::builder(3)
+        .data_dir(tmp.path().to_path_buf())
+        .flush_policy(FlushPolicy::PerBatch)
+        .build();
+    cluster
+        .create_topic(
+            "t",
+            TopicConfig::default().with_partitions(1).with_replication(3).with_min_insync(2),
+        )
+        .unwrap();
+    let id = cluster.register_producer("drill").unwrap();
+    let stamped = RecordBatch::new(vec![ev("once-and-only-once")]).with_producer(
+        ProducerStamp { pid: id.pid, epoch: id.epoch, seq: 0 },
+        false,
+    );
+    let leader = cluster.leader_broker("t", 0).unwrap();
+    cluster.fault_injector().inject_ack_drop(leader, 1);
+    let err = cluster.produce_batch("t", 0, stamped.clone(), AckLevel::All).unwrap_err();
+    assert!(matches!(err, OctoError::Timeout(_)), "ambiguous ack surfaced as timeout: {err:?}");
+    // leader dies (power loss) before the retry; a replica takes over
+    cluster.power_loss_broker(leader, 0xFEED_FACE).unwrap();
+    cluster.restart_broker(leader).unwrap();
+    let _ = cluster.resync_broker(leader);
+    let receipt = cluster.produce_batch("t", 0, stamped, AckLevel::All).unwrap();
+    assert!(receipt.deduplicated, "retry answered from dedup state rebuilt off the new leader");
+    assert_eq!(receipt.base_offset, 0);
+    let records = cluster.fetch("t", 0, 0, 10).unwrap();
+    assert_eq!(records.len(), 1, "exactly one copy in the log");
+    assert_eq!(&records[0].value[..], b"once-and-only-once");
 }
 
 #[test]

@@ -15,14 +15,18 @@
 //!   HMAC request signing, as used by MSK's IAM authentication.
 //! - [`acl`]: per-topic READ/WRITE/DESCRIBE access control lists with
 //!   self-service management, the paper's "fine-grained access control".
+//! - [`scram`]: SCRAM-SHA-256-style salted challenge-response, the
+//!   password mechanism the wire protocol carries in its handshake.
 
 pub mod acl;
 pub mod globus;
 pub mod iam;
+pub mod scram;
 pub mod sha;
 pub mod token;
 
 pub use acl::{AclStore, Permission};
 pub use globus::{AuthServer, ClientRegistration, IdentityProvider};
 pub use iam::{AccessKey, IamService, SignedRequest};
+pub use scram::ScramStore;
 pub use token::{AccessToken, Scope, TokenInfo, TokenStatus};

@@ -18,6 +18,11 @@
 //!    with producer stamps on every batch, so the leader runs the
 //!    dedup-window check inside its append lock; reports the cost of
 //!    idempotence relative to the unstamped baseline.
+//! 6. **Network tax** — the same produce/fetch workload driven twice
+//!    through the [`Transport`] abstraction: once in-process, once over
+//!    a real loopback TCP socket (wire frames, CRC, a server round
+//!    trip). Reports throughput and p99 for both so the cost of the
+//!    networked data plane is tracked across PRs.
 //!
 //! Results land in `results/hotpath.txt` (human) and
 //! `BENCH_hotpath.json` at the repo root (machine readable, consumed
@@ -37,6 +42,10 @@ use octopus_broker::{
     crc32c, AckLevel, Cluster, FlushPolicy, ProducerStamp, RecordBatch, TempDir, TopicConfig,
 };
 use octopus_types::{AtomicHistogram, Event};
+use octopus_wire::{
+    Authenticator, InProcessTransport, TcpTransport, TcpTransportConfig, Transport, WireServer,
+    WireServerConfig,
+};
 
 struct Scale {
     smoke: bool,
@@ -56,6 +65,8 @@ struct Scale {
     crc_passes: usize,
     /// Batches per producer in the group-commit probe.
     durable_batches: usize,
+    /// Batches pushed through each transport in the network probe.
+    net_batches: usize,
 }
 
 impl Scale {
@@ -71,6 +82,7 @@ impl Scale {
                 crc_bytes: 1 << 20,
                 crc_passes: 16,
                 durable_batches: 40,
+                net_batches: 150,
             }
         } else {
             Scale {
@@ -83,6 +95,7 @@ impl Scale {
                 crc_bytes: 4 << 20,
                 crc_passes: 64,
                 durable_batches: 300,
+                net_batches: 1_000,
             }
         }
     }
@@ -400,6 +413,97 @@ fn eos_overhead(idempotent: bool, scale: &Scale) -> EosRow {
     }
 }
 
+struct NetSide {
+    produce_p50_us: f64,
+    produce_p99_us: f64,
+    produce_events_per_sec: f64,
+    fetch_records_per_sec: f64,
+    fetch_p99_us: f64,
+}
+
+/// Drive the produce→fetch workload through one [`Transport`]: the
+/// same calls the SDK makes, so the in-process and TCP numbers differ
+/// only by the wire (framing, CRC, socket, server dispatch).
+fn net_side(transport: &dyn Transport, scale: &Scale) -> NetSide {
+    let payload = vec![0x71u8; 128];
+    let hist = AtomicHistogram::new();
+    let t0 = Instant::now();
+    for _ in 0..scale.net_batches {
+        let events: Vec<Event> =
+            (0..scale.batch_events).map(|_| Event::from_bytes(payload.clone())).collect();
+        let batch = RecordBatch::new(events);
+        let t = Instant::now();
+        transport.produce_batch("net", 0, batch, AckLevel::Leader).expect("net produce");
+        hist.record(t.elapsed().as_nanos() as u64);
+    }
+    let produce_secs = t0.elapsed().as_secs_f64();
+    let total = (scale.net_batches * scale.batch_events) as u64;
+    check(
+        transport.latest_offset("net", 0).expect("net latest") == total,
+        "network probe lost acked records",
+    );
+
+    let fetch_hist = AtomicHistogram::new();
+    let t1 = Instant::now();
+    let mut offset = 0u64;
+    while offset < total {
+        let t = Instant::now();
+        let recs = transport.fetch("net", 0, offset, 500, None).expect("net fetch");
+        fetch_hist.record(t.elapsed().as_nanos() as u64);
+        check(!recs.is_empty(), "network probe fetch returned empty mid-log");
+        for r in &recs {
+            check(r.offset == offset, "network probe offsets not dense");
+            offset += 1;
+        }
+    }
+    let fetch_secs = t1.elapsed().as_secs_f64();
+
+    let snap = hist.snapshot();
+    NetSide {
+        produce_p50_us: snap.median() as f64 / 1e3,
+        produce_p99_us: snap.p99() as f64 / 1e3,
+        produce_events_per_sec: total as f64 / produce_secs,
+        fetch_records_per_sec: total as f64 / fetch_secs,
+        fetch_p99_us: fetch_hist.snapshot().p99() as f64 / 1e3,
+    }
+}
+
+struct NetResult {
+    in_process: NetSide,
+    tcp: NetSide,
+}
+
+/// Network-tax probe: identical workloads through the in-process
+/// transport and over a real loopback socket against a `WireServer`.
+/// Each side gets its own fresh single-partition topic on a shared
+/// volatile cluster.
+fn net_probe(scale: &Scale) -> NetResult {
+    let cluster = Cluster::new(2);
+    let topic_config = TopicConfig::default().with_partitions(1).with_replication(2);
+
+    cluster.create_topic("net", topic_config.clone()).expect("topic");
+    let inproc = InProcessTransport::new(cluster.clone());
+    let in_process = net_side(&inproc, scale);
+    cluster.delete_topic("net").expect("reset topic");
+
+    cluster.create_topic("net", topic_config).expect("topic");
+    let server = WireServer::bind(
+        cluster,
+        Authenticator::open(),
+        "127.0.0.1:0",
+        WireServerConfig::default(),
+    )
+    .expect("bind wire server");
+    let tcp_transport = TcpTransport::connect(
+        server.local_addr().to_string(),
+        TcpTransportConfig::default(),
+    );
+    tcp_transport.ensure_connected().expect("connect");
+    let tcp = net_side(&tcp_transport, scale);
+
+    NetResult { in_process, tcp }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let scale = Scale::new(smoke);
@@ -471,6 +575,19 @@ fn main() {
         eos_overhead_pct,
     ));
 
+    let net = net_probe(&scale);
+    txt.push_str(&format!(
+        "network tax (acks=1, rf=2, single client): in-process {} events/s produce \
+         (p99 {:.1} us) / {} records/s fetch vs loopback TCP {} events/s produce \
+         (p99 {:.1} us) / {} records/s fetch\n",
+        human_rate(net.in_process.produce_events_per_sec),
+        net.in_process.produce_p99_us,
+        human_rate(net.in_process.fetch_records_per_sec),
+        human_rate(net.tcp.produce_events_per_sec),
+        net.tcp.produce_p99_us,
+        human_rate(net.tcp.fetch_records_per_sec),
+    ));
+
     print!("{txt}");
     let path = write_result("hotpath.txt", &txt).expect("write hotpath.txt");
     println!("wrote {}", path.display());
@@ -522,6 +639,26 @@ fn main() {
             },
             "throughput_overhead_pct": eos_overhead_pct,
         },
+        "net": {
+            "acks": "1",
+            "rf": 2,
+            "batches": scale.net_batches,
+            "batch_events": scale.batch_events,
+            "in_process": {
+                "produce_p50_us": net.in_process.produce_p50_us,
+                "produce_p99_us": net.in_process.produce_p99_us,
+                "produce_events_per_sec": net.in_process.produce_events_per_sec,
+                "fetch_records_per_sec": net.in_process.fetch_records_per_sec,
+                "fetch_p99_us": net.in_process.fetch_p99_us,
+            },
+            "tcp": {
+                "produce_p50_us": net.tcp.produce_p50_us,
+                "produce_p99_us": net.tcp.produce_p99_us,
+                "produce_events_per_sec": net.tcp.produce_events_per_sec,
+                "fetch_records_per_sec": net.tcp.fetch_records_per_sec,
+                "fetch_p99_us": net.tcp.fetch_p99_us,
+            },
+        },
     });
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let json_path = root.join("BENCH_hotpath.json");
@@ -539,6 +676,10 @@ fn main() {
     check(
         reread["eos"]["idempotent_on"]["events_per_sec"].as_f64().unwrap_or(0.0) > 0.0,
         "bench json eos section incomplete",
+    );
+    check(
+        reread["net"]["tcp"]["produce_events_per_sec"].as_f64().unwrap_or(0.0) > 0.0,
+        "bench json net section incomplete",
     );
     println!("wrote {}", json_path.display());
 }

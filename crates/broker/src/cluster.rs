@@ -587,7 +587,7 @@ impl Cluster {
     pub fn partition_for(&self, topic: &str, key: Option<&[u8]>) -> OctoResult<PartitionId> {
         let n = self.partition_count(topic)?;
         Ok(match key {
-            Some(k) => (fxhash(k) % n as u64) as u32,
+            Some(k) => key_partition(k, n),
             None => (self.inner.round_robin.fetch_add(1, Ordering::Relaxed) % n as u64) as u32,
         })
     }
@@ -1681,6 +1681,13 @@ impl ClusterBuilder {
         cluster.rebuild_eos_all();
         Ok(cluster)
     }
+}
+
+/// The keyed-partition function of the default partitioner, shared so
+/// remote transports compute the same partition client-side that the
+/// broker would have chosen for the key.
+pub fn key_partition(key: &[u8], partitions: u32) -> PartitionId {
+    (fxhash(key) % partitions.max(1) as u64) as u32
 }
 
 /// FxHash-style mixing for the default partitioner.

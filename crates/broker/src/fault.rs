@@ -51,11 +51,18 @@ struct FaultState {
     ack_drops: HashMap<BrokerId, u32>,
 }
 
+/// Callback invoked when a link is severed; lets transports that hold
+/// real OS resources for the link (sockets) tear them down too.
+pub type SeverObserver = Box<dyn Fn(BrokerId, BrokerId) + Send + Sync>;
+
 /// Shared, thread-safe fault switchboard. Clones share state.
 #[derive(Clone, Default)]
 pub struct FaultInjector {
     armed: Arc<AtomicBool>,
     state: Arc<Mutex<FaultState>>,
+    /// Observers notified on every `sever_link`. Kept outside
+    /// `FaultState` so firing them never holds the fault lock.
+    sever_observers: Arc<Mutex<Vec<SeverObserver>>>,
 }
 
 /// Baseline per-operation service time a slow broker's multiplier
@@ -92,6 +99,21 @@ impl FaultInjector {
         s.severed.insert(ordered(a, b));
         drop(s);
         self.rearm();
+        // fire after the partition is in effect, so an observer that
+        // kills sockets sees the in-process link already down
+        let observers = self.sever_observers.lock();
+        for obs in observers.iter() {
+            obs(a, b);
+        }
+    }
+
+    /// Register a callback fired on every [`FaultInjector::sever_link`].
+    ///
+    /// The wire server uses this to shut down the real TCP connections
+    /// it serves when the chaos layer partitions its broker, so under a
+    /// `TcpTransport` a simulated severed link also severs the socket.
+    pub fn on_sever(&self, observer: SeverObserver) {
+        self.sever_observers.lock().push(observer);
     }
 
     /// Restore one severed link.
@@ -291,6 +313,23 @@ mod tests {
         assert!(f.take_ack_drop(BrokerId(0)));
         assert!(!f.take_ack_drop(BrokerId(0)));
         assert!(!f.is_armed(), "consuming the last drop disarms");
+    }
+
+    #[test]
+    fn sever_observers_fire_per_severed_link() {
+        use std::sync::atomic::AtomicU32;
+        let f = FaultInjector::new();
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        f.on_sever(Box::new(move |a, b| {
+            assert_eq!(ordered(a, b), (BrokerId(0), BrokerId(2)));
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        f.sever_link(BrokerId(2), BrokerId(0));
+        f.sever_link(BrokerId(0), BrokerId(2));
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        f.heal_all_links();
+        assert_eq!(hits.load(Ordering::SeqCst), 2, "healing does not fire observers");
     }
 
     #[test]

@@ -53,7 +53,8 @@ pub use eos::{
     DedupTable, DedupVerdict, PidAllocator, ProducerIdentity, TxnCoordinator, TxnIndex, TxnOffset,
     TxnState, DEDUP_WINDOWS,
 };
-pub use fault::{DeliveryFault, FaultInjector};
+pub use cluster::key_partition;
+pub use fault::{DeliveryFault, FaultInjector, SeverObserver};
 pub use config::{CleanupPolicy, RetentionConfig, TopicConfig};
 pub use group::{GroupCoordinator, GroupMember, MemberAssignment};
 pub use health::{

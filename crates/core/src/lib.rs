@@ -58,4 +58,5 @@ pub use octopus_sdk as sdk;
 pub use octopus_sim as sim;
 pub use octopus_trigger as trigger;
 pub use octopus_types as types;
+pub use octopus_wire as wire;
 pub use octopus_zoo as zoo;

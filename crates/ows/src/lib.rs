@@ -45,7 +45,7 @@ pub mod service;
 pub use http::{Method, Request, Response};
 pub use ratelimit::RateLimiter;
 pub use registry::FunctionRegistry;
-pub use service::{OwsConfig, OwsService};
+pub use service::{parse_topic_config, OwsConfig, OwsService};
 
 /// The OAuth scope OWS requires on bearer tokens.
 pub const OWS_SCOPE: &str = "https://auth.octopus.science/scopes/ows/all";

@@ -359,8 +359,9 @@ impl OwsService {
 }
 
 /// Merge a JSON body over a base [`TopicConfig`]. Unknown fields are
-/// rejected so typos fail loudly.
-fn parse_topic_config(body: &Value, base: TopicConfig) -> OctoResult<TopicConfig> {
+/// rejected so typos fail loudly. Shared with the wire-backend admin
+/// client so both front doors accept the same partial-config bodies.
+pub fn parse_topic_config(body: &Value, base: TopicConfig) -> OctoResult<TopicConfig> {
     let mut config = base;
     let Value::Object(map) = body else {
         if body.is_null() {

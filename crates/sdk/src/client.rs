@@ -1,5 +1,7 @@
-//! A typed client over the OWS REST surface.
+//! A typed client over the OWS REST surface — or, for the data-plane
+//! subset (topic admin), over any wire [`Transport`].
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use serde_json::{json, Value};
@@ -7,17 +9,29 @@ use serde_json::{json, Value};
 use octopus_auth::AccessToken;
 use octopus_ows::{Method, OwsService, Request};
 use octopus_types::{OctoError, OctoResult, Retrier, RetryPolicy, Uid};
+use octopus_wire::Transport;
 
-/// Typed access to the Octopus Web Service. The transport is the
-/// in-process router, so every call exercises the same dispatch, auth,
-/// and error-mapping path a remote HTTP client would.
+/// Where admin calls go.
+enum Backend {
+    /// The full OWS control plane (in-process REST router).
+    Ows { ows: OwsService, token: AccessToken },
+    /// A wire transport: topic create/list/config/delete travel over
+    /// the binary protocol; control-plane-only operations (grants,
+    /// keys, triggers) are rejected with a typed error.
+    Wire(Arc<dyn Transport>),
+}
+
+/// Typed access to the Octopus Web Service. The default transport is
+/// the in-process router, so every call exercises the same dispatch,
+/// auth, and error-mapping path a remote HTTP client would; a client
+/// built with [`OctopusClient::over_wire`] instead sends the topic
+/// admin subset through the binary wire protocol.
 ///
 /// Calls that fail with a retriable status (429 rate-limited, 503
 /// unavailable) are retried through the shared [`Retrier`]; permanent
 /// statuses (4xx auth/validation) surface immediately.
 pub struct OctopusClient {
-    ows: OwsService,
-    token: AccessToken,
+    backend: Backend,
     retrier: Retrier,
 }
 
@@ -25,8 +39,20 @@ impl OctopusClient {
     /// A client speaking for the holder of `token`.
     pub fn new(ows: OwsService, token: AccessToken) -> Self {
         OctopusClient {
-            ows,
-            token,
+            backend: Backend::Ows { ows, token },
+            retrier: Retrier::new(
+                RetryPolicy::new(3, Duration::from_millis(5))
+                    .with_max_delay(Duration::from_millis(50)),
+            ),
+        }
+    }
+
+    /// An admin client over a wire transport. Authentication happened
+    /// in the transport's connection handshake, so no bearer token is
+    /// carried per call.
+    pub fn over_wire(transport: Arc<dyn Transport>) -> Self {
+        OctopusClient {
+            backend: Backend::Wire(transport),
             retrier: Retrier::new(
                 RetryPolicy::new(3, Duration::from_millis(5))
                     .with_max_delay(Duration::from_millis(50)),
@@ -40,9 +66,12 @@ impl OctopusClient {
         self
     }
 
-    /// Replace the bearer token (after a refresh).
+    /// Replace the bearer token (after a refresh). No-op on a wire
+    /// backend, whose identity was fixed at connection time.
     pub fn set_token(&mut self, token: AccessToken) {
-        self.token = token;
+        if let Backend::Ows { token: t, .. } = &mut self.backend {
+            *t = token;
+        }
     }
 
     fn call(&self, method: Method, path: &str, body: Value) -> OctoResult<Value> {
@@ -50,9 +79,13 @@ impl OctopusClient {
     }
 
     fn call_once(&self, method: Method, path: &str, body: Value) -> OctoResult<Value> {
-        let resp = self
-            .ows
-            .dispatch(&Request::new(method, path).bearer(self.token.clone()).body(body));
+        let Backend::Ows { ows, token } = &self.backend else {
+            return Err(OctoError::Invalid(format!(
+                "{method:?} {path} is a control-plane operation not served by the wire \
+                 protocol; connect an OWS client for it"
+            )));
+        };
+        let resp = ows.dispatch(&Request::new(method, path).bearer(token.clone()).body(body));
         if resp.is_success() {
             Ok(resp.body)
         } else {
@@ -72,11 +105,22 @@ impl OctopusClient {
 
     /// `PUT /topic/<topic>` with an optional config body.
     pub fn register_topic(&self, topic: &str, config: Value) -> OctoResult<Value> {
+        if let Backend::Wire(t) = &self.backend {
+            let parsed = octopus_ows::parse_topic_config(
+                &config,
+                octopus_broker::TopicConfig::default(),
+            )?;
+            self.retrier.call(|_| t.create_topic(topic, parsed.clone()))?;
+            return Ok(json!({ "topic": topic, "status": "created" }));
+        }
         self.call(Method::Put, &format!("/topic/{topic}"), config)
     }
 
     /// `GET /topics`.
     pub fn list_topics(&self) -> OctoResult<Vec<String>> {
+        if let Backend::Wire(t) = &self.backend {
+            return self.retrier.call(|_| t.topics());
+        }
         let v = self.call(Method::Get, "/topics", Value::Null)?;
         Ok(v["topics"]
             .as_array()
@@ -86,6 +130,10 @@ impl OctopusClient {
 
     /// `GET /topic/<topic>`.
     pub fn topic_config(&self, topic: &str) -> OctoResult<Value> {
+        if let Backend::Wire(t) = &self.backend {
+            let config = self.retrier.call(|_| t.topic_config(topic))?;
+            return serde_json::to_value(config).map_err(|e| OctoError::Serde(e.to_string()));
+        }
         self.call(Method::Get, &format!("/topic/{topic}"), Value::Null)
     }
 
@@ -126,6 +174,9 @@ impl OctopusClient {
 
     /// `DELETE /topic/<topic>`.
     pub fn release_topic(&self, topic: &str) -> OctoResult<()> {
+        if let Backend::Wire(t) = &self.backend {
+            return self.retrier.call(|_| t.delete_topic(topic));
+        }
         self.call(Method::Delete, &format!("/topic/{topic}"), Value::Null)?;
         Ok(())
     }

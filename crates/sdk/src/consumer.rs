@@ -12,6 +12,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use octopus_broker::Cluster;
+use octopus_wire::{InProcessTransport, Transport};
 use octopus_types::obs::{now_ns, Stage, TraceContext};
 use octopus_types::{
     DeliveredEvent, OctoError, OctoResult, Offset, PartitionId, Timestamp, TopicName, Uid,
@@ -71,7 +72,7 @@ impl ConsumerConfig {
 
 /// A consumer participating in a consumer group.
 pub struct Consumer {
-    cluster: Cluster,
+    transport: Arc<dyn Transport>,
     config: ConsumerConfig,
     member_id: String,
     principal: Option<Uid>,
@@ -98,9 +99,21 @@ impl Consumer {
 
     /// A consumer whose reads are authorized as `principal`.
     pub fn with_principal(cluster: Cluster, config: ConsumerConfig, principal: Option<Uid>) -> Self {
+        Self::over(Arc::new(InProcessTransport::new(cluster)), config, principal)
+    }
+
+    /// A consumer reading through any [`Transport`] — in-process or a
+    /// TCP connection to a remote wire server. Over TCP, `principal`
+    /// is advisory only: the server authorizes against the handshake
+    /// identity.
+    pub fn over(
+        transport: Arc<dyn Transport>,
+        config: ConsumerConfig,
+        principal: Option<Uid>,
+    ) -> Self {
         let member_id = format!("member-{}", Uid::fresh());
         Consumer {
-            cluster,
+            transport,
             config,
             member_id,
             principal,
@@ -127,7 +140,7 @@ impl Consumer {
     fn partition_counts(&self) -> HashMap<TopicName, u32> {
         self.subscriptions
             .iter()
-            .filter_map(|t| self.cluster.partition_count(t).ok().map(|n| (t.clone(), n)))
+            .filter_map(|t| self.transport.partition_count(t).ok().map(|n| (t.clone(), n)))
             .collect()
     }
 
@@ -135,34 +148,32 @@ impl Consumer {
     /// rebalance).
     pub fn subscribe(&mut self, topics: &[&str]) -> OctoResult<()> {
         for t in topics {
-            if !self.cluster.topic_exists(t) {
+            if !self.transport.topic_exists(t) {
                 return Err(OctoError::UnknownTopic(t.to_string()));
             }
-            if let (Some(p), Some(acl)) = (self.principal, self.cluster.acl()) {
-                acl.check(t, p, octopus_auth::Permission::Read)?;
-            }
+            self.transport.authorize(t, self.principal, octopus_auth::Permission::Read)?;
         }
         self.subscriptions = topics.iter().map(|t| t.to_string()).collect();
-        self.rejoin();
-        Ok(())
+        self.rejoin()
     }
 
-    fn rejoin(&mut self) {
+    fn rejoin(&mut self) -> OctoResult<()> {
         let counts = self.partition_counts();
-        let a = self.cluster.coordinator().join(
+        let a = self.transport.group_join(
             &self.config.group,
             &self.member_id,
             self.subscriptions.clone(),
             &counts,
-        );
+        )?;
         self.generation = a.generation;
         self.assignment = a.partitions.into();
         self.positions.clear();
+        Ok(())
     }
 
     fn refresh_assignment_if_stale(&mut self) {
-        if let Some(a) =
-            self.cluster.coordinator().assignment_of(&self.config.group, &self.member_id)
+        if let Ok(Some(a)) =
+            self.transport.group_assignment(&self.config.group, &self.member_id)
         {
             if a.generation != self.generation {
                 self.generation = a.generation;
@@ -176,12 +187,13 @@ impl Consumer {
         if let Some(&p) = self.positions.get(topic).and_then(|m| m.get(&partition)) {
             return Ok(p);
         }
-        let committed = self.cluster.coordinator().committed(&self.config.group, topic, partition);
+        let committed =
+            self.transport.offset_committed(&self.config.group, topic, partition)?;
         let start = match committed {
-            Some(o) => o.max(self.cluster.earliest_offset(topic, partition)?),
+            Some(o) => o.max(self.transport.earliest_offset(topic, partition)?),
             None => match self.config.offset_reset {
-                OffsetReset::Earliest => self.cluster.earliest_offset(topic, partition)?,
-                OffsetReset::Latest => self.cluster.latest_offset(topic, partition)?,
+                OffsetReset::Earliest => self.transport.earliest_offset(topic, partition)?,
+                OffsetReset::Latest => self.transport.latest_offset(topic, partition)?,
             },
         };
         self.positions.entry(topic.to_string()).or_default().insert(partition, start);
@@ -293,10 +305,10 @@ impl Consumer {
                 // End-to-end across threads, so wall-clock based.
                 if let Some(tc) = TraceContext::from_headers(&event.headers) {
                     let end = now_ns();
-                    self.cluster.stage_metrics().record(Stage::Deliver, tc.elapsed_ns(end));
+                    self.transport.stage_metrics().record(Stage::Deliver, tc.elapsed_ns(end));
                     // the deliver span covers produce-time → hand-off,
                     // closing the causal tree for sampled traces
-                    self.cluster.span_sink().record_stage(&tc, Stage::Deliver, tc.produced_ns, end);
+                    self.transport.span_sink().record_stage(&tc, Stage::Deliver, tc.produced_ns, end);
                 }
                 out.push(DeliveredEvent {
                     topic: topic.clone(),
@@ -326,16 +338,12 @@ impl Consumer {
         max: usize,
     ) -> OctoResult<(Vec<octopus_broker::Record>, Option<Offset>)> {
         if self.config.read_committed {
-            if let (Some(p), Some(acl)) = (self.principal, self.cluster.acl()) {
-                acl.check(topic, p, octopus_auth::Permission::Read)?;
-            }
-            let (records, next) = self.cluster.fetch_committed(topic, partition, offset, max)?;
+            self.transport.authorize(topic, self.principal, octopus_auth::Permission::Read)?;
+            let (records, next) =
+                self.transport.fetch_committed(topic, partition, offset, max)?;
             return Ok((records, Some(next)));
         }
-        let records = match self.principal {
-            Some(p) => self.cluster.fetch_as(p, topic, partition, offset, max),
-            None => self.cluster.fetch(topic, partition, offset, max),
-        }?;
+        let records = self.transport.fetch(topic, partition, offset, max, self.principal)?;
         Ok((records, None))
     }
 
@@ -352,7 +360,7 @@ impl Consumer {
         let dirty = std::mem::take(&mut self.dirty);
         for (topic, parts) in dirty {
             for (partition, offset) in parts {
-                match self.cluster.coordinator().commit(
+                match self.transport.offset_commit(
                     &self.config.group,
                     self.generation,
                     &topic,
@@ -363,7 +371,7 @@ impl Consumer {
                     Err(OctoError::RebalanceInProgress(_)) => {
                         // stale generation: rejoin; uncommitted records
                         // will be redelivered (at-least-once)
-                        self.rejoin();
+                        let _ = self.rejoin();
                         return Err(OctoError::RebalanceInProgress(self.config.group.clone()));
                     }
                     Err(e) => return Err(e),
@@ -379,7 +387,7 @@ impl Consumer {
         let assignment = Arc::clone(&self.assignment);
         for (t, p) in assignment.iter() {
             if t == topic {
-                let o = self.cluster.earliest_offset(t, *p)?;
+                let o = self.transport.earliest_offset(t, *p)?;
                 self.positions.entry(t.clone()).or_default().insert(*p, o);
             }
         }
@@ -391,7 +399,7 @@ impl Consumer {
         let assignment = Arc::clone(&self.assignment);
         for (t, p) in assignment.iter() {
             if t == topic {
-                let o = self.cluster.latest_offset(t, *p)?;
+                let o = self.transport.latest_offset(t, *p)?;
                 self.positions.entry(t.clone()).or_default().insert(*p, o);
             }
         }
@@ -404,7 +412,7 @@ impl Consumer {
         let assignment = Arc::clone(&self.assignment);
         for (t, p) in assignment.iter() {
             if t == topic {
-                let o = self.cluster.offset_for_timestamp(t, *p, ts)?;
+                let o = self.transport.offset_for_timestamp(t, *p, ts)?;
                 self.positions.entry(t.clone()).or_default().insert(*p, o);
             }
         }
@@ -422,7 +430,7 @@ impl Consumer {
             return;
         }
         let counts = self.partition_counts();
-        self.cluster.coordinator().leave(&self.config.group, &self.member_id, &counts);
+        let _ = self.transport.group_leave(&self.config.group, &self.member_id, &counts);
         self.subscriptions.clear();
     }
 }

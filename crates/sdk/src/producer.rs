@@ -20,6 +20,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 
 use octopus_broker::{AckLevel, Cluster, ProduceReceipt, ProducerStamp, RecordBatch};
 use octopus_broker::ProducerIdentity;
+use octopus_wire::{InProcessTransport, Transport};
 use octopus_types::obs::{Stage, TraceContext};
 use octopus_types::retry::RetryMetrics;
 use octopus_types::{
@@ -135,7 +136,7 @@ pub struct Producer {
     tx: Sender<Pending>,
     buffered_bytes: Arc<AtomicUsize>,
     config: ProducerConfig,
-    cluster: Cluster,
+    transport: Arc<dyn Transport>,
     closed: Arc<AtomicBool>,
     sender_thread: Option<std::thread::JoinHandle<()>>,
     flush_signal: Sender<Sender<()>>,
@@ -154,16 +155,28 @@ impl Producer {
         config: ProducerConfig,
         principal: Option<Uid>,
     ) -> Self {
+        Self::over(Arc::new(InProcessTransport::new(cluster)), config, principal)
+    }
+
+    /// A producer publishing through any [`Transport`] — in-process or
+    /// a TCP connection to a remote wire server. Over TCP, `principal`
+    /// is advisory only: the server authorizes against the handshake
+    /// identity.
+    pub fn over(
+        transport: Arc<dyn Transport>,
+        config: ProducerConfig,
+        principal: Option<Uid>,
+    ) -> Self {
         let (tx, rx) = unbounded::<Pending>();
         let (flush_tx, flush_rx) = unbounded::<Sender<()>>();
         let buffered = Arc::new(AtomicUsize::new(0));
         let closed = Arc::new(AtomicBool::new(false));
         let retrier = Retrier::new(RetryPolicy::new(config.retries, config.retry_backoff))
-            .with_metrics(RetryMetrics::from_registry(cluster.metrics(), "octopus_producer"));
+            .with_metrics(RetryMetrics::from_registry(&transport.metrics(), "octopus_producer"));
         let worker = SenderWorker {
             rx,
             flush_rx,
-            cluster: cluster.clone(),
+            transport: Arc::clone(&transport),
             retrier,
             config: config.clone(),
             buffered: buffered.clone(),
@@ -176,7 +189,7 @@ impl Producer {
             tx,
             buffered_bytes: buffered,
             config,
-            cluster,
+            transport,
             closed,
             sender_thread: Some(handle),
             flush_signal: flush_tx,
@@ -216,7 +229,7 @@ impl Producer {
         if current + size > self.config.buffer_memory {
             return Err(OctoError::BufferFull { capacity_bytes: self.config.buffer_memory });
         }
-        let partition = self.cluster.partition_for(topic, event.key.as_deref())?;
+        let partition = self.transport.partition_for(topic, event.key.as_deref())?;
         let (report_tx, report_rx) = bounded(1);
         self.buffered_bytes.fetch_add(size, Ordering::AcqRel);
         let pending = Pending {
@@ -284,7 +297,7 @@ impl Drop for Producer {
 struct SenderWorker {
     rx: Receiver<Pending>,
     flush_rx: Receiver<Sender<()>>,
-    cluster: Cluster,
+    transport: Arc<dyn Transport>,
     /// Shared retry/backoff/breaker stack. One dispatch (including all
     /// its internal retries) counts as a single breaker sample, so a
     /// long recovery cannot trip the breaker mid-outage.
@@ -389,7 +402,7 @@ impl SenderWorker {
         }
         let name =
             self.config.client_id.clone().unwrap_or_else(|| "octopus-producer".to_string());
-        let id = self.cluster.register_producer(&name)?;
+        let id = self.transport.register_producer(&name)?;
         self.identity = Some(id);
         Ok(id)
     }
@@ -426,7 +439,7 @@ impl SenderWorker {
                 }
             }
         }
-        let spans = self.cluster.span_sink();
+        let spans = self.transport.span_sink();
         let traced = if spans.is_enabled() {
             record_batch
                 .events
@@ -439,19 +452,21 @@ impl SenderWorker {
         let ack_start = Instant::now();
         let ack_wall = octopus_types::obs::now_ns();
         let result = self.retrier.call(|_attempt| {
-            if let Some(p) = self.principal {
-                // per-event authorization shares one check per batch
-                self.cluster
-                    .acl()
-                    .map(|acl| acl.check(topic, p, octopus_auth::Permission::Write))
-                    .unwrap_or(Ok(()))?;
-            }
-            self.cluster.produce_batch(topic, partition, record_batch.clone(), self.config.acks)
+            // per-event authorization shares one check per batch (the
+            // in-process transport checks the ACL; TCP defers to the
+            // server's handshake principal)
+            self.transport.authorize(topic, self.principal, octopus_auth::Permission::Write)?;
+            self.transport.produce_batch(
+                topic,
+                partition,
+                record_batch.clone(),
+                self.config.acks,
+            )
         });
         // produce→ack covers the whole dispatch including retries —
         // the client-visible latency of Table III.
         let ack_ns = ack_start.elapsed().as_nanos() as u64;
-        self.cluster.stage_metrics().record(Stage::ProduceAck, ack_ns);
+        self.transport.stage_metrics().record(Stage::ProduceAck, ack_ns);
         if let Some(tc) = &traced {
             // root of the causal tree: append/replicate/fetch/deliver
             // spans of the same trace hang below this one

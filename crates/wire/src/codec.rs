@@ -1,0 +1,1276 @@
+//! Binary payload codec for every request and response type.
+//!
+//! The payload format is hand-rolled little-endian binary: fixed-width
+//! integers, `u32`-length-prefixed byte strings, `u8` tags for enums
+//! and options, and `u32`-count-prefixed collections. Two properties
+//! are load-bearing:
+//!
+//! - **No decode path panics.** Every read is bounds-checked through
+//!   [`WireReader`] and returns [`WireError::Truncated`] or
+//!   [`WireError::Malformed`] on bad input. Collection counts are
+//!   validated against the bytes actually remaining before any
+//!   allocation is sized from them.
+//! - **Encode→decode is the identity** for every type, which the
+//!   round-trip proptests in this module enforce.
+//!
+//! One deliberate exception to "binary everywhere":
+//! [`TopicConfig`](octopus_broker::TopicConfig) is
+//! carried as a JSON blob inside the `CreateTopic` request and the
+//! `Metadata` response. Topic configuration is low-rate control-plane
+//! traffic whose schema grows every few PRs; JSON keeps it evolvable
+//! without burning a protocol version per new retention knob.
+
+use octopus_broker::{
+    AckLevel, ControlMarker, MemberAssignment, ProduceReceipt, ProducerIdentity, ProducerStamp,
+    Record, RecordBatch, RecordEos, TxnOffset,
+};
+use octopus_types::{Event, Header, Offset, PartitionId, Timestamp, Uid};
+
+use crate::error::{ErrorCode, WireError, WireFault};
+
+// ---------------------------------------------------------------------------
+// primitive writer / reader
+// ---------------------------------------------------------------------------
+
+/// Append-only payload builder.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    pub fn new() -> Self {
+        WireWriter { buf: Vec::new() }
+    }
+
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    pub fn put_opt_bytes(&mut self, v: Option<&[u8]>) {
+        match v {
+            Some(b) => {
+                self.put_u8(1);
+                self.put_bytes(b);
+            }
+            None => self.put_u8(0),
+        }
+    }
+}
+
+/// Bounds-checked payload reader over a borrowed slice.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// The decode succeeded only if every byte was consumed; trailing
+    /// garbage means the peer and we disagree about the schema.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes after payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { needed: n, have: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(WireError::Malformed(format!("bool tag {v}"))),
+        }
+    }
+
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    pub fn get_u128(&mut self) -> Result<u128, WireError> {
+        let b = self.take(16)?;
+        let mut a = [0u8; 16];
+        a.copy_from_slice(b);
+        Ok(u128::from_le_bytes(a))
+    }
+
+    /// Length-prefixed byte string. The declared length is checked
+    /// against the remaining bytes before anything is copied, so a
+    /// hostile length cannot drive an over-allocation.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.get_u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes).map_err(|_| WireError::Malformed("non-utf8 string".into()))
+    }
+
+    pub fn get_opt_bytes(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.get_bytes()?)),
+            v => Err(WireError::Malformed(format!("option tag {v}"))),
+        }
+    }
+
+    /// Validate a collection count against the minimum bytes each
+    /// element must occupy; prevents `count=u32::MAX` from sizing an
+    /// allocation that the payload could never back.
+    pub fn get_count(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let count = self.get_u32()? as usize;
+        let floor = count.saturating_mul(min_elem_bytes.max(1));
+        if floor > self.remaining() {
+            return Err(WireError::Malformed(format!(
+                "collection of {count} elements cannot fit in {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(count)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// api keys
+// ---------------------------------------------------------------------------
+
+/// The API key space. Values are part of the protocol: never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ApiKey {
+    Handshake = 0,
+    Produce = 1,
+    Fetch = 2,
+    Metadata = 3,
+    ListOffsets = 4,
+    CreateTopic = 5,
+    DeleteTopic = 6,
+    GroupJoin = 7,
+    GroupHeartbeat = 8,
+    GroupLeave = 9,
+    OffsetCommit = 10,
+    OffsetFetch = 11,
+    RegisterPid = 12,
+    TxnBegin = 13,
+    TxnProduce = 14,
+    TxnOffsets = 15,
+    TxnCommit = 16,
+    TxnAbort = 17,
+    FetchCommitted = 18,
+}
+
+impl ApiKey {
+    pub fn from_u16(v: u16) -> Result<Self, WireError> {
+        Ok(match v {
+            0 => ApiKey::Handshake,
+            1 => ApiKey::Produce,
+            2 => ApiKey::Fetch,
+            3 => ApiKey::Metadata,
+            4 => ApiKey::ListOffsets,
+            5 => ApiKey::CreateTopic,
+            6 => ApiKey::DeleteTopic,
+            7 => ApiKey::GroupJoin,
+            8 => ApiKey::GroupHeartbeat,
+            9 => ApiKey::GroupLeave,
+            10 => ApiKey::OffsetCommit,
+            11 => ApiKey::OffsetFetch,
+            12 => ApiKey::RegisterPid,
+            13 => ApiKey::TxnBegin,
+            14 => ApiKey::TxnProduce,
+            15 => ApiKey::TxnOffsets,
+            16 => ApiKey::TxnCommit,
+            17 => ApiKey::TxnAbort,
+            18 => ApiKey::FetchCommitted,
+            other => return Err(WireError::UnknownApiKey(other)),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shared sub-structures
+// ---------------------------------------------------------------------------
+
+fn put_event(w: &mut WireWriter, e: &Event) {
+    w.put_opt_bytes(e.key.as_deref());
+    w.put_bytes(&e.payload);
+    w.put_u32(e.headers.len() as u32);
+    for h in &e.headers {
+        w.put_str(&h.key);
+        w.put_bytes(&h.value);
+    }
+    w.put_u64(e.timestamp.0);
+}
+
+fn get_event(r: &mut WireReader<'_>) -> Result<Event, WireError> {
+    let key = r.get_opt_bytes()?.map(Into::into);
+    let payload = r.get_bytes()?.into();
+    let n = r.get_count(8)?;
+    let mut headers = Vec::with_capacity(n);
+    for _ in 0..n {
+        headers.push(Header { key: r.get_str()?, value: r.get_bytes()? });
+    }
+    let timestamp = Timestamp(r.get_u64()?);
+    Ok(Event { key, payload, headers, timestamp })
+}
+
+fn put_control(w: &mut WireWriter, c: Option<ControlMarker>) {
+    w.put_u8(match c {
+        None => 0,
+        Some(ControlMarker::Commit) => 1,
+        Some(ControlMarker::Abort) => 2,
+    });
+}
+
+fn get_control(r: &mut WireReader<'_>) -> Result<Option<ControlMarker>, WireError> {
+    match r.get_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(ControlMarker::Commit)),
+        2 => Ok(Some(ControlMarker::Abort)),
+        v => Err(WireError::Malformed(format!("control marker tag {v}"))),
+    }
+}
+
+fn put_batch(w: &mut WireWriter, b: &RecordBatch) {
+    w.put_u32(b.events.len() as u32);
+    for e in &b.events {
+        put_event(w, e);
+    }
+    w.put_u32(b.crc);
+    match b.producer {
+        Some(s) => {
+            w.put_u8(1);
+            w.put_u64(s.pid);
+            w.put_u32(s.epoch);
+            w.put_u64(s.seq);
+        }
+        None => w.put_u8(0),
+    }
+    w.put_bool(b.txn);
+    put_control(w, b.control);
+}
+
+fn get_batch(r: &mut WireReader<'_>) -> Result<RecordBatch, WireError> {
+    let n = r.get_count(14)?;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        events.push(get_event(r)?);
+    }
+    let crc = r.get_u32()?;
+    let producer = match r.get_u8()? {
+        0 => None,
+        1 => Some(ProducerStamp { pid: r.get_u64()?, epoch: r.get_u32()?, seq: r.get_u64()? }),
+        v => return Err(WireError::Malformed(format!("producer tag {v}"))),
+    };
+    let txn = r.get_bool()?;
+    let control = get_control(r)?;
+    Ok(RecordBatch { events, crc, producer, txn, control })
+}
+
+fn put_record(w: &mut WireWriter, rec: &Record) {
+    w.put_u64(rec.offset);
+    w.put_u64(rec.append_time.0);
+    w.put_opt_bytes(rec.key.as_deref());
+    w.put_bytes(&rec.value);
+    w.put_u32(rec.headers.len() as u32);
+    for h in &rec.headers {
+        w.put_str(&h.key);
+        w.put_bytes(&h.value);
+    }
+    w.put_u64(rec.producer_time.0);
+    w.put_u32(rec.crc);
+    match &rec.eos {
+        Some(e) => {
+            w.put_u8(1);
+            w.put_u64(e.pid);
+            w.put_u32(e.epoch);
+            w.put_u64(e.seq);
+            w.put_bool(e.txn);
+            put_control(w, e.control);
+        }
+        None => w.put_u8(0),
+    }
+}
+
+fn get_record(r: &mut WireReader<'_>) -> Result<Record, WireError> {
+    let offset = r.get_u64()?;
+    let append_time = Timestamp(r.get_u64()?);
+    let key = r.get_opt_bytes()?.map(Into::into);
+    let value = r.get_bytes()?.into();
+    let n = r.get_count(8)?;
+    let mut headers = Vec::with_capacity(n);
+    for _ in 0..n {
+        headers.push(Header { key: r.get_str()?, value: r.get_bytes()? });
+    }
+    let producer_time = Timestamp(r.get_u64()?);
+    let crc = r.get_u32()?;
+    let eos = match r.get_u8()? {
+        0 => None,
+        1 => Some(RecordEos {
+            pid: r.get_u64()?,
+            epoch: r.get_u32()?,
+            seq: r.get_u64()?,
+            txn: r.get_bool()?,
+            control: get_control(r)?,
+        }),
+        v => return Err(WireError::Malformed(format!("eos tag {v}"))),
+    };
+    Ok(Record { offset, append_time, key, value, headers, producer_time, crc, eos })
+}
+
+fn put_acks(w: &mut WireWriter, a: AckLevel) {
+    w.put_u8(match a {
+        AckLevel::None => 0,
+        AckLevel::Leader => 1,
+        AckLevel::All => 2,
+    });
+}
+
+fn get_acks(r: &mut WireReader<'_>) -> Result<AckLevel, WireError> {
+    match r.get_u8()? {
+        0 => Ok(AckLevel::None),
+        1 => Ok(AckLevel::Leader),
+        2 => Ok(AckLevel::All),
+        v => Err(WireError::Malformed(format!("ack level tag {v}"))),
+    }
+}
+
+fn put_assignment(w: &mut WireWriter, a: &MemberAssignment) {
+    w.put_u64(a.generation);
+    w.put_u32(a.partitions.len() as u32);
+    for (t, p) in &a.partitions {
+        w.put_str(t);
+        w.put_u32(*p);
+    }
+}
+
+fn get_assignment(r: &mut WireReader<'_>) -> Result<MemberAssignment, WireError> {
+    let generation = r.get_u64()?;
+    let n = r.get_count(8)?;
+    let mut partitions = Vec::with_capacity(n);
+    for _ in 0..n {
+        partitions.push((r.get_str()?, r.get_u32()?));
+    }
+    Ok(MemberAssignment { generation, partitions })
+}
+
+fn put_counts(w: &mut WireWriter, counts: &[(String, u32)]) {
+    w.put_u32(counts.len() as u32);
+    for (t, n) in counts {
+        w.put_str(t);
+        w.put_u32(*n);
+    }
+}
+
+fn get_counts(r: &mut WireReader<'_>) -> Result<Vec<(String, u32)>, WireError> {
+    let n = r.get_count(8)?;
+    let mut counts = Vec::with_capacity(n);
+    for _ in 0..n {
+        counts.push((r.get_str()?, r.get_u32()?));
+    }
+    Ok(counts)
+}
+
+fn put_uid(w: &mut WireWriter, u: Option<Uid>) {
+    match u {
+        Some(id) => {
+            w.put_u8(1);
+            w.put_u128(id.0);
+        }
+        None => w.put_u8(0),
+    }
+}
+
+fn get_uid(r: &mut WireReader<'_>) -> Result<Option<Uid>, WireError> {
+    match r.get_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(Uid(r.get_u128()?))),
+        v => Err(WireError::Malformed(format!("uid tag {v}"))),
+    }
+}
+
+fn put_pid(w: &mut WireWriter, id: ProducerIdentity) {
+    w.put_u64(id.pid);
+    w.put_u32(id.epoch);
+}
+
+fn get_pid(r: &mut WireReader<'_>) -> Result<ProducerIdentity, WireError> {
+    Ok(ProducerIdentity { pid: r.get_u64()?, epoch: r.get_u32()? })
+}
+
+fn put_proof(w: &mut WireWriter, p: &[u8; 32]) {
+    w.put_bytes(p);
+}
+
+fn get_proof(r: &mut WireReader<'_>) -> Result<[u8; 32], WireError> {
+    let v = r.get_bytes()?;
+    let a: [u8; 32] =
+        v.try_into().map_err(|_| WireError::Malformed("proof must be 32 bytes".into()))?;
+    Ok(a)
+}
+
+// ---------------------------------------------------------------------------
+// handshake messages
+// ---------------------------------------------------------------------------
+
+/// Client → server authentication opener, always the first frame on a
+/// connection. `client_id` is a free-form diagnostic label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeRequest {
+    /// No credentials; accepted only by servers configured as open.
+    Anonymous { client_id: String },
+    /// Bearer token, introspected against the auth server.
+    Token { client_id: String, token: String },
+    /// SCRAM step 1: client offers a username and a fresh nonce.
+    ScramFirst { client_id: String, username: String, nonce: String },
+    /// SCRAM step 2: client answers the challenge with its proof.
+    ScramFinal { username: String, nonce: String, proof: [u8; 32] },
+}
+
+/// Server → client handshake reply (failures use an error frame).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeResponse {
+    /// Authentication complete; `principal` is the identity requests
+    /// will be authorized as (None for anonymous connections).
+    Welcome { principal: Option<Uid> },
+    /// SCRAM step 1 reply: salt, iteration count, and the combined
+    /// nonce the client must echo.
+    ScramChallenge { nonce: String, salt: Vec<u8>, iterations: u32 },
+    /// SCRAM step 2 reply: the server's own proof of the password,
+    /// giving the client mutual authentication.
+    ScramWelcome { principal: Option<Uid>, server_signature: [u8; 32] },
+}
+
+// ---------------------------------------------------------------------------
+// requests
+// ---------------------------------------------------------------------------
+
+/// Per-topic metadata returned by [`Response::Metadata`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopicMeta {
+    pub name: String,
+    pub partitions: u32,
+    /// `TopicConfig` as JSON (see the module docs for why).
+    pub config_json: Vec<u8>,
+}
+
+/// Offset query selector for `ListOffsets`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffsetSpec {
+    Earliest,
+    Latest,
+    /// First offset with `append_time >= t` (milliseconds).
+    Timestamp(u64),
+    /// Last stable offset (EOS read-committed bound).
+    LastStable,
+}
+
+/// Every client → server request the protocol carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    Handshake(HandshakeRequest),
+    Produce { topic: String, partition: PartitionId, batch: RecordBatch, acks: AckLevel },
+    Fetch { topic: String, partition: PartitionId, offset: Offset, max_records: u32 },
+    FetchCommitted { topic: String, partition: PartitionId, offset: Offset, max_records: u32 },
+    /// `topic: None` lists every topic; `Some` describes just one.
+    Metadata { topic: Option<String> },
+    ListOffsets { topic: String, partition: PartitionId, spec: OffsetSpec },
+    CreateTopic { topic: String, config_json: Vec<u8> },
+    DeleteTopic { topic: String },
+    GroupJoin { group: String, member: String, topics: Vec<String>, counts: Vec<(String, u32)> },
+    GroupHeartbeat { group: String, member: String },
+    GroupLeave { group: String, member: String, counts: Vec<(String, u32)> },
+    OffsetCommit { group: String, generation: u64, topic: String, partition: PartitionId, offset: Offset },
+    OffsetFetch { group: String, topic: String, partition: PartitionId },
+    RegisterPid { name: String },
+    TxnBegin { name: String, id: ProducerIdentity },
+    TxnProduce { name: String, id: ProducerIdentity, topic: String, partition: PartitionId, events: Vec<Event> },
+    TxnOffsets { name: String, id: ProducerIdentity, offsets: Vec<TxnOffset> },
+    TxnCommit { name: String, id: ProducerIdentity },
+    TxnAbort { name: String, id: ProducerIdentity },
+}
+
+impl Request {
+    /// The api key that names this request on the wire.
+    pub fn api_key(&self) -> ApiKey {
+        match self {
+            Request::Handshake(_) => ApiKey::Handshake,
+            Request::Produce { .. } => ApiKey::Produce,
+            Request::Fetch { .. } => ApiKey::Fetch,
+            Request::FetchCommitted { .. } => ApiKey::FetchCommitted,
+            Request::Metadata { .. } => ApiKey::Metadata,
+            Request::ListOffsets { .. } => ApiKey::ListOffsets,
+            Request::CreateTopic { .. } => ApiKey::CreateTopic,
+            Request::DeleteTopic { .. } => ApiKey::DeleteTopic,
+            Request::GroupJoin { .. } => ApiKey::GroupJoin,
+            Request::GroupHeartbeat { .. } => ApiKey::GroupHeartbeat,
+            Request::GroupLeave { .. } => ApiKey::GroupLeave,
+            Request::OffsetCommit { .. } => ApiKey::OffsetCommit,
+            Request::OffsetFetch { .. } => ApiKey::OffsetFetch,
+            Request::RegisterPid { .. } => ApiKey::RegisterPid,
+            Request::TxnBegin { .. } => ApiKey::TxnBegin,
+            Request::TxnProduce { .. } => ApiKey::TxnProduce,
+            Request::TxnOffsets { .. } => ApiKey::TxnOffsets,
+            Request::TxnCommit { .. } => ApiKey::TxnCommit,
+            Request::TxnAbort { .. } => ApiKey::TxnAbort,
+        }
+    }
+
+    /// Encode the payload bytes (frame header not included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            Request::Handshake(h) => match h {
+                HandshakeRequest::Anonymous { client_id } => {
+                    w.put_u8(0);
+                    w.put_str(client_id);
+                }
+                HandshakeRequest::Token { client_id, token } => {
+                    w.put_u8(1);
+                    w.put_str(client_id);
+                    w.put_str(token);
+                }
+                HandshakeRequest::ScramFirst { client_id, username, nonce } => {
+                    w.put_u8(2);
+                    w.put_str(client_id);
+                    w.put_str(username);
+                    w.put_str(nonce);
+                }
+                HandshakeRequest::ScramFinal { username, nonce, proof } => {
+                    w.put_u8(3);
+                    w.put_str(username);
+                    w.put_str(nonce);
+                    put_proof(&mut w, proof);
+                }
+            },
+            Request::Produce { topic, partition, batch, acks } => {
+                w.put_str(topic);
+                w.put_u32(*partition);
+                put_acks(&mut w, *acks);
+                put_batch(&mut w, batch);
+            }
+            Request::Fetch { topic, partition, offset, max_records }
+            | Request::FetchCommitted { topic, partition, offset, max_records } => {
+                w.put_str(topic);
+                w.put_u32(*partition);
+                w.put_u64(*offset);
+                w.put_u32(*max_records);
+            }
+            Request::Metadata { topic } => {
+                w.put_opt_bytes(topic.as_ref().map(|t| t.as_bytes()));
+            }
+            Request::ListOffsets { topic, partition, spec } => {
+                w.put_str(topic);
+                w.put_u32(*partition);
+                match spec {
+                    OffsetSpec::Earliest => w.put_u8(0),
+                    OffsetSpec::Latest => w.put_u8(1),
+                    OffsetSpec::Timestamp(t) => {
+                        w.put_u8(2);
+                        w.put_u64(*t);
+                    }
+                    OffsetSpec::LastStable => w.put_u8(3),
+                }
+            }
+            Request::CreateTopic { topic, config_json } => {
+                w.put_str(topic);
+                w.put_bytes(config_json);
+            }
+            Request::DeleteTopic { topic } => w.put_str(topic),
+            Request::GroupJoin { group, member, topics, counts } => {
+                w.put_str(group);
+                w.put_str(member);
+                w.put_u32(topics.len() as u32);
+                for t in topics {
+                    w.put_str(t);
+                }
+                put_counts(&mut w, counts);
+            }
+            Request::GroupHeartbeat { group, member } => {
+                w.put_str(group);
+                w.put_str(member);
+            }
+            Request::GroupLeave { group, member, counts } => {
+                w.put_str(group);
+                w.put_str(member);
+                put_counts(&mut w, counts);
+            }
+            Request::OffsetCommit { group, generation, topic, partition, offset } => {
+                w.put_str(group);
+                w.put_u64(*generation);
+                w.put_str(topic);
+                w.put_u32(*partition);
+                w.put_u64(*offset);
+            }
+            Request::OffsetFetch { group, topic, partition } => {
+                w.put_str(group);
+                w.put_str(topic);
+                w.put_u32(*partition);
+            }
+            Request::RegisterPid { name } => w.put_str(name),
+            Request::TxnBegin { name, id }
+            | Request::TxnCommit { name, id }
+            | Request::TxnAbort { name, id } => {
+                w.put_str(name);
+                put_pid(&mut w, *id);
+            }
+            Request::TxnProduce { name, id, topic, partition, events } => {
+                w.put_str(name);
+                put_pid(&mut w, *id);
+                w.put_str(topic);
+                w.put_u32(*partition);
+                w.put_u32(events.len() as u32);
+                for e in events {
+                    put_event(&mut w, e);
+                }
+            }
+            Request::TxnOffsets { name, id, offsets } => {
+                w.put_str(name);
+                put_pid(&mut w, *id);
+                w.put_u32(offsets.len() as u32);
+                for o in offsets {
+                    w.put_str(&o.group);
+                    w.put_str(&o.topic);
+                    w.put_u32(o.partition);
+                    w.put_u64(o.offset);
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode a request payload for the given api key.
+    pub fn decode(api_key: ApiKey, payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = WireReader::new(payload);
+        let req = match api_key {
+            ApiKey::Handshake => Request::Handshake(match r.get_u8()? {
+                0 => HandshakeRequest::Anonymous { client_id: r.get_str()? },
+                1 => HandshakeRequest::Token { client_id: r.get_str()?, token: r.get_str()? },
+                2 => HandshakeRequest::ScramFirst {
+                    client_id: r.get_str()?,
+                    username: r.get_str()?,
+                    nonce: r.get_str()?,
+                },
+                3 => HandshakeRequest::ScramFinal {
+                    username: r.get_str()?,
+                    nonce: r.get_str()?,
+                    proof: get_proof(&mut r)?,
+                },
+                v => return Err(WireError::Malformed(format!("handshake tag {v}"))),
+            }),
+            ApiKey::Produce => {
+                let topic = r.get_str()?;
+                let partition = r.get_u32()?;
+                let acks = get_acks(&mut r)?;
+                let batch = get_batch(&mut r)?;
+                Request::Produce { topic, partition, batch, acks }
+            }
+            ApiKey::Fetch | ApiKey::FetchCommitted => {
+                let topic = r.get_str()?;
+                let partition = r.get_u32()?;
+                let offset = r.get_u64()?;
+                let max_records = r.get_u32()?;
+                if api_key == ApiKey::Fetch {
+                    Request::Fetch { topic, partition, offset, max_records }
+                } else {
+                    Request::FetchCommitted { topic, partition, offset, max_records }
+                }
+            }
+            ApiKey::Metadata => Request::Metadata {
+                topic: match r.get_opt_bytes()? {
+                    None => None,
+                    Some(b) => Some(
+                        String::from_utf8(b)
+                            .map_err(|_| WireError::Malformed("non-utf8 topic".into()))?,
+                    ),
+                },
+            },
+            ApiKey::ListOffsets => {
+                let topic = r.get_str()?;
+                let partition = r.get_u32()?;
+                let spec = match r.get_u8()? {
+                    0 => OffsetSpec::Earliest,
+                    1 => OffsetSpec::Latest,
+                    2 => OffsetSpec::Timestamp(r.get_u64()?),
+                    3 => OffsetSpec::LastStable,
+                    v => return Err(WireError::Malformed(format!("offset spec tag {v}"))),
+                };
+                Request::ListOffsets { topic, partition, spec }
+            }
+            ApiKey::CreateTopic => {
+                Request::CreateTopic { topic: r.get_str()?, config_json: r.get_bytes()? }
+            }
+            ApiKey::DeleteTopic => Request::DeleteTopic { topic: r.get_str()? },
+            ApiKey::GroupJoin => {
+                let group = r.get_str()?;
+                let member = r.get_str()?;
+                let n = r.get_count(4)?;
+                let mut topics = Vec::with_capacity(n);
+                for _ in 0..n {
+                    topics.push(r.get_str()?);
+                }
+                let counts = get_counts(&mut r)?;
+                Request::GroupJoin { group, member, topics, counts }
+            }
+            ApiKey::GroupHeartbeat => {
+                Request::GroupHeartbeat { group: r.get_str()?, member: r.get_str()? }
+            }
+            ApiKey::GroupLeave => Request::GroupLeave {
+                group: r.get_str()?,
+                member: r.get_str()?,
+                counts: get_counts(&mut r)?,
+            },
+            ApiKey::OffsetCommit => Request::OffsetCommit {
+                group: r.get_str()?,
+                generation: r.get_u64()?,
+                topic: r.get_str()?,
+                partition: r.get_u32()?,
+                offset: r.get_u64()?,
+            },
+            ApiKey::OffsetFetch => Request::OffsetFetch {
+                group: r.get_str()?,
+                topic: r.get_str()?,
+                partition: r.get_u32()?,
+            },
+            ApiKey::RegisterPid => Request::RegisterPid { name: r.get_str()? },
+            ApiKey::TxnBegin => Request::TxnBegin { name: r.get_str()?, id: get_pid(&mut r)? },
+            ApiKey::TxnCommit => Request::TxnCommit { name: r.get_str()?, id: get_pid(&mut r)? },
+            ApiKey::TxnAbort => Request::TxnAbort { name: r.get_str()?, id: get_pid(&mut r)? },
+            ApiKey::TxnProduce => {
+                let name = r.get_str()?;
+                let id = get_pid(&mut r)?;
+                let topic = r.get_str()?;
+                let partition = r.get_u32()?;
+                let n = r.get_count(14)?;
+                let mut events = Vec::with_capacity(n);
+                for _ in 0..n {
+                    events.push(get_event(&mut r)?);
+                }
+                Request::TxnProduce { name, id, topic, partition, events }
+            }
+            ApiKey::TxnOffsets => {
+                let name = r.get_str()?;
+                let id = get_pid(&mut r)?;
+                let n = r.get_count(20)?;
+                let mut offsets = Vec::with_capacity(n);
+                for _ in 0..n {
+                    offsets.push(TxnOffset {
+                        group: r.get_str()?,
+                        topic: r.get_str()?,
+                        partition: r.get_u32()?,
+                        offset: r.get_u64()?,
+                    });
+                }
+                Request::TxnOffsets { name, id, offsets }
+            }
+        };
+        r.expect_end()?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// responses
+// ---------------------------------------------------------------------------
+
+/// Every server → client success response. Failures travel as error
+/// frames carrying a [`WireFault`] instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    Handshake(HandshakeResponse),
+    Produce(ProduceReceipt),
+    Fetch { records: Vec<Record> },
+    FetchCommitted { records: Vec<Record>, next: Offset },
+    Metadata { topics: Vec<TopicMeta> },
+    ListOffsets { offset: Offset },
+    GroupJoin { assignment: MemberAssignment },
+    GroupHeartbeat { assignment: Option<MemberAssignment> },
+    OffsetFetch { offset: Option<Offset> },
+    RegisterPid { id: ProducerIdentity },
+    /// Unit acknowledgement for requests with no result body.
+    Ok,
+}
+
+impl Response {
+    /// Encode the payload bytes (frame header not included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            Response::Handshake(h) => match h {
+                HandshakeResponse::Welcome { principal } => {
+                    w.put_u8(0);
+                    put_uid(&mut w, *principal);
+                }
+                HandshakeResponse::ScramChallenge { nonce, salt, iterations } => {
+                    w.put_u8(1);
+                    w.put_str(nonce);
+                    w.put_bytes(salt);
+                    w.put_u32(*iterations);
+                }
+                HandshakeResponse::ScramWelcome { principal, server_signature } => {
+                    w.put_u8(2);
+                    put_uid(&mut w, *principal);
+                    put_proof(&mut w, server_signature);
+                }
+            },
+            Response::Produce(rc) => {
+                w.put_u32(rc.partition);
+                w.put_u64(rc.base_offset);
+                w.put_u64(rc.count as u64);
+                w.put_bool(rc.persisted);
+                w.put_bool(rc.deduplicated);
+            }
+            Response::Fetch { records } => {
+                w.put_u32(records.len() as u32);
+                for rec in records {
+                    put_record(&mut w, rec);
+                }
+            }
+            Response::FetchCommitted { records, next } => {
+                w.put_u32(records.len() as u32);
+                for rec in records {
+                    put_record(&mut w, rec);
+                }
+                w.put_u64(*next);
+            }
+            Response::Metadata { topics } => {
+                w.put_u32(topics.len() as u32);
+                for t in topics {
+                    w.put_str(&t.name);
+                    w.put_u32(t.partitions);
+                    w.put_bytes(&t.config_json);
+                }
+            }
+            Response::ListOffsets { offset } => w.put_u64(*offset),
+            Response::GroupJoin { assignment } => put_assignment(&mut w, assignment),
+            Response::GroupHeartbeat { assignment } => match assignment {
+                Some(a) => {
+                    w.put_u8(1);
+                    put_assignment(&mut w, a);
+                }
+                None => w.put_u8(0),
+            },
+            Response::OffsetFetch { offset } => match offset {
+                Some(o) => {
+                    w.put_u8(1);
+                    w.put_u64(*o);
+                }
+                None => w.put_u8(0),
+            },
+            Response::RegisterPid { id } => put_pid(&mut w, *id),
+            Response::Ok => {}
+        }
+        w.finish()
+    }
+
+    /// Decode a success response payload for the given api key.
+    pub fn decode(api_key: ApiKey, payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = WireReader::new(payload);
+        let resp = match api_key {
+            ApiKey::Handshake => Response::Handshake(match r.get_u8()? {
+                0 => HandshakeResponse::Welcome { principal: get_uid(&mut r)? },
+                1 => HandshakeResponse::ScramChallenge {
+                    nonce: r.get_str()?,
+                    salt: r.get_bytes()?,
+                    iterations: r.get_u32()?,
+                },
+                2 => HandshakeResponse::ScramWelcome {
+                    principal: get_uid(&mut r)?,
+                    server_signature: get_proof(&mut r)?,
+                },
+                v => return Err(WireError::Malformed(format!("handshake resp tag {v}"))),
+            }),
+            ApiKey::Produce | ApiKey::TxnProduce => Response::Produce(ProduceReceipt {
+                partition: r.get_u32()?,
+                base_offset: r.get_u64()?,
+                count: r.get_u64()? as usize,
+                persisted: r.get_bool()?,
+                deduplicated: r.get_bool()?,
+            }),
+            ApiKey::Fetch => {
+                let n = r.get_count(32)?;
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    records.push(get_record(&mut r)?);
+                }
+                Response::Fetch { records }
+            }
+            ApiKey::FetchCommitted => {
+                let n = r.get_count(32)?;
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    records.push(get_record(&mut r)?);
+                }
+                let next = r.get_u64()?;
+                Response::FetchCommitted { records, next }
+            }
+            ApiKey::Metadata => {
+                let n = r.get_count(12)?;
+                let mut topics = Vec::with_capacity(n);
+                for _ in 0..n {
+                    topics.push(TopicMeta {
+                        name: r.get_str()?,
+                        partitions: r.get_u32()?,
+                        config_json: r.get_bytes()?,
+                    });
+                }
+                Response::Metadata { topics }
+            }
+            ApiKey::ListOffsets => Response::ListOffsets { offset: r.get_u64()? },
+            ApiKey::GroupJoin => Response::GroupJoin { assignment: get_assignment(&mut r)? },
+            ApiKey::GroupHeartbeat => Response::GroupHeartbeat {
+                assignment: match r.get_u8()? {
+                    0 => None,
+                    1 => Some(get_assignment(&mut r)?),
+                    v => return Err(WireError::Malformed(format!("assignment tag {v}"))),
+                },
+            },
+            ApiKey::OffsetFetch => Response::OffsetFetch {
+                offset: match r.get_u8()? {
+                    0 => None,
+                    1 => Some(r.get_u64()?),
+                    v => return Err(WireError::Malformed(format!("offset tag {v}"))),
+                },
+            },
+            ApiKey::RegisterPid => Response::RegisterPid { id: get_pid(&mut r)? },
+            ApiKey::CreateTopic
+            | ApiKey::DeleteTopic
+            | ApiKey::GroupLeave
+            | ApiKey::OffsetCommit
+            | ApiKey::TxnBegin
+            | ApiKey::TxnOffsets
+            | ApiKey::TxnCommit
+            | ApiKey::TxnAbort => Response::Ok,
+        };
+        r.expect_end()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// error payloads
+// ---------------------------------------------------------------------------
+
+impl WireFault {
+    /// Encode as an error-frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u16(self.code as u16);
+        w.put_str(&self.message);
+        for a in self.aux {
+            w.put_u64(a);
+        }
+        w.finish()
+    }
+
+    /// Decode an error-frame payload.
+    pub fn decode(payload: &[u8]) -> Result<WireFault, WireError> {
+        let mut r = WireReader::new(payload);
+        let code = ErrorCode::from_u16(r.get_u16()?);
+        let message = r.get_str()?;
+        let aux = [r.get_u64()?, r.get_u64()?, r.get_u64()?];
+        r.expect_end()?;
+        Ok(WireFault { code, message, aux })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event() -> Event {
+        Event::builder()
+            .key("sensor-7")
+            .payload(b"temperature=293.1".to_vec())
+            .header("site", b"aps")
+            .timestamp(Timestamp(1_720_000_000_000))
+            .build()
+    }
+
+    fn roundtrip_request(req: Request) {
+        let key = req.api_key();
+        let bytes = req.encode();
+        let back = Request::decode(key, &bytes).unwrap();
+        assert_eq!(back, req);
+    }
+
+    fn roundtrip_response(key: ApiKey, resp: Response) {
+        let bytes = resp.encode();
+        let back = Response::decode(key, &bytes).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn every_request_type_roundtrips() {
+        let id = ProducerIdentity { pid: 7, epoch: 2 };
+        let reqs = vec![
+            Request::Handshake(HandshakeRequest::Anonymous { client_id: "c1".into() }),
+            Request::Handshake(HandshakeRequest::Token {
+                client_id: "c1".into(),
+                token: "tok-abc".into(),
+            }),
+            Request::Handshake(HandshakeRequest::ScramFirst {
+                client_id: "c1".into(),
+                username: "alice".into(),
+                nonce: "n-abc".into(),
+            }),
+            Request::Handshake(HandshakeRequest::ScramFinal {
+                username: "alice".into(),
+                nonce: "n-abc.n-srv".into(),
+                proof: [7; 32],
+            }),
+            Request::Produce {
+                topic: "sdl.actions".into(),
+                partition: 3,
+                batch: RecordBatch::new(vec![sample_event()])
+                    .with_producer(ProducerStamp { pid: 9, epoch: 1, seq: 40 }, false),
+                acks: AckLevel::All,
+            },
+            Request::Fetch { topic: "t".into(), partition: 0, offset: 12, max_records: 500 },
+            Request::FetchCommitted { topic: "t".into(), partition: 1, offset: 0, max_records: 10 },
+            Request::Metadata { topic: None },
+            Request::Metadata { topic: Some("t".into()) },
+            Request::ListOffsets { topic: "t".into(), partition: 0, spec: OffsetSpec::Earliest },
+            Request::ListOffsets {
+                topic: "t".into(),
+                partition: 0,
+                spec: OffsetSpec::Timestamp(123_456),
+            },
+            Request::CreateTopic { topic: "t".into(), config_json: b"{\"partitions\":4}".to_vec() },
+            Request::DeleteTopic { topic: "t".into() },
+            Request::GroupJoin {
+                group: "g".into(),
+                member: "m-1".into(),
+                topics: vec!["a".into(), "b".into()],
+                counts: vec![("a".into(), 4), ("b".into(), 2)],
+            },
+            Request::GroupHeartbeat { group: "g".into(), member: "m-1".into() },
+            Request::GroupLeave { group: "g".into(), member: "m-1".into(), counts: vec![] },
+            Request::OffsetCommit {
+                group: "g".into(),
+                generation: 3,
+                topic: "t".into(),
+                partition: 1,
+                offset: 99,
+            },
+            Request::OffsetFetch { group: "g".into(), topic: "t".into(), partition: 1 },
+            Request::RegisterPid { name: "etl".into() },
+            Request::TxnBegin { name: "etl".into(), id },
+            Request::TxnProduce {
+                name: "etl".into(),
+                id,
+                topic: "t".into(),
+                partition: 0,
+                events: vec![sample_event()],
+            },
+            Request::TxnOffsets {
+                name: "etl".into(),
+                id,
+                offsets: vec![TxnOffset {
+                    group: "g".into(),
+                    topic: "t".into(),
+                    partition: 2,
+                    offset: 17,
+                }],
+            },
+            Request::TxnCommit { name: "etl".into(), id },
+            Request::TxnAbort { name: "etl".into(), id },
+        ];
+        for req in reqs {
+            roundtrip_request(req);
+        }
+    }
+
+    #[test]
+    fn every_response_type_roundtrips() {
+        let record = Record {
+            offset: 41,
+            append_time: Timestamp(1000),
+            key: Some(b"k".to_vec().into()),
+            value: b"v".to_vec().into(),
+            headers: vec![Header { key: "h".into(), value: b"x".to_vec() }],
+            producer_time: Timestamp(999),
+            crc: 0xDEAD_BEEF,
+            eos: Some(RecordEos { pid: 1, epoch: 0, seq: 41, txn: true, control: None }),
+        };
+        let assignment = MemberAssignment {
+            generation: 5,
+            partitions: vec![("t".into(), 0), ("t".into(), 1)],
+        };
+        let cases = vec![
+            (
+                ApiKey::Handshake,
+                Response::Handshake(HandshakeResponse::Welcome {
+                    principal: Some(Uid::from_parts(1, 2)),
+                }),
+            ),
+            (
+                ApiKey::Handshake,
+                Response::Handshake(HandshakeResponse::ScramChallenge {
+                    nonce: "n1.n2".into(),
+                    salt: vec![1, 2, 3, 4],
+                    iterations: 4096,
+                }),
+            ),
+            (
+                ApiKey::Handshake,
+                Response::Handshake(HandshakeResponse::ScramWelcome {
+                    principal: None,
+                    server_signature: [9; 32],
+                }),
+            ),
+            (
+                ApiKey::Produce,
+                Response::Produce(ProduceReceipt {
+                    partition: 2,
+                    base_offset: 100,
+                    count: 3,
+                    persisted: true,
+                    deduplicated: true,
+                }),
+            ),
+            (ApiKey::Fetch, Response::Fetch { records: vec![record.clone()] }),
+            (
+                ApiKey::FetchCommitted,
+                Response::FetchCommitted { records: vec![record], next: 44 },
+            ),
+            (
+                ApiKey::Metadata,
+                Response::Metadata {
+                    topics: vec![TopicMeta {
+                        name: "t".into(),
+                        partitions: 4,
+                        config_json: b"{}".to_vec(),
+                    }],
+                },
+            ),
+            (ApiKey::ListOffsets, Response::ListOffsets { offset: 77 }),
+            (ApiKey::GroupJoin, Response::GroupJoin { assignment: assignment.clone() }),
+            (
+                ApiKey::GroupHeartbeat,
+                Response::GroupHeartbeat { assignment: Some(assignment) },
+            ),
+            (ApiKey::GroupHeartbeat, Response::GroupHeartbeat { assignment: None }),
+            (ApiKey::OffsetFetch, Response::OffsetFetch { offset: Some(13) }),
+            (ApiKey::OffsetFetch, Response::OffsetFetch { offset: None }),
+            (
+                ApiKey::RegisterPid,
+                Response::RegisterPid { id: ProducerIdentity { pid: 3, epoch: 9 } },
+            ),
+            (ApiKey::OffsetCommit, Response::Ok),
+            (ApiKey::TxnCommit, Response::Ok),
+        ];
+        for (key, resp) in cases {
+            roundtrip_response(key, resp);
+        }
+    }
+
+    #[test]
+    fn fault_roundtrips() {
+        let fault = WireFault {
+            code: ErrorCode::OffsetOutOfRange,
+            message: "offset 9 out of range".into(),
+            aux: [9, 10, 20],
+        };
+        let back = WireFault::decode(&fault.encode()).unwrap();
+        assert_eq!(back, fault);
+    }
+
+    #[test]
+    fn hostile_collection_count_is_rejected_without_allocation() {
+        // Fetch response declaring u32::MAX records in a 10-byte payload
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        w.put_u32(0);
+        let err = Response::decode(ApiKey::Fetch, &w.finish()).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = Request::DeleteTopic { topic: "t".into() }.encode();
+        bytes.push(0xAB);
+        assert!(matches!(
+            Request::decode(ApiKey::DeleteTopic, &bytes),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn non_utf8_string_is_malformed_not_panic() {
+        let mut w = WireWriter::new();
+        w.put_bytes(&[0xFF, 0xFE, 0xFD]);
+        assert!(matches!(
+            Request::decode(ApiKey::DeleteTopic, &w.finish()),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

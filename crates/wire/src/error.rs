@@ -1,0 +1,286 @@
+//! Wire-level errors and the on-wire error code space.
+//!
+//! Two distinct error families live here:
+//!
+//! - [`WireError`] describes a *framing or codec* failure: bytes that
+//!   could not be parsed into a frame or a frame whose payload could
+//!   not be decoded. These are connection-fatal — the peer is either
+//!   broken or hostile — and are never retried.
+//! - [`ErrorCode`] is the *application-level* error space carried in
+//!   error response frames. It is a stable `u16` enumeration with a
+//!   lossless round-trip to [`OctoError`], so a broker-side failure
+//!   surfaces to a remote SDK exactly as it would in process.
+
+use std::fmt;
+
+use octopus_types::OctoError;
+
+/// A framing or codec failure.
+///
+/// Every variant is produced by a bounds-checked decode path: the
+/// decoder never panics on attacker-controlled bytes, it returns one of
+/// these and the server closes the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream did not start with the protocol magic.
+    BadMagic(u16),
+    /// The frame declared a protocol version we do not speak.
+    UnsupportedVersion(u8),
+    /// The frame declared a payload larger than the negotiated cap.
+    /// Rejected *before* any allocation is attempted.
+    FrameTooLarge { declared: u32, cap: u32 },
+    /// The payload CRC32C did not match the header checksum.
+    CrcMismatch { expected: u32, actual: u32 },
+    /// The buffer ended before the declared structure was complete.
+    Truncated { needed: usize, have: usize },
+    /// The frame named an API key this endpoint does not implement.
+    UnknownApiKey(u16),
+    /// The payload parsed structurally but carried an invalid value
+    /// (bad enum tag, over-long collection, non-UTF-8 string, ...).
+    Malformed(String),
+    /// The underlying socket failed or was closed by the peer.
+    Io(String),
+    /// The peer closed the connection cleanly.
+    Closed,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic 0x{m:04x}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::FrameTooLarge { declared, cap } => {
+                write!(f, "declared payload {declared} bytes exceeds cap {cap}")
+            }
+            WireError::CrcMismatch { expected, actual } => {
+                write!(f, "payload crc mismatch: header 0x{expected:08x}, computed 0x{actual:08x}")
+            }
+            WireError::Truncated { needed, have } => {
+                write!(f, "truncated frame: needed {needed} bytes, have {have}")
+            }
+            WireError::UnknownApiKey(k) => write!(f, "unknown api key {k}"),
+            WireError::Malformed(m) => write!(f, "malformed payload: {m}"),
+            WireError::Io(m) => write!(f, "wire io error: {m}"),
+            WireError::Closed => write!(f, "connection closed by peer"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => WireError::Closed,
+            _ => WireError::Io(e.to_string()),
+        }
+    }
+}
+
+impl From<WireError> for OctoError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(m) => OctoError::Io(m),
+            WireError::Closed => OctoError::Unavailable("connection closed".into()),
+            other => OctoError::Serde(other.to_string()),
+        }
+    }
+}
+
+/// Stable application-level error codes carried in error frames.
+///
+/// The numeric values are part of the protocol: once assigned they are
+/// never reused. New codes append; old decoders map unknown codes to
+/// [`ErrorCode::Unknown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Catch-all for codes minted by a newer peer.
+    Unknown = 0,
+    /// An internal broker invariant failed.
+    Internal = 1,
+    UnknownTopic = 2,
+    UnknownPartition = 3,
+    TopicExists = 4,
+    /// Authentication failed: bad SCRAM proof, revoked/expired token,
+    /// or a request sent before the handshake completed.
+    AuthFailed = 5,
+    Unauthorized = 6,
+    OffsetOutOfRange = 7,
+    Unavailable = 8,
+    Timeout = 9,
+    NotEnoughReplicas = 10,
+    RebalanceInProgress = 11,
+    Invalid = 12,
+    Conflict = 13,
+    RateLimited = 14,
+    Serde = 15,
+    BufferFull = 16,
+    NotFound = 17,
+    Io = 18,
+    /// The request frame could not be decoded by the server.
+    MalformedRequest = 19,
+}
+
+impl ErrorCode {
+    /// Decode a `u16` from the wire; unknown values map to `Unknown`.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => ErrorCode::Internal,
+            2 => ErrorCode::UnknownTopic,
+            3 => ErrorCode::UnknownPartition,
+            4 => ErrorCode::TopicExists,
+            5 => ErrorCode::AuthFailed,
+            6 => ErrorCode::Unauthorized,
+            7 => ErrorCode::OffsetOutOfRange,
+            8 => ErrorCode::Unavailable,
+            9 => ErrorCode::Timeout,
+            10 => ErrorCode::NotEnoughReplicas,
+            11 => ErrorCode::RebalanceInProgress,
+            12 => ErrorCode::Invalid,
+            13 => ErrorCode::Conflict,
+            14 => ErrorCode::RateLimited,
+            15 => ErrorCode::Serde,
+            16 => ErrorCode::BufferFull,
+            17 => ErrorCode::NotFound,
+            18 => ErrorCode::Io,
+            19 => ErrorCode::MalformedRequest,
+            _ => ErrorCode::Unknown,
+        }
+    }
+}
+
+/// The application error payload of an error response frame.
+///
+/// `aux` carries the structured fields of [`OctoError`] variants that
+/// have them (offset ranges, replica counts, buffer capacities) so the
+/// round trip through the wire is lossless.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFault {
+    pub code: ErrorCode,
+    pub message: String,
+    pub aux: [u64; 3],
+}
+
+impl WireFault {
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        WireFault { code, message: message.into(), aux: [0; 3] }
+    }
+}
+
+impl From<&OctoError> for WireFault {
+    fn from(e: &OctoError) -> Self {
+        let (code, aux) = match e {
+            OctoError::UnknownTopic(_) => (ErrorCode::UnknownTopic, [0; 3]),
+            OctoError::UnknownPartition(_, p) => (ErrorCode::UnknownPartition, [*p as u64, 0, 0]),
+            OctoError::TopicExists(_) => (ErrorCode::TopicExists, [0; 3]),
+            OctoError::Unauthenticated(_) => (ErrorCode::AuthFailed, [0; 3]),
+            OctoError::Unauthorized(_) => (ErrorCode::Unauthorized, [0; 3]),
+            OctoError::OffsetOutOfRange { requested, earliest, latest } => {
+                (ErrorCode::OffsetOutOfRange, [*requested, *earliest, *latest])
+            }
+            OctoError::Unavailable(_) => (ErrorCode::Unavailable, [0; 3]),
+            OctoError::Timeout(_) => (ErrorCode::Timeout, [0; 3]),
+            OctoError::NotEnoughReplicas { in_sync, required } => {
+                (ErrorCode::NotEnoughReplicas, [*in_sync as u64, *required as u64, 0])
+            }
+            OctoError::RebalanceInProgress(_) => (ErrorCode::RebalanceInProgress, [0; 3]),
+            OctoError::Invalid(_) => (ErrorCode::Invalid, [0; 3]),
+            OctoError::Internal(_) => (ErrorCode::Internal, [0; 3]),
+            OctoError::Conflict(_) => (ErrorCode::Conflict, [0; 3]),
+            OctoError::RateLimited(_) => (ErrorCode::RateLimited, [0; 3]),
+            OctoError::Serde(_) => (ErrorCode::Serde, [0; 3]),
+            OctoError::BufferFull { capacity_bytes } => {
+                (ErrorCode::BufferFull, [*capacity_bytes as u64, 0, 0])
+            }
+            OctoError::NotFound(_) => (ErrorCode::NotFound, [0; 3]),
+            OctoError::Io(_) => (ErrorCode::Io, [0; 3]),
+        };
+        WireFault { code, message: e.to_string(), aux }
+    }
+}
+
+impl From<WireFault> for OctoError {
+    fn from(w: WireFault) -> Self {
+        let m = w.message;
+        match w.code {
+            ErrorCode::UnknownTopic => OctoError::UnknownTopic(m),
+            ErrorCode::UnknownPartition => OctoError::UnknownPartition(m, w.aux[0] as u32),
+            ErrorCode::TopicExists => OctoError::TopicExists(m),
+            ErrorCode::AuthFailed => OctoError::Unauthenticated(m),
+            ErrorCode::Unauthorized => OctoError::Unauthorized(m),
+            ErrorCode::OffsetOutOfRange => OctoError::OffsetOutOfRange {
+                requested: w.aux[0],
+                earliest: w.aux[1],
+                latest: w.aux[2],
+            },
+            ErrorCode::Unavailable => OctoError::Unavailable(m),
+            ErrorCode::Timeout => OctoError::Timeout(m),
+            ErrorCode::NotEnoughReplicas => OctoError::NotEnoughReplicas {
+                in_sync: w.aux[0] as usize,
+                required: w.aux[1] as usize,
+            },
+            ErrorCode::RebalanceInProgress => OctoError::RebalanceInProgress(m),
+            ErrorCode::Invalid => OctoError::Invalid(m),
+            ErrorCode::Conflict => OctoError::Conflict(m),
+            ErrorCode::RateLimited => OctoError::RateLimited(m),
+            ErrorCode::Serde => OctoError::Serde(m),
+            ErrorCode::BufferFull => OctoError::BufferFull { capacity_bytes: w.aux[0] as usize },
+            ErrorCode::NotFound => OctoError::NotFound(m),
+            ErrorCode::Io => OctoError::Io(m),
+            ErrorCode::MalformedRequest => OctoError::Serde(m),
+            ErrorCode::Internal | ErrorCode::Unknown => OctoError::Internal(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_code_u16_roundtrip() {
+        for v in 0u16..=25 {
+            let code = ErrorCode::from_u16(v);
+            if v <= 19 {
+                assert_eq!(code as u16, v, "code {v} must round-trip");
+            } else {
+                assert_eq!(code, ErrorCode::Unknown);
+            }
+        }
+    }
+
+    #[test]
+    fn octo_error_survives_the_wire() {
+        let cases = vec![
+            OctoError::OffsetOutOfRange { requested: 9, earliest: 10, latest: 20 },
+            OctoError::NotEnoughReplicas { in_sync: 1, required: 3 },
+            OctoError::BufferFull { capacity_bytes: 4096 },
+            OctoError::Unauthenticated("revoked".into()),
+            OctoError::Unavailable("broker 2 down".into()),
+        ];
+        for e in cases {
+            let fault = WireFault::from(&e);
+            let back: OctoError = fault.into();
+            // structured fields are preserved exactly; message-bearing
+            // variants carry the rendered message instead
+            match (&e, &back) {
+                (OctoError::OffsetOutOfRange { .. }, _) => assert_eq!(e, back),
+                (
+                    OctoError::NotEnoughReplicas { .. } | OctoError::BufferFull { .. },
+                    _,
+                ) => assert_eq!(e, back),
+                _ => assert_eq!(
+                    std::mem::discriminant(&e),
+                    std::mem::discriminant(&back)
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn revoked_token_maps_to_auth_failed() {
+        let fault = WireFault::from(&OctoError::Unauthenticated("token revoked".into()));
+        assert_eq!(fault.code, ErrorCode::AuthFailed);
+    }
+}

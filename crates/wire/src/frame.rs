@@ -1,0 +1,255 @@
+//! Length-prefixed, CRC-framed binary framing.
+//!
+//! Every message on an Octopus connection — in either direction — is a
+//! single frame:
+//!
+//! ```text
+//!  offset  size  field
+//!  ------  ----  --------------------------------------------------
+//!       0     2  magic            bytes "OC" (0x4F 0x43 on the wire)
+//!       2     1  version          protocol version (currently 1)
+//!       3     1  flags            bit 0: payload is an error response
+//!       4     2  api_key          which API the payload encodes
+//!       6     8  correlation_id   echoed verbatim in the response
+//!      14     4  payload_len      bytes of payload that follow
+//!      18     4  payload_crc      CRC32C of the payload bytes
+//!      22     n  payload          api-key-specific binary body
+//! ```
+//!
+//! The 22-byte header is fixed for all versions: a frame from any
+//! future version can always be skipped or rejected without guessing.
+//! `payload_len` is validated against a configurable cap *before* any
+//! allocation, so a hostile peer cannot OOM the server with a 4 GiB
+//! declaration; `payload_crc` is verified before the payload reaches
+//! the codec. All decode paths return [`WireError`] — never panic.
+
+use std::io::{Read, Write};
+
+use octopus_broker::crc32c;
+
+use crate::error::WireError;
+
+/// Frame magic: encodes to the bytes "OC" under little-endian.
+pub const MAGIC: u16 = 0x434F;
+/// The protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes, identical across all protocol versions.
+pub const HEADER_LEN: usize = 22;
+/// Default payload cap: 16 MiB, comfortably above the largest batch the
+/// SDK producer will ever emit, far below anything that could hurt.
+pub const DEFAULT_MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// Flag bit: the payload is an error response (`WireFault`).
+pub const FLAG_ERROR: u8 = 0b0000_0001;
+
+/// A decoded frame: header metadata plus the raw payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub api_key: u16,
+    pub flags: u8,
+    pub correlation_id: u64,
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    pub fn new(api_key: u16, correlation_id: u64, payload: Vec<u8>) -> Self {
+        Frame { api_key, flags: 0, correlation_id, payload }
+    }
+
+    pub fn error(api_key: u16, correlation_id: u64, payload: Vec<u8>) -> Self {
+        Frame { api_key, flags: FLAG_ERROR, correlation_id, payload }
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.flags & FLAG_ERROR != 0
+    }
+
+    /// Serialize this frame to bytes (header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(VERSION);
+        out.push(self.flags);
+        out.extend_from_slice(&self.api_key.to_le_bytes());
+        out.extend_from_slice(&self.correlation_id.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32c(&self.payload).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+/// The parsed fixed header, before the payload has been read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    pub version: u8,
+    pub flags: u8,
+    pub api_key: u16,
+    pub correlation_id: u64,
+    pub payload_len: u32,
+    pub payload_crc: u32,
+}
+
+/// Parse and validate the fixed 22-byte header.
+///
+/// Rejects bad magic, unsupported versions, and payload lengths above
+/// `max_payload` — all before a single payload byte is read, so the
+/// oversized-declaration attack costs the server nothing.
+pub fn decode_header(buf: &[u8], max_payload: u32) -> Result<FrameHeader, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated { needed: HEADER_LEN, have: buf.len() });
+    }
+    let magic = u16::from_le_bytes([buf[0], buf[1]]);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = buf[2];
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let flags = buf[3];
+    let api_key = u16::from_le_bytes([buf[4], buf[5]]);
+    let correlation_id = u64::from_le_bytes([
+        buf[6], buf[7], buf[8], buf[9], buf[10], buf[11], buf[12], buf[13],
+    ]);
+    let payload_len = u32::from_le_bytes([buf[14], buf[15], buf[16], buf[17]]);
+    if payload_len > max_payload {
+        return Err(WireError::FrameTooLarge { declared: payload_len, cap: max_payload });
+    }
+    let payload_crc = u32::from_le_bytes([buf[18], buf[19], buf[20], buf[21]]);
+    Ok(FrameHeader { version, flags, api_key, correlation_id, payload_len, payload_crc })
+}
+
+/// Decode one frame from a byte buffer.
+///
+/// Returns the frame and the number of bytes consumed, so callers can
+/// iterate over a pipelined stream. This is the pure function the fuzz
+/// proptests hammer: for *any* input it returns `Ok` or a typed error.
+pub fn decode_frame(buf: &[u8], max_payload: u32) -> Result<(Frame, usize), WireError> {
+    let header = decode_header(buf, max_payload)?;
+    let total = HEADER_LEN + header.payload_len as usize;
+    if buf.len() < total {
+        return Err(WireError::Truncated { needed: total, have: buf.len() });
+    }
+    let payload = &buf[HEADER_LEN..total];
+    let actual = crc32c(payload);
+    if actual != header.payload_crc {
+        return Err(WireError::CrcMismatch { expected: header.payload_crc, actual });
+    }
+    Ok((
+        Frame {
+            api_key: header.api_key,
+            flags: header.flags,
+            correlation_id: header.correlation_id,
+            payload: payload.to_vec(),
+        },
+        total,
+    ))
+}
+
+/// Read exactly one frame from a blocking reader.
+///
+/// Payload allocation happens only after the declared length passed the
+/// cap check, and the CRC is verified before the frame is returned.
+pub fn read_frame(r: &mut impl Read, max_payload: u32) -> Result<Frame, WireError> {
+    let mut head = [0u8; HEADER_LEN];
+    r.read_exact(&mut head)?;
+    let header = decode_header(&head, max_payload)?;
+    let mut payload = vec![0u8; header.payload_len as usize];
+    r.read_exact(&mut payload)?;
+    let actual = crc32c(&payload);
+    if actual != header.payload_crc {
+        return Err(WireError::CrcMismatch { expected: header.payload_crc, actual });
+    }
+    Ok(Frame {
+        api_key: header.api_key,
+        flags: header.flags,
+        correlation_id: header.correlation_id,
+        payload,
+    })
+}
+
+/// Write one frame to a blocking writer and flush it.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    w.write_all(&frame.encode())?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = Frame::new(7, 42, b"hello octopus".to_vec());
+        let bytes = f.encode();
+        let (back, used) = decode_frame(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let f = Frame::new(0, 0, vec![]);
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), HEADER_LEN);
+        let (back, _) = decode_frame(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = Frame::new(1, 1, vec![1, 2, 3]).encode();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            decode_frame(&bytes, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = Frame::new(1, 1, vec![]).encode();
+        bytes[2] = VERSION + 1;
+        assert!(matches!(
+            decode_frame(&bytes, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_declaration_rejected_before_allocation() {
+        let mut bytes = Frame::new(1, 1, vec![]).encode();
+        // declare a 3 GiB payload; the decoder must reject on the cap,
+        // not attempt the allocation and find the buffer short
+        bytes[14..18].copy_from_slice(&(3u32 << 30).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_fails_crc() {
+        let mut bytes = Frame::new(1, 1, b"payload".to_vec()).encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            decode_frame(&bytes, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_reports_need() {
+        let bytes = Frame::new(1, 1, b"0123456789".to_vec()).encode();
+        for cut in 0..bytes.len() {
+            let err = decode_frame(&bytes[..cut], DEFAULT_MAX_PAYLOAD).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+}

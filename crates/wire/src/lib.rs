@@ -1,0 +1,45 @@
+//! The networked data plane: a versioned, length-prefixed binary wire
+//! protocol carrying the Octopus event fabric over TCP (§IV-A takes
+//! the fabric out of a single address space).
+//!
+//! Layers, bottom up:
+//!
+//! - [`frame`]: the transport framing — a fixed 22-byte header (magic,
+//!   version, flags, api key, correlation id, payload length, payload
+//!   CRC32C) followed by the payload. Decoding is allocation-safe
+//!   against hostile input: declared lengths are capped before any
+//!   buffer is reserved, and corruption surfaces as a typed
+//!   [`WireError`], never a panic.
+//! - [`codec`]: the request/response schema — one [`codec::ApiKey`]
+//!   per operation (produce, fetch, metadata, consumer groups, offset
+//!   commit, and the exactly-once APIs), hand-rolled little-endian
+//!   encoding with bounds-checked reads.
+//! - [`transport`]: the [`Transport`] trait the SDK clients speak —
+//!   implemented by [`InProcessTransport`] (direct cluster calls; the
+//!   DES and chaos layers keep their determinism) and by
+//!   [`TcpTransport`].
+//! - [`server`]: [`WireServer`], a threaded acceptor serving the
+//!   protocol from a [`octopus_broker::Cluster`], with a
+//!   handshake-first auth gate (anonymous / bearer token / SCRAM),
+//!   per-connection reader and writer threads, request pipelining by
+//!   correlation id, idle timeouts, and bounded-queue backpressure
+//!   against slow consumers. Chaos integration: a severed link in the
+//!   fault injector shuts down the server's live sockets.
+//! - [`tcp`]: [`TcpTransport`], the client — one multiplexed
+//!   connection, transparent re-dial with re-authentication after a
+//!   cut, retriable errors for everything the SDK's retry/idempotence
+//!   machinery can absorb.
+
+pub mod codec;
+pub mod error;
+pub mod frame;
+pub mod server;
+pub mod tcp;
+pub mod transport;
+
+pub use codec::{ApiKey, HandshakeRequest, HandshakeResponse, OffsetSpec, Request, Response, TopicMeta};
+pub use error::{ErrorCode, WireError, WireFault};
+pub use frame::{Frame, DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC, VERSION};
+pub use server::{Authenticator, WireServer, WireServerConfig};
+pub use tcp::{Credentials, TcpTransport, TcpTransportConfig};
+pub use transport::{InProcessTransport, Transport};

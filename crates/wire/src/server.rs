@@ -1,0 +1,615 @@
+//! The broker-side wire server: a multiplexed threaded acceptor.
+//!
+//! One [`WireServer`] fronts a [`Cluster`] handle on a TCP listen
+//! socket. Each accepted connection gets a reader (the accept-spawned
+//! thread) and a writer thread joined by a **bounded** response queue:
+//!
+//! - The reader decodes frames, dispatches them against the cluster,
+//!   and pushes responses into the queue. Requests pipeline freely —
+//!   a client may have any number in flight; responses are matched by
+//!   the echoed correlation id.
+//! - The writer drains the queue to the socket. When a slow consumer
+//!   stops reading, the socket send buffer fills, the writer blocks,
+//!   the queue fills, and the reader's `send` blocks — a connection-
+//!   level throttle that stops a slow client from ballooning server
+//!   memory (the queue is the only buffering).
+//!
+//! Connections authenticate first: the opening frames must be
+//! handshake requests (anonymous, bearer token, or SCRAM), and any
+//! other api key before authentication — or any authentication
+//! failure — draws an `AuthFailed` error frame followed by connection
+//! teardown. There is no silent-hang path: failures are written
+//! best-effort and the socket is shut down both ways.
+//!
+//! The server registers a sever-observer with the cluster's
+//! [`FaultInjector`](octopus_broker::FaultInjector): when the chaos
+//! layer partitions this server's
+//! broker id, every live client socket is `shutdown(Both)` — a
+//! simulated severed link becomes a real one under TCP transports.
+
+use std::collections::HashMap;
+use std::io::BufWriter;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use crossbeam::channel::bounded;
+use parking_lot::Mutex;
+
+use octopus_auth::globus::AuthServer;
+use octopus_auth::scram::{auth_message, ScramStore};
+use octopus_auth::token::{AccessToken, Scope, TokenStatus};
+use octopus_auth::Permission;
+use octopus_broker::{BrokerId, Cluster, TopicConfig};
+use octopus_types::{OctoError, OctoResult, Uid};
+
+use crate::codec::{ApiKey, HandshakeRequest, HandshakeResponse, Request, Response, TopicMeta};
+use crate::error::{ErrorCode, WireError, WireFault};
+use crate::frame::{read_frame, write_frame, Frame, DEFAULT_MAX_PAYLOAD};
+
+/// Tuning knobs for a [`WireServer`].
+#[derive(Debug, Clone)]
+pub struct WireServerConfig {
+    /// The broker identity this server fronts; chaos partitions that
+    /// name this id sever the server's live sockets.
+    pub broker_id: BrokerId,
+    /// A connection idle (no complete frame) for this long is closed.
+    pub idle_timeout: Duration,
+    /// Maximum accepted payload size (checked before allocation).
+    pub max_payload: u32,
+    /// Bound of the per-connection response queue; when full, request
+    /// processing for that connection blocks (backpressure).
+    pub response_queue: usize,
+}
+
+impl Default for WireServerConfig {
+    fn default() -> Self {
+        WireServerConfig {
+            broker_id: BrokerId(0),
+            idle_timeout: Duration::from_secs(30),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            response_queue: 128,
+        }
+    }
+}
+
+/// Server-side authentication policy for the wire handshake.
+#[derive(Clone, Default)]
+pub struct Authenticator {
+    allow_anonymous: bool,
+    scram: Option<Arc<ScramStore>>,
+    tokens: Option<AuthServer>,
+    required_scope: Option<Scope>,
+}
+
+impl Authenticator {
+    /// Accept anonymous connections (no credential mechanisms).
+    pub fn open() -> Self {
+        Authenticator { allow_anonymous: true, ..Default::default() }
+    }
+
+    /// Require authentication (anonymous handshakes are rejected).
+    pub fn closed() -> Self {
+        Authenticator::default()
+    }
+
+    /// Enable SCRAM password authentication against `store`.
+    pub fn with_scram(mut self, store: Arc<ScramStore>) -> Self {
+        self.scram = Some(store);
+        self
+    }
+
+    /// Enable bearer-token authentication introspected against `auth`.
+    pub fn with_tokens(mut self, auth: AuthServer) -> Self {
+        self.tokens = Some(auth);
+        self
+    }
+
+    /// Additionally require tokens to carry `scope`.
+    pub fn with_required_scope(mut self, scope: Scope) -> Self {
+        self.required_scope = Some(scope);
+        self
+    }
+}
+
+struct ConnEntry {
+    stream: TcpStream,
+}
+
+struct ServerInner {
+    cluster: Cluster,
+    auth: Authenticator,
+    config: WireServerConfig,
+    running: AtomicBool,
+    next_conn: AtomicU64,
+    conns: Mutex<HashMap<u64, ConnEntry>>,
+}
+
+impl ServerInner {
+    /// Shut down every live client socket (both directions).
+    fn sever_connections(&self) -> usize {
+        let conns = self.conns.lock();
+        let mut n = 0;
+        for entry in conns.values() {
+            let _ = entry.stream.shutdown(Shutdown::Both);
+            n += 1;
+        }
+        n
+    }
+}
+
+/// A running wire server; dropping it stops the acceptor and closes
+/// every connection.
+pub struct WireServer {
+    inner: Arc<ServerInner>,
+    addr: SocketAddr,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving `cluster`.
+    pub fn bind(
+        cluster: Cluster,
+        auth: Authenticator,
+        addr: &str,
+        config: WireServerConfig,
+    ) -> OctoResult<WireServer> {
+        let listener = TcpListener::bind(addr).map_err(|e| OctoError::Io(e.to_string()))?;
+        let local = listener.local_addr().map_err(|e| OctoError::Io(e.to_string()))?;
+        let inner = Arc::new(ServerInner {
+            cluster: cluster.clone(),
+            auth,
+            config,
+            running: AtomicBool::new(true),
+            next_conn: AtomicU64::new(0),
+            conns: Mutex::new(HashMap::new()),
+        });
+
+        // A chaos partition naming our broker id severs the real
+        // sockets. Weak: a dropped server must not keep serving faults.
+        let weak: Weak<ServerInner> = Arc::downgrade(&inner);
+        let my_id = inner.config.broker_id;
+        cluster.fault_injector().on_sever(Box::new(move |a, b| {
+            if a == my_id || b == my_id {
+                if let Some(inner) = weak.upgrade() {
+                    inner.sever_connections();
+                }
+            }
+        }));
+
+        let accept_inner = Arc::clone(&inner);
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(listener, accept_inner);
+        });
+
+        Ok(WireServer { inner, addr: local, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live client connections.
+    pub fn connection_count(&self) -> usize {
+        self.inner.conns.lock().len()
+    }
+
+    /// Forcibly shut down every client socket (what a chaos partition
+    /// triggers); returns how many were severed. The listener stays
+    /// up, so clients may reconnect — mirroring a transient network
+    /// cut rather than a dead broker.
+    pub fn sever_connections(&self) -> usize {
+        self.inner.sever_connections()
+    }
+
+    /// Stop accepting, close every connection, join the acceptor.
+    pub fn shutdown(&mut self) {
+        if !self.inner.running.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        // poke the blocking accept() awake
+        let _ = TcpStream::connect(self.addr);
+        self.inner.sever_connections();
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<ServerInner>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(s) => s,
+            Err(_) => {
+                if !inner.running.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if !inner.running.load(Ordering::Acquire) {
+            return;
+        }
+        let conn_id = inner.next_conn.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            inner.conns.lock().insert(conn_id, ConnEntry { stream: clone });
+        }
+        let conn_inner = Arc::clone(&inner);
+        std::thread::spawn(move || {
+            serve_connection(stream, conn_id, &conn_inner);
+            conn_inner.conns.lock().remove(&conn_id);
+        });
+    }
+}
+
+/// In-flight SCRAM state between the challenge and the proof.
+struct PendingScram {
+    username: String,
+    client_nonce: String,
+    combined_nonce: String,
+    salt: Vec<u8>,
+    iterations: u32,
+}
+
+fn auth_failed(msg: &str) -> WireFault {
+    WireFault::new(ErrorCode::AuthFailed, msg)
+}
+
+/// Write an error frame best-effort and tear the connection down.
+fn refuse(stream: &TcpStream, api_key: u16, correlation_id: u64, fault: WireFault) {
+    let mut w = BufWriter::new(stream);
+    let _ = write_frame(&mut w, &Frame::error(api_key, correlation_id, fault.encode()));
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn serve_connection(stream: TcpStream, _conn_id: u64, inner: &ServerInner) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(inner.config.idle_timeout));
+
+    // ---- phase 1: authenticate (frames handled inline, no writer
+    // thread yet — the handshake is strictly request/response) ----
+    let mut read_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut pending_scram: Option<PendingScram> = None;
+    let principal: Option<Uid> = loop {
+        let frame = match read_frame(&mut read_stream, inner.config.max_payload) {
+            Ok(f) => f,
+            Err(WireError::Closed) => return,
+            Err(e) => {
+                // includes the idle timeout (read timeout surfaces as
+                // Io) — no silent hang on a half-open handshake
+                refuse(&stream, 0, 0, WireFault::new(ErrorCode::MalformedRequest, e.to_string()));
+                return;
+            }
+        };
+        let corr = frame.correlation_id;
+        let req = match ApiKey::from_u16(frame.api_key)
+            .and_then(|k| Request::decode(k, &frame.payload))
+        {
+            Ok(r) => r,
+            Err(e) => {
+                refuse(
+                    &stream,
+                    frame.api_key,
+                    corr,
+                    WireFault::new(ErrorCode::MalformedRequest, e.to_string()),
+                );
+                return;
+            }
+        };
+        let hs = match req {
+            Request::Handshake(h) => h,
+            _ => {
+                refuse(&stream, frame.api_key, corr, auth_failed("handshake required"));
+                return;
+            }
+        };
+        match handle_handshake(inner, hs, &mut pending_scram) {
+            Ok(HandshakeStep::Reply(resp)) => {
+                let mut w = BufWriter::new(&stream);
+                if write_frame(&mut w, &Frame::new(ApiKey::Handshake as u16, corr, resp.encode()))
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Ok(HandshakeStep::Complete(resp, principal)) => {
+                let mut w = BufWriter::new(&stream);
+                if write_frame(&mut w, &Frame::new(ApiKey::Handshake as u16, corr, resp.encode()))
+                    .is_err()
+                {
+                    return;
+                }
+                break principal;
+            }
+            Err(fault) => {
+                refuse(&stream, ApiKey::Handshake as u16, corr, fault);
+                return;
+            }
+        }
+    };
+
+    // ---- phase 2: serve requests through the bounded response queue ----
+    let (resp_tx, resp_rx) = bounded::<Frame>(inner.config.response_queue.max(1));
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let writer = std::thread::spawn(move || {
+        let mut w = BufWriter::new(&write_stream);
+        while let Ok(frame) = resp_rx.recv() {
+            if write_frame(&mut w, &frame).is_err() {
+                break;
+            }
+        }
+        let _ = write_stream.shutdown(Shutdown::Both);
+    });
+
+    loop {
+        let frame = match read_frame(&mut read_stream, inner.config.max_payload) {
+            Ok(f) => f,
+            Err(WireError::Closed) => break,
+            Err(e) => {
+                // frame-level garbage is connection-fatal: we can no
+                // longer find frame boundaries in the stream
+                let fault = WireFault::new(ErrorCode::MalformedRequest, e.to_string());
+                let _ = resp_tx.send(Frame::error(0, 0, fault.encode()));
+                break;
+            }
+        };
+        let corr = frame.correlation_id;
+        let api_key = frame.api_key;
+        let response = ApiKey::from_u16(api_key)
+            .and_then(|k| Request::decode(k, &frame.payload))
+            .map_err(|e| WireFault::new(ErrorCode::MalformedRequest, e.to_string()))
+            .and_then(|req| match req {
+                Request::Handshake(_) => {
+                    Err(WireFault::new(ErrorCode::Invalid, "already authenticated"))
+                }
+                req => dispatch(&inner.cluster, principal, req)
+                    .map_err(|e| WireFault::from(&e)),
+            });
+        // a full queue blocks here → the reader stops consuming →
+        // the client's sends eventually block: backpressure, not OOM
+        let sent = match response {
+            Ok(resp) => resp_tx.send(Frame::new(api_key, corr, resp.encode())),
+            Err(fault) => resp_tx.send(Frame::error(api_key, corr, fault.encode())),
+        };
+        if sent.is_err() {
+            break;
+        }
+    }
+    drop(resp_tx);
+    let _ = stream.shutdown(Shutdown::Both);
+    let _ = writer.join();
+}
+
+enum HandshakeStep {
+    /// Mid-handshake reply (SCRAM challenge); keep reading.
+    Reply(Response),
+    /// Authentication finished with this principal.
+    Complete(Response, Option<Uid>),
+}
+
+fn handle_handshake(
+    inner: &ServerInner,
+    hs: HandshakeRequest,
+    pending: &mut Option<PendingScram>,
+) -> Result<HandshakeStep, WireFault> {
+    match hs {
+        HandshakeRequest::Anonymous { .. } => {
+            if !inner.auth.allow_anonymous {
+                return Err(auth_failed("anonymous connections not allowed"));
+            }
+            Ok(HandshakeStep::Complete(
+                Response::Handshake(HandshakeResponse::Welcome { principal: None }),
+                None,
+            ))
+        }
+        HandshakeRequest::Token { token, .. } => {
+            let auth = inner.auth.tokens.as_ref().ok_or_else(|| {
+                auth_failed("token authentication not enabled")
+            })?;
+            let (status, info) = auth.introspect(&AccessToken(token));
+            let info = match (status, info) {
+                (TokenStatus::Active, Some(info)) => info,
+                (TokenStatus::Revoked, _) => return Err(auth_failed("token revoked")),
+                (TokenStatus::Expired, _) => return Err(auth_failed("token expired")),
+                _ => return Err(auth_failed("token unknown")),
+            };
+            if let Some(scope) = &inner.auth.required_scope {
+                if !info.has_scope(scope) {
+                    return Err(auth_failed(&format!("token lacks required scope {scope}")));
+                }
+            }
+            Ok(HandshakeStep::Complete(
+                Response::Handshake(HandshakeResponse::Welcome {
+                    principal: Some(info.identity),
+                }),
+                Some(info.identity),
+            ))
+        }
+        HandshakeRequest::ScramFirst { username, nonce, .. } => {
+            let store =
+                inner.auth.scram.as_ref().ok_or_else(|| auth_failed("scram not enabled"))?;
+            let (salt, iterations) =
+                store.challenge(&username).map_err(|_| auth_failed("authentication failed"))?;
+            // server nonce extension; Uid::fresh is process-unique and
+            // unpredictable enough for a liveness nonce
+            let combined = format!("{nonce}{}", Uid::fresh());
+            *pending = Some(PendingScram {
+                username,
+                client_nonce: nonce,
+                combined_nonce: combined.clone(),
+                salt: salt.clone(),
+                iterations,
+            });
+            Ok(HandshakeStep::Reply(Response::Handshake(HandshakeResponse::ScramChallenge {
+                nonce: combined,
+                salt,
+                iterations,
+            })))
+        }
+        HandshakeRequest::ScramFinal { username, nonce, proof } => {
+            let store =
+                inner.auth.scram.as_ref().ok_or_else(|| auth_failed("scram not enabled"))?;
+            let p = pending.take().ok_or_else(|| auth_failed("no scram challenge pending"))?;
+            if p.username != username || p.combined_nonce != nonce {
+                return Err(auth_failed("scram state mismatch"));
+            }
+            let msg =
+                auth_message(&p.username, &p.client_nonce, &p.combined_nonce, &p.salt, p.iterations);
+            let (principal, server_signature) = store
+                .verify(&p.username, &msg, &proof)
+                .map_err(|_| auth_failed("authentication failed"))?;
+            Ok(HandshakeStep::Complete(
+                Response::Handshake(HandshakeResponse::ScramWelcome {
+                    principal: Some(principal),
+                    server_signature,
+                }),
+                Some(principal),
+            ))
+        }
+    }
+}
+
+fn check_acl(
+    cluster: &Cluster,
+    principal: Option<Uid>,
+    topic: &str,
+    perm: Permission,
+) -> OctoResult<()> {
+    match (cluster.acl(), principal) {
+        (Some(acl), Some(p)) => acl.check(topic, p, perm),
+        _ => Ok(()),
+    }
+}
+
+/// Execute one decoded request against the cluster.
+fn dispatch(cluster: &Cluster, principal: Option<Uid>, req: Request) -> OctoResult<Response> {
+    match req {
+        Request::Handshake(_) => Err(OctoError::Invalid("handshake out of band".into())),
+        Request::Produce { topic, partition, batch, acks } => {
+            check_acl(cluster, principal, &topic, Permission::Write)?;
+            let receipt = cluster.produce_batch(&topic, partition, batch, acks)?;
+            Ok(Response::Produce(receipt))
+        }
+        Request::Fetch { topic, partition, offset, max_records } => {
+            check_acl(cluster, principal, &topic, Permission::Read)?;
+            let records = cluster.fetch(&topic, partition, offset, max_records as usize)?;
+            Ok(Response::Fetch { records })
+        }
+        Request::FetchCommitted { topic, partition, offset, max_records } => {
+            check_acl(cluster, principal, &topic, Permission::Read)?;
+            let (records, next) =
+                cluster.fetch_committed(&topic, partition, offset, max_records as usize)?;
+            Ok(Response::FetchCommitted { records, next })
+        }
+        Request::Metadata { topic } => {
+            let names = match topic {
+                Some(t) => {
+                    if !cluster.topic_exists(&t) {
+                        return Err(OctoError::UnknownTopic(t));
+                    }
+                    vec![t]
+                }
+                None => cluster.topics(),
+            };
+            let mut topics = Vec::with_capacity(names.len());
+            for name in names {
+                // a topic deleted between list and describe is skipped,
+                // not an error — metadata is a snapshot
+                let (Ok(partitions), Ok(config)) =
+                    (cluster.partition_count(&name), cluster.topic_config(&name))
+                else {
+                    continue;
+                };
+                let config_json = serde_json::to_vec(&config)
+                    .map_err(|e| OctoError::Serde(e.to_string()))?;
+                topics.push(TopicMeta { name, partitions, config_json });
+            }
+            Ok(Response::Metadata { topics })
+        }
+        Request::ListOffsets { topic, partition, spec } => {
+            use crate::codec::OffsetSpec;
+            let offset = match spec {
+                OffsetSpec::Earliest => cluster.earliest_offset(&topic, partition)?,
+                OffsetSpec::Latest => cluster.latest_offset(&topic, partition)?,
+                OffsetSpec::Timestamp(ms) => cluster.offset_for_timestamp(
+                    &topic,
+                    partition,
+                    octopus_types::Timestamp(ms),
+                )?,
+                OffsetSpec::LastStable => cluster.last_stable_offset(&topic, partition)?,
+            };
+            Ok(Response::ListOffsets { offset })
+        }
+        Request::CreateTopic { topic, config_json } => {
+            let config: TopicConfig = serde_json::from_slice(&config_json)
+                .map_err(|e| OctoError::Invalid(format!("bad topic config: {e}")))?;
+            cluster.create_topic(&topic, config)?;
+            Ok(Response::Ok)
+        }
+        Request::DeleteTopic { topic } => {
+            cluster.delete_topic(&topic)?;
+            Ok(Response::Ok)
+        }
+        Request::GroupJoin { group, member, topics, counts } => {
+            let counts: HashMap<_, _> = counts.into_iter().collect();
+            let assignment = cluster.coordinator().join(&group, &member, topics, &counts);
+            Ok(Response::GroupJoin { assignment })
+        }
+        Request::GroupHeartbeat { group, member } => {
+            let assignment = cluster.coordinator().assignment_of(&group, &member);
+            Ok(Response::GroupHeartbeat { assignment })
+        }
+        Request::GroupLeave { group, member, counts } => {
+            let counts: HashMap<_, _> = counts.into_iter().collect();
+            cluster.coordinator().leave(&group, &member, &counts);
+            Ok(Response::Ok)
+        }
+        Request::OffsetCommit { group, generation, topic, partition, offset } => {
+            cluster.coordinator().commit(&group, generation, &topic, partition, offset)?;
+            Ok(Response::Ok)
+        }
+        Request::OffsetFetch { group, topic, partition } => {
+            let offset = cluster.coordinator().committed(&group, &topic, partition);
+            Ok(Response::OffsetFetch { offset })
+        }
+        Request::RegisterPid { name } => {
+            let id = cluster.register_producer(&name)?;
+            Ok(Response::RegisterPid { id })
+        }
+        Request::TxnBegin { name, id } => {
+            cluster.txn_begin(&name, id)?;
+            Ok(Response::Ok)
+        }
+        Request::TxnProduce { name, id, topic, partition, events } => {
+            check_acl(cluster, principal, &topic, Permission::Write)?;
+            let receipt = cluster.txn_produce(&name, id, &topic, partition, events)?;
+            Ok(Response::Produce(receipt))
+        }
+        Request::TxnOffsets { name, id, offsets } => {
+            cluster.txn_send_offsets(&name, id, offsets)?;
+            Ok(Response::Ok)
+        }
+        Request::TxnCommit { name, id } => {
+            cluster.txn_commit(&name, id)?;
+            Ok(Response::Ok)
+        }
+        Request::TxnAbort { name, id } => {
+            cluster.txn_abort(&name, id)?;
+            Ok(Response::Ok)
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! The client-side transport abstraction.
+//!
+//! [`Transport`] is the seam between the SDK clients (producer,
+//! consumer, admin) and the fabric they speak to. Two implementations
+//! exist:
+//!
+//! - [`InProcessTransport`] wraps a [`Cluster`] handle directly — the
+//!   path every pre-existing test, the DES, and the chaos harness use.
+//!   It adds zero indirection beyond a vtable call, preserving the
+//!   determinism those layers depend on.
+//! - [`crate::TcpTransport`] speaks the binary protocol over a real
+//!   socket to a [`crate::WireServer`].
+//!
+//! The trait surface is exactly the set of cluster calls the SDK makes
+//! today; it deliberately does not expose chaos controls, broker
+//! lifecycle, or other operator-side APIs — those stay in-process.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use octopus_auth::Permission;
+use octopus_broker::{
+    AckLevel, Cluster, MemberAssignment, ProduceReceipt, ProducerIdentity, Record, RecordBatch,
+    TopicConfig, TxnOffset,
+};
+use octopus_types::{
+    Event, MetricsRegistry, OctoResult, Offset, PartitionId, SpanSink, StageMetrics, Timestamp,
+    TopicName, Uid,
+};
+
+/// How SDK clients reach the event fabric: in-process or over a wire.
+///
+/// All methods are `&self` and thread-safe; the SDK shares one
+/// transport between its worker threads behind an `Arc`.
+pub trait Transport: Send + Sync {
+    /// Human-readable endpoint description for diagnostics.
+    fn describe(&self) -> String;
+
+    // ----- topic metadata / admin -----
+
+    fn topic_exists(&self, topic: &str) -> bool;
+    fn topics(&self) -> OctoResult<Vec<TopicName>>;
+    fn topic_config(&self, topic: &str) -> OctoResult<TopicConfig>;
+    fn create_topic(&self, topic: &str, config: TopicConfig) -> OctoResult<()>;
+    fn delete_topic(&self, topic: &str) -> OctoResult<()>;
+    fn partition_count(&self, topic: &str) -> OctoResult<u32>;
+    /// Choose a partition for a key (broker-compatible hash) or the
+    /// next round-robin slot for keyless events.
+    fn partition_for(&self, topic: &str, key: Option<&[u8]>) -> OctoResult<PartitionId>;
+
+    /// Client-side authorization probe. The in-process transport
+    /// checks the cluster ACL as `principal`; the TCP transport
+    /// returns `Ok` and lets the server enforce against the
+    /// authenticated handshake principal (a remote client's claimed
+    /// principal is not trustworthy input).
+    fn authorize(&self, topic: &str, principal: Option<Uid>, perm: Permission) -> OctoResult<()>;
+
+    // ----- data path -----
+
+    fn produce_batch(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        batch: RecordBatch,
+        acks: AckLevel,
+    ) -> OctoResult<ProduceReceipt>;
+
+    fn fetch(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        offset: Offset,
+        max_records: usize,
+        principal: Option<Uid>,
+    ) -> OctoResult<Vec<Record>>;
+
+    fn fetch_committed(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        offset: Offset,
+        max_records: usize,
+    ) -> OctoResult<(Vec<Record>, Offset)>;
+
+    fn earliest_offset(&self, topic: &str, partition: PartitionId) -> OctoResult<Offset>;
+    fn latest_offset(&self, topic: &str, partition: PartitionId) -> OctoResult<Offset>;
+    fn offset_for_timestamp(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        ts: Timestamp,
+    ) -> OctoResult<Offset>;
+
+    // ----- consumer groups -----
+
+    fn group_join(
+        &self,
+        group: &str,
+        member: &str,
+        topics: Vec<TopicName>,
+        counts: &HashMap<TopicName, u32>,
+    ) -> OctoResult<MemberAssignment>;
+
+    fn group_assignment(&self, group: &str, member: &str)
+        -> OctoResult<Option<MemberAssignment>>;
+
+    fn group_leave(
+        &self,
+        group: &str,
+        member: &str,
+        counts: &HashMap<TopicName, u32>,
+    ) -> OctoResult<()>;
+
+    fn offset_commit(
+        &self,
+        group: &str,
+        generation: u64,
+        topic: &str,
+        partition: PartitionId,
+        offset: Offset,
+    ) -> OctoResult<()>;
+
+    fn offset_committed(
+        &self,
+        group: &str,
+        topic: &str,
+        partition: PartitionId,
+    ) -> OctoResult<Option<Offset>>;
+
+    // ----- exactly-once -----
+
+    fn register_producer(&self, name: &str) -> OctoResult<ProducerIdentity>;
+    fn txn_begin(&self, name: &str, id: ProducerIdentity) -> OctoResult<()>;
+    fn txn_produce(
+        &self,
+        name: &str,
+        id: ProducerIdentity,
+        topic: &str,
+        partition: PartitionId,
+        events: Vec<Event>,
+    ) -> OctoResult<ProduceReceipt>;
+    fn txn_send_offsets(
+        &self,
+        name: &str,
+        id: ProducerIdentity,
+        offsets: Vec<TxnOffset>,
+    ) -> OctoResult<()>;
+    fn txn_commit(&self, name: &str, id: ProducerIdentity) -> OctoResult<()>;
+    fn txn_abort(&self, name: &str, id: ProducerIdentity) -> OctoResult<()>;
+
+    // ----- observability -----
+
+    fn metrics(&self) -> Arc<MetricsRegistry>;
+    fn stage_metrics(&self) -> StageMetrics;
+    fn span_sink(&self) -> Arc<SpanSink>;
+}
+
+/// The zero-network transport: every call goes straight into the
+/// [`Cluster`] handle, exactly as the SDK did before the wire layer
+/// existed.
+#[derive(Clone)]
+pub struct InProcessTransport {
+    cluster: Cluster,
+}
+
+impl InProcessTransport {
+    pub fn new(cluster: Cluster) -> Self {
+        InProcessTransport { cluster }
+    }
+
+    /// The wrapped cluster handle.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+}
+
+impl Transport for InProcessTransport {
+    fn describe(&self) -> String {
+        "in-process".to_string()
+    }
+
+    fn topic_exists(&self, topic: &str) -> bool {
+        self.cluster.topic_exists(topic)
+    }
+
+    fn topics(&self) -> OctoResult<Vec<TopicName>> {
+        Ok(self.cluster.topics())
+    }
+
+    fn topic_config(&self, topic: &str) -> OctoResult<TopicConfig> {
+        self.cluster.topic_config(topic)
+    }
+
+    fn create_topic(&self, topic: &str, config: TopicConfig) -> OctoResult<()> {
+        self.cluster.create_topic(topic, config)
+    }
+
+    fn delete_topic(&self, topic: &str) -> OctoResult<()> {
+        self.cluster.delete_topic(topic)
+    }
+
+    fn partition_count(&self, topic: &str) -> OctoResult<u32> {
+        self.cluster.partition_count(topic)
+    }
+
+    fn partition_for(&self, topic: &str, key: Option<&[u8]>) -> OctoResult<PartitionId> {
+        self.cluster.partition_for(topic, key)
+    }
+
+    fn authorize(&self, topic: &str, principal: Option<Uid>, perm: Permission) -> OctoResult<()> {
+        match (principal, self.cluster.acl()) {
+            (Some(p), Some(acl)) => acl.check(topic, p, perm),
+            _ => Ok(()),
+        }
+    }
+
+    fn produce_batch(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        batch: RecordBatch,
+        acks: AckLevel,
+    ) -> OctoResult<ProduceReceipt> {
+        self.cluster.produce_batch(topic, partition, batch, acks)
+    }
+
+    fn fetch(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        offset: Offset,
+        max_records: usize,
+        principal: Option<Uid>,
+    ) -> OctoResult<Vec<Record>> {
+        match principal {
+            Some(p) => self.cluster.fetch_as(p, topic, partition, offset, max_records),
+            None => self.cluster.fetch(topic, partition, offset, max_records),
+        }
+    }
+
+    fn fetch_committed(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        offset: Offset,
+        max_records: usize,
+    ) -> OctoResult<(Vec<Record>, Offset)> {
+        self.cluster.fetch_committed(topic, partition, offset, max_records)
+    }
+
+    fn earliest_offset(&self, topic: &str, partition: PartitionId) -> OctoResult<Offset> {
+        self.cluster.earliest_offset(topic, partition)
+    }
+
+    fn latest_offset(&self, topic: &str, partition: PartitionId) -> OctoResult<Offset> {
+        self.cluster.latest_offset(topic, partition)
+    }
+
+    fn offset_for_timestamp(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        ts: Timestamp,
+    ) -> OctoResult<Offset> {
+        self.cluster.offset_for_timestamp(topic, partition, ts)
+    }
+
+    fn group_join(
+        &self,
+        group: &str,
+        member: &str,
+        topics: Vec<TopicName>,
+        counts: &HashMap<TopicName, u32>,
+    ) -> OctoResult<MemberAssignment> {
+        Ok(self.cluster.coordinator().join(group, member, topics, counts))
+    }
+
+    fn group_assignment(
+        &self,
+        group: &str,
+        member: &str,
+    ) -> OctoResult<Option<MemberAssignment>> {
+        Ok(self.cluster.coordinator().assignment_of(group, member))
+    }
+
+    fn group_leave(
+        &self,
+        group: &str,
+        member: &str,
+        counts: &HashMap<TopicName, u32>,
+    ) -> OctoResult<()> {
+        self.cluster.coordinator().leave(group, member, counts);
+        Ok(())
+    }
+
+    fn offset_commit(
+        &self,
+        group: &str,
+        generation: u64,
+        topic: &str,
+        partition: PartitionId,
+        offset: Offset,
+    ) -> OctoResult<()> {
+        self.cluster.coordinator().commit(group, generation, topic, partition, offset)
+    }
+
+    fn offset_committed(
+        &self,
+        group: &str,
+        topic: &str,
+        partition: PartitionId,
+    ) -> OctoResult<Option<Offset>> {
+        Ok(self.cluster.coordinator().committed(group, topic, partition))
+    }
+
+    fn register_producer(&self, name: &str) -> OctoResult<ProducerIdentity> {
+        self.cluster.register_producer(name)
+    }
+
+    fn txn_begin(&self, name: &str, id: ProducerIdentity) -> OctoResult<()> {
+        self.cluster.txn_begin(name, id)
+    }
+
+    fn txn_produce(
+        &self,
+        name: &str,
+        id: ProducerIdentity,
+        topic: &str,
+        partition: PartitionId,
+        events: Vec<Event>,
+    ) -> OctoResult<ProduceReceipt> {
+        self.cluster.txn_produce(name, id, topic, partition, events)
+    }
+
+    fn txn_send_offsets(
+        &self,
+        name: &str,
+        id: ProducerIdentity,
+        offsets: Vec<TxnOffset>,
+    ) -> OctoResult<()> {
+        self.cluster.txn_send_offsets(name, id, offsets)
+    }
+
+    fn txn_commit(&self, name: &str, id: ProducerIdentity) -> OctoResult<()> {
+        self.cluster.txn_commit(name, id)
+    }
+
+    fn txn_abort(&self, name: &str, id: ProducerIdentity) -> OctoResult<()> {
+        self.cluster.txn_abort(name, id)
+    }
+
+    fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(self.cluster.metrics())
+    }
+
+    fn stage_metrics(&self) -> StageMetrics {
+        self.cluster.stage_metrics().clone()
+    }
+
+    fn span_sink(&self) -> Arc<SpanSink> {
+        Arc::clone(self.cluster.span_sink())
+    }
+}

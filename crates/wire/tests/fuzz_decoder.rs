@@ -1,0 +1,328 @@
+//! Fuzz-style property tests: the decoder stack must survive arbitrary
+//! attacker-controlled bytes without panicking.
+//!
+//! Three layers get hammered:
+//!
+//! - the frame decoder on pure random byte streams,
+//! - the frame decoder on *bit-flipped valid frames* (the deadliest
+//!   corpus: almost-valid input reaches the deepest code paths),
+//! - the request/response codecs on random payloads under every api
+//!   key (what a malicious client can feed the server once it has
+//!   learned to produce a well-formed frame).
+//!
+//! Success is simply "returns `Ok` or a typed `WireError`" — the
+//! process reaching the assertion at all proves no panic, no OOM from a
+//! hostile length, no slice-index abort.
+
+use proptest::prelude::*;
+
+use octopus_broker::{AckLevel, ProduceReceipt, Record, RecordBatch};
+use octopus_types::{Event, Header, Timestamp};
+use octopus_wire::codec::{ApiKey, OffsetSpec, Request, Response};
+use octopus_wire::frame::{decode_frame, Frame, DEFAULT_MAX_PAYLOAD, HEADER_LEN};
+use octopus_wire::{WireError, WireFault};
+
+/// Every api key the protocol defines, for exhaustive codec fuzzing.
+const ALL_API_KEYS: &[ApiKey] = &[
+    ApiKey::Handshake,
+    ApiKey::Produce,
+    ApiKey::Fetch,
+    ApiKey::Metadata,
+    ApiKey::ListOffsets,
+    ApiKey::CreateTopic,
+    ApiKey::DeleteTopic,
+    ApiKey::GroupJoin,
+    ApiKey::GroupHeartbeat,
+    ApiKey::GroupLeave,
+    ApiKey::OffsetCommit,
+    ApiKey::OffsetFetch,
+    ApiKey::RegisterPid,
+    ApiKey::TxnBegin,
+    ApiKey::TxnProduce,
+    ApiKey::TxnOffsets,
+    ApiKey::TxnCommit,
+    ApiKey::TxnAbort,
+    ApiKey::FetchCommitted,
+];
+
+proptest! {
+    /// Pure noise: random byte strings never panic the frame decoder,
+    /// and anything it does accept must re-encode to the bytes it
+    /// consumed (no phantom frames).
+    #[test]
+    fn random_bytes_never_panic_frame_decoder(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // typed rejection is the expected outcome; anything accepted
+        // must re-encode to exactly the bytes consumed
+        if let Ok((frame, used)) = decode_frame(&bytes, DEFAULT_MAX_PAYLOAD) {
+            prop_assert!(used <= bytes.len());
+            prop_assert_eq!(&frame.encode()[..], &bytes[..used]);
+        }
+    }
+
+    /// Bit-flipped valid frames: flip one bit anywhere in a well-formed
+    /// frame. The decoder must never panic, and a flip inside the
+    /// payload or the CRC field must never be silently accepted.
+    #[test]
+    fn bit_flipped_frames_never_panic_and_never_lie(
+        api_key in any::<u16>(),
+        corr in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        flip_byte in any::<u16>(),
+        flip_bit in 0u8..8,
+    ) {
+        let original = Frame::new(api_key, corr, payload);
+        let mut bytes = original.encode();
+        let idx = flip_byte as usize % bytes.len();
+        bytes[idx] ^= 1 << flip_bit;
+        match decode_frame(&bytes, DEFAULT_MAX_PAYLOAD) {
+            Ok((frame, _)) => {
+                // flips in flags/api_key/correlation_id produce a
+                // different-but-valid frame; flips touching the payload
+                // length, CRC, or payload bytes must have been caught
+                prop_assert!(
+                    (3..14).contains(&idx),
+                    "accepted a frame with byte {idx} flipped"
+                );
+                prop_assert_eq!(frame.payload, original.payload);
+            }
+            Err(WireError::Truncated { .. }) => {
+                // a flip in payload_len that *lowers* the declared
+                // length (or raises it past the buffer) looks truncated
+                prop_assert!(
+                    (14..18).contains(&idx),
+                    "truncation from a flip at byte {idx}"
+                );
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// A truncated prefix of a valid frame is always a typed error,
+    /// never a panic and never an accepted frame.
+    #[test]
+    fn truncated_prefixes_always_rejected(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        cut_frac in any::<u16>(),
+    ) {
+        let bytes = Frame::new(2, 99, payload).encode();
+        let cut = cut_frac as usize % bytes.len(); // strictly short
+        let err = decode_frame(&bytes[..cut], DEFAULT_MAX_PAYLOAD).unwrap_err();
+        prop_assert!(matches!(
+            err,
+            WireError::Truncated { .. } | WireError::BadMagic(_)
+        ));
+    }
+
+    /// Random payload bytes under every api key: the request codec
+    /// returns a typed error or a value, never panics — even for
+    /// payloads declaring collection counts in the billions.
+    #[test]
+    fn random_payloads_never_panic_request_codec(
+        payload in proptest::collection::vec(any::<u8>(), 0..192),
+    ) {
+        for &key in ALL_API_KEYS {
+            let _ = Request::decode(key, &payload);
+        }
+    }
+
+    /// Same for the response codec (a hostile *server* must not be able
+    /// to crash a client) and the error-payload codec.
+    #[test]
+    fn random_payloads_never_panic_response_codec(
+        payload in proptest::collection::vec(any::<u8>(), 0..192),
+    ) {
+        for &key in ALL_API_KEYS {
+            let _ = Response::decode(key, &payload);
+        }
+        let _ = WireFault::decode(&payload);
+    }
+
+    /// Truncating a *valid encoded request* at every byte boundary is
+    /// rejected with a typed error — the codec's bounds checks hold at
+    /// every cut point, not just on random noise.
+    #[test]
+    fn truncated_valid_request_payloads_rejected(
+        topic in "[a-z]{1,12}",
+        group in "[a-z]{1,12}",
+        offset in any::<u64>(),
+    ) {
+        let req = Request::OffsetCommit {
+            group,
+            generation: 3,
+            topic,
+            partition: 1,
+            offset,
+        };
+        let full = req.encode();
+        for cut in 0..full.len() {
+            prop_assert!(
+                Request::decode(ApiKey::OffsetCommit, &full[..cut]).is_err(),
+                "cut at {cut} decoded successfully"
+            );
+        }
+    }
+}
+
+/// Deterministic sweep (not property-based): a frame whose header
+/// declares `u32::MAX` payload bytes is refused on the length cap
+/// before any allocation happens, for every cap we might configure.
+#[test]
+fn hostile_length_declarations_never_allocate() {
+    for cap in [0u32, 1, 1024, DEFAULT_MAX_PAYLOAD] {
+        let mut bytes = Frame::new(1, 1, vec![]).encode();
+        bytes[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        match decode_frame(&bytes, cap) {
+            Err(WireError::FrameTooLarge { declared, cap: c }) => {
+                assert_eq!(declared, u32::MAX);
+                assert_eq!(c, cap);
+            }
+            other => panic!("cap {cap}: expected FrameTooLarge, got {other:?}"),
+        }
+    }
+    // and a declaration just over a tiny cap is likewise refused
+    let f = Frame::new(1, 1, vec![0u8; 64]);
+    assert!(matches!(
+        decode_frame(&f.encode(), 63),
+        Err(WireError::FrameTooLarge { declared: 64, cap: 63 })
+    ));
+    assert!(decode_frame(&f.encode(), 64).is_ok());
+}
+
+/// The header is exactly 22 bytes and the empty frame is exactly the
+/// header — the layout contract DESIGN.md documents.
+#[test]
+fn header_layout_is_stable() {
+    let bytes = Frame::new(0x1234, 0xDEAD_BEEF, vec![]).encode();
+    assert_eq!(bytes.len(), HEADER_LEN);
+    assert_eq!(&bytes[0..2], b"OC");
+    assert_eq!(bytes[2], octopus_wire::VERSION);
+}
+
+// ---------------------------------------------------------------------------
+// randomized encode→decode identity (the codec module's unit tests
+// cover every variant once; these drive the hot variants with
+// arbitrary field values, through a full frame cycle as well)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Requests with randomized topics, partitions, offsets, group
+    /// state, and record payloads survive encode→decode unchanged —
+    /// and so does the full frame wrapping them.
+    #[test]
+    fn randomized_requests_roundtrip(
+        topic in "[a-z][a-z0-9._-]{0,23}",
+        group in "[a-z]{1,12}",
+        member in "[a-z0-9-]{1,16}",
+        partition in any::<u32>(),
+        offset in any::<u64>(),
+        generation in any::<u64>(),
+        max_records in 0u32..100_000,
+        key in proptest::option::of("[ -~]{0,24}"),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        counts in proptest::collection::vec(("[a-z]{1,8}", any::<u32>()), 0..4),
+        corr in any::<u64>(),
+    ) {
+        let mut builder = Event::builder().payload(payload);
+        if let Some(k) = key {
+            builder = builder.key(k);
+        }
+        let event = builder.build();
+        let reqs = vec![
+            Request::Produce {
+                topic: topic.clone(),
+                partition,
+                batch: RecordBatch::new(vec![event.clone()]),
+                acks: AckLevel::Leader,
+            },
+            Request::Fetch { topic: topic.clone(), partition, offset, max_records },
+            Request::FetchCommitted { topic: topic.clone(), partition, offset, max_records },
+            Request::ListOffsets {
+                topic: topic.clone(),
+                partition,
+                spec: OffsetSpec::Timestamp(offset),
+            },
+            Request::GroupJoin {
+                group: group.clone(),
+                member: member.clone(),
+                topics: counts.iter().map(|(t, _)| t.clone()).collect(),
+                counts: counts.clone(),
+            },
+            Request::OffsetCommit {
+                group: group.clone(),
+                generation,
+                topic: topic.clone(),
+                partition,
+                offset,
+            },
+            Request::OffsetFetch { group, topic, partition },
+        ];
+        for req in reqs {
+            let api_key = req.api_key();
+            let bytes = req.encode();
+            let back = Request::decode(api_key, &bytes).unwrap();
+            prop_assert_eq!(&back, &req);
+            // and through a whole frame: header + CRC + payload
+            let frame = Frame::new(api_key as u16, corr, bytes);
+            let encoded = frame.encode();
+            let (decoded, used) = decode_frame(&encoded, DEFAULT_MAX_PAYLOAD).unwrap();
+            prop_assert_eq!(used, encoded.len());
+            prop_assert_eq!(decoded.correlation_id, corr);
+            prop_assert_eq!(
+                Request::decode(api_key, &decoded.payload).unwrap(),
+                req
+            );
+        }
+    }
+
+    /// Responses carrying randomized records and offsets survive
+    /// encode→decode unchanged.
+    #[test]
+    fn randomized_responses_roundtrip(
+        offsets in proptest::collection::vec(any::<u64>(), 1..8),
+        value in proptest::collection::vec(any::<u8>(), 0..256),
+        key in proptest::option::of(proptest::collection::vec(any::<u8>(), 0..32)),
+        ts in any::<u64>(),
+        crc in any::<u32>(),
+        partition in any::<u32>(),
+        count in 0usize..1_000_000,
+        persisted in any::<bool>(),
+        deduplicated in any::<bool>(),
+        next in any::<u64>(),
+    ) {
+        let records: Vec<Record> = offsets
+            .iter()
+            .map(|&o| Record {
+                offset: o,
+                append_time: Timestamp(ts),
+                key: key.clone().map(Into::into),
+                value: value.clone().into(),
+                headers: vec![Header { key: "h".into(), value: value.clone() }],
+                producer_time: Timestamp(ts),
+                crc,
+                eos: None,
+            })
+            .collect();
+        let cases = vec![
+            (ApiKey::Fetch, Response::Fetch { records: records.clone() }),
+            (ApiKey::FetchCommitted, Response::FetchCommitted { records, next }),
+            (
+                ApiKey::Produce,
+                Response::Produce(ProduceReceipt {
+                    partition,
+                    base_offset: next,
+                    count,
+                    persisted,
+                    deduplicated,
+                }),
+            ),
+            (ApiKey::ListOffsets, Response::ListOffsets { offset: next }),
+            (ApiKey::OffsetFetch, Response::OffsetFetch { offset: Some(next) }),
+        ];
+        for (api_key, resp) in cases {
+            let bytes = resp.encode();
+            prop_assert_eq!(Response::decode(api_key, &bytes).unwrap(), resp);
+        }
+    }
+}

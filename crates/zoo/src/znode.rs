@@ -221,11 +221,12 @@ impl ZnodeTree {
             Some(p) => p.to_string(),
             None => return TxnResult::Error(format!("malformed path: {path}")),
         };
-        if !self.nodes.contains_key(&parent) {
-            return TxnResult::Error(format!("parent does not exist: {parent}"));
-        }
-        if self.nodes.get(&parent).expect("checked").mode.is_ephemeral() {
-            return TxnResult::Error("ephemeral nodes cannot have children".into());
+        match self.nodes.get(&parent) {
+            None => return TxnResult::Error(format!("parent does not exist: {parent}")),
+            Some(p) if p.mode.is_ephemeral() => {
+                return TxnResult::Error("ephemeral nodes cannot have children".into())
+            }
+            Some(_) => {}
         }
         let final_path = if mode.is_sequential() {
             let ctr = self.seq_counters.entry(parent.clone()).or_insert(0);
@@ -256,9 +257,16 @@ impl ZnodeTree {
                 mode,
             },
         );
-        let pstat = &mut self.nodes.get_mut(&parent).expect("checked").stat;
-        pstat.cversion += 1;
-        pstat.num_children += 1;
+        // Re-look the parent up rather than trusting the earlier check:
+        // should a future refactor let a delete interleave (the
+        // historical panic path), the create rolls back and reports a
+        // typed error instead of crashing the service.
+        let Some(parent_node) = self.nodes.get_mut(&parent) else {
+            self.nodes.remove(&final_path);
+            return TxnResult::Error(format!("parent does not exist: {parent}"));
+        };
+        parent_node.stat.cversion += 1;
+        parent_node.stat.num_children += 1;
         TxnResult::Created(final_path)
     }
 
@@ -418,6 +426,35 @@ mod tests {
         assert!(matches!(create(&mut t, 1, "/a/b"), TxnResult::Error(_)));
         create(&mut t, 2, "/a");
         assert!(matches!(create(&mut t, 3, "/a"), TxnResult::Error(_)));
+    }
+
+    #[test]
+    fn create_racing_delete_returns_error_not_panic() {
+        // Regression: the create path used `.expect("checked")` on the
+        // parent lookup, so a delete ordered between a parent's
+        // creation and its child's would panic the service instead of
+        // answering "no node". Both lookups are typed errors now.
+        let mut t = ZnodeTree::new();
+        create(&mut t, 1, "/a");
+        assert_eq!(
+            t.apply(2, &Txn::Delete { path: "/a".into(), expected_version: None }),
+            TxnResult::Deleted
+        );
+        match create(&mut t, 3, "/a/b") {
+            TxnResult::Error(msg) => assert!(msg.contains("parent does not exist")),
+            other => panic!("expected typed error, got {other:?}"),
+        }
+        // an ephemeral parent is likewise a typed refusal
+        t.apply(
+            4,
+            &Txn::Create {
+                path: "/e".into(),
+                data: vec![],
+                mode: CreateMode::Ephemeral,
+                session: 7,
+            },
+        );
+        assert!(matches!(create(&mut t, 5, "/e/child"), TxnResult::Error(_)));
     }
 
     #[test]

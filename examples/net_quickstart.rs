@@ -1,0 +1,142 @@
+//! Networked quickstart: a produce→fetch round trip between **two
+//! separate OS processes** over loopback TCP with SCRAM auth.
+//!
+//! The binary is dual-mode: invoked with `--serve <addr-file>` it
+//! becomes the broker process (cluster + `WireServer`, address written
+//! to the file); invoked bare it spawns that server as a child
+//! process, dials it with [`TcpTransport`], and drives the SDK
+//! producer/consumer across the real socket. The run prints a JSON
+//! summary that `scripts/ci.sh` gates on.
+//!
+//! Run with: `cargo run --example net_quickstart`
+
+use std::io::Read;
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use octopus::auth::scram::ScramStore;
+use octopus::prelude::*;
+use octopus::sdk::Consumer;
+use octopus::wire::{
+    Authenticator, Credentials, TcpTransport, TcpTransportConfig, Transport, WireServer,
+    WireServerConfig,
+};
+
+const USER: &str = "ada";
+const PASSWORD: &str = "correct horse battery staple";
+const TOPIC: &str = "sdl.actions";
+const COUNT: usize = 12;
+
+/// Child mode: host the cluster behind a wire server until the parent
+/// goes away (detected as EOF on stdin).
+fn serve(addr_file: &str) {
+    let cluster = Cluster::new(2);
+    cluster.create_topic(TOPIC, TopicConfig::default().with_partitions(2)).unwrap();
+    let scram = Arc::new(ScramStore::new());
+    scram.add_user(USER, PASSWORD, Uid(7));
+    let server = WireServer::bind(
+        cluster,
+        Authenticator::closed().with_scram(scram),
+        "127.0.0.1:0",
+        WireServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    // atomic publish: write to a temp name, then rename into place
+    let tmp = format!("{addr_file}.tmp");
+    std::fs::write(&tmp, &addr).unwrap();
+    std::fs::rename(&tmp, addr_file).unwrap();
+    // Block until the parent closes our stdin (exit or kill) so an
+    // orphaned server never outlives the demo.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 3 && args[1] == "--serve" {
+        return serve(&args[2]);
+    }
+
+    let addr_file = std::env::temp_dir()
+        .join(format!("octopus-net-quickstart-{}.addr", std::process::id()));
+    let addr_file_str = addr_file.to_string_lossy().to_string();
+    let _ = std::fs::remove_file(&addr_file);
+
+    // Process #1: the broker, in its own OS process.
+    let mut child = Command::new(std::env::current_exe().unwrap())
+        .args(["--serve", &addr_file_str])
+        .stdin(Stdio::piped())
+        .spawn()
+        .expect("spawn server process");
+
+    // Wait for the server to publish its listen address.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(addr) = std::fs::read_to_string(&addr_file) {
+            break addr;
+        }
+        assert!(Instant::now() < deadline, "server process never published an address");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    // Process #2 (this one): SCRAM-authenticated SDK clients over TCP.
+    let transport = Arc::new(TcpTransport::connect(
+        addr.clone(),
+        TcpTransportConfig {
+            credentials: Credentials::Scram {
+                username: USER.into(),
+                password: PASSWORD.into(),
+            },
+            ..Default::default()
+        },
+    ));
+    transport.ensure_connected().expect("SCRAM handshake");
+    let principal = transport.principal().unwrap();
+
+    let producer = Producer::over(
+        Arc::clone(&transport) as Arc<dyn Transport>,
+        ProducerConfig::default(),
+        None,
+    );
+    for i in 0..COUNT {
+        producer
+            .send_sync(
+                TOPIC,
+                Event::builder()
+                    .key(format!("run-{}", i % 3))
+                    .payload(format!("action-{i}").into_bytes())
+                    .build(),
+            )
+            .expect("produce over TCP");
+    }
+
+    let mut consumer = Consumer::over(
+        Arc::clone(&transport) as Arc<dyn Transport>,
+        ConsumerConfig { group: "net-quickstart".into(), ..Default::default() },
+        None,
+    );
+    consumer.subscribe(&[TOPIC]).unwrap();
+    let mut consumed = 0usize;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while consumed < COUNT && Instant::now() < deadline {
+        consumed += consumer.poll().expect("fetch over TCP").len();
+    }
+
+    drop(child.stdin.take()); // EOF → server exits
+    let _ = child.wait();
+    let _ = std::fs::remove_file(&addr_file);
+
+    let report = serde_json::json!({
+        "transport": "tcp",
+        "addr": addr,
+        "processes": 2,
+        "scram_principal": principal.map(|u| u.to_string()),
+        "produced": COUNT,
+        "consumed": consumed,
+        "ok": consumed == COUNT && principal == Some(Uid(7)),
+    });
+    println!("{}", serde_json::to_string_pretty(&report).unwrap());
+    assert!(report["ok"].as_bool().unwrap(), "round trip failed");
+}

@@ -52,8 +52,25 @@ if ! jq -e '.schema == "octopus-hotpath-v1"
             and (.fetch.records_per_sec > 0)
             and (.group_commit.flushes > 0)
             and (.eos.idempotent_on.events_per_sec > 0)
-            and (.eos.idempotent_off.events_per_sec > 0)' BENCH_hotpath.json >/dev/null; then
+            and (.eos.idempotent_off.events_per_sec > 0)
+            and (.net.tcp.produce_events_per_sec > 0)
+            and (.net.tcp.fetch_records_per_sec > 0)
+            and (.net.in_process.produce_events_per_sec > 0)' BENCH_hotpath.json >/dev/null; then
     echo "BENCH_hotpath.json malformed (schema/sections)" >&2
+    exit 1
+fi
+
+echo "==> networked smoke (two OS processes, SCRAM over loopback TCP)"
+# The example spawns a broker process hosting a WireServer, dials it
+# over a real socket with SCRAM credentials, and round-trips records
+# through the SDK producer/consumer. jq gates the printed report.
+net_report=$(cargo run --release -q --example net_quickstart)
+if ! jq -e '.ok == true
+            and (.processes == 2)
+            and (.transport == "tcp")
+            and (.consumed == .produced)' <<<"$net_report" >/dev/null; then
+    echo "net_quickstart report malformed or failed:" >&2
+    echo "$net_report" >&2
     exit 1
 fi
 

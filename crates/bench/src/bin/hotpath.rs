@@ -41,7 +41,8 @@ use octopus_bench::{figure_header, human_rate, write_result};
 use octopus_broker::{
     crc32c, AckLevel, Cluster, FlushPolicy, ProducerStamp, RecordBatch, TempDir, TopicConfig,
 };
-use octopus_types::{AtomicHistogram, Event};
+use octopus_types::obs::{labeled, TraceContext};
+use octopus_types::{AtomicHistogram, Event, SpanSink};
 use octopus_wire::{
     Authenticator, InProcessTransport, TcpTransport, TcpTransportConfig, Transport, WireServer,
     WireServerConfig,
@@ -424,13 +425,20 @@ struct NetSide {
 /// Drive the produce→fetch workload through one [`Transport`]: the
 /// same calls the SDK makes, so the in-process and TCP numbers differ
 /// only by the wire (framing, CRC, socket, server dispatch).
-fn net_side(transport: &dyn Transport, scale: &Scale) -> NetSide {
+fn net_side(transport: &dyn Transport, scale: &Scale, traced: bool) -> NetSide {
     let payload = vec![0x71u8; 128];
     let hist = AtomicHistogram::new();
     let t0 = Instant::now();
     for _ in 0..scale.net_batches {
-        let events: Vec<Event> =
-            (0..scale.batch_events).map(|_| Event::from_bytes(payload.clone())).collect();
+        let events: Vec<Event> = (0..scale.batch_events)
+            .map(|_| {
+                let mut e = Event::from_bytes(payload.clone());
+                if traced {
+                    e.headers.push(TraceContext::fresh().to_header());
+                }
+                e
+            })
+            .collect();
         let batch = RecordBatch::new(events);
         let t = Instant::now();
         transport.produce_batch("net", 0, batch, AckLevel::Leader).expect("net produce");
@@ -471,22 +479,32 @@ fn net_side(transport: &dyn Transport, scale: &Scale) -> NetSide {
 struct NetResult {
     in_process: NetSide,
     tcp: NetSide,
+    /// The TCP side repeated with every produce carrying a trace
+    /// context (wire-frame trace extension + broker span recording).
+    tcp_traced: NetSide,
+    /// Per-api p99 from the *server's* own request histograms
+    /// (`octopus_wire_request_ns{api=...}`), in µs — the broker-side
+    /// view of the same workload the client timed.
+    server_produce_p99_us: f64,
+    server_fetch_p99_us: f64,
 }
 
 /// Network-tax probe: identical workloads through the in-process
-/// transport and over a real loopback socket against a `WireServer`.
-/// Each side gets its own fresh single-partition topic on a shared
-/// volatile cluster.
+/// transport and over a real loopback socket against a `WireServer` —
+/// the socket leg twice, tracing off then on, so the wire-trace
+/// extension's cost is tracked across PRs. Each side gets its own
+/// fresh single-partition topic on a shared volatile cluster.
 fn net_probe(scale: &Scale) -> NetResult {
-    let cluster = Cluster::new(2);
+    let cluster = Cluster::builder(2).spans(Arc::new(SpanSink::new(1))).build();
     let topic_config = TopicConfig::default().with_partitions(1).with_replication(2);
 
     cluster.create_topic("net", topic_config.clone()).expect("topic");
     let inproc = InProcessTransport::new(cluster.clone());
-    let in_process = net_side(&inproc, scale);
+    let in_process = net_side(&inproc, scale, false);
     cluster.delete_topic("net").expect("reset topic");
 
-    cluster.create_topic("net", topic_config).expect("topic");
+    cluster.create_topic("net", topic_config.clone()).expect("topic");
+    let serving = cluster.clone();
     let server = WireServer::bind(
         cluster,
         Authenticator::open(),
@@ -499,9 +517,39 @@ fn net_probe(scale: &Scale) -> NetResult {
         TcpTransportConfig::default(),
     );
     tcp_transport.ensure_connected().expect("connect");
-    let tcp = net_side(&tcp_transport, scale);
+    let tcp = net_side(&tcp_transport, scale, false);
 
-    NetResult { in_process, tcp }
+    // Same socket workload again, now with a trace context stamped on
+    // every event and the client sampling every trace.
+    serving.delete_topic("net").expect("reset topic");
+    serving.create_topic("net", topic_config).expect("topic");
+    let traced_transport = TcpTransport::connect(
+        server.local_addr().to_string(),
+        TcpTransportConfig { trace_sample_every: 1, ..Default::default() },
+    );
+    traced_transport.ensure_connected().expect("connect traced");
+    let tcp_traced = net_side(&traced_transport, scale, true);
+    check(
+        !serving.span_sink().snapshot().is_empty(),
+        "traced network run recorded no broker spans",
+    );
+
+    // The broker's own per-api request histograms, recorded by the
+    // wire server across both TCP legs.
+    let snap = serving.metrics().snapshot();
+    let server_p99_us = |api: &str| {
+        snap.histograms
+            .get(&labeled("octopus_wire_request_ns", &[("api", api)]))
+            .map(|h| h.p99() as f64 / 1e3)
+            .unwrap_or(0.0)
+    };
+    NetResult {
+        in_process,
+        tcp,
+        tcp_traced,
+        server_produce_p99_us: server_p99_us("produce"),
+        server_fetch_p99_us: server_p99_us("fetch"),
+    }
 }
 
 fn main() {
@@ -587,6 +635,20 @@ fn main() {
         net.tcp.produce_p99_us,
         human_rate(net.tcp.fetch_records_per_sec),
     ));
+    let trace_overhead_pct =
+        (net.tcp.produce_events_per_sec / net.tcp_traced.produce_events_per_sec - 1.0) * 100.0;
+    txt.push_str(&format!(
+        "wire tracing (sample_every=1): off {} events/s (p99 {:.1} us) vs on {} events/s \
+         (p99 {:.1} us), throughput overhead {:.1}%; server-side p99 produce {:.1} us / \
+         fetch {:.1} us\n",
+        human_rate(net.tcp.produce_events_per_sec),
+        net.tcp.produce_p99_us,
+        human_rate(net.tcp_traced.produce_events_per_sec),
+        net.tcp_traced.produce_p99_us,
+        trace_overhead_pct,
+        net.server_produce_p99_us,
+        net.server_fetch_p99_us,
+    ));
 
     print!("{txt}");
     let path = write_result("hotpath.txt", &txt).expect("write hotpath.txt");
@@ -658,6 +720,24 @@ fn main() {
                 "fetch_records_per_sec": net.tcp.fetch_records_per_sec,
                 "fetch_p99_us": net.tcp.fetch_p99_us,
             },
+            "tracing": {
+                "sample_every": 1,
+                "off": {
+                    "produce_p99_us": net.tcp.produce_p99_us,
+                    "produce_events_per_sec": net.tcp.produce_events_per_sec,
+                },
+                "on": {
+                    "produce_p99_us": net.tcp_traced.produce_p99_us,
+                    "produce_events_per_sec": net.tcp_traced.produce_events_per_sec,
+                },
+                "produce_p99_delta_us":
+                    net.tcp_traced.produce_p99_us - net.tcp.produce_p99_us,
+                "throughput_overhead_pct": trace_overhead_pct,
+            },
+            "per_api_p99_us": {
+                "produce": net.server_produce_p99_us,
+                "fetch": net.server_fetch_p99_us,
+            },
         },
     });
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
@@ -680,6 +760,14 @@ fn main() {
     check(
         reread["net"]["tcp"]["produce_events_per_sec"].as_f64().unwrap_or(0.0) > 0.0,
         "bench json net section incomplete",
+    );
+    check(
+        reread["net"]["per_api_p99_us"]["produce"].as_f64().unwrap_or(0.0) > 0.0,
+        "bench json net per-api p99 missing",
+    );
+    check(
+        reread["net"]["tracing"]["on"]["produce_events_per_sec"].as_f64().unwrap_or(0.0) > 0.0,
+        "bench json net tracing section incomplete",
     );
     println!("wrote {}", json_path.display());
 }

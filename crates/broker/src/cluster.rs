@@ -20,7 +20,8 @@ use serde::{Deserialize, Serialize};
 use octopus_auth::{AclStore, Permission};
 use octopus_types::obs::{now_ns, Counter, MetricsRegistry, Stage, StageMetrics, TraceContext};
 use octopus_types::{
-    Clock, Event, OctoError, OctoResult, Offset, PartitionId, SpanSink, Timestamp, TopicName, Uid,
+    Clock, Event, OctoError, OctoResult, Offset, PartitionId, SlowRequestRing, SpanSink,
+    Timestamp, TopicName, Uid,
     WallClock,
 };
 use octopus_zoo::{CreateMode, ZooService};
@@ -193,6 +194,10 @@ struct ClusterInner {
     lag: Arc<LagTracker>,
     health: ClusterHealth,
     spans: Arc<SpanSink>,
+    /// Slowest-N-per-api-key request ring, fed by the wire server and
+    /// read by OWS `GET /wire/slow` — shared here because both front
+    /// the same cluster from independent wiring.
+    slow: Arc<SlowRequestRing>,
     durability: Option<DurabilityState>,
     /// Per-broker executors that run follower appends off the
     /// producing thread, so acks=all replication latency is the max
@@ -287,6 +292,20 @@ impl Cluster {
     /// The consumer-lag tracker (fed by the append and commit paths).
     pub fn lag_tracker(&self) -> &Arc<LagTracker> {
         &self.inner.lag
+    }
+
+    /// The slow-request ring a fronting wire server records into
+    /// (slowest N requests per api key, with correlation + trace ids).
+    pub fn slow_ring(&self) -> &Arc<SlowRequestRing> {
+        &self.inner.slow
+    }
+
+    /// Lag reports for every group that has committed offsets,
+    /// sorted by group id — the rollup `DescribeHealth` ships.
+    pub fn lag_reports(&self) -> Vec<LagReport> {
+        let mut groups = self.inner.lag.groups();
+        groups.sort();
+        groups.iter().filter_map(|g| self.inner.lag.report(g)).collect()
     }
 
     /// Lag report for a consumer group, or `NotFound` if the group has
@@ -1662,6 +1681,7 @@ impl ClusterBuilder {
                 lag,
                 health,
                 spans: self.spans.unwrap_or_else(|| Arc::new(SpanSink::disabled())),
+                slow: Arc::new(SlowRequestRing::default()),
                 durability,
                 replication,
                 eos: EosState::default(),

@@ -146,6 +146,7 @@ impl OwsService {
             (Method::Put, ["trigger"]) => self.deploy_trigger(identity, &req.body),
             (Method::Get, ["triggers"]) => self.list_triggers(identity),
             (Method::Get, ["health"]) => self.health(),
+            (Method::Get, ["wire", "slow"]) => self.wire_slow(),
             (Method::Get, ["lag", group]) => self.lag(group),
             (Method::Get, ["store"]) => self.store(),
             _ => Err(OctoError::NotFound(format!("{:?} {}", req.method, req.path))),
@@ -335,6 +336,13 @@ impl OwsService {
         Ok(serde_json::to_value(self.cluster.lag_report(group)?)?)
     }
 
+    /// `GET /wire/slow`: the wire server's slow-request ring — the
+    /// slowest requests per api key, with correlation and trace ids
+    /// for cross-referencing exported traces.
+    fn wire_slow(&self) -> OctoResult<Value> {
+        Ok(serde_json::to_value(self.cluster.slow_ring().snapshot())?)
+    }
+
     /// `GET /store`: the fabric's durability configuration — whether
     /// logs persist, where, under which flush policy, and the offset
     /// checkpoint cadence.
@@ -480,6 +488,25 @@ mod tests {
         let r = ows.dispatch(&post("/topic/t/partitions", &token, json!({"partitions": 8})));
         assert_eq!(r.status, 200);
         assert_eq!(ows.cluster().partition_count("t").unwrap(), 8);
+    }
+
+    #[test]
+    fn wire_slow_surfaces_the_slow_request_ring() {
+        let (ows, token, _) = test_ows();
+        ows.cluster().slow_ring().observe(octopus_types::SlowRequest {
+            api: "produce".into(),
+            correlation_id: 42,
+            trace_id: Some(8),
+            total_us: 1_500,
+            at_ns: 1,
+        });
+        let r = ows.dispatch(&get("/wire/slow", &token));
+        assert_eq!(r.status, 200, "{:?}", r.body);
+        assert_eq!(r.body[0]["api"], "produce");
+        assert_eq!(r.body[0]["correlation_id"], 42);
+        assert_eq!(r.body[0]["trace_id"], 8);
+        // observability routes still require authentication
+        assert_eq!(ows.dispatch(&Request::new(Method::Get, "/wire/slow")).status, 401);
     }
 
     #[test]

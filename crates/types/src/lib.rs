@@ -17,6 +17,7 @@ pub mod id;
 pub mod obs;
 pub mod retry;
 pub mod slo;
+pub mod slow;
 pub mod span;
 pub mod time;
 
@@ -30,7 +31,11 @@ pub use obs::{
 };
 pub use retry::{BreakerState, CircuitBreaker, CircuitBreakerConfig, Retrier, RetryPolicy};
 pub use slo::{Alert, AlertState, SloMonitor, SloObjective, SloSpec};
-pub use span::{Span, SpanSink};
+pub use slow::{SlowRequest, SlowRequestRing};
+pub use span::{
+    export_chrome_trace_multi, span_id_for, write_chrome_trace_multi, ProcessSpans, Span,
+    SpanSink,
+};
 pub use time::{Clock, ManualClock, Timestamp, WallClock};
 
 /// A topic name. Topics are the unit of event organization, access

@@ -1,0 +1,161 @@
+//! A bounded slow-request ring: the slowest N requests per api key.
+//!
+//! The wire server observes every completed request here; the ring
+//! keeps only the slowest `cap` per api key, so an operator asking
+//! "what was slow?" gets concrete offenders — correlation id, trace id
+//! (when the request carried the frame trace extension), and the
+//! wall-clock moment — instead of a histogram tail with no names.
+//! Surfaced over OWS as `GET /wire/slow`.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// One slow request the ring retained.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlowRequest {
+    /// Api key name (e.g. `"produce"`).
+    pub api: String,
+    /// Correlation id the client sent (matches client-side logs).
+    pub correlation_id: u64,
+    /// Trace id from the frame trace extension, when the request
+    /// carried one — links the entry to the distributed trace.
+    pub trace_id: Option<u64>,
+    /// Total server-side handling time (decode→encode), microseconds.
+    pub total_us: u64,
+    /// Wall-clock nanoseconds when the request completed.
+    pub at_ns: u64,
+}
+
+/// Default retained entries per api key.
+pub const DEFAULT_SLOW_RING_CAP: usize = 8;
+
+/// Bounded per-api-key ring of the slowest requests observed.
+///
+/// `observe` is O(cap) under one mutex — the wire path it instruments
+/// is dominated by socket and dispatch costs, so the lock is not a
+/// contention concern. Entries are kept sorted slowest-first.
+#[derive(Debug)]
+pub struct SlowRequestRing {
+    per_api: Mutex<BTreeMap<String, Vec<SlowRequest>>>,
+    cap: usize,
+}
+
+impl Default for SlowRequestRing {
+    fn default() -> Self {
+        Self::new(DEFAULT_SLOW_RING_CAP)
+    }
+}
+
+impl SlowRequestRing {
+    /// A ring retaining the slowest `cap` requests per api key.
+    pub fn new(cap: usize) -> Self {
+        SlowRequestRing { per_api: Mutex::new(BTreeMap::new()), cap: cap.max(1) }
+    }
+
+    /// Record one completed request; retained only if it ranks among
+    /// the slowest `cap` seen for its api key.
+    pub fn observe(&self, entry: SlowRequest) {
+        let mut map = self.per_api.lock().unwrap_or_else(|e| e.into_inner());
+        let ring = map.entry(entry.api.clone()).or_default();
+        // fast reject: full ring and slower-than-us tail
+        if ring.len() >= self.cap {
+            if let Some(tail) = ring.last() {
+                if tail.total_us >= entry.total_us {
+                    return;
+                }
+            }
+        }
+        let at = ring.partition_point(|e| e.total_us >= entry.total_us);
+        ring.insert(at, entry);
+        ring.truncate(self.cap);
+    }
+
+    /// Every retained entry, grouped by api key (keys sorted), each
+    /// group slowest-first.
+    pub fn snapshot(&self) -> Vec<SlowRequest> {
+        let map = self.per_api.lock().unwrap_or_else(|e| e.into_inner());
+        map.values().flat_map(|ring| ring.iter().cloned()).collect()
+    }
+
+    /// Total retained entries across all api keys.
+    pub fn len(&self) -> usize {
+        let map = self.per_api.lock().unwrap_or_else(|e| e.into_inner());
+        map.values().map(Vec::len).sum()
+    }
+
+    /// True when nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(api: &str, corr: u64, us: u64) -> SlowRequest {
+        SlowRequest {
+            api: api.to_string(),
+            correlation_id: corr,
+            trace_id: None,
+            total_us: us,
+            at_ns: corr * 10,
+        }
+    }
+
+    #[test]
+    fn keeps_only_the_slowest_per_api() {
+        let ring = SlowRequestRing::new(3);
+        for (corr, us) in [(1, 50), (2, 10), (3, 90), (4, 70), (5, 5), (6, 80)] {
+            ring.observe(req("produce", corr, us));
+        }
+        let snap = ring.snapshot();
+        let us: Vec<u64> = snap.iter().map(|e| e.total_us).collect();
+        assert_eq!(us, vec![90, 80, 70], "slowest three, slowest-first");
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn api_keys_are_independent_rings() {
+        let ring = SlowRequestRing::new(2);
+        ring.observe(req("produce", 1, 100));
+        ring.observe(req("produce", 2, 200));
+        ring.observe(req("produce", 3, 300));
+        ring.observe(req("fetch", 4, 1));
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 3);
+        // BTreeMap ordering: fetch before produce
+        assert_eq!(snap[0].api, "fetch");
+        assert_eq!(snap[0].total_us, 1, "a fast fetch survives next to slow produces");
+        assert_eq!(snap[1].total_us, 300);
+        assert_eq!(snap[2].total_us, 200);
+    }
+
+    #[test]
+    fn trace_ids_survive_the_ring() {
+        let ring = SlowRequestRing::default();
+        ring.observe(SlowRequest {
+            api: "produce".into(),
+            correlation_id: 9,
+            trace_id: Some(42),
+            total_us: 17,
+            at_ns: 1,
+        });
+        let snap = ring.snapshot();
+        assert_eq!(snap[0].trace_id, Some(42));
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: Vec<SlowRequest> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn zero_cap_is_clamped_to_one() {
+        let ring = SlowRequestRing::new(0);
+        ring.observe(req("produce", 1, 10));
+        ring.observe(req("produce", 2, 20));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.snapshot()[0].total_us, 20);
+    }
+}

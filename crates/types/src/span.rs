@@ -40,8 +40,10 @@ pub struct Span {
 }
 
 /// Deterministic span id for `(trace_id, stage)`: 16 slots per trace,
-/// slot = stage ordinal, +1 so no span id is ever 0.
-fn span_id_for(trace_id: u64, stage: Stage) -> u64 {
+/// slot = stage ordinal, +1 so no span id is ever 0. Public so wire
+/// transports can stamp a parent span id into a frame without holding
+/// a [`Span`] value.
+pub fn span_id_for(trace_id: u64, stage: Stage) -> u64 {
     trace_id.wrapping_mul(16) + stage_ordinal(stage) + 1
 }
 
@@ -215,31 +217,15 @@ impl SpanSink {
     /// `chrome://tracing`. Each span is a complete (`"ph":"X"`)
     /// duration event; timestamps are microseconds as the format
     /// requires, with nanosecond precision kept in the fraction.
+    /// Single-process form: everything lands on pid lane 1 named
+    /// `"octopus"`. For merging sinks from several OS processes into
+    /// one trace, see [`export_chrome_trace_multi`].
     pub fn export_chrome_trace(&self) -> String {
-        let spans = self.snapshot();
-        let mut out = String::with_capacity(128 + spans.len() * 160);
-        out.push_str("{\"traceEvents\":[");
-        for (i, s) in spans.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let ts = s.start_ns as f64 / 1_000.0;
-            let dur = s.duration_ns() as f64 / 1_000.0;
-            out.push_str(&format!(
-                "{{\"name\":{name},\"cat\":\"octopus\",\"ph\":\"X\",\"ts\":{ts:.3},\
-                 \"dur\":{dur:.3},\"pid\":1,\"tid\":{tid},\"args\":{{\
-                 \"trace_id\":{tid},\"span_id\":{sid},\"parent_id\":{pid}}}}}",
-                name = json_string(&s.name),
-                tid = s.trace_id,
-                sid = s.span_id,
-                pid = match s.parent_id {
-                    Some(p) => p.to_string(),
-                    None => "null".to_string(),
-                },
-            ));
-        }
-        out.push_str("],\"displayTimeUnit\":\"ns\"}");
-        out
+        export_chrome_trace_multi(&[ProcessSpans {
+            pid: 1,
+            name: "octopus".to_string(),
+            spans: self.snapshot(),
+        }])
     }
 
     /// Write the Chrome trace JSON to `path`, creating parent
@@ -277,6 +263,80 @@ impl std::fmt::Debug for SpanSink {
             .field("dropped", &self.dropped())
             .finish()
     }
+}
+
+/// One process's contribution to a merged Chrome trace: a pid lane,
+/// its human-readable name, and the span snapshot taken in (or scraped
+/// from) that process.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessSpans {
+    /// The pid lane the spans render under (typically the OS pid).
+    pub pid: u64,
+    /// Readable lane name, shown by Perfetto as the process name.
+    pub name: String,
+    /// The spans recorded by that process.
+    pub spans: Vec<Span>,
+}
+
+/// Merge span snapshots from multiple OS processes into one Chrome
+/// trace event JSON document.
+///
+/// Each process gets its own pid lane, announced with a
+/// `"process_name"` metadata (`"ph":"M"`) event so the viewer labels
+/// the lane readably instead of interleaving every process at pid 1.
+/// Spans keep `tid` = trace id, so one sampled trace lines up as
+/// parallel tracks across every process it crossed — the client's
+/// `produce→ack` over the broker's `append`/`fetch` — matched by a
+/// shared trace id.
+pub fn export_chrome_trace_multi(processes: &[ProcessSpans]) -> String {
+    let total: usize = processes.iter().map(|p| p.spans.len()).sum();
+    let mut out = String::with_capacity(256 + total * 160 + processes.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for p in processes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":{pname}}}}}",
+            pid = p.pid,
+            pname = json_string(&p.name),
+        ));
+        for s in &p.spans {
+            let ts = s.start_ns as f64 / 1_000.0;
+            let dur = s.duration_ns() as f64 / 1_000.0;
+            out.push(',');
+            out.push_str(&format!(
+                "{{\"name\":{name},\"cat\":\"octopus\",\"ph\":\"X\",\"ts\":{ts:.3},\
+                 \"dur\":{dur:.3},\"pid\":{pid},\"tid\":{tid},\"args\":{{\
+                 \"trace_id\":{tid},\"span_id\":{sid},\"parent_id\":{parent}}}}}",
+                name = json_string(&s.name),
+                pid = p.pid,
+                tid = s.trace_id,
+                sid = s.span_id,
+                parent = match s.parent_id {
+                    Some(pp) => pp.to_string(),
+                    None => "null".to_string(),
+                },
+            ));
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+/// Write a merged multi-process Chrome trace to `path`, creating
+/// parent directories as needed.
+pub fn write_chrome_trace_multi(
+    path: &std::path::Path,
+    processes: &[ProcessSpans],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, export_chrome_trace_multi(processes))
 }
 
 /// Minimal JSON string escaping for span names (quotes, backslash,
@@ -393,9 +453,15 @@ mod tests {
         sink.record_stage(&ctx, Stage::Fetch, 4_000, 5_000);
         let json = sink.export_chrome_trace();
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-        let events = v["traceEvents"].as_array().unwrap();
+        let all = v["traceEvents"].as_array().unwrap();
+        // the single-process export announces its one pid lane
+        let meta: Vec<_> = all.iter().filter(|e| e["ph"] == "M").collect();
+        assert_eq!(meta.len(), 1);
+        assert_eq!(meta[0]["name"], "process_name");
+        assert_eq!(meta[0]["args"]["name"], "octopus");
+        let events: Vec<_> = all.iter().filter(|e| e["ph"] == "X").collect();
         assert_eq!(events.len(), 3);
-        for e in events {
+        for e in &events {
             assert_eq!(e["ph"], "X");
             assert_eq!(e["pid"], 1);
             assert_eq!(e["tid"], 2);
@@ -413,6 +479,58 @@ mod tests {
         let produce = events.iter().find(|e| e["name"] == "produce→ack").unwrap();
         assert!((produce["ts"].as_f64().unwrap() - 1.0).abs() < 1e-9);
         assert!((produce["dur"].as_f64().unwrap() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_process_export_gets_distinct_pid_lanes() {
+        // the same trace id crosses two "processes": a client that
+        // recorded the produce ack and a broker that recorded the
+        // append — as in a scraped two-process deployment
+        let ctx = TraceContext { trace_id: 8, produced_ns: 1_000 };
+        let client = SpanSink::new(1);
+        client.record_stage(&ctx, Stage::ProduceAck, 1_000, 9_000);
+        let broker = SpanSink::new(1);
+        broker.record_stage(&ctx, Stage::Append, 2_000, 3_000);
+        broker.record_stage(&ctx, Stage::Fetch, 4_000, 5_000);
+
+        let json = export_chrome_trace_multi(&[
+            ProcessSpans { pid: 41, name: "client".into(), spans: client.snapshot() },
+            ProcessSpans { pid: 42, name: "broker-0".into(), spans: broker.snapshot() },
+        ]);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let all = v["traceEvents"].as_array().unwrap();
+
+        // one process_name metadata event per lane
+        let meta: Vec<_> = all.iter().filter(|e| e["ph"] == "M").collect();
+        assert_eq!(meta.len(), 2);
+        assert_eq!(meta[0]["pid"], 41);
+        assert_eq!(meta[0]["args"]["name"], "client");
+        assert_eq!(meta[1]["pid"], 42);
+        assert_eq!(meta[1]["args"]["name"], "broker-0");
+
+        // spans keep their process's pid but share the trace id
+        let spans: Vec<_> = all.iter().filter(|e| e["ph"] == "X").collect();
+        assert_eq!(spans.len(), 3);
+        let client_spans: Vec<_> = spans.iter().filter(|e| e["pid"] == 41).collect();
+        let broker_spans: Vec<_> = spans.iter().filter(|e| e["pid"] == 42).collect();
+        assert_eq!(client_spans.len(), 1);
+        assert_eq!(broker_spans.len(), 2);
+        for s in &spans {
+            assert_eq!(s["args"]["trace_id"], 8, "one trace id across both lanes");
+        }
+        // the cross-process parent link survives the merge
+        let append = spans.iter().find(|e| e["name"] == "append").unwrap();
+        assert_eq!(
+            append["args"]["parent_id"].as_u64().unwrap(),
+            span_id_for(8, Stage::ProduceAck)
+        );
+    }
+
+    #[test]
+    fn multi_process_export_with_no_processes_is_valid_json() {
+        let json = export_chrome_trace_multi(&[]);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["traceEvents"].as_array().unwrap().len(), 0);
     }
 
     #[test]

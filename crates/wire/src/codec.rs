@@ -226,9 +226,67 @@ pub enum ApiKey {
     TxnCommit = 16,
     TxnAbort = 17,
     FetchCommitted = 18,
+    /// Remote scrape: a mergeable metrics-registry snapshot (plus,
+    /// optionally, the broker's span snapshot) over the wire.
+    DescribeMetrics = 19,
+    /// Remote scrape: cluster health rollup + consumer-lag reports.
+    DescribeHealth = 20,
 }
 
 impl ApiKey {
+    /// Every api key, in protocol order. Index = the wire value, so
+    /// per-api metric tables can be arrays indexed by `ApiKey as u16`.
+    pub const ALL: [ApiKey; 21] = [
+        ApiKey::Handshake,
+        ApiKey::Produce,
+        ApiKey::Fetch,
+        ApiKey::Metadata,
+        ApiKey::ListOffsets,
+        ApiKey::CreateTopic,
+        ApiKey::DeleteTopic,
+        ApiKey::GroupJoin,
+        ApiKey::GroupHeartbeat,
+        ApiKey::GroupLeave,
+        ApiKey::OffsetCommit,
+        ApiKey::OffsetFetch,
+        ApiKey::RegisterPid,
+        ApiKey::TxnBegin,
+        ApiKey::TxnProduce,
+        ApiKey::TxnOffsets,
+        ApiKey::TxnCommit,
+        ApiKey::TxnAbort,
+        ApiKey::FetchCommitted,
+        ApiKey::DescribeMetrics,
+        ApiKey::DescribeHealth,
+    ];
+
+    /// Stable lowercase name, used as the `api` label on wire metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            ApiKey::Handshake => "handshake",
+            ApiKey::Produce => "produce",
+            ApiKey::Fetch => "fetch",
+            ApiKey::Metadata => "metadata",
+            ApiKey::ListOffsets => "list_offsets",
+            ApiKey::CreateTopic => "create_topic",
+            ApiKey::DeleteTopic => "delete_topic",
+            ApiKey::GroupJoin => "group_join",
+            ApiKey::GroupHeartbeat => "group_heartbeat",
+            ApiKey::GroupLeave => "group_leave",
+            ApiKey::OffsetCommit => "offset_commit",
+            ApiKey::OffsetFetch => "offset_fetch",
+            ApiKey::RegisterPid => "register_pid",
+            ApiKey::TxnBegin => "txn_begin",
+            ApiKey::TxnProduce => "txn_produce",
+            ApiKey::TxnOffsets => "txn_offsets",
+            ApiKey::TxnCommit => "txn_commit",
+            ApiKey::TxnAbort => "txn_abort",
+            ApiKey::FetchCommitted => "fetch_committed",
+            ApiKey::DescribeMetrics => "describe_metrics",
+            ApiKey::DescribeHealth => "describe_health",
+        }
+    }
+
     pub fn from_u16(v: u16) -> Result<Self, WireError> {
         Ok(match v {
             0 => ApiKey::Handshake,
@@ -250,6 +308,8 @@ impl ApiKey {
             16 => ApiKey::TxnCommit,
             17 => ApiKey::TxnAbort,
             18 => ApiKey::FetchCommitted,
+            19 => ApiKey::DescribeMetrics,
+            20 => ApiKey::DescribeHealth,
             other => return Err(WireError::UnknownApiKey(other)),
         })
     }
@@ -556,6 +616,11 @@ pub enum Request {
     TxnOffsets { name: String, id: ProducerIdentity, offsets: Vec<TxnOffset> },
     TxnCommit { name: String, id: ProducerIdentity },
     TxnAbort { name: String, id: ProducerIdentity },
+    /// Scrape this broker's metrics registry; `include_spans` also
+    /// pulls the span sink's snapshot for cross-process trace merging.
+    DescribeMetrics { include_spans: bool },
+    /// Scrape this broker's cluster-health rollup and consumer lag.
+    DescribeHealth,
 }
 
 impl Request {
@@ -581,6 +646,8 @@ impl Request {
             Request::TxnOffsets { .. } => ApiKey::TxnOffsets,
             Request::TxnCommit { .. } => ApiKey::TxnCommit,
             Request::TxnAbort { .. } => ApiKey::TxnAbort,
+            Request::DescribeMetrics { .. } => ApiKey::DescribeMetrics,
+            Request::DescribeHealth => ApiKey::DescribeHealth,
         }
     }
 
@@ -703,6 +770,8 @@ impl Request {
                     w.put_u64(o.offset);
                 }
             }
+            Request::DescribeMetrics { include_spans } => w.put_bool(*include_spans),
+            Request::DescribeHealth => {}
         }
         w.finish()
     }
@@ -831,6 +900,10 @@ impl Request {
                 }
                 Request::TxnOffsets { name, id, offsets }
             }
+            ApiKey::DescribeMetrics => {
+                Request::DescribeMetrics { include_spans: r.get_bool()? }
+            }
+            ApiKey::DescribeHealth => Request::DescribeHealth,
         };
         r.expect_end()?;
         Ok(req)
@@ -855,6 +928,13 @@ pub enum Response {
     GroupHeartbeat { assignment: Option<MemberAssignment> },
     OffsetFetch { offset: Option<Offset> },
     RegisterPid { id: ProducerIdentity },
+    /// A mergeable [`RegistrySnapshot`](octopus_types::RegistrySnapshot)
+    /// as JSON, plus (optionally) the broker's span snapshot as JSON.
+    /// JSON keeps the scrape payload schema-evolvable, mirroring the
+    /// `TopicMeta::config_json` precedent.
+    DescribeMetrics { broker_id: u32, snapshot_json: Vec<u8>, spans_json: Vec<u8> },
+    /// A `HealthReport` and a `Vec<LagReport>`, both as JSON blobs.
+    DescribeHealth { report_json: Vec<u8>, lag_json: Vec<u8> },
     /// Unit acknowledgement for requests with no result body.
     Ok,
 }
@@ -926,6 +1006,15 @@ impl Response {
                 None => w.put_u8(0),
             },
             Response::RegisterPid { id } => put_pid(&mut w, *id),
+            Response::DescribeMetrics { broker_id, snapshot_json, spans_json } => {
+                w.put_u32(*broker_id);
+                w.put_bytes(snapshot_json);
+                w.put_bytes(spans_json);
+            }
+            Response::DescribeHealth { report_json, lag_json } => {
+                w.put_bytes(report_json);
+                w.put_bytes(lag_json);
+            }
             Response::Ok => {}
         }
         w.finish()
@@ -1001,6 +1090,15 @@ impl Response {
                 },
             },
             ApiKey::RegisterPid => Response::RegisterPid { id: get_pid(&mut r)? },
+            ApiKey::DescribeMetrics => Response::DescribeMetrics {
+                broker_id: r.get_u32()?,
+                snapshot_json: r.get_bytes()?,
+                spans_json: r.get_bytes()?,
+            },
+            ApiKey::DescribeHealth => Response::DescribeHealth {
+                report_json: r.get_bytes()?,
+                lag_json: r.get_bytes()?,
+            },
             ApiKey::CreateTopic
             | ApiKey::DeleteTopic
             | ApiKey::GroupLeave
@@ -1143,6 +1241,9 @@ mod tests {
             },
             Request::TxnCommit { name: "etl".into(), id },
             Request::TxnAbort { name: "etl".into(), id },
+            Request::DescribeMetrics { include_spans: true },
+            Request::DescribeMetrics { include_spans: false },
+            Request::DescribeHealth,
         ];
         for req in reqs {
             roundtrip_request(req);
@@ -1227,10 +1328,37 @@ mod tests {
             ),
             (ApiKey::OffsetCommit, Response::Ok),
             (ApiKey::TxnCommit, Response::Ok),
+            (
+                ApiKey::DescribeMetrics,
+                Response::DescribeMetrics {
+                    broker_id: 2,
+                    snapshot_json: b"{\"counters\":{}}".to_vec(),
+                    spans_json: b"[]".to_vec(),
+                },
+            ),
+            (
+                ApiKey::DescribeHealth,
+                Response::DescribeHealth {
+                    report_json: b"{\"status\":\"healthy\"}".to_vec(),
+                    lag_json: b"[]".to_vec(),
+                },
+            ),
         ];
         for (key, resp) in cases {
             roundtrip_response(key, resp);
         }
+    }
+
+    #[test]
+    fn api_key_table_is_dense_and_names_are_unique() {
+        for (i, key) in ApiKey::ALL.iter().enumerate() {
+            assert_eq!(*key as u16, i as u16, "ALL must be indexed by wire value");
+            assert_eq!(ApiKey::from_u16(i as u16).unwrap(), *key);
+        }
+        let names: std::collections::BTreeSet<&str> =
+            ApiKey::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), ApiKey::ALL.len());
+        assert!(ApiKey::from_u16(ApiKey::ALL.len() as u16).is_err());
     }
 
     #[test]

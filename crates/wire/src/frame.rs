@@ -42,6 +42,63 @@ pub const DEFAULT_MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
 /// Flag bit: the payload is an error response (`WireFault`).
 pub const FLAG_ERROR: u8 = 0b0000_0001;
 
+/// Flag bit: the payload begins with a [`WireTrace`] extension prefix
+/// ([`TRACE_EXT_LEN`] bytes) carrying the request's trace context.
+///
+/// This is how trace identity crosses the process boundary at the
+/// protocol layer without a version bump: the frame header stays the
+/// fixed 22 bytes, version stays 1, and a peer built before the
+/// extension (flag never set) produces frames the new codec decodes
+/// unchanged — [`Frame::body`] of an untraced frame is the whole
+/// payload. The CRC covers prefix + body together, so the extension
+/// inherits the frame's corruption detection.
+pub const FLAG_TRACE: u8 = 0b0000_0010;
+
+/// Encoded size of the [`WireTrace`] payload prefix: trace id (8) +
+/// parent span id (8) + trace flags (1).
+pub const TRACE_EXT_LEN: usize = 17;
+
+/// Bit 0 of the trace-extension flags byte: the sender sampled this
+/// trace (the receiver should record spans for it too).
+const TRACE_FLAG_SAMPLED: u8 = 0b0000_0001;
+
+/// The frame-level trace context: stamped by a client under
+/// [`FLAG_TRACE`] so the serving broker joins the same distributed
+/// trace (same trace id, causally parented spans) without guessing
+/// from payload contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTrace {
+    /// The trace this request belongs to.
+    pub trace_id: u64,
+    /// Span id of the sender-side span this request descends from
+    /// (e.g. the client's `produce→ack` root span), 0 for none.
+    pub parent_span_id: u64,
+    /// Whether the sender sampled the trace.
+    pub sampled: bool,
+}
+
+impl WireTrace {
+    /// Serialize as the fixed-size payload prefix.
+    pub fn encode(&self) -> [u8; TRACE_EXT_LEN] {
+        let mut out = [0u8; TRACE_EXT_LEN];
+        out[0..8].copy_from_slice(&self.trace_id.to_le_bytes());
+        out[8..16].copy_from_slice(&self.parent_span_id.to_le_bytes());
+        out[16] = if self.sampled { TRACE_FLAG_SAMPLED } else { 0 };
+        out
+    }
+
+    /// Parse the fixed-size prefix; unknown trace-flag bits are
+    /// ignored so the flags byte can grow without breaking old peers.
+    pub fn decode(buf: &[u8]) -> Result<WireTrace, WireError> {
+        if buf.len() < TRACE_EXT_LEN {
+            return Err(WireError::Truncated { needed: TRACE_EXT_LEN, have: buf.len() });
+        }
+        let trace_id = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+        let parent_span_id = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+        Ok(WireTrace { trace_id, parent_span_id, sampled: buf[16] & TRACE_FLAG_SAMPLED != 0 })
+    }
+}
+
 /// A decoded frame: header metadata plus the raw payload bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
@@ -62,6 +119,37 @@ impl Frame {
 
     pub fn is_error(&self) -> bool {
         self.flags & FLAG_ERROR != 0
+    }
+
+    /// A request frame carrying the trace extension: `trace` is
+    /// prepended to `payload` and [`FLAG_TRACE`] is set.
+    pub fn traced(api_key: u16, correlation_id: u64, trace: WireTrace, payload: Vec<u8>) -> Self {
+        let mut full = Vec::with_capacity(TRACE_EXT_LEN + payload.len());
+        full.extend_from_slice(&trace.encode());
+        full.extend_from_slice(&payload);
+        Frame { api_key, flags: FLAG_TRACE, correlation_id, payload: full }
+    }
+
+    /// The trace extension, when [`FLAG_TRACE`] is set. A flagged
+    /// frame too short for the prefix is a typed error, not a panic.
+    pub fn trace(&self) -> Result<Option<WireTrace>, WireError> {
+        if self.flags & FLAG_TRACE == 0 {
+            return Ok(None);
+        }
+        WireTrace::decode(&self.payload).map(Some)
+    }
+
+    /// The api-key payload body: everything after the trace prefix
+    /// when [`FLAG_TRACE`] is set, the whole payload otherwise — so a
+    /// v1 (pre-extension) frame reads back byte-identical.
+    pub fn body(&self) -> Result<&[u8], WireError> {
+        if self.flags & FLAG_TRACE == 0 {
+            return Ok(&self.payload);
+        }
+        if self.payload.len() < TRACE_EXT_LEN {
+            return Err(WireError::Truncated { needed: TRACE_EXT_LEN, have: self.payload.len() });
+        }
+        Ok(&self.payload[TRACE_EXT_LEN..])
     }
 
     /// Serialize this frame to bytes (header + payload).
@@ -239,6 +327,41 @@ mod tests {
             decode_frame(&bytes, DEFAULT_MAX_PAYLOAD),
             Err(WireError::CrcMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn traced_frame_roundtrips_trace_and_body() {
+        let trace = WireTrace { trace_id: 99, parent_span_id: 1585, sampled: true };
+        let f = Frame::traced(1, 7, trace, b"batch bytes".to_vec());
+        let bytes = f.encode();
+        let (back, _) = decode_frame(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(back.trace().unwrap(), Some(trace));
+        assert_eq!(back.body().unwrap(), b"batch bytes");
+        assert!(!back.is_error());
+    }
+
+    #[test]
+    fn untraced_frame_body_is_whole_payload() {
+        let f = Frame::new(2, 3, b"plain".to_vec());
+        assert_eq!(f.trace().unwrap(), None);
+        assert_eq!(f.body().unwrap(), b"plain");
+    }
+
+    #[test]
+    fn unsampled_trace_bit_roundtrips() {
+        let trace = WireTrace { trace_id: 5, parent_span_id: 0, sampled: false };
+        let f = Frame::traced(1, 1, trace, vec![]);
+        assert_eq!(f.trace().unwrap(), Some(trace));
+        assert!(f.body().unwrap().is_empty());
+    }
+
+    #[test]
+    fn flagged_frame_too_short_for_trace_is_typed_error() {
+        // a hostile peer sets FLAG_TRACE but ships fewer bytes than
+        // the prefix: both accessors must fail typed, never slice-panic
+        let f = Frame { api_key: 1, flags: FLAG_TRACE, correlation_id: 0, payload: vec![0u8; 5] };
+        assert!(matches!(f.trace(), Err(WireError::Truncated { .. })));
+        assert!(matches!(f.body(), Err(WireError::Truncated { .. })));
     }
 
     #[test]

@@ -29,17 +29,27 @@
 //!   connection, transparent re-dial with re-authentication after a
 //!   cut, retriable errors for everything the SDK's retry/idempotence
 //!   machinery can absorb.
+//! - [`scrape`]: the network observatory — [`FleetPoller`] polls many
+//!   brokers' `DescribeMetrics`/`DescribeHealth` api keys and merges
+//!   the per-broker registry snapshots into one fleet-wide view.
+//!
+//! Distributed tracing rides the framing: a produce frame may carry a
+//! [`frame::WireTrace`] payload prefix (flagged by
+//! [`frame::FLAG_TRACE`]) so the serving broker's spans join the
+//! client's trace id — pre-extension v1 frames decode unchanged.
 
 pub mod codec;
 pub mod error;
 pub mod frame;
+pub mod scrape;
 pub mod server;
 pub mod tcp;
 pub mod transport;
 
 pub use codec::{ApiKey, HandshakeRequest, HandshakeResponse, OffsetSpec, Request, Response, TopicMeta};
 pub use error::{ErrorCode, WireError, WireFault};
-pub use frame::{Frame, DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC, VERSION};
+pub use frame::{Frame, WireTrace, DEFAULT_MAX_PAYLOAD, FLAG_TRACE, HEADER_LEN, MAGIC, TRACE_EXT_LEN, VERSION};
+pub use scrape::{BrokerObservation, FleetPoller, FleetView};
 pub use server::{Authenticator, WireServer, WireServerConfig};
-pub use tcp::{Credentials, TcpTransport, TcpTransportConfig};
+pub use tcp::{Credentials, RemoteHealth, RemoteMetrics, TcpTransport, TcpTransportConfig};
 pub use transport::{InProcessTransport, Transport};

@@ -1,0 +1,129 @@
+//! Remote fleet scraping: poll many brokers' `DescribeMetrics` /
+//! `DescribeHealth` endpoints over TCP and merge the results into one
+//! fleet-wide view.
+//!
+//! Each target is an independent [`TcpTransport`] (its own socket,
+//! auth, and retry behavior), so one unreachable broker degrades the
+//! merged view instead of failing the poll: its label lands in
+//! [`FleetView::unreachable`] and the remaining snapshots still merge.
+//! Counter/gauge merges are additive and histograms bucket-merge, so
+//! the fleet view reads exactly like a single broker's registry —
+//! `octopus_wire_requests_total` in the merged snapshot is the fleet
+//! total.
+
+use octopus_types::{OctoError, OctoResult, RegistrySnapshot};
+
+use crate::tcp::{RemoteHealth, RemoteMetrics, TcpTransport, TcpTransportConfig};
+
+/// One broker's scrape result, labeled by the poller's target name.
+#[derive(Debug, Clone)]
+pub struct BrokerObservation {
+    /// The label the target was registered under (usually `host:port`).
+    pub source: String,
+    pub metrics: RemoteMetrics,
+    pub health: RemoteHealth,
+}
+
+/// The merged result of polling every registered target once.
+#[derive(Debug, Clone)]
+pub struct FleetView {
+    /// Per-broker observations, in registration order.
+    pub brokers: Vec<BrokerObservation>,
+    /// All reachable brokers' registry snapshots, merged.
+    pub merged: RegistrySnapshot,
+    /// Targets that failed this poll, with the error message.
+    pub unreachable: Vec<(String, String)>,
+}
+
+impl FleetView {
+    /// A merged counter's fleet-wide total (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.merged.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A merged histogram's p99, in the recorded unit (0 if absent).
+    pub fn p99(&self, name: &str) -> u64 {
+        self.merged.histograms.get(name).map(|h| h.p99()).unwrap_or(0)
+    }
+}
+
+struct FleetTarget {
+    label: String,
+    transport: TcpTransport,
+}
+
+/// Polls a set of brokers and merges their scrapes into a [`FleetView`].
+#[derive(Default)]
+pub struct FleetPoller {
+    targets: Vec<FleetTarget>,
+    include_spans: bool,
+}
+
+impl FleetPoller {
+    pub fn new() -> Self {
+        FleetPoller::default()
+    }
+
+    /// Also pull span snapshots on every poll (heavier; for tracing
+    /// tools rather than dashboards).
+    pub fn with_spans(mut self) -> Self {
+        self.include_spans = true;
+        self
+    }
+
+    /// Register a broker endpoint, dialing with `config`. The label
+    /// names the broker in [`FleetView`] results.
+    pub fn add_endpoint(
+        &mut self,
+        label: impl Into<String>,
+        addr: impl Into<String>,
+        config: TcpTransportConfig,
+    ) {
+        self.add_transport(label, TcpTransport::connect(addr, config));
+    }
+
+    /// Register a broker behind an existing transport (lets tests and
+    /// tools share a connection with other traffic).
+    pub fn add_transport(&mut self, label: impl Into<String>, transport: TcpTransport) {
+        self.targets.push(FleetTarget { label: label.into(), transport });
+    }
+
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Scrape every target once. Per-target failures are collected,
+    /// not fatal; the call itself only errors when *no* target was
+    /// reachable (a dashboard over a dead fleet should say so).
+    pub fn poll(&self) -> OctoResult<FleetView> {
+        let mut brokers = Vec::with_capacity(self.targets.len());
+        let mut merged = RegistrySnapshot::default();
+        let mut unreachable = Vec::new();
+        for t in &self.targets {
+            let scraped = t
+                .transport
+                .describe_metrics(self.include_spans)
+                .and_then(|m| t.transport.describe_health().map(|h| (m, h)));
+            match scraped {
+                Ok((metrics, health)) => {
+                    merged.merge(&metrics.snapshot);
+                    brokers.push(BrokerObservation {
+                        source: t.label.clone(),
+                        metrics,
+                        health,
+                    });
+                }
+                Err(e) => unreachable.push((t.label.clone(), e.to_string())),
+            }
+        }
+        if brokers.is_empty() && !self.targets.is_empty() {
+            let detail = unreachable
+                .iter()
+                .map(|(l, e)| format!("{l}: {e}"))
+                .collect::<Vec<_>>()
+                .join("; ");
+            return Err(OctoError::Unavailable(format!("no broker reachable ({detail})")));
+        }
+        Ok(FleetView { brokers, merged, unreachable })
+    }
+}

@@ -32,9 +32,9 @@ use std::io::BufWriter;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::bounded;
+use crossbeam::channel::{bounded, TrySendError};
 use parking_lot::Mutex;
 
 use octopus_auth::globus::AuthServer;
@@ -42,11 +42,14 @@ use octopus_auth::scram::{auth_message, ScramStore};
 use octopus_auth::token::{AccessToken, Scope, TokenStatus};
 use octopus_auth::Permission;
 use octopus_broker::{BrokerId, Cluster, TopicConfig};
-use octopus_types::{OctoError, OctoResult, Uid};
+use octopus_types::obs::{now_ns, Counter, Gauge};
+use octopus_types::{
+    labeled, AtomicHistogram, MetricsRegistry, OctoError, OctoResult, SlowRequest, Uid,
+};
 
 use crate::codec::{ApiKey, HandshakeRequest, HandshakeResponse, Request, Response, TopicMeta};
 use crate::error::{ErrorCode, WireError, WireFault};
-use crate::frame::{read_frame, write_frame, Frame, DEFAULT_MAX_PAYLOAD};
+use crate::frame::{read_frame, write_frame, Frame, DEFAULT_MAX_PAYLOAD, HEADER_LEN};
 
 /// Tuning knobs for a [`WireServer`].
 #[derive(Debug, Clone)]
@@ -117,6 +120,88 @@ struct ConnEntry {
     stream: TcpStream,
 }
 
+/// The per-request pipeline stages the server times, in execution
+/// order. `queue_wait` and `flush` are measured by the writer thread;
+/// the rest by the reader.
+const STAGE_NAMES: [&str; 6] = ["decode", "auth", "dispatch", "encode", "queue_wait", "flush"];
+const STAGE_DECODE: usize = 0;
+const STAGE_AUTH: usize = 1;
+const STAGE_DISPATCH: usize = 2;
+const STAGE_ENCODE: usize = 3;
+const STAGE_QUEUE_WAIT: usize = 4;
+const STAGE_FLUSH: usize = 5;
+
+/// Pre-resolved metric handles for one api key: the hot path indexes
+/// an array instead of hashing a labeled metric name per request.
+struct ApiStats {
+    requests: Arc<Counter>,
+    request_ns: Arc<AtomicHistogram>,
+    stage_ns: [Arc<AtomicHistogram>; 6],
+}
+
+/// Wire-server telemetry, registered into the cluster's shared
+/// [`MetricsRegistry`] so `DescribeMetrics` scrapes and the OWS
+/// `/metrics` endpoint expose it alongside broker metrics.
+struct WireStats {
+    requests_total: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    accepted: Arc<Counter>,
+    closed: Arc<Counter>,
+    auth_failed: Arc<Counter>,
+    idle_timeouts: Arc<Counter>,
+    backpressure_stalls: Arc<Counter>,
+    poisoned: Arc<Counter>,
+    open_conns: Arc<Gauge>,
+    queue_depth: Arc<Gauge>,
+    api: Vec<ApiStats>,
+}
+
+impl WireStats {
+    fn new(registry: &MetricsRegistry) -> Self {
+        let api = ApiKey::ALL
+            .iter()
+            .map(|key| {
+                let label = key.name();
+                ApiStats {
+                    requests: registry.counter(&labeled(
+                        "octopus_wire_api_requests_total",
+                        &[("api", label)],
+                    )),
+                    request_ns: registry
+                        .histogram(&labeled("octopus_wire_request_ns", &[("api", label)])),
+                    stage_ns: std::array::from_fn(|s| {
+                        registry.histogram(&labeled(
+                            "octopus_wire_stage_ns",
+                            &[("api", label), ("stage", STAGE_NAMES[s])],
+                        ))
+                    }),
+                }
+            })
+            .collect();
+        WireStats {
+            requests_total: registry.counter("octopus_wire_requests_total"),
+            bytes_in: registry.counter("octopus_wire_bytes_in_total"),
+            bytes_out: registry.counter("octopus_wire_bytes_out_total"),
+            accepted: registry.counter("octopus_wire_connections_accepted_total"),
+            closed: registry.counter("octopus_wire_connections_closed_total"),
+            auth_failed: registry.counter("octopus_wire_connections_auth_failed_total"),
+            idle_timeouts: registry.counter("octopus_wire_connections_idle_timeout_total"),
+            backpressure_stalls: registry.counter("octopus_wire_backpressure_stalls_total"),
+            poisoned: registry.counter("octopus_wire_connections_poisoned_total"),
+            open_conns: registry.gauge("octopus_wire_open_connections"),
+            queue_depth: registry.gauge("octopus_wire_response_queue_depth"),
+            api,
+        }
+    }
+
+    /// Handles for a (possibly client-controlled) api key; `None` for
+    /// keys outside the protocol table.
+    fn api(&self, api_key: u16) -> Option<&ApiStats> {
+        self.api.get(api_key as usize)
+    }
+}
+
 struct ServerInner {
     cluster: Cluster,
     auth: Authenticator,
@@ -124,6 +209,7 @@ struct ServerInner {
     running: AtomicBool,
     next_conn: AtomicU64,
     conns: Mutex<HashMap<u64, ConnEntry>>,
+    stats: WireStats,
 }
 
 impl ServerInner {
@@ -157,6 +243,7 @@ impl WireServer {
     ) -> OctoResult<WireServer> {
         let listener = TcpListener::bind(addr).map_err(|e| OctoError::Io(e.to_string()))?;
         let local = listener.local_addr().map_err(|e| OctoError::Io(e.to_string()))?;
+        let stats = WireStats::new(cluster.metrics());
         let inner = Arc::new(ServerInner {
             cluster: cluster.clone(),
             auth,
@@ -164,6 +251,7 @@ impl WireServer {
             running: AtomicBool::new(true),
             next_conn: AtomicU64::new(0),
             conns: Mutex::new(HashMap::new()),
+            stats,
         });
 
         // A chaos partition naming our broker id severs the real
@@ -242,10 +330,14 @@ fn accept_loop(listener: TcpListener, inner: Arc<ServerInner>) {
         if let Ok(clone) = stream.try_clone() {
             inner.conns.lock().insert(conn_id, ConnEntry { stream: clone });
         }
+        inner.stats.accepted.inc();
+        inner.stats.open_conns.add(1);
         let conn_inner = Arc::clone(&inner);
         std::thread::spawn(move || {
             serve_connection(stream, conn_id, &conn_inner);
             conn_inner.conns.lock().remove(&conn_id);
+            conn_inner.stats.closed.inc();
+            conn_inner.stats.open_conns.add(-1);
         });
     }
 }
@@ -270,7 +362,7 @@ fn refuse(stream: &TcpStream, api_key: u16, correlation_id: u64, fault: WireFaul
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-fn serve_connection(stream: TcpStream, _conn_id: u64, inner: &ServerInner) {
+fn serve_connection(stream: TcpStream, _conn_id: u64, inner: &Arc<ServerInner>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(inner.config.idle_timeout));
 
@@ -281,21 +373,31 @@ fn serve_connection(stream: TcpStream, _conn_id: u64, inner: &ServerInner) {
         Err(_) => return,
     };
     let mut pending_scram: Option<PendingScram> = None;
+    let hs_stats = &inner.stats.api[ApiKey::Handshake as usize];
     let principal: Option<Uid> = loop {
+        let read_start = Instant::now();
         let frame = match read_frame(&mut read_stream, inner.config.max_payload) {
             Ok(f) => f,
             Err(WireError::Closed) => return,
             Err(e) => {
                 // includes the idle timeout (read timeout surfaces as
                 // Io) — no silent hang on a half-open handshake
+                if read_start.elapsed() >= inner.config.idle_timeout {
+                    inner.stats.idle_timeouts.inc();
+                }
                 refuse(&stream, 0, 0, WireFault::new(ErrorCode::MalformedRequest, e.to_string()));
                 return;
             }
         };
+        inner.stats.bytes_in.add((HEADER_LEN + frame.payload.len()) as u64);
+        inner.stats.requests_total.inc();
+        hs_stats.requests.inc();
         let corr = frame.correlation_id;
-        let req = match ApiKey::from_u16(frame.api_key)
-            .and_then(|k| Request::decode(k, &frame.payload))
-        {
+        let decode_start = Instant::now();
+        let req = ApiKey::from_u16(frame.api_key)
+            .and_then(|k| frame.body().and_then(|b| Request::decode(k, b)));
+        hs_stats.stage_ns[STAGE_DECODE].record(decode_start.elapsed().as_nanos() as u64);
+        let req = match req {
             Ok(r) => r,
             Err(e) => {
                 refuse(
@@ -310,11 +412,15 @@ fn serve_connection(stream: TcpStream, _conn_id: u64, inner: &ServerInner) {
         let hs = match req {
             Request::Handshake(h) => h,
             _ => {
+                inner.stats.auth_failed.inc();
                 refuse(&stream, frame.api_key, corr, auth_failed("handshake required"));
                 return;
             }
         };
-        match handle_handshake(inner, hs, &mut pending_scram) {
+        let auth_start = Instant::now();
+        let step = handle_handshake(inner, hs, &mut pending_scram);
+        hs_stats.stage_ns[STAGE_AUTH].record(auth_start.elapsed().as_nanos() as u64);
+        match step {
             Ok(HandshakeStep::Reply(resp)) => {
                 let mut w = BufWriter::new(&stream);
                 if write_frame(&mut w, &Frame::new(ApiKey::Handshake as u16, corr, resp.encode()))
@@ -333,6 +439,7 @@ fn serve_connection(stream: TcpStream, _conn_id: u64, inner: &ServerInner) {
                 break principal;
             }
             Err(fault) => {
+                inner.stats.auth_failed.inc();
                 refuse(&stream, ApiKey::Handshake as u16, corr, fault);
                 return;
             }
@@ -340,52 +447,149 @@ fn serve_connection(stream: TcpStream, _conn_id: u64, inner: &ServerInner) {
     };
 
     // ---- phase 2: serve requests through the bounded response queue ----
-    let (resp_tx, resp_rx) = bounded::<Frame>(inner.config.response_queue.max(1));
+    let (resp_tx, resp_rx) = bounded::<(Frame, Instant)>(inner.config.response_queue.max(1));
     let write_stream = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
+    let writer_inner = Arc::clone(inner);
     let writer = std::thread::spawn(move || {
+        let stats = &writer_inner.stats;
         let mut w = BufWriter::new(&write_stream);
-        while let Ok(frame) = resp_rx.recv() {
-            if write_frame(&mut w, &frame).is_err() {
+        while let Ok((frame, enqueued)) = resp_rx.recv() {
+            stats.queue_depth.add(-1);
+            let api = stats.api(frame.api_key);
+            if let Some(api) = api {
+                api.stage_ns[STAGE_QUEUE_WAIT].record(enqueued.elapsed().as_nanos() as u64);
+            }
+            let flush_start = Instant::now();
+            let wrote = write_frame(&mut w, &frame);
+            if let Some(api) = api {
+                api.stage_ns[STAGE_FLUSH].record(flush_start.elapsed().as_nanos() as u64);
+            }
+            if wrote.is_err() {
+                // mid-stream write failure: the connection is beyond
+                // recovery (a response may be half-written)
+                stats.poisoned.inc();
                 break;
             }
+            stats.bytes_out.add((HEADER_LEN + frame.payload.len()) as u64);
+        }
+        // responses stranded in the queue still count against depth
+        while resp_rx.try_recv().is_ok() {
+            stats.queue_depth.add(-1);
         }
         let _ = write_stream.shutdown(Shutdown::Both);
     });
 
+    // Enqueue with backpressure accounting: a full queue is a stall
+    // event, then we fall back to the blocking send (the throttle).
+    let enqueue = |frame: Frame| -> bool {
+        inner.stats.queue_depth.add(1);
+        match resp_tx.try_send((frame, Instant::now())) {
+            Ok(()) => true,
+            Err(TrySendError::Full(item)) => {
+                inner.stats.backpressure_stalls.inc();
+                if resp_tx.send(item).is_ok() {
+                    true
+                } else {
+                    inner.stats.queue_depth.add(-1);
+                    false
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                inner.stats.queue_depth.add(-1);
+                false
+            }
+        }
+    };
+
     loop {
+        let read_start = Instant::now();
         let frame = match read_frame(&mut read_stream, inner.config.max_payload) {
             Ok(f) => f,
             Err(WireError::Closed) => break,
             Err(e) => {
+                if read_start.elapsed() >= inner.config.idle_timeout {
+                    inner.stats.idle_timeouts.inc();
+                }
                 // frame-level garbage is connection-fatal: we can no
                 // longer find frame boundaries in the stream
                 let fault = WireFault::new(ErrorCode::MalformedRequest, e.to_string());
-                let _ = resp_tx.send(Frame::error(0, 0, fault.encode()));
+                let _ = enqueue(Frame::error(0, 0, fault.encode()));
                 break;
             }
         };
+        inner.stats.bytes_in.add((HEADER_LEN + frame.payload.len()) as u64);
+        inner.stats.requests_total.inc();
         let corr = frame.correlation_id;
         let api_key = frame.api_key;
-        let response = ApiKey::from_u16(api_key)
-            .and_then(|k| Request::decode(k, &frame.payload))
-            .map_err(|e| WireFault::new(ErrorCode::MalformedRequest, e.to_string()))
-            .and_then(|req| match req {
-                Request::Handshake(_) => {
-                    Err(WireFault::new(ErrorCode::Invalid, "already authenticated"))
+        let api_stats = inner.stats.api(api_key);
+        if let Some(api) = api_stats {
+            api.requests.inc();
+        }
+        let trace_id = frame.trace().ok().flatten().map(|t| t.trace_id);
+        let request_start = Instant::now();
+
+        let decode_start = Instant::now();
+        let decoded = ApiKey::from_u16(api_key)
+            .and_then(|k| frame.body().and_then(|b| Request::decode(k, b)))
+            .map_err(|e| WireFault::new(ErrorCode::MalformedRequest, e.to_string()));
+        if let Some(api) = api_stats {
+            api.stage_ns[STAGE_DECODE].record(decode_start.elapsed().as_nanos() as u64);
+        }
+
+        let response = decoded.and_then(|req| match req {
+            Request::Handshake(_) => {
+                Err(WireFault::new(ErrorCode::Invalid, "already authenticated"))
+            }
+            req => {
+                let auth_start = Instant::now();
+                let allowed = match acl_target(&req) {
+                    Some((topic, perm)) => check_acl(&inner.cluster, principal, topic, perm),
+                    None => Ok(()),
+                };
+                if let Some(api) = api_stats {
+                    api.stage_ns[STAGE_AUTH].record(auth_start.elapsed().as_nanos() as u64);
                 }
-                req => dispatch(&inner.cluster, principal, req)
-                    .map_err(|e| WireFault::from(&e)),
+                allowed
+                    .and_then(|()| {
+                        let dispatch_start = Instant::now();
+                        let out = dispatch(inner, req);
+                        if let Some(api) = api_stats {
+                            api.stage_ns[STAGE_DISPATCH]
+                                .record(dispatch_start.elapsed().as_nanos() as u64);
+                        }
+                        out
+                    })
+                    .map_err(|e| WireFault::from(&e))
+            }
+        });
+
+        let encode_start = Instant::now();
+        let out_frame = match response {
+            Ok(resp) => Frame::new(api_key, corr, resp.encode()),
+            Err(fault) => Frame::error(api_key, corr, fault.encode()),
+        };
+        if let Some(api) = api_stats {
+            api.stage_ns[STAGE_ENCODE].record(encode_start.elapsed().as_nanos() as u64);
+        }
+
+        let total_ns = request_start.elapsed().as_nanos() as u64;
+        if let (Some(api), Ok(key)) = (api_stats, ApiKey::from_u16(api_key)) {
+            api.request_ns.record(total_ns);
+            inner.cluster.slow_ring().observe(SlowRequest {
+                api: key.name().to_string(),
+                correlation_id: corr,
+                trace_id,
+                total_us: total_ns / 1_000,
+                at_ns: now_ns(),
             });
+        }
+
         // a full queue blocks here → the reader stops consuming →
         // the client's sends eventually block: backpressure, not OOM
-        let sent = match response {
-            Ok(resp) => resp_tx.send(Frame::new(api_key, corr, resp.encode())),
-            Err(fault) => resp_tx.send(Frame::error(api_key, corr, fault.encode())),
-        };
-        if sent.is_err() {
+        if !enqueue(out_frame) {
             break;
         }
     }
@@ -495,22 +699,35 @@ fn check_acl(
     }
 }
 
-/// Execute one decoded request against the cluster.
-fn dispatch(cluster: &Cluster, principal: Option<Uid>, req: Request) -> OctoResult<Response> {
+/// The topic + permission a request must be authorized for, if any.
+/// Hoisted out of [`dispatch`] so the server can time authorization as
+/// its own pipeline stage.
+fn acl_target(req: &Request) -> Option<(&str, Permission)> {
+    match req {
+        Request::Produce { topic, .. } | Request::TxnProduce { topic, .. } => {
+            Some((topic, Permission::Write))
+        }
+        Request::Fetch { topic, .. } | Request::FetchCommitted { topic, .. } => {
+            Some((topic, Permission::Read))
+        }
+        _ => None,
+    }
+}
+
+/// Execute one decoded, authorized request against the cluster.
+fn dispatch(inner: &ServerInner, req: Request) -> OctoResult<Response> {
+    let cluster = &inner.cluster;
     match req {
         Request::Handshake(_) => Err(OctoError::Invalid("handshake out of band".into())),
         Request::Produce { topic, partition, batch, acks } => {
-            check_acl(cluster, principal, &topic, Permission::Write)?;
             let receipt = cluster.produce_batch(&topic, partition, batch, acks)?;
             Ok(Response::Produce(receipt))
         }
         Request::Fetch { topic, partition, offset, max_records } => {
-            check_acl(cluster, principal, &topic, Permission::Read)?;
             let records = cluster.fetch(&topic, partition, offset, max_records as usize)?;
             Ok(Response::Fetch { records })
         }
         Request::FetchCommitted { topic, partition, offset, max_records } => {
-            check_acl(cluster, principal, &topic, Permission::Read)?;
             let (records, next) =
                 cluster.fetch_committed(&topic, partition, offset, max_records as usize)?;
             Ok(Response::FetchCommitted { records, next })
@@ -595,7 +812,6 @@ fn dispatch(cluster: &Cluster, principal: Option<Uid>, req: Request) -> OctoResu
             Ok(Response::Ok)
         }
         Request::TxnProduce { name, id, topic, partition, events } => {
-            check_acl(cluster, principal, &topic, Permission::Write)?;
             let receipt = cluster.txn_produce(&name, id, &topic, partition, events)?;
             Ok(Response::Produce(receipt))
         }
@@ -610,6 +826,30 @@ fn dispatch(cluster: &Cluster, principal: Option<Uid>, req: Request) -> OctoResu
         Request::TxnAbort { name, id } => {
             cluster.txn_abort(&name, id)?;
             Ok(Response::Ok)
+        }
+        Request::DescribeMetrics { include_spans } => {
+            let snapshot = cluster.metrics().snapshot();
+            let snapshot_json =
+                serde_json::to_vec(&snapshot).map_err(|e| OctoError::Serde(e.to_string()))?;
+            let spans_json = if include_spans {
+                serde_json::to_vec(&cluster.span_sink().snapshot())
+                    .map_err(|e| OctoError::Serde(e.to_string()))?
+            } else {
+                b"[]".to_vec()
+            };
+            Ok(Response::DescribeMetrics {
+                broker_id: inner.config.broker_id.0,
+                snapshot_json,
+                spans_json,
+            })
+        }
+        Request::DescribeHealth => {
+            let report = cluster.health_report();
+            let report_json =
+                serde_json::to_vec(&report).map_err(|e| OctoError::Serde(e.to_string()))?;
+            let lag_json = serde_json::to_vec(&cluster.lag_reports())
+                .map_err(|e| OctoError::Serde(e.to_string()))?;
+            Ok(Response::DescribeHealth { report_json, lag_json })
         }
     }
 }

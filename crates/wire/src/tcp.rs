@@ -29,17 +29,19 @@ use parking_lot::Mutex;
 use octopus_auth::scram::{auth_message, client_proof, verify_server_signature};
 use octopus_auth::Permission;
 use octopus_broker::{
-    key_partition, AckLevel, MemberAssignment, ProduceReceipt, ProducerIdentity, Record,
-    RecordBatch, TopicConfig, TxnOffset,
+    key_partition, AckLevel, HealthReport, LagReport, MemberAssignment, ProduceReceipt,
+    ProducerIdentity, Record, RecordBatch, TopicConfig, TxnOffset,
 };
+use octopus_types::obs::Counter;
 use octopus_types::{
-    Event, MetricsRegistry, OctoError, OctoResult, Offset, PartitionId, SpanSink, StageMetrics,
-    Timestamp, TopicName, Uid,
+    span_id_for, Event, MetricsRegistry, OctoError, OctoResult, Offset, PartitionId,
+    RegistrySnapshot, Span, SpanSink, Stage, StageMetrics, Timestamp, TopicName, TraceContext,
+    Uid,
 };
 
 use crate::codec::{HandshakeRequest, HandshakeResponse, OffsetSpec, Request, Response};
 use crate::error::WireFault;
-use crate::frame::{read_frame, Frame, DEFAULT_MAX_PAYLOAD};
+use crate::frame::{read_frame, Frame, WireTrace, DEFAULT_MAX_PAYLOAD};
 use crate::transport::Transport;
 
 /// Client credentials presented in the wire handshake.
@@ -65,6 +67,9 @@ pub struct TcpTransportConfig {
     pub metadata_ttl: Duration,
     /// Maximum accepted response payload.
     pub max_payload: u32,
+    /// Client-side trace sampling: every Nth trace id gets a span and
+    /// a wire-level trace stamp. `0` disables tracing entirely.
+    pub trace_sample_every: u64,
 }
 
 impl Default for TcpTransportConfig {
@@ -75,6 +80,7 @@ impl Default for TcpTransportConfig {
             request_timeout: Duration::from_secs(10),
             metadata_ttl: Duration::from_secs(2),
             max_payload: DEFAULT_MAX_PAYLOAD,
+            trace_sample_every: 0,
         }
     }
 }
@@ -89,15 +95,42 @@ struct Connection {
     alive: AtomicBool,
     /// Principal the server authenticated us as.
     principal: Option<Uid>,
+    /// Shared poisoned-connection counter; bumped once per connection.
+    poisoned: Arc<Counter>,
 }
 
 impl Connection {
     /// Mark dead and fail every in-flight request retriably.
     fn poison(&self) {
-        self.alive.store(false, Ordering::Release);
+        if self.alive.swap(false, Ordering::AcqRel) {
+            self.poisoned.inc();
+        }
         let mut pending = self.pending.lock();
         for (_, tx) in pending.drain() {
             let _ = tx.send(Err(OctoError::Unavailable("connection lost".into())));
+        }
+    }
+}
+
+/// Connection-resilience counters, registered in the transport's
+/// [`MetricsRegistry`] so chaos drills can assert the client really
+/// re-dialed / re-authenticated / poisoned a dead socket.
+struct NetCounters {
+    connects: Arc<Counter>,
+    redials: Arc<Counter>,
+    reauths: Arc<Counter>,
+    auth_failures: Arc<Counter>,
+    poisoned: Arc<Counter>,
+}
+
+impl NetCounters {
+    fn new(registry: &MetricsRegistry) -> Self {
+        NetCounters {
+            connects: registry.counter("octopus_tcp_connects_total"),
+            redials: registry.counter("octopus_tcp_redials_total"),
+            reauths: registry.counter("octopus_tcp_reauths_total"),
+            auth_failures: registry.counter("octopus_tcp_auth_failures_total"),
+            poisoned: registry.counter("octopus_tcp_poisoned_connections_total"),
         }
     }
 }
@@ -113,6 +146,7 @@ struct TcpInner {
     metrics: Arc<MetricsRegistry>,
     stage_metrics: StageMetrics,
     spans: Arc<SpanSink>,
+    net: NetCounters,
 }
 
 /// A [`Transport`] speaking the binary protocol over TCP.
@@ -127,6 +161,12 @@ impl TcpTransport {
     pub fn connect(addr: impl Into<String>, config: TcpTransportConfig) -> Self {
         let metrics = Arc::new(MetricsRegistry::new());
         let stage_metrics = StageMetrics::new(Arc::clone(&metrics));
+        let net = NetCounters::new(&metrics);
+        let spans = if config.trace_sample_every == 0 {
+            SpanSink::disabled()
+        } else {
+            SpanSink::new(config.trace_sample_every)
+        };
         TcpTransport {
             inner: Arc::new(TcpInner {
                 addr: addr.into(),
@@ -137,7 +177,8 @@ impl TcpTransport {
                 meta: Mutex::new(HashMap::new()),
                 metrics,
                 stage_metrics,
-                spans: Arc::new(SpanSink::disabled()),
+                spans: Arc::new(spans),
+                net,
             }),
         }
     }
@@ -161,7 +202,17 @@ impl TcpTransport {
                 return Ok(Arc::clone(conn));
             }
         }
+        // a dead connection in the slot means this dial is a recovery
+        // re-dial (and its handshake a re-authentication), not a first
+        // connect — chaos drills assert on exactly this distinction
+        let redial = slot.is_some();
+        if redial {
+            self.inner.net.redials.inc();
+        }
         let conn = self.dial()?;
+        if redial {
+            self.inner.net.reauths.inc();
+        }
         *slot = Some(Arc::clone(&conn));
         Ok(conn)
     }
@@ -174,7 +225,13 @@ impl TcpTransport {
         let _ = stream.set_nodelay(true);
         // the handshake is synchronous: bound it by the request timeout
         let _ = stream.set_read_timeout(Some(cfg.request_timeout));
-        let principal = self.handshake(&stream)?;
+        let principal = self.handshake(&stream).map_err(|e| {
+            if matches!(e, OctoError::Unauthenticated(_)) {
+                self.inner.net.auth_failures.inc();
+            }
+            e
+        })?;
+        self.inner.net.connects.inc();
         // the reader thread must block indefinitely; per-request
         // deadlines are enforced on the caller's channel instead
         let _ = stream.set_read_timeout(None);
@@ -187,6 +244,7 @@ impl TcpTransport {
             pending: Mutex::new(HashMap::new()),
             alive: AtomicBool::new(true),
             principal,
+            poisoned: Arc::clone(&self.inner.net.poisoned),
         });
         let reader_conn = Arc::clone(&conn);
         let max_payload = cfg.max_payload;
@@ -322,7 +380,10 @@ impl TcpTransport {
         let api_key = req.api_key();
         let (tx, rx) = bounded(1);
         conn.pending.lock().insert(corr, tx);
-        let frame = Frame::new(api_key as u16, corr, req.encode());
+        let frame = match request_trace(&self.inner.spans, &req) {
+            Some(trace) => Frame::traced(api_key as u16, corr, trace, req.encode()),
+            None => Frame::new(api_key as u16, corr, req.encode()),
+        };
         {
             let mut writer = conn.writer.lock();
             if let Err(e) = writer.write_all(&frame.encode()) {
@@ -377,6 +438,70 @@ impl TcpTransport {
             other => Err(OctoError::Serde(format!("expected unit response, got {other:?}"))),
         }
     }
+
+    /// Scrape the remote broker's metrics registry (and, when
+    /// `include_spans`, its span snapshot) over the wire.
+    pub fn describe_metrics(&self, include_spans: bool) -> OctoResult<RemoteMetrics> {
+        match self.call(Request::DescribeMetrics { include_spans })? {
+            Response::DescribeMetrics { broker_id, snapshot_json, spans_json } => {
+                let snapshot: RegistrySnapshot = serde_json::from_slice(&snapshot_json)
+                    .map_err(|e| OctoError::Serde(format!("registry snapshot: {e}")))?;
+                let spans: Vec<Span> = serde_json::from_slice(&spans_json)
+                    .map_err(|e| OctoError::Serde(format!("span snapshot: {e}")))?;
+                Ok(RemoteMetrics { broker_id, snapshot, spans })
+            }
+            _ => Err(OctoError::Serde("bad describe-metrics response".into())),
+        }
+    }
+
+    /// Scrape the remote broker's health rollup and consumer lag.
+    pub fn describe_health(&self) -> OctoResult<RemoteHealth> {
+        match self.call(Request::DescribeHealth)? {
+            Response::DescribeHealth { report_json, lag_json } => {
+                let report: HealthReport = serde_json::from_slice(&report_json)
+                    .map_err(|e| OctoError::Serde(format!("health report: {e}")))?;
+                let lag: Vec<LagReport> = serde_json::from_slice(&lag_json)
+                    .map_err(|e| OctoError::Serde(format!("lag reports: {e}")))?;
+                Ok(RemoteHealth { report, lag })
+            }
+            _ => Err(OctoError::Serde("bad describe-health response".into())),
+        }
+    }
+}
+
+/// One broker's `DescribeMetrics` scrape, decoded.
+#[derive(Debug, Clone)]
+pub struct RemoteMetrics {
+    /// The serving broker's id (distinguishes brokers in a fleet merge).
+    pub broker_id: u32,
+    pub snapshot: RegistrySnapshot,
+    pub spans: Vec<Span>,
+}
+
+/// One broker's `DescribeHealth` scrape, decoded.
+#[derive(Debug, Clone)]
+pub struct RemoteHealth {
+    pub report: HealthReport,
+    pub lag: Vec<LagReport>,
+}
+
+/// The wire-level trace for a request, if it should carry one:
+/// produce-path requests are stamped with the first event's trace
+/// context so the serving broker's Append/Replicate spans and this
+/// client's ProduceAck span share one trace id across the process
+/// boundary.
+fn request_trace(spans: &SpanSink, req: &Request) -> Option<WireTrace> {
+    let headers = match req {
+        Request::Produce { batch, .. } => &batch.events.first()?.headers,
+        Request::TxnProduce { events, .. } => &events.first()?.headers,
+        _ => return None,
+    };
+    let ctx = TraceContext::from_headers(headers)?;
+    Some(WireTrace {
+        trace_id: ctx.trace_id,
+        parent_span_id: span_id_for(ctx.trace_id, Stage::ProduceAck),
+        sampled: spans.sampled(ctx.trace_id),
+    })
 }
 
 impl Transport for TcpTransport {

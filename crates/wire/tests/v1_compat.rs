@@ -1,0 +1,86 @@
+//! Wire-compat regression: frames produced by a v1 peer — built
+//! before the `FLAG_TRACE` payload-prefix extension existed — must
+//! decode bit-for-bit identically against the new codec, and the
+//! extension itself must be invisible to the parts of the frame a v1
+//! reader understands (header layout, version byte, CRC coverage).
+
+use octopus_wire::frame::{
+    decode_frame, decode_header, Frame, WireTrace, DEFAULT_MAX_PAYLOAD, FLAG_TRACE, HEADER_LEN,
+    TRACE_EXT_LEN, VERSION,
+};
+use octopus_wire::{ApiKey, Request};
+
+/// Hand-roll the exact bytes a pre-extension encoder emitted: the
+/// fixed 22-byte header with flags 0 followed by the raw payload.
+/// Deliberately not built through `Frame::encode` so the test keeps
+/// failing if the header layout ever drifts.
+fn v1_frame_bytes(api_key: u16, correlation_id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&0x434Fu16.to_le_bytes()); // "OC"
+    out.push(1); // version
+    out.push(0); // flags: no error, no trace — the v1 world
+    out.extend_from_slice(&api_key.to_le_bytes());
+    out.extend_from_slice(&correlation_id.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&octopus_broker::crc32c(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+#[test]
+fn v1_frame_decodes_against_the_new_codec() {
+    // a real v1 request payload, not just opaque bytes
+    let req = Request::Metadata { topic: Some("sdl.actions".to_string()) };
+    let payload = req.encode();
+    let bytes = v1_frame_bytes(ApiKey::Metadata as u16, 77, &payload);
+
+    let (frame, used) = decode_frame(&bytes, DEFAULT_MAX_PAYLOAD).expect("v1 frame decodes");
+    assert_eq!(used, bytes.len());
+    assert_eq!(frame.api_key, ApiKey::Metadata as u16);
+    assert_eq!(frame.correlation_id, 77);
+    // no trace extension: body is the whole payload, verbatim
+    assert_eq!(frame.trace().unwrap(), None);
+    assert_eq!(frame.body().unwrap(), &payload[..]);
+    let decoded = Request::decode(ApiKey::Metadata, frame.body().unwrap()).unwrap();
+    assert_eq!(decoded, req);
+}
+
+#[test]
+fn v1_and_new_encoders_agree_on_untraced_frames() {
+    // the new encoder, asked for an untraced frame, must emit exactly
+    // the bytes the v1 encoder did — v1 receivers keep working
+    let payload = b"payload".to_vec();
+    let new = Frame::new(3, 123, payload.clone()).encode();
+    let old = v1_frame_bytes(3, 123, &payload);
+    assert_eq!(new, old);
+}
+
+#[test]
+fn traced_frame_keeps_the_v1_header_layout() {
+    let trace = WireTrace { trace_id: 40, parent_span_id: 641, sampled: true };
+    let inner = b"body".to_vec();
+    let bytes = Frame::traced(1, 9, trace, inner.clone()).encode();
+
+    // version byte unchanged: the extension is a flag, not a version
+    let header = decode_header(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
+    assert_eq!(header.version, VERSION);
+    assert_eq!(header.flags & FLAG_TRACE, FLAG_TRACE);
+    assert_eq!(header.payload_len as usize, TRACE_EXT_LEN + inner.len());
+
+    // full round trip separates prefix from body again
+    let (frame, _) = decode_frame(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
+    assert_eq!(frame.trace().unwrap(), Some(trace));
+    assert_eq!(frame.body().unwrap(), &inner[..]);
+}
+
+#[test]
+fn trace_prefix_is_covered_by_the_frame_crc() {
+    let trace = WireTrace { trace_id: 8, parent_span_id: 0, sampled: false };
+    let mut bytes = Frame::traced(1, 1, trace, b"x".to_vec()).encode();
+    // flip one bit inside the trace prefix (first payload byte)
+    bytes[HEADER_LEN] ^= 0x01;
+    assert!(
+        decode_frame(&bytes, DEFAULT_MAX_PAYLOAD).is_err(),
+        "corrupted trace prefix must fail the CRC, not decode"
+    );
+}

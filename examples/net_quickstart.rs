@@ -1,15 +1,24 @@
 //! Networked quickstart: a produce→fetch round trip between **two
-//! separate OS processes** over loopback TCP with SCRAM auth.
+//! separate OS processes** over loopback TCP with SCRAM auth — and a
+//! distributed trace proving it.
 //!
 //! The binary is dual-mode: invoked with `--serve <addr-file>` it
 //! becomes the broker process (cluster + `WireServer`, address written
 //! to the file); invoked bare it spawns that server as a child
 //! process, dials it with [`TcpTransport`], and drives the SDK
-//! producer/consumer across the real socket. The run prints a JSON
-//! summary that `scripts/ci.sh` gates on.
+//! producer/consumer across the real socket.
+//!
+//! Tracing crosses the process boundary twice: produce frames carry
+//! the client's trace context in the wire frame, so the broker's
+//! Append spans share the client's trace ids; afterwards the client
+//! scrapes the broker's span snapshot back over `DescribeMetrics` and
+//! merges both processes into one Chrome trace
+//! (`results/net_trace.json`) with a distinct pid lane per process.
+//! The run prints a JSON summary that `scripts/ci.sh` gates on.
 //!
 //! Run with: `cargo run --example net_quickstart`
 
+use std::collections::BTreeSet;
 use std::io::Read;
 use std::process::{Command, Stdio};
 use std::sync::Arc;
@@ -18,6 +27,7 @@ use std::time::{Duration, Instant};
 use octopus::auth::scram::ScramStore;
 use octopus::prelude::*;
 use octopus::sdk::Consumer;
+use octopus::types::{write_chrome_trace_multi, ProcessSpans, SpanSink};
 use octopus::wire::{
     Authenticator, Credentials, TcpTransport, TcpTransportConfig, Transport, WireServer,
     WireServerConfig,
@@ -31,7 +41,9 @@ const COUNT: usize = 12;
 /// Child mode: host the cluster behind a wire server until the parent
 /// goes away (detected as EOF on stdin).
 fn serve(addr_file: &str) {
-    let cluster = Cluster::new(2);
+    // record a span for every trace — the parent pulls them back over
+    // DescribeMetrics to build the cross-process trace
+    let cluster = Cluster::builder(2).spans(Arc::new(SpanSink::new(1))).build();
     cluster.create_topic(TOPIC, TopicConfig::default().with_partitions(2)).unwrap();
     let scram = Arc::new(ScramStore::new());
     scram.add_user(USER, PASSWORD, Uid(7));
@@ -70,6 +82,7 @@ fn main() {
         .stdin(Stdio::piped())
         .spawn()
         .expect("spawn server process");
+    let broker_pid = child.id() as u64;
 
     // Wait for the server to publish its listen address.
     let deadline = Instant::now() + Duration::from_secs(30);
@@ -81,7 +94,8 @@ fn main() {
         std::thread::sleep(Duration::from_millis(20));
     };
 
-    // Process #2 (this one): SCRAM-authenticated SDK clients over TCP.
+    // Process #2 (this one): SCRAM-authenticated SDK clients over TCP,
+    // tracing every request (sample_every = 1).
     let transport = Arc::new(TcpTransport::connect(
         addr.clone(),
         TcpTransportConfig {
@@ -89,6 +103,7 @@ fn main() {
                 username: USER.into(),
                 password: PASSWORD.into(),
             },
+            trace_sample_every: 1,
             ..Default::default()
         },
     ));
@@ -124,10 +139,39 @@ fn main() {
         consumed += consumer.poll().expect("fetch over TCP").len();
     }
 
+    // Scrape the broker's telemetry back over the same socket while
+    // the child is still alive: its span snapshot (for the merged
+    // trace) and its metrics registry (for the summary).
+    let remote = transport.describe_metrics(true).expect("DescribeMetrics over TCP");
+    let health = transport.describe_health().expect("DescribeHealth over TCP");
+
     drop(child.stdin.take()); // EOF → server exits
     let _ = child.wait();
     let _ = std::fs::remove_file(&addr_file);
 
+    // Merge both processes into one Chrome trace, one pid lane each.
+    let client_spans = transport.span_sink().snapshot();
+    let client_traces: BTreeSet<u64> = client_spans.iter().map(|s| s.trace_id).collect();
+    let broker_traces: BTreeSet<u64> = remote.spans.iter().map(|s| s.trace_id).collect();
+    let shared_traces = client_traces.intersection(&broker_traces).count();
+    std::fs::create_dir_all("results").unwrap();
+    let processes = [
+        ProcessSpans {
+            pid: std::process::id() as u64,
+            name: "octopus-client".to_string(),
+            spans: client_spans,
+        },
+        ProcessSpans {
+            pid: broker_pid,
+            name: format!("octopus-broker-{}", remote.broker_id),
+            spans: remote.spans.clone(),
+        },
+    ];
+    write_chrome_trace_multi(std::path::Path::new("results/net_trace.json"), &processes)
+        .expect("write merged trace");
+
+    let wire_requests =
+        remote.snapshot.counters.get("octopus_wire_requests_total").copied().unwrap_or(0);
     let report = serde_json::json!({
         "transport": "tcp",
         "addr": addr,
@@ -135,7 +179,16 @@ fn main() {
         "scram_principal": principal.map(|u| u.to_string()),
         "produced": COUNT,
         "consumed": consumed,
-        "ok": consumed == COUNT && principal == Some(Uid(7)),
+        "client_spans": processes[0].spans.len(),
+        "broker_spans": processes[1].spans.len(),
+        "shared_traces": shared_traces,
+        "broker_wire_requests_total": wire_requests,
+        "broker_health": serde_json::to_value(&health.report.status).unwrap(),
+        "trace_file": "results/net_trace.json",
+        "ok": consumed == COUNT
+            && principal == Some(Uid(7))
+            && shared_traces >= 1
+            && wire_requests > 0,
     });
     println!("{}", serde_json::to_string_pretty(&report).unwrap());
     assert!(report["ok"].as_bool().unwrap(), "round trip failed");

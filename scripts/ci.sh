@@ -55,7 +55,10 @@ if ! jq -e '.schema == "octopus-hotpath-v1"
             and (.eos.idempotent_off.events_per_sec > 0)
             and (.net.tcp.produce_events_per_sec > 0)
             and (.net.tcp.fetch_records_per_sec > 0)
-            and (.net.in_process.produce_events_per_sec > 0)' BENCH_hotpath.json >/dev/null; then
+            and (.net.in_process.produce_events_per_sec > 0)
+            and (.net.per_api_p99_us.produce > 0)
+            and (.net.tracing.on.produce_events_per_sec > 0)
+            and (.net.tracing.off.produce_events_per_sec > 0)' BENCH_hotpath.json >/dev/null; then
     echo "BENCH_hotpath.json malformed (schema/sections)" >&2
     exit 1
 fi
@@ -68,9 +71,25 @@ net_report=$(cargo run --release -q --example net_quickstart)
 if ! jq -e '.ok == true
             and (.processes == 2)
             and (.transport == "tcp")
-            and (.consumed == .produced)' <<<"$net_report" >/dev/null; then
+            and (.consumed == .produced)
+            and (.shared_traces >= 1)
+            and (.broker_wire_requests_total > 0)' <<<"$net_report" >/dev/null; then
     echo "net_quickstart report malformed or failed:" >&2
     echo "$net_report" >&2
+    exit 1
+fi
+test -s results/net_trace.json
+
+echo "==> fleet scrape smoke (3 brokers, DescribeMetrics over TCP, chaos cut)"
+# octopus-top spins up three wire-served brokers, drives socket
+# traffic, severs one node mid-run, and scrapes the fleet through the
+# poller; jq gates the merged view.
+top_report=$(cargo run --release -q -p octopus-bench --bin octopus_top -- --json)
+if ! jq -e '.ok == true
+            and (.brokers == 3)
+            and (.octopus_wire_requests_total > 0)' <<<"$top_report" >/dev/null; then
+    echo "octopus_top report malformed or failed:" >&2
+    echo "$top_report" >&2
     exit 1
 fi
 

@@ -230,7 +230,12 @@ fn fleet_observatory_end_to_end() {
         serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
     let events = parsed["traceEvents"].as_array().unwrap();
     assert!(events.len() >= full_path.len());
-    assert!(events.iter().all(|e| e["ph"] == "X" && e["cat"] == "octopus"));
+    // one process_name metadata event, then only span events
+    assert!(events.iter().any(|e| e["ph"] == "M" && e["name"] == "process_name"));
+    assert!(events
+        .iter()
+        .filter(|e| e["ph"] != "M")
+        .all(|e| e["ph"] == "X" && e["cat"] == "octopus"));
     let _ = std::fs::remove_file(&out);
 }
 

@@ -197,6 +197,143 @@ fn chaos_partition_severs_real_sockets_and_client_reconnects() {
         }
     }
     assert_eq!(transport.principal().unwrap(), Some(Uid(7)), "re-authenticated after the cut");
+
+    // the recovery left an audit trail in the transport's registry:
+    // the poisoned connection, the re-dial, and the re-authentication
+    // are all counted events, not silent magic
+    let metrics = transport.metrics();
+    assert!(
+        metrics.counter("octopus_tcp_poisoned_connections_total").get() >= 1,
+        "the severed connection was poisoned"
+    );
+    assert!(metrics.counter("octopus_tcp_redials_total").get() >= 1, "client re-dialed");
+    assert!(metrics.counter("octopus_tcp_reauths_total").get() >= 1, "client re-authenticated");
+    assert!(
+        metrics.counter("octopus_tcp_connects_total").get() >= 2,
+        "first dial plus at least one recovery dial"
+    );
+}
+
+/// Distributed-trace continuity across a chaos cut: produce frames
+/// carry the client's trace context, so broker-side spans keep joining
+/// the client's traces even after the socket was severed and the
+/// transport re-dialed.
+#[test]
+fn trace_ids_stay_continuous_across_sever_and_reconnect() {
+    use octopus::types::SpanSink;
+    use std::collections::BTreeSet;
+
+    let cluster = Cluster::builder(2).spans(Arc::new(SpanSink::new(1))).build();
+    cluster.create_topic("t", TopicConfig::default()).unwrap();
+    let scram = Arc::new(ScramStore::new());
+    scram.add_user("ada", "correct horse", Uid(7));
+    let server = WireServer::bind(
+        cluster.clone(),
+        Authenticator::closed().with_scram(scram),
+        "127.0.0.1:0",
+        WireServerConfig::default(),
+    )
+    .unwrap();
+    let transport = Arc::new(TcpTransport::connect(
+        server.local_addr().to_string(),
+        TcpTransportConfig {
+            credentials: Credentials::Scram {
+                username: "ada".into(),
+                password: "correct horse".into(),
+            },
+            trace_sample_every: 1,
+            ..Default::default()
+        },
+    ));
+    let producer = Producer::over(
+        Arc::clone(&transport) as Arc<dyn Transport>,
+        ProducerConfig {
+            retries: 40,
+            retry_backoff: Duration::from_millis(25),
+            ..ProducerConfig::idempotent()
+        },
+        None,
+    );
+
+    for i in 0..5 {
+        producer.send_sync("t", ev(&format!("pre-{i}"))).unwrap();
+    }
+    let traces_before: BTreeSet<u64> =
+        transport.span_sink().snapshot().iter().map(|s| s.trace_id).collect();
+    assert!(!traces_before.is_empty(), "pre-cut produces were traced");
+
+    // cut every live socket, then keep producing: the SDK retry layer
+    // re-dials and the new connection keeps stamping trace contexts
+    assert!(server.sever_connections() > 0);
+    for i in 0..5 {
+        producer.send_sync("t", ev(&format!("post-{i}"))).unwrap();
+    }
+
+    let client_traces: BTreeSet<u64> =
+        transport.span_sink().snapshot().iter().map(|s| s.trace_id).collect();
+    let broker_traces: BTreeSet<u64> =
+        cluster.span_sink().snapshot().iter().map(|s| s.trace_id).collect();
+    let post_cut: BTreeSet<u64> = client_traces.difference(&traces_before).copied().collect();
+    assert!(!post_cut.is_empty(), "post-cut produces were traced");
+    for id in &post_cut {
+        assert!(
+            broker_traces.contains(id),
+            "trace {id} produced after the reconnect never reached the broker's spans"
+        );
+    }
+    assert!(
+        transport.metrics().counter("octopus_tcp_redials_total").get() >= 1,
+        "the continuity really crossed a reconnect"
+    );
+}
+
+/// Remote scraping end to end: `DescribeMetrics` returns a registry
+/// snapshot that renders to parseable exposition text, and
+/// `DescribeHealth` a decodable health report — the fleet poller's
+/// building blocks.
+#[test]
+fn describe_metrics_roundtrips_exposition_over_loopback() {
+    use octopus::types::parse_exposition;
+
+    let (_cluster, _server, transport) = scram_fixture(1);
+    let producer = Producer::over(
+        Arc::clone(&transport) as Arc<dyn Transport>,
+        ProducerConfig::default(),
+        None,
+    );
+    for i in 0..3 {
+        producer.send_sync("t", ev(&format!("m{i}"))).unwrap();
+    }
+
+    let remote = transport.describe_metrics(false).unwrap();
+    assert_eq!(remote.broker_id, 0);
+    assert!(remote.spans.is_empty(), "spans not requested, none shipped");
+    let requests = remote
+        .snapshot
+        .counters
+        .get("octopus_wire_requests_total")
+        .copied()
+        .unwrap_or(0);
+    assert!(requests > 0, "the scrape sees the requests that preceded it");
+
+    // the snapshot renders into the same exposition format the OWS
+    // /metrics route serves, and that text parses back
+    let text = remote.snapshot.render_text();
+    let samples = parse_exposition(&text).unwrap();
+    let sample = samples
+        .iter()
+        .find(|s| s.name == "octopus_wire_requests_total")
+        .expect("exposition carries the wire counter");
+    assert!(sample.value > 0.0);
+    assert!(
+        samples.iter().any(|s| s.name == "octopus_wire_api_requests_total"
+            && s.label("api") == Some("produce")),
+        "per-api labeled counters survive the trip"
+    );
+
+    let health = transport.describe_health().unwrap();
+    assert!(!health.report.brokers.is_empty(), "health report covers the brokers");
+    assert!(health.lag.is_empty(), "no consumer groups yet");
 }
 
 /// Regression: a revoked bearer token draws `AuthFailed` promptly —

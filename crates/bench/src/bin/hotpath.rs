@@ -414,6 +414,114 @@ fn eos_overhead(idempotent: bool, scale: &Scale) -> EosRow {
     }
 }
 
+struct ReassignResult {
+    steady_p99_us: f64,
+    during_move_p99_us: f64,
+    moved_records: u64,
+    throttle_bytes_per_sec: u64,
+    /// Produce p99 during the move stayed within 3x of steady state
+    /// (with a 2ms floor so microsecond-scale noise can't fail a run).
+    within_3x: bool,
+}
+
+/// Reassignment-impact probe: produce p99 against a partition while a
+/// throttled learner is catching up + the assignment commits, compared
+/// to the same workload in steady state. The mover shares the leader's
+/// log (chunked copy reads, then the commit's brief lock hold), so
+/// this measures exactly what an online move costs the hot path.
+fn reassignment_probe(scale: &Scale) -> ReassignResult {
+    let cluster = Cluster::new(3);
+    cluster
+        .create_topic(
+            "mov",
+            TopicConfig::default().with_partitions(1).with_replication(3).with_min_insync(2),
+        )
+        .expect("topic");
+    let payload = vec![0x4Du8; 128];
+    // backlog for the learner to copy, so the move spans the window
+    let pre_records = scale.fetch_records / 2;
+    for _ in 0..pre_records / 16 {
+        let events: Vec<Event> = (0..16).map(|_| Event::from_bytes(payload.clone())).collect();
+        cluster.produce_batch("mov", 0, RecordBatch::new(events), AckLevel::All).expect("pre");
+    }
+
+    // steady-state produce p99
+    let steady_hist = AtomicHistogram::new();
+    for _ in 0..scale.batches {
+        let events: Vec<Event> =
+            (0..scale.batch_events).map(|_| Event::from_bytes(payload.clone())).collect();
+        let t = Instant::now();
+        cluster.produce_batch("mov", 0, RecordBatch::new(events), AckLevel::All).expect("steady");
+        steady_hist.record(t.elapsed().as_nanos() as u64);
+    }
+
+    // throttle sized so the catch-up takes on the order of a second
+    let backlog_bytes = (pre_records as u64) * 160;
+    let rate = backlog_bytes.max(64 * 1024);
+    let to = cluster.add_broker().expect("add broker");
+    let leader = cluster.leader_broker("mov", 0).expect("leader");
+    let from = cluster
+        .replicas_of("mov", 0)
+        .expect("replicas")
+        .into_iter()
+        .find(|r| *r != leader)
+        .expect("follower replica");
+    let done = Arc::new(AtomicBool::new(false));
+    let mover = {
+        let cluster = cluster.clone();
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let throttle = octopus_broker::MoveThrottle::new(rate);
+            let res = cluster.alter_partition_assignment("mov", 0, from, to, &throttle);
+            done.store(true, Ordering::Release);
+            res
+        })
+    };
+
+    // produce while the move is in flight (bounded; at least a quarter
+    // of the steady window even if the move commits early)
+    let during_hist = AtomicHistogram::new();
+    let min_batches = scale.batches / 4;
+    let cap = scale.batches * 20;
+    let mut n = 0usize;
+    while (!done.load(Ordering::Acquire) || n < min_batches) && n < cap {
+        let events: Vec<Event> =
+            (0..scale.batch_events).map(|_| Event::from_bytes(payload.clone())).collect();
+        let t = Instant::now();
+        cluster.produce_batch("mov", 0, RecordBatch::new(events), AckLevel::All).expect("during");
+        during_hist.record(t.elapsed().as_nanos() as u64);
+        n += 1;
+    }
+    mover.join().expect("mover thread").expect("reassignment");
+
+    // the move really happened: the new broker serves the partition in
+    // a full ISR and the old follower is gone from the assignment
+    let replicas = cluster.replicas_of("mov", 0).expect("replicas");
+    check(replicas.contains(&to), "reassignment did not land on the new broker");
+    check(!replicas.contains(&from), "reassignment left the old replica in place");
+    check(
+        cluster.isr_of("mov", 0).expect("isr").len() == 3,
+        "ISR not full after the reassignment",
+    );
+    let moved_records = cluster
+        .reassignments()
+        .iter()
+        .find(|r| r.topic == "mov")
+        .map(|r| r.copied)
+        .unwrap_or(0);
+    check(moved_records > 0, "reassignment tracker recorded no copied records");
+
+    let steady_p99_us = steady_hist.snapshot().p99() as f64 / 1e3;
+    let during_move_p99_us = during_hist.snapshot().p99() as f64 / 1e3;
+    ReassignResult {
+        steady_p99_us,
+        during_move_p99_us,
+        moved_records,
+        throttle_bytes_per_sec: rate,
+        within_3x: during_move_p99_us <= (steady_p99_us * 3.0).max(2_000.0),
+    }
+}
+
 struct NetSide {
     produce_p50_us: f64,
     produce_p99_us: f64,
@@ -623,6 +731,20 @@ fn main() {
         eos_overhead_pct,
     ));
 
+    let reassign = reassignment_probe(&scale);
+    txt.push_str(&format!(
+        "reassignment impact (acks=all, rf=3, throttled learner): steady p99 {:.1} us vs \
+         during-move p99 {:.1} us ({} records copied at {} B/s)\n",
+        reassign.steady_p99_us,
+        reassign.during_move_p99_us,
+        reassign.moved_records,
+        reassign.throttle_bytes_per_sec,
+    ));
+    check(
+        reassign.within_3x,
+        "produce p99 during an active move exceeded 3x the steady-state p99",
+    );
+
     let net = net_probe(&scale);
     txt.push_str(&format!(
         "network tax (acks=1, rf=2, single client): in-process {} events/s produce \
@@ -701,6 +823,16 @@ fn main() {
             },
             "throughput_overhead_pct": eos_overhead_pct,
         },
+        "reassignment": {
+            "acks": "all",
+            "rf": 3,
+            "steady_p99_us": reassign.steady_p99_us,
+            "during_move_p99_us": reassign.during_move_p99_us,
+            "p99_ratio": reassign.during_move_p99_us / reassign.steady_p99_us.max(0.001),
+            "moved_records": reassign.moved_records,
+            "throttle_bytes_per_sec": reassign.throttle_bytes_per_sec,
+            "within_3x": reassign.within_3x,
+        },
         "net": {
             "acks": "1",
             "rf": 2,
@@ -768,6 +900,11 @@ fn main() {
     check(
         reread["net"]["tracing"]["on"]["produce_events_per_sec"].as_f64().unwrap_or(0.0) > 0.0,
         "bench json net tracing section incomplete",
+    );
+    check(
+        reread["reassignment"]["within_3x"].as_bool() == Some(true)
+            && reread["reassignment"]["moved_records"].as_u64().unwrap_or(0) > 0,
+        "bench json reassignment section incomplete",
     );
     println!("wrote {}", json_path.display());
 }

@@ -35,8 +35,7 @@ const TOPIC: &str = "top.events";
 const FLEET: usize = 3;
 
 struct Node {
-    // keeps the node's cluster alive for the whole run
-    _cluster: Cluster,
+    cluster: Cluster,
     server: WireServer,
 }
 
@@ -54,7 +53,7 @@ fn spawn_fleet() -> Vec<Node> {
                 WireServerConfig { broker_id: BrokerId(i as u32), ..Default::default() },
             )
             .expect("bind wire server");
-            Node { _cluster: cluster, server }
+            Node { cluster, server }
         })
         .collect()
 }
@@ -97,7 +96,23 @@ fn spawn_traffic(
         .collect()
 }
 
-fn render(view: &FleetView, tick: usize, ticks: usize, chaos_note: &str) {
+/// Per-broker reassignment snapshots, scraped over the wire.
+fn scrape_reassignments(
+    admins: &[TcpTransport],
+) -> Vec<Vec<octopus_broker::ReassignStatus>> {
+    admins
+        .iter()
+        .map(|t| t.describe_reassignments().unwrap_or_default())
+        .collect()
+}
+
+fn render(
+    view: &FleetView,
+    reassignments: &[Vec<octopus_broker::ReassignStatus>],
+    tick: usize,
+    ticks: usize,
+    chaos_note: &str,
+) {
     // clear screen + home, then redraw the whole frame
     print!("\x1b[2J\x1b[H");
     println!("octopus-top — fleet of {FLEET} brokers, tick {}/{ticks}{chaos_note}", tick + 1);
@@ -132,6 +147,21 @@ fn render(view: &FleetView, tick: usize, ticks: usize, chaos_note: &str) {
     }
     for (label, err) in &view.unreachable {
         println!("{label:<10}  -- UNREACHABLE: {err}");
+    }
+    let moves: Vec<(usize, &octopus_broker::ReassignStatus)> = reassignments
+        .iter()
+        .enumerate()
+        .flat_map(|(i, rs)| rs.iter().map(move |r| (i, r)))
+        .collect();
+    if !moves.is_empty() {
+        println!();
+        println!("reassignments:");
+        for (i, r) in moves {
+            println!(
+                "  broker-{i} {}/{}: {} -> {} [{:?}] {}/{} records (epoch {})",
+                r.topic, r.partition, r.from, r.to, r.phase, r.copied, r.target, r.epoch
+            );
+        }
     }
     println!();
     println!(
@@ -169,11 +199,30 @@ fn main() {
             TcpTransportConfig::default(),
         );
     }
+    // a second connection per node for admin scrapes (reassignments)
+    let admins: Vec<TcpTransport> = nodes
+        .iter()
+        .map(|n| {
+            TcpTransport::connect(n.server.local_addr().to_string(), TcpTransportConfig::default())
+        })
+        .collect();
 
     let mut last: Option<FleetView> = None;
+    let mut last_moves: Vec<Vec<octopus_broker::ReassignStatus>> = Vec::new();
     let mut severed = 0usize;
     for tick in 0..ticks {
         std::thread::sleep(interval);
+        if tick == ticks / 3 {
+            // elastic demo on node 0: grow the fleet by one broker and
+            // move a partition onto it over the admin wire api — the
+            // dashboard tracks the learner's catch-up progress
+            let node = &nodes[0];
+            if let (Ok(from), Ok(to)) =
+                (node.cluster.leader_broker(TOPIC, 0), node.cluster.add_broker())
+            {
+                let _ = admins[0].alter_partition_assignment(TOPIC, 0, from.0, to.0, u64::MAX);
+            }
+        }
         if chaos && tick == ticks / 2 {
             // chaos: cut every live socket on one node; producers and
             // the poller both redial transparently
@@ -181,13 +230,14 @@ fn main() {
         }
         match poller.poll() {
             Ok(view) => {
+                last_moves = scrape_reassignments(&admins);
                 if !json {
                     let note = if chaos && tick >= ticks / 2 {
                         format!("  (chaos: severed {severed} conns on broker-1)")
                     } else {
                         String::new()
                     };
-                    render(&view, tick, ticks, &note);
+                    render(&view, &last_moves, tick, ticks, &note);
                 }
                 last = Some(view);
             }
@@ -205,11 +255,19 @@ fn main() {
     }
 
     let view = last.expect("fleet was never reachable");
+    let moves_total: usize = last_moves.iter().map(|rs| rs.len()).sum();
+    let moves_completed: usize = last_moves
+        .iter()
+        .flatten()
+        .filter(|r| r.phase == octopus_broker::ReassignPhase::Completed)
+        .count();
     let summary = serde_json::json!({
         "brokers": view.brokers.len(),
         "unreachable": view.unreachable.len(),
         "chaos": chaos,
         "severed_connections": severed,
+        "reassignments_total": moves_total,
+        "reassignments_completed": moves_completed,
         "octopus_wire_requests_total": view.counter("octopus_wire_requests_total"),
         "octopus_wire_bytes_in_total": view.counter("octopus_wire_bytes_in_total"),
         "octopus_wire_connections_accepted_total":
@@ -217,7 +275,8 @@ fn main() {
         "produce_p99_us":
             view.p99(&labeled("octopus_wire_request_ns", &[("api", "produce")])) as f64 / 1e3,
         "ok": view.brokers.len() == FLEET
-            && view.counter("octopus_wire_requests_total") > 0,
+            && view.counter("octopus_wire_requests_total") > 0
+            && moves_completed >= 1,
     });
     if json {
         println!("{}", serde_json::to_string_pretty(&summary).unwrap());

@@ -87,6 +87,11 @@ pub struct Broker {
     /// earlier incarnation, so a batch queued before a crash can never
     /// replay onto the resynced log of the restarted broker.
     epoch: AtomicU64,
+    /// Permanently removed from the cluster (decommissioned). Retired
+    /// brokers never host replicas again, are excluded from health
+    /// rollups, and keep their slot in the broker table so ids stay
+    /// stable indices.
+    retired: AtomicBool,
     partitions: RwLock<HashMap<(TopicName, PartitionId), SharedLog>>,
     store: Option<Arc<StoreContext>>,
 }
@@ -98,6 +103,7 @@ impl Broker {
             id,
             alive: AtomicBool::new(true),
             epoch: AtomicU64::new(0),
+            retired: AtomicBool::new(false),
             partitions: RwLock::new(HashMap::new()),
             store: None,
         }
@@ -109,6 +115,7 @@ impl Broker {
             id,
             alive: AtomicBool::new(true),
             epoch: AtomicU64::new(0),
+            retired: AtomicBool::new(false),
             partitions: RwLock::new(HashMap::new()),
             store: Some(ctx),
         }
@@ -143,8 +150,25 @@ impl Broker {
     }
 
     /// Bring the broker back up. The cluster re-syncs its replicas.
+    /// Retired brokers stay down: decommissioning is permanent.
     pub fn restart(&self) {
+        if self.is_retired() {
+            return;
+        }
         self.alive.store(true, Ordering::Release);
+    }
+
+    /// Permanently remove the broker from the cluster. Implies a kill
+    /// (epoch bump fences in-flight replication jobs) and blocks any
+    /// future restart.
+    pub fn retire(&self) {
+        self.retired.store(true, Ordering::Release);
+        self.kill();
+    }
+
+    /// Whether the broker has been decommissioned.
+    pub fn is_retired(&self) -> bool {
+        self.retired.load(Ordering::Acquire)
     }
 
     /// Host a replica of a partition. Volatile brokers start it empty;
@@ -228,6 +252,18 @@ mod tests {
 
         b.drop_partition("t", 1);
         assert_eq!(b.partition_count(), 1);
+    }
+
+    #[test]
+    fn retirement_is_permanent() {
+        let b = Broker::new(BrokerId(1));
+        let epoch_before = b.epoch();
+        b.retire();
+        assert!(b.is_retired());
+        assert!(!b.is_alive());
+        assert!(b.epoch() > epoch_before, "retire must fence in-flight replication");
+        b.restart();
+        assert!(!b.is_alive(), "retired brokers never come back");
     }
 
     #[test]

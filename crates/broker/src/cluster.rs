@@ -33,9 +33,10 @@ use crate::eos::{
 };
 use crate::fault::{DeliveryFault, FaultInjector};
 use crate::group::GroupCoordinator;
-use crate::health::{ClusterHealth, HealthReport, PartitionView};
+use crate::health::{BrokerLiveness, ClusterHealth, HealthReport, PartitionView};
 use crate::lag::{LagReport, LagTracker};
 use crate::log::LogSnapshot;
+use crate::reassign::{MoveThrottle, ReassignStatus, ReassignTracker};
 use crate::record::{ControlMarker, ProducerStamp, Record, RecordBatch};
 use crate::replication::{reply_channel, ReplicationJob, ReplicationPool};
 use crate::store::{FlushPolicy, OffsetCheckpoint, StoreMetrics};
@@ -50,6 +51,25 @@ use crate::store::{FlushPolicy, OffsetCheckpoint, StoreMetrics};
 /// scheduler slice running an unrelated thread, so after a few misses
 /// parking on the condvar is strictly cheaper.
 const REPLY_SPIN_LIMIT: u32 = 4;
+
+/// How many times a produce re-resolves its route after discovering,
+/// under the leader's log lock, that leadership moved between the
+/// metadata snapshot and the lock acquisition (an online reassignment
+/// or leadership transfer landed in the gap). One reroute per move is
+/// enough in the steady state; the bound only stops a pathological
+/// move storm from starving the producer forever.
+const PRODUCE_REROUTE_LIMIT: usize = 8;
+
+/// Records copied per throttled chunk while a reassignment learner
+/// catches up. Small enough that the throttle granularity is fine
+/// (bandwidth is enforced per chunk), large enough to amortise the
+/// lock/snapshot overhead.
+const CATCHUP_CHUNK: usize = 256;
+
+/// How many times the reassignment commit step retries when the
+/// partition leader moves between the catch-up loop and the commit
+/// lock (e.g. a chaos kill mid-move elects a new leader).
+const COMMIT_RETRY_LIMIT: usize = 4;
 
 /// Producer acknowledgment level (the paper's `acks` knob, Table III
 /// experiments #2–#4).
@@ -146,6 +166,11 @@ struct PartitionMeta {
     replicas: Vec<BrokerId>,
     leader: BrokerId,
     isr: Vec<BrokerId>,
+    /// Assignment epoch, bumped on every committed replica-set change.
+    /// Reassignments capture it at start and CAS it at commit, so a
+    /// mover that stalled (or a crashed mover's retry) can never
+    /// resurrect a stale assignment over a newer one.
+    epoch: u64,
 }
 
 #[derive(Clone)]
@@ -180,7 +205,15 @@ pub struct PowerLossReport {
 }
 
 struct ClusterInner {
-    brokers: Vec<Arc<Broker>>,
+    /// The broker table. Grow-only (ids are stable indices); retired
+    /// brokers keep their slot but never host replicas again. Guards
+    /// are kept statement-scoped: nothing holds this lock while taking
+    /// the topics lock the other way round (topics → brokers is the
+    /// nesting used by failover and friends).
+    brokers: RwLock<Vec<Arc<Broker>>>,
+    /// Durable-store context, retained so brokers added at runtime
+    /// persist under the same data dir as the founding members.
+    store_ctx: Option<Arc<StoreContext>>,
     topics: RwLock<HashMap<TopicName, TopicMeta>>,
     stats: RwLock<HashMap<TopicName, Arc<TopicStatsCells>>>,
     groups: GroupCoordinator,
@@ -204,6 +237,9 @@ struct ClusterInner {
     /// over followers instead of the sum (DESIGN.md §11).
     replication: ReplicationPool,
     eos: EosState,
+    /// Active and recently-completed partition reassignments, read by
+    /// `DescribeReassignments` and the ops surfaces.
+    reassign: ReassignTracker,
 }
 
 /// Exactly-once plumbing (DESIGN.md §12): pid registry, append-time
@@ -332,7 +368,16 @@ impl Cluster {
     /// model, and publish the gauges. `reason` lands in the timeline
     /// when the status changes.
     pub fn refresh_health(&self, reason: &str) -> HealthReport {
-        let alive: Vec<bool> = self.inner.brokers.iter().map(|b| b.is_alive()).collect();
+        // retired (decommissioned) brokers are not members any more:
+        // they must not pin the rollup Yellow forever
+        let members: Vec<BrokerLiveness> = self
+            .inner
+            .brokers
+            .read()
+            .iter()
+            .filter(|b| !b.is_retired())
+            .map(|b| BrokerLiveness { id: b.id().0, alive: b.is_alive() })
+            .collect();
         let views: Vec<PartitionView> = {
             let topics = self.inner.topics.read();
             let mut v: Vec<PartitionView> = topics
@@ -349,21 +394,49 @@ impl Cluster {
             v.sort_by(|a, b| (&a.topic, a.partition).cmp(&(&b.topic, b.partition)));
             v
         };
-        self.inner.health.refresh(now_ns(), &alive, &views, reason)
+        self.inner.health.refresh(now_ns(), &members, &views, reason)
     }
 
     fn now(&self) -> Timestamp {
         self.inner.clock.now()
     }
 
-    /// Number of brokers (alive or not).
+    /// Number of broker slots ever allocated (alive, dead, or retired).
     pub fn broker_count(&self) -> usize {
-        self.inner.brokers.len()
+        self.inner.brokers.read().len()
     }
 
     /// Number of live brokers.
     pub fn live_broker_count(&self) -> usize {
-        self.inner.brokers.iter().filter(|b| b.is_alive()).count()
+        self.inner.brokers.read().iter().filter(|b| b.is_alive()).count()
+    }
+
+    /// Whether a broker is alive. `NotFound` for ids never allocated.
+    pub fn broker_alive(&self, id: BrokerId) -> OctoResult<bool> {
+        Ok(self.broker_checked(id)?.is_alive())
+    }
+
+    /// Whether a broker has been decommissioned. `NotFound` for ids
+    /// never allocated.
+    pub fn broker_retired(&self, id: BrokerId) -> OctoResult<bool> {
+        Ok(self.broker_checked(id)?.is_retired())
+    }
+
+    /// Number of active (non-retired) cluster members.
+    pub fn active_broker_count(&self) -> usize {
+        self.inner.brokers.read().iter().filter(|b| !b.is_retired()).count()
+    }
+
+    /// Clone one broker's handle by id, panicking on an out-of-range id
+    /// (callers pass ids read from partition metadata, which only ever
+    /// names real slots).
+    pub(crate) fn broker_unchecked(&self, id: BrokerId) -> Arc<Broker> {
+        Arc::clone(&self.inner.brokers.read()[id.0 as usize])
+    }
+
+    /// Snapshot the active (non-retired) members, id-ordered.
+    fn active_brokers(&self) -> Vec<Arc<Broker>> {
+        self.inner.brokers.read().iter().filter(|b| !b.is_retired()).cloned().collect()
     }
 
     /// The consumer group coordinator.
@@ -384,7 +457,8 @@ impl Cluster {
         if name.is_empty() || name.contains('/') || name.contains(char::is_whitespace) {
             return Err(OctoError::Invalid(format!("bad topic name: {name:?}")));
         }
-        config.validate(self.inner.brokers.len())?;
+        let active = self.active_brokers();
+        config.validate(active.len())?;
         let mut topics = self.inner.topics.write();
         if let Some(existing) = topics.get(name) {
             if existing.config == config {
@@ -392,19 +466,22 @@ impl Cluster {
             }
             return Err(OctoError::TopicExists(name.to_string()));
         }
-        let n = self.inner.brokers.len();
+        let n = active.len();
         let mut partitions = Vec::with_capacity(config.partitions as usize);
         for p in 0..config.partitions {
+            // round-robin over the *active* members so decommissioned
+            // slots never receive new replicas
             let replicas: Vec<BrokerId> = (0..config.replication_factor)
-                .map(|r| BrokerId(((p + r) as usize % n) as u32))
+                .map(|r| active[(p + r) as usize % n].id())
                 .collect();
             for b in &replicas {
-                self.inner.brokers[b.0 as usize].host_partition(name, p, config.segment_bytes)?;
+                self.broker_unchecked(*b).host_partition(name, p, config.segment_bytes)?;
             }
             partitions.push(PartitionMeta {
                 leader: replicas[0],
                 isr: replicas.clone(),
                 replicas,
+                epoch: 0,
             });
         }
         topics.insert(name.to_string(), TopicMeta { config: config.clone(), partitions });
@@ -432,7 +509,7 @@ impl Cluster {
             .ok_or_else(|| OctoError::UnknownTopic(name.to_string()))?;
         for (p, pm) in meta.partitions.iter().enumerate() {
             for b in &pm.replicas {
-                self.inner.brokers[b.0 as usize].drop_partition(name, p as u32);
+                self.broker_unchecked(*b).drop_partition(name, p as u32);
             }
             self.inner.eos.dedup.forget_partition(name, p as u32);
             self.inner.eos.txn_index.forget_partition(name, p as u32);
@@ -494,13 +571,13 @@ impl Cluster {
                 "cannot shrink partitions from {cur} to {n}"
             )));
         }
-        let brokers = self.inner.brokers.len();
+        let active = self.active_brokers();
         for p in cur..n {
             let replicas: Vec<BrokerId> = (0..meta.config.replication_factor)
-                .map(|r| BrokerId(((p + r) as usize % brokers) as u32))
+                .map(|r| active[(p + r) as usize % active.len()].id())
                 .collect();
             for b in &replicas {
-                self.inner.brokers[b.0 as usize].host_partition(
+                self.broker_unchecked(*b).host_partition(
                     name,
                     p,
                     meta.config.segment_bytes,
@@ -510,6 +587,7 @@ impl Cluster {
                 leader: replicas[0],
                 isr: replicas.clone(),
                 replicas,
+                epoch: 0,
             });
         }
         meta.config.partitions = n;
@@ -570,7 +648,7 @@ impl Cluster {
                 "partitions/replication cannot change via config update".into(),
             ));
         }
-        config.validate(self.inner.brokers.len())?;
+        config.validate(self.active_broker_count())?;
         // Collect the live replica logs, then drop the topics guard
         // before locking any of them: log lock -> topics lock is the
         // global order (produce and resync hold a log lock while
@@ -583,7 +661,7 @@ impl Cluster {
                 .flat_map(|(p, pm)| {
                     pm.replicas
                         .iter()
-                        .filter_map(|b| self.inner.brokers[b.0 as usize].log(name, p as u32))
+                        .filter_map(|b| self.broker_unchecked(*b).log(name, p as u32))
                         .collect::<Vec<_>>()
                 })
                 .collect()
@@ -660,29 +738,6 @@ impl Cluster {
             return Err(OctoError::Invalid("empty batch".into()));
         }
         let now = self.now();
-        // Snapshot metadata; failover mutates under the write lock.
-        // Stale metadata triggers failover-and-retry, but bounded: the
-        // old recursive retry could chase a kill/restart race
-        // arbitrarily deep (each iteration burning a stack frame) when
-        // chaos keeps flipping broker liveness. One failover per broker
-        // is the most any election can need; beyond that the partition
-        // is genuinely unavailable right now.
-        let (leader, isr, min_isr) = self.resolve_live_leader(topic, partition)?;
-        let leader_broker = &self.inner.brokers[leader.0 as usize];
-        if acks == AckLevel::All && (isr.len() as u32) < min_isr {
-            return Err(OctoError::NotEnoughReplicas {
-                in_sync: isr.len(),
-                required: min_isr as usize,
-            });
-        }
-        // a degraded (slow) leader stalls every produce it serves
-        let penalty = self.inner.fault.service_penalty(leader);
-        if !penalty.is_zero() {
-            std::thread::sleep(penalty);
-        }
-        let log = leader_broker
-            .log(topic, partition)
-            .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
         // One trace context represents the whole batch (the producer
         // stamps every event; the first sampled one wins). Only scanned
         // when tracing is on — the default disabled sink costs nothing.
@@ -695,26 +750,81 @@ impl Cluster {
         } else {
             None
         };
-        let append_start = Instant::now();
-        let append_wall = now_ns();
-        let replicate_start;
-        let replicate_wall;
-        // Synchronous replication to in-sync followers, fanned out to
-        // the per-broker executors so follower appends overlap
-        // (latency = max over followers, not sum). Failures shrink the
-        // ISR (Kafka's leader removes laggards). A severed
-        // leader↔follower link looks exactly like a dead follower from
-        // the leader's point of view — the executor evaluates the same
-        // liveness/severed/append predicate the old inline loop did.
-        let (base, leader_ticket, replies, isr, followers) = {
+        let mut reroutes = 0usize;
+        #[allow(clippy::type_complexity)]
+        let (
+            leader,
+            min_isr,
+            base,
+            leader_ticket,
+            replies,
+            isr,
+            followers,
+            append_start,
+            append_wall,
+            replicate_start,
+            replicate_wall,
+        ) = loop {
+            // Snapshot metadata; failover mutates under the write lock.
+            // Stale metadata triggers failover-and-retry, but bounded:
+            // the old recursive retry could chase a kill/restart race
+            // arbitrarily deep (each iteration burning a stack frame)
+            // when chaos keeps flipping broker liveness. One failover
+            // per broker is the most any election can need; beyond that
+            // the partition is genuinely unavailable right now.
+            let (leader, isr, min_isr) = self.resolve_live_leader(topic, partition)?;
+            let leader_broker = self.broker_unchecked(leader);
+            if acks == AckLevel::All && (isr.len() as u32) < min_isr {
+                return Err(OctoError::NotEnoughReplicas {
+                    in_sync: isr.len(),
+                    required: min_isr as usize,
+                });
+            }
+            // a degraded (slow) leader stalls every produce it serves
+            let penalty = self.inner.fault.service_penalty(leader);
+            if !penalty.is_zero() {
+                std::thread::sleep(penalty);
+            }
+            let log = leader_broker
+                .log(topic, partition)
+                .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
+            let append_start = Instant::now();
+            let append_wall = now_ns();
+            // Synchronous replication to in-sync followers, fanned out
+            // to the per-broker executors so follower appends overlap
+            // (latency = max over followers, not sum). Failures shrink
+            // the ISR (Kafka's leader removes laggards). A severed
+            // leader↔follower link looks exactly like a dead follower
+            // from the leader's point of view — the executor evaluates
+            // the same liveness/severed/append predicate the old inline
+            // loop did.
             let mut leader_log = log.lock();
-            // Re-read the ISR *under the leader's log lock*: a resync
-            // holds this lock across its copy-and-rejoin, so a replica
-            // seen here either already holds every earlier record (it
-            // rejoined before we locked) or receives this batch via
-            // its executor (we fan out to it). The pre-lock read above
-            // is only a fast-fail.
-            let (_, isr, _) = self.leader_of(topic, partition)?;
+            // Re-verify the route *under the leader's log lock*: online
+            // reassignments and leadership transfers commit their
+            // metadata swap while holding this same lock, so whatever
+            // leadership we read here is current. Appending to a
+            // just-demoted leader would strand an acked record on a log
+            // that is no longer authoritative — and diverge replica
+            // order when the real leader assigns the same offset to a
+            // different record.
+            let (cur_leader, isr, _) = self.leader_of(topic, partition)?;
+            if cur_leader != leader {
+                drop(leader_log);
+                reroutes += 1;
+                if reroutes > PRODUCE_REROUTE_LIMIT {
+                    return Err(OctoError::Unavailable(format!(
+                        "leadership of {topic}/{partition} keeps moving: \
+                         {reroutes} reroutes without a stable leader"
+                    )));
+                }
+                continue;
+            }
+            // The ISR re-read above also runs under the leader's log
+            // lock: a resync holds this lock across its copy-and-
+            // rejoin, so a replica seen here either already holds every
+            // earlier record (it rejoined before we locked) or receives
+            // this batch via its executor (we fan out to it). The
+            // pre-lock read is only a fast-fail.
             let followers: Vec<BrokerId> = isr.iter().copied().filter(|r| *r != leader).collect();
             // Idempotence check INSIDE the leader lock, so the verdict
             // and the append are atomic w.r.t. concurrent producers and
@@ -770,8 +880,8 @@ impl Cluster {
                     }
                 }
             }
-            replicate_start = Instant::now();
-            replicate_wall = now_ns();
+            let replicate_start = Instant::now();
+            let replicate_wall = now_ns();
             // Submit while still holding the leader lock: per-broker
             // FIFO executors then apply follower appends in
             // leader-append order, so concurrent producers cannot
@@ -789,14 +899,26 @@ impl Cluster {
                             partition,
                             batch: Arc::clone(batch),
                             now,
-                            follower_epoch: self.inner.brokers[follower.0 as usize].epoch(),
+                            follower_epoch: self.broker_unchecked(*follower).epoch(),
                             reply: reply_tx.clone(),
                         },
                     );
                 }
                 Some(reply_rx)
             };
-            (base, leader_ticket, replies, isr, followers)
+            break (
+                leader,
+                min_isr,
+                base,
+                leader_ticket,
+                replies,
+                isr,
+                followers,
+                append_start,
+                append_wall,
+                replicate_start,
+                replicate_wall,
+            );
         };
         // Leader fsync (PerBatch group commit) happens off-lock, so it
         // overlaps the follower executors *and* shares one sync_data
@@ -901,10 +1023,10 @@ impl Cluster {
         let mut failovers = 0usize;
         loop {
             let (leader, isr, min_isr) = self.leader_of(topic, partition)?;
-            if self.inner.brokers[leader.0 as usize].is_alive() {
+            if self.broker_unchecked(leader).is_alive() {
                 return Ok((leader, isr, min_isr));
             }
-            if failovers > self.inner.brokers.len() {
+            if failovers > self.broker_count() {
                 return Err(OctoError::Unavailable(format!(
                     "leadership of {topic}/{partition} is flapping: \
                      {failovers} failovers without a live leader"
@@ -938,7 +1060,7 @@ impl Cluster {
         let fetch_start = Instant::now();
         let fetch_wall = now_ns();
         let (leader, _, _) = self.resolve_live_leader(topic, partition)?;
-        let broker = &self.inner.brokers[leader.0 as usize];
+        let broker = self.broker_unchecked(leader);
         let penalty = self.inner.fault.service_penalty(leader);
         if !penalty.is_zero() {
             std::thread::sleep(penalty);
@@ -1042,7 +1164,7 @@ impl Cluster {
         f: impl Fn(&LogSnapshot) -> T,
     ) -> OctoResult<T> {
         let (leader, _, _) = self.resolve_live_leader(topic, partition)?;
-        let broker = &self.inner.brokers[leader.0 as usize];
+        let broker = self.broker_unchecked(leader);
         let log = broker
             .log(topic, partition)
             .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
@@ -1090,14 +1212,14 @@ impl Cluster {
             .isr
             .iter()
             .copied()
-            .find(|b| self.inner.brokers[b.0 as usize].is_alive())
+            .find(|b| self.broker_unchecked(*b).is_alive())
             .ok_or_else(|| {
                 OctoError::Unavailable(format!(
                     "no live in-sync replica for {topic}/{partition}"
                 ))
             })?;
         pm.leader = new_leader;
-        pm.isr.retain(|b| self.inner.brokers[b.0 as usize].is_alive());
+        pm.isr.retain(|b| self.broker_unchecked(*b).is_alive());
         drop(topics);
         // The dedup/txn caches must describe the NEW leader's log. The
         // old leader may have appended (and recorded a window for) a
@@ -1117,7 +1239,7 @@ impl Cluster {
     /// and letting that batch's ambiguous-ack retry append a
     /// duplicate.
     fn rebuild_eos_partition(&self, topic: &str, partition: PartitionId, leader: BrokerId) {
-        let Some(log) = self.inner.brokers[leader.0 as usize].log(topic, partition) else {
+        let Some(log) = self.broker_unchecked(leader).log(topic, partition) else {
             return;
         };
         let guard = log.lock();
@@ -1148,10 +1270,12 @@ impl Cluster {
 
     // ----- failure injection & recovery -----
 
-    fn broker_checked(&self, id: BrokerId) -> OctoResult<&Arc<Broker>> {
+    fn broker_checked(&self, id: BrokerId) -> OctoResult<Arc<Broker>> {
         self.inner
             .brokers
+            .read()
             .get(id.0 as usize)
+            .cloned()
             .ok_or_else(|| OctoError::NotFound(format!("broker {} does not exist", id.0)))
     }
 
@@ -1223,10 +1347,11 @@ impl Cluster {
             // down and unrecovered — adopting its stale snapshot would
             // spread data loss instead of healing it. The follower keeps
             // its own recovered log until a live leader exists.
-            if !self.inner.brokers[leader.0 as usize].is_alive() {
+            let leader_broker = self.broker_unchecked(leader);
+            if !leader_broker.is_alive() {
                 continue;
             }
-            let leader_log = self.inner.brokers[leader.0 as usize]
+            let leader_log = leader_broker
                 .log(&topic, partition)
                 .ok_or_else(|| OctoError::Internal("leader lost its log".into()))?;
             let Some(mine) = broker.log(&topic, partition) else { continue };
@@ -1296,7 +1421,7 @@ impl Cluster {
     /// Fsync every durable partition log and write an offset checkpoint
     /// now (graceful-shutdown flush). No-op for volatile clusters.
     pub fn sync_all(&self) -> OctoResult<()> {
-        for broker in &self.inner.brokers {
+        for broker in self.inner.brokers.read().clone() {
             for (topic, partition) in broker.hosted_partitions() {
                 if let Some(log) = broker.log(&topic, partition) {
                     log.lock().sync_store()?;
@@ -1335,6 +1460,517 @@ impl Cluster {
         Ok(self.leader_of(topic, partition)?.0)
     }
 
+    /// The assignment epoch of a partition (bumped on every committed
+    /// replica-set change; see [`Cluster::alter_partition_assignment`]).
+    pub fn assignment_epoch(&self, topic: &str, partition: PartitionId) -> OctoResult<u64> {
+        let topics = self.inner.topics.read();
+        let meta = topics.get(topic).ok_or_else(|| OctoError::UnknownTopic(topic.to_string()))?;
+        meta.partitions
+            .get(partition as usize)
+            .map(|pm| pm.epoch)
+            .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))
+    }
+
+    /// The full replica assignment of a partition.
+    pub fn replicas_of(&self, topic: &str, partition: PartitionId) -> OctoResult<Vec<BrokerId>> {
+        let topics = self.inner.topics.read();
+        let meta = topics.get(topic).ok_or_else(|| OctoError::UnknownTopic(topic.to_string()))?;
+        meta.partitions
+            .get(partition as usize)
+            .map(|pm| pm.replicas.clone())
+            .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))
+    }
+
+    // ----- elastic membership & online reassignment -----
+
+    /// Add a broker to the running cluster and return its id. The new
+    /// member starts empty: existing partitions stay where they are
+    /// until a reassignment (manual or auto-balancer) moves replicas
+    /// onto it, but new topics immediately spread across it. Durable
+    /// clusters give the newcomer its own directory under the shared
+    /// data dir.
+    pub fn add_broker(&self) -> OctoResult<BrokerId> {
+        let id = {
+            let mut brokers = self.inner.brokers.write();
+            let id = BrokerId(brokers.len() as u32);
+            let broker = Arc::new(match &self.inner.store_ctx {
+                Some(ctx) => Broker::with_store(id, Arc::clone(ctx)),
+                None => Broker::new(id),
+            });
+            // the pool slot must exist before any produce can observe
+            // the broker in an ISR, hence inside the table write lock
+            self.inner.replication.add_broker(&broker, self.inner.fault.clone());
+            brokers.push(broker);
+            id
+        };
+        if let Some(zoo) = &self.inner.zoo {
+            zoo.ensure_path("/octopus/brokers")?;
+            match zoo.create(
+                &format!("/octopus/brokers/{}", id.0),
+                &[],
+                CreateMode::Persistent,
+                None,
+            ) {
+                Ok(_) | Err(OctoError::Conflict(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.refresh_health(&format!("add_broker({})", id.0));
+        Ok(id)
+    }
+
+    /// Transfer partition leadership to `to`, which must be a live
+    /// in-sync replica. The transfer is loss-free: the old leader's log
+    /// is frozen (its lock held) while the target's replication
+    /// executor drains any still-queued batches, so the target is byte-
+    /// identical to the old leader at the moment the metadata swaps.
+    pub fn move_leader(&self, topic: &str, partition: PartitionId, to: BrokerId) -> OctoResult<()> {
+        let (leader, isr, _) = self.leader_of(topic, partition)?;
+        if leader == to {
+            return Ok(());
+        }
+        if !isr.contains(&to) {
+            return Err(OctoError::Invalid(format!(
+                "broker {} is not in the ISR of {topic}/{partition}",
+                to.0
+            )));
+        }
+        let target = self.broker_checked(to)?;
+        if !target.is_alive() {
+            return Err(OctoError::Conflict(format!("broker {} is dead", to.0)));
+        }
+        let old = self.broker_checked(leader)?;
+        if old.is_alive() {
+            let old_log = old
+                .log(topic, partition)
+                .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
+            let new_log = target
+                .log(topic, partition)
+                .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
+            // Freeze appends on the old leader, then wait (off the
+            // target's lock, so its executor can run) until the target
+            // has applied everything the old leader ever acked.
+            let old_guard = old_log.lock();
+            let end = old_guard.end_offset();
+            let deadline = Instant::now() + std::time::Duration::from_secs(5);
+            while new_log.snapshot().end_offset() < end {
+                if Instant::now() > deadline {
+                    return Err(OctoError::Timeout(format!(
+                        "broker {} did not catch up for leadership transfer of \
+                         {topic}/{partition}",
+                        to.0
+                    )));
+                }
+                std::thread::yield_now();
+            }
+            {
+                let mut topics = self.inner.topics.write();
+                let meta = topics
+                    .get_mut(topic)
+                    .ok_or_else(|| OctoError::UnknownTopic(topic.to_string()))?;
+                let pm = meta
+                    .partitions
+                    .get_mut(partition as usize)
+                    .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
+                if pm.leader != leader || !pm.isr.contains(&to) {
+                    return Err(OctoError::Conflict(format!(
+                        "leadership of {topic}/{partition} changed during transfer"
+                    )));
+                }
+                pm.leader = to;
+            }
+            drop(old_guard);
+        } else {
+            // dead old leader: plain promotion, serialized by the
+            // topics lock (the failover path's discipline)
+            let mut topics = self.inner.topics.write();
+            let meta = topics
+                .get_mut(topic)
+                .ok_or_else(|| OctoError::UnknownTopic(topic.to_string()))?;
+            let pm = meta
+                .partitions
+                .get_mut(partition as usize)
+                .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
+            if pm.leader != leader || !pm.isr.contains(&to) {
+                return Err(OctoError::Conflict(format!(
+                    "leadership of {topic}/{partition} changed during transfer"
+                )));
+            }
+            pm.leader = to;
+        }
+        // the dedup/txn caches must describe the new leader's log
+        self.rebuild_eos_partition(topic, partition, to);
+        self.refresh_health(&format!("move_leader({topic}/{partition}->{})", to.0));
+        Ok(())
+    }
+
+    /// Move one replica of a partition from broker `from` to broker
+    /// `to`, online and bandwidth-throttled — the paper-scale analogue
+    /// of Kafka's `kafka-reassign-partitions` with a reassignment
+    /// throttle. The state machine:
+    ///
+    /// 1. **Validate + fence**: capture the partition's assignment
+    ///    epoch (and, when a zoo is attached, the version of its
+    ///    `/octopus/assign/<topic>/<partition>` node).
+    /// 2. **Drain leadership** off `from` when it currently leads.
+    /// 3. **Learner catch-up**: `to` hosts a fresh replica and copies
+    ///    the leader's log in throttled chunks via `append_copied`
+    ///    (offsets, CRCs, and EOS stamps preserved — durable segments
+    ///    transfer byte-for-byte). No locks are held during the bulk
+    ///    copy, so produce latency is unaffected.
+    /// 4. **Commit**: under the leader's and learner's log locks (id
+    ///    order), copy the final tail, then CAS the assignment — epoch
+    ///    mismatch (another mover won, or a stale crashed mover
+    ///    retrying) aborts with `Conflict` and tears the learner down.
+    /// 5. **Retire** the old replica: drop its log and durable files.
+    pub fn alter_partition_assignment(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        from: BrokerId,
+        to: BrokerId,
+        throttle: &MoveThrottle,
+    ) -> OctoResult<()> {
+        let target = self.broker_checked(to)?;
+        if target.is_retired() || !target.is_alive() {
+            return Err(OctoError::Conflict(format!(
+                "target broker {} is not a live cluster member",
+                to.0
+            )));
+        }
+        let source = self.broker_checked(from)?;
+        // settle a live leader first (fails over a dead recorded leader)
+        self.resolve_live_leader(topic, partition)?;
+        let (epoch0, seg_bytes) = {
+            let topics = self.inner.topics.read();
+            let meta =
+                topics.get(topic).ok_or_else(|| OctoError::UnknownTopic(topic.to_string()))?;
+            let pm = meta
+                .partitions
+                .get(partition as usize)
+                .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
+            if !pm.replicas.contains(&from) {
+                return Err(OctoError::Invalid(format!(
+                    "broker {} holds no replica of {topic}/{partition}",
+                    from.0
+                )));
+            }
+            if pm.replicas.contains(&to) {
+                return Err(OctoError::Invalid(format!(
+                    "broker {} already holds a replica of {topic}/{partition}",
+                    to.0
+                )));
+            }
+            (pm.epoch, meta.config.segment_bytes)
+        };
+        // zoo fencing: the assignment node's version is the durable
+        // epoch. A mover that crashed and retries against a node some
+        // newer mover already advanced fails the CAS at commit.
+        let zoo_node = format!("/octopus/assign/{topic}/{partition}");
+        let zoo_expected = if let Some(zoo) = &self.inner.zoo {
+            zoo.ensure_path(&format!("/octopus/assign/{topic}"))?;
+            if !zoo.exists(&zoo_node)? {
+                match zoo.create(&zoo_node, b"{}", CreateMode::Persistent, None) {
+                    Ok(_) | Err(OctoError::Conflict(_)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            Some(zoo.get(&zoo_node)?.1.version)
+        } else {
+            None
+        };
+        // Leadership off the source before data starts moving — best
+        // effort: with rf=1 (or no other live ISR member) there is no
+        // successor, and the commit step transfers leadership onto the
+        // caught-up learner atomically instead.
+        if self.leader_broker(topic, partition)? == from && source.is_alive() {
+            let (_, isr, _) = self.leader_of(topic, partition)?;
+            let successor = isr
+                .iter()
+                .copied()
+                .find(|b| *b != from && self.broker_unchecked(*b).is_alive());
+            if let Some(successor) = successor {
+                self.move_leader(topic, partition, successor)?;
+            }
+        }
+        let target_end = self.latest_offset(topic, partition).unwrap_or(0);
+        self.inner.reassign.begin(topic, partition, from, to, epoch0, target_end);
+        target.host_partition(topic, partition, seg_bytes)?;
+        let result = self.catch_up_and_commit(
+            topic, partition, from, to, &target, epoch0, zoo_expected, &zoo_node, throttle,
+        );
+        match result {
+            Ok(leader_moved) => {
+                // retire the old replica — its durable files go too
+                source.drop_partition(topic, partition);
+                if leader_moved {
+                    self.rebuild_eos_partition(topic, partition, to);
+                }
+                self.inner.reassign.complete(topic, partition, to);
+                self.refresh_health(&format!(
+                    "reassign({topic}/{partition}: {}->{})",
+                    from.0, to.0
+                ));
+                Ok(())
+            }
+            Err(e) => {
+                // tear the learner down: it never joined the assignment
+                target.drop_partition(topic, partition);
+                self.inner.reassign.abort(topic, partition, to, &e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    /// The learner catch-up loop and epoch-fenced commit of
+    /// [`Cluster::alter_partition_assignment`]. Returns whether the
+    /// commit also had to move leadership onto the learner (the source
+    /// regained leadership mid-move via a failover).
+    #[allow(clippy::too_many_arguments)]
+    fn catch_up_and_commit(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        from: BrokerId,
+        to: BrokerId,
+        target: &Arc<Broker>,
+        epoch0: u64,
+        zoo_expected: Option<u32>,
+        zoo_node: &str,
+        throttle: &MoveThrottle,
+    ) -> OctoResult<bool> {
+        let learner_log = target
+            .log(topic, partition)
+            .ok_or_else(|| OctoError::Internal("learner lost its log".into()))?;
+        // ----- throttled bulk catch-up (no locks held across chunks) -----
+        loop {
+            if !target.is_alive() {
+                return Err(OctoError::Conflict(format!(
+                    "learner broker {} died during catch-up",
+                    to.0
+                )));
+            }
+            let (leader, _, _) = self.resolve_live_leader(topic, partition)?;
+            let leader_log = self
+                .broker_unchecked(leader)
+                .log(topic, partition)
+                .ok_or_else(|| OctoError::Internal("leader lost its log".into()))?;
+            let snap = leader_log.snapshot();
+            let from_off = learner_log.snapshot().end_offset();
+            if from_off >= snap.end_offset() {
+                break;
+            }
+            let chunk = snap.read(from_off.max(snap.start_offset()), CATCHUP_CHUNK)?;
+            if chunk.is_empty() {
+                break;
+            }
+            let bytes: u64 = chunk.iter().map(|r| r.wire_size() as u64).sum();
+            throttle.acquire(bytes);
+            match learner_log.lock().append_copied(&chunk) {
+                Ok(_) => {}
+                Err(OctoError::OffsetOutOfRange { .. }) => {
+                    // A stale learner log (left over from an earlier
+                    // incarnation) that cannot be extended in place:
+                    // adopt the leader's full state under both locks.
+                    let (lg, mut ln) = if leader.0 < to.0 {
+                        let lg = leader_log.lock();
+                        let ln = learner_log.lock();
+                        (lg, ln)
+                    } else {
+                        let ln = learner_log.lock();
+                        let lg = leader_log.lock();
+                        (lg, ln)
+                    };
+                    ln.replace_from(&lg)?;
+                }
+                Err(e) => return Err(e),
+            }
+            self.inner
+                .reassign
+                .progress(topic, partition, to, learner_log.snapshot().end_offset());
+        }
+        // ----- epoch-fenced commit -----
+        let mut commit_attempts = 0usize;
+        loop {
+            commit_attempts += 1;
+            let (leader, _, _) = self.resolve_live_leader(topic, partition)?;
+            let leader_log = self
+                .broker_unchecked(leader)
+                .log(topic, partition)
+                .ok_or_else(|| OctoError::Internal("leader lost its log".into()))?;
+            // both log locks in broker-id order (the resync discipline)
+            let (leader_guard, mut learner_guard) = if leader.0 < to.0 {
+                let lg = leader_log.lock();
+                let ln = learner_log.lock();
+                (lg, ln)
+            } else {
+                let ln = learner_log.lock();
+                let lg = leader_log.lock();
+                (lg, ln)
+            };
+            // final tail: everything acked since the last chunk
+            let tail_from = learner_guard.end_offset();
+            if tail_from < leader_guard.end_offset() {
+                let tail = leader_guard.read(tail_from.max(leader_guard.start_offset()), usize::MAX)?;
+                if tail.first().map(|r| r.offset) != Some(tail_from) {
+                    // retention ran between catch-up and commit
+                    learner_guard.replace_from(&leader_guard)?;
+                } else {
+                    learner_guard.append_copied(&tail)?;
+                }
+            }
+            drop(learner_guard);
+            let mut topics = self.inner.topics.write();
+            let meta =
+                topics.get_mut(topic).ok_or_else(|| OctoError::UnknownTopic(topic.to_string()))?;
+            let pm = meta
+                .partitions
+                .get_mut(partition as usize)
+                .ok_or_else(|| OctoError::UnknownPartition(topic.to_string(), partition))?;
+            if pm.leader != leader {
+                // a failover slipped in between resolving the leader
+                // and taking its lock — redo the tail copy against the
+                // real leader
+                drop(topics);
+                drop(leader_guard);
+                if commit_attempts >= COMMIT_RETRY_LIMIT {
+                    return Err(OctoError::Unavailable(format!(
+                        "leadership of {topic}/{partition} keeps moving during \
+                         reassignment commit"
+                    )));
+                }
+                continue;
+            }
+            // the in-memory epoch CAS: a concurrent mover that
+            // committed first bumped it, and this move must abort
+            if pm.epoch != epoch0 {
+                return Err(OctoError::Conflict(format!(
+                    "assignment of {topic}/{partition} changed under this move \
+                     (epoch {} != {})",
+                    pm.epoch, epoch0
+                )));
+            }
+            if !pm.replicas.contains(&from) || pm.replicas.contains(&to) {
+                return Err(OctoError::Conflict(format!(
+                    "replica set of {topic}/{partition} changed under this move"
+                )));
+            }
+            // the durable epoch CAS through the zoo, versioned: a
+            // crashed mover's stale retry fails here even if the
+            // in-memory cluster it talks to was rebuilt
+            if let Some(zoo) = &self.inner.zoo {
+                let assignment = serde_json::json!({
+                    "replicas": pm.replicas.iter().map(|b| if *b == from { to.0 } else { b.0 }).collect::<Vec<_>>(),
+                    "leader": if pm.leader == from { to.0 } else { pm.leader.0 },
+                    "epoch": epoch0 + 1,
+                });
+                zoo.set(zoo_node, assignment.to_string().as_bytes(), zoo_expected)?;
+            }
+            // swap: preserve the replica's position in the assignment
+            for r in pm.replicas.iter_mut() {
+                if *r == from {
+                    *r = to;
+                }
+            }
+            pm.isr.retain(|b| *b != from);
+            if !pm.isr.contains(&to) {
+                pm.isr.push(to);
+            }
+            let leader_moved = pm.leader == from;
+            if leader_moved {
+                // the source regained leadership mid-move (failover);
+                // the learner is fully caught up under our lock, so it
+                // takes over
+                pm.leader = to;
+            }
+            pm.epoch = epoch0 + 1;
+            drop(topics);
+            drop(leader_guard);
+            return Ok(leader_moved);
+        }
+    }
+
+    /// Gracefully remove a broker from the cluster: every replica it
+    /// still holds is moved to a spare active broker (leadership
+    /// draining first — see [`Cluster::alter_partition_assignment`]),
+    /// then the broker is retired for good. Returns how many replicas
+    /// were moved. Fails without retiring if no spare broker can take
+    /// a replica (the cluster would go under-replicated).
+    pub fn decommission_broker(&self, id: BrokerId, throttle: &MoveThrottle) -> OctoResult<usize> {
+        let broker = self.broker_checked(id)?;
+        if broker.is_retired() {
+            return Err(OctoError::Conflict(format!("broker {} is already decommissioned", id.0)));
+        }
+        let mut moved = 0usize;
+        for (topic, partition) in broker.hosted_partitions() {
+            let replicas = match self.replicas_of(&topic, partition) {
+                Ok(r) => r,
+                Err(_) => continue, // topic deleted meanwhile
+            };
+            if !replicas.contains(&id) {
+                // hosted but no longer assigned (stale leftover)
+                broker.drop_partition(&topic, partition);
+                continue;
+            }
+            let spare = self
+                .active_brokers()
+                .into_iter()
+                .filter(|b| b.is_alive() && !replicas.contains(&b.id()) && b.id() != id)
+                .min_by_key(|b| b.partition_count())
+                .map(|b| b.id())
+                .ok_or_else(|| {
+                    OctoError::Unavailable(format!(
+                        "no spare broker can take {topic}/{partition} off broker {}",
+                        id.0
+                    ))
+                })?;
+            self.alter_partition_assignment(&topic, partition, id, spare, throttle)?;
+            moved += 1;
+        }
+        broker.retire();
+        if let Some(zoo) = &self.inner.zoo {
+            let _ = zoo.delete(&format!("/octopus/brokers/{}", id.0), None);
+        }
+        self.refresh_health(&format!("decommission_broker({})", id.0));
+        Ok(moved)
+    }
+
+    /// Move every partition's leadership back to its preferred leader
+    /// (the first live in-sync replica in assignment order — Kafka's
+    /// preferred-leader election). Returns how many leaderships moved.
+    pub fn rebalance_leaders(&self) -> usize {
+        let parts: Vec<(TopicName, u32)> = {
+            let topics = self.inner.topics.read();
+            topics
+                .iter()
+                .flat_map(|(name, meta)| {
+                    (0..meta.partitions.len()).map(move |p| (name.clone(), p as u32))
+                })
+                .collect()
+        };
+        let mut moves = 0usize;
+        for (topic, partition) in parts {
+            let Ok((leader, isr, _)) = self.leader_of(&topic, partition) else { continue };
+            let Ok(replicas) = self.replicas_of(&topic, partition) else { continue };
+            let preferred = replicas
+                .iter()
+                .copied()
+                .find(|b| isr.contains(b) && self.broker_unchecked(*b).is_alive());
+            if let Some(pref) = preferred {
+                if pref != leader && self.move_leader(&topic, partition, pref).is_ok() {
+                    moves += 1;
+                }
+            }
+        }
+        moves
+    }
+
+    /// Active and recently-finished partition reassignments, newest
+    /// last (the `DescribeReassignments` body).
+    pub fn reassignments(&self) -> Vec<ReassignStatus> {
+        self.inner.reassign.snapshot()
+    }
+
     // ----- maintenance -----
 
     /// Run retention/compaction across all partitions of all topics.
@@ -1352,7 +1988,7 @@ impl Cluster {
         for (name, meta) in topics {
             for (p, pm) in meta.partitions.iter().enumerate() {
                 for b in &pm.replicas {
-                    if let Some(log) = self.inner.brokers[b.0 as usize].log(&name, p as u32) {
+                    if let Some(log) = self.broker_unchecked(*b).log(&name, p as u32) {
                         removed += log.lock().cleanup(&meta.config.cleanup, &meta.config.retention, now);
                     }
                 }
@@ -1667,7 +2303,8 @@ impl ClusterBuilder {
         let replication = ReplicationPool::new(&brokers, fault.clone());
         let cluster = Cluster {
             inner: Arc::new(ClusterInner {
-                brokers,
+                brokers: RwLock::new(brokers),
+                store_ctx,
                 topics: RwLock::new(HashMap::new()),
                 stats: RwLock::new(HashMap::new()),
                 groups,
@@ -1685,6 +2322,7 @@ impl ClusterBuilder {
                 durability,
                 replication,
                 eos: EosState::default(),
+                reassign: ReassignTracker::default(),
             }),
         };
         // re-create persisted topics (which recovers their partition
@@ -1787,8 +2425,8 @@ mod tests {
         c.produce_batch("t", 0, RecordBatch::new(vec![ev("x")]), AckLevel::All).unwrap();
         let leader = c.leader_broker("t", 0).unwrap();
         let follower = BrokerId(1 - leader.0);
-        let l = c.inner.brokers[leader.0 as usize].log("t", 0).unwrap().lock().len();
-        let f = c.inner.brokers[follower.0 as usize].log("t", 0).unwrap().lock().len();
+        let l = c.broker_unchecked(leader).log("t", 0).unwrap().lock().len();
+        let f = c.broker_unchecked(follower).log("t", 0).unwrap().lock().len();
         assert_eq!(l, 1);
         assert_eq!(f, 1);
         assert_eq!(c.isr_of("t", 0).unwrap().len(), 2);
@@ -1856,7 +2494,7 @@ mod tests {
         assert_eq!(c.isr_of("t", 0).unwrap(), vec![leader]);
         c.restart_broker(follower).unwrap();
         assert_eq!(c.isr_of("t", 0).unwrap().len(), 2);
-        let flog = c.inner.brokers[follower.0 as usize].log("t", 0).unwrap();
+        let flog = c.broker_unchecked(follower).log("t", 0).unwrap();
         assert_eq!(flog.lock().len(), 5, "follower caught up");
     }
 
@@ -1865,7 +2503,7 @@ mod tests {
         let c = cluster2();
         // restart a live broker -> Conflict, state untouched
         assert!(matches!(c.restart_broker(BrokerId(0)), Err(OctoError::Conflict(_))));
-        assert!(c.inner.brokers[0].is_alive());
+        assert!(c.broker_unchecked(BrokerId(0)).is_alive());
         c.kill_broker(BrokerId(0)).unwrap();
         // double-kill -> Conflict, not a panic
         assert!(matches!(c.kill_broker(BrokerId(0)), Err(OctoError::Conflict(_))));
@@ -1890,7 +2528,7 @@ mod tests {
         c.fault_injector().heal_all_links();
         c.resync_broker(follower).unwrap();
         assert_eq!(c.isr_of("t", 0).unwrap().len(), 2);
-        let flog = c.inner.brokers[follower.0 as usize].log("t", 0).unwrap();
+        let flog = c.broker_unchecked(follower).log("t", 0).unwrap();
         assert_eq!(flog.lock().len(), 1, "follower caught up after heal");
     }
 
@@ -1928,7 +2566,7 @@ mod tests {
         c.kill_broker(follower).unwrap();
         c.restart_broker(follower).unwrap();
         // CRC recovery truncated the corrupt tail, resync rebuilt it
-        let flog = c.inner.brokers[follower.0 as usize].log("t", 0).unwrap();
+        let flog = c.broker_unchecked(follower).log("t", 0).unwrap();
         let recs = flog.lock().read(0, 100).unwrap();
         assert_eq!(recs.len(), 6, "resynced to full length from leader");
         assert!(recs.iter().all(|r| r.verify()), "no corrupt records survive restart");
@@ -1953,7 +2591,7 @@ mod tests {
         assert_eq!(c.corrupt_log_tail(follower, "t", 0, 2).unwrap(), 2);
         // no kill, no restart: the heal path alone must scrub the tail
         c.resync_broker(follower).unwrap();
-        let flog = c.inner.brokers[follower.0 as usize].log("t", 0).unwrap();
+        let flog = c.broker_unchecked(follower).log("t", 0).unwrap();
         let recs = flog.lock().read(0, 100).unwrap();
         assert_eq!(recs.len(), 6, "resynced to full length from leader");
         assert!(recs.iter().all(|r| r.verify()), "no corrupt records survive resync");
@@ -1962,7 +2600,7 @@ mod tests {
         // copy from), recovery still truncates the corrupt suffix
         assert_eq!(c.corrupt_log_tail(leader, "t", 0, 2).unwrap(), 2);
         c.resync_broker(leader).unwrap();
-        let llog = c.inner.brokers[leader.0 as usize].log("t", 0).unwrap();
+        let llog = c.broker_unchecked(leader).log("t", 0).unwrap();
         let recs = llog.lock().read(0, 100).unwrap();
         assert_eq!(recs.len(), 4, "corrupt leader tail truncated");
         assert!(recs.iter().all(|r| r.verify()));
@@ -1987,7 +2625,7 @@ mod tests {
         // dead. Restart only one broker; its resync must not panic or
         // wipe data because the other is still down.
         c.restart_broker(follower).unwrap();
-        let flog = c.inner.brokers[follower.0 as usize].log("t", 0).unwrap();
+        let flog = c.broker_unchecked(follower).log("t", 0).unwrap();
         assert_eq!(flog.lock().read(0, 100).unwrap().len(), 4);
         c.restart_broker(leader).unwrap();
         assert_eq!(c.fetch("t", 0, 0, 100).unwrap().len(), 4);
@@ -2045,10 +2683,10 @@ mod tests {
     #[test]
     fn delete_topic_cleans_brokers() {
         let c = cluster2();
-        assert!(c.inner.brokers[0].partition_count() > 0);
+        assert!(c.broker_unchecked(BrokerId(0)).partition_count() > 0);
         c.delete_topic("t").unwrap();
         assert!(!c.topic_exists("t"));
-        assert_eq!(c.inner.brokers[0].partition_count(), 0);
+        assert_eq!(c.broker_unchecked(BrokerId(0)).partition_count(), 0);
         assert!(c.delete_topic("t").is_err());
     }
 
@@ -2169,6 +2807,238 @@ mod tests {
         a.produce_batch("t", 0, RecordBatch::new(vec![ev("x")]), AckLevel::Leader).unwrap();
         b.produce_batch("t", 0, RecordBatch::new(vec![ev("y")]), AckLevel::Leader).unwrap();
         assert_eq!(reg.snapshot().counters["octopus_broker_events_in_total"], 2);
+    }
+
+    #[test]
+    fn add_broker_expands_the_cluster_online() {
+        let c = Cluster::new(2);
+        c.create_topic("t", TopicConfig::default()).unwrap();
+        c.produce_batch("t", 0, RecordBatch::new(vec![ev("a")]), AckLevel::All).unwrap();
+        let id = c.add_broker().unwrap();
+        assert_eq!(id, BrokerId(2));
+        assert_eq!(c.broker_count(), 3);
+        assert_eq!(c.live_broker_count(), 3);
+        // existing traffic is unaffected
+        c.produce_batch("t", 0, RecordBatch::new(vec![ev("b")]), AckLevel::All).unwrap();
+        // new topics can now use rf=3
+        c.create_topic("wide", TopicConfig::default().with_replication(3)).unwrap();
+        c.produce_batch("wide", 0, RecordBatch::new(vec![ev("c")]), AckLevel::All).unwrap();
+        assert_eq!(c.isr_of("wide", 0).unwrap().len(), 3);
+        assert_eq!(c.health_report().status, crate::health::HealthStatus::Green);
+    }
+
+    #[test]
+    fn move_leader_transfers_without_loss() {
+        let c = cluster2();
+        for i in 0..5 {
+            c.produce_batch("t", 0, RecordBatch::new(vec![ev(&format!("{i}"))]), AckLevel::All)
+                .unwrap();
+        }
+        let old = c.leader_broker("t", 0).unwrap();
+        let new = BrokerId(1 - old.0);
+        c.move_leader("t", 0, new).unwrap();
+        assert_eq!(c.leader_broker("t", 0).unwrap(), new);
+        // self-move is a no-op, not an error
+        c.move_leader("t", 0, new).unwrap();
+        // traffic keeps flowing through the new leader
+        c.produce_batch("t", 0, RecordBatch::new(vec![ev("after")]), AckLevel::All).unwrap();
+        assert_eq!(c.fetch("t", 0, 0, 100).unwrap().len(), 6);
+        // a non-replica target is rejected
+        assert!(matches!(c.move_leader("t", 0, BrokerId(9)), Err(OctoError::Invalid(_))));
+    }
+
+    #[test]
+    fn reassignment_moves_replica_with_data_and_bumps_epoch() {
+        let c = Cluster::new(3);
+        c.create_topic("t", TopicConfig::default().with_partitions(1).with_replication(2))
+            .unwrap();
+        for i in 0..10 {
+            c.produce_batch("t", 0, RecordBatch::new(vec![ev(&format!("{i}"))]), AckLevel::All)
+                .unwrap();
+        }
+        let replicas = c.replicas_of("t", 0).unwrap();
+        let spare = (0..3)
+            .map(BrokerId)
+            .find(|b| !replicas.contains(b))
+            .expect("rf 2 of 3 leaves a spare");
+        let from = *replicas.iter().find(|b| **b != c.leader_broker("t", 0).unwrap()).unwrap();
+        assert_eq!(c.assignment_epoch("t", 0).unwrap(), 0);
+        c.alter_partition_assignment("t", 0, from, spare, &MoveThrottle::unlimited()).unwrap();
+        let replicas = c.replicas_of("t", 0).unwrap();
+        assert!(replicas.contains(&spare));
+        assert!(!replicas.contains(&from));
+        assert_eq!(c.assignment_epoch("t", 0).unwrap(), 1);
+        assert!(c.isr_of("t", 0).unwrap().contains(&spare));
+        // the learner holds the full, byte-identical log
+        let moved = c.broker_unchecked(spare).log("t", 0).unwrap();
+        let recs = moved.lock().read(0, 100).unwrap();
+        assert_eq!(recs.len(), 10);
+        assert!(recs.iter().all(|r| r.verify()));
+        // the old replica's log is gone
+        assert!(c.broker_unchecked(from).log("t", 0).is_none());
+        // acks=all still works through the new replica set
+        c.produce_batch("t", 0, RecordBatch::new(vec![ev("post")]), AckLevel::All).unwrap();
+        assert_eq!(moved.lock().len(), 11, "new replica receives post-move traffic");
+        // the tracker recorded the completed move
+        let moves = c.reassignments();
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].phase, crate::reassign::ReassignPhase::Completed);
+    }
+
+    #[test]
+    fn reassignment_can_move_the_leader_replica() {
+        let c = Cluster::new(3);
+        c.create_topic("t", TopicConfig::default().with_partitions(1).with_replication(2))
+            .unwrap();
+        for i in 0..4 {
+            c.produce_batch("t", 0, RecordBatch::new(vec![ev(&format!("{i}"))]), AckLevel::All)
+                .unwrap();
+        }
+        let leader = c.leader_broker("t", 0).unwrap();
+        let replicas = c.replicas_of("t", 0).unwrap();
+        let spare = (0..3).map(BrokerId).find(|b| !replicas.contains(b)).unwrap();
+        // moving the leader replica drains leadership first
+        c.alter_partition_assignment("t", 0, leader, spare, &MoveThrottle::unlimited()).unwrap();
+        assert_ne!(c.leader_broker("t", 0).unwrap(), leader);
+        assert!(!c.replicas_of("t", 0).unwrap().contains(&leader));
+        assert_eq!(c.fetch("t", 0, 0, 100).unwrap().len(), 4, "no data lost");
+        c.produce_batch("t", 0, RecordBatch::new(vec![ev("after")]), AckLevel::All).unwrap();
+    }
+
+    #[test]
+    fn reassignment_rejects_bad_routes() {
+        let c = Cluster::new(3);
+        c.create_topic("t", TopicConfig::default().with_partitions(1).with_replication(2))
+            .unwrap();
+        let replicas = c.replicas_of("t", 0).unwrap();
+        let spare = (0..3).map(BrokerId).find(|b| !replicas.contains(b)).unwrap();
+        let t = MoveThrottle::unlimited();
+        // source not a replica
+        assert!(matches!(
+            c.alter_partition_assignment("t", 0, spare, replicas[0], &t),
+            Err(OctoError::Invalid(_))
+        ));
+        // target already a replica
+        assert!(matches!(
+            c.alter_partition_assignment("t", 0, replicas[0], replicas[1], &t),
+            Err(OctoError::Invalid(_))
+        ));
+        // dead target
+        c.kill_broker(spare).unwrap();
+        assert!(matches!(
+            c.alter_partition_assignment("t", 0, replicas[0], spare, &t),
+            Err(OctoError::Conflict(_))
+        ));
+        // unknown brokers
+        assert!(c.alter_partition_assignment("t", 0, BrokerId(7), BrokerId(8), &t).is_err());
+    }
+
+    #[test]
+    fn decommission_drains_replicas_and_retires() {
+        let c = Cluster::new(3);
+        c.create_topic("t", TopicConfig::default().with_partitions(2).with_replication(2))
+            .unwrap();
+        for p in 0..2 {
+            for i in 0..5 {
+                c.produce_batch(
+                    "t",
+                    p,
+                    RecordBatch::new(vec![ev(&format!("{p}-{i}"))]),
+                    AckLevel::All,
+                )
+                .unwrap();
+            }
+        }
+        let victim = BrokerId(0);
+        let moved = c.decommission_broker(victim, &MoveThrottle::unlimited()).unwrap();
+        assert!(moved > 0, "broker 0 hosted replicas that had to move");
+        assert!(c.broker_retired(victim).unwrap());
+        assert_eq!(c.active_broker_count(), 2);
+        for p in 0..2 {
+            let replicas = c.replicas_of("t", p).unwrap();
+            assert!(!replicas.contains(&victim));
+            assert_eq!(replicas.len(), 2, "rf preserved through the drain");
+            assert_ne!(c.leader_broker("t", p).unwrap(), victim);
+            assert_eq!(c.fetch("t", p, 0, 100).unwrap().len(), 5);
+            c.produce_batch("t", p, RecordBatch::new(vec![ev("post")]), AckLevel::All).unwrap();
+        }
+        // retired members don't pin health Yellow
+        assert_eq!(c.health_report().status, crate::health::HealthStatus::Green);
+        // double-decommission is a typed error
+        assert!(matches!(
+            c.decommission_broker(victim, &MoveThrottle::unlimited()),
+            Err(OctoError::Conflict(_))
+        ));
+        // and the retired broker never hosts new topics
+        c.create_topic("fresh", TopicConfig::default().with_replication(2)).unwrap();
+        assert!(!c.replicas_of("fresh", 0).unwrap().contains(&victim));
+    }
+
+    #[test]
+    fn decommission_refuses_when_no_spare_exists() {
+        let c = cluster2();
+        // rf 2 on 2 brokers: nowhere to drain to
+        assert!(matches!(
+            c.decommission_broker(BrokerId(0), &MoveThrottle::unlimited()),
+            Err(OctoError::Unavailable(_))
+        ));
+        // nothing was retired by the failed attempt
+        assert!(!c.broker_retired(BrokerId(0)).unwrap());
+        c.produce_batch("t", 0, RecordBatch::new(vec![ev("still-works")]), AckLevel::All).unwrap();
+    }
+
+    #[test]
+    fn rebalance_leaders_restores_preferred_leadership() {
+        let c = Cluster::new(3);
+        c.create_topic("t", TopicConfig::default().with_partitions(3).with_replication(2))
+            .unwrap();
+        for p in 0..3 {
+            c.produce_batch("t", p, RecordBatch::new(vec![ev("x")]), AckLevel::All).unwrap();
+        }
+        // skew leadership away from the preferred (first) replica
+        for p in 0..3 {
+            let replicas = c.replicas_of("t", p).unwrap();
+            c.move_leader("t", p, replicas[1]).unwrap();
+        }
+        let moved = c.rebalance_leaders();
+        assert_eq!(moved, 3);
+        for p in 0..3 {
+            let replicas = c.replicas_of("t", p).unwrap();
+            assert_eq!(c.leader_broker("t", p).unwrap(), replicas[0]);
+        }
+    }
+
+    #[test]
+    fn produce_reroutes_when_leadership_moves_mid_stream() {
+        // a writer hammering a partition must survive leadership
+        // bouncing between replicas without losing or duplicating acks
+        let c = cluster2();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let c = c.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut acked = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if c.produce_batch("t", 0, RecordBatch::new(vec![ev("m")]), AckLevel::All)
+                        .is_ok()
+                    {
+                        acked += 1;
+                    }
+                }
+                acked
+            })
+        };
+        for _ in 0..20 {
+            let cur = c.leader_broker("t", 0).unwrap();
+            let other = BrokerId(1 - cur.0);
+            let _ = c.move_leader("t", 0, other);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let acked = writer.join().unwrap();
+        let len = c.fetch("t", 0, 0, usize::MAX).unwrap().len() as u64;
+        assert_eq!(len, acked, "every acked produce appears exactly once");
     }
 
     #[test]

@@ -93,6 +93,18 @@ pub struct PartitionRef {
     pub partition: PartitionId,
 }
 
+/// One cluster member's liveness, as seen by the caller. Retired
+/// (decommissioned) brokers are simply *absent* from the list — they
+/// are no longer cluster members, so they neither pin the rollup
+/// Yellow nor appear in per-broker rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrokerLiveness {
+    /// Broker id.
+    pub id: u32,
+    /// Whether the broker process is up.
+    pub alive: bool,
+}
+
 /// One broker's rollup in a report.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BrokerHealth {
@@ -181,18 +193,19 @@ impl ClusterHealth {
         self.state.lock().status
     }
 
-    /// Classify the cluster from a metadata snapshot. `alive[i]` is
-    /// broker *i*'s liveness; `views` one entry per partition. Updates
-    /// gauges, ISR transition counters, and the timeline; returns the
-    /// full report.
+    /// Classify the cluster from a metadata snapshot. `members` lists
+    /// every *current* cluster member and its liveness (retired brokers
+    /// are excluded by the caller); `views` one entry per partition.
+    /// Updates gauges, ISR transition counters, and the timeline;
+    /// returns the full report.
     pub fn refresh(
         &self,
         now_ns: u64,
-        alive: &[bool],
+        members: &[BrokerLiveness],
         views: &[PartitionView],
         reason: &str,
     ) -> HealthReport {
-        let is_alive = |id: u32| alive.get(id as usize).copied().unwrap_or(false);
+        let is_alive = |id: u32| members.iter().any(|m| m.id == id && m.alive);
 
         let mut healthy = 0usize;
         let mut under_replicated = Vec::new();
@@ -237,7 +250,7 @@ impl ClusterHealth {
         st.prev_isr_len
             .retain(|k, _| views.iter().any(|v| v.topic == k.0 && v.partition == k.1));
 
-        let any_dead = alive.iter().any(|a| !a);
+        let any_dead = members.iter().any(|m| !m.alive);
         let status = if !offline.is_empty() {
             HealthStatus::Red
         } else if !under_replicated.is_empty() || any_dead {
@@ -260,15 +273,14 @@ impl ClusterHealth {
             st.status = status;
         }
 
-        let brokers: Vec<BrokerHealth> = alive
+        let brokers: Vec<BrokerHealth> = members
             .iter()
-            .enumerate()
-            .map(|(i, &up)| BrokerHealth {
-                id: i as u32,
-                alive: up,
-                status: if !up {
+            .map(|m| BrokerHealth {
+                id: m.id,
+                alive: m.alive,
+                status: if !m.alive {
                     HealthStatus::Red
-                } else if degraded_hosts.contains(&(i as u32)) {
+                } else if degraded_hosts.contains(&m.id) {
                     HealthStatus::Yellow
                 } else {
                     HealthStatus::Green
@@ -327,6 +339,14 @@ mod tests {
         (ClusterHealth::new(Arc::clone(&reg)), reg)
     }
 
+    fn live(alive: &[bool]) -> Vec<BrokerLiveness> {
+        alive
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| BrokerLiveness { id: i as u32, alive: a })
+            .collect()
+    }
+
     fn view(topic: &str, p: u32, replicas: &[u32], isr: &[u32]) -> PartitionView {
         PartitionView {
             topic: topic.to_string(),
@@ -339,7 +359,7 @@ mod tests {
     #[test]
     fn all_healthy_is_green() {
         let (h, reg) = model();
-        let r = h.refresh(1, &[true, true], &[view("t", 0, &[0, 1], &[0, 1])], "boot");
+        let r = h.refresh(1, &live(&[true, true]), &[view("t", 0, &[0, 1], &[0, 1])], "boot");
         assert_eq!(r.status, HealthStatus::Green);
         assert_eq!(r.healthy, 1);
         assert!(r.timeline.is_empty(), "green→green is not a transition");
@@ -349,20 +369,20 @@ mod tests {
     #[test]
     fn dead_replica_is_yellow_dead_leaderless_is_red() {
         let (h, reg) = model();
-        h.refresh(1, &[true, true], &[view("t", 0, &[0, 1], &[0, 1])], "boot");
+        h.refresh(1, &live(&[true, true]), &[view("t", 0, &[0, 1], &[0, 1])], "boot");
         // broker 1 dies: partition under-replicated, cluster yellow
-        let r = h.refresh(2, &[true, false], &[view("t", 0, &[0, 1], &[0, 1])], "kill(1)");
+        let r = h.refresh(2, &live(&[true, false]), &[view("t", 0, &[0, 1], &[0, 1])], "kill(1)");
         assert_eq!(r.status, HealthStatus::Yellow);
         assert_eq!(r.under_replicated.len(), 1);
         assert_eq!(r.brokers[1].status, HealthStatus::Red);
         assert_eq!(r.brokers[0].status, HealthStatus::Yellow);
         // broker 0 dies too: no live ISR anywhere → red
-        let r = h.refresh(3, &[false, false], &[view("t", 0, &[0, 1], &[0, 1])], "kill(0)");
+        let r = h.refresh(3, &live(&[false, false]), &[view("t", 0, &[0, 1], &[0, 1])], "kill(0)");
         assert_eq!(r.status, HealthStatus::Red);
         assert_eq!(r.offline.len(), 1);
         assert_eq!(reg.gauge("octopus_partitions_offline").get(), 1);
         // recovery back to green, with the full path in the timeline
-        let r = h.refresh(4, &[true, true], &[view("t", 0, &[0, 1], &[0, 1])], "restart");
+        let r = h.refresh(4, &live(&[true, true]), &[view("t", 0, &[0, 1], &[0, 1])], "restart");
         assert_eq!(r.status, HealthStatus::Green);
         let path: Vec<(HealthStatus, HealthStatus)> =
             r.timeline.iter().map(|t| (t.from, t.to)).collect();
@@ -380,7 +400,7 @@ mod tests {
     fn shrunken_isr_with_live_brokers_is_yellow() {
         let (h, _) = model();
         // both brokers alive but replica 1 fell out of the ISR
-        let r = h.refresh(1, &[true, true], &[view("t", 0, &[0, 1], &[0])], "lag");
+        let r = h.refresh(1, &live(&[true, true]), &[view("t", 0, &[0, 1], &[0])], "lag");
         assert_eq!(r.status, HealthStatus::Yellow);
         assert_eq!(r.under_replicated.len(), 1);
     }
@@ -388,10 +408,10 @@ mod tests {
     #[test]
     fn isr_transitions_are_counted() {
         let (h, reg) = model();
-        h.refresh(1, &[true, true], &[view("t", 0, &[0, 1], &[0, 1])], "boot");
-        h.refresh(2, &[true, true], &[view("t", 0, &[0, 1], &[0])], "shrink");
-        h.refresh(3, &[true, true], &[view("t", 0, &[0, 1], &[0, 1])], "expand");
-        let r = h.refresh(4, &[true, true], &[view("t", 0, &[0, 1], &[0, 1])], "steady");
+        h.refresh(1, &live(&[true, true]), &[view("t", 0, &[0, 1], &[0, 1])], "boot");
+        h.refresh(2, &live(&[true, true]), &[view("t", 0, &[0, 1], &[0])], "shrink");
+        h.refresh(3, &live(&[true, true]), &[view("t", 0, &[0, 1], &[0, 1])], "expand");
+        let r = h.refresh(4, &live(&[true, true]), &[view("t", 0, &[0, 1], &[0, 1])], "steady");
         assert_eq!(r.isr_shrinks, 1);
         assert_eq!(r.isr_expands, 1);
         assert_eq!(reg.snapshot().counters["octopus_isr_shrink_total"], 1);
@@ -401,15 +421,27 @@ mod tests {
     #[test]
     fn dead_broker_with_no_partitions_is_still_yellow() {
         let (h, _) = model();
-        let r = h.refresh(1, &[true, false], &[], "kill(1)");
+        let r = h.refresh(1, &live(&[true, false]), &[], "kill(1)");
         assert_eq!(r.status, HealthStatus::Yellow);
         assert_eq!(r.brokers[1].status, HealthStatus::Red);
     }
 
     #[test]
+    fn retired_brokers_do_not_pin_yellow() {
+        let (h, _) = model();
+        // broker 2 was decommissioned: it is absent from the member
+        // list and from every replica set, so the cluster is Green
+        let members =
+            [BrokerLiveness { id: 0, alive: true }, BrokerLiveness { id: 1, alive: true }];
+        let r = h.refresh(1, &members, &[view("t", 0, &[0, 1], &[0, 1])], "decommission(2)");
+        assert_eq!(r.status, HealthStatus::Green);
+        assert_eq!(r.brokers.len(), 2);
+    }
+
+    #[test]
     fn report_serializes() {
         let (h, _) = model();
-        let r = h.refresh(1, &[true], &[view("t", 0, &[0], &[0])], "boot");
+        let r = h.refresh(1, &live(&[true]), &[view("t", 0, &[0], &[0])], "boot");
         let json = serde_json::to_string(&r).unwrap();
         let back: HealthReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);

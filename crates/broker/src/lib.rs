@@ -31,6 +31,7 @@
 //! Kafka's design point (partition = unit of parallelism) and is what
 //! the Criterion benches in `octopus-bench` measure.
 
+pub mod balance;
 pub mod broker;
 pub mod cluster;
 pub mod config;
@@ -41,11 +42,14 @@ pub mod health;
 pub mod lag;
 pub mod log;
 pub mod mirror;
+pub mod reassign;
 pub mod record;
 mod replication;
 pub mod store;
 
+pub use balance::{AutoBalancer, BalanceReport, BalancerAction, BalancerConfig};
 pub use broker::{Broker, BrokerId, LogHandle, SharedLog, StoreContext};
+pub use reassign::{MoveThrottle, ReassignPhase, ReassignStatus, ReassignTracker};
 pub use cluster::{
     AckLevel, Cluster, DurabilityInfo, PowerLossReport, ProduceReceipt, TopicStats,
 };
@@ -58,8 +62,8 @@ pub use fault::{DeliveryFault, FaultInjector, SeverObserver};
 pub use config::{CleanupPolicy, RetentionConfig, TopicConfig};
 pub use group::{GroupCoordinator, GroupMember, MemberAssignment};
 pub use health::{
-    BrokerHealth, ClusterHealth, HealthReport, HealthStatus, HealthTransition, PartitionHealth,
-    PartitionRef, PartitionView,
+    BrokerHealth, BrokerLiveness, ClusterHealth, HealthReport, HealthStatus, HealthTransition,
+    PartitionHealth, PartitionRef, PartitionView,
 };
 pub use lag::{LagReport, LagTracker, PartitionLag};
 pub use log::{LogSnapshot, PartitionLog};

@@ -559,6 +559,81 @@ impl PartitionLog {
         Ok((base, ticket))
     }
 
+    /// Append records copied verbatim from another replica (reassignment
+    /// learner catch-up). Unlike [`PartitionLog::append`], offsets,
+    /// timestamps, CRCs, and EOS stamps are preserved exactly as the
+    /// source assigned them, so the learner's log is byte-identical to
+    /// the leader's and the EOS dedup rebuild sees the same history.
+    ///
+    /// The run must be contiguous with this log: `records[0].offset`
+    /// must equal [`PartitionLog::end_offset`]. As a special case an
+    /// *empty* log adopts a higher base (the leader's retention already
+    /// dropped the front; the learner starts at the leader's start
+    /// offset). Durable logs write through inline — catch-up traffic is
+    /// throttled anyway, so it never rides the group-commit path.
+    pub fn append_copied(&mut self, records: &[Record]) -> OctoResult<Offset> {
+        let Some(first) = records.first() else { return Ok(self.end_offset()) };
+        if self.is_empty() && first.offset > self.end_offset() {
+            self.segments = vec![Segment::new(first.offset)];
+            self.log_start = first.offset;
+        }
+        let base = self.end_offset();
+        if first.offset != base {
+            return Err(OctoError::OffsetOutOfRange {
+                requested: first.offset,
+                earliest: self.log_start,
+                latest: base,
+            });
+        }
+        let mut pending: Vec<Record> = Vec::with_capacity(records.len());
+        for (i, rec) in records.iter().enumerate() {
+            if rec.offset != base + i as u64 {
+                return Err(OctoError::Invalid(format!(
+                    "copied run not dense: expected offset {}, got {}",
+                    base + i as u64,
+                    rec.offset
+                )));
+            }
+            if !rec.verify() {
+                return Err(OctoError::Invalid(format!(
+                    "copied record {} failed CRC check",
+                    rec.offset
+                )));
+            }
+            let size = rec.wire_size();
+            let roll = {
+                let seg = self.segments.last().expect("log always has a segment");
+                seg.record_count > 0 && seg.size_bytes + size > self.segment_bytes
+            };
+            if roll {
+                let seg = self.segments.last_mut().expect("nonempty");
+                seg.seal(&mut pending);
+                let next = seg.next_offset();
+                self.segments.push(Segment::new(next));
+            }
+            let seg = self.segments.last_mut().expect("nonempty");
+            seg.size_bytes += size;
+            seg.max_timestamp = seg.max_timestamp.max(rec.append_time);
+            seg.record_count += 1;
+            seg.snap_cache = None;
+            pending.push(rec.clone());
+            self.total_bytes += size;
+        }
+        self.segments.last_mut().expect("nonempty").seal(&mut pending);
+        if self.store.is_some() {
+            if let Err(e) = self.write_through(base, false) {
+                self.truncate_from_offset(base);
+                if let Some(store) = self.store.as_mut() {
+                    let _ = store.truncate_to(base);
+                }
+                self.publish();
+                return Err(e);
+            }
+        }
+        self.publish();
+        Ok(base)
+    }
+
     /// Persist every record at `offset >= from` to the store, mirroring
     /// the in-memory segment layout, then apply the flush policy —
     /// inline, or as a deferred [`SyncTicket`] under `PerBatch`.
@@ -877,6 +952,44 @@ mod tests {
         let recs = log.read(0, 100).unwrap();
         assert_eq!(recs.len(), 10);
         assert_eq!(recs[9].offset, 9);
+    }
+
+    #[test]
+    fn append_copied_preserves_offsets_and_crc() {
+        let mut leader = PartitionLog::new();
+        leader.append(&RecordBatch::new(vec![ev("a"), ev("b"), ev("c"), ev("d")]), t(5)).unwrap();
+        let run = leader.read(0, 100).unwrap();
+
+        let mut learner = PartitionLog::with_segment_bytes(16);
+        learner.append_copied(&run[..2]).unwrap();
+        learner.append_copied(&run[2..]).unwrap();
+        assert_eq!(learner.end_offset(), 4);
+        let copied = learner.read(0, 100).unwrap();
+        for (orig, got) in run.iter().zip(copied.iter()) {
+            assert_eq!(orig.offset, got.offset);
+            assert_eq!(orig.crc, got.crc);
+            assert_eq!(orig.append_time, got.append_time);
+        }
+        // non-contiguous runs are rejected, duplicates included
+        assert!(matches!(
+            learner.append_copied(&run[1..]),
+            Err(OctoError::OffsetOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn append_copied_bootstraps_empty_log_at_leader_start() {
+        let mut leader = PartitionLog::new();
+        for i in 0..6 {
+            leader.append(&RecordBatch::new(vec![ev(&format!("{i}"))]), t(i)).unwrap();
+        }
+        // simulate retention having dropped the front on the leader
+        let run = leader.read(3, 100).unwrap();
+        let mut learner = PartitionLog::new();
+        learner.append_copied(&run).unwrap();
+        assert_eq!(learner.start_offset(), 3);
+        assert_eq!(learner.end_offset(), 6);
+        assert_eq!(learner.read(3, 10).unwrap().len(), 3);
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Online partition reassignment plumbing: the bandwidth throttle a
+//! mover pays while a learner catches up, and the tracker behind
+//! `DescribeReassignments` / the ops surfaces (DESIGN.md §15).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+use crate::broker::BrokerId;
+use octopus_types::PartitionId;
+
+/// At most this many reassignment entries are retained (completed and
+/// aborted ones age out oldest-first; active moves are never evicted).
+const TRACKER_CAP: usize = 256;
+
+/// A token-bucket bandwidth throttle for reassignment traffic. One
+/// bucket is shared by every move the caller passes it to, so the cap
+/// bounds the *total* catch-up bandwidth — moving six partitions at
+/// once steals no more I/O from the produce path than moving one.
+#[derive(Debug)]
+pub struct MoveThrottle {
+    bytes_per_sec: u64,
+    state: Mutex<ThrottleState>,
+}
+
+#[derive(Debug)]
+struct ThrottleState {
+    /// Bytes currently available to spend.
+    tokens: f64,
+    /// Last refill instant.
+    last: Instant,
+}
+
+impl MoveThrottle {
+    /// A throttle admitting `bytes_per_sec` of copy traffic. The
+    /// bucket holds at most one second of burst.
+    pub fn new(bytes_per_sec: u64) -> Self {
+        MoveThrottle {
+            bytes_per_sec,
+            state: Mutex::new(ThrottleState { tokens: bytes_per_sec as f64, last: Instant::now() }),
+        }
+    }
+
+    /// No throttling: every acquire returns immediately.
+    pub fn unlimited() -> Self {
+        Self::new(u64::MAX)
+    }
+
+    /// The configured rate.
+    pub fn bytes_per_sec(&self) -> u64 {
+        self.bytes_per_sec
+    }
+
+    /// Block until `bytes` of budget is available, then consume it.
+    /// Oversized requests (bigger than one second of budget) are
+    /// admitted after draining the bucket fully — a single huge record
+    /// must not deadlock the mover.
+    pub fn acquire(&self, bytes: u64) {
+        if self.bytes_per_sec == u64::MAX || bytes == 0 {
+            return;
+        }
+        let cost = (bytes as f64).min(self.bytes_per_sec as f64);
+        loop {
+            let wait = {
+                let mut s = self.state.lock();
+                let now = Instant::now();
+                let elapsed = now.duration_since(s.last).as_secs_f64();
+                s.last = now;
+                s.tokens = (s.tokens + elapsed * self.bytes_per_sec as f64)
+                    .min(self.bytes_per_sec as f64);
+                if s.tokens >= cost {
+                    s.tokens -= cost;
+                    return;
+                }
+                // time until the deficit refills
+                Duration::from_secs_f64((cost - s.tokens) / self.bytes_per_sec as f64)
+            };
+            std::thread::sleep(wait.min(Duration::from_millis(50)));
+        }
+    }
+}
+
+/// Where a reassignment is in its state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReassignPhase {
+    /// The learner replica is copying the leader's log.
+    CatchingUp,
+    /// The swap committed; the learner is a full replica and the old
+    /// replica is retired.
+    Completed,
+    /// The move failed (learner died, epoch CAS lost, copy error) and
+    /// the learner was torn down.
+    Aborted,
+}
+
+/// One partition move, as surfaced by `DescribeReassignments`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReassignStatus {
+    /// Topic being moved.
+    pub topic: String,
+    /// Partition being moved.
+    pub partition: PartitionId,
+    /// Broker losing the replica.
+    pub from: u32,
+    /// Broker gaining the replica.
+    pub to: u32,
+    /// Assignment epoch captured when the move began.
+    pub epoch: u64,
+    /// Current phase.
+    pub phase: ReassignPhase,
+    /// Learner log end offset (records copied so far).
+    pub copied: u64,
+    /// Leader log end offset when the move began (the finish line as
+    /// of the start; live traffic moves it further).
+    pub target: u64,
+    /// Failure detail when `phase == Aborted`.
+    pub error: Option<String>,
+}
+
+impl ReassignStatus {
+    fn key(&self) -> (&str, PartitionId, u32) {
+        (&self.topic, self.partition, self.to)
+    }
+}
+
+/// Bounded in-memory registry of active and recent reassignments.
+#[derive(Debug, Default)]
+pub struct ReassignTracker {
+    entries: Mutex<Vec<ReassignStatus>>,
+}
+
+impl ReassignTracker {
+    /// Record the start of a move.
+    pub fn begin(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        from: BrokerId,
+        to: BrokerId,
+        epoch: u64,
+        target: u64,
+    ) {
+        let mut entries = self.entries.lock();
+        entries.push(ReassignStatus {
+            topic: topic.to_string(),
+            partition,
+            from: from.0,
+            to: to.0,
+            epoch,
+            phase: ReassignPhase::CatchingUp,
+            copied: 0,
+            target,
+            error: None,
+        });
+        // evict oldest *finished* entries beyond the cap
+        if entries.len() > TRACKER_CAP {
+            if let Some(i) =
+                entries.iter().position(|e| e.phase != ReassignPhase::CatchingUp)
+            {
+                entries.remove(i);
+            }
+        }
+    }
+
+    fn update(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        to: BrokerId,
+        f: impl FnOnce(&mut ReassignStatus),
+    ) {
+        let mut entries = self.entries.lock();
+        if let Some(e) = entries
+            .iter_mut()
+            .rev()
+            .find(|e| e.key() == (topic, partition, to.0))
+        {
+            f(e);
+        }
+    }
+
+    /// Record catch-up progress (learner end offset).
+    pub fn progress(&self, topic: &str, partition: PartitionId, to: BrokerId, copied: u64) {
+        self.update(topic, partition, to, |e| e.copied = copied);
+    }
+
+    /// Mark a move committed.
+    pub fn complete(&self, topic: &str, partition: PartitionId, to: BrokerId) {
+        self.update(topic, partition, to, |e| {
+            e.phase = ReassignPhase::Completed;
+            e.copied = e.copied.max(e.target);
+        });
+    }
+
+    /// Mark a move aborted with a failure detail.
+    pub fn abort(&self, topic: &str, partition: PartitionId, to: BrokerId, error: &str) {
+        self.update(topic, partition, to, |e| {
+            e.phase = ReassignPhase::Aborted;
+            e.error = Some(error.to_string());
+        });
+    }
+
+    /// All retained entries, oldest first.
+    pub fn snapshot(&self) -> Vec<ReassignStatus> {
+        self.entries.lock().clone()
+    }
+
+    /// Number of moves still catching up.
+    pub fn active_count(&self) -> usize {
+        self.entries.lock().iter().filter(|e| e.phase == ReassignPhase::CatchingUp).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_throttle_never_blocks() {
+        let t = MoveThrottle::unlimited();
+        let start = Instant::now();
+        for _ in 0..1000 {
+            t.acquire(u64::MAX / 2);
+        }
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn throttle_enforces_rate() {
+        // 1 MiB/s bucket, pre-filled with a 1 MiB burst. Spending
+        // 1.5 MiB must take at least ~0.4s (0.5 MiB over the burst).
+        let t = MoveThrottle::new(1 << 20);
+        let start = Instant::now();
+        for _ in 0..6 {
+            t.acquire(1 << 18); // 256 KiB per acquire
+        }
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(350),
+            "1.5MiB through a 1MiB/s bucket took only {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_acquire_does_not_deadlock() {
+        let t = MoveThrottle::new(1 << 30); // 1 GiB/s
+        t.acquire(u64::MAX); // clamped to one second of budget
+    }
+
+    #[test]
+    fn tracker_lifecycle_and_snapshot() {
+        let tr = ReassignTracker::default();
+        tr.begin("t", 0, BrokerId(1), BrokerId(2), 7, 100);
+        assert_eq!(tr.active_count(), 1);
+        tr.progress("t", 0, BrokerId(2), 40);
+        let snap = tr.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].copied, 40);
+        assert_eq!(snap[0].epoch, 7);
+        assert_eq!(snap[0].phase, ReassignPhase::CatchingUp);
+        tr.complete("t", 0, BrokerId(2));
+        let snap = tr.snapshot();
+        assert_eq!(snap[0].phase, ReassignPhase::Completed);
+        assert_eq!(snap[0].copied, 100, "completion snaps progress to the target");
+        assert_eq!(tr.active_count(), 0);
+
+        tr.begin("t", 1, BrokerId(0), BrokerId(2), 0, 10);
+        tr.abort("t", 1, BrokerId(2), "learner died");
+        let snap = tr.snapshot();
+        assert_eq!(snap[1].phase, ReassignPhase::Aborted);
+        assert_eq!(snap[1].error.as_deref(), Some("learner died"));
+    }
+
+    #[test]
+    fn tracker_evicts_finished_entries_only() {
+        let tr = ReassignTracker::default();
+        for i in 0..TRACKER_CAP {
+            tr.begin("t", i as u32, BrokerId(0), BrokerId(1), 0, 1);
+            tr.complete("t", i as u32, BrokerId(1));
+        }
+        tr.begin("live", 0, BrokerId(0), BrokerId(1), 0, 1);
+        tr.begin("live", 1, BrokerId(0), BrokerId(1), 0, 1);
+        let snap = tr.snapshot();
+        assert!(snap.len() <= TRACKER_CAP + 1);
+        assert_eq!(tr.active_count(), 2, "active moves are never evicted");
+    }
+}

@@ -42,6 +42,7 @@
 use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+use parking_lot::RwLock;
 
 use octopus_types::{PartitionId, Timestamp, TopicName};
 
@@ -83,28 +84,44 @@ pub(crate) struct ReplicationJob {
 }
 
 /// One executor thread per broker, each draining a bounded FIFO.
+///
+/// The pool grows at runtime: brokers joining the cluster get an
+/// executor via [`ReplicationPool::add_broker`]. Slots are indexed by
+/// broker id and never removed (retired brokers' executors idle until
+/// the pool drops), so submission stays a lock-free-ish indexed send
+/// behind a briefly-held read lock.
 pub(crate) struct ReplicationPool {
-    senders: Vec<Sender<ReplicationJob>>,
+    senders: RwLock<Vec<Sender<ReplicationJob>>>,
 }
 
 impl ReplicationPool {
     /// Spawn one executor per broker. Threads exit when the pool (the
     /// cluster) is dropped and the channels disconnect.
     pub fn new(brokers: &[Arc<Broker>], fault: FaultInjector) -> Self {
-        let senders = brokers
-            .iter()
-            .map(|b| {
-                let (tx, rx) = bounded::<ReplicationJob>(QUEUE_DEPTH);
-                let broker = Arc::clone(b);
-                let fault = fault.clone();
-                std::thread::Builder::new()
-                    .name(format!("octopus-repl-{}", broker.id().0))
-                    .spawn(move || run_executor(broker, fault, rx))
-                    .expect("spawn replication executor");
-                tx
-            })
-            .collect();
-        ReplicationPool { senders }
+        let pool = ReplicationPool { senders: RwLock::new(Vec::with_capacity(brokers.len())) };
+        for b in brokers {
+            pool.add_broker(b, fault.clone());
+        }
+        pool
+    }
+
+    /// Spawn an executor for a broker that just joined. Must be called
+    /// with ids in order: the new broker's id must equal the current
+    /// slot count so `senders[id]` stays the broker's channel.
+    pub fn add_broker(&self, broker: &Arc<Broker>, fault: FaultInjector) {
+        let mut senders = self.senders.write();
+        assert_eq!(
+            senders.len(),
+            broker.id().0 as usize,
+            "replication pool slots must be added in broker-id order"
+        );
+        let (tx, rx) = bounded::<ReplicationJob>(QUEUE_DEPTH);
+        let broker = Arc::clone(broker);
+        std::thread::Builder::new()
+            .name(format!("octopus-repl-{}", broker.id().0))
+            .spawn(move || run_executor(broker, fault, rx))
+            .expect("spawn replication executor");
+        senders.push(tx);
     }
 
     /// Submit a follower append. Never blocks: a full queue (stalled
@@ -112,7 +129,7 @@ impl ReplicationPool {
     /// job's reply channel immediately, which the caller turns into an
     /// ISR shrink.
     pub fn submit(&self, follower: BrokerId, job: ReplicationJob) {
-        match self.senders[follower.0 as usize].try_send(job) {
+        match self.senders.read()[follower.0 as usize].try_send(job) {
             Ok(()) => {}
             Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
                 let _ = job.reply.send((follower, false));
@@ -238,6 +255,31 @@ mod tests {
         pool.submit(BrokerId(1), job("y", broker.epoch(), &tx));
         assert_eq!(rx.recv().unwrap(), (BrokerId(1), false));
         assert!(broker.log("t", 0).unwrap().snapshot().read(0, 8).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pool_grows_at_runtime() {
+        let broker = follower();
+        let pool = pool_of(&broker, FaultInjector::new());
+        // a broker joins after the pool was built
+        let joined = Arc::new(Broker::new(BrokerId(2)));
+        joined.host_partition("t", 0, DEFAULT_SEGMENT_BYTES).unwrap();
+        pool.add_broker(&joined, FaultInjector::new());
+        let (tx, rx) = reply_channel(1);
+        pool.submit(
+            BrokerId(2),
+            ReplicationJob {
+                leader: BrokerId(0),
+                topic: "t".to_string(),
+                partition: 0,
+                batch: batch("joined"),
+                now: Timestamp::from_millis(0),
+                follower_epoch: joined.epoch(),
+                reply: tx,
+            },
+        );
+        assert_eq!(rx.recv().unwrap(), (BrokerId(2), true));
+        assert_eq!(joined.log("t", 0).unwrap().snapshot().read(0, 8).unwrap().len(), 1);
     }
 
     #[test]

@@ -22,7 +22,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use octopus_broker::{AckLevel, BrokerId, Cluster, FlushPolicy, HealthReport, TopicConfig};
+use octopus_broker::{
+    AckLevel, AutoBalancer, BalancerConfig, BrokerId, Cluster, FlushPolicy, HealthReport,
+    TopicConfig,
+};
 use octopus_sdk::{Consumer, ConsumerConfig, Producer, ProducerConfig};
 use octopus_trigger::{AutoscalerConfig, FunctionConfig, TriggerRuntime, TriggerSpec};
 use octopus_types::{Event, RegistrySnapshot, Uid};
@@ -39,8 +42,10 @@ pub struct ChaosConfig {
     pub brokers: usize,
     /// Zoo ensemble size.
     pub zoo_replicas: usize,
-    /// Topic carrying the chaos traffic (1 partition, replicated).
+    /// Topic carrying the chaos traffic (replicated).
     pub topic: String,
+    /// Partition count of the chaos topic.
+    pub partitions: u32,
     /// Gap between produced events.
     pub pace: Duration,
     /// How long to keep draining after the plan finishes before
@@ -59,6 +64,14 @@ pub struct ChaosConfig {
     /// a fifth oracle asserts `duplicates() == 0` — "no duplicates, no
     /// loss", not just at-least-once.
     pub strict_eos: bool,
+    /// Elastic mode: when set, a mover thread grows the cluster to
+    /// this many brokers mid-traffic and drives the auto-balancer in a
+    /// loop while the fault plan executes — online membership and
+    /// throttled partition reassignment under chaos.
+    pub scale_to: Option<usize>,
+    /// Catch-up bandwidth cap for elastic-mode moves (`u64::MAX` =
+    /// unthrottled).
+    pub move_throttle_bytes_per_sec: u64,
 }
 
 impl Default for ChaosConfig {
@@ -67,11 +80,14 @@ impl Default for ChaosConfig {
             brokers: 3,
             zoo_replicas: 3,
             topic: "chaos-events".to_string(),
+            partitions: 1,
             pace: Duration::from_millis(1),
             drain_timeout: Duration::from_secs(5),
             data_dir: None,
             flush_policy: FlushPolicy::PerBatch,
             strict_eos: false,
+            scale_to: None,
+            move_throttle_bytes_per_sec: u64::MAX,
         }
     }
 }
@@ -94,10 +110,15 @@ pub struct ChaosReport {
     pub delivered: Vec<u64>,
     /// Events the trigger function processed.
     pub trigger_events: u64,
-    /// Final in-sync replica count of the chaos partition.
+    /// Smallest in-sync replica count across the chaos partitions.
     pub final_isr: usize,
     /// Replication factor the topic was created with.
     pub replication_factor: usize,
+    /// Partition moves the elastic mover committed (0 when
+    /// `scale_to` was not set).
+    pub moved_partitions: u64,
+    /// Broker slots at the end of the run (grown in elastic mode).
+    pub final_brokers: usize,
     /// Last committed zxid per zoo replica (from the agreement check).
     pub zoo_commits: Vec<u64>,
     /// Oracle violations; empty means the run passed.
@@ -206,7 +227,7 @@ impl ChaosHarness {
             .create_topic(
                 &cfg.topic,
                 TopicConfig::default()
-                    .with_partitions(1)
+                    .with_partitions(cfg.partitions.max(1))
                     .with_replication(rf)
                     .with_min_insync(min_isr),
             )
@@ -333,20 +354,66 @@ impl ChaosHarness {
             })
         };
 
+        // Elastic mover: grow the fleet to `scale_to` brokers and keep
+        // driving the auto-balancer while the fault plan executes —
+        // the balancer's moves race broker kills and power loss, which
+        // is exactly the point. Individual rounds may fail mid-fault;
+        // the tracker and epoch fencing guarantee aborted movers never
+        // commit, and the next round retries.
+        let stop_mover = Arc::new(AtomicBool::new(false));
+        let moved = Arc::new(AtomicU64::new(0));
+        let mover_thread = cfg.scale_to.map(|target_brokers| {
+            let cluster = cluster.clone();
+            let stop = stop_mover.clone();
+            let moved = moved.clone();
+            let throttle = cfg.move_throttle_bytes_per_sec;
+            std::thread::spawn(move || {
+                while cluster.broker_count() < target_brokers {
+                    let _ = cluster.add_broker();
+                }
+                let balancer = AutoBalancer::new(
+                    cluster,
+                    BalancerConfig {
+                        throttle_bytes_per_sec: throttle,
+                        max_concurrent_moves: 2,
+                        replica_skew_tolerance: 1,
+                        leader_skew_tolerance: 1,
+                        ..BalancerConfig::default()
+                    },
+                );
+                while !stop.load(Ordering::Acquire) {
+                    let report = balancer.run_once();
+                    moved.fetch_add(report.applied as u64, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            })
+        });
+
         // Let traffic establish itself, then unleash the plan.
         std::thread::sleep(Duration::from_millis(20));
         let target =
             ChaosTarget { cluster: cluster.clone(), zoo: Some(zoo.clone()), topic: cfg.topic.clone() };
         let trace = execute_plan(&target, &self.plan);
 
-        // Heal: clear residual faults, revive every broker, resync.
+        // Heal: clear residual faults, revive every broker (including
+        // any the elastic mover added), resync.
         cluster.fault_injector().clear_all();
-        for i in 0..cfg.brokers as u32 {
+        for i in 0..cluster.broker_count() as u32 {
             let _ = cluster.restart_broker(BrokerId(i)); // no-op if alive
             let _ = cluster.resync_broker(BrokerId(i));
         }
         for r in 0..zoo.replica_count() {
             let _ = zoo.restart_replica(r);
+        }
+
+        // Give the mover one post-heal window to finish or retry any
+        // move the faults interrupted, then stop it. `run_once` blocks
+        // until its moves commit or abort, so joining leaves no mover
+        // mid-flight.
+        if let Some(t) = mover_thread {
+            std::thread::sleep(Duration::from_millis(50));
+            stop_mover.store(true, Ordering::Release);
+            t.join().expect("mover thread");
         }
 
         // Stop producing; the acked set is now frozen.
@@ -381,17 +448,20 @@ impl ChaosHarness {
         let delivered: Vec<u64> = delivered.lock().clone();
 
         // 1. No committed-record loss: everything acked at acks=all is
-        //    still in the log.
+        //    still in the log (scanned across every partition).
+        let partitions = cluster.partition_count(&cfg.topic).unwrap_or(1).max(1);
         let mut surviving = std::collections::HashSet::new();
-        let mut offset = cluster.earliest_offset(&cfg.topic, 0).unwrap_or(0);
-        while let Ok(records) = cluster.fetch(&cfg.topic, 0, offset, 512) {
-            if records.is_empty() {
-                break;
-            }
-            offset = records.last().expect("non-empty").offset + 1;
-            for r in &records {
-                if let Some(seq) = event_seq(&r.value) {
-                    surviving.insert(seq);
+        for p in 0..partitions {
+            let mut offset = cluster.earliest_offset(&cfg.topic, p).unwrap_or(0);
+            while let Ok(records) = cluster.fetch(&cfg.topic, p, offset, 512) {
+                if records.is_empty() {
+                    break;
+                }
+                offset = records.last().expect("non-empty").offset + 1;
+                for r in &records {
+                    if let Some(seq) = event_seq(&r.value) {
+                        surviving.insert(seq);
+                    }
                 }
             }
         }
@@ -432,10 +502,21 @@ impl ChaosHarness {
             }
         };
 
-        // 4. ISR re-convergence after healing.
-        let final_isr = cluster.isr_of(&cfg.topic, 0).map(|i| i.len()).unwrap_or(0);
-        if final_isr != rf as usize {
-            violations.push(format!("ISR did not re-converge: {final_isr}/{rf} replicas in sync"));
+        // 4. ISR re-convergence after healing: every partition must be
+        //    back at full replication factor, even the ones the elastic
+        //    mover relocated mid-fault.
+        let mut final_isr = usize::MAX;
+        for p in 0..partitions {
+            let isr = cluster.isr_of(&cfg.topic, p).map(|i| i.len()).unwrap_or(0);
+            if isr != rf as usize {
+                violations.push(format!(
+                    "ISR did not re-converge on partition {p}: {isr}/{rf} replicas in sync"
+                ));
+            }
+            final_isr = final_isr.min(isr);
+        }
+        if final_isr == usize::MAX {
+            final_isr = 0;
         }
 
         // Freeze the registry and stamp the fault windows onto it.
@@ -455,6 +536,8 @@ impl ChaosHarness {
             trigger_events: trigger_events.load(Ordering::Relaxed),
             final_isr,
             replication_factor: rf as usize,
+            moved_partitions: moved.load(Ordering::Relaxed),
+            final_brokers: cluster.broker_count(),
             zoo_commits,
             violations,
             metrics,
@@ -545,6 +628,61 @@ mod tests {
         report.assert_invariants();
         assert_eq!(report.duplicates(), 0, "strict mode saw duplicate deliveries");
         assert!(!report.acked.is_empty(), "producer made progress");
+    }
+
+    #[test]
+    fn scale_out_survives_broker_kill_during_moves() {
+        // Elastic mode: grow 3 -> 5 brokers mid-traffic while a broker
+        // dies and comes back. The balancer's moves race the crash; the
+        // strict-EOS oracle must stay green and every partition must
+        // end at full rf on the reshaped fleet.
+        let plan = FaultPlan::new(31)
+            .at(15, FaultKind::BrokerCrash { broker: 1 })
+            .at(70, FaultKind::BrokerRestart { broker: 1 });
+        let report = ChaosHarness::new(plan)
+            .with_config(ChaosConfig {
+                partitions: 4,
+                strict_eos: true,
+                scale_to: Some(5),
+                drain_timeout: Duration::from_secs(15),
+                ..ChaosConfig::default()
+            })
+            .run();
+        report.assert_invariants();
+        assert_eq!(report.duplicates(), 0, "strict mode saw duplicate deliveries");
+        assert!(!report.acked.is_empty(), "producer made progress");
+        assert_eq!(report.final_brokers, 5, "fleet grew to the elastic target");
+        assert!(
+            report.moved_partitions >= 1,
+            "balancer committed no moves onto the new brokers"
+        );
+    }
+
+    #[test]
+    fn power_loss_during_throttled_catch_up_keeps_records() {
+        // Durable deployment, bandwidth-capped moves, and a power loss
+        // landing while learners are catching up. Epoch fencing must
+        // keep any torn mover from committing a stale assignment, and
+        // acked records must survive the torn tail.
+        let tmp = octopus_broker::TempDir::new("octopus-data-elastic");
+        let plan = FaultPlan::new(41)
+            .at(25, FaultKind::PowerLoss { broker: 2, entropy: 0x00C0_FFEE })
+            .at(80, FaultKind::BrokerRestart { broker: 2 });
+        let report = ChaosHarness::new(plan)
+            .with_config(ChaosConfig {
+                partitions: 2,
+                data_dir: Some(tmp.path().to_path_buf()),
+                flush_policy: FlushPolicy::PerBatch,
+                scale_to: Some(4),
+                move_throttle_bytes_per_sec: 64 * 1024,
+                drain_timeout: Duration::from_secs(15),
+                ..ChaosConfig::default()
+            })
+            .run();
+        report.assert_invariants();
+        assert!(!report.acked.is_empty(), "producer made progress");
+        assert_eq!(report.final_brokers, 4, "fleet grew to the elastic target");
+        assert!(report.recovery.flushes > 0, "PerBatch policy fsynced");
     }
 
     #[test]

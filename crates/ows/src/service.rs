@@ -146,6 +146,7 @@ impl OwsService {
             (Method::Put, ["trigger"]) => self.deploy_trigger(identity, &req.body),
             (Method::Get, ["triggers"]) => self.list_triggers(identity),
             (Method::Get, ["health"]) => self.health(),
+            (Method::Get, ["reassignments"]) => self.reassignments(),
             (Method::Get, ["wire", "slow"]) => self.wire_slow(),
             (Method::Get, ["lag", group]) => self.lag(group),
             (Method::Get, ["store"]) => self.store(),
@@ -328,6 +329,13 @@ impl OwsService {
     /// read it (observability is not topic-scoped).
     fn health(&self) -> OctoResult<Value> {
         Ok(serde_json::to_value(self.cluster.health_report())?)
+    }
+
+    /// `GET /reassignments`: active and recent partition moves — the
+    /// progress surface behind the elastic-scaling drills (phase,
+    /// copied vs. target offsets, epochs, failure details).
+    fn reassignments(&self) -> OctoResult<Value> {
+        Ok(serde_json::to_value(self.cluster.reassignments())?)
     }
 
     /// `GET /lag/<group>`: consumer-lag report for one group; 404 for a
@@ -724,6 +732,47 @@ mod tests {
         let r = ows.dispatch(&get("/health", &token));
         assert_eq!(r.body["status"], "Yellow", "{:?}", r.body);
         assert!(!r.body["timeline"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn reassignments_endpoint_surfaces_progress() {
+        let (ows, token, _) = test_ows();
+        ows.dispatch(&put("/topic/t", &token, json!({"partitions": 1})));
+        // nothing moved yet → empty list
+        let r = ows.dispatch(&get("/reassignments", &token));
+        assert_eq!(r.status, 200, "{:?}", r.body);
+        assert_eq!(r.body, json!([]));
+
+        // move partition 0 off its leader onto a freshly joined broker
+        let c = ows.cluster();
+        for i in 0..8u8 {
+            c.produce(
+                "t",
+                octopus_types::Event::from_bytes(vec![i]),
+                octopus_broker::AckLevel::Leader,
+            )
+            .unwrap();
+        }
+        let from = c.leader_broker("t", 0).unwrap();
+        let to = c.add_broker().unwrap();
+        c.alter_partition_assignment(
+            "t",
+            0,
+            from,
+            to,
+            &octopus_broker::MoveThrottle::unlimited(),
+        )
+        .unwrap();
+
+        let r = ows.dispatch(&get("/reassignments", &token));
+        assert_eq!(r.status, 200, "{:?}", r.body);
+        assert_eq!(r.body[0]["topic"], "t");
+        assert_eq!(r.body[0]["from"], from.0);
+        assert_eq!(r.body[0]["to"], to.0);
+        assert_eq!(r.body[0]["phase"], "Completed");
+        assert_eq!(r.body[0]["copied"], 8);
+        // observability routes still require authentication
+        assert_eq!(ows.dispatch(&Request::new(Method::Get, "/reassignments")).status, 401);
     }
 
     #[test]

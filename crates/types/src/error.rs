@@ -31,6 +31,11 @@ pub enum OctoError {
     /// A produce was rejected because fewer than `min.insync.replicas`
     /// replicas are in sync.
     NotEnoughReplicas { in_sync: usize, required: usize },
+    /// The addressed broker is not (or is no longer) the leader for
+    /// this partition. `leader` hints the current leader's broker id so
+    /// clients can refresh metadata and re-route instead of retrying
+    /// the same endpoint.
+    NotLeader { topic: String, partition: u32, leader: u32 },
     /// Consumer group coordination failed (e.g. stale generation).
     RebalanceInProgress(String),
     /// Input failed validation (bad config value, malformed pattern, ...).
@@ -68,6 +73,9 @@ impl fmt::Display for OctoError {
             OctoError::NotEnoughReplicas { in_sync, required } => {
                 write!(f, "not enough in-sync replicas: {in_sync} < {required}")
             }
+            OctoError::NotLeader { topic, partition, leader } => {
+                write!(f, "not leader for {topic}/{partition} (current leader: broker {leader})")
+            }
             OctoError::RebalanceInProgress(m) => write!(f, "rebalance in progress: {m}"),
             OctoError::Invalid(m) => write!(f, "invalid input: {m}"),
             OctoError::Internal(m) => write!(f, "internal error: {m}"),
@@ -96,6 +104,7 @@ impl OctoError {
             OctoError::Unavailable(_)
                 | OctoError::Timeout(_)
                 | OctoError::NotEnoughReplicas { .. }
+                | OctoError::NotLeader { .. }
                 | OctoError::RebalanceInProgress(_)
                 | OctoError::RateLimited(_)
         )
@@ -131,6 +140,8 @@ mod tests {
         assert!(OctoError::Timeout("t".into()).is_retriable());
         assert!(OctoError::Unavailable("broker down".into()).is_retriable());
         assert!(OctoError::NotEnoughReplicas { in_sync: 1, required: 2 }.is_retriable());
+        assert!(OctoError::NotLeader { topic: "t".into(), partition: 0, leader: 2 }
+            .is_retriable());
         assert!(OctoError::RateLimited("identity".into()).is_retriable());
         assert!(!OctoError::Unauthorized("no WRITE".into()).is_retriable());
         assert!(!OctoError::UnknownTopic("t".into()).is_retriable());

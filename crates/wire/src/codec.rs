@@ -231,12 +231,17 @@ pub enum ApiKey {
     DescribeMetrics = 19,
     /// Remote scrape: cluster health rollup + consumer-lag reports.
     DescribeHealth = 20,
+    /// Admin: move one partition replica to another broker (throttled
+    /// learner catch-up + epoch-fenced swap).
+    AlterPartitionAssignments = 21,
+    /// Admin: snapshot of active and recent partition reassignments.
+    DescribeReassignments = 22,
 }
 
 impl ApiKey {
     /// Every api key, in protocol order. Index = the wire value, so
     /// per-api metric tables can be arrays indexed by `ApiKey as u16`.
-    pub const ALL: [ApiKey; 21] = [
+    pub const ALL: [ApiKey; 23] = [
         ApiKey::Handshake,
         ApiKey::Produce,
         ApiKey::Fetch,
@@ -258,6 +263,8 @@ impl ApiKey {
         ApiKey::FetchCommitted,
         ApiKey::DescribeMetrics,
         ApiKey::DescribeHealth,
+        ApiKey::AlterPartitionAssignments,
+        ApiKey::DescribeReassignments,
     ];
 
     /// Stable lowercase name, used as the `api` label on wire metrics.
@@ -284,6 +291,8 @@ impl ApiKey {
             ApiKey::FetchCommitted => "fetch_committed",
             ApiKey::DescribeMetrics => "describe_metrics",
             ApiKey::DescribeHealth => "describe_health",
+            ApiKey::AlterPartitionAssignments => "alter_partition_assignments",
+            ApiKey::DescribeReassignments => "describe_reassignments",
         }
     }
 
@@ -310,6 +319,8 @@ impl ApiKey {
             18 => ApiKey::FetchCommitted,
             19 => ApiKey::DescribeMetrics,
             20 => ApiKey::DescribeHealth,
+            21 => ApiKey::AlterPartitionAssignments,
+            22 => ApiKey::DescribeReassignments,
             other => return Err(WireError::UnknownApiKey(other)),
         })
     }
@@ -621,6 +632,18 @@ pub enum Request {
     DescribeMetrics { include_spans: bool },
     /// Scrape this broker's cluster-health rollup and consumer lag.
     DescribeHealth,
+    /// Move one partition replica from broker `from` to broker `to`,
+    /// copying at most `throttle_bytes_per_sec` during catch-up
+    /// (`u64::MAX` = unthrottled).
+    AlterPartitionAssignment {
+        topic: String,
+        partition: PartitionId,
+        from: u32,
+        to: u32,
+        throttle_bytes_per_sec: u64,
+    },
+    /// Snapshot the broker's reassignment tracker.
+    DescribeReassignments,
 }
 
 impl Request {
@@ -648,6 +671,8 @@ impl Request {
             Request::TxnAbort { .. } => ApiKey::TxnAbort,
             Request::DescribeMetrics { .. } => ApiKey::DescribeMetrics,
             Request::DescribeHealth => ApiKey::DescribeHealth,
+            Request::AlterPartitionAssignment { .. } => ApiKey::AlterPartitionAssignments,
+            Request::DescribeReassignments => ApiKey::DescribeReassignments,
         }
     }
 
@@ -772,6 +797,20 @@ impl Request {
             }
             Request::DescribeMetrics { include_spans } => w.put_bool(*include_spans),
             Request::DescribeHealth => {}
+            Request::AlterPartitionAssignment {
+                topic,
+                partition,
+                from,
+                to,
+                throttle_bytes_per_sec,
+            } => {
+                w.put_str(topic);
+                w.put_u32(*partition);
+                w.put_u32(*from);
+                w.put_u32(*to);
+                w.put_u64(*throttle_bytes_per_sec);
+            }
+            Request::DescribeReassignments => {}
         }
         w.finish()
     }
@@ -904,6 +943,14 @@ impl Request {
                 Request::DescribeMetrics { include_spans: r.get_bool()? }
             }
             ApiKey::DescribeHealth => Request::DescribeHealth,
+            ApiKey::AlterPartitionAssignments => Request::AlterPartitionAssignment {
+                topic: r.get_str()?,
+                partition: r.get_u32()?,
+                from: r.get_u32()?,
+                to: r.get_u32()?,
+                throttle_bytes_per_sec: r.get_u64()?,
+            },
+            ApiKey::DescribeReassignments => Request::DescribeReassignments,
         };
         r.expect_end()?;
         Ok(req)
@@ -935,6 +982,11 @@ pub enum Response {
     DescribeMetrics { broker_id: u32, snapshot_json: Vec<u8>, spans_json: Vec<u8> },
     /// A `HealthReport` and a `Vec<LagReport>`, both as JSON blobs.
     DescribeHealth { report_json: Vec<u8>, lag_json: Vec<u8> },
+    /// The post-move assignment epoch.
+    AlterPartitionAssignment { epoch: u64 },
+    /// A `Vec<ReassignStatus>` as a JSON blob (same schema-evolvable
+    /// precedent as `DescribeHealth`).
+    DescribeReassignments { reassignments_json: Vec<u8> },
     /// Unit acknowledgement for requests with no result body.
     Ok,
 }
@@ -1014,6 +1066,10 @@ impl Response {
             Response::DescribeHealth { report_json, lag_json } => {
                 w.put_bytes(report_json);
                 w.put_bytes(lag_json);
+            }
+            Response::AlterPartitionAssignment { epoch } => w.put_u64(*epoch),
+            Response::DescribeReassignments { reassignments_json } => {
+                w.put_bytes(reassignments_json);
             }
             Response::Ok => {}
         }
@@ -1099,6 +1155,12 @@ impl Response {
                 report_json: r.get_bytes()?,
                 lag_json: r.get_bytes()?,
             },
+            ApiKey::AlterPartitionAssignments => {
+                Response::AlterPartitionAssignment { epoch: r.get_u64()? }
+            }
+            ApiKey::DescribeReassignments => {
+                Response::DescribeReassignments { reassignments_json: r.get_bytes()? }
+            }
             ApiKey::CreateTopic
             | ApiKey::DeleteTopic
             | ApiKey::GroupLeave
@@ -1244,6 +1306,14 @@ mod tests {
             Request::DescribeMetrics { include_spans: true },
             Request::DescribeMetrics { include_spans: false },
             Request::DescribeHealth,
+            Request::AlterPartitionAssignment {
+                topic: "t".into(),
+                partition: 3,
+                from: 0,
+                to: 5,
+                throttle_bytes_per_sec: 1 << 20,
+            },
+            Request::DescribeReassignments,
         ];
         for req in reqs {
             roundtrip_request(req);
@@ -1342,6 +1412,14 @@ mod tests {
                     report_json: b"{\"status\":\"healthy\"}".to_vec(),
                     lag_json: b"[]".to_vec(),
                 },
+            ),
+            (
+                ApiKey::AlterPartitionAssignments,
+                Response::AlterPartitionAssignment { epoch: 42 },
+            ),
+            (
+                ApiKey::DescribeReassignments,
+                Response::DescribeReassignments { reassignments_json: b"[]".to_vec() },
             ),
         ];
         for (key, resp) in cases {

@@ -120,6 +120,9 @@ pub enum ErrorCode {
     Io = 18,
     /// The request frame could not be decoded by the server.
     MalformedRequest = 19,
+    /// The addressed broker is not the leader for the partition; the
+    /// client should refresh metadata and re-route.
+    NotLeader = 20,
 }
 
 impl ErrorCode {
@@ -145,6 +148,7 @@ impl ErrorCode {
             17 => ErrorCode::NotFound,
             18 => ErrorCode::Io,
             19 => ErrorCode::MalformedRequest,
+            20 => ErrorCode::NotLeader,
             _ => ErrorCode::Unknown,
         }
     }
@@ -195,6 +199,9 @@ impl From<&OctoError> for WireFault {
             }
             OctoError::NotFound(_) => (ErrorCode::NotFound, [0; 3]),
             OctoError::Io(_) => (ErrorCode::Io, [0; 3]),
+            OctoError::NotLeader { partition, leader, .. } => {
+                (ErrorCode::NotLeader, [*partition as u64, *leader as u64, 0])
+            }
         };
         WireFault { code, message: e.to_string(), aux }
     }
@@ -228,6 +235,11 @@ impl From<WireFault> for OctoError {
             ErrorCode::BufferFull => OctoError::BufferFull { capacity_bytes: w.aux[0] as usize },
             ErrorCode::NotFound => OctoError::NotFound(m),
             ErrorCode::Io => OctoError::Io(m),
+            ErrorCode::NotLeader => OctoError::NotLeader {
+                topic: m,
+                partition: w.aux[0] as u32,
+                leader: w.aux[1] as u32,
+            },
             ErrorCode::MalformedRequest => OctoError::Serde(m),
             ErrorCode::Internal | ErrorCode::Unknown => OctoError::Internal(m),
         }
@@ -242,7 +254,7 @@ mod tests {
     fn error_code_u16_roundtrip() {
         for v in 0u16..=25 {
             let code = ErrorCode::from_u16(v);
-            if v <= 19 {
+            if v <= 20 {
                 assert_eq!(code as u16, v, "code {v} must round-trip");
             } else {
                 assert_eq!(code, ErrorCode::Unknown);
@@ -258,6 +270,7 @@ mod tests {
             OctoError::BufferFull { capacity_bytes: 4096 },
             OctoError::Unauthenticated("revoked".into()),
             OctoError::Unavailable("broker 2 down".into()),
+            OctoError::NotLeader { topic: "t".into(), partition: 3, leader: 2 },
         ];
         for e in cases {
             let fault = WireFault::from(&e);
@@ -275,6 +288,21 @@ mod tests {
                     std::mem::discriminant(&back)
                 ),
             }
+        }
+    }
+
+    #[test]
+    fn not_leader_preserves_routing_hint() {
+        let fault =
+            WireFault::from(&OctoError::NotLeader { topic: "t".into(), partition: 3, leader: 7 });
+        assert_eq!(fault.code, ErrorCode::NotLeader);
+        let back: OctoError = fault.into();
+        match back {
+            OctoError::NotLeader { partition, leader, .. } => {
+                assert_eq!(partition, 3);
+                assert_eq!(leader, 7);
+            }
+            other => panic!("expected NotLeader, got {other:?}"),
         }
     }
 

@@ -11,6 +11,16 @@
 //! `octopus_wire_requests_total` in the merged snapshot is the fleet
 //! total.
 
+//! A target that fails repeatedly is never dropped: it enters a
+//! capped exponential backoff (skipped polls report it as unreachable
+//! with a backoff note, without burning a dial timeout) and re-enters
+//! the merged view on its first successful scrape — a broker that was
+//! down during a rolling restart rejoins the dashboard by itself.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
 use octopus_types::{OctoError, OctoResult, RegistrySnapshot};
 
 use crate::tcp::{RemoteHealth, RemoteMetrics, TcpTransport, TcpTransportConfig};
@@ -47,16 +57,61 @@ impl FleetView {
     }
 }
 
+/// Per-target retry state: consecutive failures and the deadline
+/// before which polls skip the target instead of re-dialing it.
+#[derive(Debug, Default)]
+struct BackoffState {
+    consecutive_failures: u32,
+    retry_at: Option<Instant>,
+}
+
+impl BackoffState {
+    /// Whether a poll at `now` should dial this target.
+    fn should_attempt(&self, now: Instant) -> bool {
+        self.retry_at.map(|at| now >= at).unwrap_or(true)
+    }
+
+    /// Record a failed scrape: the next attempt is delayed by
+    /// `base * 2^(failures-1)`, capped at `cap`.
+    fn record_failure(&mut self, now: Instant, base: Duration, cap: Duration) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let exp = self.consecutive_failures.saturating_sub(1).min(16);
+        let delay = base.saturating_mul(1u32 << exp).min(cap);
+        self.retry_at = Some(now + delay);
+    }
+
+    /// Record a successful scrape: the target is healthy again.
+    fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.retry_at = None;
+    }
+}
+
 struct FleetTarget {
     label: String,
     transport: TcpTransport,
+    backoff: Mutex<BackoffState>,
 }
 
 /// Polls a set of brokers and merges their scrapes into a [`FleetView`].
-#[derive(Default)]
 pub struct FleetPoller {
     targets: Vec<FleetTarget>,
     include_spans: bool,
+    /// First-retry delay after a scrape failure.
+    backoff_base: Duration,
+    /// Ceiling on the exponential backoff delay.
+    backoff_cap: Duration,
+}
+
+impl Default for FleetPoller {
+    fn default() -> Self {
+        FleetPoller {
+            targets: Vec::new(),
+            include_spans: false,
+            backoff_base: Duration::from_millis(500),
+            backoff_cap: Duration::from_secs(30),
+        }
+    }
 }
 
 impl FleetPoller {
@@ -68,6 +123,14 @@ impl FleetPoller {
     /// tools rather than dashboards).
     pub fn with_spans(mut self) -> Self {
         self.include_spans = true;
+        self
+    }
+
+    /// Override the failure backoff window (first retry after `base`,
+    /// doubling up to `cap`). Tests shrink this to keep polls fast.
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap.max(base);
         self
     }
 
@@ -85,7 +148,11 @@ impl FleetPoller {
     /// Register a broker behind an existing transport (lets tests and
     /// tools share a connection with other traffic).
     pub fn add_transport(&mut self, label: impl Into<String>, transport: TcpTransport) {
-        self.targets.push(FleetTarget { label: label.into(), transport });
+        self.targets.push(FleetTarget {
+            label: label.into(),
+            transport,
+            backoff: Mutex::new(BackoffState::default()),
+        });
     }
 
     pub fn target_count(&self) -> usize {
@@ -94,18 +161,37 @@ impl FleetPoller {
 
     /// Scrape every target once. Per-target failures are collected,
     /// not fatal; the call itself only errors when *no* target was
-    /// reachable (a dashboard over a dead fleet should say so).
+    /// reachable (a dashboard over a dead fleet should say so). A
+    /// target inside its failure backoff window is skipped (reported
+    /// as unreachable without a dial attempt) and retried once the
+    /// window elapses, so a broker down across several polls rejoins
+    /// the view automatically when it comes back.
     pub fn poll(&self) -> OctoResult<FleetView> {
         let mut brokers = Vec::with_capacity(self.targets.len());
         let mut merged = RegistrySnapshot::default();
         let mut unreachable = Vec::new();
         for t in &self.targets {
+            let now = Instant::now();
+            {
+                let backoff = t.backoff.lock();
+                if !backoff.should_attempt(now) {
+                    unreachable.push((
+                        t.label.clone(),
+                        format!(
+                            "in backoff after {} consecutive failures",
+                            backoff.consecutive_failures
+                        ),
+                    ));
+                    continue;
+                }
+            }
             let scraped = t
                 .transport
                 .describe_metrics(self.include_spans)
                 .and_then(|m| t.transport.describe_health().map(|h| (m, h)));
             match scraped {
                 Ok((metrics, health)) => {
+                    t.backoff.lock().record_success();
                     merged.merge(&metrics.snapshot);
                     brokers.push(BrokerObservation {
                         source: t.label.clone(),
@@ -113,7 +199,14 @@ impl FleetPoller {
                         health,
                     });
                 }
-                Err(e) => unreachable.push((t.label.clone(), e.to_string())),
+                Err(e) => {
+                    t.backoff.lock().record_failure(
+                        Instant::now(),
+                        self.backoff_base,
+                        self.backoff_cap,
+                    );
+                    unreachable.push((t.label.clone(), e.to_string()));
+                }
             }
         }
         if brokers.is_empty() && !self.targets.is_empty() {
@@ -125,5 +218,98 @@ impl FleetPoller {
             return Err(OctoError::Unavailable(format!("no broker reachable ({detail})")));
         }
         Ok(FleetView { brokers, merged, unreachable })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_delays_grow_and_cap() {
+        let mut s = BackoffState::default();
+        let t0 = Instant::now();
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_millis(350);
+        assert!(s.should_attempt(t0), "a fresh target is always attempted");
+
+        s.record_failure(t0, base, cap);
+        assert!(!s.should_attempt(t0), "inside the window: skip");
+        assert!(s.should_attempt(t0 + Duration::from_millis(100)));
+
+        s.record_failure(t0, base, cap); // 200ms
+        assert!(!s.should_attempt(t0 + Duration::from_millis(150)));
+        assert!(s.should_attempt(t0 + Duration::from_millis(200)));
+
+        for _ in 0..10 {
+            s.record_failure(t0, base, cap);
+        }
+        // capped: even after many failures the delay never exceeds cap
+        assert!(s.should_attempt(t0 + cap));
+
+        s.record_success();
+        assert_eq!(s.consecutive_failures, 0);
+        assert!(s.should_attempt(t0), "success clears the window entirely");
+    }
+
+    #[test]
+    fn backoff_shift_does_not_overflow() {
+        let mut s = BackoffState::default();
+        let t0 = Instant::now();
+        for _ in 0..100 {
+            s.record_failure(t0, Duration::from_millis(1), Duration::from_secs(1));
+        }
+        assert!(s.should_attempt(t0 + Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn failed_target_backs_off_and_recovers() {
+        use crate::server::{Authenticator, WireServer, WireServerConfig};
+        use crate::tcp::TcpTransportConfig;
+        use octopus_broker::Cluster;
+
+        // reserve a port, then free it so the first polls fail
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port");
+            l.local_addr().expect("addr").to_string()
+        };
+        let mut poller = FleetPoller::new()
+            .with_backoff(Duration::from_millis(50), Duration::from_millis(100));
+        poller.add_endpoint(
+            "b0",
+            addr.clone(),
+            TcpTransportConfig {
+                request_timeout: Duration::from_millis(500),
+                ..Default::default()
+            },
+        );
+
+        // first poll: a real dial failure (and the only target → error)
+        let err = poller.poll().expect_err("dead fleet must error");
+        assert!(err.to_string().contains("no broker reachable"), "got {err}");
+
+        // second poll, inside the window: skipped, labeled as backoff
+        let err = poller.poll().expect_err("still dead");
+        assert!(err.to_string().contains("in backoff"), "got {err}");
+
+        // the broker comes back on the same address
+        let cluster = Cluster::new(1);
+        let _server = WireServer::bind(
+            cluster,
+            Authenticator::open(),
+            addr.as_str(),
+            WireServerConfig::default(),
+        )
+        .expect("rebind broker port");
+
+        // after the window elapses the target is retried and rejoins
+        std::thread::sleep(Duration::from_millis(120));
+        let view = poller.poll().expect("fleet reachable again");
+        assert_eq!(view.brokers.len(), 1, "recovered target rejoined the view");
+        assert!(view.unreachable.is_empty());
+
+        // and stays healthy on the next poll (backoff state reset)
+        let view = poller.poll().expect("still reachable");
+        assert_eq!(view.brokers.len(), 1);
     }
 }

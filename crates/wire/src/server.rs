@@ -64,6 +64,12 @@ pub struct WireServerConfig {
     /// Bound of the per-connection response queue; when full, request
     /// processing for that connection blocks (backpressure).
     pub response_queue: usize,
+    /// When true, produce requests for partitions whose leader is not
+    /// `broker_id` are rejected with `NotLeader` (carrying the current
+    /// leader as a routing hint) instead of being served through the
+    /// shared cluster handle. This models one-server-per-broker
+    /// deployments where clients must follow leadership moves.
+    pub strict_leadership: bool,
 }
 
 impl Default for WireServerConfig {
@@ -73,6 +79,7 @@ impl Default for WireServerConfig {
             idle_timeout: Duration::from_secs(30),
             max_payload: DEFAULT_MAX_PAYLOAD,
             response_queue: 128,
+            strict_leadership: false,
         }
     }
 }
@@ -714,12 +721,30 @@ fn acl_target(req: &Request) -> Option<(&str, Permission)> {
     }
 }
 
+/// In strict-leadership mode, reject produces addressed to a broker
+/// that does not lead the partition, hinting the current leader.
+fn check_leadership(inner: &ServerInner, topic: &str, partition: u32) -> OctoResult<()> {
+    if !inner.config.strict_leadership {
+        return Ok(());
+    }
+    let leader = inner.cluster.leader_broker(topic, partition)?;
+    if leader != inner.config.broker_id {
+        return Err(OctoError::NotLeader {
+            topic: topic.to_string(),
+            partition,
+            leader: leader.0,
+        });
+    }
+    Ok(())
+}
+
 /// Execute one decoded, authorized request against the cluster.
 fn dispatch(inner: &ServerInner, req: Request) -> OctoResult<Response> {
     let cluster = &inner.cluster;
     match req {
         Request::Handshake(_) => Err(OctoError::Invalid("handshake out of band".into())),
         Request::Produce { topic, partition, batch, acks } => {
+            check_leadership(inner, &topic, partition)?;
             let receipt = cluster.produce_batch(&topic, partition, batch, acks)?;
             Ok(Response::Produce(receipt))
         }
@@ -812,6 +837,7 @@ fn dispatch(inner: &ServerInner, req: Request) -> OctoResult<Response> {
             Ok(Response::Ok)
         }
         Request::TxnProduce { name, id, topic, partition, events } => {
+            check_leadership(inner, &topic, partition)?;
             let receipt = cluster.txn_produce(&name, id, &topic, partition, events)?;
             Ok(Response::Produce(receipt))
         }
@@ -850,6 +876,23 @@ fn dispatch(inner: &ServerInner, req: Request) -> OctoResult<Response> {
             let lag_json = serde_json::to_vec(&cluster.lag_reports())
                 .map_err(|e| OctoError::Serde(e.to_string()))?;
             Ok(Response::DescribeHealth { report_json, lag_json })
+        }
+        Request::AlterPartitionAssignment { topic, partition, from, to, throttle_bytes_per_sec } => {
+            let throttle = octopus_broker::MoveThrottle::new(throttle_bytes_per_sec);
+            cluster.alter_partition_assignment(
+                &topic,
+                partition,
+                BrokerId(from),
+                BrokerId(to),
+                &throttle,
+            )?;
+            let epoch = cluster.assignment_epoch(&topic, partition)?;
+            Ok(Response::AlterPartitionAssignment { epoch })
+        }
+        Request::DescribeReassignments => {
+            let reassignments_json = serde_json::to_vec(&cluster.reassignments())
+                .map_err(|e| OctoError::Serde(e.to_string()))?;
+            Ok(Response::DescribeReassignments { reassignments_json })
         }
     }
 }

@@ -30,7 +30,7 @@ use octopus_auth::scram::{auth_message, client_proof, verify_server_signature};
 use octopus_auth::Permission;
 use octopus_broker::{
     key_partition, AckLevel, HealthReport, LagReport, MemberAssignment, ProduceReceipt,
-    ProducerIdentity, Record, RecordBatch, TopicConfig, TxnOffset,
+    ProducerIdentity, ReassignStatus, Record, RecordBatch, TopicConfig, TxnOffset,
 };
 use octopus_types::obs::Counter;
 use octopus_types::{
@@ -43,6 +43,10 @@ use crate::codec::{HandshakeRequest, HandshakeResponse, OffsetSpec, Request, Res
 use crate::error::WireFault;
 use crate::frame::{read_frame, Frame, WireTrace, DEFAULT_MAX_PAYLOAD};
 use crate::transport::Transport;
+
+/// How many `NotLeader` bounces one produce call follows before
+/// surfacing the (retriable) error to the caller's retry layer.
+const PRODUCE_ROUTE_ATTEMPTS: usize = 4;
 
 /// Client credentials presented in the wire handshake.
 #[derive(Debug, Clone)]
@@ -121,6 +125,10 @@ struct NetCounters {
     reauths: Arc<Counter>,
     auth_failures: Arc<Counter>,
     poisoned: Arc<Counter>,
+    /// Produce calls bounced with `NotLeader` because the cached
+    /// metadata pointed at a demoted broker; each bounce invalidates
+    /// the cache and re-routes instead of waiting out the TTL.
+    stale_metadata_retries: Arc<Counter>,
 }
 
 impl NetCounters {
@@ -131,6 +139,7 @@ impl NetCounters {
             reauths: registry.counter("octopus_tcp_reauths_total"),
             auth_failures: registry.counter("octopus_tcp_auth_failures_total"),
             poisoned: registry.counter("octopus_tcp_poisoned_connections_total"),
+            stale_metadata_retries: registry.counter("octopus_tcp_stale_metadata_retries_total"),
         }
     }
 }
@@ -143,6 +152,12 @@ struct TcpInner {
     round_robin: AtomicU64,
     /// topic → (partition count, fetched at)
     meta: Mutex<HashMap<TopicName, (u32, Instant)>>,
+    /// broker id → (address, lazily dialed transport): the routing
+    /// table `NotLeader` bounces re-route through.
+    peers: Mutex<HashMap<u32, (String, Option<TcpTransport>)>>,
+    /// (topic, partition) → leader broker id learned from `NotLeader`
+    /// hints; consulted before the primary address on produce.
+    leader_hints: Mutex<HashMap<(TopicName, PartitionId), u32>>,
     metrics: Arc<MetricsRegistry>,
     stage_metrics: StageMetrics,
     spans: Arc<SpanSink>,
@@ -175,6 +190,8 @@ impl TcpTransport {
                 next_corr: AtomicU64::new(1),
                 round_robin: AtomicU64::new(0),
                 meta: Mutex::new(HashMap::new()),
+                peers: Mutex::new(HashMap::new()),
+                leader_hints: Mutex::new(HashMap::new()),
                 metrics,
                 stage_metrics,
                 spans: Arc::new(spans),
@@ -454,6 +471,69 @@ impl TcpTransport {
         }
     }
 
+    /// Register the wire address of another broker in the fleet.
+    /// Produce requests bounced with `NotLeader` re-route to the
+    /// hinted leader's address immediately instead of waiting out the
+    /// metadata TTL. The peer connection is dialed lazily.
+    pub fn add_peer(&self, broker_id: u32, addr: impl Into<String>) {
+        self.inner.peers.lock().insert(broker_id, (addr.into(), None));
+    }
+
+    /// Drop every cached metadata entry for `topic` (partition counts
+    /// and leader hints). Called when a server reply proves the cache
+    /// stale, so the next request refetches instead of serving the TTL
+    /// out.
+    fn invalidate_metadata(&self, topic: &str) {
+        self.inner.meta.lock().remove(topic);
+        self.inner.leader_hints.lock().retain(|(t, _), _| t != topic);
+    }
+
+    /// The lazily-dialed transport for a registered peer broker.
+    fn peer_transport(&self, broker_id: u32) -> Option<TcpTransport> {
+        let mut peers = self.inner.peers.lock();
+        let (addr, slot) = peers.get_mut(&broker_id)?;
+        if slot.is_none() {
+            *slot = Some(TcpTransport::connect(addr.clone(), self.inner.config.clone()));
+        }
+        slot.clone()
+    }
+
+    /// Ask the serving broker to move one partition replica from
+    /// broker `from` to broker `to`, copying at most
+    /// `throttle_bytes_per_sec` during catch-up (`u64::MAX` =
+    /// unthrottled). Blocks until the move commits; returns the
+    /// post-move assignment epoch.
+    pub fn alter_partition_assignment(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        from: u32,
+        to: u32,
+        throttle_bytes_per_sec: u64,
+    ) -> OctoResult<u64> {
+        match self.call(Request::AlterPartitionAssignment {
+            topic: topic.to_string(),
+            partition,
+            from,
+            to,
+            throttle_bytes_per_sec,
+        })? {
+            Response::AlterPartitionAssignment { epoch } => Ok(epoch),
+            _ => Err(OctoError::Serde("bad alter-assignment response".into())),
+        }
+    }
+
+    /// Snapshot the remote broker's active and recent reassignments.
+    pub fn describe_reassignments(&self) -> OctoResult<Vec<ReassignStatus>> {
+        match self.call(Request::DescribeReassignments)? {
+            Response::DescribeReassignments { reassignments_json } => {
+                serde_json::from_slice(&reassignments_json)
+                    .map_err(|e| OctoError::Serde(format!("reassignments: {e}")))
+            }
+            _ => Err(OctoError::Serde("bad describe-reassignments response".into())),
+        }
+    }
+
     /// Scrape the remote broker's health rollup and consumer lag.
     pub fn describe_health(&self) -> OctoResult<RemoteHealth> {
         match self.call(Request::DescribeHealth)? {
@@ -575,10 +655,55 @@ impl Transport for TcpTransport {
         batch: RecordBatch,
         acks: AckLevel,
     ) -> OctoResult<ProduceReceipt> {
-        match self.call(Request::Produce { topic: topic.to_string(), partition, batch, acks })? {
-            Response::Produce(r) => Ok(r),
-            _ => Err(OctoError::Serde("bad produce response".into())),
+        // route straight to the last known leader if a NotLeader
+        // bounce taught us one for this partition
+        let mut via = self
+            .inner
+            .leader_hints
+            .lock()
+            .get(&(topic.to_string(), partition))
+            .copied()
+            .and_then(|id| self.peer_transport(id));
+        let mut last_err: Option<OctoError> = None;
+        for _ in 0..PRODUCE_ROUTE_ATTEMPTS {
+            let req = Request::Produce {
+                topic: topic.to_string(),
+                partition,
+                batch: batch.clone(),
+                acks,
+            };
+            let res = match &via {
+                Some(peer) => peer.call(req),
+                None => self.call(req),
+            };
+            match res {
+                Ok(Response::Produce(r)) => return Ok(r),
+                Ok(_) => return Err(OctoError::Serde("bad produce response".into())),
+                Err(OctoError::NotLeader { leader, .. }) => {
+                    // the cache lied: drop it, remember the hinted
+                    // leader, and retry there right away rather than
+                    // serving stale metadata until the TTL expires
+                    self.invalidate_metadata(topic);
+                    self.inner.net.stale_metadata_retries.inc();
+                    self.inner
+                        .leader_hints
+                        .lock()
+                        .insert((topic.to_string(), partition), leader);
+                    let err =
+                        OctoError::NotLeader { topic: topic.to_string(), partition, leader };
+                    match self.peer_transport(leader) {
+                        Some(next) => via = Some(next),
+                        // no route to the hinted leader: surface the
+                        // retriable error to the SDK's retry layer
+                        None => return Err(err),
+                    }
+                    last_err = Some(err);
+                }
+                Err(e) => return Err(e),
+            }
         }
+        Err(last_err
+            .unwrap_or_else(|| OctoError::Unavailable("produce rerouting exhausted".into())))
     }
 
     fn fetch(

@@ -1,0 +1,54 @@
+//! Elastic scale-out smoke: grow a 3-broker cluster to 6 brokers
+//! mid-traffic while a broker crash lands during the balancer's
+//! reassignments, then print one machine-readable JSON summary.
+//! `scripts/ci.sh` gates on `moved_partitions >= 1`, `acked_loss == 0`
+//! and `duplicates == 0`.
+//!
+//! Run with: `cargo run --example elastic_smoke`
+
+use octopus::chaos::{ChaosConfig, ChaosHarness, FaultKind, FaultPlan};
+
+fn main() {
+    // A crash in the middle of the growth window, so at least some
+    // moves race a dead source or target and must abort + retry.
+    let plan = FaultPlan::new(0xE1A5)
+        .at(15, FaultKind::BrokerCrash { broker: 1 })
+        .at(70, FaultKind::BrokerRestart { broker: 1 });
+
+    let report = ChaosHarness::new(plan)
+        .with_config(ChaosConfig {
+            brokers: 3,
+            partitions: 4,
+            strict_eos: true,
+            scale_to: Some(6),
+            drain_timeout: std::time::Duration::from_secs(15),
+            ..ChaosConfig::default()
+        })
+        .run();
+
+    let acked_loss = report
+        .violations
+        .iter()
+        .filter(|v| v.contains("lost") || v.contains("never delivered"))
+        .count();
+    let summary = serde_json::json!({
+        "brokers_initial": 3,
+        "brokers_final": report.final_brokers,
+        "moved_partitions": report.moved_partitions,
+        "acked": report.acked.len(),
+        "delivered_unique": report.delivered_unique(),
+        "acked_loss": acked_loss,
+        "duplicates": report.duplicates(),
+        "final_isr": report.final_isr,
+        "replication_factor": report.replication_factor,
+        "violations": report.violations,
+        "ok": report.violations.is_empty()
+            && report.moved_partitions >= 1
+            && report.final_brokers == 6,
+    });
+    println!("{}", serde_json::to_string_pretty(&summary).unwrap());
+
+    report.assert_invariants();
+    assert!(report.moved_partitions >= 1, "balancer committed no moves");
+    assert_eq!(report.final_brokers, 6, "fleet did not reach the elastic target");
+}

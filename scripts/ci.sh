@@ -38,6 +38,20 @@ echo "==> exactly-once chaos smoke (ambiguous acks + power loss, strict invarian
 # example exits nonzero unless duplicates == 0 and no acked loss.
 cargo run --release -q --example eos_smoke
 
+echo "==> elastic scale-out smoke (3 -> 6 brokers mid-traffic, strict invariant)"
+# Grows the fleet under chaos while the auto-balancer relocates
+# partitions; jq gates the strict exactly-once invariant and that at
+# least one partition actually moved onto the new brokers.
+elastic_report=$(cargo run --release -q --example elastic_smoke)
+if ! jq -e '.ok == true
+            and (.moved_partitions >= 1)
+            and (.acked_loss == 0)
+            and (.duplicates == 0)' <<<"$elastic_report" >/dev/null; then
+    echo "elastic_smoke report malformed or failed:" >&2
+    echo "$elastic_report" >&2
+    exit 1
+fi
+
 echo "==> hot-path bench smoke (invariants checked in-process)"
 # --smoke shrinks the workload; the bench exits nonzero if any probe
 # violates a correctness invariant (dense offsets, acked-record
@@ -58,7 +72,9 @@ if ! jq -e '.schema == "octopus-hotpath-v1"
             and (.net.in_process.produce_events_per_sec > 0)
             and (.net.per_api_p99_us.produce > 0)
             and (.net.tracing.on.produce_events_per_sec > 0)
-            and (.net.tracing.off.produce_events_per_sec > 0)' BENCH_hotpath.json >/dev/null; then
+            and (.net.tracing.off.produce_events_per_sec > 0)
+            and (.reassignment.within_3x == true)
+            and (.reassignment.moved_records > 0)' BENCH_hotpath.json >/dev/null; then
     echo "BENCH_hotpath.json malformed (schema/sections)" >&2
     exit 1
 fi
@@ -87,6 +103,7 @@ echo "==> fleet scrape smoke (3 brokers, DescribeMetrics over TCP, chaos cut)"
 top_report=$(cargo run --release -q -p octopus-bench --bin octopus_top -- --json)
 if ! jq -e '.ok == true
             and (.brokers == 3)
+            and (.reassignments_completed >= 1)
             and (.octopus_wire_requests_total > 0)' <<<"$top_report" >/dev/null; then
     echo "octopus_top report malformed or failed:" >&2
     echo "$top_report" >&2

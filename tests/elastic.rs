@@ -1,0 +1,186 @@
+//! Elastic cluster drills (tier-1): online membership, throttled
+//! partition reassignment, and the auto-balancer under fire.
+//!
+//! Two scenarios:
+//!
+//! 1. **Rolling restart** — every broker restarted one at a time under
+//!    sustained idempotent-producer traffic; zero acked loss, zero
+//!    duplicate appends, and the cluster health rollup back to Green
+//!    after each step.
+//! 2. **Scale-out under chaos** — the headline drill: grow 3 → 9
+//!    brokers mid-traffic while broker kills and power loss land
+//!    during active reassignments, on three fixed seeds. The
+//!    strict-EOS oracle must stay green (no acked loss, no
+//!    duplicates), every partition must end at full replication
+//!    factor, and the health rollup must close Green.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use octopus::broker::{AckLevel, BrokerId, FlushPolicy, HealthStatus, TempDir, TopicConfig};
+use octopus::chaos::{ChaosConfig, ChaosHarness, FaultKind, FaultPlan};
+use octopus::prelude::*;
+use octopus::sdk::{Producer, ProducerConfig};
+use parking_lot::Mutex;
+
+const TOPIC: &str = "elastic.events";
+
+fn wait_for_green(cluster: &octopus::broker::Cluster, context: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        cluster.refresh_health(context);
+        if cluster.health_report().status == HealthStatus::Green {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "health never returned to Green after {context}: {:?}",
+            cluster.health_report()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn rolling_restart_loses_nothing_and_returns_green() {
+    let cluster = octopus::broker::Cluster::new(3);
+    cluster
+        .create_topic(
+            TOPIC,
+            TopicConfig::default().with_partitions(2).with_replication(3).with_min_insync(2),
+        )
+        .expect("topic");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let acked = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let producer_thread = {
+        let cluster = cluster.clone();
+        let stop = stop.clone();
+        let acked = acked.clone();
+        std::thread::spawn(move || {
+            let producer = Producer::new(
+                cluster,
+                ProducerConfig {
+                    acks: AckLevel::All,
+                    retries: 30,
+                    retry_backoff: Duration::from_millis(2),
+                    idempotent: true,
+                    client_id: Some("rolling-restart-producer".to_string()),
+                    ..ProducerConfig::default()
+                },
+            );
+            let mut seq = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                if let Ok(receipt) =
+                    producer.send_sync(TOPIC, Event::from_bytes(seq.to_le_bytes().to_vec()))
+                {
+                    if receipt.persisted {
+                        acked.lock().push(seq);
+                    }
+                }
+                seq += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            producer.close();
+        })
+    };
+
+    // Let traffic establish, then roll every broker, one at a time.
+    std::thread::sleep(Duration::from_millis(50));
+    for broker in 0..3u32 {
+        cluster.kill_broker(BrokerId(broker)).expect("kill");
+        std::thread::sleep(Duration::from_millis(40));
+        cluster.restart_broker(BrokerId(broker)).expect("restart");
+        cluster.resync_broker(BrokerId(broker)).expect("resync");
+        wait_for_green(&cluster, &format!("rolling_restart({broker})"));
+        // hold a window of healthy traffic before the next roll step
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    stop.store(true, Ordering::Release);
+    producer_thread.join().expect("producer thread");
+    let acked: Vec<u64> = acked.lock().clone();
+    assert!(acked.len() > 50, "producer kept acking through the roll: {}", acked.len());
+
+    // Scan every partition's log: each acked sequence must survive
+    // exactly once (idempotent producer — restarts must not have
+    // manufactured duplicate appends).
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    for p in 0..cluster.partition_count(TOPIC).expect("partitions") {
+        let mut offset = cluster.earliest_offset(TOPIC, p).unwrap_or(0);
+        while let Ok(records) = cluster.fetch(TOPIC, p, offset, 512) {
+            if records.is_empty() {
+                break;
+            }
+            offset = records.last().expect("non-empty").offset + 1;
+            for r in &records {
+                if let Some(b) = r.value.get(..8) {
+                    *seen.entry(u64::from_le_bytes(b.try_into().expect("8 bytes"))).or_default() +=
+                        1;
+                }
+            }
+        }
+    }
+    for seq in &acked {
+        match seen.get(seq) {
+            None => panic!("acked record {seq} lost during the rolling restart"),
+            Some(1) => {}
+            Some(n) => panic!("acked record {seq} appended {n} times (duplicate)"),
+        }
+    }
+    assert_eq!(cluster.health_report().status, HealthStatus::Green);
+}
+
+/// Broker kills and a power loss landing while the elastic mover is
+/// growing the fleet and relocating partitions.
+fn elastic_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .at(10, FaultKind::BrokerCrash { broker: 1 })
+        .at(30, FaultKind::PowerLoss { broker: 2, entropy: seed ^ 0xE1A5_71C0 })
+        .at(60, FaultKind::BrokerRestart { broker: 1 })
+        .at(80, FaultKind::BrokerRestart { broker: 2 })
+}
+
+#[test]
+fn scale_three_to_nine_under_chaos_stays_exactly_once() {
+    for seed in [0xA11CEu64, 0x0B0B, 0x5CA1E] {
+        let tmp = TempDir::new("octopus-elastic-drill");
+        let plan = elastic_plan(seed);
+        let report = ChaosHarness::new(plan.clone())
+            .with_config(ChaosConfig {
+                brokers: 3,
+                partitions: 4,
+                strict_eos: true,
+                scale_to: Some(9),
+                data_dir: Some(tmp.path().to_path_buf()),
+                flush_policy: FlushPolicy::PerBatch,
+                drain_timeout: Duration::from_secs(20),
+                ..ChaosConfig::default()
+            })
+            .run();
+        report.assert_invariants();
+        assert_eq!(
+            report.trace.signature(),
+            plan.signature(),
+            "seed {seed:#x}: trace deterministic"
+        );
+        assert!(!report.acked.is_empty(), "seed {seed:#x}: producer made progress");
+        assert_eq!(report.duplicates(), 0, "seed {seed:#x}: strict mode saw duplicates");
+        assert_eq!(report.final_brokers, 9, "seed {seed:#x}: fleet grew to 9");
+        assert!(
+            report.moved_partitions >= 1,
+            "seed {seed:#x}: balancer never moved a partition onto the new brokers"
+        );
+        assert_eq!(
+            report.final_isr, report.replication_factor,
+            "seed {seed:#x}: every partition back at full rf"
+        );
+        assert_eq!(
+            report.health.status,
+            octopus::broker::HealthStatus::Green,
+            "seed {seed:#x}: health closed Green"
+        );
+    }
+}

@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 use octopus::auth::globus::AuthServer;
 use octopus::auth::scram::ScramStore;
 use octopus::auth::Scope;
-use octopus::broker::BrokerId;
+use octopus::broker::{BrokerId, RecordBatch};
 use octopus::prelude::*;
 use octopus::sdk::{Consumer, ConsumerConfig, Producer, ProducerConfig};
 use octopus::wire::{
@@ -398,4 +398,80 @@ fn topic_admin_over_wire_backend() {
         admin.create_key(),
         Err(OctoError::Invalid(_))
     ));
+}
+
+/// Regression (stale metadata after a leadership move): with
+/// strict-leadership servers fronting each broker, a produce routed by
+/// a long-TTL metadata cache at a demoted leader must invalidate the
+/// cache on the `NotLeader` bounce and re-route to the hinted leader's
+/// peer immediately — not wait out the TTL, not duplicate, not drop.
+#[test]
+fn stale_leader_cache_invalidated_on_not_leader_bounce() {
+    let cluster = Cluster::new(2);
+    cluster
+        .create_topic(
+            "t",
+            TopicConfig::default().with_partitions(1).with_replication(2),
+        )
+        .unwrap();
+    let bind = |id: u32| {
+        WireServer::bind(
+            cluster.clone(),
+            Authenticator::open(),
+            "127.0.0.1:0",
+            WireServerConfig {
+                broker_id: BrokerId(id),
+                strict_leadership: true,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    };
+    let server0 = bind(0);
+    let server1 = bind(1);
+    let servers = [&server0, &server1];
+    let leader = cluster.leader_broker("t", 0).unwrap();
+    let follower = BrokerId(1 - leader.0);
+
+    // client connects to the current leader's server, with a metadata
+    // TTL so long that only explicit invalidation can refresh it
+    let transport = TcpTransport::connect(
+        servers[leader.0 as usize].local_addr().to_string(),
+        TcpTransportConfig { metadata_ttl: Duration::from_secs(3600), ..Default::default() },
+    );
+    transport.add_peer(follower.0, servers[follower.0 as usize].local_addr().to_string());
+    transport.add_peer(leader.0, servers[leader.0 as usize].local_addr().to_string());
+
+    let r = transport
+        .produce_batch("t", 0, RecordBatch::new(vec![ev("before-move")]), AckLevel::Leader)
+        .unwrap();
+    assert_eq!(r.base_offset, 0);
+
+    // leadership moves mid-session; the cached route is now stale
+    cluster.move_leader("t", 0, follower).unwrap();
+    assert_eq!(cluster.leader_broker("t", 0).unwrap(), follower);
+
+    let start = Instant::now();
+    let r = transport
+        .produce_batch("t", 0, RecordBatch::new(vec![ev("after-move")]), AckLevel::Leader)
+        .unwrap();
+    assert_eq!(r.base_offset, 1, "re-routed produce appended exactly once");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "re-route was immediate, not a TTL wait"
+    );
+
+    let bounced = transport
+        .metrics()
+        .snapshot()
+        .counters
+        .get("octopus_tcp_stale_metadata_retries_total")
+        .copied()
+        .unwrap_or(0);
+    assert!(bounced >= 1, "the NotLeader bounce was counted (got {bounced})");
+
+    // both records present exactly once, in order
+    let records = transport.fetch("t", 0, 0, 10, None).unwrap();
+    let payloads: Vec<&[u8]> = records.iter().map(|r| r.value.as_ref()).collect();
+    assert_eq!(payloads, vec![b"before-move".as_ref(), b"after-move".as_ref()]);
 }

@@ -11,8 +11,10 @@ use serde::{Deserialize, Serialize};
 
 use octopus_types::{OctoResult, PartitionId, TopicName};
 
+use crate::config::StorageSpec;
 use crate::log::{LogSnapshot, PartitionLog, SnapshotSlot};
-use crate::store::{FlushPolicy, RecoveryStats, StoreMetrics};
+use crate::store::{FlushPolicy, RecoveryStats, StoreMetrics, StoreOptions};
+use crate::tier::ColdStore;
 
 /// Shared configuration for every durable partition a broker hosts.
 #[derive(Debug, Clone)]
@@ -23,6 +25,8 @@ pub struct StoreContext {
     pub policy: FlushPolicy,
     /// Shared-registry instruments for the storage engine.
     pub metrics: StoreMetrics,
+    /// Cold tier for sealed segment data files, if the cluster has one.
+    pub cold: Option<Arc<dyn ColdStore>>,
 }
 
 impl StoreContext {
@@ -182,19 +186,43 @@ impl Broker {
         partition: PartitionId,
         segment_bytes: usize,
     ) -> OctoResult<RecoveryStats> {
+        self.host_partition_with(
+            topic,
+            partition,
+            &StorageSpec { segment_bytes, ..StorageSpec::default() },
+        )
+    }
+
+    /// [`Broker::host_partition`] with the full storage spec: segment
+    /// roll size plus the sparse-index interval, compression codec, and
+    /// cold-tier threshold a topic was configured with.
+    pub fn host_partition_with(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        spec: &StorageSpec,
+    ) -> OctoResult<RecoveryStats> {
         let key = (topic.to_string(), partition);
         let mut partitions = self.partitions.write();
         if partitions.contains_key(&key) {
             return Ok(RecoveryStats::default());
         }
         let (log, stats) = match &self.store {
-            Some(ctx) => PartitionLog::open_durable(
-                segment_bytes,
+            Some(ctx) => PartitionLog::open_durable_with(
+                spec.segment_bytes,
                 ctx.partition_dir(self.id, topic, partition),
                 ctx.policy,
                 ctx.metrics.clone(),
+                StoreOptions {
+                    index_interval_bytes: spec.index_interval_bytes,
+                    compression: spec.compression,
+                    cold: ctx.cold.clone(),
+                    cold_after_bytes: spec.cold_after_bytes,
+                },
             )?,
-            None => (PartitionLog::with_segment_bytes(segment_bytes), RecoveryStats::default()),
+            None => {
+                (PartitionLog::with_segment_bytes(spec.segment_bytes), RecoveryStats::default())
+            }
         };
         partitions.insert(key, Arc::new(LogHandle::new(log)));
         Ok(stats)

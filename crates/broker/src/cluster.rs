@@ -475,7 +475,7 @@ impl Cluster {
                 .map(|r| active[(p + r) as usize % n].id())
                 .collect();
             for b in &replicas {
-                self.broker_unchecked(*b).host_partition(name, p, config.segment_bytes)?;
+                self.broker_unchecked(*b).host_partition_with(name, p, &config.storage_spec())?;
             }
             partitions.push(PartitionMeta {
                 leader: replicas[0],
@@ -577,10 +577,10 @@ impl Cluster {
                 .map(|r| active[(p + r) as usize % active.len()].id())
                 .collect();
             for b in &replicas {
-                self.broker_unchecked(*b).host_partition(
+                self.broker_unchecked(*b).host_partition_with(
                     name,
                     p,
-                    meta.config.segment_bytes,
+                    &meta.config.storage_spec(),
                 )?;
             }
             meta.partitions.push(PartitionMeta {
@@ -1641,7 +1641,7 @@ impl Cluster {
         let source = self.broker_checked(from)?;
         // settle a live leader first (fails over a dead recorded leader)
         self.resolve_live_leader(topic, partition)?;
-        let (epoch0, seg_bytes) = {
+        let (epoch0, storage_spec) = {
             let topics = self.inner.topics.read();
             let meta =
                 topics.get(topic).ok_or_else(|| OctoError::UnknownTopic(topic.to_string()))?;
@@ -1661,7 +1661,7 @@ impl Cluster {
                     to.0
                 )));
             }
-            (pm.epoch, meta.config.segment_bytes)
+            (pm.epoch, meta.config.storage_spec())
         };
         // zoo fencing: the assignment node's version is the durable
         // epoch. A mover that crashed and retries against a node some
@@ -1695,7 +1695,7 @@ impl Cluster {
         }
         let target_end = self.latest_offset(topic, partition).unwrap_or(0);
         self.inner.reassign.begin(topic, partition, from, to, epoch0, target_end);
-        target.host_partition(topic, partition, seg_bytes)?;
+        target.host_partition_with(topic, partition, &storage_spec)?;
         let result = self.catch_up_and_commit(
             topic, partition, from, to, &target, epoch0, zoo_expected, &zoo_node, throttle,
         );
@@ -2276,10 +2276,13 @@ impl ClusterBuilder {
                 },
                 checkpoint: Arc::new(ckpt),
             });
+            // the cold tier lives beside the broker dirs; topics opt in
+            // per-partition via `cold_after_bytes`
             store_ctx = Some(Arc::new(StoreContext {
                 root: root.clone(),
                 policy: self.flush_policy,
                 metrics,
+                cold: Some(Arc::new(crate::tier::FsColdStore::new(root.join("cold")))),
             }));
         }
 

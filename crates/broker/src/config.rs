@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use octopus_compression::Compression;
 use octopus_types::{OctoError, OctoResult};
 
 /// Retention limits for the `Delete` cleanup policy.
@@ -53,6 +54,36 @@ pub struct TopicConfig {
     pub cleanup: CleanupPolicy,
     /// Segment roll size in bytes.
     pub segment_bytes: usize,
+    /// Sparse index entry interval in bytes for durable segments
+    /// (`0` means the storage engine's default).
+    pub index_interval_bytes: u64,
+    /// Per-batch compression codec for the durable store.
+    pub compression: Compression,
+    /// Offload sealed segment data files to the cold tier once the hot
+    /// sealed bytes of a partition exceed this (`None` = never tier;
+    /// `Some(0)` = tier every sealed segment). Requires the cluster to
+    /// be built with a cold store.
+    pub cold_after_bytes: Option<u64>,
+}
+
+/// The storage-engine slice of a [`TopicConfig`]: everything a broker
+/// needs to open one durable partition replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageSpec {
+    /// Segment roll size in bytes.
+    pub segment_bytes: usize,
+    /// Sparse index entry interval in bytes (`0` = engine default).
+    pub index_interval_bytes: u64,
+    /// Per-batch compression codec.
+    pub compression: Compression,
+    /// Cold-tier threshold (see [`TopicConfig::cold_after_bytes`]).
+    pub cold_after_bytes: Option<u64>,
+}
+
+impl Default for StorageSpec {
+    fn default() -> Self {
+        TopicConfig::default().storage_spec()
+    }
 }
 
 impl Default for TopicConfig {
@@ -64,6 +95,9 @@ impl Default for TopicConfig {
             retention: RetentionConfig::default(),
             cleanup: CleanupPolicy::Delete,
             segment_bytes: crate::log::DEFAULT_SEGMENT_BYTES,
+            index_interval_bytes: 0,
+            compression: Compression::None,
+            cold_after_bytes: None,
         }
     }
 }
@@ -92,7 +126,24 @@ impl TopicConfig {
         if self.segment_bytes == 0 {
             return Err(OctoError::Invalid("segment_bytes must be positive".into()));
         }
+        if self.index_interval_bytes > self.segment_bytes as u64 {
+            return Err(OctoError::Invalid(format!(
+                "index_interval_bytes {} exceeds segment_bytes {} (the index would never \
+                 get an entry past the first frame)",
+                self.index_interval_bytes, self.segment_bytes
+            )));
+        }
         Ok(())
+    }
+
+    /// The storage-engine slice of this config.
+    pub fn storage_spec(&self) -> StorageSpec {
+        StorageSpec {
+            segment_bytes: self.segment_bytes,
+            index_interval_bytes: self.index_interval_bytes,
+            compression: self.compression,
+            cold_after_bytes: self.cold_after_bytes,
+        }
     }
 
     /// Builder-style partition count.
@@ -116,6 +167,30 @@ impl TopicConfig {
     /// Builder-style cleanup policy.
     pub fn with_cleanup(mut self, c: CleanupPolicy) -> Self {
         self.cleanup = c;
+        self
+    }
+
+    /// Builder-style segment roll size.
+    pub fn with_segment_bytes(mut self, n: usize) -> Self {
+        self.segment_bytes = n;
+        self
+    }
+
+    /// Builder-style sparse index interval.
+    pub fn with_index_interval(mut self, n: u64) -> Self {
+        self.index_interval_bytes = n;
+        self
+    }
+
+    /// Builder-style compression codec.
+    pub fn with_compression(mut self, c: Compression) -> Self {
+        self.compression = c;
+        self
+    }
+
+    /// Builder-style cold-tier threshold.
+    pub fn with_cold_after(mut self, bytes: u64) -> Self {
+        self.cold_after_bytes = Some(bytes);
         self
     }
 }
@@ -142,6 +217,24 @@ mod tests {
         assert!(TopicConfig::default().with_min_insync(3).validate(4).is_err()); // > RF
         let c = TopicConfig { segment_bytes: 0, ..TopicConfig::default() };
         assert!(c.validate(2).is_err());
+    }
+
+    #[test]
+    fn storage_spec_carries_the_new_knobs() {
+        let c = TopicConfig::default()
+            .with_segment_bytes(1 << 18)
+            .with_index_interval(4096)
+            .with_compression(Compression::Lz4)
+            .with_cold_after(1 << 20);
+        assert!(c.validate(2).is_ok());
+        let spec = c.storage_spec();
+        assert_eq!(spec.segment_bytes, 1 << 18);
+        assert_eq!(spec.index_interval_bytes, 4096);
+        assert_eq!(spec.compression, Compression::Lz4);
+        assert_eq!(spec.cold_after_bytes, Some(1 << 20));
+        // an index interval past the roll size can never index anything
+        let bad = TopicConfig::default().with_segment_bytes(1024).with_index_interval(4096);
+        assert!(bad.validate(2).is_err());
     }
 
     #[test]

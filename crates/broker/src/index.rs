@@ -1,0 +1,507 @@
+//! Sparse per-segment offset and time indexes.
+//!
+//! Kafka pairs every segment with two sidecar files; this module is the
+//! same design scaled to the workspace. For a segment `<base>.seg`:
+//!
+//! * `<base>.index` — offset index: `(relative_offset: u32,
+//!   file_position: u32)` entries, one per `index_interval_bytes` of
+//!   segment data, each pointing at a *frame boundary*. A fetch binary
+//!   searches these to land within one interval of the target offset
+//!   instead of decoding from the segment head.
+//! * `<base>.timeindex` — time index: `(timestamp_ms: u64,
+//!   relative_offset: u32)` entries with non-decreasing timestamps,
+//!   appended in lock-step with offset entries, for
+//!   consume-after-timestamp seeks (§IV-F).
+//!
+//! Entries for the *active* segment are appended as data is appended —
+//! buffered writes, no fsync; the index is advisory until sealed. When
+//! a segment rolls, a CRC'd **footer** is appended to each file and
+//! fsynced. The footer carries everything recovery needs to adopt the
+//! segment without reading its data file (record count, data length,
+//! last offset, logical bytes, max timestamp, EOS-stamped count), so a
+//! reopen only pays a full CRC scan for the active tail. A missing or
+//! corrupt index is never trusted and never fatal: recovery falls back
+//! to the full scan and rewrites both files from the data
+//! (`octopus_store_index_rebuilds_total`).
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use octopus_types::{OctoResult, Offset};
+
+use crate::record::crc32c;
+
+/// Default spacing between offset-index entries (bytes of segment data).
+pub const DEFAULT_INDEX_INTERVAL_BYTES: u64 = 4096;
+
+/// Footer magic for `<base>.index` (version baked into the last byte).
+const OFFSET_FOOTER_MAGIC: &[u8; 8] = b"OIDXSEA1";
+/// Footer magic for `<base>.timeindex`.
+const TIME_FOOTER_MAGIC: &[u8; 8] = b"OTIXSEA1";
+/// magic + entry_count u32 + 6×u64 stats + crc u32.
+const OFFSET_FOOTER_LEN: usize = 8 + 4 + 6 * 8 + 4;
+/// magic + entry_count u32 + crc u32.
+const TIME_FOOTER_LEN: usize = 8 + 4 + 4;
+const OFFSET_ENTRY_LEN: usize = 8;
+const TIME_ENTRY_LEN: usize = 12;
+
+/// One offset-index entry: the record at `base + rel` starts a frame at
+/// byte `pos` of the data file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Offset relative to the segment base.
+    pub rel: u32,
+    /// Byte position of the frame start within the data file.
+    pub pos: u32,
+}
+
+/// One time-index entry: some record at or after `base + rel` has
+/// append time `ts_ms` (timestamps are non-decreasing across entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeEntry {
+    /// Append timestamp in milliseconds.
+    pub ts_ms: u64,
+    /// Offset relative to the segment base.
+    pub rel: u32,
+}
+
+/// Everything a sealed segment's footer certifies, plus the decoded
+/// index entries. Shared between the store (seek path) and the log
+/// (lazy cold segments).
+#[derive(Debug)]
+pub struct SealedMeta {
+    /// Segment base offset.
+    pub base: Offset,
+    /// Exact length of the data file in bytes.
+    pub data_len: u64,
+    /// Records in the segment.
+    pub record_count: u64,
+    /// Offset of the last record.
+    pub last_offset: Offset,
+    /// Sum of the records' logical (in-memory wire) sizes — what the
+    /// log counts toward retention, distinct from on-disk bytes once
+    /// compression is on.
+    pub logical_bytes: u64,
+    /// Greatest append timestamp, in milliseconds.
+    pub max_ts_ms: u64,
+    /// Records carrying an EOS trailer (lets the dedup/txn rebuild skip
+    /// cold segments that provably hold none).
+    pub eos_count: u64,
+    /// Sparse offset index.
+    pub entries: Vec<IndexEntry>,
+    /// Sparse time index (empty if `<base>.timeindex` was invalid —
+    /// the offset index alone is enough to serve fetches).
+    pub time_entries: Vec<TimeEntry>,
+}
+
+impl SealedMeta {
+    /// Greatest indexed frame position at or before `offset` (0 when
+    /// the offset precedes the first entry: decode from the head, at
+    /// most one interval away).
+    pub fn seek_pos(&self, offset: Offset) -> u64 {
+        if offset < self.base {
+            return 0;
+        }
+        let rel = (offset - self.base).min(u32::MAX as u64) as u32;
+        let idx = self.entries.partition_point(|e| e.rel <= rel);
+        if idx == 0 {
+            0
+        } else {
+            self.entries[idx - 1].pos as u64
+        }
+    }
+}
+
+/// Path of the offset index sidecar.
+pub(crate) fn index_path(dir: &Path, base: Offset) -> PathBuf {
+    dir.join(format!("{base:020}.index"))
+}
+
+/// Path of the time index sidecar.
+pub(crate) fn timeindex_path(dir: &Path, base: Offset) -> PathBuf {
+    dir.join(format!("{base:020}.timeindex"))
+}
+
+/// Delete both sidecars (segment removed, or rebuild from scratch).
+pub(crate) fn remove_index_files(dir: &Path, base: Offset) {
+    let _ = fs::remove_file(index_path(dir, base));
+    let _ = fs::remove_file(timeindex_path(dir, base));
+}
+
+fn entry_bytes(entries: &[IndexEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(entries.len() * OFFSET_ENTRY_LEN);
+    for e in entries {
+        out.extend_from_slice(&e.rel.to_le_bytes());
+        out.extend_from_slice(&e.pos.to_le_bytes());
+    }
+    out
+}
+
+fn time_entry_bytes(entries: &[TimeEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(entries.len() * TIME_ENTRY_LEN);
+    for e in entries {
+        out.extend_from_slice(&e.ts_ms.to_le_bytes());
+        out.extend_from_slice(&e.rel.to_le_bytes());
+    }
+    out
+}
+
+/// Builds the sidecar indexes for the active segment, accumulating the
+/// stats the seal footer will certify. Entries are written through to
+/// the `.index`/`.timeindex` files as they are produced (no fsync —
+/// the active index is advisory and rebuilt on recovery anyway).
+#[derive(Debug)]
+pub(crate) struct IndexBuilder {
+    dir: PathBuf,
+    base: Offset,
+    interval: u64,
+    entries: Vec<IndexEntry>,
+    time_entries: Vec<TimeEntry>,
+    /// Data bytes accumulated since the last entry; primed to the
+    /// interval so the very first frame gets an entry at position 0.
+    bytes_since_entry: u64,
+    record_count: u64,
+    last_offset: Offset,
+    logical_bytes: u64,
+    max_ts_ms: u64,
+    eos_count: u64,
+    file: Option<File>,
+    tfile: Option<File>,
+}
+
+impl IndexBuilder {
+    /// Fresh builder for a new (or about-to-be-rebuilt) segment. Any
+    /// existing sidecar content is discarded on the first entry write.
+    pub(crate) fn new(dir: &Path, base: Offset, interval: u64) -> Self {
+        let interval = interval.max(1);
+        IndexBuilder {
+            dir: dir.to_path_buf(),
+            base,
+            interval,
+            entries: Vec::new(),
+            time_entries: Vec::new(),
+            bytes_since_entry: interval,
+            record_count: 0,
+            last_offset: base,
+            logical_bytes: 0,
+            max_ts_ms: 0,
+            eos_count: 0,
+            file: None,
+            tfile: None,
+        }
+    }
+
+    /// Account one appended frame (a single record or a compressed
+    /// batch) starting at byte `pos` of the data file.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_frame(
+        &mut self,
+        first: Offset,
+        last: Offset,
+        count: u64,
+        pos: u64,
+        frame_len: u64,
+        logical: u64,
+        max_ts_ms: u64,
+        eos: u64,
+    ) -> OctoResult<()> {
+        if self.bytes_since_entry >= self.interval {
+            let rel = (first - self.base).min(u32::MAX as u64) as u32;
+            let entry = IndexEntry { rel, pos: pos.min(u32::MAX as u64) as u32 };
+            let bytes = entry_bytes(std::slice::from_ref(&entry));
+            if self.file.is_none() {
+                self.file = Some(File::create(index_path(&self.dir, self.base))?);
+            }
+            self.file.as_mut().expect("just opened").write_all(&bytes)?;
+            self.entries.push(entry);
+            // time entries ride the offset-entry cadence; the file must
+            // stay sorted by timestamp, so stalls/regressions are skipped
+            if max_ts_ms >= self.max_ts_ms
+                && self.time_entries.last().map(|t| max_ts_ms > t.ts_ms).unwrap_or(true)
+            {
+                let tentry = TimeEntry { ts_ms: max_ts_ms, rel };
+                let tbytes = time_entry_bytes(std::slice::from_ref(&tentry));
+                if self.tfile.is_none() {
+                    self.tfile = Some(File::create(timeindex_path(&self.dir, self.base))?);
+                }
+                self.tfile.as_mut().expect("just opened").write_all(&tbytes)?;
+                self.time_entries.push(tentry);
+            }
+            self.bytes_since_entry = 0;
+        }
+        self.bytes_since_entry += frame_len;
+        self.record_count += count;
+        self.last_offset = last;
+        self.logical_bytes += logical;
+        self.max_ts_ms = self.max_ts_ms.max(max_ts_ms);
+        self.eos_count += eos;
+        Ok(())
+    }
+
+    /// Greatest indexed frame position at or before `offset` (active-
+    /// segment seeks).
+    pub(crate) fn seek_pos(&self, offset: Offset) -> u64 {
+        if offset < self.base || self.entries.is_empty() {
+            return 0;
+        }
+        let rel = (offset - self.base).min(u32::MAX as u64) as u32;
+        let idx = self.entries.partition_point(|e| e.rel <= rel);
+        if idx == 0 {
+            0
+        } else {
+            self.entries[idx - 1].pos as u64
+        }
+    }
+
+    /// Seal the segment: append the CRC'd footers, fsync both sidecars,
+    /// and return the certified metadata. `data_len` is the exact data
+    /// file length the footer vouches for.
+    pub(crate) fn seal(mut self, data_len: u64) -> OctoResult<Arc<SealedMeta>> {
+        // offset index: entries (already on disk) + footer
+        let ebytes = entry_bytes(&self.entries);
+        let mut footer = Vec::with_capacity(OFFSET_FOOTER_LEN);
+        footer.extend_from_slice(OFFSET_FOOTER_MAGIC);
+        footer.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        footer.extend_from_slice(&self.record_count.to_le_bytes());
+        footer.extend_from_slice(&data_len.to_le_bytes());
+        footer.extend_from_slice(&self.last_offset.to_le_bytes());
+        footer.extend_from_slice(&self.logical_bytes.to_le_bytes());
+        footer.extend_from_slice(&self.max_ts_ms.to_le_bytes());
+        footer.extend_from_slice(&self.eos_count.to_le_bytes());
+        let mut crc_input = ebytes.clone();
+        crc_input.extend_from_slice(&footer);
+        footer.extend_from_slice(&crc32c(&crc_input).to_le_bytes());
+        // rewrite entries + footer whole (the incremental handle may not
+        // exist, and a rewrite keeps the file canonical byte-for-byte)
+        drop(self.file.take());
+        let path = index_path(&self.dir, self.base);
+        let mut f = File::create(&path)?;
+        f.write_all(&ebytes)?;
+        f.write_all(&footer)?;
+        f.sync_data()?;
+
+        // time index
+        let tbytes = time_entry_bytes(&self.time_entries);
+        let mut tfooter = Vec::with_capacity(TIME_FOOTER_LEN);
+        tfooter.extend_from_slice(TIME_FOOTER_MAGIC);
+        tfooter.extend_from_slice(&(self.time_entries.len() as u32).to_le_bytes());
+        let mut tcrc_input = tbytes.clone();
+        tcrc_input.extend_from_slice(&tfooter);
+        tfooter.extend_from_slice(&crc32c(&tcrc_input).to_le_bytes());
+        drop(self.tfile.take());
+        let tpath = timeindex_path(&self.dir, self.base);
+        let mut tf = File::create(&tpath)?;
+        tf.write_all(&tbytes)?;
+        tf.write_all(&tfooter)?;
+        tf.sync_data()?;
+
+        Ok(Arc::new(SealedMeta {
+            base: self.base,
+            data_len,
+            record_count: self.record_count,
+            last_offset: self.last_offset,
+            logical_bytes: self.logical_bytes,
+            max_ts_ms: self.max_ts_ms,
+            eos_count: self.eos_count,
+            entries: std::mem::take(&mut self.entries),
+            time_entries: std::mem::take(&mut self.time_entries),
+        }))
+    }
+
+    /// Flush buffered entry writes (crash-consistency is not the goal —
+    /// recovery rebuilds the active index — but a graceful close should
+    /// leave the advisory entries readable).
+    pub(crate) fn flush(&mut self) -> OctoResult<()> {
+        if let Some(f) = self.file.as_mut() {
+            f.flush()?;
+        }
+        if let Some(f) = self.tfile.as_mut() {
+            f.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// Read and validate a sealed offset index (and its time index).
+/// `None` on any structural or CRC mismatch — the caller falls back to
+/// a full data scan.
+pub(crate) fn read_sealed(dir: &Path, base: Offset) -> Option<Arc<SealedMeta>> {
+    let bytes = fs::read(index_path(dir, base)).ok()?;
+    if bytes.len() < OFFSET_FOOTER_LEN {
+        return None;
+    }
+    let fstart = bytes.len() - OFFSET_FOOTER_LEN;
+    let footer = &bytes[fstart..];
+    if &footer[..8] != OFFSET_FOOTER_MAGIC {
+        return None;
+    }
+    let crc = u32::from_le_bytes(footer[OFFSET_FOOTER_LEN - 4..].try_into().expect("4 bytes"));
+    if crc32c(&bytes[..bytes.len() - 4]) != crc {
+        return None;
+    }
+    let entry_count = u32::from_le_bytes(footer[8..12].try_into().expect("4 bytes")) as usize;
+    if entry_count * OFFSET_ENTRY_LEN != fstart {
+        return None;
+    }
+    let mut at = 12;
+    let mut u64_field = |f: &[u8]| {
+        let v = u64::from_le_bytes(f[at..at + 8].try_into().expect("8 bytes"));
+        at += 8;
+        v
+    };
+    let record_count = u64_field(footer);
+    let data_len = u64_field(footer);
+    let last_offset = u64_field(footer);
+    let logical_bytes = u64_field(footer);
+    let max_ts_ms = u64_field(footer);
+    let eos_count = u64_field(footer);
+    if record_count == 0 || last_offset < base {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(entry_count);
+    let mut prev: Option<IndexEntry> = None;
+    for chunk in bytes[..fstart].chunks_exact(OFFSET_ENTRY_LEN) {
+        let e = IndexEntry {
+            rel: u32::from_le_bytes(chunk[..4].try_into().expect("4 bytes")),
+            pos: u32::from_le_bytes(chunk[4..].try_into().expect("4 bytes")),
+        };
+        // entries must be sorted for binary search and in-bounds
+        if let Some(p) = prev {
+            if e.rel <= p.rel || e.pos <= p.pos {
+                return None;
+            }
+        }
+        if e.pos as u64 >= data_len {
+            return None;
+        }
+        entries.push(e);
+        prev = Some(e);
+    }
+    let time_entries = read_time_index(dir, base).unwrap_or_default();
+    Some(Arc::new(SealedMeta {
+        base,
+        data_len,
+        record_count,
+        last_offset,
+        logical_bytes,
+        max_ts_ms,
+        eos_count,
+        entries,
+        time_entries,
+    }))
+}
+
+fn read_time_index(dir: &Path, base: Offset) -> Option<Vec<TimeEntry>> {
+    let bytes = fs::read(timeindex_path(dir, base)).ok()?;
+    if bytes.len() < TIME_FOOTER_LEN {
+        return None;
+    }
+    let fstart = bytes.len() - TIME_FOOTER_LEN;
+    let footer = &bytes[fstart..];
+    if &footer[..8] != TIME_FOOTER_MAGIC {
+        return None;
+    }
+    let crc = u32::from_le_bytes(footer[TIME_FOOTER_LEN - 4..].try_into().expect("4 bytes"));
+    if crc32c(&bytes[..bytes.len() - 4]) != crc {
+        return None;
+    }
+    let entry_count = u32::from_le_bytes(footer[8..12].try_into().expect("4 bytes")) as usize;
+    if entry_count * TIME_ENTRY_LEN != fstart {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(entry_count);
+    let mut prev_ts = 0u64;
+    for chunk in bytes[..fstart].chunks_exact(TIME_ENTRY_LEN) {
+        let e = TimeEntry {
+            ts_ms: u64::from_le_bytes(chunk[..8].try_into().expect("8 bytes")),
+            rel: u32::from_le_bytes(chunk[8..].try_into().expect("4 bytes")),
+        };
+        if e.ts_ms < prev_ts {
+            return None;
+        }
+        prev_ts = e.ts_ms;
+        entries.push(e);
+    }
+    Some(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TempDir;
+
+    fn build(dir: &Path, interval: u64, frames: &[(u64, u64, u64)]) -> Arc<SealedMeta> {
+        // frames: (first_offset, frame_len, ts)
+        let mut b = IndexBuilder::new(dir, 100, interval);
+        let mut pos = 0u64;
+        for (first, len, ts) in frames {
+            b.on_frame(*first, *first, 1, pos, *len, *len, *ts, 0).unwrap();
+            pos += len;
+        }
+        b.seal(pos).unwrap()
+    }
+
+    #[test]
+    fn seal_then_read_roundtrips_entries_and_stats() {
+        let tmp = TempDir::new("octopus-data-idx");
+        let frames: Vec<(u64, u64, u64)> =
+            (0..40).map(|i| (100 + i, 64, 1000 + i * 10)).collect();
+        let sealed = build(tmp.path(), 128, &frames);
+        let read = read_sealed(tmp.path(), 100).expect("valid sealed index");
+        assert_eq!(read.entries, sealed.entries);
+        assert_eq!(read.time_entries, sealed.time_entries);
+        assert_eq!(read.record_count, 40);
+        assert_eq!(read.last_offset, 139);
+        assert_eq!(read.data_len, 40 * 64);
+        assert_eq!(read.max_ts_ms, 1000 + 39 * 10);
+        // every ~128 bytes of 64-byte frames -> roughly every 2nd frame
+        assert!(read.entries.len() >= 15, "{} entries", read.entries.len());
+        assert!(read.time_entries.len() >= 15);
+    }
+
+    #[test]
+    fn seek_pos_lands_at_or_before_target() {
+        let tmp = TempDir::new("octopus-data-idx");
+        let frames: Vec<(u64, u64, u64)> = (0..64).map(|i| (100 + i, 32, 0)).collect();
+        let sealed = build(tmp.path(), 100, &frames);
+        for target in 100..164u64 {
+            let pos = sealed.seek_pos(target);
+            // the frame at `pos` starts at offset base + (pos / 32)
+            let frame_first = 100 + pos / 32;
+            assert!(frame_first <= target, "seek overshot: {frame_first} > {target}");
+            assert!(target - frame_first < 8, "seek too conservative at {target}: {pos}");
+        }
+        assert_eq!(sealed.seek_pos(5), 0, "before-base clamps to head");
+    }
+
+    #[test]
+    fn corrupt_or_truncated_index_is_rejected_not_trusted() {
+        let tmp = TempDir::new("octopus-data-idx");
+        let frames: Vec<(u64, u64, u64)> = (0..16).map(|i| (100 + i, 64, i)).collect();
+        build(tmp.path(), 64, &frames);
+        let path = index_path(tmp.path(), 100);
+        let good = fs::read(&path).unwrap();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            fs::write(&path, &bad).unwrap();
+            assert!(read_sealed(tmp.path(), 100).is_none(), "flip at {i} accepted");
+        }
+        for cut in 0..good.len() {
+            fs::write(&path, &good[..cut]).unwrap();
+            assert!(read_sealed(tmp.path(), 100).is_none(), "cut at {cut} accepted");
+        }
+        fs::write(&path, &good).unwrap();
+        assert!(read_sealed(tmp.path(), 100).is_some(), "pristine file rejected");
+        // a bad timeindex degrades to empty time entries, not a scan
+        let tpath = timeindex_path(tmp.path(), 100);
+        let mut tbad = fs::read(&tpath).unwrap();
+        let last = tbad.len() - 1;
+        tbad[last] ^= 0xff;
+        fs::write(&tpath, &tbad).unwrap();
+        let meta = read_sealed(tmp.path(), 100).expect("offset index still valid");
+        assert!(meta.time_entries.is_empty());
+    }
+}

@@ -39,6 +39,7 @@ pub mod eos;
 pub mod fault;
 pub mod group;
 pub mod health;
+pub mod index;
 pub mod lag;
 pub mod log;
 pub mod mirror;
@@ -46,6 +47,7 @@ pub mod reassign;
 pub mod record;
 mod replication;
 pub mod store;
+pub mod tier;
 
 pub use balance::{AutoBalancer, BalanceReport, BalancerAction, BalancerConfig};
 pub use broker::{Broker, BrokerId, LogHandle, SharedLog, StoreContext};
@@ -59,7 +61,7 @@ pub use eos::{
 };
 pub use cluster::key_partition;
 pub use fault::{DeliveryFault, FaultInjector, SeverObserver};
-pub use config::{CleanupPolicy, RetentionConfig, TopicConfig};
+pub use config::{CleanupPolicy, RetentionConfig, StorageSpec, TopicConfig};
 pub use group::{GroupCoordinator, GroupMember, MemberAssignment};
 pub use health::{
     BrokerHealth, BrokerLiveness, ClusterHealth, HealthReport, HealthStatus, HealthTransition,
@@ -69,7 +71,11 @@ pub use lag::{LagReport, LagTracker, PartitionLag};
 pub use log::{LogSnapshot, PartitionLog};
 pub use mirror::{MirrorHandle, MirrorMaker};
 pub use record::{crc32c, ControlMarker, Crc32c, ProducerStamp, Record, RecordBatch, RecordEos};
+pub use index::SealedMeta;
 pub use store::{
-    FlushPolicy, OffsetCheckpoint, OffsetEntry, ProducerCheckpoint, ProducerCkptEntry,
-    RecoveryStats, StoreMetrics, SyncTicket, TempDir,
+    FlushPolicy, LazySegment, OffsetCheckpoint, OffsetEntry, ProducerCheckpoint,
+    ProducerCkptEntry, RecoveredSegment, RecoveredSegments, RecoveryStats, SeekMode, StoreMetrics,
+    StoreOptions, SyncTicket, TempDir,
 };
+pub use tier::{ColdStore, FsColdStore, TierMarker};
+pub use octopus_compression::Compression;

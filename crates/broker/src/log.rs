@@ -29,7 +29,10 @@ use octopus_types::{OctoError, OctoResult, Offset, Timestamp};
 
 use crate::config::{CleanupPolicy, RetentionConfig};
 use crate::record::{Record, RecordBatch};
-use crate::store::{FlushPolicy, PartitionStore, RecoveryStats, StoreMetrics, SyncTicket};
+use crate::store::{
+    FlushPolicy, LazySegment, PartitionStore, RecoveredSegment, RecoveredSegments, RecoveryStats,
+    StoreMetrics, StoreOptions, SyncTicket,
+};
 
 /// Default maximum segment size before rolling (1 MiB here; Kafka's
 /// default is 1 GiB — scaled down for in-memory use).
@@ -46,7 +49,7 @@ struct Segment {
     base_offset: Offset,
     /// Immutable runs of records, in offset order. Readers hold these
     /// by `Arc`; mutations (compaction, truncation, fault injection)
-    /// rebuild the affected chunks.
+    /// rebuild the affected chunks. Empty while `lazy` is set.
     chunks: Vec<Arc<[Record]>>,
     record_count: usize,
     size_bytes: usize,
@@ -55,6 +58,10 @@ struct Segment {
     /// invalidated by any mutation of this segment. Sharing the cache
     /// between clones is safe: snapshots are immutable.
     snap_cache: Option<Arc<SegmentSnapshot>>,
+    /// Sealed segment adopted from its index footer at recovery: the
+    /// counts above come from the footer, and the records load from
+    /// disk (or the cold tier) only when a read actually lands here.
+    lazy: Option<Arc<LazySegment>>,
 }
 
 impl Segment {
@@ -66,7 +73,50 @@ impl Segment {
             size_bytes: 0,
             max_timestamp: Timestamp::from_millis(0),
             snap_cache: None,
+            lazy: None,
         }
+    }
+
+    /// Adopt a footer-certified sealed segment without loading records.
+    fn from_lazy(lazy: Arc<LazySegment>) -> Self {
+        Segment {
+            base_offset: lazy.base(),
+            chunks: Vec::new(),
+            record_count: lazy.record_count() as usize,
+            size_bytes: lazy.logical_bytes() as usize,
+            max_timestamp: Timestamp::from_millis(lazy.max_ts_ms()),
+            snap_cache: None,
+            lazy: Some(lazy),
+        }
+    }
+
+    /// Offset of the last record, from the footer when lazy.
+    fn last_offset(&self) -> Option<Offset> {
+        if let Some(lazy) = &self.lazy {
+            return Some(lazy.last_offset());
+        }
+        self.chunks.last().and_then(|c| c.last()).map(|r| r.offset)
+    }
+
+    /// The segment's chunk list, loading a lazy segment's records
+    /// (shared decode) without making them permanently resident.
+    fn loaded(&self) -> OctoResult<Vec<Arc<[Record]>>> {
+        if let Some(lazy) = &self.lazy {
+            return Ok(vec![lazy.records()?]);
+        }
+        Ok(self.chunks.clone())
+    }
+
+    /// Convert a lazy segment into a resident one (mutations need
+    /// owned chunks). No-op when already resident.
+    fn materialize(&mut self) -> OctoResult<()> {
+        if let Some(lazy) = &self.lazy {
+            let records = lazy.records()?;
+            self.chunks = vec![records];
+            self.lazy = None;
+            self.snap_cache = None;
+        }
+        Ok(())
     }
 
     fn next_offset(&self) -> Offset {
@@ -90,6 +140,7 @@ impl Segment {
             .unwrap_or(Timestamp::from_millis(0));
         self.chunks = if records.is_empty() { Vec::new() } else { vec![Arc::from(records)] };
         self.snap_cache = None;
+        self.lazy = None;
     }
 
     /// Rebuild a segment from recovered records (sizes and timestamps
@@ -120,12 +171,15 @@ impl Segment {
     }
 
     /// All records as one contiguous run (cold paths that need a slice:
-    /// store rewrites, resync).
-    fn contiguous(&self) -> Arc<[Record]> {
-        if self.chunks.len() == 1 {
-            return self.chunks[0].clone();
+    /// store rewrites, resync). Loads lazy segments.
+    fn contiguous(&self) -> OctoResult<Arc<[Record]>> {
+        if let Some(lazy) = &self.lazy {
+            return lazy.records();
         }
-        self.records().cloned().collect::<Vec<_>>().into()
+        if self.chunks.len() == 1 {
+            return Ok(self.chunks[0].clone());
+        }
+        Ok(self.records().cloned().collect::<Vec<_>>().into())
     }
 }
 
@@ -135,12 +189,34 @@ impl Segment {
 pub struct SegmentSnapshot {
     base_offset: Offset,
     max_timestamp: Timestamp,
-    chunks: Vec<Arc<[Record]>>,
+    body: SnapshotBody,
+}
+
+/// How a snapshotted segment holds its records.
+#[derive(Debug)]
+enum SnapshotBody {
+    /// Resident chunks, shared with the live log.
+    Chunks(Vec<Arc<[Record]>>),
+    /// Footer-certified sealed segment; records load on first read.
+    Lazy(Arc<LazySegment>),
 }
 
 impl SegmentSnapshot {
-    fn records(&self) -> impl Iterator<Item = &Record> {
-        self.chunks.iter().flat_map(|c| c.iter())
+    fn loaded(&self) -> OctoResult<Vec<Arc<[Record]>>> {
+        match &self.body {
+            SnapshotBody::Chunks(chunks) => Ok(chunks.clone()),
+            SnapshotBody::Lazy(lazy) => Ok(vec![lazy.records()?]),
+        }
+    }
+
+    /// Offset of the last record without loading a lazy body.
+    fn last_offset(&self) -> Option<Offset> {
+        match &self.body {
+            SnapshotBody::Chunks(chunks) => {
+                chunks.last().and_then(|c| c.last()).map(|r| r.offset)
+            }
+            SnapshotBody::Lazy(lazy) => Some(lazy.last_offset()),
+        }
     }
 }
 
@@ -200,14 +276,20 @@ impl LogSnapshot {
             Err(i) => i - 1,
         };
         'outer: for seg in &self.segments[seg_idx..] {
-            for rec in seg.records() {
-                if rec.offset < offset {
-                    continue;
+            // skip (and never load) segments wholly below the target
+            if seg.last_offset().is_none_or(|l| l < offset) {
+                continue;
+            }
+            for chunk in seg.loaded()? {
+                for rec in chunk.iter() {
+                    if rec.offset < offset {
+                        continue;
+                    }
+                    if out.len() >= max_records {
+                        break 'outer;
+                    }
+                    out.push(rec.clone());
                 }
-                if out.len() >= max_records {
-                    break 'outer;
-                }
-                out.push(rec.clone());
             }
         }
         Ok(out)
@@ -221,7 +303,10 @@ impl LogSnapshot {
             if seg.max_timestamp < ts {
                 continue;
             }
-            for rec in seg.records() {
+            // best-effort on a lazy segment that fails to load: the
+            // max-timestamp prefilter already bounded the answer
+            let Ok(chunks) = seg.loaded() else { continue };
+            for rec in chunks.iter().flat_map(|c| c.iter()) {
                 if rec.append_time >= ts {
                     return rec.offset;
                 }
@@ -310,7 +395,21 @@ impl PartitionLog {
         policy: FlushPolicy,
         metrics: StoreMetrics,
     ) -> OctoResult<(Self, RecoveryStats)> {
-        let (store, recovered, stats) = PartitionStore::open(dir, policy, metrics)?;
+        Self::open_durable_with(segment_bytes, dir, policy, metrics, StoreOptions::default())
+    }
+
+    /// [`PartitionLog::open_durable`] with explicit storage options:
+    /// sparse index density, per-batch compression, and cold tiering.
+    /// Sealed segments recovered via their index footers are adopted
+    /// lazily — reopen reads no sealed data at all.
+    pub fn open_durable_with(
+        segment_bytes: usize,
+        dir: impl Into<std::path::PathBuf>,
+        policy: FlushPolicy,
+        metrics: StoreMetrics,
+        opts: StoreOptions,
+    ) -> OctoResult<(Self, RecoveryStats)> {
+        let (store, recovered, stats) = PartitionStore::open_with(dir, policy, metrics, opts)?;
         let mut log = PartitionLog::with_segment_bytes(segment_bytes);
         log.store = Some(store);
         log.adopt_recovered(recovered);
@@ -342,10 +441,14 @@ impl PartitionLog {
         let mut segments = Vec::with_capacity(self.segments.len());
         for seg in &mut self.segments {
             if seg.snap_cache.is_none() {
+                let body = match &seg.lazy {
+                    Some(lazy) => SnapshotBody::Lazy(Arc::clone(lazy)),
+                    None => SnapshotBody::Chunks(seg.chunks.clone()),
+                };
                 seg.snap_cache = Some(Arc::new(SegmentSnapshot {
                     base_offset: seg.base_offset,
                     max_timestamp: seg.max_timestamp,
-                    chunks: seg.chunks.clone(),
+                    body,
                 }));
             }
             segments.push(seg.snap_cache.clone().expect("just filled"));
@@ -355,7 +458,9 @@ impl PartitionLog {
     }
 
     /// Replace in-memory state with segments recovered from disk.
-    fn adopt_recovered(&mut self, recovered: Vec<(Offset, Vec<Record>)>) {
+    /// Footer-adopted sealed segments stay lazy (no data read); the
+    /// active tail and any rescanned segment arrive resident.
+    fn adopt_recovered(&mut self, recovered: RecoveredSegments) {
         if recovered.is_empty() {
             self.segments = vec![Segment::new(0)];
             self.log_start = 0;
@@ -363,7 +468,12 @@ impl PartitionLog {
         } else {
             self.segments = recovered
                 .into_iter()
-                .map(|(base, records)| Segment::from_records(base, records))
+                .map(|seg| match seg {
+                    RecoveredSegment::Resident { base, records } => {
+                        Segment::from_records(base, records)
+                    }
+                    RecoveredSegment::Sealed(lazy) => Segment::from_lazy(lazy),
+                })
                 .collect();
             self.log_start = self.segments[0].base_offset;
             self.total_bytes = self.segments.iter().map(|s| s.size_bytes).sum();
@@ -395,8 +505,11 @@ impl PartitionLog {
         self.log_start = snapshot.log_start;
         self.total_bytes = snapshot.total_bytes;
         if let Some(store) = self.store.as_mut() {
-            let runs: Vec<(Offset, Arc<[Record]>)> =
-                self.segments.iter().map(|s| (s.base_offset, s.contiguous())).collect();
+            let runs: Vec<(Offset, Arc<[Record]>)> = self
+                .segments
+                .iter()
+                .map(|s| Ok((s.base_offset, s.contiguous()?)))
+                .collect::<OctoResult<_>>()?;
             store.reset_with(runs.iter().map(|(base, recs)| (*base, &recs[..])))?;
         }
         self.publish();
@@ -430,6 +543,30 @@ impl PartitionLog {
     /// Bytes appended but not yet known to be on stable storage.
     pub fn unflushed_bytes(&self) -> u64 {
         self.store.as_ref().map(|s| s.unflushed_bytes()).unwrap_or(0)
+    }
+
+    /// The durable backing store, if any (benches and drills reach the
+    /// seek/tiering machinery through this).
+    pub fn store(&self) -> Option<&PartitionStore> {
+        self.store.as_ref()
+    }
+
+    /// Mutable access to the durable backing store, if any.
+    pub fn store_mut(&mut self) -> Option<&mut PartitionStore> {
+        self.store.as_mut()
+    }
+
+    /// Offload every sealed segment's data file to the cold tier now.
+    /// Returns how many segments moved (0 without a store or cold tier).
+    pub fn offload_cold(&mut self) -> OctoResult<u64> {
+        self.store.as_mut().map_or(Ok(0), |s| s.offload_now())
+    }
+
+    /// Records currently resident in RAM (lazy sealed segments count
+    /// zero until a read materializes them) — lets tests assert that
+    /// reopen did not load sealed data.
+    pub fn resident_records(&self) -> usize {
+        self.segments.iter().filter(|s| s.lazy.is_none()).map(|s| s.record_count).sum()
     }
 
     /// Change the segment roll size for future appends (topic config
@@ -645,11 +782,15 @@ impl PartitionLog {
             Err(i) => i - 1,
         };
         for seg in &self.segments[seg_idx..] {
-            for rec in seg.records() {
-                if rec.offset < from {
-                    continue;
-                }
-                store.append(rec, seg.base_offset)?;
+            // whole per-segment runs go down as one batch: a single
+            // write(2), and under Lz4 one compressed frame per run
+            let run: Vec<Record> = seg
+                .records()
+                .filter(|rec| rec.offset >= from)
+                .cloned()
+                .collect();
+            if !run.is_empty() {
+                store.append_batch(&run, seg.base_offset)?;
             }
         }
         if deferred {
@@ -663,7 +804,12 @@ impl PartitionLog {
     /// trailing segments that end up empty (but always keeping one).
     fn truncate_from_offset(&mut self, from: Offset) {
         for seg in &mut self.segments {
-            let last_off = seg.chunks.last().and_then(|c| c.last()).map(|r| r.offset);
+            if seg.lazy.is_some() {
+                // lazy segments are sealed history; append rollbacks
+                // only ever touch the resident tail
+                continue;
+            }
+            let last_off = seg.last_offset();
             if last_off.map(|o| o < from).unwrap_or(true) {
                 continue; // nothing at or beyond `from` in this segment
             }
@@ -752,22 +898,32 @@ impl PartitionLog {
             return 0;
         }
         // newest offset per key across *all* retained records (later
-        // segments supersede earlier ones)
+        // segments supersede earlier ones); lazy segments load via the
+        // shared-decode cache and an unreadable one is left untouched
         let mut newest: HashMap<Bytes, Offset> = HashMap::new();
+        let mut loaded: Vec<Option<Vec<Arc<[Record]>>>> = Vec::with_capacity(self.segments.len());
         for seg in &self.segments {
-            for rec in seg.records() {
-                if let Some(k) = &rec.key {
-                    newest.insert(k.clone(), rec.offset);
+            match seg.loaded() {
+                Ok(chunks) => {
+                    for rec in chunks.iter().flat_map(|c| c.iter()) {
+                        if let Some(k) = &rec.key {
+                            newest.insert(k.clone(), rec.offset);
+                        }
+                    }
+                    loaded.push(Some(chunks));
                 }
+                Err(_) => loaded.push(None),
             }
         }
         let mut removed = 0usize;
         let last = self.segments.len() - 1;
         let mut store_rewrites: Vec<(Offset, Arc<[Record]>)> = Vec::new();
-        for seg in &mut self.segments[..last] {
-            let before = seg.record_count;
-            let kept: Vec<Record> = seg
-                .records()
+        for (seg, chunks) in self.segments[..last].iter_mut().zip(&loaded) {
+            let Some(chunks) = chunks else { continue };
+            let before: usize = chunks.iter().map(|c| c.len()).sum();
+            let kept: Vec<Record> = chunks
+                .iter()
+                .flat_map(|c| c.iter())
                 .filter(|rec| match &rec.key {
                     Some(k) => newest.get(k) == Some(&rec.offset),
                     None => true,
@@ -785,7 +941,8 @@ impl PartitionLog {
             seg.base_offset = base;
             seg.max_timestamp = max_ts;
             self.total_bytes -= old_size - seg.size_bytes;
-            store_rewrites.push((base, seg.contiguous()));
+            store_rewrites
+                .push((base, seg.contiguous().expect("segment just made resident")));
         }
         if let Some(store) = self.store.as_mut() {
             for (base, records) in &store_rewrites {
@@ -808,6 +965,9 @@ impl PartitionLog {
     pub fn corrupt_tail(&mut self, n: usize) -> usize {
         let mut corrupted = 0usize;
         'outer: for seg in self.segments.iter_mut().rev() {
+            if seg.lazy.is_some() && seg.materialize().is_err() {
+                break; // unreadable cold segment: nothing to corrupt
+            }
             for chunk in seg.chunks.iter_mut().rev() {
                 if corrupted >= n {
                     break 'outer;

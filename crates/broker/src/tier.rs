@@ -1,0 +1,194 @@
+//! Tiered cold storage for sealed segments.
+//!
+//! Octopus's long-lived scientific topics accumulate data far past what
+//! the hot NVMe tier should hold (§IV-F). Once a segment is sealed (and
+//! therefore immutable), its **data file** can be offloaded to a
+//! [`ColdStore`] — an object-store-shaped byte sink — while the sparse
+//! index stays hot. The segment directory keeps a small `<base>.tier`
+//! marker naming the cold object so recovery and fetches know where the
+//! bytes went. A fetch that lands on a cold segment hydrates it back
+//! (single-flight, see `store::SegmentIo`) and then reads locally.
+//!
+//! The trait is deliberately minimal — `put`/`get`/`delete` over whole
+//! objects — so an S3/Ceph-backed impl slots in without touching the
+//! store. The in-tree [`FsColdStore`] targets a local directory and is
+//! what tests, chaos drills, and single-node deployments use.
+
+use std::fmt::Debug;
+use std::fs;
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use octopus_types::{OctoError, OctoResult, Offset};
+use serde::{Deserialize, Serialize};
+
+/// Whole-object byte store for offloaded segment data files.
+///
+/// Implementations must be safe for concurrent use; `put` must be
+/// atomic (readers see the old object or the whole new one, never a
+/// torn write) and `delete` idempotent.
+pub trait ColdStore: Send + Sync + Debug {
+    /// Store `bytes` under `key`, replacing any existing object.
+    fn put(&self, key: &str, bytes: &[u8]) -> OctoResult<()>;
+    /// Fetch the object at `key`; `Ok(None)` when it does not exist.
+    fn get(&self, key: &str) -> OctoResult<Option<Vec<u8>>>;
+    /// Remove the object at `key` (no-op when absent).
+    fn delete(&self, key: &str) -> OctoResult<()>;
+}
+
+/// Filesystem-backed [`ColdStore`]: objects are files under a root
+/// directory, written via tmp + rename so a crash mid-`put` never
+/// leaves a torn object.
+#[derive(Debug)]
+pub struct FsColdStore {
+    root: PathBuf,
+    seq: AtomicU64,
+}
+
+impl FsColdStore {
+    /// Cold store rooted at `root` (created on demand).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        FsColdStore { root: root.into(), seq: AtomicU64::new(0) }
+    }
+
+    /// Root directory holding the cold objects.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn object_path(&self, key: &str) -> OctoResult<PathBuf> {
+        // keys are slash-separated relative paths; refuse anything that
+        // could escape the root
+        if key.is_empty()
+            || key.starts_with('/')
+            || key.split('/').any(|c| c.is_empty() || c == "." || c == "..")
+        {
+            return Err(OctoError::Invalid(format!("invalid cold-store key {key:?}")));
+        }
+        Ok(self.root.join(key))
+    }
+}
+
+impl ColdStore for FsColdStore {
+    fn put(&self, key: &str, bytes: &[u8]) -> OctoResult<()> {
+        let path = self.object_path(key)?;
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let n = self.seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("put-{}-{n}.tmp", std::process::id()));
+        fs::write(&tmp, bytes)?;
+        let file = fs::File::open(&tmp)?;
+        file.sync_data()?;
+        drop(file);
+        if let Err(err) = fs::rename(&tmp, &path) {
+            let _ = fs::remove_file(&tmp);
+            return Err(err.into());
+        }
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> OctoResult<Option<Vec<u8>>> {
+        let path = self.object_path(key)?;
+        match fs::read(&path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(err) if err.kind() == ErrorKind::NotFound => Ok(None),
+            Err(err) => Err(err.into()),
+        }
+    }
+
+    fn delete(&self, key: &str) -> OctoResult<()> {
+        let path = self.object_path(key)?;
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(err) if err.kind() == ErrorKind::NotFound => Ok(()),
+            Err(err) => Err(err.into()),
+        }
+    }
+}
+
+/// On-disk `<base>.tier` marker left in the segment directory when the
+/// data file has been offloaded: names the cold object and the exact
+/// byte length hydration must get back.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierMarker {
+    /// Cold-store object key holding the segment data file.
+    pub key: String,
+    /// Exact data file length in bytes.
+    pub data_len: u64,
+}
+
+/// Path of the tier marker for segment `base`.
+pub(crate) fn marker_path(dir: &Path, base: Offset) -> PathBuf {
+    dir.join(format!("{base:020}.tier"))
+}
+
+/// Read and parse the tier marker, if present and well-formed. A
+/// malformed marker is treated as absent (the caller then decides
+/// whether the hot file makes the segment whole).
+pub(crate) fn read_marker(dir: &Path, base: Offset) -> Option<TierMarker> {
+    let bytes = fs::read(marker_path(dir, base)).ok()?;
+    serde_json::from_slice(&bytes).ok()
+}
+
+/// Atomically write the tier marker (tmp + rename + fsync).
+pub(crate) fn write_marker(dir: &Path, base: Offset, marker: &TierMarker) -> OctoResult<()> {
+    let path = marker_path(dir, base);
+    let tmp = path.with_extension("tier.tmp");
+    let json = serde_json::to_vec(marker)
+        .map_err(|e| OctoError::Serde(format!("tier marker encode: {e}")))?;
+    fs::write(&tmp, &json)?;
+    let file = fs::File::open(&tmp)?;
+    file.sync_data()?;
+    drop(file);
+    fs::rename(&tmp, &path)?;
+    Ok(())
+}
+
+/// Remove the tier marker (idempotent).
+pub(crate) fn remove_marker(dir: &Path, base: Offset) {
+    let _ = fs::remove_file(marker_path(dir, base));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TempDir;
+
+    #[test]
+    fn fs_cold_store_put_get_delete_roundtrip() {
+        let tmp = TempDir::new("octopus-cold");
+        let store = FsColdStore::new(tmp.path());
+        assert_eq!(store.get("a/b/seg").unwrap(), None);
+        store.put("a/b/seg", b"hello cold world").unwrap();
+        assert_eq!(store.get("a/b/seg").unwrap().as_deref(), Some(&b"hello cold world"[..]));
+        store.put("a/b/seg", b"v2").unwrap();
+        assert_eq!(store.get("a/b/seg").unwrap().as_deref(), Some(&b"v2"[..]));
+        store.delete("a/b/seg").unwrap();
+        store.delete("a/b/seg").unwrap();
+        assert_eq!(store.get("a/b/seg").unwrap(), None);
+    }
+
+    #[test]
+    fn traversal_keys_are_rejected() {
+        let tmp = TempDir::new("octopus-cold");
+        let store = FsColdStore::new(tmp.path());
+        for key in ["", "/abs", "a//b", "../escape", "a/./b", "a/../b"] {
+            assert!(store.put(key, b"x").is_err(), "key {key:?} accepted");
+        }
+    }
+
+    #[test]
+    fn marker_roundtrip_and_malformed_marker_ignored() {
+        let tmp = TempDir::new("octopus-data-tier");
+        let marker = TierMarker { key: "t/0/seg".into(), data_len: 4096 };
+        write_marker(tmp.path(), 42, &marker).unwrap();
+        assert_eq!(read_marker(tmp.path(), 42), Some(marker));
+        fs::write(marker_path(tmp.path(), 42), b"not json").unwrap();
+        assert_eq!(read_marker(tmp.path(), 42), None);
+        remove_marker(tmp.path(), 42);
+        remove_marker(tmp.path(), 42);
+        assert_eq!(read_marker(tmp.path(), 42), None);
+    }
+}

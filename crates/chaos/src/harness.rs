@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use octopus_broker::{
     AckLevel, AutoBalancer, BalancerConfig, BrokerId, Cluster, FlushPolicy, HealthReport,
-    TopicConfig,
+    StorageSpec, TopicConfig,
 };
 use octopus_sdk::{Consumer, ConsumerConfig, Producer, ProducerConfig};
 use octopus_trigger::{AutoscalerConfig, FunctionConfig, TriggerRuntime, TriggerSpec};
@@ -72,6 +72,12 @@ pub struct ChaosConfig {
     /// Catch-up bandwidth cap for elastic-mode moves (`u64::MAX` =
     /// unthrottled).
     pub move_throttle_bytes_per_sec: u64,
+    /// Storage-engine shape for the chaos topic: segment roll size,
+    /// sparse-index interval, per-batch compression, and cold-tier
+    /// threshold. Defaults keep the seed behaviour (large segments,
+    /// no compression, no tiering); drills override this to run the
+    /// oracles against the full storage stack.
+    pub storage: StorageSpec,
 }
 
 impl Default for ChaosConfig {
@@ -88,6 +94,7 @@ impl Default for ChaosConfig {
             strict_eos: false,
             scale_to: None,
             move_throttle_bytes_per_sec: u64::MAX,
+            storage: StorageSpec::default(),
         }
     }
 }
@@ -226,10 +233,16 @@ impl ChaosHarness {
         cluster
             .create_topic(
                 &cfg.topic,
-                TopicConfig::default()
-                    .with_partitions(cfg.partitions.max(1))
-                    .with_replication(rf)
-                    .with_min_insync(min_isr),
+                TopicConfig {
+                    segment_bytes: cfg.storage.segment_bytes,
+                    index_interval_bytes: cfg.storage.index_interval_bytes,
+                    compression: cfg.storage.compression,
+                    cold_after_bytes: cfg.storage.cold_after_bytes,
+                    ..TopicConfig::default()
+                }
+                .with_partitions(cfg.partitions.max(1))
+                .with_replication(rf)
+                .with_min_insync(min_isr),
             )
             .expect("chaos topic");
 
@@ -607,6 +620,39 @@ mod tests {
             "{}",
             report.trace.entries[0].outcome
         );
+    }
+
+    #[test]
+    fn full_storage_stack_survives_power_loss() {
+        // The whole PR-10 storage stack at once: tiny segments so the
+        // run rolls constantly, a dense sparse index, per-batch LZ4
+        // compression, and a cold tier that offloads every sealed
+        // segment — then power loss mid-traffic. The no-committed-loss
+        // and strict-EOS oracles must hold over compressed frames,
+        // rebuilt indexes, and hydrated cold segments alike.
+        let tmp = octopus_broker::TempDir::new("octopus-data-tiered");
+        let plan = FaultPlan::new(51)
+            .at(25, FaultKind::PowerLoss { broker: 1, entropy: 0x5EED_CAFE })
+            .at(80, FaultKind::BrokerRestart { broker: 1 });
+        let report = ChaosHarness::new(plan)
+            .with_config(ChaosConfig {
+                data_dir: Some(tmp.path().to_path_buf()),
+                flush_policy: FlushPolicy::PerBatch,
+                strict_eos: true,
+                drain_timeout: Duration::from_secs(10),
+                storage: StorageSpec {
+                    segment_bytes: 4 * 1024,
+                    index_interval_bytes: 512,
+                    compression: octopus_broker::Compression::Lz4,
+                    cold_after_bytes: Some(0),
+                },
+                ..ChaosConfig::default()
+            })
+            .run();
+        report.assert_invariants();
+        assert_eq!(report.duplicates(), 0, "strict mode saw duplicate deliveries");
+        assert!(!report.acked.is_empty(), "producer made progress");
+        assert!(report.recovery.flushes > 0, "PerBatch policy fsynced");
     }
 
     #[test]

@@ -1,0 +1,393 @@
+//! An in-repo LZ4-style block codec for the Octopus storage engine.
+//!
+//! The paper's event fabric retains multi-GB topic histories (§IV-F);
+//! keeping them cheap on disk needs per-batch compression, and the
+//! workspace's substitution rule forbids external compression crates —
+//! so this crate implements the codec from scratch. The format is
+//! LZ4-flavoured: a stream of *sequences*, each a run of literals
+//! followed by a back-reference copy into the already-decoded output.
+//!
+//! # Block format
+//!
+//! ```text
+//! sequence := token [lit-ext]* literal* (offset: u16 LE) [match-ext]*
+//! token    := (literal_len: 4 bits) << 4 | (match_len - 4: 4 bits)
+//! ```
+//!
+//! A nibble value of 15 means "add the following extension bytes":
+//! each `0xFF` extension byte adds 255, the first non-`0xFF` byte adds
+//! its own value and terminates the run (the classic LZ4 length
+//! encoding). The final sequence of a block carries literals only — it
+//! ends at the last literal byte with no offset. Back-reference
+//! offsets are 1..=65535 bytes into the decoded output; matches may
+//! self-overlap (offset < match length), which is how runs compress.
+//!
+//! # Safety posture
+//!
+//! [`decompress`] is the decoder the broker runs against bytes read
+//! back from disk (or hydrated from a cold tier), so it must never
+//! panic and never allocate unboundedly: every read is bounds-checked,
+//! the output is capped at the caller-declared `expected_len`, and any
+//! structural violation returns a typed [`CodecError`] — mirroring the
+//! panic-free posture of the wire-frame decoder (DESIGN.md §13).
+//!
+//! The compressor is a greedy hash-chain match finder: 4-byte prefixes
+//! hash into a head table whose buckets chain back through earlier
+//! occurrences, and each position takes the longest match found within
+//! a bounded chain walk (no optimal parsing — this is the LZ4 speed
+//! point, not the zstd ratio point).
+
+use serde::{Deserialize, Serialize};
+
+/// Whether (and how) a topic compresses record batches on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Compression {
+    /// Frames are written uncompressed (the pre-PR-10 format).
+    #[default]
+    None,
+    /// Batches are compressed with this crate's LZ4-style block codec.
+    Lz4,
+}
+
+/// Typed decoder failures. The storage engine maps any of these to
+/// "torn/corrupt frame" and truncates, exactly like a frame-CRC
+/// mismatch — a hostile block can waste time, never memory or control
+/// flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended inside a token, extension run, literal run, or
+    /// offset field.
+    Truncated,
+    /// A back-reference points before the start of the output.
+    BadOffset,
+    /// A zero offset (the format has no valid encoding for it).
+    ZeroOffset,
+    /// Decoding produced more bytes than the declared length.
+    OutputOverflow,
+    /// Decoding finished with fewer bytes than the declared length.
+    LengthMismatch {
+        /// Bytes the caller declared.
+        expected: usize,
+        /// Bytes actually produced.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "compressed block truncated"),
+            CodecError::BadOffset => write!(f, "back-reference before start of output"),
+            CodecError::ZeroOffset => write!(f, "zero back-reference offset"),
+            CodecError::OutputOverflow => write!(f, "decoded past declared length"),
+            CodecError::LengthMismatch { expected, got } => {
+                write!(f, "decoded {got} bytes, declared {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const MIN_MATCH: usize = 4;
+/// Maximum back-reference distance (u16 offset field).
+const MAX_OFFSET: usize = 65_535;
+/// Hash-table buckets (4-byte prefixes hashed to 15 bits).
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+/// How many chain links a position follows looking for a longer match.
+/// Greedy + shallow chains is the LZ4 speed/ratio point.
+const MAX_CHAIN: usize = 16;
+/// The last bytes of a block are always emitted as literals (there is
+/// no room for a match that the end-of-input checks would allow).
+const TAIL_LITERALS: usize = 5;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    // Fibonacci hashing over the 4-byte little-endian prefix.
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(2_654_435_761) >> (32 - HASH_BITS)) as usize
+}
+
+fn push_len(out: &mut Vec<u8>, mut n: usize) {
+    while n >= 255 {
+        out.push(0xFF);
+        n -= 255;
+    }
+    out.push(n as u8);
+}
+
+fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], match_len: usize, offset: usize) {
+    let lit_nibble = literals.len().min(15);
+    let match_nibble = if match_len == 0 { 0 } else { (match_len - MIN_MATCH).min(15) };
+    out.push(((lit_nibble as u8) << 4) | match_nibble as u8);
+    if lit_nibble == 15 {
+        push_len(out, literals.len() - 15);
+    }
+    out.extend_from_slice(literals);
+    if match_len > 0 {
+        out.extend_from_slice(&(offset as u16).to_le_bytes());
+        if match_nibble == 15 {
+            push_len(out, match_len - MIN_MATCH - 15);
+        }
+    }
+}
+
+/// Compress `src` into a fresh block. Incompressible input degrades to
+/// one literal run with ~0.4% framing overhead, never an error.
+pub fn compress(src: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(src.len() / 2 + 16);
+    if src.len() < MIN_MATCH + TAIL_LITERALS {
+        emit_sequence(&mut out, src, 0, 0);
+        return out;
+    }
+    let mut head = vec![u32::MAX; HASH_SIZE];
+    let mut prev = vec![u32::MAX; src.len()];
+    let match_limit = src.len() - TAIL_LITERALS;
+    let mut anchor = 0usize;
+    let mut pos = 0usize;
+    while pos < match_limit {
+        let h = hash4(&src[pos..]);
+        // hash-chain walk: longest match among the last MAX_CHAIN
+        // occurrences of this 4-byte prefix within the offset window
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        let mut candidate = head[h];
+        let mut depth = 0;
+        while candidate != u32::MAX && depth < MAX_CHAIN {
+            let cand = candidate as usize;
+            if pos - cand > MAX_OFFSET {
+                break; // chain only gets older from here
+            }
+            let limit = match_limit + TAIL_LITERALS - pos; // may run into the tail
+            let mut len = 0usize;
+            while len < limit && src[cand + len] == src[pos + len] {
+                len += 1;
+            }
+            if len >= MIN_MATCH && len > best_len {
+                best_len = len;
+                best_off = pos - cand;
+            }
+            candidate = prev[cand];
+            depth += 1;
+        }
+        prev[pos] = head[h];
+        head[h] = pos as u32;
+        if best_len == 0 {
+            pos += 1;
+            continue;
+        }
+        emit_sequence(&mut out, &src[anchor..pos], best_len, best_off);
+        // index the positions the match skips so later matches can
+        // reference into it (every other position keeps it cheap)
+        let match_end = pos + best_len;
+        let mut p = pos + 1;
+        while p < match_end.min(match_limit) {
+            let h = hash4(&src[p..]);
+            prev[p] = head[h];
+            head[h] = p as u32;
+            p += 2;
+        }
+        pos = match_end;
+        anchor = match_end;
+    }
+    emit_sequence(&mut out, &src[anchor..], 0, 0);
+    out
+}
+
+/// Decompress a block produced by [`compress`]. `expected_len` is the
+/// caller-declared decoded size (the storage frame header carries it):
+/// the output allocation is exactly that, and a block decoding to any
+/// other length is an error.
+pub fn decompress(src: &[u8], expected_len: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out: Vec<u8> = Vec::with_capacity(expected_len);
+    let mut pos = 0usize;
+    // runs until the input is exhausted at a sequence boundary
+    while let Some(&token) = src.get(pos) {
+        pos += 1;
+        // literal run
+        let mut lit_len = (token >> 4) as usize;
+        if lit_len == 15 {
+            loop {
+                let Some(&b) = src.get(pos) else { return Err(CodecError::Truncated) };
+                pos += 1;
+                lit_len += b as usize;
+                if b != 0xFF {
+                    break;
+                }
+            }
+        }
+        let lit_end = pos.checked_add(lit_len).ok_or(CodecError::Truncated)?;
+        if lit_end > src.len() {
+            return Err(CodecError::Truncated);
+        }
+        if out.len() + lit_len > expected_len {
+            return Err(CodecError::OutputOverflow);
+        }
+        out.extend_from_slice(&src[pos..lit_end]);
+        pos = lit_end;
+        if pos == src.len() {
+            // final sequence: literals only
+            break;
+        }
+        // back-reference
+        if pos + 2 > src.len() {
+            return Err(CodecError::Truncated);
+        }
+        let offset = u16::from_le_bytes([src[pos], src[pos + 1]]) as usize;
+        pos += 2;
+        if offset == 0 {
+            return Err(CodecError::ZeroOffset);
+        }
+        if offset > out.len() {
+            return Err(CodecError::BadOffset);
+        }
+        let mut match_len = (token & 0x0F) as usize + MIN_MATCH;
+        if match_len == 15 + MIN_MATCH {
+            loop {
+                let Some(&b) = src.get(pos) else { return Err(CodecError::Truncated) };
+                pos += 1;
+                match_len += b as usize;
+                if b != 0xFF {
+                    break;
+                }
+            }
+        }
+        if out.len() + match_len > expected_len {
+            return Err(CodecError::OutputOverflow);
+        }
+        let start = out.len() - offset;
+        if offset >= match_len {
+            out.extend_from_within(start..start + match_len);
+        } else {
+            // self-overlapping copy (run expansion): byte at a time
+            for i in 0..match_len {
+                let b = out[start + i];
+                out.push(b);
+            }
+        }
+    }
+    if out.len() != expected_len {
+        return Err(CodecError::LengthMismatch { expected: expected_len, got: out.len() });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let block = compress(data);
+        decompress(&block, data.len()).expect("roundtrip decode")
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(roundtrip(b""), b"");
+        assert_eq!(roundtrip(b"a"), b"a");
+        assert_eq!(roundtrip(b"abcdefg"), b"abcdefg");
+    }
+
+    #[test]
+    fn repetitive_input_compresses() {
+        let data: Vec<u8> = b"sensor-7:reading=42.00001;".repeat(200);
+        let block = compress(&data);
+        assert!(block.len() * 2 < data.len(), "{} vs {}", block.len(), data.len());
+        assert_eq!(decompress(&block, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn run_of_one_byte_uses_overlapping_match() {
+        let data = vec![0x5A; 10_000];
+        let block = compress(&data);
+        assert!(block.len() < 64, "run should collapse, got {} bytes", block.len());
+        assert_eq!(decompress(&block, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_input_survives_with_bounded_overhead() {
+        // xorshift noise: no 4-byte prefix repeats usefully
+        let mut x = 0x9E37_79B9_u32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        let block = compress(&data);
+        assert!(block.len() <= data.len() + data.len() / 128 + 16);
+        assert_eq!(decompress(&block, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn json_like_payload_hits_2x() {
+        let data: Vec<u8> = (0..500)
+            .flat_map(|i| {
+                format!(
+                    "{{\"experiment\":\"aps-beamline\",\"sequence\":{i},\"detector\":\"pilatus\",\"value\":{}}}",
+                    i * 3
+                )
+                .into_bytes()
+            })
+            .collect();
+        let block = compress(&data);
+        assert!(
+            block.len() * 2 <= data.len(),
+            "json-like ratio below 2x: {} -> {}",
+            data.len(),
+            block.len()
+        );
+        assert_eq!(decompress(&block, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn wrong_declared_length_is_typed_error() {
+        let block = compress(b"hello world, hello world, hello world");
+        assert!(matches!(
+            decompress(&block, 5),
+            Err(CodecError::OutputOverflow) | Err(CodecError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            decompress(&block, 10_000),
+            Err(CodecError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_block_is_typed_error_not_panic() {
+        let data: Vec<u8> = b"abcabcabcabcabcabc-tail-literal-bytes".to_vec();
+        let block = compress(&data);
+        for cut in 0..block.len() {
+            match decompress(&block[..cut], data.len()) {
+                Ok(out) => assert_ne!(out, data, "cut {cut} cannot decode to the full input"),
+                Err(_) => {} // typed error is the expected outcome
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic() {
+        let data: Vec<u8> = (0u16..2000).flat_map(|i| i.to_le_bytes()).collect();
+        let block = compress(&data);
+        for i in 0..block.len() {
+            for bit in [0x01u8, 0x10, 0x80] {
+                let mut bad = block.clone();
+                bad[i] ^= bit;
+                // must return: Ok with different bytes, or a typed error
+                let _ = decompress(&bad, data.len());
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_offset_rejected() {
+        // token: 0 literals, match of 4; offset 9 with empty output
+        let bad = [0x00u8, 0x09, 0x00];
+        assert_eq!(decompress(&bad, 4), Err(CodecError::BadOffset));
+        let zero = [0x00u8, 0x00, 0x00];
+        assert_eq!(decompress(&zero, 4), Err(CodecError::ZeroOffset));
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests for the LZ4-style block codec.
+//!
+//! The decoder runs against bytes read back from disk or hydrated from
+//! a cold tier, so its contract is the same as the wire decoder's
+//! (DESIGN.md §13): round-trips are exact, and arbitrary corruption —
+//! bit flips, truncation, or fully random input — produces a typed
+//! error or wrong-but-bounded output, never a panic and never more
+//! than the declared output length.
+
+use proptest::prelude::*;
+
+use octopus_compression::{compress, decompress};
+
+/// Inputs mixing noise with repeated structure, so the generator hits
+/// both the literal-heavy and match-heavy encoder paths.
+fn payload_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..2048),
+        (proptest::collection::vec(any::<u8>(), 1..32), 1usize..200)
+            .prop_map(|(unit, reps)| unit.repeat(reps)),
+        (any::<u64>(), 1usize..300).prop_map(|(seed, n)| {
+            (0..n)
+                .flat_map(|i| format!("{{\"seed\":{seed},\"seq\":{i}}}").into_bytes())
+                .collect()
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_is_exact(data in payload_strategy()) {
+        let block = compress(&data);
+        let back = decompress(&block, data.len()).expect("roundtrip");
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn corrupted_blocks_never_panic_or_overflow(
+        data in payload_strategy(),
+        flip_at in any::<usize>(),
+        flip_bit in 0u32..8,
+        cut in any::<usize>(),
+    ) {
+        let block = compress(&data);
+        if !block.is_empty() {
+            let mut bad = block.clone();
+            let i = flip_at % bad.len();
+            bad[i] ^= 1 << flip_bit;
+            bad.truncate(cut % (bad.len() + 1));
+            // typed error or bounded output -- both acceptable, panics are not
+            if let Ok(out) = decompress(&bad, data.len()) {
+                prop_assert!(out.len() == data.len());
+            }
+        }
+    }
+
+    #[test]
+    fn random_bytes_as_block_never_panic(
+        junk in proptest::collection::vec(any::<u8>(), 0..512),
+        declared in 0usize..4096,
+    ) {
+        if let Ok(out) = decompress(&junk, declared) {
+            prop_assert!(out.len() == declared);
+        }
+    }
+}

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use serde_json::{json, Value};
 
 use octopus_auth::{AclStore, AuthServer, IamService, Permission, Scope, TokenStatus};
-use octopus_broker::{CleanupPolicy, Cluster, TopicConfig};
+use octopus_broker::{CleanupPolicy, Cluster, Compression, TopicConfig};
 use octopus_pattern::Pattern;
 use octopus_trigger::{AutoscalerConfig, FunctionConfig, TriggerRuntime, TriggerSpec};
 use octopus_types::obs::Stage;
@@ -419,6 +419,35 @@ pub fn parse_topic_config(body: &Value, base: TopicConfig) -> OctoResult<TopicCo
                     }
                 };
             }
+            "segment_bytes" => {
+                config.segment_bytes = v
+                    .as_u64()
+                    .ok_or_else(|| OctoError::Invalid("segment_bytes must be an integer".into()))?
+                    as usize;
+            }
+            "index_interval_bytes" => {
+                config.index_interval_bytes = v.as_u64().ok_or_else(|| {
+                    OctoError::Invalid("index_interval_bytes must be an integer".into())
+                })?;
+            }
+            "compression" => {
+                config.compression = match v.as_str() {
+                    Some("none") => Compression::None,
+                    Some("lz4") => Compression::Lz4,
+                    other => {
+                        return Err(OctoError::Invalid(format!("unknown compression {other:?}")))
+                    }
+                };
+            }
+            "cold_after_bytes" => {
+                config.cold_after_bytes = if v.is_null() {
+                    None
+                } else {
+                    Some(v.as_u64().ok_or_else(|| {
+                        OctoError::Invalid("cold_after_bytes must be an integer or null".into())
+                    })?)
+                };
+            }
             other => return Err(OctoError::Invalid(format!("unknown config field `{other}`"))),
         }
     }
@@ -656,6 +685,35 @@ mod tests {
         assert_eq!(r.status, 400);
         let r = ows.dispatch(&put("/topic/t", &token, json!({"cleanup": "compact"})));
         assert_eq!(r.status, 200);
+    }
+
+    #[test]
+    fn config_parsing_accepts_storage_knobs() {
+        let parsed = parse_topic_config(
+            &json!({
+                "segment_bytes": 1 << 20,
+                "index_interval_bytes": 4096,
+                "compression": "lz4",
+                "cold_after_bytes": 1 << 22,
+            }),
+            TopicConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(parsed.segment_bytes, 1 << 20);
+        assert_eq!(parsed.index_interval_bytes, 4096);
+        assert_eq!(parsed.compression, Compression::Lz4);
+        assert_eq!(parsed.cold_after_bytes, Some(1 << 22));
+        // null turns tiering back off; "none" turns compression back off
+        let parsed = parse_topic_config(
+            &json!({"compression": "none", "cold_after_bytes": null}),
+            parsed,
+        )
+        .unwrap();
+        assert_eq!(parsed.compression, Compression::None);
+        assert_eq!(parsed.cold_after_bytes, None);
+        // unknown codec fails loudly
+        assert!(parse_topic_config(&json!({"compression": "zstd"}), TopicConfig::default())
+            .is_err());
     }
 
     #[test]

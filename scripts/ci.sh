@@ -78,6 +78,19 @@ if ! jq -e '.schema == "octopus-hotpath-v1"
     echo "BENCH_hotpath.json malformed (schema/sections)" >&2
     exit 1
 fi
+# Storage-at-scale gates: the sparse index must beat the linear-scan
+# baseline >=10x on a deep fetch, lz4 must shrink telemetry >=2x at
+# <=15% append overhead, a cold read must hydrate, and a reopen must
+# adopt sealed segments from footers instead of rescanning them.
+if ! jq -e '(.storage.deep_fetch.speedup >= 10)
+            and (.storage.compression.ratio >= 2)
+            and (.storage.compression.overhead_pct <= 15)
+            and (.storage.cold.hydrations >= 1)
+            and (.storage.reopen.sealed_skips >= 1)' BENCH_hotpath.json >/dev/null; then
+    echo "BENCH_hotpath.json storage gates failed:" >&2
+    jq '.storage' BENCH_hotpath.json >&2
+    exit 1
+fi
 
 echo "==> networked smoke (two OS processes, SCRAM over loopback TCP)"
 # The example spawns a broker process hosting a WireServer, dials it
@@ -112,8 +125,9 @@ fi
 
 echo "==> temp-dir leak gate"
 # Every durable-store test and example works in a TempDir prefixed
-# octopus-data-*; anything still present here leaked.
-leaked=$(find "${TMPDIR:-/tmp}" -maxdepth 1 -name 'octopus-data-*' 2>/dev/null || true)
+# octopus-data-* (cold-tier stores use octopus-cold-*); anything
+# still present here leaked.
+leaked=$(find "${TMPDIR:-/tmp}" -maxdepth 1 \( -name 'octopus-data-*' -o -name 'octopus-cold-*' \) 2>/dev/null || true)
 if [ -n "$leaked" ]; then
     echo "leaked data dirs:" >&2
     echo "$leaked" >&2
